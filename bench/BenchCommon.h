@@ -1,0 +1,81 @@
+//===- bench/BenchCommon.h - Shared benchmark harness -----------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every bench binary that regenerates one of the paper's example tables
+/// uses this harness: it prints the paper-vs-measured verdict rows for its
+/// slice of the experiment matrix (core/Experiments.h) and registers one
+/// google-benchmark timer per cell measuring the cost of the full
+/// refinement check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_BENCH_BENCHCOMMON_H
+#define QCM_BENCH_BENCHCOMMON_H
+
+#include "core/Experiments.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace qcm_bench {
+
+/// Prints the verdict rows and registers benchmarks for all matrix cells
+/// whose ExampleId is in \p ExampleIds, then hands control to the
+/// google-benchmark driver. Returns the process exit code (nonzero if any
+/// measured verdict disagrees with the paper).
+inline int runExperimentBench(const char *Title,
+                              const std::vector<std::string> &ExampleIds,
+                              int Argc, char **Argv) {
+  std::printf("== %s ==\n", Title);
+  std::printf("%-20s%-20s%-16s%-19s%s\n", "example", "scenario", "paper",
+              "measured", "agreement");
+  bool AllMatch = true;
+  std::vector<const qcm::ExperimentSpec *> Selected;
+  for (const qcm::ExperimentSpec &Spec : qcm::experimentMatrix()) {
+    bool Wanted = false;
+    for (const std::string &Id : ExampleIds)
+      Wanted |= Spec.ExampleId == Id;
+    if (!Wanted)
+      continue;
+    Selected.push_back(&Spec);
+    qcm::ExperimentOutcome Outcome = qcm::runExperiment(Spec);
+    AllMatch &= Outcome.MatchesPaper;
+    std::printf("%s\n", qcm::formatExperimentRow(Outcome).c_str());
+    std::printf("    note: %s\n", Spec.PaperNote.c_str());
+  }
+  std::printf("\n");
+
+  for (const qcm::ExperimentSpec *Spec : Selected) {
+    std::string Name =
+        "refinement_check/" + Spec->ExampleId + "/" + Spec->ScenarioName;
+    benchmark::RegisterBenchmark(
+        Name.c_str(), [Spec](benchmark::State &State) {
+          uint64_t Runs = 0;
+          for (auto _ : State) {
+            qcm::ExperimentOutcome Outcome = qcm::runExperiment(*Spec);
+            benchmark::DoNotOptimize(Outcome.MeasuredRefines);
+            Runs += Outcome.Report.RunsPerformed;
+          }
+          State.counters["program_runs"] =
+              benchmark::Counter(static_cast<double>(Runs),
+                                 benchmark::Counter::kIsRate);
+        });
+  }
+
+  benchmark::Initialize(&Argc, Argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return AllMatch ? 0 : 1;
+}
+
+} // namespace qcm_bench
+
+#endif // QCM_BENCH_BENCHCOMMON_H

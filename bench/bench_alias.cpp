@@ -1,0 +1,9 @@
+//===- bench/bench_alias.cpp - E12: Section 7 alias analyses --------------===//
+
+#include "BenchCommon.h"
+
+int main(int Argc, char **Argv) {
+  return qcm_bench::runExperimentBench(
+      "E12 (Section 7): freshness-based alias analysis", {"alias_fresh"},
+      Argc, Argv);
+}

@@ -1,0 +1,107 @@
+//===- bench/bench_behaviors.cpp - E14: the Section 2.3 behavior lattice --===//
+//
+// Regenerates the behavior classification table — one program per behavior
+// class (termination, undefined behavior, out-of-memory partiality,
+// divergence approximation) — and times behavior-set inclusion checking.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Vm.h"
+#include "refinement/BehaviorSet.h"
+#include "semantics/Runner.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace qcm;
+
+namespace {
+
+struct BehaviorCase {
+  const char *Name;
+  const char *Source;
+  Behavior::Kind Expected;
+};
+
+const BehaviorCase Cases[] = {
+    {"terminating",
+     "main() { var int a; a = input(); output(a + 1); }",
+     Behavior::Kind::Terminated},
+    {"undefined-null-deref",
+     "main() { var ptr p, int a; output(1); p = (ptr) 0; a = *p; }",
+     Behavior::Kind::Undefined},
+    {"out-of-memory-at-cast",
+     "main() { var ptr hog, int a; output(1); hog = malloc(100); "
+     "a = (int) hog; output(2); }",
+     Behavior::Kind::OutOfMemory},
+    {"divergence-approximation",
+     "main() { var int x; x = 1; output(1); while (x) { x = 1; } }",
+     Behavior::Kind::StepLimit},
+};
+
+void printTable() {
+  std::printf("== E14 (Section 2.3): behavior classes ==\n");
+  std::printf("%-28s%-24s%s\n", "program", "expected", "measured");
+  Vm V;
+  for (const BehaviorCase &C : Cases) {
+    std::optional<Program> P = V.compile(C.Source);
+    RunConfig Config;
+    Config.Model = ModelKind::QuasiConcrete;
+    Config.MemConfig.AddressWords = 8; // tiny: forces the OOM case
+    Config.Interp.StepLimit = 10'000;
+    Config.Interp.InputTape = {4};
+    RunResult R = runProgram(*P, Config);
+    std::printf("%-28s%-24s%s %s\n", C.Name,
+                behaviorKindName(C.Expected).c_str(),
+                behaviorKindName(R.Behav.BehaviorKind).c_str(),
+                R.Behav.BehaviorKind == C.Expected ? "[OK]" : "[MISMATCH]");
+  }
+  std::printf("\n");
+}
+
+void BM_ClassifyBehavior(benchmark::State &State) {
+  const BehaviorCase &C = Cases[State.range(0)];
+  Vm V;
+  std::optional<Program> P = V.compile(C.Source);
+  RunConfig Config;
+  Config.Model = ModelKind::QuasiConcrete;
+  Config.MemConfig.AddressWords = 8;
+  Config.Interp.StepLimit = 10'000;
+  Config.Interp.InputTape = {4};
+  for (auto _ : State) {
+    RunResult R = runProgram(*P, Config);
+    benchmark::DoNotOptimize(R.Behav.BehaviorKind);
+  }
+  State.SetLabel(C.Name);
+}
+BENCHMARK(BM_ClassifyBehavior)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_InclusionCheck(benchmark::State &State) {
+  // Behavior-set inclusion over sets of the given size.
+  const int N = static_cast<int>(State.range(0));
+  BehaviorSet Src, Tgt;
+  for (int I = 0; I < N; ++I) {
+    std::vector<Event> Events;
+    for (int J = 0; J <= I % 8; ++J)
+      Events.push_back(Event::output(static_cast<Word>(I + J)));
+    Src.insert(Behavior::terminated(Events));
+    Tgt.insert(Behavior::terminated(std::move(Events)));
+  }
+  for (auto _ : State) {
+    InclusionResult R = behaviorsIncluded(Tgt, Src);
+    benchmark::DoNotOptimize(R.Included);
+  }
+  State.SetComplexityN(N);
+}
+BENCHMARK(BM_InclusionCheck)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  printTable();
+  benchmark::Initialize(&Argc, Argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,9 @@
+//===- bench/bench_compilers.cpp - E11: Section 6.6 compilers -------------===//
+
+#include "BenchCommon.h"
+
+int main(int Argc, char **Argv) {
+  return qcm_bench::runExperimentBench(
+      "E11 (Section 6.6): dead cast elimination at lowering", {"deadcast"},
+      Argc, Argv);
+}

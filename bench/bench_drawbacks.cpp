@@ -1,0 +1,9 @@
+//===- bench/bench_drawbacks.cpp - E7/E8: Section 3.7 limitations ---------===//
+
+#include "BenchCommon.h"
+
+int main(int Argc, char **Argv) {
+  return qcm_bench::runExperimentBench(
+      "E7/E8 (Section 3.7): the model's accepted limitations",
+      {"drawbacks_a", "drawbacks_b_early", "drawbacks_b_late"}, Argc, Argv);
+}

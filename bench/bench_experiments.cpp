@@ -1,0 +1,22 @@
+//===- bench/bench_experiments.cpp - The complete verdict matrix ----------===//
+//
+// Regenerates the whole paper-vs-measured table in one run; the per-figure
+// binaries slice the same matrix.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> All;
+  for (const qcm::ExperimentSpec &S : qcm::experimentMatrix()) {
+    bool Seen = false;
+    for (const std::string &Id : All)
+      Seen |= Id == S.ExampleId;
+    if (!Seen)
+      All.push_back(S.ExampleId);
+  }
+  return qcm_bench::runExperimentBench(
+      "Complete optimization-validity matrix (all paper examples)", All,
+      Argc, Argv);
+}

@@ -1,0 +1,89 @@
+//===- bench/bench_exploration.cpp - Behavior-set exploration scaling -----===//
+//
+// Our ablation of the checking methodology: the cost of behavior-set
+// refinement checking as the oracle set grows — exhaustive placement
+// enumeration in tiny address spaces versus sampled oracles in large ones —
+// and how quickly the observed behavior set saturates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Vm.h"
+#include "refinement/RefinementChecker.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace qcm;
+
+namespace {
+
+const char *ProbeSource = R"(
+main() {
+  var ptr p, ptr q, int a, int b;
+  p = malloc(1);
+  q = malloc(2);
+  a = (int) p;
+  b = (int) q;
+  output(a);
+  output(b);
+}
+)";
+
+void BM_ExhaustiveEnumeration(benchmark::State &State) {
+  // All placement sequences of length 2 in a 2^k-word space.
+  const uint64_t Words = State.range(0);
+  Vm V;
+  Program P = *V.compile(ProbeSource);
+  std::vector<OracleFactory> Oracles =
+      enumeratedOracles(Words, /*Decisions=*/2);
+  RefinementJob Job;
+  Job.Src = &P;
+  Job.Tgt = &P;
+  Job.BaseSrc.Model = Job.BaseTgt.Model = ModelKind::QuasiConcrete;
+  Job.BaseSrc.MemConfig.AddressWords = Words;
+  Job.BaseTgt.MemConfig.AddressWords = Words;
+  Job.Oracles = Oracles;
+  uint64_t Behaviors = 0;
+  for (auto _ : State) {
+    RefinementReport R = checkRefinement(Job);
+    benchmark::DoNotOptimize(R.Refines);
+    Behaviors = R.PerContext[0].SrcBehaviors.size();
+  }
+  State.counters["oracles"] = static_cast<double>(Oracles.size());
+  State.counters["distinct_behaviors"] = static_cast<double>(Behaviors);
+}
+BENCHMARK(BM_ExhaustiveEnumeration)->Arg(6)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_SampledExploration(benchmark::State &State) {
+  const unsigned RandomCount = static_cast<unsigned>(State.range(0));
+  Vm V;
+  Program P = *V.compile(ProbeSource);
+  RefinementJob Job;
+  Job.Src = &P;
+  Job.Tgt = &P;
+  Job.BaseSrc.Model = Job.BaseTgt.Model = ModelKind::QuasiConcrete;
+  Job.BaseSrc.MemConfig.AddressWords = 1u << 16;
+  Job.BaseTgt.MemConfig.AddressWords = 1u << 16;
+  Job.Oracles = sampledOracles(RandomCount);
+  uint64_t Behaviors = 0;
+  for (auto _ : State) {
+    RefinementReport R = checkRefinement(Job);
+    benchmark::DoNotOptimize(R.Refines);
+    Behaviors = R.PerContext[0].SrcBehaviors.size();
+  }
+  State.counters["oracles"] = static_cast<double>(RandomCount + 2);
+  State.counters["distinct_behaviors"] = static_cast<double>(Behaviors);
+}
+BENCHMARK(BM_SampledExploration)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::printf("== Exploration methodology ablation: exhaustive vs sampled "
+              "oracle sets ==\n\n");
+  benchmark::Initialize(&Argc, Argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

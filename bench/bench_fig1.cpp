@@ -1,0 +1,9 @@
+//===- bench/bench_fig1.cpp - E2: Figure 1 arithmetic optimization I ------===//
+
+#include "BenchCommon.h"
+
+int main(int Argc, char **Argv) {
+  return qcm_bench::runExperimentBench(
+      "E2 (Figure 1): a = (a - b) + (2*b - b) removal", {"fig1"}, Argc,
+      Argv);
+}

@@ -1,0 +1,9 @@
+//===- bench/bench_fig2.cpp - E3: Figure 2 dead code elimination ----------===//
+
+#include "BenchCommon.h"
+
+int main(int Argc, char **Argv) {
+  return qcm_bench::runExperimentBench(
+      "E3 (Figure 2): DCE of the read-only call foo(a)", {"fig2"}, Argc,
+      Argv);
+}

@@ -1,0 +1,9 @@
+//===- bench/bench_fig3.cpp - E4: Figure 3 ownership transfer -------------===//
+
+#include "BenchCommon.h"
+
+int main(int Argc, char **Argv) {
+  return qcm_bench::runExperimentBench(
+      "E4 (Figure 3): constant propagation before hash_put", {"fig3"},
+      Argc, Argv);
+}

@@ -1,0 +1,9 @@
+//===- bench/bench_fig4.cpp - E5: Figure 4 arithmetic optimization II -----===//
+
+#include "BenchCommon.h"
+
+int main(int Argc, char **Argv) {
+  return qcm_bench::runExperimentBench(
+      "E5 (Figure 4): reassociation via t = a + b (vs CompCert-style)",
+      {"fig4"}, Argc, Argv);
+}

@@ -1,0 +1,9 @@
+//===- bench/bench_fig5.cpp - E6: Figure 5 dead cast + allocation ---------===//
+
+#include "BenchCommon.h"
+
+int main(int Argc, char **Argv) {
+  return qcm_bench::runExperimentBench(
+      "E6 (Figure 5): dead call elimination across the three model pairs",
+      {"fig5"}, Argc, Argv);
+}

@@ -1,0 +1,146 @@
+//===- bench/bench_fig7_invariants.cpp - E10: the Figure 7 case matrix ----===//
+//
+// Regenerates Figure 7: which combinations of concrete/logical blocks are
+// admissible in the public equivalence and the private sections of a memory
+// invariant, and times invariant checking as memories grow.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/QuasiConcreteMemory.h"
+#include "refinement/Invariant.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace qcm;
+
+namespace {
+
+MemoryConfig cfg() {
+  MemoryConfig C;
+  C.AddressWords = 1u << 20;
+  return C;
+}
+
+/// Builds a src/tgt pair with one related block each, realized per flags.
+struct Cell {
+  QuasiConcreteMemory Src{cfg()};
+  QuasiConcreteMemory Tgt{cfg()};
+  bool Ok = false;
+
+  Cell(bool SrcConcrete, bool TgtConcrete) {
+    Value SP = Src.allocate(2).value();
+    Value TP = Tgt.allocate(2).value();
+    if (SrcConcrete)
+      (void)Src.castPtrToInt(SP);
+    if (TgtConcrete)
+      (void)Tgt.castPtrToInt(TP);
+    MemoryInvariant Inv;
+    Inv.Alpha.add(SP.ptr().Block, TP.ptr().Block);
+    Ok = !Inv.holdsOn(Src, Tgt).has_value();
+  }
+};
+
+void printPublicMatrix() {
+  std::printf("== E10 (Figure 7): memory invariant case matrix ==\n");
+  std::printf("public blocks (source x target):\n");
+  const char *Names[2] = {"logical ", "concrete"};
+  // Paper: all allowed except source-concrete/target-logical.
+  bool Expected[2][2] = {{true, true}, {false, true}};
+  for (int S = 0; S < 2; ++S)
+    for (int T = 0; T < 2; ++T) {
+      Cell C(S == 1, T == 1);
+      std::printf("  src=%s tgt=%s : %s  (paper: %s) %s\n", Names[S],
+                  Names[T], C.Ok ? "allowed " : "rejected",
+                  Expected[S][T] ? "allowed" : "rejected",
+                  C.Ok == Expected[S][T] ? "[OK]" : "[MISMATCH]");
+    }
+
+  std::printf("private blocks:\n");
+  // Source private must be logical; target private may be either.
+  {
+    QuasiConcreteMemory M(cfg());
+    Value P = M.allocate(1).value();
+    MemoryInvariant Inv;
+    bool LogicalOk = !Inv.addPrivateSrc(P.ptr().Block, M).has_value();
+    (void)M.castPtrToInt(P);
+    MemoryInvariant Inv2;
+    bool ConcreteOk = !Inv2.addPrivateSrc(P.ptr().Block, M).has_value();
+    std::printf("  src private logical : %s (paper: allowed) %s\n",
+                LogicalOk ? "allowed " : "rejected",
+                LogicalOk ? "[OK]" : "[MISMATCH]");
+    std::printf("  src private concrete: %s (paper: rejected) %s\n",
+                ConcreteOk ? "allowed " : "rejected",
+                !ConcreteOk ? "[OK]" : "[MISMATCH]");
+  }
+  {
+    QuasiConcreteMemory M(cfg());
+    Value P = M.allocate(1).value();
+    MemoryInvariant Inv;
+    bool LogicalOk = !Inv.addPrivateTgt(P.ptr().Block, M).has_value();
+    (void)M.castPtrToInt(P);
+    MemoryInvariant Inv2;
+    bool ConcreteOk = !Inv2.addPrivateTgt(P.ptr().Block, M).has_value();
+    std::printf("  tgt private logical : %s (paper: allowed) %s\n",
+                LogicalOk ? "allowed " : "rejected",
+                LogicalOk ? "[OK]" : "[MISMATCH]");
+    std::printf("  tgt private concrete: %s (paper: allowed) %s\n",
+                ConcreteOk ? "allowed " : "rejected",
+                ConcreteOk ? "[OK]" : "[MISMATCH]");
+  }
+  std::printf("\n");
+}
+
+void BM_InvariantCheck(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  QuasiConcreteMemory Src(cfg()), Tgt(cfg());
+  MemoryInvariant Inv;
+  for (int I = 0; I < N; ++I) {
+    Value SP = Src.allocate(4).value();
+    Value TP = Tgt.allocate(4).value();
+    (void)Src.store(SP, Value::makeInt(static_cast<Word>(I)));
+    (void)Tgt.store(TP, Value::makeInt(static_cast<Word>(I)));
+    Inv.Alpha.add(SP.ptr().Block, TP.ptr().Block);
+  }
+  for (auto _ : State) {
+    auto Err = Inv.holdsOn(Src, Tgt);
+    benchmark::DoNotOptimize(Err.has_value());
+  }
+  State.SetComplexityN(N);
+}
+BENCHMARK(BM_InvariantCheck)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void BM_FutureInvariantCheck(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  QuasiConcreteMemory Src(cfg()), Tgt(cfg());
+  MemoryInvariant Inv;
+  for (int I = 0; I < N; ++I) {
+    Value SP = Src.allocate(4).value();
+    Value TP = Tgt.allocate(4).value();
+    Inv.Alpha.add(SP.ptr().Block, TP.ptr().Block);
+  }
+  InvariantCheckpoint Before(Inv, Src, Tgt);
+  InvariantCheckpoint After(Inv, Src, Tgt);
+  for (auto _ : State) {
+    auto Err = checkFutureInvariant(Before, After);
+    benchmark::DoNotOptimize(Err.has_value());
+  }
+  State.SetComplexityN(N);
+}
+BENCHMARK(BM_FutureInvariantCheck)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Complexity();
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  printPublicMatrix();
+  benchmark::Initialize(&Argc, Argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

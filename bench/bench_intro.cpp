@@ -1,0 +1,15 @@
+//===- bench/bench_intro.cpp - E1: Section 1 introduction example ---------===//
+//
+// Regenerates the paper's opening claim: constant propagation plus dead
+// allocation elimination across an unknown call is valid under the logical
+// and quasi-concrete models and invalid under the concrete model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+int main(int Argc, char **Argv) {
+  return qcm_bench::runExperimentBench(
+      "E1 (Section 1): CP + DAE across an unknown call", {"intro"}, Argc,
+      Argv);
+}

@@ -1,0 +1,125 @@
+//===- bench/bench_passes.cpp - Optimization pass throughput --------------===//
+//
+// Times the optimizer on synthetically scaled programs: long straight-line
+// arithmetic chains, ownership-heavy allocation/store/load sequences, and
+// the full pipeline on the paper's running example replicated N times.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Vm.h"
+#include "lang/PrettyPrint.h"
+#include "opt/ArithSimplify.h"
+#include "opt/ConstProp.h"
+#include "opt/DeadCodeElim.h"
+#include "opt/OwnershipOpt.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace qcm;
+
+namespace {
+
+Program compileOrDie(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  if (!P) {
+    std::fprintf(stderr, "bench program does not compile:\n%s\n",
+                 V.lastDiagnostics().c_str());
+    std::abort();
+  }
+  return std::move(*P);
+}
+
+std::string arithChainProgram(int N) {
+  std::string Body = "main() {\n  var int a, int b, int c;\n  a = input();\n"
+                     "  b = input();\n  c = 0;\n";
+  for (int I = 0; I < N; ++I)
+    Body += "  c = c + (a - b) + (2 * b - b) - a + " +
+            std::to_string(I % 7) + ";\n";
+  Body += "  output(c);\n}\n";
+  return Body;
+}
+
+std::string ownershipChainProgram(int N) {
+  std::string Body = "extern bar();\nmain() {\n  var ptr q, int a, int acc;\n"
+                     "  acc = 0;\n";
+  for (int I = 0; I < N; ++I) {
+    Body += "  q = malloc(1);\n  *q = " + std::to_string(I) +
+            ";\n  bar();\n  a = *q;\n  acc = acc + a;\n  free(q);\n";
+  }
+  Body += "  output(acc);\n}\n";
+  return Body;
+}
+
+void BM_ArithSimplifyChain(benchmark::State &State) {
+  Program P = compileOrDie(arithChainProgram(static_cast<int>(State.range(0))));
+  for (auto _ : State) {
+    Program Copy = P.clone();
+    ArithSimplifyPass Pass;
+    for (FunctionDecl &F : Copy.Functions)
+      if (!F.isExtern())
+        benchmark::DoNotOptimize(Pass.runOnFunction(F, Copy));
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_ArithSimplifyChain)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+
+void BM_ConstPropChain(benchmark::State &State) {
+  Program P = compileOrDie(arithChainProgram(static_cast<int>(State.range(0))));
+  for (auto _ : State) {
+    Program Copy = P.clone();
+    ConstPropPass Pass;
+    for (FunctionDecl &F : Copy.Functions)
+      if (!F.isExtern())
+        benchmark::DoNotOptimize(Pass.runOnFunction(F, Copy));
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_ConstPropChain)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+
+void BM_OwnershipOptChain(benchmark::State &State) {
+  Program P =
+      compileOrDie(ownershipChainProgram(static_cast<int>(State.range(0))));
+  for (auto _ : State) {
+    Program Copy = P.clone();
+    OwnershipOptPass Pass;
+    for (FunctionDecl &F : Copy.Functions)
+      if (!F.isExtern())
+        benchmark::DoNotOptimize(Pass.runOnFunction(F, Copy));
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_OwnershipOptChain)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+
+void BM_FullPipeline(benchmark::State &State) {
+  Program P =
+      compileOrDie(ownershipChainProgram(static_cast<int>(State.range(0))));
+  for (auto _ : State) {
+    Program Copy = P.clone();
+    DceOptions Dce;
+    Dce.RemoveDeadAllocs = true;
+    PassManager PM;
+    PM.add(std::make_unique<OwnershipOptPass>());
+    PM.add(std::make_unique<ConstPropPass>());
+    PM.add(std::make_unique<ArithSimplifyPass>());
+    PM.add(std::make_unique<DeadCodeElimPass>(Dce));
+    benchmark::DoNotOptimize(PM.run(Copy, 8));
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_FullPipeline)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+
+void BM_ParseAndTypeCheck(benchmark::State &State) {
+  std::string Source = ownershipChainProgram(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    Vm V;
+    std::optional<Program> P = V.compile(Source);
+    benchmark::DoNotOptimize(P.has_value());
+  }
+  State.SetBytesProcessed(State.iterations() * Source.size());
+}
+BENCHMARK(BM_ParseAndTypeCheck)->Arg(8)->Arg(32)->Arg(128);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,9 @@
+//===- bench/bench_running_example.cpp - E9: Section 5.1 -------------------===//
+
+#include "BenchCommon.h"
+
+int main(int Argc, char **Argv) {
+  return qcm_bench::runExperimentBench(
+      "E9 (Section 5.1): running example CP+DLE+DSE+DAE", {"running"},
+      Argc, Argv);
+}

@@ -1,0 +1,126 @@
+//===- examples/model_comparison.cpp - One program, three models ----------===//
+//
+// Runs a battery of idioms under all three memory models side by side,
+// showing exactly where each model draws the line between defined and
+// undefined — the paper's Table-of-the-mind, made executable.
+//
+// Build & run:  ./build/examples/model_comparison
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/QuasiConcrete.h"
+
+#include <cstdio>
+
+using namespace qcm;
+
+namespace {
+
+struct Scenario {
+  const char *Name;
+  const char *Source;
+};
+
+const Scenario Scenarios[] = {
+    {"plain heap read/write",
+     R"(main() {
+  var ptr p, int r;
+  p = malloc(2);
+  *(p + 1) = 5;
+  r = *(p + 1);
+  output(r);
+})"},
+    {"cast round trip",
+     R"(main() {
+  var ptr p, ptr q, int a, int r;
+  p = malloc(1);
+  *p = 7;
+  a = (int) p;
+  q = (ptr) a;
+  r = *q;
+  output(r);
+})"},
+    {"arithmetic on a cast pointer",
+     R"(main() {
+  var ptr p, ptr q, int a, int r;
+  p = malloc(2);
+  *(p + 1) = 9;
+  a = (int) p;
+  q = (ptr) (a + 1);
+  r = *q;
+  output(r);
+})"},
+    {"forging an address from a constant",
+     R"(main() {
+  var ptr p, ptr forged, int r;
+  p = malloc(1);
+  *p = 11;
+  forged = (ptr) 1;
+  r = *forged;
+  output(r);
+})"},
+    {"guessing after realization",
+     R"(main() {
+  var ptr p, ptr forged, int a, int r;
+  p = malloc(1);
+  *p = 13;
+  a = (int) p;
+  forged = (ptr) 1;
+  r = *forged;
+  output(r);
+})"},
+    {"out-of-bounds access",
+     R"(main() {
+  var ptr p, int r;
+  p = malloc(2);
+  r = *(p + 2);
+  output(r);
+})"},
+    {"use after free",
+     R"(main() {
+  var ptr p, int r;
+  p = malloc(1);
+  free(p);
+  r = *p;
+  output(r);
+})"},
+};
+
+} // namespace
+
+int main() {
+  std::printf("%-36s%-24s%-24s%s\n", "scenario", "concrete", "logical",
+              "quasi-concrete");
+  std::printf("%s\n", std::string(108, '-').c_str());
+
+  Vm Compiler;
+  for (const Scenario &S : Scenarios) {
+    std::optional<Program> Prog = Compiler.compile(S.Source);
+    if (!Prog) {
+      std::fprintf(stderr, "%s: %s", S.Name,
+                   Compiler.lastDiagnostics().c_str());
+      return 1;
+    }
+    std::printf("%-36s", S.Name);
+    for (ModelKind Model : {ModelKind::Concrete, ModelKind::Logical,
+                            ModelKind::QuasiConcrete}) {
+      RunConfig Config;
+      Config.Model = Model;
+      Config.MemConfig.AddressWords = 64;
+      RunResult R = runProgram(*Prog, Config);
+      std::string Cell = behaviorKindName(R.Behav.BehaviorKind);
+      if (R.Behav.BehaviorKind == Behavior::Kind::Terminated &&
+          !R.Behav.Events.empty())
+        Cell += " " + R.Behav.Events.back().toString();
+      std::printf("%-24s", Cell.c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nReading guide: the concrete model accepts everything that "
+              "lands in allocated\nmemory (even forged addresses); the "
+              "logical model rejects every cast; the\nquasi-concrete model "
+              "accepts exactly the realized-address idioms while keeping\n"
+              "unrealized blocks unforgeable.\n");
+  return 0;
+}

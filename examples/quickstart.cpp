@@ -1,0 +1,73 @@
+//===- examples/quickstart.cpp - First steps with the library -------------===//
+//
+// Compiles a small program in the Section 2 language and runs it under the
+// quasi-concrete memory model, demonstrating the headline capability:
+// arbitrary integer arithmetic on a pointer that has been cast, with the
+// pointer surviving the round trip.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/QuasiConcrete.h"
+
+#include <cstdio>
+
+using namespace qcm;
+
+int main() {
+  // A program that stashes a pointer in an integer variable, obfuscates it
+  // with arithmetic (think base64 or the XOR trick), recovers it, and
+  // dereferences the result. Undefined in CompCert-style logical models;
+  // fully defined here.
+  const char *Source = R"(
+main() {
+  var ptr p, ptr q, int a, int masked, int recovered, int r;
+  p = malloc(4);
+  *(p + 2) = 1234;
+
+  a = (int) p;            // realization: p's block gets a concrete address
+  masked = a * 2 + 7;     // any arithmetic at all is fine on the integer
+  recovered = (masked - 7) - a;
+  q = (ptr) (recovered + a + 2);
+
+  r = *q;                 // reads p[2] through the recovered pointer
+  output(r);
+
+  output(q - p);          // same block: pointer subtraction is defined
+  free(p);
+}
+)";
+
+  Vm Compiler;
+  std::optional<Program> Prog = Compiler.compile(Source);
+  if (!Prog) {
+    std::fprintf(stderr, "compilation failed:\n%s",
+                 Compiler.lastDiagnostics().c_str());
+    return 1;
+  }
+
+  std::printf("--- program ---\n%s\n", printProgram(*Prog).c_str());
+
+  RunConfig Config;
+  Config.Model = ModelKind::QuasiConcrete;
+  Config.MemConfig.AddressWords = 1u << 16;
+
+  RunResult Result = runProgram(*Prog, Config);
+  std::printf("--- run under the quasi-concrete model ---\n");
+  std::printf("behavior: %s\n", Result.Behav.toString().c_str());
+  std::printf("steps:    %llu\n",
+              static_cast<unsigned long long>(Result.Steps));
+
+  // The same program under the strict logical model dies at the first
+  // cast: that is the gap the paper closes.
+  Config.Model = ModelKind::Logical;
+  RunResult Logical = runProgram(*Prog, Config);
+  std::printf("\n--- the same program under the logical model ---\n");
+  std::printf("behavior: %s\n", Logical.Behav.toString().c_str());
+
+  bool Ok = Result.Behav.BehaviorKind == Behavior::Kind::Terminated &&
+            Logical.Behav.BehaviorKind == Behavior::Kind::Undefined;
+  std::printf("\nquickstart %s\n", Ok ? "succeeded" : "FAILED");
+  return Ok ? 0 : 1;
+}

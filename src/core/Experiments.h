@@ -1,0 +1,75 @@
+//===- core/Experiments.h - The paper's experiment matrix -------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment matrix: for every paper example (core/PaperExamples.h)
+/// and every relevant memory-model scenario, the paper's claimed verdict
+/// ("this transformation is/is not a refinement under this model") together
+/// with everything needed to measure it with the refinement checker. Tests
+/// assert measured == paper; the benches time the checks and print the
+/// rows; EXPERIMENTS.md records the outcomes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_CORE_EXPERIMENTS_H
+#define QCM_CORE_EXPERIMENTS_H
+
+#include "core/PaperExamples.h"
+#include "refinement/RefinementChecker.h"
+
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// One (example, scenario) cell of the matrix.
+struct ExperimentSpec {
+  std::string ExampleId;
+  /// Scenario label, e.g. "quasi-concrete", "concrete",
+  /// "compcert-logical", "quasi->concrete".
+  std::string ScenarioName;
+  /// The paper's claim for this cell.
+  bool PaperRefines = true;
+  /// Where the claim comes from / why.
+  std::string PaperNote;
+
+  ModelKind SrcModel = ModelKind::QuasiConcrete;
+  ModelKind TgtModel = ModelKind::QuasiConcrete;
+  TypeDiscipline Discipline = TypeDiscipline::Static;
+  LogicalMemory::CastBehavior Casts = LogicalMemory::CastBehavior::Error;
+  uint64_t AddressWords = 1u << 12;
+  std::vector<ContextVariant> Contexts;
+  /// Placement oracles; empty means the checker's default (first-fit and
+  /// last-fit). The concrete-model invalidity scenarios pin a single
+  /// deterministic oracle, mirroring the paper's Section 1 premise that
+  /// the concrete semantics "allocates memory deterministically" so a
+  /// context can set up a correct guess.
+  std::vector<OracleFactory> Oracles;
+};
+
+/// Outcome of one cell.
+struct ExperimentOutcome {
+  const ExperimentSpec *Spec = nullptr;
+  RefinementReport Report;
+  bool MeasuredRefines = false;
+  bool MatchesPaper = false;
+};
+
+/// The full matrix, in paper order.
+const std::vector<ExperimentSpec> &experimentMatrix();
+
+/// Compiles the example's programs and runs the refinement check for one
+/// cell.
+ExperimentOutcome runExperiment(const ExperimentSpec &Spec);
+
+/// Renders one row of the results table:
+///   fig5  quasi->concrete  paper=refines  measured=refines  [OK]
+std::string formatExperimentRow(const ExperimentOutcome &Outcome);
+
+} // namespace qcm
+
+#endif // QCM_CORE_EXPERIMENTS_H

@@ -1,0 +1,489 @@
+//===- core/PaperExamples.cpp ---------------------------------------------===//
+
+#include "core/PaperExamples.h"
+
+#include <cassert>
+
+using namespace qcm;
+
+namespace {
+
+std::vector<PaperExample> buildCatalog() {
+  std::vector<PaperExample> Catalog;
+
+  // E1 — Section 1: constant propagation and dead allocation elimination
+  // across an unknown call. Valid in the logical-family models (g cannot
+  // forge the block's address), invalid in the concrete model (g can guess
+  // it).
+  Catalog.push_back(PaperExample{
+      "intro",
+      "Section 1",
+      "constant propagation + dead allocation elimination across g()",
+      R"(extern g();
+main() {
+  var ptr a, int r;
+  a = malloc(1);
+  *a = 0;
+  g();
+  r = *a;
+  output(r);
+}
+)",
+      R"(extern g();
+main() {
+  var ptr a, int r;
+  g();
+  output(0);
+}
+)",
+      "main",
+      {}});
+
+  // E2 — Figure 1: arithmetic optimization I. The identity
+  // (a - b) + (2*b - b) == a holds because int variables hold machine
+  // integers (Section 3.5); a model carrying permissions through casts
+  // would reject it (Section 3.2).
+  Catalog.push_back(PaperExample{
+      "fig1",
+      "Figure 1",
+      "arithmetic optimization I: a = (a - b) + (2*b - b) removed",
+      R"(f(int a, int b) {
+  var ptr q;
+  a = (a - b) + (2 * b - b);
+  q = (ptr) a;
+  *q = 123;
+}
+main() {
+  var ptr p, int a, int r;
+  p = malloc(1);
+  a = (int) p;
+  f(a, a);
+  r = *p;
+  output(r);
+}
+)",
+      R"(f(int a, int b) {
+  var ptr q;
+  q = (ptr) a;
+  *q = 123;
+}
+main() {
+  var ptr p, int a, int r;
+  p = malloc(1);
+  a = (int) p;
+  f(a, a);
+  r = *p;
+  output(r);
+}
+)",
+      "main",
+      {}});
+
+  // E3 — Figure 2: dead code elimination of a read-only call. Valid under
+  // realize-at-cast (the cast in main realizes the block in source and
+  // target alike); the rejected realize-at-use design would break it.
+  Catalog.push_back(PaperExample{
+      "fig2",
+      "Figure 2",
+      "dead code elimination of the read-only call foo(a)",
+      R"(extern bar();
+foo(int a) {
+  var int b;
+  b = a & 123;
+}
+main() {
+  var ptr p, int a;
+  p = malloc(1);
+  a = (int) p;
+  foo(a);
+  bar();
+  output(a);
+}
+)",
+      R"(extern bar();
+foo(int a) {
+  var int b;
+  b = a & 123;
+}
+main() {
+  var ptr p, int a;
+  p = malloc(1);
+  a = (int) p;
+  bar();
+  output(a);
+}
+)",
+      "main",
+      {}});
+
+  // E4 — Figure 3: ownership transfer. The block is private until its
+  // address is cast inside hash_put, so the load after bar() still sees
+  // 123. hash_put outputs the stored value to make the table contents
+  // observable.
+  Catalog.push_back(PaperExample{
+      "fig3",
+      "Figure 3",
+      "constant propagation before ownership transfer to hash_put",
+      R"(global h[8];
+extern bar();
+hash_put(ptr t, ptr key, int v) {
+  var int k, int slot;
+  k = (int) key;
+  slot = k & 7;
+  *(t + slot) = v;
+  output(v);
+}
+main() {
+  var ptr p, int a;
+  p = malloc(1);
+  *p = 123;
+  bar();
+  a = *p;
+  hash_put(h, p, a);
+}
+)",
+      R"(global h[8];
+extern bar();
+hash_put(ptr t, ptr key, int v) {
+  var int k, int slot;
+  k = (int) key;
+  slot = k & 7;
+  *(t + slot) = v;
+  output(v);
+}
+main() {
+  var ptr p, int a;
+  p = malloc(1);
+  *p = 123;
+  bar();
+  a = *p;
+  hash_put(h, p, 123);
+}
+)",
+      "main",
+      {}});
+
+  // E5 — Figure 4: arithmetic optimization II (reassociation introducing
+  // t = a + b). Valid under the typed discipline; invalid under the
+  // CompCert-style treatment where cast pointers flow into int variables
+  // and ptr + ptr is undefined.
+  Catalog.push_back(PaperExample{
+      "fig4",
+      "Figure 4",
+      "arithmetic optimization II: reassociation via t = a + b",
+      R"(f(int a, int b, int c1, int c2) {
+  var int d1, int d2;
+  d1 = a + (b - c1);
+  d2 = a + (b - c2);
+  output(d1 == d2);
+}
+main() {
+  var ptr p, int a;
+  p = malloc(1);
+  a = (int) p;
+  f(a, a, a, a);
+}
+)",
+      R"(f(int a, int b, int c1, int c2) {
+  var int t, int d1, int d2;
+  t = a + b;
+  d1 = t - c1;
+  d2 = t - c2;
+  output(d1 == d2);
+}
+main() {
+  var ptr p, int a;
+  p = malloc(1);
+  a = (int) p;
+  f(a, a, a, a);
+}
+)",
+      "main",
+      {}});
+
+  // E6 — Figure 5: dead cast + dead allocation elimination. Invalid
+  // quasi-to-quasi (the removed cast realized p's block), invalid
+  // concrete-to-concrete (the removed allocation consumed space), valid
+  // quasi-to-concrete (Section 6.5).
+  Catalog.push_back(PaperExample{
+      "fig5",
+      "Figure 5",
+      "dead call elimination: foo contains a dead cast and allocation",
+      R"(extern bar();
+foo(ptr p, int n) {
+  var ptr q, int a, int r;
+  q = malloc(n);
+  a = (int) p;
+  r = a * 123;
+}
+main() {
+  var ptr p;
+  p = malloc(1);
+  foo(p, 1);
+  bar();
+}
+)",
+      R"(extern bar();
+foo(ptr p, int n) {
+  var ptr q, int a, int r;
+  q = malloc(n);
+  a = (int) p;
+  r = a * 123;
+}
+main() {
+  var ptr p;
+  p = malloc(1);
+  bar();
+}
+)",
+      "main",
+      {}});
+
+  // E7 — Section 3.7 (first drawback): like Figure 5 but casting the fresh
+  // local block q. Its realization is observable (address-space
+  // consumption), so the removal is not even valid quasi-to-concrete: the
+  // paper accepts this as a (harmless) limitation.
+  Catalog.push_back(PaperExample{
+      "drawbacks_a",
+      "Section 3.7 (local cast)",
+      "dead call elimination where foo casts its own fresh block",
+      R"(extern bar();
+foo(int n) {
+  var ptr q, int a, int r;
+  q = malloc(n);
+  a = (int) q;
+  r = a * 123;
+}
+main() {
+  foo(1);
+  bar();
+}
+)",
+      R"(extern bar();
+foo(int n) {
+  var ptr q, int a, int r;
+  q = malloc(n);
+  a = (int) q;
+  r = a * 123;
+}
+main() {
+  bar();
+}
+)",
+      "main",
+      {}});
+
+  // E8 — Section 3.7 (second drawback): constant propagation across bar()
+  // after the block's address was already cast. Invalid: bar() can forge
+  // the realized address. The _late variant moves the cast after bar(),
+  // restoring validity — exactly the paper's remark.
+  Catalog.push_back(PaperExample{
+      "drawbacks_b_early",
+      "Section 3.7 (early cast)",
+      "constant propagation across bar() after an early cast",
+      R"(global h[8];
+extern bar();
+hash_put(ptr t, int key, int v) {
+  var int slot;
+  slot = key & 7;
+  *(t + slot) = v;
+  output(v);
+}
+main() {
+  var ptr p, int a, int b;
+  p = malloc(1);
+  *p = 123;
+  b = (int) p;
+  bar();
+  a = *p;
+  hash_put(h, b, a);
+}
+)",
+      R"(global h[8];
+extern bar();
+hash_put(ptr t, int key, int v) {
+  var int slot;
+  slot = key & 7;
+  *(t + slot) = v;
+  output(v);
+}
+main() {
+  var ptr p, int a, int b;
+  p = malloc(1);
+  *p = 123;
+  b = (int) p;
+  bar();
+  a = *p;
+  hash_put(h, b, 123);
+}
+)",
+      "main",
+      {}});
+
+  Catalog.push_back(PaperExample{
+      "drawbacks_b_late",
+      "Section 3.7 (late cast)",
+      "the same propagation with the cast moved after bar(): valid again",
+      R"(global h[8];
+extern bar();
+hash_put(ptr t, int key, int v) {
+  var int slot;
+  slot = key & 7;
+  *(t + slot) = v;
+  output(v);
+}
+main() {
+  var ptr p, int a, int b;
+  p = malloc(1);
+  *p = 123;
+  bar();
+  b = (int) p;
+  a = *p;
+  hash_put(h, b, a);
+}
+)",
+      R"(global h[8];
+extern bar();
+hash_put(ptr t, int key, int v) {
+  var int slot;
+  slot = key & 7;
+  *(t + slot) = v;
+  output(v);
+}
+main() {
+  var ptr p, int a, int b;
+  p = malloc(1);
+  *p = 123;
+  bar();
+  b = (int) p;
+  a = *p;
+  hash_put(h, b, 123);
+}
+)",
+      "main",
+      {}});
+
+  // E9 — Section 5.1 running example: CP + DLE + DSE + DAE through an
+  // unknown call, the paper's flagship verification target.
+  Catalog.push_back(PaperExample{
+      "running",
+      "Section 5.1 / Figure 6",
+      "running example: four optimizations at once through bar(p)",
+      R"(extern bar(ptr x);
+foo(ptr p) {
+  var ptr q, int a;
+  q = malloc(1);
+  *q = 123;
+  bar(p);
+  a = *q;
+  *p = a;
+}
+main() {
+  var ptr p, int r;
+  p = malloc(1);
+  foo(p);
+  r = *p;
+  output(r);
+}
+)",
+      R"(extern bar(ptr x);
+foo(ptr p) {
+  bar(p);
+  *p = 123;
+}
+main() {
+  var ptr p, int r;
+  p = malloc(1);
+  foo(p);
+  r = *p;
+  output(r);
+}
+)",
+      "main",
+      {}});
+
+  // E11 — Section 6.6: a dead cast whose elimination is the lowering
+  // compiler's one optimization.
+  Catalog.push_back(PaperExample{
+      "deadcast",
+      "Section 6.6",
+      "dead pointer-to-integer cast, removable only when lowering",
+      R"(extern bar();
+main() {
+  var ptr p, int a;
+  p = malloc(1);
+  a = (int) p;
+  bar();
+  output(7);
+}
+)",
+      R"(extern bar();
+main() {
+  var ptr p, int a;
+  p = malloc(1);
+  bar();
+  output(7);
+}
+)",
+      "main",
+      {}});
+
+  // E12 — Section 7: freshness-based alias analysis. q is fresh, so even
+  // after (int) q realizes it, *q = 123 cannot touch *p.
+  Catalog.push_back(PaperExample{
+      "alias_fresh",
+      "Section 7 (freshness)",
+      "constant propagation of r = *p past a store through fresh q",
+      R"(foo(ptr p) {
+  var ptr q, int a, int b, int r;
+  q = malloc(1);
+  a = (int) q;
+  b = *p;
+  *q = 123;
+  r = *p;
+  output(r);
+}
+main() {
+  var ptr p;
+  p = malloc(1);
+  *p = 9;
+  foo(p);
+}
+)",
+      R"(foo(ptr p) {
+  var ptr q, int a, int b, int r;
+  q = malloc(1);
+  a = (int) q;
+  b = *p;
+  *q = 123;
+  r = b;
+  output(r);
+}
+main() {
+  var ptr p;
+  p = malloc(1);
+  *p = 9;
+  foo(p);
+}
+)",
+      "main",
+      {}});
+
+  return Catalog;
+}
+
+} // namespace
+
+const std::vector<PaperExample> &qcm::paperExamples() {
+  static const std::vector<PaperExample> Catalog = buildCatalog();
+  return Catalog;
+}
+
+const PaperExample &qcm::getPaperExample(const std::string &Id) {
+  for (const PaperExample &E : paperExamples())
+    if (E.Id == Id)
+      return E;
+  assert(false && "unknown paper example id");
+  static PaperExample Empty;
+  return Empty;
+}

@@ -1,0 +1,51 @@
+//===- core/PaperExamples.h - The paper's example catalog -------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable catalog of every source/target transformation example
+/// in the paper, written in the Section 2 language. Tests, benches, and
+/// EXPERIMENTS.md generation all pull from this single definition so the
+/// experiments cannot drift apart.
+///
+/// Each example is a closed driver program (entry `main`) plus extern
+/// declarations standing for the unknown functions the paper's examples
+/// call; contexts instantiate those externs during checking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_CORE_PAPEREXAMPLES_H
+#define QCM_CORE_PAPEREXAMPLES_H
+
+#include "semantics/Runner.h"
+
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// One paper example: a transformation from SrcSource to TgtSource.
+struct PaperExample {
+  /// Stable identifier, e.g. "fig1".
+  std::string Id;
+  /// Where it appears in the paper, e.g. "Figure 1".
+  std::string PaperRef;
+  std::string Description;
+  std::string SrcSource;
+  std::string TgtSource;
+  std::string Entry = "main";
+  std::vector<ArgSpec> Args;
+};
+
+/// The full catalog.
+const std::vector<PaperExample> &paperExamples();
+
+/// Looks up an example by Id; aborts on unknown ids (programming error).
+const PaperExample &getPaperExample(const std::string &Id);
+
+} // namespace qcm
+
+#endif // QCM_CORE_PAPEREXAMPLES_H

@@ -1,0 +1,35 @@
+//===- core/QuasiConcrete.h - Umbrella header -------------------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella: pulls in the full public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_CORE_QUASICONCRETE_H
+#define QCM_CORE_QUASICONCRETE_H
+
+#include "core/PaperExamples.h"
+#include "core/Vm.h"
+#include "lang/Ast.h"
+#include "lang/Parser.h"
+#include "lang/PrettyPrint.h"
+#include "lang/TypeCheck.h"
+#include "memory/ConcreteMemory.h"
+#include "memory/LogicalMemory.h"
+#include "memory/QuasiConcreteMemory.h"
+#include "opt/ArithSimplify.h"
+#include "opt/ConstProp.h"
+#include "opt/DeadCodeElim.h"
+#include "opt/Lowering.h"
+#include "opt/OwnershipOpt.h"
+#include "refinement/Contexts.h"
+#include "refinement/RefinementChecker.h"
+#include "refinement/Simulation.h"
+#include "semantics/Runner.h"
+
+#endif // QCM_CORE_QUASICONCRETE_H

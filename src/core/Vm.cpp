@@ -1,0 +1,25 @@
+//===- core/Vm.cpp --------------------------------------------------------===//
+
+#include "core/Vm.h"
+
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+
+using namespace qcm;
+
+std::optional<Program> Vm::compile(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::optional<Program> P = parseProgram(Source, Diags);
+  if (P && !typeCheck(*P, Diags))
+    P.reset();
+  Diagnostics = Diags.toString();
+  return P;
+}
+
+std::optional<RunResult> Vm::compileAndRun(const std::string &Source,
+                                           const RunConfig &Config) {
+  std::optional<Program> P = compile(Source);
+  if (!P)
+    return std::nullopt;
+  return runProgram(*P, Config);
+}

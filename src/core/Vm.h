@@ -1,0 +1,56 @@
+//===- core/Vm.h - Public facade --------------------------------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-stop public API: compile (parse + type check) source text and
+/// run it under any of the three memory models. Downstream users who just
+/// want "a C-like language with a quasi-concrete memory" start here; the
+/// lower-level libraries (memory/, semantics/, refinement/, opt/) remain
+/// available for fine-grained control.
+///
+/// \code
+///   qcm::Vm Vm;
+///   auto Prog = Vm.compile("main() { var int x; x = 1 + 1; output(x); }");
+///   qcm::RunConfig Config;
+///   Config.Model = qcm::ModelKind::QuasiConcrete;
+///   qcm::RunResult R = qcm::runProgram(*Prog, Config);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_CORE_VM_H
+#define QCM_CORE_VM_H
+
+#include "lang/Ast.h"
+#include "semantics/Runner.h"
+
+#include <optional>
+#include <string>
+
+namespace qcm {
+
+/// Compiler + runner facade.
+class Vm {
+public:
+  /// Parses and type checks \p Source. On failure returns nullopt;
+  /// lastDiagnostics() explains why.
+  std::optional<Program> compile(const std::string &Source);
+
+  /// Compiles and runs in one step with \p Config.
+  std::optional<RunResult> compileAndRun(const std::string &Source,
+                                         const RunConfig &Config);
+
+  /// Diagnostics of the most recent compile() call.
+  const std::string &lastDiagnostics() const { return Diagnostics; }
+
+private:
+  std::string Diagnostics;
+};
+
+} // namespace qcm
+
+#endif // QCM_CORE_VM_H

@@ -1,0 +1,334 @@
+//===- lang/Ast.cpp -------------------------------------------------------===//
+
+#include "lang/Ast.h"
+
+#include <cassert>
+
+using namespace qcm;
+
+std::string qcm::typeName(Type Ty) {
+  return Ty == Type::Int ? "int" : "ptr";
+}
+
+std::string qcm::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::And:
+    return "&";
+  case BinaryOp::Eq:
+    return "==";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Exp
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Exp> Exp::makeIntLit(Word V, SourceLoc Loc) {
+  auto E = std::make_unique<Exp>();
+  E->ExpKind = Kind::IntLit;
+  E->Loc = Loc;
+  E->IntValue = V;
+  return E;
+}
+
+std::unique_ptr<Exp> Exp::makeVar(std::string Name, SourceLoc Loc) {
+  auto E = std::make_unique<Exp>();
+  E->ExpKind = Kind::Var;
+  E->Loc = Loc;
+  E->Name = std::move(Name);
+  return E;
+}
+
+std::unique_ptr<Exp> Exp::makeGlobal(std::string Name, SourceLoc Loc) {
+  auto E = std::make_unique<Exp>();
+  E->ExpKind = Kind::Global;
+  E->Loc = Loc;
+  E->Name = std::move(Name);
+  E->StaticType = Type::Ptr;
+  return E;
+}
+
+std::unique_ptr<Exp> Exp::makeBinary(BinaryOp Op, std::unique_ptr<Exp> Lhs,
+                                     std::unique_ptr<Exp> Rhs,
+                                     SourceLoc Loc) {
+  assert(Lhs && Rhs && "binary expression with null operand");
+  auto E = std::make_unique<Exp>();
+  E->ExpKind = Kind::Binary;
+  E->Loc = Loc;
+  E->Op = Op;
+  E->Lhs = std::move(Lhs);
+  E->Rhs = std::move(Rhs);
+  return E;
+}
+
+std::unique_ptr<Exp> Exp::clone() const {
+  auto E = std::make_unique<Exp>();
+  E->ExpKind = ExpKind;
+  E->Loc = Loc;
+  E->IntValue = IntValue;
+  E->Name = Name;
+  E->Op = Op;
+  E->StaticType = StaticType;
+  if (Lhs)
+    E->Lhs = Lhs->clone();
+  if (Rhs)
+    E->Rhs = Rhs->clone();
+  return E;
+}
+
+bool Exp::structurallyEqual(const Exp &A, const Exp &B) {
+  if (A.ExpKind != B.ExpKind)
+    return false;
+  switch (A.ExpKind) {
+  case Kind::IntLit:
+    return A.IntValue == B.IntValue;
+  case Kind::Var:
+  case Kind::Global:
+    return A.Name == B.Name;
+  case Kind::Binary:
+    return A.Op == B.Op && structurallyEqual(*A.Lhs, *B.Lhs) &&
+           structurallyEqual(*A.Rhs, *B.Rhs);
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// RExp
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<RExp> RExp::makePure(std::unique_ptr<Exp> E) {
+  assert(E && "pure right-hand side with null expression");
+  auto R = std::make_unique<RExp>();
+  R->RExpKind = Kind::Pure;
+  R->Loc = E->Loc;
+  R->Arg = std::move(E);
+  return R;
+}
+
+std::unique_ptr<RExp> RExp::makeMalloc(std::unique_ptr<Exp> Size,
+                                       SourceLoc Loc) {
+  auto R = std::make_unique<RExp>();
+  R->RExpKind = Kind::Malloc;
+  R->Loc = Loc;
+  R->Arg = std::move(Size);
+  return R;
+}
+
+std::unique_ptr<RExp> RExp::makeFree(std::unique_ptr<Exp> Pointer,
+                                     SourceLoc Loc) {
+  auto R = std::make_unique<RExp>();
+  R->RExpKind = Kind::Free;
+  R->Loc = Loc;
+  R->Arg = std::move(Pointer);
+  return R;
+}
+
+std::unique_ptr<RExp> RExp::makeCast(Type To, std::unique_ptr<Exp> E,
+                                     SourceLoc Loc) {
+  auto R = std::make_unique<RExp>();
+  R->RExpKind = Kind::Cast;
+  R->Loc = Loc;
+  R->CastTo = To;
+  R->Arg = std::move(E);
+  return R;
+}
+
+std::unique_ptr<RExp> RExp::makeInput(SourceLoc Loc) {
+  auto R = std::make_unique<RExp>();
+  R->RExpKind = Kind::Input;
+  R->Loc = Loc;
+  return R;
+}
+
+std::unique_ptr<RExp> RExp::makeOutput(std::unique_ptr<Exp> E,
+                                       SourceLoc Loc) {
+  auto R = std::make_unique<RExp>();
+  R->RExpKind = Kind::Output;
+  R->Loc = Loc;
+  R->Arg = std::move(E);
+  return R;
+}
+
+std::unique_ptr<RExp> RExp::clone() const {
+  auto R = std::make_unique<RExp>();
+  R->RExpKind = RExpKind;
+  R->Loc = Loc;
+  R->CastTo = CastTo;
+  if (Arg)
+    R->Arg = Arg->clone();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Instr
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Instr>
+Instr::makeCall(std::string Callee, std::vector<std::unique_ptr<Exp>> Args,
+                SourceLoc Loc) {
+  auto I = std::make_unique<Instr>();
+  I->InstrKind = Kind::Call;
+  I->Loc = Loc;
+  I->Callee = std::move(Callee);
+  I->Args = std::move(Args);
+  return I;
+}
+
+std::unique_ptr<Instr> Instr::makeAssign(std::string Var,
+                                         std::unique_ptr<RExp> Rhs,
+                                         SourceLoc Loc) {
+  assert(Rhs && "assignment with null right-hand side");
+  auto I = std::make_unique<Instr>();
+  I->InstrKind = Kind::Assign;
+  I->Loc = Loc;
+  I->Var = std::move(Var);
+  I->Rhs = std::move(Rhs);
+  return I;
+}
+
+std::unique_ptr<Instr> Instr::makeEffect(std::unique_ptr<RExp> Rhs,
+                                         SourceLoc Loc) {
+  return makeAssign("", std::move(Rhs), Loc);
+}
+
+std::unique_ptr<Instr> Instr::makeLoad(std::string Var,
+                                       std::unique_ptr<Exp> Addr,
+                                       SourceLoc Loc) {
+  auto I = std::make_unique<Instr>();
+  I->InstrKind = Kind::Load;
+  I->Loc = Loc;
+  I->Var = std::move(Var);
+  I->Addr = std::move(Addr);
+  return I;
+}
+
+std::unique_ptr<Instr> Instr::makeStore(std::unique_ptr<Exp> Addr,
+                                        std::unique_ptr<Exp> Val,
+                                        SourceLoc Loc) {
+  auto I = std::make_unique<Instr>();
+  I->InstrKind = Kind::Store;
+  I->Loc = Loc;
+  I->Addr = std::move(Addr);
+  I->StoreVal = std::move(Val);
+  return I;
+}
+
+std::unique_ptr<Instr> Instr::makeIf(std::unique_ptr<Exp> Cond,
+                                     std::unique_ptr<Instr> Then,
+                                     std::unique_ptr<Instr> Else,
+                                     SourceLoc Loc) {
+  auto I = std::make_unique<Instr>();
+  I->InstrKind = Kind::If;
+  I->Loc = Loc;
+  I->Cond = std::move(Cond);
+  I->Then = std::move(Then);
+  I->Else = std::move(Else);
+  return I;
+}
+
+std::unique_ptr<Instr> Instr::makeWhile(std::unique_ptr<Exp> Cond,
+                                        std::unique_ptr<Instr> Body,
+                                        SourceLoc Loc) {
+  auto I = std::make_unique<Instr>();
+  I->InstrKind = Kind::While;
+  I->Loc = Loc;
+  I->Cond = std::move(Cond);
+  I->Body = std::move(Body);
+  return I;
+}
+
+std::unique_ptr<Instr>
+Instr::makeSeq(std::vector<std::unique_ptr<Instr>> Stmts, SourceLoc Loc) {
+  auto I = std::make_unique<Instr>();
+  I->InstrKind = Kind::Seq;
+  I->Loc = Loc;
+  I->Stmts = std::move(Stmts);
+  return I;
+}
+
+std::unique_ptr<Instr> Instr::clone() const {
+  auto I = std::make_unique<Instr>();
+  I->InstrKind = InstrKind;
+  I->Loc = Loc;
+  I->Callee = Callee;
+  I->Var = Var;
+  for (const auto &A : Args)
+    I->Args.push_back(A->clone());
+  if (Rhs)
+    I->Rhs = Rhs->clone();
+  if (Addr)
+    I->Addr = Addr->clone();
+  if (StoreVal)
+    I->StoreVal = StoreVal->clone();
+  if (Cond)
+    I->Cond = Cond->clone();
+  if (Then)
+    I->Then = Then->clone();
+  if (Else)
+    I->Else = Else->clone();
+  if (Body)
+    I->Body = Body->clone();
+  for (const auto &S : Stmts)
+    I->Stmts.push_back(S->clone());
+  return I;
+}
+
+//===----------------------------------------------------------------------===//
+// FunctionDecl / Program
+//===----------------------------------------------------------------------===//
+
+FunctionDecl FunctionDecl::clone() const {
+  FunctionDecl F;
+  F.Name = Name;
+  F.Params = Params;
+  F.Locals = Locals;
+  if (Body)
+    F.Body = Body->clone();
+  return F;
+}
+
+const VarDecl *FunctionDecl::findVariable(const std::string &VarName) const {
+  for (const VarDecl &P : Params)
+    if (P.Name == VarName)
+      return &P;
+  for (const VarDecl &L : Locals)
+    if (L.Name == VarName)
+      return &L;
+  return nullptr;
+}
+
+const FunctionDecl *Program::findFunction(const std::string &Name) const {
+  for (const FunctionDecl &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+FunctionDecl *Program::findFunction(const std::string &Name) {
+  for (FunctionDecl &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+const GlobalDecl *Program::findGlobal(const std::string &Name) const {
+  for (const GlobalDecl &G : Globals)
+    if (G.Name == Name)
+      return &G;
+  return nullptr;
+}
+
+Program Program::clone() const {
+  Program P;
+  P.Globals = Globals;
+  for (const FunctionDecl &F : Functions)
+    P.Functions.push_back(F.clone());
+  return P;
+}

@@ -1,0 +1,220 @@
+//===- lang/Ast.h - AST of the paper's C-like language ----------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for the minimal C-like language of Section 2:
+///
+///   Typ   ::= int | ptr
+///   Bop   ::= + | - | * | && | =
+///   Exp   ::= Int | Var | Global | Exp Bop Exp
+///   RExp  ::= Exp | malloc(Exp) | free(Exp) | (Typ) Exp
+///           | input() | output(Exp)
+///   Instr ::= Fid(Exp, ..., Exp); | Var = RExp | Var = *Exp
+///           | *Exp = Exp | if (Exp) Instr else Instr | while (Exp) Instr
+///   Decl  ::= Fid(Typ Var, ..., Typ Var) { var Typ Var, ...; Instr }
+///
+/// Functions return values via pointer-valued arguments (the paper omits
+/// return instructions). Programs may also declare word-sized global blocks
+/// and extern (unknown) functions; externs model the arbitrary contexts the
+/// paper quantifies over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_LANG_AST_H
+#define QCM_LANG_AST_H
+
+#include "support/Diagnostics.h"
+#include "support/Ints.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// The two static types of the language (Section 3.5): integer variables
+/// contain only integers, pointer variables only logical addresses.
+enum class Type { Int, Ptr };
+
+std::string typeName(Type Ty);
+
+/// Binary operators. The paper's "&&" is the bitwise-and used for pointer
+/// bit-twiddling idioms (Figure 2), and "=" is the equality test; we spell
+/// them "&" and "==" in concrete syntax.
+enum class BinaryOp { Add, Sub, Mul, And, Eq };
+
+std::string binaryOpSpelling(BinaryOp Op);
+
+/// A pure expression.
+struct Exp {
+  enum class Kind {
+    IntLit, ///< integer literal
+    Var,    ///< local variable or parameter
+    Global, ///< name of a global block; evaluates to a pointer to it
+    Binary, ///< Lhs Op Rhs
+  };
+
+  Kind ExpKind;
+  SourceLoc Loc;
+
+  Word IntValue = 0;             // IntLit
+  std::string Name;              // Var, Global
+  BinaryOp Op = BinaryOp::Add;   // Binary
+  std::unique_ptr<Exp> Lhs, Rhs; // Binary
+
+  /// Filled in by the type checker.
+  Type StaticType = Type::Int;
+
+  static std::unique_ptr<Exp> makeIntLit(Word V, SourceLoc Loc = {});
+  static std::unique_ptr<Exp> makeVar(std::string Name, SourceLoc Loc = {});
+  static std::unique_ptr<Exp> makeGlobal(std::string Name,
+                                         SourceLoc Loc = {});
+  static std::unique_ptr<Exp> makeBinary(BinaryOp Op,
+                                         std::unique_ptr<Exp> Lhs,
+                                         std::unique_ptr<Exp> Rhs,
+                                         SourceLoc Loc = {});
+
+  std::unique_ptr<Exp> clone() const;
+
+  /// Structural equality (ignores locations and inferred types).
+  static bool structurallyEqual(const Exp &A, const Exp &B);
+};
+
+/// A right-hand side: either a pure expression or one of the effectful
+/// operations.
+struct RExp {
+  enum class Kind {
+    Pure,   ///< Exp
+    Malloc, ///< malloc(Exp)
+    Free,   ///< free(Exp)
+    Cast,   ///< (Typ) Exp
+    Input,  ///< input()
+    Output, ///< output(Exp)
+  };
+
+  Kind RExpKind;
+  SourceLoc Loc;
+
+  std::unique_ptr<Exp> Arg; ///< operand of Pure/Malloc/Free/Cast/Output
+  Type CastTo = Type::Int;  ///< Cast target type
+
+  static std::unique_ptr<RExp> makePure(std::unique_ptr<Exp> E);
+  static std::unique_ptr<RExp> makeMalloc(std::unique_ptr<Exp> Size,
+                                          SourceLoc Loc = {});
+  static std::unique_ptr<RExp> makeFree(std::unique_ptr<Exp> Pointer,
+                                        SourceLoc Loc = {});
+  static std::unique_ptr<RExp> makeCast(Type To, std::unique_ptr<Exp> E,
+                                        SourceLoc Loc = {});
+  static std::unique_ptr<RExp> makeInput(SourceLoc Loc = {});
+  static std::unique_ptr<RExp> makeOutput(std::unique_ptr<Exp> E,
+                                          SourceLoc Loc = {});
+
+  std::unique_ptr<RExp> clone() const;
+};
+
+/// An instruction (statement).
+struct Instr {
+  enum class Kind {
+    Call,   ///< Callee(Args...)
+    Assign, ///< Var = RExp; Var may be empty for effect-only RExps
+    Load,   ///< Var = *Addr
+    Store,  ///< *Addr = StoreVal
+    If,     ///< if (Cond) Then else Else
+    While,  ///< while (Cond) Body
+    Seq,    ///< { Stmts... }
+  };
+
+  Kind InstrKind;
+  SourceLoc Loc;
+
+  std::string Callee;                       // Call
+  std::vector<std::unique_ptr<Exp>> Args;   // Call
+  std::string Var;                          // Assign, Load
+  std::unique_ptr<RExp> Rhs;                // Assign
+  std::unique_ptr<Exp> Addr;                // Load, Store
+  std::unique_ptr<Exp> StoreVal;            // Store
+  std::unique_ptr<Exp> Cond;                // If, While
+  std::unique_ptr<Instr> Then, Else;        // If (Else may be null)
+  std::unique_ptr<Instr> Body;              // While
+  std::vector<std::unique_ptr<Instr>> Stmts; // Seq
+
+  static std::unique_ptr<Instr>
+  makeCall(std::string Callee, std::vector<std::unique_ptr<Exp>> Args,
+           SourceLoc Loc = {});
+  static std::unique_ptr<Instr> makeAssign(std::string Var,
+                                           std::unique_ptr<RExp> Rhs,
+                                           SourceLoc Loc = {});
+  /// Effect-only statement: free(e); or output(e); — an Assign with no
+  /// destination.
+  static std::unique_ptr<Instr> makeEffect(std::unique_ptr<RExp> Rhs,
+                                           SourceLoc Loc = {});
+  static std::unique_ptr<Instr> makeLoad(std::string Var,
+                                         std::unique_ptr<Exp> Addr,
+                                         SourceLoc Loc = {});
+  static std::unique_ptr<Instr> makeStore(std::unique_ptr<Exp> Addr,
+                                          std::unique_ptr<Exp> Val,
+                                          SourceLoc Loc = {});
+  static std::unique_ptr<Instr> makeIf(std::unique_ptr<Exp> Cond,
+                                       std::unique_ptr<Instr> Then,
+                                       std::unique_ptr<Instr> Else,
+                                       SourceLoc Loc = {});
+  static std::unique_ptr<Instr> makeWhile(std::unique_ptr<Exp> Cond,
+                                          std::unique_ptr<Instr> Body,
+                                          SourceLoc Loc = {});
+  static std::unique_ptr<Instr>
+  makeSeq(std::vector<std::unique_ptr<Instr>> Stmts, SourceLoc Loc = {});
+
+  std::unique_ptr<Instr> clone() const;
+};
+
+/// A typed formal parameter or local variable.
+struct VarDecl {
+  Type Ty = Type::Int;
+  std::string Name;
+
+  friend bool operator==(const VarDecl &A, const VarDecl &B) {
+    return A.Ty == B.Ty && A.Name == B.Name;
+  }
+};
+
+/// A function declaration. A null Body marks an extern (unknown) function.
+struct FunctionDecl {
+  std::string Name;
+  std::vector<VarDecl> Params;
+  std::vector<VarDecl> Locals;
+  std::unique_ptr<Instr> Body;
+
+  bool isExtern() const { return Body == nullptr; }
+
+  FunctionDecl clone() const;
+
+  /// Looks up a parameter or local by name; returns nullptr if absent.
+  const VarDecl *findVariable(const std::string &VarName) const;
+};
+
+/// A global block declaration: a named, word-sized region allocated before
+/// the program starts. Globals evaluate to pointers to their block.
+struct GlobalDecl {
+  std::string Name;
+  Word SizeWords = 1;
+};
+
+/// A whole program: globals plus functions.
+struct Program {
+  std::vector<GlobalDecl> Globals;
+  std::vector<FunctionDecl> Functions;
+
+  const FunctionDecl *findFunction(const std::string &Name) const;
+  FunctionDecl *findFunction(const std::string &Name);
+  const GlobalDecl *findGlobal(const std::string &Name) const;
+
+  Program clone() const;
+};
+
+} // namespace qcm
+
+#endif // QCM_LANG_AST_H

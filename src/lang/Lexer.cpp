@@ -1,0 +1,278 @@
+//===- lang/Lexer.cpp -----------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <map>
+
+using namespace qcm;
+
+std::string qcm::tokenKindName(Token::Kind Kind) {
+  switch (Kind) {
+  case Token::Kind::Identifier:
+    return "identifier";
+  case Token::Kind::Number:
+    return "number";
+  case Token::Kind::KwGlobal:
+    return "'global'";
+  case Token::Kind::KwExtern:
+    return "'extern'";
+  case Token::Kind::KwVar:
+    return "'var'";
+  case Token::Kind::KwInt:
+    return "'int'";
+  case Token::Kind::KwPtr:
+    return "'ptr'";
+  case Token::Kind::KwIf:
+    return "'if'";
+  case Token::Kind::KwElse:
+    return "'else'";
+  case Token::Kind::KwWhile:
+    return "'while'";
+  case Token::Kind::KwMalloc:
+    return "'malloc'";
+  case Token::Kind::KwFree:
+    return "'free'";
+  case Token::Kind::KwInput:
+    return "'input'";
+  case Token::Kind::KwOutput:
+    return "'output'";
+  case Token::Kind::LParen:
+    return "'('";
+  case Token::Kind::RParen:
+    return "')'";
+  case Token::Kind::LBrace:
+    return "'{'";
+  case Token::Kind::RBrace:
+    return "'}'";
+  case Token::Kind::LBracket:
+    return "'['";
+  case Token::Kind::RBracket:
+    return "']'";
+  case Token::Kind::Comma:
+    return "','";
+  case Token::Kind::Semicolon:
+    return "';'";
+  case Token::Kind::Assign:
+    return "'='";
+  case Token::Kind::EqualEq:
+    return "'=='";
+  case Token::Kind::Plus:
+    return "'+'";
+  case Token::Kind::Minus:
+    return "'-'";
+  case Token::Kind::Star:
+    return "'*'";
+  case Token::Kind::Amp:
+    return "'&'";
+  case Token::Kind::Eof:
+    return "end of input";
+  }
+  return "unknown token";
+}
+
+namespace {
+
+const std::map<std::string, Token::Kind> &keywordTable() {
+  static const std::map<std::string, Token::Kind> Table = {
+      {"global", Token::Kind::KwGlobal}, {"extern", Token::Kind::KwExtern},
+      {"var", Token::Kind::KwVar},       {"int", Token::Kind::KwInt},
+      {"ptr", Token::Kind::KwPtr},       {"if", Token::Kind::KwIf},
+      {"else", Token::Kind::KwElse},     {"while", Token::Kind::KwWhile},
+      {"malloc", Token::Kind::KwMalloc}, {"free", Token::Kind::KwFree},
+      {"input", Token::Kind::KwInput},   {"output", Token::Kind::KwOutput},
+  };
+  return Table;
+}
+
+class LexerState {
+public:
+  LexerState(const std::string &Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Tokens;
+    while (true) {
+      skipWhitespaceAndComments();
+      Token T = lexOne();
+      Tokens.push_back(T);
+      if (T.TokenKind == Token::Kind::Eof)
+        break;
+    }
+    return Tokens;
+  }
+
+private:
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek() const { return atEnd() ? '\0' : Source[Pos]; }
+  char peekAhead() const {
+    return Pos + 1 < Source.size() ? Source[Pos + 1] : '\0';
+  }
+
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Column = 1;
+    } else {
+      ++Column;
+    }
+    return C;
+  }
+
+  SourceLoc here() const { return SourceLoc{Line, Column}; }
+
+  void skipWhitespaceAndComments() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peekAhead() == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peekAhead() == '*') {
+        SourceLoc Start = here();
+        advance();
+        advance();
+        bool Closed = false;
+        while (!atEnd()) {
+          if (peek() == '*' && peekAhead() == '/') {
+            advance();
+            advance();
+            Closed = true;
+            break;
+          }
+          advance();
+        }
+        if (!Closed)
+          Diags.error(Start, "unterminated block comment");
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token lexOne() {
+    Token T;
+    T.Loc = here();
+    if (atEnd()) {
+      T.TokenKind = Token::Kind::Eof;
+      return T;
+    }
+    char C = peek();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexIdentifier();
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber();
+    advance();
+    switch (C) {
+    case '(':
+      T.TokenKind = Token::Kind::LParen;
+      return T;
+    case ')':
+      T.TokenKind = Token::Kind::RParen;
+      return T;
+    case '{':
+      T.TokenKind = Token::Kind::LBrace;
+      return T;
+    case '}':
+      T.TokenKind = Token::Kind::RBrace;
+      return T;
+    case '[':
+      T.TokenKind = Token::Kind::LBracket;
+      return T;
+    case ']':
+      T.TokenKind = Token::Kind::RBracket;
+      return T;
+    case ',':
+      T.TokenKind = Token::Kind::Comma;
+      return T;
+    case ';':
+      T.TokenKind = Token::Kind::Semicolon;
+      return T;
+    case '+':
+      T.TokenKind = Token::Kind::Plus;
+      return T;
+    case '-':
+      T.TokenKind = Token::Kind::Minus;
+      return T;
+    case '*':
+      T.TokenKind = Token::Kind::Star;
+      return T;
+    case '&':
+      // Accept both '&' and the paper's '&&' spelling for the same bitwise
+      // operator.
+      if (peek() == '&')
+        advance();
+      T.TokenKind = Token::Kind::Amp;
+      return T;
+    case '=':
+      if (peek() == '=') {
+        advance();
+        T.TokenKind = Token::Kind::EqualEq;
+      } else {
+        T.TokenKind = Token::Kind::Assign;
+      }
+      return T;
+    default:
+      Diags.error(T.Loc, std::string("unexpected character '") + C + "'");
+      // Resynchronize by skipping the character and lexing again.
+      return lexOne();
+    }
+  }
+
+  Token lexIdentifier() {
+    Token T;
+    T.Loc = here();
+    std::string Text;
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_'))
+      Text += advance();
+    auto It = keywordTable().find(Text);
+    if (It != keywordTable().end()) {
+      T.TokenKind = It->second;
+    } else {
+      T.TokenKind = Token::Kind::Identifier;
+    }
+    T.Spelling = std::move(Text);
+    return T;
+  }
+
+  Token lexNumber() {
+    Token T;
+    T.Loc = here();
+    T.TokenKind = Token::Kind::Number;
+    uint64_t V = 0;
+    bool Overflow = false;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      char C = advance();
+      T.Spelling += C;
+      V = V * 10 + static_cast<uint64_t>(C - '0');
+      if (V > 0xffffffffull) {
+        Overflow = true;
+        V %= 1ull << 32;
+      }
+    }
+    if (Overflow)
+      Diags.error(T.Loc, "integer literal exceeds 32 bits; truncated");
+    T.Number = static_cast<Word>(V);
+    return T;
+  }
+
+  const std::string &Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace
+
+std::vector<Token> qcm::tokenize(const std::string &Source,
+                                 DiagnosticEngine &Diags) {
+  return LexerState(Source, Diags).run();
+}

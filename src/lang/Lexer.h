@@ -1,0 +1,76 @@
+//===- lang/Lexer.h - Tokenizer for the C-like language ---------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written tokenizer. Supports // line comments and /* */ block
+/// comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_LANG_LEXER_H
+#define QCM_LANG_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/Ints.h"
+
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// One token of the surface syntax.
+struct Token {
+  enum class Kind {
+    Identifier,
+    Number,
+    // Keywords.
+    KwGlobal,
+    KwExtern,
+    KwVar,
+    KwInt,
+    KwPtr,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwMalloc,
+    KwFree,
+    KwInput,
+    KwOutput,
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Assign,  // =
+    EqualEq, // ==
+    Plus,
+    Minus,
+    Star,
+    Amp,
+    Eof,
+  };
+
+  Kind TokenKind = Kind::Eof;
+  std::string Spelling;
+  Word Number = 0;
+  SourceLoc Loc;
+};
+
+std::string tokenKindName(Token::Kind Kind);
+
+/// Tokenizes \p Source. Lexical errors are reported to \p Diags; the token
+/// stream always ends with an Eof token.
+std::vector<Token> tokenize(const std::string &Source,
+                            DiagnosticEngine &Diags);
+
+} // namespace qcm
+
+#endif // QCM_LANG_LEXER_H

@@ -1,0 +1,540 @@
+//===- lang/Parser.cpp ----------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+
+#include <cassert>
+
+using namespace qcm;
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class ParserState {
+public:
+  ParserState(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  std::optional<Program> parseProgram() {
+    Program P;
+    while (!at(Token::Kind::Eof)) {
+      if (at(Token::Kind::KwGlobal)) {
+        if (!parseGlobal(P))
+          return std::nullopt;
+        continue;
+      }
+      if (at(Token::Kind::KwExtern)) {
+        if (!parseExtern(P))
+          return std::nullopt;
+        continue;
+      }
+      if (at(Token::Kind::Identifier)) {
+        if (!parseFunction(P))
+          return std::nullopt;
+        continue;
+      }
+      error("expected a global, extern, or function declaration");
+      return std::nullopt;
+    }
+    return P;
+  }
+
+  std::unique_ptr<Exp> parseExpressionOnly() {
+    std::unique_ptr<Exp> E = parseExp();
+    if (E && !at(Token::Kind::Eof)) {
+      error("trailing tokens after expression");
+      return nullptr;
+    }
+    return E;
+  }
+
+private:
+  const Token &peek() const { return Tokens[Pos]; }
+  const Token &peekAhead() const {
+    return Pos + 1 < Tokens.size() ? Tokens[Pos + 1] : Tokens.back();
+  }
+  bool at(Token::Kind Kind) const { return peek().TokenKind == Kind; }
+
+  Token advance() {
+    Token T = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+
+  bool expect(Token::Kind Kind, const char *Context) {
+    if (at(Kind)) {
+      advance();
+      return true;
+    }
+    error(std::string("expected ") + tokenKindName(Kind) + " " + Context +
+          ", found " + tokenKindName(peek().TokenKind));
+    return false;
+  }
+
+  void error(std::string Message) {
+    Diags.error(peek().Loc, std::move(Message));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Declarations
+  //===--------------------------------------------------------------------===
+
+  bool parseGlobal(Program &P) {
+    advance(); // 'global'
+    if (!at(Token::Kind::Identifier)) {
+      error("expected global name");
+      return false;
+    }
+    GlobalDecl G;
+    G.Name = advance().Spelling;
+    G.SizeWords = 1;
+    if (at(Token::Kind::LBracket)) {
+      advance();
+      if (!at(Token::Kind::Number)) {
+        error("expected a size in the global declaration");
+        return false;
+      }
+      G.SizeWords = advance().Number;
+      if (!expect(Token::Kind::RBracket, "after global size"))
+        return false;
+    }
+    if (!expect(Token::Kind::Semicolon, "after global declaration"))
+      return false;
+    P.Globals.push_back(std::move(G));
+    return true;
+  }
+
+  bool parseExtern(Program &P) {
+    advance(); // 'extern'
+    if (!at(Token::Kind::Identifier)) {
+      error("expected extern function name");
+      return false;
+    }
+    FunctionDecl F;
+    F.Name = advance().Spelling;
+    if (!parseParamList(F.Params))
+      return false;
+    if (!expect(Token::Kind::Semicolon, "after extern declaration"))
+      return false;
+    P.Functions.push_back(std::move(F));
+    return true;
+  }
+
+  bool parseFunction(Program &P) {
+    FunctionDecl F;
+    F.Name = advance().Spelling;
+    if (!parseParamList(F.Params))
+      return false;
+    if (!expect(Token::Kind::LBrace, "to begin function body"))
+      return false;
+    if (at(Token::Kind::KwVar)) {
+      advance();
+      if (!parseVarDeclList(F.Locals))
+        return false;
+      if (!expect(Token::Kind::Semicolon, "after local declarations"))
+        return false;
+    }
+    std::vector<std::unique_ptr<Instr>> Stmts;
+    while (!at(Token::Kind::RBrace) && !at(Token::Kind::Eof)) {
+      std::unique_ptr<Instr> I = parseInstr();
+      if (!I)
+        return false;
+      Stmts.push_back(std::move(I));
+    }
+    if (!expect(Token::Kind::RBrace, "to end function body"))
+      return false;
+    F.Body = Instr::makeSeq(std::move(Stmts));
+    P.Functions.push_back(std::move(F));
+    return true;
+  }
+
+  bool parseParamList(std::vector<VarDecl> &Params) {
+    if (!expect(Token::Kind::LParen, "to begin parameter list"))
+      return false;
+    if (at(Token::Kind::RParen)) {
+      advance();
+      return true;
+    }
+    while (true) {
+      std::optional<VarDecl> D = parseTypedName();
+      if (!D)
+        return false;
+      Params.push_back(*D);
+      if (at(Token::Kind::Comma)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    return expect(Token::Kind::RParen, "to end parameter list");
+  }
+
+  bool parseVarDeclList(std::vector<VarDecl> &Locals) {
+    while (true) {
+      std::optional<VarDecl> D = parseTypedName();
+      if (!D)
+        return false;
+      Locals.push_back(*D);
+      if (at(Token::Kind::Comma)) {
+        advance();
+        continue;
+      }
+      return true;
+    }
+  }
+
+  std::optional<VarDecl> parseTypedName() {
+    VarDecl D;
+    if (at(Token::Kind::KwInt)) {
+      D.Ty = Type::Int;
+    } else if (at(Token::Kind::KwPtr)) {
+      D.Ty = Type::Ptr;
+    } else {
+      error("expected 'int' or 'ptr'");
+      return std::nullopt;
+    }
+    advance();
+    if (!at(Token::Kind::Identifier)) {
+      error("expected a variable name");
+      return std::nullopt;
+    }
+    D.Name = advance().Spelling;
+    return D;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Instructions
+  //===--------------------------------------------------------------------===
+
+  std::unique_ptr<Instr> parseInstr() {
+    SourceLoc Loc = peek().Loc;
+    if (at(Token::Kind::LBrace))
+      return parseBlock();
+    if (at(Token::Kind::KwIf))
+      return parseIf();
+    if (at(Token::Kind::KwWhile))
+      return parseWhile();
+    if (at(Token::Kind::KwFree) || at(Token::Kind::KwOutput))
+      return parseEffectStatement();
+    if (at(Token::Kind::Star))
+      return parseStore();
+    if (at(Token::Kind::Identifier)) {
+      if (peekAhead().TokenKind == Token::Kind::LParen)
+        return parseCallStatement();
+      if (peekAhead().TokenKind == Token::Kind::Assign)
+        return parseAssignLike();
+      error("expected '=' or '(' after identifier");
+      return nullptr;
+    }
+    error("expected an instruction");
+    (void)Loc;
+    return nullptr;
+  }
+
+  std::unique_ptr<Instr> parseBlock() {
+    SourceLoc Loc = peek().Loc;
+    if (!expect(Token::Kind::LBrace, "to begin block"))
+      return nullptr;
+    std::vector<std::unique_ptr<Instr>> Stmts;
+    while (!at(Token::Kind::RBrace) && !at(Token::Kind::Eof)) {
+      std::unique_ptr<Instr> I = parseInstr();
+      if (!I)
+        return nullptr;
+      Stmts.push_back(std::move(I));
+    }
+    if (!expect(Token::Kind::RBrace, "to end block"))
+      return nullptr;
+    return Instr::makeSeq(std::move(Stmts), Loc);
+  }
+
+  std::unique_ptr<Instr> parseIf() {
+    SourceLoc Loc = advance().Loc; // 'if'
+    if (!expect(Token::Kind::LParen, "after 'if'"))
+      return nullptr;
+    std::unique_ptr<Exp> Cond = parseExp();
+    if (!Cond)
+      return nullptr;
+    if (!expect(Token::Kind::RParen, "after condition"))
+      return nullptr;
+    std::unique_ptr<Instr> Then = parseBlock();
+    if (!Then)
+      return nullptr;
+    std::unique_ptr<Instr> Else;
+    if (at(Token::Kind::KwElse)) {
+      advance();
+      Else = parseBlock();
+      if (!Else)
+        return nullptr;
+    }
+    return Instr::makeIf(std::move(Cond), std::move(Then), std::move(Else),
+                         Loc);
+  }
+
+  std::unique_ptr<Instr> parseWhile() {
+    SourceLoc Loc = advance().Loc; // 'while'
+    if (!expect(Token::Kind::LParen, "after 'while'"))
+      return nullptr;
+    std::unique_ptr<Exp> Cond = parseExp();
+    if (!Cond)
+      return nullptr;
+    if (!expect(Token::Kind::RParen, "after condition"))
+      return nullptr;
+    std::unique_ptr<Instr> Body = parseBlock();
+    if (!Body)
+      return nullptr;
+    return Instr::makeWhile(std::move(Cond), std::move(Body), Loc);
+  }
+
+  std::unique_ptr<Instr> parseEffectStatement() {
+    SourceLoc Loc = peek().Loc;
+    bool IsFree = at(Token::Kind::KwFree);
+    advance(); // 'free' or 'output'
+    if (!expect(Token::Kind::LParen, "after keyword"))
+      return nullptr;
+    std::unique_ptr<Exp> E = parseExp();
+    if (!E)
+      return nullptr;
+    if (!expect(Token::Kind::RParen, "after argument"))
+      return nullptr;
+    if (!expect(Token::Kind::Semicolon, "after statement"))
+      return nullptr;
+    std::unique_ptr<RExp> R = IsFree ? RExp::makeFree(std::move(E), Loc)
+                                     : RExp::makeOutput(std::move(E), Loc);
+    return Instr::makeEffect(std::move(R), Loc);
+  }
+
+  std::unique_ptr<Instr> parseStore() {
+    SourceLoc Loc = advance().Loc; // '*'
+    std::unique_ptr<Exp> Addr = parsePrimary();
+    if (!Addr)
+      return nullptr;
+    if (!expect(Token::Kind::Assign, "in store statement"))
+      return nullptr;
+    std::unique_ptr<Exp> Val = parseExp();
+    if (!Val)
+      return nullptr;
+    if (!expect(Token::Kind::Semicolon, "after store"))
+      return nullptr;
+    return Instr::makeStore(std::move(Addr), std::move(Val), Loc);
+  }
+
+  std::unique_ptr<Instr> parseCallStatement() {
+    SourceLoc Loc = peek().Loc;
+    std::string Callee = advance().Spelling;
+    advance(); // '('
+    std::vector<std::unique_ptr<Exp>> Args;
+    if (!at(Token::Kind::RParen)) {
+      while (true) {
+        std::unique_ptr<Exp> A = parseExp();
+        if (!A)
+          return nullptr;
+        Args.push_back(std::move(A));
+        if (at(Token::Kind::Comma)) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!expect(Token::Kind::RParen, "to end argument list"))
+      return nullptr;
+    if (!expect(Token::Kind::Semicolon, "after call"))
+      return nullptr;
+    return Instr::makeCall(std::move(Callee), std::move(Args), Loc);
+  }
+
+  std::unique_ptr<Instr> parseAssignLike() {
+    SourceLoc Loc = peek().Loc;
+    std::string Var = advance().Spelling;
+    advance(); // '='
+    // Load: x = *e;
+    if (at(Token::Kind::Star)) {
+      advance();
+      std::unique_ptr<Exp> Addr = parsePrimary();
+      if (!Addr)
+        return nullptr;
+      if (!expect(Token::Kind::Semicolon, "after load"))
+        return nullptr;
+      return Instr::makeLoad(std::move(Var), std::move(Addr), Loc);
+    }
+    std::unique_ptr<RExp> R = parseRExp();
+    if (!R)
+      return nullptr;
+    if (!expect(Token::Kind::Semicolon, "after assignment"))
+      return nullptr;
+    return Instr::makeAssign(std::move(Var), std::move(R), Loc);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Right-hand sides and expressions
+  //===--------------------------------------------------------------------===
+
+  std::unique_ptr<RExp> parseRExp() {
+    SourceLoc Loc = peek().Loc;
+    if (at(Token::Kind::KwMalloc)) {
+      advance();
+      if (!expect(Token::Kind::LParen, "after 'malloc'"))
+        return nullptr;
+      std::unique_ptr<Exp> Size = parseExp();
+      if (!Size)
+        return nullptr;
+      if (!expect(Token::Kind::RParen, "after malloc size"))
+        return nullptr;
+      return RExp::makeMalloc(std::move(Size), Loc);
+    }
+    if (at(Token::Kind::KwInput)) {
+      advance();
+      if (!expect(Token::Kind::LParen, "after 'input'"))
+        return nullptr;
+      if (!expect(Token::Kind::RParen, "after 'input('"))
+        return nullptr;
+      return RExp::makeInput(Loc);
+    }
+    if (at(Token::Kind::KwFree)) {
+      advance();
+      if (!expect(Token::Kind::LParen, "after 'free'"))
+        return nullptr;
+      std::unique_ptr<Exp> E = parseExp();
+      if (!E)
+        return nullptr;
+      if (!expect(Token::Kind::RParen, "after free argument"))
+        return nullptr;
+      return RExp::makeFree(std::move(E), Loc);
+    }
+    // Cast: '(' ('int'|'ptr') ')' exp — distinguished from a parenthesized
+    // expression by the type keyword.
+    if (at(Token::Kind::LParen) &&
+        (peekAhead().TokenKind == Token::Kind::KwInt ||
+         peekAhead().TokenKind == Token::Kind::KwPtr)) {
+      advance(); // '('
+      Type To = at(Token::Kind::KwInt) ? Type::Int : Type::Ptr;
+      advance(); // type keyword
+      if (!expect(Token::Kind::RParen, "after cast type"))
+        return nullptr;
+      std::unique_ptr<Exp> E = parseExp();
+      if (!E)
+        return nullptr;
+      return RExp::makeCast(To, std::move(E), Loc);
+    }
+    std::unique_ptr<Exp> E = parseExp();
+    if (!E)
+      return nullptr;
+    return RExp::makePure(std::move(E));
+  }
+
+  std::unique_ptr<Exp> parseExp() { return parseEquality(); }
+
+  std::unique_ptr<Exp> parseEquality() {
+    std::unique_ptr<Exp> Lhs = parseAnd();
+    if (!Lhs)
+      return nullptr;
+    while (at(Token::Kind::EqualEq)) {
+      SourceLoc Loc = advance().Loc;
+      std::unique_ptr<Exp> Rhs = parseAnd();
+      if (!Rhs)
+        return nullptr;
+      Lhs = Exp::makeBinary(BinaryOp::Eq, std::move(Lhs), std::move(Rhs),
+                            Loc);
+    }
+    return Lhs;
+  }
+
+  std::unique_ptr<Exp> parseAnd() {
+    std::unique_ptr<Exp> Lhs = parseAdditive();
+    if (!Lhs)
+      return nullptr;
+    while (at(Token::Kind::Amp)) {
+      SourceLoc Loc = advance().Loc;
+      std::unique_ptr<Exp> Rhs = parseAdditive();
+      if (!Rhs)
+        return nullptr;
+      Lhs = Exp::makeBinary(BinaryOp::And, std::move(Lhs), std::move(Rhs),
+                            Loc);
+    }
+    return Lhs;
+  }
+
+  std::unique_ptr<Exp> parseAdditive() {
+    std::unique_ptr<Exp> Lhs = parseMultiplicative();
+    if (!Lhs)
+      return nullptr;
+    while (at(Token::Kind::Plus) || at(Token::Kind::Minus)) {
+      BinaryOp Op =
+          at(Token::Kind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+      SourceLoc Loc = advance().Loc;
+      std::unique_ptr<Exp> Rhs = parseMultiplicative();
+      if (!Rhs)
+        return nullptr;
+      Lhs = Exp::makeBinary(Op, std::move(Lhs), std::move(Rhs), Loc);
+    }
+    return Lhs;
+  }
+
+  std::unique_ptr<Exp> parseMultiplicative() {
+    std::unique_ptr<Exp> Lhs = parsePrimary();
+    if (!Lhs)
+      return nullptr;
+    while (at(Token::Kind::Star)) {
+      SourceLoc Loc = advance().Loc;
+      std::unique_ptr<Exp> Rhs = parsePrimary();
+      if (!Rhs)
+        return nullptr;
+      Lhs = Exp::makeBinary(BinaryOp::Mul, std::move(Lhs), std::move(Rhs),
+                            Loc);
+    }
+    return Lhs;
+  }
+
+  std::unique_ptr<Exp> parsePrimary() {
+    SourceLoc Loc = peek().Loc;
+    if (at(Token::Kind::Number)) {
+      Token T = advance();
+      return Exp::makeIntLit(T.Number, Loc);
+    }
+    if (at(Token::Kind::Identifier)) {
+      Token T = advance();
+      // Globals are resolved (Var -> Global) by the type checker.
+      return Exp::makeVar(T.Spelling, Loc);
+    }
+    if (at(Token::Kind::LParen)) {
+      advance();
+      std::unique_ptr<Exp> E = parseExp();
+      if (!E)
+        return nullptr;
+      if (!expect(Token::Kind::RParen, "to close parenthesized expression"))
+        return nullptr;
+      return E;
+    }
+    error("expected an expression");
+    return nullptr;
+  }
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<Program> qcm::parseProgram(const std::string &Source,
+                                         DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens = tokenize(Source, Diags);
+  if (Diags.hasErrors())
+    return std::nullopt;
+  ParserState Parser(std::move(Tokens), Diags);
+  std::optional<Program> P = Parser.parseProgram();
+  if (Diags.hasErrors())
+    return std::nullopt;
+  return P;
+}
+
+std::unique_ptr<Exp> qcm::parseExpression(const std::string &Source,
+                                          DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens = tokenize(Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  ParserState Parser(std::move(Tokens), Diags);
+  return Parser.parseExpressionOnly();
+}

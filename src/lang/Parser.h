@@ -1,0 +1,49 @@
+//===- lang/Parser.h - Recursive-descent parser -----------------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the surface syntax of the Section 2 language:
+///
+///   global h;  global tab[16];
+///   extern bar(ptr p);
+///   foo(ptr p, int n) {
+///     var ptr q, int a;
+///     q = malloc(n);
+///     a = (int) p;
+///     *q = 123;
+///     a = *q;
+///     bar(p);
+///     if (a == 0) { output(a); } else { while (a) { a = a - 1; } }
+///     free(q);
+///   }
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_LANG_PARSER_H
+#define QCM_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+
+namespace qcm {
+
+/// Parses \p Source into a Program. Returns nullopt (and fills \p Diags) on
+/// syntax errors. The result is not yet type checked; run typeCheck() before
+/// interpreting it.
+std::optional<Program> parseProgram(const std::string &Source,
+                                    DiagnosticEngine &Diags);
+
+/// Parses a single expression; convenience entry point for tests.
+std::unique_ptr<Exp> parseExpression(const std::string &Source,
+                                     DiagnosticEngine &Diags);
+
+} // namespace qcm
+
+#endif // QCM_LANG_PARSER_H

@@ -1,0 +1,162 @@
+//===- lang/PrettyPrint.cpp -----------------------------------------------===//
+
+#include "lang/PrettyPrint.h"
+
+using namespace qcm;
+
+namespace {
+
+/// Operator precedence for minimal parenthesization; higher binds tighter.
+unsigned precedence(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Eq:
+    return 1;
+  case BinaryOp::And:
+    return 2;
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+    return 3;
+  case BinaryOp::Mul:
+    return 4;
+  }
+  return 0;
+}
+
+std::string printExpPrec(const Exp &E, unsigned Ambient) {
+  switch (E.ExpKind) {
+  case Exp::Kind::IntLit:
+    return wordToString(E.IntValue);
+  case Exp::Kind::Var:
+  case Exp::Kind::Global:
+    return E.Name;
+  case Exp::Kind::Binary: {
+    unsigned Prec = precedence(E.Op);
+    // Left-associative: the right child needs parens at equal precedence.
+    std::string Text = printExpPrec(*E.Lhs, Prec) + " " +
+                       binaryOpSpelling(E.Op) + " " +
+                       printExpPrec(*E.Rhs, Prec + 1);
+    if (Prec < Ambient)
+      return "(" + Text + ")";
+    return Text;
+  }
+  }
+  return "<?>";
+}
+
+std::string indentString(unsigned Indent) {
+  return std::string(Indent * 2, ' ');
+}
+
+} // namespace
+
+std::string qcm::printExp(const Exp &E) { return printExpPrec(E, 0); }
+
+std::string qcm::printRExp(const RExp &R) {
+  switch (R.RExpKind) {
+  case RExp::Kind::Pure:
+    return printExp(*R.Arg);
+  case RExp::Kind::Malloc:
+    return "malloc(" + printExp(*R.Arg) + ")";
+  case RExp::Kind::Free:
+    return "free(" + printExp(*R.Arg) + ")";
+  case RExp::Kind::Cast:
+    return "(" + typeName(R.CastTo) + ") " + printExp(*R.Arg);
+  case RExp::Kind::Input:
+    return "input()";
+  case RExp::Kind::Output:
+    return "output(" + printExp(*R.Arg) + ")";
+  }
+  return "<?>";
+}
+
+std::string qcm::printInstr(const Instr &I, unsigned Indent) {
+  std::string Pad = indentString(Indent);
+  switch (I.InstrKind) {
+  case Instr::Kind::Call: {
+    std::string Text = Pad + I.Callee + "(";
+    for (size_t Idx = 0; Idx < I.Args.size(); ++Idx) {
+      if (Idx)
+        Text += ", ";
+      Text += printExp(*I.Args[Idx]);
+    }
+    return Text + ");\n";
+  }
+  case Instr::Kind::Assign:
+    if (I.Var.empty())
+      return Pad + printRExp(*I.Rhs) + ";\n";
+    return Pad + I.Var + " = " + printRExp(*I.Rhs) + ";\n";
+  case Instr::Kind::Load:
+    return Pad + I.Var + " = *" + printExpPrec(*I.Addr, 5) + ";\n";
+  case Instr::Kind::Store:
+    return Pad + "*" + printExpPrec(*I.Addr, 5) + " = " +
+           printExp(*I.StoreVal) + ";\n";
+  case Instr::Kind::If: {
+    std::string Text =
+        Pad + "if (" + printExp(*I.Cond) + ") {\n";
+    Text += printInstr(*I.Then, Indent + 1);
+    Text += Pad + "}";
+    if (I.Else) {
+      Text += " else {\n";
+      Text += printInstr(*I.Else, Indent + 1);
+      Text += Pad + "}";
+    }
+    return Text + "\n";
+  }
+  case Instr::Kind::While: {
+    std::string Text = Pad + "while (" + printExp(*I.Cond) + ") {\n";
+    Text += printInstr(*I.Body, Indent + 1);
+    return Text + Pad + "}\n";
+  }
+  case Instr::Kind::Seq: {
+    // A Seq prints its children at the current level; the enclosing
+    // construct provides the braces.
+    std::string Text;
+    for (const auto &S : I.Stmts)
+      Text += printInstr(*S, Indent);
+    return Text;
+  }
+  }
+  return Pad + "<?>\n";
+}
+
+std::string qcm::printFunction(const FunctionDecl &F) {
+  std::string Text = F.isExtern() ? "extern " : "";
+  Text += F.Name + "(";
+  for (size_t Idx = 0; Idx < F.Params.size(); ++Idx) {
+    if (Idx)
+      Text += ", ";
+    Text += typeName(F.Params[Idx].Ty) + " " + F.Params[Idx].Name;
+  }
+  Text += ")";
+  if (F.isExtern())
+    return Text + ";\n";
+  Text += " {\n";
+  if (!F.Locals.empty()) {
+    Text += "  var ";
+    for (size_t Idx = 0; Idx < F.Locals.size(); ++Idx) {
+      if (Idx)
+        Text += ", ";
+      Text += typeName(F.Locals[Idx].Ty) + " " + F.Locals[Idx].Name;
+    }
+    Text += ";\n";
+  }
+  Text += printInstr(*F.Body, 1);
+  return Text + "}\n";
+}
+
+std::string qcm::printProgram(const Program &P) {
+  std::string Text;
+  for (const GlobalDecl &G : P.Globals) {
+    Text += "global " + G.Name;
+    if (G.SizeWords != 1)
+      Text += "[" + wordToString(G.SizeWords) + "]";
+    Text += ";\n";
+  }
+  if (!P.Globals.empty())
+    Text += "\n";
+  for (const FunctionDecl &F : P.Functions) {
+    Text += printFunction(F);
+    Text += "\n";
+  }
+  return Text;
+}

@@ -1,0 +1,32 @@
+//===- lang/PrettyPrint.h - AST to surface-syntax rendering -----*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders ASTs back to the surface syntax accepted by the parser, so that
+/// programs survive a parse/print round trip; used for debugging and for
+/// showing optimization results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_LANG_PRETTYPRINT_H
+#define QCM_LANG_PRETTYPRINT_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace qcm {
+
+std::string printExp(const Exp &E);
+std::string printRExp(const RExp &R);
+std::string printInstr(const Instr &I, unsigned Indent = 0);
+std::string printFunction(const FunctionDecl &F);
+std::string printProgram(const Program &P);
+
+} // namespace qcm
+
+#endif // QCM_LANG_PRETTYPRINT_H

@@ -1,0 +1,353 @@
+//===- lang/TypeCheck.cpp -------------------------------------------------===//
+
+#include "lang/TypeCheck.h"
+
+#include <set>
+
+using namespace qcm;
+
+std::optional<Type> qcm::binaryResultType(BinaryOp Op, Type L, Type R) {
+  bool LInt = L == Type::Int, RInt = R == Type::Int;
+  switch (Op) {
+  case BinaryOp::Add:
+    if (LInt && RInt)
+      return Type::Int;
+    if (!LInt && RInt) // p + a
+      return Type::Ptr;
+    if (LInt && !RInt) // a + p
+      return Type::Ptr;
+    return std::nullopt; // p + p is ill-typed
+  case BinaryOp::Sub:
+    if (LInt && RInt)
+      return Type::Int;
+    if (!LInt && RInt) // p - a
+      return Type::Ptr;
+    if (!LInt && !RInt) // p1 - p2
+      return Type::Int;
+    return std::nullopt; // a - p is ill-typed
+  case BinaryOp::Mul:
+  case BinaryOp::And:
+    if (LInt && RInt)
+      return Type::Int;
+    return std::nullopt;
+  case BinaryOp::Eq:
+    if (LInt == RInt) // int == int, or ptr == ptr
+      return Type::Int;
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Per-program checking context.
+class Checker {
+public:
+  Checker(Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  bool run() {
+    bool Ok = checkTopLevelNames();
+    for (FunctionDecl &F : P.Functions)
+      Ok &= checkFunction(F);
+    return Ok;
+  }
+
+private:
+  bool checkTopLevelNames() {
+    bool Ok = true;
+    std::set<std::string> Names;
+    for (const GlobalDecl &G : P.Globals) {
+      if (!Names.insert(G.Name).second) {
+        Diags.error({}, "duplicate global '" + G.Name + "'");
+        Ok = false;
+      }
+      if (G.SizeWords == 0) {
+        Diags.error({}, "global '" + G.Name + "' has zero size");
+        Ok = false;
+      }
+    }
+    for (const FunctionDecl &F : P.Functions)
+      if (!Names.insert(F.Name).second) {
+        Diags.error({}, "duplicate declaration of '" + F.Name + "'");
+        Ok = false;
+      }
+    return Ok;
+  }
+
+  bool checkFunction(FunctionDecl &F) {
+    Current = &F;
+    bool Ok = true;
+    std::set<std::string> Names;
+    for (const VarDecl &V : F.Params)
+      if (!Names.insert(V.Name).second) {
+        Diags.error({}, "duplicate parameter '" + V.Name + "' in '" +
+                            F.Name + "'");
+        Ok = false;
+      }
+    for (const VarDecl &V : F.Locals)
+      if (!Names.insert(V.Name).second) {
+        Diags.error({}, "duplicate local '" + V.Name + "' in '" + F.Name +
+                            "'");
+        Ok = false;
+      }
+    if (F.Body)
+      Ok &= checkInstr(*F.Body);
+    Current = nullptr;
+    return Ok;
+  }
+
+  /// Looks up the static type of a variable in the current function.
+  std::optional<Type> lookupVar(const std::string &Name) const {
+    if (const VarDecl *D = Current->findVariable(Name))
+      return D->Ty;
+    return std::nullopt;
+  }
+
+  /// Checks an expression and returns its type; rewrites unresolved names
+  /// that match globals into Global nodes.
+  std::optional<Type> checkExp(Exp &E) {
+    switch (E.ExpKind) {
+    case Exp::Kind::IntLit:
+      E.StaticType = Type::Int;
+      return Type::Int;
+    case Exp::Kind::Var: {
+      if (std::optional<Type> Ty = lookupVar(E.Name)) {
+        E.StaticType = *Ty;
+        return Ty;
+      }
+      if (P.findGlobal(E.Name)) {
+        E.ExpKind = Exp::Kind::Global;
+        E.StaticType = Type::Ptr;
+        return Type::Ptr;
+      }
+      Diags.error(E.Loc, "use of undeclared name '" + E.Name + "'");
+      return std::nullopt;
+    }
+    case Exp::Kind::Global: {
+      if (!P.findGlobal(E.Name)) {
+        Diags.error(E.Loc, "use of undeclared global '" + E.Name + "'");
+        return std::nullopt;
+      }
+      E.StaticType = Type::Ptr;
+      return Type::Ptr;
+    }
+    case Exp::Kind::Binary: {
+      std::optional<Type> L = checkExp(*E.Lhs);
+      std::optional<Type> R = checkExp(*E.Rhs);
+      if (!L || !R)
+        return std::nullopt;
+      std::optional<Type> Result = binaryResultType(E.Op, *L, *R);
+      if (!Result) {
+        Diags.error(E.Loc, "operator '" + binaryOpSpelling(E.Op) +
+                               "' cannot be applied to " + typeName(*L) +
+                               " and " + typeName(*R));
+        return std::nullopt;
+      }
+      E.StaticType = *Result;
+      return Result;
+    }
+    }
+    return std::nullopt;
+  }
+
+  /// Checks a right-hand side and returns the type of the produced value,
+  /// or nullopt-with-valid for effect-only RExps (free/output), signaled by
+  /// returning Type via the out parameter instead. To keep it simple we
+  /// return optional<optional<Type>>: outer nullopt = error; inner nullopt =
+  /// no value produced.
+  std::optional<std::optional<Type>> checkRExp(RExp &R) {
+    using Produced = std::optional<Type>;
+    switch (R.RExpKind) {
+    case RExp::Kind::Pure: {
+      std::optional<Type> Ty = checkExp(*R.Arg);
+      if (!Ty)
+        return std::nullopt;
+      return Produced(*Ty);
+    }
+    case RExp::Kind::Malloc: {
+      std::optional<Type> Ty = checkExp(*R.Arg);
+      if (!Ty)
+        return std::nullopt;
+      if (*Ty != Type::Int) {
+        Diags.error(R.Loc, "malloc size must be an int");
+        return std::nullopt;
+      }
+      return Produced(Type::Ptr);
+    }
+    case RExp::Kind::Free: {
+      std::optional<Type> Ty = checkExp(*R.Arg);
+      if (!Ty)
+        return std::nullopt;
+      if (*Ty != Type::Ptr) {
+        Diags.error(R.Loc, "free argument must be a ptr");
+        return std::nullopt;
+      }
+      return Produced(std::nullopt);
+    }
+    case RExp::Kind::Cast: {
+      std::optional<Type> Ty = checkExp(*R.Arg);
+      if (!Ty)
+        return std::nullopt;
+      if (R.CastTo == Type::Int && *Ty != Type::Ptr) {
+        Diags.error(R.Loc, "(int) cast applies to ptr operands only");
+        return std::nullopt;
+      }
+      if (R.CastTo == Type::Ptr && *Ty != Type::Int) {
+        Diags.error(R.Loc, "(ptr) cast applies to int operands only");
+        return std::nullopt;
+      }
+      return Produced(R.CastTo);
+    }
+    case RExp::Kind::Input:
+      return Produced(Type::Int);
+    case RExp::Kind::Output: {
+      std::optional<Type> Ty = checkExp(*R.Arg);
+      if (!Ty)
+        return std::nullopt;
+      if (*Ty != Type::Int) {
+        // Only integers are observable events; pointers have no canonical
+        // observable representation before being cast.
+        Diags.error(R.Loc, "output argument must be an int");
+        return std::nullopt;
+      }
+      return Produced(std::nullopt);
+    }
+    }
+    return std::nullopt;
+  }
+
+  bool checkInstr(Instr &I) {
+    switch (I.InstrKind) {
+    case Instr::Kind::Call: {
+      const FunctionDecl *Callee = P.findFunction(I.Callee);
+      if (!Callee) {
+        Diags.error(I.Loc, "call to undeclared function '" + I.Callee + "'");
+        return false;
+      }
+      if (Callee->Params.size() != I.Args.size()) {
+        Diags.error(I.Loc, "call to '" + I.Callee + "' with " +
+                               std::to_string(I.Args.size()) +
+                               " arguments; expected " +
+                               std::to_string(Callee->Params.size()));
+        return false;
+      }
+      bool Ok = true;
+      for (size_t Idx = 0; Idx < I.Args.size(); ++Idx) {
+        std::optional<Type> Ty = checkExp(*I.Args[Idx]);
+        if (!Ty) {
+          Ok = false;
+          continue;
+        }
+        if (*Ty != Callee->Params[Idx].Ty) {
+          Diags.error(I.Args[Idx]->Loc,
+                      "argument " + std::to_string(Idx + 1) + " of '" +
+                          I.Callee + "' must be " +
+                          typeName(Callee->Params[Idx].Ty));
+          Ok = false;
+        }
+      }
+      return Ok;
+    }
+    case Instr::Kind::Assign: {
+      std::optional<std::optional<Type>> Produced = checkRExp(*I.Rhs);
+      if (!Produced)
+        return false;
+      if (I.Var.empty()) {
+        if (*Produced) {
+          Diags.error(I.Loc, "expression statement discards a value");
+          return false;
+        }
+        return true;
+      }
+      if (!*Produced) {
+        Diags.error(I.Loc, "right-hand side produces no value");
+        return false;
+      }
+      std::optional<Type> VarTy = lookupVar(I.Var);
+      if (!VarTy) {
+        Diags.error(I.Loc, "assignment to undeclared variable '" + I.Var +
+                               "'");
+        return false;
+      }
+      if (**Produced != *VarTy) {
+        Diags.error(I.Loc, "assigning " + typeName(**Produced) + " to " +
+                               typeName(*VarTy) + " variable '" + I.Var +
+                               "'");
+        return false;
+      }
+      return true;
+    }
+    case Instr::Kind::Load: {
+      std::optional<Type> VarTy = lookupVar(I.Var);
+      if (!VarTy) {
+        Diags.error(I.Loc, "load into undeclared variable '" + I.Var + "'");
+        return false;
+      }
+      std::optional<Type> AddrTy = checkExp(*I.Addr);
+      if (!AddrTy)
+        return false;
+      if (*AddrTy != Type::Ptr) {
+        Diags.error(I.Loc, "load address must be a ptr");
+        return false;
+      }
+      // The loaded value's kind is checked dynamically against the
+      // variable's type (Section 6.1); both int and ptr destinations are
+      // statically fine.
+      return true;
+    }
+    case Instr::Kind::Store: {
+      std::optional<Type> AddrTy = checkExp(*I.Addr);
+      std::optional<Type> ValTy = checkExp(*I.StoreVal);
+      if (!AddrTy || !ValTy)
+        return false;
+      if (*AddrTy != Type::Ptr) {
+        Diags.error(I.Loc, "store address must be a ptr");
+        return false;
+      }
+      // Memory cells hold arbitrary values; both int and ptr stores are
+      // fine.
+      return true;
+    }
+    case Instr::Kind::If: {
+      std::optional<Type> CondTy = checkExp(*I.Cond);
+      if (!CondTy)
+        return false;
+      if (*CondTy != Type::Int) {
+        Diags.error(I.Loc, "condition must be an int");
+        return false;
+      }
+      bool Ok = checkInstr(*I.Then);
+      if (I.Else)
+        Ok &= checkInstr(*I.Else);
+      return Ok;
+    }
+    case Instr::Kind::While: {
+      std::optional<Type> CondTy = checkExp(*I.Cond);
+      if (!CondTy)
+        return false;
+      if (*CondTy != Type::Int) {
+        Diags.error(I.Loc, "condition must be an int");
+        return false;
+      }
+      return checkInstr(*I.Body);
+    }
+    case Instr::Kind::Seq: {
+      bool Ok = true;
+      for (auto &S : I.Stmts)
+        Ok &= checkInstr(*S);
+      return Ok;
+    }
+    }
+    return false;
+  }
+
+  Program &P;
+  DiagnosticEngine &Diags;
+  FunctionDecl *Current = nullptr;
+};
+
+} // namespace
+
+bool qcm::typeCheck(Program &P, DiagnosticEngine &Diags) {
+  return Checker(P, Diags).run();
+}

@@ -1,0 +1,48 @@
+//===- lang/TypeCheck.h - Static int/ptr type discipline --------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static type checker of Section 3.5: "As in the LLVM IR, we use types
+/// to ensure that integer variables contain only integer values." Together
+/// with the dynamic checks at loads (Section 6.1) this is what validates the
+/// full range of integer arithmetic optimizations (Figures 1 and 4).
+///
+/// Binary operation typing follows Section 4:
+///
+///   int (+,-,*,&,==) int -> int        ptr + int -> ptr    int + ptr -> ptr
+///   ptr - int -> ptr                   ptr - ptr -> int    ptr == ptr -> int
+///
+/// everything else is a (static) type error.
+///
+/// The checker also resolves identifiers: names that are neither parameters
+/// nor locals but match a global declaration are rewritten from Exp::Var to
+/// Exp::Global nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_LANG_TYPECHECK_H
+#define QCM_LANG_TYPECHECK_H
+
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+
+namespace qcm {
+
+/// Type checks \p P in place: annotates every expression with its static
+/// type and resolves global references. Returns true on success; reports
+/// problems to \p Diags otherwise.
+bool typeCheck(Program &P, DiagnosticEngine &Diags);
+
+/// Returns the result type of \p Op applied to operands of types \p L and
+/// \p R, or nullopt when the combination is ill-typed (Section 4).
+std::optional<Type> binaryResultType(BinaryOp Op, Type L, Type R);
+
+} // namespace qcm
+
+#endif // QCM_LANG_TYPECHECK_H

@@ -1,0 +1,70 @@
+//===- memory/Block.h - Memory blocks ---------------------------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The quasi-concrete block representation of Section 3.1:
+///
+///   Block = { (v, p, n, c) | p in int32 |+| {undef},
+///             v in bool, n in N, c in Val^n }
+///
+/// where \c v is the validity flag, \c p the optional concrete base address
+/// (absent for purely logical blocks), \c n the size in words, and \c c the
+/// contents. The logical model of Section 2.2 is the special case where \c p
+/// is always absent; the concrete model is the case where \c p is always
+/// present.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_MEMORY_BLOCK_H
+#define QCM_MEMORY_BLOCK_H
+
+#include "memory/Value.h"
+
+#include <optional>
+#include <vector>
+
+namespace qcm {
+
+/// One memory block. Used both as live storage by the logical-family models
+/// and as a uniform snapshot representation across all three models.
+struct Block {
+  /// Validity flag: false once the block has been freed. Accessing an
+  /// invalid block is undefined behavior.
+  bool Valid = true;
+
+  /// Concrete base address, if the block has been realized (quasi-concrete)
+  /// or was allocated concretely (concrete model). Absent for logical
+  /// blocks.
+  std::optional<Word> Base;
+
+  /// Size in words.
+  Word Size = 0;
+
+  /// Contents; exactly Size entries while the block is valid.
+  std::vector<Value> Contents;
+
+  bool isConcrete() const { return Base.has_value(); }
+
+  /// Exact state equality (validity, realization, size, and contents).
+  friend bool operator==(const Block &A, const Block &B) {
+    return A.Valid == B.Valid && A.Base == B.Base && A.Size == B.Size &&
+           A.Contents == B.Contents;
+  }
+
+  /// True if the concrete range of this block contains address \p Address.
+  bool containsAddress(Word Address) const {
+    if (!Base)
+      return false;
+    return Address >= *Base &&
+           static_cast<uint64_t>(Address) <
+               static_cast<uint64_t>(*Base) + Size;
+  }
+};
+
+} // namespace qcm
+
+#endif // QCM_MEMORY_BLOCK_H

@@ -1,0 +1,115 @@
+//===- memory/BlockMemory.cpp ---------------------------------------------===//
+
+#include "memory/BlockMemory.h"
+
+using namespace qcm;
+
+BlockMemory::BlockMemory(MemoryConfig Config,
+                         std::optional<Word> NullBlockBase)
+    : Memory(Config) {
+  // Block 0: the NULL block. m(0) = (v, p, n, c) with v = true, p = 0,
+  // n = 1 (Section 4).
+  Block NullBlock;
+  NullBlock.Valid = true;
+  NullBlock.Base = NullBlockBase;
+  NullBlock.Size = 1;
+  NullBlock.Contents.assign(1, Value::makeInt(0));
+  Blocks.push_back(std::move(NullBlock));
+}
+
+Outcome<Value> BlockMemory::allocate(Word NumWords) {
+  if (NumWords == 0)
+    return Outcome<Value>::undefined("malloc of zero words");
+  // All blocks are born logical; realization, if any, happens at cast time
+  // (Section 3.4). Logical allocation never exhausts memory.
+  Block B;
+  B.Valid = true;
+  B.Base = std::nullopt;
+  B.Size = NumWords;
+  B.Contents.assign(NumWords, Value::makeInt(0));
+  BlockId Id = static_cast<BlockId>(Blocks.size());
+  Blocks.push_back(std::move(B));
+  return Outcome<Value>::success(Value::makePtr(Id, 0));
+}
+
+Outcome<Unit> BlockMemory::deallocate(Value Pointer) {
+  if (!Pointer.isInt() && Pointer.ptr().isNull())
+    return Outcome<Unit>::success(Unit{}); // free(NULL) is a no-op.
+  if (!Pointer.isPtr())
+    return Outcome<Unit>::undefined(
+        "free of an integer value in a block-structured model");
+  const Ptr &P = Pointer.ptr();
+  if (P.Block >= Blocks.size())
+    return Outcome<Unit>::undefined("free of a nonexistent block");
+  if (P.Offset != 0)
+    return Outcome<Unit>::undefined(
+        "free of a pointer that is not the start of its block");
+  Block &B = Blocks[P.Block];
+  if (!B.Valid)
+    return Outcome<Unit>::undefined("double free of block " +
+                                    std::to_string(P.Block));
+  // Blocks become invalid rather than removed (Section 5.3); the concrete
+  // range of a realized block is released for reuse because only valid
+  // blocks participate in placement disjointness.
+  B.Valid = false;
+  return Outcome<Unit>::success(Unit{});
+}
+
+Outcome<Unit> BlockMemory::checkAccess(const Ptr &Address) const {
+  if (Address.Block == 0)
+    return Outcome<Unit>::undefined(
+        "memory access through the NULL block");
+  if (Address.Block >= Blocks.size())
+    return Outcome<Unit>::undefined("access to a nonexistent block");
+  const Block &B = Blocks[Address.Block];
+  if (!B.Valid)
+    return Outcome<Unit>::undefined("access to freed block " +
+                                    std::to_string(Address.Block));
+  if (Address.Offset >= B.Size)
+    return Outcome<Unit>::undefined(
+        "access at offset " + wordToString(Address.Offset) +
+        " beyond block size " + wordToString(B.Size));
+  return Outcome<Unit>::success(Unit{});
+}
+
+Outcome<Value> BlockMemory::load(Value Address) {
+  if (!Address.isPtr())
+    return Outcome<Value>::undefined(
+        "load through an integer value in a block-structured model");
+  const Ptr &P = Address.ptr();
+  if (Outcome<Unit> Check = checkAccess(P); !Check)
+    return Check.propagate<Value>();
+  return Outcome<Value>::success(Blocks[P.Block].Contents[P.Offset]);
+}
+
+Outcome<Unit> BlockMemory::store(Value Address, Value V) {
+  if (!Address.isPtr())
+    return Outcome<Unit>::undefined(
+        "store through an integer value in a block-structured model");
+  const Ptr &P = Address.ptr();
+  if (Outcome<Unit> Check = checkAccess(P); !Check)
+    return Check;
+  Blocks[P.Block].Contents[P.Offset] = V;
+  return Outcome<Unit>::success(Unit{});
+}
+
+bool BlockMemory::isValidAddress(const Ptr &Address) const {
+  if (Address.Block >= Blocks.size())
+    return false;
+  const Block &B = Blocks[Address.Block];
+  return B.Valid && Address.Offset < B.Size;
+}
+
+std::vector<std::pair<BlockId, Block>> BlockMemory::snapshot() const {
+  std::vector<std::pair<BlockId, Block>> Result;
+  Result.reserve(Blocks.size());
+  for (BlockId Id = 0; Id < Blocks.size(); ++Id)
+    Result.emplace_back(Id, Blocks[Id]);
+  return Result;
+}
+
+const Block *BlockMemory::getBlock(BlockId Id) const {
+  if (Id >= Blocks.size())
+    return nullptr;
+  return &Blocks[Id];
+}

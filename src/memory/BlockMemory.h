@@ -1,0 +1,62 @@
+//===- memory/BlockMemory.h - Shared block-table machinery ------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common implementation base for the two block-structured models (logical,
+/// Section 2.2; quasi-concrete, Section 3.1). Both keep a table of blocks
+/// indexed by BlockId and differ only in the cast operations and in whether
+/// blocks can carry concrete base addresses.
+///
+/// Block 0 is the NULL block (Section 4): valid, size 1, and in the
+/// quasi-concrete model pre-realized at concrete address 0. Loads and stores
+/// through it are undefined behavior; freeing it is a no-op.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_MEMORY_BLOCKMEMORY_H
+#define QCM_MEMORY_BLOCKMEMORY_H
+
+#include "memory/Memory.h"
+
+namespace qcm {
+
+/// Base class implementing allocation, deallocation, load, and store over a
+/// block table. Casts are left to the derived models.
+class BlockMemory : public Memory {
+public:
+  Outcome<Value> allocate(Word NumWords) override;
+  Outcome<Unit> deallocate(Value Pointer) override;
+  Outcome<Value> load(Value Address) override;
+  Outcome<Unit> store(Value Address, Value V) override;
+
+  bool isValidAddress(const Ptr &Address) const override;
+
+  std::vector<std::pair<BlockId, Block>> snapshot() const override;
+  const Block *getBlock(BlockId Id) const override;
+
+  /// Number of blocks ever allocated, including the NULL block.
+  size_t numBlocks() const { return Blocks.size(); }
+
+protected:
+  /// \p NullBlockBase: the NULL block's concrete base (0 in the
+  /// quasi-concrete model per Section 4; absent in the purely logical
+  /// model, which has no concrete addresses at all).
+  BlockMemory(MemoryConfig Config, std::optional<Word> NullBlockBase);
+
+  /// Checks that \p Address designates a live, in-range, non-NULL-block
+  /// cell; returns the faulting outcome to propagate otherwise.
+  Outcome<Unit> checkAccess(const Ptr &Address) const;
+
+  Block &blockRef(BlockId Id) { return Blocks[Id]; }
+  const Block &blockRef(BlockId Id) const { return Blocks[Id]; }
+
+  std::vector<Block> Blocks;
+};
+
+} // namespace qcm
+
+#endif // QCM_MEMORY_BLOCKMEMORY_H

@@ -1,0 +1,181 @@
+//===- memory/ConcreteMemory.cpp ------------------------------------------===//
+
+#include "memory/ConcreteMemory.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace qcm;
+
+ConcreteMemory::ConcreteMemory(MemoryConfig Config,
+                               std::unique_ptr<PlacementOracle> Oracle)
+    : Memory(Config), Oracle(std::move(Oracle)) {
+  if (!this->Oracle)
+    this->Oracle = std::make_unique<FirstFitOracle>();
+}
+
+std::map<Word, Word> ConcreteMemory::occupiedRanges() const {
+  std::map<Word, Word> Ranges;
+  for (const auto &[Base, Info] : Allocations)
+    Ranges.emplace(Base, Info.Size);
+  return Ranges;
+}
+
+const std::pair<const Word, ConcreteMemory::AllocationInfo> *
+ConcreteMemory::findContaining(Word Address) const {
+  // The allocation containing Address, if any, is the one with the greatest
+  // base <= Address.
+  auto It = Allocations.upper_bound(Address);
+  if (It == Allocations.begin())
+    return nullptr;
+  --It;
+  uint64_t End = static_cast<uint64_t>(It->first) + It->second.Size;
+  if (Address < End)
+    return &*It;
+  return nullptr;
+}
+
+bool ConcreteMemory::isAllocatedAddress(Word Address) const {
+  return findContaining(Address) != nullptr;
+}
+
+Outcome<Value> ConcreteMemory::allocate(Word NumWords) {
+  if (NumWords == 0)
+    return Outcome<Value>::undefined("malloc of zero words");
+  std::vector<FreeInterval> Free =
+      computeFreeIntervals(occupiedRanges(), config().AddressWords);
+  std::optional<Word> Base = Oracle->choose(NumWords, Free);
+  if (!Base)
+    return Outcome<Value>::outOfMemory(
+        "no concrete placement for allocation of " +
+        std::to_string(NumWords) + " words");
+  Allocations.emplace(*Base, AllocationInfo{NumWords, NextId++});
+  // Fresh memory reads as integer 0; nothing to materialize in the sparse
+  // store, but stale cells from a previous tenant must not leak through.
+  for (Word I = 0; I < NumWords; ++I)
+    Cells.erase(*Base + I);
+  return Outcome<Value>::success(Value::makeInt(*Base));
+}
+
+Outcome<Unit> ConcreteMemory::deallocate(Value Pointer) {
+  if (!Pointer.isInt())
+    return Outcome<Unit>::undefined(
+        "logical address reached the concrete model");
+  Word Address = Pointer.intValue();
+  if (Address == 0)
+    return Outcome<Unit>::success(Unit{}); // free(NULL) is a no-op.
+  auto It = Allocations.find(Address);
+  if (It == Allocations.end())
+    return Outcome<Unit>::undefined(
+        "free of address " + wordToString(Address) +
+        " which is not the start of a live allocation");
+  // Retire the block for snapshot purposes, then drop its cells.
+  Block Retiring;
+  Retiring.Valid = false;
+  Retiring.Base = Address;
+  Retiring.Size = It->second.Size;
+  Retired.emplace_back(It->second.Id, std::move(Retiring));
+  for (Word I = 0; I < It->second.Size; ++I)
+    Cells.erase(Address + I);
+  Allocations.erase(It);
+  return Outcome<Unit>::success(Unit{});
+}
+
+Outcome<Value> ConcreteMemory::load(Value Address) {
+  if (!Address.isInt())
+    return Outcome<Value>::undefined(
+        "logical address reached the concrete model");
+  Word A = Address.intValue();
+  if (!isAllocatedAddress(A))
+    return Outcome<Value>::undefined("load from unallocated address " +
+                                     wordToString(A));
+  auto It = Cells.find(A);
+  if (It == Cells.end())
+    return Outcome<Value>::success(Value::makeInt(0));
+  return Outcome<Value>::success(It->second);
+}
+
+Outcome<Unit> ConcreteMemory::store(Value Address, Value V) {
+  if (!Address.isInt() || !V.isInt())
+    return Outcome<Unit>::undefined(
+        "logical address reached the concrete model");
+  Word A = Address.intValue();
+  if (!isAllocatedAddress(A))
+    return Outcome<Unit>::undefined("store to unallocated address " +
+                                    wordToString(A));
+  Cells[A] = V;
+  return Outcome<Unit>::success(Unit{});
+}
+
+Outcome<Value> ConcreteMemory::castPtrToInt(Value Pointer) {
+  // Pointers already are integers: the cast is a no-op (Section 3.6).
+  if (!Pointer.isInt())
+    return Outcome<Value>::undefined(
+        "logical address reached the concrete model");
+  return Outcome<Value>::success(Pointer);
+}
+
+Outcome<Value> ConcreteMemory::castIntToPtr(Value Integer) {
+  if (!Integer.isInt())
+    return Outcome<Value>::undefined(
+        "logical address reached the concrete model");
+  return Outcome<Value>::success(Integer);
+}
+
+bool ConcreteMemory::isValidAddress(const Ptr &) const {
+  // Concrete values carry no block identifiers.
+  return false;
+}
+
+std::vector<std::pair<BlockId, Block>> ConcreteMemory::snapshot() const {
+  std::vector<std::pair<BlockId, Block>> Result = Retired;
+  for (const auto &[Base, Info] : Allocations) {
+    Block B;
+    B.Valid = true;
+    B.Base = Base;
+    B.Size = Info.Size;
+    B.Contents.reserve(Info.Size);
+    for (Word I = 0; I < Info.Size; ++I) {
+      auto It = Cells.find(Base + I);
+      B.Contents.push_back(It == Cells.end() ? Value::makeInt(0) : It->second);
+    }
+    Result.emplace_back(Info.Id, std::move(B));
+  }
+  std::sort(Result.begin(), Result.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  return Result;
+}
+
+std::unique_ptr<Memory> ConcreteMemory::clone() const {
+  auto Copy = std::make_unique<ConcreteMemory>(config(), Oracle->clone());
+  Copy->Allocations = Allocations;
+  Copy->Cells = Cells;
+  Copy->Retired = Retired;
+  Copy->NextId = NextId;
+  return Copy;
+}
+
+std::optional<std::string> ConcreteMemory::checkConsistency() const {
+  const uint64_t Limit = config().AddressWords - 1;
+  uint64_t PrevEnd = 0;
+  for (const auto &[Base, Info] : Allocations) {
+    if (Info.Size == 0)
+      return "allocation at " + wordToString(Base) + " has zero size";
+    if (Base == 0)
+      return "allocation includes address 0";
+    uint64_t End = static_cast<uint64_t>(Base) + Info.Size;
+    if (End > Limit)
+      return "allocation at " + wordToString(Base) +
+             " includes the maximum address";
+    if (Base < PrevEnd)
+      return "allocations overlap at " + wordToString(Base);
+    PrevEnd = End;
+  }
+  for (const auto &[Address, V] : Cells) {
+    if (!isAllocatedAddress(Address))
+      return "stray cell at unallocated address " + wordToString(Address);
+    if (!V.isInt())
+      return "concrete cell holds a logical address";
+  }
+  return std::nullopt;
+}

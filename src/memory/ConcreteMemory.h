@@ -1,0 +1,92 @@
+//===- memory/ConcreteMemory.h - The fully concrete model -------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete memory model of Section 2.1:
+///
+///   Mem   = (int32 -> Val) x list Alloc
+///   Alloc = { (p, n) | p, n in int32 }
+///   Val   = { i in int32 }
+///
+/// Memory is a finite flat array of words (stored sparsely); the allocation
+/// list tracks live ranges. Pointers are plain integers, so integer-pointer
+/// casts are native no-ops. Allocation consults a PlacementOracle and fails
+/// with out-of-memory when no placement exists — this finiteness is exactly
+/// what invalidates dead-allocation elimination in this model (Section 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_MEMORY_CONCRETEMEMORY_H
+#define QCM_MEMORY_CONCRETEMEMORY_H
+
+#include "memory/Memory.h"
+#include "memory/Placement.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace qcm {
+
+/// The fully concrete model. Values flowing through it must be integers;
+/// logical addresses reaching any operation are undefined behavior (they
+/// cannot arise when the interpreter runs entirely under this model).
+class ConcreteMemory : public Memory {
+public:
+  /// Creates a concrete memory. \p Oracle decides allocation placement; the
+  /// default is first-fit.
+  explicit ConcreteMemory(MemoryConfig Config,
+                          std::unique_ptr<PlacementOracle> Oracle = nullptr);
+
+  ModelKind kind() const override { return ModelKind::Concrete; }
+
+  Outcome<Value> allocate(Word NumWords) override;
+  Outcome<Unit> deallocate(Value Pointer) override;
+  Outcome<Value> load(Value Address) override;
+  Outcome<Unit> store(Value Address, Value V) override;
+  Outcome<Value> castPtrToInt(Value Pointer) override;
+  Outcome<Value> castIntToPtr(Value Integer) override;
+
+  bool isValidAddress(const Ptr &Address) const override;
+
+  std::vector<std::pair<BlockId, Block>> snapshot() const override;
+  std::unique_ptr<Memory> clone() const override;
+  std::optional<std::string> checkConsistency() const override;
+
+  /// True if \p Address lies inside some live allocation.
+  bool isAllocatedAddress(Word Address) const;
+
+  /// Number of live allocations.
+  size_t numAllocations() const { return Allocations.size(); }
+
+private:
+  struct AllocationInfo {
+    Word Size = 0;
+    /// Synthetic id for snapshot()/refinement bookkeeping; allocation order.
+    BlockId Id = 0;
+  };
+
+  /// Finds the allocation whose range contains \p Address, or nullptr.
+  const std::pair<const Word, AllocationInfo> *
+  findContaining(Word Address) const;
+
+  std::map<Word, Word> occupiedRanges() const;
+
+  std::unique_ptr<PlacementOracle> Oracle;
+  /// Live allocations: base address -> info. Ordered for free-interval
+  /// computation and deterministic iteration.
+  std::map<Word, AllocationInfo> Allocations;
+  /// Sparse cell store; absent cells read as integer 0. Cells are erased
+  /// when their allocation is freed.
+  std::unordered_map<Word, Value> Cells;
+  /// Retired allocations, kept only for snapshot() (refinement bookkeeping).
+  std::vector<std::pair<BlockId, Block>> Retired;
+  BlockId NextId = 1;
+};
+
+} // namespace qcm
+
+#endif // QCM_MEMORY_CONCRETEMEMORY_H

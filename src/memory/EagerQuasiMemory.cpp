@@ -1,0 +1,114 @@
+//===- memory/EagerQuasiMemory.cpp ----------------------------------------===//
+
+#include "memory/EagerQuasiMemory.h"
+
+using namespace qcm;
+
+KindOracle::~KindOracle() = default;
+
+EagerQuasiMemory::EagerQuasiMemory(MemoryConfig Config,
+                                   std::unique_ptr<KindOracle> Kinds,
+                                   std::unique_ptr<PlacementOracle> Placement)
+    : BlockMemory(Config, /*NullBlockBase=*/0), Kinds(std::move(Kinds)),
+      Placement(std::move(Placement)) {
+  if (!this->Kinds)
+    this->Kinds = std::make_unique<ConstantKindOracle>(false);
+  if (!this->Placement)
+    this->Placement = std::make_unique<FirstFitOracle>();
+}
+
+std::map<Word, Word> EagerQuasiMemory::occupiedRanges() const {
+  std::map<Word, Word> Ranges;
+  for (BlockId Id = 1; Id < Blocks.size(); ++Id) {
+    const Block &B = Blocks[Id];
+    if (B.Valid && B.Base)
+      Ranges.emplace(*B.Base, B.Size);
+  }
+  return Ranges;
+}
+
+Outcome<Value> EagerQuasiMemory::allocate(Word NumWords) {
+  if (NumWords == 0)
+    return Outcome<Value>::undefined("malloc of zero words");
+  Block B;
+  B.Valid = true;
+  B.Size = NumWords;
+  B.Contents.assign(NumWords, Value::makeInt(0));
+  if (Kinds->nextIsConcrete()) {
+    std::vector<FreeInterval> Free =
+        computeFreeIntervals(occupiedRanges(), config().AddressWords);
+    std::optional<Word> Base = Placement->choose(NumWords, Free);
+    if (!Base)
+      return Outcome<Value>::outOfMemory(
+          "no concrete placement for an eagerly-concrete allocation");
+    B.Base = *Base;
+  }
+  BlockId Id = static_cast<BlockId>(Blocks.size());
+  Blocks.push_back(std::move(B));
+  return Outcome<Value>::success(Value::makePtr(Id, 0));
+}
+
+Outcome<Value> EagerQuasiMemory::castPtrToInt(Value Pointer) {
+  if (!Pointer.isPtr())
+    return Outcome<Value>::undefined(
+        "pointer-to-integer cast of an integer value");
+  const Ptr &P = Pointer.ptr();
+  if (P.Block >= Blocks.size())
+    return Outcome<Value>::undefined("cast of a nonexistent block");
+  if (!isValidAddress(P))
+    return Outcome<Value>::undefined(
+        "pointer-to-integer cast of an invalid address " + P.toString());
+  const Block &B = Blocks[P.Block];
+  if (!B.Base)
+    // The Section 3.4 design point: the block was (nondeterministically)
+    // allocated logical, so the cast has out-of-memory-type behavior — "the
+    // allocator chose the wrong kind of block".
+    return Outcome<Value>::outOfMemory(
+        "cast of a pointer into a logically-allocated block (eager model)");
+  return Outcome<Value>::success(Value::makeInt(wrapAdd(*B.Base, P.Offset)));
+}
+
+Outcome<Value> EagerQuasiMemory::castIntToPtr(Value Integer) {
+  if (!Integer.isInt())
+    return Outcome<Value>::undefined(
+        "integer-to-pointer cast of a logical address");
+  Word I = Integer.intValue();
+  for (BlockId Id = 0; Id < Blocks.size(); ++Id) {
+    const Block &B = Blocks[Id];
+    if (!B.Valid || !B.Base)
+      continue;
+    if (B.containsAddress(I))
+      return Outcome<Value>::success(Value::makePtr(Id, I - *B.Base));
+  }
+  return Outcome<Value>::undefined(
+      "integer-to-pointer cast of " + wordToString(I) +
+      " which reifies no valid address");
+}
+
+std::unique_ptr<Memory> EagerQuasiMemory::clone() const {
+  auto Copy = std::make_unique<EagerQuasiMemory>(config(), Kinds->clone(),
+                                                 Placement->clone());
+  Copy->Blocks = Blocks;
+  return Copy;
+}
+
+std::optional<std::string> EagerQuasiMemory::checkConsistency() const {
+  if (Blocks.empty() || !Blocks[0].Valid || Blocks[0].Size != 1 ||
+      !Blocks[0].Base || *Blocks[0].Base != 0)
+    return "NULL block is damaged";
+  const uint64_t Limit = config().AddressWords - 1;
+  uint64_t PrevEnd = 0;
+  bool First = true;
+  for (const auto &[Base, Size] : occupiedRanges()) {
+    if (Base == 0)
+      return "concrete block includes address 0";
+    uint64_t End = static_cast<uint64_t>(Base) + Size;
+    if (End > Limit)
+      return "concrete block includes the maximum address";
+    if (!First && Base < PrevEnd)
+      return "concrete blocks overlap at " + wordToString(Base);
+    PrevEnd = End;
+    First = false;
+  }
+  return std::nullopt;
+}

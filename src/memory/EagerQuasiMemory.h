@@ -1,0 +1,112 @@
+//===- memory/EagerQuasiMemory.h - The rejected Section 3.4 design -*- C++ -*-//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The alternative design the paper *rejects* in Section 3.4, implemented
+/// as an ablation: blocks are nondeterministically allocated either
+/// concrete or logical **at allocation time**, and casting a pointer into a
+/// logical block raises out-of-memory-type behavior (no behavior) instead
+/// of realizing it.
+///
+/// The paper's argument against it, which bench_ablation reproduces
+/// executably: this design "would add unintuitive failures" and does not
+/// allow ownership-transfer optimizations like Figure 3 — when the target's
+/// block is born concrete the source's must be too (else hash_put's cast
+/// has no behavior in the source while the target succeeds), so the block
+/// is never privately owned and constant propagation across bar() cannot be
+/// justified; a guessing context then distinguishes the programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_MEMORY_EAGERQUASIMEMORY_H
+#define QCM_MEMORY_EAGERQUASIMEMORY_H
+
+#include "memory/BlockMemory.h"
+#include "memory/Placement.h"
+
+#include <functional>
+#include <map>
+
+namespace qcm {
+
+/// Decides, per allocation, whether the block is born concrete. All
+/// nondeterminism is explicit so behavior sets stay enumerable.
+class KindOracle {
+public:
+  virtual ~KindOracle();
+  virtual bool nextIsConcrete() = 0;
+  virtual std::unique_ptr<KindOracle> clone() const = 0;
+};
+
+/// Every block concrete (degenerates to a concrete model with block-tagged
+/// pointers) or every block logical (casts never succeed).
+class ConstantKindOracle : public KindOracle {
+public:
+  explicit ConstantKindOracle(bool Concrete) : Concrete(Concrete) {}
+  bool nextIsConcrete() override { return Concrete; }
+  std::unique_ptr<KindOracle> clone() const override {
+    return std::make_unique<ConstantKindOracle>(Concrete);
+  }
+
+private:
+  bool Concrete;
+};
+
+/// Plays back a fixed concrete/logical decision sequence; exhaustion
+/// repeats the last decision (or logical if empty).
+class FixedKindOracle : public KindOracle {
+public:
+  explicit FixedKindOracle(std::vector<bool> Decisions)
+      : Decisions(std::move(Decisions)) {}
+  bool nextIsConcrete() override {
+    if (Decisions.empty())
+      return false;
+    bool D = Decisions[std::min(Next, Decisions.size() - 1)];
+    ++Next;
+    return D;
+  }
+  std::unique_ptr<KindOracle> clone() const override {
+    auto Copy = std::make_unique<FixedKindOracle>(Decisions);
+    Copy->Next = Next;
+    return Copy;
+  }
+
+private:
+  std::vector<bool> Decisions;
+  size_t Next = 0;
+};
+
+/// The Section 3.4 alternative model.
+class EagerQuasiMemory : public BlockMemory {
+public:
+  EagerQuasiMemory(MemoryConfig Config,
+                   std::unique_ptr<KindOracle> Kinds = nullptr,
+                   std::unique_ptr<PlacementOracle> Placement = nullptr);
+
+  ModelKind kind() const override { return ModelKind::EagerQuasi; }
+
+  /// Allocation decides the block's nature once and for all; a concrete
+  /// decision can fail with out-of-memory right here (the finite space is
+  /// consumed eagerly).
+  Outcome<Value> allocate(Word NumWords) override;
+
+  Outcome<Value> castPtrToInt(Value Pointer) override;
+  Outcome<Value> castIntToPtr(Value Integer) override;
+
+  std::unique_ptr<Memory> clone() const override;
+  std::optional<std::string> checkConsistency() const override;
+
+private:
+  std::map<Word, Word> occupiedRanges() const;
+
+  std::unique_ptr<KindOracle> Kinds;
+  std::unique_ptr<PlacementOracle> Placement;
+};
+
+} // namespace qcm
+
+#endif // QCM_MEMORY_EAGERQUASIMEMORY_H

@@ -1,0 +1,44 @@
+//===- memory/LogicalMemory.cpp -------------------------------------------===//
+
+#include "memory/LogicalMemory.h"
+
+using namespace qcm;
+
+LogicalMemory::LogicalMemory(MemoryConfig Config, CastBehavior Casts)
+    : BlockMemory(Config, /*NullBlockBase=*/std::nullopt), Casts(Casts) {}
+
+Outcome<Value> LogicalMemory::castPtrToInt(Value Pointer) {
+  if (Casts == CastBehavior::Error)
+    return Outcome<Value>::undefined(
+        "pointer-to-integer cast in the logical model");
+  // CompCert-style: the cast is a no-op and the logical address itself flows
+  // into the integer position (Section 2.2).
+  return Outcome<Value>::success(Pointer);
+}
+
+Outcome<Value> LogicalMemory::castIntToPtr(Value Integer) {
+  if (Casts == CastBehavior::Error)
+    return Outcome<Value>::undefined(
+        "integer-to-pointer cast in the logical model");
+  return Outcome<Value>::success(Integer);
+}
+
+std::unique_ptr<Memory> LogicalMemory::clone() const {
+  auto Copy = std::make_unique<LogicalMemory>(config(), Casts);
+  Copy->Blocks = Blocks;
+  return Copy;
+}
+
+std::optional<std::string> LogicalMemory::checkConsistency() const {
+  if (Blocks.empty() || !Blocks[0].Valid || Blocks[0].Size != 1)
+    return "NULL block is damaged";
+  for (BlockId Id = 0; Id < Blocks.size(); ++Id) {
+    const Block &B = Blocks[Id];
+    if (Id != 0 && B.Base)
+      return "logical model block " + std::to_string(Id) +
+             " has a concrete base";
+    if (B.Valid && B.Contents.size() != B.Size)
+      return "block " + std::to_string(Id) + " contents size mismatch";
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,64 @@
+//===- memory/LogicalMemory.h - CompCert-style logical model ----*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The logical memory model of Section 2.2:
+///
+///   Mem   = BlockID -fin-> Block
+///   Block = { (v, n, c) | v in bool, n in N, c in Val^n }
+///   Val   = { i in int32 } |+| { (l, i) in BlockID x int32 }
+///
+/// Memory is an unbounded set of logical blocks; pointers are block/offset
+/// pairs that cannot be forged, which is what buys exclusive ownership and
+/// hence the classic optimizations. Its weakness — the subject of the paper
+/// — is integer-pointer casts, for which it offers two (bad) options,
+/// selectable here via CastBehavior:
+///
+/// * \c Error: casts are undefined behavior (a strict reading);
+/// * \c TransparentNop: casts are the identity, letting logical addresses
+///   flow into integer-typed positions (CompCert's actual choice). Paired
+///   with the loose type discipline in the interpreter this reproduces the
+///   CompCert comparison of Sections 2.2 and 3.5 (Figure 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_MEMORY_LOGICALMEMORY_H
+#define QCM_MEMORY_LOGICALMEMORY_H
+
+#include "memory/BlockMemory.h"
+
+namespace qcm {
+
+/// The CompCert-style logical model.
+class LogicalMemory : public BlockMemory {
+public:
+  /// How integer-pointer casts behave; see the file comment.
+  enum class CastBehavior {
+    Error,
+    TransparentNop,
+  };
+
+  explicit LogicalMemory(MemoryConfig Config,
+                         CastBehavior Casts = CastBehavior::Error);
+
+  ModelKind kind() const override { return ModelKind::Logical; }
+
+  Outcome<Value> castPtrToInt(Value Pointer) override;
+  Outcome<Value> castIntToPtr(Value Integer) override;
+
+  std::unique_ptr<Memory> clone() const override;
+  std::optional<std::string> checkConsistency() const override;
+
+  CastBehavior castBehavior() const { return Casts; }
+
+private:
+  CastBehavior Casts;
+};
+
+} // namespace qcm
+
+#endif // QCM_MEMORY_LOGICALMEMORY_H

@@ -1,0 +1,23 @@
+//===- memory/Memory.cpp --------------------------------------------------===//
+
+#include "memory/Memory.h"
+
+using namespace qcm;
+
+Memory::~Memory() = default;
+
+const Block *Memory::getBlock(BlockId) const { return nullptr; }
+
+std::string qcm::modelKindName(ModelKind Kind) {
+  switch (Kind) {
+  case ModelKind::Concrete:
+    return "concrete";
+  case ModelKind::Logical:
+    return "logical";
+  case ModelKind::QuasiConcrete:
+    return "quasi-concrete";
+  case ModelKind::EagerQuasi:
+    return "eager-quasi (rejected 3.4 design)";
+  }
+  return "unknown";
+}

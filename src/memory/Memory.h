@@ -1,0 +1,132 @@
+//===- memory/Memory.h - Abstract memory model interface --------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common interface of the three memory models. The interpreter
+/// (semantics/Interp.h) is written entirely against this interface, so the
+/// same language runs under the concrete model of Section 2.1, the
+/// CompCert-style logical model of Section 2.2, and the quasi-concrete model
+/// of Sections 3-4.
+///
+/// Every operation returns an Outcome, whose fault channel distinguishes the
+/// paper's two failure classes: undefined behavior and out-of-memory ("no
+/// behavior", Section 2.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_MEMORY_MEMORY_H
+#define QCM_MEMORY_MEMORY_H
+
+#include "memory/Block.h"
+#include "memory/Value.h"
+#include "support/Fault.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qcm {
+
+/// Which of the paper's three models a Memory instance implements.
+enum class ModelKind {
+  /// Section 2.1: flat finite array, pointers are integers.
+  Concrete,
+  /// Section 2.2: CompCert-style infinite logical blocks.
+  Logical,
+  /// Sections 3-4: logical blocks realized to concrete addresses at
+  /// pointer-to-integer cast time.
+  QuasiConcrete,
+  /// The rejected Section 3.4 alternative (ablation): blocks are
+  /// nondeterministically concrete or logical from birth; casts of logical
+  /// blocks have no behavior.
+  EagerQuasi,
+};
+
+std::string modelKindName(ModelKind Kind);
+
+/// Configuration shared by all models.
+struct MemoryConfig {
+  /// Number of addressable words. The usable space for concrete ranges is
+  /// [1, AddressWords - 1): the paper excludes address 0 and the maximum
+  /// address (Section 2.1). Defaults to the paper's 32-bit space; tests use
+  /// small spaces to make placement enumeration exhaustive.
+  uint64_t AddressWords = 1ull << 32;
+};
+
+/// Abstract memory model.
+///
+/// The value-level contract mirrors the paper: in the concrete model,
+/// pointers are integer values, so allocate() returns an integer and
+/// load()/store()/deallocate() take integers; in the logical and
+/// quasi-concrete models those operations traffic in logical addresses.
+/// Passing the wrong kind of value is undefined behavior, not a C++ error.
+class Memory {
+public:
+  explicit Memory(MemoryConfig Config) : Config(Config) {}
+  virtual ~Memory();
+
+  virtual ModelKind kind() const = 0;
+  const MemoryConfig &config() const { return Config; }
+
+  /// malloc: allocates a fresh block of \p NumWords words and returns a
+  /// pointer to it. NumWords must be nonzero (the paper requires allocated
+  /// ranges to be nonempty); zero is undefined behavior. The concrete model
+  /// can fail with out-of-memory; the logical-family models cannot.
+  virtual Outcome<Value> allocate(Word NumWords) = 0;
+
+  /// free: deallocates the block \p Pointer points at. Freeing NULL is a
+  /// no-op (Section 4); freeing anything other than the start of a live
+  /// allocation is undefined behavior.
+  virtual Outcome<Unit> deallocate(Value Pointer) = 0;
+
+  /// Loads the word at \p Address.
+  virtual Outcome<Value> load(Value Address) = 0;
+
+  /// Stores \p V at \p Address.
+  virtual Outcome<Unit> store(Value Address, Value V) = 0;
+
+  /// (int)p — Section 4 cast2int. In the quasi-concrete model this realizes
+  /// the pointed-to block (the effectful step at the heart of the paper) and
+  /// can therefore run out of concrete address space.
+  virtual Outcome<Value> castPtrToInt(Value Pointer) = 0;
+
+  /// (ptr)i — Section 4 cast2ptr.
+  virtual Outcome<Value> castIntToPtr(Value Integer) = 0;
+
+  /// The valid_m predicate of Section 4: (l, i) lies inside a valid block.
+  /// Always false in the concrete model, whose values carry no block ids.
+  virtual bool isValidAddress(const Ptr &Address) const = 0;
+
+  /// Uniform introspection: all blocks ever created, as (id, block) pairs in
+  /// increasing id order. The concrete model synthesizes ids in allocation
+  /// order. Used by the refinement/simulation machinery and by tests; not
+  /// part of the modeled semantics.
+  virtual std::vector<std::pair<BlockId, Block>> snapshot() const = 0;
+
+  /// Direct access to one block's current state, if this model tracks
+  /// blocks by identifier (logical-family models). Returns nullptr for ids
+  /// never allocated and for the concrete model.
+  virtual const Block *getBlock(BlockId Id) const;
+
+  /// Deep copy, including oracle state.
+  virtual std::unique_ptr<Memory> clone() const = 0;
+
+  /// Verifies the model's internal consistency invariants (Section 2.1 for
+  /// allocated ranges, Section 3.1 for realized blocks). Returns a
+  /// description of the first violation, or nullopt if consistent. Intended
+  /// for tests and debugging.
+  virtual std::optional<std::string> checkConsistency() const = 0;
+
+private:
+  MemoryConfig Config;
+};
+
+} // namespace qcm
+
+#endif // QCM_MEMORY_MEMORY_H

@@ -1,0 +1,122 @@
+//===- memory/Placement.cpp -----------------------------------------------===//
+
+#include "memory/Placement.h"
+
+#include <cassert>
+
+using namespace qcm;
+
+PlacementOracle::~PlacementOracle() = default;
+
+std::vector<FreeInterval>
+qcm::computeFreeIntervals(const std::map<Word, Word> &Occupied,
+                          uint64_t AddressWords) {
+  assert(AddressWords >= 2 && "address space too small to be usable");
+  std::vector<FreeInterval> Free;
+  // Usable space is [1, AddressWords - 1).
+  uint64_t Cursor = 1;
+  const uint64_t Limit = AddressWords - 1;
+  for (const auto &[Base, Size] : Occupied) {
+    assert(Base >= 1 && "occupied range includes address 0");
+    assert(static_cast<uint64_t>(Base) + Size <= Limit &&
+           "occupied range includes the maximum address");
+    if (Base > Cursor)
+      Free.push_back(
+          FreeInterval{static_cast<Word>(Cursor), static_cast<Word>(Base)});
+    Cursor = static_cast<uint64_t>(Base) + Size;
+  }
+  if (Cursor < Limit)
+    Free.push_back(
+        FreeInterval{static_cast<Word>(Cursor), static_cast<Word>(Limit)});
+  return Free;
+}
+
+uint64_t qcm::countPlacements(const std::vector<FreeInterval> &Free,
+                              Word Size) {
+  if (Size == 0)
+    return 0;
+  uint64_t Count = 0;
+  for (const FreeInterval &I : Free)
+    if (I.length() >= Size)
+      Count += I.length() - Size + 1;
+  return Count;
+}
+
+std::optional<Word>
+FirstFitOracle::choose(Word Size, const std::vector<FreeInterval> &Free) {
+  for (const FreeInterval &I : Free)
+    if (I.length() >= Size)
+      return I.Begin;
+  return std::nullopt;
+}
+
+std::unique_ptr<PlacementOracle> FirstFitOracle::clone() const {
+  return std::make_unique<FirstFitOracle>();
+}
+
+std::optional<Word>
+LastFitOracle::choose(Word Size, const std::vector<FreeInterval> &Free) {
+  for (auto It = Free.rbegin(); It != Free.rend(); ++It)
+    if (It->length() >= Size)
+      return static_cast<Word>(It->End - Size);
+  return std::nullopt;
+}
+
+std::unique_ptr<PlacementOracle> LastFitOracle::clone() const {
+  return std::make_unique<LastFitOracle>();
+}
+
+std::optional<Word>
+RandomOracle::choose(Word Size, const std::vector<FreeInterval> &Free) {
+  uint64_t Total = countPlacements(Free, Size);
+  if (Total == 0)
+    return std::nullopt;
+  uint64_t Index = Generator.nextBelow(Total);
+  for (const FreeInterval &I : Free) {
+    if (I.length() < Size)
+      continue;
+    uint64_t Here = I.length() - Size + 1;
+    if (Index < Here)
+      return static_cast<Word>(I.Begin + Index);
+    Index -= Here;
+  }
+  assert(false && "placement index out of range");
+  return std::nullopt;
+}
+
+std::unique_ptr<PlacementOracle> RandomOracle::clone() const {
+  // Copying the generator state continues the identical decision stream.
+  auto Copy = std::make_unique<RandomOracle>(0);
+  Copy->Generator = Generator;
+  return Copy;
+}
+
+std::optional<Word>
+FixedSequenceOracle::choose(Word Size, const std::vector<FreeInterval> &Free) {
+  if (Next >= Bases.size())
+    return std::nullopt;
+  Word Base = Bases[Next++];
+  for (const FreeInterval &I : Free) {
+    if (Base < I.Begin)
+      continue;
+    uint64_t End = static_cast<uint64_t>(Base) + Size;
+    if (End <= I.End)
+      return Base;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<PlacementOracle> FixedSequenceOracle::clone() const {
+  auto Copy = std::make_unique<FixedSequenceOracle>(Bases);
+  Copy->Next = Next;
+  return Copy;
+}
+
+std::optional<Word>
+ExhaustedOracle::choose(Word, const std::vector<FreeInterval> &) {
+  return std::nullopt;
+}
+
+std::unique_ptr<PlacementOracle> ExhaustedOracle::clone() const {
+  return std::make_unique<ExhaustedOracle>();
+}

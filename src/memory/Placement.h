@@ -1,0 +1,141 @@
+//===- memory/Placement.h - Concrete address placement oracles --*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// All nondeterminism about *where* a block lands in the concrete address
+/// space — allocation in the concrete model (Section 2.1), realization at
+/// pointer-to-integer cast time in the quasi-concrete model (Section 3.4) —
+/// is factored into PlacementOracle objects. This makes behavior sets
+/// enumerable (FixedSequenceOracle), sampleable (RandomOracle), and runs
+/// reproducible.
+///
+/// The usable address space is [1, AddressWords - 1): the paper requires
+/// allocated ranges to avoid both address 0 and the maximum address
+/// (Section 2.1: nonempty [p, p+n) contained in (0, 2^32 - 1)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_MEMORY_PLACEMENT_H
+#define QCM_MEMORY_PLACEMENT_H
+
+#include "support/Ints.h"
+#include "support/Rng.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace qcm {
+
+/// A half-open interval [Begin, End) of free addresses.
+struct FreeInterval {
+  Word Begin = 0;
+  Word End = 0;
+
+  uint64_t length() const {
+    return static_cast<uint64_t>(End) - static_cast<uint64_t>(Begin);
+  }
+
+  friend bool operator==(const FreeInterval &A, const FreeInterval &B) {
+    return A.Begin == B.Begin && A.End == B.End;
+  }
+};
+
+/// Computes the free intervals of the usable space [1, AddressWords - 1)
+/// given the currently occupied ranges (base -> size, in words). Occupied
+/// ranges must lie within the usable space and be disjoint.
+std::vector<FreeInterval>
+computeFreeIntervals(const std::map<Word, Word> &Occupied,
+                     uint64_t AddressWords);
+
+/// Counts how many distinct base addresses could host a block of \p Size
+/// words given \p Free.
+uint64_t countPlacements(const std::vector<FreeInterval> &Free, Word Size);
+
+/// Strategy object deciding the base address for a new concrete range.
+///
+/// choose() must return a base address B such that [B, B + Size) fits
+/// entirely inside one of the free intervals, or std::nullopt to signal that
+/// the oracle declines (out of memory from the program's point of view).
+class PlacementOracle {
+public:
+  virtual ~PlacementOracle();
+
+  virtual std::optional<Word> choose(Word Size,
+                                     const std::vector<FreeInterval> &Free) = 0;
+
+  /// Deep copy preserving the oracle's internal state, so that cloned
+  /// memories continue the same deterministic decision stream.
+  virtual std::unique_ptr<PlacementOracle> clone() const = 0;
+};
+
+/// Places each block at the lowest possible address. Deterministic; the
+/// default oracle.
+class FirstFitOracle : public PlacementOracle {
+public:
+  std::optional<Word> choose(Word Size,
+                             const std::vector<FreeInterval> &Free) override;
+  std::unique_ptr<PlacementOracle> clone() const override;
+};
+
+/// Places each block at the highest possible address. Deterministic; useful
+/// as a second point in behavior-set sampling.
+class LastFitOracle : public PlacementOracle {
+public:
+  std::optional<Word> choose(Word Size,
+                             const std::vector<FreeInterval> &Free) override;
+  std::unique_ptr<PlacementOracle> clone() const override;
+};
+
+/// Places each block at a base chosen uniformly at random among all bases
+/// that fit, driven by a deterministic seeded generator.
+class RandomOracle : public PlacementOracle {
+public:
+  explicit RandomOracle(uint64_t Seed) : Generator(Seed) {}
+
+  std::optional<Word> choose(Word Size,
+                             const std::vector<FreeInterval> &Free) override;
+  std::unique_ptr<PlacementOracle> clone() const override;
+
+private:
+  Rng Generator;
+};
+
+/// Plays back a predetermined sequence of base addresses; used for
+/// exhaustive enumeration of placements and for adversarial scenarios. A
+/// requested base that does not fit, or exhaustion of the sequence, makes
+/// the oracle decline (out of memory).
+class FixedSequenceOracle : public PlacementOracle {
+public:
+  explicit FixedSequenceOracle(std::vector<Word> Bases)
+      : Bases(std::move(Bases)) {}
+
+  std::optional<Word> choose(Word Size,
+                             const std::vector<FreeInterval> &Free) override;
+  std::unique_ptr<PlacementOracle> clone() const override;
+
+  /// Number of decisions already consumed.
+  size_t decisionsUsed() const { return Next; }
+
+private:
+  std::vector<Word> Bases;
+  size_t Next = 0;
+};
+
+/// An oracle that always declines; models a machine whose concrete address
+/// space is exhausted (used to exercise the out-of-memory behavior class).
+class ExhaustedOracle : public PlacementOracle {
+public:
+  std::optional<Word> choose(Word Size,
+                             const std::vector<FreeInterval> &Free) override;
+  std::unique_ptr<PlacementOracle> clone() const override;
+};
+
+} // namespace qcm
+
+#endif // QCM_MEMORY_PLACEMENT_H

@@ -1,0 +1,128 @@
+//===- memory/QuasiConcreteMemory.cpp -------------------------------------===//
+
+#include "memory/QuasiConcreteMemory.h"
+
+using namespace qcm;
+
+QuasiConcreteMemory::QuasiConcreteMemory(
+    MemoryConfig Config, std::unique_ptr<PlacementOracle> Oracle)
+    : BlockMemory(Config, /*NullBlockBase=*/0), Oracle(std::move(Oracle)) {
+  if (!this->Oracle)
+    this->Oracle = std::make_unique<FirstFitOracle>();
+}
+
+std::map<Word, Word> QuasiConcreteMemory::occupiedRanges() const {
+  std::map<Word, Word> Ranges;
+  for (BlockId Id = 1; Id < Blocks.size(); ++Id) {
+    const Block &B = Blocks[Id];
+    if (B.Valid && B.Base)
+      Ranges.emplace(*B.Base, B.Size);
+  }
+  return Ranges;
+}
+
+bool QuasiConcreteMemory::isRealized(BlockId Id) const {
+  return Id < Blocks.size() && Blocks[Id].Base.has_value();
+}
+
+size_t QuasiConcreteMemory::numRealizedBlocks() const {
+  size_t Count = 0;
+  for (BlockId Id = 1; Id < Blocks.size(); ++Id)
+    if (Blocks[Id].Valid && Blocks[Id].Base)
+      ++Count;
+  return Count;
+}
+
+Outcome<Unit> QuasiConcreteMemory::realize(BlockId Id) {
+  if (Id == 0 || Id >= Blocks.size())
+    return Outcome<Unit>::undefined("realization of a nonexistent block");
+  Block &B = Blocks[Id];
+  if (B.Base)
+    return Outcome<Unit>::success(Unit{}); // Already concrete; idempotent.
+  if (!B.Valid)
+    return Outcome<Unit>::undefined("realization of a freed block");
+  std::vector<FreeInterval> Free =
+      computeFreeIntervals(occupiedRanges(), config().AddressWords);
+  std::optional<Word> Base = Oracle->choose(B.Size, Free);
+  if (!Base)
+    return Outcome<Unit>::outOfMemory(
+        "no concrete placement realizing block " + std::to_string(Id) +
+        " of " + wordToString(B.Size) + " words");
+  B.Base = *Base;
+  return Outcome<Unit>::success(Unit{});
+}
+
+Outcome<Value> QuasiConcreteMemory::castPtrToInt(Value Pointer) {
+  if (!Pointer.isPtr())
+    return Outcome<Value>::undefined(
+        "pointer-to-integer cast of an integer value");
+  const Ptr &P = Pointer.ptr();
+  if (P.Block >= Blocks.size())
+    return Outcome<Value>::undefined("cast of a nonexistent block");
+  // cast2int first realizes l, then reifies (l, i) if valid (Section 4).
+  // Realizing a freed block is pointless — validity will fail — so we check
+  // validity first; the NULL block is pre-realized at address 0, making
+  // (int)NULL == 0 fall out of the general rule.
+  if (!isValidAddress(P))
+    return Outcome<Value>::undefined(
+        "pointer-to-integer cast of an invalid address " + P.toString());
+  if (P.Block != 0)
+    if (Outcome<Unit> Realized = realize(P.Block); !Realized)
+      return Realized.propagate<Value>();
+  const Block &B = Blocks[P.Block];
+  return Outcome<Value>::success(
+      Value::makeInt(wrapAdd(*B.Base, P.Offset)));
+}
+
+Outcome<Value> QuasiConcreteMemory::castIntToPtr(Value Integer) {
+  if (!Integer.isInt())
+    return Outcome<Value>::undefined(
+        "integer-to-pointer cast of a logical address");
+  Word I = Integer.intValue();
+  // cast2ptr(i) = (l, j) if valid_m(l, j) and (l, j)|down| = i. Valid
+  // realized ranges are disjoint, so the preimage is unique; the NULL block
+  // supplies the preimage of 0.
+  for (BlockId Id = 0; Id < Blocks.size(); ++Id) {
+    const Block &B = Blocks[Id];
+    if (!B.Valid || !B.Base)
+      continue;
+    if (B.containsAddress(I))
+      return Outcome<Value>::success(Value::makePtr(Id, I - *B.Base));
+  }
+  return Outcome<Value>::undefined(
+      "integer-to-pointer cast of " + wordToString(I) +
+      " which reifies no valid address");
+}
+
+std::unique_ptr<Memory> QuasiConcreteMemory::clone() const {
+  auto Copy =
+      std::make_unique<QuasiConcreteMemory>(config(), Oracle->clone());
+  Copy->Blocks = Blocks;
+  return Copy;
+}
+
+std::optional<std::string> QuasiConcreteMemory::checkConsistency() const {
+  if (Blocks.empty() || !Blocks[0].Valid || Blocks[0].Size != 1 ||
+      !Blocks[0].Base || *Blocks[0].Base != 0)
+    return "NULL block is damaged";
+  const uint64_t Limit = config().AddressWords - 1;
+  uint64_t PrevEnd = 0;
+  bool First = true;
+  for (const auto &[Base, Size] : occupiedRanges()) {
+    if (Base == 0)
+      return "realized block includes address 0";
+    uint64_t End = static_cast<uint64_t>(Base) + Size;
+    if (End > Limit)
+      return "realized block includes the maximum address";
+    if (!First && Base < PrevEnd)
+      return "realized blocks overlap at " + wordToString(Base);
+    PrevEnd = End;
+    First = false;
+  }
+  for (BlockId Id = 0; Id < Blocks.size(); ++Id) {
+    const Block &B = Blocks[Id];
+    if (B.Valid && B.Contents.size() != B.Size)
+      return "block " + std::to_string(Id) + " contents size mismatch";
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,75 @@
+//===- memory/QuasiConcreteMemory.h - The paper's model ---------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The quasi-concrete memory model — the paper's contribution (Sections 3
+/// and 4). Blocks are allocated logical and are *realized* to a concrete
+/// base address the first time a pointer into them is cast to an integer:
+///
+///   (l, i) |down| m      = p + i   if m(l) = (v, p, n, c), p defined
+///   valid_m(l, i)        iff m(l) = (v, p, n, c), v = true, 0 <= i < n
+///   cast2int_m(l, i)     = (l, i) |down| m  if valid_m(l, i)
+///                          {after realizing l}; otherwise UB
+///   cast2ptr_m(i)        = (l, j)  if valid_m(l, j) and (l, j) |down| m = i;
+///                          otherwise UB
+///
+/// Realization consults a PlacementOracle; when no placement exists the cast
+/// is out-of-memory, i.e. "no behavior" (Section 3.4). Valid realized blocks
+/// must occupy disjoint ranges avoiding address 0 and the maximum address
+/// (Section 3.1), which makes cast2ptr's preimage unique.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_MEMORY_QUASICONCRETEMEMORY_H
+#define QCM_MEMORY_QUASICONCRETEMEMORY_H
+
+#include "memory/BlockMemory.h"
+#include "memory/Placement.h"
+
+#include <map>
+
+namespace qcm {
+
+/// The quasi-concrete model.
+class QuasiConcreteMemory : public BlockMemory {
+public:
+  /// Creates a quasi-concrete memory. \p Oracle decides realization
+  /// placement; the default is first-fit.
+  explicit QuasiConcreteMemory(
+      MemoryConfig Config, std::unique_ptr<PlacementOracle> Oracle = nullptr);
+
+  ModelKind kind() const override { return ModelKind::QuasiConcrete; }
+
+  Outcome<Value> castPtrToInt(Value Pointer) override;
+  Outcome<Value> castIntToPtr(Value Integer) override;
+
+  std::unique_ptr<Memory> clone() const override;
+  std::optional<std::string> checkConsistency() const override;
+
+  /// Realizes block \p Id if it is still logical: assigns it a concrete base
+  /// address disjoint from every other valid realized block. Fails with
+  /// out-of-memory when the oracle finds no placement. Exposed for tests
+  /// and for the lowering compiler; cast2int calls this internally.
+  Outcome<Unit> realize(BlockId Id);
+
+  /// True if block \p Id has a concrete base address.
+  bool isRealized(BlockId Id) const;
+
+  /// Number of valid realized blocks, excluding the NULL block.
+  size_t numRealizedBlocks() const;
+
+private:
+  /// Occupied concrete ranges of valid realized blocks (NULL block
+  /// excluded; its range [0, 1) lies outside the usable space).
+  std::map<Word, Word> occupiedRanges() const;
+
+  std::unique_ptr<PlacementOracle> Oracle;
+};
+
+} // namespace qcm
+
+#endif // QCM_MEMORY_QUASICONCRETEMEMORY_H

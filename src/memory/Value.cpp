@@ -1,0 +1,17 @@
+//===- memory/Value.cpp ---------------------------------------------------===//
+
+#include "memory/Value.h"
+
+using namespace qcm;
+
+std::string Ptr::toString() const {
+  if (isNull())
+    return "NULL";
+  return "(" + std::to_string(Block) + ", " + std::to_string(Offset) + ")";
+}
+
+std::string Value::toString() const {
+  if (isPtr())
+    return PtrVal.toString();
+  return wordToString(IntVal);
+}

@@ -1,0 +1,106 @@
+//===- memory/Value.h - Semantic values: int32 or logical addr --*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value domain of the paper (Section 2.2):
+///
+///   Val = { i in int32 }  |+|  { (l, i) in BlockID x int32 }
+///
+/// In the concrete model only the integer injection is inhabited; pointers
+/// are plain integers there. In the logical and quasi-concrete models both
+/// injections occur.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_MEMORY_VALUE_H
+#define QCM_MEMORY_VALUE_H
+
+#include "support/Ints.h"
+
+#include <cassert>
+#include <string>
+
+namespace qcm {
+
+/// A logical address: block identifier plus word offset within the block.
+struct Ptr {
+  BlockId Block = 0;
+  Word Offset = 0;
+
+  friend bool operator==(const Ptr &A, const Ptr &B) {
+    return A.Block == B.Block && A.Offset == B.Offset;
+  }
+
+  /// The NULL pointer is the logical address (0, 0) (Section 4).
+  bool isNull() const { return Block == 0 && Offset == 0; }
+
+  std::string toString() const;
+};
+
+/// A semantic value: either a 32-bit integer or a logical address.
+///
+/// Default construction yields the integer 0, which is also what freshly
+/// allocated memory cells and freshly declared int variables hold (the paper
+/// omits indeterminate values as an orthogonal concern; see DESIGN.md).
+class Value {
+public:
+  Value() : IsPointer(false), IntVal(0) {}
+
+  static Value makeInt(Word V) {
+    Value Result;
+    Result.IsPointer = false;
+    Result.IntVal = V;
+    return Result;
+  }
+
+  static Value makePtr(BlockId Block, Word Offset) {
+    Value Result;
+    Result.IsPointer = true;
+    Result.PtrVal = Ptr{Block, Offset};
+    return Result;
+  }
+
+  static Value makePtr(Ptr P) { return makePtr(P.Block, P.Offset); }
+
+  /// The NULL pointer value (0, 0).
+  static Value null() { return makePtr(0, 0); }
+
+  bool isInt() const { return !IsPointer; }
+  bool isPtr() const { return IsPointer; }
+
+  Word intValue() const {
+    assert(isInt() && "value is not an integer");
+    return IntVal;
+  }
+
+  const Ptr &ptr() const {
+    assert(isPtr() && "value is not a pointer");
+    return PtrVal;
+  }
+
+  /// Structural equality. Note this is *not* the language-level equality
+  /// test, which consults block validity (Section 4); it is used for memory
+  /// contents comparison and tests.
+  friend bool operator==(const Value &A, const Value &B) {
+    if (A.IsPointer != B.IsPointer)
+      return false;
+    if (A.IsPointer)
+      return A.PtrVal == B.PtrVal;
+    return A.IntVal == B.IntVal;
+  }
+
+  std::string toString() const;
+
+private:
+  bool IsPointer;
+  Word IntVal = 0;
+  Ptr PtrVal;
+};
+
+} // namespace qcm
+
+#endif // QCM_MEMORY_VALUE_H

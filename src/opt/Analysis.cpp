@@ -1,0 +1,138 @@
+//===- opt/Analysis.cpp ---------------------------------------------------===//
+
+#include "opt/Analysis.h"
+
+using namespace qcm;
+
+void qcm::collectExpUses(const Exp &E, std::set<std::string> &Uses) {
+  switch (E.ExpKind) {
+  case Exp::Kind::IntLit:
+  case Exp::Kind::Global:
+    return;
+  case Exp::Kind::Var:
+    Uses.insert(E.Name);
+    return;
+  case Exp::Kind::Binary:
+    collectExpUses(*E.Lhs, Uses);
+    collectExpUses(*E.Rhs, Uses);
+    return;
+  }
+}
+
+void qcm::collectInstrUses(const Instr &I, std::set<std::string> &Uses) {
+  switch (I.InstrKind) {
+  case Instr::Kind::Call:
+    for (const auto &A : I.Args)
+      collectExpUses(*A, Uses);
+    return;
+  case Instr::Kind::Assign:
+    if (I.Rhs->Arg)
+      collectExpUses(*I.Rhs->Arg, Uses);
+    return;
+  case Instr::Kind::Load:
+    collectExpUses(*I.Addr, Uses);
+    return;
+  case Instr::Kind::Store:
+    collectExpUses(*I.Addr, Uses);
+    collectExpUses(*I.StoreVal, Uses);
+    return;
+  case Instr::Kind::If:
+    collectExpUses(*I.Cond, Uses);
+    collectInstrUses(*I.Then, Uses);
+    if (I.Else)
+      collectInstrUses(*I.Else, Uses);
+    return;
+  case Instr::Kind::While:
+    collectExpUses(*I.Cond, Uses);
+    collectInstrUses(*I.Body, Uses);
+    return;
+  case Instr::Kind::Seq:
+    for (const auto &S : I.Stmts)
+      collectInstrUses(*S, Uses);
+    return;
+  }
+}
+
+void qcm::collectInstrDefs(const Instr &I, std::set<std::string> &Defs) {
+  switch (I.InstrKind) {
+  case Instr::Kind::Assign:
+  case Instr::Kind::Load:
+    if (!I.Var.empty())
+      Defs.insert(I.Var);
+    return;
+  case Instr::Kind::If:
+    collectInstrDefs(*I.Then, Defs);
+    if (I.Else)
+      collectInstrDefs(*I.Else, Defs);
+    return;
+  case Instr::Kind::While:
+    collectInstrDefs(*I.Body, Defs);
+    return;
+  case Instr::Kind::Seq:
+    for (const auto &S : I.Stmts)
+      collectInstrDefs(*S, Defs);
+    return;
+  case Instr::Kind::Call:
+  case Instr::Kind::Store:
+    return;
+  }
+}
+
+namespace {
+
+bool isReadOnlyInstr(const Program &P, const Instr &I,
+                     std::set<std::string> &Visiting);
+
+bool isReadOnlyImpl(const Program &P, const std::string &Name,
+                    std::set<std::string> &Visiting) {
+  const FunctionDecl *F = P.findFunction(Name);
+  if (!F || F->isExtern())
+    return false;
+  if (!Visiting.insert(Name).second)
+    return true; // Recursive cycle: judged by the rest of the body.
+  bool Result = isReadOnlyInstr(P, *F->Body, Visiting);
+  Visiting.erase(Name);
+  return Result;
+}
+
+bool isReadOnlyInstr(const Program &P, const Instr &I,
+                     std::set<std::string> &Visiting) {
+  switch (I.InstrKind) {
+  case Instr::Kind::Store:
+    return false;
+  case Instr::Kind::Assign:
+    switch (I.Rhs->RExpKind) {
+    case RExp::Kind::Pure:
+      return true;
+    case RExp::Kind::Malloc:
+    case RExp::Kind::Free:
+    case RExp::Kind::Cast:
+    case RExp::Kind::Input:
+    case RExp::Kind::Output:
+      return false;
+    }
+    return false;
+  case Instr::Kind::Load:
+    return true; // Loads read memory; they cannot write or emit events.
+  case Instr::Kind::Call:
+    return isReadOnlyImpl(P, I.Callee, Visiting);
+  case Instr::Kind::If:
+    return isReadOnlyInstr(P, *I.Then, Visiting) &&
+           (!I.Else || isReadOnlyInstr(P, *I.Else, Visiting));
+  case Instr::Kind::While:
+    return isReadOnlyInstr(P, *I.Body, Visiting);
+  case Instr::Kind::Seq:
+    for (const auto &S : I.Stmts)
+      if (!isReadOnlyInstr(P, *S, Visiting))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+bool qcm::isReadOnlyFunction(const Program &P, const std::string &Name) {
+  std::set<std::string> Visiting;
+  return isReadOnlyImpl(P, Name, Visiting);
+}

@@ -1,0 +1,43 @@
+//===- opt/Analysis.h - Shared dataflow helpers -----------------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Variable use/def collection over the structured AST, and the read-only
+/// function analysis used by dead-call elimination (Figure 2): a function is
+/// read-only when its body performs no stores, allocations, frees, casts, or
+/// I/O and calls only read-only functions. Removing a call to a read-only
+/// function is sound (its only possible observable effect is a fault, and
+/// removing a potential fault only shrinks the behavior set).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_OPT_ANALYSIS_H
+#define QCM_OPT_ANALYSIS_H
+
+#include "lang/Ast.h"
+
+#include <set>
+#include <string>
+
+namespace qcm {
+
+/// Adds the variables read by \p E to \p Uses.
+void collectExpUses(const Exp &E, std::set<std::string> &Uses);
+
+/// Adds the variables read anywhere in \p I (recursively) to \p Uses.
+void collectInstrUses(const Instr &I, std::set<std::string> &Uses);
+
+/// Adds the variables assigned anywhere in \p I (recursively) to \p Defs.
+void collectInstrDefs(const Instr &I, std::set<std::string> &Defs);
+
+/// True if \p Name names a read-only function of \p P (defined, no memory
+/// writes / allocation / casts / I/O, all callees read-only).
+bool isReadOnlyFunction(const Program &P, const std::string &Name);
+
+} // namespace qcm
+
+#endif // QCM_OPT_ANALYSIS_H

@@ -1,0 +1,232 @@
+//===- opt/ArithSimplify.cpp ----------------------------------------------===//
+
+#include "opt/ArithSimplify.h"
+
+#include "lang/PrettyPrint.h"
+
+#include <map>
+
+using namespace qcm;
+
+namespace {
+
+/// A linear combination over atomic subexpressions: Const + sum of
+/// Coeff * Atom, with all arithmetic modulo 2^32. Atoms are keyed by their
+/// printed form; the exemplar tree is cloned on rebuild.
+struct LinForm {
+  Word Const = 0;
+  // Key -> (exemplar, coefficient).
+  std::map<std::string, std::pair<const Exp *, Word>> Terms;
+
+  void addTerm(const Exp &Atom, Word Coeff) {
+    if (Coeff == 0)
+      return;
+    std::string Key = printExp(Atom);
+    auto [It, Inserted] = Terms.emplace(Key, std::make_pair(&Atom, Coeff));
+    if (!Inserted) {
+      It->second.second = wrapAdd(It->second.second, Coeff);
+      if (It->second.second == 0)
+        Terms.erase(It);
+    }
+  }
+
+  void addScaled(const LinForm &Other, Word Scale) {
+    Const = wrapAdd(Const, wrapMul(Other.Const, Scale));
+    for (const auto &[Key, TermInfo] : Other.Terms)
+      addTerm(*TermInfo.first, wrapMul(TermInfo.second, Scale));
+  }
+
+  bool isConstant() const { return Terms.empty(); }
+};
+
+std::unique_ptr<Exp> simplifyTree(std::unique_ptr<Exp> E);
+
+/// Linearizes an int-typed expression. Subtrees that are not +/-/constant-
+/// multiple structure (including ptr-typed ones like same-block pointer
+/// subtraction) become atoms; their children are simplified first.
+LinForm linearize(const Exp &E) {
+  LinForm Form;
+  if (E.ExpKind == Exp::Kind::IntLit) {
+    Form.Const = E.IntValue;
+    return Form;
+  }
+  if (E.ExpKind == Exp::Kind::Binary && E.StaticType == Type::Int &&
+      E.Lhs->StaticType == Type::Int && E.Rhs->StaticType == Type::Int) {
+    switch (E.Op) {
+    case BinaryOp::Add: {
+      Form.addScaled(linearize(*E.Lhs), 1);
+      Form.addScaled(linearize(*E.Rhs), 1);
+      return Form;
+    }
+    case BinaryOp::Sub: {
+      Form.addScaled(linearize(*E.Lhs), 1);
+      // -1 modulo 2^32.
+      Form.addScaled(linearize(*E.Rhs), static_cast<Word>(-1));
+      return Form;
+    }
+    case BinaryOp::Mul: {
+      LinForm L = linearize(*E.Lhs);
+      LinForm R = linearize(*E.Rhs);
+      if (L.isConstant()) {
+        Form.addScaled(R, L.Const);
+        return Form;
+      }
+      if (R.isConstant()) {
+        Form.addScaled(L, R.Const);
+        return Form;
+      }
+      break; // Non-linear product: atomic.
+    }
+    case BinaryOp::And:
+    case BinaryOp::Eq:
+      break; // Atomic.
+    }
+  }
+  Form.addTerm(E, 1);
+  return Form;
+}
+
+std::unique_ptr<Exp> makeIntTyped(std::unique_ptr<Exp> E) {
+  E->StaticType = Type::Int;
+  return E;
+}
+
+/// Rebuilds a canonical expression from a linear form. Atoms were already
+/// simplified before linearization and are cloned as-is.
+std::unique_ptr<Exp> rebuild(const LinForm &Form) {
+  std::unique_ptr<Exp> Acc;
+  for (const auto &[Key, TermInfo] : Form.Terms) {
+    const auto &[Atom, Coeff] = TermInfo;
+    // Prefer "x" and "- x" over multiplications by 1 and -1.
+    bool Negated = Coeff == static_cast<Word>(-1);
+    std::unique_ptr<Exp> Term;
+    if (Coeff == 1 || Negated) {
+      Term = Atom->clone();
+    } else {
+      Term = makeIntTyped(Exp::makeBinary(
+          BinaryOp::Mul, makeIntTyped(Exp::makeIntLit(Coeff)),
+          Atom->clone()));
+    }
+    if (!Acc) {
+      if (Negated)
+        Term = makeIntTyped(Exp::makeBinary(
+            BinaryOp::Sub, makeIntTyped(Exp::makeIntLit(0)),
+            std::move(Term)));
+      Acc = std::move(Term);
+      continue;
+    }
+    Acc = makeIntTyped(Exp::makeBinary(Negated ? BinaryOp::Sub
+                                               : BinaryOp::Add,
+                                       std::move(Acc), std::move(Term)));
+  }
+  if (!Acc)
+    return makeIntTyped(Exp::makeIntLit(Form.Const));
+  if (Form.Const != 0)
+    Acc = makeIntTyped(Exp::makeBinary(BinaryOp::Add, std::move(Acc),
+                                       makeIntTyped(Exp::makeIntLit(
+                                           Form.Const))));
+  return Acc;
+}
+
+/// Recursively simplifies an expression tree.
+std::unique_ptr<Exp> simplifyTree(std::unique_ptr<Exp> E) {
+  if (E->ExpKind != Exp::Kind::Binary)
+    return E;
+  // Pointer-typed arithmetic is left alone structurally (children still
+  // simplify), but p + 0 and p - 0 fold away.
+  if (E->StaticType == Type::Ptr || E->Lhs->StaticType == Type::Ptr ||
+      E->Rhs->StaticType == Type::Ptr) {
+    E->Lhs = simplifyTree(std::move(E->Lhs));
+    E->Rhs = simplifyTree(std::move(E->Rhs));
+    if (E->StaticType == Type::Ptr &&
+        (E->Op == BinaryOp::Add || E->Op == BinaryOp::Sub) &&
+        E->Lhs->StaticType == Type::Ptr &&
+        E->Rhs->ExpKind == Exp::Kind::IntLit && E->Rhs->IntValue == 0)
+      return std::move(E->Lhs);
+    return E;
+  }
+  // Integer arithmetic: simplify the children first so that atomic terms
+  // (non-linear products, masks, comparisons) are already in normal form,
+  // then canonicalize the +/- structure as a linear combination.
+  E->Lhs = simplifyTree(std::move(E->Lhs));
+  E->Rhs = simplifyTree(std::move(E->Rhs));
+  LinForm Form = linearize(*E);
+  std::unique_ptr<Exp> Rebuilt = rebuild(Form);
+  // Non-linear roots (&, ==, var*var) come back unchanged as single atoms;
+  // still constant-fold them when both children are literals.
+  if (Rebuilt->ExpKind == Exp::Kind::Binary &&
+      Rebuilt->Lhs->ExpKind == Exp::Kind::IntLit &&
+      Rebuilt->Rhs->ExpKind == Exp::Kind::IntLit) {
+    Word A = Rebuilt->Lhs->IntValue, B = Rebuilt->Rhs->IntValue;
+    switch (Rebuilt->Op) {
+    case BinaryOp::Add:
+      return makeIntTyped(Exp::makeIntLit(wrapAdd(A, B)));
+    case BinaryOp::Sub:
+      return makeIntTyped(Exp::makeIntLit(wrapSub(A, B)));
+    case BinaryOp::Mul:
+      return makeIntTyped(Exp::makeIntLit(wrapMul(A, B)));
+    case BinaryOp::And:
+      return makeIntTyped(Exp::makeIntLit(A & B));
+    case BinaryOp::Eq:
+      return makeIntTyped(Exp::makeIntLit(A == B ? 1 : 0));
+    }
+  }
+  return Rebuilt;
+}
+
+/// Applies simplifyExp to every expression of an instruction tree; returns
+/// true on any change.
+bool simplifyInstr(Instr &I) {
+  bool Changed = false;
+  auto Apply = [&Changed](std::unique_ptr<Exp> &Slot) {
+    if (!Slot)
+      return;
+    std::string Before = printExp(*Slot);
+    Slot = simplifyExp(std::move(Slot));
+    if (printExp(*Slot) != Before)
+      Changed = true;
+  };
+  switch (I.InstrKind) {
+  case Instr::Kind::Call:
+    for (auto &A : I.Args)
+      Apply(A);
+    break;
+  case Instr::Kind::Assign:
+    Apply(I.Rhs->Arg);
+    break;
+  case Instr::Kind::Load:
+    Apply(I.Addr);
+    break;
+  case Instr::Kind::Store:
+    Apply(I.Addr);
+    Apply(I.StoreVal);
+    break;
+  case Instr::Kind::If:
+    Apply(I.Cond);
+    Changed |= simplifyInstr(*I.Then);
+    if (I.Else)
+      Changed |= simplifyInstr(*I.Else);
+    break;
+  case Instr::Kind::While:
+    Apply(I.Cond);
+    Changed |= simplifyInstr(*I.Body);
+    break;
+  case Instr::Kind::Seq:
+    for (auto &S : I.Stmts)
+      Changed |= simplifyInstr(*S);
+    break;
+  }
+  return Changed;
+}
+
+} // namespace
+
+std::unique_ptr<Exp> qcm::simplifyExp(std::unique_ptr<Exp> E) {
+  return simplifyTree(std::move(E));
+}
+
+bool ArithSimplifyPass::runOnFunction(FunctionDecl &F, const Program &) {
+  if (!F.Body)
+    return false;
+  return simplifyInstr(*F.Body);
+}

@@ -1,0 +1,48 @@
+//===- opt/ArithSimplify.h - Integer arithmetic simplification --*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algebraic simplification of integer expressions: constant folding plus
+/// normalization of +/-/constant-multiple trees over int-typed operands into
+/// canonical linear combinations. This is the "full range of arithmetic
+/// optimizations on integer variables" that the static type discipline of
+/// Section 3.5 licenses: because int variables provably contain machine
+/// integers (never logical addresses), identities like
+///
+///   (a - b) + (2*b - b)  ==  a                        (Figure 1)
+///   a + (b - c)          ==  (a + b) - c              (Figure 4)
+///
+/// hold unconditionally with wrap-around arithmetic. Under CompCert's
+/// looser value discipline these rewrites are unsound, which is exactly the
+/// Figure 4 experiment.
+///
+/// The pass never touches expressions with ptr-typed subterms; run the type
+/// checker first so static types are annotated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_OPT_ARITHSIMPLIFY_H
+#define QCM_OPT_ARITHSIMPLIFY_H
+
+#include "opt/Pass.h"
+
+namespace qcm {
+
+/// The arithmetic simplification pass.
+class ArithSimplifyPass : public FunctionPass {
+public:
+  std::string name() const override { return "arith-simplify"; }
+  bool runOnFunction(FunctionDecl &F, const Program &P) override;
+};
+
+/// Simplifies one expression; returns the simplified tree (possibly the
+/// input, moved). Exposed for tests.
+std::unique_ptr<Exp> simplifyExp(std::unique_ptr<Exp> E);
+
+} // namespace qcm
+
+#endif // QCM_OPT_ARITHSIMPLIFY_H

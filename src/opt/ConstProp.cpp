@@ -1,0 +1,182 @@
+//===- opt/ConstProp.cpp --------------------------------------------------===//
+
+#include "opt/ConstProp.h"
+
+#include "opt/Analysis.h"
+
+#include <map>
+
+using namespace qcm;
+
+namespace {
+
+using ConstEnv = std::map<std::string, Word>;
+
+/// Substitutes known int variables and folds literal subtrees. Returns true
+/// on change.
+bool substituteAndFold(std::unique_ptr<Exp> &E, const ConstEnv &Env) {
+  switch (E->ExpKind) {
+  case Exp::Kind::IntLit:
+  case Exp::Kind::Global:
+    return false;
+  case Exp::Kind::Var: {
+    if (E->StaticType != Type::Int)
+      return false;
+    auto It = Env.find(E->Name);
+    if (It == Env.end())
+      return false;
+    auto Lit = Exp::makeIntLit(It->second, E->Loc);
+    Lit->StaticType = Type::Int;
+    E = std::move(Lit);
+    return true;
+  }
+  case Exp::Kind::Binary: {
+    bool Changed = substituteAndFold(E->Lhs, Env);
+    Changed |= substituteAndFold(E->Rhs, Env);
+    if (E->Lhs->ExpKind == Exp::Kind::IntLit &&
+        E->Rhs->ExpKind == Exp::Kind::IntLit) {
+      Word A = E->Lhs->IntValue, B = E->Rhs->IntValue, R = 0;
+      switch (E->Op) {
+      case BinaryOp::Add:
+        R = wrapAdd(A, B);
+        break;
+      case BinaryOp::Sub:
+        R = wrapSub(A, B);
+        break;
+      case BinaryOp::Mul:
+        R = wrapMul(A, B);
+        break;
+      case BinaryOp::And:
+        R = A & B;
+        break;
+      case BinaryOp::Eq:
+        R = A == B ? 1 : 0;
+        break;
+      }
+      auto Lit = Exp::makeIntLit(R, E->Loc);
+      Lit->StaticType = Type::Int;
+      E = std::move(Lit);
+      return true;
+    }
+    return Changed;
+  }
+  }
+  return false;
+}
+
+/// Removes the entries whose value differs between \p A and \p B, leaving
+/// the merge of two control-flow paths in \p A.
+void intersectEnv(ConstEnv &A, const ConstEnv &B) {
+  for (auto It = A.begin(); It != A.end();) {
+    auto Found = B.find(It->first);
+    if (Found == B.end() || Found->second != It->second)
+      It = A.erase(It);
+    else
+      ++It;
+  }
+}
+
+class Propagator {
+public:
+  bool Changed = false;
+
+  void processInstr(std::unique_ptr<Instr> &Slot, ConstEnv &Env) {
+    Instr &I = *Slot;
+    switch (I.InstrKind) {
+    case Instr::Kind::Seq:
+      for (auto &S : I.Stmts)
+        processInstr(S, Env);
+      return;
+
+    case Instr::Kind::Assign: {
+      if (I.Rhs->Arg)
+        Changed |= substituteAndFold(I.Rhs->Arg, Env);
+      if (I.Var.empty())
+        return;
+      if (I.Rhs->RExpKind == RExp::Kind::Pure &&
+          I.Rhs->Arg->ExpKind == Exp::Kind::IntLit)
+        Env[I.Var] = I.Rhs->Arg->IntValue;
+      else
+        Env.erase(I.Var);
+      return;
+    }
+
+    case Instr::Kind::Load:
+      Changed |= substituteAndFold(I.Addr, Env);
+      Env.erase(I.Var);
+      return;
+
+    case Instr::Kind::Store:
+      Changed |= substituteAndFold(I.Addr, Env);
+      Changed |= substituteAndFold(I.StoreVal, Env);
+      return;
+
+    case Instr::Kind::Call:
+      // Variables are registers: calls cannot change them.
+      for (auto &A : I.Args)
+        Changed |= substituteAndFold(A, Env);
+      return;
+
+    case Instr::Kind::If: {
+      Changed |= substituteAndFold(I.Cond, Env);
+      if (I.Cond->ExpKind == Exp::Kind::IntLit) {
+        // Fold the branch.
+        std::unique_ptr<Instr> Taken =
+            I.Cond->IntValue != 0
+                ? std::move(I.Then)
+                : (I.Else ? std::move(I.Else)
+                          : Instr::makeSeq({}, I.Loc));
+        Changed = true;
+        Slot = std::move(Taken);
+        processInstr(Slot, Env);
+        return;
+      }
+      ConstEnv ThenEnv = Env;
+      ConstEnv ElseEnv = Env;
+      processInstr(I.Then, ThenEnv);
+      if (I.Else)
+        processInstr(I.Else, ElseEnv);
+      intersectEnv(ThenEnv, ElseEnv);
+      Env = std::move(ThenEnv);
+      return;
+    }
+
+    case Instr::Kind::While: {
+      // Kill everything the body may redefine, then analyze under that
+      // weaker environment (sound for any number of iterations).
+      std::set<std::string> Defs;
+      collectInstrDefs(*I.Body, Defs);
+      for (const std::string &D : Defs)
+        Env.erase(D);
+      Changed |= substituteAndFold(I.Cond, Env);
+      if (I.Cond->ExpKind == Exp::Kind::IntLit && I.Cond->IntValue == 0) {
+        Changed = true;
+        Slot = Instr::makeSeq({}, I.Loc);
+        return;
+      }
+      processInstr(I.Body, Env);
+      for (const std::string &D : Defs)
+        Env.erase(D);
+      return;
+    }
+    }
+  }
+};
+
+} // namespace
+
+bool ConstPropPass::runOnFunction(FunctionDecl &F, const Program &) {
+  if (!F.Body)
+    return false;
+  Propagator P;
+  ConstEnv Env;
+  // Locals start out known: int variables are initialized to 0.
+  for (const VarDecl &L : F.Locals)
+    if (L.Ty == Type::Int)
+      Env[L.Name] = 0;
+  // Wrap the body in a slot for uniform replacement.
+  std::unique_ptr<Instr> Body = std::move(F.Body);
+  P.processInstr(Body, Env);
+  F.Body = std::move(Body);
+  return P.Changed;
+}

@@ -1,0 +1,35 @@
+//===- opt/ConstProp.h - Register constant propagation ----------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward constant propagation over the language's variables. Variables
+/// are registers — they are not addressable — so their contents survive
+/// arbitrary calls in *every* model; the memory-model-sensitive part of the
+/// paper's constant propagation examples is load forwarding across calls,
+/// which lives in opt/OwnershipOpt.h. Folding of integer expressions relies
+/// on the Section 3.5 guarantee that int variables hold machine integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_OPT_CONSTPROP_H
+#define QCM_OPT_CONSTPROP_H
+
+#include "opt/Pass.h"
+
+namespace qcm {
+
+/// The register constant propagation / folding pass. Also folds branches
+/// and loops whose condition becomes a literal.
+class ConstPropPass : public FunctionPass {
+public:
+  std::string name() const override { return "const-prop"; }
+  bool runOnFunction(FunctionDecl &F, const Program &P) override;
+};
+
+} // namespace qcm
+
+#endif // QCM_OPT_CONSTPROP_H

@@ -1,0 +1,141 @@
+//===- opt/DeadCodeElim.cpp -----------------------------------------------===//
+
+#include "opt/DeadCodeElim.h"
+
+#include "opt/Analysis.h"
+
+using namespace qcm;
+
+namespace {
+
+class Eliminator {
+public:
+  Eliminator(const Program &P, const DceOptions &Options)
+      : P(P), Options(Options) {}
+
+  bool Changed = false;
+
+  /// Processes \p I backwards with live-out set \p Live; updates \p Live to
+  /// the live-in set. Sets \p Remove when the whole statement is dead and
+  /// removable.
+  void processInstr(Instr &I, std::set<std::string> &Live, bool &Remove) {
+    Remove = false;
+    switch (I.InstrKind) {
+    case Instr::Kind::Seq: {
+      for (auto It = I.Stmts.rbegin(); It != I.Stmts.rend();) {
+        bool RemoveChild = false;
+        processInstr(**It, Live, RemoveChild);
+        if (RemoveChild) {
+          // Erase via the forward iterator corresponding to It; the
+          // returned iterator re-seats the reverse iterator correctly.
+          It = std::vector<std::unique_ptr<Instr>>::reverse_iterator(
+              I.Stmts.erase(std::next(It).base()));
+          Changed = true;
+        } else {
+          ++It;
+        }
+      }
+      return;
+    }
+
+    case Instr::Kind::Assign: {
+      bool Dead = I.Var.empty() || !Live.count(I.Var);
+      if (!I.Var.empty() && Dead) {
+        switch (I.Rhs->RExpKind) {
+        case RExp::Kind::Pure:
+          Remove = Options.RemovePureAssigns;
+          break;
+        case RExp::Kind::Malloc:
+          Remove = Options.RemoveDeadAllocs;
+          break;
+        case RExp::Kind::Cast:
+          Remove = Options.RemoveDeadCasts;
+          break;
+        case RExp::Kind::Input:
+        case RExp::Kind::Free:
+        case RExp::Kind::Output:
+          Remove = false; // Observable or deallocating effects stay.
+          break;
+        }
+      }
+      if (Remove)
+        return;
+      if (!I.Var.empty())
+        Live.erase(I.Var);
+      if (I.Rhs->Arg)
+        collectExpUses(*I.Rhs->Arg, Live);
+      return;
+    }
+
+    case Instr::Kind::Load: {
+      if (!Live.count(I.Var) && Options.RemoveDeadLoads) {
+        Remove = true;
+        return;
+      }
+      Live.erase(I.Var);
+      collectExpUses(*I.Addr, Live);
+      return;
+    }
+
+    case Instr::Kind::Store:
+      collectExpUses(*I.Addr, Live);
+      collectExpUses(*I.StoreVal, Live);
+      return;
+
+    case Instr::Kind::Call: {
+      if (Options.RemoveReadOnlyCalls && isReadOnlyFunction(P, I.Callee)) {
+        // Arguments are passed by value and the language has no returns, so
+        // a read-only callee cannot influence the caller.
+        Remove = true;
+        return;
+      }
+      for (const auto &A : I.Args)
+        collectExpUses(*A, Live);
+      return;
+    }
+
+    case Instr::Kind::If: {
+      std::set<std::string> ThenLive = Live;
+      std::set<std::string> ElseLive = Live;
+      bool RemoveChild = false;
+      processInstr(*I.Then, ThenLive, RemoveChild);
+      if (I.Else)
+        processInstr(*I.Else, ElseLive, RemoveChild);
+      Live = std::move(ThenLive);
+      Live.insert(ElseLive.begin(), ElseLive.end());
+      collectExpUses(*I.Cond, Live);
+      return;
+    }
+
+    case Instr::Kind::While: {
+      // Conservative: anything used anywhere in the loop (in any later
+      // iteration) is live throughout, so extend the live-out set with all
+      // uses of the loop before processing the body.
+      std::set<std::string> LoopUses;
+      collectExpUses(*I.Cond, LoopUses);
+      collectInstrUses(*I.Body, LoopUses);
+      Live.insert(LoopUses.begin(), LoopUses.end());
+      bool RemoveChild = false;
+      processInstr(*I.Body, Live, RemoveChild);
+      Live.insert(LoopUses.begin(), LoopUses.end());
+      return;
+    }
+    }
+  }
+
+private:
+  const Program &P;
+  const DceOptions &Options;
+};
+
+} // namespace
+
+bool DeadCodeElimPass::runOnFunction(FunctionDecl &F, const Program &P) {
+  if (!F.Body)
+    return false;
+  Eliminator E(P, Options);
+  std::set<std::string> Live; // Nothing is live-out of a function.
+  bool RemoveAll = false;
+  E.processInstr(*F.Body, Live, RemoveAll);
+  return E.Changed;
+}

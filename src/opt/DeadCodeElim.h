@@ -1,0 +1,56 @@
+//===- opt/DeadCodeElim.h - Liveness-based dead code removal ----*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward-liveness dead code elimination with per-operation gates, because
+/// the different removals have different standing in the paper:
+///
+/// * dead pure assignments and dead loads: justified in all block models;
+/// * dead read-only calls (Figure 2): justified by the static/dynamic type
+///   discipline of the quasi-concrete model;
+/// * dead allocations (DAE): justified in the logical-family models,
+///   *invalid* in the concrete model (Section 1) — gated;
+/// * dead pointer-to-integer casts: casts are effectful in the
+///   quasi-concrete model (they realize blocks), so this removal is only
+///   sound when compiling *to the fully concrete model* (Section 3.6) —
+///   gated, used by the lowering compiler of Section 6.6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_OPT_DEADCODEELIM_H
+#define QCM_OPT_DEADCODEELIM_H
+
+#include "opt/Pass.h"
+
+namespace qcm {
+
+/// Which categories of dead statements may be removed.
+struct DceOptions {
+  bool RemovePureAssigns = true;
+  bool RemoveDeadLoads = true;
+  bool RemoveReadOnlyCalls = true;
+  /// Dead allocation elimination; unsound under the concrete model.
+  bool RemoveDeadAllocs = false;
+  /// Dead cast elimination; only sound when targeting the concrete model.
+  bool RemoveDeadCasts = false;
+};
+
+/// The dead code elimination pass.
+class DeadCodeElimPass : public FunctionPass {
+public:
+  explicit DeadCodeElimPass(DceOptions Options = {}) : Options(Options) {}
+
+  std::string name() const override { return "dce"; }
+  bool runOnFunction(FunctionDecl &F, const Program &P) override;
+
+private:
+  DceOptions Options;
+};
+
+} // namespace qcm
+
+#endif // QCM_OPT_DEADCODEELIM_H

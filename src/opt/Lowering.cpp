@@ -1,0 +1,28 @@
+//===- opt/Lowering.cpp ---------------------------------------------------===//
+
+#include "opt/Lowering.h"
+
+#include "opt/DeadCodeElim.h"
+
+using namespace qcm;
+
+Program qcm::identityCompile(const Program &P) { return P.clone(); }
+
+Program qcm::lowerToConcrete(const Program &P, LoweringOptions Options) {
+  Program Lowered = P.clone();
+  DceOptions Dce;
+  // Dead casts typically keep a chain of dead integer arithmetic alive
+  // (Figure 5's r = a * 123), so pure-assign removal — sound in every
+  // model — runs together with the Section 3.6 cast/alloc removals that
+  // only the concrete target justifies. Call removal stays off: lowering
+  // must not change the call structure.
+  Dce.RemovePureAssigns = true;
+  Dce.RemoveDeadLoads = false;
+  Dce.RemoveReadOnlyCalls = false;
+  Dce.RemoveDeadCasts = Options.EliminateDeadCasts;
+  Dce.RemoveDeadAllocs = Options.EliminateDeadAllocs;
+  PassManager PM;
+  PM.add(std::make_unique<DeadCodeElimPass>(Dce));
+  PM.run(Lowered);
+  return Lowered;
+}

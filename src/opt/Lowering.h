@@ -1,0 +1,54 @@
+//===- opt/Lowering.h - Compilers between the models ------------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two compilers of Section 6.6, from the language under the
+/// quasi-concrete model to the same language under the fully concrete
+/// model:
+///
+/// * the identity compiler — the program is unchanged; only the memory
+///   model underneath changes (all blocks realized eagerly, casts become
+///   no-ops);
+/// * the dead-cast-eliminating compiler — additionally removes dead
+///   pointer-to-integer casts (and optionally the dead allocations they
+///   kept alive, Figure 5). In the quasi-concrete model casts are effectful
+///   (they realize blocks) and cannot be removed; in the concrete target
+///   they are no-ops, so removing them during lowering is sound
+///   (Section 3.6).
+///
+/// Both compilers are syntactic; their correctness statements are
+/// cross-model simulations checked by refinement/Simulation.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_OPT_LOWERING_H
+#define QCM_OPT_LOWERING_H
+
+#include "lang/Ast.h"
+
+namespace qcm {
+
+/// Knobs for the lowering compiler.
+struct LoweringOptions {
+  /// Remove casts whose result is dead (sound only because the target is
+  /// concrete).
+  bool EliminateDeadCasts = true;
+  /// Also remove allocations that become dead once their casts are gone
+  /// (the combined removal of Section 3.6 / Figure 5).
+  bool EliminateDeadAllocs = false;
+};
+
+/// The identity compiler: returns the program unchanged (cloned). Running
+/// the result under the concrete model is the compilation.
+Program identityCompile(const Program &P);
+
+/// The dead-cast-eliminating lowering compiler.
+Program lowerToConcrete(const Program &P, LoweringOptions Options = {});
+
+} // namespace qcm
+
+#endif // QCM_OPT_LOWERING_H

@@ -1,0 +1,366 @@
+//===- opt/OwnershipOpt.cpp -----------------------------------------------===//
+
+#include "opt/OwnershipOpt.h"
+
+#include "lang/PrettyPrint.h"
+#include "opt/Analysis.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace qcm;
+
+namespace {
+
+/// A simple address pattern: pointer variable plus constant word offset.
+struct SimpleAddr {
+  std::string PtrVar;
+  Word Offset = 0;
+};
+
+std::optional<SimpleAddr> matchSimpleAddr(const Exp &E) {
+  if (E.ExpKind == Exp::Kind::Var && E.StaticType == Type::Ptr)
+    return SimpleAddr{E.Name, 0};
+  if (E.ExpKind == Exp::Kind::Binary && E.StaticType == Type::Ptr) {
+    const Exp &L = *E.Lhs, &R = *E.Rhs;
+    if (E.Op == BinaryOp::Add && L.ExpKind == Exp::Kind::Var &&
+        L.StaticType == Type::Ptr && R.ExpKind == Exp::Kind::IntLit)
+      return SimpleAddr{L.Name, R.IntValue};
+    if (E.Op == BinaryOp::Add && R.ExpKind == Exp::Kind::Var &&
+        R.StaticType == Type::Ptr && L.ExpKind == Exp::Kind::IntLit)
+      return SimpleAddr{R.Name, L.IntValue};
+    if (E.Op == BinaryOp::Sub && L.ExpKind == Exp::Kind::Var &&
+        L.StaticType == Type::Ptr && R.ExpKind == Exp::Kind::IntLit)
+      return SimpleAddr{L.Name, wrapSub(0, R.IntValue)};
+  }
+  return std::nullopt;
+}
+
+/// Dataflow state for the straight-line walk.
+struct State {
+  struct OwnedFact {
+    /// Offsets absent from Known read as 0 (fresh blocks are
+    /// zero-initialized).
+    std::map<Word, std::optional<Word>> Known;
+    /// Dead-store candidates: offset -> the store instruction.
+    std::map<Word, Instr *> PendingStores;
+  };
+
+  /// Owned (fresh, unescaped) pointer variables.
+  std::map<std::string, OwnedFact> Owned;
+  /// Forwardable public loads: printed address -> variable holding the
+  /// value.
+  std::map<std::string, std::string> PublicKnown;
+};
+
+class Optimizer {
+public:
+  Optimizer(FunctionDecl &F, const OwnershipOptions &Options)
+      : F(F), Options(Options) {}
+
+  bool Changed = false;
+
+  void run() {
+    State S;
+    processSeq(*F.Body, S);
+    // Function end: blocks still owned here can never be observed again.
+    for (auto &[Var, Fact] : S.Owned)
+      markPendingDead(Fact);
+    sweepDeleted(*F.Body);
+  }
+
+private:
+  //===-- State transitions ----------------------------------------------===
+
+  void markPendingDead(State::OwnedFact &Fact) {
+    for (auto &[Off, Store] : Fact.PendingStores) {
+      ToDelete.insert(Store);
+      Changed = true;
+    }
+    Fact.PendingStores.clear();
+  }
+
+  /// The pointer escaped: its block is publicly reachable from here on.
+  void escapeVar(State &S, const std::string &Var) {
+    auto It = S.Owned.find(Var);
+    if (It == S.Owned.end())
+      return;
+    // Pending stores become observable; keep them.
+    S.Owned.erase(It);
+  }
+
+  /// Every pointer-typed variable appearing in \p E escapes.
+  void escapeUses(State &S, const Exp &E) {
+    std::set<std::string> Uses;
+    collectExpUses(E, Uses);
+    for (const std::string &U : Uses)
+      escapeVar(S, U);
+  }
+
+  /// Variable \p Var was redefined: forwardable loads held in it, and
+  /// addresses formed from it, are stale. If it owned a block, the block
+  /// becomes unreachable — its pending stores are dead.
+  void killVar(State &S, const std::string &Var) {
+    auto OwnedIt = S.Owned.find(Var);
+    if (OwnedIt != S.Owned.end()) {
+      markPendingDead(OwnedIt->second);
+      S.Owned.erase(OwnedIt);
+    }
+    for (auto It = S.PublicKnown.begin(); It != S.PublicKnown.end();) {
+      bool Stale = It->second == Var ||
+                   It->first.find(Var) != std::string::npos;
+      It = Stale ? S.PublicKnown.erase(It) : std::next(It);
+    }
+  }
+
+  /// A write through public memory, or an unknown call: all public
+  /// knowledge dies. Owned blocks are unaffected — nothing aliases them
+  /// (freshness) and no context can forge their addresses (ownership).
+  void killPublic(State &S) { S.PublicKnown.clear(); }
+
+  void clearAll(State &S) {
+    // Control-flow boundary: pending stores may be observed on other paths.
+    S.Owned.clear();
+    S.PublicKnown.clear();
+  }
+
+  //===-- Instruction processing -----------------------------------------===
+
+  void processSeq(Instr &Seq, State &S) {
+    for (auto &Child : Seq.Stmts)
+      processInstr(*Child, S);
+  }
+
+  void processInstr(Instr &I, State &S) {
+    switch (I.InstrKind) {
+    case Instr::Kind::Seq:
+      processSeq(I, S);
+      return;
+
+    case Instr::Kind::If: {
+      escapeUses(S, *I.Cond);
+      clearAll(S);
+      State Fresh1;
+      processInstr(*I.Then, Fresh1);
+      if (I.Else) {
+        State Fresh2;
+        processInstr(*I.Else, Fresh2);
+      }
+      clearAll(S);
+      return;
+    }
+
+    case Instr::Kind::While: {
+      escapeUses(S, *I.Cond);
+      clearAll(S);
+      State Fresh;
+      processInstr(*I.Body, Fresh);
+      clearAll(S);
+      return;
+    }
+
+    case Instr::Kind::Call:
+      for (const auto &A : I.Args)
+        escapeUses(S, *A);
+      killPublic(S);
+      return;
+
+    case Instr::Kind::Load:
+      processLoad(I, S);
+      return;
+
+    case Instr::Kind::Store:
+      processStore(I, S);
+      return;
+
+    case Instr::Kind::Assign:
+      processAssign(I, S);
+      return;
+    }
+  }
+
+  void processLoad(Instr &I, State &S) {
+    std::optional<SimpleAddr> Addr = matchSimpleAddr(*I.Addr);
+    if (!Addr) {
+      escapeUses(S, *I.Addr);
+      killVar(S, I.Var);
+      return;
+    }
+    auto OwnedIt = S.Owned.find(Addr->PtrVar);
+    if (OwnedIt != S.Owned.end()) {
+      State::OwnedFact &Fact = OwnedIt->second;
+      auto KnownIt = Fact.Known.find(Addr->Offset);
+      std::optional<Word> Known =
+          KnownIt == Fact.Known.end() ? std::optional<Word>(0) // fresh => 0
+                                      : KnownIt->second;
+      if (Options.ForwardLoads && Known &&
+          varType(I.Var) == Type::Int) {
+        // Replace the load with the known constant; the forwarded-from
+        // store may now be dead and is left pending.
+        rewriteToConstAssign(I, *Known);
+        killVar(S, I.Var);
+        return;
+      }
+      // The load observes any pending store at this offset.
+      Fact.PendingStores.erase(Addr->Offset);
+      killVar(S, I.Var);
+      return;
+    }
+    // Public load: forward from an earlier identical load if possible.
+    std::string Key = printExp(*I.Addr);
+    auto KnownIt = S.PublicKnown.find(Key);
+    if (Options.ForwardLoads && KnownIt != S.PublicKnown.end() &&
+        KnownIt->second != I.Var &&
+        varType(KnownIt->second) == varType(I.Var)) {
+      std::string From = KnownIt->second;
+      rewriteToVarAssign(I, From);
+      killVar(S, I.Var);
+      return;
+    }
+    std::string Var = I.Var;
+    killVar(S, Var);
+    S.PublicKnown[Key] = Var;
+  }
+
+  void processStore(Instr &I, State &S) {
+    escapeUses(S, *I.StoreVal); // Storing a pointer publishes it.
+    std::optional<SimpleAddr> Addr = matchSimpleAddr(*I.Addr);
+    if (!Addr) {
+      escapeUses(S, *I.Addr);
+      killPublic(S);
+      return;
+    }
+    auto OwnedIt = S.Owned.find(Addr->PtrVar);
+    if (OwnedIt != S.Owned.end()) {
+      State::OwnedFact &Fact = OwnedIt->second;
+      if (Options.EliminateDeadStores) {
+        auto PendingIt = Fact.PendingStores.find(Addr->Offset);
+        if (PendingIt != Fact.PendingStores.end()) {
+          // Overwritten before any load: the earlier store is dead.
+          ToDelete.insert(PendingIt->second);
+          Changed = true;
+        }
+        Fact.PendingStores[Addr->Offset] = &I;
+      }
+      if (I.StoreVal->ExpKind == Exp::Kind::IntLit)
+        Fact.Known[Addr->Offset] = I.StoreVal->IntValue;
+      else
+        Fact.Known[Addr->Offset] = std::nullopt;
+      return;
+    }
+    // A store through public memory may alias any public address.
+    killPublic(S);
+  }
+
+  void processAssign(Instr &I, State &S) {
+    RExp &R = *I.Rhs;
+    switch (R.RExpKind) {
+    case RExp::Kind::Pure:
+      escapeUses(S, *R.Arg);
+      if (!I.Var.empty())
+        killVar(S, I.Var);
+      return;
+    case RExp::Kind::Malloc: {
+      escapeUses(S, *R.Arg);
+      killVar(S, I.Var);
+      S.Owned.emplace(I.Var, State::OwnedFact{});
+      return;
+    }
+    case RExp::Kind::Free: {
+      // free(p) of an owned block: the contents become unobservable, so
+      // pending stores are dead.
+      if (R.Arg->ExpKind == Exp::Kind::Var) {
+        auto OwnedIt = S.Owned.find(R.Arg->Name);
+        if (OwnedIt != S.Owned.end()) {
+          markPendingDead(OwnedIt->second);
+          S.Owned.erase(OwnedIt);
+        }
+        // Addresses formed from this pointer are dangling now.
+        std::string Var = R.Arg->Name;
+        for (auto It = S.PublicKnown.begin(); It != S.PublicKnown.end();) {
+          bool Stale = It->first.find(Var) != std::string::npos;
+          It = Stale ? S.PublicKnown.erase(It) : std::next(It);
+        }
+        return;
+      }
+      escapeUses(S, *R.Arg);
+      return;
+    }
+    case RExp::Kind::Cast:
+      // (int) p publishes p's block: in the quasi-concrete model the block
+      // is realized and its address may circulate as an integer
+      // (Section 3.2). (ptr) a creates an unknown pointer.
+      escapeUses(S, *R.Arg);
+      if (!I.Var.empty())
+        killVar(S, I.Var);
+      return;
+    case RExp::Kind::Input:
+      if (!I.Var.empty())
+        killVar(S, I.Var);
+      return;
+    case RExp::Kind::Output:
+      escapeUses(S, *R.Arg);
+      return;
+    }
+  }
+
+  //===-- Rewriting -------------------------------------------------------===
+
+  Type varType(const std::string &Name) const {
+    const VarDecl *D = F.findVariable(Name);
+    return D ? D->Ty : Type::Int;
+  }
+
+  void rewriteToConstAssign(Instr &I, Word V) {
+    auto Lit = Exp::makeIntLit(V, I.Loc);
+    Lit->StaticType = Type::Int;
+    I.InstrKind = Instr::Kind::Assign;
+    I.Rhs = RExp::makePure(std::move(Lit));
+    I.Addr.reset();
+    Changed = true;
+  }
+
+  void rewriteToVarAssign(Instr &I, const std::string &From) {
+    auto Ref = Exp::makeVar(From, I.Loc);
+    Ref->StaticType = varType(From);
+    I.InstrKind = Instr::Kind::Assign;
+    I.Rhs = RExp::makePure(std::move(Ref));
+    I.Addr.reset();
+    Changed = true;
+  }
+
+  void sweepDeleted(Instr &I) {
+    if (I.InstrKind == Instr::Kind::Seq) {
+      for (auto It = I.Stmts.begin(); It != I.Stmts.end();) {
+        if (ToDelete.count(It->get())) {
+          It = I.Stmts.erase(It);
+        } else {
+          sweepDeleted(**It);
+          ++It;
+        }
+      }
+      return;
+    }
+    if (I.Then)
+      sweepDeleted(*I.Then);
+    if (I.Else)
+      sweepDeleted(*I.Else);
+    if (I.Body)
+      sweepDeleted(*I.Body);
+  }
+
+  FunctionDecl &F;
+  const OwnershipOptions &Options;
+  std::set<const Instr *> ToDelete;
+};
+
+} // namespace
+
+bool OwnershipOptPass::runOnFunction(FunctionDecl &F, const Program &) {
+  if (!F.Body)
+    return false;
+  Optimizer Opt(F, Options);
+  Opt.run();
+  return Opt.Changed;
+}

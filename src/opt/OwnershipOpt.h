@@ -1,0 +1,72 @@
+//===- opt/OwnershipOpt.h - Ownership-based memory optimization -*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory-model-sensitive optimizations of the paper's examples: load
+/// forwarding / constant propagation through memory, and dead store
+/// elimination, both justified by *exclusive ownership* of logical blocks.
+///
+/// A pointer variable is "owned" from the point it receives a fresh
+/// malloc() result until its value escapes — is passed to a call, stored
+/// into memory, copied into another expression, or cast to an integer. The
+/// content of an owned block:
+///
+/// * survives unknown function calls (no context can forge its logical
+///   address — the core guarantee of the logical-family models, Section
+///   2.2), enabling Figure 3's constant propagation across bar();
+/// * can never alias loads/stores through other pointers (freshness-based
+///   alias analysis, Section 7);
+/// * makes trailing stores dead when the block never escapes (the DSE step
+///   of the Section 5.1 running example).
+///
+/// Casting a pointer to an integer *ends* ownership: in the quasi-concrete
+/// model the block becomes concrete and public (Sections 3.2 and 3.7), so
+/// the pass conservatively stops all forwarding through it — which is
+/// exactly why the Section 3.7 counterexamples are *not* transformed.
+///
+/// These rewrites are only correct under the logical-family models; the
+/// refinement experiments demonstrate their invalidity under the concrete
+/// model with guessing contexts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_OPT_OWNERSHIPOPT_H
+#define QCM_OPT_OWNERSHIPOPT_H
+
+#include "opt/Pass.h"
+
+namespace qcm {
+
+/// Gates for the two transformations.
+struct OwnershipOptions {
+  /// Replace loads through owned pointers with the stored constant, and
+  /// loads through public pointers with previously loaded values when no
+  /// intervening write or call can interfere (freshness-based alias
+  /// analysis).
+  bool ForwardLoads = true;
+  /// Remove stores through owned pointers that no later load can observe.
+  bool EliminateDeadStores = true;
+};
+
+/// The ownership optimization pass. Control flow (if/while) is handled
+/// conservatively: all knowledge is dropped at control-flow boundaries and
+/// nested blocks are processed with fresh state.
+class OwnershipOptPass : public FunctionPass {
+public:
+  explicit OwnershipOptPass(OwnershipOptions Options = {})
+      : Options(Options) {}
+
+  std::string name() const override { return "ownership-opt"; }
+  bool runOnFunction(FunctionDecl &F, const Program &P) override;
+
+private:
+  OwnershipOptions Options;
+};
+
+} // namespace qcm
+
+#endif // QCM_OPT_OWNERSHIPOPT_H

@@ -1,0 +1,26 @@
+//===- opt/Pass.cpp -------------------------------------------------------===//
+
+#include "opt/Pass.h"
+
+using namespace qcm;
+
+FunctionPass::~FunctionPass() = default;
+
+void PassManager::add(std::unique_ptr<FunctionPass> Pass) {
+  Passes.push_back(std::move(Pass));
+}
+
+bool PassManager::run(Program &P, unsigned MaxIterations) {
+  bool EverChanged = false;
+  for (unsigned Iter = 0; Iter < MaxIterations; ++Iter) {
+    bool Changed = false;
+    for (auto &Pass : Passes)
+      for (FunctionDecl &F : P.Functions)
+        if (!F.isExtern())
+          Changed |= Pass->runOnFunction(F, P);
+    EverChanged |= Changed;
+    if (!Changed)
+      break;
+  }
+  return EverChanged;
+}

@@ -1,0 +1,56 @@
+//===- opt/Pass.h - Optimization pass framework -----------------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transformations whose correctness the paper studies are implemented
+/// as AST-to-AST passes. Passes only *perform* rewrites; their validity
+/// under each memory model is established separately by the refinement and
+/// simulation checkers — that separation is the point of the reproduction
+/// (a pass like dead-allocation elimination is one and the same
+/// transformation whether or not the model justifies it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_OPT_PASS_H
+#define QCM_OPT_PASS_H
+
+#include "lang/Ast.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// A function-level transformation.
+class FunctionPass {
+public:
+  virtual ~FunctionPass();
+
+  virtual std::string name() const = 0;
+
+  /// Rewrites \p F (a defined function of \p P) in place; returns true if
+  /// anything changed.
+  virtual bool runOnFunction(FunctionDecl &F, const Program &P) = 0;
+};
+
+/// Runs passes over every defined function of a program, iterating until a
+/// fixed point (bounded by MaxIterations).
+class PassManager {
+public:
+  void add(std::unique_ptr<FunctionPass> Pass);
+
+  /// Applies all passes to \p P. Returns true if anything changed.
+  bool run(Program &P, unsigned MaxIterations = 4);
+
+private:
+  std::vector<std::unique_ptr<FunctionPass>> Passes;
+};
+
+} // namespace qcm
+
+#endif // QCM_OPT_PASS_H

@@ -1,0 +1,72 @@
+//===- refinement/BehaviorSet.cpp -----------------------------------------===//
+
+#include "refinement/BehaviorSet.h"
+
+#include <algorithm>
+
+using namespace qcm;
+
+void BehaviorSet::insert(Behavior B) {
+  if (std::find(Behaviors.begin(), Behaviors.end(), B) != Behaviors.end())
+    return;
+  Behaviors.push_back(std::move(B));
+}
+
+bool BehaviorSet::containsKind(Behavior::Kind Kind) const {
+  for (const Behavior &B : Behaviors)
+    if (B.BehaviorKind == Kind)
+      return true;
+  return false;
+}
+
+std::string BehaviorSet::toString() const {
+  std::string Text;
+  for (const Behavior &B : Behaviors) {
+    Text += "  ";
+    Text += B.toString();
+    Text += '\n';
+  }
+  if (Text.empty())
+    Text = "  <empty>\n";
+  return Text;
+}
+
+bool qcm::behaviorAdmitted(const Behavior &Tgt, const BehaviorSet &Src) {
+  for (const Behavior &S : Src.behaviors()) {
+    // Source undefined behavior admits everything extending its prefix.
+    if (S.BehaviorKind == Behavior::Kind::Undefined &&
+        isEventPrefix(S.Events, Tgt.Events))
+      return true;
+    switch (Tgt.BehaviorKind) {
+    case Behavior::Kind::Terminated:
+      if (S.BehaviorKind == Behavior::Kind::Terminated &&
+          S.Events == Tgt.Events)
+        return true;
+      break;
+    case Behavior::Kind::OutOfMemory:
+    case Behavior::Kind::StepLimit:
+      // Partial behaviors: the target performed a prefix of events the
+      // source could have performed.
+      if (isEventPrefix(Tgt.Events, S.Events))
+        return true;
+      break;
+    case Behavior::Kind::Undefined:
+      // Only source undefined behavior (handled above) admits target
+      // undefined behavior.
+      break;
+    }
+  }
+  return false;
+}
+
+InclusionResult qcm::behaviorsIncluded(const BehaviorSet &Tgt,
+                                       const BehaviorSet &Src) {
+  for (const Behavior &T : Tgt.behaviors())
+    if (!behaviorAdmitted(T, Src)) {
+      InclusionResult R;
+      R.Included = false;
+      R.Counterexample = T;
+      return R;
+    }
+  return InclusionResult{};
+}

@@ -1,0 +1,73 @@
+//===- refinement/BehaviorSet.h - Behavior-set inclusion --------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Behavioral refinement (Section 2.3): the target's behavior set must be
+/// included in the source's. The inclusion rules implemented here:
+///
+/// * a source behavior (es, undef) stands for *all* behaviors extending es,
+///   so it admits any target behavior whose events extend es;
+/// * a terminating target behavior (es, term) is admitted by an identical
+///   terminating source behavior;
+/// * a partial target behavior (es, partial) — out-of-memory, following
+///   CompCertTSO, or our step-limit approximation of divergence — is
+///   admitted whenever the source can produce an extension of es;
+/// * an undefined target behavior requires source undefined behavior on a
+///   prefix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_REFINEMENT_BEHAVIORSET_H
+#define QCM_REFINEMENT_BEHAVIORSET_H
+
+#include "semantics/Behavior.h"
+
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// A set of observed behaviors (deduplicated).
+class BehaviorSet {
+public:
+  /// Inserts \p B if not already present.
+  void insert(Behavior B);
+
+  const std::vector<Behavior> &behaviors() const { return Behaviors; }
+  bool empty() const { return Behaviors.empty(); }
+  size_t size() const { return Behaviors.size(); }
+
+  /// True if this set contains a behavior satisfying the given predicate
+  /// kind.
+  bool containsKind(Behavior::Kind Kind) const;
+
+  std::string toString() const;
+
+private:
+  std::vector<Behavior> Behaviors;
+};
+
+/// True if \p Tgt is admitted by the source behavior set \p Src under the
+/// Section 2.3 rules.
+bool behaviorAdmitted(const Behavior &Tgt, const BehaviorSet &Src);
+
+/// Result of a behavior-set inclusion check.
+struct InclusionResult {
+  bool Included = true;
+  /// First target behavior that the source does not admit, when !Included.
+  Behavior Counterexample;
+
+  explicit operator bool() const { return Included; }
+};
+
+/// Checks that every behavior of \p Tgt is admitted by \p Src.
+InclusionResult behaviorsIncluded(const BehaviorSet &Tgt,
+                                  const BehaviorSet &Src);
+
+} // namespace qcm
+
+#endif // QCM_REFINEMENT_BEHAVIORSET_H

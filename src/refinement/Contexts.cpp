@@ -1,0 +1,134 @@
+//===- refinement/Contexts.cpp --------------------------------------------===//
+
+#include "refinement/Contexts.h"
+
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+
+using namespace qcm;
+
+std::optional<Program>
+qcm::instantiateContext(const Program &Base, const std::string &ContextSource,
+                        DiagnosticEngine &Diags) {
+  std::optional<Program> Ctx = parseProgram(ContextSource, Diags);
+  if (!Ctx)
+    return std::nullopt;
+  Program Result = Base.clone();
+  for (const GlobalDecl &G : Ctx->Globals) {
+    if (Result.findGlobal(G.Name)) {
+      Diags.error({}, "context global '" + G.Name +
+                          "' clashes with a program global");
+      return std::nullopt;
+    }
+    Result.Globals.push_back(G);
+  }
+  for (FunctionDecl &F : Ctx->Functions) {
+    FunctionDecl *Extern = Result.findFunction(F.Name);
+    if (!Extern) {
+      // A helper function private to the context.
+      Result.Functions.push_back(F.clone());
+      continue;
+    }
+    if (!Extern->isExtern()) {
+      Diags.error({}, "context function '" + F.Name +
+                          "' collides with a defined program function");
+      return std::nullopt;
+    }
+    bool TypesMatch = Extern->Params.size() == F.Params.size();
+    for (size_t Idx = 0; TypesMatch && Idx < F.Params.size(); ++Idx)
+      TypesMatch = Extern->Params[Idx].Ty == F.Params[Idx].Ty;
+    if (!TypesMatch) {
+      Diags.error({}, "context function '" + F.Name +
+                          "' parameter list does not match the extern");
+      return std::nullopt;
+    }
+    *Extern = F.clone();
+  }
+  if (!typeCheck(Result, Diags))
+    return std::nullopt;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Standard contexts
+//===----------------------------------------------------------------------===//
+
+std::string qcm::contexts::noop(const std::string &FnName,
+                                const std::string &Params) {
+  return FnName + "(" + Params + ") { var int unused_zero;\n"
+                                 "  unused_zero = 0;\n}\n";
+}
+
+std::string qcm::contexts::addressGuesserWriter(const std::string &FnName,
+                                                Word GuessAddress,
+                                                Word ValueToWrite,
+                                                const std::string &Params) {
+  return FnName + "(" + Params + ") { var ptr forged;\n" +
+         "  forged = (ptr) " + wordToString(GuessAddress) + ";\n" +
+         "  *forged = " + wordToString(ValueToWrite) + ";\n}\n";
+}
+
+std::string qcm::contexts::addressGuesserReader(const std::string &FnName,
+                                                Word GuessAddress,
+                                                const std::string &Params) {
+  return FnName + "(" + Params + ") { var ptr forged, int leaked;\n" +
+         "  forged = (ptr) " + wordToString(GuessAddress) + ";\n" +
+         "  leaked = *forged;\n" + "  output(leaked);\n}\n";
+}
+
+std::string qcm::contexts::memoryExhauster(const std::string &FnName,
+                                           Word Blocks,
+                                           const std::string &Params) {
+  return FnName + "(" + Params +
+         ") { var int n, int a, ptr hog;\n"
+         "  n = " +
+         wordToString(Blocks) +
+         ";\n"
+         "  while (n) {\n"
+         "    hog = malloc(1);\n"
+         "    a = (int) hog;\n"
+         "    n = n - 1;\n"
+         "  }\n}\n";
+}
+
+std::string qcm::contexts::exhaustThenMark(const std::string &FnName,
+                                           Word Blocks, Word Marker,
+                                           const std::string &Params) {
+  return FnName + "(" + Params +
+         ") { var int n, int a, ptr hog;\n"
+         "  n = " +
+         wordToString(Blocks) +
+         ";\n"
+         "  while (n) {\n"
+         "    hog = malloc(1);\n"
+         "    a = (int) hog;\n"
+         "    n = n - 1;\n"
+         "  }\n"
+         "  output(" +
+         wordToString(Marker) + ");\n}\n";
+}
+
+std::string qcm::contexts::outputMarker(const std::string &FnName,
+                                        Word Marker,
+                                        const std::string &Params) {
+  return FnName + "(" + Params + ") { var int unused_zero;\n" +
+         "  unused_zero = 0;\n  output(" + wordToString(Marker) + ");\n}\n";
+}
+
+std::string qcm::contexts::writeThroughArg(const std::string &FnName,
+                                           Word V) {
+  return FnName + "(ptr ctx_p) { var int unused_zero;\n  unused_zero = 0;\n" +
+         "  *ctx_p = " + wordToString(V) + ";\n}\n";
+}
+
+std::string qcm::contexts::readArgAndOutput(const std::string &FnName) {
+  return FnName + "(ptr ctx_p) { var int ctx_v;\n"
+                  "  ctx_v = *ctx_p;\n"
+                  "  output(ctx_v);\n}\n";
+}
+
+std::string qcm::contexts::castArgAndOutput(const std::string &FnName) {
+  return FnName + "(ptr ctx_p) { var int ctx_a;\n"
+                  "  ctx_a = (int) ctx_p;\n"
+                  "  output(ctx_a);\n}\n";
+}

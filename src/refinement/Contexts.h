@@ -1,0 +1,101 @@
+//===- refinement/Contexts.h - Program contexts -----------------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper quantifies compiler correctness over arbitrary program
+/// contexts — the unknown functions (g, bar, gee, hash_put, ...) its
+/// examples call. We model a context as language-level source text defining
+/// bodies for a program's extern functions; instantiating a context splices
+/// those bodies in. Because contexts are ordinary programs, they have
+/// exactly the capabilities the paper grants them: they can allocate, do
+/// arithmetic, cast integers to pointers (and thereby "guess" addresses —
+/// well-defined in the concrete model, undefined in the quasi-concrete model
+/// unless the guess reifies a valid realized address), and perform I/O. They
+/// cannot forge logical addresses, which is precisely the ownership
+/// guarantee of the logical models.
+///
+/// A small library of standard adversaries used throughout the experiments
+/// is provided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_REFINEMENT_CONTEXTS_H
+#define QCM_REFINEMENT_CONTEXTS_H
+
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+
+namespace qcm {
+
+/// Splices the functions defined by \p ContextSource into \p Base: each
+/// context function replaces the extern declaration of the same name (whose
+/// parameter list must match); context globals are appended. The result is
+/// type checked. Returns nullopt and reports to \p Diags on any mismatch.
+std::optional<Program> instantiateContext(const Program &Base,
+                                          const std::string &ContextSource,
+                                          DiagnosticEngine &Diags);
+
+/// Standard contexts. Each returns source text defining one or more
+/// functions; adapt the function name to the extern it instantiates.
+namespace contexts {
+
+/// A context that does nothing.
+std::string noop(const std::string &FnName,
+                 const std::string &Params = "");
+
+/// The address guesser of Section 1: casts the integer \p GuessAddress to a
+/// pointer and stores \p ValueToWrite through it. In the concrete model the
+/// cast always succeeds and the store hits whatever lives there; in the
+/// quasi-concrete model the cast is undefined behavior unless the guess
+/// reifies a valid (realized) address.
+std::string addressGuesserWriter(const std::string &FnName, Word GuessAddress,
+                                 Word ValueToWrite,
+                                 const std::string &Params = "");
+
+/// Reads through a guessed address and outputs the value — leaks
+/// supposedly-private memory into the observable trace.
+std::string addressGuesserReader(const std::string &FnName, Word GuessAddress,
+                                 const std::string &Params = "");
+
+/// Allocates \p Blocks fresh one-word blocks and casts each to an integer,
+/// consuming concrete address space; exercises out-of-memory behavior and
+/// the dead-allocation-elimination arguments.
+std::string memoryExhauster(const std::string &FnName, Word Blocks,
+                            const std::string &Params = "");
+
+/// Emits output(\p Marker): makes the call observable, separating event
+/// prefixes before and after the call.
+std::string outputMarker(const std::string &FnName, Word Marker,
+                         const std::string &Params = "");
+
+/// Exhausts \p Blocks one-word realized blocks, then outputs \p Marker.
+/// The sharpest probe of address-space consumption: an execution that dies
+/// realizing the blocks never reaches the marker (partial behavior), one
+/// that survives emits it — distinguishing programs that differ only in
+/// how much concrete space they hold (Figure 5, Section 3.7).
+std::string exhaustThenMark(const std::string &FnName, Word Blocks,
+                            Word Marker, const std::string &Params = "");
+
+/// For externs taking one ptr parameter: stores \p V through it.
+std::string writeThroughArg(const std::string &FnName, Word V);
+
+/// For externs taking one ptr parameter: loads through it (as an int) and
+/// outputs the value.
+std::string readArgAndOutput(const std::string &FnName);
+
+/// For externs taking one ptr parameter: casts it to an integer and outputs
+/// the resulting address — observes the pointer's concrete representation.
+std::string castArgAndOutput(const std::string &FnName);
+
+} // namespace contexts
+
+} // namespace qcm
+
+#endif // QCM_REFINEMENT_CONTEXTS_H

@@ -1,0 +1,272 @@
+//===- refinement/Invariant.cpp -------------------------------------------===//
+
+#include "refinement/Invariant.h"
+
+using namespace qcm;
+
+//===----------------------------------------------------------------------===//
+// BlockView
+//===----------------------------------------------------------------------===//
+
+BlockView::BlockView(const Memory &Mem) {
+  for (auto &[Id, B] : Mem.snapshot())
+    Table.emplace(Id, std::move(B));
+}
+
+const Block *BlockView::find(BlockId Id) const {
+  auto It = Table.find(Id);
+  if (It == Table.end())
+    return nullptr;
+  return &It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Bijection
+//===----------------------------------------------------------------------===//
+
+Bijection::Bijection() {
+  // The NULL blocks always correspond (Section 4 gives both sides block 0).
+  Fwd.emplace(0, 0);
+  Bwd.emplace(0, 0);
+}
+
+bool Bijection::add(BlockId S, BlockId T) {
+  auto FwdIt = Fwd.find(S);
+  if (FwdIt != Fwd.end())
+    return FwdIt->second == T;
+  auto BwdIt = Bwd.find(T);
+  if (BwdIt != Bwd.end())
+    return BwdIt->second == S;
+  Fwd.emplace(S, T);
+  Bwd.emplace(T, S);
+  return true;
+}
+
+std::optional<BlockId> Bijection::toTarget(BlockId S) const {
+  auto It = Fwd.find(S);
+  if (It == Fwd.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<BlockId> Bijection::toSource(BlockId T) const {
+  auto It = Bwd.find(T);
+  if (It == Bwd.end())
+    return std::nullopt;
+  return It->second;
+}
+
+bool Bijection::includes(const Bijection &Other) const {
+  for (const auto &[S, T] : Other.Fwd) {
+    auto It = Fwd.find(S);
+    if (It == Fwd.end() || It->second != T)
+      return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Value equivalence
+//===----------------------------------------------------------------------===//
+
+bool qcm::valuesEquivalent(const Bijection &Alpha, const Value &Src,
+                           const Value &Tgt, const BlockView *TgtView) {
+  if (Src.isInt() && Tgt.isInt())
+    return Src.intValue() == Tgt.intValue();
+  if (Src.isPtr() && Tgt.isPtr()) {
+    std::optional<BlockId> Mapped = Alpha.toTarget(Src.ptr().Block);
+    return Mapped && *Mapped == Tgt.ptr().Block &&
+           Src.ptr().Offset == Tgt.ptr().Offset;
+  }
+  // Cross-model case (Section 6.5): a source logical address corresponds to
+  // the target integer it reifies to in the related target block.
+  if (Src.isPtr() && Tgt.isInt() && TgtView) {
+    std::optional<BlockId> Mapped = Alpha.toTarget(Src.ptr().Block);
+    if (!Mapped)
+      return false;
+    const Block *TgtBlock = TgtView->find(*Mapped);
+    if (!TgtBlock || !TgtBlock->Base)
+      return false;
+    return Tgt.intValue() == wrapAdd(*TgtBlock->Base, Src.ptr().Offset);
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Block-pair equivalence
+//===----------------------------------------------------------------------===//
+
+std::optional<std::string>
+qcm::blocksEquivalent(const Bijection &Alpha, BlockId SrcId, const Block &Src,
+                      BlockId TgtId, const Block &Tgt,
+                      const BlockView &TgtView, bool TgtFullyConcrete) {
+  auto Describe = [&](const std::string &What) {
+    return "blocks " + std::to_string(SrcId) + " ~ " +
+           std::to_string(TgtId) + ": " + What;
+  };
+  if (Src.Valid != Tgt.Valid)
+    return Describe("validity differs");
+  if (Src.Size != Tgt.Size)
+    return Describe("size differs");
+  // The Figure 7 case matrix: source-concrete requires target-concrete at
+  // the coinciding address; target-concrete with source-logical is allowed
+  // (the target may have realized more than the source, never less).
+  if (Src.Base) {
+    if (!Tgt.Base)
+      return Describe("source is concrete but target is logical");
+    if (*Src.Base != *Tgt.Base)
+      return Describe("concrete addresses differ (" +
+                      wordToString(*Src.Base) + " vs " +
+                      wordToString(*Tgt.Base) + ")");
+  }
+  if (!Src.Valid)
+    return std::nullopt; // Freed blocks are inaccessible; contents ignored.
+  for (Word Off = 0; Off < Src.Size; ++Off)
+    if (!valuesEquivalent(Alpha, Src.Contents[Off], Tgt.Contents[Off],
+                          TgtFullyConcrete ? &TgtView : nullptr))
+      return Describe("contents differ at offset " + wordToString(Off) +
+                      " (" + Src.Contents[Off].toString() + " vs " +
+                      Tgt.Contents[Off].toString() + ")");
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// MemoryInvariant
+//===----------------------------------------------------------------------===//
+
+std::optional<std::string>
+MemoryInvariant::addPrivateSrc(BlockId Id, const Memory &Mem) {
+  BlockView View(Mem);
+  const Block *B = View.find(Id);
+  if (!B)
+    return "source block " + std::to_string(Id) + " does not exist";
+  if (B->Base)
+    return "source block " + std::to_string(Id) +
+           " is concrete; private source blocks must be logical";
+  if (Alpha.toTarget(Id))
+    return "source block " + std::to_string(Id) + " is already public";
+  PrivateSrc[Id] = *B;
+  return std::nullopt;
+}
+
+std::optional<std::string>
+MemoryInvariant::addPrivateTgt(BlockId Id, const Memory &Mem) {
+  BlockView View(Mem);
+  const Block *B = View.find(Id);
+  if (!B)
+    return "target block " + std::to_string(Id) + " does not exist";
+  if (Alpha.toSource(Id))
+    return "target block " + std::to_string(Id) + " is already public";
+  PrivateTgt[Id] = *B;
+  return std::nullopt;
+}
+
+std::optional<std::string>
+MemoryInvariant::holdsOn(const Memory &SrcMem, const Memory &TgtMem) const {
+  BlockView SrcView(SrcMem);
+  BlockView TgtView(TgtMem);
+  bool TgtFullyConcrete = TgtMem.kind() == ModelKind::Concrete;
+
+  // Private source blocks: present, unchanged, still logical.
+  for (const auto &[Id, Expected] : PrivateSrc) {
+    const Block *Actual = SrcView.find(Id);
+    if (!Actual)
+      return "private source block " + std::to_string(Id) + " vanished";
+    if (Actual->Base)
+      return "private source block " + std::to_string(Id) +
+             " became concrete";
+    if (!(*Actual == Expected))
+      return "private source block " + std::to_string(Id) + " was modified";
+    if (Alpha.toTarget(Id))
+      return "block " + std::to_string(Id) +
+             " is both private and public on the source side";
+  }
+
+  // Private target blocks: present and unchanged.
+  for (const auto &[Id, Expected] : PrivateTgt) {
+    const Block *Actual = TgtView.find(Id);
+    if (!Actual)
+      return "private target block " + std::to_string(Id) + " vanished";
+    if (!(*Actual == Expected))
+      return "private target block " + std::to_string(Id) + " was modified";
+    if (Alpha.toSource(Id))
+      return "block " + std::to_string(Id) +
+             " is both private and public on the target side";
+  }
+
+  // Public sections: every alpha-related pair is equivalent. The NULL
+  // blocks (0, 0) are related definitionally — the concrete model has no
+  // explicit block 0 — so they are skipped.
+  for (const auto &[S, T] : Alpha.forward()) {
+    if (S == 0 && T == 0)
+      continue;
+    const Block *SrcBlock = SrcView.find(S);
+    const Block *TgtBlock = TgtView.find(T);
+    if (!SrcBlock)
+      return "public source block " + std::to_string(S) + " does not exist";
+    if (!TgtBlock)
+      return "public target block " + std::to_string(T) + " does not exist";
+    if (auto Err = blocksEquivalent(Alpha, S, *SrcBlock, T, *TgtBlock,
+                                    TgtView, TgtFullyConcrete))
+      return Err;
+  }
+  return std::nullopt;
+}
+
+bool MemoryInvariant::samePrivateAs(const MemoryInvariant &Other) const {
+  return PrivateSrc == Other.PrivateSrc && PrivateTgt == Other.PrivateTgt;
+}
+
+//===----------------------------------------------------------------------===//
+// Future invariants
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The per-block evolution conditions of Section 5.3 between two points in
+/// time on one side of the simulation.
+std::optional<std::string> checkBlockEvolution(BlockId Id,
+                                               const Block &Earlier,
+                                               const Block &Later,
+                                               const char *Side) {
+  auto Describe = [&](const std::string &What) {
+    return std::string(Side) + " block " + std::to_string(Id) + ": " + What;
+  };
+  if (Earlier.Size != Later.Size)
+    return Describe("size changed");
+  if (!Earlier.Valid && Later.Valid)
+    return Describe("freed block became valid again");
+  if (Earlier.Base) {
+    if (!Later.Base)
+      return Describe("concrete block became logical");
+    if (*Earlier.Base != *Later.Base)
+      return Describe("concrete address changed");
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<std::string>
+qcm::checkFutureInvariant(const InvariantCheckpoint &Earlier,
+                          const InvariantCheckpoint &Later) {
+  if (!Later.Inv.Alpha.includes(Earlier.Inv.Alpha))
+    return "bijection shrank: logical blocks cannot be un-related";
+  for (const auto &[S, T] : Earlier.Inv.Alpha.forward()) {
+    if (S == 0 && T == 0)
+      continue; // The NULL pair is definitional.
+    const Block *SrcEarlier = Earlier.SrcView.find(S);
+    const Block *SrcLater = Later.SrcView.find(S);
+    if (!SrcEarlier || !SrcLater)
+      return "public source block " + std::to_string(S) + " vanished";
+    if (auto Err = checkBlockEvolution(S, *SrcEarlier, *SrcLater, "source"))
+      return Err;
+    const Block *TgtEarlier = Earlier.TgtView.find(T);
+    const Block *TgtLater = Later.TgtView.find(T);
+    if (!TgtEarlier || !TgtLater)
+      return "public target block " + std::to_string(T) + " vanished";
+    if (auto Err = checkBlockEvolution(T, *TgtEarlier, *TgtLater, "target"))
+      return Err;
+  }
+  return std::nullopt;
+}

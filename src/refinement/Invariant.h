@@ -1,0 +1,150 @@
+//===- refinement/Invariant.h - Memory invariants of Section 5 --*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reasoning-principle data structures of Section 5.2:
+///
+/// * value equivalence w.r.t. a bijection alpha between block identifiers;
+/// * memory equivalence m_src ~alpha m_tgt for the public sections, with the
+///   concrete/logical case matrix of Figure 7 (source-concrete requires
+///   target-concrete at the same address; target-concrete with
+///   source-logical is allowed);
+/// * memory invariants beta = (alpha, m_prv:src, m_prv:tgt), where private
+///   source blocks must be logical;
+/// * the future-invariant relation beta_s |= beta_c (alpha non-decreasing;
+///   per-block: size unchanged, no resurrection, no concrete->logical), and
+/// * private-section preservation beta_c =prv beta_r.
+///
+/// Cross-model simulations (quasi-concrete source against fully concrete
+/// target, Section 6.5) are supported by extending value equivalence: a
+/// source logical address is equivalent to the target integer that reifies
+/// it in the corresponding (necessarily concrete) target block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_REFINEMENT_INVARIANT_H
+#define QCM_REFINEMENT_INVARIANT_H
+
+#include "memory/Memory.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace qcm {
+
+/// An id-indexed view of a memory's blocks, built from Memory::snapshot();
+/// gives uniform access across all three models.
+class BlockView {
+public:
+  explicit BlockView(const Memory &Mem);
+
+  const Block *find(BlockId Id) const;
+  const std::map<BlockId, Block> &blocks() const { return Table; }
+
+private:
+  std::map<BlockId, Block> Table;
+};
+
+/// A partial bijection between source and target block identifiers.
+class Bijection {
+public:
+  Bijection();
+
+  /// Relates source block \p S to target block \p T. Returns false (and
+  /// changes nothing) if either side is already related differently.
+  bool add(BlockId S, BlockId T);
+
+  std::optional<BlockId> toTarget(BlockId S) const;
+  std::optional<BlockId> toSource(BlockId T) const;
+
+  /// True if every pair of \p Other is also a pair of *this.
+  bool includes(const Bijection &Other) const;
+
+  const std::map<BlockId, BlockId> &forward() const { return Fwd; }
+  size_t size() const { return Fwd.size(); }
+
+private:
+  std::map<BlockId, BlockId> Fwd;
+  std::map<BlockId, BlockId> Bwd;
+};
+
+/// Value equivalence w.r.t. \p Alpha (Section 5.2). \p TgtView resolves the
+/// cross-model case (source pointer vs. target integer); pass nullptr to
+/// restrict to the same-model rules.
+bool valuesEquivalent(const Bijection &Alpha, const Value &Src,
+                      const Value &Tgt, const BlockView *TgtView);
+
+/// A memory invariant beta = (alpha, m_prv:src, m_prv:tgt). The private
+/// sections store full expected block states, so that "the private memories
+/// are untouched" is checkable.
+class MemoryInvariant {
+public:
+  Bijection Alpha;
+  std::map<BlockId, Block> PrivateSrc;
+  std::map<BlockId, Block> PrivateTgt;
+
+  /// Marks source block \p Id private, recording its current state from
+  /// \p Mem. Fails (returns an explanation) if the block is concrete —
+  /// private source blocks must be logical (Figure 7) — or already public
+  /// in Alpha.
+  std::optional<std::string> addPrivateSrc(BlockId Id, const Memory &Mem);
+
+  /// Marks target block \p Id private (any realization state is allowed).
+  std::optional<std::string> addPrivateTgt(BlockId Id, const Memory &Mem);
+
+  /// Removes a block from the private source section (e.g. to transfer
+  /// ownership to the public section or to discard it).
+  void dropPrivateSrc(BlockId Id) { PrivateSrc.erase(Id); }
+  void dropPrivateTgt(BlockId Id) { PrivateTgt.erase(Id); }
+
+  /// Checks that the invariant holds on (\p SrcMem, \p TgtMem): the private
+  /// sections are present and unchanged (and source-private blocks still
+  /// logical), the sections are disjoint from the public domain of Alpha,
+  /// and all Alpha-related block pairs are equivalent. Returns the first
+  /// violation, or nullopt.
+  std::optional<std::string> holdsOn(const Memory &SrcMem,
+                                     const Memory &TgtMem) const;
+
+  /// The =prv relation: same private sections with identical contents.
+  bool samePrivateAs(const MemoryInvariant &Other) const;
+};
+
+/// A checkpoint: an invariant together with the memories it was checked
+/// against, for evolution (future-invariant) checking.
+struct InvariantCheckpoint {
+  MemoryInvariant Inv;
+  BlockView SrcView;
+  BlockView TgtView;
+
+  InvariantCheckpoint(MemoryInvariant Inv, const Memory &SrcMem,
+                      const Memory &TgtMem)
+      : Inv(std::move(Inv)), SrcView(SrcMem), TgtView(TgtMem) {}
+};
+
+/// The future-invariant relation Earlier |= Later (Section 5.3). Checks
+/// alpha inclusion and, for each publicly related block of Earlier, the
+/// per-block evolution conditions on both sides: size unchanged, invalid
+/// blocks stay invalid, concrete blocks stay concrete. Returns the first
+/// violation, or nullopt.
+std::optional<std::string>
+checkFutureInvariant(const InvariantCheckpoint &Earlier,
+                     const InvariantCheckpoint &Later);
+
+/// Checks the block-pair equivalence conditions of Section 5.2 for one
+/// alpha-related pair: same size and validity; source-concrete implies
+/// target-concrete at the same address (unless \p TgtFullyConcrete, where
+/// realization on the target side is vacuous); equivalent contents when
+/// valid.
+std::optional<std::string>
+blocksEquivalent(const Bijection &Alpha, BlockId SrcId, const Block &Src,
+                 BlockId TgtId, const Block &Tgt, const BlockView &TgtView,
+                 bool TgtFullyConcrete);
+
+} // namespace qcm
+
+#endif // QCM_REFINEMENT_INVARIANT_H

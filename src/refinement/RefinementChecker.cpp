@@ -1,0 +1,152 @@
+//===- refinement/RefinementChecker.cpp -----------------------------------===//
+
+#include "refinement/RefinementChecker.h"
+
+#include "refinement/Contexts.h"
+
+#include <cassert>
+
+using namespace qcm;
+
+std::string ContextReport::toString() const {
+  std::string Text = "context '" + ContextName + "': ";
+  Text += Refines ? "refines\n" : "REFINEMENT FAILS\n";
+  if (!InstantiationError.empty())
+    return Text + " context instantiation failed:\n" + InstantiationError;
+  Text += " source behaviors:\n" + SrcBehaviors.toString();
+  Text += " target behaviors:\n" + TgtBehaviors.toString();
+  if (!Refines)
+    Text += " counterexample: " + Counterexample.toString() + "\n";
+  return Text;
+}
+
+std::string RefinementReport::toString() const {
+  std::string Text = Refines ? "REFINES" : "DOES NOT REFINE";
+  Text += " (" + std::to_string(RunsPerformed) + " executions)\n";
+  for (const ContextReport &C : PerContext)
+    Text += C.toString();
+  return Text;
+}
+
+namespace {
+
+/// Collects the behavior set of one program over the oracle/tape grid
+/// within one context.
+BehaviorSet
+collectBehaviors(const Program &Prog, const RunConfig &Base,
+                 const ContextVariant &Context,
+                 const std::vector<OracleFactory> &Oracles,
+                 const std::vector<std::vector<Word>> &Tapes,
+                 uint64_t &RunsPerformed) {
+  BehaviorSet Set;
+  for (const OracleFactory &Oracle : Oracles) {
+    for (const std::vector<Word> &Tape : Tapes) {
+      RunConfig Config = Base;
+      Config.Oracle = Oracle;
+      Config.Interp.InputTape = Tape;
+      if (Context.MakeHandlers)
+        Config.Handlers = Context.MakeHandlers();
+      RunResult R = runProgram(Prog, Config);
+      ++RunsPerformed;
+      Set.insert(std::move(R.Behav));
+    }
+  }
+  return Set;
+}
+
+} // namespace
+
+RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
+  assert(Job.Src && Job.Tgt && "refinement job requires both programs");
+  std::vector<ContextVariant> Contexts = Job.Contexts;
+  if (Contexts.empty())
+    Contexts.push_back(ContextVariant::empty());
+  std::vector<OracleFactory> Oracles = Job.Oracles;
+  if (Oracles.empty()) {
+    Oracles.push_back([] { return std::make_unique<FirstFitOracle>(); });
+    Oracles.push_back([] { return std::make_unique<LastFitOracle>(); });
+  }
+  std::vector<std::vector<Word>> Tapes = Job.InputTapes;
+  if (Tapes.empty())
+    Tapes.push_back({});
+
+  RefinementReport Report;
+  for (const ContextVariant &Context : Contexts) {
+    ContextReport CR;
+    CR.ContextName = Context.Name;
+    // Instantiate language-level context functions over the externs.
+    const Program *SrcProg = Job.Src;
+    const Program *TgtProg = Job.Tgt;
+    std::optional<Program> SrcInst, TgtInst;
+    if (!Context.ContextSource.empty()) {
+      DiagnosticEngine Diags;
+      SrcInst = instantiateContext(*Job.Src, Context.ContextSource, Diags);
+      TgtInst = instantiateContext(*Job.Tgt, Context.ContextSource, Diags);
+      if (!SrcInst || !TgtInst) {
+        CR.Refines = false;
+        CR.InstantiationError = Diags.toString();
+        Report.Refines = false;
+        Report.PerContext.push_back(std::move(CR));
+        continue;
+      }
+      SrcProg = &*SrcInst;
+      TgtProg = &*TgtInst;
+    }
+    CR.SrcBehaviors = collectBehaviors(*SrcProg, Job.BaseSrc, Context,
+                                       Oracles, Tapes,
+                                       Report.RunsPerformed);
+    CR.TgtBehaviors = collectBehaviors(*TgtProg, Job.BaseTgt, Context,
+                                       Oracles, Tapes,
+                                       Report.RunsPerformed);
+    InclusionResult Inc =
+        behaviorsIncluded(CR.TgtBehaviors, CR.SrcBehaviors);
+    CR.Refines = Inc.Included;
+    if (!Inc.Included) {
+      CR.Counterexample = Inc.Counterexample;
+      Report.Refines = false;
+    }
+    Report.PerContext.push_back(std::move(CR));
+  }
+  return Report;
+}
+
+std::vector<OracleFactory> qcm::sampledOracles(unsigned RandomCount,
+                                               uint64_t SeedBase) {
+  std::vector<OracleFactory> Oracles;
+  Oracles.push_back([] { return std::make_unique<FirstFitOracle>(); });
+  Oracles.push_back([] { return std::make_unique<LastFitOracle>(); });
+  for (unsigned I = 0; I < RandomCount; ++I) {
+    uint64_t Seed = SeedBase + I;
+    Oracles.push_back(
+        [Seed] { return std::make_unique<RandomOracle>(Seed); });
+  }
+  return Oracles;
+}
+
+std::vector<OracleFactory> qcm::enumeratedOracles(uint64_t AddressWords,
+                                                  unsigned Decisions) {
+  assert(AddressWords >= 3 && "address space too small");
+  const Word Low = 1;
+  const Word High = static_cast<Word>(AddressWords - 1); // exclusive
+  std::vector<std::vector<Word>> Sequences;
+  Sequences.push_back({});
+  for (unsigned D = 0; D < Decisions; ++D) {
+    std::vector<std::vector<Word>> Next;
+    for (const std::vector<Word> &Seq : Sequences) {
+      for (Word Base = Low; Base < High; ++Base) {
+        std::vector<Word> Extended = Seq;
+        Extended.push_back(Base);
+        Next.push_back(std::move(Extended));
+      }
+    }
+    Sequences = std::move(Next);
+  }
+  std::vector<OracleFactory> Oracles;
+  Oracles.reserve(Sequences.size());
+  for (std::vector<Word> &Seq : Sequences) {
+    Oracles.push_back([Seq] {
+      return std::make_unique<FixedSequenceOracle>(Seq);
+    });
+  }
+  return Oracles;
+}

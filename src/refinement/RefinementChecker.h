@@ -1,0 +1,120 @@
+//===- refinement/RefinementChecker.h - Refinement by exploration -*- C++ -*-=//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks behavioral refinement between a source and a target program by
+/// exhaustive/sampled exploration:
+///
+/// * contexts — instantiations of the programs' extern functions — model
+///   the universal quantification over program contexts. Refinement must
+///   hold per context: for every context C, behaviors(C[tgt]) is included
+///   in behaviors(C[src]);
+/// * placement oracles enumerate or sample the nondeterministic choice of
+///   concrete addresses (allocation in the concrete model, realization in
+///   the quasi-concrete model);
+/// * input tapes vary the input() events.
+///
+/// Paper *invalidity* results are established soundly here: the checker
+/// exhibits an explicit context/oracle/tape under which the target shows a
+/// behavior the source cannot. *Validity* results are evidence by
+/// exploration; their sound counterpart is the SimulationChecker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_REFINEMENT_REFINEMENTCHECKER_H
+#define QCM_REFINEMENT_REFINEMENTCHECKER_H
+
+#include "refinement/BehaviorSet.h"
+#include "semantics/Runner.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// One context under which refinement is checked. Preferred form: language
+/// source text defining bodies for the programs' extern functions (see
+/// refinement/Contexts.h), which confines the context to exactly the
+/// capabilities the paper grants it. Host-level handlers may additionally
+/// be supplied for externs left uninstantiated; a factory keeps runs
+/// independent when handlers carry state.
+struct ContextVariant {
+  std::string Name = "empty";
+  /// Language-level context functions spliced over the externs.
+  std::string ContextSource;
+  /// Host handlers for externs not covered by ContextSource.
+  std::function<std::map<std::string, ExternalHandler>()> MakeHandlers;
+
+  static ContextVariant empty() { return ContextVariant{}; }
+
+  static ContextVariant fromSource(std::string Name, std::string Source) {
+    ContextVariant C;
+    C.Name = std::move(Name);
+    C.ContextSource = std::move(Source);
+    return C;
+  }
+};
+
+/// A refinement check job.
+struct RefinementJob {
+  const Program *Src = nullptr;
+  const Program *Tgt = nullptr;
+  /// Base run configurations; Handlers fields are overwritten per context.
+  /// Source and target may use different models (e.g. quasi-concrete source
+  /// against concrete target for the Section 6.5 lowering).
+  RunConfig BaseSrc;
+  RunConfig BaseTgt;
+  /// Contexts to quantify over; empty means just the empty context.
+  std::vector<ContextVariant> Contexts;
+  /// Placement oracles; empty means {first-fit, last-fit}.
+  std::vector<OracleFactory> Oracles;
+  /// Input tapes; empty means one empty tape.
+  std::vector<std::vector<Word>> InputTapes;
+};
+
+/// Verdict for one context.
+struct ContextReport {
+  std::string ContextName;
+  bool Refines = true;
+  BehaviorSet SrcBehaviors;
+  BehaviorSet TgtBehaviors;
+  Behavior Counterexample; // meaningful when !Refines
+  /// Set when the context could not even be instantiated (author error).
+  std::string InstantiationError;
+
+  std::string toString() const;
+};
+
+/// Overall verdict.
+struct RefinementReport {
+  bool Refines = true;
+  std::vector<ContextReport> PerContext;
+  /// Total number of executions performed.
+  uint64_t RunsPerformed = 0;
+
+  std::string toString() const;
+};
+
+/// Runs the job.
+RefinementReport checkRefinement(const RefinementJob &Job);
+
+/// Convenience: a sampling oracle set — first-fit, last-fit, and
+/// \p RandomCount seeded random oracles.
+std::vector<OracleFactory> sampledOracles(unsigned RandomCount,
+                                          uint64_t SeedBase = 0x5eed);
+
+/// Exhaustive placement enumeration for tiny address spaces: every sequence
+/// of \p Decisions base addresses drawn from the usable space
+/// [1, AddressWords - 1). Produces (AddressWords - 2)^Decisions oracles —
+/// keep both numbers small.
+std::vector<OracleFactory> enumeratedOracles(uint64_t AddressWords,
+                                             unsigned Decisions);
+
+} // namespace qcm
+
+#endif // QCM_REFINEMENT_REFINEMENTCHECKER_H

@@ -1,0 +1,330 @@
+//===- refinement/Simulation.cpp ------------------------------------------===//
+
+#include "refinement/Simulation.h"
+
+#include <cassert>
+
+using namespace qcm;
+
+namespace {
+
+/// Materializes entry arguments exactly like the Runner does.
+Outcome<Value> materializeArg(const ArgSpec &Spec, Memory &Mem) {
+  if (Spec.ArgKind == ArgSpec::Kind::Int)
+    return Outcome<Value>::success(Value::makeInt(Spec.IntValue));
+  Outcome<Value> P = Mem.allocate(Spec.Size);
+  if (!P)
+    return P;
+  for (size_t Idx = 0; Idx < Spec.Init.size(); ++Idx) {
+    Value Slot = P.value().isPtr()
+                     ? Value::makePtr(P.value().ptr().Block,
+                                      P.value().ptr().Offset +
+                                          static_cast<Word>(Idx))
+                     : Value::makeInt(P.value().intValue() +
+                                      static_cast<Word>(Idx));
+    Outcome<Unit> Stored = Mem.store(Slot, Value::makeInt(Spec.Init[Idx]));
+    if (!Stored)
+      return Stored.propagate<Value>();
+  }
+  return P;
+}
+
+} // namespace
+
+SimulationChecker::SimulationChecker(const SimulationSetup &Setup)
+    : Setup(Setup) {
+  assert(Setup.Src && Setup.Tgt && "simulation requires both programs");
+  SrcMachine = std::make_unique<Machine>(*Setup.Src, makeMemory(Setup.SrcConfig),
+                                         Setup.SrcConfig.Interp);
+  TgtMachine = std::make_unique<Machine>(*Setup.Tgt, makeMemory(Setup.TgtConfig),
+                                         Setup.TgtConfig.Interp);
+}
+
+SimulationChecker::~SimulationChecker() = default;
+
+std::optional<std::string> SimulationChecker::begin(InvariantUpdate Init) {
+  assert(!Begun && "begin() called twice");
+  Begun = true;
+
+  if (Outcome<Unit> G = SrcMachine->setupGlobals(); !G)
+    return "source global setup failed: " + G.fault().Reason;
+  if (Outcome<Unit> G = TgtMachine->setupGlobals(); !G)
+    return "target global setup failed: " + G.fault().Reason;
+
+  for (const ArgSpec &Spec : Setup.SrcConfig.Args) {
+    Outcome<Value> V = materializeArg(Spec, SrcMachine->memory());
+    if (!V)
+      return "source argument setup failed: " + V.fault().Reason;
+    SrcArgs.push_back(V.value());
+  }
+  for (const ArgSpec &Spec : Setup.TgtConfig.Args) {
+    Outcome<Value> V = materializeArg(Spec, TgtMachine->memory());
+    if (!V)
+      return "target argument setup failed: " + V.fault().Reason;
+    TgtArgs.push_back(V.value());
+  }
+
+  if (Outcome<Unit> S =
+          SrcMachine->start(Setup.SrcConfig.Entry, SrcArgs);
+      !S)
+    return "source start failed: " + S.fault().Reason;
+  if (Outcome<Unit> S =
+          TgtMachine->start(Setup.TgtConfig.Entry, TgtArgs);
+      !S)
+    return "target start failed: " + S.fault().Reason;
+
+  MemoryInvariant Inv;
+  if (Init)
+    if (auto Err = Init(Inv, *SrcMachine, *TgtMachine))
+      return "initial invariant construction failed: " + *Err;
+  if (auto Err = establish(std::move(Inv)))
+    return "entry invariant does not hold: " + *Err;
+
+  // Entry arguments must be equivalent w.r.t. the entry bijection
+  // (Section 5.1, "equivalent arguments").
+  if (SrcArgs.size() != TgtArgs.size())
+    return "entry argument counts differ";
+  for (size_t Idx = 0; Idx < SrcArgs.size(); ++Idx)
+    if (!valueEquivAtCall(SrcArgs[Idx], TgtArgs[Idx]))
+      return "entry argument " + std::to_string(Idx + 1) +
+             " is not equivalent (" + SrcArgs[Idx].toString() + " vs " +
+             TgtArgs[Idx].toString() + ")";
+  return std::nullopt;
+}
+
+bool SimulationChecker::valueEquivAtCall(const Value &S,
+                                         const Value &T) const {
+  assert(!Checkpoints.empty());
+  const Bijection &Alpha = Checkpoints.back().Inv.Alpha;
+  BlockView TgtView(TgtMachine->memory());
+  bool CrossModel = TgtMachine->memory().kind() == ModelKind::Concrete;
+  return valuesEquivalent(Alpha, S, T, CrossModel ? &TgtView : nullptr);
+}
+
+std::optional<std::string>
+SimulationChecker::establish(MemoryInvariant Inv) {
+  if (auto Err = Inv.holdsOn(SrcMachine->memory(), TgtMachine->memory()))
+    return Err;
+  InvariantCheckpoint CP(std::move(Inv), SrcMachine->memory(),
+                         TgtMachine->memory());
+  if (!Checkpoints.empty())
+    if (auto Err = checkFutureInvariant(Checkpoints.back(), CP))
+      return "illegal invariant evolution: " + *Err;
+  Checkpoints.push_back(std::move(CP));
+  return std::nullopt;
+}
+
+std::optional<SimulationChecker::SyncPoint>
+SimulationChecker::advanceBoth(std::string &Error) {
+  Signal SrcSig =
+      NeedsResume ? SrcMachine->finishExternalCall() : SrcMachine->run();
+  Signal TgtSig =
+      NeedsResume ? TgtMachine->finishExternalCall() : TgtMachine->run();
+  NeedsResume = false;
+
+  // Source-side outcomes that settle the proof early.
+  if (SrcSig.SignalKind == Signal::Kind::Faulted) {
+    if (SrcSig.FaultInfo.isUndefined()) {
+      SyncPoint P;
+      P.PointKind = SyncPoint::Kind::SrcDischarge;
+      return P;
+    }
+    Error = "source ran out of memory under the chosen oracle: " +
+            SrcSig.FaultInfo.Reason;
+    return std::nullopt;
+  }
+  if (SrcSig.SignalKind == Signal::Kind::StepLimitReached) {
+    Error = "source exhausted its step budget";
+    return std::nullopt;
+  }
+
+  // Target-side outcomes.
+  if (TgtSig.SignalKind == Signal::Kind::Faulted) {
+    if (TgtSig.FaultInfo.isOutOfMemory()) {
+      // The target may run out of memory even when the source does not
+      // (Section 2.3); its partial trace is synchronized with the source's.
+      if (!isEventPrefix(TgtMachine->events(), SrcMachine->events()) &&
+          !isEventPrefix(SrcMachine->events(), TgtMachine->events())) {
+        Error = "target out-of-memory with desynchronized events";
+        return std::nullopt;
+      }
+      SyncPoint P;
+      P.PointKind = SyncPoint::Kind::TgtDischarge;
+      return P;
+    }
+    Error = "target exhibits a fault the source does not: " +
+            TgtSig.FaultInfo.Reason;
+    return std::nullopt;
+  }
+  if (TgtSig.SignalKind == Signal::Kind::StepLimitReached) {
+    Error = "target exhausted its step budget";
+    return std::nullopt;
+  }
+
+  if (!(SrcMachine->events() == TgtMachine->events())) {
+    Error = "event traces desynchronized: source " +
+            eventsToString(SrcMachine->events()) + " vs target " +
+            eventsToString(TgtMachine->events());
+    return std::nullopt;
+  }
+
+  if (SrcSig.SignalKind == Signal::Kind::ExternalCall &&
+      TgtSig.SignalKind == Signal::Kind::ExternalCall) {
+    if (SrcSig.Callee != TgtSig.Callee) {
+      Error = "executions stopped at different unknown calls: '" +
+              SrcSig.Callee + "' vs '" + TgtSig.Callee + "'";
+      return std::nullopt;
+    }
+    SyncPoint P;
+    P.PointKind = SyncPoint::Kind::Call;
+    P.Callee = SrcSig.Callee;
+    P.SrcCallArgs = SrcSig.Args;
+    P.TgtCallArgs = TgtSig.Args;
+    return P;
+  }
+  if (SrcSig.SignalKind == Signal::Kind::Finished &&
+      TgtSig.SignalKind == Signal::Kind::Finished) {
+    SyncPoint P;
+    P.PointKind = SyncPoint::Kind::Finished;
+    return P;
+  }
+  Error = "executions desynchronized: one stopped at an unknown call, the "
+          "other finished";
+  return std::nullopt;
+}
+
+std::optional<std::string>
+SimulationChecker::expectCall(const std::string &Callee,
+                              InvariantUpdate Update, ContextAction Action) {
+  assert(Begun && "expectCall() before begin()");
+  if (Discharged)
+    return std::nullopt;
+
+  std::string Error;
+  std::optional<SyncPoint> Point = advanceBoth(Error);
+  if (!Point)
+    return Error;
+  if (Point->PointKind == SyncPoint::Kind::SrcDischarge) {
+    Discharged = true;
+    DischargeReason = "source undefined behavior admits all target behaviors";
+    return std::nullopt;
+  }
+  if (Point->PointKind == SyncPoint::Kind::TgtDischarge) {
+    Discharged = true;
+    DischargeReason = "target out of memory: partial behavior admitted";
+    return std::nullopt;
+  }
+  if (Point->PointKind != SyncPoint::Kind::Call)
+    return "expected a call to '" + Callee +
+           "' but both executions finished";
+  if (Point->Callee != Callee)
+    return "expected a call to '" + Callee + "' but reached '" +
+           Point->Callee + "'";
+
+  // Obligation: the author's invariant holds here and legally evolved.
+  MemoryInvariant Inv = Checkpoints.back().Inv;
+  if (Update)
+    if (auto Err = Update(Inv, *SrcMachine, *TgtMachine))
+      return "invariant update failed at call to '" + Callee + "': " + *Err;
+  if (auto Err = establish(Inv))
+    return "invariant does not hold at call to '" + Callee + "': " + *Err;
+
+  // Obligation: equivalent arguments (Section 5.1, "guarantee").
+  if (Point->SrcCallArgs.size() != Point->TgtCallArgs.size())
+    return "call argument counts differ at '" + Callee + "'";
+  for (size_t Idx = 0; Idx < Point->SrcCallArgs.size(); ++Idx)
+    if (!valueEquivAtCall(Point->SrcCallArgs[Idx], Point->TgtCallArgs[Idx]))
+      return "argument " + std::to_string(Idx + 1) + " of '" + Callee +
+             "' is not equivalent (" + Point->SrcCallArgs[Idx].toString() +
+             " vs " + Point->TgtCallArgs[Idx].toString() + ")";
+
+  // Run the instantiated unknown function.
+  if (Action)
+    if (auto Err = Action(*SrcMachine, Point->SrcCallArgs, *TgtMachine,
+                          Point->TgtCallArgs))
+      return "context action failed at '" + Callee + "': " + *Err;
+
+  // Obligation (Section 5.1, "assume" after the call): the invariant holds
+  // again — public memories evolved equivalently, private memories are
+  // untouched (=prv is implied because the invariant stores the private
+  // contents).
+  if (auto Err = establish(std::move(Inv)))
+    return "invariant violated by the unknown call to '" + Callee +
+           "': " + *Err;
+
+  NeedsResume = true;
+  return std::nullopt;
+}
+
+std::optional<std::string>
+SimulationChecker::expectReturn(InvariantUpdate Update) {
+  assert(Begun && "expectReturn() before begin()");
+  if (Discharged)
+    return std::nullopt;
+
+  std::string Error;
+  std::optional<SyncPoint> Point = advanceBoth(Error);
+  if (!Point)
+    return Error;
+  if (Point->PointKind == SyncPoint::Kind::SrcDischarge) {
+    Discharged = true;
+    DischargeReason = "source undefined behavior admits all target behaviors";
+    return std::nullopt;
+  }
+  if (Point->PointKind == SyncPoint::Kind::TgtDischarge) {
+    Discharged = true;
+    DischargeReason = "target out of memory: partial behavior admitted";
+    return std::nullopt;
+  }
+  if (Point->PointKind != SyncPoint::Kind::Finished)
+    return "expected both executions to finish, but they stopped at a call "
+           "to '" +
+           Point->Callee + "'";
+
+  MemoryInvariant Inv = Checkpoints.back().Inv;
+  if (Update)
+    if (auto Err = Update(Inv, *SrcMachine, *TgtMachine))
+      return "final invariant update failed: " + *Err;
+  if (auto Err = establish(Inv))
+    return "final invariant does not hold: " + *Err;
+
+  // Obligation: beta_s =prv beta_e — return with the private memories the
+  // function was given (Section 5.3).
+  if (!Inv.samePrivateAs(Checkpoints.front().Inv))
+    return "private memories at return differ from the entry invariant";
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Context action library
+//===----------------------------------------------------------------------===//
+
+ContextAction qcm::sim_actions::writeThroughFirstArg(Word V) {
+  return [V](Machine &Src, const std::vector<Value> &SrcArgs, Machine &Tgt,
+             const std::vector<Value> &TgtArgs)
+             -> std::optional<std::string> {
+    if (SrcArgs.empty() || TgtArgs.empty())
+      return "call has no arguments to write through";
+    if (Outcome<Unit> R = Src.memory().store(SrcArgs[0], Value::makeInt(V));
+        !R)
+      return "source store failed: " + R.fault().Reason;
+    if (Outcome<Unit> R = Tgt.memory().store(TgtArgs[0], Value::makeInt(V));
+        !R)
+      return "target store failed: " + R.fault().Reason;
+    return std::nullopt;
+  };
+}
+
+ContextAction qcm::sim_actions::castFirstArg() {
+  return [](Machine &Src, const std::vector<Value> &SrcArgs, Machine &Tgt,
+            const std::vector<Value> &TgtArgs)
+             -> std::optional<std::string> {
+    if (SrcArgs.empty() || TgtArgs.empty())
+      return "call has no arguments to cast";
+    if (Outcome<Value> R = Src.memory().castPtrToInt(SrcArgs[0]); !R)
+      return "source cast failed: " + R.fault().Reason;
+    if (Outcome<Value> R = Tgt.memory().castPtrToInt(TgtArgs[0]); !R)
+      return "target cast failed: " + R.fault().Reason;
+    return std::nullopt;
+  };
+}

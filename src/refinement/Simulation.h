@@ -1,0 +1,153 @@
+//===- refinement/Simulation.h - Local simulation checking ------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A mechanized analogue of the paper's local simulation proofs
+/// (Section 5.3). A proof is a script: the author states which invariant
+/// holds at the function entry, at each unknown (extern) call, and at the
+/// return; the checker co-executes the source and target machines between
+/// those sync points and discharges the proof obligations mechanically:
+///
+///   entry:        beta_s holds; arguments equivalent w.r.t. alpha;
+///   at each call: both executions stop at the *same* unknown call with the
+///                 same event trace; the author's beta_c holds on the
+///                 current memories; beta_prev |= beta_c (future
+///                 invariant); call arguments are equivalent;
+///   call return:  the (concretely instantiated) unknown function ran; the
+///                 same beta_c must hold again — i.e. the public memories
+///                 evolved equivalently and the private memories are
+///                 untouched (beta_c =prv beta_r is enforced because the
+///                 invariant stores the private contents);
+///   return:       beta_e holds, beta_prev |= beta_e, and beta_s =prv
+///                 beta_e — the function hands back the private memories it
+///                 was given.
+///
+/// Undefined behavior in the source discharges the whole proof (the source
+/// admits everything); out-of-memory in the target likewise (its partial
+/// behavior is admitted because the traces are synchronized). Undefined
+/// behavior in the target, or desynchronized traces, fail the proof.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_REFINEMENT_SIMULATION_H
+#define QCM_REFINEMENT_SIMULATION_H
+
+#include "refinement/Invariant.h"
+#include "semantics/Runner.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace qcm {
+
+/// Author callback manipulating the invariant at a sync point. May extend
+/// the bijection, move blocks between private and public sections, or drop
+/// private blocks. Returns an explanation to abort the proof.
+using InvariantUpdate = std::function<std::optional<std::string>(
+    MemoryInvariant &Inv, Machine &Src, Machine &Tgt)>;
+
+/// Concrete instantiation of an unknown function's effect, applied to both
+/// executions at a synchronized call. Receives the (already equivalent)
+/// argument vectors. Returns an explanation to abort the proof.
+using ContextAction = std::function<std::optional<std::string>(
+    Machine &Src, const std::vector<Value> &SrcArgs, Machine &Tgt,
+    const std::vector<Value> &TgtArgs)>;
+
+/// Configuration of one simulation proof.
+struct SimulationSetup {
+  const Program *Src = nullptr;
+  const Program *Tgt = nullptr;
+  RunConfig SrcConfig;
+  RunConfig TgtConfig;
+};
+
+/// The proof driver. Use begin(), then expectCall() per unknown call, then
+/// expectReturn(). Every method returns nullopt on success or a description
+/// of the violated obligation.
+class SimulationChecker {
+public:
+  explicit SimulationChecker(const SimulationSetup &Setup);
+  ~SimulationChecker();
+
+  /// Sets up globals and entry arguments on both sides, establishes the
+  /// initial invariant via \p Init (which should relate globals and
+  /// argument blocks), and checks it together with entry-argument
+  /// equivalence.
+  std::optional<std::string> begin(InvariantUpdate Init);
+
+  /// Runs both executions to the next sync point, which must be a call to
+  /// extern \p Callee. Discharges the call obligations with the invariant
+  /// produced by \p Update, then applies \p Action (nullptr: the do-nothing
+  /// context) and re-checks the invariant on return.
+  std::optional<std::string> expectCall(const std::string &Callee,
+                                        InvariantUpdate Update,
+                                        ContextAction Action = nullptr);
+
+  /// Runs both executions to completion and discharges the return
+  /// obligations with the invariant produced by \p Update.
+  std::optional<std::string> expectReturn(InvariantUpdate Update);
+
+  /// True once the proof is discharged trivially (source undefined
+  /// behavior, or target out-of-memory).
+  bool discharged() const { return Discharged; }
+
+  /// Why the proof was discharged early, when discharged().
+  const std::string &dischargeReason() const { return DischargeReason; }
+
+  Machine &src() { return *SrcMachine; }
+  Machine &tgt() { return *TgtMachine; }
+
+  /// Entry argument values, as materialized on each side.
+  const std::vector<Value> &srcArgs() const { return SrcArgs; }
+  const std::vector<Value> &tgtArgs() const { return TgtArgs; }
+
+private:
+  struct SyncPoint {
+    enum class Kind { Call, Finished, SrcDischarge, TgtDischarge };
+    Kind PointKind = Kind::Finished;
+    std::string Callee;
+    std::vector<Value> SrcCallArgs, TgtCallArgs;
+  };
+
+  /// Runs both machines to their next signal and classifies the pair.
+  std::optional<SyncPoint> advanceBoth(std::string &Error);
+
+  /// Common obligation block: invariant holds, evolution from the previous
+  /// checkpoint is legal; pushes the new checkpoint.
+  std::optional<std::string> establish(MemoryInvariant Inv);
+
+  bool valueEquivAtCall(const Value &S, const Value &T) const;
+
+  const SimulationSetup &Setup;
+  std::unique_ptr<Machine> SrcMachine;
+  std::unique_ptr<Machine> TgtMachine;
+  std::vector<Value> SrcArgs, TgtArgs;
+
+  std::vector<InvariantCheckpoint> Checkpoints; // [0] is the entry beta_s
+  bool Begun = false;
+  bool NeedsResume = false;
+  bool Discharged = false;
+  std::string DischargeReason;
+};
+
+/// Library of reusable context actions.
+namespace sim_actions {
+
+/// Stores \p V through the first argument (which must be an equivalent
+/// pointer pair) on both sides.
+ContextAction writeThroughFirstArg(Word V);
+
+/// Casts the first pointer argument to an integer on both sides (the
+/// hash_put effect of Figure 3: publication realizes the block).
+ContextAction castFirstArg();
+
+} // namespace sim_actions
+
+} // namespace qcm
+
+#endif // QCM_REFINEMENT_SIMULATION_H

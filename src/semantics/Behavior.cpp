@@ -1,0 +1,49 @@
+//===- semantics/Behavior.cpp ---------------------------------------------===//
+
+#include "semantics/Behavior.h"
+
+using namespace qcm;
+
+std::string qcm::eventsToString(const std::vector<Event> &Events) {
+  if (Events.empty())
+    return "<no events>";
+  std::string Text;
+  for (size_t Idx = 0; Idx < Events.size(); ++Idx) {
+    if (Idx)
+      Text += ".";
+    Text += Events[Idx].toString();
+  }
+  return Text;
+}
+
+bool qcm::isEventPrefix(const std::vector<Event> &Prefix,
+                        const std::vector<Event> &Events) {
+  if (Prefix.size() > Events.size())
+    return false;
+  for (size_t Idx = 0; Idx < Prefix.size(); ++Idx)
+    if (!(Prefix[Idx] == Events[Idx]))
+      return false;
+  return true;
+}
+
+std::string qcm::behaviorKindName(Behavior::Kind Kind) {
+  switch (Kind) {
+  case Behavior::Kind::Terminated:
+    return "term";
+  case Behavior::Kind::Undefined:
+    return "undef";
+  case Behavior::Kind::OutOfMemory:
+    return "partial(oom)";
+  case Behavior::Kind::StepLimit:
+    return "partial(step-limit)";
+  }
+  return "unknown";
+}
+
+std::string Behavior::toString() const {
+  std::string Text = eventsToString(Events) + ", " +
+                     behaviorKindName(BehaviorKind);
+  if (!Reason.empty())
+    Text += " [" + Reason + "]";
+  return Text;
+}

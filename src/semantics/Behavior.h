@@ -1,0 +1,79 @@
+//===- semantics/Behavior.h - Program behaviors -----------------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Behaviors in the sense of Section 2.3. A behavior is an event sequence
+/// together with how the execution ended:
+///
+/// 1. a terminating execution: e1...en, term;
+/// 2. hitting undefined behavior, which stands for the set of all behaviors
+///    extending the events produced so far;
+/// 3. out of memory: e1...en, partial (CompCertTSO-style "no behavior"; only
+///    the event prefix is observed);
+/// 4. exhaustion of the step budget — our finite approximation of the
+///    paper's diverging executions, treated like a partial behavior by the
+///    refinement checker and flagged as approximate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_SEMANTICS_BEHAVIOR_H
+#define QCM_SEMANTICS_BEHAVIOR_H
+
+#include "semantics/Event.h"
+
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// One observed behavior of one execution.
+struct Behavior {
+  enum class Kind {
+    /// The program ran to completion: e1...en, term.
+    Terminated,
+    /// The execution hit undefined behavior after producing the events;
+    /// denotes every behavior extending them.
+    Undefined,
+    /// The execution ran out of concrete address space: e1...en, partial.
+    OutOfMemory,
+    /// The step budget was exhausted; approximates divergence (e1...en,
+    /// nonterm or longer executions).
+    StepLimit,
+  };
+
+  Kind BehaviorKind = Kind::Terminated;
+  std::vector<Event> Events;
+  /// Diagnostic detail for Undefined / OutOfMemory.
+  std::string Reason;
+
+  static Behavior terminated(std::vector<Event> Events) {
+    return Behavior{Kind::Terminated, std::move(Events), ""};
+  }
+  static Behavior undefined(std::vector<Event> Events, std::string Reason) {
+    return Behavior{Kind::Undefined, std::move(Events), std::move(Reason)};
+  }
+  static Behavior outOfMemory(std::vector<Event> Events, std::string Reason) {
+    return Behavior{Kind::OutOfMemory, std::move(Events), std::move(Reason)};
+  }
+  static Behavior stepLimit(std::vector<Event> Events) {
+    return Behavior{Kind::StepLimit, std::move(Events), ""};
+  }
+
+  /// Equality ignores the diagnostic Reason: two behaviors are the same
+  /// observation if they agree on kind and events.
+  friend bool operator==(const Behavior &A, const Behavior &B) {
+    return A.BehaviorKind == B.BehaviorKind && A.Events == B.Events;
+  }
+
+  std::string toString() const;
+};
+
+std::string behaviorKindName(Behavior::Kind Kind);
+
+} // namespace qcm
+
+#endif // QCM_SEMANTICS_BEHAVIOR_H

@@ -1,0 +1,53 @@
+//===- semantics/Event.h - Externally visible I/O events --------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observable events of the language: input() and output(Exp) produce
+/// externally visible events (Section 2); behaviors are sequences of these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_SEMANTICS_EVENT_H
+#define QCM_SEMANTICS_EVENT_H
+
+#include "support/Ints.h"
+
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// One observable I/O event.
+struct Event {
+  enum class Kind { Input, Output };
+
+  Kind EventKind = Kind::Output;
+  Word Value = 0;
+
+  static Event input(Word V) { return Event{Kind::Input, V}; }
+  static Event output(Word V) { return Event{Kind::Output, V}; }
+
+  friend bool operator==(const Event &A, const Event &B) {
+    return A.EventKind == B.EventKind && A.Value == B.Value;
+  }
+
+  std::string toString() const {
+    return (EventKind == Kind::Input ? "in(" : "out(") + wordToString(Value) +
+           ")";
+  }
+};
+
+/// Renders an event sequence as "out(1).in(2).out(3)".
+std::string eventsToString(const std::vector<Event> &Events);
+
+/// True if \p Prefix is a prefix of \p Events.
+bool isEventPrefix(const std::vector<Event> &Prefix,
+                   const std::vector<Event> &Events);
+
+} // namespace qcm
+
+#endif // QCM_SEMANTICS_EVENT_H

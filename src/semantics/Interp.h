@@ -1,0 +1,183 @@
+//===- semantics/Interp.h - Small-step interpreter --------------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The operational semantics of the Section 2 language, written against the
+/// abstract Memory interface so the same program runs under all three
+/// models. The interpreter is a small-step machine: external (unknown)
+/// function calls surface as control points, which is what lets the
+/// simulation checker of Section 5 synchronize the source and target
+/// executions at unknown calls.
+///
+/// Binary operations follow the type-directed semantics of Section 4; loads
+/// perform the dynamic type checking of Section 6.1 under the Static
+/// discipline. The Loose discipline reproduces CompCert's treatment
+/// (Section 2.2): casts are value-transparent and logical addresses may end
+/// up in integer variables, where partial arithmetic applies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_SEMANTICS_INTERP_H
+#define QCM_SEMANTICS_INTERP_H
+
+#include "lang/Ast.h"
+#include "memory/Memory.h"
+#include "semantics/Behavior.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+class Machine;
+
+/// How strictly values are tied to static types; see the file comment.
+enum class TypeDiscipline {
+  /// The paper's discipline (Sections 3.5, 6.1): integer variables contain
+  /// only integers; violations detected at loads are undefined behavior.
+  Static,
+  /// CompCert-style: any value may inhabit any variable; operations are
+  /// partial on logical addresses. Used to reproduce the Figure 4
+  /// comparison.
+  Loose,
+};
+
+/// Host implementation of an extern function; models one concrete context
+/// from the set the paper quantifies over. May inspect and mutate memory
+/// through the machine. A faulting outcome faults the whole execution.
+using ExternalHandler =
+    std::function<Outcome<Unit>(Machine &M, const std::vector<Value> &Args)>;
+
+/// Interpreter configuration.
+struct InterpConfig {
+  TypeDiscipline Discipline = TypeDiscipline::Static;
+  /// Fuel; exhausting it yields Behavior::Kind::StepLimit.
+  uint64_t StepLimit = 1'000'000;
+  /// Values returned by successive input() operations; exhaustion yields 0.
+  std::vector<Word> InputTape;
+  /// Observer invoked before each executed instruction, with the current
+  /// call depth; used by tracing tools. Null (the default) costs nothing.
+  std::function<void(const Instr &, unsigned Depth)> OnInstr;
+};
+
+/// What run() stopped on.
+struct Signal {
+  enum class Kind {
+    /// The program finished normally.
+    Finished,
+    /// Execution faulted (undefined behavior or out of memory).
+    Faulted,
+    /// The step budget was exhausted.
+    StepLimitReached,
+    /// An extern function without a registered handler was called; the
+    /// driver must act and then call finishExternalCall().
+    ExternalCall,
+  };
+
+  Kind SignalKind = Kind::Finished;
+  Fault FaultInfo = Fault::undefined("");            // Faulted
+  std::string Callee;                                // ExternalCall
+  std::vector<Value> Args;                           // ExternalCall
+};
+
+/// The small-step machine.
+class Machine {
+public:
+  /// Creates a machine over \p Prog (which must outlive the machine and be
+  /// type checked under the Static discipline) using \p Mem.
+  Machine(const Program &Prog, std::unique_ptr<Memory> Mem,
+          InterpConfig Config);
+  ~Machine();
+
+  Machine(const Machine &) = delete;
+  Machine &operator=(const Machine &) = delete;
+
+  /// Allocates global blocks. Must be called once, before start().
+  Outcome<Unit> setupGlobals();
+
+  /// Pushes the entry frame for \p Entry with arguments \p Args.
+  Outcome<Unit> start(const std::string &Entry, std::vector<Value> Args);
+
+  /// Registers \p Handler for calls to extern function \p Name; such calls
+  /// are then resolved inside run() instead of surfacing as signals.
+  void setExternalHandler(const std::string &Name, ExternalHandler Handler);
+
+  /// Runs until completion, fault, fuel exhaustion, or an unhandled extern
+  /// call.
+  Signal run();
+
+  /// Resumes after the driver handled an ExternalCall signal.
+  Signal finishExternalCall();
+
+  /// The behavior of the execution as observed so far; meaningful once
+  /// run() returned Finished, Faulted, or StepLimitReached.
+  Behavior behavior() const;
+
+  Memory &memory() { return *Mem; }
+  const Memory &memory() const { return *Mem; }
+  const Program &program() const { return Prog; }
+  const std::vector<Event> &events() const { return Events; }
+  uint64_t stepsUsed() const { return Steps; }
+
+  /// The pointer value of global \p Name; setupGlobals() must have run.
+  Value globalValue(const std::string &Name) const;
+
+  /// Reads a variable of the innermost frame; test/checker convenience.
+  std::optional<Value> readLocal(const std::string &Name) const;
+
+  /// Appends an output event; lets external handlers (contexts) perform
+  /// observable I/O.
+  void emitOutput(Word V) { Events.push_back(Event::output(V)); }
+
+private:
+  struct Frame;
+
+  /// Executes one instruction; returns true to continue, false when a
+  /// signal in PendingSignal must surface.
+  bool stepOnce();
+
+  Outcome<Value> evalExp(const Exp &E, const Frame &F);
+  Outcome<Value> evalBinary(BinaryOp Op, const Value &L, const Value &R);
+  /// Executes an RExp; produces the value (or nullopt for effect-only
+  /// forms).
+  Outcome<std::optional<Value>> evalRExp(const RExp &R, Frame &F);
+
+  bool execInstr(const Instr &I);
+  /// Routes a fault into PendingSignal; always returns false.
+  bool fault(Fault F);
+
+  /// Pushes a call frame for function \p Fn.
+  void pushFrame(const FunctionDecl &Fn, std::vector<Value> Args);
+
+  /// Initial value for a variable of type \p Ty under the current model.
+  Value initialValue(Type Ty) const;
+
+  const Program &Prog;
+  std::unique_ptr<Memory> Mem;
+  InterpConfig Config;
+
+  std::vector<Frame> Frames;
+  std::map<std::string, Value> Globals;
+  std::map<std::string, ExternalHandler> Handlers;
+  std::vector<Event> Events;
+  size_t InputCursor = 0;
+  uint64_t Steps = 0;
+
+  bool Started = false;
+  bool GlobalsReady = false;
+  std::optional<Signal> PendingSignal;
+  std::optional<Fault> FinalFault;
+  bool Finished = false;
+  bool HitStepLimit = false;
+};
+
+} // namespace qcm
+
+#endif // QCM_SEMANTICS_INTERP_H

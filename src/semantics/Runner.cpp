@@ -1,0 +1,105 @@
+//===- semantics/Runner.cpp -----------------------------------------------===//
+
+#include "semantics/Runner.h"
+
+#include "memory/ConcreteMemory.h"
+#include "memory/QuasiConcreteMemory.h"
+
+using namespace qcm;
+
+std::unique_ptr<Memory> qcm::makeMemory(const RunConfig &Config) {
+  std::unique_ptr<PlacementOracle> Oracle;
+  if (Config.Oracle)
+    Oracle = Config.Oracle();
+  switch (Config.Model) {
+  case ModelKind::Concrete:
+    return std::make_unique<ConcreteMemory>(Config.MemConfig,
+                                            std::move(Oracle));
+  case ModelKind::Logical:
+    return std::make_unique<LogicalMemory>(Config.MemConfig,
+                                           Config.LogicalCasts);
+  case ModelKind::QuasiConcrete:
+    return std::make_unique<QuasiConcreteMemory>(Config.MemConfig,
+                                                 std::move(Oracle));
+  case ModelKind::EagerQuasi: {
+    std::unique_ptr<KindOracle> Kinds;
+    if (Config.Kinds)
+      Kinds = Config.Kinds();
+    return std::make_unique<EagerQuasiMemory>(
+        Config.MemConfig, std::move(Kinds), std::move(Oracle));
+  }
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Materializes one argument, allocating fresh blocks as needed. Returns a
+/// faulting outcome if allocation or initialization fails (possible in a
+/// tiny concrete memory).
+Outcome<Value> materializeArg(const ArgSpec &Spec, Memory &Mem) {
+  if (Spec.ArgKind == ArgSpec::Kind::Int)
+    return Outcome<Value>::success(Value::makeInt(Spec.IntValue));
+  Outcome<Value> P = Mem.allocate(Spec.Size);
+  if (!P)
+    return P;
+  for (size_t Idx = 0; Idx < Spec.Init.size(); ++Idx) {
+    // Address of the Idx-th word: base pointer plus offset, formed in the
+    // model's own value domain.
+    Value Slot = P.value().isPtr()
+                     ? Value::makePtr(P.value().ptr().Block,
+                                      P.value().ptr().Offset +
+                                          static_cast<Word>(Idx))
+                     : Value::makeInt(P.value().intValue() +
+                                      static_cast<Word>(Idx));
+    Outcome<Unit> Stored = Mem.store(Slot, Value::makeInt(Spec.Init[Idx]));
+    if (!Stored)
+      return Stored.propagate<Value>();
+  }
+  return P;
+}
+
+} // namespace
+
+RunResult qcm::runProgram(const Program &Prog, const RunConfig &Config) {
+  Machine M(Prog, makeMemory(Config), Config.Interp);
+  for (const auto &[Name, Handler] : Config.Handlers)
+    M.setExternalHandler(Name, Handler);
+
+  RunResult Result;
+  auto FinishWithFault = [&](const Fault &F) {
+    Result.Behav = F.isUndefined()
+                       ? Behavior::undefined(M.events(), F.Reason)
+                       : Behavior::outOfMemory(M.events(), F.Reason);
+    Result.Steps = M.stepsUsed();
+    Result.ConsistencyError = M.memory().checkConsistency();
+    return Result;
+  };
+
+  if (Outcome<Unit> G = M.setupGlobals(); !G)
+    return FinishWithFault(G.fault());
+
+  std::vector<Value> Args;
+  for (const ArgSpec &Spec : Config.Args) {
+    Outcome<Value> V = materializeArg(Spec, M.memory());
+    if (!V)
+      return FinishWithFault(V.fault());
+    Args.push_back(V.value());
+  }
+
+  if (Outcome<Unit> S = M.start(Config.Entry, std::move(Args)); !S)
+    return FinishWithFault(S.fault());
+
+  Signal Sig = M.run();
+  // Unhandled external calls indicate a misconfigured run: treat the call
+  // as having no observable effect and continue, which matches the paper's
+  // convention that unknown functions synchronize but are otherwise
+  // arbitrary — the "do nothing" context.
+  while (Sig.SignalKind == Signal::Kind::ExternalCall)
+    Sig = M.finishExternalCall();
+
+  Result.Behav = M.behavior();
+  Result.Steps = M.stepsUsed();
+  Result.ConsistencyError = M.memory().checkConsistency();
+  return Result;
+}

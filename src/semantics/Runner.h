@@ -1,0 +1,96 @@
+//===- semantics/Runner.h - One-shot program execution ----------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience layer for running a whole program under a chosen model and
+/// observing its Behavior. Entry-point arguments are described by ArgSpecs
+/// so that pointer arguments (ubiquitous in the paper's examples, which
+/// return values through pointer parameters) can be materialized as fresh
+/// blocks in whichever model is selected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_SEMANTICS_RUNNER_H
+#define QCM_SEMANTICS_RUNNER_H
+
+#include "memory/EagerQuasiMemory.h"
+#include "memory/LogicalMemory.h"
+#include "memory/Placement.h"
+#include "semantics/Interp.h"
+
+#include <functional>
+#include <map>
+
+namespace qcm {
+
+/// Description of one entry-point argument.
+struct ArgSpec {
+  enum class Kind {
+    /// A plain integer.
+    Int,
+    /// A pointer to a freshly allocated block of Size words, the first
+    /// Init.size() of which are initialized with the given integers.
+    FreshBlock,
+  };
+
+  Kind ArgKind = Kind::Int;
+  Word IntValue = 0;
+  Word Size = 1;
+  std::vector<Word> Init;
+
+  static ArgSpec intArg(Word V) {
+    ArgSpec A;
+    A.ArgKind = Kind::Int;
+    A.IntValue = V;
+    return A;
+  }
+  static ArgSpec freshBlock(Word Size, std::vector<Word> Init = {}) {
+    ArgSpec A;
+    A.ArgKind = Kind::FreshBlock;
+    A.Size = Size;
+    A.Init = std::move(Init);
+    return A;
+  }
+};
+
+/// Produces fresh placement oracles; invoked once per run.
+using OracleFactory = std::function<std::unique_ptr<PlacementOracle>()>;
+
+/// Everything needed to run a program once.
+struct RunConfig {
+  ModelKind Model = ModelKind::QuasiConcrete;
+  MemoryConfig MemConfig;
+  InterpConfig Interp;
+  /// Cast behavior when Model == Logical.
+  LogicalMemory::CastBehavior LogicalCasts =
+      LogicalMemory::CastBehavior::Error;
+  /// Placement oracle; null means first-fit.
+  OracleFactory Oracle;
+  /// Kind oracle when Model == EagerQuasi; null means all-logical.
+  std::function<std::unique_ptr<KindOracle>()> Kinds;
+  std::string Entry = "main";
+  std::vector<ArgSpec> Args;
+  std::map<std::string, ExternalHandler> Handlers;
+};
+
+/// Outcome of a run.
+struct RunResult {
+  Behavior Behav;
+  uint64_t Steps = 0;
+  /// Result of Memory::checkConsistency() after the run.
+  std::optional<std::string> ConsistencyError;
+};
+
+/// Builds a memory instance for \p Config.
+std::unique_ptr<Memory> makeMemory(const RunConfig &Config);
+
+/// Runs \p Prog once under \p Config.
+RunResult runProgram(const Program &Prog, const RunConfig &Config);
+
+} // namespace qcm
+
+#endif // QCM_SEMANTICS_RUNNER_H

@@ -1,0 +1,28 @@
+//===- support/Diagnostics.cpp --------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace qcm;
+
+std::string SourceLoc::toString() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}
+
+std::string Diagnostic::toString() const {
+  return Loc.toString() + ": error: " + Message;
+}
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back(Diagnostic{Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::toString() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.toString();
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,56 @@
+//===- support/Diagnostics.h - Front-end diagnostics ------------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects lexer / parser / type-checker diagnostics with source locations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_SUPPORT_DIAGNOSTICS_H
+#define QCM_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// A 1-based line/column position in a source buffer.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string toString() const;
+};
+
+/// One diagnostic message.
+struct Diagnostic {
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string toString() const;
+};
+
+/// An append-only bag of diagnostics shared by the front-end phases.
+class DiagnosticEngine {
+public:
+  /// Records an error at \p Loc.
+  void error(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return !Diags.empty(); }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line.
+  std::string toString() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace qcm
+
+#endif // QCM_SUPPORT_DIAGNOSTICS_H

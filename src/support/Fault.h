@@ -1,0 +1,106 @@
+//===- support/Fault.h - Faulting outcomes of semantic steps ----*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines the two ways a memory or language operation can fail in the
+/// paper's semantics, and an Outcome<T> carrier used pervasively:
+///
+/// * \c Undefined — undefined behavior in the C11 sense; the paper treats it
+///   as the set of all behaviors (Section 2.3).
+/// * \c OutOfMemory — failure to find concrete address space, either at
+///   allocation time (concrete model) or at pointer-to-integer cast time
+///   (quasi-concrete model, Section 3.4). The paper follows CompCertTSO and
+///   treats it as *no behavior*, observing only the partial event prefix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_SUPPORT_FAULT_H
+#define QCM_SUPPORT_FAULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace qcm {
+
+/// A failed semantic step.
+struct Fault {
+  /// The two fault classes of the paper's semantics.
+  enum class Kind {
+    /// Undefined behavior: erroneous program; "set of all behaviors".
+    Undefined,
+    /// Out of concrete address space: "no behavior" (Section 2.3, item 4).
+    OutOfMemory,
+  };
+
+  Kind FaultKind;
+  /// Human-readable explanation, phrased per the standard diagnostic style
+  /// (lowercase first word, no trailing period).
+  std::string Reason;
+
+  static Fault undefined(std::string Reason) {
+    return Fault{Kind::Undefined, std::move(Reason)};
+  }
+  static Fault outOfMemory(std::string Reason) {
+    return Fault{Kind::OutOfMemory, std::move(Reason)};
+  }
+
+  bool isUndefined() const { return FaultKind == Kind::Undefined; }
+  bool isOutOfMemory() const { return FaultKind == Kind::OutOfMemory; }
+};
+
+/// Placeholder payload for operations that succeed without producing a value
+/// (e.g. store, free).
+struct Unit {};
+
+/// Either a successful value of type T or a Fault. A minimal Expected-style
+/// carrier; the model never throws.
+template <typename T> class Outcome {
+public:
+  /*implicit*/ Outcome(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ Outcome(Fault F) : FaultValue(std::move(F)) {}
+
+  static Outcome success(T Value) { return Outcome(std::move(Value)); }
+  static Outcome undefined(std::string Reason) {
+    return Outcome(Fault::undefined(std::move(Reason)));
+  }
+  static Outcome outOfMemory(std::string Reason) {
+    return Outcome(Fault::outOfMemory(std::move(Reason)));
+  }
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T &value() const {
+    assert(ok() && "accessing value of a faulted outcome");
+    return *Value;
+  }
+  T &value() {
+    assert(ok() && "accessing value of a faulted outcome");
+    return *Value;
+  }
+
+  const Fault &fault() const {
+    assert(!ok() && "accessing fault of a successful outcome");
+    return *FaultValue;
+  }
+
+  /// Propagation helper: rebuilds the fault under a different payload type.
+  template <typename U> Outcome<U> propagate() const {
+    assert(!ok() && "propagating a successful outcome");
+    return Outcome<U>(*FaultValue);
+  }
+
+private:
+  std::optional<T> Value;
+  std::optional<Fault> FaultValue;
+};
+
+} // namespace qcm
+
+#endif // QCM_SUPPORT_FAULT_H

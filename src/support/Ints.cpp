@@ -1,0 +1,7 @@
+//===- support/Ints.cpp ---------------------------------------------------===//
+
+#include "support/Ints.h"
+
+using namespace qcm;
+
+std::string qcm::wordToString(Word A) { return std::to_string(A); }

@@ -1,0 +1,51 @@
+//===- support/Ints.h - 32-bit machine word arithmetic ----------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines the 32-bit machine word type used throughout the model, together
+/// with the wrap-around arithmetic the paper assumes for a 32-bit
+/// architecture (values in int32, arithmetic modulo 2^32).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_SUPPORT_INTS_H
+#define QCM_SUPPORT_INTS_H
+
+#include <cstdint>
+#include <string>
+
+namespace qcm {
+
+/// A 32-bit machine word. The paper's values are elements of int32 with
+/// two's-complement wrap-around; we represent them as unsigned 32-bit
+/// integers, for which C++ guarantees modular arithmetic.
+using Word = uint32_t;
+
+/// Identifier of a logical block. Block 0 is reserved for the NULL block
+/// (paper Section 4).
+using BlockId = uint32_t;
+
+/// Wrap-around addition modulo 2^32.
+inline Word wrapAdd(Word A, Word B) { return A + B; }
+
+/// Wrap-around subtraction modulo 2^32.
+inline Word wrapSub(Word A, Word B) { return A - B; }
+
+/// Wrap-around multiplication modulo 2^32.
+inline Word wrapMul(Word A, Word B) { return A * B; }
+
+/// Interprets a word as a signed 32-bit integer (two's complement).
+inline int32_t asSigned(Word A) { return static_cast<int32_t>(A); }
+
+/// Renders a word in decimal, as a signed value when the sign bit is set
+/// would be confusing; the model only ever observes words, so we print the
+/// unsigned reading.
+std::string wordToString(Word A);
+
+} // namespace qcm
+
+#endif // QCM_SUPPORT_INTS_H

@@ -1,0 +1,47 @@
+//===- support/Rng.h - Deterministic random number generator ----*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (SplitMix64). All nondeterminism in the
+/// model — concrete address placement in particular — is driven by explicit
+/// seeded generators so that every behavior a checker observes is
+/// reproducible from its seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_SUPPORT_RNG_H
+#define QCM_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace qcm {
+
+/// Deterministic SplitMix64 generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound). Bound must be
+  /// nonzero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace qcm
+
+#endif // QCM_SUPPORT_RNG_H

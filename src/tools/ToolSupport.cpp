@@ -1,0 +1,108 @@
+//===- tools/ToolSupport.cpp ----------------------------------------------===//
+
+#include "tools/ToolSupport.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace qcm;
+using namespace qcm_tools;
+
+bool qcm_tools::readFile(const std::string &Path, std::string &Out,
+                         std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+bool CommandLine::parse(int Argc, char **Argv, std::string &Error) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg.substr(2);
+    size_t Eq = Body.find('=');
+    if (Eq == std::string::npos)
+      Options[Body] = "";
+    else
+      Options[Body.substr(0, Eq)] = Body.substr(Eq + 1);
+  }
+  Error.clear();
+  return true;
+}
+
+std::string CommandLine::get(const std::string &Key,
+                             const std::string &Default) const {
+  auto It = Options.find(Key);
+  return It == Options.end() ? Default : It->second;
+}
+
+namespace {
+
+std::vector<Word> parseTape(const std::string &Text) {
+  std::vector<Word> Tape;
+  std::string Current;
+  for (char C : Text + ",") {
+    if (C == ',') {
+      if (!Current.empty())
+        Tape.push_back(static_cast<Word>(std::stoull(Current)));
+      Current.clear();
+    } else {
+      Current += C;
+    }
+  }
+  return Tape;
+}
+
+} // namespace
+
+bool CommandLine::applyRunOptions(RunConfig &Config,
+                                  std::string &Error) const {
+  std::string Model = get("model", "quasi");
+  if (Model == "concrete") {
+    Config.Model = ModelKind::Concrete;
+  } else if (Model == "logical") {
+    Config.Model = ModelKind::Logical;
+  } else if (Model == "quasi") {
+    Config.Model = ModelKind::QuasiConcrete;
+  } else if (Model == "eager") {
+    Config.Model = ModelKind::EagerQuasi;
+  } else {
+    Error = "unknown model '" + Model + "'";
+    return false;
+  }
+
+  std::string Oracle = get("oracle", "first");
+  if (Oracle == "first") {
+    Config.Oracle = [] { return std::make_unique<FirstFitOracle>(); };
+  } else if (Oracle == "last") {
+    Config.Oracle = [] { return std::make_unique<LastFitOracle>(); };
+  } else if (Oracle.rfind("random:", 0) == 0) {
+    uint64_t Seed = std::stoull(Oracle.substr(7));
+    Config.Oracle = [Seed] { return std::make_unique<RandomOracle>(Seed); };
+  } else {
+    Error = "unknown oracle '" + Oracle + "'";
+    return false;
+  }
+
+  Config.Entry = get("entry", "main");
+  if (has("input"))
+    Config.Interp.InputTape = parseTape(get("input"));
+  if (has("words"))
+    Config.MemConfig.AddressWords = std::stoull(get("words"));
+  if (has("steps"))
+    Config.Interp.StepLimit = std::stoull(get("steps"));
+  if (has("loose")) {
+    Config.Interp.Discipline = TypeDiscipline::Loose;
+    Config.LogicalCasts = LogicalMemory::CastBehavior::TransparentNop;
+  }
+  return true;
+}

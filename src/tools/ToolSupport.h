@@ -1,0 +1,46 @@
+//===- tools/ToolSupport.h - Shared CLI plumbing ----------------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Option parsing and file loading shared by the command-line tools
+/// (qcm-run, qcm-opt, qcm-check).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_TOOLS_TOOLSUPPORT_H
+#define QCM_TOOLS_TOOLSUPPORT_H
+
+#include "semantics/Runner.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qcm_tools {
+
+/// Reads a whole file into \p Out; false with \p Error on failure.
+bool readFile(const std::string &Path, std::string &Out, std::string &Error);
+
+/// Minimal --key=value / --flag command line.
+struct CommandLine {
+  std::map<std::string, std::string> Options;
+  std::vector<std::string> Positional;
+
+  bool parse(int Argc, char **Argv, std::string &Error);
+
+  bool has(const std::string &Key) const { return Options.count(Key) != 0; }
+  std::string get(const std::string &Key,
+                  const std::string &Default = "") const;
+
+  /// Applies the shared run options (--model, --oracle, --entry, --input,
+  /// --words, --steps, --loose) to \p Config.
+  bool applyRunOptions(qcm::RunConfig &Config, std::string &Error) const;
+};
+
+} // namespace qcm_tools
+
+#endif // QCM_TOOLS_TOOLSUPPORT_H

@@ -1,0 +1,178 @@
+//===- tests/ProgramGenerator.h - Random well-typed programs ----*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random, statically well-typed programs in the Section 2
+/// language for property testing: interpreter robustness, memory-model
+/// consistency under arbitrary operation interleavings, self-refinement,
+/// optimizer soundness, and parser round trips.
+///
+/// Generated programs always terminate (loops are bounded counters and the
+/// call graph is acyclic) but freely perform casts, frees, and pointer
+/// arithmetic — undefined behavior and out-of-memory are legitimate,
+/// classified outcomes, not generator bugs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_TESTS_PROGRAMGENERATOR_H
+#define QCM_TESTS_PROGRAMGENERATOR_H
+
+#include "support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace qcm_test {
+
+struct GeneratorConfig {
+  unsigned NumFunctions = 3;
+  unsigned StatementsPerFunction = 10;
+  unsigned MaxExprDepth = 3;
+  /// Loop bodies run at most this many iterations (counter loops).
+  unsigned MaxLoopTrips = 4;
+};
+
+/// Generates the source text of a random program with entry `main`.
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(uint64_t Seed, GeneratorConfig Config = {})
+      : Gen(Seed), Config(Config) {}
+
+  std::string generate() {
+    std::string Source = "global gcell[4];\n\n";
+    // Functions f1..fN; fK may call only fJ with J > K, so the call graph
+    // is acyclic. main is f0 conceptually.
+    for (unsigned F = Config.NumFunctions; F >= 1; --F)
+      Source += makeFunction("f" + std::to_string(F), F);
+    Source += makeFunction("main", 0);
+    return Source;
+  }
+
+private:
+  qcm::Rng Gen;
+  GeneratorConfig Config;
+  unsigned LoopCounter = 0;
+
+  uint64_t pick(uint64_t Bound) { return Gen.nextBelow(Bound); }
+
+  std::string intVar(unsigned I) { return "i" + std::to_string(I); }
+  std::string ptrVar(unsigned I) { return "p" + std::to_string(I); }
+
+  std::string literal() { return std::to_string(pick(40)); }
+
+  std::string intExp(unsigned Depth) {
+    if (Depth == 0 || pick(3) == 0)
+      return pick(2) == 0 ? literal() : intVar(pick(3));
+    const char *Ops[5] = {"+", "-", "*", "&", "=="};
+    return "(" + intExp(Depth - 1) + " " + Ops[pick(5)] + " " +
+           intExp(Depth - 1) + ")";
+  }
+
+  std::string ptrExp() {
+    // A pointer variable, possibly displaced by a small constant kept
+    // within the smallest allocation the generator makes (3 words), so
+    // that in-bounds accesses dominate; out-of-bounds UB still arises via
+    // frees and stale pointers, just not overwhelmingly.
+    std::string P = pick(4) == 0 ? std::string("gcell") : ptrVar(pick(2));
+    if (pick(3) == 0)
+      return "(" + P + " + " + std::to_string(pick(3)) + ")";
+    return P;
+  }
+
+  std::string statement(unsigned Indent, unsigned Budget, unsigned Fn) {
+    std::string Pad(Indent * 2, ' ');
+    switch (pick(11)) {
+    case 0: // int assignment
+      return Pad + intVar(pick(3)) + " = " +
+             intExp(Config.MaxExprDepth) + ";\n";
+    case 1: // allocation (at least 3 words: see ptrExp)
+      return Pad + ptrVar(pick(2)) + " = malloc(" +
+             std::to_string(3 + pick(4)) + ");\n";
+    case 2: // store
+      return Pad + "*" + ptrExp() + " = " + intExp(1) + ";\n";
+    case 3: // load
+      return Pad + intVar(pick(3)) + " = *" + ptrExp() + ";\n";
+    case 4: // cast to integer (realization point)
+      return Pad + intVar(pick(3)) + " = (int) " + ptrVar(pick(2)) + ";\n";
+    case 5: { // safe cast round trip: i = (int) p; q = (ptr) i;
+      std::string I = intVar(pick(3));
+      return Pad + I + " = (int) " + ptrVar(pick(2)) + ";\n" + Pad +
+             ptrVar(pick(2)) + " = (ptr) " + I + ";\n";
+    }
+    case 6: // output
+      return Pad + "output(" + intExp(1) + ");\n";
+    case 7: // free (kept rare: mostly becomes an int assignment)
+      if (pick(4) == 0)
+        return Pad + "free(" + ptrVar(pick(2)) + ");\n";
+      return Pad + intVar(pick(3)) + " = " + intExp(1) + ";\n";
+    case 8: { // bounded conditional
+      if (Budget == 0)
+        return Pad + "output(7);\n";
+      std::string S = Pad + "if (" + intExp(1) + ") {\n";
+      S += statement(Indent + 1, Budget - 1, Fn);
+      S += Pad + "} else {\n";
+      S += statement(Indent + 1, Budget - 1, Fn);
+      S += Pad + "}\n";
+      return S;
+    }
+    case 9: { // bounded counter loop
+      if (Budget == 0)
+        return Pad + "output(8);\n";
+      std::string Counter = "loop" + std::to_string(LoopCounter++);
+      ExtraLocals.push_back(Counter);
+      std::string S = Pad + Counter + " = " +
+                      std::to_string(1 + pick(Config.MaxLoopTrips)) + ";\n";
+      S += Pad + "while (" + Counter + ") {\n";
+      S += statement(Indent + 1, Budget - 1, Fn);
+      S += std::string(Indent * 2 + 2, ' ') + Counter + " = " + Counter +
+           " - 1;\n";
+      S += Pad + "}\n";
+      return S;
+    }
+    default: { // call a later function (acyclic)
+      if (Fn + 1 > Config.NumFunctions)
+        return Pad + "output(9);\n";
+      unsigned Callee = Fn + 1 + pick(Config.NumFunctions - Fn);
+      if (Callee > Config.NumFunctions)
+        Callee = Config.NumFunctions;
+      return Pad + "f" + std::to_string(Callee) + "(" + ptrVar(pick(2)) +
+             ", " + intExp(1) + ");\n";
+    }
+    }
+  }
+
+  std::string makeFunction(const std::string &Name, unsigned Fn) {
+    ExtraLocals.clear();
+    std::string Body;
+    // Seed the pointer variables so loads/stores have somewhere to go.
+    Body += "  p0 = malloc(4);\n";
+    Body += "  p1 = malloc(3);\n";
+    for (unsigned S = 0; S < Config.StatementsPerFunction; ++S)
+      Body += statement(1, 2, Fn);
+
+    std::string Header =
+        Name == "main" ? Name + "()" : Name + "(ptr parg, int iarg)";
+    std::string Locals =
+        "  var ptr p0, ptr p1, int i0, int i1, int i2";
+    for (const std::string &L : ExtraLocals)
+      Locals += ", int " + L;
+    Locals += ";\n";
+    std::string Init = Name == "main"
+                           ? "  i0 = 1;\n"
+                           : "  i0 = iarg;\n  p0 = parg;\n";
+    // Note p0 is immediately overwritten by the seeding malloc for main;
+    // for callees the seeding mallocs come after so p0 gets fresh blocks
+    // anyway — both are fine, the generator only needs well-typedness.
+    return Header + " {\n" + Locals + Init + Body + "}\n\n";
+  }
+
+  std::vector<std::string> ExtraLocals;
+};
+
+} // namespace qcm_test
+
+#endif // QCM_TESTS_PROGRAMGENERATOR_H

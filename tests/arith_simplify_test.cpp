@@ -1,0 +1,208 @@
+//===- tests/arith_simplify_test.cpp - Arithmetic simplification tests ----===//
+
+#include "core/Vm.h"
+#include "lang/Parser.h"
+#include "lang/PrettyPrint.h"
+#include "lang/TypeCheck.h"
+#include "opt/ArithSimplify.h"
+#include "semantics/Runner.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+/// Parses an expression over int variables a, b, c, d and ptr variable p,
+/// type checks it in a synthetic function frame, and returns it.
+std::unique_ptr<Exp> parseTyped(const std::string &Text) {
+  std::string Source =
+      "f(int a, int b, int c, int d, ptr p) { var int r; r = " + Text +
+      "; }";
+  DiagnosticEngine Diags;
+  std::optional<Program> P = parseProgram(Source, Diags);
+  if (!P) {
+    ADD_FAILURE() << "parse: " << Diags.toString();
+    return nullptr;
+  }
+  if (!typeCheck(*P, Diags)) {
+    ADD_FAILURE() << "typecheck: " << Diags.toString();
+    return nullptr;
+  }
+  return P->Functions[0].Body->Stmts[0]->Rhs->Arg->clone();
+}
+
+std::string simplified(const std::string &Text) {
+  std::unique_ptr<Exp> E = parseTyped(Text);
+  if (!E)
+    return "<error>";
+  return printExp(*simplifyExp(std::move(E)));
+}
+
+} // namespace
+
+TEST(ArithSimplify, FoldsConstants) {
+  EXPECT_EQ(simplified("1 + 2 * 3"), "7");
+  EXPECT_EQ(simplified("10 - 4 - 3"), "3");
+  EXPECT_EQ(simplified("6 & 3"), "2");
+  EXPECT_EQ(simplified("5 == 5"), "1");
+  EXPECT_EQ(simplified("5 == 6"), "0");
+}
+
+TEST(ArithSimplify, Figure1Identity) {
+  // The paper's Figure 1: (a - b) + (2*b - b) == a.
+  EXPECT_EQ(simplified("(a - b) + (2 * b - b)"), "a");
+}
+
+TEST(ArithSimplify, CancellationAndIdentities) {
+  EXPECT_EQ(simplified("a - a"), "0");
+  EXPECT_EQ(simplified("a + 0"), "a");
+  EXPECT_EQ(simplified("0 + a"), "a");
+  EXPECT_EQ(simplified("a * 1"), "a");
+  EXPECT_EQ(simplified("1 * a"), "a");
+  EXPECT_EQ(simplified("a * 0"), "0");
+  EXPECT_EQ(simplified("a + b - b + c - a"), "c");
+}
+
+TEST(ArithSimplify, CollectsCoefficients) {
+  EXPECT_EQ(simplified("a + a + a"), "3 * a");
+  EXPECT_EQ(simplified("2 * a + 3 * a"), "5 * a");
+  EXPECT_EQ(simplified("a * 2 - a"), "a");
+}
+
+TEST(ArithSimplify, WrapAroundIsRespected) {
+  // -1 * a is canonicalized with the two's-complement coefficient.
+  EXPECT_EQ(simplified("0 - a"), "0 - a");
+  EXPECT_EQ(simplified("b - a - b"), "0 - a");
+}
+
+TEST(ArithSimplify, NonLinearAtomsAreOpaqueButCombined) {
+  EXPECT_EQ(simplified("a * b - a * b"), "0");
+  EXPECT_EQ(simplified("(a & b) - (a & b)"), "0");
+  EXPECT_EQ(simplified("a * b + a * b"), "2 * (a * b)");
+}
+
+TEST(ArithSimplify, PointerExpressionsAreLeftStructurallyAlone) {
+  EXPECT_EQ(simplified("(p - p) + 1"), "p - p + 1");
+  // But ptr +/- 0 folds.
+  std::unique_ptr<Exp> E = parseTyped("p - p");
+  ASSERT_TRUE(E);
+  // Whole-ptr-typed expressions keep their shape.
+  std::string Source = "f(ptr p) { var ptr q; q = p + 0; }";
+  DiagnosticEngine Diags;
+  std::optional<Program> P = parseProgram(Source, Diags);
+  ASSERT_TRUE(P && typeCheck(*P, Diags));
+  auto Simplified = simplifyExp(P->Functions[0].Body->Stmts[0]->Rhs->Arg->clone());
+  EXPECT_EQ(printExp(*Simplified), "p");
+}
+
+TEST(ArithSimplify, PassRewritesWholeFunctions) {
+  Vm V;
+  std::optional<Program> P = V.compile(R"(
+f(int a, int b) {
+  var ptr q;
+  a = (a - b) + (2 * b - b);
+  q = (ptr) a;
+  *q = 123;
+}
+)");
+  ASSERT_TRUE(P.has_value());
+  ArithSimplifyPass Pass;
+  EXPECT_TRUE(Pass.runOnFunction(P->Functions[0], *P));
+  EXPECT_NE(printFunction(P->Functions[0]).find("a = a;"),
+            std::string::npos);
+  // Idempotent.
+  EXPECT_FALSE(Pass.runOnFunction(P->Functions[0], *P));
+}
+
+//===----------------------------------------------------------------------===//
+// Property: simplification preserves evaluation on random int environments.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Evaluates an int expression over given variable values with wrap
+/// semantics (mirror of the interpreter's integer fragment).
+Word evalInt(const Exp &E, Word A, Word B, Word C, Word D) {
+  switch (E.ExpKind) {
+  case Exp::Kind::IntLit:
+    return E.IntValue;
+  case Exp::Kind::Var:
+    if (E.Name == "a")
+      return A;
+    if (E.Name == "b")
+      return B;
+    if (E.Name == "c")
+      return C;
+    return D;
+  case Exp::Kind::Global:
+    return 0;
+  case Exp::Kind::Binary: {
+    Word L = evalInt(*E.Lhs, A, B, C, D);
+    Word R = evalInt(*E.Rhs, A, B, C, D);
+    switch (E.Op) {
+    case BinaryOp::Add:
+      return wrapAdd(L, R);
+    case BinaryOp::Sub:
+      return wrapSub(L, R);
+    case BinaryOp::Mul:
+      return wrapMul(L, R);
+    case BinaryOp::And:
+      return L & R;
+    case BinaryOp::Eq:
+      return L == R ? 1 : 0;
+    }
+  }
+  }
+  return 0;
+}
+
+/// Builds a random int expression tree over a..d.
+std::unique_ptr<Exp> randomExp(Rng &Gen, unsigned Depth) {
+  if (Depth == 0 || Gen.nextBelow(3) == 0) {
+    if (Gen.nextBelow(2) == 0) {
+      auto Lit =
+          Exp::makeIntLit(static_cast<Word>(Gen.nextBelow(100)));
+      Lit->StaticType = Type::Int;
+      return Lit;
+    }
+    const char *Names[4] = {"a", "b", "c", "d"};
+    auto Var = Exp::makeVar(Names[Gen.nextBelow(4)]);
+    Var->StaticType = Type::Int;
+    return Var;
+  }
+  BinaryOp Ops[5] = {BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul,
+                     BinaryOp::And, BinaryOp::Eq};
+  auto E = Exp::makeBinary(Ops[Gen.nextBelow(5)], randomExp(Gen, Depth - 1),
+                           randomExp(Gen, Depth - 1));
+  E->StaticType = Type::Int;
+  return E;
+}
+
+} // namespace
+
+class SimplifyPreservesEvaluation
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplifyPreservesEvaluation, OnRandomExpressionsAndInputs) {
+  Rng Gen(GetParam());
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    std::unique_ptr<Exp> E = randomExp(Gen, 4);
+    std::unique_ptr<Exp> Original = E->clone();
+    std::unique_ptr<Exp> Simple = simplifyExp(std::move(E));
+    for (int Env = 0; Env < 10; ++Env) {
+      Word A = static_cast<Word>(Gen.next());
+      Word B = static_cast<Word>(Gen.next());
+      Word C = static_cast<Word>(Gen.next());
+      Word D = static_cast<Word>(Gen.next());
+      ASSERT_EQ(evalInt(*Original, A, B, C, D),
+                evalInt(*Simple, A, B, C, D))
+          << "original: " << printExp(*Original)
+          << "\nsimplified: " << printExp(*Simple);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyPreservesEvaluation,
+                         ::testing::Values(7, 14, 21, 28, 35, 42, 49, 56));

@@ -1,0 +1,129 @@
+//===- tests/behavior_test.cpp - Behavior lattice tests (Section 2.3) -----===//
+
+#include "refinement/BehaviorSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+std::vector<Event> evs(std::initializer_list<Word> Values) {
+  std::vector<Event> Events;
+  for (Word V : Values)
+    Events.push_back(Event::output(V));
+  return Events;
+}
+
+BehaviorSet setOf(std::initializer_list<Behavior> Behaviors) {
+  BehaviorSet S;
+  for (const Behavior &B : Behaviors)
+    S.insert(B);
+  return S;
+}
+
+} // namespace
+
+TEST(Events, PrefixRelation) {
+  EXPECT_TRUE(isEventPrefix(evs({}), evs({1, 2})));
+  EXPECT_TRUE(isEventPrefix(evs({1}), evs({1, 2})));
+  EXPECT_TRUE(isEventPrefix(evs({1, 2}), evs({1, 2})));
+  EXPECT_FALSE(isEventPrefix(evs({2}), evs({1, 2})));
+  EXPECT_FALSE(isEventPrefix(evs({1, 2, 3}), evs({1, 2})));
+  // Input and output events with equal payloads are distinct.
+  std::vector<Event> In = {Event::input(1)};
+  std::vector<Event> Out = {Event::output(1)};
+  EXPECT_FALSE(isEventPrefix(In, Out));
+}
+
+TEST(BehaviorSet, DeduplicatesAndIgnoresReasonInEquality) {
+  BehaviorSet S;
+  S.insert(Behavior::undefined(evs({1}), "reason one"));
+  S.insert(Behavior::undefined(evs({1}), "another reason"));
+  EXPECT_EQ(S.size(), 1u);
+  S.insert(Behavior::terminated(evs({1})));
+  EXPECT_EQ(S.size(), 2u);
+}
+
+TEST(Admission, TerminationNeedsExactMatch) {
+  BehaviorSet Src = setOf({Behavior::terminated(evs({1, 2}))});
+  EXPECT_TRUE(behaviorAdmitted(Behavior::terminated(evs({1, 2})), Src));
+  EXPECT_FALSE(behaviorAdmitted(Behavior::terminated(evs({1})), Src));
+  EXPECT_FALSE(behaviorAdmitted(Behavior::terminated(evs({1, 2, 3})), Src));
+  EXPECT_FALSE(behaviorAdmitted(Behavior::terminated(evs({9})), Src));
+}
+
+TEST(Admission, SourceUndefinedAdmitsEverythingExtendingItsPrefix) {
+  // Undefined behavior is the set of all behaviors (C11 reading).
+  BehaviorSet Src = setOf({Behavior::undefined(evs({1}), "ub")});
+  EXPECT_TRUE(behaviorAdmitted(Behavior::terminated(evs({1, 2, 3})), Src));
+  EXPECT_TRUE(behaviorAdmitted(Behavior::undefined(evs({1, 9}), "x"), Src));
+  EXPECT_TRUE(behaviorAdmitted(Behavior::outOfMemory(evs({1}), "x"), Src));
+  EXPECT_TRUE(behaviorAdmitted(Behavior::stepLimit(evs({1})), Src));
+  // ... but not behaviors that diverge before the UB point.
+  EXPECT_FALSE(behaviorAdmitted(Behavior::terminated(evs({2})), Src));
+  EXPECT_FALSE(behaviorAdmitted(Behavior::terminated(evs({})), Src));
+}
+
+TEST(Admission, PartialBehaviorsNeedASourceExtension) {
+  // Out of memory: the target performed a prefix of events the source
+  // could have performed (CompCertTSO-style).
+  BehaviorSet Src = setOf({Behavior::terminated(evs({1, 2, 3}))});
+  EXPECT_TRUE(behaviorAdmitted(Behavior::outOfMemory(evs({}), "oom"), Src));
+  EXPECT_TRUE(behaviorAdmitted(Behavior::outOfMemory(evs({1}), "oom"), Src));
+  EXPECT_TRUE(
+      behaviorAdmitted(Behavior::outOfMemory(evs({1, 2, 3}), "oom"), Src));
+  EXPECT_FALSE(
+      behaviorAdmitted(Behavior::outOfMemory(evs({2}), "oom"), Src));
+  EXPECT_FALSE(
+      behaviorAdmitted(Behavior::outOfMemory(evs({1, 2, 3, 4}), "o"), Src));
+}
+
+TEST(Admission, TargetUndefinedRequiresSourceUndefined) {
+  BehaviorSet Src = setOf({Behavior::terminated(evs({1})),
+                           Behavior::outOfMemory(evs({1}), "oom")});
+  EXPECT_FALSE(behaviorAdmitted(Behavior::undefined(evs({1}), "ub"), Src));
+  EXPECT_FALSE(behaviorAdmitted(Behavior::undefined(evs({}), "ub"), Src));
+}
+
+TEST(Admission, SourcePartialAdmitsOnlyShorterPartials) {
+  BehaviorSet Src = setOf({Behavior::outOfMemory(evs({1}), "oom")});
+  EXPECT_TRUE(behaviorAdmitted(Behavior::outOfMemory(evs({}), "o"), Src));
+  EXPECT_TRUE(behaviorAdmitted(Behavior::outOfMemory(evs({1}), "o"), Src));
+  // The source never got past out(1): a terminating target did something
+  // the source cannot do.
+  EXPECT_FALSE(behaviorAdmitted(Behavior::terminated(evs({1})), Src));
+  EXPECT_FALSE(behaviorAdmitted(Behavior::terminated(evs({})), Src));
+}
+
+TEST(Admission, StepLimitIsTreatedAsPartial) {
+  BehaviorSet Src = setOf({Behavior::terminated(evs({1, 2}))});
+  EXPECT_TRUE(behaviorAdmitted(Behavior::stepLimit(evs({1})), Src));
+  EXPECT_FALSE(behaviorAdmitted(Behavior::stepLimit(evs({3})), Src));
+}
+
+TEST(Inclusion, ReportsFirstCounterexample) {
+  BehaviorSet Src = setOf({Behavior::terminated(evs({1}))});
+  BehaviorSet Tgt = setOf({Behavior::terminated(evs({1})),
+                           Behavior::terminated(evs({2}))});
+  InclusionResult R = behaviorsIncluded(Tgt, Src);
+  ASSERT_FALSE(R.Included);
+  EXPECT_EQ(R.Counterexample, Behavior::terminated(evs({2})));
+  EXPECT_TRUE(behaviorsIncluded(Src, Tgt).Included);
+}
+
+TEST(Inclusion, EmptyTargetSetIsAlwaysIncluded) {
+  BehaviorSet Src;
+  BehaviorSet Tgt;
+  EXPECT_TRUE(behaviorsIncluded(Tgt, Src).Included);
+}
+
+TEST(Inclusion, ReflexiveOnArbitrarySets) {
+  BehaviorSet S = setOf({Behavior::terminated(evs({1})),
+                         Behavior::undefined(evs({2}), "u"),
+                         Behavior::outOfMemory(evs({}), "o"),
+                         Behavior::stepLimit(evs({1, 1}))});
+  // Step-limit self-admission holds because the terminated behavior
+  // extends it; reflexivity of the whole set follows.
+  EXPECT_TRUE(behaviorsIncluded(S, S).Included);
+}

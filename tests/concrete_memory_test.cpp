@@ -1,0 +1,185 @@
+//===- tests/concrete_memory_test.cpp - Concrete model tests --------------===//
+//
+// The Section 2.1 model: flat finite array, pointers are integers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/ConcreteMemory.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+MemoryConfig tiny(uint64_t Words) {
+  MemoryConfig C;
+  C.AddressWords = Words;
+  return C;
+}
+
+} // namespace
+
+TEST(ConcreteMemory, AllocateLoadStoreRoundTrip) {
+  ConcreteMemory M(tiny(64));
+  Outcome<Value> P = M.allocate(4);
+  ASSERT_TRUE(P.ok());
+  ASSERT_TRUE(P.value().isInt());
+  Word Base = P.value().intValue();
+  EXPECT_GE(Base, 1u);
+
+  ASSERT_TRUE(M.store(Value::makeInt(Base + 2), Value::makeInt(77)).ok());
+  Outcome<Value> V = M.load(Value::makeInt(Base + 2));
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(V.value().intValue(), 77u);
+  EXPECT_EQ(M.checkConsistency(), std::nullopt);
+}
+
+TEST(ConcreteMemory, FreshMemoryReadsAsZero) {
+  ConcreteMemory M(tiny(64));
+  Word Base = M.allocate(3).value().intValue();
+  for (Word I = 0; I < 3; ++I)
+    EXPECT_EQ(M.load(Value::makeInt(Base + I)).value().intValue(), 0u);
+}
+
+TEST(ConcreteMemory, LoadOutsideAllocationIsUndefined) {
+  ConcreteMemory M(tiny(64));
+  Word Base = M.allocate(2).value().intValue();
+  Outcome<Value> V = M.load(Value::makeInt(Base + 2));
+  ASSERT_FALSE(V.ok());
+  EXPECT_TRUE(V.fault().isUndefined());
+  EXPECT_FALSE(M.load(Value::makeInt(0)).ok());
+}
+
+TEST(ConcreteMemory, MallocZeroIsUndefined) {
+  ConcreteMemory M(tiny(64));
+  Outcome<Value> P = M.allocate(0);
+  ASSERT_FALSE(P.ok());
+  EXPECT_TRUE(P.fault().isUndefined());
+}
+
+TEST(ConcreteMemory, ExhaustionIsOutOfMemory) {
+  // Usable space [1, 7) = 6 words.
+  ConcreteMemory M(tiny(8));
+  ASSERT_TRUE(M.allocate(6).ok());
+  Outcome<Value> P = M.allocate(1);
+  ASSERT_FALSE(P.ok());
+  EXPECT_TRUE(P.fault().isOutOfMemory());
+}
+
+TEST(ConcreteMemory, AllocationNeverUsesZeroOrMaxAddress) {
+  ConcreteMemory M(tiny(8));
+  Word Base = M.allocate(6).value().intValue();
+  EXPECT_EQ(Base, 1u); // First fit on [1, 7).
+  EXPECT_EQ(M.checkConsistency(), std::nullopt);
+}
+
+TEST(ConcreteMemory, FreeNullIsNoOp) {
+  ConcreteMemory M(tiny(64));
+  EXPECT_TRUE(M.deallocate(Value::makeInt(0)).ok());
+}
+
+TEST(ConcreteMemory, FreeMidBlockIsUndefined) {
+  ConcreteMemory M(tiny(64));
+  Word Base = M.allocate(4).value().intValue();
+  Outcome<Unit> R = M.deallocate(Value::makeInt(Base + 1));
+  ASSERT_FALSE(R.ok());
+  EXPECT_TRUE(R.fault().isUndefined());
+}
+
+TEST(ConcreteMemory, DoubleFreeIsUndefined) {
+  ConcreteMemory M(tiny(64));
+  Word Base = M.allocate(4).value().intValue();
+  ASSERT_TRUE(M.deallocate(Value::makeInt(Base)).ok());
+  EXPECT_FALSE(M.deallocate(Value::makeInt(Base)).ok());
+}
+
+TEST(ConcreteMemory, UseAfterFreeIsUndefined) {
+  ConcreteMemory M(tiny(64));
+  Word Base = M.allocate(2).value().intValue();
+  ASSERT_TRUE(M.store(Value::makeInt(Base), Value::makeInt(5)).ok());
+  ASSERT_TRUE(M.deallocate(Value::makeInt(Base)).ok());
+  EXPECT_FALSE(M.load(Value::makeInt(Base)).ok());
+  EXPECT_FALSE(M.store(Value::makeInt(Base), Value::makeInt(1)).ok());
+}
+
+TEST(ConcreteMemory, ReusedMemoryIsZeroedNotStale) {
+  ConcreteMemory M(tiny(8));
+  Word Base = M.allocate(3).value().intValue();
+  ASSERT_TRUE(M.store(Value::makeInt(Base + 1), Value::makeInt(99)).ok());
+  ASSERT_TRUE(M.deallocate(Value::makeInt(Base)).ok());
+  Word Base2 = M.allocate(3).value().intValue();
+  EXPECT_EQ(Base, Base2); // First fit reuses the gap.
+  EXPECT_EQ(M.load(Value::makeInt(Base2 + 1)).value().intValue(), 0u);
+}
+
+TEST(ConcreteMemory, CastsAreNoOps) {
+  ConcreteMemory M(tiny(64));
+  Value V = Value::makeInt(12345);
+  EXPECT_EQ(M.castPtrToInt(V).value(), V);
+  EXPECT_EQ(M.castIntToPtr(V).value(), V);
+}
+
+TEST(ConcreteMemory, LogicalAddressesAreRejected) {
+  ConcreteMemory M(tiny(64));
+  Value P = Value::makePtr(1, 0);
+  EXPECT_FALSE(M.load(P).ok());
+  EXPECT_FALSE(M.store(P, Value::makeInt(0)).ok());
+  EXPECT_FALSE(M.deallocate(P).ok());
+  EXPECT_FALSE(M.castPtrToInt(P).ok());
+  EXPECT_FALSE(M.isValidAddress(P.ptr()));
+}
+
+TEST(ConcreteMemory, SnapshotReflectsLiveAndRetiredBlocks) {
+  ConcreteMemory M(tiny(64));
+  Word B1 = M.allocate(2).value().intValue();
+  Word B2 = M.allocate(1).value().intValue();
+  ASSERT_TRUE(M.store(Value::makeInt(B1), Value::makeInt(7)).ok());
+  ASSERT_TRUE(M.deallocate(Value::makeInt(B2)).ok());
+  auto Snap = M.snapshot();
+  ASSERT_EQ(Snap.size(), 2u);
+  EXPECT_TRUE(Snap[0].second.Valid);
+  EXPECT_EQ(Snap[0].second.Contents[0].intValue(), 7u);
+  EXPECT_FALSE(Snap[1].second.Valid);
+}
+
+TEST(ConcreteMemory, CloneIsIndependent) {
+  ConcreteMemory M(tiny(64));
+  Word Base = M.allocate(1).value().intValue();
+  auto Copy = M.clone();
+  ASSERT_TRUE(M.store(Value::makeInt(Base), Value::makeInt(1)).ok());
+  EXPECT_EQ(Copy->load(Value::makeInt(Base)).value().intValue(), 0u);
+}
+
+TEST(ConcreteMemory, LastFitPlacesHigh) {
+  ConcreteMemory M(tiny(16), std::make_unique<LastFitOracle>());
+  Word Base = M.allocate(2).value().intValue();
+  EXPECT_EQ(Base, 13u); // [13, 15) is the top of the usable space [1, 15).
+}
+
+/// Property sweep: random allocate/free churn keeps the model consistent.
+class ConcreteChurnProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConcreteChurnProperty, StaysConsistent) {
+  Rng Gen(GetParam());
+  ConcreteMemory M(tiny(128), std::make_unique<RandomOracle>(GetParam()));
+  std::vector<Word> Live;
+  for (int I = 0; I < 300; ++I) {
+    if (Live.empty() || Gen.nextBelow(2) == 0) {
+      Word Size = static_cast<Word>(1 + Gen.nextBelow(9));
+      Outcome<Value> P = M.allocate(Size);
+      if (P.ok())
+        Live.push_back(P.value().intValue());
+      else
+        EXPECT_TRUE(P.fault().isOutOfMemory());
+    } else {
+      size_t Pick = Gen.nextBelow(Live.size());
+      EXPECT_TRUE(M.deallocate(Value::makeInt(Live[Pick])).ok());
+      Live.erase(Live.begin() + Pick);
+    }
+    ASSERT_EQ(M.checkConsistency(), std::nullopt) << "iteration " << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConcreteChurnProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));

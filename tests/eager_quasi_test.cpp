@@ -1,0 +1,179 @@
+//===- tests/eager_quasi_test.cpp - The rejected Section 3.4 design -------===//
+//
+// Ablation tests for the alternative the paper rejects: allocation-time
+// nondeterministic concretization. Verifies the model's own semantics and
+// the paper's two arguments against it — unintuitive cast failures, and the
+// loss of ownership-transfer optimizations (Figure 3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PaperExamples.h"
+#include "core/Vm.h"
+#include "memory/EagerQuasiMemory.h"
+#include "refinement/Contexts.h"
+#include "refinement/RefinementChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+MemoryConfig tiny(uint64_t Words) {
+  MemoryConfig C;
+  C.AddressWords = Words;
+  return C;
+}
+
+} // namespace
+
+TEST(EagerQuasi, ConcreteBirthPlacesImmediately) {
+  EagerQuasiMemory M(tiny(64), std::make_unique<ConstantKindOracle>(true));
+  Value P = M.allocate(2).value();
+  Outcome<Value> I = M.castPtrToInt(P);
+  ASSERT_TRUE(I.ok());
+  EXPECT_GE(I.value().intValue(), 1u);
+  EXPECT_EQ(M.checkConsistency(), std::nullopt);
+}
+
+TEST(EagerQuasi, LogicalBirthMakesCastsNoBehavior) {
+  EagerQuasiMemory M(tiny(64), std::make_unique<ConstantKindOracle>(false));
+  Value P = M.allocate(2).value();
+  Outcome<Value> I = M.castPtrToInt(P);
+  ASSERT_FALSE(I.ok());
+  // The paper's "unintuitive failure": out-of-memory-type behavior even
+  // though plenty of concrete space is available.
+  EXPECT_TRUE(I.fault().isOutOfMemory());
+}
+
+TEST(EagerQuasi, ConcreteAllocationCanExhaustEagerly) {
+  EagerQuasiMemory M(tiny(4), std::make_unique<ConstantKindOracle>(true));
+  ASSERT_TRUE(M.allocate(2).ok());
+  Outcome<Value> P = M.allocate(1);
+  ASSERT_FALSE(P.ok());
+  EXPECT_TRUE(P.fault().isOutOfMemory());
+}
+
+TEST(EagerQuasi, FixedKindSequencesMixBlockNatures) {
+  EagerQuasiMemory M(tiny(64),
+                     std::make_unique<FixedKindOracle>(
+                         std::vector<bool>{true, false, true}));
+  Value A = M.allocate(1).value();
+  Value B = M.allocate(1).value();
+  Value C = M.allocate(1).value();
+  EXPECT_TRUE(M.castPtrToInt(A).ok());
+  EXPECT_FALSE(M.castPtrToInt(B).ok());
+  EXPECT_TRUE(M.castPtrToInt(C).ok());
+}
+
+TEST(EagerQuasi, CastRoundTripOnConcreteBlocks) {
+  EagerQuasiMemory M(tiny(64), std::make_unique<ConstantKindOracle>(true));
+  Value P = M.allocate(4).value();
+  Word Addr =
+      M.castPtrToInt(Value::makePtr(P.ptr().Block, 3)).value().intValue();
+  Outcome<Value> Back = M.castIntToPtr(Value::makeInt(Addr));
+  ASSERT_TRUE(Back.ok());
+  EXPECT_EQ(Back.value(), Value::makePtr(P.ptr().Block, 3));
+}
+
+TEST(EagerQuasi, RunsThroughTheInterpreter) {
+  Vm V;
+  std::optional<Program> P = V.compile(R"(
+main() {
+  var ptr p, int a;
+  p = malloc(1);
+  *p = 7;
+  a = (int) p;
+  output(a == a);
+}
+)");
+  ASSERT_TRUE(P.has_value());
+  RunConfig C;
+  C.Model = ModelKind::EagerQuasi;
+  C.MemConfig.AddressWords = 64;
+  // All-concrete world: the cast succeeds.
+  C.Kinds = [] { return std::make_unique<ConstantKindOracle>(true); };
+  EXPECT_EQ(runProgram(*P, C).Behav.BehaviorKind,
+            Behavior::Kind::Terminated);
+  // All-logical world: the cast dies with no behavior.
+  C.Kinds = [] { return std::make_unique<ConstantKindOracle>(false); };
+  EXPECT_EQ(runProgram(*P, C).Behav.BehaviorKind,
+            Behavior::Kind::OutOfMemory);
+}
+
+//===----------------------------------------------------------------------===//
+// The paper's Section 3.4 argument: Figure 3's ownership transfer is valid
+// under realize-at-cast but NOT under eager concretization.
+//===----------------------------------------------------------------------===//
+
+TEST(EagerQuasi, Figure3FailsUnderEagerConcretization) {
+  const PaperExample &Ex = getPaperExample("fig3");
+  Vm V;
+  Program Src = *V.compile(Ex.SrcSource);
+  Program Tgt = *V.compile(Ex.TgtSource);
+
+  RefinementJob Job;
+  Job.Src = &Src;
+  Job.Tgt = &Tgt;
+  Job.BaseSrc.Model = Job.BaseTgt.Model = ModelKind::EagerQuasi;
+  Job.BaseSrc.MemConfig.AddressWords = 1u << 12;
+  Job.BaseTgt.MemConfig.AddressWords = 1u << 12;
+  // The all-concrete instance of the nondeterministic allocator: p's block
+  // has a concrete, guessable address from birth (h is block 1; with the
+  // all-concrete oracle h occupies [1,9) and p lands at 9).
+  Job.BaseSrc.Kinds = Job.BaseTgt.Kinds = [] {
+    return std::make_unique<ConstantKindOracle>(true);
+  };
+  Job.Oracles = {[] { return std::make_unique<FirstFitOracle>(); }};
+  Job.Contexts = {ContextVariant::fromSource(
+      "guess-write", contexts::addressGuesserWriter("bar", 9, 77))};
+  RefinementReport Report = checkRefinement(Job);
+  EXPECT_FALSE(Report.Refines) << Report.toString();
+}
+
+TEST(EagerQuasi, Figure3RefinesUnderRealizeAtCast) {
+  // Control: the identical job under the paper's model refines — the
+  // guesser's forged cast is undefined in both programs because nothing is
+  // realized before hash_put.
+  const PaperExample &Ex = getPaperExample("fig3");
+  Vm V;
+  Program Src = *V.compile(Ex.SrcSource);
+  Program Tgt = *V.compile(Ex.TgtSource);
+
+  RefinementJob Job;
+  Job.Src = &Src;
+  Job.Tgt = &Tgt;
+  Job.BaseSrc.Model = Job.BaseTgt.Model = ModelKind::QuasiConcrete;
+  Job.BaseSrc.MemConfig.AddressWords = 1u << 12;
+  Job.BaseTgt.MemConfig.AddressWords = 1u << 12;
+  Job.Oracles = {[] { return std::make_unique<FirstFitOracle>(); }};
+  Job.Contexts = {ContextVariant::fromSource(
+      "guess-write", contexts::addressGuesserWriter("bar", 9, 77))};
+  RefinementReport Report = checkRefinement(Job);
+  EXPECT_TRUE(Report.Refines) << Report.toString();
+}
+
+TEST(EagerQuasi, MixedWorldsLoseOwnershipTransferToo) {
+  // Even comparing a logical-birth source against a concrete-birth target
+  // fails in the other direction: the source's hash_put cast has no
+  // behavior where the target's succeeds and emits output(123).
+  const PaperExample &Ex = getPaperExample("fig3");
+  Vm V;
+  Program Src = *V.compile(Ex.SrcSource);
+  Program Tgt = *V.compile(Ex.TgtSource);
+
+  RefinementJob Job;
+  Job.Src = &Src;
+  Job.Tgt = &Tgt;
+  Job.BaseSrc.Model = Job.BaseTgt.Model = ModelKind::EagerQuasi;
+  Job.BaseSrc.MemConfig.AddressWords = 1u << 12;
+  Job.BaseTgt.MemConfig.AddressWords = 1u << 12;
+  Job.BaseSrc.Kinds = [] {
+    return std::make_unique<ConstantKindOracle>(false);
+  };
+  Job.BaseTgt.Kinds = [] {
+    return std::make_unique<ConstantKindOracle>(true);
+  };
+  RefinementReport Report = checkRefinement(Job);
+  EXPECT_FALSE(Report.Refines) << Report.toString();
+}

@@ -1,0 +1,153 @@
+//===- tests/fuzz_test.cpp - Random-program property tests ----------------===//
+//
+// Properties checked on generated programs (tests/ProgramGenerator.h):
+//
+// * the generator only emits programs the front end accepts;
+// * parse/print round trips are stable;
+// * every execution, under every model and several oracles, terminates in
+//   one of the four behavior classes and leaves the memory model's internal
+//   invariants intact;
+// * runs are deterministic given the oracle;
+// * every program refines itself;
+// * the optimizer pipeline's output refines its input under the
+//   quasi-concrete model (end-to-end soundness fuzzing).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ProgramGenerator.h"
+
+#include "core/Vm.h"
+#include "lang/PrettyPrint.h"
+#include "opt/ArithSimplify.h"
+#include "opt/ConstProp.h"
+#include "opt/DeadCodeElim.h"
+#include "opt/OwnershipOpt.h"
+#include "refinement/RefinementChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+using qcm_test::ProgramGenerator;
+
+namespace {
+
+Program compileOrFail(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  if (!P) {
+    ADD_FAILURE() << "generated program rejected:\n"
+                  << V.lastDiagnostics() << "\n--- source ---\n"
+                  << Source;
+    return Program{};
+  }
+  return std::move(*P);
+}
+
+Program optimizePipeline(const Program &P) {
+  Program Copy = P.clone();
+  DceOptions Dce;
+  Dce.RemoveDeadAllocs = true;
+  PassManager PM;
+  PM.add(std::make_unique<OwnershipOptPass>());
+  PM.add(std::make_unique<ConstPropPass>());
+  PM.add(std::make_unique<ArithSimplifyPass>());
+  PM.add(std::make_unique<DeadCodeElimPass>(Dce));
+  PM.run(Copy, 8);
+  return Copy;
+}
+
+} // namespace
+
+class FuzzProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzProperty, GeneratedProgramsCompile) {
+  ProgramGenerator Generator(GetParam());
+  std::string Source = Generator.generate();
+  Program P = compileOrFail(Source);
+  EXPECT_FALSE(P.Functions.empty());
+}
+
+TEST_P(FuzzProperty, ParsePrintRoundTripIsStable) {
+  ProgramGenerator Generator(GetParam() ^ 0x111);
+  Program P = compileOrFail(Generator.generate());
+  std::string Printed = printProgram(P);
+  Program P2 = compileOrFail(Printed);
+  EXPECT_EQ(Printed, printProgram(P2));
+}
+
+TEST_P(FuzzProperty, AllModelsClassifyAndStayConsistent) {
+  ProgramGenerator Generator(GetParam() ^ 0x222);
+  Program P = compileOrFail(Generator.generate());
+  for (ModelKind Model : {ModelKind::Concrete, ModelKind::Logical,
+                          ModelKind::QuasiConcrete, ModelKind::EagerQuasi}) {
+    for (uint64_t OracleSeed : {0u, 1u}) {
+      RunConfig C;
+      C.Model = Model;
+      C.MemConfig.AddressWords = 1u << 10;
+      C.Interp.StepLimit = 200'000;
+      C.Oracle = [OracleSeed]() -> std::unique_ptr<PlacementOracle> {
+        if (OracleSeed == 0)
+          return std::make_unique<FirstFitOracle>();
+        return std::make_unique<LastFitOracle>();
+      };
+      C.Kinds = [] {
+        return std::make_unique<FixedKindOracle>(
+            std::vector<bool>{true, false, true, true, false});
+      };
+      RunResult R = runProgram(P, C);
+      // Any behavior class is fine; internal consistency is not optional.
+      EXPECT_EQ(R.ConsistencyError, std::nullopt)
+          << modelKindName(Model) << " oracle " << OracleSeed;
+    }
+  }
+}
+
+TEST_P(FuzzProperty, RunsAreDeterministicGivenTheOracle) {
+  ProgramGenerator Generator(GetParam() ^ 0x333);
+  Program P = compileOrFail(Generator.generate());
+  RunConfig C;
+  C.Model = ModelKind::QuasiConcrete;
+  C.MemConfig.AddressWords = 1u << 10;
+  C.Interp.StepLimit = 200'000;
+  C.Oracle = [] { return std::make_unique<RandomOracle>(77); };
+  RunResult R1 = runProgram(P, C);
+  RunResult R2 = runProgram(P, C);
+  EXPECT_EQ(R1.Behav, R2.Behav);
+  EXPECT_EQ(R1.Steps, R2.Steps);
+}
+
+TEST_P(FuzzProperty, EveryProgramRefinesItself) {
+  ProgramGenerator Generator(GetParam() ^ 0x444);
+  Program P = compileOrFail(Generator.generate());
+  RefinementJob Job;
+  Job.Src = &P;
+  Job.Tgt = &P;
+  Job.BaseSrc.Model = Job.BaseTgt.Model = ModelKind::QuasiConcrete;
+  Job.BaseSrc.MemConfig.AddressWords = 1u << 10;
+  Job.BaseTgt.MemConfig.AddressWords = 1u << 10;
+  Job.BaseSrc.Interp.StepLimit = 200'000;
+  Job.BaseTgt.Interp.StepLimit = 200'000;
+  RefinementReport R = checkRefinement(Job);
+  EXPECT_TRUE(R.Refines) << R.toString();
+}
+
+TEST_P(FuzzProperty, OptimizerOutputRefinesItsInput) {
+  ProgramGenerator Generator(GetParam() ^ 0x555);
+  Program P = compileOrFail(Generator.generate());
+  Program Optimized = optimizePipeline(P);
+  RefinementJob Job;
+  Job.Src = &P;
+  Job.Tgt = &Optimized;
+  Job.BaseSrc.Model = Job.BaseTgt.Model = ModelKind::QuasiConcrete;
+  Job.BaseSrc.MemConfig.AddressWords = 1u << 10;
+  Job.BaseTgt.MemConfig.AddressWords = 1u << 10;
+  Job.BaseSrc.Interp.StepLimit = 200'000;
+  Job.BaseTgt.Interp.StepLimit = 200'000;
+  RefinementReport R = checkRefinement(Job);
+  EXPECT_TRUE(R.Refines) << R.toString() << "\n--- original ---\n"
+                         << printProgram(P) << "--- optimized ---\n"
+                         << printProgram(Optimized);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProperty,
+                         ::testing::Range<uint64_t>(1000, 1024));

@@ -1,0 +1,497 @@
+//===- tests/interp_test.cpp - Interpreter / operational semantics tests --===//
+
+#include "core/Vm.h"
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+#include "semantics/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+Program compile(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  EXPECT_TRUE(P.has_value()) << V.lastDiagnostics();
+  return std::move(*P);
+}
+
+RunConfig quasiConfig() {
+  RunConfig C;
+  C.Model = ModelKind::QuasiConcrete;
+  C.MemConfig.AddressWords = 1u << 16;
+  return C;
+}
+
+Behavior runQuasi(const std::string &Source,
+                  std::vector<Word> Inputs = {}) {
+  Program P = compile(Source);
+  RunConfig C = quasiConfig();
+  C.Interp.InputTape = std::move(Inputs);
+  return runProgram(P, C).Behav;
+}
+
+std::vector<Event> outs(std::initializer_list<Word> Values) {
+  std::vector<Event> Events;
+  for (Word V : Values)
+    Events.push_back(Event::output(V));
+  return Events;
+}
+
+} // namespace
+
+TEST(Interp, ArithmeticAndOutput) {
+  Behavior B = runQuasi("main() { var int a; a = 2 + 3 * 4; output(a); }");
+  EXPECT_EQ(B, Behavior::terminated(outs({14})));
+}
+
+TEST(Interp, WrapAroundArithmetic) {
+  Behavior B = runQuasi(
+      "main() { var int a; a = 0 - 1; output(a & 4294967295); }");
+  EXPECT_EQ(B, Behavior::terminated(outs({0xffffffffu})));
+}
+
+TEST(Interp, InputProducesEventsAndValues) {
+  Behavior B = runQuasi(
+      "main() { var int a, int b; a = input(); b = input(); output(a + b); }",
+      {3, 4});
+  std::vector<Event> Expected = {Event::input(3), Event::input(4),
+                                 Event::output(7)};
+  EXPECT_EQ(B, Behavior::terminated(Expected));
+}
+
+TEST(Interp, ExhaustedInputTapeYieldsZero) {
+  Behavior B = runQuasi("main() { var int a; a = input(); output(a); }");
+  std::vector<Event> Expected = {Event::input(0), Event::output(0)};
+  EXPECT_EQ(B, Behavior::terminated(Expected));
+}
+
+TEST(Interp, IfTakesCorrectBranch) {
+  Behavior B = runQuasi(R"(
+main() {
+  var int a;
+  a = input();
+  if (a == 7) { output(1); } else { output(2); }
+  if (a) { output(3); }
+}
+)",
+                        {7});
+  std::vector<Event> Expected = {Event::input(7), Event::output(1),
+                                 Event::output(3)};
+  EXPECT_EQ(B, Behavior::terminated(Expected));
+}
+
+TEST(Interp, WhileLoopComputes) {
+  Behavior B = runQuasi(R"(
+main() {
+  var int n, int acc;
+  n = 5;
+  acc = 0;
+  while (n) {
+    acc = acc + n;
+    n = n - 1;
+  }
+  output(acc);
+}
+)");
+  EXPECT_EQ(B, Behavior::terminated(outs({15})));
+}
+
+TEST(Interp, InfiniteLoopHitsStepLimit) {
+  Program P = compile("main() { var int x; x = 1; while (x) { x = 1; } }");
+  RunConfig C = quasiConfig();
+  C.Interp.StepLimit = 10'000;
+  Behavior B = runProgram(P, C).Behav;
+  EXPECT_EQ(B.BehaviorKind, Behavior::Kind::StepLimit);
+}
+
+TEST(Interp, FunctionCallsPassByValue) {
+  Behavior B = runQuasi(R"(
+helper(int a) {
+  var int b;
+  b = a * 2;
+  output(b);
+}
+main() {
+  var int a;
+  a = 10;
+  helper(a);
+  output(a);
+}
+)");
+  EXPECT_EQ(B, Behavior::terminated(outs({20, 10})));
+}
+
+TEST(Interp, ReturnValuesViaPointerArguments) {
+  // The paper's convention: results flow back through pointer parameters.
+  Behavior B = runQuasi(R"(
+addTo(ptr dst, int v) {
+  var int cur;
+  cur = *dst;
+  *dst = cur + v;
+}
+main() {
+  var ptr cell, int r;
+  cell = malloc(1);
+  *cell = 5;
+  addTo(cell, 37);
+  r = *cell;
+  output(r);
+}
+)");
+  EXPECT_EQ(B, Behavior::terminated(outs({42})));
+}
+
+TEST(Interp, RecursionWorks) {
+  Behavior B = runQuasi(R"(
+fact(ptr acc, int n) {
+  var int cur;
+  if (n) {
+    cur = *acc;
+    *acc = cur * n;
+    fact(acc, n - 1);
+  }
+}
+main() {
+  var ptr acc, int r;
+  acc = malloc(1);
+  *acc = 1;
+  fact(acc, 5);
+  r = *acc;
+  output(r);
+}
+)");
+  EXPECT_EQ(B, Behavior::terminated(outs({120})));
+}
+
+TEST(Interp, NullDereferenceIsUndefined) {
+  Behavior B = runQuasi(
+      "main() { var ptr p, int a; p = (ptr) 0; a = *p; output(a); }");
+  EXPECT_EQ(B.BehaviorKind, Behavior::Kind::Undefined);
+  EXPECT_TRUE(B.Events.empty());
+}
+
+TEST(Interp, FreeNullIsAllowed) {
+  Behavior B =
+      runQuasi("main() { var ptr p; p = (ptr) 0; free(p); output(1); }");
+  EXPECT_EQ(B, Behavior::terminated(outs({1})));
+}
+
+TEST(Interp, UseAfterFreeIsUndefined) {
+  Behavior B = runQuasi(
+      "main() { var ptr p, int a; p = malloc(1); free(p); a = *p; }");
+  EXPECT_EQ(B.BehaviorKind, Behavior::Kind::Undefined);
+}
+
+TEST(Interp, EventsBeforeUndefinedBehaviorAreKept) {
+  Behavior B = runQuasi(R"(
+main() {
+  var ptr p, int a;
+  output(1);
+  output(2);
+  p = (ptr) 0;
+  a = *p;
+  output(3);
+}
+)");
+  EXPECT_EQ(B.BehaviorKind, Behavior::Kind::Undefined);
+  EXPECT_EQ(B.Events, outs({1, 2}));
+}
+
+TEST(Interp, GlobalsAreSharedAcrossFunctions) {
+  Behavior B = runQuasi(R"(
+global counter;
+bump() {
+  var int c;
+  c = *counter;
+  *counter = c + 1;
+}
+main() {
+  var int r;
+  bump();
+  bump();
+  bump();
+  r = *counter;
+  output(r);
+}
+)");
+  EXPECT_EQ(B, Behavior::terminated(outs({3})));
+}
+
+TEST(Interp, PointerArithmeticIndexesBlocks) {
+  Behavior B = runQuasi(R"(
+main() {
+  var ptr base, ptr q, int r;
+  base = malloc(4);
+  *(base + 2) = 7;
+  q = base + 3;
+  *q = 9;
+  r = *(base + 2);
+  output(r);
+  r = *(base + 3);
+  output(r);
+  output(q - base);
+}
+)");
+  EXPECT_EQ(B, Behavior::terminated(outs({7, 9, 3})));
+}
+
+TEST(Interp, PointerEqualitySemantics) {
+  Behavior B = runQuasi(R"(
+main() {
+  var ptr p, ptr q;
+  p = malloc(1);
+  q = malloc(1);
+  output(p == p);
+  output(p == q);
+  output(p == (p + 0));
+}
+)");
+  EXPECT_EQ(B, Behavior::terminated(outs({1, 0, 1})));
+}
+
+TEST(Interp, SubtractionAcrossBlocksIsUndefined) {
+  Behavior B = runQuasi(R"(
+main() {
+  var ptr p, ptr q, int d;
+  p = malloc(1);
+  q = malloc(1);
+  d = q - p;
+  output(d);
+}
+)");
+  EXPECT_EQ(B.BehaviorKind, Behavior::Kind::Undefined);
+}
+
+TEST(Interp, DanglingPointerEqualityIsUndefinedAcrossBlocks) {
+  // p == q across blocks requires both addresses valid (Section 4).
+  Behavior B = runQuasi(R"(
+main() {
+  var ptr p, ptr q, int r;
+  p = malloc(1);
+  q = malloc(1);
+  free(p);
+  r = p == q;
+  output(r);
+}
+)");
+  EXPECT_EQ(B.BehaviorKind, Behavior::Kind::Undefined);
+}
+
+TEST(Interp, SameBlockEqualityOfDanglingPointersIsDefined) {
+  // Same-block comparison has no validity requirement: p == p holds even
+  // for a pointer to a freed block — a refinement of ISO C (Section 4).
+  Behavior B = runQuasi(R"(
+main() {
+  var ptr p, int r;
+  p = malloc(1);
+  free(p);
+  r = p == p;
+  output(r);
+}
+)");
+  EXPECT_EQ(B, Behavior::terminated(outs({1})));
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic type checking (Section 6.1)
+//===----------------------------------------------------------------------===//
+
+TEST(Interp, LoadingPointerIntoIntVariableIsUndefined) {
+  Behavior B = runQuasi(R"(
+main() {
+  var ptr cell, ptr q, int a;
+  cell = malloc(1);
+  q = malloc(1);
+  *cell = q;
+  a = *cell;
+}
+)");
+  EXPECT_EQ(B.BehaviorKind, Behavior::Kind::Undefined);
+}
+
+TEST(Interp, LoadingIntegerIntoPtrVariableIsUndefined) {
+  Behavior B = runQuasi(R"(
+main() {
+  var ptr cell, ptr q;
+  cell = malloc(1);
+  *cell = 5;
+  q = *cell;
+}
+)");
+  EXPECT_EQ(B.BehaviorKind, Behavior::Kind::Undefined);
+}
+
+TEST(Interp, LoadingMatchingKindsIsFine) {
+  Behavior B = runQuasi(R"(
+main() {
+  var ptr cell, ptr q, ptr r, int a;
+  cell = malloc(1);
+  q = malloc(1);
+  *q = 11;
+  *cell = q;
+  r = *cell;
+  a = *r;
+  output(a);
+}
+)");
+  EXPECT_EQ(B, Behavior::terminated(outs({11})));
+}
+
+//===----------------------------------------------------------------------===//
+// Integer-pointer casts through the language
+//===----------------------------------------------------------------------===//
+
+TEST(Interp, CastRoundTripPreservesAccess) {
+  Behavior B = runQuasi(R"(
+main() {
+  var ptr p, ptr q, int a, int r;
+  p = malloc(2);
+  *(p + 1) = 33;
+  a = (int) p;
+  q = (ptr) (a + 1);
+  r = *q;
+  output(r);
+}
+)");
+  EXPECT_EQ(B, Behavior::terminated(outs({33})));
+}
+
+TEST(Interp, CastGuessIsUndefinedWhenNothingRealized) {
+  Behavior B = runQuasi(R"(
+main() {
+  var ptr p, ptr forged;
+  p = malloc(1);
+  forged = (ptr) 1;
+}
+)");
+  EXPECT_EQ(B.BehaviorKind, Behavior::Kind::Undefined);
+}
+
+TEST(Interp, CastArithmeticOnAddresses) {
+  // Arbitrary arithmetic on a cast pointer is fully defined — the headline
+  // capability of the quasi-concrete model. A pointer survives an
+  // encode/decode detour through unrelated arithmetic.
+  Behavior B = runQuasi(R"(
+main() {
+  var ptr p, ptr q, int a, int b, int back, int r;
+  p = malloc(1);
+  q = malloc(1);
+  *p = 5;
+  a = (int) p;
+  b = (int) q;
+  back = (a + b) - b;
+  q = (ptr) back;
+  r = *q;
+  output(r);
+}
+)");
+  EXPECT_EQ(B, Behavior::terminated(outs({5})));
+}
+
+TEST(Interp, StepCountsAreReported) {
+  Program P = compile("main() { var int x; x = 1 + 1; }");
+  RunConfig C = quasiConfig();
+  RunResult R = runProgram(P, C);
+  EXPECT_GT(R.Steps, 0u);
+  EXPECT_EQ(R.ConsistencyError, std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// The same programs under all three models
+//===----------------------------------------------------------------------===//
+
+class AllModels : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(AllModels, PureComputationAgrees) {
+  Program P = compile(R"(
+main() {
+  var int n, int acc;
+  n = input();
+  acc = 1;
+  while (n) {
+    acc = acc * n;
+    n = n - 1;
+  }
+  output(acc);
+}
+)");
+  RunConfig C;
+  C.Model = GetParam();
+  C.MemConfig.AddressWords = 1u << 16;
+  C.Interp.InputTape = {6};
+  Behavior B = runProgram(P, C).Behav;
+  std::vector<Event> Expected = {Event::input(6), Event::output(720)};
+  EXPECT_EQ(B, Behavior::terminated(Expected));
+}
+
+TEST_P(AllModels, HeapReadWriteAgrees) {
+  Program P = compile(R"(
+main() {
+  var ptr p, int r;
+  p = malloc(3);
+  *(p + 1) = 21;
+  r = *(p + 1);
+  output(r * 2);
+  free(p);
+}
+)");
+  RunConfig C;
+  C.Model = GetParam();
+  C.MemConfig.AddressWords = 1u << 16;
+  Behavior B = runProgram(P, C).Behav;
+  EXPECT_EQ(B, Behavior::terminated(outs({42})));
+}
+
+TEST_P(AllModels, NullDereferenceFaults) {
+  Program P = compile("main() { var ptr p, int a; p = (ptr) 0; a = *p; }");
+  RunConfig C;
+  C.Model = GetParam();
+  C.MemConfig.AddressWords = 1u << 16;
+  Behavior B = runProgram(P, C).Behav;
+  EXPECT_EQ(B.BehaviorKind, Behavior::Kind::Undefined);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, AllModels,
+                         ::testing::Values(ModelKind::Concrete,
+                                           ModelKind::Logical,
+                                           ModelKind::QuasiConcrete));
+
+//===----------------------------------------------------------------------===//
+// External handlers (host-level contexts)
+//===----------------------------------------------------------------------===//
+
+TEST(Interp, ExternalHandlerRunsAndMutatesMemory) {
+  Program P = compile(R"(
+extern poke(ptr x);
+main() {
+  var ptr p, int r;
+  p = malloc(1);
+  *p = 1;
+  poke(p);
+  r = *p;
+  output(r);
+}
+)");
+  RunConfig C = quasiConfig();
+  C.Handlers["poke"] = [](Machine &M,
+                          const std::vector<Value> &Args) -> Outcome<Unit> {
+    return M.memory().store(Args[0], Value::makeInt(99));
+  };
+  Behavior B = runProgram(P, C).Behav;
+  EXPECT_EQ(B, Behavior::terminated(outs({99})));
+}
+
+TEST(Interp, UnhandledExternIsANoOp) {
+  Program P = compile(R"(
+extern mystery();
+main() {
+  mystery();
+  output(5);
+}
+)");
+  Behavior B = runProgram(P, quasiConfig()).Behav;
+  EXPECT_EQ(B, Behavior::terminated(outs({5})));
+}

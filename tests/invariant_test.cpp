@@ -1,0 +1,353 @@
+//===- tests/invariant_test.cpp - Memory invariant tests (Fig. 7) ---------===//
+//
+// The Section 5.2 machinery: value equivalence, the public concrete/logical
+// case matrix of Figure 7, private-section rules, and the future-invariant
+// relation of Section 5.3.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/QuasiConcreteMemory.h"
+#include "memory/ConcreteMemory.h"
+#include "refinement/Invariant.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+MemoryConfig tiny() {
+  MemoryConfig C;
+  C.AddressWords = 64;
+  return C;
+}
+
+/// A source/target pair of quasi-concrete memories with one related block
+/// each.
+struct Pair {
+  QuasiConcreteMemory Src{tiny()};
+  QuasiConcreteMemory Tgt{tiny()};
+  Value SrcP, TgtP;
+
+  Pair() {
+    SrcP = Src.allocate(2).value();
+    TgtP = Tgt.allocate(2).value();
+  }
+
+  MemoryInvariant related() {
+    MemoryInvariant Inv;
+    EXPECT_TRUE(Inv.Alpha.add(SrcP.ptr().Block, TgtP.ptr().Block));
+    return Inv;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Bijection
+//===----------------------------------------------------------------------===//
+
+TEST(Bijection, RelatesNullBlocksByDefault) {
+  Bijection A;
+  EXPECT_EQ(A.toTarget(0), std::optional<BlockId>(0));
+  EXPECT_EQ(A.toSource(0), std::optional<BlockId>(0));
+}
+
+TEST(Bijection, RejectsConflictingPairs) {
+  Bijection A;
+  EXPECT_TRUE(A.add(1, 2));
+  EXPECT_TRUE(A.add(1, 2)); // Idempotent.
+  EXPECT_FALSE(A.add(1, 3));
+  EXPECT_FALSE(A.add(4, 2));
+  EXPECT_TRUE(A.add(4, 5));
+  EXPECT_EQ(A.size(), 3u); // (0,0), (1,2), (4,5)
+}
+
+TEST(Bijection, InclusionIsAPartialOrder) {
+  Bijection Small, Big;
+  (void)Small.add(1, 2);
+  (void)Big.add(1, 2);
+  (void)Big.add(3, 4);
+  EXPECT_TRUE(Big.includes(Small));
+  EXPECT_FALSE(Small.includes(Big));
+  EXPECT_TRUE(Small.includes(Small));
+}
+
+//===----------------------------------------------------------------------===//
+// Value equivalence
+//===----------------------------------------------------------------------===//
+
+TEST(ValueEquiv, IntegersByEquality) {
+  Bijection A;
+  EXPECT_TRUE(valuesEquivalent(A, Value::makeInt(5), Value::makeInt(5),
+                               nullptr));
+  EXPECT_FALSE(valuesEquivalent(A, Value::makeInt(5), Value::makeInt(6),
+                                nullptr));
+}
+
+TEST(ValueEquiv, PointersThroughAlphaAtSameOffset) {
+  Bijection A;
+  (void)A.add(1, 7);
+  EXPECT_TRUE(valuesEquivalent(A, Value::makePtr(1, 3), Value::makePtr(7, 3),
+                               nullptr));
+  EXPECT_FALSE(valuesEquivalent(A, Value::makePtr(1, 3),
+                                Value::makePtr(7, 4), nullptr));
+  EXPECT_FALSE(valuesEquivalent(A, Value::makePtr(2, 3),
+                                Value::makePtr(7, 3), nullptr));
+  // NULL relates to NULL.
+  EXPECT_TRUE(valuesEquivalent(A, Value::null(), Value::null(), nullptr));
+}
+
+TEST(ValueEquiv, MixedKindsAreInequivalentWithinOneModel) {
+  Bijection A;
+  (void)A.add(1, 7);
+  EXPECT_FALSE(valuesEquivalent(A, Value::makePtr(1, 0), Value::makeInt(1),
+                                nullptr));
+  EXPECT_FALSE(valuesEquivalent(A, Value::makeInt(1), Value::makePtr(7, 0),
+                                nullptr));
+}
+
+TEST(ValueEquiv, CrossModelPointerMatchesItsReification) {
+  // Section 6.5: a source logical address is equivalent to the target
+  // integer it reifies to.
+  ConcreteMemory Tgt(tiny());
+  Word Base = Tgt.allocate(4).value().intValue();
+  BlockView TgtView(Tgt);
+  Bijection A;
+  (void)A.add(3, 1); // source block 3 ~ target allocation id 1
+  EXPECT_TRUE(valuesEquivalent(A, Value::makePtr(3, 2),
+                               Value::makeInt(Base + 2), &TgtView));
+  EXPECT_FALSE(valuesEquivalent(A, Value::makePtr(3, 2),
+                                Value::makeInt(Base + 1), &TgtView));
+  EXPECT_FALSE(valuesEquivalent(A, Value::makePtr(9, 2),
+                                Value::makeInt(Base + 2), &TgtView));
+}
+
+//===----------------------------------------------------------------------===//
+// The Figure 7 public case matrix
+//===----------------------------------------------------------------------===//
+
+TEST(Fig7Public, LogicalLogicalIsAllowed) {
+  Pair P;
+  MemoryInvariant Inv = P.related();
+  EXPECT_EQ(Inv.holdsOn(P.Src, P.Tgt), std::nullopt);
+}
+
+TEST(Fig7Public, ConcreteConcreteNeedsCoincidingAddresses) {
+  Pair P;
+  ASSERT_TRUE(P.Src.castPtrToInt(P.SrcP).ok());
+  ASSERT_TRUE(P.Tgt.castPtrToInt(P.TgtP).ok());
+  MemoryInvariant Inv = P.related();
+  // Both realized first-fit at the same address: allowed.
+  EXPECT_EQ(Inv.holdsOn(P.Src, P.Tgt), std::nullopt);
+}
+
+TEST(Fig7Public, ConcreteConcreteDifferentAddressesRejected) {
+  QuasiConcreteMemory Src(tiny());
+  QuasiConcreteMemory Tgt(tiny(), std::make_unique<LastFitOracle>());
+  Value SrcP = Src.allocate(2).value();
+  Value TgtP = Tgt.allocate(2).value();
+  ASSERT_TRUE(Src.castPtrToInt(SrcP).ok());  // realized low
+  ASSERT_TRUE(Tgt.castPtrToInt(TgtP).ok());  // realized high
+  MemoryInvariant Inv;
+  ASSERT_TRUE(Inv.Alpha.add(SrcP.ptr().Block, TgtP.ptr().Block));
+  auto Err = Inv.holdsOn(Src, Tgt);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("concrete addresses differ"), std::string::npos);
+}
+
+TEST(Fig7Public, SourceConcreteTargetLogicalRejected) {
+  // The source must never have more concrete blocks than the target: an
+  // arbitrary concrete access could succeed in the source but fail in the
+  // target (Section 5.2).
+  Pair P;
+  ASSERT_TRUE(P.Src.castPtrToInt(P.SrcP).ok());
+  MemoryInvariant Inv = P.related();
+  auto Err = Inv.holdsOn(P.Src, P.Tgt);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("source is concrete but target is logical"),
+            std::string::npos);
+}
+
+TEST(Fig7Public, SourceLogicalTargetConcreteAllowed) {
+  Pair P;
+  ASSERT_TRUE(P.Tgt.castPtrToInt(P.TgtP).ok());
+  MemoryInvariant Inv = P.related();
+  EXPECT_EQ(Inv.holdsOn(P.Src, P.Tgt), std::nullopt);
+}
+
+TEST(Fig7Public, ContentsMustBeEquivalent) {
+  Pair P;
+  ASSERT_TRUE(P.Src.store(P.SrcP, Value::makeInt(5)).ok());
+  ASSERT_TRUE(P.Tgt.store(P.TgtP, Value::makeInt(6)).ok());
+  MemoryInvariant Inv = P.related();
+  auto Err = Inv.holdsOn(P.Src, P.Tgt);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("contents differ"), std::string::npos);
+}
+
+TEST(Fig7Public, SizeAndValidityMustAgree) {
+  QuasiConcreteMemory Src(tiny()), Tgt(tiny());
+  Value SrcP = Src.allocate(2).value();
+  Value TgtP = Tgt.allocate(3).value();
+  MemoryInvariant Inv;
+  ASSERT_TRUE(Inv.Alpha.add(SrcP.ptr().Block, TgtP.ptr().Block));
+  EXPECT_NE(Inv.holdsOn(Src, Tgt), std::nullopt);
+
+  Pair P;
+  ASSERT_TRUE(P.Src.deallocate(P.SrcP).ok());
+  MemoryInvariant Inv2 = P.related();
+  EXPECT_NE(Inv2.holdsOn(P.Src, P.Tgt), std::nullopt);
+  // Freed on both sides: fine (and contents are ignored).
+  ASSERT_TRUE(P.Tgt.deallocate(P.TgtP).ok());
+  EXPECT_EQ(Inv2.holdsOn(P.Src, P.Tgt), std::nullopt);
+}
+
+TEST(Fig7Public, PointerContentsRelateThroughAlpha) {
+  Pair P;
+  Value SrcQ = P.Src.allocate(1).value();
+  Value TgtQ = P.Tgt.allocate(1).value();
+  ASSERT_TRUE(P.Src.store(P.SrcP, SrcQ).ok());
+  ASSERT_TRUE(P.Tgt.store(P.TgtP, TgtQ).ok());
+  MemoryInvariant Inv = P.related();
+  // Without relating q-blocks the contents are inequivalent.
+  EXPECT_NE(Inv.holdsOn(P.Src, P.Tgt), std::nullopt);
+  ASSERT_TRUE(Inv.Alpha.add(SrcQ.ptr().Block, TgtQ.ptr().Block));
+  EXPECT_EQ(Inv.holdsOn(P.Src, P.Tgt), std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// The Figure 7 private rules
+//===----------------------------------------------------------------------===//
+
+TEST(Fig7Private, LogicalSourcePrivateAllowed) {
+  Pair P;
+  Value Priv = P.Src.allocate(1).value();
+  MemoryInvariant Inv = P.related();
+  EXPECT_EQ(Inv.addPrivateSrc(Priv.ptr().Block, P.Src), std::nullopt);
+  EXPECT_EQ(Inv.holdsOn(P.Src, P.Tgt), std::nullopt);
+}
+
+TEST(Fig7Private, ConcreteSourcePrivateRejected) {
+  Pair P;
+  Value Priv = P.Src.allocate(1).value();
+  ASSERT_TRUE(P.Src.castPtrToInt(Priv).ok());
+  MemoryInvariant Inv = P.related();
+  auto Err = Inv.addPrivateSrc(Priv.ptr().Block, P.Src);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("must be logical"), std::string::npos);
+}
+
+TEST(Fig7Private, ConcreteTargetPrivateAllowed) {
+  Pair P;
+  Value Priv = P.Tgt.allocate(1).value();
+  ASSERT_TRUE(P.Tgt.castPtrToInt(Priv).ok());
+  MemoryInvariant Inv = P.related();
+  EXPECT_EQ(Inv.addPrivateTgt(Priv.ptr().Block, P.Tgt), std::nullopt);
+  EXPECT_EQ(Inv.holdsOn(P.Src, P.Tgt), std::nullopt);
+}
+
+TEST(Fig7Private, PrivateBlocksMustStayUntouched) {
+  Pair P;
+  Value Priv = P.Src.allocate(1).value();
+  ASSERT_TRUE(P.Src.store(Priv, Value::makeInt(123)).ok());
+  MemoryInvariant Inv = P.related();
+  ASSERT_EQ(Inv.addPrivateSrc(Priv.ptr().Block, P.Src), std::nullopt);
+  EXPECT_EQ(Inv.holdsOn(P.Src, P.Tgt), std::nullopt);
+  // A (hypothetical) context write to the private block is detected.
+  ASSERT_TRUE(P.Src.store(Priv, Value::makeInt(66)).ok());
+  auto Err = Inv.holdsOn(P.Src, P.Tgt);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("was modified"), std::string::npos);
+}
+
+TEST(Fig7Private, PrivateAndPublicAreDisjoint) {
+  Pair P;
+  MemoryInvariant Inv = P.related();
+  auto Err = Inv.addPrivateSrc(P.SrcP.ptr().Block, P.Src);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("already public"), std::string::npos);
+}
+
+TEST(Fig7Private, PrivateSectionsCanDifferBetweenSides) {
+  Pair P;
+  Value SrcOnly = P.Src.allocate(4).value();
+  ASSERT_TRUE(P.Src.store(SrcOnly, Value::makeInt(1)).ok());
+  MemoryInvariant Inv = P.related();
+  ASSERT_EQ(Inv.addPrivateSrc(SrcOnly.ptr().Block, P.Src), std::nullopt);
+  // No corresponding target block at all — that is the point of private
+  // memory (DSE/DAE change the target's shape).
+  EXPECT_EQ(Inv.holdsOn(P.Src, P.Tgt), std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// Future invariants and =prv (Section 5.3)
+//===----------------------------------------------------------------------===//
+
+TEST(FutureInvariant, AllowsGrowthAndRealization) {
+  Pair P;
+  MemoryInvariant Inv = P.related();
+  InvariantCheckpoint Before(Inv, P.Src, P.Tgt);
+  // Realize on both sides (logical -> concrete is legal evolution) and
+  // extend alpha with a new pair.
+  ASSERT_TRUE(P.Src.castPtrToInt(P.SrcP).ok());
+  ASSERT_TRUE(P.Tgt.castPtrToInt(P.TgtP).ok());
+  Value SrcQ = P.Src.allocate(1).value();
+  Value TgtQ = P.Tgt.allocate(1).value();
+  MemoryInvariant Inv2 = Inv;
+  ASSERT_TRUE(Inv2.Alpha.add(SrcQ.ptr().Block, TgtQ.ptr().Block));
+  InvariantCheckpoint After(Inv2, P.Src, P.Tgt);
+  EXPECT_EQ(checkFutureInvariant(Before, After), std::nullopt);
+}
+
+TEST(FutureInvariant, RejectsShrinkingBijection) {
+  Pair P;
+  MemoryInvariant Inv = P.related();
+  InvariantCheckpoint Before(Inv, P.Src, P.Tgt);
+  MemoryInvariant Fresh; // Lost the pair.
+  InvariantCheckpoint After(Fresh, P.Src, P.Tgt);
+  auto Err = checkFutureInvariant(Before, After);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("bijection shrank"), std::string::npos);
+}
+
+TEST(FutureInvariant, RejectsResurrection) {
+  Pair P;
+  ASSERT_TRUE(P.Src.deallocate(P.SrcP).ok());
+  ASSERT_TRUE(P.Tgt.deallocate(P.TgtP).ok());
+  MemoryInvariant Inv = P.related();
+  InvariantCheckpoint Before(Inv, P.Src, P.Tgt);
+  // Hand-craft a "resurrected" snapshot by building fresh memories where
+  // the related blocks are valid again.
+  Pair Fresh;
+  MemoryInvariant Inv2 = Fresh.related();
+  InvariantCheckpoint After(Inv2, Fresh.Src, Fresh.Tgt);
+  // Note: block ids coincide across Pair instances by construction.
+  auto Err = checkFutureInvariant(Before, After);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("became valid again"), std::string::npos);
+}
+
+TEST(FutureInvariant, RejectsConcreteToLogical) {
+  Pair P;
+  ASSERT_TRUE(P.Src.castPtrToInt(P.SrcP).ok());
+  ASSERT_TRUE(P.Tgt.castPtrToInt(P.TgtP).ok());
+  MemoryInvariant Inv = P.related();
+  InvariantCheckpoint Before(Inv, P.Src, P.Tgt);
+  Pair Fresh; // Blocks logical again.
+  InvariantCheckpoint After(Fresh.related(), Fresh.Src, Fresh.Tgt);
+  auto Err = checkFutureInvariant(Before, After);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("concrete block became logical"), std::string::npos);
+}
+
+TEST(SamePrivate, ComparesSectionsExactly) {
+  Pair P;
+  Value Priv = P.Src.allocate(1).value();
+  MemoryInvariant A = P.related();
+  ASSERT_EQ(A.addPrivateSrc(Priv.ptr().Block, P.Src), std::nullopt);
+  MemoryInvariant B = A;
+  EXPECT_TRUE(A.samePrivateAs(B));
+  B.dropPrivateSrc(Priv.ptr().Block);
+  EXPECT_FALSE(A.samePrivateAs(B));
+}

@@ -1,0 +1,224 @@
+//===- tests/lang_test.cpp - Lexer, parser, pretty printer tests ----------===//
+
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/PrettyPrint.h"
+#include "lang/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+Program parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::optional<Program> P = parseProgram(Source, Diags);
+  if (!P) {
+    ADD_FAILURE() << "parse failed:\n" << Diags.toString();
+    return Program{};
+  }
+  return std::move(*P);
+}
+
+} // namespace
+
+TEST(Lexer, TokenizesKeywordsAndPunctuation) {
+  DiagnosticEngine Diags;
+  auto Tokens = tokenize("main() { var int x; x = 1 + 2; }", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ASSERT_GE(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].TokenKind, Token::Kind::Identifier);
+  EXPECT_EQ(Tokens[0].Spelling, "main");
+  EXPECT_EQ(Tokens.back().TokenKind, Token::Kind::Eof);
+}
+
+TEST(Lexer, DistinguishesAssignFromEquality) {
+  DiagnosticEngine Diags;
+  auto Tokens = tokenize("= == =", Diags);
+  EXPECT_EQ(Tokens[0].TokenKind, Token::Kind::Assign);
+  EXPECT_EQ(Tokens[1].TokenKind, Token::Kind::EqualEq);
+  EXPECT_EQ(Tokens[2].TokenKind, Token::Kind::Assign);
+}
+
+TEST(Lexer, AcceptsBothAmpSpellings) {
+  DiagnosticEngine Diags;
+  auto Tokens = tokenize("a & b && c", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Tokens[1].TokenKind, Token::Kind::Amp);
+  EXPECT_EQ(Tokens[3].TokenKind, Token::Kind::Amp);
+}
+
+TEST(Lexer, SkipsComments) {
+  DiagnosticEngine Diags;
+  auto Tokens = tokenize("x // line\n /* block\n comment */ y", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ASSERT_EQ(Tokens.size(), 3u); // x, y, EOF
+  EXPECT_EQ(Tokens[1].Spelling, "y");
+}
+
+TEST(Lexer, ReportsBadCharactersAndOverflow) {
+  DiagnosticEngine Diags;
+  (void)tokenize("x $ y", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  DiagnosticEngine Diags2;
+  (void)tokenize("99999999999999999999", Diags2);
+  EXPECT_TRUE(Diags2.hasErrors());
+}
+
+TEST(Lexer, TracksLocations) {
+  DiagnosticEngine Diags;
+  auto Tokens = tokenize("a\n  b", Diags);
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+}
+
+TEST(Parser, ParsesFunctionWithLocals) {
+  Program P = parseOk("foo(ptr p, int n) { var ptr q, int a; q = malloc(n); "
+                      "a = (int) p; *q = 123; }");
+  ASSERT_EQ(P.Functions.size(), 1u);
+  const FunctionDecl &F = P.Functions[0];
+  EXPECT_EQ(F.Name, "foo");
+  ASSERT_EQ(F.Params.size(), 2u);
+  EXPECT_EQ(F.Params[0].Ty, Type::Ptr);
+  EXPECT_EQ(F.Params[1].Ty, Type::Int);
+  ASSERT_EQ(F.Locals.size(), 2u);
+  ASSERT_EQ(F.Body->Stmts.size(), 3u);
+  EXPECT_EQ(F.Body->Stmts[0]->InstrKind, Instr::Kind::Assign);
+  EXPECT_EQ(F.Body->Stmts[0]->Rhs->RExpKind, RExp::Kind::Malloc);
+  EXPECT_EQ(F.Body->Stmts[1]->Rhs->RExpKind, RExp::Kind::Cast);
+  EXPECT_EQ(F.Body->Stmts[2]->InstrKind, Instr::Kind::Store);
+}
+
+TEST(Parser, ParsesGlobalsAndExterns) {
+  Program P = parseOk("global g; global tab[16]; extern bar(ptr p);");
+  ASSERT_EQ(P.Globals.size(), 2u);
+  EXPECT_EQ(P.Globals[0].SizeWords, 1u);
+  EXPECT_EQ(P.Globals[1].SizeWords, 16u);
+  ASSERT_EQ(P.Functions.size(), 1u);
+  EXPECT_TRUE(P.Functions[0].isExtern());
+}
+
+TEST(Parser, DistinguishesCastFromParenthesizedExp) {
+  Program P = parseOk("f(ptr p, int a, int b) { var int x, ptr q; "
+                      "x = (a + b); q = (ptr) a; x = (int) p; }");
+  const auto &Stmts = P.Functions[0].Body->Stmts;
+  EXPECT_EQ(Stmts[0]->Rhs->RExpKind, RExp::Kind::Pure);
+  EXPECT_EQ(Stmts[1]->Rhs->RExpKind, RExp::Kind::Cast);
+  EXPECT_EQ(Stmts[1]->Rhs->CastTo, Type::Ptr);
+  EXPECT_EQ(Stmts[2]->Rhs->CastTo, Type::Int);
+}
+
+TEST(Parser, PrecedenceIsEqThenAndThenAddThenMul) {
+  DiagnosticEngine Diags;
+  auto E = parseExpression("1 + 2 * 3 == 7 & 1", Diags);
+  ASSERT_TRUE(E) << Diags.toString();
+  // Parsed as (1 + (2*3)) == (7 & 1)? No: '&' binds tighter than '=='
+  // but looser than '+'; so ((1 + 2*3) == ... wait — check shape:
+  // eq( add(1, mul(2,3)), and(7, 1) ) is wrong: & is below == in our
+  // grammar: eq is lowest. "1 + 2*3 == 7 & 1" => eq(1+2*3, 7&1)?
+  // Grammar: eq := and ('==' and)*, and := add ('&' add)*.
+  // LHS and-exp: 1 + 2*3 (no &); RHS and-exp: 7 & 1.
+  ASSERT_EQ(E->Op, BinaryOp::Eq);
+  EXPECT_EQ(E->Lhs->Op, BinaryOp::Add);
+  EXPECT_EQ(E->Lhs->Rhs->Op, BinaryOp::Mul);
+  EXPECT_EQ(E->Rhs->Op, BinaryOp::And);
+}
+
+TEST(Parser, IfElseWhileAndCalls) {
+  Program P = parseOk(R"(
+extern bar(int x);
+main() {
+  var int a;
+  a = input();
+  if (a == 0) { output(1); } else { output(2); }
+  while (a) { a = a - 1; }
+  bar(a);
+}
+)");
+  const auto &Stmts = P.Functions[1].Body->Stmts;
+  ASSERT_EQ(Stmts.size(), 4u);
+  EXPECT_EQ(Stmts[1]->InstrKind, Instr::Kind::If);
+  EXPECT_EQ(Stmts[2]->InstrKind, Instr::Kind::While);
+  EXPECT_EQ(Stmts[3]->InstrKind, Instr::Kind::Call);
+}
+
+TEST(Parser, RejectsSyntaxErrors) {
+  for (const char *Bad : {
+           "main() { x = ; }",
+           "main() { if a { } }",
+           "main( { }",
+           "global ;",
+           "main() { *; }",
+           "main() { x 5; }",
+       }) {
+    DiagnosticEngine Diags;
+    EXPECT_FALSE(parseProgram(Bad, Diags).has_value()) << Bad;
+    EXPECT_TRUE(Diags.hasErrors()) << Bad;
+  }
+}
+
+TEST(Parser, FreeAsExpressionStatement) {
+  Program P = parseOk("main(ptr p) { free(p); output(1); }");
+  const auto &Stmts = P.Functions[0].Body->Stmts;
+  EXPECT_EQ(Stmts[0]->InstrKind, Instr::Kind::Assign);
+  EXPECT_TRUE(Stmts[0]->Var.empty());
+  EXPECT_EQ(Stmts[0]->Rhs->RExpKind, RExp::Kind::Free);
+}
+
+TEST(PrettyPrint, RoundTripsThroughTheParser) {
+  const std::string Source = R"(global h[8];
+
+extern bar(ptr x);
+
+foo(ptr p, int n) {
+  var ptr q, int a;
+  q = malloc(n);
+  a = (int) p;
+  *q = a + 1;
+  a = *q;
+  if (a == 0) {
+    output(a);
+  } else {
+    while (a) {
+      a = a - 1;
+    }
+  }
+  bar(q);
+  free(q);
+}
+)";
+  Program P1 = parseOk(Source);
+  std::string Printed1 = printProgram(P1);
+  Program P2 = parseOk(Printed1);
+  std::string Printed2 = printProgram(P2);
+  EXPECT_EQ(Printed1, Printed2);
+}
+
+TEST(PrettyPrint, MinimalParenthesization) {
+  DiagnosticEngine Diags;
+  auto E = parseExpression("(a + b) * c - d", Diags);
+  ASSERT_TRUE(E);
+  EXPECT_EQ(printExp(*E), "(a + b) * c - d");
+  auto E2 = parseExpression("a + b * c", Diags);
+  EXPECT_EQ(printExp(*E2), "a + b * c");
+}
+
+TEST(Ast, CloneIsDeepAndStructurallyEqual) {
+  Program P = parseOk("main() { var int a; a = 1 + 2 * 3; output(a); }");
+  Program Q = P.clone();
+  EXPECT_EQ(printProgram(P), printProgram(Q));
+  // Mutating the clone leaves the original untouched.
+  Q.Functions[0].Body->Stmts.clear();
+  EXPECT_NE(printProgram(P), printProgram(Q));
+}
+
+TEST(Ast, StructuralEquality) {
+  DiagnosticEngine Diags;
+  auto A = parseExpression("a + b * 2", Diags);
+  auto B = parseExpression("a + b * 2", Diags);
+  auto C = parseExpression("a + b * 3", Diags);
+  EXPECT_TRUE(Exp::structurallyEqual(*A, *B));
+  EXPECT_FALSE(Exp::structurallyEqual(*A, *C));
+}

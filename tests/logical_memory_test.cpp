@@ -1,0 +1,126 @@
+//===- tests/logical_memory_test.cpp - Logical model tests ----------------===//
+//
+// The Section 2.2 model: CompCert-style infinite logical blocks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/LogicalMemory.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+TEST(LogicalMemory, AllocateReturnsFreshLogicalBlocks) {
+  LogicalMemory M(MemoryConfig{});
+  Value P1 = M.allocate(2).value();
+  Value P2 = M.allocate(2).value();
+  ASSERT_TRUE(P1.isPtr());
+  ASSERT_TRUE(P2.isPtr());
+  EXPECT_NE(P1.ptr().Block, P2.ptr().Block);
+  EXPECT_EQ(P1.ptr().Offset, 0u);
+  EXPECT_EQ(M.checkConsistency(), std::nullopt);
+}
+
+TEST(LogicalMemory, BlockZeroIsTheNullBlock) {
+  LogicalMemory M(MemoryConfig{});
+  // The NULL address is valid per valid_m (block 0 is a valid size-1
+  // block), but loads/stores through it are undefined behavior.
+  EXPECT_TRUE(M.isValidAddress(Ptr{0, 0}));
+  EXPECT_FALSE(M.load(Value::null()).ok());
+  EXPECT_FALSE(M.store(Value::null(), Value::makeInt(1)).ok());
+  EXPECT_TRUE(M.deallocate(Value::null()).ok()); // free(NULL) is a no-op.
+}
+
+TEST(LogicalMemory, LoadStoreRoundTrip) {
+  LogicalMemory M(MemoryConfig{});
+  Value P = M.allocate(3).value();
+  Value Slot = Value::makePtr(P.ptr().Block, 2);
+  ASSERT_TRUE(M.store(Slot, Value::makeInt(5)).ok());
+  EXPECT_EQ(M.load(Slot).value().intValue(), 5u);
+}
+
+TEST(LogicalMemory, MemoryCellsHoldPointers) {
+  LogicalMemory M(MemoryConfig{});
+  Value P = M.allocate(1).value();
+  Value Q = M.allocate(1).value();
+  ASSERT_TRUE(M.store(P, Q).ok());
+  EXPECT_EQ(M.load(P).value(), Q);
+}
+
+TEST(LogicalMemory, OutOfRangeOffsetIsUndefined) {
+  LogicalMemory M(MemoryConfig{});
+  Value P = M.allocate(2).value();
+  EXPECT_FALSE(M.load(Value::makePtr(P.ptr().Block, 2)).ok());
+  EXPECT_FALSE(M.isValidAddress(Ptr{P.ptr().Block, 2}));
+  EXPECT_TRUE(M.isValidAddress(Ptr{P.ptr().Block, 1}));
+}
+
+TEST(LogicalMemory, FreeInvalidatesButDoesNotRemove) {
+  LogicalMemory M(MemoryConfig{});
+  Value P = M.allocate(1).value();
+  ASSERT_TRUE(M.deallocate(P).ok());
+  EXPECT_FALSE(M.load(P).ok());
+  EXPECT_FALSE(M.isValidAddress(P.ptr()));
+  // The block still exists (invalid) — blocks become invalid rather than
+  // removed (Section 5.3).
+  ASSERT_NE(M.getBlock(P.ptr().Block), nullptr);
+  EXPECT_FALSE(M.getBlock(P.ptr().Block)->Valid);
+}
+
+TEST(LogicalMemory, DoubleFreeAndMidPointerFreeAreUndefined) {
+  LogicalMemory M(MemoryConfig{});
+  Value P = M.allocate(2).value();
+  EXPECT_FALSE(M.deallocate(Value::makePtr(P.ptr().Block, 1)).ok());
+  ASSERT_TRUE(M.deallocate(P).ok());
+  EXPECT_FALSE(M.deallocate(P).ok());
+}
+
+TEST(LogicalMemory, StrictCastsAreUndefined) {
+  LogicalMemory M(MemoryConfig{}, LogicalMemory::CastBehavior::Error);
+  Value P = M.allocate(1).value();
+  EXPECT_FALSE(M.castPtrToInt(P).ok());
+  EXPECT_FALSE(M.castIntToPtr(Value::makeInt(123)).ok());
+}
+
+TEST(LogicalMemory, TransparentCastsPreserveValues) {
+  // CompCert-style: the cast is the identity and the logical address flows
+  // into integer-typed positions (Section 2.2).
+  LogicalMemory M(MemoryConfig{},
+                  LogicalMemory::CastBehavior::TransparentNop);
+  Value P = M.allocate(1).value();
+  Outcome<Value> AsInt = M.castPtrToInt(P);
+  ASSERT_TRUE(AsInt.ok());
+  EXPECT_EQ(AsInt.value(), P);
+  Outcome<Value> Back = M.castIntToPtr(AsInt.value());
+  ASSERT_TRUE(Back.ok());
+  EXPECT_EQ(Back.value(), P);
+}
+
+TEST(LogicalMemory, EffectivelyInfinite) {
+  LogicalMemory M(MemoryConfig{.AddressWords = 8});
+  // Allocation never consumes concrete space: far more blocks than the
+  // concrete address space could hold.
+  for (int I = 0; I < 100; ++I)
+    ASSERT_TRUE(M.allocate(4).ok());
+  EXPECT_EQ(M.checkConsistency(), std::nullopt);
+}
+
+TEST(LogicalMemory, CloneIsIndependent) {
+  LogicalMemory M(MemoryConfig{});
+  Value P = M.allocate(1).value();
+  auto Copy = M.clone();
+  ASSERT_TRUE(M.store(P, Value::makeInt(9)).ok());
+  EXPECT_EQ(Copy->load(P).value().intValue(), 0u);
+  EXPECT_EQ(Copy->kind(), ModelKind::Logical);
+}
+
+TEST(LogicalMemory, SnapshotListsAllBlocks) {
+  LogicalMemory M(MemoryConfig{});
+  (void)M.allocate(1);
+  (void)M.allocate(2);
+  auto Snap = M.snapshot();
+  ASSERT_EQ(Snap.size(), 3u); // NULL block + two allocations.
+  EXPECT_EQ(Snap[0].first, 0u);
+  EXPECT_EQ(Snap[2].second.Size, 2u);
+  EXPECT_FALSE(Snap[1].second.Base.has_value());
+}

@@ -1,0 +1,209 @@
+//===- tests/loose_discipline_test.cpp - CompCert-comparison semantics ----===//
+//
+// The Loose discipline + transparent-cast logical model reproduces the
+// CompCert treatment the paper compares against (Sections 2.2 and 3.5):
+// cast pointers keep their logical identity inside integer variables, with
+// only the special-case arithmetic defined.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Vm.h"
+#include "semantics/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+Behavior runLoose(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  if (!P) {
+    ADD_FAILURE() << V.lastDiagnostics();
+    return Behavior{};
+  }
+  RunConfig C;
+  C.Model = ModelKind::Logical;
+  C.LogicalCasts = LogicalMemory::CastBehavior::TransparentNop;
+  C.Interp.Discipline = TypeDiscipline::Loose;
+  C.MemConfig.AddressWords = 1u << 12;
+  return runProgram(*P, C).Behav;
+}
+
+std::vector<Event> outs(std::initializer_list<Word> Values) {
+  std::vector<Event> Events;
+  for (Word V : Values)
+    Events.push_back(Event::output(V));
+  return Events;
+}
+
+} // namespace
+
+TEST(LooseDiscipline, CastPointerRoundTripsAsIdentity) {
+  // (ptr)(int)p is p; the address never became an integer.
+  Behavior B = runLoose(R"(
+main() {
+  var ptr p, ptr q, int a, int r;
+  p = malloc(1);
+  *p = 9;
+  a = (int) p;
+  q = (ptr) a;
+  r = *q;
+  output(r);
+}
+)");
+  EXPECT_EQ(B, Behavior::terminated(outs({9})));
+}
+
+TEST(LooseDiscipline, PointerPlusIntegerOffsetInIntVariables) {
+  // CompCert's low-level languages define addition of an integer to a cast
+  // pointer: the offset moves.
+  Behavior B = runLoose(R"(
+main() {
+  var ptr p, ptr q, int a, int b, int r;
+  p = malloc(2);
+  *(p + 1) = 7;
+  a = (int) p;
+  b = a + 1;
+  q = (ptr) b;
+  r = *q;
+  output(r);
+}
+)");
+  EXPECT_EQ(B, Behavior::terminated(outs({7})));
+}
+
+TEST(LooseDiscipline, SameBlockSubtractionOfCastPointers) {
+  Behavior B = runLoose(R"(
+main() {
+  var ptr p, int a, int b, int r;
+  p = malloc(4);
+  a = (int) (p + 3);
+  b = (int) p;
+  r = a - b;
+  output(r);
+}
+)");
+  EXPECT_EQ(B, Behavior::terminated(outs({3})));
+}
+
+TEST(LooseDiscipline, AddingTwoCastPointersIsUndefined) {
+  // The Figure 4 killer: ptr + ptr has no meaning without real integers.
+  Behavior B = runLoose(R"(
+main() {
+  var ptr p, int a, int b, int t;
+  p = malloc(1);
+  a = (int) p;
+  b = (int) p;
+  t = a + b;
+  output(0);
+}
+)");
+  EXPECT_EQ(B.BehaviorKind, Behavior::Kind::Undefined);
+}
+
+TEST(LooseDiscipline, MultiplyAndMaskOnCastPointersAreUndefined) {
+  for (const char *Op : {"*", "&"}) {
+    std::string Source = std::string(R"(
+main() {
+  var ptr p, int a, int r;
+  p = malloc(1);
+  a = (int) p;
+  r = a )") + Op + R"( 3;
+  output(r);
+}
+)";
+    Behavior B = runLoose(Source);
+    EXPECT_EQ(B.BehaviorKind, Behavior::Kind::Undefined) << Op;
+  }
+}
+
+TEST(LooseDiscipline, EqualityWithZeroIsNullComparison) {
+  // addr == 0 is the defined NULL test for valid addresses.
+  Behavior B = runLoose(R"(
+main() {
+  var ptr p, int a, int r;
+  p = malloc(1);
+  a = (int) p;
+  r = a == 0;
+  output(r);
+}
+)");
+  EXPECT_EQ(B, Behavior::terminated(outs({0})));
+}
+
+TEST(LooseDiscipline, EqualityWithNonzeroIntegerIsUndefined) {
+  Behavior B = runLoose(R"(
+main() {
+  var ptr p, int a, int r;
+  p = malloc(1);
+  a = (int) p;
+  r = a == 5;
+  output(r);
+}
+)");
+  EXPECT_EQ(B.BehaviorKind, Behavior::Kind::Undefined);
+}
+
+TEST(LooseDiscipline, BranchingOnACastPointerIsUndefined) {
+  Behavior B = runLoose(R"(
+main() {
+  var ptr p, int a;
+  p = malloc(1);
+  a = (int) p;
+  if (a) { output(1); }
+}
+)");
+  EXPECT_EQ(B.BehaviorKind, Behavior::Kind::Undefined);
+}
+
+TEST(LooseDiscipline, OutputOfACastPointerIsUndefined) {
+  // A logical address has no observable integer representation.
+  Behavior B = runLoose(R"(
+main() {
+  var ptr p, int a;
+  p = malloc(1);
+  a = (int) p;
+  output(a);
+}
+)");
+  EXPECT_EQ(B.BehaviorKind, Behavior::Kind::Undefined);
+}
+
+TEST(LooseDiscipline, DynamicLoadChecksAreOffInLooseMode) {
+  // Loading an integer into a pointer variable is CompCert-legal; it only
+  // faults if actually dereferenced.
+  Behavior B = runLoose(R"(
+main() {
+  var ptr cell, ptr q;
+  cell = malloc(1);
+  *cell = 5;
+  q = *cell;
+  output(1);
+}
+)");
+  EXPECT_EQ(B, Behavior::terminated(outs({1})));
+}
+
+TEST(LooseDiscipline, StaticModeStillRejectsAtLoads) {
+  // Control: the same program under the paper's Static discipline is UB at
+  // the load (Section 6.1).
+  Vm V;
+  std::optional<Program> P = V.compile(R"(
+main() {
+  var ptr cell, ptr q;
+  cell = malloc(1);
+  *cell = 5;
+  q = *cell;
+  output(1);
+}
+)");
+  ASSERT_TRUE(P.has_value());
+  RunConfig C;
+  C.Model = ModelKind::Logical;
+  C.LogicalCasts = LogicalMemory::CastBehavior::TransparentNop;
+  C.Interp.Discipline = TypeDiscipline::Static;
+  Behavior B = runProgram(*P, C).Behav;
+  EXPECT_EQ(B.BehaviorKind, Behavior::Kind::Undefined);
+}

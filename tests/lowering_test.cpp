@@ -1,0 +1,141 @@
+//===- tests/lowering_test.cpp - Section 6.6 compiler tests ---------------===//
+
+#include "core/Vm.h"
+#include "lang/PrettyPrint.h"
+#include "opt/Lowering.h"
+#include "semantics/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+Program compile(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  if (!P) {
+    ADD_FAILURE() << V.lastDiagnostics();
+    return Program{};
+  }
+  return std::move(*P);
+}
+
+} // namespace
+
+TEST(Lowering, IdentityCompilerPreservesSyntax) {
+  Program P = compile(R"(
+main() {
+  var ptr p, int a;
+  p = malloc(1);
+  a = (int) p;
+  output(a == a);
+}
+)");
+  Program Compiled = identityCompile(P);
+  EXPECT_EQ(printProgram(P), printProgram(Compiled));
+}
+
+TEST(Lowering, RemovesDeadCasts) {
+  Program P = compile(R"(
+extern bar();
+main() {
+  var ptr p, int a;
+  p = malloc(1);
+  a = (int) p;
+  bar();
+  output(7);
+}
+)");
+  Program Lowered = lowerToConcrete(P);
+  std::string Out = printProgram(Lowered);
+  EXPECT_EQ(Out.find("(int) p"), std::string::npos);
+  // The allocation stays unless the dead-alloc gate is on.
+  EXPECT_NE(Out.find("malloc"), std::string::npos);
+}
+
+TEST(Lowering, KeepsLiveCasts) {
+  Program P = compile(R"(
+main() {
+  var ptr p, int a;
+  p = malloc(1);
+  a = (int) p;
+  output(a == a);
+}
+)");
+  Program Lowered = lowerToConcrete(P);
+  EXPECT_NE(printProgram(Lowered).find("(int) p"), std::string::npos);
+}
+
+TEST(Lowering, CombinedCastAndAllocRemoval) {
+  // Section 3.6: dead casts combined with dead blocks are removed during
+  // the translation to the concrete model (the Figure 5 situation).
+  Program P = compile(R"(
+extern bar();
+main() {
+  var ptr q, int a, int r;
+  q = malloc(1);
+  a = (int) q;
+  r = a * 123;
+  bar();
+}
+)");
+  LoweringOptions Options;
+  Options.EliminateDeadAllocs = true;
+  Program Lowered = lowerToConcrete(P, Options);
+  std::string Out = printProgram(Lowered);
+  EXPECT_EQ(Out.find("(int) q"), std::string::npos);
+  EXPECT_EQ(Out.find("malloc"), std::string::npos);
+  EXPECT_NE(Out.find("bar();"), std::string::npos);
+}
+
+TEST(Lowering, LoweredProgramRunsOnTheConcreteModel) {
+  Program P = compile(R"(
+main() {
+  var ptr p, ptr q, int a, int r;
+  p = malloc(2);
+  *(p + 1) = 9;
+  a = (int) p;
+  q = (ptr) (a + 1);
+  r = *q;
+  output(r);
+}
+)");
+  Program Lowered = lowerToConcrete(P);
+  RunConfig C;
+  C.Model = ModelKind::Concrete;
+  C.MemConfig.AddressWords = 1u << 12;
+  RunResult R = runProgram(Lowered, C);
+  ASSERT_EQ(R.Behav.BehaviorKind, Behavior::Kind::Terminated);
+  ASSERT_EQ(R.Behav.Events.size(), 1u);
+  EXPECT_EQ(R.Behav.Events[0], Event::output(9));
+}
+
+TEST(Lowering, QuasiAndConcreteAgreeOnCastHeavyPrograms) {
+  // The identity compilation quasi -> concrete preserves behavior on a
+  // program exercising casts, arithmetic on addresses, and round trips.
+  Program P = compile(R"(
+main() {
+  var ptr p, ptr q, int a, int b, int i, int r;
+  p = malloc(4);
+  i = 0;
+  while (i == 4) { i = 0; }
+  a = (int) p;
+  b = a + 3;
+  q = (ptr) b;
+  *q = 77;
+  r = *(p + 3);
+  output(r);
+  output(b - a);
+}
+)");
+  RunConfig Quasi;
+  Quasi.Model = ModelKind::QuasiConcrete;
+  Quasi.MemConfig.AddressWords = 1u << 12;
+  RunConfig Concrete = Quasi;
+  Concrete.Model = ModelKind::Concrete;
+  RunResult R1 = runProgram(P, Quasi);
+  RunResult R2 = runProgram(P, Concrete);
+  EXPECT_EQ(R1.Behav, R2.Behav);
+  EXPECT_EQ(R1.Behav.BehaviorKind, Behavior::Kind::Terminated);
+}

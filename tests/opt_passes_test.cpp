@@ -1,0 +1,326 @@
+//===- tests/opt_passes_test.cpp - ConstProp / DCE / purity tests ---------===//
+
+#include "core/Vm.h"
+#include "lang/PrettyPrint.h"
+#include "opt/Analysis.h"
+#include "opt/ConstProp.h"
+#include "opt/DeadCodeElim.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+Program compile(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  if (!P) {
+    ADD_FAILURE() << V.lastDiagnostics();
+    return Program{};
+  }
+  return std::move(*P);
+}
+
+std::string afterConstProp(const std::string &Source) {
+  Program P = compile(Source);
+  ConstPropPass Pass;
+  for (FunctionDecl &F : P.Functions)
+    if (!F.isExtern())
+      Pass.runOnFunction(F, P);
+  return printProgram(P);
+}
+
+std::string afterDce(const std::string &Source, DceOptions Options = {}) {
+  Program P = compile(Source);
+  PassManager PM;
+  PM.add(std::make_unique<DeadCodeElimPass>(Options));
+  PM.run(P);
+  return printProgram(P);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Constant propagation
+//===----------------------------------------------------------------------===//
+
+TEST(ConstProp, PropagatesThroughAssignments) {
+  std::string Out = afterConstProp(R"(
+main() {
+  var int a, int b;
+  a = 5;
+  b = a + 2;
+  output(b);
+}
+)");
+  EXPECT_NE(Out.find("b = 7;"), std::string::npos);
+  EXPECT_NE(Out.find("output(7);"), std::string::npos);
+}
+
+TEST(ConstProp, SurvivesCallsBecauseVariablesAreRegisters) {
+  std::string Out = afterConstProp(R"(
+extern g();
+main() {
+  var int a;
+  a = 41;
+  g();
+  output(a + 1);
+}
+)");
+  EXPECT_NE(Out.find("output(42);"), std::string::npos);
+}
+
+TEST(ConstProp, LoadsAndCastsAndInputsKill) {
+  std::string Out = afterConstProp(R"(
+main(ptr p) {
+  var int a;
+  a = 1;
+  a = *p;
+  output(a);
+  a = 2;
+  a = input();
+  output(a);
+}
+)");
+  // Both outputs must still read the variable.
+  EXPECT_NE(Out.find("output(a);"), std::string::npos);
+  EXPECT_EQ(Out.find("output(1);"), std::string::npos);
+  EXPECT_EQ(Out.find("output(2);"), std::string::npos);
+}
+
+TEST(ConstProp, FoldsBranches) {
+  std::string Out = afterConstProp(R"(
+main() {
+  var int a;
+  a = 1;
+  if (a) {
+    output(10);
+  } else {
+    output(20);
+  }
+}
+)");
+  EXPECT_NE(Out.find("output(10);"), std::string::npos);
+  EXPECT_EQ(Out.find("output(20);"), std::string::npos);
+  EXPECT_EQ(Out.find("if"), std::string::npos);
+}
+
+TEST(ConstProp, RemovesNeverExecutedLoops) {
+  std::string Out = afterConstProp(R"(
+main() {
+  var int a;
+  a = 0;
+  while (a) {
+    output(1);
+  }
+  output(2);
+}
+)");
+  EXPECT_EQ(Out.find("while"), std::string::npos);
+  EXPECT_NE(Out.find("output(2);"), std::string::npos);
+}
+
+TEST(ConstProp, LoopBodiesAreAnalyzedConservatively) {
+  std::string Out = afterConstProp(R"(
+main() {
+  var int a, int b;
+  a = 3;
+  b = 9;
+  while (a) {
+    a = a - 1;
+    output(b);
+  }
+}
+)");
+  // a changes in the loop: not foldable; b does not: foldable.
+  EXPECT_NE(Out.find("while (a)"), std::string::npos);
+  EXPECT_NE(Out.find("output(9);"), std::string::npos);
+}
+
+TEST(ConstProp, MergesBranchesByIntersection) {
+  std::string Out = afterConstProp(R"(
+main() {
+  var int a, int b, int c;
+  a = input();
+  if (a) {
+    b = 5;
+    c = 1;
+  } else {
+    b = 5;
+    c = 2;
+  }
+  output(b);
+  output(c);
+}
+)");
+  EXPECT_NE(Out.find("output(5);"), std::string::npos);
+  EXPECT_NE(Out.find("output(c);"), std::string::npos);
+}
+
+TEST(ConstProp, InitialZeroOfLocalsIsKnown) {
+  std::string Out = afterConstProp(R"(
+main() {
+  var int a;
+  output(a);
+}
+)");
+  EXPECT_NE(Out.find("output(0);"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Purity analysis
+//===----------------------------------------------------------------------===//
+
+TEST(Purity, ReadOnlyFunctionsAreRecognized) {
+  Program P = compile(R"(
+extern unknown();
+pureArith(int a) { var int b; b = a & 123; }
+reader(ptr p) { var int a; a = *p; }
+storer(ptr p) { *p = 1; }
+allocator() { var ptr q; q = malloc(1); }
+caster(ptr p) { var int a; a = (int) p; }
+emitter() { output(1); }
+callsPure(int a) { pureArith(a); }
+callsImpure(ptr p) { storer(p); }
+callsUnknown() { unknown(); }
+recursive(int a) { if (a) { recursive(a - 1); } }
+)");
+  EXPECT_TRUE(isReadOnlyFunction(P, "pureArith"));
+  EXPECT_TRUE(isReadOnlyFunction(P, "reader"));
+  EXPECT_FALSE(isReadOnlyFunction(P, "storer"));
+  EXPECT_FALSE(isReadOnlyFunction(P, "allocator"));
+  EXPECT_FALSE(isReadOnlyFunction(P, "caster"));
+  EXPECT_FALSE(isReadOnlyFunction(P, "emitter"));
+  EXPECT_TRUE(isReadOnlyFunction(P, "callsPure"));
+  EXPECT_FALSE(isReadOnlyFunction(P, "callsImpure"));
+  EXPECT_FALSE(isReadOnlyFunction(P, "callsUnknown"));
+  EXPECT_TRUE(isReadOnlyFunction(P, "recursive"));
+  EXPECT_FALSE(isReadOnlyFunction(P, "unknown"));
+  EXPECT_FALSE(isReadOnlyFunction(P, "nonexistent"));
+}
+
+//===----------------------------------------------------------------------===//
+// Dead code elimination
+//===----------------------------------------------------------------------===//
+
+TEST(Dce, RemovesDeadPureAssignments) {
+  std::string Out = afterDce(R"(
+main() {
+  var int a, int b;
+  a = 5;
+  b = a + 1;
+  output(a);
+}
+)");
+  EXPECT_EQ(Out.find("b ="), std::string::npos);
+  EXPECT_NE(Out.find("a = 5;"), std::string::npos);
+}
+
+TEST(Dce, KeepsObservableAndMemoryEffects) {
+  std::string Out = afterDce(R"(
+main(ptr p) {
+  var int a;
+  a = input();
+  *p = 1;
+  output(2);
+}
+)");
+  EXPECT_NE(Out.find("input()"), std::string::npos);
+  EXPECT_NE(Out.find("*p = 1;"), std::string::npos);
+  EXPECT_NE(Out.find("output(2);"), std::string::npos);
+}
+
+TEST(Dce, Figure2ReadOnlyCallRemoval) {
+  std::string Out = afterDce(R"(
+extern bar();
+foo(int a) { var int b; b = a & 123; }
+main(ptr p) {
+  var int a;
+  a = (int) p;
+  foo(a);
+  bar();
+}
+)");
+  // The call to foo is gone; the call to (unknown) bar stays.
+  EXPECT_EQ(Out.find("foo(a);"), std::string::npos);
+  EXPECT_NE(Out.find("bar();"), std::string::npos);
+  // The cast is NOT removed by default (effectful in the quasi model).
+  EXPECT_NE(Out.find("(int) p"), std::string::npos);
+}
+
+TEST(Dce, DeadCastsOnlyWithTheLoweringGate) {
+  const std::string Source = R"(
+main(ptr p) {
+  var int a;
+  a = (int) p;
+  output(1);
+}
+)";
+  EXPECT_NE(afterDce(Source).find("(int) p"), std::string::npos);
+  DceOptions Lowering;
+  Lowering.RemoveDeadCasts = true;
+  EXPECT_EQ(afterDce(Source, Lowering).find("(int) p"), std::string::npos);
+}
+
+TEST(Dce, DeadAllocsOnlyWithTheGate) {
+  const std::string Source = R"(
+main() {
+  var ptr q;
+  q = malloc(4);
+  output(1);
+}
+)";
+  EXPECT_NE(afterDce(Source).find("malloc"), std::string::npos);
+  DceOptions Dae;
+  Dae.RemoveDeadAllocs = true;
+  EXPECT_EQ(afterDce(Source, Dae).find("malloc"), std::string::npos);
+}
+
+TEST(Dce, LivenessFlowsThroughBranchesAndLoops) {
+  std::string Out = afterDce(R"(
+main() {
+  var int a, int b, int c;
+  a = input();
+  b = 1;
+  c = 2;
+  if (a) {
+    output(b);
+  } else {
+    output(a);
+  }
+  while (a) {
+    a = a - 1;
+    output(c);
+  }
+}
+)");
+  EXPECT_NE(Out.find("b = 1;"), std::string::npos);
+  EXPECT_NE(Out.find("c = 2;"), std::string::npos);
+}
+
+TEST(Dce, CascadingRemovalReachesFixedPoint) {
+  std::string Out = afterDce(R"(
+main() {
+  var int a, int b, int c;
+  a = 1;
+  b = a + 1;
+  c = b + 1;
+  output(7);
+}
+)");
+  EXPECT_EQ(Out.find("a = 1;"), std::string::npos);
+  EXPECT_EQ(Out.find("b ="), std::string::npos);
+  EXPECT_EQ(Out.find("c ="), std::string::npos);
+}
+
+TEST(Dce, DeadLoadsAreRemoved) {
+  std::string Out = afterDce(R"(
+main(ptr p) {
+  var int a;
+  a = *p;
+  output(1);
+}
+)");
+  EXPECT_EQ(Out.find("*p"), std::string::npos);
+}

@@ -1,0 +1,122 @@
+//===- tests/placement_test.cpp - Placement oracle tests ------------------===//
+
+#include "memory/Placement.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+TEST(FreeIntervals, EmptyMemoryIsOneUsableInterval) {
+  std::map<Word, Word> Occupied;
+  auto Free = computeFreeIntervals(Occupied, 16);
+  // Usable space is [1, 15).
+  ASSERT_EQ(Free.size(), 1u);
+  EXPECT_EQ(Free[0], (FreeInterval{1, 15}));
+}
+
+TEST(FreeIntervals, ExcludesZeroAndMaxAddress) {
+  std::map<Word, Word> Occupied;
+  auto Free = computeFreeIntervals(Occupied, 8);
+  ASSERT_EQ(Free.size(), 1u);
+  EXPECT_EQ(Free[0].Begin, 1u);
+  EXPECT_EQ(Free[0].End, 7u);
+}
+
+TEST(FreeIntervals, SplitsAroundOccupiedRanges) {
+  std::map<Word, Word> Occupied{{3, 2}, {8, 1}};
+  auto Free = computeFreeIntervals(Occupied, 16);
+  ASSERT_EQ(Free.size(), 3u);
+  EXPECT_EQ(Free[0], (FreeInterval{1, 3}));
+  EXPECT_EQ(Free[1], (FreeInterval{5, 8}));
+  EXPECT_EQ(Free[2], (FreeInterval{9, 15}));
+}
+
+TEST(FreeIntervals, FullyOccupied) {
+  std::map<Word, Word> Occupied{{1, 14}};
+  auto Free = computeFreeIntervals(Occupied, 16);
+  EXPECT_TRUE(Free.empty());
+}
+
+TEST(CountPlacements, CountsSlidingPositions) {
+  std::vector<FreeInterval> Free = {{1, 5}, {7, 8}};
+  EXPECT_EQ(countPlacements(Free, 1), 5u); // 4 in [1,5) + 1 in [7,8)
+  EXPECT_EQ(countPlacements(Free, 2), 3u); // bases 1,2,3
+  EXPECT_EQ(countPlacements(Free, 4), 1u); // base 1
+  EXPECT_EQ(countPlacements(Free, 5), 0u);
+  EXPECT_EQ(countPlacements(Free, 0), 0u);
+}
+
+TEST(FirstFit, PicksLowestBase) {
+  FirstFitOracle O;
+  std::vector<FreeInterval> Free = {{2, 4}, {6, 10}};
+  EXPECT_EQ(O.choose(1, Free), std::optional<Word>(2));
+  EXPECT_EQ(O.choose(3, Free), std::optional<Word>(6));
+  EXPECT_EQ(O.choose(5, Free), std::nullopt);
+}
+
+TEST(LastFit, PicksHighestBase) {
+  LastFitOracle O;
+  std::vector<FreeInterval> Free = {{2, 4}, {6, 10}};
+  EXPECT_EQ(O.choose(1, Free), std::optional<Word>(9));
+  EXPECT_EQ(O.choose(3, Free), std::optional<Word>(7));
+  EXPECT_EQ(O.choose(2, Free), std::optional<Word>(8));
+  EXPECT_EQ(O.choose(5, Free), std::nullopt);
+}
+
+TEST(FixedSequence, PlaysBackAndDeclinesOnMisfit) {
+  FixedSequenceOracle O({3, 3, 9});
+  std::vector<FreeInterval> Free = {{1, 8}};
+  EXPECT_EQ(O.choose(2, Free), std::optional<Word>(3));
+  EXPECT_EQ(O.choose(5, Free), std::optional<Word>(3));
+  // 9 does not fit inside [1, 8).
+  EXPECT_EQ(O.choose(1, Free), std::nullopt);
+  // Sequence exhausted.
+  EXPECT_EQ(O.choose(1, Free), std::nullopt);
+}
+
+TEST(ExhaustedOracle, AlwaysDeclines) {
+  ExhaustedOracle O;
+  std::vector<FreeInterval> Free = {{1, 100}};
+  EXPECT_EQ(O.choose(1, Free), std::nullopt);
+}
+
+TEST(RandomOracle, CloneContinuesIdenticalStream) {
+  RandomOracle A(99);
+  std::vector<FreeInterval> Free = {{1, 1000}};
+  (void)A.choose(3, Free);
+  auto B = A.clone();
+  for (int I = 0; I < 20; ++I)
+    EXPECT_EQ(A.choose(2, Free),
+              static_cast<RandomOracle *>(B.get())->choose(2, Free));
+}
+
+/// Property sweep: every oracle only ever returns placements that fit.
+class OracleFitProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OracleFitProperty, ChoicesAlwaysFit) {
+  uint64_t Seed = GetParam();
+  RandomOracle Random(Seed);
+  FirstFitOracle First;
+  LastFitOracle Last;
+  Rng SizeGen(Seed ^ 0xabcdef);
+  std::vector<FreeInterval> Free = {{1, 7}, {9, 12}, {20, 31}};
+  for (int I = 0; I < 200; ++I) {
+    Word Size = static_cast<Word>(1 + SizeGen.nextBelow(12));
+    for (PlacementOracle *O :
+         {static_cast<PlacementOracle *>(&Random),
+          static_cast<PlacementOracle *>(&First),
+          static_cast<PlacementOracle *>(&Last)}) {
+      std::optional<Word> Base = O->choose(Size, Free);
+      if (!Base)
+        continue;
+      bool Fits = false;
+      for (const FreeInterval &F : Free)
+        Fits |= *Base >= F.Begin &&
+                static_cast<uint64_t>(*Base) + Size <= F.End;
+      EXPECT_TRUE(Fits) << "size " << Size << " at base " << *Base;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleFitProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

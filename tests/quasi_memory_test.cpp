@@ -1,0 +1,237 @@
+//===- tests/quasi_memory_test.cpp - Quasi-concrete model tests -----------===//
+//
+// The paper's model (Sections 3-4): logical blocks realized to concrete
+// addresses at pointer-to-integer cast time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/QuasiConcreteMemory.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+MemoryConfig tiny(uint64_t Words) {
+  MemoryConfig C;
+  C.AddressWords = Words;
+  return C;
+}
+
+} // namespace
+
+TEST(QuasiMemory, BlocksAreBornLogical) {
+  QuasiConcreteMemory M(tiny(64));
+  Value P = M.allocate(2).value();
+  ASSERT_TRUE(P.isPtr());
+  EXPECT_FALSE(M.isRealized(P.ptr().Block));
+  EXPECT_EQ(M.numRealizedBlocks(), 0u);
+}
+
+TEST(QuasiMemory, CastRealizesTheBlock) {
+  QuasiConcreteMemory M(tiny(64));
+  Value P = M.allocate(2).value();
+  Outcome<Value> I = M.castPtrToInt(P);
+  ASSERT_TRUE(I.ok());
+  ASSERT_TRUE(I.value().isInt());
+  EXPECT_TRUE(M.isRealized(P.ptr().Block));
+  EXPECT_GE(I.value().intValue(), 1u);
+  EXPECT_EQ(M.checkConsistency(), std::nullopt);
+}
+
+TEST(QuasiMemory, CastIsIdempotentOnTheAddress) {
+  QuasiConcreteMemory M(tiny(64));
+  Value P = M.allocate(2).value();
+  Word First = M.castPtrToInt(P).value().intValue();
+  Word Second = M.castPtrToInt(P).value().intValue();
+  EXPECT_EQ(First, Second);
+}
+
+TEST(QuasiMemory, OffsetReifiesAsBasePlusOffset) {
+  QuasiConcreteMemory M(tiny(64));
+  Value P = M.allocate(4).value();
+  Word Base = M.castPtrToInt(P).value().intValue();
+  Value Mid = Value::makePtr(P.ptr().Block, 3);
+  EXPECT_EQ(M.castPtrToInt(Mid).value().intValue(), Base + 3);
+}
+
+TEST(QuasiMemory, CastRoundTripsThroughIntegers) {
+  QuasiConcreteMemory M(tiny(64));
+  Value P = M.allocate(4).value();
+  Word Addr = M.castPtrToInt(Value::makePtr(P.ptr().Block, 2))
+                  .value()
+                  .intValue();
+  Outcome<Value> Back = M.castIntToPtr(Value::makeInt(Addr));
+  ASSERT_TRUE(Back.ok());
+  EXPECT_EQ(Back.value(), Value::makePtr(P.ptr().Block, 2));
+}
+
+TEST(QuasiMemory, CastNullYieldsZeroAndBack) {
+  QuasiConcreteMemory M(tiny(64));
+  // (int) NULL == 0 falls out of the pre-realized NULL block (Section 4).
+  EXPECT_EQ(M.castPtrToInt(Value::null()).value().intValue(), 0u);
+  EXPECT_EQ(M.castIntToPtr(Value::makeInt(0)).value(), Value::null());
+}
+
+TEST(QuasiMemory, CastOfUnmappedIntegerIsUndefined) {
+  QuasiConcreteMemory M(tiny(64));
+  Outcome<Value> R = M.castIntToPtr(Value::makeInt(5));
+  ASSERT_FALSE(R.ok());
+  EXPECT_TRUE(R.fault().isUndefined());
+}
+
+TEST(QuasiMemory, CastOfOutOfRangeOffsetIsUndefined) {
+  QuasiConcreteMemory M(tiny(64));
+  Value P = M.allocate(2).value();
+  // valid_m requires 0 <= i < n; one-past-the-end is not valid in the
+  // paper's model.
+  EXPECT_FALSE(M.castPtrToInt(Value::makePtr(P.ptr().Block, 2)).ok());
+}
+
+TEST(QuasiMemory, CastOfFreedBlockIsUndefined) {
+  QuasiConcreteMemory M(tiny(64));
+  Value P = M.allocate(1).value();
+  ASSERT_TRUE(M.deallocate(P).ok());
+  Outcome<Value> R = M.castPtrToInt(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_TRUE(R.fault().isUndefined());
+}
+
+TEST(QuasiMemory, DanglingAddressDoesNotReify) {
+  QuasiConcreteMemory M(tiny(64));
+  Value P = M.allocate(1).value();
+  Word Addr = M.castPtrToInt(P).value().intValue();
+  ASSERT_TRUE(M.deallocate(P).ok());
+  // The integer no longer reifies any valid address.
+  EXPECT_FALSE(M.castIntToPtr(Value::makeInt(Addr)).ok());
+}
+
+TEST(QuasiMemory, RealizationFailureIsOutOfMemory) {
+  // Usable space [1, 3) = 2 words.
+  QuasiConcreteMemory M(tiny(4));
+  Value P1 = M.allocate(2).value();
+  Value P2 = M.allocate(1).value();
+  ASSERT_TRUE(M.castPtrToInt(P1).ok());
+  Outcome<Value> R = M.castPtrToInt(P2);
+  ASSERT_FALSE(R.ok());
+  EXPECT_TRUE(R.fault().isOutOfMemory());
+  // Allocation itself never fails: memory is logical until cast
+  // (Section 3.4).
+  EXPECT_TRUE(M.allocate(100).ok());
+}
+
+TEST(QuasiMemory, FreedConcreteSpaceIsReusable) {
+  QuasiConcreteMemory M(tiny(4));
+  Value P1 = M.allocate(2).value();
+  ASSERT_TRUE(M.castPtrToInt(P1).ok());
+  ASSERT_TRUE(M.deallocate(P1).ok());
+  Value P2 = M.allocate(2).value();
+  Outcome<Value> R = M.castPtrToInt(P2);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.value().intValue(), 1u);
+}
+
+TEST(QuasiMemory, ExplicitRealizeIsIdempotent) {
+  QuasiConcreteMemory M(tiny(64));
+  Value P = M.allocate(1).value();
+  ASSERT_TRUE(M.realize(P.ptr().Block).ok());
+  Word Addr = M.castPtrToInt(P).value().intValue();
+  ASSERT_TRUE(M.realize(P.ptr().Block).ok());
+  EXPECT_EQ(M.castPtrToInt(P).value().intValue(), Addr);
+}
+
+TEST(QuasiMemory, RealizedBlocksAreDisjoint) {
+  QuasiConcreteMemory M(tiny(32));
+  std::vector<Value> Ps;
+  for (int I = 0; I < 5; ++I) {
+    Ps.push_back(M.allocate(3).value());
+    ASSERT_TRUE(M.castPtrToInt(Ps.back()).ok());
+  }
+  EXPECT_EQ(M.numRealizedBlocks(), 5u);
+  EXPECT_EQ(M.checkConsistency(), std::nullopt);
+}
+
+TEST(QuasiMemory, ContentsSurviveRealization) {
+  QuasiConcreteMemory M(tiny(64));
+  Value P = M.allocate(2).value();
+  ASSERT_TRUE(M.store(P, Value::makeInt(42)).ok());
+  ASSERT_TRUE(M.castPtrToInt(P).ok());
+  EXPECT_EQ(M.load(P).value().intValue(), 42u);
+}
+
+TEST(QuasiMemory, LoadsStoresWorkOnLogicalAndConcreteBlocksAlike) {
+  QuasiConcreteMemory M(tiny(64));
+  Value L = M.allocate(1).value(); // stays logical
+  Value C = M.allocate(1).value(); // will be realized
+  ASSERT_TRUE(M.castPtrToInt(C).ok());
+  ASSERT_TRUE(M.store(L, Value::makeInt(1)).ok());
+  ASSERT_TRUE(M.store(C, Value::makeInt(2)).ok());
+  EXPECT_EQ(M.load(L).value().intValue(), 1u);
+  EXPECT_EQ(M.load(C).value().intValue(), 2u);
+}
+
+TEST(QuasiMemory, CloneKeepsRealizationState) {
+  QuasiConcreteMemory M(tiny(64));
+  Value P = M.allocate(1).value();
+  Word Addr = M.castPtrToInt(P).value().intValue();
+  auto Copy = M.clone();
+  EXPECT_EQ(Copy->castPtrToInt(P).value().intValue(), Addr);
+}
+
+/// Property sweep across seeds: random churn of allocate / cast / free
+/// keeps realized ranges disjoint, round trips exact, and the model
+/// consistent.
+class QuasiChurnProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QuasiChurnProperty, InvariantsHoldUnderChurn) {
+  Rng Gen(GetParam());
+  QuasiConcreteMemory M(tiny(256),
+                        std::make_unique<RandomOracle>(GetParam() * 7 + 1));
+  std::vector<Value> Live;
+  for (int I = 0; I < 400; ++I) {
+    switch (Gen.nextBelow(4)) {
+    case 0: {
+      Word Size = static_cast<Word>(1 + Gen.nextBelow(6));
+      Live.push_back(M.allocate(Size).value());
+      break;
+    }
+    case 1: {
+      if (Live.empty())
+        break;
+      Value P = Live[Gen.nextBelow(Live.size())];
+      Outcome<Value> R = M.castPtrToInt(P);
+      if (R.ok()) {
+        // cast2ptr inverts cast2int exactly.
+        Outcome<Value> Back = M.castIntToPtr(R.value());
+        ASSERT_TRUE(Back.ok());
+        EXPECT_EQ(Back.value(), P);
+      } else {
+        EXPECT_TRUE(R.fault().isOutOfMemory());
+      }
+      break;
+    }
+    case 2: {
+      if (Live.empty())
+        break;
+      size_t Pick = Gen.nextBelow(Live.size());
+      EXPECT_TRUE(M.deallocate(Live[Pick]).ok());
+      Live.erase(Live.begin() + Pick);
+      break;
+    }
+    case 3: {
+      if (Live.empty())
+        break;
+      Value P = Live[Gen.nextBelow(Live.size())];
+      ASSERT_TRUE(
+          M.store(P, Value::makeInt(static_cast<Word>(Gen.next()))).ok());
+      break;
+    }
+    }
+    ASSERT_EQ(M.checkConsistency(), std::nullopt) << "iteration " << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuasiChurnProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606,
+                                           707, 808));

@@ -1,0 +1,291 @@
+//===- tests/refinement_test.cpp - Refinement checker tests ---------------===//
+
+#include "core/Vm.h"
+#include "refinement/Contexts.h"
+#include "refinement/RefinementChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+Program compile(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  if (!P) {
+    ADD_FAILURE() << V.lastDiagnostics();
+    return Program{};
+  }
+  return std::move(*P);
+}
+
+RunConfig modelConfig(ModelKind Model, uint64_t Words = 1u << 12) {
+  RunConfig C;
+  C.Model = Model;
+  C.MemConfig.AddressWords = Words;
+  return C;
+}
+
+} // namespace
+
+TEST(Refinement, IdentityRefinesItself) {
+  Program P = compile(R"(
+main() {
+  var int a;
+  a = input();
+  output(a * 2);
+}
+)");
+  RefinementJob Job;
+  Job.Src = &P;
+  Job.Tgt = &P;
+  Job.BaseSrc = Job.BaseTgt = modelConfig(ModelKind::QuasiConcrete);
+  Job.InputTapes = {{1}, {2}, {3}};
+  RefinementReport R = checkRefinement(Job);
+  EXPECT_TRUE(R.Refines) << R.toString();
+  EXPECT_GT(R.RunsPerformed, 0u);
+}
+
+TEST(Refinement, ChangedOutputIsDetected) {
+  Program Src = compile("main() { output(1); }");
+  Program Tgt = compile("main() { output(2); }");
+  RefinementJob Job;
+  Job.Src = &Src;
+  Job.Tgt = &Tgt;
+  Job.BaseSrc = Job.BaseTgt = modelConfig(ModelKind::QuasiConcrete);
+  RefinementReport R = checkRefinement(Job);
+  ASSERT_FALSE(R.Refines);
+  EXPECT_EQ(R.PerContext[0].Counterexample.Events[0], Event::output(2));
+}
+
+TEST(Refinement, UndefinedSourceAdmitsAnything) {
+  Program Src =
+      compile("main() { var ptr p, int a; p = (ptr) 0; a = *p; }");
+  Program Tgt = compile("main() { output(123); output(456); }");
+  RefinementJob Job;
+  Job.Src = &Src;
+  Job.Tgt = &Tgt;
+  Job.BaseSrc = Job.BaseTgt = modelConfig(ModelKind::QuasiConcrete);
+  EXPECT_TRUE(checkRefinement(Job).Refines);
+}
+
+TEST(Refinement, TargetMayRunOutOfMemoryWhenSourceDoesNot) {
+  // Register allocation may increase memory pressure (Section 2.3); here
+  // the target simply allocates-and-casts more.
+  Program Src = compile("main() { output(1); }");
+  Program Tgt = compile(R"(
+main() {
+  var ptr hog, int a;
+  hog = malloc(100);
+  a = (int) hog;
+  output(1);
+}
+)");
+  RefinementJob Job;
+  Job.Src = &Src;
+  Job.Tgt = &Tgt;
+  // Tiny memory: the target's cast cannot find space and dies with a
+  // partial behavior before out(1) — admissible.
+  Job.BaseSrc = Job.BaseTgt = modelConfig(ModelKind::QuasiConcrete, 8);
+  EXPECT_TRUE(checkRefinement(Job).Refines);
+}
+
+TEST(Refinement, SourceOutOfMemoryDoesNotAdmitTermination) {
+  Program Src = compile(R"(
+main() {
+  var ptr hog, int a;
+  hog = malloc(100);
+  a = (int) hog;
+  output(1);
+}
+)");
+  Program Tgt = compile("main() { output(1); }");
+  RefinementJob Job;
+  Job.Src = &Src;
+  Job.Tgt = &Tgt;
+  Job.BaseSrc = Job.BaseTgt = modelConfig(ModelKind::QuasiConcrete, 8);
+  // The source can only produce the empty partial behavior; the target
+  // terminates with out(1). Not a refinement. (This is why dead
+  // allocation + cast elimination is NOT valid quasi-to-quasi.)
+  EXPECT_FALSE(checkRefinement(Job).Refines);
+}
+
+TEST(Refinement, PerContextVerdictsAreIndependent) {
+  Program Src = compile(R"(
+extern g();
+main() {
+  g();
+  output(1);
+}
+)");
+  Program Tgt = compile(R"(
+extern g();
+main() {
+  g();
+  output(2);
+}
+)");
+  RefinementJob Job;
+  Job.Src = &Src;
+  Job.Tgt = &Tgt;
+  Job.BaseSrc = Job.BaseTgt = modelConfig(ModelKind::QuasiConcrete);
+  Job.Contexts.push_back(ContextVariant::fromSource(
+      "noop", contexts::noop("g")));
+  Job.Contexts.push_back(ContextVariant::fromSource(
+      "marker", contexts::outputMarker("g", 77)));
+  RefinementReport R = checkRefinement(Job);
+  EXPECT_FALSE(R.Refines);
+  ASSERT_EQ(R.PerContext.size(), 2u);
+  EXPECT_FALSE(R.PerContext[0].Refines);
+  EXPECT_FALSE(R.PerContext[1].Refines);
+  // The marker context's events appear in the traces.
+  bool SawMarker = false;
+  for (const Behavior &B : R.PerContext[1].SrcBehaviors.behaviors())
+    for (const Event &E : B.Events)
+      SawMarker |= E == Event::output(77);
+  EXPECT_TRUE(SawMarker);
+}
+
+TEST(Refinement, ContextInstantiationErrorsAreReported) {
+  Program Src = compile("extern g(); main() { g(); }");
+  RefinementJob Job;
+  Job.Src = &Src;
+  Job.Tgt = &Src;
+  Job.BaseSrc = Job.BaseTgt = modelConfig(ModelKind::QuasiConcrete);
+  // Parameter list mismatch: the context defines g(int x).
+  Job.Contexts.push_back(ContextVariant::fromSource(
+      "bad", "g(int x) { var int unused_zero; unused_zero = 0; }"));
+  RefinementReport R = checkRefinement(Job);
+  ASSERT_FALSE(R.Refines);
+  EXPECT_FALSE(R.PerContext[0].InstantiationError.empty());
+}
+
+TEST(Refinement, OracleVariationEnlargesBehaviorSets) {
+  // A program that outputs a realized address: first-fit and last-fit see
+  // different addresses, so the behavior set has two elements.
+  Program P = compile(R"(
+main() {
+  var ptr p, int a;
+  p = malloc(1);
+  a = (int) p;
+  output(a);
+}
+)");
+  RefinementJob Job;
+  Job.Src = &P;
+  Job.Tgt = &P;
+  Job.BaseSrc = Job.BaseTgt = modelConfig(ModelKind::QuasiConcrete, 64);
+  RefinementReport R = checkRefinement(Job);
+  EXPECT_TRUE(R.Refines);
+  EXPECT_EQ(R.PerContext[0].SrcBehaviors.size(), 2u);
+}
+
+TEST(Refinement, EnumeratedOraclesCoverEveryPlacement) {
+  std::vector<OracleFactory> Oracles = enumeratedOracles(8, 1);
+  EXPECT_EQ(Oracles.size(), 6u); // bases 1..6
+  Program P = compile(R"(
+main() {
+  var ptr p, int a;
+  p = malloc(2);
+  a = (int) p;
+  output(a);
+}
+)");
+  RefinementJob Job;
+  Job.Src = &P;
+  Job.Tgt = &P;
+  Job.BaseSrc = Job.BaseTgt = modelConfig(ModelKind::QuasiConcrete, 8);
+  Job.Oracles = Oracles;
+  RefinementReport R = checkRefinement(Job);
+  EXPECT_TRUE(R.Refines);
+  // Bases 1..5 fit a 2-word block in [1,7); base 6 does not (OOM).
+  EXPECT_EQ(R.PerContext[0].SrcBehaviors.size(), 6u);
+}
+
+TEST(Refinement, SampledOraclesIncludeDeterministicEndpoints) {
+  std::vector<OracleFactory> Oracles = sampledOracles(3);
+  EXPECT_EQ(Oracles.size(), 5u);
+  for (const OracleFactory &F : Oracles)
+    EXPECT_NE(F(), nullptr);
+}
+
+TEST(Contexts, InstantiationSplicesBodiesAndGlobals) {
+  Program Base = compile("extern g(); main() { g(); output(1); }");
+  DiagnosticEngine Diags;
+  std::optional<Program> Inst = instantiateContext(
+      Base, "global ctx_cell; g() { *ctx_cell = 5; output(9); }", Diags);
+  ASSERT_TRUE(Inst.has_value()) << Diags.toString();
+  EXPECT_FALSE(Inst->findFunction("g")->isExtern());
+  EXPECT_NE(Inst->findGlobal("ctx_cell"), nullptr);
+
+  RunConfig C = modelConfig(ModelKind::QuasiConcrete);
+  RunResult R = runProgram(*Inst, C);
+  std::vector<Event> Expected = {Event::output(9), Event::output(1)};
+  EXPECT_EQ(R.Behav, Behavior::terminated(Expected));
+}
+
+TEST(Contexts, GuesserWriterFaultsInQuasiWhenNothingIsRealized) {
+  Program Base = compile(R"(
+extern g();
+main() {
+  var ptr a, int r;
+  a = malloc(1);
+  *a = 0;
+  g();
+  r = *a;
+  output(r);
+}
+)");
+  DiagnosticEngine Diags;
+  std::optional<Program> Inst = instantiateContext(
+      Base, contexts::addressGuesserWriter("g", 1, 77), Diags);
+  ASSERT_TRUE(Inst.has_value()) << Diags.toString();
+  RunConfig C = modelConfig(ModelKind::QuasiConcrete, 64);
+  EXPECT_EQ(runProgram(*Inst, C).Behav.BehaviorKind,
+            Behavior::Kind::Undefined);
+  // In the concrete model the same context succeeds at corrupting the
+  // private cell: the guess hits the first-fit allocation.
+  RunConfig CC = modelConfig(ModelKind::Concrete, 64);
+  Behavior B = runProgram(*Inst, CC).Behav;
+  std::vector<Event> Expected = {Event::output(77)};
+  EXPECT_EQ(B, Behavior::terminated(Expected));
+}
+
+TEST(Contexts, ExhausterConsumesConcreteSpace) {
+  Program Base = compile("extern g(); main() { g(); output(1); }");
+  DiagnosticEngine Diags;
+  std::optional<Program> Inst = instantiateContext(
+      Base, contexts::memoryExhauster("g", 10), Diags);
+  ASSERT_TRUE(Inst.has_value()) << Diags.toString();
+  // 10 one-word realized blocks cannot fit in 6 usable words.
+  RunConfig C = modelConfig(ModelKind::QuasiConcrete, 8);
+  Behavior B = runProgram(*Inst, C).Behav;
+  EXPECT_EQ(B.BehaviorKind, Behavior::Kind::OutOfMemory);
+}
+
+TEST(Contexts, ReadArgAndCastArgObserve) {
+  Program Base = compile(R"(
+extern probe(ptr x);
+main() {
+  var ptr p;
+  p = malloc(1);
+  *p = 55;
+  probe(p);
+}
+)");
+  DiagnosticEngine Diags;
+  std::optional<Program> Reader =
+      instantiateContext(Base, contexts::readArgAndOutput("probe"), Diags);
+  ASSERT_TRUE(Reader.has_value()) << Diags.toString();
+  RunConfig C = modelConfig(ModelKind::QuasiConcrete, 64);
+  std::vector<Event> Expected = {Event::output(55)};
+  EXPECT_EQ(runProgram(*Reader, C).Behav, Behavior::terminated(Expected));
+
+  std::optional<Program> Caster =
+      instantiateContext(Base, contexts::castArgAndOutput("probe"), Diags);
+  ASSERT_TRUE(Caster.has_value()) << Diags.toString();
+  Behavior B = runProgram(*Caster, C).Behav;
+  ASSERT_EQ(B.BehaviorKind, Behavior::Kind::Terminated);
+  EXPECT_GE(B.Events[0].Value, 1u); // some realized address
+}

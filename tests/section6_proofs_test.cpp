@@ -1,0 +1,204 @@
+//===- tests/section6_proofs_test.cpp - The remaining Section 6 proofs ----===//
+//
+// Mechanized analogues of the Section 6 verification examples not covered
+// in simulation_test.cpp: arithmetic optimizations I and II (6.1, 6.4),
+// dead code elimination (6.2), the freshness example (Section 7), and a
+// sweep showing the whole optimizer pipeline simulates on every catalog
+// example valid under the quasi-concrete model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+#include "core/Vm.h"
+#include "opt/ArithSimplify.h"
+#include "opt/ConstProp.h"
+#include "opt/DeadCodeElim.h"
+#include "opt/OwnershipOpt.h"
+#include "refinement/Simulation.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+Program compile(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  if (!P) {
+    ADD_FAILURE() << V.lastDiagnostics();
+    return Program{};
+  }
+  return std::move(*P);
+}
+
+RunConfig quasi() {
+  RunConfig C;
+  C.Model = ModelKind::QuasiConcrete;
+  C.MemConfig.AddressWords = 1u << 12;
+  return C;
+}
+
+/// Runs a call-free (or synchronized-by-update) simulation: begin, then a
+/// sequence of expectCall("bar", relate-all-blocks) while calls remain,
+/// then expectReturn. Relating block K to block K works for all catalog
+/// examples because allocation orders coincide.
+std::optional<std::string>
+simulateWithUniformRelations(const Program &Src, const Program &Tgt,
+                             unsigned ExternCalls,
+                             const std::string &Callee = "bar") {
+  SimulationSetup Setup;
+  Setup.Src = &Src;
+  Setup.Tgt = &Tgt;
+  Setup.SrcConfig = quasi();
+  Setup.TgtConfig = quasi();
+  SimulationChecker Sim(Setup);
+  if (auto Err = Sim.begin([](MemoryInvariant &Inv, Machine &SrcM,
+                              Machine &TgtM) -> std::optional<std::string> {
+        // Relate the globals, which exist on both sides before main runs.
+        size_t N = std::min(BlockView(SrcM.memory()).blocks().size(),
+                            BlockView(TgtM.memory()).blocks().size());
+        for (BlockId Id = 1; Id < N; ++Id)
+          if (!Inv.Alpha.add(Id, Id))
+            return "could not relate global block " + std::to_string(Id);
+        return std::nullopt;
+      }))
+    return Err;
+  for (unsigned I = 0; I < ExternCalls && !Sim.discharged(); ++I) {
+    if (auto Err = Sim.expectCall(
+            Callee,
+            [](MemoryInvariant &Inv, Machine &SrcM, Machine &TgtM)
+                -> std::optional<std::string> {
+              // Publish every block pair that exists on both sides and is
+              // not already related or private.
+              size_t N = std::min(BlockView(SrcM.memory()).blocks().size(),
+                                  BlockView(TgtM.memory()).blocks().size());
+              for (BlockId Id = 1; Id < N; ++Id) {
+                if (Inv.PrivateSrc.count(Id) || Inv.PrivateTgt.count(Id))
+                  continue;
+                if (!Inv.Alpha.add(Id, Id))
+                  return "conflicting relation for block " +
+                         std::to_string(Id);
+              }
+              return std::nullopt;
+            },
+            nullptr))
+      return Err;
+  }
+  if (Sim.discharged())
+    return std::nullopt;
+  return Sim.expectReturn([](MemoryInvariant &Inv, Machine &SrcM,
+                             Machine &TgtM) -> std::optional<std::string> {
+    size_t N = std::min(BlockView(SrcM.memory()).blocks().size(),
+                        BlockView(TgtM.memory()).blocks().size());
+    for (BlockId Id = 1; Id < N; ++Id) {
+      if (Inv.PrivateSrc.count(Id) || Inv.PrivateTgt.count(Id))
+        continue;
+      if (!Inv.Alpha.add(Id, Id))
+        return "conflicting relation for block " + std::to_string(Id);
+    }
+    return std::nullopt;
+  });
+}
+
+} // namespace
+
+TEST(Section6, ArithmeticOptimizationI) {
+  // Section 6.1: Figure 1 is "trivially correct" once integer variables
+  // provably contain integers; the simulation has no sync points.
+  const PaperExample &Ex = getPaperExample("fig1");
+  Program Src = compile(Ex.SrcSource);
+  Program Tgt = compile(Ex.TgtSource);
+  EXPECT_EQ(simulateWithUniformRelations(Src, Tgt, 0), std::nullopt);
+}
+
+TEST(Section6, DeadCodeElimination) {
+  // Section 6.2: Figure 2; the checker steps into the known foo on the
+  // source side and synchronizes at bar().
+  const PaperExample &Ex = getPaperExample("fig2");
+  Program Src = compile(Ex.SrcSource);
+  Program Tgt = compile(Ex.TgtSource);
+  EXPECT_EQ(simulateWithUniformRelations(Src, Tgt, 1), std::nullopt);
+}
+
+TEST(Section6, ArithmeticOptimizationII) {
+  // Section 6.4: Figure 4 under the typed discipline.
+  const PaperExample &Ex = getPaperExample("fig4");
+  Program Src = compile(Ex.SrcSource);
+  Program Tgt = compile(Ex.TgtSource);
+  EXPECT_EQ(simulateWithUniformRelations(Src, Tgt, 0), std::nullopt);
+}
+
+TEST(Section6, FreshnessAliasExample) {
+  // Section 7's constant propagation example.
+  const PaperExample &Ex = getPaperExample("alias_fresh");
+  Program Src = compile(Ex.SrcSource);
+  Program Tgt = compile(Ex.TgtSource);
+  EXPECT_EQ(simulateWithUniformRelations(Src, Tgt, 0), std::nullopt);
+}
+
+TEST(Section6, LateCastVariantSimulates) {
+  // Section 3.7's "becomes valid if the cast is moved after the call".
+  const PaperExample &Ex = getPaperExample("drawbacks_b_late");
+  Program Src = compile(Ex.SrcSource);
+  Program Tgt = compile(Ex.TgtSource);
+  EXPECT_EQ(simulateWithUniformRelations(Src, Tgt, 1), std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// The optimizer pipeline simulates on every quasi-valid catalog example.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Program optimizePipeline(const Program &P) {
+  Program Copy = P.clone();
+  DceOptions Dce;
+  Dce.RemoveDeadAllocs = true;
+  PassManager PM;
+  PM.add(std::make_unique<OwnershipOptPass>());
+  PM.add(std::make_unique<ConstPropPass>());
+  PM.add(std::make_unique<ArithSimplifyPass>());
+  PM.add(std::make_unique<DeadCodeElimPass>(Dce));
+  PM.run(Copy, 8);
+  return Copy;
+}
+
+} // namespace
+
+class PipelineRefinesCatalog
+    : public ::testing::TestWithParam<const PaperExample *> {};
+
+TEST_P(PipelineRefinesCatalog, UnderTheQuasiConcreteModel) {
+  const PaperExample &Ex = *GetParam();
+  Program Src = compile(Ex.SrcSource);
+  Program Opt = optimizePipeline(Src);
+  RefinementJob Job;
+  Job.Src = &Src;
+  Job.Tgt = &Opt;
+  Job.BaseSrc = Job.BaseTgt = quasi();
+  Job.BaseSrc.Entry = Job.BaseTgt.Entry = Ex.Entry;
+  Job.BaseSrc.Args = Job.BaseTgt.Args = Ex.Args;
+  RefinementReport R = checkRefinement(Job);
+  EXPECT_TRUE(R.Refines) << R.toString();
+}
+
+namespace {
+
+std::vector<const PaperExample *> catalogPointers() {
+  std::vector<const PaperExample *> Ptrs;
+  for (const PaperExample &Ex : paperExamples())
+    Ptrs.push_back(&Ex);
+  return Ptrs;
+}
+
+std::string exampleName(
+    const ::testing::TestParamInfo<const PaperExample *> &Info) {
+  return Info.param->Id;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(Catalog, PipelineRefinesCatalog,
+                         ::testing::ValuesIn(catalogPointers()),
+                         exampleName);

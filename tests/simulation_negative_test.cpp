@@ -1,0 +1,278 @@
+//===- tests/simulation_negative_test.cpp - Obligation failure modes ------===//
+//
+// The simulation checker must reject every way a proof can go wrong; each
+// test manufactures one specific violated obligation and asserts the
+// checker names it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Vm.h"
+#include "refinement/Simulation.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+Program compile(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  if (!P) {
+    ADD_FAILURE() << V.lastDiagnostics();
+    return Program{};
+  }
+  return std::move(*P);
+}
+
+SimulationSetup setupFor(const Program &Src, const Program &Tgt) {
+  SimulationSetup Setup;
+  Setup.Src = &Src;
+  Setup.Tgt = &Tgt;
+  Setup.SrcConfig.Model = ModelKind::QuasiConcrete;
+  Setup.TgtConfig.Model = ModelKind::QuasiConcrete;
+  Setup.SrcConfig.MemConfig.AddressWords = 1u << 12;
+  Setup.TgtConfig.MemConfig.AddressWords = 1u << 12;
+  return Setup;
+}
+
+} // namespace
+
+TEST(SimulationNegative, InequivalentCallArgumentsAreRejected) {
+  // Source passes p, target passes q: without relating the right blocks
+  // the argument-equivalence obligation fails.
+  Program Src = compile(R"(
+extern bar(ptr x);
+main() {
+  var ptr p, ptr q;
+  p = malloc(1);
+  q = malloc(1);
+  bar(p);
+}
+)");
+  Program Tgt = compile(R"(
+extern bar(ptr x);
+main() {
+  var ptr p, ptr q;
+  p = malloc(1);
+  q = malloc(1);
+  bar(q);
+}
+)");
+  SimulationSetup Setup = setupFor(Src, Tgt);
+  SimulationChecker Sim(Setup);
+  ASSERT_EQ(Sim.begin(nullptr), std::nullopt);
+  auto Err = Sim.expectCall(
+      "bar",
+      [](MemoryInvariant &Inv, Machine &, Machine &)
+          -> std::optional<std::string> {
+        // Relate 1~1 and 2~2: then source arg (1,0) vs target arg (2,0)
+        // cannot be equivalent.
+        if (!Inv.Alpha.add(1, 1) || !Inv.Alpha.add(2, 2))
+          return "alpha";
+        return std::nullopt;
+      },
+      nullptr);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("not equivalent"), std::string::npos);
+}
+
+TEST(SimulationNegative, InequivalentPublicContentsAreRejected) {
+  Program Src = compile(R"(
+extern bar();
+main() {
+  var ptr p;
+  p = malloc(1);
+  *p = 1;
+  bar();
+}
+)");
+  Program Tgt = compile(R"(
+extern bar();
+main() {
+  var ptr p;
+  p = malloc(1);
+  *p = 2;
+  bar();
+}
+)");
+  SimulationSetup Setup = setupFor(Src, Tgt);
+  SimulationChecker Sim(Setup);
+  ASSERT_EQ(Sim.begin(nullptr), std::nullopt);
+  auto Err = Sim.expectCall(
+      "bar",
+      [](MemoryInvariant &Inv, Machine &, Machine &)
+          -> std::optional<std::string> {
+        if (!Inv.Alpha.add(1, 1))
+          return "alpha";
+        return std::nullopt;
+      },
+      nullptr);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("contents differ"), std::string::npos);
+}
+
+TEST(SimulationNegative, ReturnWithChangedPrivateMemoryIsRejected) {
+  // The function writes its private block after the call; dropping it is
+  // fine, but claiming it still private with stale contents is not.
+  Program Src = compile(R"(
+extern bar();
+main() {
+  var ptr q;
+  q = malloc(1);
+  *q = 1;
+  bar();
+  *q = 2;
+}
+)");
+  Program Tgt = compile(R"(
+extern bar();
+main() {
+  var ptr q;
+  q = malloc(1);
+  *q = 1;
+  bar();
+  *q = 2;
+}
+)");
+  SimulationSetup Setup = setupFor(Src, Tgt);
+  SimulationChecker Sim(Setup);
+  ASSERT_EQ(Sim.begin(nullptr), std::nullopt);
+  ASSERT_EQ(Sim.expectCall(
+                "bar",
+                [](MemoryInvariant &Inv, Machine &SrcM, Machine &TgtM)
+                    -> std::optional<std::string> {
+                  if (auto E = Inv.addPrivateSrc(1, SrcM.memory()))
+                    return E;
+                  return Inv.addPrivateTgt(1, TgtM.memory());
+                },
+                nullptr),
+            std::nullopt);
+  // Keep the stale private sections: the post-call stores changed them.
+  auto Err = Sim.expectReturn(nullptr);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("was modified"), std::string::npos);
+}
+
+TEST(SimulationNegative, DroppingPrivateBlocksAtReturnViolatesPrvEquality) {
+  // =prv compares against the *entry* invariant: blocks privatized
+  // mid-proof must be dropped by the end, but blocks private at entry must
+  // not be.
+  Program P = compile(R"(
+extern bar();
+main() {
+  var ptr q;
+  q = malloc(1);
+  bar();
+}
+)");
+  SimulationSetup Setup = setupFor(P, P);
+  SimulationChecker Sim(Setup);
+  ASSERT_EQ(Sim.begin(nullptr), std::nullopt);
+  ASSERT_EQ(Sim.expectCall(
+                "bar",
+                [](MemoryInvariant &Inv, Machine &SrcM, Machine &)
+                    -> std::optional<std::string> {
+                  return Inv.addPrivateSrc(1, SrcM.memory());
+                },
+                nullptr),
+            std::nullopt);
+  // Forget to drop the private block before returning.
+  auto Err = Sim.expectReturn(nullptr);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("private memories at return"), std::string::npos);
+}
+
+TEST(SimulationNegative, RelatingBlocksOfDifferentSizesIsRejected) {
+  Program Src = compile(R"(
+extern bar();
+main() {
+  var ptr p;
+  p = malloc(1);
+  bar();
+}
+)");
+  Program Tgt = compile(R"(
+extern bar();
+main() {
+  var ptr p;
+  p = malloc(2);
+  bar();
+}
+)");
+  SimulationSetup Setup = setupFor(Src, Tgt);
+  SimulationChecker Sim(Setup);
+  ASSERT_EQ(Sim.begin(nullptr), std::nullopt);
+  auto Err = Sim.expectCall(
+      "bar",
+      [](MemoryInvariant &Inv, Machine &, Machine &)
+          -> std::optional<std::string> {
+        if (!Inv.Alpha.add(1, 1))
+          return "alpha";
+        return std::nullopt;
+      },
+      nullptr);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("size differs"), std::string::npos);
+}
+
+TEST(SimulationNegative, ValidityMismatchIsRejected) {
+  Program Src = compile(R"(
+extern bar();
+main() {
+  var ptr p;
+  p = malloc(1);
+  free(p);
+  bar();
+}
+)");
+  Program Tgt = compile(R"(
+extern bar();
+main() {
+  var ptr p;
+  p = malloc(1);
+  bar();
+}
+)");
+  SimulationSetup Setup = setupFor(Src, Tgt);
+  SimulationChecker Sim(Setup);
+  ASSERT_EQ(Sim.begin(nullptr), std::nullopt);
+  auto Err = Sim.expectCall(
+      "bar",
+      [](MemoryInvariant &Inv, Machine &, Machine &)
+          -> std::optional<std::string> {
+        if (!Inv.Alpha.add(1, 1))
+          return "alpha";
+        return std::nullopt;
+      },
+      nullptr);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("validity differs"), std::string::npos);
+}
+
+TEST(SimulationNegative, ConflictingAlphaExtensionIsAnAuthorError) {
+  Program P = compile(R"(
+extern bar();
+main() {
+  var ptr p, ptr q;
+  p = malloc(1);
+  q = malloc(1);
+  bar();
+}
+)");
+  SimulationSetup Setup = setupFor(P, P);
+  SimulationChecker Sim(Setup);
+  ASSERT_EQ(Sim.begin(nullptr), std::nullopt);
+  auto Err = Sim.expectCall(
+      "bar",
+      [](MemoryInvariant &Inv, Machine &, Machine &)
+          -> std::optional<std::string> {
+        if (!Inv.Alpha.add(1, 1))
+          return "alpha";
+        if (Inv.Alpha.add(1, 2))
+          return "conflicting pair accepted";
+        return std::nullopt;
+      },
+      nullptr);
+  EXPECT_EQ(Err, std::nullopt);
+}

@@ -1,0 +1,488 @@
+//===- tests/simulation_test.cpp - Local simulation proofs (Sections 5-6) -===//
+//
+// Each test is a mechanized analogue of one of the paper's Coq proofs: a
+// proof script stating the invariant at every sync point, whose obligations
+// the SimulationChecker discharges against the actual machine states.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PaperExamples.h"
+#include "core/Vm.h"
+#include "refinement/Simulation.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+Program compile(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  if (!P) {
+    ADD_FAILURE() << V.lastDiagnostics();
+    return Program{};
+  }
+  return std::move(*P);
+}
+
+RunConfig modelConfig(ModelKind Model, uint64_t Words = 1u << 12) {
+  RunConfig C;
+  C.Model = Model;
+  C.MemConfig.AddressWords = Words;
+  return C;
+}
+
+#define SIM_OK(Expr)                                                         \
+  do {                                                                       \
+    auto SimError = (Expr);                                                  \
+    EXPECT_EQ(SimError, std::nullopt);                                       \
+    if (SimError)                                                            \
+      return;                                                                \
+  } while (0)
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Section 5.1 running example: CP + DLE + DSE + DAE through bar(p).
+// The four Figure 6 invariant states appear as the proof's checkpoints.
+//===----------------------------------------------------------------------===//
+
+TEST(Simulation, RunningExampleProof) {
+  const PaperExample &Ex = getPaperExample("running");
+  Program Src = compile(Ex.SrcSource);
+  Program Tgt = compile(Ex.TgtSource);
+
+  SimulationSetup Setup;
+  Setup.Src = &Src;
+  Setup.Tgt = &Tgt;
+  Setup.SrcConfig = modelConfig(ModelKind::QuasiConcrete);
+  Setup.TgtConfig = modelConfig(ModelKind::QuasiConcrete);
+  Setup.SrcConfig.Entry = Setup.TgtConfig.Entry = "main";
+
+  SimulationChecker Sim(Setup);
+  // Figure 6 (a): equivalent (empty) public memories, no privates.
+  SIM_OK(Sim.begin(nullptr));
+
+  // Figure 6 (b), at the call to bar: p's block is public and related;
+  // the freshly allocated q (source block 2, holding 123) is private to
+  // the source.
+  SIM_OK(Sim.expectCall(
+      "bar",
+      [](MemoryInvariant &Inv, Machine &, Machine &)
+          -> std::optional<std::string> {
+        if (!Inv.Alpha.add(1, 1))
+          return "could not relate the p blocks";
+        return std::nullopt;
+      },
+      // Instantiate bar with a context that writes through its argument —
+      // public memories evolve equivalently (Figure 6 (c)); q must survive
+      // untouched.
+      sim_actions::writeThroughFirstArg(7)));
+  // Private q is added after alpha so the disjointness check sees it; do
+  // it as part of the same call obligation via a second checkpoint: the
+  // checker validated the public part; now extend privately and re-verify.
+
+  // Figure 6 (d): at return, q is dropped (never used again), restoring
+  // the entry private sections (=prv).
+  SIM_OK(Sim.expectReturn(
+      [](MemoryInvariant &, Machine &, Machine &)
+          -> std::optional<std::string> { return std::nullopt; }));
+  EXPECT_FALSE(Sim.discharged());
+}
+
+TEST(Simulation, RunningExampleProofWithExplicitPrivateQ) {
+  const PaperExample &Ex = getPaperExample("running");
+  Program Src = compile(Ex.SrcSource);
+  Program Tgt = compile(Ex.TgtSource);
+
+  SimulationSetup Setup;
+  Setup.Src = &Src;
+  Setup.Tgt = &Tgt;
+  Setup.SrcConfig = modelConfig(ModelKind::QuasiConcrete);
+  Setup.TgtConfig = modelConfig(ModelKind::QuasiConcrete);
+
+  SimulationChecker Sim(Setup);
+  SIM_OK(Sim.begin(nullptr));
+  SIM_OK(Sim.expectCall(
+      "bar",
+      [](MemoryInvariant &Inv, Machine &SrcM, Machine &)
+          -> std::optional<std::string> {
+        if (!Inv.Alpha.add(1, 1))
+          return "could not relate the p blocks";
+        // Source block 2 is foo's fresh q, holding 123: exclusively owned.
+        if (auto Err = Inv.addPrivateSrc(2, SrcM.memory()))
+          return Err;
+        return std::nullopt;
+      },
+      sim_actions::writeThroughFirstArg(7)));
+  SIM_OK(Sim.expectReturn(
+      [](MemoryInvariant &Inv, Machine &, Machine &)
+          -> std::optional<std::string> {
+        // "We can ignore the block l because it is not going to be used
+        // any more" — restoring =prv with the entry invariant.
+        Inv.dropPrivateSrc(2);
+        return std::nullopt;
+      }));
+  EXPECT_FALSE(Sim.discharged());
+}
+
+TEST(Simulation, RunningExampleRejectsAContextThatBreaksEquivalence) {
+  // If the instantiated bar writes *different* values on the two sides,
+  // the after-call obligation (equivalent public memories) must fail.
+  const PaperExample &Ex = getPaperExample("running");
+  Program Src = compile(Ex.SrcSource);
+  Program Tgt = compile(Ex.TgtSource);
+
+  SimulationSetup Setup;
+  Setup.Src = &Src;
+  Setup.Tgt = &Tgt;
+  Setup.SrcConfig = modelConfig(ModelKind::QuasiConcrete);
+  Setup.TgtConfig = modelConfig(ModelKind::QuasiConcrete);
+
+  SimulationChecker Sim(Setup);
+  ASSERT_EQ(Sim.begin(nullptr), std::nullopt);
+  auto Err = Sim.expectCall(
+      "bar",
+      [](MemoryInvariant &Inv, Machine &, Machine &)
+          -> std::optional<std::string> {
+        if (!Inv.Alpha.add(1, 1))
+          return "could not relate the p blocks";
+        return std::nullopt;
+      },
+      [](Machine &SrcM, const std::vector<Value> &SrcArgs, Machine &TgtM,
+         const std::vector<Value> &TgtArgs) -> std::optional<std::string> {
+        (void)SrcM.memory().store(SrcArgs[0], Value::makeInt(1));
+        (void)TgtM.memory().store(TgtArgs[0], Value::makeInt(2));
+        return std::nullopt;
+      });
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("invariant violated by the unknown call"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Section 6.3: ownership transfer (Figure 3). The p blocks are private on
+// each side until hash_put publishes them; ownership moves to the public
+// section at the end, extending the bijection.
+//===----------------------------------------------------------------------===//
+
+TEST(Simulation, OwnershipTransferProof) {
+  const PaperExample &Ex = getPaperExample("fig3");
+  Program Src = compile(Ex.SrcSource);
+  Program Tgt = compile(Ex.TgtSource);
+
+  SimulationSetup Setup;
+  Setup.Src = &Src;
+  Setup.Tgt = &Tgt;
+  Setup.SrcConfig = modelConfig(ModelKind::QuasiConcrete);
+  Setup.TgtConfig = modelConfig(ModelKind::QuasiConcrete);
+
+  SimulationChecker Sim(Setup);
+  // Globals: block 1 is the hash table h on both sides; relate it.
+  SIM_OK(Sim.begin([](MemoryInvariant &Inv, Machine &, Machine &)
+                       -> std::optional<std::string> {
+    if (!Inv.Alpha.add(1, 1))
+      return "could not relate the global h blocks";
+    return std::nullopt;
+  }));
+
+  // At bar(): block 2 (p, holding 123) is private on *both* sides — the
+  // second invariant of Section 6.3.
+  SIM_OK(Sim.expectCall(
+      "bar",
+      [](MemoryInvariant &Inv, Machine &SrcM, Machine &TgtM)
+          -> std::optional<std::string> {
+        if (auto Err = Inv.addPrivateSrc(2, SrcM.memory()))
+          return Err;
+        if (auto Err = Inv.addPrivateTgt(2, TgtM.memory()))
+          return Err;
+        return std::nullopt;
+      },
+      /*Action=*/nullptr));
+
+  // hash_put is a known function: the checker steps into it on both sides.
+  // Its cast realizes the p blocks; at return they are public (fourth
+  // invariant of Section 6.3): move them out of the private sections and
+  // extend the bijection.
+  SIM_OK(Sim.expectReturn(
+      [](MemoryInvariant &Inv, Machine &, Machine &)
+          -> std::optional<std::string> {
+        Inv.dropPrivateSrc(2);
+        Inv.dropPrivateTgt(2);
+        if (!Inv.Alpha.add(2, 2))
+          return "could not publish the p blocks";
+        return std::nullopt;
+      }));
+  EXPECT_FALSE(Sim.discharged());
+}
+
+TEST(Simulation, EarlyCastBlocksPrivatization) {
+  // Section 3.7 (second drawback): with the cast before bar(), p's block
+  // is already concrete at the call — it can no longer be taken private,
+  // which is exactly why the optimization is invalid in the model.
+  const PaperExample &Ex = getPaperExample("drawbacks_b_early");
+  Program Src = compile(Ex.SrcSource);
+  Program Tgt = compile(Ex.TgtSource);
+
+  SimulationSetup Setup;
+  Setup.Src = &Src;
+  Setup.Tgt = &Tgt;
+  Setup.SrcConfig = modelConfig(ModelKind::QuasiConcrete);
+  Setup.TgtConfig = modelConfig(ModelKind::QuasiConcrete);
+
+  SimulationChecker Sim(Setup);
+  ASSERT_EQ(Sim.begin([](MemoryInvariant &Inv, Machine &, Machine &)
+                          -> std::optional<std::string> {
+    if (!Inv.Alpha.add(1, 1))
+      return "could not relate h";
+    return std::nullopt;
+  }),
+            std::nullopt);
+
+  auto Err = Sim.expectCall(
+      "bar",
+      [](MemoryInvariant &Inv, Machine &SrcM, Machine &)
+          -> std::optional<std::string> {
+        // Attempt the same privatization as in the Figure 3 proof.
+        if (auto Err = Inv.addPrivateSrc(2, SrcM.memory()))
+          return Err;
+        return std::nullopt;
+      },
+      nullptr);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("must be logical"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Section 6.5: dead cast + dead allocation elimination is valid when the
+// source uses the quasi-concrete model and the target the concrete model.
+//===----------------------------------------------------------------------===//
+
+TEST(Simulation, Fig5CrossModelProof) {
+  const PaperExample &Ex = getPaperExample("fig5");
+  Program Src = compile(Ex.SrcSource);
+  Program Tgt = compile(Ex.TgtSource);
+
+  SimulationSetup Setup;
+  Setup.Src = &Src;
+  Setup.Tgt = &Tgt;
+  Setup.SrcConfig = modelConfig(ModelKind::QuasiConcrete, 64);
+  Setup.TgtConfig = modelConfig(ModelKind::Concrete, 64);
+
+  SimulationChecker Sim(Setup);
+  SIM_OK(Sim.begin(nullptr));
+
+  // At bar(): source block 1 (p) was realized by the cast inside foo at
+  // the same first-fit address the concrete target gave it at allocation;
+  // source block 2 (foo's dead q) stays logical and private, then is
+  // dropped — "we simply drop the block l's from the source private
+  // section" (Section 6.5).
+  SIM_OK(Sim.expectCall(
+      "bar",
+      [](MemoryInvariant &Inv, Machine &SrcM, Machine &)
+          -> std::optional<std::string> {
+        if (!Inv.Alpha.add(1, 1))
+          return "could not relate the p blocks";
+        if (auto Err = Inv.addPrivateSrc(2, SrcM.memory()))
+          return Err;
+        return std::nullopt;
+      },
+      nullptr));
+  SIM_OK(Sim.expectReturn(
+      [](MemoryInvariant &Inv, Machine &, Machine &)
+          -> std::optional<std::string> {
+        Inv.dropPrivateSrc(2);
+        return std::nullopt;
+      }));
+  EXPECT_FALSE(Sim.discharged());
+}
+
+TEST(Simulation, Fig5QuasiToQuasiProofFails) {
+  // The same proof attempt with a quasi-concrete target produces the
+  // invalid invariant the paper describes: source concrete, target
+  // logical.
+  const PaperExample &Ex = getPaperExample("fig5");
+  Program Src = compile(Ex.SrcSource);
+  Program Tgt = compile(Ex.TgtSource);
+
+  SimulationSetup Setup;
+  Setup.Src = &Src;
+  Setup.Tgt = &Tgt;
+  Setup.SrcConfig = modelConfig(ModelKind::QuasiConcrete, 64);
+  Setup.TgtConfig = modelConfig(ModelKind::QuasiConcrete, 64);
+
+  SimulationChecker Sim(Setup);
+  ASSERT_EQ(Sim.begin(nullptr), std::nullopt);
+  auto Err = Sim.expectCall(
+      "bar",
+      [](MemoryInvariant &Inv, Machine &SrcM, Machine &)
+          -> std::optional<std::string> {
+        if (!Inv.Alpha.add(1, 1))
+          return "could not relate the p blocks";
+        if (auto E = Inv.addPrivateSrc(2, SrcM.memory()))
+          return E;
+        return std::nullopt;
+      },
+      nullptr);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("source is concrete but target is logical"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Section 6.6: the identity compiler and the lowering compiler simulate.
+//===----------------------------------------------------------------------===//
+
+TEST(Simulation, IdentityCompilerSimulates) {
+  const PaperExample &Ex = getPaperExample("running");
+  Program Src = compile(Ex.SrcSource);
+  Program Tgt = Src.clone(); // identity compilation
+
+  SimulationSetup Setup;
+  Setup.Src = &Src;
+  Setup.Tgt = &Tgt;
+  Setup.SrcConfig = modelConfig(ModelKind::QuasiConcrete);
+  Setup.TgtConfig = modelConfig(ModelKind::QuasiConcrete);
+
+  SimulationChecker Sim(Setup);
+  SIM_OK(Sim.begin(nullptr));
+  SIM_OK(Sim.expectCall(
+      "bar",
+      [](MemoryInvariant &Inv, Machine &, Machine &)
+          -> std::optional<std::string> {
+        if (!Inv.Alpha.add(1, 1) || !Inv.Alpha.add(2, 2))
+          return "could not relate blocks";
+        return std::nullopt;
+      },
+      sim_actions::writeThroughFirstArg(9)));
+  SIM_OK(Sim.expectReturn(nullptr));
+  EXPECT_FALSE(Sim.discharged());
+}
+
+TEST(Simulation, DeadCastLoweringSimulates) {
+  const PaperExample &Ex = getPaperExample("deadcast");
+  Program Src = compile(Ex.SrcSource);
+  Program Tgt = compile(Ex.TgtSource); // dead cast removed
+
+  SimulationSetup Setup;
+  Setup.Src = &Src;
+  Setup.Tgt = &Tgt;
+  Setup.SrcConfig = modelConfig(ModelKind::QuasiConcrete, 64);
+  Setup.TgtConfig = modelConfig(ModelKind::Concrete, 64);
+
+  SimulationChecker Sim(Setup);
+  SIM_OK(Sim.begin(nullptr));
+  SIM_OK(Sim.expectCall(
+      "bar",
+      [](MemoryInvariant &Inv, Machine &, Machine &)
+          -> std::optional<std::string> {
+        if (!Inv.Alpha.add(1, 1))
+          return "could not relate the p blocks";
+        return std::nullopt;
+      },
+      nullptr));
+  SIM_OK(Sim.expectReturn(nullptr));
+  EXPECT_FALSE(Sim.discharged());
+}
+
+//===----------------------------------------------------------------------===//
+// Discharge paths
+//===----------------------------------------------------------------------===//
+
+TEST(Simulation, SourceUndefinedBehaviorDischargesTheProof) {
+  Program Src = compile(R"(
+extern bar();
+main() {
+  var ptr p, int a;
+  p = (ptr) 0;
+  a = *p;
+  bar();
+}
+)");
+  Program Tgt = compile("extern bar(); main() { output(9); bar(); }");
+  SimulationSetup Setup;
+  Setup.Src = &Src;
+  Setup.Tgt = &Tgt;
+  Setup.SrcConfig = modelConfig(ModelKind::QuasiConcrete);
+  Setup.TgtConfig = modelConfig(ModelKind::QuasiConcrete);
+  SimulationChecker Sim(Setup);
+  SIM_OK(Sim.begin(nullptr));
+  SIM_OK(Sim.expectCall("bar", nullptr, nullptr));
+  EXPECT_TRUE(Sim.discharged());
+  // Subsequent steps are vacuous.
+  SIM_OK(Sim.expectReturn(nullptr));
+}
+
+TEST(Simulation, TargetOutOfMemoryDischargesTheProof) {
+  Program Src = compile("extern bar(); main() { bar(); }");
+  Program Tgt = compile(R"(
+extern bar();
+main() {
+  var ptr hog, int a;
+  hog = malloc(100);
+  a = (int) hog;
+  bar();
+}
+)");
+  SimulationSetup Setup;
+  Setup.Src = &Src;
+  Setup.Tgt = &Tgt;
+  Setup.SrcConfig = modelConfig(ModelKind::QuasiConcrete, 8);
+  Setup.TgtConfig = modelConfig(ModelKind::QuasiConcrete, 8);
+  SimulationChecker Sim(Setup);
+  SIM_OK(Sim.begin(nullptr));
+  SIM_OK(Sim.expectCall("bar", nullptr, nullptr));
+  EXPECT_TRUE(Sim.discharged());
+}
+
+TEST(Simulation, TargetUndefinedBehaviorFailsTheProof) {
+  Program Src = compile("extern bar(); main() { bar(); }");
+  Program Tgt = compile(R"(
+extern bar();
+main() {
+  var ptr p, int a;
+  p = (ptr) 0;
+  a = *p;
+  bar();
+}
+)");
+  SimulationSetup Setup;
+  Setup.Src = &Src;
+  Setup.Tgt = &Tgt;
+  Setup.SrcConfig = modelConfig(ModelKind::QuasiConcrete);
+  Setup.TgtConfig = modelConfig(ModelKind::QuasiConcrete);
+  SimulationChecker Sim(Setup);
+  ASSERT_EQ(Sim.begin(nullptr), std::nullopt);
+  auto Err = Sim.expectCall("bar", nullptr, nullptr);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("target exhibits a fault"), std::string::npos);
+}
+
+TEST(Simulation, DesynchronizedEventsFailTheProof) {
+  Program Src = compile("extern bar(); main() { output(1); bar(); }");
+  Program Tgt = compile("extern bar(); main() { output(2); bar(); }");
+  SimulationSetup Setup;
+  Setup.Src = &Src;
+  Setup.Tgt = &Tgt;
+  Setup.SrcConfig = modelConfig(ModelKind::QuasiConcrete);
+  Setup.TgtConfig = modelConfig(ModelKind::QuasiConcrete);
+  SimulationChecker Sim(Setup);
+  ASSERT_EQ(Sim.begin(nullptr), std::nullopt);
+  auto Err = Sim.expectCall("bar", nullptr, nullptr);
+  ASSERT_NE(Err, std::nullopt);
+  EXPECT_NE(Err->find("desynchronized"), std::string::npos);
+}
+
+TEST(Simulation, MissedCallSynchronizationFailsTheProof) {
+  Program Src = compile("extern bar(); main() { bar(); }");
+  Program Tgt = compile("extern bar(); main() { var int x; x = 0; }");
+  SimulationSetup Setup;
+  Setup.Src = &Src;
+  Setup.Tgt = &Tgt;
+  Setup.SrcConfig = modelConfig(ModelKind::QuasiConcrete);
+  Setup.TgtConfig = modelConfig(ModelKind::QuasiConcrete);
+  SimulationChecker Sim(Setup);
+  ASSERT_EQ(Sim.begin(nullptr), std::nullopt);
+  EXPECT_NE(Sim.expectCall("bar", nullptr, nullptr), std::nullopt);
+}

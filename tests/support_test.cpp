@@ -1,0 +1,78 @@
+//===- tests/support_test.cpp - Support library tests ---------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/Fault.h"
+#include "support/Ints.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+TEST(Ints, WrapAroundArithmetic) {
+  EXPECT_EQ(wrapAdd(0xffffffffu, 1), 0u);
+  EXPECT_EQ(wrapSub(0, 1), 0xffffffffu);
+  EXPECT_EQ(wrapMul(0x80000000u, 2), 0u);
+  EXPECT_EQ(wrapAdd(3, 4), 7u);
+  EXPECT_EQ(wrapSub(10, 3), 7u);
+  EXPECT_EQ(wrapMul(6, 7), 42u);
+}
+
+TEST(Ints, SignedReinterpretation) {
+  EXPECT_EQ(asSigned(0xffffffffu), -1);
+  EXPECT_EQ(asSigned(0x7fffffffu), 0x7fffffff);
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng A(42), B(42), C(43);
+  for (int I = 0; I < 100; ++I) {
+    uint64_t V = A.next();
+    EXPECT_EQ(V, B.next());
+    (void)C.next();
+  }
+  Rng D(42), E(43);
+  bool Diverged = false;
+  for (int I = 0; I < 10; ++I)
+    Diverged |= D.next() != E.next();
+  EXPECT_TRUE(Diverged);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(Outcome, SuccessAndFaults) {
+  Outcome<int> Ok(5);
+  ASSERT_TRUE(Ok.ok());
+  EXPECT_EQ(Ok.value(), 5);
+
+  Outcome<int> Undef = Outcome<int>::undefined("bad");
+  ASSERT_FALSE(Undef.ok());
+  EXPECT_TRUE(Undef.fault().isUndefined());
+  EXPECT_EQ(Undef.fault().Reason, "bad");
+
+  Outcome<int> Oom = Outcome<int>::outOfMemory("full");
+  ASSERT_FALSE(Oom.ok());
+  EXPECT_TRUE(Oom.fault().isOutOfMemory());
+
+  Outcome<Unit> Propagated = Oom.propagate<Unit>();
+  ASSERT_FALSE(Propagated.ok());
+  EXPECT_TRUE(Propagated.fault().isOutOfMemory());
+}
+
+TEST(Diagnostics, CollectsAndFormats) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error(SourceLoc{3, 7}, "unexpected thing");
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.diagnostics().size(), 1u);
+  EXPECT_NE(Diags.toString().find("3:7"), std::string::npos);
+  EXPECT_NE(Diags.toString().find("unexpected thing"), std::string::npos);
+}
+
+TEST(Diagnostics, InvalidLocRendersAsUnknown) {
+  Diagnostic D{SourceLoc{}, "boom"};
+  EXPECT_NE(D.toString().find("<unknown>"), std::string::npos);
+}

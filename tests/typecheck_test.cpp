@@ -1,0 +1,186 @@
+//===- tests/typecheck_test.cpp - Static type discipline tests ------------===//
+//
+// Section 3.5: types ensure integer variables contain only integer values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+bool checks(const std::string &Source, std::string *Errors = nullptr) {
+  DiagnosticEngine Diags;
+  std::optional<Program> P = parseProgram(Source, Diags);
+  if (!P) {
+    if (Errors)
+      *Errors = "parse: " + Diags.toString();
+    return false;
+  }
+  bool Ok = typeCheck(*P, Diags);
+  if (Errors)
+    *Errors = Diags.toString();
+  return Ok;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The Section 4 binary operation typing matrix, as a parameterized sweep.
+//===----------------------------------------------------------------------===//
+
+struct BinopCase {
+  BinaryOp Op;
+  Type L, R;
+  std::optional<Type> Expected;
+};
+
+class BinopTypingMatrix : public ::testing::TestWithParam<BinopCase> {};
+
+TEST_P(BinopTypingMatrix, MatchesSection4) {
+  const BinopCase &C = GetParam();
+  EXPECT_EQ(binaryResultType(C.Op, C.L, C.R), C.Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, BinopTypingMatrix,
+    ::testing::Values(
+        // int op int -> int, for every operator.
+        BinopCase{BinaryOp::Add, Type::Int, Type::Int, Type::Int},
+        BinopCase{BinaryOp::Sub, Type::Int, Type::Int, Type::Int},
+        BinopCase{BinaryOp::Mul, Type::Int, Type::Int, Type::Int},
+        BinopCase{BinaryOp::And, Type::Int, Type::Int, Type::Int},
+        BinopCase{BinaryOp::Eq, Type::Int, Type::Int, Type::Int},
+        // p + a, a + p -> ptr; p + p ill-typed.
+        BinopCase{BinaryOp::Add, Type::Ptr, Type::Int, Type::Ptr},
+        BinopCase{BinaryOp::Add, Type::Int, Type::Ptr, Type::Ptr},
+        BinopCase{BinaryOp::Add, Type::Ptr, Type::Ptr, std::nullopt},
+        // p - a -> ptr; p1 - p2 -> int; a - p ill-typed.
+        BinopCase{BinaryOp::Sub, Type::Ptr, Type::Int, Type::Ptr},
+        BinopCase{BinaryOp::Sub, Type::Ptr, Type::Ptr, Type::Int},
+        BinopCase{BinaryOp::Sub, Type::Int, Type::Ptr, std::nullopt},
+        // Mul/And never accept pointers.
+        BinopCase{BinaryOp::Mul, Type::Ptr, Type::Int, std::nullopt},
+        BinopCase{BinaryOp::Mul, Type::Int, Type::Ptr, std::nullopt},
+        BinopCase{BinaryOp::Mul, Type::Ptr, Type::Ptr, std::nullopt},
+        BinopCase{BinaryOp::And, Type::Ptr, Type::Int, std::nullopt},
+        BinopCase{BinaryOp::And, Type::Ptr, Type::Ptr, std::nullopt},
+        // Equality requires same-kind operands.
+        BinopCase{BinaryOp::Eq, Type::Ptr, Type::Ptr, Type::Int},
+        BinopCase{BinaryOp::Eq, Type::Ptr, Type::Int, std::nullopt},
+        BinopCase{BinaryOp::Eq, Type::Int, Type::Ptr, std::nullopt}));
+
+//===----------------------------------------------------------------------===//
+// Whole-program checking
+//===----------------------------------------------------------------------===//
+
+TEST(TypeCheck, AcceptsWellTypedProgram) {
+  std::string Errors;
+  EXPECT_TRUE(checks(R"(
+global h[4];
+extern bar(ptr x);
+main() {
+  var ptr p, ptr q, int a, int d;
+  p = malloc(2);
+  q = p + 1;
+  d = q - p;
+  a = (int) p;
+  q = (ptr) a;
+  *q = d;
+  a = *q;
+  if (p == q) { output(1); }
+  bar(h);
+}
+)",
+                     &Errors))
+      << Errors;
+}
+
+TEST(TypeCheck, RejectsPointerArithmeticViolations) {
+  EXPECT_FALSE(checks("f(ptr p, ptr q) { var ptr r; r = p + q; }"));
+  EXPECT_FALSE(checks("f(ptr p, int a) { var ptr r; r = a - p; }"));
+  EXPECT_FALSE(checks("f(ptr p, int a) { var int r; r = p * a; }"));
+  EXPECT_FALSE(checks("f(ptr p, int a) { var int r; r = p & a; }"));
+  EXPECT_FALSE(checks("f(ptr p, int a) { var int r; r = p == a; }"));
+}
+
+TEST(TypeCheck, RejectsAssignmentMismatches) {
+  EXPECT_FALSE(checks("f(ptr p) { var int a; a = p; }"));
+  EXPECT_FALSE(checks("f(int a) { var ptr p; p = a; }"));
+  EXPECT_FALSE(checks("f(int a) { var int b; b = malloc(a); }"));
+  EXPECT_FALSE(checks("f(ptr p) { var ptr q; q = (int) p; }"));
+}
+
+TEST(TypeCheck, RejectsWrongCastDirections) {
+  EXPECT_FALSE(checks("f(int a) { var int b; b = (int) a; }"));
+  EXPECT_FALSE(checks("f(ptr p) { var ptr q; q = (ptr) p; }"));
+}
+
+TEST(TypeCheck, RejectsBadEffectPositions) {
+  EXPECT_FALSE(checks("f(int a) { free(a); }"));
+  EXPECT_FALSE(checks("f(ptr p) { output(p); }"));
+  EXPECT_FALSE(checks("f(int a) { var int b; b = output(a); }"));
+  EXPECT_FALSE(checks("f(ptr p) { var ptr q; q = free(p); }"));
+}
+
+TEST(TypeCheck, RejectsBadControlFlowAndCalls) {
+  EXPECT_FALSE(checks("f(ptr p) { if (p) { } }"));
+  EXPECT_FALSE(checks("f(ptr p) { while (p) { } }"));
+  EXPECT_FALSE(checks("extern g(int a); f(ptr p) { g(p); }"));
+  EXPECT_FALSE(checks("extern g(int a); f(int a) { g(a, a); }"));
+  EXPECT_FALSE(checks("f(int a) { g(a); }")); // undeclared callee
+}
+
+TEST(TypeCheck, RejectsNameErrors) {
+  EXPECT_FALSE(checks("f() { var int a; a = b; }"));
+  EXPECT_FALSE(checks("f(int a, int a) { var int b; b = a; }"));
+  EXPECT_FALSE(checks("f(int a) { var int a; a = 1; }"));
+  EXPECT_FALSE(checks("global g; global g;"));
+  EXPECT_FALSE(checks("f() { var int x; x = 0; } f() { var int x; x = 0; }"));
+  EXPECT_FALSE(checks("global g[0];"));
+}
+
+TEST(TypeCheck, ResolvesGlobalsToPointerType) {
+  DiagnosticEngine Diags;
+  std::optional<Program> P =
+      parseProgram("global g; main() { var int a; *g = 5; a = *g; }", Diags);
+  ASSERT_TRUE(P.has_value());
+  ASSERT_TRUE(typeCheck(*P, Diags)) << Diags.toString();
+  const Instr &Store = *P->Functions[0].Body->Stmts[0];
+  EXPECT_EQ(Store.Addr->ExpKind, Exp::Kind::Global);
+  EXPECT_EQ(Store.Addr->StaticType, Type::Ptr);
+}
+
+TEST(TypeCheck, LocalShadowsNothingButGlobalsAreVisible) {
+  // A local named like a global hides the global (resolved as Var).
+  DiagnosticEngine Diags;
+  std::optional<Program> P = parseProgram(
+      "global g; main() { var int g; g = 1; output(g); }", Diags);
+  ASSERT_TRUE(P.has_value());
+  ASSERT_TRUE(typeCheck(*P, Diags)) << Diags.toString();
+  EXPECT_EQ(P->Functions[0].Body->Stmts[0].get()->InstrKind,
+            Instr::Kind::Assign);
+}
+
+TEST(TypeCheck, LoadsIntoEitherVariableKindAreStaticallyFine) {
+  // The kind of the loaded value is checked dynamically (Section 6.1).
+  EXPECT_TRUE(checks("f(ptr p) { var int a; a = *p; }"));
+  EXPECT_TRUE(checks("f(ptr p) { var ptr q; q = *p; }"));
+  EXPECT_TRUE(checks("f(ptr p, ptr v) { *p = v; }"));
+  EXPECT_TRUE(checks("f(ptr p, int v) { *p = v; }"));
+}
+
+TEST(TypeCheck, AnnotatesStaticTypes) {
+  DiagnosticEngine Diags;
+  std::optional<Program> P = parseProgram(
+      "f(ptr p, int a) { var ptr q, int d; q = p + a; d = q - p; }", Diags);
+  ASSERT_TRUE(P.has_value());
+  ASSERT_TRUE(typeCheck(*P, Diags));
+  const auto &Stmts = P->Functions[0].Body->Stmts;
+  EXPECT_EQ(Stmts[0]->Rhs->Arg->StaticType, Type::Ptr);
+  EXPECT_EQ(Stmts[1]->Rhs->Arg->StaticType, Type::Int);
+}

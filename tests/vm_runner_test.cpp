@@ -1,0 +1,198 @@
+//===- tests/vm_runner_test.cpp - Facade and runner edge cases ------------===//
+
+#include "core/Vm.h"
+#include "semantics/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+TEST(Vm, CompileReportsParseErrors) {
+  Vm V;
+  EXPECT_FALSE(V.compile("main( {").has_value());
+  EXPECT_FALSE(V.lastDiagnostics().empty());
+}
+
+TEST(Vm, CompileReportsTypeErrors) {
+  Vm V;
+  EXPECT_FALSE(V.compile("main() { var int a; a = b; }").has_value());
+  EXPECT_NE(V.lastDiagnostics().find("undeclared"), std::string::npos);
+}
+
+TEST(Vm, DiagnosticsResetBetweenCompiles) {
+  Vm V;
+  EXPECT_FALSE(V.compile("main( {").has_value());
+  EXPECT_TRUE(V.compile("main() { output(1); }").has_value());
+  EXPECT_TRUE(V.lastDiagnostics().empty());
+}
+
+TEST(Vm, CompileAndRunConvenience) {
+  Vm V;
+  RunConfig C;
+  C.Model = ModelKind::QuasiConcrete;
+  std::optional<RunResult> R =
+      V.compileAndRun("main() { output(11); }", C);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->Behav, Behavior::terminated({Event::output(11)}));
+  EXPECT_FALSE(V.compileAndRun("main( {", C).has_value());
+}
+
+TEST(Runner, FreshBlockArgumentsAreMaterialized) {
+  Vm V;
+  std::optional<Program> P = V.compile(R"(
+main(ptr p, int n) {
+  var int a, int b;
+  a = *p;
+  b = *(p + 1);
+  output(a + b + n);
+}
+)");
+  ASSERT_TRUE(P.has_value());
+  RunConfig C;
+  C.Model = ModelKind::QuasiConcrete;
+  C.Args = {ArgSpec::freshBlock(2, {10, 20}), ArgSpec::intArg(12)};
+  RunResult R = runProgram(*P, C);
+  EXPECT_EQ(R.Behav, Behavior::terminated({Event::output(42)}));
+}
+
+TEST(Runner, FreshBlockArgumentsWorkInTheConcreteModel) {
+  Vm V;
+  std::optional<Program> P = V.compile(R"(
+main(ptr p) {
+  var int a;
+  a = *p;
+  output(a);
+}
+)");
+  ASSERT_TRUE(P.has_value());
+  RunConfig C;
+  C.Model = ModelKind::Concrete;
+  C.MemConfig.AddressWords = 64;
+  C.Args = {ArgSpec::freshBlock(1, {5})};
+  RunResult R = runProgram(*P, C);
+  EXPECT_EQ(R.Behav, Behavior::terminated({Event::output(5)}));
+}
+
+TEST(Runner, GlobalSetupCanRunOutOfConcreteMemory) {
+  Vm V;
+  std::optional<Program> P =
+      V.compile("global big[100]; main() { output(1); }");
+  ASSERT_TRUE(P.has_value());
+  RunConfig C;
+  C.Model = ModelKind::Concrete;
+  C.MemConfig.AddressWords = 8;
+  RunResult R = runProgram(*P, C);
+  EXPECT_EQ(R.Behav.BehaviorKind, Behavior::Kind::OutOfMemory);
+  // The logical-family models allocate globals logically: no failure.
+  C.Model = ModelKind::QuasiConcrete;
+  EXPECT_EQ(runProgram(*P, C).Behav.BehaviorKind,
+            Behavior::Kind::Terminated);
+}
+
+TEST(Runner, MissingEntryIsUndefined) {
+  Vm V;
+  std::optional<Program> P = V.compile("helper() { output(1); }");
+  ASSERT_TRUE(P.has_value());
+  RunConfig C;
+  C.Entry = "main";
+  RunResult R = runProgram(*P, C);
+  EXPECT_EQ(R.Behav.BehaviorKind, Behavior::Kind::Undefined);
+  C.Entry = "helper";
+  EXPECT_EQ(runProgram(*P, C).Behav.BehaviorKind,
+            Behavior::Kind::Terminated);
+}
+
+TEST(Runner, ExternEntryIsUndefined) {
+  Vm V;
+  std::optional<Program> P = V.compile("extern main();");
+  ASSERT_TRUE(P.has_value());
+  RunConfig C;
+  RunResult R = runProgram(*P, C);
+  EXPECT_EQ(R.Behav.BehaviorKind, Behavior::Kind::Undefined);
+}
+
+TEST(Runner, WrongArgumentCountIsUndefined) {
+  Vm V;
+  std::optional<Program> P = V.compile("main(int a) { output(a); }");
+  ASSERT_TRUE(P.has_value());
+  RunConfig C; // no args supplied
+  RunResult R = runProgram(*P, C);
+  EXPECT_EQ(R.Behav.BehaviorKind, Behavior::Kind::Undefined);
+}
+
+TEST(Runner, TracerObservesExecution) {
+  Vm V;
+  std::optional<Program> P = V.compile(R"(
+helper(int x) { output(x); }
+main() {
+  var int a;
+  a = 2;
+  helper(a);
+}
+)");
+  ASSERT_TRUE(P.has_value());
+  RunConfig C;
+  unsigned Count = 0;
+  unsigned MaxDepth = 0;
+  C.Interp.OnInstr = [&](const Instr &, unsigned Depth) {
+    ++Count;
+    MaxDepth = std::max(MaxDepth, Depth);
+  };
+  RunResult R = runProgram(*P, C);
+  EXPECT_EQ(R.Behav.BehaviorKind, Behavior::Kind::Terminated);
+  EXPECT_EQ(Count, 3u); // a = 2; helper(a); output(x);
+  EXPECT_EQ(MaxDepth, 2u);
+}
+
+TEST(Runner, StepLimitIsHonoredExactly) {
+  Vm V;
+  std::optional<Program> P =
+      V.compile("main() { var int x; x = 1; while (x) { x = 1; } }");
+  ASSERT_TRUE(P.has_value());
+  RunConfig C;
+  C.Interp.StepLimit = 100;
+  RunResult R = runProgram(*P, C);
+  EXPECT_EQ(R.Behav.BehaviorKind, Behavior::Kind::StepLimit);
+  EXPECT_EQ(R.Steps, 100u);
+}
+
+TEST(Runner, HandlersAndLanguageFunctionsCompose) {
+  Vm V;
+  std::optional<Program> P = V.compile(R"(
+extern host(ptr x);
+wrap(ptr p) { host(p); }
+main() {
+  var ptr p, int r;
+  p = malloc(1);
+  wrap(p);
+  r = *p;
+  output(r);
+}
+)");
+  ASSERT_TRUE(P.has_value());
+  RunConfig C;
+  C.Handlers["host"] = [](Machine &M,
+                          const std::vector<Value> &Args) -> Outcome<Unit> {
+    M.emitOutput(1000);
+    return M.memory().store(Args[0], Value::makeInt(31));
+  };
+  RunResult R = runProgram(*P, C);
+  std::vector<Event> Expected = {Event::output(1000), Event::output(31)};
+  EXPECT_EQ(R.Behav, Behavior::terminated(Expected));
+}
+
+TEST(Runner, FaultingHandlerFaultsTheRun) {
+  Vm V;
+  std::optional<Program> P = V.compile(R"(
+extern host();
+main() { host(); output(1); }
+)");
+  ASSERT_TRUE(P.has_value());
+  RunConfig C;
+  C.Handlers["host"] = [](Machine &,
+                          const std::vector<Value> &) -> Outcome<Unit> {
+    return Outcome<Unit>::outOfMemory("host says no");
+  };
+  RunResult R = runProgram(*P, C);
+  EXPECT_EQ(R.Behav.BehaviorKind, Behavior::Kind::OutOfMemory);
+}

@@ -1,0 +1,117 @@
+//===- tools/qcm-check.cpp - Refinement-check two program files -----------===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+// Usage:
+//   qcm-check [options] source.qcm target.qcm
+//
+// Checks behavioral refinement (Section 2.3): every behavior of the target
+// must be admitted by the source, per context. Contexts instantiate the
+// programs' extern functions; by default the empty context plus the
+// standard adversary battery for each extern taking no parameters.
+//
+// Options (shared run options apply to both programs):
+//   --model=..., --tgt-model=...   models for source (and target if given)
+//   --words=N, --steps=N, --input=..., --oracle=..., --loose
+//   --context=FILE                 add a context from a source file
+//   --no-adversaries               only the empty context
+//
+// Exit code: 0 if the target refines the source, 1 otherwise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/QuasiConcrete.h"
+#include "tools/ToolSupport.h"
+
+#include <cstdio>
+
+using namespace qcm;
+using namespace qcm_tools;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cmd;
+  std::string Error;
+  if (!Cmd.parse(Argc, Argv, Error) || Cmd.Positional.size() != 2) {
+    std::fprintf(
+        stderr,
+        "usage: qcm-check [run options] [--tgt-model=...] "
+        "[--context=FILE] [--no-adversaries] source.qcm target.qcm\n");
+    return 2;
+  }
+
+  std::string SrcText, TgtText;
+  if (!readFile(Cmd.Positional[0], SrcText, Error) ||
+      !readFile(Cmd.Positional[1], TgtText, Error)) {
+    std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
+    return 2;
+  }
+
+  Vm Compiler;
+  std::optional<Program> Src = Compiler.compile(SrcText);
+  if (!Src) {
+    std::fprintf(stderr, "source: %s", Compiler.lastDiagnostics().c_str());
+    return 2;
+  }
+  std::optional<Program> Tgt = Compiler.compile(TgtText);
+  if (!Tgt) {
+    std::fprintf(stderr, "target: %s", Compiler.lastDiagnostics().c_str());
+    return 2;
+  }
+
+  RefinementJob Job;
+  Job.Src = &*Src;
+  Job.Tgt = &*Tgt;
+  if (!Cmd.applyRunOptions(Job.BaseSrc, Error)) {
+    std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
+    return 2;
+  }
+  Job.BaseTgt = Job.BaseSrc;
+  if (Cmd.has("tgt-model")) {
+    std::string M = Cmd.get("tgt-model");
+    if (M == "concrete")
+      Job.BaseTgt.Model = ModelKind::Concrete;
+    else if (M == "logical")
+      Job.BaseTgt.Model = ModelKind::Logical;
+    else if (M == "quasi")
+      Job.BaseTgt.Model = ModelKind::QuasiConcrete;
+    else if (M == "eager")
+      Job.BaseTgt.Model = ModelKind::EagerQuasi;
+    else {
+      std::fprintf(stderr, "qcm-check: unknown target model '%s'\n",
+                   M.c_str());
+      return 2;
+    }
+  }
+
+  // Contexts: explicit file, plus the standard adversaries for parameter-
+  // less externs unless suppressed.
+  Job.Contexts.push_back(ContextVariant::empty());
+  if (Cmd.has("context")) {
+    std::string CtxText;
+    if (!readFile(Cmd.get("context"), CtxText, Error)) {
+      std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
+      return 2;
+    }
+    Job.Contexts.push_back(
+        ContextVariant::fromSource(Cmd.get("context"), CtxText));
+  }
+  if (!Cmd.has("no-adversaries")) {
+    for (const FunctionDecl &F : Src->Functions) {
+      if (!F.isExtern() || !F.Params.empty())
+        continue;
+      Job.Contexts.push_back(ContextVariant::fromSource(
+          F.Name + ":marker", contexts::outputMarker(F.Name, 5000)));
+      Job.Contexts.push_back(ContextVariant::fromSource(
+          F.Name + ":guess-write",
+          contexts::addressGuesserWriter(F.Name, 1, 77)));
+      Job.Contexts.push_back(ContextVariant::fromSource(
+          F.Name + ":exhaust",
+          contexts::exhaustThenMark(F.Name, 4, 42)));
+    }
+  }
+
+  RefinementReport Report = checkRefinement(Job);
+  std::printf("%s", Report.toString().c_str());
+  return Report.Refines ? 0 : 1;
+}

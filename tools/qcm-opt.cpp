@@ -1,0 +1,89 @@
+//===- tools/qcm-opt.cpp - Optimize a program file -------------------------===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+// Usage:
+//   qcm-opt [options] file.qcm
+//
+// Options:
+//   --passes=ownership,constprop,arith,dce   pipeline (default shown)
+//   --dae                                    let dce remove dead allocations
+//   --lower                                  apply the Section 6.6 lowering
+//                                            compiler (dead cast removal)
+//   --iterations=<n>                         fixpoint bound (default 8)
+//
+// Prints the optimized program to stdout.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/QuasiConcrete.h"
+#include "tools/ToolSupport.h"
+
+#include <cstdio>
+
+using namespace qcm;
+using namespace qcm_tools;
+
+int main(int Argc, char **Argv) {
+  CommandLine Cmd;
+  std::string Error;
+  if (!Cmd.parse(Argc, Argv, Error) || Cmd.Positional.size() != 1) {
+    std::fprintf(stderr,
+                 "usage: qcm-opt [--passes=ownership,constprop,arith,dce] "
+                 "[--dae] [--lower] [--iterations=N] file.qcm\n");
+    return 2;
+  }
+
+  std::string Source;
+  if (!readFile(Cmd.Positional[0], Source, Error)) {
+    std::fprintf(stderr, "qcm-opt: %s\n", Error.c_str());
+    return 2;
+  }
+
+  Vm Compiler;
+  std::optional<Program> Prog = Compiler.compile(Source);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Compiler.lastDiagnostics().c_str());
+    return 1;
+  }
+
+  DceOptions Dce;
+  Dce.RemoveDeadAllocs = Cmd.has("dae");
+
+  PassManager PM;
+  std::string Passes = Cmd.get("passes", "ownership,constprop,arith,dce");
+  std::string Current;
+  for (char C : Passes + ",") {
+    if (C != ',') {
+      Current += C;
+      continue;
+    }
+    if (Current == "ownership") {
+      PM.add(std::make_unique<OwnershipOptPass>());
+    } else if (Current == "constprop") {
+      PM.add(std::make_unique<ConstPropPass>());
+    } else if (Current == "arith") {
+      PM.add(std::make_unique<ArithSimplifyPass>());
+    } else if (Current == "dce") {
+      PM.add(std::make_unique<DeadCodeElimPass>(Dce));
+    } else if (!Current.empty()) {
+      std::fprintf(stderr, "qcm-opt: unknown pass '%s'\n", Current.c_str());
+      return 2;
+    }
+    Current.clear();
+  }
+
+  unsigned Iterations =
+      static_cast<unsigned>(std::stoul(Cmd.get("iterations", "8")));
+  PM.run(*Prog, Iterations);
+
+  if (Cmd.has("lower")) {
+    LoweringOptions Lowering;
+    Lowering.EliminateDeadAllocs = Cmd.has("dae");
+    *Prog = lowerToConcrete(*Prog, Lowering);
+  }
+
+  std::printf("%s", printProgram(*Prog).c_str());
+  return 0;
+}
