@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alias.dir/bench_alias.cpp.o"
+  "CMakeFiles/bench_alias.dir/bench_alias.cpp.o.d"
+  "bench_alias"
+  "bench_alias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_behaviors.dir/bench_behaviors.cpp.o"
+  "CMakeFiles/bench_behaviors.dir/bench_behaviors.cpp.o.d"
+  "bench_behaviors"
+  "bench_behaviors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_behaviors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_casts.dir/bench_casts.cpp.o"
+  "CMakeFiles/bench_casts.dir/bench_casts.cpp.o.d"
+  "bench_casts"
+  "bench_casts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_casts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compilers.dir/bench_compilers.cpp.o"
+  "CMakeFiles/bench_compilers.dir/bench_compilers.cpp.o.d"
+  "bench_compilers"
+  "bench_compilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

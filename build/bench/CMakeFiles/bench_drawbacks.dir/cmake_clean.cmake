@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drawbacks.dir/bench_drawbacks.cpp.o"
+  "CMakeFiles/bench_drawbacks.dir/bench_drawbacks.cpp.o.d"
+  "bench_drawbacks"
+  "bench_drawbacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drawbacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

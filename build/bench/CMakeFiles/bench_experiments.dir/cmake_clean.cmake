@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_experiments.dir/bench_experiments.cpp.o"
+  "CMakeFiles/bench_experiments.dir/bench_experiments.cpp.o.d"
+  "bench_experiments"
+  "bench_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

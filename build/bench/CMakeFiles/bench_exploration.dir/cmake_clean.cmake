@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exploration.dir/bench_exploration.cpp.o"
+  "CMakeFiles/bench_exploration.dir/bench_exploration.cpp.o.d"
+  "bench_exploration"
+  "bench_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_invariants.dir/bench_fig7_invariants.cpp.o"
+  "CMakeFiles/bench_fig7_invariants.dir/bench_fig7_invariants.cpp.o.d"
+  "bench_fig7_invariants"
+  "bench_fig7_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro.dir/bench_intro.cpp.o"
+  "CMakeFiles/bench_intro.dir/bench_intro.cpp.o.d"
+  "bench_intro"
+  "bench_intro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_models_perf.dir/bench_models_perf.cpp.o"
+  "CMakeFiles/bench_models_perf.dir/bench_models_perf.cpp.o.d"
+  "bench_models_perf"
+  "bench_models_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_models_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

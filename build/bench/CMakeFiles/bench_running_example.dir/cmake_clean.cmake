@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_running_example.dir/bench_running_example.cpp.o"
+  "CMakeFiles/bench_running_example.dir/bench_running_example.cpp.o.d"
+  "bench_running_example"
+  "bench_running_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_running_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

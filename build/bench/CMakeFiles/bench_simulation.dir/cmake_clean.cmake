@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simulation.dir/bench_simulation.cpp.o"
+  "CMakeFiles/bench_simulation.dir/bench_simulation.cpp.o.d"
+  "bench_simulation"
+  "bench_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_oops.dir/compressed_oops.cpp.o"
+  "CMakeFiles/compressed_oops.dir/compressed_oops.cpp.o.d"
+  "compressed_oops"
+  "compressed_oops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_oops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

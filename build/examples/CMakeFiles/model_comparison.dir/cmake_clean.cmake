@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_comparison.dir/model_comparison.cpp.o"
+  "CMakeFiles/model_comparison.dir/model_comparison.cpp.o.d"
+  "model_comparison"
+  "model_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_demo.dir/optimizer_demo.cpp.o"
+  "CMakeFiles/optimizer_demo.dir/optimizer_demo.cpp.o.d"
+  "optimizer_demo"
+  "optimizer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

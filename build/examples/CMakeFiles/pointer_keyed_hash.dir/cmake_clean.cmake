@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointer_keyed_hash.dir/pointer_keyed_hash.cpp.o"
+  "CMakeFiles/pointer_keyed_hash.dir/pointer_keyed_hash.cpp.o.d"
+  "pointer_keyed_hash"
+  "pointer_keyed_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointer_keyed_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

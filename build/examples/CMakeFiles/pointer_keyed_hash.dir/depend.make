@@ -1,0 +1,2 @@
+# Empty dependencies file for pointer_keyed_hash.
+# This may be replaced when dependencies are built.

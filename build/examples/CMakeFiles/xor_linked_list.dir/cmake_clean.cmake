@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xor_linked_list.dir/xor_linked_list.cpp.o"
+  "CMakeFiles/xor_linked_list.dir/xor_linked_list.cpp.o.d"
+  "xor_linked_list"
+  "xor_linked_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xor_linked_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xor_linked_list.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for xor_linked_list.
+# This may be replaced when dependencies are built.

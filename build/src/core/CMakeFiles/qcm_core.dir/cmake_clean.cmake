@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcm_core.dir/Experiments.cpp.o"
+  "CMakeFiles/qcm_core.dir/Experiments.cpp.o.d"
+  "CMakeFiles/qcm_core.dir/PaperExamples.cpp.o"
+  "CMakeFiles/qcm_core.dir/PaperExamples.cpp.o.d"
+  "CMakeFiles/qcm_core.dir/Vm.cpp.o"
+  "CMakeFiles/qcm_core.dir/Vm.cpp.o.d"
+  "libqcm_core.a"
+  "libqcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

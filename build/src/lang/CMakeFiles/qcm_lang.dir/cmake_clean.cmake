@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcm_lang.dir/Ast.cpp.o"
+  "CMakeFiles/qcm_lang.dir/Ast.cpp.o.d"
+  "CMakeFiles/qcm_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/qcm_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/qcm_lang.dir/Parser.cpp.o"
+  "CMakeFiles/qcm_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/qcm_lang.dir/PrettyPrint.cpp.o"
+  "CMakeFiles/qcm_lang.dir/PrettyPrint.cpp.o.d"
+  "CMakeFiles/qcm_lang.dir/TypeCheck.cpp.o"
+  "CMakeFiles/qcm_lang.dir/TypeCheck.cpp.o.d"
+  "libqcm_lang.a"
+  "libqcm_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcm_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqcm_lang.a"
+)

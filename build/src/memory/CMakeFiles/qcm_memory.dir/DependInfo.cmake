@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/BlockMemory.cpp" "src/memory/CMakeFiles/qcm_memory.dir/BlockMemory.cpp.o" "gcc" "src/memory/CMakeFiles/qcm_memory.dir/BlockMemory.cpp.o.d"
+  "/root/repo/src/memory/ConcreteMemory.cpp" "src/memory/CMakeFiles/qcm_memory.dir/ConcreteMemory.cpp.o" "gcc" "src/memory/CMakeFiles/qcm_memory.dir/ConcreteMemory.cpp.o.d"
+  "/root/repo/src/memory/EagerQuasiMemory.cpp" "src/memory/CMakeFiles/qcm_memory.dir/EagerQuasiMemory.cpp.o" "gcc" "src/memory/CMakeFiles/qcm_memory.dir/EagerQuasiMemory.cpp.o.d"
+  "/root/repo/src/memory/LogicalMemory.cpp" "src/memory/CMakeFiles/qcm_memory.dir/LogicalMemory.cpp.o" "gcc" "src/memory/CMakeFiles/qcm_memory.dir/LogicalMemory.cpp.o.d"
+  "/root/repo/src/memory/Memory.cpp" "src/memory/CMakeFiles/qcm_memory.dir/Memory.cpp.o" "gcc" "src/memory/CMakeFiles/qcm_memory.dir/Memory.cpp.o.d"
+  "/root/repo/src/memory/Placement.cpp" "src/memory/CMakeFiles/qcm_memory.dir/Placement.cpp.o" "gcc" "src/memory/CMakeFiles/qcm_memory.dir/Placement.cpp.o.d"
+  "/root/repo/src/memory/QuasiConcreteMemory.cpp" "src/memory/CMakeFiles/qcm_memory.dir/QuasiConcreteMemory.cpp.o" "gcc" "src/memory/CMakeFiles/qcm_memory.dir/QuasiConcreteMemory.cpp.o.d"
+  "/root/repo/src/memory/Value.cpp" "src/memory/CMakeFiles/qcm_memory.dir/Value.cpp.o" "gcc" "src/memory/CMakeFiles/qcm_memory.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/qcm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcm_memory.dir/BlockMemory.cpp.o"
+  "CMakeFiles/qcm_memory.dir/BlockMemory.cpp.o.d"
+  "CMakeFiles/qcm_memory.dir/ConcreteMemory.cpp.o"
+  "CMakeFiles/qcm_memory.dir/ConcreteMemory.cpp.o.d"
+  "CMakeFiles/qcm_memory.dir/EagerQuasiMemory.cpp.o"
+  "CMakeFiles/qcm_memory.dir/EagerQuasiMemory.cpp.o.d"
+  "CMakeFiles/qcm_memory.dir/LogicalMemory.cpp.o"
+  "CMakeFiles/qcm_memory.dir/LogicalMemory.cpp.o.d"
+  "CMakeFiles/qcm_memory.dir/Memory.cpp.o"
+  "CMakeFiles/qcm_memory.dir/Memory.cpp.o.d"
+  "CMakeFiles/qcm_memory.dir/Placement.cpp.o"
+  "CMakeFiles/qcm_memory.dir/Placement.cpp.o.d"
+  "CMakeFiles/qcm_memory.dir/QuasiConcreteMemory.cpp.o"
+  "CMakeFiles/qcm_memory.dir/QuasiConcreteMemory.cpp.o.d"
+  "CMakeFiles/qcm_memory.dir/Value.cpp.o"
+  "CMakeFiles/qcm_memory.dir/Value.cpp.o.d"
+  "libqcm_memory.a"
+  "libqcm_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcm_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

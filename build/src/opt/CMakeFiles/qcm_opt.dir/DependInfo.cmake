@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/Analysis.cpp" "src/opt/CMakeFiles/qcm_opt.dir/Analysis.cpp.o" "gcc" "src/opt/CMakeFiles/qcm_opt.dir/Analysis.cpp.o.d"
+  "/root/repo/src/opt/ArithSimplify.cpp" "src/opt/CMakeFiles/qcm_opt.dir/ArithSimplify.cpp.o" "gcc" "src/opt/CMakeFiles/qcm_opt.dir/ArithSimplify.cpp.o.d"
+  "/root/repo/src/opt/ConstProp.cpp" "src/opt/CMakeFiles/qcm_opt.dir/ConstProp.cpp.o" "gcc" "src/opt/CMakeFiles/qcm_opt.dir/ConstProp.cpp.o.d"
+  "/root/repo/src/opt/DeadCodeElim.cpp" "src/opt/CMakeFiles/qcm_opt.dir/DeadCodeElim.cpp.o" "gcc" "src/opt/CMakeFiles/qcm_opt.dir/DeadCodeElim.cpp.o.d"
+  "/root/repo/src/opt/Lowering.cpp" "src/opt/CMakeFiles/qcm_opt.dir/Lowering.cpp.o" "gcc" "src/opt/CMakeFiles/qcm_opt.dir/Lowering.cpp.o.d"
+  "/root/repo/src/opt/OwnershipOpt.cpp" "src/opt/CMakeFiles/qcm_opt.dir/OwnershipOpt.cpp.o" "gcc" "src/opt/CMakeFiles/qcm_opt.dir/OwnershipOpt.cpp.o.d"
+  "/root/repo/src/opt/Pass.cpp" "src/opt/CMakeFiles/qcm_opt.dir/Pass.cpp.o" "gcc" "src/opt/CMakeFiles/qcm_opt.dir/Pass.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/qcm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qcm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

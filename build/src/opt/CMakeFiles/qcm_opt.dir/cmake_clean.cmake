@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcm_opt.dir/Analysis.cpp.o"
+  "CMakeFiles/qcm_opt.dir/Analysis.cpp.o.d"
+  "CMakeFiles/qcm_opt.dir/ArithSimplify.cpp.o"
+  "CMakeFiles/qcm_opt.dir/ArithSimplify.cpp.o.d"
+  "CMakeFiles/qcm_opt.dir/ConstProp.cpp.o"
+  "CMakeFiles/qcm_opt.dir/ConstProp.cpp.o.d"
+  "CMakeFiles/qcm_opt.dir/DeadCodeElim.cpp.o"
+  "CMakeFiles/qcm_opt.dir/DeadCodeElim.cpp.o.d"
+  "CMakeFiles/qcm_opt.dir/Lowering.cpp.o"
+  "CMakeFiles/qcm_opt.dir/Lowering.cpp.o.d"
+  "CMakeFiles/qcm_opt.dir/OwnershipOpt.cpp.o"
+  "CMakeFiles/qcm_opt.dir/OwnershipOpt.cpp.o.d"
+  "CMakeFiles/qcm_opt.dir/Pass.cpp.o"
+  "CMakeFiles/qcm_opt.dir/Pass.cpp.o.d"
+  "libqcm_opt.a"
+  "libqcm_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcm_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/refinement/BehaviorSet.cpp" "src/refinement/CMakeFiles/qcm_refinement.dir/BehaviorSet.cpp.o" "gcc" "src/refinement/CMakeFiles/qcm_refinement.dir/BehaviorSet.cpp.o.d"
+  "/root/repo/src/refinement/Contexts.cpp" "src/refinement/CMakeFiles/qcm_refinement.dir/Contexts.cpp.o" "gcc" "src/refinement/CMakeFiles/qcm_refinement.dir/Contexts.cpp.o.d"
+  "/root/repo/src/refinement/Invariant.cpp" "src/refinement/CMakeFiles/qcm_refinement.dir/Invariant.cpp.o" "gcc" "src/refinement/CMakeFiles/qcm_refinement.dir/Invariant.cpp.o.d"
+  "/root/repo/src/refinement/RefinementChecker.cpp" "src/refinement/CMakeFiles/qcm_refinement.dir/RefinementChecker.cpp.o" "gcc" "src/refinement/CMakeFiles/qcm_refinement.dir/RefinementChecker.cpp.o.d"
+  "/root/repo/src/refinement/Simulation.cpp" "src/refinement/CMakeFiles/qcm_refinement.dir/Simulation.cpp.o" "gcc" "src/refinement/CMakeFiles/qcm_refinement.dir/Simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/semantics/CMakeFiles/qcm_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/qcm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/qcm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qcm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

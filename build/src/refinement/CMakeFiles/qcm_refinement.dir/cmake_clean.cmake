@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcm_refinement.dir/BehaviorSet.cpp.o"
+  "CMakeFiles/qcm_refinement.dir/BehaviorSet.cpp.o.d"
+  "CMakeFiles/qcm_refinement.dir/Contexts.cpp.o"
+  "CMakeFiles/qcm_refinement.dir/Contexts.cpp.o.d"
+  "CMakeFiles/qcm_refinement.dir/Invariant.cpp.o"
+  "CMakeFiles/qcm_refinement.dir/Invariant.cpp.o.d"
+  "CMakeFiles/qcm_refinement.dir/RefinementChecker.cpp.o"
+  "CMakeFiles/qcm_refinement.dir/RefinementChecker.cpp.o.d"
+  "CMakeFiles/qcm_refinement.dir/Simulation.cpp.o"
+  "CMakeFiles/qcm_refinement.dir/Simulation.cpp.o.d"
+  "libqcm_refinement.a"
+  "libqcm_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcm_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

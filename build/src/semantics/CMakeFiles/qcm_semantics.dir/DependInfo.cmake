@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantics/Behavior.cpp" "src/semantics/CMakeFiles/qcm_semantics.dir/Behavior.cpp.o" "gcc" "src/semantics/CMakeFiles/qcm_semantics.dir/Behavior.cpp.o.d"
+  "/root/repo/src/semantics/Interp.cpp" "src/semantics/CMakeFiles/qcm_semantics.dir/Interp.cpp.o" "gcc" "src/semantics/CMakeFiles/qcm_semantics.dir/Interp.cpp.o.d"
+  "/root/repo/src/semantics/Runner.cpp" "src/semantics/CMakeFiles/qcm_semantics.dir/Runner.cpp.o" "gcc" "src/semantics/CMakeFiles/qcm_semantics.dir/Runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/qcm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/qcm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qcm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

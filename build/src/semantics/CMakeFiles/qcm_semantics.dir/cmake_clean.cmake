@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcm_semantics.dir/Behavior.cpp.o"
+  "CMakeFiles/qcm_semantics.dir/Behavior.cpp.o.d"
+  "CMakeFiles/qcm_semantics.dir/Interp.cpp.o"
+  "CMakeFiles/qcm_semantics.dir/Interp.cpp.o.d"
+  "CMakeFiles/qcm_semantics.dir/Runner.cpp.o"
+  "CMakeFiles/qcm_semantics.dir/Runner.cpp.o.d"
+  "libqcm_semantics.a"
+  "libqcm_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcm_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

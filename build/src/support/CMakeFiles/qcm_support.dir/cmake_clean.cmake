@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcm_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/qcm_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/qcm_support.dir/Ints.cpp.o"
+  "CMakeFiles/qcm_support.dir/Ints.cpp.o.d"
+  "libqcm_support.a"
+  "libqcm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcm_tools.dir/ToolSupport.cpp.o"
+  "CMakeFiles/qcm_tools.dir/ToolSupport.cpp.o.d"
+  "libqcm_tools.a"
+  "libqcm_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcm_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qcm_tools.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arith_simplify_test.dir/arith_simplify_test.cpp.o"
+  "CMakeFiles/arith_simplify_test.dir/arith_simplify_test.cpp.o.d"
+  "arith_simplify_test"
+  "arith_simplify_test.pdb"
+  "arith_simplify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arith_simplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

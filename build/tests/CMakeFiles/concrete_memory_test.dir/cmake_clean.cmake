@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concrete_memory_test.dir/concrete_memory_test.cpp.o"
+  "CMakeFiles/concrete_memory_test.dir/concrete_memory_test.cpp.o.d"
+  "concrete_memory_test"
+  "concrete_memory_test.pdb"
+  "concrete_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concrete_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eager_quasi_test.dir/eager_quasi_test.cpp.o"
+  "CMakeFiles/eager_quasi_test.dir/eager_quasi_test.cpp.o.d"
+  "eager_quasi_test"
+  "eager_quasi_test.pdb"
+  "eager_quasi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eager_quasi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

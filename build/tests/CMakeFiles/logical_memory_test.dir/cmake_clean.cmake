@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_memory_test.dir/logical_memory_test.cpp.o"
+  "CMakeFiles/logical_memory_test.dir/logical_memory_test.cpp.o.d"
+  "logical_memory_test"
+  "logical_memory_test.pdb"
+  "logical_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loose_discipline_test.dir/loose_discipline_test.cpp.o"
+  "CMakeFiles/loose_discipline_test.dir/loose_discipline_test.cpp.o.d"
+  "loose_discipline_test"
+  "loose_discipline_test.pdb"
+  "loose_discipline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loose_discipline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

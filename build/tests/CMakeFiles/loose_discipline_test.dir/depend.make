@@ -1,0 +1,2 @@
+# Empty dependencies file for loose_discipline_test.
+# This may be replaced when dependencies are built.

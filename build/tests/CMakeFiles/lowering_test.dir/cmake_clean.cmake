@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lowering_test.dir/lowering_test.cpp.o"
+  "CMakeFiles/lowering_test.dir/lowering_test.cpp.o.d"
+  "lowering_test"
+  "lowering_test.pdb"
+  "lowering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/opt_passes_test.cpp" "tests/CMakeFiles/opt_passes_test.dir/opt_passes_test.cpp.o" "gcc" "tests/CMakeFiles/opt_passes_test.dir/opt_passes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/refinement/CMakeFiles/qcm_refinement.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/qcm_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/qcm_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/qcm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/qcm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qcm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_passes_test.dir/opt_passes_test.cpp.o"
+  "CMakeFiles/opt_passes_test.dir/opt_passes_test.cpp.o.d"
+  "opt_passes_test"
+  "opt_passes_test.pdb"
+  "opt_passes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_passes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

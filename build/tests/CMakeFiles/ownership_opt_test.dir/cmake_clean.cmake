@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ownership_opt_test.dir/ownership_opt_test.cpp.o"
+  "CMakeFiles/ownership_opt_test.dir/ownership_opt_test.cpp.o.d"
+  "ownership_opt_test"
+  "ownership_opt_test.pdb"
+  "ownership_opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ownership_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

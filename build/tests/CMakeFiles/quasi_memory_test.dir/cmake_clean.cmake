@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasi_memory_test.dir/quasi_memory_test.cpp.o"
+  "CMakeFiles/quasi_memory_test.dir/quasi_memory_test.cpp.o.d"
+  "quasi_memory_test"
+  "quasi_memory_test.pdb"
+  "quasi_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasi_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

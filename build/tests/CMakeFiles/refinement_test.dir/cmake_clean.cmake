@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refinement_test.dir/refinement_test.cpp.o"
+  "CMakeFiles/refinement_test.dir/refinement_test.cpp.o.d"
+  "refinement_test"
+  "refinement_test.pdb"
+  "refinement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refinement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section6_proofs_test.dir/section6_proofs_test.cpp.o"
+  "CMakeFiles/section6_proofs_test.dir/section6_proofs_test.cpp.o.d"
+  "section6_proofs_test"
+  "section6_proofs_test.pdb"
+  "section6_proofs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section6_proofs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

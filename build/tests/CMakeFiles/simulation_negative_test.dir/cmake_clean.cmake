@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_negative_test.dir/simulation_negative_test.cpp.o"
+  "CMakeFiles/simulation_negative_test.dir/simulation_negative_test.cpp.o.d"
+  "simulation_negative_test"
+  "simulation_negative_test.pdb"
+  "simulation_negative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_negative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

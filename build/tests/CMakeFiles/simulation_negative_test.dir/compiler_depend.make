@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for simulation_negative_test.
+# This may be replaced when dependencies are built.

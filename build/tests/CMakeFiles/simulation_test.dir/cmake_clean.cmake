@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_test.dir/simulation_test.cpp.o"
+  "CMakeFiles/simulation_test.dir/simulation_test.cpp.o.d"
+  "simulation_test"
+  "simulation_test.pdb"
+  "simulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

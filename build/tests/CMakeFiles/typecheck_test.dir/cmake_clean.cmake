@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typecheck_test.dir/typecheck_test.cpp.o"
+  "CMakeFiles/typecheck_test.dir/typecheck_test.cpp.o.d"
+  "typecheck_test"
+  "typecheck_test.pdb"
+  "typecheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typecheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_runner_test.dir/vm_runner_test.cpp.o"
+  "CMakeFiles/vm_runner_test.dir/vm_runner_test.cpp.o.d"
+  "vm_runner_test"
+  "vm_runner_test.pdb"
+  "vm_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/placement_test[1]_include.cmake")
+include("/root/repo/build/tests/concrete_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/logical_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/quasi_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_test[1]_include.cmake")
+include("/root/repo/build/tests/typecheck_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/refinement_test[1]_include.cmake")
+include("/root/repo/build/tests/invariant_test[1]_include.cmake")
+include("/root/repo/build/tests/simulation_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_examples_test[1]_include.cmake")
+include("/root/repo/build/tests/arith_simplify_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_passes_test[1]_include.cmake")
+include("/root/repo/build/tests/ownership_opt_test[1]_include.cmake")
+include("/root/repo/build/tests/lowering_test[1]_include.cmake")
+include("/root/repo/build/tests/eager_quasi_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/loose_discipline_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_runner_test[1]_include.cmake")
+include("/root/repo/build/tests/section6_proofs_test[1]_include.cmake")
+include("/root/repo/build/tests/simulation_negative_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcm-check.dir/qcm-check.cpp.o"
+  "CMakeFiles/qcm-check.dir/qcm-check.cpp.o.d"
+  "qcm-check"
+  "qcm-check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcm-check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

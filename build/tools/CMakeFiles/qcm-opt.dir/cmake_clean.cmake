@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcm-opt.dir/qcm-opt.cpp.o"
+  "CMakeFiles/qcm-opt.dir/qcm-opt.cpp.o.d"
+  "qcm-opt"
+  "qcm-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcm-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

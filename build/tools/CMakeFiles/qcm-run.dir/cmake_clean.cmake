@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcm-run.dir/qcm-run.cpp.o"
+  "CMakeFiles/qcm-run.dir/qcm-run.cpp.o.d"
+  "qcm-run"
+  "qcm-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcm-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

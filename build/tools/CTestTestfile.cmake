@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_run_cast_quasi "/root/repo/build/tools/qcm-run" "--model=quasi" "/root/repo/examples/programs/cast_roundtrip.qcm")
+set_tests_properties(tool_run_cast_quasi PROPERTIES  PASS_REGULAR_EXPRESSION "out\\(42\\), term" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_run_cast_logical "/root/repo/build/tools/qcm-run" "--model=logical" "/root/repo/examples/programs/cast_roundtrip.qcm")
+set_tests_properties(tool_run_cast_logical PROPERTIES  PASS_REGULAR_EXPRESSION "undef" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_run_echo_tape "/root/repo/build/tools/qcm-run" "--input=3,1,4,0" "/root/repo/examples/programs/echo.qcm")
+set_tests_properties(tool_run_echo_tape PROPERTIES  PASS_REGULAR_EXPRESSION "in\\(3\\).out\\(9\\).in\\(1\\).out\\(1\\).in\\(4\\).out\\(16\\).in\\(0\\), term" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_run_trace "/root/repo/build/tools/qcm-run" "--trace" "/root/repo/examples/programs/cast_roundtrip.qcm")
+set_tests_properties(tool_run_trace PROPERTIES  PASS_REGULAR_EXPRESSION "\\[trace\\]" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;33;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_opt_running_example "/root/repo/build/tools/qcm-opt" "--dae" "/root/repo/examples/programs/running_example.qcm")
+set_tests_properties(tool_opt_running_example PROPERTIES  PASS_REGULAR_EXPRESSION "\\*p = 123;" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;39;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_opt_lowering_removes_dead_cast "/root/repo/build/tools/qcm-opt" "--passes=dce" "--lower" "/root/repo/examples/programs/running_example.qcm")
+set_tests_properties(tool_opt_lowering_removes_dead_cast PROPERTIES  PASS_REGULAR_EXPRESSION "foo" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;45;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_check_identity_refines "/root/repo/build/tools/qcm-check" "/root/repo/examples/programs/running_example.qcm" "/root/repo/examples/programs/running_example.qcm")
+set_tests_properties(tool_check_identity_refines PROPERTIES  PASS_REGULAR_EXPRESSION "^REFINES" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;51;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_check_with_context_file "/root/repo/build/tools/qcm-check" "--context=/root/repo/examples/programs/guesser_context.qcm" "/root/repo/examples/programs/running_example.qcm" "/root/repo/examples/programs/running_example.qcm")
+set_tests_properties(tool_check_with_context_file PROPERTIES  PASS_REGULAR_EXPRESSION "REFINES" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;58;add_test;/root/repo/tools/CMakeLists.txt;0;")
