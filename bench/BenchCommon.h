@@ -59,13 +59,21 @@ inline int runExperimentBench(const char *Title,
     benchmark::RegisterBenchmark(
         Name.c_str(), [Spec](benchmark::State &State) {
           uint64_t Runs = 0;
+          qcm::ModelStats Stats;
           for (auto _ : State) {
             qcm::ExperimentOutcome Outcome = qcm::runExperiment(*Spec);
             benchmark::DoNotOptimize(Outcome.MeasuredRefines);
             Runs += Outcome.Report.RunsPerformed;
+            Stats.accumulate(Outcome.Report.AggregateStats);
           }
           State.counters["program_runs"] =
               benchmark::Counter(static_cast<double>(Runs),
+                                 benchmark::Counter::kIsRate);
+          State.counters["mem_ops"] =
+              benchmark::Counter(static_cast<double>(Stats.totalOperations()),
+                                 benchmark::Counter::kIsRate);
+          State.counters["realizations"] =
+              benchmark::Counter(static_cast<double>(Stats.Realizations),
                                  benchmark::Counter::kIsRate);
         });
   }

@@ -126,13 +126,23 @@ main() {
   C.Model = static_cast<ModelKind>(State.range(0));
   C.MemConfig.AddressWords = 1u << 20;
   uint64_t Steps = 0;
+  ModelStats Stats;
   for (auto _ : State) {
     RunResult R = runProgram(*P, C);
     benchmark::DoNotOptimize(R.Behav.BehaviorKind);
     Steps += R.Steps;
+    Stats.accumulate(R.Stats);
   }
   State.counters["steps_per_s"] = benchmark::Counter(
       static_cast<double>(Steps), benchmark::Counter::kIsRate);
+  State.counters["mem_ops"] = benchmark::Counter(
+      static_cast<double>(Stats.totalOperations()),
+      benchmark::Counter::kIsRate);
+  State.counters["casts"] = benchmark::Counter(
+      static_cast<double>(Stats.CastsToInt + Stats.CastsToPtr),
+      benchmark::Counter::kIsRate);
+  State.counters["realizations"] = benchmark::Counter(
+      static_cast<double>(Stats.Realizations), benchmark::Counter::kIsRate);
   State.SetLabel(modelName(static_cast<int>(State.range(0))));
 }
 BENCHMARK(BM_InterpreterThroughput)->Arg(0)->Arg(1)->Arg(2);

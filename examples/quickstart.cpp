@@ -59,15 +59,24 @@ main() {
   std::printf("steps:    %llu\n",
               static_cast<unsigned long long>(Result.Steps));
 
+  // Every run carries aggregate memory statistics. Under the
+  // quasi-concrete model the `(int) p` cast realized p's block — one
+  // realization, visible here.
+  std::printf("%s", Result.Stats.toString().c_str());
+
   // The same program under the strict logical model dies at the first
   // cast: that is the gap the paper closes.
   Config.Model = ModelKind::Logical;
   RunResult Logical = runProgram(*Prog, Config);
   std::printf("\n--- the same program under the logical model ---\n");
   std::printf("behavior: %s\n", Logical.Behav.toString().c_str());
+  std::printf("realizations: %llu (the logical model never realizes)\n",
+              static_cast<unsigned long long>(Logical.Stats.Realizations));
 
   bool Ok = Result.Behav.BehaviorKind == Behavior::Kind::Terminated &&
-            Logical.Behav.BehaviorKind == Behavior::Kind::Undefined;
+            Logical.Behav.BehaviorKind == Behavior::Kind::Undefined &&
+            Result.Stats.Realizations == 1 &&
+            Logical.Stats.Realizations == 0;
   std::printf("\nquickstart %s\n", Ok ? "succeeded" : "FAILED");
   return Ok ? 0 : 1;
 }

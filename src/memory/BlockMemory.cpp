@@ -29,6 +29,7 @@ Outcome<Value> BlockMemory::allocate(Word NumWords) {
   B.Contents.assign(NumWords, Value::makeInt(0));
   BlockId Id = static_cast<BlockId>(Blocks.size());
   Blocks.push_back(std::move(B));
+  Trace.noteAlloc(Id, NumWords, std::nullopt);
   return Outcome<Value>::success(Value::makePtr(Id, 0));
 }
 
@@ -52,6 +53,7 @@ Outcome<Unit> BlockMemory::deallocate(Value Pointer) {
   // range of a realized block is released for reuse because only valid
   // blocks participate in placement disjointness.
   B.Valid = false;
+  Trace.noteFree(P.Block, B.Size, B.Base.has_value(), B.Base);
   return Outcome<Unit>::success(Unit{});
 }
 
@@ -79,6 +81,7 @@ Outcome<Value> BlockMemory::load(Value Address) {
   const Ptr &P = Address.ptr();
   if (Outcome<Unit> Check = checkAccess(P); !Check)
     return Check.propagate<Value>();
+  Trace.noteLoad(P.Block, P.Offset, std::nullopt);
   return Outcome<Value>::success(Blocks[P.Block].Contents[P.Offset]);
 }
 
@@ -90,6 +93,7 @@ Outcome<Unit> BlockMemory::store(Value Address, Value V) {
   if (Outcome<Unit> Check = checkAccess(P); !Check)
     return Check;
   Blocks[P.Block].Contents[P.Offset] = V;
+  Trace.noteStore(P.Block, P.Offset, std::nullopt);
   return Outcome<Unit>::success(Unit{});
 }
 

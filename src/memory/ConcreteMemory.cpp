@@ -45,11 +45,15 @@ Outcome<Value> ConcreteMemory::allocate(Word NumWords) {
   std::vector<FreeInterval> Free =
       computeFreeIntervals(occupiedRanges(), config().AddressWords);
   std::optional<Word> Base = Oracle->choose(NumWords, Free);
-  if (!Base)
+  if (!Base) {
+    Trace.noteAllocFailure(NumWords);
     return Outcome<Value>::outOfMemory(
         "no concrete placement for allocation of " +
         std::to_string(NumWords) + " words");
-  Allocations.emplace(*Base, AllocationInfo{NumWords, NextId++});
+  }
+  Allocations.emplace(*Base, AllocationInfo{NumWords, NextId});
+  Trace.noteAlloc(NextId, NumWords, *Base);
+  ++NextId;
   // Fresh memory reads as integer 0; nothing to materialize in the sparse
   // store, but stale cells from a previous tenant must not leak through.
   for (Word I = 0; I < NumWords; ++I)
@@ -75,6 +79,8 @@ Outcome<Unit> ConcreteMemory::deallocate(Value Pointer) {
   Retiring.Base = Address;
   Retiring.Size = It->second.Size;
   Retired.emplace_back(It->second.Id, std::move(Retiring));
+  Trace.noteFree(It->second.Id, It->second.Size, /*WasRealized=*/true,
+                 Address);
   for (Word I = 0; I < It->second.Size; ++I)
     Cells.erase(Address + I);
   Allocations.erase(It);
@@ -89,6 +95,7 @@ Outcome<Value> ConcreteMemory::load(Value Address) {
   if (!isAllocatedAddress(A))
     return Outcome<Value>::undefined("load from unallocated address " +
                                      wordToString(A));
+  Trace.noteLoad(std::nullopt, std::nullopt, A);
   auto It = Cells.find(A);
   if (It == Cells.end())
     return Outcome<Value>::success(Value::makeInt(0));
@@ -104,14 +111,18 @@ Outcome<Unit> ConcreteMemory::store(Value Address, Value V) {
     return Outcome<Unit>::undefined("store to unallocated address " +
                                     wordToString(A));
   Cells[A] = V;
+  Trace.noteStore(std::nullopt, std::nullopt, A);
   return Outcome<Unit>::success(Unit{});
 }
 
 Outcome<Value> ConcreteMemory::castPtrToInt(Value Pointer) {
-  // Pointers already are integers: the cast is a no-op (Section 3.6).
+  // Pointers already are integers: the cast is a no-op (Section 3.6). Never
+  // a realization: every allocation was born at a concrete address.
   if (!Pointer.isInt())
     return Outcome<Value>::undefined(
         "logical address reached the concrete model");
+  Trace.noteCastToInt(std::nullopt, std::nullopt, Pointer.intValue(),
+                      /*RealizedNow=*/false);
   return Outcome<Value>::success(Pointer);
 }
 
@@ -119,6 +130,7 @@ Outcome<Value> ConcreteMemory::castIntToPtr(Value Integer) {
   if (!Integer.isInt())
     return Outcome<Value>::undefined(
         "logical address reached the concrete model");
+  Trace.noteCastToPtr(std::nullopt, std::nullopt, Integer.intValue());
   return Outcome<Value>::success(Integer);
 }
 

@@ -38,13 +38,17 @@ Outcome<Value> EagerQuasiMemory::allocate(Word NumWords) {
     std::vector<FreeInterval> Free =
         computeFreeIntervals(occupiedRanges(), config().AddressWords);
     std::optional<Word> Base = Placement->choose(NumWords, Free);
-    if (!Base)
+    if (!Base) {
+      Trace.noteAllocFailure(NumWords);
       return Outcome<Value>::outOfMemory(
           "no concrete placement for an eagerly-concrete allocation");
+    }
     B.Base = *Base;
   }
   BlockId Id = static_cast<BlockId>(Blocks.size());
+  std::optional<Word> Base = B.Base;
   Blocks.push_back(std::move(B));
+  Trace.noteAlloc(Id, NumWords, Base);
   return Outcome<Value>::success(Value::makePtr(Id, 0));
 }
 
@@ -65,7 +69,9 @@ Outcome<Value> EagerQuasiMemory::castPtrToInt(Value Pointer) {
     // allocator chose the wrong kind of block".
     return Outcome<Value>::outOfMemory(
         "cast of a pointer into a logically-allocated block (eager model)");
-  return Outcome<Value>::success(Value::makeInt(wrapAdd(*B.Base, P.Offset)));
+  Word Addr = wrapAdd(*B.Base, P.Offset);
+  Trace.noteCastToInt(P.Block, P.Offset, Addr, /*RealizedNow=*/false);
+  return Outcome<Value>::success(Value::makeInt(Addr));
 }
 
 Outcome<Value> EagerQuasiMemory::castIntToPtr(Value Integer) {
@@ -77,8 +83,10 @@ Outcome<Value> EagerQuasiMemory::castIntToPtr(Value Integer) {
     const Block &B = Blocks[Id];
     if (!B.Valid || !B.Base)
       continue;
-    if (B.containsAddress(I))
+    if (B.containsAddress(I)) {
+      Trace.noteCastToPtr(Id, I - *B.Base, I);
       return Outcome<Value>::success(Value::makePtr(Id, I - *B.Base));
+    }
   }
   return Outcome<Value>::undefined(
       "integer-to-pointer cast of " + wordToString(I) +

@@ -12,7 +12,14 @@ Outcome<Value> LogicalMemory::castPtrToInt(Value Pointer) {
     return Outcome<Value>::undefined(
         "pointer-to-integer cast in the logical model");
   // CompCert-style: the cast is a no-op and the logical address itself flows
-  // into the integer position (Section 2.2).
+  // into the integer position (Section 2.2). Never a realization: the
+  // logical model has no concrete addresses at all.
+  if (Pointer.isPtr())
+    Trace.noteCastToInt(Pointer.ptr().Block, Pointer.ptr().Offset,
+                        std::nullopt, /*RealizedNow=*/false);
+  else
+    Trace.noteCastToInt(std::nullopt, std::nullopt, Pointer.intValue(),
+                        /*RealizedNow=*/false);
   return Outcome<Value>::success(Pointer);
 }
 
@@ -20,6 +27,11 @@ Outcome<Value> LogicalMemory::castIntToPtr(Value Integer) {
   if (Casts == CastBehavior::Error)
     return Outcome<Value>::undefined(
         "integer-to-pointer cast in the logical model");
+  if (Integer.isPtr())
+    Trace.noteCastToPtr(Integer.ptr().Block, Integer.ptr().Offset,
+                        std::nullopt);
+  else
+    Trace.noteCastToPtr(std::nullopt, std::nullopt, Integer.intValue());
   return Outcome<Value>::success(Integer);
 }
 

@@ -1,0 +1,170 @@
+//===- memory/MemTrace.cpp ------------------------------------------------===//
+
+#include "memory/MemTrace.h"
+
+#include <ostream>
+
+using namespace qcm;
+
+MemTraceSink::~MemTraceSink() = default;
+
+std::string qcm::memEventKindName(MemEventKind Kind) {
+  switch (Kind) {
+  case MemEventKind::Alloc:
+    return "alloc";
+  case MemEventKind::Free:
+    return "free";
+  case MemEventKind::Load:
+    return "load";
+  case MemEventKind::Store:
+    return "store";
+  case MemEventKind::CastToInt:
+    return "cast2int";
+  case MemEventKind::CastToPtr:
+    return "cast2ptr";
+  case MemEventKind::Realize:
+    return "realize";
+  case MemEventKind::Fault:
+    return "fault";
+  }
+  return "unknown";
+}
+
+std::string MemEvent::toJson() const {
+  JsonObject O;
+  O.field("step", Step);
+  O.field("kind", memEventKindName(Kind));
+  if (Block)
+    O.field("block", static_cast<uint64_t>(*Block));
+  if (Offset)
+    O.field("offset", static_cast<uint64_t>(*Offset));
+  if (ConcreteAddr)
+    O.field("addr", static_cast<uint64_t>(*ConcreteAddr));
+  if (Size)
+    O.field("size", static_cast<uint64_t>(*Size));
+  if (Kind == MemEventKind::CastToInt || Kind == MemEventKind::Realize)
+    O.fieldBool("realized", RealizedNow);
+  if (FaultClass)
+    O.field("class", *FaultClass == Fault::Kind::OutOfMemory ? "no-behavior"
+                                                             : "undefined");
+  if (!Detail.empty())
+    O.field("detail", Detail);
+  return O.str();
+}
+
+std::string MemEvent::toString() const {
+  std::string Text = "step " + std::to_string(Step) + "  ";
+  std::string Name = memEventKindName(Kind);
+  Name.resize(9, ' ');
+  Text += Name;
+  if (Block)
+    Text += " block " + std::to_string(*Block);
+  if (Offset)
+    Text += " off " + wordToString(*Offset);
+  if (Size)
+    Text += " size " + wordToString(*Size);
+  if (ConcreteAddr)
+    Text += " @" + wordToString(*ConcreteAddr);
+  if (Kind == MemEventKind::CastToInt && RealizedNow)
+    Text += " (realizing)";
+  if (FaultClass)
+    Text += *FaultClass == Fault::Kind::OutOfMemory ? " [no-behavior]"
+                                                    : " [undefined]";
+  if (!Detail.empty())
+    Text += " -- " + Detail;
+  return Text;
+}
+
+void JsonlTraceSink::onEvent(const MemEvent &E) {
+  Out << E.toJson() << '\n';
+}
+
+void ModelStats::accumulate(const ModelStats &Other) {
+  Allocations += Other.Allocations;
+  AllocationFailures += Other.AllocationFailures;
+  Frees += Other.Frees;
+  Loads += Other.Loads;
+  Stores += Other.Stores;
+  CastsToInt += Other.CastsToInt;
+  CastsToPtr += Other.CastsToPtr;
+  Realizations += Other.Realizations;
+  RealizationFailures += Other.RealizationFailures;
+  UndefinedFaults += Other.UndefinedFaults;
+  NoBehaviorFaults += Other.NoBehaviorFaults;
+  LiveBlocks += Other.LiveBlocks;
+  PeakLiveBlocks = std::max(PeakLiveBlocks, Other.PeakLiveBlocks);
+  RealizedBytes += Other.RealizedBytes;
+  PeakRealizedBytes = std::max(PeakRealizedBytes, Other.PeakRealizedBytes);
+}
+
+std::string ModelStats::toJson() const {
+  JsonObject O;
+  O.field("allocations", Allocations);
+  O.field("allocation_failures", AllocationFailures);
+  O.field("frees", Frees);
+  O.field("loads", Loads);
+  O.field("stores", Stores);
+  O.field("casts_to_int", CastsToInt);
+  O.field("casts_to_ptr", CastsToPtr);
+  O.field("realizations", Realizations);
+  O.field("realization_failures", RealizationFailures);
+  O.field("undefined_faults", UndefinedFaults);
+  O.field("no_behavior_faults", NoBehaviorFaults);
+  O.field("live_blocks", LiveBlocks);
+  O.field("peak_live_blocks", PeakLiveBlocks);
+  O.field("realized_bytes", RealizedBytes);
+  O.field("peak_realized_bytes", PeakRealizedBytes);
+  return O.str();
+}
+
+std::string ModelStats::toString() const {
+  auto Row = [](const char *Name, uint64_t V) {
+    std::string Line = "  ";
+    Line += Name;
+    if (Line.size() < 24)
+      Line.resize(24, ' ');
+    return Line + std::to_string(V) + "\n";
+  };
+  std::string Text;
+  Text += Row("allocations:", Allocations);
+  Text += Row("allocation failures:", AllocationFailures);
+  Text += Row("frees:", Frees);
+  Text += Row("loads:", Loads);
+  Text += Row("stores:", Stores);
+  Text += Row("casts to int:", CastsToInt);
+  Text += Row("casts to ptr:", CastsToPtr);
+  Text += Row("realizations:", Realizations);
+  Text += Row("realization failures:", RealizationFailures);
+  Text += Row("undefined faults:", UndefinedFaults);
+  Text += Row("no-behavior faults:", NoBehaviorFaults);
+  Text += Row("live blocks:", LiveBlocks);
+  Text += Row("peak live blocks:", PeakLiveBlocks);
+  Text += Row("realized bytes:", RealizedBytes);
+  Text += Row("peak realized bytes:", PeakRealizedBytes);
+  return Text;
+}
+
+void MemTrace::emit(MemEventKind Kind, std::optional<BlockId> Block,
+                    std::optional<Word> Offset, std::optional<Word> Addr,
+                    std::optional<Word> Size, bool RealizedNow,
+                    std::string Detail) {
+  MemEvent E;
+  E.Kind = Kind;
+  E.Step = StepCounter ? *StepCounter : 0;
+  E.Block = Block;
+  E.Offset = Offset;
+  E.ConcreteAddr = Addr;
+  E.Size = Size;
+  E.RealizedNow = RealizedNow;
+  E.Detail = std::move(Detail);
+  Sink->onEvent(E);
+}
+
+void MemTrace::emitFault(const Fault &F) {
+  MemEvent E;
+  E.Kind = MemEventKind::Fault;
+  E.Step = StepCounter ? *StepCounter : 0;
+  E.FaultClass = F.FaultKind;
+  E.Detail = F.Reason;
+  Sink->onEvent(E);
+}

@@ -1,0 +1,322 @@
+//===- memory/MemTrace.h - Memory-event tracing and statistics --*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability layer of the memory models. Every model emits a
+/// MemEvent for each alloc, free, load, store, cast (with realization
+/// outcome), realization, and fault transition, tagged with block id,
+/// offset, concrete address (if realized), and the interpreter step counter
+/// threaded in by the Machine. Events flow into an optional MemTraceSink;
+/// aggregate ModelStats counters are maintained unconditionally (they are a
+/// handful of integer increments).
+///
+/// Overhead contract: with no sink installed (the null path) an emission
+/// point is a few counter increments and one branch; building
+/// -DQCM_TRACE_ENABLED=0 compiles even that away. This keeps the paper's
+/// per-operation semantics benchmarkable (bench_models_perf) while making
+/// the distinctive events of the paper — realizations and their failures
+/// (Sections 3-4), the no-behavior/OOM transition (Section 2.3) — visible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_MEMORY_MEMTRACE_H
+#define QCM_MEMORY_MEMTRACE_H
+
+#include "support/Fault.h"
+#include "support/Ints.h"
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// The taxonomy of memory events.
+enum class MemEventKind {
+  /// A block (or concrete range) was allocated.
+  Alloc,
+  /// A live block was deallocated.
+  Free,
+  /// A word was loaded.
+  Load,
+  /// A word was stored.
+  Store,
+  /// A pointer-to-integer cast succeeded (quasi-concrete: after realizing).
+  CastToInt,
+  /// An integer-to-pointer cast succeeded.
+  CastToPtr,
+  /// A logical block acquired a concrete base address (Section 3.4's
+  /// effectful step; also emitted when a block is born concrete).
+  Realize,
+  /// The execution transitioned into a fault: undefined behavior or
+  /// out-of-memory ("no behavior"). Emitted once, at the transition.
+  Fault,
+};
+
+/// Short stable name, used both in JSONL output and human rendering.
+std::string memEventKindName(MemEventKind Kind);
+
+/// One memory event. Absent optionals mean "not applicable for this model
+/// or event" (e.g. the concrete model has no block ids on loads).
+struct MemEvent {
+  MemEventKind Kind = MemEventKind::Alloc;
+  /// Interpreter step counter at emission; 0 when no machine is attached
+  /// (direct memory-API use).
+  uint64_t Step = 0;
+  std::optional<BlockId> Block;
+  std::optional<Word> Offset;
+  /// Concrete address involved, if the block is realized / the model is
+  /// concrete.
+  std::optional<Word> ConcreteAddr;
+  /// Size in words (alloc, free, realize).
+  std::optional<Word> Size;
+  /// For CastToInt under the quasi-concrete model: true when this cast
+  /// performed the realization (first cast of the block).
+  bool RealizedNow = false;
+  /// For Fault events: which fault class.
+  std::optional<Fault::Kind> FaultClass;
+  /// Free-form detail (fault reason).
+  std::string Detail;
+
+  /// One JSON object, single line, no trailing newline.
+  std::string toJson() const;
+  /// One human-readable line, e.g. "step 12  cast2int   block 3 off 0 -> 2049 (realized)".
+  std::string toString() const;
+};
+
+/// Receives events as they happen. Implementations must not re-enter the
+/// memory model.
+class MemTraceSink {
+public:
+  virtual ~MemTraceSink();
+  virtual void onEvent(const MemEvent &E) = 0;
+};
+
+/// Explicit do-nothing sink. Installing it is equivalent to installing no
+/// sink at all, minus one indirect call per event; it exists so callers can
+/// select "tracing off" through the same configuration path that selects a
+/// real sink.
+class NullTraceSink : public MemTraceSink {
+public:
+  void onEvent(const MemEvent &) override {}
+};
+
+/// Buffers every event in memory; for tests and the qcm-trace tool.
+class CollectingTraceSink : public MemTraceSink {
+public:
+  void onEvent(const MemEvent &E) override { EventLog.push_back(E); }
+  const std::vector<MemEvent> &events() const { return EventLog; }
+  void clear() { EventLog.clear(); }
+
+private:
+  std::vector<MemEvent> EventLog;
+};
+
+/// Streams events as JSONL: one JSON object per line.
+class JsonlTraceSink : public MemTraceSink {
+public:
+  explicit JsonlTraceSink(std::ostream &Out) : Out(Out) {}
+  void onEvent(const MemEvent &E) override;
+
+private:
+  std::ostream &Out;
+};
+
+/// Aggregate counters over one memory instance's lifetime.
+struct ModelStats {
+  uint64_t Allocations = 0;
+  /// Allocations that failed with out-of-memory (concrete/eager models).
+  uint64_t AllocationFailures = 0;
+  uint64_t Frees = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  /// Successful pointer-to-integer casts.
+  uint64_t CastsToInt = 0;
+  /// Successful integer-to-pointer casts.
+  uint64_t CastsToPtr = 0;
+  /// Blocks that acquired a concrete base address (realization at cast time
+  /// in the quasi-concrete model; concrete birth elsewhere).
+  uint64_t Realizations = 0;
+  /// Realizations that failed for want of concrete address space — the
+  /// paper's cast-time out-of-memory (Section 3.4).
+  uint64_t RealizationFailures = 0;
+  /// Fault transitions by class.
+  uint64_t UndefinedFaults = 0;
+  uint64_t NoBehaviorFaults = 0;
+  /// Currently live (valid) blocks, and the high-water mark.
+  uint64_t LiveBlocks = 0;
+  uint64_t PeakLiveBlocks = 0;
+  /// Bytes of live realized (concretely addressed) blocks, and the
+  /// high-water mark. One word is 4 bytes (32-bit architecture).
+  uint64_t RealizedBytes = 0;
+  uint64_t PeakRealizedBytes = 0;
+
+  /// Sum of all successful memory operations.
+  uint64_t totalOperations() const {
+    return Allocations + Frees + Loads + Stores + CastsToInt + CastsToPtr;
+  }
+
+  /// Element-wise merge: counters add, high-water marks take the max.
+  void accumulate(const ModelStats &Other);
+
+  std::string toJson() const;
+  /// Multi-line human-readable rendering, one "key: value" row per counter.
+  std::string toString() const;
+};
+
+/// Per-memory-instance trace state: the counters, an optional sink, and the
+/// interpreter's step counter (bound by the Machine). Lives inside every
+/// Memory; clones of a memory start with a fresh, unbound MemTrace so the
+/// refinement machinery's exploratory runs do not pollute the original's
+/// statistics.
+class MemTrace {
+public:
+  /// Installs \p S (non-owning; may be null to disable emission). Counters
+  /// are maintained regardless.
+  void setSink(MemTraceSink *S) { Sink = S; }
+  MemTraceSink *sink() const { return Sink; }
+
+  /// Points the trace at the interpreter's step counter so events carry
+  /// execution time. Null unbinds.
+  void bindStepCounter(const uint64_t *Counter) { StepCounter = Counter; }
+
+  const ModelStats &stats() const { return Counters; }
+  void resetStats() { Counters = ModelStats{}; }
+
+#if QCM_TRACE_ENABLED
+  void noteAlloc(std::optional<BlockId> Block, Word Size,
+                 std::optional<Word> Base) {
+    ++Counters.Allocations;
+    ++Counters.LiveBlocks;
+    if (Counters.LiveBlocks > Counters.PeakLiveBlocks)
+      Counters.PeakLiveBlocks = Counters.LiveBlocks;
+    if (Base)
+      noteRealized(Size);
+    if (Sink)
+      emit(MemEventKind::Alloc, Block, std::nullopt, Base, Size,
+           /*RealizedNow=*/Base.has_value());
+  }
+
+  void noteAllocFailure(Word Size) {
+    ++Counters.AllocationFailures;
+    if (Sink)
+      emit(MemEventKind::Alloc, std::nullopt, std::nullopt, std::nullopt,
+           Size, false, "out of memory");
+  }
+
+  void noteFree(std::optional<BlockId> Block, Word Size, bool WasRealized,
+                std::optional<Word> Base = std::nullopt) {
+    ++Counters.Frees;
+    if (Counters.LiveBlocks)
+      --Counters.LiveBlocks;
+    if (WasRealized)
+      Counters.RealizedBytes -= std::min<uint64_t>(
+          Counters.RealizedBytes, static_cast<uint64_t>(Size) * BytesPerWord);
+    if (Sink)
+      emit(MemEventKind::Free, Block, std::nullopt, Base, Size, false);
+  }
+
+  void noteLoad(std::optional<BlockId> Block, std::optional<Word> Offset,
+                std::optional<Word> Addr) {
+    ++Counters.Loads;
+    if (Sink)
+      emit(MemEventKind::Load, Block, Offset, Addr, std::nullopt, false);
+  }
+
+  void noteStore(std::optional<BlockId> Block, std::optional<Word> Offset,
+                 std::optional<Word> Addr) {
+    ++Counters.Stores;
+    if (Sink)
+      emit(MemEventKind::Store, Block, Offset, Addr, std::nullopt, false);
+  }
+
+  void noteCastToInt(std::optional<BlockId> Block, std::optional<Word> Offset,
+                     std::optional<Word> ResultAddr, bool RealizedNow) {
+    ++Counters.CastsToInt;
+    if (Sink)
+      emit(MemEventKind::CastToInt, Block, Offset, ResultAddr, std::nullopt,
+           RealizedNow);
+  }
+
+  void noteCastToPtr(std::optional<BlockId> Block, std::optional<Word> Offset,
+                     std::optional<Word> SourceAddr) {
+    ++Counters.CastsToPtr;
+    if (Sink)
+      emit(MemEventKind::CastToPtr, Block, Offset, SourceAddr, std::nullopt,
+           false);
+  }
+
+  void noteRealize(BlockId Block, Word Size, Word Base) {
+    noteRealized(Size);
+    if (Sink)
+      emit(MemEventKind::Realize, Block, std::nullopt, Base, Size,
+           /*RealizedNow=*/true);
+  }
+
+  void noteRealizeFailure(BlockId Block, Word Size) {
+    ++Counters.RealizationFailures;
+    if (Sink)
+      emit(MemEventKind::Realize, Block, std::nullopt, std::nullopt, Size,
+           false, "no concrete placement");
+  }
+
+  /// Records the fault transition ending an execution; called by the
+  /// interpreter/runner, not by the models (so each run logs it once).
+  void noteFault(const Fault &F) {
+    if (F.isOutOfMemory())
+      ++Counters.NoBehaviorFaults;
+    else
+      ++Counters.UndefinedFaults;
+    if (Sink)
+      emitFault(F);
+  }
+#else
+  void noteAlloc(std::optional<BlockId>, Word, std::optional<Word>) {}
+  void noteAllocFailure(Word) {}
+  void noteFree(std::optional<BlockId>, Word, bool,
+                std::optional<Word> = std::nullopt) {}
+  void noteLoad(std::optional<BlockId>, std::optional<Word>,
+                std::optional<Word>) {}
+  void noteStore(std::optional<BlockId>, std::optional<Word>,
+                 std::optional<Word>) {}
+  void noteCastToInt(std::optional<BlockId>, std::optional<Word>,
+                     std::optional<Word>, bool) {}
+  void noteCastToPtr(std::optional<BlockId>, std::optional<Word>,
+                     std::optional<Word>) {}
+  void noteRealize(BlockId, Word, Word) {}
+  void noteRealizeFailure(BlockId, Word) {}
+  void noteFault(const Fault &) {}
+#endif
+
+private:
+  static constexpr uint64_t BytesPerWord = sizeof(Word);
+
+  void noteRealized(Word Size) {
+    ++Counters.Realizations;
+    Counters.RealizedBytes += static_cast<uint64_t>(Size) * BytesPerWord;
+    if (Counters.RealizedBytes > Counters.PeakRealizedBytes)
+      Counters.PeakRealizedBytes = Counters.RealizedBytes;
+  }
+
+  /// Out-of-line slow path: builds the MemEvent and hands it to the sink.
+  void emit(MemEventKind Kind, std::optional<BlockId> Block,
+            std::optional<Word> Offset, std::optional<Word> Addr,
+            std::optional<Word> Size, bool RealizedNow,
+            std::string Detail = {});
+  void emitFault(const Fault &F);
+
+  ModelStats Counters;
+  MemTraceSink *Sink = nullptr;
+  const uint64_t *StepCounter = nullptr;
+};
+
+} // namespace qcm
+
+#endif // QCM_MEMORY_MEMTRACE_H

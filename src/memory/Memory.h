@@ -22,6 +22,7 @@
 #define QCM_MEMORY_MEMORY_H
 
 #include "memory/Block.h"
+#include "memory/MemTrace.h"
 #include "memory/Value.h"
 #include "support/Fault.h"
 
@@ -123,8 +124,18 @@ public:
   /// for tests and debugging.
   virtual std::optional<std::string> checkConsistency() const = 0;
 
+  /// The observability layer: per-instance event trace and aggregate
+  /// statistics (memory/MemTrace.h). Every model emits into it; the
+  /// interpreter binds its step counter; tools install sinks. clone()d
+  /// memories start with a fresh, sink-less trace.
+  MemTrace &trace() { return Trace; }
+  const MemTrace &trace() const { return Trace; }
+
 private:
   MemoryConfig Config;
+
+protected:
+  MemTrace Trace;
 };
 
 } // namespace qcm

@@ -44,11 +44,14 @@ Outcome<Unit> QuasiConcreteMemory::realize(BlockId Id) {
   std::vector<FreeInterval> Free =
       computeFreeIntervals(occupiedRanges(), config().AddressWords);
   std::optional<Word> Base = Oracle->choose(B.Size, Free);
-  if (!Base)
+  if (!Base) {
+    Trace.noteRealizeFailure(Id, B.Size);
     return Outcome<Unit>::outOfMemory(
         "no concrete placement realizing block " + std::to_string(Id) +
         " of " + wordToString(B.Size) + " words");
+  }
   B.Base = *Base;
+  Trace.noteRealize(Id, B.Size, *Base);
   return Outcome<Unit>::success(Unit{});
 }
 
@@ -66,12 +69,14 @@ Outcome<Value> QuasiConcreteMemory::castPtrToInt(Value Pointer) {
   if (!isValidAddress(P))
     return Outcome<Value>::undefined(
         "pointer-to-integer cast of an invalid address " + P.toString());
+  bool RealizedNow = !isRealized(P.Block);
   if (P.Block != 0)
     if (Outcome<Unit> Realized = realize(P.Block); !Realized)
       return Realized.propagate<Value>();
   const Block &B = Blocks[P.Block];
-  return Outcome<Value>::success(
-      Value::makeInt(wrapAdd(*B.Base, P.Offset)));
+  Word Addr = wrapAdd(*B.Base, P.Offset);
+  Trace.noteCastToInt(P.Block, P.Offset, Addr, RealizedNow);
+  return Outcome<Value>::success(Value::makeInt(Addr));
 }
 
 Outcome<Value> QuasiConcreteMemory::castIntToPtr(Value Integer) {
@@ -86,8 +91,10 @@ Outcome<Value> QuasiConcreteMemory::castIntToPtr(Value Integer) {
     const Block &B = Blocks[Id];
     if (!B.Valid || !B.Base)
       continue;
-    if (B.containsAddress(I))
+    if (B.containsAddress(I)) {
+      Trace.noteCastToPtr(Id, I - *B.Base, I);
       return Outcome<Value>::success(Value::makePtr(Id, I - *B.Base));
+    }
   }
   return Outcome<Value>::undefined(
       "integer-to-pointer cast of " + wordToString(I) +

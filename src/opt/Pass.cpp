@@ -6,18 +6,83 @@ using namespace qcm;
 
 FunctionPass::~FunctionPass() = default;
 
+namespace {
+
+uint64_t countInstrTree(const Instr &I) {
+  uint64_t N = I.InstrKind == Instr::Kind::Seq ? 0 : 1;
+  if (I.Then)
+    N += countInstrTree(*I.Then);
+  if (I.Else)
+    N += countInstrTree(*I.Else);
+  if (I.Body)
+    N += countInstrTree(*I.Body);
+  for (const auto &S : I.Stmts)
+    N += countInstrTree(*S);
+  return N;
+}
+
+} // namespace
+
+uint64_t qcm::countInstructions(const FunctionDecl &F) {
+  return F.Body ? countInstrTree(*F.Body) : 0;
+}
+
+std::string PassMetrics::toString() const {
+  std::string Name = PassName;
+  if (Name.size() < 12)
+    Name.resize(12, ' ');
+  return Name + "  invocations=" + std::to_string(Invocations) +
+         "  rewrites=" + std::to_string(Rewrites) +
+         "  instrs=" + std::to_string(InstrsBefore) + "->" +
+         std::to_string(InstrsAfter) + "  wall_us=" +
+         std::to_string(static_cast<uint64_t>(WallSeconds * 1e6));
+}
+
+std::string PassMetrics::toJson() const {
+  JsonObject O;
+  O.field("pass", PassName);
+  O.field("invocations", Invocations);
+  O.field("rewrites", Rewrites);
+  O.field("instrs_before", InstrsBefore);
+  O.field("instrs_after", InstrsAfter);
+  O.field("wall_us", static_cast<uint64_t>(WallSeconds * 1e6));
+  return O.str();
+}
+
 void PassManager::add(std::unique_ptr<FunctionPass> Pass) {
   Passes.push_back(std::move(Pass));
 }
 
 bool PassManager::run(Program &P, unsigned MaxIterations) {
+  Metrics.clear();
+  Metrics.reserve(Passes.size());
+  for (const auto &Pass : Passes) {
+    PassMetrics M;
+    M.PassName = Pass->name();
+    Metrics.push_back(std::move(M));
+  }
+
   bool EverChanged = false;
   for (unsigned Iter = 0; Iter < MaxIterations; ++Iter) {
     bool Changed = false;
-    for (auto &Pass : Passes)
-      for (FunctionDecl &F : P.Functions)
-        if (!F.isExtern())
-          Changed |= Pass->runOnFunction(F, P);
+    for (size_t Idx = 0; Idx < Passes.size(); ++Idx) {
+      FunctionPass &Pass = *Passes[Idx];
+      PassMetrics &M = Metrics[Idx];
+      for (FunctionDecl &F : P.Functions) {
+        if (F.isExtern())
+          continue;
+        uint64_t Before = countInstructions(F);
+        Stopwatch Timer;
+        bool FnChanged = Pass.runOnFunction(F, P);
+        M.WallSeconds += Timer.seconds();
+        ++M.Invocations;
+        M.InstrsBefore += Before;
+        M.InstrsAfter += countInstructions(F);
+        if (FnChanged)
+          ++M.Rewrites;
+        Changed |= FnChanged;
+      }
+    }
     EverChanged |= Changed;
     if (!Changed)
       break;

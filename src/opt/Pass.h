@@ -19,6 +19,7 @@
 #define QCM_OPT_PASS_H
 
 #include "lang/Ast.h"
+#include "support/Telemetry.h"
 
 #include <memory>
 #include <string>
@@ -38,6 +39,30 @@ public:
   virtual bool runOnFunction(FunctionDecl &F, const Program &P) = 0;
 };
 
+/// Number of instructions in \p F's body: every node of the instruction
+/// tree except bare sequences (If/While headers count as one each).
+uint64_t countInstructions(const FunctionDecl &F);
+
+/// Telemetry for one pass, accumulated across every invocation of a
+/// PassManager::run() (all functions, all fixpoint iterations).
+struct PassMetrics {
+  std::string PassName;
+  /// runOnFunction() calls.
+  uint64_t Invocations = 0;
+  /// Invocations that reported a change.
+  uint64_t Rewrites = 0;
+  /// Instructions in the function immediately before/after each
+  /// invocation, summed; Before - After is the net shrinkage this pass
+  /// achieved.
+  uint64_t InstrsBefore = 0;
+  uint64_t InstrsAfter = 0;
+  /// Wall-clock time spent inside runOnFunction().
+  double WallSeconds = 0;
+
+  std::string toString() const;
+  std::string toJson() const;
+};
+
 /// Runs passes over every defined function of a program, iterating until a
 /// fixed point (bounded by MaxIterations).
 class PassManager {
@@ -47,8 +72,13 @@ public:
   /// Applies all passes to \p P. Returns true if anything changed.
   bool run(Program &P, unsigned MaxIterations = 4);
 
+  /// Per-pass metrics of the most recent run(), one entry per registered
+  /// pass in registration order. Empty before the first run.
+  const std::vector<PassMetrics> &metrics() const { return Metrics; }
+
 private:
   std::vector<std::unique_ptr<FunctionPass>> Passes;
+  std::vector<PassMetrics> Metrics;
 };
 
 } // namespace qcm

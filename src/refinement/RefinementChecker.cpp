@@ -37,7 +37,7 @@ collectBehaviors(const Program &Prog, const RunConfig &Base,
                  const ContextVariant &Context,
                  const std::vector<OracleFactory> &Oracles,
                  const std::vector<std::vector<Word>> &Tapes,
-                 uint64_t &RunsPerformed) {
+                 uint64_t &RunsPerformed, ModelStats &AggregateStats) {
   BehaviorSet Set;
   for (const OracleFactory &Oracle : Oracles) {
     for (const std::vector<Word> &Tape : Tapes) {
@@ -48,6 +48,7 @@ collectBehaviors(const Program &Prog, const RunConfig &Base,
         Config.Handlers = Context.MakeHandlers();
       RunResult R = runProgram(Prog, Config);
       ++RunsPerformed;
+      AggregateStats.accumulate(R.Stats);
       Set.insert(std::move(R.Behav));
     }
   }
@@ -94,10 +95,12 @@ RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
     }
     CR.SrcBehaviors = collectBehaviors(*SrcProg, Job.BaseSrc, Context,
                                        Oracles, Tapes,
-                                       Report.RunsPerformed);
+                                       Report.RunsPerformed,
+                                       Report.AggregateStats);
     CR.TgtBehaviors = collectBehaviors(*TgtProg, Job.BaseTgt, Context,
                                        Oracles, Tapes,
-                                       Report.RunsPerformed);
+                                       Report.RunsPerformed,
+                                       Report.AggregateStats);
     InclusionResult Inc =
         behaviorsIncluded(CR.TgtBehaviors, CR.SrcBehaviors);
     CR.Refines = Inc.Included;

@@ -96,6 +96,10 @@ struct RefinementReport {
   std::vector<ContextReport> PerContext;
   /// Total number of executions performed.
   uint64_t RunsPerformed = 0;
+  /// Memory-event statistics summed over every execution (source and
+  /// target, all contexts/oracles/tapes); lets benchmarks report event
+  /// counts alongside timings.
+  ModelStats AggregateStats;
 
   std::string toString() const;
 };

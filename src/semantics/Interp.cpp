@@ -18,6 +18,9 @@ Machine::Machine(const Program &Prog, std::unique_ptr<Memory> Mem,
                  InterpConfig Config)
     : Prog(Prog), Mem(std::move(Mem)), Config(Config) {
   assert(this->Mem && "machine requires a memory");
+  // Thread the step counter into the memory's trace so every memory event
+  // is tagged with the execution time at which it happened.
+  this->Mem->trace().bindStepCounter(&Steps);
 }
 
 Machine::~Machine() = default;
@@ -291,6 +294,9 @@ Outcome<std::optional<Value>> Machine::evalRExp(const RExp &R, Frame &F) {
 //===----------------------------------------------------------------------===//
 
 bool Machine::fault(Fault F) {
+  // The no-behavior/OOM (or undefined-behavior) transition is a trace event
+  // in its own right: it is where a run's observable behavior gets cut off.
+  Mem->trace().noteFault(F);
   FinalFault = F;
   Signal S;
   S.SignalKind = Signal::Kind::Faulted;

@@ -63,16 +63,22 @@ Outcome<Value> materializeArg(const ArgSpec &Spec, Memory &Mem) {
 
 RunResult qcm::runProgram(const Program &Prog, const RunConfig &Config) {
   Machine M(Prog, makeMemory(Config), Config.Interp);
+  if (Config.TraceSink)
+    M.memory().trace().setSink(Config.TraceSink);
   for (const auto &[Name, Handler] : Config.Handlers)
     M.setExternalHandler(Name, Handler);
 
   RunResult Result;
   auto FinishWithFault = [&](const Fault &F) {
+    // Pre-run faults (global/argument materialization) never pass through
+    // Machine::fault, so record the transition here.
+    M.memory().trace().noteFault(F);
     Result.Behav = F.isUndefined()
                        ? Behavior::undefined(M.events(), F.Reason)
                        : Behavior::outOfMemory(M.events(), F.Reason);
     Result.Steps = M.stepsUsed();
     Result.ConsistencyError = M.memory().checkConsistency();
+    Result.Stats = M.memory().trace().stats();
     return Result;
   };
 
@@ -101,5 +107,6 @@ RunResult qcm::runProgram(const Program &Prog, const RunConfig &Config) {
   Result.Behav = M.behavior();
   Result.Steps = M.stepsUsed();
   Result.ConsistencyError = M.memory().checkConsistency();
+  Result.Stats = M.memory().trace().stats();
   return Result;
 }

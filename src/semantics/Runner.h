@@ -75,6 +75,10 @@ struct RunConfig {
   std::string Entry = "main";
   std::vector<ArgSpec> Args;
   std::map<std::string, ExternalHandler> Handlers;
+  /// Optional memory-event sink, installed on the run's memory before any
+  /// allocation happens (globals and arguments included). Non-owning; must
+  /// outlive the run. Null (the default) keeps the fast no-sink path.
+  MemTraceSink *TraceSink = nullptr;
 };
 
 /// Outcome of a run.
@@ -83,6 +87,9 @@ struct RunResult {
   uint64_t Steps = 0;
   /// Result of Memory::checkConsistency() after the run.
   std::optional<std::string> ConsistencyError;
+  /// Aggregate memory-event statistics of the run (zeros when the library
+  /// was built with QCM_TRACE_ENABLED=0).
+  ModelStats Stats;
 };
 
 /// Builds a memory instance for \p Config.

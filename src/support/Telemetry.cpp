@@ -1,0 +1,67 @@
+//===- support/Telemetry.cpp ----------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+using namespace qcm;
+
+std::string qcm::jsonEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char *Hex = "0123456789abcdef";
+        Out += "\\u00";
+        Out += Hex[(C >> 4) & 0xf];
+        Out += Hex[C & 0xf];
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonObject::key(const std::string &K) {
+  if (!Body.empty())
+    Body += ",";
+  Body += "\"" + jsonEscape(K) + "\":";
+}
+
+JsonObject &JsonObject::field(const std::string &Key, uint64_t V) {
+  key(Key);
+  Body += std::to_string(V);
+  return *this;
+}
+
+JsonObject &JsonObject::field(const std::string &Key, const std::string &V) {
+  key(Key);
+  Body += "\"" + jsonEscape(V) + "\"";
+  return *this;
+}
+
+JsonObject &JsonObject::field(const std::string &Key, const char *V) {
+  return field(Key, std::string(V));
+}
+
+JsonObject &JsonObject::fieldBool(const std::string &Key, bool V) {
+  key(Key);
+  Body += V ? "true" : "false";
+  return *this;
+}

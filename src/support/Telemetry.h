@@ -1,0 +1,80 @@
+//===- support/Telemetry.h - Low-overhead telemetry plumbing ----*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic telemetry plumbing shared by the memory-event tracer
+/// (memory/MemTrace.h), the optimizer pass metrics (opt/Pass.h), and the
+/// command-line tools: the QCM_TRACE_ENABLED compile-time switch, a
+/// single-line JSON object builder for JSONL emission, and a wall-clock
+/// stopwatch.
+///
+/// Layering: this header must stay dependency-free within the project (only
+/// support/) so every layer above can use it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_SUPPORT_TELEMETRY_H
+#define QCM_SUPPORT_TELEMETRY_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+/// Compile-time master switch for the tracing/statistics instrumentation.
+/// Building with -DQCM_TRACE_ENABLED=0 compiles every emission point down to
+/// nothing (no counter increments, no sink checks) for overhead-critical
+/// deployments; the APIs stay available so callers need no conditional code,
+/// they just observe empty traces and zero counters.
+#ifndef QCM_TRACE_ENABLED
+#define QCM_TRACE_ENABLED 1
+#endif
+
+namespace qcm {
+
+/// Escapes \p Text for inclusion inside a double-quoted JSON string
+/// (quotes, backslashes, and control characters).
+std::string jsonEscape(const std::string &Text);
+
+/// Builds one single-line JSON object field by field. Insertion order is
+/// preserved; values are either unsigned integers, strings, or booleans —
+/// all the trace format needs.
+class JsonObject {
+public:
+  JsonObject &field(const std::string &Key, uint64_t V);
+  JsonObject &field(const std::string &Key, const std::string &V);
+  JsonObject &field(const std::string &Key, const char *V);
+  JsonObject &fieldBool(const std::string &Key, bool V);
+
+  /// The finished object, e.g. {"kind":"alloc","block":3}.
+  std::string str() const { return "{" + Body + "}"; }
+
+private:
+  void key(const std::string &K);
+  std::string Body;
+};
+
+/// Wall-clock stopwatch for coarse metrics (pass timings). Monotonic.
+class Stopwatch {
+public:
+  Stopwatch() : Start(std::chrono::steady_clock::now()) {}
+
+  void reset() { Start = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace qcm
+
+#endif // QCM_SUPPORT_TELEMETRY_H

@@ -21,6 +21,40 @@ bool qcm_tools::readFile(const std::string &Path, std::string &Out,
   return true;
 }
 
+std::string qcm_tools::renderTrace(const std::vector<MemEvent> &Events) {
+  std::string Text;
+  for (const MemEvent &E : Events) {
+    Text += E.toString();
+    Text += "\n";
+  }
+  return Text;
+}
+
+bool qcm_tools::writeTraceJsonl(const std::string &Path,
+                                const std::vector<MemEvent> &Events,
+                                std::string &Error) {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out) {
+    Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  JsonlTraceSink Sink(Out);
+  for (const MemEvent &E : Events)
+    Sink.onEvent(E);
+  Out.flush();
+  if (!Out) {
+    Error = "error writing '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+std::string qcm_tools::renderStats(const ModelStats &Stats,
+                                   const std::string &ModelName) {
+  return "--- memory statistics (" + ModelName + ") ---\n" +
+         Stats.toString();
+}
+
 bool CommandLine::parse(int Argc, char **Argv, std::string &Error) {
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];

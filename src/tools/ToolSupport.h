@@ -25,6 +25,21 @@ namespace qcm_tools {
 /// Reads a whole file into \p Out; false with \p Error on failure.
 bool readFile(const std::string &Path, std::string &Out, std::string &Error);
 
+/// Renders a collected memory-event trace, one human-readable line per
+/// event.
+std::string renderTrace(const std::vector<qcm::MemEvent> &Events);
+
+/// Writes \p Events to \p Path as JSONL (one JSON object per line); false
+/// with \p Error on failure.
+bool writeTraceJsonl(const std::string &Path,
+                     const std::vector<qcm::MemEvent> &Events,
+                     std::string &Error);
+
+/// Renders run statistics under a "--- memory statistics (<model>) ---"
+/// header.
+std::string renderStats(const qcm::ModelStats &Stats,
+                        const std::string &ModelName);
+
 /// Minimal --key=value / --flag command line.
 struct CommandLine {
   std::map<std::string, std::string> Options;

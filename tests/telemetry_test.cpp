@@ -1,0 +1,373 @@
+//===- tests/telemetry_test.cpp - Tracing, stats, and event helpers -------===//
+//
+// Covers the observability layer: ModelStats counters across the memory
+// models, trace sinks (collecting, JSONL, null), the JSON helpers in
+// support/Telemetry.h, per-pass optimizer metrics, and edge cases of the
+// Event.h sequence helpers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Vm.h"
+#include "memory/EagerQuasiMemory.h"
+#include "memory/QuasiConcreteMemory.h"
+#include "opt/ArithSimplify.h"
+#include "opt/ConstProp.h"
+#include "opt/Pass.h"
+#include "semantics/Runner.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace qcm;
+
+namespace {
+
+// A program exercising every traced operation class: alloc, store, a
+// pointer-to-int cast (realizing under quasi), an int-to-pointer cast,
+// a load through the recovered pointer, and a free.
+const char *CastProgram = R"(
+main() {
+  var ptr p, ptr q, int a, int r;
+  p = malloc(2);
+  *(p + 1) = 42;
+  a = (int) p;
+  q = (ptr) (a + 1);
+  r = *q;
+  output(r);
+  free(p);
+}
+)";
+
+RunResult runUnder(ModelKind Model, MemTraceSink *Sink = nullptr,
+                   bool Loose = false) {
+  Vm V;
+  std::optional<Program> P = V.compile(CastProgram);
+  EXPECT_TRUE(P.has_value());
+  RunConfig C;
+  C.Model = Model;
+  C.TraceSink = Sink;
+  if (Loose) {
+    C.Interp.Discipline = TypeDiscipline::Loose;
+    C.LogicalCasts = LogicalMemory::CastBehavior::TransparentNop;
+  }
+  return runProgram(*P, C);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ModelStats across the models
+//===----------------------------------------------------------------------===//
+
+TEST(ModelStats, QuasiModelCountsCastsAndRealizations) {
+  RunResult R = runUnder(ModelKind::QuasiConcrete);
+  EXPECT_EQ(R.Behav, Behavior::terminated({Event::output(42)}));
+  EXPECT_EQ(R.Stats.CastsToInt, 1u);
+  EXPECT_EQ(R.Stats.CastsToPtr, 1u);
+  EXPECT_EQ(R.Stats.Realizations, 1u);
+  EXPECT_EQ(R.Stats.RealizationFailures, 0u);
+  EXPECT_GE(R.Stats.Allocations, 1u);
+  EXPECT_GE(R.Stats.Frees, 1u);
+  EXPECT_GE(R.Stats.Loads, 1u);
+  EXPECT_GE(R.Stats.Stores, 1u);
+  EXPECT_GT(R.Stats.totalOperations(), 0u);
+}
+
+TEST(ModelStats, StrictLogicalModelNeverRealizes) {
+  RunResult R = runUnder(ModelKind::Logical);
+  // The strict logical model faults at the first cast...
+  EXPECT_EQ(R.Behav.BehaviorKind, Behavior::Kind::Undefined);
+  // ...and never gives any block a concrete address.
+  EXPECT_EQ(R.Stats.Realizations, 0u);
+  EXPECT_EQ(R.Stats.UndefinedFaults, 1u);
+}
+
+TEST(ModelStats, LooseLogicalModelCountsCastsButNeverRealizes) {
+  RunResult R = runUnder(ModelKind::Logical, nullptr, /*Loose=*/true);
+  EXPECT_GE(R.Stats.CastsToInt, 1u);
+  EXPECT_EQ(R.Stats.Realizations, 0u);
+}
+
+TEST(ModelStats, EagerModelRealizesConcreteBirthsAtAllocation) {
+  // The Section 3.4 alternative decides each block's nature at allocation:
+  // a concretely-born block counts as realized immediately, a logical one
+  // never does (its casts fault instead).
+  EagerQuasiMemory Concrete{MemoryConfig{},
+                            std::make_unique<ConstantKindOracle>(true)};
+  ASSERT_TRUE(Concrete.allocate(2).ok());
+  EXPECT_EQ(Concrete.trace().stats().Realizations, 1u);
+
+  EagerQuasiMemory Logical{MemoryConfig{},
+                           std::make_unique<ConstantKindOracle>(false)};
+  Value P = Logical.allocate(2).value();
+  EXPECT_EQ(Logical.trace().stats().Realizations, 0u);
+  EXPECT_FALSE(Logical.castPtrToInt(P).ok());
+  EXPECT_EQ(Logical.trace().stats().CastsToInt, 0u);
+}
+
+TEST(ModelStats, ConcreteModelRealizesAtAllocation) {
+  RunResult R = runUnder(ModelKind::Concrete);
+  EXPECT_EQ(R.Behav, Behavior::terminated({Event::output(42)}));
+  EXPECT_EQ(R.Stats.Realizations, R.Stats.Allocations);
+  EXPECT_EQ(R.Stats.CastsToInt, 1u);
+}
+
+TEST(ModelStats, LiveBlockAndRealizedByteAccounting) {
+  QuasiConcreteMemory M{MemoryConfig{}};
+  Value P1 = M.allocate(4).value();
+  Value P2 = M.allocate(8).value();
+  EXPECT_EQ(M.trace().stats().LiveBlocks, 2u);
+  EXPECT_EQ(M.trace().stats().PeakLiveBlocks, 2u);
+  EXPECT_EQ(M.trace().stats().RealizedBytes, 0u);
+  ASSERT_TRUE(M.castPtrToInt(P1).ok());
+  EXPECT_EQ(M.trace().stats().RealizedBytes, 4u * sizeof(Word));
+  ASSERT_TRUE(M.deallocate(P1).ok());
+  ASSERT_TRUE(M.deallocate(P2).ok());
+  EXPECT_EQ(M.trace().stats().LiveBlocks, 0u);
+  EXPECT_EQ(M.trace().stats().PeakLiveBlocks, 2u);
+  EXPECT_EQ(M.trace().stats().RealizedBytes, 0u);
+  EXPECT_EQ(M.trace().stats().PeakRealizedBytes, 4u * sizeof(Word));
+}
+
+TEST(ModelStats, AccumulateSumsCountersAndMaxesPeaks) {
+  ModelStats A;
+  A.Loads = 3;
+  A.PeakLiveBlocks = 7;
+  ModelStats B;
+  B.Loads = 4;
+  B.PeakLiveBlocks = 5;
+  A.accumulate(B);
+  EXPECT_EQ(A.Loads, 7u);
+  EXPECT_EQ(A.PeakLiveBlocks, 7u);
+}
+
+TEST(ModelStats, RenderersNameEveryHeadlineCounter) {
+  ModelStats S;
+  S.Realizations = 9;
+  EXPECT_NE(S.toString().find("realizations:"), std::string::npos);
+  EXPECT_NE(S.toJson().find("\"realizations\":9"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace sinks
+//===----------------------------------------------------------------------===//
+
+TEST(TraceSink, CollectingSinkSeesEveryOperationClass) {
+  CollectingTraceSink Sink;
+  RunResult R = runUnder(ModelKind::QuasiConcrete, &Sink);
+  EXPECT_EQ(R.Behav.BehaviorKind, Behavior::Kind::Terminated);
+  ASSERT_FALSE(Sink.events().empty());
+
+  auto countKind = [&](MemEventKind K) {
+    size_t N = 0;
+    for (const MemEvent &E : Sink.events())
+      N += E.Kind == K;
+    return N;
+  };
+  EXPECT_GE(countKind(MemEventKind::Alloc), 1u);
+  EXPECT_GE(countKind(MemEventKind::Store), 1u);
+  EXPECT_GE(countKind(MemEventKind::Load), 1u);
+  EXPECT_EQ(countKind(MemEventKind::CastToInt), 1u);
+  EXPECT_EQ(countKind(MemEventKind::CastToPtr), 1u);
+  EXPECT_EQ(countKind(MemEventKind::Realize), 1u);
+  EXPECT_GE(countKind(MemEventKind::Free), 1u);
+
+  // Step counters are threaded from the interpreter: non-decreasing.
+  uint64_t Last = 0;
+  for (const MemEvent &E : Sink.events()) {
+    EXPECT_GE(E.Step, Last);
+    Last = E.Step;
+  }
+
+  // The realizing cast is flagged and carries the concrete address.
+  for (const MemEvent &E : Sink.events())
+    if (E.Kind == MemEventKind::CastToInt) {
+      EXPECT_TRUE(E.RealizedNow);
+      EXPECT_TRUE(E.ConcreteAddr.has_value());
+    }
+}
+
+TEST(TraceSink, RunsWithoutSinkStillMaintainStats) {
+  RunResult R = runUnder(ModelKind::QuasiConcrete, /*Sink=*/nullptr);
+  EXPECT_EQ(R.Stats.Realizations, 1u);
+}
+
+TEST(TraceSink, NullSinkDiscardsEventsButStatsSurvive) {
+  NullTraceSink Sink;
+  RunResult R = runUnder(ModelKind::QuasiConcrete, &Sink);
+  EXPECT_EQ(R.Stats.Realizations, 1u);
+}
+
+TEST(TraceSink, ClearEmptiesTheLog) {
+  CollectingTraceSink Sink;
+  (void)runUnder(ModelKind::QuasiConcrete, &Sink);
+  ASSERT_FALSE(Sink.events().empty());
+  Sink.clear();
+  EXPECT_TRUE(Sink.events().empty());
+}
+
+TEST(TraceSink, JsonlSinkWritesOneObjectPerLine) {
+  CollectingTraceSink Collector;
+  (void)runUnder(ModelKind::QuasiConcrete, &Collector);
+  std::ostringstream Out;
+  JsonlTraceSink Jsonl(Out);
+  for (const MemEvent &E : Collector.events())
+    Jsonl.onEvent(E);
+
+  std::istringstream In(Out.str());
+  std::string Line;
+  size_t Lines = 0;
+  while (std::getline(In, Line)) {
+    ++Lines;
+    ASSERT_FALSE(Line.empty());
+    EXPECT_EQ(Line.front(), '{');
+    EXPECT_EQ(Line.back(), '}');
+    EXPECT_NE(Line.find("\"step\":"), std::string::npos);
+    EXPECT_NE(Line.find("\"kind\":\""), std::string::npos);
+  }
+  EXPECT_EQ(Lines, Collector.events().size());
+}
+
+TEST(TraceSink, ClonedMemoriesDoNotPolluteTheParentTrace) {
+  CollectingTraceSink Sink;
+  QuasiConcreteMemory M{MemoryConfig{}};
+  M.trace().setSink(&Sink);
+  (void)M.allocate(2);
+  size_t Before = Sink.events().size();
+  std::unique_ptr<Memory> Clone = M.clone();
+  (void)Clone->allocate(2); // lands in the clone's fresh, sink-less trace
+  EXPECT_EQ(Sink.events().size(), Before);
+  EXPECT_EQ(M.trace().stats().Allocations, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// MemEvent rendering and JSON helpers
+//===----------------------------------------------------------------------===//
+
+TEST(MemEvent, JsonCarriesAllTaggedFields) {
+  MemEvent E;
+  E.Kind = MemEventKind::CastToInt;
+  E.Step = 12;
+  E.Block = 3;
+  E.Offset = 1;
+  E.ConcreteAddr = 2048;
+  E.RealizedNow = true;
+  std::string J = E.toJson();
+  EXPECT_NE(J.find("\"step\":12"), std::string::npos);
+  EXPECT_NE(J.find("\"kind\":\"cast2int\""), std::string::npos);
+  EXPECT_NE(J.find("\"block\":3"), std::string::npos);
+  EXPECT_NE(J.find("\"offset\":1"), std::string::npos);
+  EXPECT_NE(J.find("\"addr\":2048"), std::string::npos);
+  EXPECT_NE(J.find("\"realized\":true"), std::string::npos);
+}
+
+TEST(MemEvent, FaultEventsNameTheirClass) {
+  MemEvent E;
+  E.Kind = MemEventKind::Fault;
+  E.FaultClass = Fault::Kind::OutOfMemory;
+  EXPECT_NE(E.toJson().find("\"class\":\"no-behavior\""), std::string::npos);
+  E.FaultClass = Fault::Kind::Undefined;
+  EXPECT_NE(E.toJson().find("\"class\":\"undefined\""), std::string::npos);
+}
+
+TEST(Telemetry, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+}
+
+TEST(Telemetry, JsonObjectBuildsCommaSeparatedFields) {
+  JsonObject O;
+  O.field("a", static_cast<uint64_t>(1)).field("b", "x").fieldBool("c", true);
+  EXPECT_EQ(O.str(), "{\"a\":1,\"b\":\"x\",\"c\":true}");
+}
+
+//===----------------------------------------------------------------------===//
+// Pass metrics
+//===----------------------------------------------------------------------===//
+
+TEST(PassMetrics, ManagerRecordsPerPassCounters) {
+  Vm V;
+  std::optional<Program> P = V.compile(R"(
+main() {
+  var int a, int b;
+  a = 2 + 3;
+  b = a * 1;
+  output(b);
+}
+)");
+  ASSERT_TRUE(P.has_value());
+  PassManager PM;
+  PM.add(std::make_unique<ConstPropPass>());
+  PM.add(std::make_unique<ArithSimplifyPass>());
+  EXPECT_TRUE(PM.run(*P, 8));
+  ASSERT_EQ(PM.metrics().size(), 2u);
+  for (const PassMetrics &M : PM.metrics()) {
+    EXPECT_FALSE(M.PassName.empty());
+    EXPECT_GE(M.Invocations, 1u);
+    EXPECT_GT(M.InstrsBefore, 0u);
+    EXPECT_NE(M.toString().find("invocations="), std::string::npos);
+    EXPECT_NE(M.toJson().find("\"pass\":\""), std::string::npos);
+  }
+  EXPECT_GE(PM.metrics()[0].Rewrites, 1u); // constprop folds 2 + 3
+}
+
+TEST(PassMetrics, CountInstructionsWalksNestedBodies) {
+  Vm V;
+  std::optional<Program> P = V.compile(R"(
+main() {
+  var int i;
+  i = 2;
+  while (i) {
+    if (i) { i = i - 1; } else { i = 0; }
+  }
+  output(i);
+}
+)");
+  ASSERT_TRUE(P.has_value());
+  // i=2; while; if; i=i-1; i=0; output  ->  6 non-Seq instructions.
+  EXPECT_EQ(countInstructions(P->Functions.front()), 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// Event.h sequence helpers: edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(EventHelpers, EmptySequenceRendersPlaceholder) {
+  EXPECT_EQ(eventsToString({}), "<no events>");
+}
+
+TEST(EventHelpers, SingleAndMultiEventRendering) {
+  EXPECT_EQ(eventsToString({Event::output(1)}), "out(1)");
+  EXPECT_EQ(eventsToString({Event::input(2), Event::output(3)}),
+            "in(2).out(3)");
+}
+
+TEST(EventHelpers, EmptyPrefixMatchesAnything) {
+  EXPECT_TRUE(isEventPrefix({}, {}));
+  EXPECT_TRUE(isEventPrefix({}, {Event::output(1)}));
+}
+
+TEST(EventHelpers, PrefixEqualToFullSequenceMatches) {
+  std::vector<Event> Seq = {Event::input(1), Event::output(2)};
+  EXPECT_TRUE(isEventPrefix(Seq, Seq));
+}
+
+TEST(EventHelpers, LongerPrefixNeverMatches) {
+  EXPECT_FALSE(isEventPrefix({Event::output(1)}, {}));
+  EXPECT_FALSE(isEventPrefix({Event::output(1), Event::output(2)},
+                             {Event::output(1)}));
+}
+
+TEST(EventHelpers, MismatchedKindOrValueRejected) {
+  // Same value, different kind.
+  EXPECT_FALSE(isEventPrefix({Event::input(1)}, {Event::output(1)}));
+  // Same kind, different value.
+  EXPECT_FALSE(isEventPrefix({Event::output(1)}, {Event::output(2)}));
+  // Mismatch mid-sequence.
+  EXPECT_FALSE(isEventPrefix({Event::output(1), Event::input(2)},
+                             {Event::output(1), Event::output(2)}));
+}

@@ -12,6 +12,9 @@
 //   --lower                                  apply the Section 6.6 lowering
 //                                            compiler (dead cast removal)
 //   --iterations=<n>                         fixpoint bound (default 8)
+//   --metrics                                print per-pass metrics to stderr
+//                                            (invocations, rewrites,
+//                                            instruction counts, wall time)
 //
 // Prints the optimized program to stdout.
 //
@@ -31,7 +34,7 @@ int main(int Argc, char **Argv) {
   if (!Cmd.parse(Argc, Argv, Error) || Cmd.Positional.size() != 1) {
     std::fprintf(stderr,
                  "usage: qcm-opt [--passes=ownership,constprop,arith,dce] "
-                 "[--dae] [--lower] [--iterations=N] file.qcm\n");
+                 "[--dae] [--lower] [--iterations=N] [--metrics] file.qcm\n");
     return 2;
   }
 
@@ -77,6 +80,12 @@ int main(int Argc, char **Argv) {
   unsigned Iterations =
       static_cast<unsigned>(std::stoul(Cmd.get("iterations", "8")));
   PM.run(*Prog, Iterations);
+
+  if (Cmd.has("metrics")) {
+    std::fprintf(stderr, "--- pass metrics ---\n");
+    for (const PassMetrics &M : PM.metrics())
+      std::fprintf(stderr, "%s\n", M.toString().c_str());
+  }
 
   if (Cmd.has("lower")) {
     LoweringOptions Lowering;

@@ -1,12 +1,19 @@
-//===- tools/qcm-run.cpp - Run a program file under a chosen model --------===//
+//===- tools/qcm-trace.cpp - Trace a program's memory events --------------===//
 //
 // Part of the intptrcast project: an executable reproduction of the
 // quasi-concrete C memory model (Kang et al., PLDI 2015).
 //
-// Usage:
-//   qcm-run [options] file.qcm
+// Runs a .qcm program under a chosen memory model and prints the memory-
+// event trace and aggregate statistics: every alloc, free, load, store,
+// cast (with realization outcome), realization, and fault transition,
+// tagged with the interpreter step counter. This is the observability
+// companion to qcm-run: where qcm-run answers "what behavior?", qcm-trace
+// answers "which memory operations, and why did the run end?".
 //
-// Options:
+// Usage:
+//   qcm-trace [options] file.qcm
+//
+// Options (run options shared with qcm-run):
 //   --model=concrete|logical|quasi|eager   memory model (default: quasi)
 //   --oracle=first|last|random:<seed>      placement oracle (default: first)
 //   --entry=<name>                         entry function (default: main)
@@ -14,10 +21,12 @@
 //   --words=<n>                            address-space size in words
 //   --steps=<n>                            step budget
 //   --loose                                CompCert-style loose discipline
-//   --trace                                print each executed instruction
-//   --trace=<file>                         export the memory-event trace as
-//                                          JSONL (one event object per line)
-//   --stats                                print aggregate memory statistics
+//
+// Output selection:
+//   --stats          print aggregate ModelStats counters
+//   --json           print the stats as one JSON object instead of a table
+//   --trace=<file>   export the event trace as JSONL (one object per line)
+//   --quiet          suppress the per-event listing
 //
 //===----------------------------------------------------------------------===//
 
@@ -34,19 +43,20 @@ int main(int Argc, char **Argv) {
   std::string Error;
   if (!Cmd.parse(Argc, Argv, Error) || Cmd.Positional.size() != 1) {
     if (!Error.empty())
-      std::fprintf(stderr, "qcm-run: %s\n", Error.c_str());
+      std::fprintf(stderr, "qcm-trace: %s\n", Error.c_str());
     std::fprintf(stderr,
-                 "usage: qcm-run [--model=concrete|logical|quasi|eager] "
+                 "usage: qcm-trace [--model=concrete|logical|quasi|eager] "
                  "[--oracle=first|last|random:SEED]\n"
-                 "               [--entry=NAME] [--input=v1,v2,...] "
+                 "                 [--entry=NAME] [--input=v1,v2,...] "
                  "[--words=N] [--steps=N] [--loose]\n"
-                 "               [--trace[=FILE]] [--stats] file.qcm\n");
+                 "                 [--stats] [--json] [--trace=FILE] "
+                 "[--quiet] file.qcm\n");
     return 2;
   }
 
   std::string Source;
   if (!readFile(Cmd.Positional[0], Source, Error)) {
-    std::fprintf(stderr, "qcm-run: %s\n", Error.c_str());
+    std::fprintf(stderr, "qcm-trace: %s\n", Error.c_str());
     return 2;
   }
 
@@ -59,43 +69,46 @@ int main(int Argc, char **Argv) {
 
   RunConfig Config;
   if (!Cmd.applyRunOptions(Config, Error)) {
-    std::fprintf(stderr, "qcm-run: %s\n", Error.c_str());
+    std::fprintf(stderr, "qcm-trace: %s\n", Error.c_str());
     return 2;
   }
-  // Bare --trace keeps its original meaning (instruction trace to stderr);
-  // --trace=FILE exports the memory-event trace as JSONL.
-  std::string TraceFile = Cmd.get("trace");
-  if (Cmd.has("trace") && TraceFile.empty())
-    Config.Interp.OnInstr = [](const Instr &I, unsigned Depth) {
-      std::string Line = printInstr(I, Depth);
-      // Control-flow headers print their whole body; keep one line.
-      size_t Newline = Line.find('\n');
-      std::fprintf(stderr, "[trace] %s\n",
-                   Line.substr(0, Newline).c_str());
-    };
 
   CollectingTraceSink Collector;
-  if (!TraceFile.empty())
-    Config.TraceSink = &Collector;
+  Config.TraceSink = &Collector;
 
   RunResult Result = runProgram(*Prog, Config);
+
+  std::printf("model:    %s\n", modelKindName(Config.Model).c_str());
   std::printf("behavior: %s\n", Result.Behav.toString().c_str());
   std::printf("steps:    %llu\n",
               static_cast<unsigned long long>(Result.Steps));
   if (Result.ConsistencyError)
     std::printf("CONSISTENCY VIOLATION: %s\n",
                 Result.ConsistencyError->c_str());
-  if (Cmd.has("stats"))
-    std::fputs(
-        renderStats(Result.Stats, modelKindName(Config.Model)).c_str(),
-        stdout);
+
+  if (!Cmd.has("quiet")) {
+    std::printf("--- memory events (%zu) ---\n", Collector.events().size());
+    std::fputs(renderTrace(Collector.events()).c_str(), stdout);
+  }
+
+  if (Cmd.has("stats")) {
+    if (Cmd.has("json"))
+      std::printf("%s\n", Result.Stats.toJson().c_str());
+    else
+      std::fputs(
+          renderStats(Result.Stats, modelKindName(Config.Model)).c_str(),
+          stdout);
+  }
+
+  std::string TraceFile = Cmd.get("trace");
   if (!TraceFile.empty()) {
     if (!writeTraceJsonl(TraceFile, Collector.events(), Error)) {
-      std::fprintf(stderr, "qcm-run: %s\n", Error.c_str());
+      std::fprintf(stderr, "qcm-trace: %s\n", Error.c_str());
       return 2;
     }
     std::printf("trace:    %zu events -> %s\n", Collector.events().size(),
                 TraceFile.c_str());
   }
+
   return Result.Behav.BehaviorKind == Behavior::Kind::Undefined ? 3 : 0;
 }
