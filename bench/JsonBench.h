@@ -1,0 +1,114 @@
+//===- bench/JsonBench.h - --json=FILE machine-readable mode ----*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable reporting for the bench binaries. Passing --json=FILE
+/// switches a supporting binary from the google-benchmark driver to a fixed
+/// scenario sweep whose results are written as a JSON array (one object per
+/// scenario, built with the support/Telemetry.h JsonObject helper):
+///
+///   {"scenario":"interp_repeat","engine":"qir","model":"concrete",
+///    "iterations":300,"wall_us":8123,"steps":371700,"mem_ops":115800,
+///    "casts":0,"realizations":1}
+///
+/// --json-iters=N overrides each scenario's iteration count; CI smoke runs
+/// pass a tiny N so the flag cannot bit-rot without burning minutes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_BENCH_JSONBENCH_H
+#define QCM_BENCH_JSONBENCH_H
+
+#include "memory/MemTrace.h"
+#include "support/Telemetry.h"
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qcm_bench {
+
+/// Options parsed out of the command line by parseJsonOptions().
+struct JsonOptions {
+  std::string Path;
+  /// 0 means "use each scenario's default iteration count".
+  unsigned Iterations = 0;
+
+  unsigned itersOr(unsigned Default) const {
+    return Iterations ? Iterations : Default;
+  }
+};
+
+/// Scans argv for --json=FILE and --json-iters=N and strips them so that
+/// benchmark::Initialize never sees unknown flags. Returns nullopt when
+/// --json was not requested.
+inline std::optional<JsonOptions> parseJsonOptions(int &Argc, char **Argv) {
+  JsonOptions Options;
+  bool Found = false;
+  int Out = 1;
+  for (int In = 1; In < Argc; ++In) {
+    std::string Arg = Argv[In];
+    if (Arg.rfind("--json=", 0) == 0) {
+      Options.Path = Arg.substr(7);
+      Found = true;
+      continue;
+    }
+    if (Arg.rfind("--json-iters=", 0) == 0) {
+      Options.Iterations =
+          static_cast<unsigned>(std::strtoul(Arg.c_str() + 13, nullptr, 10));
+      continue;
+    }
+    Argv[Out++] = Argv[In];
+  }
+  Argc = Out;
+  return Found ? std::optional<JsonOptions>(Options) : std::nullopt;
+}
+
+/// Accumulates scenario rows and writes them as a JSON array.
+class JsonReport {
+public:
+  void add(const std::string &Scenario, const std::string &Engine,
+           const std::string &Model, double Seconds, uint64_t Iterations,
+           uint64_t Steps, const qcm::ModelStats &Stats) {
+    qcm::JsonObject Row;
+    Row.field("scenario", Scenario)
+        .field("engine", Engine)
+        .field("model", Model)
+        .field("iterations", Iterations)
+        .field("wall_us", static_cast<uint64_t>(Seconds * 1e6))
+        .field("steps", Steps)
+        .field("mem_ops", Stats.totalOperations())
+        .field("casts", Stats.CastsToInt + Stats.CastsToPtr)
+        .field("realizations", Stats.Realizations);
+    Rows.push_back(Row.str());
+  }
+
+  /// Writes the array to \p Path; returns false (with a message on stderr)
+  /// when the file cannot be written.
+  bool write(const std::string &Path) const {
+    std::FILE *Out = std::fopen(Path.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+      return false;
+    }
+    std::fprintf(Out, "[\n");
+    for (size_t I = 0; I < Rows.size(); ++I)
+      std::fprintf(Out, "  %s%s\n", Rows[I].c_str(),
+                   I + 1 < Rows.size() ? "," : "");
+    std::fprintf(Out, "]\n");
+    std::fclose(Out);
+    return true;
+  }
+
+private:
+  std::vector<std::string> Rows;
+};
+
+} // namespace qcm_bench
+
+#endif // QCM_BENCH_JSONBENCH_H

@@ -8,10 +8,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "JsonBench.h"
+
 #include "core/Vm.h"
+#include "ir/Compile.h"
 #include "memory/ConcreteMemory.h"
 #include "memory/LogicalMemory.h"
 #include "memory/QuasiConcreteMemory.h"
+#include "semantics/AstInterp.h"
 #include "semantics/Runner.h"
 
 #include <benchmark/benchmark.h>
@@ -99,9 +103,9 @@ void BM_FirstCastRealization(benchmark::State &State) {
 }
 BENCHMARK(BM_FirstCastRealization);
 
-void BM_InterpreterThroughput(benchmark::State &State) {
-  Vm V;
-  std::optional<Program> P = V.compile(R"(
+/// The whole-interpreter workload shared by BM_InterpreterThroughput and
+/// the --json scenario sweep.
+const char *ThroughputSource = R"(
 main() {
   var ptr buf, int i, int acc, int tmp;
   buf = malloc(64);
@@ -121,7 +125,11 @@ main() {
   }
   output(acc);
 }
-)");
+)";
+
+void BM_InterpreterThroughput(benchmark::State &State) {
+  Vm V;
+  std::optional<Program> P = V.compile(ThroughputSource);
   RunConfig C;
   C.Model = static_cast<ModelKind>(State.range(0));
   C.MemConfig.AddressWords = 1u << 20;
@@ -147,6 +155,118 @@ main() {
 }
 BENCHMARK(BM_InterpreterThroughput)->Arg(0)->Arg(1)->Arg(2);
 
+/// Call- and variable-heavy workload: the interpreter costs QIR removes
+/// (name-keyed environments, function lookup by name, tree re-walks)
+/// dominate, while memory traffic — identical in both engines — stays
+/// modest.
+const char *CallHeavySource = R"(
+combine(ptr out, int a, int b, int c) {
+  var int t0, int t1, int t2;
+  t0 = a + b;
+  t1 = t0 * 3;
+  t2 = t1 + c;
+  t0 = t2 - a;
+  t1 = t0 & 65535;
+  *out = t1;
+}
+
+main() {
+  var ptr r, int i, int acc, int v;
+  r = malloc(1);
+  acc = 1;
+  i = 400;
+  while (i) {
+    combine(r, i, acc, 7);
+    v = *r;
+    acc = acc + v;
+    acc = acc & 1048575;
+    i = i - 1;
+  }
+  output(acc);
+}
+)";
+
+/// --json mode: the repeated-execution scenarios behind the interpreter's
+/// perf trajectory. Both scenarios are refinement-shaped work — one program
+/// executed many times under the same configuration — measured on the QIR
+/// engine (compile once, reuse the module) and on the reference AST walker
+/// (re-walks the tree every run).
+int runJsonScenarios(const qcm_bench::JsonOptions &Options) {
+  struct Scenario {
+    const char *Name;
+    const char *Source;
+    unsigned DefaultIters;
+  };
+  const Scenario Scenarios[] = {
+      {"interp_repeat", ThroughputSource, 300},
+      {"call_repeat", CallHeavySource, 300},
+  };
+  Vm V;
+  qcm_bench::JsonReport Report;
+  for (const Scenario &S : Scenarios) {
+    std::optional<Program> P = V.compile(S.Source);
+    if (!P) {
+      std::fprintf(stderr, "workload %s does not compile:\n%s", S.Name,
+                   V.lastDiagnostics().c_str());
+      return 1;
+    }
+    const unsigned Iters = Options.itersOr(S.DefaultIters);
+    std::shared_ptr<const qir::QirModule> Module = qir::compileProgram(*P);
+    for (int Kind = 0; Kind < 3; ++Kind) {
+      RunConfig C;
+      C.Model = static_cast<ModelKind>(Kind);
+      C.MemConfig.AddressWords = 1u << 20;
+
+      uint64_t Steps = 0;
+      ModelStats Stats;
+      Stopwatch Timer;
+      for (unsigned I = 0; I < Iters; ++I) {
+        RunResult R = runCompiled(Module, C);
+        Steps += R.Steps;
+        Stats.accumulate(R.Stats);
+      }
+      Report.add(S.Name, "qir", modelName(Kind), Timer.seconds(), Iters,
+                 Steps, Stats);
+
+      Steps = 0;
+      Stats = ModelStats();
+      Timer.reset();
+      for (unsigned I = 0; I < Iters; ++I) {
+        RunResult R = runAstProgram(*P, C);
+        Steps += R.Steps;
+        Stats.accumulate(R.Stats);
+      }
+      Report.add(S.Name, "ast", modelName(Kind), Timer.seconds(), Iters,
+                 Steps, Stats);
+
+      // Fresh compilation per run: what a caller pays when it cannot
+      // reuse the module. The delta against the qir row is compile cost.
+      Steps = 0;
+      Stats = ModelStats();
+      Timer.reset();
+      for (unsigned I = 0; I < Iters; ++I) {
+        RunResult R = runProgram(*P, C);
+        Steps += R.Steps;
+        Stats.accumulate(R.Stats);
+      }
+      Report.add(S.Name + std::string("_fresh"), "qir", modelName(Kind),
+                 Timer.seconds(), Iters, Steps, Stats);
+    }
+  }
+  return Report.write(Options.Path) ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  std::optional<qcm_bench::JsonOptions> Json =
+      qcm_bench::parseJsonOptions(Argc, Argv);
+  if (Json)
+    return runJsonScenarios(*Json);
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

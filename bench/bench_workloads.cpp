@@ -7,7 +7,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "JsonBench.h"
+
 #include "core/Vm.h"
+#include "ir/Compile.h"
+#include "semantics/AstInterp.h"
 #include "semantics/Runner.h"
 
 #include <benchmark/benchmark.h>
@@ -138,9 +142,74 @@ void BM_CastLinkedList(benchmark::State &State) {
 }
 BENCHMARK(BM_CastLinkedList)->Arg(0)->Arg(2);
 
+/// --json mode: each workload under each applicable model, on both engines
+/// (the QIR machine reusing one compiled module, and the reference AST
+/// walker), with wall time and the memory-event counters.
+int runJsonScenarios(const qcm_bench::JsonOptions &Options) {
+  struct Workload {
+    const char *Name;
+    std::string Source;
+    std::vector<ModelKind> Models;
+  };
+  const std::vector<Workload> Workloads = {
+      {"insertion_sort",
+       sortProgram(64),
+       {ModelKind::Concrete, ModelKind::Logical, ModelKind::QuasiConcrete}},
+      // The logical model cannot run the cast list (casts fault).
+      {"cast_linked_list",
+       castListProgram(128),
+       {ModelKind::Concrete, ModelKind::QuasiConcrete}},
+  };
+  const unsigned Iters = Options.itersOr(20);
+  qcm_bench::JsonReport Report;
+  Vm V;
+  for (const Workload &W : Workloads) {
+    std::optional<Program> P = V.compile(W.Source);
+    if (!P) {
+      std::fprintf(stderr, "workload %s does not compile:\n%s", W.Name,
+                   V.lastDiagnostics().c_str());
+      return 1;
+    }
+    std::shared_ptr<const qir::QirModule> Module = qir::compileProgram(*P);
+    for (ModelKind Model : W.Models) {
+      RunConfig C;
+      C.Model = Model;
+      C.MemConfig.AddressWords = 1u << 20;
+      C.Interp.StepLimit = 100'000'000;
+
+      uint64_t Steps = 0;
+      ModelStats Stats;
+      Stopwatch Timer;
+      for (unsigned I = 0; I < Iters; ++I) {
+        RunResult R = runCompiled(Module, C);
+        Steps += R.Steps;
+        Stats.accumulate(R.Stats);
+      }
+      Report.add(W.Name, "qir", modelKindName(Model), Timer.seconds(),
+                 Iters, Steps, Stats);
+
+      Steps = 0;
+      Stats = ModelStats();
+      Timer.reset();
+      for (unsigned I = 0; I < Iters; ++I) {
+        RunResult R = runAstProgram(*P, C);
+        Steps += R.Steps;
+        Stats.accumulate(R.Stats);
+      }
+      Report.add(W.Name, "ast", modelKindName(Model), Timer.seconds(),
+                 Iters, Steps, Stats);
+    }
+  }
+  return Report.write(Options.Path) ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  std::optional<qcm_bench::JsonOptions> Json =
+      qcm_bench::parseJsonOptions(Argc, Argv);
+  if (Json)
+    return runJsonScenarios(*Json);
   std::printf("== Whole-program workloads across the memory models ==\n");
   // Sanity: the cast-list result is the same under concrete and quasi.
   Vm V;

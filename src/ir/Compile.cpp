@@ -1,0 +1,356 @@
+//===- ir/Compile.cpp - AST -> QIR compiler -------------------------------===//
+//
+// Lowering rules (docs/IR.md walks through them with examples):
+//
+//  * Every point where the AST walker popped a work item — each non-Seq
+//    statement, each Seq entry, each While re-test, and the frame pop —
+//    becomes exactly one StmtStart-marked instruction, so fuel accounting
+//    and the OnInstr observer are bit-identical to the tree walker.
+//  * Name resolution happens here, once. Names the walker would fault on at
+//    runtime (undeclared globals/callees, argument-count mismatches) lower
+//    to Trap at the same evaluation position with the same message.
+//  * Undeclared variables that the walker's Env would create dynamically
+//    (assignment targets, load destinations) get "hidden" slots past
+//    NumDeclaredSlots; reading one before its first write faults like the
+//    walker's failed Env lookup.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Compile.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+using namespace qcm;
+using namespace qcm::qir;
+
+namespace {
+
+std::atomic<uint64_t> CompileCount{0};
+
+/// Module-wide interning state shared by all function compilations.
+struct ModuleBuilder {
+  QirModule &M;
+  std::map<Word, uint32_t> ConstIndex;
+  std::map<std::string, uint32_t> StringIndex;
+  std::map<std::string, uint32_t> GlobalIndex;
+
+  explicit ModuleBuilder(QirModule &M) : M(M) {}
+
+  uint32_t constant(Word V) {
+    auto [It, New] = ConstIndex.try_emplace(
+        V, static_cast<uint32_t>(M.ConstPool.size()));
+    if (New)
+      M.ConstPool.push_back(Value::makeInt(V));
+    return It->second;
+  }
+
+  uint32_t string(const std::string &S) {
+    auto [It, New] = StringIndex.try_emplace(
+        S, static_cast<uint32_t>(M.StringPool.size()));
+    if (New)
+      M.StringPool.push_back(S);
+    return It->second;
+  }
+};
+
+class FunctionCompiler {
+public:
+  FunctionCompiler(ModuleBuilder &B, const FunctionDecl &Decl, QFunction &F)
+      : B(B), Decl(Decl), F(F) {
+    // Declared slots: parameters then locals, densely indexed, first
+    // declaration of a name wins (the walker's Env.emplace order).
+    for (const VarDecl &P : Decl.Params)
+      F.ParamSlots.push_back(declaredSlot(P));
+    for (const VarDecl &L : Decl.Locals)
+      declaredSlot(L);
+    F.NumParams = static_cast<uint32_t>(Decl.Params.size());
+    F.NumDeclaredSlots = static_cast<uint32_t>(F.SlotNames.size());
+  }
+
+  void compileBody() {
+    compileStmt(*Decl.Body);
+    uint32_t RetIdx = emit(Op::Ret);
+    F.Code[RetIdx].StmtStart = true; // the walker's frame-pop step
+    F.NumSlots = static_cast<uint32_t>(F.SlotNames.size());
+    resolveLabels();
+  }
+
+private:
+  ModuleBuilder &B;
+  const FunctionDecl &Decl;
+  QFunction &F;
+
+  std::map<std::string, uint32_t> SlotIndex;
+  std::vector<uint32_t> LabelPC;
+  struct Fixup {
+    uint32_t At;
+    uint32_t Label;
+  };
+  std::vector<Fixup> Fixups;
+
+  uint32_t declaredSlot(const VarDecl &D) {
+    auto [It, New] = SlotIndex.try_emplace(
+        D.Name, static_cast<uint32_t>(F.SlotNames.size()));
+    if (New) {
+      F.SlotNames.push_back(D.Name);
+      F.SlotTypes.push_back(D.Ty);
+    }
+    return It->second;
+  }
+
+  /// Slot of \p Name; creates a hidden slot on first use of an undeclared
+  /// name.
+  uint32_t slotFor(const std::string &Name) {
+    auto [It, New] = SlotIndex.try_emplace(
+        Name, static_cast<uint32_t>(F.SlotNames.size()));
+    if (New)
+      F.SlotNames.push_back(Name);
+    return It->second;
+  }
+
+  uint32_t emit(Op Opcode, uint32_t A = 0, uint32_t B = 0, uint8_t Aux = 0) {
+    uint32_t Idx = static_cast<uint32_t>(F.Code.size());
+    QInstr I;
+    I.Opcode = Opcode;
+    I.A = A;
+    I.B = B;
+    I.Aux = Aux;
+    F.Code.push_back(I);
+    return Idx;
+  }
+
+  uint32_t newLabel() {
+    LabelPC.push_back(0xffffffffu);
+    return static_cast<uint32_t>(LabelPC.size() - 1);
+  }
+
+  void place(uint32_t Label) {
+    LabelPC[Label] = static_cast<uint32_t>(F.Code.size());
+  }
+
+  void emitJump(Op Opcode, uint32_t Label, uint32_t FaultMsg = 0) {
+    Fixups.push_back({emit(Opcode, 0, FaultMsg), Label});
+  }
+
+  void resolveLabels() {
+    F.BlockStarts.push_back(0);
+    for (const Fixup &Fx : Fixups) {
+      uint32_t Target = LabelPC[Fx.Label];
+      assert(Target < F.Code.size() && "unresolved label");
+      F.Code[Fx.At].A = Target;
+      F.BlockStarts.push_back(Target);
+      // The instruction after a jump opens the fall-through block.
+      if (Fx.At + 1 < F.Code.size())
+        F.BlockStarts.push_back(Fx.At + 1);
+    }
+    std::sort(F.BlockStarts.begin(), F.BlockStarts.end());
+    F.BlockStarts.erase(
+        std::unique(F.BlockStarts.begin(), F.BlockStarts.end()),
+        F.BlockStarts.end());
+  }
+
+  void compileExp(const Exp &E) {
+    switch (E.ExpKind) {
+    case Exp::Kind::IntLit:
+      emit(Op::PushConst, B.constant(E.IntValue));
+      return;
+    case Exp::Kind::Var:
+      emit(Op::PushSlot, slotFor(E.Name));
+      return;
+    case Exp::Kind::Global: {
+      auto It = B.GlobalIndex.find(E.Name);
+      if (It == B.GlobalIndex.end())
+        emit(Op::Trap,
+             B.string("read of undeclared global '" + E.Name + "'"));
+      else
+        emit(Op::PushGlobal, It->second);
+      return;
+    }
+    case Exp::Kind::Binary:
+      compileExp(*E.Lhs);
+      compileExp(*E.Rhs);
+      emit(Op::Binary, 0, 0, static_cast<uint8_t>(E.Op));
+      return;
+    }
+  }
+
+  void compileAssign(const Instr &I) {
+    const RExp &R = *I.Rhs;
+    const bool HasDest = !I.Var.empty();
+    const uint32_t Dest = HasDest ? slotFor(I.Var) : NoSlot;
+    switch (R.RExpKind) {
+    case RExp::Kind::Pure:
+      compileExp(*R.Arg);
+      if (HasDest)
+        emit(Op::StoreSlot, Dest);
+      else
+        emit(Op::Drop);
+      return;
+    case RExp::Kind::Malloc:
+      compileExp(*R.Arg);
+      emit(Op::Malloc, Dest);
+      return;
+    case RExp::Kind::Free:
+      compileExp(*R.Arg);
+      emit(Op::FreeMem);
+      break; // value-less: a destination traps below
+    case RExp::Kind::Cast:
+      compileExp(*R.Arg);
+      emit(Op::Cast, Dest, 0, R.CastTo == Type::Int ? 0 : 1);
+      return;
+    case RExp::Kind::Input:
+      emit(Op::Input, Dest);
+      return;
+    case RExp::Kind::Output:
+      compileExp(*R.Arg);
+      emit(Op::Output);
+      break; // value-less: a destination traps below
+    }
+    if (HasDest)
+      emit(Op::Trap,
+           B.string("assignment from a value-less operation"));
+  }
+
+  void compileCall(const Instr &I) {
+    for (const auto &A : I.Args)
+      compileExp(*A);
+    const uint32_t Argc = static_cast<uint32_t>(I.Args.size());
+    auto It = B.M.FunctionIndex.find(I.Callee);
+    if (It == B.M.FunctionIndex.end()) {
+      emit(Op::Trap,
+           B.string("call to undeclared function '" + I.Callee + "'"));
+      return;
+    }
+    const QFunction &Callee = B.M.Functions[It->second];
+    if (Callee.NumParams != Argc) {
+      emit(Op::Trap,
+           B.string("call with wrong argument count to '" + I.Callee + "'"));
+      return;
+    }
+    if (Callee.IsExtern)
+      emit(Op::CallExtern, B.string(I.Callee), Argc);
+    else
+      emit(Op::Call, It->second, Argc);
+  }
+
+  void compileLoad(const Instr &I) {
+    compileExp(*I.Addr);
+    const VarDecl *D = Decl.findVariable(I.Var);
+    DeclKind Kind;
+    std::string Msg;
+    if (!D) {
+      Kind = DeclKind::Hidden;
+      Msg = "load into undeclared variable '" + I.Var + "'";
+    } else if (D->Ty == Type::Int) {
+      Kind = DeclKind::Int;
+      Msg = "load of a logical address into int variable '" + I.Var + "'";
+    } else {
+      Kind = DeclKind::Ptr;
+      Msg = "load of an integer into ptr variable '" + I.Var + "'";
+    }
+    emit(Op::LoadMem, slotFor(I.Var), B.string(Msg),
+         static_cast<uint8_t>(Kind));
+  }
+
+  void compileStmt(const Instr &I) {
+    const uint32_t Begin = static_cast<uint32_t>(F.Code.size());
+    switch (I.InstrKind) {
+    case Instr::Kind::Seq:
+      emit(Op::EnterSeq);
+      F.Code[Begin].StmtStart = true; // Origin stays null: the walker never
+                                      // reported Seq entries to OnInstr
+      for (const auto &S : I.Stmts)
+        compileStmt(*S);
+      return;
+
+    case Instr::Kind::If: {
+      compileExp(*I.Cond);
+      uint32_t LElse = newLabel();
+      uint32_t LEnd = newLabel();
+      emitJump(Op::JumpIfZero, I.Else ? LElse : LEnd,
+               B.string("branch on a logical address"));
+      compileStmt(*I.Then);
+      if (I.Else) {
+        emitJump(Op::Jump, LEnd);
+        place(LElse);
+        compileStmt(*I.Else);
+      }
+      place(LEnd);
+      break;
+    }
+
+    case Instr::Kind::While: {
+      uint32_t LEnd = newLabel();
+      uint32_t LTest = newLabel();
+      place(LTest); // == Begin: each re-test is one StmtStart step
+      compileExp(*I.Cond);
+      emitJump(Op::JumpIfZero, LEnd,
+               B.string("loop on a logical address"));
+      compileStmt(*I.Body);
+      emitJump(Op::Jump, LTest); // back edge: free, like the walker's
+                                 // work-list re-push
+      place(LEnd);
+      break;
+    }
+
+    case Instr::Kind::Call:
+      compileCall(I);
+      break;
+    case Instr::Kind::Assign:
+      compileAssign(I);
+      break;
+    case Instr::Kind::Load:
+      compileLoad(I);
+      break;
+    case Instr::Kind::Store:
+      compileExp(*I.Addr);
+      compileExp(*I.StoreVal);
+      emit(Op::StoreMem);
+      break;
+    }
+    F.Code[Begin].StmtStart = true;
+    F.Code[Begin].Origin = &I;
+  }
+};
+
+} // namespace
+
+std::shared_ptr<const QirModule> qcm::qir::compileProgram(const Program &Prog) {
+  CompileCount.fetch_add(1, std::memory_order_relaxed);
+  auto M = std::make_shared<QirModule>();
+  M->Source = &Prog;
+
+  ModuleBuilder B(*M);
+  for (const GlobalDecl &G : Prog.Globals) {
+    // First declaration wins on duplicate names, like the walker's
+    // Globals.emplace; every declaration still gets allocated at setup.
+    B.GlobalIndex.try_emplace(
+        G.Name, static_cast<uint32_t>(M->GlobalNames.size()));
+    M->GlobalNames.push_back(G.Name);
+  }
+
+  // Declare every function up front so calls resolve regardless of order.
+  for (const FunctionDecl &Fn : Prog.Functions) {
+    QFunction F;
+    F.Name = Fn.Name;
+    F.IsExtern = Fn.isExtern();
+    F.NumParams = static_cast<uint32_t>(Fn.Params.size());
+    M->FunctionIndex.try_emplace(
+        Fn.Name, static_cast<uint32_t>(M->Functions.size()));
+    M->Functions.push_back(std::move(F));
+  }
+  for (size_t Idx = 0; Idx < Prog.Functions.size(); ++Idx) {
+    const FunctionDecl &Fn = Prog.Functions[Idx];
+    if (Fn.isExtern())
+      continue;
+    FunctionCompiler FC(B, Fn, M->Functions[Idx]);
+    FC.compileBody();
+  }
+  return M;
+}
+
+uint64_t qcm::qir::compilationsPerformed() {
+  return CompileCount.load(std::memory_order_relaxed);
+}

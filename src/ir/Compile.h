@@ -1,0 +1,44 @@
+//===- ir/Compile.h - AST -> QIR compiler -----------------------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a Section 2 program (lang/Ast.h) to QIR (ir/Qir.h). Compilation
+/// never fails: programs whose execution the AST walker would fault on
+/// (undeclared globals, undeclared callees, wrong argument counts,
+/// assignments from value-less operations) compile to Trap instructions at
+/// the exact evaluation position, carrying the walker's fault message
+/// verbatim — so the compiled program's behavior is identical, faults
+/// included.
+///
+/// The compiled module aliases the source Program (Instr pointers feed the
+/// OnInstr observer), so the Program must outlive the module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_IR_COMPILE_H
+#define QCM_IR_COMPILE_H
+
+#include "ir/Qir.h"
+
+#include <memory>
+
+namespace qcm {
+namespace qir {
+
+/// Compiles \p Prog to a QIR module. \p Prog must outlive the result.
+std::shared_ptr<const QirModule> compileProgram(const Program &Prog);
+
+/// Process-wide count of compileProgram() invocations. Lets tests assert
+/// the compile-once discipline: the refinement and simulation checkers must
+/// lower each (program, instantiated context) pair exactly once however
+/// many oracles and input tapes they explore.
+uint64_t compilationsPerformed();
+
+} // namespace qir
+} // namespace qcm
+
+#endif // QCM_IR_COMPILE_H

@@ -1,0 +1,332 @@
+//===- ir/Qir.cpp ---------------------------------------------------------===//
+
+#include "ir/Qir.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace qcm;
+using namespace qcm::qir;
+
+const char *qcm::qir::opName(Op O) {
+  switch (O) {
+  case Op::PushConst:
+    return "push.const";
+  case Op::PushSlot:
+    return "push.slot";
+  case Op::PushGlobal:
+    return "push.global";
+  case Op::Binary:
+    return "binary";
+  case Op::Trap:
+    return "trap";
+  case Op::StoreSlot:
+    return "store.slot";
+  case Op::Drop:
+    return "drop";
+  case Op::LoadMem:
+    return "load.mem";
+  case Op::StoreMem:
+    return "store.mem";
+  case Op::Malloc:
+    return "malloc";
+  case Op::FreeMem:
+    return "free";
+  case Op::Cast:
+    return "cast";
+  case Op::Input:
+    return "input";
+  case Op::Output:
+    return "output";
+  case Op::Call:
+    return "call";
+  case Op::CallExtern:
+    return "call.extern";
+  case Op::Jump:
+    return "jump";
+  case Op::JumpIfZero:
+    return "jump.ifz";
+  case Op::EnterSeq:
+    return "enter.seq";
+  case Op::Ret:
+    return "ret";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string instrToString(const QirModule &M, const QFunction &F,
+                          const QInstr &I) {
+  std::string Text = I.StmtStart ? "! " : "  ";
+  Text += opName(I.Opcode);
+  auto slotName = [&](uint32_t Slot) -> std::string {
+    if (Slot == NoSlot)
+      return "_";
+    std::string Name = Slot < F.SlotNames.size() ? F.SlotNames[Slot] : "";
+    Name += "#";
+    Name += std::to_string(Slot);
+    return Name;
+  };
+  switch (I.Opcode) {
+  case Op::PushConst:
+    Text += " ";
+    Text += M.ConstPool[I.A].toString();
+    break;
+  case Op::PushSlot:
+  case Op::StoreSlot:
+    Text += " ";
+    Text += slotName(I.A);
+    break;
+  case Op::PushGlobal:
+    Text += " ";
+    Text += M.GlobalNames[I.A];
+    break;
+  case Op::Binary:
+    Text += " ";
+    Text += binaryOpSpelling(static_cast<BinaryOp>(I.Aux));
+    break;
+  case Op::Trap:
+    Text += " \"";
+    Text += M.StringPool[I.A];
+    Text += "\"";
+    break;
+  case Op::LoadMem:
+  case Op::Malloc:
+  case Op::Input:
+    Text += " -> ";
+    Text += slotName(I.A);
+    break;
+  case Op::Cast:
+    Text += I.Aux == 0 ? " (int)" : " (ptr)";
+    Text += " -> ";
+    Text += slotName(I.A);
+    break;
+  case Op::Call:
+    Text += " " + M.Functions[I.A].Name + "/" + std::to_string(I.B);
+    break;
+  case Op::CallExtern:
+    Text += " " + M.StringPool[I.A] + "/" + std::to_string(I.B);
+    break;
+  case Op::Jump:
+    Text += " @" + std::to_string(I.A);
+    break;
+  case Op::JumpIfZero:
+    Text += " @" + std::to_string(I.A);
+    break;
+  default:
+    break;
+  }
+  return Text;
+}
+
+} // namespace
+
+std::string QirModule::toString() const {
+  std::string Text;
+  for (const QFunction &F : Functions) {
+    if (F.IsExtern) {
+      Text += "extern " + F.Name + "/" + std::to_string(F.NumParams) + "\n";
+      continue;
+    }
+    Text += F.Name + "/" + std::to_string(F.NumParams) + " (slots:";
+    for (uint32_t S = 0; S < F.NumSlots; ++S)
+      Text += " " + F.SlotNames[S];
+    Text += ")\n";
+    for (uint32_t PC = 0; PC < F.Code.size(); ++PC) {
+      if (std::binary_search(F.BlockStarts.begin(), F.BlockStarts.end(), PC))
+        Text += " b" + std::to_string(PC) + ":\n";
+      Text += "   " + std::to_string(PC) + ": " +
+              instrToString(*this, F, F.Code[PC]) + "\n";
+    }
+  }
+  return Text;
+}
+
+//===----------------------------------------------------------------------===//
+// Validation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Net eval-stack effect of one instruction; Trap/Ret never fall through.
+int stackDelta(const QInstr &I) {
+  switch (I.Opcode) {
+  case Op::PushConst:
+  case Op::PushSlot:
+  case Op::PushGlobal:
+    return 1;
+  case Op::Binary: // pop 2, push 1
+  case Op::StoreSlot:
+  case Op::Drop:
+  case Op::LoadMem:
+  case Op::Malloc:
+  case Op::FreeMem:
+  case Op::Cast:
+  case Op::Output:
+  case Op::JumpIfZero:
+    return -1;
+  case Op::StoreMem:
+    return -2;
+  case Op::Call:
+  case Op::CallExtern:
+    return -static_cast<int>(I.B);
+  case Op::Trap:
+  case Op::Jump:
+  case Op::EnterSeq:
+  case Op::Input:
+  case Op::Ret:
+    return 0;
+  }
+  return 0;
+}
+
+std::string validateFunction(const QirModule &M, const QFunction &F) {
+  auto Where = [&](uint32_t PC) {
+    return "function '" + F.Name + "' at " + std::to_string(PC) + ": ";
+  };
+  if (F.IsExtern)
+    return F.Code.empty() ? ""
+                          : "extern function '" + F.Name + "' has code";
+  if (F.Code.empty())
+    return "function '" + F.Name + "' has no code";
+  if (F.Code.back().Opcode != Op::Ret)
+    return "function '" + F.Name + "' does not end with ret";
+  if (F.SlotNames.size() != F.NumSlots)
+    return "function '" + F.Name + "' slot names are not frame-dense";
+  if (F.SlotTypes.size() != F.NumDeclaredSlots ||
+      F.NumDeclaredSlots > F.NumSlots ||
+      F.ParamSlots.size() != F.NumParams)
+    return "function '" + F.Name + "' slot layout is inconsistent";
+  for (uint32_t Slot : F.ParamSlots)
+    if (Slot >= F.NumDeclaredSlots)
+      return "function '" + F.Name + "' parameter slot out of range";
+  if (!std::is_sorted(F.BlockStarts.begin(), F.BlockStarts.end()))
+    return "function '" + F.Name + "' block starts are not sorted";
+  if (F.BlockStarts.empty() || F.BlockStarts.front() != 0)
+    return "function '" + F.Name + "' entry is not a block start";
+
+  auto IsBlockStart = [&](uint32_t PC) {
+    return std::binary_search(F.BlockStarts.begin(), F.BlockStarts.end(), PC);
+  };
+
+  for (uint32_t PC = 0; PC < F.Code.size(); ++PC) {
+    const QInstr &I = F.Code[PC];
+    switch (I.Opcode) {
+    case Op::PushConst:
+      if (I.A >= M.ConstPool.size())
+        return Where(PC) + "constant index out of range";
+      break;
+    case Op::PushGlobal:
+      if (I.A >= M.GlobalNames.size())
+        return Where(PC) + "global index out of range";
+      break;
+    case Op::PushSlot:
+    case Op::StoreSlot:
+      if (I.A >= F.NumSlots)
+        return Where(PC) + "slot index out of range";
+      break;
+    case Op::LoadMem:
+    case Op::Malloc:
+    case Op::Cast:
+    case Op::Input:
+      if (I.A != NoSlot && I.A >= F.NumSlots)
+        return Where(PC) + "destination slot out of range";
+      break;
+    case Op::Trap:
+      if (I.A >= M.StringPool.size())
+        return Where(PC) + "trap message out of range";
+      break;
+    case Op::Call:
+      if (I.A >= M.Functions.size())
+        return Where(PC) + "callee index out of range";
+      if (M.Functions[I.A].IsExtern)
+        return Where(PC) + "direct call to an extern";
+      if (M.Functions[I.A].NumParams != I.B)
+        return Where(PC) + "argument count does not match the callee";
+      break;
+    case Op::CallExtern:
+      if (I.A >= M.StringPool.size())
+        return Where(PC) + "extern name out of range";
+      break;
+    case Op::Jump:
+    case Op::JumpIfZero:
+      if (I.A >= F.Code.size())
+        return Where(PC) + "jump target out of range";
+      if (!IsBlockStart(I.A))
+        return Where(PC) + "jump target is not a block start";
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Abstract eval-stack depths: 0 at every block start, consistent along
+  // every path, 0 at Ret, and statements start at depth 0.
+  std::vector<int> DepthAt(F.Code.size(), -1);
+  std::deque<uint32_t> Work;
+  DepthAt[0] = 0;
+  Work.push_back(0);
+  auto Flow = [&](uint32_t To, int Depth) -> std::string {
+    if (To >= F.Code.size())
+      return "flow off the end of the code";
+    if (DepthAt[To] == -1) {
+      DepthAt[To] = Depth;
+      Work.push_back(To);
+    } else if (DepthAt[To] != Depth) {
+      return "inconsistent stack depth at " + std::to_string(To);
+    }
+    return "";
+  };
+  while (!Work.empty()) {
+    uint32_t PC = Work.front();
+    Work.pop_front();
+    const QInstr &I = F.Code[PC];
+    int Before = DepthAt[PC];
+    if (I.StmtStart && Before != 0)
+      return Where(PC) + "statement does not start at stack depth 0";
+    if (IsBlockStart(PC) && Before != 0)
+      return Where(PC) + "block does not start at stack depth 0";
+    int After = Before + stackDelta(I);
+    if (After < 0)
+      return Where(PC) + "eval stack underflows";
+    std::string Err;
+    switch (I.Opcode) {
+    case Op::Trap:
+      break; // no successors
+    case Op::Ret:
+      if (Before != 0)
+        return Where(PC) + "ret with a non-empty eval stack";
+      break;
+    case Op::Jump:
+      Err = Flow(I.A, After);
+      break;
+    case Op::JumpIfZero:
+      Err = Flow(I.A, After);
+      if (Err.empty())
+        Err = Flow(PC + 1, After);
+      break;
+    default:
+      Err = Flow(PC + 1, After);
+      break;
+    }
+    if (!Err.empty())
+      return Where(PC) + Err;
+  }
+  return "";
+}
+
+} // namespace
+
+std::string qcm::qir::validateModule(const QirModule &M) {
+  if (!M.Source)
+    return "module has no source program";
+  if (M.Functions.size() != M.Source->Functions.size())
+    return "function table does not match the source program";
+  if (M.GlobalNames.size() != M.Source->Globals.size())
+    return "global table does not match the source program";
+  for (const QFunction &F : M.Functions)
+    if (std::string Err = validateFunction(M, F); !Err.empty())
+      return Err;
+  return "";
+}

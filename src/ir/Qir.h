@@ -1,0 +1,180 @@
+//===- ir/Qir.h - Flat bytecode IR under the interpreter --------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// QIR — the compiled program form executed by the Machine. The Section 2
+/// language is lowered once per (program, instantiated context) pair and
+/// the resulting module is reused across every oracle and input tape of a
+/// refinement or simulation exploration; this is the "compile once, execute
+/// many" discipline (compare CompCert's Clight lowering, which likewise
+/// interposes a flat representation between surface syntax and the memory
+/// model).
+///
+/// Shape of the IR:
+///
+///  * one flat instruction vector per function; nested If/While trees are
+///    compiled into basic blocks joined by Jump/JumpIfZero with absolute
+///    instruction-index targets;
+///  * variables are resolved to dense frame-slot indices at compile time
+///    (parameters first, then locals, then any assigned-but-undeclared
+///    names as "hidden" slots that reproduce the AST walker's dynamic-entry
+///    semantics);
+///  * callees and globals are resolved to table indices; extern callees
+///    keep their name (needed for handler lookup and ExternalCall signals);
+///  * constants are pre-decoded into semantic Values in a per-module pool;
+///  * statements the AST walker would have charged a fuel step for carry a
+///    StmtStart marker, so step counts, the step-limit cutoff, and the
+///    OnInstr observer match the historical tree-walking engine exactly.
+///
+/// Invariants (checked by validateModule, relied on by the executor):
+///
+///  * slot indices are frame-dense: every index in [0, NumSlots) and no
+///    others appears, parameters occupying [0, NumParams);
+///  * jump targets land on basic-block starts, and BlockStarts is the
+///    sorted set of those starts — block structure is preserved so the
+///    simulation checker's sync points (extern calls) remain addressable
+///    statement boundaries;
+///  * every function's code ends with Ret, and the eval stack is empty at
+///    every statement boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_IR_QIR_H
+#define QCM_IR_QIR_H
+
+#include "lang/Ast.h"
+#include "memory/Value.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qcm {
+namespace qir {
+
+/// QIR opcodes. "Expression" ops manipulate the per-machine eval stack;
+/// "statement" ops consume it and perform effects. The eval stack is empty
+/// at every statement boundary.
+enum class Op : uint8_t {
+  // Expression ops.
+  PushConst,  ///< A: const-pool index. Push the pre-decoded Value.
+  PushSlot,   ///< A: slot index. Push the slot's value (hidden slots fault
+              ///< until their first write, matching the AST walker).
+  PushGlobal, ///< A: global index. Push the global block's pointer value.
+  Binary,     ///< Aux: BinaryOp. Pop R, pop L, push L op R (Section 4 rules).
+  Trap,       ///< A: string-pool index. Fault undefined(StringPool[A]);
+              ///< compile-time-resolved name errors trap here so behavior
+              ///< matches the AST walker's runtime faults exactly.
+
+  // Statement tails and whole statements.
+  StoreSlot, ///< A: slot index. Pop a value into the slot.
+  Drop,      ///< Pop and discard (effect-only pure statement).
+  LoadMem,   ///< A: dest slot (NoSlot: none), B: name idx, Aux: DeclKind.
+             ///< Pop address, load through the model, dynamic type check
+             ///< (Section 6.1), write the slot.
+  StoreMem,  ///< Pop value, pop address, store through the model.
+  Malloc,    ///< A: dest slot or NoSlot. Pop size, allocate.
+  FreeMem,   ///< Pop pointer, deallocate.
+  Cast,      ///< A: dest slot or NoSlot, Aux: 0 = (int), 1 = (ptr).
+  Input,     ///< A: dest slot or NoSlot. Read the tape, record the event.
+  Output,    ///< Pop an integer, record the event.
+  Call,      ///< A: function index, B: argc. Pop argc args, push a frame.
+  CallExtern,///< A: name idx, B: argc. Pop argc args; run the registered
+             ///< handler or surface an ExternalCall signal.
+  Jump,      ///< A: absolute instruction index.
+  JumpIfZero,///< A: target, B: fault-message idx. Pop an integer condition;
+             ///< jump when zero. A pointer condition faults with
+             ///< StringPool[B] ("branch"/"loop on a logical address").
+  EnterSeq,  ///< No-op carrying the fuel step the AST walker charged for
+             ///< entering a { ... } sequence.
+  Ret,       ///< Pop the frame (the walker's end-of-work-list step).
+};
+
+const char *opName(Op O);
+
+/// Sentinel for "no destination slot" (effect-only forms).
+inline constexpr uint32_t NoSlot = 0xffffffffu;
+
+/// Declared type of a LoadMem destination, driving the Section 6.1 dynamic
+/// type check.
+enum class DeclKind : uint8_t { Int = 0, Ptr = 1, Hidden = 2 };
+
+/// One QIR instruction. Origin points into the source Program's AST (which
+/// must outlive the module) and is what the OnInstr observer receives;
+/// it is null for ops that the AST walker never reported (Seq entries,
+/// frame pops, mid-statement ops).
+struct QInstr {
+  Op Opcode = Op::EnterSeq;
+  /// Statement boundary: consumes one fuel step and, when Origin is
+  /// non-null, fires the OnInstr observer — exactly where the AST walker
+  /// popped a work item.
+  bool StmtStart = false;
+  uint8_t Aux = 0;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  const Instr *Origin = nullptr;
+};
+
+/// One compiled function.
+struct QFunction {
+  std::string Name;
+  bool IsExtern = false;
+  uint32_t NumParams = 0;
+  /// Declared slots: parameters then locals, densely indexed from 0.
+  uint32_t NumDeclaredSlots = 0;
+  /// Declared plus hidden slots (assigned-but-undeclared names).
+  uint32_t NumSlots = 0;
+  /// Name of each slot, in index order (diagnostics, readLocal()).
+  std::vector<std::string> SlotNames;
+  /// Declared types of the first NumDeclaredSlots slots.
+  std::vector<Type> SlotTypes;
+  /// Slot receiving each parameter. Distinct parameters occupy distinct
+  /// slots; a repeated name shares one slot and the first binding wins,
+  /// matching the AST walker's Env.emplace.
+  std::vector<uint32_t> ParamSlots;
+  /// Flat code; empty for externs. Ends with Ret.
+  std::vector<QInstr> Code;
+  /// Sorted instruction indices opening each basic block (entry, jump
+  /// targets, fall-throughs after jumps).
+  std::vector<uint32_t> BlockStarts;
+};
+
+/// A compiled program. References the source Program (AST) it was compiled
+/// from; the Program must outlive the module.
+struct QirModule {
+  const Program *Source = nullptr;
+  /// Same order as Source->Functions.
+  std::vector<QFunction> Functions;
+  /// Same order as Source->Globals.
+  std::vector<std::string> GlobalNames;
+  /// Pre-decoded literal values (PushConst operands).
+  std::vector<Value> ConstPool;
+  /// Fault messages, variable/function names (Trap, LoadMem, CallExtern).
+  std::vector<std::string> StringPool;
+  /// Function name -> index into Functions.
+  std::map<std::string, uint32_t> FunctionIndex;
+
+  const QFunction *findFunction(const std::string &Name) const {
+    auto It = FunctionIndex.find(Name);
+    return It == FunctionIndex.end() ? nullptr : &Functions[It->second];
+  }
+
+  /// Human-readable disassembly of the whole module.
+  std::string toString() const;
+};
+
+/// Structural well-formedness check (see the invariant list in the file
+/// comment). Returns a description of the first violation, or an empty
+/// string when the module is well-formed. Used by tests; the compiler
+/// always produces valid modules.
+std::string validateModule(const QirModule &M);
+
+} // namespace qir
+} // namespace qcm
+
+#endif // QCM_IR_QIR_H

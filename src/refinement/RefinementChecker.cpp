@@ -2,6 +2,7 @@
 
 #include "refinement/RefinementChecker.h"
 
+#include "ir/Compile.h"
 #include "refinement/Contexts.h"
 
 #include <cassert>
@@ -30,11 +31,12 @@ std::string RefinementReport::toString() const {
 
 namespace {
 
-/// Collects the behavior set of one program over the oracle/tape grid
-/// within one context.
+/// Collects the behavior set of one compiled program over the oracle/tape
+/// grid within one context. The caller lowered the program to QIR exactly
+/// once; every grid point reuses that module.
 BehaviorSet
-collectBehaviors(const Program &Prog, const RunConfig &Base,
-                 const ContextVariant &Context,
+collectBehaviors(const std::shared_ptr<const qir::QirModule> &Module,
+                 const RunConfig &Base, const ContextVariant &Context,
                  const std::vector<OracleFactory> &Oracles,
                  const std::vector<std::vector<Word>> &Tapes,
                  uint64_t &RunsPerformed, ModelStats &AggregateStats) {
@@ -46,7 +48,7 @@ collectBehaviors(const Program &Prog, const RunConfig &Base,
       Config.Interp.InputTape = Tape;
       if (Context.MakeHandlers)
         Config.Handlers = Context.MakeHandlers();
-      RunResult R = runProgram(Prog, Config);
+      RunResult R = runCompiled(Module, Config);
       ++RunsPerformed;
       AggregateStats.accumulate(R.Stats);
       Set.insert(std::move(R.Behav));
@@ -93,12 +95,14 @@ RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
       SrcProg = &*SrcInst;
       TgtProg = &*TgtInst;
     }
-    CR.SrcBehaviors = collectBehaviors(*SrcProg, Job.BaseSrc, Context,
-                                       Oracles, Tapes,
+    // Compile once per (program, instantiated context) pair; the whole
+    // oracle/tape exploration below executes the two modules.
+    CR.SrcBehaviors = collectBehaviors(qir::compileProgram(*SrcProg),
+                                       Job.BaseSrc, Context, Oracles, Tapes,
                                        Report.RunsPerformed,
                                        Report.AggregateStats);
-    CR.TgtBehaviors = collectBehaviors(*TgtProg, Job.BaseTgt, Context,
-                                       Oracles, Tapes,
+    CR.TgtBehaviors = collectBehaviors(qir::compileProgram(*TgtProg),
+                                       Job.BaseTgt, Context, Oracles, Tapes,
                                        Report.RunsPerformed,
                                        Report.AggregateStats);
     InclusionResult Inc =

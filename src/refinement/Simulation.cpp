@@ -2,6 +2,8 @@
 
 #include "refinement/Simulation.h"
 
+#include "ir/Compile.h"
+
 #include <cassert>
 
 using namespace qcm;
@@ -34,9 +36,13 @@ Outcome<Value> materializeArg(const ArgSpec &Spec, Memory &Mem) {
 SimulationChecker::SimulationChecker(const SimulationSetup &Setup)
     : Setup(Setup) {
   assert(Setup.Src && Setup.Tgt && "simulation requires both programs");
-  SrcMachine = std::make_unique<Machine>(*Setup.Src, makeMemory(Setup.SrcConfig),
+  // One compilation per side; the machines share the modules (and a future
+  // multi-argument exploration would reuse them across machines).
+  SrcMachine = std::make_unique<Machine>(qir::compileProgram(*Setup.Src),
+                                         makeMemory(Setup.SrcConfig),
                                          Setup.SrcConfig.Interp);
-  TgtMachine = std::make_unique<Machine>(*Setup.Tgt, makeMemory(Setup.TgtConfig),
+  TgtMachine = std::make_unique<Machine>(qir::compileProgram(*Setup.Tgt),
+                                         makeMemory(Setup.TgtConfig),
                                          Setup.TgtConfig.Interp);
 }
 

@@ -1,0 +1,506 @@
+//===- semantics/AstInterp.cpp --------------------------------------------===//
+//
+// The pre-QIR interpreter, unchanged except for the removal of external
+// handlers and test-only accessors. Keep this in lockstep with the
+// semantics described in docs/IR.md; fuzz_test cross-checks it against the
+// QIR engine on every run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantics/AstInterp.h"
+
+#include <cassert>
+
+using namespace qcm;
+
+/// One activation record.
+struct AstMachine::Frame {
+  const FunctionDecl *Fn = nullptr;
+  std::map<std::string, Value> Env;
+  /// LIFO work list of instructions still to execute in this frame.
+  std::vector<const Instr *> Work;
+};
+
+AstMachine::AstMachine(const Program &Prog, std::unique_ptr<Memory> Mem,
+                       InterpConfig Config)
+    : Prog(Prog), Mem(std::move(Mem)), Config(Config) {
+  assert(this->Mem && "machine requires a memory");
+  this->Mem->trace().bindStepCounter(&Steps);
+}
+
+AstMachine::~AstMachine() = default;
+
+Value AstMachine::initialValue(Type Ty) const {
+  if (Ty == Type::Int)
+    return Value::makeInt(0);
+  if (Mem->kind() == ModelKind::Concrete)
+    return Value::makeInt(0);
+  return Value::null();
+}
+
+Outcome<Unit> AstMachine::setupGlobals() {
+  assert(!GlobalsReady && "globals already set up");
+  for (const GlobalDecl &G : Prog.Globals) {
+    Outcome<Value> P = Mem->allocate(G.SizeWords);
+    if (!P)
+      return P.propagate<Unit>();
+    Globals.emplace(G.Name, P.value());
+  }
+  GlobalsReady = true;
+  return Outcome<Unit>::success(Unit{});
+}
+
+Outcome<Unit> AstMachine::start(const std::string &Entry,
+                                std::vector<Value> Args) {
+  assert(GlobalsReady && "setupGlobals() must run before start()");
+  assert(!Started && "machine already started");
+  const FunctionDecl *Fn = Prog.findFunction(Entry);
+  if (!Fn)
+    return Outcome<Unit>::undefined("entry function '" + Entry +
+                                    "' is not declared");
+  if (Fn->isExtern())
+    return Outcome<Unit>::undefined("entry function '" + Entry +
+                                    "' is extern");
+  if (Fn->Params.size() != Args.size())
+    return Outcome<Unit>::undefined("entry function '" + Entry +
+                                    "' called with wrong argument count");
+  pushFrame(*Fn, std::move(Args));
+  Started = true;
+  return Outcome<Unit>::success(Unit{});
+}
+
+void AstMachine::pushFrame(const FunctionDecl &Fn, std::vector<Value> Args) {
+  Frame F;
+  F.Fn = &Fn;
+  for (size_t Idx = 0; Idx < Fn.Params.size(); ++Idx)
+    F.Env.emplace(Fn.Params[Idx].Name, Args[Idx]);
+  for (const VarDecl &L : Fn.Locals)
+    F.Env.emplace(L.Name, initialValue(L.Ty));
+  F.Work.push_back(Fn.Body.get());
+  Frames.push_back(std::move(F));
+}
+
+Outcome<Value> AstMachine::evalExp(const Exp &E, const Frame &F) {
+  switch (E.ExpKind) {
+  case Exp::Kind::IntLit:
+    return Outcome<Value>::success(Value::makeInt(E.IntValue));
+  case Exp::Kind::Var: {
+    auto It = F.Env.find(E.Name);
+    if (It == F.Env.end())
+      return Outcome<Value>::undefined("read of undeclared variable '" +
+                                       E.Name + "'");
+    return Outcome<Value>::success(It->second);
+  }
+  case Exp::Kind::Global: {
+    auto It = Globals.find(E.Name);
+    if (It == Globals.end())
+      return Outcome<Value>::undefined("read of undeclared global '" +
+                                       E.Name + "'");
+    return Outcome<Value>::success(It->second);
+  }
+  case Exp::Kind::Binary: {
+    Outcome<Value> L = evalExp(*E.Lhs, F);
+    if (!L)
+      return L;
+    Outcome<Value> R = evalExp(*E.Rhs, F);
+    if (!R)
+      return R;
+    return evalBinary(E.Op, L.value(), R.value());
+  }
+  }
+  return Outcome<Value>::undefined("malformed expression");
+}
+
+Outcome<Value> AstMachine::evalBinary(BinaryOp Op, const Value &L,
+                                      const Value &R) {
+  if (L.isInt() && R.isInt()) {
+    Word A = L.intValue(), B = R.intValue();
+    switch (Op) {
+    case BinaryOp::Add:
+      return Outcome<Value>::success(Value::makeInt(wrapAdd(A, B)));
+    case BinaryOp::Sub:
+      return Outcome<Value>::success(Value::makeInt(wrapSub(A, B)));
+    case BinaryOp::Mul:
+      return Outcome<Value>::success(Value::makeInt(wrapMul(A, B)));
+    case BinaryOp::And:
+      return Outcome<Value>::success(Value::makeInt(A & B));
+    case BinaryOp::Eq:
+      return Outcome<Value>::success(Value::makeInt(A == B ? 1 : 0));
+    }
+  }
+
+  if (L.isPtr() && R.isInt()) {
+    const Ptr &P = L.ptr();
+    Word A = R.intValue();
+    switch (Op) {
+    case BinaryOp::Add:
+      return Outcome<Value>::success(
+          Value::makePtr(P.Block, wrapAdd(P.Offset, A)));
+    case BinaryOp::Sub:
+      return Outcome<Value>::success(
+          Value::makePtr(P.Block, wrapSub(P.Offset, A)));
+    case BinaryOp::Eq:
+      if (A == 0 && Mem->isValidAddress(P))
+        return Outcome<Value>::success(Value::makeInt(0));
+      return Outcome<Value>::undefined(
+          "equality test between an address and a nonzero integer");
+    case BinaryOp::Mul:
+    case BinaryOp::And:
+      return Outcome<Value>::undefined(
+          "arithmetic '" + binaryOpSpelling(Op) + "' on a logical address");
+    }
+  }
+
+  if (L.isInt() && R.isPtr()) {
+    Word A = L.intValue();
+    const Ptr &P = R.ptr();
+    switch (Op) {
+    case BinaryOp::Add:
+      return Outcome<Value>::success(
+          Value::makePtr(P.Block, wrapAdd(A, P.Offset)));
+    case BinaryOp::Eq:
+      if (A == 0 && Mem->isValidAddress(P))
+        return Outcome<Value>::success(Value::makeInt(0));
+      return Outcome<Value>::undefined(
+          "equality test between an integer and an address");
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::And:
+      return Outcome<Value>::undefined(
+          "arithmetic '" + binaryOpSpelling(Op) + "' on a logical address");
+    }
+  }
+
+  const Ptr &P1 = L.ptr();
+  const Ptr &P2 = R.ptr();
+  switch (Op) {
+  case BinaryOp::Sub:
+    if (P1.Block == P2.Block)
+      return Outcome<Value>::success(
+          Value::makeInt(wrapSub(P1.Offset, P2.Offset)));
+    return Outcome<Value>::undefined(
+        "subtraction of addresses in different blocks");
+  case BinaryOp::Eq:
+    if (P1.Block == P2.Block)
+      return Outcome<Value>::success(
+          Value::makeInt(P1.Offset == P2.Offset ? 1 : 0));
+    if (Mem->isValidAddress(P1) && Mem->isValidAddress(P2))
+      return Outcome<Value>::success(Value::makeInt(0));
+    return Outcome<Value>::undefined(
+        "equality test involving an invalid address");
+  case BinaryOp::Add:
+  case BinaryOp::Mul:
+  case BinaryOp::And:
+    return Outcome<Value>::undefined(
+        "arithmetic '" + binaryOpSpelling(Op) + "' on two logical addresses");
+  }
+  return Outcome<Value>::undefined("malformed binary operation");
+}
+
+Outcome<std::optional<Value>> AstMachine::evalRExp(const RExp &R, Frame &F) {
+  using OV = std::optional<Value>;
+  switch (R.RExpKind) {
+  case RExp::Kind::Pure: {
+    Outcome<Value> V = evalExp(*R.Arg, F);
+    if (!V)
+      return V.propagate<OV>();
+    return Outcome<OV>::success(V.value());
+  }
+  case RExp::Kind::Malloc: {
+    Outcome<Value> Size = evalExp(*R.Arg, F);
+    if (!Size)
+      return Size.propagate<OV>();
+    if (!Size.value().isInt())
+      return Outcome<OV>::undefined("malloc size is a logical address");
+    Outcome<Value> P = Mem->allocate(Size.value().intValue());
+    if (!P)
+      return P.propagate<OV>();
+    return Outcome<OV>::success(P.value());
+  }
+  case RExp::Kind::Free: {
+    Outcome<Value> P = evalExp(*R.Arg, F);
+    if (!P)
+      return P.propagate<OV>();
+    Outcome<Unit> Freed = Mem->deallocate(P.value());
+    if (!Freed)
+      return Freed.propagate<OV>();
+    return Outcome<OV>::success(std::nullopt);
+  }
+  case RExp::Kind::Cast: {
+    Outcome<Value> V = evalExp(*R.Arg, F);
+    if (!V)
+      return V.propagate<OV>();
+    Outcome<Value> Cast = R.CastTo == Type::Int
+                              ? Mem->castPtrToInt(V.value())
+                              : Mem->castIntToPtr(V.value());
+    if (!Cast)
+      return Cast.propagate<OV>();
+    return Outcome<OV>::success(Cast.value());
+  }
+  case RExp::Kind::Input: {
+    Word V = InputCursor < Config.InputTape.size()
+                 ? Config.InputTape[InputCursor++]
+                 : 0;
+    Events.push_back(Event::input(V));
+    return Outcome<OV>::success(Value::makeInt(V));
+  }
+  case RExp::Kind::Output: {
+    Outcome<Value> V = evalExp(*R.Arg, F);
+    if (!V)
+      return V.propagate<OV>();
+    if (!V.value().isInt())
+      return Outcome<OV>::undefined("output of a logical address");
+    Events.push_back(Event::output(V.value().intValue()));
+    return Outcome<OV>::success(std::nullopt);
+  }
+  }
+  return Outcome<OV>::undefined("malformed right-hand side");
+}
+
+bool AstMachine::fault(Fault F) {
+  Mem->trace().noteFault(F);
+  FinalFault = F;
+  Signal S;
+  S.SignalKind = Signal::Kind::Faulted;
+  S.FaultInfo = std::move(F);
+  PendingSignal = std::move(S);
+  return false;
+}
+
+bool AstMachine::execInstr(const Instr &I) {
+  Frame &F = Frames.back();
+  switch (I.InstrKind) {
+  case Instr::Kind::Seq:
+    for (auto It = I.Stmts.rbegin(); It != I.Stmts.rend(); ++It)
+      F.Work.push_back(It->get());
+    return true;
+
+  case Instr::Kind::If: {
+    Outcome<Value> Cond = evalExp(*I.Cond, F);
+    if (!Cond)
+      return fault(Cond.fault());
+    if (!Cond.value().isInt())
+      return fault(Fault::undefined("branch on a logical address"));
+    if (Cond.value().intValue() != 0)
+      F.Work.push_back(I.Then.get());
+    else if (I.Else)
+      F.Work.push_back(I.Else.get());
+    return true;
+  }
+
+  case Instr::Kind::While: {
+    Outcome<Value> Cond = evalExp(*I.Cond, F);
+    if (!Cond)
+      return fault(Cond.fault());
+    if (!Cond.value().isInt())
+      return fault(Fault::undefined("loop on a logical address"));
+    if (Cond.value().intValue() != 0) {
+      F.Work.push_back(&I);
+      F.Work.push_back(I.Body.get());
+    }
+    return true;
+  }
+
+  case Instr::Kind::Call: {
+    std::vector<Value> Args;
+    Args.reserve(I.Args.size());
+    for (const auto &A : I.Args) {
+      Outcome<Value> V = evalExp(*A, F);
+      if (!V)
+        return fault(V.fault());
+      Args.push_back(V.value());
+    }
+    const FunctionDecl *Callee = Prog.findFunction(I.Callee);
+    if (!Callee)
+      return fault(Fault::undefined("call to undeclared function '" +
+                                    I.Callee + "'"));
+    if (Callee->Params.size() != Args.size())
+      return fault(
+          Fault::undefined("call with wrong argument count to '" +
+                           I.Callee + "'"));
+    if (!Callee->isExtern()) {
+      pushFrame(*Callee, std::move(Args));
+      return true;
+    }
+    Signal S;
+    S.SignalKind = Signal::Kind::ExternalCall;
+    S.Callee = I.Callee;
+    S.Args = std::move(Args);
+    PendingSignal = std::move(S);
+    return false;
+  }
+
+  case Instr::Kind::Assign: {
+    Outcome<std::optional<Value>> V = evalRExp(*I.Rhs, F);
+    if (!V)
+      return fault(V.fault());
+    if (I.Var.empty())
+      return true;
+    if (!V.value())
+      return fault(Fault::undefined("assignment from a value-less operation"));
+    F.Env[I.Var] = *V.value();
+    return true;
+  }
+
+  case Instr::Kind::Load: {
+    Outcome<Value> Addr = evalExp(*I.Addr, F);
+    if (!Addr)
+      return fault(Addr.fault());
+    Outcome<Value> V = Mem->load(Addr.value());
+    if (!V)
+      return fault(V.fault());
+    if (Config.Discipline == TypeDiscipline::Static &&
+        Mem->kind() != ModelKind::Concrete) {
+      const VarDecl *D = F.Fn->findVariable(I.Var);
+      if (!D)
+        return fault(Fault::undefined("load into undeclared variable '" +
+                                      I.Var + "'"));
+      if (D->Ty == Type::Int && V.value().isPtr())
+        return fault(Fault::undefined(
+            "load of a logical address into int variable '" + I.Var + "'"));
+      if (D->Ty == Type::Ptr && V.value().isInt())
+        return fault(Fault::undefined(
+            "load of an integer into ptr variable '" + I.Var + "'"));
+    }
+    F.Env[I.Var] = V.value();
+    return true;
+  }
+
+  case Instr::Kind::Store: {
+    Outcome<Value> Addr = evalExp(*I.Addr, F);
+    if (!Addr)
+      return fault(Addr.fault());
+    Outcome<Value> V = evalExp(*I.StoreVal, F);
+    if (!V)
+      return fault(V.fault());
+    Outcome<Unit> Stored = Mem->store(Addr.value(), V.value());
+    if (!Stored)
+      return fault(Stored.fault());
+    return true;
+  }
+  }
+  return fault(Fault::undefined("malformed instruction"));
+}
+
+bool AstMachine::stepOnce() {
+  Frame &F = Frames.back();
+  if (F.Work.empty()) {
+    Frames.pop_back();
+    return true;
+  }
+  const Instr *I = F.Work.back();
+  F.Work.pop_back();
+  if (Config.OnInstr && I->InstrKind != Instr::Kind::Seq)
+    Config.OnInstr(*I, static_cast<unsigned>(Frames.size()));
+  return execInstr(*I);
+}
+
+Signal AstMachine::run() {
+  assert(Started && "run() before start()");
+  if (PendingSignal)
+    return *PendingSignal;
+  while (true) {
+    if (Frames.empty()) {
+      Finished = true;
+      Signal S;
+      S.SignalKind = Signal::Kind::Finished;
+      PendingSignal = S;
+      return *PendingSignal;
+    }
+    if (Steps >= Config.StepLimit) {
+      HitStepLimit = true;
+      Signal S;
+      S.SignalKind = Signal::Kind::StepLimitReached;
+      PendingSignal = S;
+      return *PendingSignal;
+    }
+    ++Steps;
+    if (!stepOnce())
+      return *PendingSignal;
+  }
+}
+
+Signal AstMachine::finishExternalCall() {
+  assert(PendingSignal &&
+         PendingSignal->SignalKind == Signal::Kind::ExternalCall &&
+         "finishExternalCall() without a pending external call");
+  PendingSignal.reset();
+  return run();
+}
+
+Behavior AstMachine::behavior() const {
+  if (FinalFault) {
+    if (FinalFault->isUndefined())
+      return Behavior::undefined(Events, FinalFault->Reason);
+    return Behavior::outOfMemory(Events, FinalFault->Reason);
+  }
+  if (Finished)
+    return Behavior::terminated(Events);
+  return Behavior::stepLimit(Events);
+}
+
+namespace {
+
+Outcome<Value> materializeAstArg(const ArgSpec &Spec, Memory &Mem) {
+  if (Spec.ArgKind == ArgSpec::Kind::Int)
+    return Outcome<Value>::success(Value::makeInt(Spec.IntValue));
+  Outcome<Value> P = Mem.allocate(Spec.Size);
+  if (!P)
+    return P;
+  for (size_t Idx = 0; Idx < Spec.Init.size(); ++Idx) {
+    Value Slot = P.value().isPtr()
+                     ? Value::makePtr(P.value().ptr().Block,
+                                      P.value().ptr().Offset +
+                                          static_cast<Word>(Idx))
+                     : Value::makeInt(P.value().intValue() +
+                                      static_cast<Word>(Idx));
+    Outcome<Unit> Stored = Mem.store(Slot, Value::makeInt(Spec.Init[Idx]));
+    if (!Stored)
+      return Stored.propagate<Value>();
+  }
+  return P;
+}
+
+} // namespace
+
+RunResult qcm::runAstProgram(const Program &Prog, const RunConfig &Config) {
+  AstMachine M(Prog, makeMemory(Config), Config.Interp);
+  if (Config.TraceSink)
+    M.memory().trace().setSink(Config.TraceSink);
+
+  RunResult Result;
+  auto FinishWithFault = [&](const Fault &F) {
+    M.memory().trace().noteFault(F);
+    Result.Behav = F.isUndefined()
+                       ? Behavior::undefined(M.events(), F.Reason)
+                       : Behavior::outOfMemory(M.events(), F.Reason);
+    Result.Steps = M.stepsUsed();
+    Result.ConsistencyError = M.memory().checkConsistency();
+    Result.Stats = M.memory().trace().stats();
+    return Result;
+  };
+
+  if (Outcome<Unit> G = M.setupGlobals(); !G)
+    return FinishWithFault(G.fault());
+
+  std::vector<Value> Args;
+  for (const ArgSpec &Spec : Config.Args) {
+    Outcome<Value> V = materializeAstArg(Spec, M.memory());
+    if (!V)
+      return FinishWithFault(V.fault());
+    Args.push_back(V.value());
+  }
+
+  if (Outcome<Unit> S = M.start(Config.Entry, std::move(Args)); !S)
+    return FinishWithFault(S.fault());
+
+  Signal Sig = M.run();
+  while (Sig.SignalKind == Signal::Kind::ExternalCall)
+    Sig = M.finishExternalCall();
+
+  Result.Behav = M.behavior();
+  Result.Steps = M.stepsUsed();
+  Result.ConsistencyError = M.memory().checkConsistency();
+  Result.Stats = M.memory().trace().stats();
+  return Result;
+}

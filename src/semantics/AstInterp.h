@@ -1,0 +1,89 @@
+//===- semantics/AstInterp.h - Reference tree-walking engine ----*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The original small-step AST-walking interpreter, kept verbatim as the
+/// executable specification of the Section 2 semantics. The production
+/// Machine (Interp.h) executes compiled QIR; this engine re-walks the parse
+/// tree on every run with string-keyed environments. It exists for two
+/// purposes:
+///
+///  * differential testing — fuzz_test runs generated programs on both
+///    engines and requires bit-identical Behaviors and step counts;
+///  * benchmarking — bench_models_perf measures the QIR speedup against
+///    this engine in the same build.
+///
+/// External handlers are not supported here: runs treat unhandled extern
+/// calls as the do-nothing context, exactly like runProgram does when no
+/// handler is registered.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_SEMANTICS_ASTINTERP_H
+#define QCM_SEMANTICS_ASTINTERP_H
+
+#include "semantics/Runner.h"
+
+namespace qcm {
+
+/// The tree-walking machine; mirrors Machine's surface minus handlers.
+class AstMachine {
+public:
+  AstMachine(const Program &Prog, std::unique_ptr<Memory> Mem,
+             InterpConfig Config);
+  ~AstMachine();
+
+  AstMachine(const AstMachine &) = delete;
+  AstMachine &operator=(const AstMachine &) = delete;
+
+  Outcome<Unit> setupGlobals();
+  Outcome<Unit> start(const std::string &Entry, std::vector<Value> Args);
+  Signal run();
+  Signal finishExternalCall();
+  Behavior behavior() const;
+
+  Memory &memory() { return *Mem; }
+  const std::vector<Event> &events() const { return Events; }
+  uint64_t stepsUsed() const { return Steps; }
+
+private:
+  struct Frame;
+
+  bool stepOnce();
+  Outcome<Value> evalExp(const Exp &E, const Frame &F);
+  Outcome<Value> evalBinary(BinaryOp Op, const Value &L, const Value &R);
+  Outcome<std::optional<Value>> evalRExp(const RExp &R, Frame &F);
+  bool execInstr(const Instr &I);
+  bool fault(Fault F);
+  void pushFrame(const FunctionDecl &Fn, std::vector<Value> Args);
+  Value initialValue(Type Ty) const;
+
+  const Program &Prog;
+  std::unique_ptr<Memory> Mem;
+  InterpConfig Config;
+
+  std::vector<Frame> Frames;
+  std::map<std::string, Value> Globals;
+  std::vector<Event> Events;
+  size_t InputCursor = 0;
+  uint64_t Steps = 0;
+
+  bool Started = false;
+  bool GlobalsReady = false;
+  std::optional<Signal> PendingSignal;
+  std::optional<Fault> FinalFault;
+  bool Finished = false;
+  bool HitStepLimit = false;
+};
+
+/// runProgram, but on the reference engine. Ignores Config.Handlers (extern
+/// calls become the do-nothing context).
+RunResult runAstProgram(const Program &Prog, const RunConfig &Config);
+
+} // namespace qcm
+
+#endif // QCM_SEMANTICS_ASTINTERP_H

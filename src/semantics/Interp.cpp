@@ -1,23 +1,45 @@
 //===- semantics/Interp.cpp -----------------------------------------------===//
+//
+// The QIR execution engine. Step accounting mirrors the historical
+// tree-walking interpreter exactly: fuel is checked (and one step charged)
+// at every StmtStart instruction — the compiled image of each work-item pop
+// the walker performed — and the OnInstr observer fires there when the
+// instruction carries an AST origin. The reference walker lives in
+// AstInterp.cpp; fuzz_test keeps the two engines in lockstep.
+//
+//===----------------------------------------------------------------------===//
 
 #include "semantics/Interp.h"
+
+#include "ir/Compile.h"
 
 #include <cassert>
 
 using namespace qcm;
 
-/// One activation record.
+/// One activation record: a program counter into the compiled function and
+/// a dense slot file.
 struct Machine::Frame {
-  const FunctionDecl *Fn = nullptr;
-  std::map<std::string, Value> Env;
-  /// LIFO work list of instructions still to execute in this frame.
-  std::vector<const Instr *> Work;
+  const qir::QFunction *Fn = nullptr;
+  uint32_t PC = 0;
+  std::vector<Value> Slots;
+  /// Initialization bits for hidden slots (index: Slot - NumDeclaredSlots).
+  /// Reading an uninitialized hidden slot reproduces the walker's
+  /// failed-environment-lookup fault.
+  std::vector<bool> HiddenInit;
 };
 
 Machine::Machine(const Program &Prog, std::unique_ptr<Memory> Mem,
                  InterpConfig Config)
-    : Prog(Prog), Mem(std::move(Mem)), Config(Config) {
+    : Machine(qir::compileProgram(Prog), std::move(Mem), std::move(Config)) {}
+
+Machine::Machine(std::shared_ptr<const qir::QirModule> Module,
+                 std::unique_ptr<Memory> Mem, InterpConfig Config)
+    : Module(std::move(Module)), Mem(std::move(Mem)),
+      Config(std::move(Config)) {
+  assert(this->Module && "machine requires a compiled module");
   assert(this->Mem && "machine requires a memory");
+  HasObserver = static_cast<bool>(this->Config.OnInstr);
   // Thread the step counter into the memory's trace so every memory event
   // is tagged with the execution time at which it happened.
   this->Mem->trace().bindStepCounter(&Steps);
@@ -37,11 +59,11 @@ Value Machine::initialValue(Type Ty) const {
 
 Outcome<Unit> Machine::setupGlobals() {
   assert(!GlobalsReady && "globals already set up");
-  for (const GlobalDecl &G : Prog.Globals) {
+  for (const GlobalDecl &G : Module->Source->Globals) {
     Outcome<Value> P = Mem->allocate(G.SizeWords);
     if (!P)
       return P.propagate<Unit>();
-    Globals.emplace(G.Name, P.value());
+    GlobalVals.push_back(P.value());
   }
   GlobalsReady = true;
   return Outcome<Unit>::success(Unit{});
@@ -51,17 +73,18 @@ Outcome<Unit> Machine::start(const std::string &Entry,
                              std::vector<Value> Args) {
   assert(GlobalsReady && "setupGlobals() must run before start()");
   assert(!Started && "machine already started");
-  const FunctionDecl *Fn = Prog.findFunction(Entry);
-  if (!Fn)
+  auto It = Module->FunctionIndex.find(Entry);
+  if (It == Module->FunctionIndex.end())
     return Outcome<Unit>::undefined("entry function '" + Entry +
                                     "' is not declared");
-  if (Fn->isExtern())
+  const qir::QFunction &Fn = Module->Functions[It->second];
+  if (Fn.IsExtern)
     return Outcome<Unit>::undefined("entry function '" + Entry +
                                     "' is extern");
-  if (Fn->Params.size() != Args.size())
+  if (Fn.NumParams != Args.size())
     return Outcome<Unit>::undefined("entry function '" + Entry +
                                     "' called with wrong argument count");
-  pushFrame(*Fn, std::move(Args));
+  pushFrame(Fn, std::move(Args));
   Started = true;
   return Outcome<Unit>::success(Unit{});
 }
@@ -71,67 +94,55 @@ void Machine::setExternalHandler(const std::string &Name,
   Handlers[Name] = std::move(Handler);
 }
 
-void Machine::pushFrame(const FunctionDecl &Fn, std::vector<Value> Args) {
+void Machine::pushFrame(const qir::QFunction &Fn, std::vector<Value> Args) {
   Frame F;
   F.Fn = &Fn;
-  for (size_t Idx = 0; Idx < Fn.Params.size(); ++Idx)
-    F.Env.emplace(Fn.Params[Idx].Name, Args[Idx]);
-  for (const VarDecl &L : Fn.Locals)
-    F.Env.emplace(L.Name, initialValue(L.Ty));
-  F.Work.push_back(Fn.Body.get());
+  F.Slots.resize(Fn.NumSlots);
+  for (uint32_t S = 0; S < Fn.NumDeclaredSlots; ++S)
+    F.Slots[S] = initialValue(Fn.SlotTypes[S]);
+  // Descending so that on a repeated parameter name the first binding wins,
+  // like the walker's Env.emplace.
+  for (size_t Idx = Fn.ParamSlots.size(); Idx-- > 0;)
+    F.Slots[Fn.ParamSlots[Idx]] = std::move(Args[Idx]);
+  F.HiddenInit.assign(Fn.NumSlots - Fn.NumDeclaredSlots, false);
   Frames.push_back(std::move(F));
 }
 
+void Machine::setSlot(uint32_t Slot, Value V) {
+  Frame &F = Frames.back();
+  F.Slots[Slot] = std::move(V);
+  if (Slot >= F.Fn->NumDeclaredSlots)
+    F.HiddenInit[Slot - F.Fn->NumDeclaredSlots] = true;
+}
+
 Value Machine::globalValue(const std::string &Name) const {
-  auto It = Globals.find(Name);
-  assert(It != Globals.end() && "unknown global");
-  return It->second;
+  // First occurrence wins on duplicate names, like the walker's
+  // Globals.emplace.
+  for (size_t Idx = 0; Idx < Module->GlobalNames.size(); ++Idx)
+    if (Module->GlobalNames[Idx] == Name)
+      return GlobalVals[Idx];
+  assert(false && "unknown global");
+  return Value::makeInt(0);
 }
 
 std::optional<Value> Machine::readLocal(const std::string &Name) const {
   if (Frames.empty())
     return std::nullopt;
   const Frame &F = Frames.back();
-  auto It = F.Env.find(Name);
-  if (It == F.Env.end())
-    return std::nullopt;
-  return It->second;
+  for (uint32_t S = 0; S < F.Fn->NumSlots; ++S) {
+    if (F.Fn->SlotNames[S] != Name)
+      continue;
+    if (S >= F.Fn->NumDeclaredSlots &&
+        !F.HiddenInit[S - F.Fn->NumDeclaredSlots])
+      return std::nullopt;
+    return F.Slots[S];
+  }
+  return std::nullopt;
 }
 
 //===----------------------------------------------------------------------===//
-// Expression evaluation
+// Binary operations (Section 4)
 //===----------------------------------------------------------------------===//
-
-Outcome<Value> Machine::evalExp(const Exp &E, const Frame &F) {
-  switch (E.ExpKind) {
-  case Exp::Kind::IntLit:
-    return Outcome<Value>::success(Value::makeInt(E.IntValue));
-  case Exp::Kind::Var: {
-    auto It = F.Env.find(E.Name);
-    if (It == F.Env.end())
-      return Outcome<Value>::undefined("read of undeclared variable '" +
-                                       E.Name + "'");
-    return Outcome<Value>::success(It->second);
-  }
-  case Exp::Kind::Global: {
-    auto It = Globals.find(E.Name);
-    if (It == Globals.end())
-      return Outcome<Value>::undefined("read of undeclared global '" +
-                                       E.Name + "'");
-    return Outcome<Value>::success(It->second);
-  }
-  case Exp::Kind::Binary: {
-    Outcome<Value> L = evalExp(*E.Lhs, F);
-    if (!L)
-      return L;
-    Outcome<Value> R = evalExp(*E.Rhs, F);
-    if (!R)
-      return R;
-    return evalBinary(E.Op, L.value(), R.value());
-  }
-  }
-  return Outcome<Value>::undefined("malformed expression");
-}
 
 Outcome<Value> Machine::evalBinary(BinaryOp Op, const Value &L,
                                    const Value &R) {
@@ -226,71 +237,7 @@ Outcome<Value> Machine::evalBinary(BinaryOp Op, const Value &L,
 }
 
 //===----------------------------------------------------------------------===//
-// Right-hand sides
-//===----------------------------------------------------------------------===//
-
-Outcome<std::optional<Value>> Machine::evalRExp(const RExp &R, Frame &F) {
-  using OV = std::optional<Value>;
-  switch (R.RExpKind) {
-  case RExp::Kind::Pure: {
-    Outcome<Value> V = evalExp(*R.Arg, F);
-    if (!V)
-      return V.propagate<OV>();
-    return Outcome<OV>::success(V.value());
-  }
-  case RExp::Kind::Malloc: {
-    Outcome<Value> Size = evalExp(*R.Arg, F);
-    if (!Size)
-      return Size.propagate<OV>();
-    if (!Size.value().isInt())
-      return Outcome<OV>::undefined("malloc size is a logical address");
-    Outcome<Value> P = Mem->allocate(Size.value().intValue());
-    if (!P)
-      return P.propagate<OV>();
-    return Outcome<OV>::success(P.value());
-  }
-  case RExp::Kind::Free: {
-    Outcome<Value> P = evalExp(*R.Arg, F);
-    if (!P)
-      return P.propagate<OV>();
-    Outcome<Unit> Freed = Mem->deallocate(P.value());
-    if (!Freed)
-      return Freed.propagate<OV>();
-    return Outcome<OV>::success(std::nullopt);
-  }
-  case RExp::Kind::Cast: {
-    Outcome<Value> V = evalExp(*R.Arg, F);
-    if (!V)
-      return V.propagate<OV>();
-    Outcome<Value> Cast = R.CastTo == Type::Int
-                              ? Mem->castPtrToInt(V.value())
-                              : Mem->castIntToPtr(V.value());
-    if (!Cast)
-      return Cast.propagate<OV>();
-    return Outcome<OV>::success(Cast.value());
-  }
-  case RExp::Kind::Input: {
-    Word V = InputCursor < Config.InputTape.size()
-                 ? Config.InputTape[InputCursor++]
-                 : 0;
-    Events.push_back(Event::input(V));
-    return Outcome<OV>::success(Value::makeInt(V));
-  }
-  case RExp::Kind::Output: {
-    Outcome<Value> V = evalExp(*R.Arg, F);
-    if (!V)
-      return V.propagate<OV>();
-    if (!V.value().isInt())
-      return Outcome<OV>::undefined("output of a logical address");
-    Events.push_back(Event::output(V.value().intValue()));
-    return Outcome<OV>::success(std::nullopt);
-  }
-  }
-  return Outcome<OV>::undefined("malformed right-hand side");
-}
-
-//===----------------------------------------------------------------------===//
-// Instructions
+// Execution
 //===----------------------------------------------------------------------===//
 
 bool Machine::fault(Fault F) {
@@ -305,63 +252,156 @@ bool Machine::fault(Fault F) {
   return false;
 }
 
-bool Machine::execInstr(const Instr &I) {
-  Frame &F = Frames.back();
-  switch (I.InstrKind) {
-  case Instr::Kind::Seq:
-    for (auto It = I.Stmts.rbegin(); It != I.Stmts.rend(); ++It)
-      F.Work.push_back(It->get());
+bool Machine::exec(const qir::QInstr &I) {
+  auto Pop = [this] {
+    Value V = std::move(Stack.back());
+    Stack.pop_back();
+    return V;
+  };
+
+  switch (I.Opcode) {
+  case qir::Op::PushConst:
+    Stack.push_back(Module->ConstPool[I.A]);
     return true;
 
-  case Instr::Kind::If: {
-    Outcome<Value> Cond = evalExp(*I.Cond, F);
-    if (!Cond)
-      return fault(Cond.fault());
-    if (!Cond.value().isInt())
-      return fault(Fault::undefined("branch on a logical address"));
-    if (Cond.value().intValue() != 0)
-      F.Work.push_back(I.Then.get());
-    else if (I.Else)
-      F.Work.push_back(I.Else.get());
-    return true;
-  }
-
-  case Instr::Kind::While: {
-    Outcome<Value> Cond = evalExp(*I.Cond, F);
-    if (!Cond)
-      return fault(Cond.fault());
-    if (!Cond.value().isInt())
-      return fault(Fault::undefined("loop on a logical address"));
-    if (Cond.value().intValue() != 0) {
-      // Re-test the loop after the body finishes.
-      F.Work.push_back(&I);
-      F.Work.push_back(I.Body.get());
-    }
+  case qir::Op::PushSlot: {
+    Frame &F = Frames.back();
+    if (I.A >= F.Fn->NumDeclaredSlots &&
+        !F.HiddenInit[I.A - F.Fn->NumDeclaredSlots])
+      return fault(Fault::undefined("read of undeclared variable '" +
+                                    F.Fn->SlotNames[I.A] + "'"));
+    Stack.push_back(F.Slots[I.A]);
     return true;
   }
 
-  case Instr::Kind::Call: {
-    std::vector<Value> Args;
-    Args.reserve(I.Args.size());
-    for (const auto &A : I.Args) {
-      Outcome<Value> V = evalExp(*A, F);
-      if (!V)
-        return fault(V.fault());
-      Args.push_back(V.value());
+  case qir::Op::PushGlobal:
+    Stack.push_back(GlobalVals[I.A]);
+    return true;
+
+  case qir::Op::Binary: {
+    Value R = Pop();
+    Value L = Pop();
+    Outcome<Value> V = evalBinary(static_cast<BinaryOp>(I.Aux), L, R);
+    if (!V)
+      return fault(V.fault());
+    Stack.push_back(V.value());
+    return true;
+  }
+
+  case qir::Op::Trap:
+    return fault(Fault::undefined(Module->StringPool[I.A]));
+
+  case qir::Op::StoreSlot:
+    setSlot(I.A, Pop());
+    return true;
+
+  case qir::Op::Drop:
+    Stack.pop_back();
+    return true;
+
+  case qir::Op::LoadMem: {
+    Value Addr = Pop();
+    Outcome<Value> V = Mem->load(Addr);
+    if (!V)
+      return fault(V.fault());
+    // Dynamic type checking (Section 6.1): the quasi-concrete model induces
+    // a form of dynamic type checking — loading a logical address into an
+    // int variable (or an integer into a ptr variable) is undefined
+    // behavior. Not applicable in the concrete model, where every value is
+    // an integer, nor under the Loose (CompCert-style) discipline. The
+    // faulting condition was resolved at compile time into Aux; the message
+    // is preformed in the string pool.
+    if (Config.Discipline == TypeDiscipline::Static &&
+        Mem->kind() != ModelKind::Concrete) {
+      switch (static_cast<qir::DeclKind>(I.Aux)) {
+      case qir::DeclKind::Hidden:
+        return fault(Fault::undefined(Module->StringPool[I.B]));
+      case qir::DeclKind::Int:
+        if (V.value().isPtr())
+          return fault(Fault::undefined(Module->StringPool[I.B]));
+        break;
+      case qir::DeclKind::Ptr:
+        if (V.value().isInt())
+          return fault(Fault::undefined(Module->StringPool[I.B]));
+        break;
+      }
     }
-    const FunctionDecl *Callee = Prog.findFunction(I.Callee);
-    if (!Callee)
-      return fault(Fault::undefined("call to undeclared function '" +
-                                    I.Callee + "'"));
-    if (Callee->Params.size() != Args.size())
-      return fault(
-          Fault::undefined("call with wrong argument count to '" +
-                           I.Callee + "'"));
-    if (!Callee->isExtern()) {
-      pushFrame(*Callee, std::move(Args));
-      return true;
-    }
-    auto HandlerIt = Handlers.find(I.Callee);
+    setSlot(I.A, V.value());
+    return true;
+  }
+
+  case qir::Op::StoreMem: {
+    Value V = Pop();
+    Value Addr = Pop();
+    Outcome<Unit> Stored = Mem->store(Addr, V);
+    if (!Stored)
+      return fault(Stored.fault());
+    return true;
+  }
+
+  case qir::Op::Malloc: {
+    Value Size = Pop();
+    if (!Size.isInt())
+      return fault(Fault::undefined("malloc size is a logical address"));
+    Outcome<Value> P = Mem->allocate(Size.intValue());
+    if (!P)
+      return fault(P.fault());
+    if (I.A != qir::NoSlot)
+      setSlot(I.A, P.value());
+    return true;
+  }
+
+  case qir::Op::FreeMem: {
+    Value P = Pop();
+    Outcome<Unit> Freed = Mem->deallocate(P);
+    if (!Freed)
+      return fault(Freed.fault());
+    return true;
+  }
+
+  case qir::Op::Cast: {
+    Value V = Pop();
+    Outcome<Value> Cast =
+        I.Aux == 0 ? Mem->castPtrToInt(V) : Mem->castIntToPtr(V);
+    if (!Cast)
+      return fault(Cast.fault());
+    if (I.A != qir::NoSlot)
+      setSlot(I.A, Cast.value());
+    return true;
+  }
+
+  case qir::Op::Input: {
+    Word V = InputCursor < Config.InputTape.size()
+                 ? Config.InputTape[InputCursor++]
+                 : 0;
+    Events.push_back(Event::input(V));
+    if (I.A != qir::NoSlot)
+      setSlot(I.A, Value::makeInt(V));
+    return true;
+  }
+
+  case qir::Op::Output: {
+    Value V = Pop();
+    if (!V.isInt())
+      return fault(Fault::undefined("output of a logical address"));
+    Events.push_back(Event::output(V.intValue()));
+    return true;
+  }
+
+  case qir::Op::Call: {
+    std::vector<Value> Args(I.B);
+    for (uint32_t Idx = I.B; Idx-- > 0;)
+      Args[Idx] = Pop();
+    pushFrame(Module->Functions[I.A], std::move(Args));
+    return true;
+  }
+
+  case qir::Op::CallExtern: {
+    std::vector<Value> Args(I.B);
+    for (uint32_t Idx = I.B; Idx-- > 0;)
+      Args[Idx] = Pop();
+    const std::string &Callee = Module->StringPool[I.A];
+    auto HandlerIt = Handlers.find(Callee);
     if (HandlerIt != Handlers.end()) {
       Outcome<Unit> R = HandlerIt->second(*this, Args);
       if (!R)
@@ -370,80 +410,33 @@ bool Machine::execInstr(const Instr &I) {
     }
     Signal S;
     S.SignalKind = Signal::Kind::ExternalCall;
-    S.Callee = I.Callee;
+    S.Callee = Callee;
     S.Args = std::move(Args);
     PendingSignal = std::move(S);
     return false;
   }
 
-  case Instr::Kind::Assign: {
-    Outcome<std::optional<Value>> V = evalRExp(*I.Rhs, F);
-    if (!V)
-      return fault(V.fault());
-    if (I.Var.empty())
-      return true;
-    if (!V.value())
-      return fault(Fault::undefined("assignment from a value-less operation"));
-    F.Env[I.Var] = *V.value();
+  case qir::Op::Jump:
+    Frames.back().PC = I.A;
+    return true;
+
+  case qir::Op::JumpIfZero: {
+    Value C = Pop();
+    if (!C.isInt())
+      return fault(Fault::undefined(Module->StringPool[I.B]));
+    if (C.intValue() == 0)
+      Frames.back().PC = I.A;
     return true;
   }
 
-  case Instr::Kind::Load: {
-    Outcome<Value> Addr = evalExp(*I.Addr, F);
-    if (!Addr)
-      return fault(Addr.fault());
-    Outcome<Value> V = Mem->load(Addr.value());
-    if (!V)
-      return fault(V.fault());
-    // Dynamic type checking (Section 6.1): the quasi-concrete model induces
-    // a form of dynamic type checking — loading a logical address into an
-    // int variable (or an integer into a ptr variable) is undefined
-    // behavior. Not applicable in the concrete model, where every value is
-    // an integer, nor under the Loose (CompCert-style) discipline.
-    if (Config.Discipline == TypeDiscipline::Static &&
-        Mem->kind() != ModelKind::Concrete) {
-      const VarDecl *D = F.Fn->findVariable(I.Var);
-      if (!D)
-        return fault(Fault::undefined("load into undeclared variable '" +
-                                      I.Var + "'"));
-      if (D->Ty == Type::Int && V.value().isPtr())
-        return fault(Fault::undefined(
-            "load of a logical address into int variable '" + I.Var + "'"));
-      if (D->Ty == Type::Ptr && V.value().isInt())
-        return fault(Fault::undefined(
-            "load of an integer into ptr variable '" + I.Var + "'"));
-    }
-    F.Env[I.Var] = V.value();
+  case qir::Op::EnterSeq:
     return true;
-  }
 
-  case Instr::Kind::Store: {
-    Outcome<Value> Addr = evalExp(*I.Addr, F);
-    if (!Addr)
-      return fault(Addr.fault());
-    Outcome<Value> V = evalExp(*I.StoreVal, F);
-    if (!V)
-      return fault(V.fault());
-    Outcome<Unit> Stored = Mem->store(Addr.value(), V.value());
-    if (!Stored)
-      return fault(Stored.fault());
-    return true;
-  }
-  }
-  return fault(Fault::undefined("malformed instruction"));
-}
-
-bool Machine::stepOnce() {
-  Frame &F = Frames.back();
-  if (F.Work.empty()) {
+  case qir::Op::Ret:
     Frames.pop_back();
     return true;
   }
-  const Instr *I = F.Work.back();
-  F.Work.pop_back();
-  if (Config.OnInstr && I->InstrKind != Instr::Kind::Seq)
-    Config.OnInstr(*I, static_cast<unsigned>(Frames.size()));
-  return execInstr(*I);
+  return fault(Fault::undefined("malformed instruction"));
 }
 
 Signal Machine::run() {
@@ -458,15 +451,24 @@ Signal Machine::run() {
       PendingSignal = S;
       return *PendingSignal;
     }
-    if (Steps >= Config.StepLimit) {
-      HitStepLimit = true;
-      Signal S;
-      S.SignalKind = Signal::Kind::StepLimitReached;
-      PendingSignal = S;
-      return *PendingSignal;
+    Frame &F = Frames.back();
+    const qir::QInstr &I = F.Fn->Code[F.PC];
+    if (I.StmtStart) {
+      // Statement boundary: the walker's work-item pop. Fuel is checked and
+      // charged here and only here.
+      if (Steps >= Config.StepLimit) {
+        HitStepLimit = true;
+        Signal S;
+        S.SignalKind = Signal::Kind::StepLimitReached;
+        PendingSignal = S;
+        return *PendingSignal;
+      }
+      ++Steps;
+      if (HasObserver && I.Origin)
+        Config.OnInstr(*I.Origin, static_cast<unsigned>(Frames.size()));
     }
-    ++Steps;
-    if (!stepOnce())
+    ++F.PC;
+    if (!exec(I))
       return *PendingSignal;
   }
 }

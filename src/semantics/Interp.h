@@ -13,6 +13,14 @@
 /// simulation checker of Section 5 synchronize the source and target
 /// executions at unknown calls.
 ///
+/// Since the QIR refactor the machine executes compiled bytecode
+/// (ir/Qir.h) rather than re-walking the AST: programs are lowered once
+/// (ir/Compile.h) and the module is reused across runs — construct with a
+/// shared module to skip recompilation. Observable semantics, step counts,
+/// fault messages, and the OnInstr observer are identical to the
+/// tree-walking engine, which survives as semantics/AstInterp.h and is
+/// cross-checked differentially in fuzz_test.
+///
 /// Binary operations follow the type-directed semantics of Section 4; loads
 /// perform the dynamic type checking of Section 6.1 under the Static
 /// discipline. The Loose discipline reproduces CompCert's treatment
@@ -24,6 +32,7 @@
 #ifndef QCM_SEMANTICS_INTERP_H
 #define QCM_SEMANTICS_INTERP_H
 
+#include "ir/Qir.h"
 #include "lang/Ast.h"
 #include "memory/Memory.h"
 #include "semantics/Behavior.h"
@@ -63,7 +72,10 @@ struct InterpConfig {
   /// Values returned by successive input() operations; exhaustion yields 0.
   std::vector<Word> InputTape;
   /// Observer invoked before each executed instruction, with the current
-  /// call depth; used by tracing tools. Null (the default) costs nothing.
+  /// call depth; used by tracing tools. Null (the default) costs nothing:
+  /// the machine latches its presence once, so the untraced execution loop
+  /// pays a single predictable branch rather than a std::function test per
+  /// instruction.
   std::function<void(const Instr &, unsigned Depth)> OnInstr;
 };
 
@@ -91,9 +103,17 @@ struct Signal {
 class Machine {
 public:
   /// Creates a machine over \p Prog (which must outlive the machine and be
-  /// type checked under the Static discipline) using \p Mem.
+  /// type checked under the Static discipline) using \p Mem. Compiles the
+  /// program privately; prefer the module overload when executing the same
+  /// program repeatedly.
   Machine(const Program &Prog, std::unique_ptr<Memory> Mem,
           InterpConfig Config);
+
+  /// Creates a machine over an already-compiled \p Module (whose source
+  /// Program must outlive the machine). The module is shared: any number of
+  /// concurrent machines may execute it.
+  Machine(std::shared_ptr<const qir::QirModule> Module,
+          std::unique_ptr<Memory> Mem, InterpConfig Config);
   ~Machine();
 
   Machine(const Machine &) = delete;
@@ -122,7 +142,8 @@ public:
 
   Memory &memory() { return *Mem; }
   const Memory &memory() const { return *Mem; }
-  const Program &program() const { return Prog; }
+  const Program &program() const { return *Module->Source; }
+  const qir::QirModule &module() const { return *Module; }
   const std::vector<Event> &events() const { return Events; }
   uint64_t stepsUsed() const { return Steps; }
 
@@ -139,32 +160,34 @@ public:
 private:
   struct Frame;
 
+  Outcome<Value> evalBinary(BinaryOp Op, const Value &L, const Value &R);
+
   /// Executes one instruction; returns true to continue, false when a
   /// signal in PendingSignal must surface.
-  bool stepOnce();
+  bool exec(const qir::QInstr &I);
 
-  Outcome<Value> evalExp(const Exp &E, const Frame &F);
-  Outcome<Value> evalBinary(BinaryOp Op, const Value &L, const Value &R);
-  /// Executes an RExp; produces the value (or nullopt for effect-only
-  /// forms).
-  Outcome<std::optional<Value>> evalRExp(const RExp &R, Frame &F);
-
-  bool execInstr(const Instr &I);
   /// Routes a fault into PendingSignal; always returns false.
   bool fault(Fault F);
 
-  /// Pushes a call frame for function \p Fn.
-  void pushFrame(const FunctionDecl &Fn, std::vector<Value> Args);
+  /// Pushes a call frame for compiled function \p Fn.
+  void pushFrame(const qir::QFunction &Fn, std::vector<Value> Args);
+
+  /// Writes \p V to \p Slot of the innermost frame, marking hidden slots
+  /// initialized.
+  void setSlot(uint32_t Slot, Value V);
 
   /// Initial value for a variable of type \p Ty under the current model.
   Value initialValue(Type Ty) const;
 
-  const Program &Prog;
+  std::shared_ptr<const qir::QirModule> Module;
   std::unique_ptr<Memory> Mem;
   InterpConfig Config;
+  /// Latched Config.OnInstr presence (hoisted out of the execution loop).
+  bool HasObserver = false;
 
   std::vector<Frame> Frames;
-  std::map<std::string, Value> Globals;
+  std::vector<Value> Stack; ///< Eval stack; empty at statement boundaries.
+  std::vector<Value> GlobalVals;
   std::map<std::string, ExternalHandler> Handlers;
   std::vector<Event> Events;
   size_t InputCursor = 0;

@@ -2,6 +2,7 @@
 
 #include "semantics/Runner.h"
 
+#include "ir/Compile.h"
 #include "memory/ConcreteMemory.h"
 #include "memory/QuasiConcreteMemory.h"
 
@@ -62,7 +63,13 @@ Outcome<Value> materializeArg(const ArgSpec &Spec, Memory &Mem) {
 } // namespace
 
 RunResult qcm::runProgram(const Program &Prog, const RunConfig &Config) {
-  Machine M(Prog, makeMemory(Config), Config.Interp);
+  return runCompiled(qir::compileProgram(Prog), Config);
+}
+
+RunResult
+qcm::runCompiled(const std::shared_ptr<const qir::QirModule> &Module,
+                 const RunConfig &Config) {
+  Machine M(Module, makeMemory(Config), Config.Interp);
   if (Config.TraceSink)
     M.memory().trace().setSink(Config.TraceSink);
   for (const auto &[Name, Handler] : Config.Handlers)

@@ -95,8 +95,15 @@ struct RunResult {
 /// Builds a memory instance for \p Config.
 std::unique_ptr<Memory> makeMemory(const RunConfig &Config);
 
-/// Runs \p Prog once under \p Config.
+/// Runs \p Prog once under \p Config (compiling it to QIR first; use
+/// runCompiled to amortize compilation over many runs).
 RunResult runProgram(const Program &Prog, const RunConfig &Config);
+
+/// Runs an already-compiled program once under \p Config. This is the
+/// repeated-execution fast path: the refinement explorer compiles each
+/// (program, context) pair once and calls this per oracle and input tape.
+RunResult runCompiled(const std::shared_ptr<const qir::QirModule> &Module,
+                      const RunConfig &Config);
 
 } // namespace qcm
 

@@ -23,6 +23,7 @@
 #include "opt/DeadCodeElim.h"
 #include "opt/OwnershipOpt.h"
 #include "refinement/RefinementChecker.h"
+#include "semantics/AstInterp.h"
 
 #include <gtest/gtest.h>
 
@@ -147,6 +148,43 @@ TEST_P(FuzzProperty, OptimizerOutputRefinesItsInput) {
   EXPECT_TRUE(R.Refines) << R.toString() << "\n--- original ---\n"
                          << printProgram(P) << "--- optimized ---\n"
                          << printProgram(Optimized);
+}
+
+TEST_P(FuzzProperty, QirEngineMatchesTheAstWalker) {
+  // Differential property: the compiled QIR engine and the reference AST
+  // walker observe the same behavior (including the diagnostic reason) and
+  // the same step count, under every model, both type disciplines, and two
+  // deterministic oracles.
+  ProgramGenerator Generator(GetParam() ^ 0x666);
+  Program P = compileOrFail(Generator.generate());
+  for (ModelKind Model : {ModelKind::Concrete, ModelKind::Logical,
+                          ModelKind::QuasiConcrete, ModelKind::EagerQuasi}) {
+    for (TypeDiscipline Discipline :
+         {TypeDiscipline::Static, TypeDiscipline::Loose}) {
+      for (uint64_t OracleSeed : {0u, 1u}) {
+        RunConfig C;
+        C.Model = Model;
+        C.MemConfig.AddressWords = 1u << 10;
+        C.Interp.StepLimit = 200'000;
+        C.Interp.Discipline = Discipline;
+        C.Oracle = [OracleSeed]() -> std::unique_ptr<PlacementOracle> {
+          if (OracleSeed == 0)
+            return std::make_unique<FirstFitOracle>();
+          return std::make_unique<LastFitOracle>();
+        };
+        RunResult Qir = runProgram(P, C);
+        RunResult Ast = runAstProgram(P, C);
+        EXPECT_EQ(Qir.Behav, Ast.Behav)
+            << modelKindName(Model) << " oracle " << OracleSeed
+            << "\nqir: " << Qir.Behav.toString()
+            << "ast: " << Ast.Behav.toString();
+        EXPECT_EQ(Qir.Behav.Reason, Ast.Behav.Reason)
+            << modelKindName(Model) << " oracle " << OracleSeed;
+        EXPECT_EQ(Qir.Steps, Ast.Steps)
+            << modelKindName(Model) << " oracle " << OracleSeed;
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProperty,

@@ -1,0 +1,285 @@
+//===- tests/ir_compile_test.cpp - AST->QIR compiler tests ----------------===//
+//
+// Structure of compiled modules (flat code, dense slots, valid blocks),
+// behavior parity between the QIR engine and the reference AST walker, and
+// the compile-once discipline: runProgram compiles once per call, and the
+// refinement/simulation checkers compile exactly once per (program,
+// instantiated context) pair no matter how many oracles and tapes they
+// explore.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Compile.h"
+
+#include "core/Vm.h"
+#include "refinement/Contexts.h"
+#include "refinement/RefinementChecker.h"
+#include "refinement/Simulation.h"
+#include "semantics/AstInterp.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+Program compileSource(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  EXPECT_TRUE(P.has_value()) << V.lastDiagnostics();
+  return P ? std::move(*P) : Program{};
+}
+
+const char *LoopySource = R"(
+global cell[2];
+
+helper(ptr out, int n) {
+  var int acc;
+  acc = 0;
+  while (n) {
+    acc = acc + n;
+    n = n - 1;
+  }
+  *out = acc;
+}
+
+main() {
+  var ptr p, int i, int r;
+  p = malloc(3);
+  helper(p, 4);
+  r = *p;
+  if (r == 10) {
+    output(r);
+  } else {
+    output(0);
+  }
+  i = (int) p;
+  p = (ptr) i;
+  free(p);
+}
+)";
+
+/// Wraps a single hand-built function `main` around \p Body.
+Program singleFunction(std::unique_ptr<Instr> Body,
+                       std::vector<VarDecl> Locals = {}) {
+  Program P;
+  FunctionDecl F;
+  F.Name = "main";
+  F.Locals = std::move(Locals);
+  F.Body = std::move(Body);
+  P.Functions.push_back(std::move(F));
+  return P;
+}
+
+} // namespace
+
+TEST(IrCompileTest, CompiledModulesAreValid) {
+  Program P = compileSource(LoopySource);
+  auto M = qir::compileProgram(P);
+  EXPECT_EQ(qir::validateModule(*M), "");
+  ASSERT_EQ(M->Functions.size(), P.Functions.size());
+  EXPECT_EQ(M->Source, &P);
+}
+
+TEST(IrCompileTest, ControlFlowIsFlattenedIntoBlocks) {
+  Program P = compileSource(LoopySource);
+  auto M = qir::compileProgram(P);
+  const qir::QFunction *Helper = M->findFunction("helper");
+  ASSERT_NE(Helper, nullptr);
+  // The while loop became a conditional jump plus a back edge; no
+  // instruction nests another.
+  std::string Text = M->toString();
+  EXPECT_NE(Text.find("jump.ifz"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("enter.seq"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("ret"), std::string::npos) << Text;
+  // Entry opens a block and all BlockStarts are sorted positions in code.
+  ASSERT_FALSE(Helper->BlockStarts.empty());
+  EXPECT_EQ(Helper->BlockStarts.front(), 0u);
+  EXPECT_TRUE(std::is_sorted(Helper->BlockStarts.begin(),
+                             Helper->BlockStarts.end()));
+  EXPECT_LT(Helper->BlockStarts.back(), Helper->Code.size());
+}
+
+TEST(IrCompileTest, SlotIndicesAreFrameDense) {
+  Program P = compileSource(LoopySource);
+  auto M = qir::compileProgram(P);
+  const qir::QFunction *Helper = M->findFunction("helper");
+  ASSERT_NE(Helper, nullptr);
+  // Parameters first, then locals; every slot named, no gaps.
+  EXPECT_EQ(Helper->NumParams, 2u);
+  EXPECT_EQ(Helper->NumDeclaredSlots, 3u);
+  EXPECT_EQ(Helper->NumSlots, 3u);
+  ASSERT_EQ(Helper->SlotNames.size(), Helper->NumSlots);
+  EXPECT_EQ(Helper->SlotNames[0], "out");
+  EXPECT_EQ(Helper->SlotNames[1], "n");
+  EXPECT_EQ(Helper->SlotNames[2], "acc");
+  ASSERT_EQ(Helper->ParamSlots.size(), 2u);
+  EXPECT_EQ(Helper->ParamSlots[0], 0u);
+  EXPECT_EQ(Helper->ParamSlots[1], 1u);
+}
+
+TEST(IrCompileTest, ConstantsArePredecodedAndDeduplicated) {
+  Program P = compileSource(
+      "main() { var int a, int b; a = 7; b = 7 + 7; output(b); }");
+  auto M = qir::compileProgram(P);
+  unsigned Sevens = 0;
+  for (const Value &V : M->ConstPool)
+    if (V.isInt() && V.intValue() == 7)
+      ++Sevens;
+  EXPECT_EQ(Sevens, 1u);
+}
+
+TEST(IrCompileTest, ExternCalleesKeepTheirNames) {
+  Program P = compileSource("extern foo(ptr p);\nmain() { var ptr q; "
+                            "q = malloc(2); foo(q); }");
+  auto M = qir::compileProgram(P);
+  EXPECT_EQ(qir::validateModule(*M), "");
+  std::string Text = M->toString();
+  EXPECT_NE(Text.find("call.extern foo/1"), std::string::npos) << Text;
+}
+
+TEST(IrCompileTest, UndeclaredAssignmentTargetsBecomeHiddenSlots) {
+  // x is never declared: the walker's Env creates it on first assignment.
+  std::vector<std::unique_ptr<Instr>> Stmts;
+  Stmts.push_back(Instr::makeAssign(
+      "x", RExp::makePure(Exp::makeIntLit(5))));
+  Stmts.push_back(Instr::makeEffect(
+      RExp::makeOutput(Exp::makeVar("x"))));
+  Program P = singleFunction(Instr::makeSeq(std::move(Stmts)));
+
+  auto M = qir::compileProgram(P);
+  EXPECT_EQ(qir::validateModule(*M), "");
+  const qir::QFunction *Main = M->findFunction("main");
+  ASSERT_NE(Main, nullptr);
+  EXPECT_EQ(Main->NumDeclaredSlots, 0u);
+  EXPECT_EQ(Main->NumSlots, 1u);
+
+  RunConfig C;
+  RunResult R = runProgram(P, C);
+  ASSERT_EQ(R.Behav.BehaviorKind, Behavior::Kind::Terminated);
+  ASSERT_EQ(R.Behav.Events.size(), 1u);
+}
+
+TEST(IrCompileTest, ReadingAnUnwrittenHiddenSlotFaultsLikeTheWalker) {
+  std::vector<std::unique_ptr<Instr>> Stmts;
+  Stmts.push_back(Instr::makeEffect(
+      RExp::makeOutput(Exp::makeVar("ghost"))));
+  Program P = singleFunction(Instr::makeSeq(std::move(Stmts)));
+
+  RunConfig C;
+  RunResult Qir = runProgram(P, C);
+  RunResult Ast = runAstProgram(P, C);
+  EXPECT_EQ(Qir.Behav.BehaviorKind, Behavior::Kind::Undefined);
+  EXPECT_EQ(Qir.Behav.Reason, "read of undeclared variable 'ghost'");
+  EXPECT_EQ(Ast.Behav.Reason, Qir.Behav.Reason);
+  EXPECT_EQ(Ast.Steps, Qir.Steps);
+}
+
+TEST(IrCompileTest, UndeclaredGlobalsAndCalleesLowerToTraps) {
+  std::vector<std::unique_ptr<Instr>> Stmts;
+  Stmts.push_back(Instr::makeAssign(
+      "x", RExp::makePure(Exp::makeGlobal("nosuch"))));
+  Program P1 = singleFunction(Instr::makeSeq(std::move(Stmts)));
+  auto M1 = qir::compileProgram(P1);
+  EXPECT_NE(M1->toString().find(
+                "trap \"read of undeclared global 'nosuch'\""),
+            std::string::npos)
+      << M1->toString();
+  RunResult R1 = runProgram(P1, RunConfig{});
+  EXPECT_EQ(R1.Behav.Reason, "read of undeclared global 'nosuch'");
+
+  std::vector<std::unique_ptr<Instr>> Calls;
+  Calls.push_back(Instr::makeCall("nowhere", {}));
+  Program P2 = singleFunction(Instr::makeSeq(std::move(Calls)));
+  RunResult R2 = runProgram(P2, RunConfig{});
+  EXPECT_EQ(R2.Behav.Reason, "call to undeclared function 'nowhere'");
+  RunResult A2 = runAstProgram(P2, RunConfig{});
+  EXPECT_EQ(A2.Behav.Reason, R2.Behav.Reason);
+  EXPECT_EQ(A2.Steps, R2.Steps);
+}
+
+TEST(IrCompileTest, ValidatorRejectsCorruptedModules) {
+  Program P = compileSource(LoopySource);
+  auto Shared = qir::compileProgram(P);
+  // Break a jump target.
+  qir::QirModule M = *Shared;
+  for (qir::QFunction &F : M.Functions) {
+    for (qir::QInstr &I : F.Code) {
+      if (I.Opcode == qir::Op::Jump || I.Opcode == qir::Op::JumpIfZero) {
+        I.A = static_cast<uint32_t>(F.Code.size()) + 17;
+        EXPECT_NE(qir::validateModule(M), "");
+        return;
+      }
+    }
+  }
+  FAIL() << "expected at least one jump in the compiled module";
+}
+
+TEST(IrCompileTest, EngineParityAcrossModelsOnTheSameModule) {
+  Program P = compileSource(LoopySource);
+  for (ModelKind Model : {ModelKind::Concrete, ModelKind::Logical,
+                          ModelKind::QuasiConcrete, ModelKind::EagerQuasi}) {
+    RunConfig C;
+    C.Model = Model;
+    RunResult Qir = runProgram(P, C);
+    RunResult Ast = runAstProgram(P, C);
+    EXPECT_EQ(Qir.Behav, Ast.Behav)
+        << modelKindName(Model) << "\nqir: " << Qir.Behav.toString()
+        << "ast: " << Ast.Behav.toString();
+    EXPECT_EQ(Qir.Behav.Reason, Ast.Behav.Reason) << modelKindName(Model);
+    EXPECT_EQ(Qir.Steps, Ast.Steps) << modelKindName(Model);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Compile-once discipline
+//===----------------------------------------------------------------------===//
+
+TEST(CompileOnceTest, RunProgramCompilesExactlyOncePerCall) {
+  Program P = compileSource(LoopySource);
+  uint64_t Before = qir::compilationsPerformed();
+  runProgram(P, RunConfig{});
+  EXPECT_EQ(qir::compilationsPerformed() - Before, 1u);
+}
+
+TEST(CompileOnceTest, MachinesShareACompiledModuleWithoutRecompiling) {
+  Program P = compileSource(LoopySource);
+  uint64_t Before = qir::compilationsPerformed();
+  auto M = qir::compileProgram(P);
+  RunConfig C;
+  for (int Round = 0; Round < 5; ++Round) {
+    RunResult R = runCompiled(M, C);
+    EXPECT_EQ(R.Behav.BehaviorKind, Behavior::Kind::Terminated);
+  }
+  EXPECT_EQ(qir::compilationsPerformed() - Before, 1u);
+}
+
+TEST(CompileOnceTest, RefinementCompilesOncePerProgramAndContext) {
+  Program P = compileSource(LoopySource);
+  Program Q = P.clone();
+  RefinementJob Job;
+  Job.Src = &P;
+  Job.Tgt = &Q;
+  // Two contexts, and a grid of oracles x tapes that forces many runs.
+  Job.Contexts.push_back(ContextVariant::empty());
+  Job.Contexts.push_back(ContextVariant::empty());
+  Job.InputTapes = {{}, {1, 2}, {3}};
+  uint64_t Before = qir::compilationsPerformed();
+  RefinementReport R = checkRefinement(Job);
+  // 2 contexts x 2 programs = 4 compilations; runs = 2 contexts x 2
+  // programs x 2 default oracles x 3 tapes = 24.
+  EXPECT_EQ(qir::compilationsPerformed() - Before, 4u);
+  EXPECT_EQ(R.RunsPerformed, 24u);
+  EXPECT_TRUE(R.Refines) << R.toString();
+}
+
+TEST(CompileOnceTest, SimulationCompilesOncePerSide) {
+  Program P = compileSource(LoopySource);
+  Program Q = P.clone();
+  SimulationSetup Setup;
+  Setup.Src = &P;
+  Setup.Tgt = &Q;
+  uint64_t Before = qir::compilationsPerformed();
+  SimulationChecker Checker(Setup);
+  EXPECT_EQ(qir::compilationsPerformed() - Before, 2u);
+}

@@ -37,6 +37,47 @@ TEST(FreeIntervals, FullyOccupied) {
   EXPECT_TRUE(Free.empty());
 }
 
+TEST(FreeIntervals, ZeroLengthIntervalBehavior) {
+  // An occupied range ending flush against the next one (and against the
+  // usable-space bounds) must not produce zero-length intervals.
+  std::map<Word, Word> Occupied{{1, 4}, {5, 3}, {10, 5}};
+  auto Free = computeFreeIntervals(Occupied, 16);
+  ASSERT_EQ(Free.size(), 1u);
+  EXPECT_EQ(Free[0], (FreeInterval{8, 10}));
+  for (const FreeInterval &F : Free)
+    EXPECT_GT(F.length(), 0u);
+
+  // A zero-length interval itself hosts nothing and has length 0.
+  FreeInterval Empty{7, 7};
+  EXPECT_EQ(Empty.length(), 0u);
+  EXPECT_EQ(countPlacements({Empty}, 1), 0u);
+  FirstFitOracle First;
+  LastFitOracle Last;
+  EXPECT_EQ(First.choose(1, {Empty}), std::nullopt);
+  EXPECT_EQ(Last.choose(1, {Empty}), std::nullopt);
+}
+
+TEST(FreeIntervals, AllocationExactlyFillingTheUsableSpace) {
+  // The whole usable space [1, AddressWords - 1) is one placement for a
+  // block of exactly AddressWords - 2 words.
+  const uint64_t AddressWords = 16;
+  auto Free = computeFreeIntervals({}, AddressWords);
+  const Word FullSize = static_cast<Word>(AddressWords - 2);
+  EXPECT_EQ(countPlacements(Free, FullSize), 1u);
+  EXPECT_EQ(countPlacements(Free, FullSize + 1), 0u);
+
+  FirstFitOracle First;
+  LastFitOracle Last;
+  EXPECT_EQ(First.choose(FullSize, Free), std::optional<Word>(1));
+  EXPECT_EQ(Last.choose(FullSize, Free), std::optional<Word>(1));
+
+  // Once placed, nothing is free and every further request declines.
+  std::map<Word, Word> Occupied{{1, FullSize}};
+  auto None = computeFreeIntervals(Occupied, AddressWords);
+  EXPECT_TRUE(None.empty());
+  EXPECT_EQ(First.choose(1, None), std::nullopt);
+}
+
 TEST(CountPlacements, CountsSlidingPositions) {
   std::vector<FreeInterval> Free = {{1, 5}, {7, 8}};
   EXPECT_EQ(countPlacements(Free, 1), 5u); // 4 in [1,5) + 1 in [7,8)
@@ -72,6 +113,33 @@ TEST(FixedSequence, PlaysBackAndDeclinesOnMisfit) {
   EXPECT_EQ(O.choose(1, Free), std::nullopt);
   // Sequence exhausted.
   EXPECT_EQ(O.choose(1, Free), std::nullopt);
+}
+
+TEST(FixedSequence, ExhaustionOrderAndDecisionCount) {
+  // Decisions are consumed strictly in sequence order, one per choose()
+  // call — a declined (misfitting) base still burns its slot — and
+  // exhaustion declines forever without advancing further.
+  FixedSequenceOracle O({5, 1, 2});
+  std::vector<FreeInterval> Free = {{1, 8}};
+  EXPECT_EQ(O.decisionsUsed(), 0u);
+  EXPECT_EQ(O.choose(2, Free), std::optional<Word>(5));
+  EXPECT_EQ(O.decisionsUsed(), 1u);
+  // Base 1 does not fit a 8-word block inside [1, 8); the slot is spent.
+  EXPECT_EQ(O.choose(8, Free), std::nullopt);
+  EXPECT_EQ(O.decisionsUsed(), 2u);
+  EXPECT_EQ(O.choose(2, Free), std::optional<Word>(2));
+  EXPECT_EQ(O.decisionsUsed(), 3u);
+  for (int I = 0; I < 3; ++I) {
+    EXPECT_EQ(O.choose(1, Free), std::nullopt);
+    EXPECT_EQ(O.decisionsUsed(), 3u);
+  }
+
+  // A clone made mid-sequence resumes at the same position.
+  FixedSequenceOracle Source({7, 3});
+  (void)Source.choose(1, Free);
+  auto Resumed = Source.clone();
+  EXPECT_EQ(Resumed->choose(1, Free), std::optional<Word>(3));
+  EXPECT_EQ(Source.choose(1, Free), std::optional<Word>(3));
 }
 
 TEST(ExhaustedOracle, AlwaysDeclines) {
