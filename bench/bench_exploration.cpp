@@ -77,6 +77,33 @@ void BM_SampledExploration(benchmark::State &State) {
 }
 BENCHMARK(BM_SampledExploration)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 
+void BM_ParallelExploration(benchmark::State &State) {
+  // The same oracle x tape grid at increasing --jobs; the engine merges in
+  // plan order, so every arg produces the identical report and only the
+  // wall clock varies.
+  const unsigned Jobs = static_cast<unsigned>(State.range(0));
+  Vm V;
+  Program P = *V.compile(ProbeSource);
+  RefinementJob Job;
+  Job.Src = &P;
+  Job.Tgt = &P;
+  Job.BaseSrc.Model = Job.BaseTgt.Model = ModelKind::QuasiConcrete;
+  Job.BaseSrc.MemConfig.AddressWords = 1u << 16;
+  Job.BaseTgt.MemConfig.AddressWords = 1u << 16;
+  Job.Oracles = sampledOracles(62);
+  Job.InputTapes = {{}, {1}, {2}, {3}};
+  Job.Exec.Jobs = Jobs;
+  uint64_t Runs = 0;
+  for (auto _ : State) {
+    RefinementReport R = checkRefinement(Job);
+    benchmark::DoNotOptimize(R.Refines);
+    Runs = R.RunsPerformed;
+  }
+  State.counters["jobs"] = static_cast<double>(Jobs);
+  State.counters["runs_per_check"] = static_cast<double>(Runs);
+}
+BENCHMARK(BM_ParallelExploration)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 } // namespace
 
 int main(int Argc, char **Argv) {

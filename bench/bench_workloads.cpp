@@ -11,6 +11,7 @@
 
 #include "core/Vm.h"
 #include "ir/Compile.h"
+#include "refinement/RefinementChecker.h"
 #include "semantics/AstInterp.h"
 #include "semantics/Runner.h"
 
@@ -142,6 +143,74 @@ void BM_CastLinkedList(benchmark::State &State) {
 }
 BENCHMARK(BM_CastLinkedList)->Arg(0)->Arg(2);
 
+/// Oracle x tape exploration workload for the thread sweep: enough
+/// per-run computation that the run, not the engine, dominates.
+std::string explorationProbeProgram() {
+  return R"(
+main() {
+  var ptr p, int a, int i, int acc;
+  a = input();
+  p = malloc(4);
+  acc = (int) p;
+  i = 400;
+  while (i) {
+    acc = acc * 33 + i + a;
+    i = i - 1;
+  }
+  output(acc & 65535);
+}
+)";
+}
+
+/// Thread-sweep scenario: the same refinement check — an oracle x tape
+/// grid over the probe above — at increasing --jobs. The engine guarantees
+/// the reports are byte-identical across rows; only the wall clock moves.
+int runThreadSweep(qcm_bench::JsonReport &Report, Vm &V, unsigned Iters) {
+  std::optional<Program> P = V.compile(explorationProbeProgram());
+  if (!P) {
+    std::fprintf(stderr, "exploration probe does not compile:\n%s",
+                 V.lastDiagnostics().c_str());
+    return 1;
+  }
+  RefinementJob Job;
+  Job.Src = &*P;
+  Job.Tgt = &*P;
+  Job.BaseSrc.Model = Job.BaseTgt.Model = ModelKind::QuasiConcrete;
+  Job.BaseSrc.MemConfig.AddressWords = 1u << 16;
+  Job.BaseTgt.MemConfig.AddressWords = 1u << 16;
+  Job.Oracles = sampledOracles(30);
+  for (Word I = 0; I < 8; ++I)
+    Job.InputTapes.push_back({I});
+
+  std::string Baseline;
+  for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+    Job.Exec.Jobs = Jobs;
+    uint64_t Runs = 0;
+    ModelStats Stats;
+    std::string Rendered;
+    Stopwatch Timer;
+    for (unsigned I = 0; I < Iters; ++I) {
+      RefinementReport R = checkRefinement(Job);
+      Runs += R.RunsPerformed;
+      Stats.accumulate(R.AggregateStats);
+      Rendered = R.toString();
+    }
+    double Seconds = Timer.seconds();
+    if (Jobs == 1)
+      Baseline = Rendered;
+    else if (Rendered != Baseline) {
+      std::fprintf(stderr,
+                   "thread sweep: report at jobs=%u differs from jobs=1\n",
+                   Jobs);
+      return 1;
+    }
+    Report.add("refinement_sweep", "jobs=" + std::to_string(Jobs),
+               modelKindName(ModelKind::QuasiConcrete), Seconds, Iters, Runs,
+               Stats);
+  }
+  return 0;
+}
+
 /// --json mode: each workload under each applicable model, on both engines
 /// (the QIR machine reusing one compiled module, and the reference AST
 /// walker), with wall time and the memory-event counters.
@@ -200,6 +269,8 @@ int runJsonScenarios(const qcm_bench::JsonOptions &Options) {
                  Iters, Steps, Stats);
     }
   }
+  if (int Err = runThreadSweep(Report, V, Options.itersOr(5)))
+    return Err;
   return Report.write(Options.Path) ? 0 : 1;
 }
 

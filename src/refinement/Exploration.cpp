@@ -1,0 +1,102 @@
+//===- refinement/Exploration.cpp -----------------------------------------===//
+
+#include "refinement/Exploration.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+using namespace qcm;
+
+ExplorationSummary
+qcm::exploreIndexed(size_t Count, const ExplorationOptions &Options,
+                    const std::function<void(size_t)> &RunItem,
+                    const std::function<ExploreStep(size_t)> &MergeItem) {
+  ExplorationSummary Summary;
+  if (Count == 0)
+    return Summary;
+
+  unsigned Jobs = static_cast<unsigned>(
+      std::min<size_t>(Options.effectiveJobs(), Count));
+  if (Jobs <= 1) {
+    // Serial fast path: no pool, no locks; run and merge interleaved so a
+    // Stop skips the remaining items entirely.
+    for (size_t I = 0; I < Count; ++I) {
+      RunItem(I);
+      ++Summary.ItemsMerged;
+      if (MergeItem(I) == ExploreStep::Stop) {
+        Summary.Cancelled = true;
+        return Summary;
+      }
+    }
+    return Summary;
+  }
+
+  // Parallel path. Workers claim indices in plan order from NextItem and
+  // mark them done; the calling thread merges strictly in plan order. The
+  // Done handoff under Mutex is what publishes RunItem(I)'s writes to
+  // MergeItem(I).
+  std::mutex Mutex;
+  std::condition_variable Ready;
+  std::vector<char> Done(Count, 0);
+  std::atomic<size_t> NextItem{0};
+  CancellationToken Cancel;
+
+  {
+    ThreadPool Pool(Jobs);
+    for (unsigned W = 0; W < Jobs; ++W)
+      Pool.submit([&] {
+        for (;;) {
+          if (Cancel.cancelled())
+            return;
+          size_t I = NextItem.fetch_add(1, std::memory_order_relaxed);
+          if (I >= Count)
+            return;
+          RunItem(I);
+          {
+            std::lock_guard<std::mutex> Lock(Mutex);
+            Done[I] = 1;
+          }
+          Ready.notify_all();
+        }
+      });
+
+    for (size_t I = 0; I < Count; ++I) {
+      {
+        std::unique_lock<std::mutex> Lock(Mutex);
+        Ready.wait(Lock, [&] { return Done[I] != 0; });
+      }
+      ++Summary.ItemsMerged;
+      if (MergeItem(I) == ExploreStep::Stop) {
+        Summary.Cancelled = true;
+        Cancel.cancel();
+        break;
+      }
+    }
+    // ~ThreadPool drains: claimed in-flight items finish on their workers
+    // (their results are simply never merged), unclaimed ones are skipped.
+  }
+  return Summary;
+}
+
+ExplorationSummary
+qcm::explorePlan(const ExplorationPlan &Plan,
+                 const ExplorationOptions &Options,
+                 const std::function<ExploreStep(size_t, RunResult &)>
+                     &OnResult) {
+  std::vector<RunResult> Results(Plan.Items.size());
+  return exploreIndexed(
+      Plan.Items.size(), Options,
+      [&](size_t I) {
+        const ExplorationItem &Item = Plan.Items[I];
+        RunConfig Config = Item.Config;
+        // Handler-bearing items materialize a fresh handler map on the
+        // worker so stateful handlers are never shared across runs or
+        // threads.
+        if (Item.MakeHandlers)
+          Config.Handlers = Item.MakeHandlers();
+        Results[I] = runCompiled(Item.Module, Config);
+      },
+      [&](size_t I) { return OnResult(I, Results[I]); });
+}

@@ -1,0 +1,113 @@
+//===- refinement/Exploration.h - Parallel exploration engine ---*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exploration engine behind the refinement checker and the simulation
+/// option sweep. The checkers' quantification over contexts, placement
+/// oracles, and input tapes is a grid of *independent* executions; this
+/// layer turns that grid into a declarative ExplorationPlan and executes it
+/// on a support/ThreadPool.h worker pool with three guarantees:
+///
+/// * **Determinism.** Results are merged on the calling thread in plan
+///   order, never completion order, so reports, BehaviorSet contents, and
+///   run counters are byte-identical at any --jobs level (including 1).
+/// * **Cancellation.** The merge callback may return ExploreStep::Stop
+///   (counterexample found, instantiation error, fail-fast); workers then
+///   stop claiming items, and in-flight items finish but are discarded.
+/// * **Confinement.** Every work item builds its own Machine, Memory,
+///   placement oracle, and handler map on the worker that runs it; the
+///   shared inputs (QirModule, the source Program it aliases, factories)
+///   are read-only during execution. See docs/EXPLORATION.md for the full
+///   thread-confinement contract.
+///
+/// The generic core, exploreIndexed(), fans N index-addressed tasks out and
+/// merges them in index order; explorePlan() layers the module×config work
+/// items of the behavior explorer on top of it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_REFINEMENT_EXPLORATION_H
+#define QCM_REFINEMENT_EXPLORATION_H
+
+#include "semantics/Runner.h"
+#include "support/ThreadPool.h"
+
+#include <functional>
+#include <vector>
+
+namespace qcm {
+
+/// Degree-of-parallelism and early-exit policy of one exploration.
+struct ExplorationOptions {
+  /// Worker threads; 1 (the default) runs everything on the calling thread
+  /// with zero threading overhead, 0 means one per hardware thread.
+  unsigned Jobs = 1;
+  /// Stop the whole exploration at the first failure (first behavior not
+  /// admitted, first failing simulation option). Without it the engine
+  /// still stops early on instantiation errors, but explores every grid
+  /// point so reports show complete behavior sets.
+  bool FailFast = false;
+
+  /// Jobs with 0 resolved to the hardware default.
+  unsigned effectiveJobs() const {
+    return Jobs ? Jobs : ThreadPool::defaultConcurrency();
+  }
+};
+
+/// Merge-callback verdict: keep merging or cancel the remaining items.
+enum class ExploreStep { Continue, Stop };
+
+/// What an exploration did.
+struct ExplorationSummary {
+  /// Items whose results were merged (delivered in plan order). This — not
+  /// the number of speculative executions — is the deterministic notion of
+  /// work the reports expose as RunsPerformed.
+  uint64_t ItemsMerged = 0;
+  /// True when the merge callback returned Stop.
+  bool Cancelled = false;
+};
+
+/// Generic deterministic fan-out/merge over \p Count index-addressed tasks.
+///
+/// \p RunItem is invoked once per index on some worker thread (on the
+/// calling thread when effectiveJobs() == 1) and must stash its result in
+/// caller-owned, index-private storage. \p MergeItem is invoked on the
+/// calling thread, strictly in index order, after RunItem(I) completed;
+/// the engine's internal synchronization makes RunItem(I)'s writes visible
+/// to MergeItem(I). Returning ExploreStep::Stop cancels all unclaimed
+/// items; claimed ones finish on their workers but are never merged.
+ExplorationSummary
+exploreIndexed(size_t Count, const ExplorationOptions &Options,
+               const std::function<void(size_t)> &RunItem,
+               const std::function<ExploreStep(size_t)> &MergeItem);
+
+/// One work item of the behavior explorer: run a compiled module under a
+/// fully specified configuration (oracle and input tape already set).
+struct ExplorationItem {
+  std::shared_ptr<const qir::QirModule> Module;
+  RunConfig Config;
+  /// Invoked on the worker immediately before the run when non-null, so
+  /// stateful handlers are fresh per execution and never shared between
+  /// threads. Config.Handlers is ignored when this is set.
+  std::function<std::map<std::string, ExternalHandler>()> MakeHandlers;
+};
+
+/// The full grid, in the order results must be merged.
+struct ExplorationPlan {
+  std::vector<ExplorationItem> Items;
+};
+
+/// Executes \p Plan under \p Options. \p OnResult receives each item's
+/// RunResult on the calling thread, in plan order (it may consume the
+/// result destructively).
+ExplorationSummary
+explorePlan(const ExplorationPlan &Plan, const ExplorationOptions &Options,
+            const std::function<ExploreStep(size_t, RunResult &)> &OnResult);
+
+} // namespace qcm
+
+#endif // QCM_REFINEMENT_EXPLORATION_H

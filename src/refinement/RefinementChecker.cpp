@@ -31,31 +31,15 @@ std::string RefinementReport::toString() const {
 
 namespace {
 
-/// Collects the behavior set of one compiled program over the oracle/tape
-/// grid within one context. The caller lowered the program to QIR exactly
-/// once; every grid point reuses that module.
-BehaviorSet
-collectBehaviors(const std::shared_ptr<const qir::QirModule> &Module,
-                 const RunConfig &Base, const ContextVariant &Context,
-                 const std::vector<OracleFactory> &Oracles,
-                 const std::vector<std::vector<Word>> &Tapes,
-                 uint64_t &RunsPerformed, ModelStats &AggregateStats) {
-  BehaviorSet Set;
-  for (const OracleFactory &Oracle : Oracles) {
-    for (const std::vector<Word> &Tape : Tapes) {
-      RunConfig Config = Base;
-      Config.Oracle = Oracle;
-      Config.Interp.InputTape = Tape;
-      if (Context.MakeHandlers)
-        Config.Handlers = Context.MakeHandlers();
-      RunResult R = runCompiled(Module, Config);
-      ++RunsPerformed;
-      AggregateStats.accumulate(R.Stats);
-      Set.insert(std::move(R.Behav));
-    }
-  }
-  return Set;
-}
+/// Per-context state threaded from plan construction to the merge phase.
+struct ContextWork {
+  ContextReport CR;
+  /// Keep instantiated programs alive for the whole exploration: the
+  /// compiled modules alias their ASTs.
+  std::optional<Program> SrcInst, TgtInst;
+  /// False for contexts skipped by a fail-fast planning stop.
+  bool Planned = false;
+};
 
 } // namespace
 
@@ -71,49 +55,127 @@ RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
   }
   std::vector<std::vector<Word>> Tapes = Job.InputTapes;
   if (Tapes.empty())
-    Tapes.push_back({});
+    // The base config's tape, not unconditionally the empty one: a tape
+    // set on BaseSrc (qcm-check --input=...) would otherwise be silently
+    // overwritten by the grid's per-item tape assignment.
+    Tapes.push_back(Job.BaseSrc.Interp.InputTape);
 
   RefinementReport Report;
-  for (const ContextVariant &Context : Contexts) {
-    ContextReport CR;
-    CR.ContextName = Context.Name;
+
+  // Phase 1 (calling thread): instantiate every context and lower each
+  // (program, instantiated context) pair to QIR exactly once, building the
+  // declarative plan — one work item per module × oracle × tape, in the
+  // exact order the old serial loop executed them (context-major, source
+  // before target, oracle-major, tape-minor). Everything the workers later
+  // share — modules, the programs they alias, factories — is read-only from
+  // here on.
+  std::vector<ContextWork> Work(Contexts.size());
+  ExplorationPlan Plan;
+  struct ItemOrigin {
+    size_t ContextIdx;
+    bool IsTgt;
+  };
+  std::vector<ItemOrigin> Origins;
+  bool StopPlanning = false;
+
+  for (size_t CtxIdx = 0; CtxIdx < Contexts.size() && !StopPlanning;
+       ++CtxIdx) {
+    const ContextVariant &Context = Contexts[CtxIdx];
+    ContextWork &W = Work[CtxIdx];
+    W.CR.ContextName = Context.Name;
+    W.Planned = true;
     // Instantiate language-level context functions over the externs.
     const Program *SrcProg = Job.Src;
     const Program *TgtProg = Job.Tgt;
-    std::optional<Program> SrcInst, TgtInst;
     if (!Context.ContextSource.empty()) {
       DiagnosticEngine Diags;
-      SrcInst = instantiateContext(*Job.Src, Context.ContextSource, Diags);
-      TgtInst = instantiateContext(*Job.Tgt, Context.ContextSource, Diags);
-      if (!SrcInst || !TgtInst) {
-        CR.Refines = false;
-        CR.InstantiationError = Diags.toString();
+      W.SrcInst = instantiateContext(*Job.Src, Context.ContextSource, Diags);
+      W.TgtInst = instantiateContext(*Job.Tgt, Context.ContextSource, Diags);
+      if (!W.SrcInst || !W.TgtInst) {
+        W.CR.Refines = false;
+        W.CR.InstantiationError = Diags.toString();
         Report.Refines = false;
-        Report.PerContext.push_back(std::move(CR));
+        // An author error in a context is a failure of the whole job;
+        // fail-fast skips the remaining contexts entirely.
+        if (Job.Exec.FailFast)
+          StopPlanning = true;
         continue;
       }
-      SrcProg = &*SrcInst;
-      TgtProg = &*TgtInst;
+      SrcProg = &*W.SrcInst;
+      TgtProg = &*W.TgtInst;
     }
-    // Compile once per (program, instantiated context) pair; the whole
-    // oracle/tape exploration below executes the two modules.
-    CR.SrcBehaviors = collectBehaviors(qir::compileProgram(*SrcProg),
-                                       Job.BaseSrc, Context, Oracles, Tapes,
-                                       Report.RunsPerformed,
-                                       Report.AggregateStats);
-    CR.TgtBehaviors = collectBehaviors(qir::compileProgram(*TgtProg),
-                                       Job.BaseTgt, Context, Oracles, Tapes,
-                                       Report.RunsPerformed,
-                                       Report.AggregateStats);
-    InclusionResult Inc =
-        behaviorsIncluded(CR.TgtBehaviors, CR.SrcBehaviors);
-    CR.Refines = Inc.Included;
-    if (!Inc.Included) {
-      CR.Counterexample = Inc.Counterexample;
-      Report.Refines = false;
+    std::shared_ptr<const qir::QirModule> SrcModule =
+        qir::compileProgram(*SrcProg);
+    std::shared_ptr<const qir::QirModule> TgtModule =
+        qir::compileProgram(*TgtProg);
+    for (int Side = 0; Side < 2; ++Side) {
+      const bool IsTgt = Side == 1;
+      for (const OracleFactory &Oracle : Oracles) {
+        for (const std::vector<Word> &Tape : Tapes) {
+          ExplorationItem Item;
+          Item.Module = IsTgt ? TgtModule : SrcModule;
+          Item.Config = IsTgt ? Job.BaseTgt : Job.BaseSrc;
+          Item.Config.Oracle = Oracle;
+          Item.Config.Interp.InputTape = Tape;
+          // Hoisted per-context: handler-less contexts (the common case)
+          // skip the factory on every grid point. Contexts that do carry
+          // host handlers stay per-run-fresh — the factory runs on the
+          // worker for each item, because a stateful handler shared across
+          // runs would leak state between grid points (and, with Jobs > 1,
+          // race between threads).
+          if (Context.MakeHandlers)
+            Item.MakeHandlers = Context.MakeHandlers;
+          Plan.Items.push_back(std::move(Item));
+          Origins.push_back({CtxIdx, IsTgt});
+        }
+      }
     }
-    Report.PerContext.push_back(std::move(CR));
   }
+
+  // Phase 2: execute the plan. Results are merged here, on the calling
+  // thread, in plan order — so behavior sets fill in the serial loop's
+  // order and the report is byte-identical at any Jobs level. A target
+  // behavior can be judged the moment it arrives: its context's complete
+  // source set merged strictly earlier in the plan.
+  size_t LastMergedCtx = 0;
+  ExplorationSummary Summary = explorePlan(
+      Plan, Job.Exec, [&](size_t I, RunResult &R) {
+        const ItemOrigin &Origin = Origins[I];
+        ContextWork &W = Work[Origin.ContextIdx];
+        LastMergedCtx = Origin.ContextIdx;
+        Report.AggregateStats.accumulate(R.Stats);
+        if (!Origin.IsTgt) {
+          W.CR.SrcBehaviors.insert(std::move(R.Behav));
+          return ExploreStep::Continue;
+        }
+        bool Admitted = behaviorAdmitted(R.Behav, W.CR.SrcBehaviors);
+        if (!Admitted && W.CR.Refines) {
+          W.CR.Refines = false;
+          W.CR.Counterexample = R.Behav;
+          Report.Refines = false;
+        }
+        W.CR.TgtBehaviors.insert(std::move(R.Behav));
+        return !Admitted && Job.Exec.FailFast ? ExploreStep::Stop
+                                              : ExploreStep::Continue;
+      });
+  Report.RunsPerformed = Summary.ItemsMerged;
+
+  // Assemble per-context verdicts in context order. After an early stop,
+  // contexts beyond the stopping point were never explored; they are
+  // omitted rather than reported as vacuously refining.
+  size_t ReportedContexts = Contexts.size();
+  if (Summary.Cancelled) {
+    ReportedContexts = LastMergedCtx + 1;
+  } else if (StopPlanning) {
+    // Planning stopped at an instantiation error; report every context
+    // that was planned (the erroring one included).
+    ReportedContexts = 0;
+    for (size_t CtxIdx = 0; CtxIdx < Contexts.size(); ++CtxIdx)
+      if (Work[CtxIdx].Planned)
+        ReportedContexts = CtxIdx + 1;
+  }
+  for (size_t CtxIdx = 0; CtxIdx < ReportedContexts; ++CtxIdx)
+    Report.PerContext.push_back(std::move(Work[CtxIdx].CR));
   return Report;
 }
 
@@ -131,28 +193,43 @@ std::vector<OracleFactory> qcm::sampledOracles(unsigned RandomCount,
 }
 
 std::vector<OracleFactory> qcm::enumeratedOracles(uint64_t AddressWords,
-                                                  unsigned Decisions) {
+                                                  unsigned Decisions,
+                                                  std::string *Error) {
   assert(AddressWords >= 3 && "address space too small");
   const Word Low = 1;
-  const Word High = static_cast<Word>(AddressWords - 1); // exclusive
-  std::vector<std::vector<Word>> Sequences;
-  Sequences.push_back({});
-  for (unsigned D = 0; D < Decisions; ++D) {
-    std::vector<std::vector<Word>> Next;
-    for (const std::vector<Word> &Seq : Sequences) {
-      for (Word Base = Low; Base < High; ++Base) {
-        std::vector<Word> Extended = Seq;
-        Extended.push_back(Base);
-        Next.push_back(std::move(Extended));
-      }
-    }
-    Sequences = std::move(Next);
+  const uint64_t BaseCount = AddressWords - 2; // bases in [1, AddressWords-1)
+  // Overflow-checked grid size BaseCount^Decisions against the sanity cap.
+  uint64_t Total = 1;
+  bool TooLarge = false;
+  for (unsigned D = 0; D < Decisions && !TooLarge; ++D) {
+    if (Total > MaxEnumeratedOracles / BaseCount)
+      TooLarge = true;
+    else
+      Total *= BaseCount;
+  }
+  if (TooLarge || Total > MaxEnumeratedOracles) {
+    if (Error)
+      *Error = "enumerated oracle grid (" + std::to_string(AddressWords - 2) +
+               "^" + std::to_string(Decisions) + ") exceeds the cap of " +
+               std::to_string(MaxEnumeratedOracles) +
+               " oracles; shrink the address space or the decision depth, "
+               "or sample with sampledOracles()";
+    return {};
   }
   std::vector<OracleFactory> Oracles;
-  Oracles.reserve(Sequences.size());
-  for (std::vector<Word> &Seq : Sequences) {
-    Oracles.push_back([Seq] {
-      return std::make_unique<FixedSequenceOracle>(Seq);
+  Oracles.reserve(Total);
+  for (uint64_t Index = 0; Index < Total; ++Index) {
+    // Each factory decodes its sequence on demand from the grid index —
+    // digit D of Index in base BaseCount, first decision most significant,
+    // matching the order the old eager enumeration produced.
+    Oracles.push_back([Index, BaseCount, Decisions, Low] {
+      std::vector<Word> Seq(Decisions);
+      uint64_t Rest = Index;
+      for (unsigned D = Decisions; D-- > 0;) {
+        Seq[D] = static_cast<Word>(Low + Rest % BaseCount);
+        Rest /= BaseCount;
+      }
+      return std::make_unique<FixedSequenceOracle>(std::move(Seq));
     });
   }
   return Oracles;

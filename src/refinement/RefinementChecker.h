@@ -29,6 +29,7 @@
 #define QCM_REFINEMENT_REFINEMENTCHECKER_H
 
 #include "refinement/BehaviorSet.h"
+#include "refinement/Exploration.h"
 #include "semantics/Runner.h"
 
 #include <functional>
@@ -75,6 +76,11 @@ struct RefinementJob {
   std::vector<OracleFactory> Oracles;
   /// Input tapes; empty means one empty tape.
   std::vector<std::vector<Word>> InputTapes;
+  /// Parallelism and early-exit policy. The report is byte-identical at
+  /// every Jobs level; FailFast stops the grid at the first counterexample
+  /// or context-instantiation error (the report then covers only the grid
+  /// prefix up to the failure, still deterministically).
+  ExplorationOptions Exec;
 };
 
 /// Verdict for one context.
@@ -94,7 +100,10 @@ struct ContextReport {
 struct RefinementReport {
   bool Refines = true;
   std::vector<ContextReport> PerContext;
-  /// Total number of executions performed.
+  /// Total number of executions merged into the report. With Jobs > 1 and
+  /// an early stop, a few additional in-flight executions may have run and
+  /// been discarded; this counter is the deterministic, thread-count-
+  /// independent one.
   uint64_t RunsPerformed = 0;
   /// Memory-event statistics summed over every execution (source and
   /// target, all contexts/oracles/tapes); lets benchmarks report event
@@ -112,12 +121,23 @@ RefinementReport checkRefinement(const RefinementJob &Job);
 std::vector<OracleFactory> sampledOracles(unsigned RandomCount,
                                           uint64_t SeedBase = 0x5eed);
 
+/// Largest oracle grid enumeratedOracles() will build. Each oracle is a
+/// small closure that decodes its base-address sequence on demand, so the
+/// cap bounds the factory vector itself, not Decisions-sized sequences.
+inline constexpr uint64_t MaxEnumeratedOracles = 1u << 20;
+
 /// Exhaustive placement enumeration for tiny address spaces: every sequence
 /// of \p Decisions base addresses drawn from the usable space
-/// [1, AddressWords - 1). Produces (AddressWords - 2)^Decisions oracles —
-/// keep both numbers small.
+/// [1, AddressWords - 1), i.e. (AddressWords - 2)^Decisions oracles, in
+/// lexicographic order with the first decision most significant. Sequences
+/// are decoded lazily from the oracle's grid index when the factory is
+/// invoked; nothing of size Decisions is materialized up front. A grid
+/// larger than MaxEnumeratedOracles is rejected: the function returns an
+/// empty vector and, when \p Error is non-null, a diagnosis naming the
+/// offending grid size.
 std::vector<OracleFactory> enumeratedOracles(uint64_t AddressWords,
-                                             unsigned Decisions);
+                                             unsigned Decisions,
+                                             std::string *Error = nullptr);
 
 } // namespace qcm
 

@@ -302,6 +302,75 @@ SimulationChecker::expectReturn(InvariantUpdate Update) {
 }
 
 //===----------------------------------------------------------------------===//
+// Option exploration
+//===----------------------------------------------------------------------===//
+
+std::string SimulationSweepReport::toString() const {
+  std::string Text = AllHold ? "SIMULATION HOLDS" : "SIMULATION FAILS";
+  Text += " (" + std::to_string(OptionsChecked) + " options)\n";
+  for (const SimulationOptionResult &R : PerOption) {
+    Text += " option '" + R.Name + "': ";
+    if (!R.Holds)
+      Text += "FAILS: " + R.Detail + "\n";
+    else if (R.Discharged)
+      Text += "holds (discharged: " + R.Detail + ")\n";
+    else
+      Text += "holds\n";
+  }
+  return Text;
+}
+
+SimulationSweepReport
+qcm::checkSimulationOptions(const std::vector<SimulationOption> &Options,
+                            const SimulationScript &Script,
+                            const ExplorationOptions &Exec) {
+  SimulationSweepReport Report;
+  std::vector<SimulationOptionResult> Results(Options.size());
+  exploreIndexed(
+      Options.size(), Exec,
+      [&](size_t I) {
+        // Worker-confined: the checker, both machines, and both memories
+        // live and die on this thread; the script only sees this option's
+        // checker.
+        SimulationChecker Checker(Options[I].Setup);
+        std::optional<std::string> Err = Script(Checker);
+        SimulationOptionResult &R = Results[I];
+        R.Name = Options[I].Name;
+        R.Holds = !Err.has_value();
+        R.Discharged = Checker.discharged();
+        R.Detail = Err ? *Err : Checker.dischargeReason();
+      },
+      [&](size_t I) {
+        ++Report.OptionsChecked;
+        Report.PerOption.push_back(std::move(Results[I]));
+        if (!Report.PerOption.back().Holds) {
+          Report.AllHold = false;
+          if (Exec.FailFast)
+            return ExploreStep::Stop;
+        }
+        return ExploreStep::Continue;
+      });
+  return Report;
+}
+
+std::vector<SimulationOption>
+qcm::oracleOptions(const SimulationSetup &Base,
+                   const std::vector<std::pair<std::string, OracleFactory>>
+                       &NamedOracles) {
+  std::vector<SimulationOption> Options;
+  Options.reserve(NamedOracles.size());
+  for (const auto &[Name, Oracle] : NamedOracles) {
+    SimulationOption O;
+    O.Name = Name;
+    O.Setup = Base;
+    O.Setup.SrcConfig.Oracle = Oracle;
+    O.Setup.TgtConfig.Oracle = Oracle;
+    Options.push_back(std::move(O));
+  }
+  return Options;
+}
+
+//===----------------------------------------------------------------------===//
 // Context action library
 //===----------------------------------------------------------------------===//
 

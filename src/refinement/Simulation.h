@@ -36,12 +36,14 @@
 #ifndef QCM_REFINEMENT_SIMULATION_H
 #define QCM_REFINEMENT_SIMULATION_H
 
+#include "refinement/Exploration.h"
 #include "refinement/Invariant.h"
 #include "semantics/Runner.h"
 
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 
 namespace qcm {
 
@@ -134,6 +136,63 @@ private:
   bool Discharged = false;
   std::string DischargeReason;
 };
+
+//===----------------------------------------------------------------------===//
+// Option exploration
+//===----------------------------------------------------------------------===//
+
+/// A complete proof script: drives one SimulationChecker through begin /
+/// expectCall* / expectReturn and returns the first violated obligation, or
+/// nullopt when the proof is discharged. Scripts passed to
+/// checkSimulationOptions() run concurrently on different checkers when
+/// Jobs > 1, so they must not touch shared mutable state — the author
+/// callbacks they install (InvariantUpdate, ContextAction) included.
+using SimulationScript =
+    std::function<std::optional<std::string>(SimulationChecker &)>;
+
+/// One option variant of a proof: the same script checked under a different
+/// configuration (placement oracle, address-space size, model pairing, ...).
+struct SimulationOption {
+  std::string Name;
+  SimulationSetup Setup;
+};
+
+/// Verdict for one option.
+struct SimulationOptionResult {
+  std::string Name;
+  bool Holds = false;
+  /// The proof was settled early (source undefined behavior / target OOM).
+  bool Discharged = false;
+  /// Violated obligation when !Holds; discharge reason when Discharged.
+  std::string Detail;
+};
+
+/// Verdict of a sweep.
+struct SimulationSweepReport {
+  bool AllHold = true;
+  std::vector<SimulationOptionResult> PerOption;
+  /// Options merged into the report (deterministic across thread counts;
+  /// see RefinementReport::RunsPerformed for the same convention).
+  uint64_t OptionsChecked = 0;
+
+  std::string toString() const;
+};
+
+/// Runs \p Script once per option through the exploration engine. Options
+/// are independent — each gets its own checker, machines, and memories —
+/// so Exec.Jobs > 1 checks them concurrently; results are merged in option
+/// order and Exec.FailFast cancels outstanding options once one fails.
+SimulationSweepReport
+checkSimulationOptions(const std::vector<SimulationOption> &Options,
+                       const SimulationScript &Script,
+                       const ExplorationOptions &Exec = {});
+
+/// Convenience: the same SimulationSetup swept across a set of placement
+/// oracles (applied to both sides), named by \p OracleNames.
+std::vector<SimulationOption>
+oracleOptions(const SimulationSetup &Base,
+              const std::vector<std::pair<std::string, OracleFactory>>
+                  &NamedOracles);
 
 /// Library of reusable context actions.
 namespace sim_actions {

@@ -1,0 +1,63 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace qcm;
+
+unsigned ThreadPool::defaultConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = defaultConcurrency();
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Idle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(
+          Lock, [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // shutting down
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+      ++Running;
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Running;
+    }
+    Idle.notify_all();
+  }
+}

@@ -1,0 +1,88 @@
+//===- support/ThreadPool.h - Worker threads and cancellation ---*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size worker pool plus a cooperative cancellation token.
+/// This is the execution substrate of the exploration engine
+/// (refinement/Exploration.h): the engine owns the policy (work-item order,
+/// deterministic merge, fail-fast), the pool owns the mechanics (threads, a
+/// task queue, joining).
+///
+/// The pool is deliberately minimal: submit() enqueues a task, wait()
+/// blocks until the queue drains and every worker is idle, and the
+/// destructor waits then joins. Tasks must not submit to the pool they run
+/// on while wait() may be in progress, and must catch their own exceptions
+/// (a throwing task terminates the process, as with std::thread).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_SUPPORT_THREADPOOL_H
+#define QCM_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qcm {
+
+/// Cooperative cancellation flag shared between a coordinator and its
+/// workers. Workers poll cancelled() between (not within) work items, so
+/// cancellation latency is bounded by one item's runtime.
+class CancellationToken {
+public:
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return Flag.load(std::memory_order_relaxed); }
+  void reset() { Flag.store(false, std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// Fixed-size worker pool over a FIFO task queue.
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers; 0 means defaultConcurrency().
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task for execution on some worker.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void wait();
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// std::thread::hardware_concurrency() with a floor of 1 (the standard
+  /// allows it to return 0 when unknowable).
+  static unsigned defaultConcurrency();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable; ///< signalled on submit/shutdown
+  std::condition_variable Idle;          ///< signalled when work completes
+  size_t Running = 0;                    ///< tasks currently executing
+  bool ShuttingDown = false;
+};
+
+} // namespace qcm
+
+#endif // QCM_SUPPORT_THREADPOOL_H

@@ -140,3 +140,23 @@ bool CommandLine::applyRunOptions(RunConfig &Config,
   }
   return true;
 }
+
+bool CommandLine::applyExplorationOptions(ExplorationOptions &Exec,
+                                          std::string &Error) const {
+  if (has("jobs")) {
+    std::string Jobs = get("jobs");
+    if (Jobs == "auto") {
+      Exec.Jobs = 0;
+    } else {
+      try {
+        Exec.Jobs = static_cast<unsigned>(std::stoul(Jobs));
+      } catch (const std::exception &) {
+        Error = "invalid --jobs value '" + Jobs + "'";
+        return false;
+      }
+    }
+  }
+  if (has("fail-fast"))
+    Exec.FailFast = true;
+  return true;
+}

@@ -14,6 +14,7 @@
 #ifndef QCM_TOOLS_TOOLSUPPORT_H
 #define QCM_TOOLS_TOOLSUPPORT_H
 
+#include "refinement/Exploration.h"
 #include "semantics/Runner.h"
 
 #include <map>
@@ -54,6 +55,11 @@ struct CommandLine {
   /// Applies the shared run options (--model, --oracle, --entry, --input,
   /// --words, --steps, --loose) to \p Config.
   bool applyRunOptions(qcm::RunConfig &Config, std::string &Error) const;
+
+  /// Applies the shared exploration options: --jobs=N (N worker threads;
+  /// "auto" or 0 means one per hardware thread) and --fail-fast.
+  bool applyExplorationOptions(qcm::ExplorationOptions &Exec,
+                               std::string &Error) const;
 };
 
 } // namespace qcm_tools

@@ -1,0 +1,485 @@
+//===- tests/exploration_test.cpp - Parallel exploration engine -----------===//
+//
+// The engine's three guarantees (refinement/Exploration.h): deterministic
+// plan-order merging at any thread count, cooperative cancellation, and
+// per-item confinement of mutable state. The checkRefinement determinism
+// tests are the contract the benchmarks and CI TSan job rely on: reports
+// must be byte-identical across --jobs levels.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Vm.h"
+#include "refinement/Contexts.h"
+#include "refinement/RefinementChecker.h"
+#include "refinement/Simulation.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+
+using namespace qcm;
+
+namespace {
+
+Program compile(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  if (!P) {
+    ADD_FAILURE() << V.lastDiagnostics();
+    return Program{};
+  }
+  return std::move(*P);
+}
+
+RunConfig modelConfig(ModelKind Model, uint64_t Words = 1u << 12) {
+  RunConfig C;
+  C.Model = Model;
+  C.MemConfig.AddressWords = Words;
+  return C;
+}
+
+ExplorationOptions jobs(unsigned N, bool FailFast = false) {
+  ExplorationOptions E;
+  E.Jobs = N;
+  E.FailFast = FailFast;
+  return E;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> Sum{0};
+  {
+    ThreadPool Pool(4);
+    for (int I = 1; I <= 100; ++I)
+      Pool.submit([&Sum, I] { Sum += I; });
+    Pool.wait();
+    EXPECT_EQ(Sum.load(), 5050);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsTheQueue) {
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I < 50; ++I)
+      Pool.submit([&Ran] { ++Ran; });
+  }
+  EXPECT_EQ(Ran.load(), 50);
+}
+
+TEST(ThreadPool, DefaultConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::defaultConcurrency(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// exploreIndexed: deterministic merge and cancellation
+//===----------------------------------------------------------------------===//
+
+TEST(ExploreIndexed, MergesInPlanOrderAtEveryJobCount) {
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    std::vector<int> Squares(64, 0);
+    std::vector<size_t> MergeOrder;
+    ExplorationSummary S = exploreIndexed(
+        Squares.size(), jobs(Jobs),
+        [&](size_t I) { Squares[I] = static_cast<int>(I * I); },
+        [&](size_t I) {
+          MergeOrder.push_back(I);
+          EXPECT_EQ(Squares[I], static_cast<int>(I * I));
+          return ExploreStep::Continue;
+        });
+    EXPECT_EQ(S.ItemsMerged, 64u);
+    EXPECT_FALSE(S.Cancelled);
+    std::vector<size_t> Expected(64);
+    std::iota(Expected.begin(), Expected.end(), 0);
+    EXPECT_EQ(MergeOrder, Expected) << "jobs=" << Jobs;
+  }
+}
+
+TEST(ExploreIndexed, StopCancelsDeterministically) {
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    std::vector<size_t> Merged;
+    ExplorationSummary S = exploreIndexed(
+        1000, jobs(Jobs), [](size_t) {},
+        [&](size_t I) {
+          Merged.push_back(I);
+          return I == 9 ? ExploreStep::Stop : ExploreStep::Continue;
+        });
+    // Exactly items 0..9 merge regardless of how many ran speculatively.
+    EXPECT_EQ(S.ItemsMerged, 10u) << "jobs=" << Jobs;
+    EXPECT_TRUE(S.Cancelled);
+    EXPECT_EQ(Merged.size(), 10u);
+    EXPECT_EQ(Merged.back(), 9u);
+  }
+}
+
+TEST(ExploreIndexed, EmptyPlanIsANoop) {
+  ExplorationSummary S = exploreIndexed(
+      0, jobs(4), [](size_t) { FAIL() << "ran an item of an empty plan"; },
+      [](size_t) {
+        ADD_FAILURE() << "merged an item of an empty plan";
+        return ExploreStep::Continue;
+      });
+  EXPECT_EQ(S.ItemsMerged, 0u);
+  EXPECT_FALSE(S.Cancelled);
+}
+
+TEST(ExploreIndexed, RunsItemsConcurrently) {
+  // Eight items sleeping 50ms each: serial execution needs >= 400ms, eight
+  // workers overlap the sleeps and finish in roughly one. Sleeping (rather
+  // than spinning) keeps this meaningful on single-core CI runners.
+  const auto Start = std::chrono::steady_clock::now();
+  ExplorationSummary S = exploreIndexed(
+      8, jobs(8),
+      [](size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      },
+      [](size_t) { return ExploreStep::Continue; });
+  const auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - Start);
+  EXPECT_EQ(S.ItemsMerged, 8u);
+  EXPECT_LT(Elapsed.count(), 300) << "items did not overlap in time";
+}
+
+//===----------------------------------------------------------------------===//
+// checkRefinement: byte-identical reports across --jobs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A job whose behavior set genuinely varies with oracle, tape, and
+/// context: the realized address and the input both feed the output, and
+/// the extern is instantiated by source contexts and a stateful host
+/// handler.
+RefinementJob explorationJob(const Program &Src, const Program &Tgt) {
+  RefinementJob Job;
+  Job.Src = &Src;
+  Job.Tgt = &Tgt;
+  Job.BaseSrc = Job.BaseTgt = modelConfig(ModelKind::QuasiConcrete, 1u << 8);
+  Job.Oracles = sampledOracles(6);
+  Job.InputTapes = {{1}, {2}, {3}, {5}};
+  Job.Contexts.push_back(ContextVariant::empty());
+  Job.Contexts.push_back(ContextVariant::fromSource(
+      "marker", contexts::outputMarker("g", 5000)));
+  ContextVariant Stateful;
+  Stateful.Name = "stateful-handler";
+  Stateful.MakeHandlers = [] {
+    auto Count = std::make_shared<Word>(0);
+    std::map<std::string, ExternalHandler> H;
+    H["g"] = [Count](Machine &M,
+                     const std::vector<Value> &) -> Outcome<Unit> {
+      *Count += 1;
+      M.emitOutput(*Count);
+      return Outcome<Unit>::success(Unit{});
+    };
+    return H;
+  };
+  Job.Contexts.push_back(std::move(Stateful));
+  return Job;
+}
+
+const char *ExplorationProbe = R"(
+extern g();
+main() {
+  var ptr p, int a, int b;
+  a = input();
+  g();
+  p = malloc(2);
+  b = (int) p;
+  output(b + a);
+}
+)";
+
+} // namespace
+
+TEST(RefinementExploration, ReportsAreIdenticalAcrossJobCounts) {
+  Program P = compile(ExplorationProbe);
+  RefinementJob Job = explorationJob(P, P);
+  Job.Exec = jobs(1);
+  RefinementReport Serial = checkRefinement(Job);
+  EXPECT_TRUE(Serial.Refines) << Serial.toString();
+  EXPECT_GT(Serial.RunsPerformed, 0u);
+  for (unsigned Jobs : {2u, 8u}) {
+    Job.Exec = jobs(Jobs);
+    RefinementReport Parallel = checkRefinement(Job);
+    EXPECT_EQ(Parallel.toString(), Serial.toString()) << "jobs=" << Jobs;
+    EXPECT_EQ(Parallel.RunsPerformed, Serial.RunsPerformed);
+  }
+}
+
+TEST(RefinementExploration, CounterexampleReportsAreIdenticalAcrossJobs) {
+  Program Src = compile(ExplorationProbe);
+  // The target adds an extra observable: refinement fails, and the first
+  // counterexample (in plan order) must be the same at every job count.
+  Program Tgt = compile(R"(
+extern g();
+main() {
+  var ptr p, int a, int b;
+  a = input();
+  g();
+  p = malloc(2);
+  b = (int) p;
+  output(b + a);
+  output(77);
+}
+)");
+  RefinementJob Job = explorationJob(Src, Tgt);
+  Job.Exec = jobs(1);
+  RefinementReport Serial = checkRefinement(Job);
+  EXPECT_FALSE(Serial.Refines);
+  for (unsigned Jobs : {2u, 8u}) {
+    Job.Exec = jobs(Jobs);
+    RefinementReport Parallel = checkRefinement(Job);
+    EXPECT_EQ(Parallel.toString(), Serial.toString()) << "jobs=" << Jobs;
+  }
+}
+
+TEST(RefinementExploration, StatefulHandlersAreFreshPerRun) {
+  // The stateful-handler context increments a counter per call; were one
+  // handler instance shared across grid points, later runs would observe
+  // stale counts and the behavior set would depend on execution order.
+  Program P = compile("extern g(); main() { g(); g(); output(1); }");
+  RefinementJob Job;
+  Job.Src = &P;
+  Job.Tgt = &P;
+  Job.BaseSrc = Job.BaseTgt = modelConfig(ModelKind::QuasiConcrete);
+  Job.Oracles = sampledOracles(4);
+  ContextVariant Stateful;
+  Stateful.Name = "stateful-handler";
+  Stateful.MakeHandlers = [] {
+    auto Count = std::make_shared<Word>(0);
+    std::map<std::string, ExternalHandler> H;
+    H["g"] = [Count](Machine &M,
+                     const std::vector<Value> &) -> Outcome<Unit> {
+      *Count += 1;
+      M.emitOutput(*Count);
+      return Outcome<Unit>::success(Unit{});
+    };
+    return H;
+  };
+  Job.Contexts.push_back(std::move(Stateful));
+  for (unsigned Jobs : {1u, 4u}) {
+    Job.Exec = jobs(Jobs);
+    RefinementReport R = checkRefinement(Job);
+    ASSERT_EQ(R.PerContext.size(), 1u);
+    // Every run sees a fresh handler: out(1) out(2) out(1) — one behavior.
+    EXPECT_EQ(R.PerContext[0].SrcBehaviors.size(), 1u)
+        << R.PerContext[0].SrcBehaviors.toString();
+    EXPECT_TRUE(R.Refines);
+  }
+}
+
+TEST(RefinementExploration, FailFastStopsBeforeExhaustingAHugeTapeGrid) {
+  Program Src = compile("main() { var int a; a = input(); output(1); }");
+  Program Tgt = compile("main() { var int a; a = input(); output(2); }");
+  RefinementJob Job;
+  Job.Src = &Src;
+  Job.Tgt = &Tgt;
+  Job.BaseSrc = Job.BaseTgt = modelConfig(ModelKind::QuasiConcrete);
+  Job.Oracles.push_back([] { return std::make_unique<FirstFitOracle>(); });
+  // A deliberately huge tape grid: 4000 tapes x 2 sides = 8000 runs.
+  for (Word I = 0; I < 4000; ++I)
+    Job.InputTapes.push_back({I});
+  for (unsigned Jobs : {1u, 8u}) {
+    Job.Exec = jobs(Jobs, /*FailFast=*/true);
+    RefinementReport R = checkRefinement(Job);
+    EXPECT_FALSE(R.Refines);
+    // All 4000 source runs merge, then the very first target run is not
+    // admitted and cancels the rest — deterministically, at any job count.
+    EXPECT_EQ(R.RunsPerformed, 4001u) << "jobs=" << Jobs;
+  }
+}
+
+TEST(RefinementExploration, FailFastStopsAtAContextInstantiationError) {
+  Program P = compile("extern g(); main() { g(); output(1); }");
+  RefinementJob Job;
+  Job.Src = &P;
+  Job.Tgt = &P;
+  Job.BaseSrc = Job.BaseTgt = modelConfig(ModelKind::QuasiConcrete);
+  Job.Contexts.push_back(ContextVariant::empty());
+  Job.Contexts.push_back(
+      ContextVariant::fromSource("broken", "g() { this does not parse }"));
+  Job.Contexts.push_back(ContextVariant::fromSource(
+      "marker", contexts::outputMarker("g", 5000)));
+  Job.Exec = jobs(1, /*FailFast=*/true);
+  RefinementReport R = checkRefinement(Job);
+  EXPECT_FALSE(R.Refines);
+  // The empty context and the broken one are reported; the marker context
+  // after the failure is never planned.
+  ASSERT_EQ(R.PerContext.size(), 2u);
+  EXPECT_FALSE(R.PerContext[1].InstantiationError.empty());
+  // Without fail-fast every context is explored.
+  Job.Exec = jobs(1);
+  RefinementReport Full = checkRefinement(Job);
+  EXPECT_EQ(Full.PerContext.size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// enumeratedOracles: lazy decoding and the sanity cap
+//===----------------------------------------------------------------------===//
+
+TEST(EnumeratedOracles, DecodesSequencesLazilyInLexicographicOrder) {
+  const uint64_t Words = 6; // bases 1..4
+  const unsigned Decisions = 2;
+  std::vector<OracleFactory> Oracles = enumeratedOracles(Words, Decisions);
+  ASSERT_EQ(Oracles.size(), 16u);
+  std::vector<FreeInterval> Free = {{1, Words - 1}};
+  // Oracle k plays back the base-4 digits of k, offset into [1, Words-1),
+  // first decision most significant.
+  for (uint64_t K : {0u, 5u, 7u, 15u}) {
+    std::unique_ptr<PlacementOracle> O = Oracles[K]();
+    EXPECT_EQ(O->choose(1, Free), std::optional<Word>(1 + K / 4));
+    EXPECT_EQ(O->choose(1, Free), std::optional<Word>(1 + K % 4));
+    // The sequence is exhausted: the oracle declines.
+    EXPECT_EQ(O->choose(1, Free), std::nullopt);
+  }
+}
+
+TEST(EnumeratedOracles, RejectsGridsAboveTheSanityCap) {
+  std::string Error;
+  std::vector<OracleFactory> Oracles =
+      enumeratedOracles(1u << 16, /*Decisions=*/8, &Error);
+  EXPECT_TRUE(Oracles.empty());
+  EXPECT_NE(Error.find("exceeds the cap"), std::string::npos) << Error;
+  // Without the out-param the call still rejects (empty result) rather
+  // than eagerly materializing ~2^128 sequences.
+  EXPECT_TRUE(enumeratedOracles(1u << 16, 8).empty());
+}
+
+TEST(EnumeratedOracles, SmallGridsStillExploreEveryPlacement) {
+  // End-to-end: exhaustive enumeration in a tiny space still drives the
+  // checker to distinct realized addresses (same coverage as the old eager
+  // enumeration).
+  Program P = compile(R"(
+main() {
+  var ptr p, int a;
+  p = malloc(1);
+  a = (int) p;
+  output(a);
+}
+)");
+  RefinementJob Job;
+  Job.Src = &P;
+  Job.Tgt = &P;
+  Job.BaseSrc = Job.BaseTgt = modelConfig(ModelKind::QuasiConcrete, 6);
+  Job.Oracles = enumeratedOracles(6, 1);
+  RefinementReport R = checkRefinement(Job);
+  EXPECT_TRUE(R.Refines);
+  // Bases 1..4 all host the block: four distinct outputs.
+  EXPECT_EQ(R.PerContext[0].SrcBehaviors.size(), 4u)
+      << R.PerContext[0].SrcBehaviors.toString();
+}
+
+//===----------------------------------------------------------------------===//
+// Simulation option sweep
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The Section 5.1 running-example proof as a reusable script.
+std::optional<std::string> runningProof(SimulationChecker &Sim) {
+  if (auto Err = Sim.begin(nullptr))
+    return Err;
+  if (auto Err = Sim.expectCall(
+          "bar",
+          [](MemoryInvariant &Inv, Machine &, Machine &)
+              -> std::optional<std::string> {
+            if (!Inv.Alpha.add(1, 1))
+              return "could not relate the p blocks";
+            return std::nullopt;
+          },
+          sim_actions::writeThroughFirstArg(7)))
+    return Err;
+  return Sim.expectReturn(nullptr);
+}
+
+} // namespace
+
+TEST(SimulationSweep, OptionResultsAreIdenticalAcrossJobCounts) {
+  Vm V;
+  Program Src = compile(R"(
+extern bar(ptr x);
+main() {
+  var ptr p, ptr q, int a;
+  p = malloc(1);
+  q = malloc(1);
+  *q = 123;
+  bar(p);
+  a = *q;
+  output(a);
+}
+)");
+  Program Tgt = compile(R"(
+extern bar(ptr x);
+main() {
+  var ptr p, ptr q, int a;
+  p = malloc(1);
+  q = malloc(1);
+  bar(p);
+  output(123);
+}
+)");
+  SimulationSetup Base;
+  Base.Src = &Src;
+  Base.Tgt = &Tgt;
+  Base.SrcConfig = modelConfig(ModelKind::QuasiConcrete);
+  Base.TgtConfig = modelConfig(ModelKind::QuasiConcrete);
+
+  std::vector<SimulationOption> Options = oracleOptions(
+      Base, {{"first-fit", [] { return std::make_unique<FirstFitOracle>(); }},
+             {"last-fit", [] { return std::make_unique<LastFitOracle>(); }},
+             {"random:1", [] { return std::make_unique<RandomOracle>(1); }},
+             {"random:2", [] { return std::make_unique<RandomOracle>(2); }},
+             {"random:3", [] { return std::make_unique<RandomOracle>(3); }}});
+
+  SimulationSweepReport Serial =
+      checkSimulationOptions(Options, runningProof, jobs(1));
+  EXPECT_TRUE(Serial.AllHold) << Serial.toString();
+  EXPECT_EQ(Serial.OptionsChecked, 5u);
+  for (unsigned Jobs : {2u, 8u}) {
+    SimulationSweepReport Parallel =
+        checkSimulationOptions(Options, runningProof, jobs(Jobs));
+    EXPECT_EQ(Parallel.toString(), Serial.toString()) << "jobs=" << Jobs;
+  }
+}
+
+TEST(SimulationSweep, FailFastStopsAtTheFirstFailingOption) {
+  Program Src = compile("extern g(); main() { g(); output(1); }");
+  Program Tgt = compile("extern g(); main() { g(); output(1); }");
+  SimulationSetup Base;
+  Base.Src = &Src;
+  Base.Tgt = &Tgt;
+  Base.SrcConfig = modelConfig(ModelKind::QuasiConcrete);
+  Base.TgtConfig = modelConfig(ModelKind::QuasiConcrete);
+  std::vector<SimulationOption> Options;
+  for (int I = 0; I < 6; ++I) {
+    SimulationOption O;
+    O.Name = "opt" + std::to_string(I);
+    O.Setup = Base;
+    Options.push_back(std::move(O));
+  }
+  // The script expects the wrong callee, so every option fails; fail-fast
+  // must stop after the first, at any job count.
+  SimulationScript Wrong = [](SimulationChecker &Sim)
+      -> std::optional<std::string> {
+    if (auto Err = Sim.begin(nullptr))
+      return Err;
+    return Sim.expectCall("not_g", nullptr);
+  };
+  for (unsigned Jobs : {1u, 4u}) {
+    SimulationSweepReport R =
+        checkSimulationOptions(Options, Wrong, jobs(Jobs, /*FailFast=*/true));
+    EXPECT_FALSE(R.AllHold);
+    EXPECT_EQ(R.OptionsChecked, 1u) << "jobs=" << Jobs;
+    ASSERT_EQ(R.PerOption.size(), 1u);
+    EXPECT_FALSE(R.PerOption[0].Holds);
+  }
+}

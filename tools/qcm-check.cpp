@@ -16,6 +16,10 @@
 //   --words=N, --steps=N, --input=..., --oracle=..., --loose
 //   --context=FILE                 add a context from a source file
 //   --no-adversaries               only the empty context
+//   --jobs=N                       explore the oracle/tape/context grid on N
+//                                  worker threads ("auto": one per core);
+//                                  reports are identical at every N
+//   --fail-fast                    stop at the first counterexample
 //
 // Exit code: 0 if the target refines the source, 1 otherwise.
 //
@@ -29,14 +33,52 @@
 using namespace qcm;
 using namespace qcm_tools;
 
+namespace {
+
+void printUsage(std::FILE *Out) {
+  std::fprintf(
+      Out,
+      "usage: qcm-check [options] source.qcm target.qcm\n"
+      "\n"
+      "Checks behavioral refinement: every behavior of the target must be\n"
+      "admitted by the source, per context (Kang et al., Section 2.3).\n"
+      "\n"
+      "run options (apply to both programs):\n"
+      "  --model=concrete|logical|quasi|eager   memory model (default quasi)\n"
+      "  --tgt-model=...        a different model for the target program\n"
+      "  --words=N              address-space size in words\n"
+      "  --steps=N              interpreter step budget per run\n"
+      "  --input=a,b,c          input tape\n"
+      "  --oracle=first|last|random:SEED        placement oracle\n"
+      "  --loose                CompCert-style loose type discipline\n"
+      "\n"
+      "context options:\n"
+      "  --context=FILE         add a context from a source file\n"
+      "  --no-adversaries       only the empty context (skip the standard\n"
+      "                         adversary battery for parameterless externs)\n"
+      "\n"
+      "exploration options:\n"
+      "  --jobs=N               run the context/oracle/tape grid on N worker\n"
+      "                         threads; \"auto\" picks one per hardware\n"
+      "                         thread. The report is byte-identical at\n"
+      "                         every N (results merge in grid order).\n"
+      "  --fail-fast            stop exploring at the first counterexample\n"
+      "                         or context error; in-flight runs are\n"
+      "                         cancelled cooperatively\n");
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   CommandLine Cmd;
   std::string Error;
-  if (!Cmd.parse(Argc, Argv, Error) || Cmd.Positional.size() != 2) {
-    std::fprintf(
-        stderr,
-        "usage: qcm-check [run options] [--tgt-model=...] "
-        "[--context=FILE] [--no-adversaries] source.qcm target.qcm\n");
+  bool Parsed = Cmd.parse(Argc, Argv, Error);
+  if (Parsed && Cmd.has("help")) {
+    printUsage(stdout);
+    return 0;
+  }
+  if (!Parsed || Cmd.Positional.size() != 2) {
+    printUsage(stderr);
     return 2;
   }
 
@@ -63,6 +105,10 @@ int main(int Argc, char **Argv) {
   Job.Src = &*Src;
   Job.Tgt = &*Tgt;
   if (!Cmd.applyRunOptions(Job.BaseSrc, Error)) {
+    std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
+    return 2;
+  }
+  if (!Cmd.applyExplorationOptions(Job.Exec, Error)) {
     std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
     return 2;
   }
