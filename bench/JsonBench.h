@@ -17,6 +17,8 @@
 ///
 /// --json-iters=N overrides each scenario's iteration count; CI smoke runs
 /// pass a tiny N so the flag cannot bit-rot without burning minutes.
+/// --repeat=N repeats each timed section N times and reports the median
+/// wall time, for stable numbers on noisy machines.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +28,7 @@
 #include "memory/MemTrace.h"
 #include "support/Telemetry.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -38,6 +41,8 @@ struct JsonOptions {
   std::string Path;
   /// 0 means "use each scenario's default iteration count".
   unsigned Iterations = 0;
+  /// Timed sections run this many times; the median wall time is reported.
+  unsigned Repeat = 1;
 
   unsigned itersOr(unsigned Default) const {
     return Iterations ? Iterations : Default;
@@ -63,10 +68,37 @@ inline std::optional<JsonOptions> parseJsonOptions(int &Argc, char **Argv) {
           static_cast<unsigned>(std::strtoul(Arg.c_str() + 13, nullptr, 10));
       continue;
     }
+    if (Arg.rfind("--repeat=", 0) == 0) {
+      Options.Repeat =
+          static_cast<unsigned>(std::strtoul(Arg.c_str() + 9, nullptr, 10));
+      if (Options.Repeat == 0)
+        Options.Repeat = 1;
+      continue;
+    }
     Argv[Out++] = Argv[In];
   }
   Argc = Out;
   return Found ? std::optional<JsonOptions>(Options) : std::nullopt;
+}
+
+/// Median of a non-empty sample vector (sorts in place).
+inline double medianOf(std::vector<double> &Samples) {
+  std::sort(Samples.begin(), Samples.end());
+  return Samples[Samples.size() / 2];
+}
+
+/// Runs \p Body Repeat times and returns the median wall time in seconds.
+/// The body is responsible for resetting any state it accumulates, so every
+/// repeat does identical work and the median is meaningful.
+template <typename Fn> double medianSeconds(unsigned Repeat, Fn &&Body) {
+  std::vector<double> Times;
+  Times.reserve(std::max(1u, Repeat));
+  for (unsigned R = 0; R < std::max(1u, Repeat); ++R) {
+    qcm::Stopwatch Timer;
+    Body();
+    Times.push_back(Timer.seconds());
+  }
+  return medianOf(Times);
 }
 
 /// Accumulates scenario rows and writes them as a JSON array.

@@ -186,6 +186,111 @@ main() {
 }
 )";
 
+/// Memory-bound scenarios against the raw Memory interface — no
+/// interpreter in the loop, so they isolate the data-layout hot paths:
+/// address->cell resolution (loadstore_dense), integer->pointer lookup
+/// (cast_dense), and placement + first-cast bookkeeping
+/// (realization_dense). Each timed section runs Options.Repeat times and
+/// the median is reported; counters come from the last repeat (every
+/// repeat does identical deterministic work).
+int runMemoryScenarios(const qcm_bench::JsonOptions &Options,
+                       qcm_bench::JsonReport &Report) {
+  // loadstore_dense: 64 live blocks x 64 words, every word stored then
+  // loaded back each pass. All three models.
+  for (int Kind = 0; Kind < 3; ++Kind) {
+    const unsigned Passes = Options.itersOr(60);
+    constexpr unsigned NumBlocks = 64, BlockWords = 64;
+    uint64_t Ops = 0;
+    ModelStats Stats;
+    double Seconds = qcm_bench::medianSeconds(Options.Repeat, [&] {
+      std::unique_ptr<Memory> M = makeModel(Kind);
+      std::vector<Value> Ptrs;
+      Ptrs.reserve(NumBlocks);
+      for (unsigned B = 0; B < NumBlocks; ++B)
+        Ptrs.push_back(M->allocate(BlockWords).value());
+      Ops = 0;
+      for (unsigned Pass = 0; Pass < Passes; ++Pass) {
+        for (unsigned B = 0; B < NumBlocks; ++B) {
+          const Value P = Ptrs[B];
+          for (unsigned W = 0; W < BlockWords; ++W) {
+            Value Slot = P.isPtr()
+                             ? Value::makePtr(P.ptr().Block, W)
+                             : Value::makeInt(P.intValue() + W);
+            (void)M->store(Slot, Value::makeInt(Pass + W));
+            benchmark::DoNotOptimize(M->load(Slot).value());
+            Ops += 2;
+          }
+        }
+      }
+      Stats = M->trace().stats();
+    });
+    Report.add("loadstore_dense", "memapi", modelName(Kind), Seconds,
+               Passes, Ops, Stats);
+  }
+
+  // cast_dense: 128 realized blocks, then repeated int->ptr / ptr->int
+  // round trips over all of them. The int->ptr direction is the lookup
+  // the quasi-concrete model pays per cast. Logical faults on casts.
+  for (int Kind : {0, 2}) {
+    const unsigned Passes = Options.itersOr(400);
+    constexpr unsigned NumBlocks = 128;
+    uint64_t Casts = 0;
+    ModelStats Stats;
+    std::vector<double> Times;
+    for (unsigned R = 0; R < Options.Repeat; ++R) {
+      std::unique_ptr<Memory> M = makeModel(Kind);
+      std::vector<Value> Addrs;
+      Addrs.reserve(NumBlocks);
+      for (unsigned B = 0; B < NumBlocks; ++B) {
+        Value P = M->allocate(4).value();
+        Addrs.push_back(M->castPtrToInt(P).value());
+      }
+      Casts = 0;
+      Stopwatch Timer;
+      for (unsigned Pass = 0; Pass < Passes; ++Pass) {
+        for (unsigned B = 0; B < NumBlocks; ++B) {
+          Value Addr = Value::makeInt(Addrs[B].intValue() + (Pass & 3));
+          Value P = M->castIntToPtr(Addr).value();
+          benchmark::DoNotOptimize(M->castPtrToInt(P).value());
+          Casts += 2;
+        }
+      }
+      Times.push_back(Timer.seconds());
+      Stats = M->trace().stats();
+    }
+    Report.add("cast_dense", "memapi", modelName(Kind),
+               qcm_bench::medianOf(Times), Passes, Casts, Stats);
+  }
+
+  // realization_dense: a fresh quasi-concrete memory per iteration; 64
+  // allocations each paying its first-cast placement search. Measures the
+  // occupied-range scan that placement performs per realization.
+  {
+    const unsigned Iters = Options.itersOr(300);
+    constexpr unsigned NumBlocks = 64;
+    uint64_t Realized = 0;
+    ModelStats Stats;
+    double Seconds = qcm_bench::medianSeconds(Options.Repeat, [&] {
+      Realized = 0;
+      Stats = ModelStats();
+      for (unsigned I = 0; I < Iters; ++I) {
+        QuasiConcreteMemory M(bigConfig());
+        std::vector<Value> Ps;
+        Ps.reserve(NumBlocks);
+        for (unsigned B = 0; B < NumBlocks; ++B)
+          Ps.push_back(M.allocate(4).value());
+        for (const Value &P : Ps)
+          benchmark::DoNotOptimize(M.castPtrToInt(P).ok());
+        Realized += NumBlocks;
+        Stats.accumulate(M.trace().stats());
+      }
+    });
+    Report.add("realization_dense", "memapi", "quasi-concrete", Seconds,
+               Iters, Realized, Stats);
+  }
+  return 0;
+}
+
 /// --json mode: the repeated-execution scenarios behind the interpreter's
 /// perf trajectory. Both scenarios are refinement-shaped work — one program
 /// executed many times under the same configuration — measured on the QIR
@@ -253,6 +358,8 @@ int runJsonScenarios(const qcm_bench::JsonOptions &Options) {
                  Timer.seconds(), Iters, Steps, Stats);
     }
   }
+  if (int Err = runMemoryScenarios(Options, Report))
+    return Err;
   return Report.write(Options.Path) ? 0 : 1;
 }
 

@@ -165,7 +165,8 @@ main() {
 /// Thread-sweep scenario: the same refinement check — an oracle x tape
 /// grid over the probe above — at increasing --jobs. The engine guarantees
 /// the reports are byte-identical across rows; only the wall clock moves.
-int runThreadSweep(qcm_bench::JsonReport &Report, Vm &V, unsigned Iters) {
+int runThreadSweep(qcm_bench::JsonReport &Report, Vm &V, unsigned Iters,
+                   unsigned Repeat) {
   std::optional<Program> P = V.compile(explorationProbeProgram());
   if (!P) {
     std::fprintf(stderr, "exploration probe does not compile:\n%s",
@@ -188,14 +189,16 @@ int runThreadSweep(qcm_bench::JsonReport &Report, Vm &V, unsigned Iters) {
     uint64_t Runs = 0;
     ModelStats Stats;
     std::string Rendered;
-    Stopwatch Timer;
-    for (unsigned I = 0; I < Iters; ++I) {
-      RefinementReport R = checkRefinement(Job);
-      Runs += R.RunsPerformed;
-      Stats.accumulate(R.AggregateStats);
-      Rendered = R.toString();
-    }
-    double Seconds = Timer.seconds();
+    double Seconds = qcm_bench::medianSeconds(Repeat, [&] {
+      Runs = 0;
+      Stats = ModelStats();
+      for (unsigned I = 0; I < Iters; ++I) {
+        RefinementReport R = checkRefinement(Job);
+        Runs += R.RunsPerformed;
+        Stats.accumulate(R.AggregateStats);
+        Rendered = R.toString();
+      }
+    });
     if (Jobs == 1)
       Baseline = Rendered;
     else if (Rendered != Baseline) {
@@ -208,6 +211,60 @@ int runThreadSweep(qcm_bench::JsonReport &Report, Vm &V, unsigned Iters) {
                modelKindName(ModelKind::QuasiConcrete), Seconds, Iters, Runs,
                Stats);
   }
+  return 0;
+}
+
+/// Per-grid-item state cost scenario: a tiny program over an oracle x tape
+/// grid, so the Machine/Memory construction (or reset) per item dominates
+/// the wall clock rather than the program's own execution.
+std::string gridResetProgram() {
+  return R"(
+main() {
+  var ptr p, int a, int v;
+  a = input();
+  p = malloc(4);
+  *p = a;
+  *(p + 1) = a + 1;
+  v = *(p + 1);
+  output(v);
+}
+)";
+}
+
+int runGridReset(qcm_bench::JsonReport &Report, Vm &V,
+                 const qcm_bench::JsonOptions &Options) {
+  std::optional<Program> P = V.compile(gridResetProgram());
+  if (!P) {
+    std::fprintf(stderr, "grid-reset probe does not compile:\n%s",
+                 V.lastDiagnostics().c_str());
+    return 1;
+  }
+  RefinementJob Job;
+  Job.Src = &*P;
+  Job.Tgt = &*P;
+  Job.BaseSrc.Model = Job.BaseTgt.Model = ModelKind::QuasiConcrete;
+  Job.BaseSrc.MemConfig.AddressWords = 1u << 16;
+  Job.BaseTgt.MemConfig.AddressWords = 1u << 16;
+  Job.Oracles = sampledOracles(16);
+  for (Word I = 0; I < 8; ++I)
+    Job.InputTapes.push_back({I});
+  Job.Exec.Jobs = 1;
+
+  const unsigned Iters = Options.itersOr(20);
+  uint64_t Runs = 0;
+  ModelStats Stats;
+  double Seconds = qcm_bench::medianSeconds(Options.Repeat, [&] {
+    Runs = 0;
+    Stats = ModelStats();
+    for (unsigned I = 0; I < Iters; ++I) {
+      RefinementReport R = checkRefinement(Job);
+      Runs += R.RunsPerformed;
+      Stats.accumulate(R.AggregateStats);
+    }
+  });
+  Report.add("grid_reset", "jobs=1",
+             modelKindName(ModelKind::QuasiConcrete), Seconds, Iters, Runs,
+             Stats);
   return 0;
 }
 
@@ -269,7 +326,10 @@ int runJsonScenarios(const qcm_bench::JsonOptions &Options) {
                  Iters, Steps, Stats);
     }
   }
-  if (int Err = runThreadSweep(Report, V, Options.itersOr(5)))
+  if (int Err = runThreadSweep(Report, V, Options.itersOr(5),
+                               Options.Repeat))
+    return Err;
+  if (int Err = runGridReset(Report, V, Options))
     return Err;
   return Report.write(Options.Path) ? 0 : 1;
 }

@@ -1,0 +1,47 @@
+//===- memory/AddressIndex.cpp --------------------------------------------===//
+
+#include "memory/AddressIndex.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace qcm;
+
+namespace {
+
+bool baseLess(const AddressIndex::Entry &E, Word Base) {
+  return E.Base < Base;
+}
+
+} // namespace
+
+void AddressIndex::insert(Word Base, Word Size, BlockId Id) {
+  assert(Size > 0 && "indexed ranges are nonempty");
+  auto It = std::lower_bound(Entries.begin(), Entries.end(), Base, baseLess);
+  assert((It == Entries.end() || It->Base != Base) &&
+         "duplicate base in the address index");
+  Entries.insert(It, Entry{Base, Size, Id});
+}
+
+void AddressIndex::erase(Word Base) {
+  auto It = std::lower_bound(Entries.begin(), Entries.end(), Base, baseLess);
+  if (It != Entries.end() && It->Base == Base)
+    Entries.erase(It);
+}
+
+const AddressIndex::Entry *AddressIndex::find(Word Address) const {
+  // The containing entry, if any, is the one with the greatest base
+  // <= Address; disjointness makes it unique.
+  auto It =
+      std::upper_bound(Entries.begin(), Entries.end(), Address,
+                       [](Word A, const Entry &E) { return A < E.Base; });
+  if (It == Entries.begin())
+    return nullptr;
+  --It;
+  return It->contains(Address) ? &*It : nullptr;
+}
+
+std::vector<FreeInterval>
+AddressIndex::freeIntervals(uint64_t AddressWords) const {
+  return computeFreeIntervalsSorted(Entries, AddressWords);
+}

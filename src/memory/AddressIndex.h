@@ -1,0 +1,76 @@
+//===- memory/AddressIndex.h - Sorted base->block interval index -*- C++ -*-==//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sorted interval index over the concrete address space: one entry per
+/// realized (or concretely allocated) block, ordered by base address. The
+/// paper's invariant that valid concrete ranges are disjoint (Section 3.1)
+/// makes the containing entry for any address unique, so cast2ptr's
+/// preimage lookup and allocation-range queries are a binary search instead
+/// of the O(#blocks) scan the models previously paid per cast.
+///
+/// Maintained incrementally: insert on allocate/realize, erase on free.
+/// The NULL block (concrete range [0, 1)) is never indexed — it lies
+/// outside the usable space [1, AddressWords - 1) and callers special-case
+/// address 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_MEMORY_ADDRESSINDEX_H
+#define QCM_MEMORY_ADDRESSINDEX_H
+
+#include "memory/Placement.h"
+#include "support/Ints.h"
+
+#include <vector>
+
+namespace qcm {
+
+/// Sorted vector of disjoint concrete ranges, each tagged with the owning
+/// block id. Cheap to copy (clone() support) and to iterate in base order.
+class AddressIndex {
+public:
+  struct Entry {
+    Word Base = 0;
+    Word Size = 0;
+    BlockId Id = 0;
+
+    /// Overflow-safe containment: with unsigned wraparound, Address - Base
+    /// is >= Size whenever Address < Base, so one compare suffices even for
+    /// ranges ending at the top of the address space.
+    bool contains(Word Address) const { return Address - Base < Size; }
+  };
+
+  /// Inserts the range [Base, Base + Size) for block \p Id. The range must
+  /// be disjoint from every indexed range.
+  void insert(Word Base, Word Size, BlockId Id);
+
+  /// Removes the entry based at exactly \p Base; no-op if absent.
+  void erase(Word Base);
+
+  /// The entry whose range contains \p Address, or nullptr.
+  const Entry *find(Word Address) const;
+
+  /// Entries in increasing base order.
+  const std::vector<Entry> &entries() const { return Entries; }
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+  void clear() { Entries.clear(); }
+
+  /// Free intervals of the usable space [1, AddressWords - 1) around the
+  /// indexed ranges — the same contract as computeFreeIntervals(), without
+  /// materializing an intermediate map per query.
+  std::vector<FreeInterval> freeIntervals(uint64_t AddressWords) const;
+
+private:
+  std::vector<Entry> Entries;
+};
+
+} // namespace qcm
+
+#endif // QCM_MEMORY_ADDRESSINDEX_H

@@ -56,12 +56,13 @@ struct Block {
   }
 
   /// True if the concrete range of this block contains address \p Address.
+  /// Computed in Word width only: with unsigned wraparound, Address - Base
+  /// is >= Size whenever Address < Base, so the single compare is exact and
+  /// overflow-safe even for ranges ending at the top of the address space.
   bool containsAddress(Word Address) const {
     if (!Base)
       return false;
-    return Address >= *Base &&
-           static_cast<uint64_t>(Address) <
-               static_cast<uint64_t>(*Base) + Size;
+    return Address - *Base < Size;
   }
 };
 

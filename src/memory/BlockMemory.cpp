@@ -2,19 +2,45 @@
 
 #include "memory/BlockMemory.h"
 
+#include <algorithm>
+#include <cstring>
+
 using namespace qcm;
+
+void BlockMemory::installNullBlock(std::optional<Word> NullBlockBase) {
+  // Block 0: the NULL block. m(0) = (v, p, n, c) with v = true, p = 0,
+  // n = 1 (Section 4).
+  LiveBlock NullBlock;
+  NullBlock.Valid = true;
+  NullBlock.HasBase = NullBlockBase.has_value();
+  NullBlock.Base = NullBlockBase.value_or(0);
+  NullBlock.Size = 1;
+  NullBlock.Data = Slab.allocate(1);
+  NullBlock.Data[0] = Value::makeInt(0);
+  Blocks.push_back(NullBlock);
+}
 
 BlockMemory::BlockMemory(MemoryConfig Config,
                          std::optional<Word> NullBlockBase)
     : Memory(Config) {
-  // Block 0: the NULL block. m(0) = (v, p, n, c) with v = true, p = 0,
-  // n = 1 (Section 4).
-  Block NullBlock;
-  NullBlock.Valid = true;
-  NullBlock.Base = NullBlockBase;
-  NullBlock.Size = 1;
-  NullBlock.Contents.assign(1, Value::makeInt(0));
-  Blocks.push_back(std::move(NullBlock));
+  installNullBlock(NullBlockBase);
+}
+
+void BlockMemory::resetBlocks(std::optional<Word> NullBlockBase) {
+  Blocks.clear();
+  Slab.reset();
+  installNullBlock(NullBlockBase);
+  resetTraceForReuse();
+}
+
+void BlockMemory::copyBlocksFrom(const BlockMemory &Other) {
+  Blocks = Other.Blocks;
+  Slab.reset();
+  for (LiveBlock &B : Blocks) {
+    Value *Span = Slab.allocate(B.Size);
+    std::copy(B.Data, B.Data + B.Size, Span);
+    B.Data = Span;
+  }
 }
 
 Outcome<Value> BlockMemory::allocate(Word NumWords) {
@@ -22,13 +48,13 @@ Outcome<Value> BlockMemory::allocate(Word NumWords) {
     return Outcome<Value>::undefined("malloc of zero words");
   // All blocks are born logical; realization, if any, happens at cast time
   // (Section 3.4). Logical allocation never exhausts memory.
-  Block B;
+  LiveBlock B;
   B.Valid = true;
-  B.Base = std::nullopt;
   B.Size = NumWords;
-  B.Contents.assign(NumWords, Value::makeInt(0));
+  B.Data = Slab.allocate(NumWords);
+  std::fill(B.Data, B.Data + NumWords, Value::makeInt(0));
   BlockId Id = static_cast<BlockId>(Blocks.size());
-  Blocks.push_back(std::move(B));
+  Blocks.push_back(B);
   Trace.noteAlloc(Id, NumWords, std::nullopt);
   return Outcome<Value>::success(Value::makePtr(Id, 0));
 }
@@ -39,60 +65,61 @@ Outcome<Unit> BlockMemory::deallocate(Value Pointer) {
   if (!Pointer.isPtr())
     return Outcome<Unit>::undefined(
         "free of an integer value in a block-structured model");
-  const Ptr &P = Pointer.ptr();
+  const Ptr P = Pointer.ptr();
   if (P.Block >= Blocks.size())
     return Outcome<Unit>::undefined("free of a nonexistent block");
   if (P.Offset != 0)
     return Outcome<Unit>::undefined(
         "free of a pointer that is not the start of its block");
-  Block &B = Blocks[P.Block];
+  LiveBlock &B = Blocks[P.Block];
   if (!B.Valid)
     return Outcome<Unit>::undefined("double free of block " +
                                     std::to_string(P.Block));
   // Blocks become invalid rather than removed (Section 5.3); the concrete
   // range of a realized block is released for reuse because only valid
   // blocks participate in placement disjointness.
+  onFree(P.Block, B);
   B.Valid = false;
-  Trace.noteFree(P.Block, B.Size, B.Base.has_value(), B.Base);
+  Trace.noteFree(P.Block, B.Size, B.HasBase,
+                 B.HasBase ? std::optional<Word>(B.Base) : std::nullopt);
   return Outcome<Unit>::success(Unit{});
 }
 
-Outcome<Unit> BlockMemory::checkAccess(const Ptr &Address) const {
+Fault BlockMemory::accessFault(const Ptr &Address) const {
   if (Address.Block == 0)
-    return Outcome<Unit>::undefined(
-        "memory access through the NULL block");
+    return Fault::undefined("memory access through the NULL block");
   if (Address.Block >= Blocks.size())
-    return Outcome<Unit>::undefined("access to a nonexistent block");
-  const Block &B = Blocks[Address.Block];
+    return Fault::undefined("access to a nonexistent block");
+  const LiveBlock &B = Blocks[Address.Block];
   if (!B.Valid)
-    return Outcome<Unit>::undefined("access to freed block " +
-                                    std::to_string(Address.Block));
-  if (Address.Offset >= B.Size)
-    return Outcome<Unit>::undefined(
-        "access at offset " + wordToString(Address.Offset) +
-        " beyond block size " + wordToString(B.Size));
-  return Outcome<Unit>::success(Unit{});
+    return Fault::undefined("access to freed block " +
+                            std::to_string(Address.Block));
+  assert(Address.Offset >= B.Size && "accessFault on an accessible cell");
+  return Fault::undefined("access at offset " + wordToString(Address.Offset) +
+                          " beyond block size " + wordToString(B.Size));
 }
 
 Outcome<Value> BlockMemory::load(Value Address) {
   if (!Address.isPtr())
     return Outcome<Value>::undefined(
         "load through an integer value in a block-structured model");
-  const Ptr &P = Address.ptr();
-  if (Outcome<Unit> Check = checkAccess(P); !Check)
-    return Check.propagate<Value>();
+  const Ptr P = Address.ptr();
+  const LiveBlock *B = accessibleBlock(P);
+  if (!B)
+    return accessFault(P);
   Trace.noteLoad(P.Block, P.Offset, std::nullopt);
-  return Outcome<Value>::success(Blocks[P.Block].Contents[P.Offset]);
+  return Outcome<Value>::success(B->Data[P.Offset]);
 }
 
 Outcome<Unit> BlockMemory::store(Value Address, Value V) {
   if (!Address.isPtr())
     return Outcome<Unit>::undefined(
         "store through an integer value in a block-structured model");
-  const Ptr &P = Address.ptr();
-  if (Outcome<Unit> Check = checkAccess(P); !Check)
-    return Check;
-  Blocks[P.Block].Contents[P.Offset] = V;
+  const Ptr P = Address.ptr();
+  LiveBlock *B = accessibleBlock(P);
+  if (!B)
+    return accessFault(P);
+  B->Data[P.Offset] = V;
   Trace.noteStore(P.Block, P.Offset, std::nullopt);
   return Outcome<Unit>::success(Unit{});
 }
@@ -100,20 +127,31 @@ Outcome<Unit> BlockMemory::store(Value Address, Value V) {
 bool BlockMemory::isValidAddress(const Ptr &Address) const {
   if (Address.Block >= Blocks.size())
     return false;
-  const Block &B = Blocks[Address.Block];
+  const LiveBlock &B = Blocks[Address.Block];
   return B.Valid && Address.Offset < B.Size;
+}
+
+Block BlockMemory::materialize(BlockId Id) const {
+  const LiveBlock &L = Blocks[Id];
+  Block B;
+  B.Valid = L.Valid;
+  if (L.HasBase)
+    B.Base = L.Base;
+  B.Size = L.Size;
+  B.Contents.assign(L.Data, L.Data + L.Size);
+  return B;
 }
 
 std::vector<std::pair<BlockId, Block>> BlockMemory::snapshot() const {
   std::vector<std::pair<BlockId, Block>> Result;
   Result.reserve(Blocks.size());
   for (BlockId Id = 0; Id < Blocks.size(); ++Id)
-    Result.emplace_back(Id, Blocks[Id]);
+    Result.emplace_back(Id, materialize(Id));
   return Result;
 }
 
-const Block *BlockMemory::getBlock(BlockId Id) const {
+std::optional<Block> BlockMemory::getBlock(BlockId Id) const {
   if (Id >= Blocks.size())
-    return nullptr;
-  return &Blocks[Id];
+    return std::nullopt;
+  return materialize(Id);
 }

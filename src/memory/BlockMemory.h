@@ -15,12 +15,19 @@
 /// quasi-concrete model pre-realized at concrete address 0. Loads and stores
 /// through it are undefined behavior; freeing it is a no-op.
 ///
+/// Storage layout: the table is a flat vector of fixed-size LiveBlock
+/// records whose contents live as spans in a ValueSlab owned by the memory
+/// instance — allocation is a bump-pointer increment and a load/store is
+/// two indexed reads. The public Block type (memory/Block.h) remains the
+/// uniform snapshot representation, materialized on demand.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef QCM_MEMORY_BLOCKMEMORY_H
 #define QCM_MEMORY_BLOCKMEMORY_H
 
 #include "memory/Memory.h"
+#include "memory/ValueSlab.h"
 
 namespace qcm {
 
@@ -36,25 +43,71 @@ public:
   bool isValidAddress(const Ptr &Address) const override;
 
   std::vector<std::pair<BlockId, Block>> snapshot() const override;
-  const Block *getBlock(BlockId Id) const override;
+  std::optional<Block> getBlock(BlockId Id) const override;
 
   /// Number of blocks ever allocated, including the NULL block.
   size_t numBlocks() const { return Blocks.size(); }
 
 protected:
+  /// Live-block record. Freed blocks keep their span (snapshots observe
+  /// freed contents, Section 5.3), so spans are never recycled; the slab
+  /// reclaims them wholesale on reset.
+  struct LiveBlock {
+    Word Size = 0;
+    /// Concrete base address; meaningful only when HasBase.
+    Word Base = 0;
+    bool HasBase = false;
+    bool Valid = false;
+    /// Span of Size values in the owning memory's slab (nullptr only for a
+    /// moved-from record).
+    Value *Data = nullptr;
+
+    bool isConcrete() const { return HasBase; }
+  };
+
   /// \p NullBlockBase: the NULL block's concrete base (0 in the
   /// quasi-concrete model per Section 4; absent in the purely logical
   /// model, which has no concrete addresses at all).
   BlockMemory(MemoryConfig Config, std::optional<Word> NullBlockBase);
 
-  /// Checks that \p Address designates a live, in-range, non-NULL-block
-  /// cell; returns the faulting outcome to propagate otherwise.
-  Outcome<Unit> checkAccess(const Ptr &Address) const;
+  /// Fast accessibility check for the load/store hot path: the live block
+  /// when \p Address designates a live, in-range, non-NULL-block cell,
+  /// nullptr otherwise. Builds no Outcome and no message; callers report
+  /// failures through accessFault().
+  LiveBlock *accessibleBlock(const Ptr &Address) {
+    if (Address.Block == 0 || Address.Block >= Blocks.size())
+      return nullptr;
+    LiveBlock &B = Blocks[Address.Block];
+    if (!B.Valid || Address.Offset >= B.Size)
+      return nullptr;
+    return &B;
+  }
 
-  Block &blockRef(BlockId Id) { return Blocks[Id]; }
-  const Block &blockRef(BlockId Id) const { return Blocks[Id]; }
+  /// Cold path paired with accessibleBlock(): the fault explaining why
+  /// \p Address is not accessible (identical diagnostics to the historical
+  /// per-access check).
+  Fault accessFault(const Ptr &Address) const;
 
-  std::vector<Block> Blocks;
+  /// Hook invoked by deallocate() just before \p B is marked invalid, so
+  /// derived models can unindex its concrete range.
+  virtual void onFree(BlockId, const LiveBlock &) {}
+
+  /// Materializes the uniform snapshot form of block \p Id.
+  Block materialize(BlockId Id) const;
+
+  /// Rewinds the table and slab to the freshly-constructed single-NULL-block
+  /// state, keeping their capacity; the shared piece of the derived models'
+  /// reset(). \p NullBlockBase as in the constructor.
+  void resetBlocks(std::optional<Word> NullBlockBase);
+
+  /// Deep-copies \p Other's table into this memory's slab (clone support).
+  void copyBlocksFrom(const BlockMemory &Other);
+
+  std::vector<LiveBlock> Blocks;
+  ValueSlab Slab;
+
+private:
+  void installNullBlock(std::optional<Word> NullBlockBase);
 };
 
 } // namespace qcm

@@ -14,25 +14,41 @@ ConcreteMemory::ConcreteMemory(MemoryConfig Config,
     this->Oracle = std::make_unique<FirstFitOracle>();
 }
 
-std::map<Word, Word> ConcreteMemory::occupiedRanges() const {
-  std::map<Word, Word> Ranges;
-  for (const auto &[Base, Info] : Allocations)
-    Ranges.emplace(Base, Info.Size);
-  return Ranges;
+void ConcreteMemory::reset(std::unique_ptr<PlacementOracle> NewOracle) {
+  Allocations.clear();
+  Retired.clear();
+  LastHit = 0;
+  Slab.reset();
+  NextId = 1;
+  if (NewOracle)
+    Oracle = std::move(NewOracle);
+  else
+    Oracle->reset();
+  resetTraceForReuse();
 }
 
-const std::pair<const Word, ConcreteMemory::AllocationInfo> *
+const ConcreteMemory::Allocation *
 ConcreteMemory::findContaining(Word Address) const {
+  // MRU hint first: accesses overwhelmingly walk one allocation before
+  // moving to the next, so the previous hit answers most lookups without
+  // the binary search. A stale index (the vector shifted under it) is
+  // harmless — the bounds and containment checks decide correctness, the
+  // hint only decides where to look first.
+  if (LastHit < Allocations.size() &&
+      Allocations[LastHit].contains(Address))
+    return &Allocations[LastHit];
   // The allocation containing Address, if any, is the one with the greatest
   // base <= Address.
-  auto It = Allocations.upper_bound(Address);
+  auto It = std::upper_bound(
+      Allocations.begin(), Allocations.end(), Address,
+      [](Word A, const Allocation &R) { return A < R.Base; });
   if (It == Allocations.begin())
     return nullptr;
   --It;
-  uint64_t End = static_cast<uint64_t>(It->first) + It->second.Size;
-  if (Address < End)
-    return &*It;
-  return nullptr;
+  if (!It->contains(Address))
+    return nullptr;
+  LastHit = static_cast<size_t>(It - Allocations.begin());
+  return &*It;
 }
 
 bool ConcreteMemory::isAllocatedAddress(Word Address) const {
@@ -43,7 +59,7 @@ Outcome<Value> ConcreteMemory::allocate(Word NumWords) {
   if (NumWords == 0)
     return Outcome<Value>::undefined("malloc of zero words");
   std::vector<FreeInterval> Free =
-      computeFreeIntervals(occupiedRanges(), config().AddressWords);
+      computeFreeIntervalsSorted(Allocations, config().AddressWords);
   std::optional<Word> Base = Oracle->choose(NumWords, Free);
   if (!Base) {
     Trace.noteAllocFailure(NumWords);
@@ -51,13 +67,20 @@ Outcome<Value> ConcreteMemory::allocate(Word NumWords) {
         "no concrete placement for allocation of " +
         std::to_string(NumWords) + " words");
   }
-  Allocations.emplace(*Base, AllocationInfo{NumWords, NextId});
+  Allocation A;
+  A.Base = *Base;
+  A.Size = NumWords;
+  A.Id = NextId;
+  A.Data = Slab.allocate(NumWords);
+  // Fresh memory reads as integer 0; a recycled span must not leak the
+  // previous tenant's words.
+  std::fill(A.Data, A.Data + NumWords, Value::makeInt(0));
+  auto It = std::lower_bound(
+      Allocations.begin(), Allocations.end(), A.Base,
+      [](const Allocation &R, Word B) { return R.Base < B; });
+  Allocations.insert(It, A);
   Trace.noteAlloc(NextId, NumWords, *Base);
   ++NextId;
-  // Fresh memory reads as integer 0; nothing to materialize in the sparse
-  // store, but stale cells from a previous tenant must not leak through.
-  for (Word I = 0; I < NumWords; ++I)
-    Cells.erase(*Base + I);
   return Outcome<Value>::success(Value::makeInt(*Base));
 }
 
@@ -68,21 +91,21 @@ Outcome<Unit> ConcreteMemory::deallocate(Value Pointer) {
   Word Address = Pointer.intValue();
   if (Address == 0)
     return Outcome<Unit>::success(Unit{}); // free(NULL) is a no-op.
-  auto It = Allocations.find(Address);
-  if (It == Allocations.end())
+  auto It = std::lower_bound(
+      Allocations.begin(), Allocations.end(), Address,
+      [](const Allocation &R, Word B) { return R.Base < B; });
+  if (It == Allocations.end() || It->Base != Address)
     return Outcome<Unit>::undefined(
         "free of address " + wordToString(Address) +
         " which is not the start of a live allocation");
-  // Retire the block for snapshot purposes, then drop its cells.
+  // Retire the block for snapshot purposes, then recycle its span.
   Block Retiring;
   Retiring.Valid = false;
   Retiring.Base = Address;
-  Retiring.Size = It->second.Size;
-  Retired.emplace_back(It->second.Id, std::move(Retiring));
-  Trace.noteFree(It->second.Id, It->second.Size, /*WasRealized=*/true,
-                 Address);
-  for (Word I = 0; I < It->second.Size; ++I)
-    Cells.erase(Address + I);
+  Retiring.Size = It->Size;
+  Retired.emplace_back(It->Id, std::move(Retiring));
+  Trace.noteFree(It->Id, It->Size, /*WasRealized=*/true, Address);
+  Slab.recycle(It->Data, It->Size);
   Allocations.erase(It);
   return Outcome<Unit>::success(Unit{});
 }
@@ -92,14 +115,12 @@ Outcome<Value> ConcreteMemory::load(Value Address) {
     return Outcome<Value>::undefined(
         "logical address reached the concrete model");
   Word A = Address.intValue();
-  if (!isAllocatedAddress(A))
+  const Allocation *R = findContaining(A);
+  if (!R)
     return Outcome<Value>::undefined("load from unallocated address " +
                                      wordToString(A));
   Trace.noteLoad(std::nullopt, std::nullopt, A);
-  auto It = Cells.find(A);
-  if (It == Cells.end())
-    return Outcome<Value>::success(Value::makeInt(0));
-  return Outcome<Value>::success(It->second);
+  return Outcome<Value>::success(R->Data[A - R->Base]);
 }
 
 Outcome<Unit> ConcreteMemory::store(Value Address, Value V) {
@@ -107,10 +128,11 @@ Outcome<Unit> ConcreteMemory::store(Value Address, Value V) {
     return Outcome<Unit>::undefined(
         "logical address reached the concrete model");
   Word A = Address.intValue();
-  if (!isAllocatedAddress(A))
+  const Allocation *R = findContaining(A);
+  if (!R)
     return Outcome<Unit>::undefined("store to unallocated address " +
                                     wordToString(A));
-  Cells[A] = V;
+  R->Data[A - R->Base] = V;
   Trace.noteStore(std::nullopt, std::nullopt, A);
   return Outcome<Unit>::success(Unit{});
 }
@@ -140,18 +162,18 @@ bool ConcreteMemory::isValidAddress(const Ptr &) const {
 }
 
 std::vector<std::pair<BlockId, Block>> ConcreteMemory::snapshot() const {
-  std::vector<std::pair<BlockId, Block>> Result = Retired;
-  for (const auto &[Base, Info] : Allocations) {
+  // One ordered traversal of the live table — the spans are contiguous, so
+  // materializing contents is a block copy, not a per-cell lookup.
+  std::vector<std::pair<BlockId, Block>> Result;
+  Result.reserve(Retired.size() + Allocations.size());
+  Result = Retired;
+  for (const Allocation &A : Allocations) {
     Block B;
     B.Valid = true;
-    B.Base = Base;
-    B.Size = Info.Size;
-    B.Contents.reserve(Info.Size);
-    for (Word I = 0; I < Info.Size; ++I) {
-      auto It = Cells.find(Base + I);
-      B.Contents.push_back(It == Cells.end() ? Value::makeInt(0) : It->second);
-    }
-    Result.emplace_back(Info.Id, std::move(B));
+    B.Base = A.Base;
+    B.Size = A.Size;
+    B.Contents.assign(A.Data, A.Data + A.Size);
+    Result.emplace_back(A.Id, std::move(B));
   }
   std::sort(Result.begin(), Result.end(),
             [](const auto &A, const auto &B) { return A.first < B.first; });
@@ -161,7 +183,12 @@ std::vector<std::pair<BlockId, Block>> ConcreteMemory::snapshot() const {
 std::unique_ptr<Memory> ConcreteMemory::clone() const {
   auto Copy = std::make_unique<ConcreteMemory>(config(), Oracle->clone());
   Copy->Allocations = Allocations;
-  Copy->Cells = Cells;
+  for (size_t I = 0; I < Allocations.size(); ++I) {
+    const Allocation &Src = Allocations[I];
+    Allocation &Dst = Copy->Allocations[I];
+    Dst.Data = Copy->Slab.allocate(Src.Size);
+    std::copy(Src.Data, Src.Data + Src.Size, Dst.Data);
+  }
   Copy->Retired = Retired;
   Copy->NextId = NextId;
   return Copy;
@@ -170,24 +197,23 @@ std::unique_ptr<Memory> ConcreteMemory::clone() const {
 std::optional<std::string> ConcreteMemory::checkConsistency() const {
   const uint64_t Limit = config().AddressWords - 1;
   uint64_t PrevEnd = 0;
-  for (const auto &[Base, Info] : Allocations) {
-    if (Info.Size == 0)
-      return "allocation at " + wordToString(Base) + " has zero size";
-    if (Base == 0)
+  for (const Allocation &A : Allocations) {
+    if (A.Size == 0)
+      return "allocation at " + wordToString(A.Base) + " has zero size";
+    if (A.Base == 0)
       return "allocation includes address 0";
-    uint64_t End = static_cast<uint64_t>(Base) + Info.Size;
+    uint64_t End = static_cast<uint64_t>(A.Base) + A.Size;
     if (End > Limit)
-      return "allocation at " + wordToString(Base) +
+      return "allocation at " + wordToString(A.Base) +
              " includes the maximum address";
-    if (Base < PrevEnd)
-      return "allocations overlap at " + wordToString(Base);
+    if (A.Base < PrevEnd)
+      return "allocations overlap at " + wordToString(A.Base);
     PrevEnd = End;
-  }
-  for (const auto &[Address, V] : Cells) {
-    if (!isAllocatedAddress(Address))
-      return "stray cell at unallocated address " + wordToString(Address);
-    if (!V.isInt())
-      return "concrete cell holds a logical address";
+    if (!A.Data)
+      return "allocation at " + wordToString(A.Base) + " has no storage";
+    for (Word I = 0; I < A.Size; ++I)
+      if (!A.Data[I].isInt())
+        return "concrete cell holds a logical address";
   }
   return std::nullopt;
 }

@@ -12,11 +12,17 @@
 ///   Alloc = { (p, n) | p, n in int32 }
 ///   Val   = { i in int32 }
 ///
-/// Memory is a finite flat array of words (stored sparsely); the allocation
-/// list tracks live ranges. Pointers are plain integers, so integer-pointer
-/// casts are native no-ops. Allocation consults a PlacementOracle and fails
-/// with out-of-memory when no placement exists — this finiteness is exactly
-/// what invalidates dead-allocation elimination in this model (Section 1).
+/// Memory is a finite flat array of words; the allocation list tracks live
+/// ranges. Pointers are plain integers, so integer-pointer casts are native
+/// no-ops. Allocation consults a PlacementOracle and fails with
+/// out-of-memory when no placement exists — this finiteness is exactly what
+/// invalidates dead-allocation elimination in this model (Section 1).
+///
+/// Storage layout: live ranges are a base-sorted vector of allocation
+/// records (the interval index), each owning a contiguous span of words in
+/// a ValueSlab. A load/store binary-searches the containing range and then
+/// indexes the span directly — no per-cell map. Freed spans are recycled
+/// through the slab, so alloc/free churn does not grow the arena.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,9 +31,7 @@
 
 #include "memory/Memory.h"
 #include "memory/Placement.h"
-
-#include <map>
-#include <unordered_map>
+#include "memory/ValueSlab.h"
 
 namespace qcm {
 
@@ -56,6 +60,12 @@ public:
   std::unique_ptr<Memory> clone() const override;
   std::optional<std::string> checkConsistency() const override;
 
+  /// Reset-and-reuse: returns to the freshly-constructed state keeping
+  /// storage capacity. \p Oracle replaces the placement oracle; passing
+  /// nullptr keeps the current oracle and rewinds it to its initial
+  /// decision stream.
+  void reset(std::unique_ptr<PlacementOracle> Oracle = nullptr);
+
   /// True if \p Address lies inside some live allocation.
   bool isAllocatedAddress(Word Address) const;
 
@@ -63,26 +73,37 @@ public:
   size_t numAllocations() const { return Allocations.size(); }
 
 private:
-  struct AllocationInfo {
+  /// One live range: the concrete interval plus its storage span. Kept in a
+  /// base-sorted vector, which doubles as the interval index.
+  struct Allocation {
+    Word Base = 0;
     Word Size = 0;
     /// Synthetic id for snapshot()/refinement bookkeeping; allocation order.
     BlockId Id = 0;
+    /// Span of Size words in the slab.
+    Value *Data = nullptr;
+
+    /// Overflow-safe: unsigned wraparound makes Address - Base >= Size
+    /// whenever Address < Base.
+    bool contains(Word Address) const { return Address - Base < Size; }
   };
 
   /// Finds the allocation whose range contains \p Address, or nullptr.
-  const std::pair<const Word, AllocationInfo> *
-  findContaining(Word Address) const;
-
-  std::map<Word, Word> occupiedRanges() const;
+  const Allocation *findContaining(Word Address) const;
 
   std::unique_ptr<PlacementOracle> Oracle;
-  /// Live allocations: base address -> info. Ordered for free-interval
-  /// computation and deterministic iteration.
-  std::map<Word, AllocationInfo> Allocations;
-  /// Sparse cell store; absent cells read as integer 0. Cells are erased
-  /// when their allocation is freed.
-  std::unordered_map<Word, Value> Cells;
-  /// Retired allocations, kept only for snapshot() (refinement bookkeeping).
+  /// Live allocations sorted by base address: binary-searchable for
+  /// address resolution, walkable in order for free-interval computation
+  /// and deterministic iteration.
+  std::vector<Allocation> Allocations;
+  /// Index of the most recently hit allocation; a lookup hint only (never
+  /// trusted without re-checking containment), so staleness after
+  /// insertions/erasures cannot produce wrong answers.
+  mutable size_t LastHit = 0;
+  ValueSlab Slab;
+  /// Retired allocations, kept only for snapshot() (refinement
+  /// bookkeeping). Their contents are not observable, so their spans are
+  /// recycled and Block entries carry empty Contents.
   std::vector<std::pair<BlockId, Block>> Retired;
   BlockId NextId = 1;
 };

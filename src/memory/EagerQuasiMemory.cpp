@@ -2,6 +2,8 @@
 
 #include "memory/EagerQuasiMemory.h"
 
+#include <algorithm>
+
 using namespace qcm;
 
 KindOracle::~KindOracle() = default;
@@ -17,38 +19,55 @@ EagerQuasiMemory::EagerQuasiMemory(MemoryConfig Config,
     this->Placement = std::make_unique<FirstFitOracle>();
 }
 
-std::map<Word, Word> EagerQuasiMemory::occupiedRanges() const {
-  std::map<Word, Word> Ranges;
-  for (BlockId Id = 1; Id < Blocks.size(); ++Id) {
-    const Block &B = Blocks[Id];
-    if (B.Valid && B.Base)
-      Ranges.emplace(*B.Base, B.Size);
-  }
-  return Ranges;
+void EagerQuasiMemory::reset(std::unique_ptr<KindOracle> NewKinds,
+                             std::unique_ptr<PlacementOracle> NewPlacement) {
+  resetBlocks(/*NullBlockBase=*/0);
+  Index.clear();
+  if (NewKinds)
+    Kinds = std::move(NewKinds);
+  else
+    Kinds->reset();
+  if (NewPlacement)
+    Placement = std::move(NewPlacement);
+  else
+    Placement->reset();
+}
+
+void EagerQuasiMemory::onFree(BlockId Id, const LiveBlock &B) {
+  if (Id != 0 && B.HasBase)
+    Index.erase(B.Base);
 }
 
 Outcome<Value> EagerQuasiMemory::allocate(Word NumWords) {
   if (NumWords == 0)
     return Outcome<Value>::undefined("malloc of zero words");
-  Block B;
-  B.Valid = true;
-  B.Size = NumWords;
-  B.Contents.assign(NumWords, Value::makeInt(0));
-  if (Kinds->nextIsConcrete()) {
+  bool Concrete = Kinds->nextIsConcrete();
+  Word ConcreteBase = 0;
+  if (Concrete) {
     std::vector<FreeInterval> Free =
-        computeFreeIntervals(occupiedRanges(), config().AddressWords);
+        Index.freeIntervals(config().AddressWords);
     std::optional<Word> Base = Placement->choose(NumWords, Free);
     if (!Base) {
       Trace.noteAllocFailure(NumWords);
       return Outcome<Value>::outOfMemory(
           "no concrete placement for an eagerly-concrete allocation");
     }
-    B.Base = *Base;
+    ConcreteBase = *Base;
   }
+  LiveBlock B;
+  B.Valid = true;
+  B.Size = NumWords;
+  B.HasBase = Concrete;
+  B.Base = ConcreteBase;
+  B.Data = Slab.allocate(NumWords);
+  std::fill(B.Data, B.Data + NumWords, Value::makeInt(0));
   BlockId Id = static_cast<BlockId>(Blocks.size());
-  std::optional<Word> Base = B.Base;
-  Blocks.push_back(std::move(B));
-  Trace.noteAlloc(Id, NumWords, Base);
+  Blocks.push_back(B);
+  if (Concrete)
+    Index.insert(ConcreteBase, NumWords, Id);
+  Trace.noteAlloc(Id, NumWords,
+                  Concrete ? std::optional<Word>(ConcreteBase)
+                           : std::nullopt);
   return Outcome<Value>::success(Value::makePtr(Id, 0));
 }
 
@@ -56,20 +75,20 @@ Outcome<Value> EagerQuasiMemory::castPtrToInt(Value Pointer) {
   if (!Pointer.isPtr())
     return Outcome<Value>::undefined(
         "pointer-to-integer cast of an integer value");
-  const Ptr &P = Pointer.ptr();
+  const Ptr P = Pointer.ptr();
   if (P.Block >= Blocks.size())
     return Outcome<Value>::undefined("cast of a nonexistent block");
   if (!isValidAddress(P))
     return Outcome<Value>::undefined(
         "pointer-to-integer cast of an invalid address " + P.toString());
-  const Block &B = Blocks[P.Block];
-  if (!B.Base)
+  const LiveBlock &B = Blocks[P.Block];
+  if (!B.HasBase)
     // The Section 3.4 design point: the block was (nondeterministically)
     // allocated logical, so the cast has out-of-memory-type behavior — "the
     // allocator chose the wrong kind of block".
     return Outcome<Value>::outOfMemory(
         "cast of a pointer into a logically-allocated block (eager model)");
-  Word Addr = wrapAdd(*B.Base, P.Offset);
+  Word Addr = wrapAdd(B.Base, P.Offset);
   Trace.noteCastToInt(P.Block, P.Offset, Addr, /*RealizedNow=*/false);
   return Outcome<Value>::success(Value::makeInt(Addr));
 }
@@ -79,14 +98,16 @@ Outcome<Value> EagerQuasiMemory::castIntToPtr(Value Integer) {
     return Outcome<Value>::undefined(
         "integer-to-pointer cast of a logical address");
   Word I = Integer.intValue();
-  for (BlockId Id = 0; Id < Blocks.size(); ++Id) {
-    const Block &B = Blocks[Id];
-    if (!B.Valid || !B.Base)
-      continue;
-    if (B.containsAddress(I)) {
-      Trace.noteCastToPtr(Id, I - *B.Base, I);
-      return Outcome<Value>::success(Value::makePtr(Id, I - *B.Base));
-    }
+  // As in the quasi-concrete model: the NULL block supplies the preimage
+  // of 0; every other preimage is an index lookup over the disjoint
+  // concrete ranges.
+  if (I == 0) {
+    Trace.noteCastToPtr(0, 0, 0);
+    return Outcome<Value>::success(Value::makePtr(0, 0));
+  }
+  if (const AddressIndex::Entry *E = Index.find(I)) {
+    Trace.noteCastToPtr(E->Id, I - E->Base, I);
+    return Outcome<Value>::success(Value::makePtr(E->Id, I - E->Base));
   }
   return Outcome<Value>::undefined(
       "integer-to-pointer cast of " + wordToString(I) +
@@ -96,27 +117,39 @@ Outcome<Value> EagerQuasiMemory::castIntToPtr(Value Integer) {
 std::unique_ptr<Memory> EagerQuasiMemory::clone() const {
   auto Copy = std::make_unique<EagerQuasiMemory>(config(), Kinds->clone(),
                                                  Placement->clone());
-  Copy->Blocks = Blocks;
+  Copy->copyBlocksFrom(*this);
+  Copy->Index = Index;
   return Copy;
 }
 
 std::optional<std::string> EagerQuasiMemory::checkConsistency() const {
   if (Blocks.empty() || !Blocks[0].Valid || Blocks[0].Size != 1 ||
-      !Blocks[0].Base || *Blocks[0].Base != 0)
+      !Blocks[0].HasBase || Blocks[0].Base != 0)
     return "NULL block is damaged";
   const uint64_t Limit = config().AddressWords - 1;
   uint64_t PrevEnd = 0;
   bool First = true;
-  for (const auto &[Base, Size] : occupiedRanges()) {
-    if (Base == 0)
+  for (const AddressIndex::Entry &E : Index.entries()) {
+    if (E.Base == 0)
       return "concrete block includes address 0";
-    uint64_t End = static_cast<uint64_t>(Base) + Size;
+    uint64_t End = static_cast<uint64_t>(E.Base) + E.Size;
     if (End > Limit)
       return "concrete block includes the maximum address";
-    if (!First && Base < PrevEnd)
-      return "concrete blocks overlap at " + wordToString(Base);
+    if (!First && E.Base < PrevEnd)
+      return "concrete blocks overlap at " + wordToString(E.Base);
     PrevEnd = End;
     First = false;
+    if (E.Id >= Blocks.size())
+      return "index entry for nonexistent block " + std::to_string(E.Id);
+    const LiveBlock &B = Blocks[E.Id];
+    if (!B.Valid || !B.HasBase || B.Base != E.Base || B.Size != E.Size)
+      return "index entry disagrees with block " + std::to_string(E.Id);
   }
+  size_t ConcreteValid = 0;
+  for (BlockId Id = 1; Id < Blocks.size(); ++Id)
+    if (Blocks[Id].Valid && Blocks[Id].HasBase)
+      ++ConcreteValid;
+  if (ConcreteValid != Index.size())
+    return "address index is missing concrete blocks";
   return std::nullopt;
 }

@@ -25,11 +25,11 @@
 #ifndef QCM_MEMORY_EAGERQUASIMEMORY_H
 #define QCM_MEMORY_EAGERQUASIMEMORY_H
 
+#include "memory/AddressIndex.h"
 #include "memory/BlockMemory.h"
 #include "memory/Placement.h"
 
 #include <functional>
-#include <map>
 
 namespace qcm {
 
@@ -40,6 +40,8 @@ public:
   virtual ~KindOracle();
   virtual bool nextIsConcrete() = 0;
   virtual std::unique_ptr<KindOracle> clone() const = 0;
+  /// Rewinds to the initial decision stream (reset-and-reuse protocol).
+  virtual void reset() {}
 };
 
 /// Every block concrete (degenerates to a concrete model with block-tagged
@@ -74,6 +76,7 @@ public:
     Copy->Next = Next;
     return Copy;
   }
+  void reset() override { Next = 0; }
 
 private:
   std::vector<bool> Decisions;
@@ -100,11 +103,20 @@ public:
   std::unique_ptr<Memory> clone() const override;
   std::optional<std::string> checkConsistency() const override;
 
-private:
-  std::map<Word, Word> occupiedRanges() const;
+  /// Reset-and-reuse: returns to the freshly-constructed state keeping
+  /// storage capacity. Null arguments keep the current oracles, rewound to
+  /// their initial decision streams.
+  void reset(std::unique_ptr<KindOracle> Kinds = nullptr,
+             std::unique_ptr<PlacementOracle> Placement = nullptr);
 
+protected:
+  void onFree(BlockId Id, const LiveBlock &B) override;
+
+private:
   std::unique_ptr<KindOracle> Kinds;
   std::unique_ptr<PlacementOracle> Placement;
+  /// Valid concretely-born blocks by concrete range (NULL block excluded).
+  AddressIndex Index;
 };
 
 } // namespace qcm

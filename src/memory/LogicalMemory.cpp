@@ -7,6 +7,12 @@ using namespace qcm;
 LogicalMemory::LogicalMemory(MemoryConfig Config, CastBehavior Casts)
     : BlockMemory(Config, /*NullBlockBase=*/std::nullopt), Casts(Casts) {}
 
+void LogicalMemory::reset(std::optional<CastBehavior> NewCasts) {
+  resetBlocks(/*NullBlockBase=*/std::nullopt);
+  if (NewCasts)
+    Casts = *NewCasts;
+}
+
 Outcome<Value> LogicalMemory::castPtrToInt(Value Pointer) {
   if (Casts == CastBehavior::Error)
     return Outcome<Value>::undefined(
@@ -37,7 +43,7 @@ Outcome<Value> LogicalMemory::castIntToPtr(Value Integer) {
 
 std::unique_ptr<Memory> LogicalMemory::clone() const {
   auto Copy = std::make_unique<LogicalMemory>(config(), Casts);
-  Copy->Blocks = Blocks;
+  Copy->copyBlocksFrom(*this);
   return Copy;
 }
 
@@ -45,12 +51,12 @@ std::optional<std::string> LogicalMemory::checkConsistency() const {
   if (Blocks.empty() || !Blocks[0].Valid || Blocks[0].Size != 1)
     return "NULL block is damaged";
   for (BlockId Id = 0; Id < Blocks.size(); ++Id) {
-    const Block &B = Blocks[Id];
-    if (Id != 0 && B.Base)
+    const LiveBlock &B = Blocks[Id];
+    if (Id != 0 && B.HasBase)
       return "logical model block " + std::to_string(Id) +
              " has a concrete base";
-    if (B.Valid && B.Contents.size() != B.Size)
-      return "block " + std::to_string(Id) + " contents size mismatch";
+    if (B.Valid && !B.Data)
+      return "block " + std::to_string(Id) + " has no contents storage";
   }
   return std::nullopt;
 }

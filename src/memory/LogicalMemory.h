@@ -55,6 +55,10 @@ public:
 
   CastBehavior castBehavior() const { return Casts; }
 
+  /// Reset-and-reuse: returns to the freshly-constructed state keeping
+  /// storage capacity, optionally switching the cast behavior.
+  void reset(std::optional<CastBehavior> NewCasts = std::nullopt);
+
 private:
   CastBehavior Casts;
 };

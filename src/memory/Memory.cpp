@@ -6,7 +6,7 @@ using namespace qcm;
 
 Memory::~Memory() = default;
 
-const Block *Memory::getBlock(BlockId) const { return nullptr; }
+std::optional<Block> Memory::getBlock(BlockId) const { return std::nullopt; }
 
 std::string qcm::modelKindName(ModelKind Kind) {
   switch (Kind) {

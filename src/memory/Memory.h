@@ -110,10 +110,11 @@ public:
   /// part of the modeled semantics.
   virtual std::vector<std::pair<BlockId, Block>> snapshot() const = 0;
 
-  /// Direct access to one block's current state, if this model tracks
-  /// blocks by identifier (logical-family models). Returns nullptr for ids
-  /// never allocated and for the concrete model.
-  virtual const Block *getBlock(BlockId Id) const;
+  /// One block's current state, if this model tracks blocks by identifier
+  /// (logical-family models). Returns nullopt for ids never allocated and
+  /// for the concrete model. Materialized by value: live contents sit in
+  /// the model's slab, not in per-block vectors.
+  virtual std::optional<Block> getBlock(BlockId Id) const;
 
   /// Deep copy, including oracle state.
   virtual std::unique_ptr<Memory> clone() const = 0;
@@ -135,6 +136,12 @@ private:
   MemoryConfig Config;
 
 protected:
+  /// Shared plumbing for the models' typed reset(...) methods (the
+  /// reset-and-reuse protocol): clears aggregate statistics. The sink and
+  /// step-counter binding are per-run concerns re-established by whoever
+  /// drives the reused memory (semantics/Runner.h's ExecState).
+  void resetTraceForReuse() { Trace.resetStats(); }
+
   MemTrace Trace;
 };
 

@@ -86,7 +86,7 @@ RandomOracle::choose(Word Size, const std::vector<FreeInterval> &Free) {
 
 std::unique_ptr<PlacementOracle> RandomOracle::clone() const {
   // Copying the generator state continues the identical decision stream.
-  auto Copy = std::make_unique<RandomOracle>(0);
+  auto Copy = std::make_unique<RandomOracle>(Seed);
   Copy->Generator = Generator;
   return Copy;
 }

@@ -25,6 +25,7 @@
 #include "support/Ints.h"
 #include "support/Rng.h"
 
+#include <cassert>
 #include <map>
 #include <memory>
 #include <optional>
@@ -53,6 +54,35 @@ std::vector<FreeInterval>
 computeFreeIntervals(const std::map<Word, Word> &Occupied,
                      uint64_t AddressWords);
 
+/// The same computation over any base-sorted sequence of disjoint ranges
+/// exposing .Base and .Size members (the models' live allocation tables and
+/// the AddressIndex), so the hot realization path never materializes an
+/// intermediate std::map per query.
+template <typename RangeT>
+std::vector<FreeInterval>
+computeFreeIntervalsSorted(const std::vector<RangeT> &Ranges,
+                           uint64_t AddressWords) {
+  assert(AddressWords >= 2 && "address space too small to be usable");
+  std::vector<FreeInterval> Free;
+  Free.reserve(Ranges.size() + 1);
+  // Usable space is [1, AddressWords - 1).
+  uint64_t Cursor = 1;
+  const uint64_t Limit = AddressWords - 1;
+  for (const RangeT &R : Ranges) {
+    assert(R.Base >= 1 && "occupied range includes address 0");
+    assert(static_cast<uint64_t>(R.Base) + R.Size <= Limit &&
+           "occupied range includes the maximum address");
+    if (R.Base > Cursor)
+      Free.push_back(
+          FreeInterval{static_cast<Word>(Cursor), static_cast<Word>(R.Base)});
+    Cursor = static_cast<uint64_t>(R.Base) + R.Size;
+  }
+  if (Cursor < Limit)
+    Free.push_back(
+        FreeInterval{static_cast<Word>(Cursor), static_cast<Word>(Limit)});
+  return Free;
+}
+
 /// Counts how many distinct base addresses could host a block of \p Size
 /// words given \p Free.
 uint64_t countPlacements(const std::vector<FreeInterval> &Free, Word Size);
@@ -72,6 +102,11 @@ public:
   /// Deep copy preserving the oracle's internal state, so that cloned
   /// memories continue the same deterministic decision stream.
   virtual std::unique_ptr<PlacementOracle> clone() const = 0;
+
+  /// Rewinds the oracle to its freshly-constructed decision stream; part of
+  /// the reset-and-reuse protocol for execution state. Stateless oracles
+  /// need not override.
+  virtual void reset() {}
 };
 
 /// Places each block at the lowest possible address. Deterministic; the
@@ -96,13 +131,15 @@ public:
 /// that fit, driven by a deterministic seeded generator.
 class RandomOracle : public PlacementOracle {
 public:
-  explicit RandomOracle(uint64_t Seed) : Generator(Seed) {}
+  explicit RandomOracle(uint64_t Seed) : Seed(Seed), Generator(Seed) {}
 
   std::optional<Word> choose(Word Size,
                              const std::vector<FreeInterval> &Free) override;
   std::unique_ptr<PlacementOracle> clone() const override;
+  void reset() override { Generator = Rng(Seed); }
 
 private:
+  uint64_t Seed;
   Rng Generator;
 };
 
@@ -118,6 +155,7 @@ public:
   std::optional<Word> choose(Word Size,
                              const std::vector<FreeInterval> &Free) override;
   std::unique_ptr<PlacementOracle> clone() const override;
+  void reset() override { Next = 0; }
 
   /// Number of decisions already consumed.
   size_t decisionsUsed() const { return Next; }

@@ -11,38 +11,34 @@ QuasiConcreteMemory::QuasiConcreteMemory(
     this->Oracle = std::make_unique<FirstFitOracle>();
 }
 
-std::map<Word, Word> QuasiConcreteMemory::occupiedRanges() const {
-  std::map<Word, Word> Ranges;
-  for (BlockId Id = 1; Id < Blocks.size(); ++Id) {
-    const Block &B = Blocks[Id];
-    if (B.Valid && B.Base)
-      Ranges.emplace(*B.Base, B.Size);
-  }
-  return Ranges;
+void QuasiConcreteMemory::reset(std::unique_ptr<PlacementOracle> NewOracle) {
+  resetBlocks(/*NullBlockBase=*/0);
+  Index.clear();
+  if (NewOracle)
+    Oracle = std::move(NewOracle);
+  else
+    Oracle->reset();
 }
 
 bool QuasiConcreteMemory::isRealized(BlockId Id) const {
-  return Id < Blocks.size() && Blocks[Id].Base.has_value();
+  return Id < Blocks.size() && Blocks[Id].HasBase;
 }
 
-size_t QuasiConcreteMemory::numRealizedBlocks() const {
-  size_t Count = 0;
-  for (BlockId Id = 1; Id < Blocks.size(); ++Id)
-    if (Blocks[Id].Valid && Blocks[Id].Base)
-      ++Count;
-  return Count;
+void QuasiConcreteMemory::onFree(BlockId Id, const LiveBlock &B) {
+  if (Id != 0 && B.HasBase)
+    Index.erase(B.Base);
 }
 
 Outcome<Unit> QuasiConcreteMemory::realize(BlockId Id) {
   if (Id == 0 || Id >= Blocks.size())
     return Outcome<Unit>::undefined("realization of a nonexistent block");
-  Block &B = Blocks[Id];
-  if (B.Base)
+  LiveBlock &B = Blocks[Id];
+  if (B.HasBase)
     return Outcome<Unit>::success(Unit{}); // Already concrete; idempotent.
   if (!B.Valid)
     return Outcome<Unit>::undefined("realization of a freed block");
   std::vector<FreeInterval> Free =
-      computeFreeIntervals(occupiedRanges(), config().AddressWords);
+      Index.freeIntervals(config().AddressWords);
   std::optional<Word> Base = Oracle->choose(B.Size, Free);
   if (!Base) {
     Trace.noteRealizeFailure(Id, B.Size);
@@ -51,6 +47,8 @@ Outcome<Unit> QuasiConcreteMemory::realize(BlockId Id) {
         " of " + wordToString(B.Size) + " words");
   }
   B.Base = *Base;
+  B.HasBase = true;
+  Index.insert(*Base, B.Size, Id);
   Trace.noteRealize(Id, B.Size, *Base);
   return Outcome<Unit>::success(Unit{});
 }
@@ -59,7 +57,7 @@ Outcome<Value> QuasiConcreteMemory::castPtrToInt(Value Pointer) {
   if (!Pointer.isPtr())
     return Outcome<Value>::undefined(
         "pointer-to-integer cast of an integer value");
-  const Ptr &P = Pointer.ptr();
+  const Ptr P = Pointer.ptr();
   if (P.Block >= Blocks.size())
     return Outcome<Value>::undefined("cast of a nonexistent block");
   // cast2int first realizes l, then reifies (l, i) if valid (Section 4).
@@ -73,8 +71,8 @@ Outcome<Value> QuasiConcreteMemory::castPtrToInt(Value Pointer) {
   if (P.Block != 0)
     if (Outcome<Unit> Realized = realize(P.Block); !Realized)
       return Realized.propagate<Value>();
-  const Block &B = Blocks[P.Block];
-  Word Addr = wrapAdd(*B.Base, P.Offset);
+  const LiveBlock &B = Blocks[P.Block];
+  Word Addr = wrapAdd(B.Base, P.Offset);
   Trace.noteCastToInt(P.Block, P.Offset, Addr, RealizedNow);
   return Outcome<Value>::success(Value::makeInt(Addr));
 }
@@ -85,16 +83,16 @@ Outcome<Value> QuasiConcreteMemory::castIntToPtr(Value Integer) {
         "integer-to-pointer cast of a logical address");
   Word I = Integer.intValue();
   // cast2ptr(i) = (l, j) if valid_m(l, j) and (l, j)|down| = i. Valid
-  // realized ranges are disjoint, so the preimage is unique; the NULL block
-  // supplies the preimage of 0.
-  for (BlockId Id = 0; Id < Blocks.size(); ++Id) {
-    const Block &B = Blocks[Id];
-    if (!B.Valid || !B.Base)
-      continue;
-    if (B.containsAddress(I)) {
-      Trace.noteCastToPtr(Id, I - *B.Base, I);
-      return Outcome<Value>::success(Value::makePtr(Id, I - *B.Base));
-    }
+  // realized ranges are disjoint, so the preimage is unique. The NULL
+  // block — pre-realized at [0, 1) and never indexed — supplies the
+  // preimage of 0; every other preimage is an index lookup.
+  if (I == 0) {
+    Trace.noteCastToPtr(0, 0, 0);
+    return Outcome<Value>::success(Value::makePtr(0, 0));
+  }
+  if (const AddressIndex::Entry *E = Index.find(I)) {
+    Trace.noteCastToPtr(E->Id, I - E->Base, I);
+    return Outcome<Value>::success(Value::makePtr(E->Id, I - E->Base));
   }
   return Outcome<Value>::undefined(
       "integer-to-pointer cast of " + wordToString(I) +
@@ -104,32 +102,44 @@ Outcome<Value> QuasiConcreteMemory::castIntToPtr(Value Integer) {
 std::unique_ptr<Memory> QuasiConcreteMemory::clone() const {
   auto Copy =
       std::make_unique<QuasiConcreteMemory>(config(), Oracle->clone());
-  Copy->Blocks = Blocks;
+  Copy->copyBlocksFrom(*this);
+  Copy->Index = Index;
   return Copy;
 }
 
 std::optional<std::string> QuasiConcreteMemory::checkConsistency() const {
   if (Blocks.empty() || !Blocks[0].Valid || Blocks[0].Size != 1 ||
-      !Blocks[0].Base || *Blocks[0].Base != 0)
+      !Blocks[0].HasBase || Blocks[0].Base != 0)
     return "NULL block is damaged";
   const uint64_t Limit = config().AddressWords - 1;
   uint64_t PrevEnd = 0;
   bool First = true;
-  for (const auto &[Base, Size] : occupiedRanges()) {
-    if (Base == 0)
+  for (const AddressIndex::Entry &E : Index.entries()) {
+    if (E.Base == 0)
       return "realized block includes address 0";
-    uint64_t End = static_cast<uint64_t>(Base) + Size;
+    uint64_t End = static_cast<uint64_t>(E.Base) + E.Size;
     if (End > Limit)
       return "realized block includes the maximum address";
-    if (!First && Base < PrevEnd)
-      return "realized blocks overlap at " + wordToString(Base);
+    if (!First && E.Base < PrevEnd)
+      return "realized blocks overlap at " + wordToString(E.Base);
     PrevEnd = End;
     First = false;
+    // The index must mirror the block table exactly.
+    if (E.Id >= Blocks.size())
+      return "index entry for nonexistent block " + std::to_string(E.Id);
+    const LiveBlock &B = Blocks[E.Id];
+    if (!B.Valid || !B.HasBase || B.Base != E.Base || B.Size != E.Size)
+      return "index entry disagrees with block " + std::to_string(E.Id);
   }
-  for (BlockId Id = 0; Id < Blocks.size(); ++Id) {
-    const Block &B = Blocks[Id];
-    if (B.Valid && B.Contents.size() != B.Size)
-      return "block " + std::to_string(Id) + " contents size mismatch";
+  size_t RealizedValid = 0;
+  for (BlockId Id = 1; Id < Blocks.size(); ++Id) {
+    const LiveBlock &B = Blocks[Id];
+    if (B.Valid && !B.Data)
+      return "block " + std::to_string(Id) + " has no contents storage";
+    if (B.Valid && B.HasBase)
+      ++RealizedValid;
   }
+  if (RealizedValid != Index.size())
+    return "address index is missing realized blocks";
   return std::nullopt;
 }

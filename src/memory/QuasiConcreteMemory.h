@@ -20,17 +20,17 @@
 /// Realization consults a PlacementOracle; when no placement exists the cast
 /// is out-of-memory, i.e. "no behavior" (Section 3.4). Valid realized blocks
 /// must occupy disjoint ranges avoiding address 0 and the maximum address
-/// (Section 3.1), which makes cast2ptr's preimage unique.
+/// (Section 3.1), which makes cast2ptr's preimage unique — and lets an
+/// AddressIndex answer it by binary search instead of scanning the table.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef QCM_MEMORY_QUASICONCRETEMEMORY_H
 #define QCM_MEMORY_QUASICONCRETEMEMORY_H
 
+#include "memory/AddressIndex.h"
 #include "memory/BlockMemory.h"
 #include "memory/Placement.h"
-
-#include <map>
 
 namespace qcm {
 
@@ -50,6 +50,12 @@ public:
   std::unique_ptr<Memory> clone() const override;
   std::optional<std::string> checkConsistency() const override;
 
+  /// Reset-and-reuse: returns to the freshly-constructed state (one NULL
+  /// block, empty index, zeroed statistics) keeping storage capacity.
+  /// \p Oracle replaces the placement oracle; passing nullptr keeps the
+  /// current oracle and rewinds it to its initial decision stream.
+  void reset(std::unique_ptr<PlacementOracle> Oracle = nullptr);
+
   /// Realizes block \p Id if it is still logical: assigns it a concrete base
   /// address disjoint from every other valid realized block. Fails with
   /// out-of-memory when the oracle finds no placement. Exposed for tests
@@ -60,14 +66,16 @@ public:
   bool isRealized(BlockId Id) const;
 
   /// Number of valid realized blocks, excluding the NULL block.
-  size_t numRealizedBlocks() const;
+  size_t numRealizedBlocks() const { return Index.size(); }
+
+protected:
+  void onFree(BlockId Id, const LiveBlock &B) override;
 
 private:
-  /// Occupied concrete ranges of valid realized blocks (NULL block
-  /// excluded; its range [0, 1) lies outside the usable space).
-  std::map<Word, Word> occupiedRanges() const;
-
   std::unique_ptr<PlacementOracle> Oracle;
+  /// Valid realized blocks by concrete range (NULL block excluded; its
+  /// range [0, 1) lies outside the usable space).
+  AddressIndex Index;
 };
 
 } // namespace qcm

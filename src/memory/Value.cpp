@@ -12,6 +12,6 @@ std::string Ptr::toString() const {
 
 std::string Value::toString() const {
   if (isPtr())
-    return PtrVal.toString();
-  return wordToString(IntVal);
+    return ptr().toString();
+  return wordToString(intValue());
 }

@@ -14,6 +14,18 @@
 /// are plain integers there. In the logical and quasi-concrete models both
 /// injections occur.
 ///
+/// Representation: the disjoint union is packed into a single 64-bit tagged
+/// word so memory cells, interpreter slots, and event records all move one
+/// machine word. This is purely a representation choice — the paper's Val
+/// domain is unchanged (see DESIGN.md):
+///
+///   bit 63      injection tag (1 = pointer)
+///   bits 62..32 block id (pointers only; block ids are < 2^31)
+///   bits 31..0  offset (pointers) or the integer value
+///
+/// Integer values therefore have all high bits zero, so bitwise equality of
+/// the packed words coincides with structural equality of the domain.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef QCM_MEMORY_VALUE_H
@@ -22,6 +34,7 @@
 #include "support/Ints.h"
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 
 namespace qcm {
@@ -48,20 +61,14 @@ struct Ptr {
 /// omits indeterminate values as an orthogonal concern; see DESIGN.md).
 class Value {
 public:
-  Value() : IsPointer(false), IntVal(0) {}
+  Value() : Bits(0) {}
 
-  static Value makeInt(Word V) {
-    Value Result;
-    Result.IsPointer = false;
-    Result.IntVal = V;
-    return Result;
-  }
+  static Value makeInt(Word V) { return Value(static_cast<uint64_t>(V)); }
 
   static Value makePtr(BlockId Block, Word Offset) {
-    Value Result;
-    Result.IsPointer = true;
-    Result.PtrVal = Ptr{Block, Offset};
-    return Result;
+    assert(Block < (BlockId(1) << 31) && "block id exceeds the 31-bit field");
+    return Value(PtrTag | (static_cast<uint64_t>(Block) << 32) |
+                 static_cast<uint64_t>(Offset));
   }
 
   static Value makePtr(Ptr P) { return makePtr(P.Block, P.Offset); }
@@ -69,37 +76,41 @@ public:
   /// The NULL pointer value (0, 0).
   static Value null() { return makePtr(0, 0); }
 
-  bool isInt() const { return !IsPointer; }
-  bool isPtr() const { return IsPointer; }
+  bool isInt() const { return (Bits & PtrTag) == 0; }
+  bool isPtr() const { return (Bits & PtrTag) != 0; }
 
   Word intValue() const {
     assert(isInt() && "value is not an integer");
-    return IntVal;
+    return static_cast<Word>(Bits);
   }
 
-  const Ptr &ptr() const {
+  Ptr ptr() const {
     assert(isPtr() && "value is not a pointer");
-    return PtrVal;
+    return Ptr{static_cast<BlockId>((Bits >> 32) & 0x7fffffffu),
+               static_cast<Word>(Bits)};
   }
 
   /// Structural equality. Note this is *not* the language-level equality
   /// test, which consults block validity (Section 4); it is used for memory
-  /// contents comparison and tests.
+  /// contents comparison and tests. Because integers zero their high bits
+  /// and the tag separates the injections, comparing the packed words is
+  /// exactly structural equality on the domain.
   friend bool operator==(const Value &A, const Value &B) {
-    if (A.IsPointer != B.IsPointer)
-      return false;
-    if (A.IsPointer)
-      return A.PtrVal == B.PtrVal;
-    return A.IntVal == B.IntVal;
+    return A.Bits == B.Bits;
   }
 
   std::string toString() const;
 
 private:
-  bool IsPointer;
-  Word IntVal = 0;
-  Ptr PtrVal;
+  explicit Value(uint64_t Raw) : Bits(Raw) {}
+
+  static constexpr uint64_t PtrTag = uint64_t(1) << 63;
+
+  uint64_t Bits;
 };
+
+static_assert(sizeof(Value) == 8,
+              "Value must stay a single 8-byte tagged word");
 
 } // namespace qcm
 

@@ -1,0 +1,113 @@
+//===- memory/ValueSlab.h - Slab allocator for block contents ---*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A slab (arena) allocator for the Value spans backing block contents.
+/// Each Memory instance owns one slab, so steady-state allocation of block
+/// storage is a bump-pointer increment instead of a heap round trip, and
+/// resetting a memory for reuse rewinds the arena without returning pages
+/// to the system.
+///
+/// Spans handed out by allocate() stay valid until reset() or destruction —
+/// the block models keep freed blocks' contents observable in snapshots, so
+/// a span must outlive its block's deallocation. recycle() is opt-in for
+/// models (the concrete one) whose freed contents are *not* observable:
+/// recycled spans are reissued to later allocations of the same size, which
+/// keeps alloc/free churn from growing the arena without bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_MEMORY_VALUESLAB_H
+#define QCM_MEMORY_VALUESLAB_H
+
+#include "memory/Value.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace qcm {
+
+/// Chunked arena of Value words with an optional size-keyed free list.
+class ValueSlab {
+public:
+  /// Returns an uninitialized span of \p NumWords values. The caller fills
+  /// it (block storage is always zero-filled or copied into on creation).
+  Value *allocate(Word NumWords) {
+    if (NumWords == 0)
+      return nullptr;
+    auto Free = FreeLists.find(NumWords);
+    if (Free != FreeLists.end() && !Free->second.empty()) {
+      Value *Span = Free->second.back();
+      Free->second.pop_back();
+      return Span;
+    }
+    while (Active < Chunks.size()) {
+      Chunk &C = Chunks[Active];
+      if (C.Capacity - C.Used >= NumWords) {
+        Value *Span = C.Data.get() + C.Used;
+        C.Used += NumWords;
+        return Span;
+      }
+      ++Active;
+    }
+    size_t Capacity = std::max<size_t>(MinChunkWords, NumWords);
+    Chunks.push_back(Chunk{std::make_unique<Value[]>(Capacity), Capacity,
+                           static_cast<size_t>(NumWords)});
+    Active = Chunks.size() - 1;
+    return Chunks.back().Data.get();
+  }
+
+  /// Returns a span for reuse by a later allocation of the same size. Only
+  /// call when no snapshot can observe the span anymore.
+  void recycle(Value *Span, Word NumWords) {
+    if (Span)
+      FreeLists[NumWords].push_back(Span);
+  }
+
+  /// Invalidates every span and rewinds the arena, keeping the chunk memory
+  /// for the next tenant. O(#chunks + #free-list buckets).
+  void reset() {
+    for (Chunk &C : Chunks)
+      C.Used = 0;
+    Active = 0;
+    FreeLists.clear();
+  }
+
+  /// Total words currently parked on recycle free lists (test hook).
+  size_t recycledWords() const {
+    size_t Total = 0;
+    for (const auto &[Size, Spans] : FreeLists)
+      Total += static_cast<size_t>(Size) * Spans.size();
+    return Total;
+  }
+
+  /// Number of backing chunks allocated from the heap (test hook).
+  size_t numChunks() const { return Chunks.size(); }
+
+private:
+  /// Large enough that typical test/bench workloads live in one chunk;
+  /// oversized blocks get a dedicated chunk of exactly their size.
+  static constexpr size_t MinChunkWords = 1 << 14;
+
+  struct Chunk {
+    std::unique_ptr<Value[]> Data;
+    size_t Capacity = 0;
+    size_t Used = 0;
+  };
+
+  std::vector<Chunk> Chunks;
+  /// First chunk worth trying for a bump allocation; chunks before it are
+  /// full (modulo recycled spans, which bypass the bump pointer).
+  size_t Active = 0;
+  /// Size-keyed free lists of recycled spans.
+  std::unordered_map<Word, std::vector<Value *>> FreeLists;
+};
+
+} // namespace qcm
+
+#endif // QCM_MEMORY_VALUESLAB_H

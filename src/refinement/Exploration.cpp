@@ -13,6 +13,14 @@ ExplorationSummary
 qcm::exploreIndexed(size_t Count, const ExplorationOptions &Options,
                     const std::function<void(size_t)> &RunItem,
                     const std::function<ExploreStep(size_t)> &MergeItem) {
+  return exploreIndexed(
+      Count, Options, [&](size_t I, unsigned) { RunItem(I); }, MergeItem);
+}
+
+ExplorationSummary
+qcm::exploreIndexed(size_t Count, const ExplorationOptions &Options,
+                    const std::function<void(size_t, unsigned)> &RunItem,
+                    const std::function<ExploreStep(size_t)> &MergeItem) {
   ExplorationSummary Summary;
   if (Count == 0)
     return Summary;
@@ -23,7 +31,7 @@ qcm::exploreIndexed(size_t Count, const ExplorationOptions &Options,
     // Serial fast path: no pool, no locks; run and merge interleaved so a
     // Stop skips the remaining items entirely.
     for (size_t I = 0; I < Count; ++I) {
-      RunItem(I);
+      RunItem(I, /*Slot=*/0);
       ++Summary.ItemsMerged;
       if (MergeItem(I) == ExploreStep::Stop) {
         Summary.Cancelled = true;
@@ -46,14 +54,16 @@ qcm::exploreIndexed(size_t Count, const ExplorationOptions &Options,
   {
     ThreadPool Pool(Jobs);
     for (unsigned W = 0; W < Jobs; ++W)
-      Pool.submit([&] {
+      Pool.submit([&, W] {
         for (;;) {
           if (Cancel.cancelled())
             return;
           size_t I = NextItem.fetch_add(1, std::memory_order_relaxed);
           if (I >= Count)
             return;
-          RunItem(I);
+          // W doubles as the slot: per-slot caller state is touched only
+          // by this worker for the pool's whole lifetime.
+          RunItem(I, W);
           {
             std::lock_guard<std::mutex> Lock(Mutex);
             Done[I] = 1;
@@ -86,9 +96,15 @@ qcm::explorePlan(const ExplorationPlan &Plan,
                  const std::function<ExploreStep(size_t, RunResult &)>
                      &OnResult) {
   std::vector<RunResult> Results(Plan.Items.size());
+  // One reusable execution state per worker slot. Grid items overwhelmingly
+  // share a model and address space, so after a slot's first item its
+  // machine and memory run with steady-state storage: block tables, slab
+  // chunks, frame stacks, and event buffers are reset, not reallocated.
+  std::vector<ExecState> Slots(std::max<size_t>(
+      1, std::min<size_t>(Options.effectiveJobs(), Plan.Items.size())));
   return exploreIndexed(
       Plan.Items.size(), Options,
-      [&](size_t I) {
+      [&](size_t I, unsigned Slot) {
         const ExplorationItem &Item = Plan.Items[I];
         RunConfig Config = Item.Config;
         // Handler-bearing items materialize a fresh handler map on the
@@ -96,7 +112,7 @@ qcm::explorePlan(const ExplorationPlan &Plan,
         // threads.
         if (Item.MakeHandlers)
           Config.Handlers = Item.MakeHandlers();
-        Results[I] = runCompiled(Item.Module, Config);
+        Results[I] = Slots[Slot].run(Item.Module, Config);
       },
       [&](size_t I) { return OnResult(I, Results[I]); });
 }

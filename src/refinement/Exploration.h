@@ -85,6 +85,18 @@ exploreIndexed(size_t Count, const ExplorationOptions &Options,
                const std::function<void(size_t)> &RunItem,
                const std::function<ExploreStep(size_t)> &MergeItem);
 
+/// Slot-aware variant: \p RunItem additionally receives a worker slot in
+/// [0, min(effectiveJobs(), Count)), stable for the lifetime of the worker
+/// that runs the item (the serial path always passes slot 0). Slots let
+/// callers keep per-worker reusable state — most importantly an ExecState
+/// per slot, so machine and memory storage is recycled across the items a
+/// worker executes — without any synchronization: no two concurrently
+/// running items ever share a slot.
+ExplorationSummary
+exploreIndexed(size_t Count, const ExplorationOptions &Options,
+               const std::function<void(size_t, unsigned)> &RunItem,
+               const std::function<ExploreStep(size_t)> &MergeItem);
+
 /// One work item of the behavior explorer: run a compiled module under a
 /// fully specified configuration (oracle and input tape already set).
 struct ExplorationItem {

@@ -76,6 +76,10 @@ RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
     bool IsTgt;
   };
   std::vector<ItemOrigin> Origins;
+  // The full grid size is known up front: contexts x {src,tgt} x oracles x
+  // tapes (a fail-fast planning stop can only make it smaller).
+  Plan.Items.reserve(Contexts.size() * 2 * Oracles.size() * Tapes.size());
+  Origins.reserve(Plan.Items.capacity());
   bool StopPlanning = false;
 
   for (size_t CtxIdx = 0; CtxIdx < Contexts.size() && !StopPlanning;

@@ -40,12 +40,43 @@ Machine::Machine(std::shared_ptr<const qir::QirModule> Module,
   assert(this->Module && "machine requires a compiled module");
   assert(this->Mem && "machine requires a memory");
   HasObserver = static_cast<bool>(this->Config.OnInstr);
+  // Events is the only run-long accumulator without a natural size bound;
+  // paper-scale programs emit a handful of I/O events, so one small up-front
+  // reservation removes every regrowth from the common case.
+  Events.reserve(16);
   // Thread the step counter into the memory's trace so every memory event
   // is tagged with the execution time at which it happened.
   this->Mem->trace().bindStepCounter(&Steps);
 }
 
 Machine::~Machine() = default;
+
+void Machine::reset(std::shared_ptr<const qir::QirModule> NewModule,
+                    InterpConfig NewConfig) {
+  assert(NewModule && "machine requires a compiled module");
+  Module = std::move(NewModule);
+  Config = std::move(NewConfig);
+  HasObserver = static_cast<bool>(Config.OnInstr);
+  // clear() keeps capacity: the frame stack, eval stack, and event buffer
+  // a previous run grew are exactly the sizes the next run of the same
+  // grid needs.
+  Frames.clear();
+  Stack.clear();
+  GlobalVals.clear();
+  Handlers.clear();
+  Events.clear();
+  InputCursor = 0;
+  Steps = 0;
+  Started = false;
+  GlobalsReady = false;
+  PendingSignal.reset();
+  FinalFault.reset();
+  Finished = false;
+  HitStepLimit = false;
+  // Re-arm the trace exactly as the constructor does; the model's typed
+  // reset() cleared stats but deliberately left binding concerns to us.
+  Mem->trace().bindStepCounter(&Steps);
+}
 
 Value Machine::initialValue(Type Ty) const {
   if (Ty == Type::Int)

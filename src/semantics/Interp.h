@@ -119,6 +119,16 @@ public:
   Machine(const Machine &) = delete;
   Machine &operator=(const Machine &) = delete;
 
+  /// Reset-and-reuse: returns the machine to its just-constructed state
+  /// over \p Module and \p Config, keeping the Memory instance and the
+  /// capacity of all run-state vectors. The memory's *contents* are not
+  /// touched — a caller reusing a machine must first reset the model
+  /// through its typed reset() (see ExecState in semantics/Runner.h),
+  /// which is what makes a reused machine observationally identical to a
+  /// freshly constructed one.
+  void reset(std::shared_ptr<const qir::QirModule> Module,
+             InterpConfig Config);
+
   /// Allocates global blocks. Must be called once, before start().
   Outcome<Unit> setupGlobals();
 

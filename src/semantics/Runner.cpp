@@ -60,18 +60,39 @@ Outcome<Value> materializeArg(const ArgSpec &Spec, Memory &Mem) {
   return P;
 }
 
-} // namespace
-
-RunResult qcm::runProgram(const Program &Prog, const RunConfig &Config) {
-  return runCompiled(qir::compileProgram(Prog), Config);
+/// Resets an existing memory instance to the fresh state \p Config
+/// describes, through the model's typed reset(). The static_cast is safe
+/// because the caller only resets a memory it built for the same
+/// ModelKind. Oracles come fresh from the factories (null factories keep
+/// the model's current oracle and rewind it).
+void resetModelMemory(Memory &Mem, const RunConfig &Config) {
+  switch (Config.Model) {
+  case ModelKind::Concrete:
+    static_cast<ConcreteMemory &>(Mem).reset(Config.Oracle ? Config.Oracle()
+                                                           : nullptr);
+    return;
+  case ModelKind::Logical:
+    static_cast<LogicalMemory &>(Mem).reset(Config.LogicalCasts);
+    return;
+  case ModelKind::QuasiConcrete:
+    static_cast<QuasiConcreteMemory &>(Mem).reset(
+        Config.Oracle ? Config.Oracle() : nullptr);
+    return;
+  case ModelKind::EagerQuasi:
+    static_cast<EagerQuasiMemory &>(Mem).reset(
+        Config.Kinds ? Config.Kinds() : nullptr,
+        Config.Oracle ? Config.Oracle() : nullptr);
+    return;
+  }
 }
 
-RunResult
-qcm::runCompiled(const std::shared_ptr<const qir::QirModule> &Module,
-                 const RunConfig &Config) {
-  Machine M(Module, makeMemory(Config), Config.Interp);
-  if (Config.TraceSink)
-    M.memory().trace().setSink(Config.TraceSink);
+/// The shared run body: \p M is fully reset (fresh or reused) over the
+/// run's module; this installs the sink and handlers, materializes globals
+/// and arguments, and drives the machine to completion.
+RunResult executeConfigured(Machine &M, const RunConfig &Config) {
+  // Unconditional: a reused memory may still carry the previous run's
+  // sink, and null must clear it.
+  M.memory().trace().setSink(Config.TraceSink);
   for (const auto &[Name, Handler] : Config.Handlers)
     M.setExternalHandler(Name, Handler);
 
@@ -116,4 +137,35 @@ qcm::runCompiled(const std::shared_ptr<const qir::QirModule> &Module,
   Result.ConsistencyError = M.memory().checkConsistency();
   Result.Stats = M.memory().trace().stats();
   return Result;
+}
+
+} // namespace
+
+RunResult qcm::runProgram(const Program &Prog, const RunConfig &Config) {
+  return runCompiled(qir::compileProgram(Prog), Config);
+}
+
+RunResult
+qcm::runCompiled(const std::shared_ptr<const qir::QirModule> &Module,
+                 const RunConfig &Config) {
+  Machine M(Module, makeMemory(Config), Config.Interp);
+  return executeConfigured(M, Config);
+}
+
+RunResult ExecState::run(const std::shared_ptr<const qir::QirModule> &Module,
+                         const RunConfig &Config) {
+  // Reuse needs the same model kind and address space: both are fixed at
+  // memory construction. Everything else (cast behavior, oracles, tapes,
+  // handlers, interpreter config) is re-applied by the resets below.
+  const bool Reusable = M && Model == Config.Model &&
+                        MemCfg.AddressWords == Config.MemConfig.AddressWords;
+  if (Reusable) {
+    resetModelMemory(M->memory(), Config);
+    M->reset(Module, Config.Interp);
+  } else {
+    M = std::make_unique<Machine>(Module, makeMemory(Config), Config.Interp);
+    Model = Config.Model;
+    MemCfg = Config.MemConfig;
+  }
+  return executeConfigured(*M, Config);
 }

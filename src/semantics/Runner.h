@@ -105,6 +105,38 @@ RunResult runProgram(const Program &Prog, const RunConfig &Config);
 RunResult runCompiled(const std::shared_ptr<const qir::QirModule> &Module,
                       const RunConfig &Config);
 
+/// Reusable execution state: one Machine (and the Memory it owns) kept
+/// alive across runs. run() is observationally identical to runCompiled()
+/// — same behaviors, step counts, fault messages, statistics — but when
+/// the memory-shaping part of the configuration (model kind and address
+/// space) matches the previous run it resets and reuses the existing
+/// machine and memory storage instead of reallocating them. Oracles are
+/// always taken fresh from the config's factories, so decision streams
+/// rewind exactly as a fresh construction would.
+///
+/// Intended use is one ExecState per exploration worker slot (see
+/// refinement/Exploration.h): the grid items a worker executes share their
+/// model and address space, so the slab chunks, block tables, and frame
+/// stacks reach steady-state capacity after the first item and every later
+/// item runs allocation-free at the storage layer.
+///
+/// Not thread-safe; confine each instance to one thread at a time.
+class ExecState {
+public:
+  /// Runs \p Module under \p Config, reusing the previous run's machine
+  /// and memory when compatible.
+  RunResult run(const std::shared_ptr<const qir::QirModule> &Module,
+                const RunConfig &Config);
+
+private:
+  std::unique_ptr<Machine> M;
+  /// Shape of the run M was last configured for; reuse requires a match
+  /// (everything else — casts, oracles, tapes, handlers — is re-applied
+  /// by reset).
+  ModelKind Model = ModelKind::QuasiConcrete;
+  MemoryConfig MemCfg;
+};
+
 } // namespace qcm
 
 #endif // QCM_SEMANTICS_RUNNER_H

@@ -22,9 +22,10 @@
 #define QCM_SUPPORT_FAULT_H
 
 #include <cassert>
-#include <optional>
+#include <memory>
 #include <string>
 #include <utility>
+#include <variant>
 
 namespace qcm {
 
@@ -60,10 +61,36 @@ struct Unit {};
 
 /// Either a successful value of type T or a Fault. A minimal Expected-style
 /// carrier; the model never throws.
+///
+/// Layout: a tagged union of the value and an owning *pointer* to the
+/// fault, not a pair of optionals holding both inline. Memory operations
+/// return an Outcome per load/store, so the carrier's footprint and its
+/// success-path construction are on the model's hottest path: with the
+/// fault boxed, Outcome<Value> is two words, and the success path never
+/// touches fault storage (no std::string is constructed, destroyed, or
+/// even branch-tested beyond the tag). Faults are terminal for the
+/// execution that produces them, so the one heap allocation on the fault
+/// path is never hot.
 template <typename T> class Outcome {
 public:
-  /*implicit*/ Outcome(T Value) : Value(std::move(Value)) {}
-  /*implicit*/ Outcome(Fault F) : FaultValue(std::move(F)) {}
+  /*implicit*/ Outcome(T Value)
+      : Storage(std::in_place_index<0>, std::move(Value)) {}
+  /*implicit*/ Outcome(Fault F)
+      : Storage(std::in_place_index<1>,
+                std::make_unique<Fault>(std::move(F))) {}
+
+  Outcome(Outcome &&) = default;
+  Outcome &operator=(Outcome &&) = default;
+  Outcome(const Outcome &Other)
+      : Storage(Other.ok()
+                    ? StorageT(std::in_place_index<0>, Other.value())
+                    : StorageT(std::in_place_index<1>,
+                               std::make_unique<Fault>(Other.fault()))) {}
+  Outcome &operator=(const Outcome &Other) {
+    if (this != &Other)
+      *this = Outcome(Other);
+    return *this;
+  }
 
   static Outcome success(T Value) { return Outcome(std::move(Value)); }
   static Outcome undefined(std::string Reason) {
@@ -73,32 +100,32 @@ public:
     return Outcome(Fault::outOfMemory(std::move(Reason)));
   }
 
-  bool ok() const { return Value.has_value(); }
+  bool ok() const { return Storage.index() == 0; }
   explicit operator bool() const { return ok(); }
 
   const T &value() const {
     assert(ok() && "accessing value of a faulted outcome");
-    return *Value;
+    return *std::get_if<0>(&Storage);
   }
   T &value() {
     assert(ok() && "accessing value of a faulted outcome");
-    return *Value;
+    return *std::get_if<0>(&Storage);
   }
 
   const Fault &fault() const {
     assert(!ok() && "accessing fault of a successful outcome");
-    return *FaultValue;
+    return **std::get_if<1>(&Storage);
   }
 
   /// Propagation helper: rebuilds the fault under a different payload type.
   template <typename U> Outcome<U> propagate() const {
     assert(!ok() && "propagating a successful outcome");
-    return Outcome<U>(*FaultValue);
+    return Outcome<U>(fault());
   }
 
 private:
-  std::optional<T> Value;
-  std::optional<Fault> FaultValue;
+  using StorageT = std::variant<T, std::unique_ptr<Fault>>;
+  StorageT Storage;
 };
 
 } // namespace qcm

@@ -1,0 +1,270 @@
+//===- tests/address_index_test.cpp - Data-layout unit tests --------------===//
+//
+// Unit tests for the hot-path data layout: the packed 8-byte Value, the
+// sorted base->block AddressIndex, the Block::containsAddress one-compare
+// containment check, and the ValueSlab span arena.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/AddressIndex.h"
+#include "memory/Block.h"
+#include "memory/QuasiConcreteMemory.h"
+#include "memory/Value.h"
+#include "memory/ValueSlab.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+//===----------------------------------------------------------------------===//
+// Packed Value representation
+//===----------------------------------------------------------------------===//
+
+TEST(PackedValue, IsOneEightByteWord) {
+  static_assert(sizeof(Value) == 8,
+                "Value must stay a single 8-byte tagged word");
+  EXPECT_EQ(sizeof(Value), 8u);
+}
+
+TEST(PackedValue, IntRoundTripIncludingExtremes) {
+  for (Word W : {Word(0), Word(1), Word(42), Word(0x7fffffff),
+                 Word(0x80000000), Word(0xffffffff)}) {
+    Value V = Value::makeInt(W);
+    ASSERT_TRUE(V.isInt());
+    EXPECT_FALSE(V.isPtr());
+    EXPECT_EQ(V.intValue(), W);
+  }
+}
+
+TEST(PackedValue, PtrRoundTripIncludingExtremes) {
+  // Block ids up to the 31-bit field limit, offsets across the full word.
+  const BlockId MaxBlock = (BlockId(1) << 31) - 1;
+  for (BlockId B : {BlockId(0), BlockId(1), BlockId(7777), MaxBlock}) {
+    for (Word Off : {Word(0), Word(5), Word(0xffffffff)}) {
+      Value V = Value::makePtr(B, Off);
+      ASSERT_TRUE(V.isPtr());
+      EXPECT_FALSE(V.isInt());
+      EXPECT_EQ(V.ptr().Block, B);
+      EXPECT_EQ(V.ptr().Offset, Off);
+    }
+  }
+}
+
+TEST(PackedValue, DefaultIsIntegerZero) {
+  EXPECT_EQ(Value(), Value::makeInt(0));
+  EXPECT_TRUE(Value().isInt());
+}
+
+TEST(PackedValue, NullPointerIsNotIntegerZero) {
+  // (0, 0) the logical NULL address and 0 the integer are distinct values
+  // (the paper's Val sums int32 and logical addresses); the tag bit keeps
+  // them distinct under the bitwise equality of the packed form.
+  EXPECT_TRUE(Value::null().isPtr());
+  EXPECT_NE(Value::null(), Value::makeInt(0));
+  EXPECT_EQ(Value::null(), Value::makePtr(0, 0));
+}
+
+TEST(PackedValue, EqualityIsStructural) {
+  EXPECT_EQ(Value::makeInt(9), Value::makeInt(9));
+  EXPECT_NE(Value::makeInt(9), Value::makeInt(10));
+  EXPECT_EQ(Value::makePtr(3, 4), Value::makePtr(3, 4));
+  EXPECT_NE(Value::makePtr(3, 4), Value::makePtr(3, 5));
+  EXPECT_NE(Value::makePtr(3, 4), Value::makePtr(4, 4));
+  // An integer that happens to equal a pointer's offset is not that
+  // pointer.
+  EXPECT_NE(Value::makeInt(4), Value::makePtr(0, 4));
+}
+
+//===----------------------------------------------------------------------===//
+// AddressIndex
+//===----------------------------------------------------------------------===//
+
+TEST(AddressIndex, FindHitsAndMisses) {
+  AddressIndex Index;
+  Index.insert(/*Base=*/100, /*Size=*/10, /*Id=*/1);
+  Index.insert(/*Base=*/300, /*Size=*/1, /*Id=*/2);
+
+  ASSERT_NE(Index.find(100), nullptr);
+  EXPECT_EQ(Index.find(100)->Id, 1u);
+  ASSERT_NE(Index.find(109), nullptr);
+  EXPECT_EQ(Index.find(109)->Id, 1u);
+  EXPECT_EQ(Index.find(110), nullptr); // one past the end
+  EXPECT_EQ(Index.find(99), nullptr);  // one before the base
+  ASSERT_NE(Index.find(300), nullptr);
+  EXPECT_EQ(Index.find(300)->Id, 2u);
+  EXPECT_EQ(Index.find(301), nullptr);
+}
+
+TEST(AddressIndex, AdjacentBlocksResolveToTheRightOwner) {
+  // [10, 14) and [14, 18) share the boundary address 14; the index must
+  // attribute it to the upper block only.
+  AddressIndex Index;
+  Index.insert(14, 4, 2);
+  Index.insert(10, 4, 1);
+
+  EXPECT_EQ(Index.find(13)->Id, 1u);
+  EXPECT_EQ(Index.find(14)->Id, 2u);
+  EXPECT_EQ(Index.find(17)->Id, 2u);
+  EXPECT_EQ(Index.find(18), nullptr);
+  // Out-of-order insertion still yields a base-sorted entry list.
+  ASSERT_EQ(Index.entries().size(), 2u);
+  EXPECT_EQ(Index.entries()[0].Base, 10u);
+  EXPECT_EQ(Index.entries()[1].Base, 14u);
+}
+
+TEST(AddressIndex, EraseRemovesOnlyTheFreedBlock) {
+  AddressIndex Index;
+  Index.insert(10, 4, 1);
+  Index.insert(14, 4, 2);
+  Index.insert(30, 2, 3);
+
+  Index.erase(14); // the freed block's range becomes unmapped
+  EXPECT_EQ(Index.find(14), nullptr);
+  EXPECT_EQ(Index.find(15), nullptr);
+  EXPECT_EQ(Index.find(13)->Id, 1u);
+  EXPECT_EQ(Index.find(30)->Id, 3u);
+  EXPECT_EQ(Index.size(), 2u);
+
+  Index.erase(999); // erasing an absent base is a no-op
+  EXPECT_EQ(Index.size(), 2u);
+}
+
+TEST(AddressIndex, AddressZeroIsNeverMapped) {
+  // The NULL block's range [0, 1) is never indexed (callers special-case
+  // address 0), so 0 misses even with a block based at 1.
+  AddressIndex Index;
+  EXPECT_EQ(Index.find(0), nullptr);
+  Index.insert(1, 8, 1);
+  EXPECT_EQ(Index.find(0), nullptr);
+  EXPECT_EQ(Index.find(1)->Id, 1u);
+}
+
+TEST(AddressIndex, TopOfAddressSpaceDoesNotOverflow) {
+  // A range ending exactly at 2^32: Base + Size wraps to 0 in Word width.
+  // The one-compare containment must still answer correctly on both sides.
+  AddressIndex Index;
+  const Word Base = 0xfffffff0u;
+  Index.insert(Base, 0x10, 1);
+  EXPECT_EQ(Index.find(Base)->Id, 1u);
+  EXPECT_EQ(Index.find(0xffffffffu)->Id, 1u);
+  EXPECT_EQ(Index.find(Base - 1), nullptr);
+  EXPECT_EQ(Index.find(0), nullptr);
+}
+
+TEST(AddressIndex, FreeIntervalsMatchTheMapBasedComputation) {
+  // Usable space of [1, 31) with blocks [4, 8) and [8, 10): the free
+  // intervals are [1, 4) and [10, 31), identical to what
+  // computeFreeIntervals produced from an occupied-range map.
+  AddressIndex Index;
+  Index.insert(4, 4, 1);
+  Index.insert(8, 2, 2);
+  std::vector<FreeInterval> Free = Index.freeIntervals(/*AddressWords=*/32);
+  ASSERT_EQ(Free.size(), 2u);
+  EXPECT_EQ(Free[0], (FreeInterval{1, 4}));
+  EXPECT_EQ(Free[1], (FreeInterval{10, 31}));
+}
+
+TEST(AddressIndex, QuasiModelFreedBlockLeavesTheIndex) {
+  // End-to-end: realizing inserts, freeing erases, and the freed range is
+  // immediately reusable for the next realization.
+  QuasiConcreteMemory M(MemoryConfig{.AddressWords = 16});
+  Value P = M.allocate(4).value();
+  ASSERT_TRUE(M.castPtrToInt(P).ok());
+  EXPECT_EQ(M.numRealizedBlocks(), 1u);
+
+  ASSERT_TRUE(M.deallocate(P).ok());
+  EXPECT_EQ(M.numRealizedBlocks(), 0u);
+
+  // The whole usable space is free again: an allocation of the full
+  // usable width must realize successfully.
+  Value Q = M.allocate(14).value();
+  ASSERT_TRUE(M.castPtrToInt(Q).ok());
+  EXPECT_EQ(M.checkConsistency(), std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// Block::containsAddress
+//===----------------------------------------------------------------------===//
+
+TEST(BlockContainsAddress, TopOfAddressSpace) {
+  // A block ending exactly at 2^32. The old int64 formulation was fine
+  // here, but the Word-width compare must not regress it — and must not
+  // wrap into claiming low addresses.
+  Block B;
+  B.Valid = true;
+  B.Base = 0xfffffff0u;
+  B.Size = 0x10;
+  EXPECT_TRUE(B.containsAddress(0xfffffff0u));
+  EXPECT_TRUE(B.containsAddress(0xffffffffu));
+  EXPECT_FALSE(B.containsAddress(0xffffffefu));
+  EXPECT_FALSE(B.containsAddress(0));
+  EXPECT_FALSE(B.containsAddress(1));
+}
+
+TEST(BlockContainsAddress, UnrealizedBlockContainsNothing) {
+  Block B;
+  B.Valid = true;
+  B.Size = 8;
+  ASSERT_FALSE(B.Base.has_value());
+  EXPECT_FALSE(B.containsAddress(0));
+  EXPECT_FALSE(B.containsAddress(4));
+}
+
+//===----------------------------------------------------------------------===//
+// ValueSlab
+//===----------------------------------------------------------------------===//
+
+TEST(ValueSlab, SpansAreDisjointAndStable) {
+  ValueSlab Slab;
+  Value *A = Slab.allocate(4);
+  Value *B = Slab.allocate(4);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_TRUE(B >= A + 4 || A >= B + 4);
+  A[0] = Value::makeInt(1);
+  B[0] = Value::makeInt(2);
+  EXPECT_EQ(A[0].intValue(), 1u);
+  EXPECT_EQ(B[0].intValue(), 2u);
+}
+
+TEST(ValueSlab, RecycleReissuesSameSizeSpans) {
+  ValueSlab Slab;
+  Value *A = Slab.allocate(8);
+  Slab.recycle(A, 8);
+  EXPECT_EQ(Slab.recycledWords(), 8u);
+  // Same size comes back from the free list; a different size does not.
+  EXPECT_EQ(Slab.allocate(8), A);
+  EXPECT_EQ(Slab.recycledWords(), 0u);
+}
+
+TEST(ValueSlab, ChurnDoesNotGrowTheArena) {
+  ValueSlab Slab;
+  Value *First = Slab.allocate(16);
+  Slab.recycle(First, 16);
+  for (int I = 0; I < 10000; ++I) {
+    Value *S = Slab.allocate(16);
+    EXPECT_EQ(S, First);
+    Slab.recycle(S, 16);
+  }
+  EXPECT_EQ(Slab.numChunks(), 1u);
+}
+
+TEST(ValueSlab, ResetRewindsKeepingChunks) {
+  ValueSlab Slab;
+  (void)Slab.allocate(100);
+  (void)Slab.allocate(200);
+  size_t ChunksBefore = Slab.numChunks();
+  Slab.reset();
+  EXPECT_EQ(Slab.numChunks(), ChunksBefore);
+  EXPECT_EQ(Slab.recycledWords(), 0u);
+  // Rewound: the next allocation reuses the first chunk's storage.
+  Value *S = Slab.allocate(100);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(Slab.numChunks(), ChunksBefore);
+}
+
+TEST(ValueSlab, ZeroWordAllocationIsNull) {
+  ValueSlab Slab;
+  EXPECT_EQ(Slab.allocate(0), nullptr);
+  EXPECT_EQ(Slab.numChunks(), 0u);
+}

@@ -1,0 +1,319 @@
+//===- tests/exec_state_test.cpp - Reset-and-reuse differential tests -----===//
+//
+// The reset-and-reuse protocol (Machine::reset, the models' typed reset(),
+// ExecState) is a pure storage optimization: a reused execution must be
+// observationally identical to a fresh one — same behavior string, step
+// count, statistics, and consistency verdict — under every model. These
+// tests pin that equivalence, both on hand-written programs with golden
+// behavior strings and on randomized programs, and pin the refinement
+// report's byte-identity across --jobs levels now that workers reuse
+// per-slot state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ProgramGenerator.h"
+
+#include "core/Vm.h"
+#include "ir/Compile.h"
+#include "memory/ConcreteMemory.h"
+#include "refinement/RefinementChecker.h"
+#include "semantics/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+using qcm_test::ProgramGenerator;
+
+namespace {
+
+Program compileOrFail(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  if (!P) {
+    ADD_FAILURE() << "program rejected:\n" << V.lastDiagnostics();
+    return Program{};
+  }
+  return std::move(*P);
+}
+
+/// A program that exercises allocation, stores, loads, casts, free, and
+/// output — every memory operation the models implement.
+const char *CastHeavySource = R"(
+main() {
+  var ptr p, ptr q, int a, int v;
+  p = malloc(4);
+  *p = 7;
+  *(p + 1) = 8;
+  a = (int) p;
+  a = a + 1;
+  q = (ptr) a;
+  v = *q;
+  a = *p;
+  output(v + a);
+  free(p);
+}
+)";
+
+RunConfig configFor(ModelKind Model) {
+  RunConfig C;
+  C.Model = Model;
+  C.MemConfig.AddressWords = 1u << 10;
+  C.Interp.StepLimit = 200'000;
+  if (Model == ModelKind::Logical) {
+    // CompCert-style: transparent casts need the Loose discipline so the
+    // logical address may inhabit the integer variable (Section 2.2).
+    C.LogicalCasts = LogicalMemory::CastBehavior::TransparentNop;
+    C.Interp.Discipline = TypeDiscipline::Loose;
+  }
+  C.Kinds = [] {
+    return std::make_unique<FixedKindOracle>(
+        std::vector<bool>{true, false, true});
+  };
+  return C;
+}
+
+void expectSameResult(const RunResult &Fresh, const RunResult &Reused,
+                      const std::string &Label) {
+  EXPECT_EQ(Fresh.Behav, Reused.Behav)
+      << Label << ": fresh " << Fresh.Behav.toString() << " vs reused "
+      << Reused.Behav.toString();
+  EXPECT_EQ(Fresh.Steps, Reused.Steps) << Label;
+  EXPECT_EQ(Fresh.ConsistencyError, Reused.ConsistencyError) << Label;
+}
+
+} // namespace
+
+TEST(ExecState, ReuseMatchesFreshAcrossAllModels) {
+  Program P = compileOrFail(CastHeavySource);
+  auto Module = qir::compileProgram(P);
+  // Golden behavior strings per model: the cast-heavy program terminates
+  // under every model except strict-cast logical (covered separately), and
+  // reuse must reproduce them exactly.
+  for (ModelKind Model : {ModelKind::Concrete, ModelKind::Logical,
+                          ModelKind::QuasiConcrete, ModelKind::EagerQuasi}) {
+    RunConfig C = configFor(Model);
+    ExecState State;
+    RunResult First = State.run(Module, C);
+    EXPECT_EQ(First.Behav.toString(), "out(15), term")
+        << modelKindName(Model);
+    // Three more runs through the same state: each must match a fresh run
+    // bit for bit, and the state must not accumulate anything observable.
+    for (int Round = 0; Round < 3; ++Round) {
+      RunResult Fresh = runCompiled(Module, C);
+      RunResult Reused = State.run(Module, C);
+      expectSameResult(Fresh, Reused,
+                       std::string(modelKindName(Model)) + " round " +
+                           std::to_string(Round));
+      EXPECT_EQ(Reused.Behav.toString(), "out(15), term");
+    }
+  }
+}
+
+TEST(ExecState, ReuseMatchesFreshOnFaultingRuns) {
+  // Strict-cast logical faults at the first cast; a reused state must
+  // report the identical fault and then be cleanly reusable for a
+  // successful run of a different program.
+  Program Faulting = compileOrFail(CastHeavySource);
+  Program Clean = compileOrFail("main() { var int a; a = 3; output(a); }");
+  auto FaultingModule = qir::compileProgram(Faulting);
+  auto CleanModule = qir::compileProgram(Clean);
+
+  RunConfig C = configFor(ModelKind::Logical);
+  C.LogicalCasts = LogicalMemory::CastBehavior::Error;
+
+  ExecState State;
+  RunResult Fresh = runCompiled(FaultingModule, C);
+  RunResult Reused = State.run(FaultingModule, C);
+  expectSameResult(Fresh, Reused, "faulting logical");
+  EXPECT_TRUE(Fresh.Behav.toString().find("undef") != std::string::npos)
+      << Fresh.Behav.toString();
+
+  RunResult After = State.run(CleanModule, C);
+  EXPECT_EQ(After.Behav.toString(), "out(3), term");
+}
+
+TEST(ExecState, SwitchingModelsRebuildsCleanly) {
+  Program P = compileOrFail(CastHeavySource);
+  auto Module = qir::compileProgram(P);
+  ExecState State;
+  // Interleave all four models through one state: every switch rebuilds,
+  // every repeat reuses, and both paths must match fresh execution.
+  for (int Round = 0; Round < 2; ++Round)
+    for (ModelKind Model : {ModelKind::QuasiConcrete, ModelKind::Concrete,
+                            ModelKind::EagerQuasi, ModelKind::Logical}) {
+      RunConfig C = configFor(Model);
+      expectSameResult(runCompiled(Module, C), State.run(Module, C),
+                       modelKindName(Model));
+    }
+}
+
+TEST(ExecState, ReuseAppliesTheNewOracleAndTape) {
+  // Reuse must not leak the previous run's oracle decisions or input
+  // cursor: a last-fit rerun sees different concrete addresses, a new tape
+  // yields new outputs.
+  Program P = compileOrFail(R"(
+main() {
+  var ptr p, int a;
+  p = malloc(2);
+  a = (int) p;
+  output(a);
+  a = input();
+  output(a);
+}
+)");
+  auto Module = qir::compileProgram(P);
+  RunConfig FirstFit = configFor(ModelKind::QuasiConcrete);
+  FirstFit.Oracle = [] { return std::make_unique<FirstFitOracle>(); };
+  FirstFit.Interp.InputTape = {11};
+  RunConfig LastFit = FirstFit;
+  LastFit.Oracle = [] { return std::make_unique<LastFitOracle>(); };
+  LastFit.Interp.InputTape = {22};
+
+  ExecState State;
+  RunResult A1 = State.run(Module, FirstFit);
+  RunResult B1 = State.run(Module, LastFit);
+  RunResult A2 = State.run(Module, FirstFit);
+  expectSameResult(runCompiled(Module, FirstFit), A1, "first-fit");
+  expectSameResult(runCompiled(Module, LastFit), B1, "last-fit");
+  expectSameResult(A1, A2, "first-fit repeat");
+  EXPECT_NE(A1.Behav.toString(), B1.Behav.toString());
+}
+
+TEST(ExecState, StatsAreScopedToOneRun) {
+  Program P = compileOrFail(CastHeavySource);
+  auto Module = qir::compileProgram(P);
+  RunConfig C = configFor(ModelKind::QuasiConcrete);
+  ExecState State;
+  RunResult First = State.run(Module, C);
+  RunResult Second = State.run(Module, C);
+  // Statistics must restart from zero on reuse, not accumulate.
+  EXPECT_EQ(First.Stats.Allocations, Second.Stats.Allocations);
+  EXPECT_EQ(First.Stats.Loads, Second.Stats.Loads);
+  EXPECT_EQ(First.Stats.CastsToInt, Second.Stats.CastsToInt);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized differential property
+//===----------------------------------------------------------------------===//
+
+class ExecStateFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExecStateFuzz, ReusedStateMatchesFreshRunsOnRandomPrograms) {
+  // One long-lived state per model executes a stream of random programs;
+  // every result must equal a fresh runCompiled of the same program. This
+  // is the property the exploration engine relies on when it funnels a
+  // whole grid through per-worker slots.
+  ProgramGenerator Generator(GetParam() ^ 0x777);
+  for (ModelKind Model : {ModelKind::Concrete, ModelKind::Logical,
+                          ModelKind::QuasiConcrete, ModelKind::EagerQuasi}) {
+    ExecState State;
+    for (int Round = 0; Round < 3; ++Round) {
+      Program P = compileOrFail(Generator.generate());
+      auto Module = qir::compileProgram(P);
+      RunConfig C = configFor(Model);
+      C.Oracle = [] { return std::make_unique<RandomOracle>(5); };
+      RunResult Fresh = runCompiled(Module, C);
+      RunResult Reused = State.run(Module, C);
+      expectSameResult(Fresh, Reused,
+                       std::string(modelKindName(Model)) + " round " +
+                           std::to_string(Round));
+      EXPECT_EQ(Fresh.Stats.Allocations, Reused.Stats.Allocations);
+      EXPECT_EQ(Fresh.Stats.Stores, Reused.Stats.Stores);
+    }
+  }
+}
+
+TEST_P(ExecStateFuzz, RefinementReportsAreIdenticalAtEveryJobsLevel) {
+  // The whole point of plan-order merging plus per-slot reuse: the
+  // refinement report is byte-identical whether the grid runs serially,
+  // with reused slots, or across many workers.
+  ProgramGenerator Generator(GetParam() ^ 0x888);
+  Program P = compileOrFail(Generator.generate());
+  RefinementJob Job;
+  Job.Src = &P;
+  Job.Tgt = &P;
+  Job.BaseSrc.Model = Job.BaseTgt.Model = ModelKind::QuasiConcrete;
+  Job.BaseSrc.MemConfig.AddressWords = 1u << 10;
+  Job.BaseTgt.MemConfig.AddressWords = 1u << 10;
+  Job.BaseSrc.Interp.StepLimit = 200'000;
+  Job.BaseTgt.Interp.StepLimit = 200'000;
+
+  Job.Exec.Jobs = 1;
+  std::string Serial = checkRefinement(Job).toString();
+  for (unsigned Jobs : {2u, 4u, 8u}) {
+    Job.Exec.Jobs = Jobs;
+    EXPECT_EQ(checkRefinement(Job).toString(), Serial)
+        << "report differs at jobs=" << Jobs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecStateFuzz,
+                         ::testing::Range<uint64_t>(2000, 2012));
+
+//===----------------------------------------------------------------------===//
+// ConcreteMemory snapshot regression
+//===----------------------------------------------------------------------===//
+
+TEST(ConcreteSnapshot, OrderedTraversalMatchesPerCellSemantics) {
+  // Regression for the snapshot rewrite (one ordered traversal over
+  // contiguous spans instead of a per-cell map lookup): contents, bases,
+  // sizes, and id order must be exactly what the per-cell version
+  // produced, including retired (freed) blocks with empty contents.
+  ConcreteMemory M(MemoryConfig{.AddressWords = 64});
+  Value P1 = M.allocate(3).value();
+  Value P2 = M.allocate(2).value();
+  Value P3 = M.allocate(4).value();
+  for (Word I = 0; I < 3; ++I)
+    ASSERT_TRUE(
+        M.store(Value::makeInt(P1.intValue() + I), Value::makeInt(10 + I))
+            .ok());
+  ASSERT_TRUE(M.store(P2, Value::makeInt(99)).ok());
+  ASSERT_TRUE(M.deallocate(P2).ok());
+
+  auto Snap = M.snapshot();
+  ASSERT_EQ(Snap.size(), 3u);
+  // Ids ascend in allocation order regardless of address order.
+  EXPECT_EQ(Snap[0].first, 1u);
+  EXPECT_EQ(Snap[1].first, 2u);
+  EXPECT_EQ(Snap[2].first, 3u);
+
+  const Block &B1 = Snap[0].second;
+  EXPECT_TRUE(B1.Valid);
+  EXPECT_EQ(B1.Base, std::optional<Word>(P1.intValue()));
+  ASSERT_EQ(B1.Contents.size(), 3u);
+  EXPECT_EQ(B1.Contents[0], Value::makeInt(10));
+  EXPECT_EQ(B1.Contents[2], Value::makeInt(12));
+
+  const Block &B2 = Snap[1].second;
+  EXPECT_FALSE(B2.Valid);
+  EXPECT_EQ(B2.Size, 2u);
+  EXPECT_TRUE(B2.Contents.empty()); // freed contents are unobservable
+
+  const Block &B3 = Snap[2].second;
+  EXPECT_TRUE(B3.Valid);
+  ASSERT_EQ(B3.Contents.size(), 4u);
+  EXPECT_EQ(B3.Contents[1], Value::makeInt(0)); // fresh memory reads 0
+}
+
+TEST(ConcreteSnapshot, SnapshotsAgreeWithClones) {
+  // snapshot() of a memory and of its clone() must be equal element-wise —
+  // the clone re-allocates every span in its own slab, so this catches any
+  // span-copy mistake in either path.
+  ConcreteMemory M(MemoryConfig{.AddressWords = 128});
+  std::vector<Value> Ptrs;
+  for (Word N : {Word(2), Word(5), Word(1), Word(7)})
+    Ptrs.push_back(M.allocate(N).value());
+  for (size_t I = 0; I < Ptrs.size(); ++I)
+    ASSERT_TRUE(
+        M.store(Ptrs[I], Value::makeInt(static_cast<Word>(100 + I))).ok());
+  ASSERT_TRUE(M.deallocate(Ptrs[1]).ok());
+
+  auto Copy = M.clone();
+  auto A = M.snapshot();
+  auto B = Copy->snapshot();
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].first, B[I].first);
+    EXPECT_EQ(A[I].second, B[I].second);
+  }
+}

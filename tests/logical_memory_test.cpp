@@ -63,7 +63,7 @@ TEST(LogicalMemory, FreeInvalidatesButDoesNotRemove) {
   EXPECT_FALSE(M.isValidAddress(P.ptr()));
   // The block still exists (invalid) — blocks become invalid rather than
   // removed (Section 5.3).
-  ASSERT_NE(M.getBlock(P.ptr().Block), nullptr);
+  ASSERT_TRUE(M.getBlock(P.ptr().Block).has_value());
   EXPECT_FALSE(M.getBlock(P.ptr().Block)->Valid);
 }
 

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare a bench_workloads/bench_models_perf JSON dump against a baseline.
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json [--threshold=0.25]
+
+Both files hold the flat row-array schema emitted by the bench binaries'
+--json flag:
+
+    [{"scenario": ..., "engine": ..., "model": ..., "iterations": N,
+      "wall_us": N, "steps": N, "mem_ops": N, ...}, ...]
+
+Rows are keyed on (scenario, engine, model). A row regresses when its
+per-iteration wall time exceeds the baseline's by more than the threshold
+(default 25%). Comparing per-iteration time keeps the check meaningful if
+the two dumps were captured with different --json-iters settings.
+
+Rows present on only one side are reported but are not failures: the
+baseline predates scenarios added later, and CI may run a subset.
+
+Exit status: 0 when no row regresses, 1 on regression or schema error.
+"""
+
+import json
+import sys
+
+REQUIRED_KEYS = {"scenario", "engine", "model", "iterations", "wall_us",
+                 "steps", "mem_ops"}
+
+# Per-iteration times below this are dominated by timer and harness noise;
+# a ratio over such a row is meaningless, so it is reported but never fails.
+NOISE_FLOOR_US_PER_ITER = 5.0
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if not isinstance(rows, list) or not rows:
+        sys.exit(f"error: {path}: expected a non-empty JSON array of rows")
+    table = {}
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict) or not REQUIRED_KEYS <= row.keys():
+            missing = REQUIRED_KEYS - set(row) if isinstance(row, dict) else REQUIRED_KEYS
+            sys.exit(f"error: {path}: row {i} is missing keys {sorted(missing)}: {row}")
+        if not isinstance(row["iterations"], int) or row["iterations"] <= 0:
+            sys.exit(f"error: {path}: row {i} has bad iterations: {row}")
+        if not isinstance(row["wall_us"], (int, float)) or row["wall_us"] < 0:
+            sys.exit(f"error: {path}: row {i} has bad wall_us: {row}")
+        key = (row["scenario"], row["engine"], row["model"])
+        if key in table:
+            sys.exit(f"error: {path}: duplicate row for {key}")
+        table[key] = row
+    return table
+
+
+def main(argv):
+    threshold = 0.25
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.exit(__doc__)
+    current, baseline = load_rows(paths[0]), load_rows(paths[1])
+
+    regressions = []
+    compared = 0
+    for key in sorted(set(current) & set(baseline)):
+        cur, base = current[key], baseline[key]
+        cur_per = cur["wall_us"] / cur["iterations"]
+        base_per = base["wall_us"] / base["iterations"]
+        if base_per < NOISE_FLOOR_US_PER_ITER:
+            print(f"  skip  {'/'.join(key)}: baseline {base_per:.2f} us/iter "
+                  "is below the noise floor")
+            continue
+        compared += 1
+        ratio = cur_per / base_per
+        line = (f"{'/'.join(key)}: {base_per:.1f} -> {cur_per:.1f} us/iter "
+                f"({ratio:.2f}x)")
+        if ratio > 1.0 + threshold:
+            regressions.append(line)
+            print(f"  REGRESSED  {line}")
+        else:
+            print(f"  ok    {line}")
+
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  new   {'/'.join(key)}: no baseline row")
+    for key in sorted(set(baseline) - set(current)):
+        print(f"  gone  {'/'.join(key)}: not in current run")
+
+    if compared == 0:
+        sys.exit("error: no comparable rows between the two files")
+    if regressions:
+        print(f"\n{len(regressions)} of {compared} rows regressed by more "
+              f"than {threshold:.0%}:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"\nall {compared} comparable rows within {threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
