@@ -1,0 +1,208 @@
+//===- memory/FaultInjection.cpp ------------------------------------------===//
+
+#include "memory/FaultInjection.h"
+
+using namespace qcm;
+
+//===----------------------------------------------------------------------===//
+// FaultPlan spec syntax
+//===----------------------------------------------------------------------===//
+
+std::string FaultPlan::toString() const {
+  std::string Text;
+  auto Clause = [&](const char *Key, const std::optional<uint64_t> &V) {
+    if (!V)
+      return;
+    if (!Text.empty())
+      Text += '+';
+    Text += Key;
+    Text += ':';
+    Text += std::to_string(*V);
+  };
+  Clause("alloc", FailAllocation);
+  Clause("cast", FailCast);
+  Clause("op", FailOperation);
+  Clause("words", ShrinkAddressWords);
+  return Text.empty() ? "none" : Text;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string &Spec,
+                                          std::string &Error) {
+  FaultPlan Plan;
+  if (Spec == "none" || Spec.empty())
+    return Plan;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t End = Spec.find('+', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Clause = Spec.substr(Pos, End - Pos);
+    size_t Colon = Clause.find(':');
+    if (Colon == std::string::npos || Colon + 1 >= Clause.size()) {
+      Error = "malformed fault-plan clause '" + Clause +
+              "' (expected key:N, e.g. alloc:3)";
+      return std::nullopt;
+    }
+    std::string Key = Clause.substr(0, Colon);
+    std::string Num = Clause.substr(Colon + 1);
+    uint64_t Value = 0;
+    for (char C : Num) {
+      if (C < '0' || C > '9') {
+        Error = "fault-plan clause '" + Clause + "' has a non-numeric count";
+        return std::nullopt;
+      }
+      if (Value > (UINT64_MAX - 9) / 10) {
+        Error = "fault-plan clause '" + Clause + "' overflows";
+        return std::nullopt;
+      }
+      Value = Value * 10 + static_cast<uint64_t>(C - '0');
+    }
+    std::optional<uint64_t> *Slot = nullptr;
+    if (Key == "alloc")
+      Slot = &Plan.FailAllocation;
+    else if (Key == "cast")
+      Slot = &Plan.FailCast;
+    else if (Key == "op")
+      Slot = &Plan.FailOperation;
+    else if (Key == "words")
+      Slot = &Plan.ShrinkAddressWords;
+    if (!Slot) {
+      Error = "unknown fault-plan key '" + Key +
+              "' (expected alloc, cast, op, or words)";
+      return std::nullopt;
+    }
+    if (*Slot) {
+      Error = "fault-plan key '" + Key + "' given twice";
+      return std::nullopt;
+    }
+    if (Value == 0 && Key != "words") {
+      Error = "fault-plan ordinals are 1-based; '" + Clause +
+              "' names no operation";
+      return std::nullopt;
+    }
+    *Slot = Value;
+    if (End == Spec.size())
+      break;
+    Pos = End + 1;
+  }
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjectingMemory
+//===----------------------------------------------------------------------===//
+
+FaultInjectingMemory::FaultInjectingMemory(std::unique_ptr<Memory> Inner,
+                                           FaultPlan Plan)
+    : Memory(Inner->config()), Inner(std::move(Inner)),
+      Plan(std::move(Plan)) {}
+
+void FaultInjectingMemory::rewind() {
+  AllocSeen = 0;
+  CastSeen = 0;
+  OpsSeen = 0;
+  Fired = false;
+}
+
+std::optional<Fault>
+FaultInjectingMemory::injectAt(std::optional<uint64_t> Ordinal, uint64_t Seen,
+                               const char *What) {
+  if (Ordinal && Seen == *Ordinal) {
+    Fired = true;
+    return Fault::outOfMemory("injected exhaustion: " + std::string(What) +
+                              " #" + std::to_string(Seen));
+  }
+  if (Plan.FailOperation && OpsSeen == *Plan.FailOperation) {
+    Fired = true;
+    return Fault::outOfMemory("injected exhaustion: operation #" +
+                              std::to_string(OpsSeen));
+  }
+  return std::nullopt;
+}
+
+Outcome<Value> FaultInjectingMemory::allocate(Word NumWords) {
+  ++AllocSeen;
+  ++OpsSeen;
+  if (std::optional<Fault> F =
+          injectAt(Plan.FailAllocation, AllocSeen, "allocation")) {
+    // Mirror the model's own failure bookkeeping so an injected exhaustion
+    // is observable exactly like a real one (statistics, trace events).
+    Inner->trace().noteAllocFailure(NumWords);
+    return *F;
+  }
+  return Inner->allocate(NumWords);
+}
+
+Outcome<Unit> FaultInjectingMemory::deallocate(Value Pointer) {
+  ++OpsSeen;
+  if (std::optional<Fault> F = injectAt(std::nullopt, 0, "deallocation"))
+    return *F;
+  return Inner->deallocate(std::move(Pointer));
+}
+
+Outcome<Value> FaultInjectingMemory::load(Value Address) {
+  ++OpsSeen;
+  if (std::optional<Fault> F = injectAt(std::nullopt, 0, "load"))
+    return *F;
+  return Inner->load(std::move(Address));
+}
+
+Outcome<Unit> FaultInjectingMemory::store(Value Address, Value V) {
+  ++OpsSeen;
+  if (std::optional<Fault> F = injectAt(std::nullopt, 0, "store"))
+    return *F;
+  return Inner->store(std::move(Address), std::move(V));
+}
+
+Outcome<Value> FaultInjectingMemory::castPtrToInt(Value Pointer) {
+  ++CastSeen;
+  ++OpsSeen;
+  if (std::optional<Fault> F =
+          injectAt(Plan.FailCast, CastSeen, "pointer-to-integer cast"))
+    return *F;
+  return Inner->castPtrToInt(std::move(Pointer));
+}
+
+Outcome<Value> FaultInjectingMemory::castIntToPtr(Value Integer) {
+  ++OpsSeen;
+  if (std::optional<Fault> F = injectAt(std::nullopt, 0, "cast"))
+    return *F;
+  return Inner->castIntToPtr(std::move(Integer));
+}
+
+bool FaultInjectingMemory::isValidAddress(const Ptr &Address) const {
+  return Inner->isValidAddress(Address);
+}
+
+std::vector<std::pair<BlockId, Block>> FaultInjectingMemory::snapshot() const {
+  return Inner->snapshot();
+}
+
+std::optional<Block> FaultInjectingMemory::getBlock(BlockId Id) const {
+  return Inner->getBlock(Id);
+}
+
+std::unique_ptr<Memory> FaultInjectingMemory::clone() const {
+  auto Copy = std::make_unique<FaultInjectingMemory>(Inner->clone(), Plan);
+  Copy->AllocSeen = AllocSeen;
+  Copy->CastSeen = CastSeen;
+  Copy->OpsSeen = OpsSeen;
+  Copy->Fired = Fired;
+  return Copy;
+}
+
+std::optional<std::string> FaultInjectingMemory::checkConsistency() const {
+  return Inner->checkConsistency();
+}
+
+std::unique_ptr<Memory>
+qcm::wrapWithFaultInjection(std::unique_ptr<Memory> Inner,
+                            const FaultPlan &Plan) {
+#if QCM_FAULT_INJECTION_ENABLED
+  if (Plan.needsDecorator())
+    return std::make_unique<FaultInjectingMemory>(std::move(Inner), Plan);
+#else
+  (void)Plan;
+#endif
+  return Inner;
+}

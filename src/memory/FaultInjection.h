@@ -1,0 +1,176 @@
+//===- memory/FaultInjection.h - Deterministic fault injection --*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic resource-exhaustion injection for the memory models.
+///
+/// The paper's out-of-memory transitions — allocation failure in the
+/// concrete model (Section 2.1), realization failure at cast time in the
+/// quasi-concrete model (Section 3.4) — almost never fire under the default
+/// 2^32-word address space, which makes the "no behavior" machinery
+/// (Section 2.3, item 4) the least-exercised code in the tree. A FaultPlan
+/// makes exhaustion a first-class, schedulable event: fail the Nth
+/// allocation, fail the Nth pointer-to-integer cast, fail the Nth memory
+/// operation, or shrink the concrete space — all deterministically, so
+/// injected runs are exactly reproducible.
+///
+/// FaultInjectingMemory is a decorator over any Memory: models keep their
+/// hot paths untouched, and a run without a plan never constructs the
+/// wrapper at all (zero overhead, like the no-sink trace path). Building
+/// with -DQCM_FAULT_INJECTION_ENABLED=0 additionally compiles the wrapping
+/// itself out: wrapWithFaultInjection becomes the identity.
+///
+/// An injected failure is a Fault::OutOfMemory whose reason starts with
+/// "injected" — the taxonomy is unchanged (OOM is still "no behavior", the
+/// execution observes only its event prefix), only the schedule is forced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_MEMORY_FAULTINJECTION_H
+#define QCM_MEMORY_FAULTINJECTION_H
+
+#include "memory/Memory.h"
+
+#include <optional>
+#include <string>
+
+/// Compile-time master switch: 0 makes wrapWithFaultInjection the identity,
+/// so no decorated memory can exist in the binary.
+#ifndef QCM_FAULT_INJECTION_ENABLED
+#define QCM_FAULT_INJECTION_ENABLED 1
+#endif
+
+namespace qcm {
+
+/// A deterministic exhaustion schedule. Empty (all fields unset) means
+/// "inject nothing". Ordinals are 1-based and count *calls*, successful or
+/// not, from memory construction — global and entry-argument allocations
+/// included, so a plan pins one exact operation of one exact run.
+struct FaultPlan {
+  /// Fail the Nth allocate() with out-of-memory.
+  std::optional<uint64_t> FailAllocation;
+  /// Fail the Nth castPtrToInt() with out-of-memory (the quasi-concrete
+  /// model's realization point; counted on every model for uniformity).
+  std::optional<uint64_t> FailCast;
+  /// Fail the Nth memory operation of any kind (allocate, deallocate,
+  /// load, store, either cast) with out-of-memory.
+  std::optional<uint64_t> FailOperation;
+  /// Shrink the concrete address space to this many words at memory
+  /// construction (applied by makeMemory, not by the decorator; recorded
+  /// here so one FaultPlan is a complete, printable chaos configuration).
+  std::optional<uint64_t> ShrinkAddressWords;
+
+  bool empty() const {
+    return !FailAllocation && !FailCast && !FailOperation &&
+           !ShrinkAddressWords;
+  }
+
+  /// True when the plan carries a trigger the decorator must watch
+  /// (ShrinkAddressWords alone needs no wrapper).
+  bool needsDecorator() const {
+    return FailAllocation || FailCast || FailOperation;
+  }
+
+  friend bool operator==(const FaultPlan &A, const FaultPlan &B) {
+    return A.FailAllocation == B.FailAllocation && A.FailCast == B.FailCast &&
+           A.FailOperation == B.FailOperation &&
+           A.ShrinkAddressWords == B.ShrinkAddressWords;
+  }
+
+  /// Round-trippable spec: '+'-joined clauses "alloc:N", "cast:N", "op:N",
+  /// "words:K" (e.g. "alloc:3+words:64"); the empty plan prints "none".
+  std::string toString() const;
+
+  /// Parses the toString() syntax. Returns nullopt and sets \p Error on a
+  /// malformed spec.
+  static std::optional<FaultPlan> parse(const std::string &Spec,
+                                        std::string &Error);
+
+  static FaultPlan failAllocation(uint64_t N) {
+    FaultPlan P;
+    P.FailAllocation = N;
+    return P;
+  }
+  static FaultPlan failCast(uint64_t N) {
+    FaultPlan P;
+    P.FailCast = N;
+    return P;
+  }
+  static FaultPlan failOperation(uint64_t N) {
+    FaultPlan P;
+    P.FailOperation = N;
+    return P;
+  }
+};
+
+/// Memory decorator that executes a FaultPlan. Forwards every operation to
+/// the wrapped model, except that operations the plan targets return
+/// Fault::OutOfMemory without reaching the model. The decorator is
+/// model-transparent: kind(), snapshots, consistency checks, and the trace
+/// (sink, statistics, step binding) are the inner model's.
+class FaultInjectingMemory : public Memory {
+public:
+  FaultInjectingMemory(std::unique_ptr<Memory> Inner, FaultPlan Plan);
+
+  ModelKind kind() const override { return Inner->kind(); }
+
+  Outcome<Value> allocate(Word NumWords) override;
+  Outcome<Unit> deallocate(Value Pointer) override;
+  Outcome<Value> load(Value Address) override;
+  Outcome<Unit> store(Value Address, Value V) override;
+  Outcome<Value> castPtrToInt(Value Pointer) override;
+  Outcome<Value> castIntToPtr(Value Integer) override;
+
+  bool isValidAddress(const Ptr &Address) const override;
+  std::vector<std::pair<BlockId, Block>> snapshot() const override;
+  std::optional<Block> getBlock(BlockId Id) const override;
+  std::unique_ptr<Memory> clone() const override;
+  std::optional<std::string> checkConsistency() const override;
+
+  MemTrace &trace() override { return Inner->trace(); }
+  const MemTrace &trace() const override { return Inner->trace(); }
+  Memory *underlying() override { return Inner->underlying(); }
+
+  const FaultPlan &plan() const { return Plan; }
+
+  /// Rewinds the injection counters to the freshly-constructed state; the
+  /// decorator's piece of the reset-and-reuse protocol (the caller resets
+  /// the inner model through its typed reset()).
+  void rewind();
+
+  /// Operations seen so far, by trigger class; lets callers size an
+  /// exhaustion sweep without rerunning.
+  uint64_t allocationsSeen() const { return AllocSeen; }
+  uint64_t castsSeen() const { return CastSeen; }
+  uint64_t operationsSeen() const { return OpsSeen; }
+
+  /// True once some trigger of the plan has actually fired.
+  bool fired() const { return Fired; }
+
+private:
+  /// Returns the injected fault if this operation (1-based ordinals already
+  /// incremented by the caller) is targeted.
+  std::optional<Fault> injectAt(std::optional<uint64_t> Ordinal,
+                                uint64_t Seen, const char *What);
+
+  std::unique_ptr<Memory> Inner;
+  FaultPlan Plan;
+  uint64_t AllocSeen = 0;
+  uint64_t CastSeen = 0;
+  uint64_t OpsSeen = 0;
+  bool Fired = false;
+};
+
+/// Wraps \p Inner so that \p Plan is executed. Returns \p Inner unchanged
+/// when the plan has no decorator-level trigger, or when fault injection is
+/// compiled out.
+std::unique_ptr<Memory> wrapWithFaultInjection(std::unique_ptr<Memory> Inner,
+                                               const FaultPlan &Plan);
+
+} // namespace qcm
+
+#endif // QCM_MEMORY_FAULTINJECTION_H

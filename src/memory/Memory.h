@@ -128,9 +128,17 @@ public:
   /// The observability layer: per-instance event trace and aggregate
   /// statistics (memory/MemTrace.h). Every model emits into it; the
   /// interpreter binds its step counter; tools install sinks. clone()d
-  /// memories start with a fresh, sink-less trace.
-  MemTrace &trace() { return Trace; }
-  const MemTrace &trace() const { return Trace; }
+  /// memories start with a fresh, sink-less trace. Virtual so decorators
+  /// (memory/FaultInjection.h) can expose the wrapped model's trace; the
+  /// models themselves touch their own Trace member directly, so the hot
+  /// emission paths pay nothing for the indirection.
+  virtual MemTrace &trace() { return Trace; }
+  virtual const MemTrace &trace() const { return Trace; }
+
+  /// The model a decorator wraps; the undecorated models return themselves.
+  /// Lets the reset-and-reuse protocol reach the typed reset() of the
+  /// concrete model class through any number of wrappers.
+  virtual Memory *underlying() { return this; }
 
 private:
   MemoryConfig Config;

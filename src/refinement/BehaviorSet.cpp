@@ -59,6 +59,18 @@ bool qcm::behaviorAdmitted(const Behavior &Tgt, const BehaviorSet &Src) {
   return false;
 }
 
+bool qcm::partialAdmittedStrict(const Behavior &Tgt, const BehaviorSet &Src) {
+  for (const Behavior &S : Src.behaviors()) {
+    if (S.BehaviorKind == Behavior::Kind::Undefined &&
+        isEventPrefix(S.Events, Tgt.Events))
+      return true;
+    if (S.BehaviorKind == Behavior::Kind::OutOfMemory &&
+        S.Events == Tgt.Events)
+      return true;
+  }
+  return false;
+}
+
 InclusionResult qcm::behaviorsIncluded(const BehaviorSet &Tgt,
                                        const BehaviorSet &Src) {
   for (const Behavior &T : Tgt.behaviors())

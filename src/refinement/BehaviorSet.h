@@ -55,6 +55,20 @@ private:
 /// Section 2.3 rules.
 bool behaviorAdmitted(const Behavior &Tgt, const BehaviorSet &Src);
 
+/// Strict Section 2.3 admission for a *partial* target behavior (es,
+/// partial), as produced by out-of-memory truncation. Under the literal
+/// behavior-set inclusion of the paper, a partial behavior is an element of
+/// the set like any other: the target's (es, partial) is admitted only if
+/// the source set contains an out-of-memory behavior with exactly the same
+/// events, or an undefined behavior whose events are a prefix of es (UB
+/// stands for all extensions). This is deliberately stronger than
+/// behaviorAdmitted's CompCertTSO-style rule — which admits any partial
+/// whose events some source behavior extends, and under which out-of-memory
+/// truncation can never produce a new counterexample — and is what the
+/// exhaustion sweep checks: it makes a transformation that moves an
+/// observable event across a possibly-exhausting operation detectable.
+bool partialAdmittedStrict(const Behavior &Tgt, const BehaviorSet &Src);
+
 /// Result of a behavior-set inclusion check.
 struct InclusionResult {
   bool Included = true;

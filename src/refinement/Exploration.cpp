@@ -106,6 +106,12 @@ qcm::explorePlan(const ExplorationPlan &Plan,
       Plan.Items.size(), Options,
       [&](size_t I, unsigned Slot) {
         const ExplorationItem &Item = Plan.Items[I];
+        if (Plan.Cached) {
+          if (const RunResult *Hit = Plan.Cached(I)) {
+            Results[I] = *Hit;
+            return;
+          }
+        }
         RunConfig Config = Item.Config;
         // Handler-bearing items materialize a fresh handler map on the
         // worker so stateful handlers are never shared across runs or

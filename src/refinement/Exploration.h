@@ -111,6 +111,13 @@ struct ExplorationItem {
 /// The full grid, in the order results must be merged.
 struct ExplorationPlan {
   std::vector<ExplorationItem> Items;
+  /// Checkpoint/resume hook: when non-null, consulted per index before the
+  /// item runs; a non-null result is used verbatim (copied) instead of
+  /// executing the item. This is how a resumed qcm-check replays journaled
+  /// grid cells — merge order and report bytes are unchanged because the
+  /// cached result flows through the same in-order merge. Must be safe to
+  /// call from worker threads (a loaded journal is read-only).
+  std::function<const RunResult *(size_t)> Cached;
 };
 
 /// Executes \p Plan under \p Options. \p OnResult receives each item's

@@ -18,12 +18,30 @@ std::string ContextReport::toString() const {
   Text += " target behaviors:\n" + TgtBehaviors.toString();
   if (!Refines)
     Text += " counterexample: " + Counterexample.toString() + "\n";
+  if (TimedOutRuns)
+    Text += " timed-out executions: " + std::to_string(TimedOutRuns) + "\n";
+  if (SweepRan) {
+    Text += " exhaustion sweep: ";
+    Text += SweepRefines ? "refines\n" : "REFINEMENT FAILS UNDER INJECTION\n";
+    Text += " source injected partials:\n" + SrcInjectedPartials.toString();
+    Text += " target injected partials:\n" + TgtInjectedPartials.toString();
+    if (!SweepRefines)
+      Text +=
+          " sweep counterexample: " + SweepCounterexample.toString() + "\n";
+    if (SweepCapped)
+      Text += " sweep truncated at the per-cell injection-point cap\n";
+  }
   return Text;
 }
 
 std::string RefinementReport::toString() const {
   std::string Text = Refines ? "REFINES" : "DOES NOT REFINE";
-  Text += " (" + std::to_string(RunsPerformed) + " executions)\n";
+  Text += " (" + std::to_string(RunsPerformed) + " executions";
+  if (SweepRan)
+    Text += " + " + std::to_string(InjectedRuns) + " injected";
+  if (TimedOutRuns)
+    Text += ", " + std::to_string(TimedOutRuns) + " timed out";
+  Text += ")\n";
   for (const ContextReport &C : PerContext)
     Text += C.toString();
   return Text;
@@ -37,9 +55,170 @@ struct ContextWork {
   /// Keep instantiated programs alive for the whole exploration: the
   /// compiled modules alias their ASTs.
   std::optional<Program> SrcInst, TgtInst;
+  /// The once-compiled modules, kept for the exhaustion sweep's probes.
+  std::shared_ptr<const qir::QirModule> SrcModule, TgtModule;
   /// False for contexts skipped by a fail-fast planning stop.
   bool Planned = false;
 };
+
+/// Which fault-plan trigger the exhaustion sweep schedules.
+enum class InjectKind { Allocation, Cast };
+
+/// The injection points a model can genuinely reach: the sweep only forces
+/// exhaustion where the model's own semantics can exhaust, so every
+/// injected behavior is one the model could exhibit under some (possibly
+/// tiny) address space. Concrete memory exhausts at allocation
+/// (Section 2.1); quasi-concrete at realization, i.e. pointer-to-integer
+/// cast (Section 3.4); the eager variant at both; the logical model never.
+std::vector<InjectKind> injectionKindsFor(ModelKind Model) {
+  switch (Model) {
+  case ModelKind::Concrete:
+    return {InjectKind::Allocation};
+  case ModelKind::Logical:
+    return {};
+  case ModelKind::QuasiConcrete:
+    return {InjectKind::Cast};
+  case ModelKind::EagerQuasi:
+    return {InjectKind::Allocation, InjectKind::Cast};
+  }
+  return {};
+}
+
+/// One sweep cell: a main-grid cell times one injection kind. The adaptive
+/// ordinal loop lives inside the cell's RunItem, so a cell is one
+/// exploration task regardless of how many injection points it discovers.
+struct SweepCell {
+  size_t CtxIdx = 0;
+  bool IsTgt = false;
+  InjectKind Kind = InjectKind::Allocation;
+  std::shared_ptr<const qir::QirModule> Module;
+  RunConfig Config;
+  std::function<std::map<std::string, ExternalHandler>()> MakeHandlers;
+};
+
+/// A sweep cell's worker-side output, merged in cell order.
+struct SweepCellResult {
+  /// Behaviors of the probes whose plan actually fired, in ordinal order.
+  std::vector<Behavior> Fired;
+  uint64_t Probes = 0;
+  uint64_t TimedOut = 0;
+  bool Capped = false;
+  ModelStats Stats;
+};
+
+void runExhaustionSweep(const RefinementJob &Job,
+                        const std::vector<ContextVariant> &Contexts,
+                        std::vector<ContextWork> &Work,
+                        const std::vector<OracleFactory> &Oracles,
+                        const std::vector<std::vector<Word>> &Tapes,
+                        RefinementReport &Report) {
+  Report.SweepRan = true;
+
+  // Cell order mirrors the main grid — context-major, source side before
+  // target, then kind, oracle, tape — so in-order merging guarantees a
+  // context's complete source partial set is assembled before its first
+  // target probe is judged.
+  std::vector<SweepCell> Cells;
+  for (size_t CtxIdx = 0; CtxIdx < Contexts.size(); ++CtxIdx) {
+    ContextWork &W = Work[CtxIdx];
+    if (!W.Planned || !W.CR.InstantiationError.empty() || !W.SrcModule)
+      continue;
+    W.CR.SweepRan = true;
+    for (int Side = 0; Side < 2; ++Side) {
+      const bool IsTgt = Side == 1;
+      const RunConfig &Base = IsTgt ? Job.BaseTgt : Job.BaseSrc;
+      for (InjectKind Kind : injectionKindsFor(Base.Model)) {
+        for (const OracleFactory &Oracle : Oracles) {
+          for (const std::vector<Word> &Tape : Tapes) {
+            SweepCell Cell;
+            Cell.CtxIdx = CtxIdx;
+            Cell.IsTgt = IsTgt;
+            Cell.Kind = Kind;
+            Cell.Module = IsTgt ? W.TgtModule : W.SrcModule;
+            Cell.Config = Base;
+            Cell.Config.Oracle = Oracle;
+            Cell.Config.Interp.InputTape = Tape;
+            if (Contexts[CtxIdx].MakeHandlers)
+              Cell.MakeHandlers = Contexts[CtxIdx].MakeHandlers;
+            Cells.push_back(std::move(Cell));
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<SweepCellResult> Results(Cells.size());
+  std::vector<ExecState> Slots(std::max<size_t>(
+      1, std::min<size_t>(Job.Exec.effectiveJobs(), Cells.size())));
+  exploreIndexed(
+      Cells.size(), Job.Exec,
+      [&](size_t I, unsigned Slot) {
+        const SweepCell &Cell = Cells[I];
+        SweepCellResult &Out = Results[I];
+        // Adaptive injection-point discovery: probe ordinal N until a probe
+        // no longer fires — the first non-firing N is one past the number
+        // of targeted operations the cell's execution performs, because a
+        // plan targeting an operation that never happens leaves the run
+        // untouched. Detection is by fault reason ("injected ..."), which
+        // works with tracing compiled out.
+        for (uint64_t N = 1;; ++N) {
+          if (N > Job.SweepMaxPointsPerCell) {
+            Out.Capped = true;
+            break;
+          }
+          RunConfig C = Cell.Config;
+          C.Inject = Cell.Kind == InjectKind::Allocation
+                         ? FaultPlan::failAllocation(N)
+                         : FaultPlan::failCast(N);
+          if (Cell.MakeHandlers)
+            C.Handlers = Cell.MakeHandlers();
+          RunResult R = Slots[Slot].run(Cell.Module, C);
+          ++Out.Probes;
+          Out.Stats.accumulate(R.Stats);
+          if (R.TimedOut)
+            ++Out.TimedOut;
+          const bool FiredNow =
+              R.Behav.BehaviorKind == Behavior::Kind::OutOfMemory &&
+              R.Behav.Reason.starts_with("injected");
+          if (!FiredNow)
+            break;
+          Out.Fired.push_back(std::move(R.Behav));
+        }
+      },
+      [&](size_t I) {
+        const SweepCell &Cell = Cells[I];
+        SweepCellResult &Out = Results[I];
+        ContextWork &W = Work[Cell.CtxIdx];
+        Report.InjectedRuns += Out.Probes;
+        Report.AggregateStats.accumulate(Out.Stats);
+        Report.TimedOutRuns += Out.TimedOut;
+        W.CR.TimedOutRuns += Out.TimedOut;
+        if (Out.Capped)
+          W.CR.SweepCapped = true;
+        bool FailedHere = false;
+        for (Behavior &B : Out.Fired) {
+          if (!Cell.IsTgt) {
+            W.CR.SrcInjectedPartials.insert(std::move(B));
+            continue;
+          }
+          // Strict Section 2.3: an OOM-truncated target prefix must be a
+          // behavior the source set (injected partials plus the main
+          // grid's naturally observed behaviors) actually contains.
+          bool Admitted =
+              partialAdmittedStrict(B, W.CR.SrcInjectedPartials) ||
+              partialAdmittedStrict(B, W.CR.SrcBehaviors);
+          if (!Admitted && W.CR.SweepRefines) {
+            W.CR.SweepRefines = false;
+            W.CR.SweepCounterexample = B;
+            Report.Refines = false;
+            FailedHere = true;
+          }
+          W.CR.TgtInjectedPartials.insert(std::move(B));
+        }
+        return FailedHere && Job.Exec.FailFast ? ExploreStep::Stop
+                                               : ExploreStep::Continue;
+      });
+}
 
 } // namespace
 
@@ -112,6 +291,8 @@ RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
         qir::compileProgram(*SrcProg);
     std::shared_ptr<const qir::QirModule> TgtModule =
         qir::compileProgram(*TgtProg);
+    W.SrcModule = SrcModule;
+    W.TgtModule = TgtModule;
     for (int Side = 0; Side < 2; ++Side) {
       const bool IsTgt = Side == 1;
       for (const OracleFactory &Oracle : Oracles) {
@@ -141,13 +322,20 @@ RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
   // order and the report is byte-identical at any Jobs level. A target
   // behavior can be judged the moment it arrives: its context's complete
   // source set merged strictly earlier in the plan.
+  Plan.Cached = Job.CachedCell;
   size_t LastMergedCtx = 0;
   ExplorationSummary Summary = explorePlan(
       Plan, Job.Exec, [&](size_t I, RunResult &R) {
+        if (Job.OnCellMerged)
+          Job.OnCellMerged(I, R);
         const ItemOrigin &Origin = Origins[I];
         ContextWork &W = Work[Origin.ContextIdx];
         LastMergedCtx = Origin.ContextIdx;
         Report.AggregateStats.accumulate(R.Stats);
+        if (R.TimedOut) {
+          ++W.CR.TimedOutRuns;
+          ++Report.TimedOutRuns;
+        }
         if (!Origin.IsTgt) {
           W.CR.SrcBehaviors.insert(std::move(R.Behav));
           return ExploreStep::Continue;
@@ -163,6 +351,17 @@ RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
                                               : ExploreStep::Continue;
       });
   Report.RunsPerformed = Summary.ItemsMerged;
+
+  // Phase 3 (optional): the exhaustion sweep. Every grid cell is re-run
+  // with out-of-memory injected at each reachable injection point of that
+  // side's model, and the truncated target prefixes are judged under the
+  // strict Section 2.3 partial rule. Cells are explored with the same
+  // deterministic engine: source cells of a context precede its target
+  // cells in sweep-plan order, so by the time a target probe is judged the
+  // context's full source partial set has merged. Skipped after a
+  // cancelled main grid: its source sets are incomplete.
+  if (Job.ExhaustionSweep && !Summary.Cancelled)
+    runExhaustionSweep(Job, Contexts, Work, Oracles, Tapes, Report);
 
   // Assemble per-context verdicts in context order. After an early stop,
   // contexts beyond the stopping point were never explored; they are

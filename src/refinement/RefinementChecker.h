@@ -81,6 +81,28 @@ struct RefinementJob {
   /// or context-instantiation error (the report then covers only the grid
   /// prefix up to the failure, still deterministically).
   ExplorationOptions Exec;
+  /// Exhaustion-sweep mode: after the main grid, re-run every grid cell
+  /// with out-of-memory injected at each reachable injection point of that
+  /// side's model — allocations in the concrete model, pointer-to-integer
+  /// casts (realization, Section 3.4) in the quasi-concrete model, both in
+  /// the eager variant, nothing in the logical model — and check the
+  /// truncated target prefixes against the source's under the *strict*
+  /// Section 2.3 partial-behavior rule (partialAdmittedStrict). Injection
+  /// ordinals are discovered adaptively: ordinal N is probed until a probe
+  /// no longer fires, i.e. until N exceeds the cell's operation count.
+  bool ExhaustionSweep = false;
+  /// Safety cap on injection ordinals probed per sweep cell; cells whose
+  /// executions perform more target operations than this are truncated and
+  /// flagged in the report (SweepCapped).
+  uint64_t SweepMaxPointsPerCell = 512;
+  /// Checkpoint hooks (see tools/ToolSupport.h's CheckpointJournal).
+  /// CachedCell, when non-null, supplies a previously journaled result for
+  /// a main-grid plan index (null = execute the cell); OnCellMerged is
+  /// invoked on the merging thread, in plan order, with each main-grid
+  /// cell's result before it is consumed. Sweep probes are derived
+  /// deterministically from the grid and are not journaled.
+  std::function<const RunResult *(size_t)> CachedCell;
+  std::function<void(size_t, const RunResult &)> OnCellMerged;
 };
 
 /// Verdict for one context.
@@ -92,6 +114,21 @@ struct ContextReport {
   Behavior Counterexample; // meaningful when !Refines
   /// Set when the context could not even be instantiated (author error).
   std::string InstantiationError;
+  /// Executions of this context's cells stopped by the wall-clock watchdog
+  /// (InterpConfig.WallTimeoutMs). Their behaviors are in the sets above as
+  /// step-limit partials; this counts them so a grid with hung cells
+  /// reports *which contexts* timed out instead of hanging the whole run.
+  uint64_t TimedOutRuns = 0;
+
+  /// Exhaustion sweep (RefinementJob::ExhaustionSweep). SweepRan marks the
+  /// section as meaningful; the partial sets hold the OOM-truncated
+  /// behaviors observed under injection, per side.
+  bool SweepRan = false;
+  bool SweepRefines = true;
+  bool SweepCapped = false;
+  BehaviorSet SrcInjectedPartials;
+  BehaviorSet TgtInjectedPartials;
+  Behavior SweepCounterexample; // meaningful when !SweepRefines
 
   std::string toString() const;
 };
@@ -109,6 +146,13 @@ struct RefinementReport {
   /// target, all contexts/oracles/tapes); lets benchmarks report event
   /// counts alongside timings.
   ModelStats AggregateStats;
+  /// Executions stopped by the wall-clock watchdog, over all contexts.
+  uint64_t TimedOutRuns = 0;
+  /// Exhaustion sweep: whether it ran, and how many injected probe
+  /// executions it performed. RunsPerformed stays the main grid's counter;
+  /// probe executions are counted here, separately and deterministically.
+  bool SweepRan = false;
+  uint64_t InjectedRuns = 0;
 
   std::string toString() const;
 };

@@ -73,6 +73,8 @@ void Machine::reset(std::shared_ptr<const qir::QirModule> NewModule,
   FinalFault.reset();
   Finished = false;
   HitStepLimit = false;
+  TimedOut = false;
+  DeadlineArmed = false;
   // Re-arm the trace exactly as the constructor does; the model's typed
   // reset() cleared stats but deliberately left binding concerns to us.
   Mem->trace().bindStepCounter(&Steps);
@@ -474,6 +476,17 @@ Signal Machine::run() {
   assert(Started && "run() before start()");
   if (PendingSignal)
     return *PendingSignal;
+  // The watchdog polls the clock once per WatchdogStride statements — a
+  // power of two so the poll test is one AND on the step counter. The
+  // deadline is armed on the first run() and survives external-call
+  // round-trips: the budget covers the whole execution, not each resume.
+  constexpr uint64_t WatchdogStride = 4096;
+  const bool HasDeadline = Config.WallTimeoutMs != 0;
+  if (HasDeadline && !DeadlineArmed) {
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(Config.WallTimeoutMs);
+    DeadlineArmed = true;
+  }
   while (true) {
     if (Frames.empty()) {
       Finished = true;
@@ -488,6 +501,17 @@ Signal Machine::run() {
       // Statement boundary: the walker's work-item pop. Fuel is checked and
       // charged here and only here.
       if (Steps >= Config.StepLimit) {
+        HitStepLimit = true;
+        Signal S;
+        S.SignalKind = Signal::Kind::StepLimitReached;
+        PendingSignal = S;
+        return *PendingSignal;
+      }
+      if (HasDeadline && (Steps & (WatchdogStride - 1)) == 0 &&
+          std::chrono::steady_clock::now() >= Deadline) {
+        // Same signal and behavior as fuel exhaustion (the partial event
+        // prefix is all that was observed); timedOut() records the cause.
+        TimedOut = true;
         HitStepLimit = true;
         Signal S;
         S.SignalKind = Signal::Kind::StepLimitReached;

@@ -37,6 +37,7 @@
 #include "memory/Memory.h"
 #include "semantics/Behavior.h"
 
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -69,6 +70,12 @@ struct InterpConfig {
   TypeDiscipline Discipline = TypeDiscipline::Static;
   /// Fuel; exhausting it yields Behavior::Kind::StepLimit.
   uint64_t StepLimit = 1'000'000;
+  /// Wall-clock watchdog in milliseconds; 0 (the default) means unlimited.
+  /// The deadline is armed when run() first executes and polled every few
+  /// thousand statements, so exceeding it surfaces as StepLimitReached —
+  /// the same partial-prefix behavior as fuel exhaustion — with
+  /// Machine::timedOut() distinguishing the cause out-of-band.
+  uint64_t WallTimeoutMs = 0;
   /// Values returned by successive input() operations; exhaustion yields 0.
   std::vector<Word> InputTape;
   /// Observer invoked before each executed instruction, with the current
@@ -157,6 +164,11 @@ public:
   const std::vector<Event> &events() const { return Events; }
   uint64_t stepsUsed() const { return Steps; }
 
+  /// True when the last run() stopped because Config.WallTimeoutMs elapsed.
+  /// The behavior is still Kind::StepLimit — a timeout observes the same
+  /// partial event prefix as fuel exhaustion — this only records the cause.
+  bool timedOut() const { return TimedOut; }
+
   /// The pointer value of global \p Name; setupGlobals() must have run.
   Value globalValue(const std::string &Name) const;
 
@@ -209,6 +221,13 @@ private:
   std::optional<Fault> FinalFault;
   bool Finished = false;
   bool HitStepLimit = false;
+
+  /// Watchdog state: the deadline is computed on the first run() after
+  /// construction/reset (not at configuration time, so queued work does not
+  /// eat into an item's budget) and polled every WatchdogStride statements.
+  bool TimedOut = false;
+  bool DeadlineArmed = false;
+  std::chrono::steady_clock::time_point Deadline;
 };
 
 } // namespace qcm

@@ -9,28 +9,33 @@
 using namespace qcm;
 
 std::unique_ptr<Memory> qcm::makeMemory(const RunConfig &Config) {
+  MemoryConfig MemCfg = Config.MemConfig;
+  if (Config.Inject.ShrinkAddressWords)
+    MemCfg.AddressWords = *Config.Inject.ShrinkAddressWords;
   std::unique_ptr<PlacementOracle> Oracle;
   if (Config.Oracle)
     Oracle = Config.Oracle();
+  std::unique_ptr<Memory> Mem;
   switch (Config.Model) {
   case ModelKind::Concrete:
-    return std::make_unique<ConcreteMemory>(Config.MemConfig,
-                                            std::move(Oracle));
+    Mem = std::make_unique<ConcreteMemory>(MemCfg, std::move(Oracle));
+    break;
   case ModelKind::Logical:
-    return std::make_unique<LogicalMemory>(Config.MemConfig,
-                                           Config.LogicalCasts);
+    Mem = std::make_unique<LogicalMemory>(MemCfg, Config.LogicalCasts);
+    break;
   case ModelKind::QuasiConcrete:
-    return std::make_unique<QuasiConcreteMemory>(Config.MemConfig,
-                                                 std::move(Oracle));
+    Mem = std::make_unique<QuasiConcreteMemory>(MemCfg, std::move(Oracle));
+    break;
   case ModelKind::EagerQuasi: {
     std::unique_ptr<KindOracle> Kinds;
     if (Config.Kinds)
       Kinds = Config.Kinds();
-    return std::make_unique<EagerQuasiMemory>(
-        Config.MemConfig, std::move(Kinds), std::move(Oracle));
+    Mem = std::make_unique<EagerQuasiMemory>(MemCfg, std::move(Kinds),
+                                             std::move(Oracle));
+    break;
   }
   }
-  return nullptr;
+  return wrapWithFaultInjection(std::move(Mem), Config.Inject);
 }
 
 namespace {
@@ -65,7 +70,14 @@ Outcome<Value> materializeArg(const ArgSpec &Spec, Memory &Mem) {
 /// because the caller only resets a memory it built for the same
 /// ModelKind. Oracles come fresh from the factories (null factories keep
 /// the model's current oracle and rewind it).
-void resetModelMemory(Memory &Mem, const RunConfig &Config) {
+void resetModelMemory(Memory &Wrapped, const RunConfig &Config) {
+  // A fault-injecting decorator sits in front of the model when the run
+  // carries a plan; rewind its counters and reach through to the model's
+  // typed reset() (underlying() is the identity on undecorated models, so
+  // a non-identity underlying() identifies the decorator without RTTI).
+  if (Wrapped.underlying() != &Wrapped)
+    static_cast<FaultInjectingMemory &>(Wrapped).rewind();
+  Memory &Mem = *Wrapped.underlying();
   switch (Config.Model) {
   case ModelKind::Concrete:
     static_cast<ConcreteMemory &>(Mem).reset(Config.Oracle ? Config.Oracle()
@@ -107,6 +119,7 @@ RunResult executeConfigured(Machine &M, const RunConfig &Config) {
     Result.Steps = M.stepsUsed();
     Result.ConsistencyError = M.memory().checkConsistency();
     Result.Stats = M.memory().trace().stats();
+    Result.TimedOut = M.timedOut();
     return Result;
   };
 
@@ -136,6 +149,7 @@ RunResult executeConfigured(Machine &M, const RunConfig &Config) {
   Result.Steps = M.stepsUsed();
   Result.ConsistencyError = M.memory().checkConsistency();
   Result.Stats = M.memory().trace().stats();
+  Result.TimedOut = M.timedOut();
   return Result;
 }
 
@@ -154,11 +168,14 @@ qcm::runCompiled(const std::shared_ptr<const qir::QirModule> &Module,
 
 RunResult ExecState::run(const std::shared_ptr<const qir::QirModule> &Module,
                          const RunConfig &Config) {
-  // Reuse needs the same model kind and address space: both are fixed at
-  // memory construction. Everything else (cast behavior, oracles, tapes,
-  // handlers, interpreter config) is re-applied by the resets below.
+  // Reuse needs the same model kind, address space, and fault plan: all
+  // three are fixed at memory construction (the plan decides whether a
+  // decorator wraps the model and what its schedule is). Everything else
+  // (cast behavior, oracles, tapes, handlers, interpreter config) is
+  // re-applied by the resets below.
   const bool Reusable = M && Model == Config.Model &&
-                        MemCfg.AddressWords == Config.MemConfig.AddressWords;
+                        MemCfg.AddressWords == Config.MemConfig.AddressWords &&
+                        Inject == Config.Inject;
   if (Reusable) {
     resetModelMemory(M->memory(), Config);
     M->reset(Module, Config.Interp);
@@ -166,6 +183,7 @@ RunResult ExecState::run(const std::shared_ptr<const qir::QirModule> &Module,
     M = std::make_unique<Machine>(Module, makeMemory(Config), Config.Interp);
     Model = Config.Model;
     MemCfg = Config.MemConfig;
+    Inject = Config.Inject;
   }
   return executeConfigured(*M, Config);
 }

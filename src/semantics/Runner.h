@@ -18,6 +18,7 @@
 #define QCM_SEMANTICS_RUNNER_H
 
 #include "memory/EagerQuasiMemory.h"
+#include "memory/FaultInjection.h"
 #include "memory/LogicalMemory.h"
 #include "memory/Placement.h"
 #include "semantics/Interp.h"
@@ -79,6 +80,11 @@ struct RunConfig {
   /// allocation happens (globals and arguments included). Non-owning; must
   /// outlive the run. Null (the default) keeps the fast no-sink path.
   MemTraceSink *TraceSink = nullptr;
+  /// Deterministic exhaustion schedule (memory/FaultInjection.h). The empty
+  /// default injects nothing and constructs no decorator, so ordinary runs
+  /// keep the direct-model fast path. ShrinkAddressWords, when set,
+  /// overrides MemConfig.AddressWords at memory construction.
+  FaultPlan Inject;
 };
 
 /// Outcome of a run.
@@ -90,6 +96,9 @@ struct RunResult {
   /// Aggregate memory-event statistics of the run (zeros when the library
   /// was built with QCM_TRACE_ENABLED=0).
   ModelStats Stats;
+  /// True when the run stopped because InterpConfig.WallTimeoutMs elapsed.
+  /// The behavior is Kind::StepLimit either way; this records the cause.
+  bool TimedOut = false;
 };
 
 /// Builds a memory instance for \p Config.
@@ -132,9 +141,11 @@ private:
   std::unique_ptr<Machine> M;
   /// Shape of the run M was last configured for; reuse requires a match
   /// (everything else — casts, oracles, tapes, handlers — is re-applied
-  /// by reset).
+  /// by reset). The fault plan is part of the shape: it decides whether
+  /// the memory is decorated at all.
   ModelKind Model = ModelKind::QuasiConcrete;
   MemoryConfig MemCfg;
+  FaultPlan Inject;
 };
 
 } // namespace qcm

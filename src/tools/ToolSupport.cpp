@@ -2,11 +2,42 @@
 
 #include "tools/ToolSupport.h"
 
+#include "support/Telemetry.h"
+
 #include <fstream>
 #include <sstream>
 
 using namespace qcm;
 using namespace qcm_tools;
+
+int qcm_tools::exitCodeForBehavior(const Behavior &B) {
+  switch (B.BehaviorKind) {
+  case Behavior::Kind::Terminated:
+    return ExitSuccess;
+  case Behavior::Kind::Undefined:
+    return ExitUndefined;
+  case Behavior::Kind::OutOfMemory:
+    return ExitOutOfMemory;
+  case Behavior::Kind::StepLimit:
+    return ExitTimeout;
+  }
+  return ExitBadInput;
+}
+
+bool qcm_tools::parseUint(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    if (Value > (UINT64_MAX - 9) / 10)
+      return false;
+    Value = Value * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Out = Value;
+  return true;
+}
 
 bool qcm_tools::readFile(const std::string &Path, std::string &Out,
                          std::string &Error) {
@@ -81,19 +112,26 @@ std::string CommandLine::get(const std::string &Key,
 
 namespace {
 
-std::vector<Word> parseTape(const std::string &Text) {
-  std::vector<Word> Tape;
+bool parseTape(const std::string &Text, std::vector<Word> &Tape,
+               std::string &Error) {
+  if (Text.empty())
+    return true;
   std::string Current;
   for (char C : Text + ",") {
-    if (C == ',') {
-      if (!Current.empty())
-        Tape.push_back(static_cast<Word>(std::stoull(Current)));
-      Current.clear();
-    } else {
+    if (C != ',') {
       Current += C;
+      continue;
     }
+    uint64_t V = 0;
+    if (!parseUint(Current, V)) {
+      Error = "malformed input tape entry '" + Current +
+              "' (expected comma-separated unsigned integers)";
+      return false;
+    }
+    Tape.push_back(static_cast<Word>(V));
+    Current.clear();
   }
-  return Tape;
+  return true;
 }
 
 } // namespace
@@ -120,7 +158,11 @@ bool CommandLine::applyRunOptions(RunConfig &Config,
   } else if (Oracle == "last") {
     Config.Oracle = [] { return std::make_unique<LastFitOracle>(); };
   } else if (Oracle.rfind("random:", 0) == 0) {
-    uint64_t Seed = std::stoull(Oracle.substr(7));
+    uint64_t Seed = 0;
+    if (!parseUint(Oracle.substr(7), Seed)) {
+      Error = "malformed oracle seed in '" + Oracle + "'";
+      return false;
+    }
     Config.Oracle = [Seed] { return std::make_unique<RandomOracle>(Seed); };
   } else {
     Error = "unknown oracle '" + Oracle + "'";
@@ -128,17 +170,359 @@ bool CommandLine::applyRunOptions(RunConfig &Config,
   }
 
   Config.Entry = get("entry", "main");
-  if (has("input"))
-    Config.Interp.InputTape = parseTape(get("input"));
-  if (has("words"))
-    Config.MemConfig.AddressWords = std::stoull(get("words"));
-  if (has("steps"))
-    Config.Interp.StepLimit = std::stoull(get("steps"));
+  if (has("input")) {
+    Config.Interp.InputTape.clear();
+    if (!parseTape(get("input"), Config.Interp.InputTape, Error))
+      return false;
+  }
+  if (has("words")) {
+    if (!parseUint(get("words"), Config.MemConfig.AddressWords) ||
+        Config.MemConfig.AddressWords < 3) {
+      Error = "invalid --words value '" + get("words") +
+              "' (expected an integer >= 3)";
+      return false;
+    }
+  }
+  if (has("steps")) {
+    if (!parseUint(get("steps"), Config.Interp.StepLimit)) {
+      Error = "invalid --steps value '" + get("steps") + "'";
+      return false;
+    }
+  }
+  if (has("timeout-ms")) {
+    if (!parseUint(get("timeout-ms"), Config.Interp.WallTimeoutMs)) {
+      Error = "invalid --timeout-ms value '" + get("timeout-ms") + "'";
+      return false;
+    }
+  }
+  if (has("inject")) {
+    std::string PlanError;
+    std::optional<FaultPlan> Plan = FaultPlan::parse(get("inject"), PlanError);
+    if (!Plan) {
+      Error = "invalid --inject plan: " + PlanError;
+      return false;
+    }
+    Config.Inject = *Plan;
+  }
   if (has("loose")) {
     Config.Interp.Discipline = TypeDiscipline::Loose;
     Config.LogicalCasts = LogicalMemory::CastBehavior::TransparentNop;
   }
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// CheckpointJournal
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Inverse of qcm::jsonEscape for the escapes it produces.
+std::string jsonUnescape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (size_t I = 0; I < Text.size(); ++I) {
+    char C = Text[I];
+    if (C != '\\' || I + 1 >= Text.size()) {
+      Out += C;
+      continue;
+    }
+    char Next = Text[++I];
+    switch (Next) {
+    case 'n':
+      Out += '\n';
+      break;
+    case 'r':
+      Out += '\r';
+      break;
+    case 't':
+      Out += '\t';
+      break;
+    case 'u': {
+      if (I + 4 < Text.size()) {
+        unsigned V = 0;
+        for (int D = 0; D < 4; ++D) {
+          char H = Text[I + 1 + D];
+          V = V * 16 +
+              (H >= '0' && H <= '9'   ? unsigned(H - '0')
+               : H >= 'a' && H <= 'f' ? unsigned(H - 'a' + 10)
+               : H >= 'A' && H <= 'F' ? unsigned(H - 'A' + 10)
+                                      : 0);
+        }
+        Out += static_cast<char>(V);
+        I += 4;
+      }
+      break;
+    }
+    default:
+      Out += Next; // '\\' and '"'
+    }
+  }
+  return Out;
+}
+
+/// Pulls the raw text of field \p Key out of a single-line JSON object
+/// produced by qcm::JsonObject (flat objects, string or numeric/bool
+/// values). Returns false when the key is absent.
+bool jsonField(const std::string &Line, const std::string &Key,
+               std::string &Raw, bool &IsString) {
+  std::string Needle = "\"" + Key + "\":";
+  size_t Pos = Line.find(Needle);
+  if (Pos == std::string::npos)
+    return false;
+  Pos += Needle.size();
+  if (Pos >= Line.size())
+    return false;
+  if (Line[Pos] == '"') {
+    IsString = true;
+    std::string Value;
+    for (size_t I = Pos + 1; I < Line.size(); ++I) {
+      if (Line[I] == '\\' && I + 1 < Line.size()) {
+        Value += Line[I];
+        Value += Line[I + 1];
+        ++I;
+        continue;
+      }
+      if (Line[I] == '"') {
+        Raw = jsonUnescape(Value);
+        return true;
+      }
+      Value += Line[I];
+    }
+    return false; // unterminated string: truncated line
+  }
+  IsString = false;
+  size_t End = Pos;
+  while (End < Line.size() && Line[End] != ',' && Line[End] != '}')
+    ++End;
+  if (End == Line.size())
+    return false; // truncated line
+  Raw = Line.substr(Pos, End - Pos);
+  return true;
+}
+
+const char *behaviorKindToken(Behavior::Kind Kind) {
+  switch (Kind) {
+  case Behavior::Kind::Terminated:
+    return "term";
+  case Behavior::Kind::Undefined:
+    return "undef";
+  case Behavior::Kind::OutOfMemory:
+    return "oom";
+  case Behavior::Kind::StepLimit:
+    return "steplimit";
+  }
+  return "term";
+}
+
+bool behaviorKindFromToken(const std::string &Token, Behavior::Kind &Kind) {
+  if (Token == "term")
+    Kind = Behavior::Kind::Terminated;
+  else if (Token == "undef")
+    Kind = Behavior::Kind::Undefined;
+  else if (Token == "oom")
+    Kind = Behavior::Kind::OutOfMemory;
+  else if (Token == "steplimit")
+    Kind = Behavior::Kind::StepLimit;
+  else
+    return false;
+  return true;
+}
+
+/// Events as "o5.i3.o7"; round-trips through parseEventsToken.
+std::string eventsToken(const std::vector<Event> &Events) {
+  std::string Text;
+  for (const Event &E : Events) {
+    if (!Text.empty())
+      Text += '.';
+    Text += E.EventKind == Event::Kind::Input ? 'i' : 'o';
+    Text += std::to_string(static_cast<uint64_t>(E.Value));
+  }
+  return Text;
+}
+
+bool parseEventsToken(const std::string &Text, std::vector<Event> &Events) {
+  if (Text.empty())
+    return true;
+  std::string Tok;
+  for (char C : Text + ".") {
+    if (C != '.') {
+      Tok += C;
+      continue;
+    }
+    if (Tok.size() < 2 || (Tok[0] != 'i' && Tok[0] != 'o'))
+      return false;
+    uint64_t V = 0;
+    if (!parseUint(Tok.substr(1), V))
+      return false;
+    Events.push_back(Tok[0] == 'i' ? Event::input(static_cast<Word>(V))
+                                   : Event::output(static_cast<Word>(V)));
+    Tok.clear();
+  }
+  return true;
+}
+
+/// ModelStats as a fixed-order comma list; must round-trip exactly for the
+/// resumed report's AggregateStats to match byte for byte.
+std::string statsToken(const ModelStats &S) {
+  const uint64_t Fields[] = {S.Allocations,    S.AllocationFailures,
+                             S.Frees,          S.Loads,
+                             S.Stores,         S.CastsToInt,
+                             S.CastsToPtr,     S.Realizations,
+                             S.RealizationFailures, S.UndefinedFaults,
+                             S.NoBehaviorFaults,    S.LiveBlocks,
+                             S.PeakLiveBlocks, S.RealizedBytes,
+                             S.PeakRealizedBytes};
+  std::string Text;
+  for (uint64_t F : Fields) {
+    if (!Text.empty())
+      Text += ',';
+    Text += std::to_string(F);
+  }
+  return Text;
+}
+
+bool parseStatsToken(const std::string &Text, ModelStats &S) {
+  uint64_t *Fields[] = {&S.Allocations,    &S.AllocationFailures,
+                        &S.Frees,          &S.Loads,
+                        &S.Stores,         &S.CastsToInt,
+                        &S.CastsToPtr,     &S.Realizations,
+                        &S.RealizationFailures, &S.UndefinedFaults,
+                        &S.NoBehaviorFaults,    &S.LiveBlocks,
+                        &S.PeakLiveBlocks, &S.RealizedBytes,
+                        &S.PeakRealizedBytes};
+  size_t Idx = 0;
+  std::string Tok;
+  for (char C : Text + ",") {
+    if (C != ',') {
+      Tok += C;
+      continue;
+    }
+    if (Idx >= std::size(Fields) || !parseUint(Tok, *Fields[Idx]))
+      return false;
+    ++Idx;
+    Tok.clear();
+  }
+  return Idx == std::size(Fields);
+}
+
+std::string journalHeader(const std::string &JobKey) {
+  return JsonObject()
+      .field("qcm-journal", uint64_t{1})
+      .field("job", JobKey)
+      .str();
+}
+
+/// One cell line; any parse failure is treated as a truncated/corrupt tail
+/// and cleanly ends the load.
+bool parseCellLine(const std::string &Line, size_t &Index, RunResult &R) {
+  std::string Raw;
+  bool IsString = false;
+  uint64_t Cell = 0;
+  if (!jsonField(Line, "cell", Raw, IsString) || IsString ||
+      !parseUint(Raw, Cell))
+    return false;
+  Index = static_cast<size_t>(Cell);
+  if (!jsonField(Line, "kind", Raw, IsString) || !IsString ||
+      !behaviorKindFromToken(Raw, R.Behav.BehaviorKind))
+    return false;
+  if (!jsonField(Line, "events", Raw, IsString) || !IsString ||
+      !parseEventsToken(Raw, R.Behav.Events))
+    return false;
+  if (!jsonField(Line, "reason", Raw, IsString) || !IsString)
+    return false;
+  R.Behav.Reason = Raw;
+  if (!jsonField(Line, "steps", Raw, IsString) || IsString ||
+      !parseUint(Raw, R.Steps))
+    return false;
+  if (!jsonField(Line, "timedout", Raw, IsString) || IsString)
+    return false;
+  R.TimedOut = Raw == "true";
+  if (jsonField(Line, "consistency", Raw, IsString) && IsString)
+    R.ConsistencyError = Raw;
+  if (!jsonField(Line, "stats", Raw, IsString) || !IsString ||
+      !parseStatsToken(Raw, R.Stats))
+    return false;
+  return true;
+}
+
+std::string cellLine(size_t Index, const RunResult &R) {
+  JsonObject Obj;
+  Obj.field("cell", static_cast<uint64_t>(Index))
+      .field("kind", behaviorKindToken(R.Behav.BehaviorKind))
+      .field("events", eventsToken(R.Behav.Events))
+      .field("reason", R.Behav.Reason)
+      .field("steps", R.Steps)
+      .fieldBool("timedout", R.TimedOut);
+  if (R.ConsistencyError)
+    Obj.field("consistency", *R.ConsistencyError);
+  Obj.field("stats", statsToken(R.Stats));
+  return Obj.str();
+}
+
+} // namespace
+
+bool CheckpointJournal::open(const std::string &Path,
+                             const std::string &JobKey, bool Resume,
+                             std::string &Error) {
+  Cells.clear();
+  if (Resume) {
+    std::ifstream In(Path);
+    if (In) {
+      std::string Line;
+      if (!std::getline(In, Line)) {
+        // Empty file: treat as fresh.
+      } else {
+        std::string Raw;
+        bool IsString = false;
+        if (!jsonField(Line, "qcm-journal", Raw, IsString) ||
+            !jsonField(Line, "job", Raw, IsString) || !IsString) {
+          Error = "'" + Path + "' is not a qcm-check journal";
+          return false;
+        }
+        if (Raw != JobKey) {
+          Error = "journal '" + Path +
+                  "' was written for a different job (programs or "
+                  "grid-shaping options changed); refusing to resume";
+          return false;
+        }
+        while (std::getline(In, Line)) {
+          size_t Index = 0;
+          RunResult R;
+          if (!parseCellLine(Line, Index, R))
+            break; // truncated tail from a killed run: replay what we have
+          Cells[Index] = std::move(R);
+        }
+      }
+    }
+    // (Missing file: nothing to replay, start journaling from scratch.)
+  }
+  // Rewrite the file from the loaded state rather than appending: a killed
+  // run can leave a torn final line, and appending after it would corrupt
+  // the journal. Cells merge in plan order, so replaying them in index
+  // order reproduces an uninterrupted journal byte-for-byte.
+  Out = std::make_unique<std::ofstream>(Path, std::ios::trunc);
+  if (!*Out) {
+    Error = "cannot open journal '" + Path + "' for writing";
+    return false;
+  }
+  *Out << journalHeader(JobKey) << '\n';
+  for (const auto &[Index, R] : Cells)
+    *Out << cellLine(Index, R) << '\n';
+  Out->flush();
+  return true;
+}
+
+const RunResult *CheckpointJournal::cached(size_t Index) const {
+  auto It = Cells.find(Index);
+  return It == Cells.end() ? nullptr : &It->second;
+}
+
+void CheckpointJournal::record(size_t Index, const RunResult &R) {
+  if (!Out || Cells.count(Index))
+    return;
+  *Out << cellLine(Index, R) << '\n';
+  Out->flush();
 }
 
 bool CommandLine::applyExplorationOptions(ExplorationOptions &Exec,

@@ -17,11 +17,40 @@
 #include "refinement/Exploration.h"
 #include "semantics/Runner.h"
 
+#include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace qcm_tools {
+
+/// Documented exit codes shared by the command-line tools, so scripts can
+/// dispatch on the *fault class* of a run (see docs/FAULT_INJECTION.md):
+///
+///   0  success — the program terminated / the target refines the source
+///   1  refinement failure (qcm-check) or other checked negative verdict
+///   2  bad input — usage errors, unreadable files, parse/type errors,
+///      malformed option values
+///   3  the execution hit undefined behavior
+///   4  the execution ran out of (concrete) address space — the paper's
+///      "no behavior"; injected exhaustion exits the same way
+///   5  the execution was cut short: step budget or --timeout-ms watchdog
+enum ExitCode : int {
+  ExitSuccess = 0,
+  ExitCheckFailed = 1,
+  ExitBadInput = 2,
+  ExitUndefined = 3,
+  ExitOutOfMemory = 4,
+  ExitTimeout = 5,
+};
+
+/// The exit code classifying one run's behavior.
+int exitCodeForBehavior(const qcm::Behavior &B);
+
+/// Parses a nonempty all-digit string into \p Out, rejecting garbage and
+/// overflow (unlike std::stoull, never throws).
+bool parseUint(const std::string &Text, uint64_t &Out);
 
 /// Reads a whole file into \p Out; false with \p Error on failure.
 bool readFile(const std::string &Path, std::string &Out, std::string &Error);
@@ -53,13 +82,49 @@ struct CommandLine {
                   const std::string &Default = "") const;
 
   /// Applies the shared run options (--model, --oracle, --entry, --input,
-  /// --words, --steps, --loose) to \p Config.
+  /// --words, --steps, --loose, --inject, --timeout-ms) to \p Config.
+  /// Malformed values (non-numeric counts, bad tape syntax, unknown fault
+  /// plans) fail with a diagnostic instead of throwing.
   bool applyRunOptions(qcm::RunConfig &Config, std::string &Error) const;
 
   /// Applies the shared exploration options: --jobs=N (N worker threads;
   /// "auto" or 0 means one per hardware thread) and --fail-fast.
   bool applyExplorationOptions(qcm::ExplorationOptions &Exec,
                                std::string &Error) const;
+};
+
+/// JSONL journal of completed refinement-grid cells, the persistence half
+/// of qcm-check's --journal/--resume. Line 1 is a header binding the
+/// journal to one job (a caller-computed key over the programs and the
+/// grid-shaping options); each further line is one cell's RunResult, in
+/// whatever order cells merged. Every record is flushed as written, so a
+/// killed run loses at most its in-progress line — load() tolerates a
+/// truncated tail. Replayed through ExplorationPlan::Cached, journaled
+/// cells skip execution entirely, and because the grid is deterministic
+/// the resumed report is byte-identical to an uninterrupted run's.
+class CheckpointJournal {
+public:
+  /// Opens \p Path. With \p Resume, an existing journal is first loaded
+  /// (its header's job key must equal \p JobKey), then the file is
+  /// rewritten from the loaded cells — dropping any torn final line a
+  /// killed run left behind — and further cells append after it. Without
+  /// \p Resume the file is started fresh. Missing file + Resume is not an
+  /// error: there is simply nothing to replay.
+  bool open(const std::string &Path, const std::string &JobKey, bool Resume,
+            std::string &Error);
+
+  /// The journaled result for cell \p Index, or null.
+  const qcm::RunResult *cached(size_t Index) const;
+
+  /// Appends cell \p Index unless it was loaded from the journal already
+  /// (replayed cells must not duplicate their lines), then flushes.
+  void record(size_t Index, const qcm::RunResult &R);
+
+  size_t cachedCount() const { return Cells.size(); }
+
+private:
+  std::map<size_t, qcm::RunResult> Cells;
+  std::unique_ptr<std::ofstream> Out;
 };
 
 } // namespace qcm_tools

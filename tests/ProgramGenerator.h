@@ -23,6 +23,7 @@
 
 #include "support/Rng.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -172,6 +173,73 @@ private:
 
   std::vector<std::string> ExtraLocals;
 };
+
+/// A self-contained reproduction line for a failing chaos case. The seed
+/// rebuilds the exact program (`ProgramGenerator(seed).generate()`), and the
+/// fault plan plus model replay the exact execution once the program is in a
+/// file: `qcm-run --model=<m> --inject=<plan> prog.qcm`.
+inline std::string reproLine(uint64_t Seed, const std::string &ModelName,
+                             const std::string &PlanSpec) {
+  return "repro: ProgramGenerator(" + std::to_string(Seed) +
+         ").generate() > prog.qcm && qcm-run --model=" + ModelName +
+         " --inject=" + PlanSpec + " prog.qcm";
+}
+
+/// Line-granular delta reduction (greedy ddmin): repeatedly removes chunks
+/// of lines, keeping a removal whenever \p StillFails accepts the shrunken
+/// source. The predicate owns all validity checking — it must return false
+/// for sources that no longer compile or no longer exhibit the failure.
+/// Deterministic; at most \p MaxChecks predicate calls, so a slow predicate
+/// cannot stall a test run.
+inline std::string
+minimizeSource(std::string Source,
+               const std::function<bool(const std::string &)> &StillFails,
+               unsigned MaxChecks = 2000) {
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos < Source.size()) {
+    size_t Eol = Source.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Source.size() - 1;
+    Lines.push_back(Source.substr(Pos, Eol - Pos + 1));
+    Pos = Eol + 1;
+  }
+
+  auto Join = [](const std::vector<std::string> &Ls) {
+    std::string S;
+    for (const std::string &L : Ls)
+      S += L;
+    return S;
+  };
+
+  unsigned Checks = 0;
+  for (size_t Chunk = Lines.size() / 2; Chunk >= 1; Chunk /= 2) {
+    bool Removed = true;
+    while (Removed && Checks < MaxChecks) {
+      Removed = false;
+      for (size_t Start = 0;
+           Start + Chunk <= Lines.size() && Checks < MaxChecks;) {
+        std::vector<std::string> Candidate;
+        Candidate.reserve(Lines.size() - Chunk);
+        Candidate.insert(Candidate.end(), Lines.begin(), Lines.begin() + Start);
+        Candidate.insert(Candidate.end(), Lines.begin() + Start + Chunk,
+                         Lines.end());
+        ++Checks;
+        if (StillFails(Join(Candidate))) {
+          Lines = std::move(Candidate);
+          Removed = true;
+          // Do not advance: the lines that slid into [Start, Start+Chunk)
+          // get their shot immediately.
+        } else {
+          ++Start;
+        }
+      }
+    }
+    if (Chunk == 1)
+      break;
+  }
+  return Join(Lines);
+}
 
 } // namespace qcm_test
 

@@ -1,0 +1,205 @@
+//===- tests/exhaustion_sweep_test.cpp - Exhaustion-sweep checking --------===//
+//
+// The RefinementChecker's exhaustion sweep (RefinementJob::ExhaustionSweep):
+// out-of-memory is forced at every reachable injection point of every grid
+// cell, and the truncated target prefixes are checked against the source
+// under the *strict* Section 2.3 partial-behavior rule. The headline
+// property: a transformation that reorders an observable event across an
+// injection point passes the plain grid (where exhaustion never fires under
+// the default space) but is caught by the sweep.
+//
+//===----------------------------------------------------------------------===//
+
+#include "refinement/RefinementChecker.h"
+
+#include "core/Vm.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+Program compile(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  EXPECT_TRUE(P) << V.lastDiagnostics();
+  return P ? std::move(*P) : Program{};
+}
+
+RefinementJob makeJob(const Program &Src, const Program &Tgt,
+                      ModelKind Model = ModelKind::QuasiConcrete) {
+  RefinementJob Job;
+  Job.Src = &Src;
+  Job.Tgt = &Tgt;
+  Job.BaseSrc.Model = Job.BaseTgt.Model = Model;
+  Job.ExhaustionSweep = true;
+  return Job;
+}
+
+// The source observes output(1) before its cast; the "optimized" target
+// hoists the cast above the output. With exhaustion injected at the cast,
+// the source still shows out(1) while the target shows nothing — a
+// truncated prefix the source set cannot admit strictly.
+const char *MovedOutputSrc = "main() {\n"
+                             "  var ptr p, int a;\n"
+                             "  p = malloc(1);\n"
+                             "  output(1);\n"
+                             "  a = (int) p;\n"
+                             "  output(2);\n"
+                             "}\n";
+const char *MovedOutputTgt = "main() {\n"
+                             "  var ptr p, int a;\n"
+                             "  p = malloc(1);\n"
+                             "  a = (int) p;\n"
+                             "  output(1);\n"
+                             "  output(2);\n"
+                             "}\n";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// partialAdmittedStrict
+//===----------------------------------------------------------------------===//
+
+TEST(PartialAdmittedStrict, RequiresAnIdenticalOomPartialInTheSource) {
+  std::vector<Event> One{Event{Event::Kind::Output, 1}};
+  std::vector<Event> Two{Event{Event::Kind::Output, 1},
+                         Event{Event::Kind::Output, 2}};
+  Behavior TgtPartial = Behavior::outOfMemory(One, "injected");
+
+  BehaviorSet Src;
+  Src.insert(Behavior::terminated(Two));
+  // The relaxed rule admits the partial (a source behavior extends it);
+  // the strict rule does not — the source has no OOM element.
+  EXPECT_TRUE(behaviorAdmitted(TgtPartial, Src));
+  EXPECT_FALSE(partialAdmittedStrict(TgtPartial, Src));
+
+  Src.insert(Behavior::outOfMemory(One, "same prefix"));
+  EXPECT_TRUE(partialAdmittedStrict(TgtPartial, Src));
+}
+
+TEST(PartialAdmittedStrict, OomEventsMustMatchExactlyNotByPrefix) {
+  std::vector<Event> One{Event{Event::Kind::Output, 1}};
+  BehaviorSet Src;
+  Src.insert(Behavior::outOfMemory(One, ""));
+  EXPECT_FALSE(
+      partialAdmittedStrict(Behavior::outOfMemory({}, ""), Src));
+  EXPECT_TRUE(partialAdmittedStrict(Behavior::outOfMemory(One, ""), Src));
+}
+
+TEST(PartialAdmittedStrict, SourceUndefinednessAdmitsAnyExtension) {
+  std::vector<Event> One{Event{Event::Kind::Output, 1}};
+  std::vector<Event> Two{Event{Event::Kind::Output, 1},
+                         Event{Event::Kind::Output, 2}};
+  BehaviorSet Src;
+  Src.insert(Behavior::undefined(One, "ub"));
+  EXPECT_TRUE(partialAdmittedStrict(Behavior::outOfMemory(Two, ""), Src));
+  EXPECT_FALSE(partialAdmittedStrict(Behavior::outOfMemory({}, ""), Src));
+}
+
+//===----------------------------------------------------------------------===//
+// The sweep
+//===----------------------------------------------------------------------===//
+
+TEST(ExhaustionSweep, CatchesAnOutputMovedAcrossACastOnlyUnderInjection) {
+  Program Src = compile(MovedOutputSrc);
+  Program Tgt = compile(MovedOutputTgt);
+
+  // Plain grid: exhaustion never fires under the default space, so the
+  // reordering is invisible and the check passes.
+  RefinementJob Plain = makeJob(Src, Tgt);
+  Plain.ExhaustionSweep = false;
+  EXPECT_TRUE(checkRefinement(Plain).Refines);
+
+  // Sweep: injection at the cast truncates the target to an empty prefix
+  // the source's injected set (out(1), partial) cannot admit.
+  RefinementJob Sweep = makeJob(Src, Tgt);
+  RefinementReport R = checkRefinement(Sweep);
+  EXPECT_FALSE(R.Refines);
+  EXPECT_TRUE(R.SweepRan);
+  EXPECT_GT(R.InjectedRuns, 0u);
+  ASSERT_FALSE(R.PerContext.empty());
+  const ContextReport &CR = R.PerContext.front();
+  EXPECT_TRUE(CR.Refines) << "the main grid must still pass";
+  EXPECT_FALSE(CR.SweepRefines);
+  EXPECT_EQ(CR.SweepCounterexample.BehaviorKind, Behavior::Kind::OutOfMemory);
+  EXPECT_NE(R.toString().find("REFINEMENT FAILS UNDER INJECTION"),
+            std::string::npos);
+}
+
+TEST(ExhaustionSweep, IdentityRefinesUnderInjection) {
+  Program Src = compile(MovedOutputSrc);
+  Program Tgt = compile(MovedOutputSrc);
+  RefinementReport R = checkRefinement(makeJob(Src, Tgt));
+  EXPECT_TRUE(R.Refines) << R.toString();
+  EXPECT_TRUE(R.SweepRan);
+  EXPECT_GT(R.InjectedRuns, 0u);
+  for (const ContextReport &CR : R.PerContext) {
+    EXPECT_TRUE(CR.SweepRefines);
+    // Both sides saw the same injection points, so the partial sets match.
+    EXPECT_EQ(CR.SrcInjectedPartials.toString(),
+              CR.TgtInjectedPartials.toString());
+  }
+}
+
+TEST(ExhaustionSweep, LogicalModelHasNoInjectionPoints) {
+  // The logical model has no finite resource (Section 2.2): nothing to
+  // inject, so the sweep runs vacuously with zero probes.
+  Program Src = compile("main() {\n"
+                        "  var ptr p, int a;\n"
+                        "  p = malloc(2);\n"
+                        "  *p = 7;\n"
+                        "  a = *p;\n"
+                        "  output(a);\n"
+                        "}\n");
+  RefinementReport R =
+      checkRefinement(makeJob(Src, Src, ModelKind::Logical));
+  EXPECT_TRUE(R.Refines);
+  EXPECT_TRUE(R.SweepRan);
+  EXPECT_EQ(R.InjectedRuns, 0u);
+}
+
+TEST(ExhaustionSweep, EagerModelProbesBothAllocationsAndCasts) {
+  Program Src = compile(MovedOutputSrc);
+  RefinementReport Quasi =
+      checkRefinement(makeJob(Src, Src, ModelKind::QuasiConcrete));
+  RefinementReport Eager =
+      checkRefinement(makeJob(Src, Src, ModelKind::EagerQuasi));
+  EXPECT_TRUE(Eager.Refines) << Eager.toString();
+  // Same program, but the eager model additionally probes every
+  // allocation, so it performs strictly more injected runs.
+  EXPECT_GT(Eager.InjectedRuns, Quasi.InjectedRuns);
+}
+
+TEST(ExhaustionSweep, CapTruncatesAndFlagsTheCell) {
+  Program Src = compile(MovedOutputSrc);
+  RefinementJob Job = makeJob(Src, Src);
+  Job.SweepMaxPointsPerCell = 0; // below the one reachable cast
+  RefinementReport R = checkRefinement(Job);
+  EXPECT_TRUE(R.Refines);
+  ASSERT_FALSE(R.PerContext.empty());
+  EXPECT_TRUE(R.PerContext.front().SweepCapped);
+  EXPECT_NE(R.toString().find("cap"), std::string::npos);
+}
+
+TEST(ExhaustionSweep, ReportIsIdenticalAcrossJobCounts) {
+  Program Src = compile(MovedOutputSrc);
+  Program Tgt = compile(MovedOutputTgt);
+  RefinementJob Serial = makeJob(Src, Tgt);
+  RefinementJob Pooled = makeJob(Src, Tgt);
+  Pooled.Exec.Jobs = 4;
+  EXPECT_EQ(checkRefinement(Serial).toString(),
+            checkRefinement(Pooled).toString());
+}
+
+TEST(ExhaustionSweep, PlainReportsDoNotMentionTheSweep) {
+  // Reports without --sweep must render byte-identically to the pre-sweep
+  // format (downstream tooling parses them).
+  Program Src = compile(MovedOutputSrc);
+  RefinementJob Job = makeJob(Src, Src);
+  Job.ExhaustionSweep = false;
+  std::string Text = checkRefinement(Job).toString();
+  EXPECT_EQ(Text.find("sweep"), std::string::npos);
+  EXPECT_EQ(Text.find("injected"), std::string::npos);
+}

@@ -1,0 +1,220 @@
+//===- tests/fault_injection_test.cpp - FaultPlan / decorator tests -------===//
+//
+// The deterministic exhaustion-injection layer (memory/FaultInjection.h):
+// plan spec round trips and parse diagnostics, the decorator's trigger
+// semantics and bookkeeping, the rewind/reuse protocol, and the
+// zero-overhead wrapping contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/FaultInjection.h"
+
+#include "memory/ConcreteMemory.h"
+#include "memory/QuasiConcreteMemory.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+MemoryConfig tiny(uint64_t Words) {
+  MemoryConfig C;
+  C.AddressWords = Words;
+  return C;
+}
+
+FaultInjectingMemory wrapConcrete(uint64_t Words, FaultPlan Plan) {
+  return FaultInjectingMemory(std::make_unique<ConcreteMemory>(tiny(Words)),
+                              std::move(Plan));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FaultPlan spec syntax
+//===----------------------------------------------------------------------===//
+
+TEST(FaultPlan, ToStringParseRoundTrips) {
+  std::string Error;
+  for (const char *Spec :
+       {"none", "alloc:3", "cast:1", "op:17", "words:64", "alloc:2+cast:3",
+        "alloc:1+cast:2+op:9+words:16", "cast:5+words:0"}) {
+    std::optional<FaultPlan> P = FaultPlan::parse(Spec, Error);
+    ASSERT_TRUE(P) << Spec << ": " << Error;
+    EXPECT_EQ(P->toString(), Spec);
+    std::optional<FaultPlan> Again = FaultPlan::parse(P->toString(), Error);
+    ASSERT_TRUE(Again);
+    EXPECT_TRUE(*P == *Again);
+  }
+}
+
+TEST(FaultPlan, EmptySpecIsTheEmptyPlan) {
+  std::string Error;
+  std::optional<FaultPlan> P = FaultPlan::parse("", Error);
+  ASSERT_TRUE(P);
+  EXPECT_TRUE(P->empty());
+  EXPECT_FALSE(P->needsDecorator());
+  EXPECT_EQ(P->toString(), "none");
+}
+
+TEST(FaultPlan, ParseRejectsMalformedSpecs) {
+  std::string Error;
+  for (const char *Bad :
+       {"bogus:1", "alloc:x", "alloc:", "alloc", ":3", "alloc:1+alloc:2",
+        "alloc:0", "op:0", "alloc:99999999999999999999999", "alloc:1++cast:2",
+        "alloc:1+"}) {
+    Error.clear();
+    EXPECT_FALSE(FaultPlan::parse(Bad, Error)) << Bad;
+    EXPECT_FALSE(Error.empty()) << Bad;
+  }
+}
+
+TEST(FaultPlan, WordsMayBeZeroButOrdinalsMayNot) {
+  // words:K is a size, not a 1-based ordinal; the ordinal keys reject 0.
+  std::string Error;
+  EXPECT_TRUE(FaultPlan::parse("words:0", Error));
+  EXPECT_FALSE(FaultPlan::parse("cast:0", Error));
+}
+
+TEST(FaultPlan, WordsAloneNeedsNoDecorator) {
+  FaultPlan P;
+  P.ShrinkAddressWords = 16;
+  EXPECT_FALSE(P.empty());
+  EXPECT_FALSE(P.needsDecorator());
+  EXPECT_TRUE(FaultPlan::failAllocation(1).needsDecorator());
+  EXPECT_TRUE(FaultPlan::failCast(1).needsDecorator());
+  EXPECT_TRUE(FaultPlan::failOperation(1).needsDecorator());
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjectingMemory
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectingMemory, FailsExactlyTheNthAllocation) {
+  FaultInjectingMemory M = wrapConcrete(256, FaultPlan::failAllocation(2));
+  ASSERT_TRUE(M.allocate(4).ok());
+  EXPECT_FALSE(M.fired());
+
+  Outcome<Value> Second = M.allocate(4);
+  ASSERT_FALSE(Second.ok());
+  EXPECT_TRUE(Second.fault().isOutOfMemory());
+  EXPECT_EQ(Second.fault().Reason, "injected exhaustion: allocation #2");
+  EXPECT_TRUE(M.fired());
+
+  // The schedule names one operation; later allocations go through again.
+  EXPECT_TRUE(M.allocate(4).ok());
+  EXPECT_EQ(M.allocationsSeen(), 3u);
+}
+
+TEST(FaultInjectingMemory, InjectedAllocationCountsAsAFailureInStats) {
+  FaultInjectingMemory M = wrapConcrete(256, FaultPlan::failAllocation(1));
+  ASSERT_FALSE(M.allocate(4).ok());
+  EXPECT_EQ(M.trace().stats().AllocationFailures, 1u);
+  EXPECT_EQ(M.trace().stats().Allocations, 0u);
+}
+
+TEST(FaultInjectingMemory, FailsExactlyTheNthCast) {
+  FaultInjectingMemory M(
+      std::make_unique<QuasiConcreteMemory>(tiny(256)),
+      FaultPlan::failCast(2));
+  Outcome<Value> P = M.allocate(4);
+  ASSERT_TRUE(P.ok());
+  ASSERT_TRUE(M.castPtrToInt(P.value()).ok());
+
+  Outcome<Value> Second = M.castPtrToInt(P.value());
+  ASSERT_FALSE(Second.ok());
+  EXPECT_TRUE(Second.fault().isOutOfMemory());
+  EXPECT_EQ(Second.fault().Reason,
+            "injected exhaustion: pointer-to-integer cast #2");
+  // The block was realized by the first, successful cast; the injected one
+  // never reached the model.
+  EXPECT_EQ(M.trace().stats().Realizations, 1u);
+}
+
+TEST(FaultInjectingMemory, FailOperationCountsEveryOperationKind) {
+  FaultInjectingMemory M = wrapConcrete(256, FaultPlan::failOperation(4));
+  Outcome<Value> P = M.allocate(4); // op 1
+  ASSERT_TRUE(P.ok());
+  Value Addr = P.value();
+  ASSERT_TRUE(M.store(Addr, Value::makeInt(7)).ok()); // op 2
+  ASSERT_TRUE(M.load(Addr).ok());                     // op 3
+  Outcome<Value> Fourth = M.load(Addr);               // op 4: injected
+  ASSERT_FALSE(Fourth.ok());
+  EXPECT_TRUE(Fourth.fault().isOutOfMemory());
+  EXPECT_EQ(Fourth.fault().Reason, "injected exhaustion: operation #4");
+  EXPECT_EQ(M.operationsSeen(), 4u);
+}
+
+TEST(FaultInjectingMemory, RewindReplaysTheSameSchedule) {
+  FaultInjectingMemory M = wrapConcrete(256, FaultPlan::failAllocation(2));
+  ASSERT_TRUE(M.allocate(4).ok());
+  ASSERT_FALSE(M.allocate(4).ok());
+  ASSERT_TRUE(M.fired());
+
+  M.rewind();
+  static_cast<ConcreteMemory *>(M.underlying())->reset();
+  EXPECT_FALSE(M.fired());
+  EXPECT_EQ(M.allocationsSeen(), 0u);
+  ASSERT_TRUE(M.allocate(4).ok());
+  Outcome<Value> Second = M.allocate(4);
+  ASSERT_FALSE(Second.ok());
+  EXPECT_EQ(Second.fault().Reason, "injected exhaustion: allocation #2");
+}
+
+TEST(FaultInjectingMemory, CloneCarriesCountersForward) {
+  FaultInjectingMemory M = wrapConcrete(256, FaultPlan::failAllocation(2));
+  ASSERT_TRUE(M.allocate(4).ok());
+  std::unique_ptr<Memory> Copy = M.clone();
+  // The copy is one allocation in, so its next allocation is the failing
+  // second one.
+  EXPECT_FALSE(Copy->allocate(4).ok());
+  // ... independently of the original.
+  EXPECT_FALSE(M.allocate(4).ok());
+}
+
+TEST(FaultInjectingMemory, IsTransparentToTheInnerModel) {
+  FaultInjectingMemory M = wrapConcrete(256, FaultPlan::failAllocation(99));
+  EXPECT_EQ(M.kind(), ModelKind::Concrete);
+  Outcome<Value> P = M.allocate(3);
+  ASSERT_TRUE(P.ok());
+  ASSERT_TRUE(M.store(P.value(), Value::makeInt(11)).ok());
+  EXPECT_EQ(M.load(P.value()).value().intValue(), 11u);
+  EXPECT_EQ(M.checkConsistency(), std::nullopt);
+  EXPECT_FALSE(M.snapshot().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// wrapWithFaultInjection
+//===----------------------------------------------------------------------===//
+
+TEST(WrapWithFaultInjection, EmptyPlanIsTheIdentity) {
+  auto Inner = std::make_unique<ConcreteMemory>(tiny(64));
+  Memory *Raw = Inner.get();
+  std::unique_ptr<Memory> Wrapped =
+      wrapWithFaultInjection(std::move(Inner), FaultPlan{});
+  EXPECT_EQ(Wrapped.get(), Raw);
+  EXPECT_EQ(Wrapped->underlying(), Wrapped.get());
+}
+
+TEST(WrapWithFaultInjection, WordsOnlyPlanIsTheIdentity) {
+  // ShrinkAddressWords is makeMemory's job; no decorator is needed.
+  FaultPlan P;
+  P.ShrinkAddressWords = 16;
+  auto Inner = std::make_unique<ConcreteMemory>(tiny(64));
+  Memory *Raw = Inner.get();
+  EXPECT_EQ(wrapWithFaultInjection(std::move(Inner), P).get(), Raw);
+}
+
+TEST(WrapWithFaultInjection, TriggeringPlanDecoratesAndIsDetectable) {
+  std::unique_ptr<Memory> Wrapped = wrapWithFaultInjection(
+      std::make_unique<ConcreteMemory>(tiny(64)), FaultPlan::failCast(1));
+#if QCM_FAULT_INJECTION_ENABLED
+  // The decorator is recognizable without RTTI: underlying() is the
+  // identity on every plain model and the inner model on the wrapper.
+  EXPECT_NE(Wrapped->underlying(), Wrapped.get());
+  EXPECT_EQ(Wrapped->kind(), ModelKind::Concrete);
+#else
+  EXPECT_EQ(Wrapped->underlying(), Wrapped.get());
+#endif
+}

@@ -10,7 +10,14 @@
 // * runs are deterministic given the oracle;
 // * every program refines itself;
 // * the optimizer pipeline's output refines its input under the
-//   quasi-concrete model (end-to-end soundness fuzzing).
+//   quasi-concrete model (end-to-end soundness fuzzing);
+// * chaos: under a random deterministic fault plan, injected exhaustion is
+//   never observed as a new behavior — the run either matches the clean run
+//   exactly (the plan never fired) or is an out-of-memory partial whose
+//   events are a prefix of the clean run's (Section 2.3, item 4);
+// * the QIR engine and the AST walker agree under injection too;
+// * failing chaos cases print a self-contained repro line and a
+//   delta-minimized program (tests/ProgramGenerator.h).
 //
 //===----------------------------------------------------------------------===//
 
@@ -185,6 +192,159 @@ TEST_P(FuzzProperty, QirEngineMatchesTheAstWalker) {
       }
     }
   }
+}
+
+namespace {
+
+RunConfig chaosConfig(ModelKind Model) {
+  RunConfig C;
+  C.Model = Model;
+  C.MemConfig.AddressWords = 1u << 10;
+  C.Interp.StepLimit = 200'000;
+  return C;
+}
+
+/// A random decorator-level fault plan: Nth allocation, Nth cast, or Nth
+/// memory operation. words:K is deliberately excluded here — shrinking the
+/// space changes concrete addresses (and so cast results) from the start of
+/// the run, which voids the prefix property this fuzzer checks.
+FaultPlan randomPlan(Rng &R) {
+  switch (R.nextBelow(3)) {
+  case 0:
+    return FaultPlan::failAllocation(1 + R.nextBelow(8));
+  case 1:
+    return FaultPlan::failCast(1 + R.nextBelow(6));
+  default:
+    return FaultPlan::failOperation(1 + R.nextBelow(40));
+  }
+}
+
+/// Empty if the chaos invariant holds for \p P under \p Model / \p Plan;
+/// otherwise a description of the violation. Shared by the test assertion
+/// and the delta-reduction predicate.
+std::string chaosViolation(const Program &P, ModelKind Model,
+                           const FaultPlan &Plan) {
+  RunConfig C = chaosConfig(Model);
+  RunResult Clean = runProgram(P, C);
+  C.Inject = Plan;
+  RunResult Faulty = runProgram(P, C);
+  if (Faulty.ConsistencyError)
+    return "consistency violation under injection: " + *Faulty.ConsistencyError;
+  bool FiredInjection =
+      Faulty.Behav.BehaviorKind == Behavior::Kind::OutOfMemory &&
+      Faulty.Behav.Reason.rfind("injected", 0) == 0;
+  if (FiredInjection) {
+    if (!isEventPrefix(Faulty.Behav.Events, Clean.Behav.Events))
+      return "injected events are not a prefix of the clean run's\n"
+             "clean:  " +
+             Clean.Behav.toString() + "faulty: " + Faulty.Behav.toString();
+    if (Faulty.Steps > Clean.Steps)
+      return "injection made the run longer than the clean run";
+  } else {
+    if (!(Faulty.Behav == Clean.Behav) ||
+        Faulty.Behav.Reason != Clean.Behav.Reason ||
+        Faulty.Steps != Clean.Steps)
+      return "the plan never fired yet the run changed\n"
+             "clean:  " +
+             Clean.Behav.toString() + "faulty: " + Faulty.Behav.toString();
+  }
+  return "";
+}
+
+/// Failure diagnosis: self-contained repro line plus the delta-minimized
+/// program still violating the invariant.
+std::string diagnoseChaos(uint64_t Seed, ModelKind Model, const FaultPlan &Plan,
+                          const std::string &Source) {
+  auto Violates = [&](const std::string &Text) {
+    Vm V;
+    std::optional<Program> P = V.compile(Text);
+    return P && !chaosViolation(*P, Model, Plan).empty();
+  };
+  std::string Minimal =
+      Violates(Source) ? qcm_test::minimizeSource(Source, Violates, 400)
+                       : Source;
+  return qcm_test::reproLine(Seed, modelKindName(Model), Plan.toString()) +
+         "\n--- minimized program ---\n" + Minimal;
+}
+
+} // namespace
+
+TEST_P(FuzzProperty, ChaosInjectionIsNeverANewBehavior) {
+  uint64_t Seed = GetParam() ^ 0x777;
+  ProgramGenerator Generator(Seed);
+  std::string Source = Generator.generate();
+  Program P = compileOrFail(Source);
+  Rng PlanRng(Seed * 0x9e3779b97f4a7c15ull + 1);
+  for (ModelKind Model : {ModelKind::Concrete, ModelKind::QuasiConcrete,
+                          ModelKind::EagerQuasi}) {
+    for (int Round = 0; Round < 3; ++Round) {
+      FaultPlan Plan = randomPlan(PlanRng);
+      std::string Violation = chaosViolation(P, Model, Plan);
+      EXPECT_EQ(Violation, "")
+          << diagnoseChaos(Seed, Model, Plan, Source);
+    }
+  }
+}
+
+TEST_P(FuzzProperty, ChaosQirMatchesTheAstWalkerUnderInjection) {
+  // Differential chaos: the compiled engine and the reference walker must
+  // truncate at the same injected operation with the same diagnosis.
+  uint64_t Seed = GetParam() ^ 0x888;
+  ProgramGenerator Generator(Seed);
+  Program P = compileOrFail(Generator.generate());
+  Rng PlanRng(Seed * 0x9e3779b97f4a7c15ull + 2);
+  for (ModelKind Model : {ModelKind::Concrete, ModelKind::QuasiConcrete,
+                          ModelKind::EagerQuasi}) {
+    FaultPlan Plan = randomPlan(PlanRng);
+    RunConfig C = chaosConfig(Model);
+    C.Inject = Plan;
+    RunResult Qir = runProgram(P, C);
+    RunResult Ast = runAstProgram(P, C);
+    std::string Repro =
+        qcm_test::reproLine(Seed, modelKindName(Model), Plan.toString());
+    EXPECT_EQ(Qir.Behav, Ast.Behav) << Repro;
+    EXPECT_EQ(Qir.Behav.Reason, Ast.Behav.Reason) << Repro;
+    EXPECT_EQ(Qir.Steps, Ast.Steps) << Repro;
+  }
+}
+
+TEST(DeltaReduction, ShrinksAFailingProgramToItsCore) {
+  // A known-bad program buried in noise: the load through a freed pointer
+  // is undefined under every model; everything else is removable.
+  std::string Source = "main() {\n"
+                       "  var ptr p, int a, int b;\n"
+                       "  a = 1;\n"
+                       "  b = a + 2;\n"
+                       "  output(b);\n"
+                       "  p = malloc(2);\n"
+                       "  *p = 5;\n"
+                       "  a = *p;\n"
+                       "  free(p);\n"
+                       "  b = *p;\n"
+                       "  output(41);\n"
+                       "  output(42);\n"
+                       "}\n";
+  auto StillUndefined = [](const std::string &Text) {
+    Vm V;
+    std::optional<Program> P = V.compile(Text);
+    if (!P)
+      return false;
+    RunConfig C = chaosConfig(ModelKind::QuasiConcrete);
+    return runProgram(*P, C).Behav.BehaviorKind == Behavior::Kind::Undefined;
+  };
+  ASSERT_TRUE(StillUndefined(Source));
+  std::string Minimal = qcm_test::minimizeSource(Source, StillUndefined);
+  EXPECT_TRUE(StillUndefined(Minimal)) << Minimal;
+  EXPECT_LT(Minimal.size(), Source.size());
+  // The noise must be gone; the fault line must survive.
+  EXPECT_EQ(Minimal.find("output"), std::string::npos) << Minimal;
+  EXPECT_NE(Minimal.find("b = *p;"), std::string::npos) << Minimal;
+}
+
+TEST(DeltaReduction, KeepsTheSourceWhenNothingCanGo) {
+  auto Always = [](const std::string &) { return false; };
+  std::string Source = "main() {\n  output(1);\n}\n";
+  EXPECT_EQ(qcm_test::minimizeSource(Source, Always), Source);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProperty,

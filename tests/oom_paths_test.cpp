@@ -1,0 +1,159 @@
+//===- tests/oom_paths_test.cpp - Natural out-of-memory paths -------------===//
+//
+// The paper's real exhaustion transitions, reached without injection by
+// shrinking the address space: allocation failure in the concrete model
+// (Section 2.1), realization failure at cast time in the quasi-concrete
+// model (Section 3.4), and the eager variant's allocation-time failure for
+// concrete-kinded blocks. Each path must classify as OutOfMemory — the
+// paper's "no behavior" — with the bookkeeping (ModelStats, trace events)
+// recording the failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Vm.h"
+#include "memory/ConcreteMemory.h"
+#include "memory/EagerQuasiMemory.h"
+#include "memory/QuasiConcreteMemory.h"
+#include "semantics/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+MemoryConfig tiny(uint64_t Words) {
+  MemoryConfig C;
+  C.AddressWords = Words;
+  return C;
+}
+
+Program compile(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  EXPECT_TRUE(P) << V.lastDiagnostics();
+  return P ? std::move(*P) : Program{};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Model-level paths
+//===----------------------------------------------------------------------===//
+
+TEST(OomPaths, ConcreteAllocationFailsWhenTheSpaceIsFull) {
+  ConcreteMemory M(tiny(16));
+  ASSERT_TRUE(M.allocate(8).ok());
+  Outcome<Value> P = M.allocate(32);
+  ASSERT_FALSE(P.ok());
+  EXPECT_TRUE(P.fault().isOutOfMemory());
+  EXPECT_FALSE(P.fault().Reason.empty());
+  EXPECT_EQ(M.trace().stats().AllocationFailures, 1u);
+  EXPECT_EQ(M.trace().stats().Allocations, 1u);
+  // The model stays consistent and usable after the failed allocation.
+  EXPECT_EQ(M.checkConsistency(), std::nullopt);
+  EXPECT_TRUE(M.allocate(2).ok());
+}
+
+TEST(OomPaths, QuasiAllocationNeverFailsButRealizationCan) {
+  QuasiConcreteMemory M(tiny(8));
+  // Logical until cast: a block far larger than the space allocates fine.
+  Outcome<Value> P = M.allocate(64);
+  ASSERT_TRUE(P.ok());
+  ASSERT_TRUE(M.store(P.value(), Value::makeInt(5)).ok());
+
+  // The cast must realize the block in 8 words — impossible.
+  Outcome<Value> I = M.castPtrToInt(P.value());
+  ASSERT_FALSE(I.ok());
+  EXPECT_TRUE(I.fault().isOutOfMemory());
+  EXPECT_EQ(M.trace().stats().RealizationFailures, 1u);
+  EXPECT_EQ(M.trace().stats().Realizations, 0u);
+  // The failed realization is no-behavior, not undefined.
+  EXPECT_EQ(M.trace().stats().UndefinedFaults, 0u);
+  // The block itself is still intact and loadable.
+  EXPECT_EQ(M.load(P.value()).value().intValue(), 5u);
+  EXPECT_EQ(M.checkConsistency(), std::nullopt);
+}
+
+TEST(OomPaths, EagerQuasiConcreteBlocksFailAtAllocationTime) {
+  // Section 3.4: the eager variant pays for concreteness up front, so a
+  // concrete-kinded allocation can exhaust the space with no cast in sight.
+  EagerQuasiMemory M(tiny(8), std::make_unique<ConstantKindOracle>(true));
+  Outcome<Value> P = M.allocate(64);
+  ASSERT_FALSE(P.ok());
+  EXPECT_TRUE(P.fault().isOutOfMemory());
+  EXPECT_EQ(M.trace().stats().AllocationFailures, 1u);
+}
+
+TEST(OomPaths, EagerQuasiLogicalBlocksFailAtCastTime) {
+  // A logical-kinded block allocates fine; the cast then has nothing to
+  // realize it into.
+  EagerQuasiMemory M(tiny(8), std::make_unique<ConstantKindOracle>(false));
+  Outcome<Value> P = M.allocate(64);
+  ASSERT_TRUE(P.ok());
+  Outcome<Value> I = M.castPtrToInt(P.value());
+  ASSERT_FALSE(I.ok());
+  EXPECT_TRUE(I.fault().isOutOfMemory());
+}
+
+//===----------------------------------------------------------------------===//
+// Runner-level classification
+//===----------------------------------------------------------------------===//
+
+TEST(OomPaths, ConcreteRunClassifiesAsOutOfMemory) {
+  Program P = compile("main() {\n"
+                      "  var ptr p;\n"
+                      "  p = malloc(64);\n"
+                      "  output(1);\n"
+                      "}\n");
+  RunConfig C;
+  C.Model = ModelKind::Concrete;
+  C.MemConfig.AddressWords = 8;
+  RunResult R = runProgram(P, C);
+  EXPECT_EQ(R.Behav.BehaviorKind, Behavior::Kind::OutOfMemory);
+  // OOM is "no behavior": the events stop before the output.
+  EXPECT_TRUE(R.Behav.Events.empty());
+  EXPECT_EQ(R.ConsistencyError, std::nullopt);
+}
+
+TEST(OomPaths, QuasiRunFailsOnlyAtTheCast) {
+  Program P = compile("main() {\n"
+                      "  var ptr p, int a;\n"
+                      "  p = malloc(64);\n"
+                      "  output(1);\n"
+                      "  a = (int) p;\n"
+                      "  output(2);\n"
+                      "}\n");
+  RunConfig C;
+  C.Model = ModelKind::QuasiConcrete;
+  C.MemConfig.AddressWords = 8;
+  RunResult R = runProgram(P, C);
+  EXPECT_EQ(R.Behav.BehaviorKind, Behavior::Kind::OutOfMemory);
+  // The allocation succeeded (logical), so the first output is observed;
+  // the realization at the cast is what exhausts the space.
+  ASSERT_EQ(R.Behav.Events.size(), 1u);
+  EXPECT_EQ(R.Stats.RealizationFailures, 1u);
+}
+
+TEST(OomPaths, ShrinkingTheSpaceViaFaultPlanMatchesAConfiguredRun) {
+  // words:K in a fault plan must behave exactly like configuring the
+  // address space to K words directly.
+  Program P = compile("main() {\n"
+                      "  var ptr p;\n"
+                      "  p = malloc(64);\n"
+                      "  output(1);\n"
+                      "}\n");
+  RunConfig Direct;
+  Direct.Model = ModelKind::Concrete;
+  Direct.MemConfig.AddressWords = 8;
+  RunResult A = runProgram(P, Direct);
+
+  RunConfig Injected;
+  Injected.Model = ModelKind::Concrete;
+  Injected.Inject.ShrinkAddressWords = 8;
+  RunResult B = runProgram(P, Injected);
+
+  EXPECT_EQ(A.Behav, B.Behav);
+  EXPECT_EQ(A.Behav.Reason, B.Behav.Reason);
+  EXPECT_EQ(A.Steps, B.Steps);
+}

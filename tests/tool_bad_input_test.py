@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Bad-input hardening: every corpus file under tests/bad_input/ must make
+every tool print a diagnostic and exit 2 (bad input) — never crash, never
+exit 0. Malformed option values (tapes, counts, fault plans) get the same
+treatment.
+
+Usage: tool_bad_input_test.py QCM_RUN QCM_OPT QCM_CHECK CORPUS_DIR GOOD_QCM
+"""
+
+import glob
+import os
+import subprocess
+import sys
+
+QCM_RUN, QCM_OPT, QCM_CHECK, CORPUS, GOOD = sys.argv[1:6]
+
+FAILURES = []
+
+
+def expect_bad_input(argv, label):
+    proc = subprocess.run(argv, capture_output=True, text=True)
+    if proc.returncode < 0:
+        FAILURES.append(f"{label}: crashed with signal {-proc.returncode}")
+        return
+    if proc.returncode != 2:
+        FAILURES.append(f"{label}: expected exit 2, got {proc.returncode}")
+    if not proc.stderr.strip():
+        FAILURES.append(f"{label}: no diagnostic on stderr")
+
+
+def main():
+    corpus = sorted(glob.glob(os.path.join(CORPUS, "*.qcm")))
+    if len(corpus) < 5:
+        print(f"corpus looks wrong: only {len(corpus)} files in {CORPUS}")
+        sys.exit(1)
+
+    for path in corpus:
+        name = os.path.basename(path)
+        expect_bad_input([QCM_RUN, path], f"qcm-run {name}")
+        expect_bad_input([QCM_OPT, path], f"qcm-opt {name}")
+        expect_bad_input([QCM_CHECK, path, GOOD], f"qcm-check src {name}")
+        expect_bad_input([QCM_CHECK, GOOD, path], f"qcm-check tgt {name}")
+
+    # Malformed option values on a well-formed program.
+    for opt in [
+        "--input=1,,2",
+        "--input=1,2,",
+        "--input=abc",
+        "--input=99999999999999999999999999",
+        "--steps=",
+        "--steps=-4",
+        "--words=2",
+        "--words=many",
+        "--timeout-ms=soon",
+        "--oracle=psychic",
+        "--inject=bogus:1",
+        "--inject=alloc:0",
+        "--inject=alloc:1+alloc:2",
+        "--model=imaginary",
+    ]:
+        expect_bad_input([QCM_RUN, opt, GOOD], f"qcm-run {opt}")
+    expect_bad_input([QCM_OPT, "--iterations=ten", GOOD], "qcm-opt bad count")
+    expect_bad_input([QCM_OPT, "--passes=teleport", GOOD], "qcm-opt bad pass")
+    expect_bad_input(
+        [QCM_CHECK, "--jobs=some", GOOD, GOOD], "qcm-check bad jobs"
+    )
+    expect_bad_input(
+        [QCM_CHECK, "--sweep-cap=lots", GOOD, GOOD], "qcm-check bad cap"
+    )
+    expect_bad_input(
+        [QCM_CHECK, "--journal=a", "--resume=b", GOOD, GOOD],
+        "qcm-check journal+resume",
+    )
+    expect_bad_input(
+        [QCM_CHECK, "--context=/nonexistent/ctx.qcm", GOOD, GOOD],
+        "qcm-check missing context",
+    )
+
+    if FAILURES:
+        print("\n".join(FAILURES))
+        sys.exit(1)
+    print(f"bad-input assertions passed ({len(corpus)} corpus files)")
+
+
+if __name__ == "__main__":
+    main()

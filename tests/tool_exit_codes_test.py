@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Asserts the documented tool exit codes (tools/ToolSupport.h).
+
+  0  success / refines        1  refinement failure
+  2  bad input                3  undefined behavior
+  4  out of memory            5  step budget or watchdog
+
+Usage: tool_exit_codes_test.py QCM_RUN QCM_CHECK
+"""
+
+import subprocess
+import sys
+import tempfile
+import os
+
+QCM_RUN, QCM_CHECK = sys.argv[1], sys.argv[2]
+
+FAILURES = []
+
+
+def write(directory, name, text):
+    path = os.path.join(directory, name)
+    with open(path, "w") as f:
+        f.write(text)
+    return path
+
+
+def expect(exit_code, argv, label):
+    proc = subprocess.run(argv, capture_output=True, text=True)
+    if proc.returncode != exit_code:
+        FAILURES.append(
+            f"{label}: expected exit {exit_code}, got {proc.returncode}\n"
+            f"  argv: {' '.join(argv)}\n"
+            f"  stdout: {proc.stdout[-300:]!r}\n"
+            f"  stderr: {proc.stderr[-300:]!r}"
+        )
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        ok = write(tmp, "ok.qcm", "main() {\n  output(1);\n}\n")
+        ub = write(
+            tmp,
+            "ub.qcm",
+            "main() {\n  var ptr p, int a;\n  p = malloc(2);\n"
+            "  free(p);\n  a = *p;\n}\n",
+        )
+        oom = write(
+            tmp,
+            "oom.qcm",
+            "main() {\n  var ptr p;\n  p = malloc(64);\n  output(1);\n}\n",
+        )
+        loop = write(
+            tmp,
+            "loop.qcm",
+            "main() {\n  var int i;\n  i = 1;\n  while (i) {\n"
+            "    i = i + 1;\n  }\n}\n",
+        )
+        parse_error = write(tmp, "bad.qcm", "main( {\n")
+        src = write(
+            tmp,
+            "src.qcm",
+            "main() {\n  var ptr p, int a;\n  p = malloc(1);\n"
+            "  output(1);\n  a = (int) p;\n  output(2);\n}\n",
+        )
+        tgt_bad = write(
+            tmp,
+            "tgt_bad.qcm",
+            "main() {\n  var ptr p, int a;\n  p = malloc(1);\n"
+            "  a = (int) p;\n  output(1);\n  output(2);\n}\n",
+        )
+
+        # qcm-run: one exit code per fault class.
+        expect(0, [QCM_RUN, ok], "run terminates")
+        expect(2, [QCM_RUN], "run without arguments")
+        expect(2, [QCM_RUN, os.path.join(tmp, "missing.qcm")], "run missing file")
+        expect(2, [QCM_RUN, parse_error], "run parse error")
+        expect(2, [QCM_RUN, "--steps=banana", ok], "run malformed option")
+        expect(3, [QCM_RUN, ub], "run undefined behavior")
+        expect(4, [QCM_RUN, "--model=concrete", "--words=8", oom], "run natural oom")
+        expect(4, [QCM_RUN, "--inject=alloc:1", oom], "run injected oom")
+        expect(4, [QCM_RUN, "--inject=cast:1", src], "run injected cast oom")
+        expect(5, [QCM_RUN, "--steps=100", loop], "run step budget")
+        expect(
+            5,
+            [QCM_RUN, "--timeout-ms=20", "--steps=4000000000", loop],
+            "run watchdog",
+        )
+
+        # qcm-check: refines / fails / bad input.
+        expect(0, [QCM_CHECK, src, src], "check identity refines")
+        expect(0, [QCM_CHECK, src, tgt_bad], "check passes without sweep")
+        expect(1, [QCM_CHECK, "--sweep", src, tgt_bad], "check sweep catches")
+        expect(2, [QCM_CHECK, src], "check missing positional")
+        expect(2, [QCM_CHECK, parse_error, src], "check parse error")
+        expect(2, [QCM_CHECK, "--sweep-cap=x", src, src], "check malformed option")
+
+    if FAILURES:
+        print("\n\n".join(FAILURES))
+        sys.exit(1)
+    print("all exit-code assertions passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Crash-resilience of qcm-check's --journal/--resume checkpointing.
+
+Simulates a killed run by truncating a complete journal at several points
+(including mid-line, as a crash between write and flush would leave it) and
+asserts the resumed report is byte-identical to the uninterrupted one. Also
+asserts the journal refuses to resume a different job.
+
+Usage: tool_resume_equivalence_test.py QCM_CHECK SRC_QCM TGT_QCM
+"""
+
+import subprocess
+import sys
+import tempfile
+import os
+
+QCM_CHECK, SRC, TGT = sys.argv[1], sys.argv[2], sys.argv[3]
+OPTIONS = ["--sweep", "--timeout-ms=10000"]
+
+
+def run(argv):
+    return subprocess.run(argv, capture_output=True, text=True)
+
+
+def main():
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "full.jsonl")
+        full = run([QCM_CHECK, *OPTIONS, f"--journal={journal}", SRC, TGT])
+        if full.returncode not in (0, 1):
+            print(f"journaled run failed unexpectedly: {full.stderr}")
+            sys.exit(1)
+        with open(journal, "rb") as f:
+            journal_bytes = f.read()
+        if journal_bytes.count(b"\n") < 2:
+            print("journal suspiciously short; nothing to truncate")
+            sys.exit(1)
+
+        # Truncation points: after the header only, after half the lines,
+        # and mid-line (a torn final write).
+        lines = journal_bytes.splitlines(keepends=True)
+        cuts = {
+            "header only": b"".join(lines[:1]),
+            "half the cells": b"".join(lines[: 1 + (len(lines) - 1) // 2]),
+            "torn final line": journal_bytes[: len(journal_bytes) - 7],
+        }
+        for label, prefix in cuts.items():
+            resumed_path = os.path.join(tmp, "resume.jsonl")
+            with open(resumed_path, "wb") as f:
+                f.write(prefix)
+            resumed = run(
+                [QCM_CHECK, *OPTIONS, f"--resume={resumed_path}", SRC, TGT]
+            )
+            if resumed.returncode != full.returncode:
+                failures.append(
+                    f"{label}: exit {resumed.returncode} != {full.returncode}"
+                )
+            if resumed.stdout != full.stdout:
+                failures.append(
+                    f"{label}: resumed report differs from the full run\n"
+                    f"--- full ---\n{full.stdout}\n"
+                    f"--- resumed ---\n{resumed.stdout}"
+                )
+            # The replayed-and-completed journal must match the original.
+            with open(resumed_path, "rb") as f:
+                if f.read() != journal_bytes:
+                    failures.append(f"{label}: completed journal differs")
+
+        # Resuming under different grid-shaping options must be refused.
+        mismatch = run(
+            [QCM_CHECK, "--model=concrete", f"--resume={journal}", SRC, TGT]
+        )
+        if mismatch.returncode != 2:
+            failures.append(
+                f"job-key mismatch: expected exit 2, got {mismatch.returncode}"
+            )
+        if "different job" not in mismatch.stderr:
+            failures.append(
+                f"job-key mismatch: missing diagnostic: {mismatch.stderr!r}"
+            )
+
+        # A missing resume file is an empty checkpoint, not an error.
+        fresh = run(
+            [
+                QCM_CHECK,
+                *OPTIONS,
+                f"--resume={os.path.join(tmp, 'nonexistent.jsonl')}",
+                SRC,
+                TGT,
+            ]
+        )
+        if fresh.stdout != full.stdout:
+            failures.append("missing-file resume: report differs")
+
+    if failures:
+        print("\n\n".join(failures))
+        sys.exit(1)
+    print("resume-equivalence assertions passed")
+
+
+if __name__ == "__main__":
+    main()

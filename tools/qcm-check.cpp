@@ -20,8 +20,17 @@
 //                                  worker threads ("auto": one per core);
 //                                  reports are identical at every N
 //   --fail-fast                    stop at the first counterexample
+//   --sweep                        exhaustion sweep: re-run every cell with
+//                                  OOM injected at each reachable injection
+//                                  point, strict §2.3 partial admission
+//   --sweep-cap=N                  injection points probed per cell (512)
+//   --timeout-ms=N                 wall-clock watchdog per execution
+//   --journal=FILE                 write a JSONL checkpoint of finished
+//                                  grid cells
+//   --resume=FILE                  replay a journal (then keep appending);
+//                                  the resumed report is byte-identical
 //
-// Exit code: 0 if the target refines the source, 1 otherwise.
+// Exit code: 0 if the target refines the source, 1 otherwise, 2 bad input.
 //
 //===----------------------------------------------------------------------===//
 
@@ -64,7 +73,53 @@ void printUsage(std::FILE *Out) {
       "                         every N (results merge in grid order).\n"
       "  --fail-fast            stop exploring at the first counterexample\n"
       "                         or context error; in-flight runs are\n"
-      "                         cancelled cooperatively\n");
+      "                         cancelled cooperatively\n"
+      "\n"
+      "robustness options:\n"
+      "  --sweep                exhaustion sweep: after the main grid, force\n"
+      "                         out-of-memory at every reachable injection\n"
+      "                         point of each cell and check the truncated\n"
+      "                         prefixes under the strict Section 2.3\n"
+      "                         partial-behavior rule\n"
+      "  --sweep-cap=N          injection points probed per sweep cell\n"
+      "                         (default 512)\n"
+      "  --timeout-ms=N         wall-clock watchdog per execution; cells\n"
+      "                         that exceed it are reported timed-out\n"
+      "                         instead of hanging the grid\n"
+      "  --journal=FILE         checkpoint finished grid cells to FILE\n"
+      "                         (JSONL, flushed per cell)\n"
+      "  --resume=FILE          replay FILE's finished cells, run only the\n"
+      "                         rest, keep appending; the final report is\n"
+      "                         byte-identical to an uninterrupted run\n"
+      "\n"
+      "exit codes: 0 refines, 1 does not refine, 2 bad input\n");
+}
+
+/// FNV-1a over the inputs that shape the grid and its results; the journal
+/// refuses to resume when this changes.
+uint64_t hashJobInputs(const std::string &SrcText, const std::string &TgtText,
+                       const CommandLine &Cmd) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](const std::string &S) {
+    for (char C : S) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 1099511628211ull;
+    }
+    H ^= 0xff; // separator so concatenations don't collide
+    H *= 1099511628211ull;
+  };
+  Mix(SrcText);
+  Mix(TgtText);
+  for (const auto &[Key, Value] : Cmd.Options) {
+    // The journal path itself (and which of the two flags named it) must
+    // not invalidate the journal, and --jobs never changes the report
+    // (merge order is plan order); everything else may shape the report.
+    if (Key == "journal" || Key == "resume" || Key == "jobs")
+      continue;
+    Mix(Key);
+    Mix(Value);
+  }
+  return H;
 }
 
 } // namespace
@@ -79,26 +134,26 @@ int main(int Argc, char **Argv) {
   }
   if (!Parsed || Cmd.Positional.size() != 2) {
     printUsage(stderr);
-    return 2;
+    return ExitBadInput;
   }
 
   std::string SrcText, TgtText;
   if (!readFile(Cmd.Positional[0], SrcText, Error) ||
       !readFile(Cmd.Positional[1], TgtText, Error)) {
     std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
-    return 2;
+    return ExitBadInput;
   }
 
   Vm Compiler;
   std::optional<Program> Src = Compiler.compile(SrcText);
   if (!Src) {
     std::fprintf(stderr, "source: %s", Compiler.lastDiagnostics().c_str());
-    return 2;
+    return ExitBadInput;
   }
   std::optional<Program> Tgt = Compiler.compile(TgtText);
   if (!Tgt) {
     std::fprintf(stderr, "target: %s", Compiler.lastDiagnostics().c_str());
-    return 2;
+    return ExitBadInput;
   }
 
   RefinementJob Job;
@@ -106,11 +161,19 @@ int main(int Argc, char **Argv) {
   Job.Tgt = &*Tgt;
   if (!Cmd.applyRunOptions(Job.BaseSrc, Error)) {
     std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
-    return 2;
+    return ExitBadInput;
   }
   if (!Cmd.applyExplorationOptions(Job.Exec, Error)) {
     std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
-    return 2;
+    return ExitBadInput;
+  }
+  if (Cmd.has("sweep"))
+    Job.ExhaustionSweep = true;
+  if (Cmd.has("sweep-cap") &&
+      !parseUint(Cmd.get("sweep-cap"), Job.SweepMaxPointsPerCell)) {
+    std::fprintf(stderr, "qcm-check: invalid --sweep-cap value '%s'\n",
+                 Cmd.get("sweep-cap").c_str());
+    return ExitBadInput;
   }
   Job.BaseTgt = Job.BaseSrc;
   if (Cmd.has("tgt-model")) {
@@ -126,7 +189,7 @@ int main(int Argc, char **Argv) {
     else {
       std::fprintf(stderr, "qcm-check: unknown target model '%s'\n",
                    M.c_str());
-      return 2;
+      return ExitBadInput;
     }
   }
 
@@ -137,7 +200,7 @@ int main(int Argc, char **Argv) {
     std::string CtxText;
     if (!readFile(Cmd.get("context"), CtxText, Error)) {
       std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
-      return 2;
+      return ExitBadInput;
     }
     Job.Contexts.push_back(
         ContextVariant::fromSource(Cmd.get("context"), CtxText));
@@ -157,7 +220,32 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // Checkpoint/resume: journaled cells replay through the checker's cache
+  // hook, fresh cells append as they merge.
+  CheckpointJournal Journal;
+  if (Cmd.has("journal") && Cmd.has("resume")) {
+    std::fprintf(stderr, "qcm-check: --journal and --resume are exclusive "
+                         "(--resume already appends)\n");
+    return ExitBadInput;
+  }
+  if (Cmd.has("journal") || Cmd.has("resume")) {
+    const bool Resume = Cmd.has("resume");
+    const std::string Path = Resume ? Cmd.get("resume") : Cmd.get("journal");
+    char Key[32];
+    std::snprintf(Key, sizeof(Key), "%016llx",
+                  static_cast<unsigned long long>(
+                      hashJobInputs(SrcText, TgtText, Cmd)));
+    if (!Journal.open(Path, Key, Resume, Error)) {
+      std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
+      return ExitBadInput;
+    }
+    Job.CachedCell = [&Journal](size_t I) { return Journal.cached(I); };
+    Job.OnCellMerged = [&Journal](size_t I, const qcm::RunResult &R) {
+      Journal.record(I, R);
+    };
+  }
+
   RefinementReport Report = checkRefinement(Job);
   std::printf("%s", Report.toString().c_str());
-  return Report.Refines ? 0 : 1;
+  return Report.Refines ? ExitSuccess : ExitCheckFailed;
 }

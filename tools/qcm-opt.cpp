@@ -48,7 +48,7 @@ int main(int Argc, char **Argv) {
   std::optional<Program> Prog = Compiler.compile(Source);
   if (!Prog) {
     std::fprintf(stderr, "%s", Compiler.lastDiagnostics().c_str());
-    return 1;
+    return ExitBadInput;
   }
 
   DceOptions Dce;
@@ -77,9 +77,13 @@ int main(int Argc, char **Argv) {
     Current.clear();
   }
 
-  unsigned Iterations =
-      static_cast<unsigned>(std::stoul(Cmd.get("iterations", "8")));
-  PM.run(*Prog, Iterations);
+  uint64_t Iterations = 0;
+  if (!parseUint(Cmd.get("iterations", "8"), Iterations)) {
+    std::fprintf(stderr, "qcm-opt: invalid --iterations value '%s'\n",
+                 Cmd.get("iterations").c_str());
+    return ExitBadInput;
+  }
+  PM.run(*Prog, static_cast<unsigned>(Iterations));
 
   if (Cmd.has("metrics")) {
     std::fprintf(stderr, "--- pass metrics ---\n");

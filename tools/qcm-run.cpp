@@ -18,6 +18,14 @@
 //   --trace=<file>                         export the memory-event trace as
 //                                          JSONL (one event object per line)
 //   --stats                                print aggregate memory statistics
+//   --inject=PLAN                          deterministic exhaustion schedule
+//                                          (alloc:N, cast:N, op:N, words:K,
+//                                          '+'-joined; see
+//                                          docs/FAULT_INJECTION.md)
+//   --timeout-ms=N                         wall-clock watchdog per run
+//
+// Exit codes (scriptable fault classes): 0 terminated, 2 bad input,
+// 3 undefined behavior, 4 out of memory, 5 step budget or watchdog.
 //
 //===----------------------------------------------------------------------===//
 
@@ -40,27 +48,31 @@ int main(int Argc, char **Argv) {
                  "[--oracle=first|last|random:SEED]\n"
                  "               [--entry=NAME] [--input=v1,v2,...] "
                  "[--words=N] [--steps=N] [--loose]\n"
-                 "               [--trace[=FILE]] [--stats] file.qcm\n");
-    return 2;
+                 "               [--inject=PLAN] [--timeout-ms=N] "
+                 "[--trace[=FILE]] [--stats] file.qcm\n"
+                 "exit codes: 0 terminated, 2 bad input, 3 undefined "
+                 "behavior, 4 out of memory,\n"
+                 "            5 step budget / watchdog\n");
+    return ExitBadInput;
   }
 
   std::string Source;
   if (!readFile(Cmd.Positional[0], Source, Error)) {
     std::fprintf(stderr, "qcm-run: %s\n", Error.c_str());
-    return 2;
+    return ExitBadInput;
   }
 
   Vm Compiler;
   std::optional<Program> Prog = Compiler.compile(Source);
   if (!Prog) {
     std::fprintf(stderr, "%s", Compiler.lastDiagnostics().c_str());
-    return 1;
+    return ExitBadInput;
   }
 
   RunConfig Config;
   if (!Cmd.applyRunOptions(Config, Error)) {
     std::fprintf(stderr, "qcm-run: %s\n", Error.c_str());
-    return 2;
+    return ExitBadInput;
   }
   // Bare --trace keeps its original meaning (instruction trace to stderr);
   // --trace=FILE exports the memory-event trace as JSONL.
@@ -82,6 +94,9 @@ int main(int Argc, char **Argv) {
   std::printf("behavior: %s\n", Result.Behav.toString().c_str());
   std::printf("steps:    %llu\n",
               static_cast<unsigned long long>(Result.Steps));
+  if (Result.TimedOut)
+    std::printf("timeout:  wall-clock watchdog (%llu ms) expired\n",
+                static_cast<unsigned long long>(Config.Interp.WallTimeoutMs));
   if (Result.ConsistencyError)
     std::printf("CONSISTENCY VIOLATION: %s\n",
                 Result.ConsistencyError->c_str());
@@ -92,10 +107,10 @@ int main(int Argc, char **Argv) {
   if (!TraceFile.empty()) {
     if (!writeTraceJsonl(TraceFile, Collector.events(), Error)) {
       std::fprintf(stderr, "qcm-run: %s\n", Error.c_str());
-      return 2;
+      return ExitBadInput;
     }
     std::printf("trace:    %zu events -> %s\n", Collector.events().size(),
                 TraceFile.c_str());
   }
-  return Result.Behav.BehaviorKind == Behavior::Kind::Undefined ? 3 : 0;
+  return exitCodeForBehavior(Result.Behav);
 }
