@@ -120,20 +120,15 @@ public:
     Rows.push_back(Row.str());
   }
 
-  /// Writes the array to \p Path; returns false (with a message on stderr)
-  /// when the file cannot be written.
+  /// Writes the array to \p Path through the shared Telemetry array writer
+  /// (the same one the profiler and metrics documents use); returns false
+  /// (with a message on stderr) when the file cannot be written.
   bool write(const std::string &Path) const {
-    std::FILE *Out = std::fopen(Path.c_str(), "w");
-    if (!Out) {
-      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    std::string Error;
+    if (!qcm::writeTextFile(Path, qcm::jsonArray(Rows) + "\n", Error)) {
+      std::fprintf(stderr, "%s\n", Error.c_str());
       return false;
     }
-    std::fprintf(Out, "[\n");
-    for (size_t I = 0; I < Rows.size(); ++I)
-      std::fprintf(Out, "  %s%s\n", Rows[I].c_str(),
-                   I + 1 < Rows.size() ? "," : "");
-    std::fprintf(Out, "]\n");
-    std::fclose(Out);
     return true;
   }
 

@@ -4,14 +4,23 @@
 
 #include "lang/Parser.h"
 #include "lang/TypeCheck.h"
+#include "support/Profiler.h"
 
 using namespace qcm;
 
 std::optional<Program> Vm::compile(const std::string &Source) {
   DiagnosticEngine Diags;
-  std::optional<Program> P = parseProgram(Source, Diags);
-  if (P && !typeCheck(*P, Diags))
-    P.reset();
+  std::optional<Program> P;
+  {
+    prof::Span Span("parse", "frontend");
+    Span.arg("bytes", static_cast<uint64_t>(Source.size()));
+    P = parseProgram(Source, Diags);
+  }
+  if (P) {
+    prof::Span Span("typecheck", "frontend");
+    if (!typeCheck(*P, Diags))
+      P.reset();
+  }
   Diagnostics = Diags.toString();
   return P;
 }

@@ -18,6 +18,8 @@
 
 #include "ir/Compile.h"
 
+#include "support/Profiler.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cassert>
@@ -319,6 +321,8 @@ private:
 
 std::shared_ptr<const QirModule> qcm::qir::compileProgram(const Program &Prog) {
   CompileCount.fetch_add(1, std::memory_order_relaxed);
+  prof::Span Span("compile-qir", "compile");
+  Span.arg("functions", static_cast<uint64_t>(Prog.Functions.size()));
   auto M = std::make_shared<QirModule>();
   M->Source = &Prog;
 

@@ -109,13 +109,14 @@ FaultInjectingMemory::injectAt(std::optional<uint64_t> Ordinal, uint64_t Seen,
                                const char *What) {
   if (Ordinal && Seen == *Ordinal) {
     Fired = true;
-    return Fault::outOfMemory("injected exhaustion: " + std::string(What) +
-                              " #" + std::to_string(Seen));
+    return Fault::injectedOutOfMemory("injected exhaustion: " +
+                                      std::string(What) + " #" +
+                                      std::to_string(Seen));
   }
   if (Plan.FailOperation && OpsSeen == *Plan.FailOperation) {
     Fired = true;
-    return Fault::outOfMemory("injected exhaustion: operation #" +
-                              std::to_string(OpsSeen));
+    return Fault::injectedOutOfMemory("injected exhaustion: operation #" +
+                                      std::to_string(OpsSeen));
   }
   return std::nullopt;
 }
@@ -126,8 +127,9 @@ Outcome<Value> FaultInjectingMemory::allocate(Word NumWords) {
   if (std::optional<Fault> F =
           injectAt(Plan.FailAllocation, AllocSeen, "allocation")) {
     // Mirror the model's own failure bookkeeping so an injected exhaustion
-    // is observable exactly like a real one (statistics, trace events).
-    Inner->trace().noteAllocFailure(NumWords);
+    // is observable exactly like a real one (statistics, trace events),
+    // tagged so trace consumers can tell it apart.
+    Inner->trace().noteAllocFailure(NumWords, /*Injected=*/true);
     return *F;
   }
   return Inner->allocate(NumWords);

@@ -47,6 +47,8 @@ std::string MemEvent::toJson() const {
   if (FaultClass)
     O.field("class", *FaultClass == Fault::Kind::OutOfMemory ? "no-behavior"
                                                              : "undefined");
+  if (Injected)
+    O.fieldBool("injected", true);
   if (!Detail.empty())
     O.field("detail", Detail);
   return O.str();
@@ -70,6 +72,8 @@ std::string MemEvent::toString() const {
   if (FaultClass)
     Text += *FaultClass == Fault::Kind::OutOfMemory ? " [no-behavior]"
                                                     : " [undefined]";
+  if (Injected)
+    Text += " [injected]";
   if (!Detail.empty())
     Text += " -- " + Detail;
   return Text;
@@ -147,7 +151,7 @@ std::string ModelStats::toString() const {
 void MemTrace::emit(MemEventKind Kind, std::optional<BlockId> Block,
                     std::optional<Word> Offset, std::optional<Word> Addr,
                     std::optional<Word> Size, bool RealizedNow,
-                    std::string Detail) {
+                    std::string Detail, bool Injected) {
   MemEvent E;
   E.Kind = Kind;
   E.Step = StepCounter ? *StepCounter : 0;
@@ -156,6 +160,7 @@ void MemTrace::emit(MemEventKind Kind, std::optional<BlockId> Block,
   E.ConcreteAddr = Addr;
   E.Size = Size;
   E.RealizedNow = RealizedNow;
+  E.Injected = Injected;
   E.Detail = std::move(Detail);
   Sink->onEvent(E);
 }
@@ -165,6 +170,7 @@ void MemTrace::emitFault(const Fault &F) {
   E.Kind = MemEventKind::Fault;
   E.Step = StepCounter ? *StepCounter : 0;
   E.FaultClass = F.FaultKind;
+  E.Injected = F.Injected;
   E.Detail = F.Reason;
   Sink->onEvent(E);
 }

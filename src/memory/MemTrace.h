@@ -82,6 +82,10 @@ struct MemEvent {
   bool RealizedNow = false;
   /// For Fault events: which fault class.
   std::optional<Fault::Kind> FaultClass;
+  /// For Fault and allocation-failure events: true when the failure was
+  /// forced by fault injection (memory/FaultInjection.h). Organic events
+  /// omit the field in JSON, so pre-existing traces are unchanged.
+  bool Injected = false;
   /// Free-form detail (fault reason).
   std::string Detail;
 
@@ -204,11 +208,11 @@ public:
            /*RealizedNow=*/Base.has_value());
   }
 
-  void noteAllocFailure(Word Size) {
+  void noteAllocFailure(Word Size, bool Injected = false) {
     ++Counters.AllocationFailures;
     if (Sink)
       emit(MemEventKind::Alloc, std::nullopt, std::nullopt, std::nullopt,
-           Size, false, "out of memory");
+           Size, false, "out of memory", Injected);
   }
 
   void noteFree(std::optional<BlockId> Block, Word Size, bool WasRealized,
@@ -279,7 +283,7 @@ public:
   }
 #else
   void noteAlloc(std::optional<BlockId>, Word, std::optional<Word>) {}
-  void noteAllocFailure(Word) {}
+  void noteAllocFailure(Word, bool = false) {}
   void noteFree(std::optional<BlockId>, Word, bool,
                 std::optional<Word> = std::nullopt) {}
   void noteLoad(std::optional<BlockId>, std::optional<Word>,
@@ -309,7 +313,7 @@ private:
   void emit(MemEventKind Kind, std::optional<BlockId> Block,
             std::optional<Word> Offset, std::optional<Word> Addr,
             std::optional<Word> Size, bool RealizedNow,
-            std::string Detail = {});
+            std::string Detail = {}, bool Injected = false);
   void emitFault(const Fault &F);
 
   ModelStats Counters;

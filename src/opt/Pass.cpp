@@ -2,6 +2,8 @@
 
 #include "opt/Pass.h"
 
+#include "support/Profiler.h"
+
 using namespace qcm;
 
 FunctionPass::~FunctionPass() = default;
@@ -68,6 +70,8 @@ bool PassManager::run(Program &P, unsigned MaxIterations) {
     for (size_t Idx = 0; Idx < Passes.size(); ++Idx) {
       FunctionPass &Pass = *Passes[Idx];
       PassMetrics &M = Metrics[Idx];
+      prof::Span Span(std::string("pass:") + Pass.name(), "opt");
+      Span.arg("iteration", static_cast<uint64_t>(Iter));
       for (FunctionDecl &F : P.Functions) {
         if (F.isExtern())
           continue;

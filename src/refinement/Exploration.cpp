@@ -2,12 +2,52 @@
 
 #include "refinement/Exploration.h"
 
+#include "support/Profiler.h"
+#include "support/Telemetry.h"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
 
 using namespace qcm;
+
+void PoolMetrics::accumulate(const PoolMetrics &Other) {
+  Jobs = std::max(Jobs, Other.Jobs);
+  WallUs += Other.WallUs;
+  MergeWaitUs += Other.MergeWaitUs;
+  Workers.insert(Workers.end(), Other.Workers.begin(), Other.Workers.end());
+}
+
+std::string PoolMetrics::toJson() const {
+  std::vector<std::string> Rows;
+  Rows.reserve(Workers.size());
+  for (const WorkerMetrics &W : Workers)
+    Rows.push_back(
+        JsonObject().field("busy_us", W.BusyUs).field("items", W.Items).str());
+  return JsonObject()
+      .field("jobs", static_cast<uint64_t>(Jobs))
+      .field("wall_us", WallUs)
+      .field("merge_wait_us", MergeWaitUs)
+      .fieldRaw("workers", jsonArray(Rows))
+      .str();
+}
+
+namespace {
+
+/// Microseconds since \p Clock started, collected only in profiler-enabled
+/// builds — compiled-out builds must add zero instructions to the
+/// exploration hot path, so their pool metrics stay zero.
+inline uint64_t elapsedUs(const Stopwatch &Clock) {
+#if QCM_PROFILE_ENABLED
+  return static_cast<uint64_t>(Clock.seconds() * 1e6);
+#else
+  (void)Clock;
+  return 0;
+#endif
+}
+
+} // namespace
 
 ExplorationSummary
 qcm::exploreIndexed(size_t Count, const ExplorationOptions &Options,
@@ -27,24 +67,33 @@ qcm::exploreIndexed(size_t Count, const ExplorationOptions &Options,
 
   unsigned Jobs = static_cast<unsigned>(
       std::min<size_t>(Options.effectiveJobs(), Count));
+  Summary.Pool.Jobs = std::max(1u, Jobs);
+  Summary.Pool.Workers.resize(Summary.Pool.Jobs);
+  Stopwatch Wall;
   if (Jobs <= 1) {
     // Serial fast path: no pool, no locks; run and merge interleaved so a
     // Stop skips the remaining items entirely.
+    WorkerMetrics &Me = Summary.Pool.Workers[0];
     for (size_t I = 0; I < Count; ++I) {
+      Stopwatch Busy;
       RunItem(I, /*Slot=*/0);
+      Me.BusyUs += elapsedUs(Busy);
+      ++Me.Items;
       ++Summary.ItemsMerged;
       if (MergeItem(I) == ExploreStep::Stop) {
         Summary.Cancelled = true;
-        return Summary;
+        break;
       }
     }
+    Summary.Pool.WallUs = elapsedUs(Wall);
     return Summary;
   }
 
   // Parallel path. Workers claim indices in plan order from NextItem and
   // mark them done; the calling thread merges strictly in plan order. The
   // Done handoff under Mutex is what publishes RunItem(I)'s writes to
-  // MergeItem(I).
+  // MergeItem(I). Each worker owns Workers[W] of the pool metrics for the
+  // pool's lifetime; the joins in ~ThreadPool publish them to the caller.
   std::mutex Mutex;
   std::condition_variable Ready;
   std::vector<char> Done(Count, 0);
@@ -55,6 +104,7 @@ qcm::exploreIndexed(size_t Count, const ExplorationOptions &Options,
     ThreadPool Pool(Jobs);
     for (unsigned W = 0; W < Jobs; ++W)
       Pool.submit([&, W] {
+        WorkerMetrics &Me = Summary.Pool.Workers[W];
         for (;;) {
           if (Cancel.cancelled())
             return;
@@ -63,7 +113,10 @@ qcm::exploreIndexed(size_t Count, const ExplorationOptions &Options,
             return;
           // W doubles as the slot: per-slot caller state is touched only
           // by this worker for the pool's whole lifetime.
+          Stopwatch Busy;
           RunItem(I, W);
+          Me.BusyUs += elapsedUs(Busy);
+          ++Me.Items;
           {
             std::lock_guard<std::mutex> Lock(Mutex);
             Done[I] = 1;
@@ -74,8 +127,10 @@ qcm::exploreIndexed(size_t Count, const ExplorationOptions &Options,
 
     for (size_t I = 0; I < Count; ++I) {
       {
+        Stopwatch WaitClock;
         std::unique_lock<std::mutex> Lock(Mutex);
         Ready.wait(Lock, [&] { return Done[I] != 0; });
+        Summary.Pool.MergeWaitUs += elapsedUs(WaitClock);
       }
       ++Summary.ItemsMerged;
       if (MergeItem(I) == ExploreStep::Stop) {
@@ -87,6 +142,7 @@ qcm::exploreIndexed(size_t Count, const ExplorationOptions &Options,
     // ~ThreadPool drains: claimed in-flight items finish on their workers
     // (their results are simply never merged), unclaimed ones are skipped.
   }
+  Summary.Pool.WallUs = elapsedUs(Wall);
   return Summary;
 }
 
@@ -106,9 +162,17 @@ qcm::explorePlan(const ExplorationPlan &Plan,
       Plan.Items.size(), Options,
       [&](size_t I, unsigned Slot) {
         const ExplorationItem &Item = Plan.Items[I];
+        prof::Span Cell("cell", "explore");
+        Cell.arg("index", static_cast<uint64_t>(I));
+        Cell.arg("model", modelKindName(Item.Config.Model));
+        if (!Item.Config.Inject.empty())
+          Cell.arg("fault_plan", Item.Config.Inject.toString());
         if (Plan.Cached) {
           if (const RunResult *Hit = Plan.Cached(I)) {
             Results[I] = *Hit;
+            Cell.argBool("cached", true);
+            Cell.arg("outcome",
+                     behaviorKindName(Results[I].Behav.BehaviorKind));
             return;
           }
         }
@@ -119,6 +183,9 @@ qcm::explorePlan(const ExplorationPlan &Plan,
         if (Item.MakeHandlers)
           Config.Handlers = Item.MakeHandlers();
         Results[I] = Slots[Slot].run(Item.Module, Config);
+        Cell.arg("outcome", behaviorKindName(Results[I].Behav.BehaviorKind));
+        if (Results[I].TimedOut)
+          Cell.argBool("timed_out", true);
       },
       [&](size_t I) { return OnResult(I, Results[I]); });
 }

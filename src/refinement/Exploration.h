@@ -61,6 +61,39 @@ struct ExplorationOptions {
 /// Merge-callback verdict: keep merging or cancel the remaining items.
 enum class ExploreStep { Continue, Stop };
 
+/// Timing of one worker slot of an exploration.
+struct WorkerMetrics {
+  /// Wall time the slot spent inside RunItem, in microseconds.
+  uint64_t BusyUs = 0;
+  /// Items the slot executed (speculative in-flight items included, so
+  /// this may exceed the merged count after an early stop).
+  uint64_t Items = 0;
+};
+
+/// Pool-level timing of one exploration. Everything here is wall-clock and
+/// therefore *nondeterministic* — it feeds the --metrics-out "pool"
+/// section, never the byte-identical reports. Collected only when the span
+/// profiler is compiled in (QCM_PROFILE_ENABLED); all-zero otherwise, with
+/// Jobs still filled in.
+struct PoolMetrics {
+  /// Worker threads actually used (1 for the serial fast path).
+  unsigned Jobs = 0;
+  /// Wall time of the whole exploration, in microseconds.
+  uint64_t WallUs = 0;
+  /// Time the merging thread spent waiting for the next in-order result —
+  /// the queue-wait cost of deterministic merging, in microseconds.
+  uint64_t MergeWaitUs = 0;
+  std::vector<WorkerMetrics> Workers;
+
+  /// Folds \p Other in (summing scalars, concatenating workers); lets the
+  /// checker combine its main-grid and sweep explorations into one view.
+  void accumulate(const PoolMetrics &Other);
+
+  /// {"jobs":N,"wall_us":...,"merge_wait_us":...,"workers":[
+  ///  {"busy_us":...,"items":...},...]}
+  std::string toJson() const;
+};
+
 /// What an exploration did.
 struct ExplorationSummary {
   /// Items whose results were merged (delivered in plan order). This — not
@@ -69,6 +102,8 @@ struct ExplorationSummary {
   uint64_t ItemsMerged = 0;
   /// True when the merge callback returned Stop.
   bool Cancelled = false;
+  /// Nondeterministic pool timing of this exploration.
+  PoolMetrics Pool;
 };
 
 /// Generic deterministic fan-out/merge over \p Count index-addressed tasks.

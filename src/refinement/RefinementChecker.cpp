@@ -4,6 +4,8 @@
 
 #include "ir/Compile.h"
 #include "refinement/Contexts.h"
+#include "support/Profiler.h"
+#include "support/Progress.h"
 
 #include <cassert>
 
@@ -150,11 +152,18 @@ void runExhaustionSweep(const RefinementJob &Job,
   std::vector<SweepCellResult> Results(Cells.size());
   std::vector<ExecState> Slots(std::max<size_t>(
       1, std::min<size_t>(Job.Exec.effectiveJobs(), Cells.size())));
-  exploreIndexed(
+  if (Job.Progress)
+    Job.Progress->beginPhase("sweep", Cells.size());
+  ExplorationSummary Summary = exploreIndexed(
       Cells.size(), Job.Exec,
       [&](size_t I, unsigned Slot) {
         const SweepCell &Cell = Cells[I];
         SweepCellResult &Out = Results[I];
+        prof::Span Span("sweep-cell", "explore");
+        Span.arg("index", static_cast<uint64_t>(I));
+        Span.arg("model", modelKindName(Cell.Config.Model));
+        Span.arg("inject",
+                 Cell.Kind == InjectKind::Allocation ? "alloc" : "cast");
         // Adaptive injection-point discovery: probe ordinal N until a probe
         // no longer fires — the first non-firing N is one past the number
         // of targeted operations the cell's execution performs, because a
@@ -184,6 +193,11 @@ void runExhaustionSweep(const RefinementJob &Job,
             break;
           Out.Fired.push_back(std::move(R.Behav));
         }
+        Span.arg("probes", Out.Probes);
+        if (Out.Capped)
+          Span.argBool("capped", true);
+        if (Out.TimedOut)
+          Span.arg("timed_out", Out.TimedOut);
       },
       [&](size_t I) {
         const SweepCell &Cell = Cells[I];
@@ -215,9 +229,14 @@ void runExhaustionSweep(const RefinementJob &Job,
           }
           W.CR.TgtInjectedPartials.insert(std::move(B));
         }
+        if (Job.Progress)
+          Job.Progress->advance(1, FailedHere ? 1 : 0, Out.TimedOut, 0);
         return FailedHere && Job.Exec.FailFast ? ExploreStep::Stop
                                                : ExploreStep::Continue;
       });
+  if (Job.Progress)
+    Job.Progress->finish();
+  Report.Pool.accumulate(Summary.Pool);
 }
 
 } // namespace
@@ -261,9 +280,14 @@ RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
   Origins.reserve(Plan.Items.capacity());
   bool StopPlanning = false;
 
+  std::optional<prof::Span> PlanSpan;
+  PlanSpan.emplace("plan", "check");
+  PlanSpan->arg("contexts", static_cast<uint64_t>(Contexts.size()));
   for (size_t CtxIdx = 0; CtxIdx < Contexts.size() && !StopPlanning;
        ++CtxIdx) {
     const ContextVariant &Context = Contexts[CtxIdx];
+    prof::Span CtxSpan("plan-context", "check");
+    CtxSpan.arg("context", Context.Name);
     ContextWork &W = Work[CtxIdx];
     W.CR.ContextName = Context.Name;
     W.Planned = true;
@@ -316,6 +340,8 @@ RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
       }
     }
   }
+  PlanSpan->arg("cells", static_cast<uint64_t>(Plan.Items.size()));
+  PlanSpan.reset();
 
   // Phase 2: execute the plan. Results are merged here, on the calling
   // thread, in plan order — so behavior sets fill in the serial loop's
@@ -324,6 +350,8 @@ RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
   // source set merged strictly earlier in the plan.
   Plan.Cached = Job.CachedCell;
   size_t LastMergedCtx = 0;
+  if (Job.Progress)
+    Job.Progress->beginPhase("grid", Plan.Items.size());
   ExplorationSummary Summary = explorePlan(
       Plan, Job.Exec, [&](size_t I, RunResult &R) {
         if (Job.OnCellMerged)
@@ -332,11 +360,15 @@ RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
         ContextWork &W = Work[Origin.ContextIdx];
         LastMergedCtx = Origin.ContextIdx;
         Report.AggregateStats.accumulate(R.Stats);
+        const bool Oom =
+            R.Behav.BehaviorKind == Behavior::Kind::OutOfMemory;
         if (R.TimedOut) {
           ++W.CR.TimedOutRuns;
           ++Report.TimedOutRuns;
         }
         if (!Origin.IsTgt) {
+          if (Job.Progress)
+            Job.Progress->advance(1, 0, R.TimedOut ? 1 : 0, Oom ? 1 : 0);
           W.CR.SrcBehaviors.insert(std::move(R.Behav));
           return ExploreStep::Continue;
         }
@@ -346,11 +378,17 @@ RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
           W.CR.Counterexample = R.Behav;
           Report.Refines = false;
         }
+        if (Job.Progress)
+          Job.Progress->advance(1, Admitted ? 0 : 1, R.TimedOut ? 1 : 0,
+                                Oom ? 1 : 0);
         W.CR.TgtBehaviors.insert(std::move(R.Behav));
         return !Admitted && Job.Exec.FailFast ? ExploreStep::Stop
                                               : ExploreStep::Continue;
       });
+  if (Job.Progress)
+    Job.Progress->finish();
   Report.RunsPerformed = Summary.ItemsMerged;
+  Report.Pool.accumulate(Summary.Pool);
 
   // Phase 3 (optional): the exhaustion sweep. Every grid cell is re-run
   // with out-of-memory injected at each reachable injection point of that
@@ -399,6 +437,9 @@ std::vector<OracleFactory> qcm::enumeratedOracles(uint64_t AddressWords,
                                                   unsigned Decisions,
                                                   std::string *Error) {
   assert(AddressWords >= 3 && "address space too small");
+  prof::Span Span("enumerate-oracles", "check");
+  Span.arg("address_words", AddressWords);
+  Span.arg("decisions", static_cast<uint64_t>(Decisions));
   const Word Low = 1;
   const uint64_t BaseCount = AddressWords - 2; // bases in [1, AddressWords-1)
   // Overflow-checked grid size BaseCount^Decisions against the sanity cap.

@@ -38,6 +38,8 @@
 
 namespace qcm {
 
+class ProgressSink;
+
 /// One context under which refinement is checked. Preferred form: language
 /// source text defining bodies for the programs' extern functions (see
 /// refinement/Contexts.h), which confines the context to exactly the
@@ -103,6 +105,12 @@ struct RefinementJob {
   /// deterministically from the grid and are not journaled.
   std::function<const RunResult *(size_t)> CachedCell;
   std::function<void(size_t, const RunResult &)> OnCellMerged;
+  /// Live progress reporting (support/Progress.h): when non-null, the
+  /// checker announces each exploration phase ("grid", then "sweep" when
+  /// enabled) with its cell count and advances the sink once per merged
+  /// cell, with that cell's failure/timeout/OOM tallies. Calls happen on
+  /// the merging thread only. Purely observational — reports are unchanged.
+  ProgressSink *Progress = nullptr;
 };
 
 /// Verdict for one context.
@@ -153,6 +161,11 @@ struct RefinementReport {
   /// probe executions are counted here, separately and deterministically.
   bool SweepRan = false;
   uint64_t InjectedRuns = 0;
+  /// Wall-clock pool timing over the check's explorations (main grid plus
+  /// sweep). Nondeterministic, so deliberately *not* part of toString():
+  /// the printed report stays byte-identical across --jobs levels; this
+  /// feeds the --metrics-out "pool" section instead.
+  PoolMetrics Pool;
 
   std::string toString() const;
 };

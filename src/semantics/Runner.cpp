@@ -5,6 +5,7 @@
 #include "ir/Compile.h"
 #include "memory/ConcreteMemory.h"
 #include "memory/QuasiConcreteMemory.h"
+#include "support/Profiler.h"
 
 using namespace qcm;
 
@@ -162,8 +163,17 @@ RunResult qcm::runProgram(const Program &Prog, const RunConfig &Config) {
 RunResult
 qcm::runCompiled(const std::shared_ptr<const qir::QirModule> &Module,
                  const RunConfig &Config) {
+  // The grid hot path (ExecState::run) is covered by the explorer's "cell"
+  // spans; this one-shot entry gets its own so qcm-run profiles show the
+  // execution proper next to parse/typecheck/compile.
+  prof::Span Span("run", "exec");
+  Span.arg("model", modelKindName(Config.Model));
   Machine M(Module, makeMemory(Config), Config.Interp);
-  return executeConfigured(M, Config);
+  RunResult Result = executeConfigured(M, Config);
+  Span.arg("outcome", behaviorKindName(Result.Behav.BehaviorKind));
+  if (Result.TimedOut)
+    Span.argBool("timed_out", true);
+  return Result;
 }
 
 RunResult ExecState::run(const std::shared_ptr<const qir::QirModule> &Module,

@@ -43,12 +43,20 @@ struct Fault {
   /// Human-readable explanation, phrased per the standard diagnostic style
   /// (lowercase first word, no trailing period).
   std::string Reason;
+  /// True when the fault was forced by deterministic fault injection
+  /// (memory/FaultInjection.h) rather than arising organically from the
+  /// model's semantics. Carried structurally so traces can tag injected
+  /// events without string-matching the reason.
+  bool Injected = false;
 
   static Fault undefined(std::string Reason) {
     return Fault{Kind::Undefined, std::move(Reason)};
   }
   static Fault outOfMemory(std::string Reason) {
     return Fault{Kind::OutOfMemory, std::move(Reason)};
+  }
+  static Fault injectedOutOfMemory(std::string Reason) {
+    return Fault{Kind::OutOfMemory, std::move(Reason), /*Injected=*/true};
   }
 
   bool isUndefined() const { return FaultKind == Kind::Undefined; }

@@ -1,0 +1,402 @@
+//===- support/Profiler.cpp - Span recording and Chrome-trace export ------===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+using namespace qcm;
+using namespace qcm::prof;
+
+uint64_t qcm::prof::peakRssBytes() {
+#if defined(__linux__)
+  // VmHWM is the high-water mark of the resident set, in kB.
+  if (std::FILE *In = std::fopen("/proc/self/status", "r")) {
+    char Line[256];
+    uint64_t Kb = 0;
+    bool Found = false;
+    while (std::fgets(Line, sizeof(Line), In)) {
+      if (std::sscanf(Line, "VmHWM: %llu kB",
+                      reinterpret_cast<unsigned long long *>(&Kb)) == 1) {
+        Found = true;
+        break;
+      }
+    }
+    std::fclose(In);
+    if (Found)
+      return Kb * 1024;
+  }
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) == 0) {
+    // ru_maxrss is kB on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    return static_cast<uint64_t>(Usage.ru_maxrss);
+#else
+    return static_cast<uint64_t>(Usage.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
+std::string CategorySummary::toJson() const {
+  // Drop trailing empty buckets so short profiles stay readable.
+  unsigned Used = BucketCount;
+  while (Used > 1 && Buckets[Used - 1] == 0)
+    --Used;
+  std::string Hist = "[";
+  for (unsigned I = 0; I < Used; ++I) {
+    if (I)
+      Hist += ",";
+    Hist += std::to_string(Buckets[I]);
+  }
+  Hist += "]";
+  JsonObject O;
+  O.field("category", Category)
+      .field("spans", Spans)
+      .field("total_us", TotalNs / 1000)
+      .field("min_us", MinNs / 1000)
+      .field("max_us", MaxNs / 1000)
+      .fieldRaw("hist_log2_us", Hist);
+  return O.str();
+}
+
+#if QCM_PROFILE_ENABLED
+
+namespace {
+
+/// One finished span as stored in a thread's buffer. Strings are owned
+/// (span names can be dynamic, e.g. "pass:constprop"); the category is a
+/// static string by API contract.
+struct SpanRecord {
+  std::string Name;
+  const char *Category;
+  uint64_t StartNs;
+  uint64_t DurNs;
+  std::string ArgsJson; // "" when the span had no args
+};
+
+constexpr size_t ChunkSize = 256;
+
+/// A single thread's chunked span buffer. The owning thread appends; the
+/// exporter reads slots [0, Count) after an acquire load. Chunks are never
+/// reallocated, so a published slot's address is stable; the Chunks vector
+/// itself is guarded by Growth for the rare push_back.
+struct ThreadLog {
+  uint64_t Tid = 0;
+  std::string Name;
+  std::vector<std::unique_ptr<SpanRecord[]>> Chunks;
+  std::atomic<uint64_t> Count{0};
+  std::mutex Growth;
+
+  SpanRecord *slot(uint64_t Index) {
+    return &Chunks[Index / ChunkSize][Index % ChunkSize];
+  }
+
+  void append(SpanRecord &&R) {
+    uint64_t Index = Count.load(std::memory_order_relaxed);
+    if (Index % ChunkSize == 0) {
+      std::lock_guard<std::mutex> Lock(Growth);
+      Chunks.push_back(std::make_unique<SpanRecord[]>(ChunkSize));
+    }
+    *slot(Index) = std::move(R);
+    // Publish: the exporter's acquire load of Count sees the slot write.
+    Count.store(Index + 1, std::memory_order_release);
+  }
+};
+
+struct Registry {
+  std::mutex Lock;
+  // shared_ptr so logs survive their thread's exit until export.
+  std::vector<std::shared_ptr<ThreadLog>> Logs;
+  std::map<std::string, uint64_t> Counters;
+  std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+};
+
+std::atomic<bool> Enabled{false};
+
+Registry &registry() {
+  static Registry R; // leaked-at-exit singleton keeps destructor order safe
+  return R;
+}
+
+ThreadLog &threadLog() {
+  thread_local ThreadLog *Log = nullptr;
+  if (!Log) {
+    auto Fresh = std::make_shared<ThreadLog>();
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Lock);
+    Fresh->Tid = R.Logs.size();
+    R.Logs.push_back(Fresh);
+    Log = Fresh.get();
+  }
+  return *Log;
+}
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - registry().Epoch)
+          .count());
+}
+
+} // namespace
+
+bool qcm::prof::enabled() {
+  return Enabled.load(std::memory_order_relaxed);
+}
+
+void qcm::prof::setEnabled(bool On) {
+  Enabled.store(On, std::memory_order_relaxed);
+}
+
+void qcm::prof::setThreadName(const std::string &Name) {
+  // Registering a buffer for a thread that will never record would grow
+  // the registry by one entry per pool worker ever spawned; skip while
+  // disabled (tools enable profiling before any pool spins up).
+  if (!enabled())
+    return;
+  ThreadLog &Log = threadLog();
+  std::lock_guard<std::mutex> Lock(Log.Growth);
+  Log.Name = Name;
+}
+
+void qcm::prof::counterAdd(const std::string &Name, uint64_t Delta) {
+  if (!enabled())
+    return;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Lock);
+  R.Counters[Name] += Delta;
+}
+
+Span::Span(std::string SpanName, const char *Cat)
+    : Active(enabled()), Name(std::move(SpanName)), Category(Cat) {
+  if (Active)
+    StartNs = nowNs();
+}
+
+Span::~Span() {
+  if (!Active)
+    return;
+  SpanRecord R;
+  R.Name = std::move(Name);
+  R.Category = Category;
+  R.StartNs = StartNs;
+  uint64_t End = nowNs();
+  R.DurNs = End > StartNs ? End - StartNs : 0;
+  if (HasArgs)
+    R.ArgsJson = Args.str();
+  threadLog().append(std::move(R));
+}
+
+void Span::arg(const char *Key, const std::string &V) {
+  if (!Active)
+    return;
+  Args.field(Key, V);
+  HasArgs = true;
+}
+
+void Span::arg(const char *Key, uint64_t V) {
+  if (!Active)
+    return;
+  Args.field(Key, V);
+  HasArgs = true;
+}
+
+void Span::argBool(const char *Key, bool V) {
+  if (!Active)
+    return;
+  Args.fieldBool(Key, V);
+  HasArgs = true;
+}
+
+namespace {
+
+/// A consistent copy of one thread's log: the records published up to the
+/// snapshot instant, plus the track identity. Copied out under the log's
+/// Growth mutex so the exporter never touches the Chunks vector while the
+/// owner grows it; the acquire load of Count pairs with the owner's release
+/// publish so every copied slot is fully written.
+struct LogSnapshot {
+  uint64_t Tid;
+  std::string Name;
+  std::vector<SpanRecord> Records;
+};
+
+std::vector<LogSnapshot> snapshotLogs() {
+  Registry &R = registry();
+  std::vector<std::shared_ptr<ThreadLog>> Logs;
+  {
+    std::lock_guard<std::mutex> Lock(R.Lock);
+    Logs = R.Logs;
+  }
+  std::vector<LogSnapshot> Out;
+  Out.reserve(Logs.size());
+  for (const auto &Log : Logs) {
+    LogSnapshot S;
+    S.Tid = Log->Tid;
+    uint64_t Count = Log->Count.load(std::memory_order_acquire);
+    std::lock_guard<std::mutex> Lock(Log->Growth);
+    S.Name = Log->Name;
+    S.Records.reserve(Count);
+    for (uint64_t I = 0; I < Count; ++I)
+      S.Records.push_back(*Log->slot(I));
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+} // namespace
+
+uint64_t qcm::prof::spanCount() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Lock);
+  uint64_t Total = 0;
+  for (const auto &Log : R.Logs)
+    Total += Log->Count.load(std::memory_order_acquire);
+  return Total;
+}
+
+std::vector<CategorySummary> qcm::prof::categorySummaries() {
+  std::map<std::string, CategorySummary> ByCat;
+  for (const LogSnapshot &S : snapshotLogs()) {
+    for (const SpanRecord &R : S.Records) {
+      CategorySummary &Sum = ByCat[R.Category];
+      if (Sum.Category.empty())
+        Sum.Category = R.Category;
+      if (Sum.Spans == 0 || R.DurNs < Sum.MinNs)
+        Sum.MinNs = R.DurNs;
+      Sum.MaxNs = std::max(Sum.MaxNs, R.DurNs);
+      Sum.Spans += 1;
+      Sum.TotalNs += R.DurNs;
+      uint64_t Us = R.DurNs / 1000;
+      unsigned Bucket = 0;
+      while (Us > 1 && Bucket + 1 < CategorySummary::BucketCount) {
+        Us >>= 1;
+        ++Bucket;
+      }
+      Sum.Buckets[Bucket] += 1;
+    }
+  }
+  std::vector<CategorySummary> Out;
+  Out.reserve(ByCat.size());
+  for (auto &[_, Sum] : ByCat)
+    Out.push_back(std::move(Sum));
+  return Out;
+}
+
+std::vector<std::pair<std::string, uint64_t>> qcm::prof::counters() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Lock);
+  return {R.Counters.begin(), R.Counters.end()};
+}
+
+std::string qcm::prof::renderChromeTrace() {
+  std::vector<std::string> Events;
+  for (const LogSnapshot &S : snapshotLogs()) {
+    // Thread-name metadata first so viewers label the track; default the
+    // first-registered thread to "main" (tools register it by profiling
+    // setup before any pool spins up).
+    std::string Name =
+        !S.Name.empty()
+            ? S.Name
+            : (S.Tid == 0 ? "main" : "thread-" + std::to_string(S.Tid));
+    JsonObject Meta;
+    Meta.field("ph", "M")
+        .field("name", "thread_name")
+        .field("pid", uint64_t(1))
+        .field("tid", S.Tid)
+        .fieldRaw("args", JsonObject().field("name", Name).str());
+    Events.push_back(Meta.str());
+    for (const SpanRecord &R : S.Records) {
+      JsonObject E;
+      E.field("ph", "X")
+          .field("name", R.Name)
+          .field("cat", R.Category)
+          .field("pid", uint64_t(1))
+          .field("tid", S.Tid)
+          .field("ts", R.StartNs / 1000)
+          .field("dur", R.DurNs / 1000);
+      if (!R.ArgsJson.empty())
+        E.fieldRaw("args", R.ArgsJson);
+      Events.push_back(E.str());
+    }
+  }
+
+  std::vector<std::string> Cats;
+  for (const CategorySummary &Sum : categorySummaries())
+    Cats.push_back(Sum.toJson());
+  JsonObject Counters;
+  for (const auto &[Name, Value] : counters())
+    Counters.field(Name, Value);
+
+  std::string Out = "{\"traceEvents\":";
+  Out += jsonArray(Events);
+  Out += ",\n\"displayTimeUnit\":\"ms\",\n\"otherData\":";
+  JsonObject Other;
+  Other.fieldRaw("categories", jsonArray(Cats))
+      .fieldRaw("counters", Counters.str())
+      .field("peak_rss_bytes", peakRssBytes());
+  Out += Other.str();
+  Out += "}\n";
+  return Out;
+}
+
+bool qcm::prof::writeChromeTrace(const std::string &Path,
+                                 std::string &Error) {
+  return writeTextFile(Path, renderChromeTrace(), Error);
+}
+
+void qcm::prof::reset() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Lock);
+  for (const auto &Log : R.Logs) {
+    std::lock_guard<std::mutex> LogLock(Log->Growth);
+    Log->Chunks.clear();
+    Log->Count.store(0, std::memory_order_release);
+  }
+  R.Counters.clear();
+  R.Epoch = std::chrono::steady_clock::now();
+}
+
+#else // !QCM_PROFILE_ENABLED
+
+// The export entry points stay callable in compiled-out builds so tools
+// honoring --profile need no conditional code; they produce a valid,
+// empty trace.
+std::string qcm::prof::renderChromeTrace() {
+  std::string Out = "{\"traceEvents\":[],\n\"displayTimeUnit\":\"ms\",\n"
+                    "\"otherData\":";
+  JsonObject Other;
+  Other.fieldRaw("categories", "[]")
+      .fieldRaw("counters", "{}")
+      .field("peak_rss_bytes", peakRssBytes());
+  Out += Other.str();
+  Out += "}\n";
+  return Out;
+}
+
+bool qcm::prof::writeChromeTrace(const std::string &Path,
+                                 std::string &Error) {
+  return writeTextFile(Path, renderChromeTrace(), Error);
+}
+
+#endif // QCM_PROFILE_ENABLED

@@ -1,0 +1,192 @@
+//===- support/Profiler.h - Span profiler with Chrome-trace export -*- C++ -*-=//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A pipeline-wide span profiler: RAII Spans (name, category, args) recorded
+/// into per-thread buffers, exported as Chrome trace-event JSON loadable in
+/// Perfetto / chrome://tracing, plus per-category wall-time histograms and
+/// process-wide named counters. This is the *time* axis of the observability
+/// story — memory/MemTrace.h answers "which memory operations happened",
+/// this layer answers "where did the wall clock go": parse vs. typecheck vs.
+/// QIR compilation vs. each grid cell of a refinement exploration vs. each
+/// optimizer pass vs. journal I/O.
+///
+/// Recording contract:
+///
+/// * **Off by default.** Nothing is recorded until prof::setEnabled(true);
+///   a Span constructed while disabled is one relaxed atomic load.
+/// * **Per-thread buffers, no locking on the hot path.** Each thread
+///   appends to its own chunked buffer; a chunk slot is published with one
+///   release store of the per-thread count, so the exporting thread (which
+///   reads with an acquire load) sees fully written records and TSan sees a
+///   clean happens-before edge. The only mutex is taken when a thread
+///   registers its buffer or grows it by a chunk (every 256 spans).
+/// * **Thread attribution.** Buffers carry a stable small tid (registration
+///   order) and a name (prof::setThreadName; ThreadPool workers name
+///   themselves "worker-N"), exported as Chrome thread_name metadata so a
+///   refinement grid's cells land on their worker's track.
+/// * **Compiled out.** Building with -DQCM_PROFILE_ENABLED=0 turns Span and
+///   every recording call into an empty inline stub — zero instructions on
+///   every instrumented path, verified by the CI perf-smoke gate. The
+///   export entry points stay callable and produce an empty trace, so tools
+///   need no conditional code.
+///
+/// Layering: support/ only (Telemetry.h for JSON); everything above may use
+/// it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_SUPPORT_PROFILER_H
+#define QCM_SUPPORT_PROFILER_H
+
+#include "support/Telemetry.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// Compile-time master switch for the span profiler, mirroring
+/// QCM_TRACE_ENABLED (memory tracing) and QCM_FAULT_INJECTION_ENABLED.
+#ifndef QCM_PROFILE_ENABLED
+#define QCM_PROFILE_ENABLED 1
+#endif
+
+namespace qcm {
+namespace prof {
+
+/// Aggregated wall-time statistics for one span category, computed at
+/// export time from the recorded spans.
+struct CategorySummary {
+  std::string Category;
+  uint64_t Spans = 0;
+  uint64_t TotalNs = 0;
+  uint64_t MinNs = 0;
+  uint64_t MaxNs = 0;
+  /// Log2 duration histogram: bucket K counts spans with duration in
+  /// [2^K, 2^(K+1)) microseconds; bucket 0 additionally holds sub-1us
+  /// spans; the last bucket holds everything >= 2^(Buckets-1) us.
+  static constexpr unsigned BucketCount = 22;
+  uint64_t Buckets[BucketCount] = {};
+
+  /// {"category":...,"spans":N,"total_us":...,"min_us":...,"max_us":...,
+  ///  "hist_log2_us":[...]}
+  std::string toJson() const;
+};
+
+/// Peak resident set size of this process in bytes (VmHWM on Linux,
+/// ru_maxrss fallback); 0 when unknowable. Always available, independent of
+/// QCM_PROFILE_ENABLED — it reads process state, not recorded spans.
+uint64_t peakRssBytes();
+
+#if QCM_PROFILE_ENABLED
+
+/// Whether spans are currently recorded. One relaxed atomic load; the
+/// profiler is process-global, like the trace compile switch.
+bool enabled();
+
+/// Turns recording on or off. Typically called once, by the tool that saw
+/// --profile on its command line, before any instrumented work runs.
+void setEnabled(bool On);
+
+/// Names the calling thread for trace export ("main", "worker-3", ...).
+/// The last name wins. A no-op while recording is disabled, so threads
+/// spawned by a non-profiled run cost the registry nothing.
+void setThreadName(const std::string &Name);
+
+/// Adds \p Delta to the process-wide counter \p Name (created at first
+/// use). Counters are exported with the category summaries and merged into
+/// the metrics document; they are for low-frequency occurrences (cache
+/// hits, journal records), not per-instruction counts.
+void counterAdd(const std::string &Name, uint64_t Delta);
+
+/// RAII span: records [construction, destruction) of the calling thread
+/// under (Name, Category), with optional args attached any time before
+/// destruction. Categories are static strings ("frontend", "compile",
+/// "exec", "explore", "opt", "io", "check"); names may be dynamic.
+class Span {
+public:
+  Span(const char *Name, const char *Category)
+      : Span(std::string(Name), Category) {}
+  Span(std::string Name, const char *Category);
+  ~Span();
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// Attaches one argument, shown in the trace viewer's details pane.
+  void arg(const char *Key, const std::string &V);
+  void arg(const char *Key, uint64_t V);
+  void argBool(const char *Key, bool V);
+
+private:
+  bool Active;
+  std::string Name;
+  const char *Category;
+  uint64_t StartNs = 0;
+  JsonObject Args;
+  bool HasArgs = false;
+};
+
+/// Number of spans recorded so far, over all threads.
+uint64_t spanCount();
+
+/// Per-category aggregates over everything recorded so far, sorted by
+/// category name.
+std::vector<CategorySummary> categorySummaries();
+
+/// All process-wide counters, sorted by name.
+std::vector<std::pair<std::string, uint64_t>> counters();
+
+/// The full Chrome trace-event document: {"traceEvents":[...],...} with one
+/// thread_name metadata event per thread and one complete ("ph":"X") event
+/// per span, timestamps in microseconds since the profiler epoch. Loadable
+/// in Perfetto and chrome://tracing. Call only when no instrumented work is
+/// in flight (tools export after their pipeline finished; worker threads
+/// have been joined by then).
+std::string renderChromeTrace();
+
+/// Writes renderChromeTrace() to \p Path; false with \p Error on failure.
+bool writeChromeTrace(const std::string &Path, std::string &Error);
+
+/// Drops every recorded span and counter and restarts the trace epoch.
+/// Testing hook; call only while no other thread records.
+void reset();
+
+#else // !QCM_PROFILE_ENABLED
+
+inline bool enabled() { return false; }
+inline void setEnabled(bool) {}
+inline void setThreadName(const std::string &) {}
+inline void counterAdd(const std::string &, uint64_t) {}
+
+class Span {
+public:
+  Span(const char *, const char *) {}
+  Span(std::string, const char *) {}
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+  void arg(const char *, const std::string &) {}
+  void arg(const char *, uint64_t) {}
+  void argBool(const char *, bool) {}
+};
+
+inline uint64_t spanCount() { return 0; }
+inline std::vector<CategorySummary> categorySummaries() { return {}; }
+inline std::vector<std::pair<std::string, uint64_t>> counters() {
+  return {};
+}
+std::string renderChromeTrace();
+bool writeChromeTrace(const std::string &Path, std::string &Error);
+inline void reset() {}
+
+#endif // QCM_PROFILE_ENABLED
+
+} // namespace prof
+} // namespace qcm
+
+#endif // QCM_SUPPORT_PROFILER_H

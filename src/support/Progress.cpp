@@ -1,0 +1,89 @@
+//===- support/Progress.cpp - Throttled stderr status line ----------------===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Progress.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+using namespace qcm;
+
+void StderrProgress::beginPhase(const std::string &Name,
+                                uint64_t TotalUnits) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  if (Active) {
+    // Close the previous phase's line before starting a new one.
+    repaint(true);
+    std::fputc('\n', Out);
+  }
+  Phase = Name;
+  Total = TotalUnits;
+  Done = Failed = TimedOut = Oom = 0;
+  Active = true;
+  PhaseClock.reset();
+  LastPaintSeconds = -1.0;
+  LastLineLength = 0;
+  repaint(true);
+}
+
+void StderrProgress::advance(uint64_t Units, uint64_t NewFailed,
+                             uint64_t NewTimedOut, uint64_t NewOom) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Done += Units;
+  Failed += NewFailed;
+  TimedOut += NewTimedOut;
+  Oom += NewOom;
+  repaint(false);
+}
+
+void StderrProgress::finish() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  if (!Active)
+    return;
+  repaint(true);
+  std::fputc('\n', Out);
+  std::fflush(Out);
+  Active = false;
+}
+
+void StderrProgress::repaint(bool Force) {
+  double Now = PhaseClock.seconds();
+  if (!Force && LastPaintSeconds >= 0.0 && Now - LastPaintSeconds < 0.1)
+    return;
+  LastPaintSeconds = Now;
+
+  char Line[256];
+  double Rate = Now > 0.0 ? static_cast<double>(Done) / Now : 0.0;
+  int N;
+  if (Total > 0) {
+    double Pct = 100.0 * static_cast<double>(Done) /
+                 static_cast<double>(Total);
+    double EtaSeconds =
+        (Rate > 0.0 && Done < Total)
+            ? static_cast<double>(Total - Done) / Rate
+            : 0.0;
+    N = std::snprintf(Line, sizeof(Line),
+                      "[%s] %" PRIu64 "/%" PRIu64
+                      " (%.0f%%) %.1f cells/s eta %.0fs"
+                      " | fail %" PRIu64 " timeout %" PRIu64 " oom %" PRIu64,
+                      Phase.c_str(), Done, Total, Pct, Rate, EtaSeconds,
+                      Failed, TimedOut, Oom);
+  } else {
+    N = std::snprintf(Line, sizeof(Line),
+                      "[%s] %" PRIu64 " done %.1f cells/s"
+                      " | fail %" PRIu64 " timeout %" PRIu64 " oom %" PRIu64,
+                      Phase.c_str(), Done, Rate, Failed, TimedOut, Oom);
+  }
+  size_t Length = N > 0 ? static_cast<size_t>(N) : 0;
+  // Pad with spaces to erase a longer previous line, then rewind.
+  std::fputc('\r', Out);
+  std::fputs(Line, Out);
+  for (size_t I = Length; I < LastLineLength; ++I)
+    std::fputc(' ', Out);
+  std::fflush(Out);
+  LastLineLength = Length;
+}

@@ -2,6 +2,8 @@
 
 #include "support/Telemetry.h"
 
+#include <cstdio>
+
 using namespace qcm;
 
 std::string qcm::jsonEscape(const std::string &Text) {
@@ -64,4 +66,36 @@ JsonObject &JsonObject::fieldBool(const std::string &Key, bool V) {
   key(Key);
   Body += V ? "true" : "false";
   return *this;
+}
+
+JsonObject &JsonObject::fieldRaw(const std::string &Key,
+                                 const std::string &RawJson) {
+  key(Key);
+  Body += RawJson;
+  return *this;
+}
+
+std::string qcm::jsonArray(const std::vector<std::string> &Rows) {
+  std::string Out = "[";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    Out += I ? ",\n  " : "\n  ";
+    Out += Rows[I];
+  }
+  Out += Rows.empty() ? "]" : "\n]";
+  return Out;
+}
+
+bool qcm::writeTextFile(const std::string &Path, const std::string &Content,
+                        std::string &Error) {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  bool Ok = std::fwrite(Content.data(), 1, Content.size(), Out) ==
+            Content.size();
+  Ok = (std::fclose(Out) == 0) && Ok;
+  if (!Ok)
+    Error = "error writing '" + Path + "'";
+  return Ok;
 }

@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 /// Compile-time master switch for the tracing/statistics instrumentation.
 /// Building with -DQCM_TRACE_ENABLED=0 compiles every emission point down to
@@ -48,6 +49,9 @@ public:
   JsonObject &field(const std::string &Key, const std::string &V);
   JsonObject &field(const std::string &Key, const char *V);
   JsonObject &fieldBool(const std::string &Key, bool V);
+  /// Splices \p RawJson in verbatim: a nested object/array already rendered
+  /// by the caller (e.g. a ModelStats::toJson() or a JSON array).
+  JsonObject &fieldRaw(const std::string &Key, const std::string &RawJson);
 
   /// The finished object, e.g. {"kind":"alloc","block":3}.
   std::string str() const { return "{" + Body + "}"; }
@@ -56,6 +60,17 @@ private:
   void key(const std::string &K);
   std::string Body;
 };
+
+/// Renders \p Rows (each already-valid JSON) as a multi-line JSON array:
+/// one row per line, two-space indented — the shape both the benchmark
+/// reports and the profiler's trace-event list want.
+std::string jsonArray(const std::vector<std::string> &Rows);
+
+/// Writes \p Content to \p Path atomically enough for our purposes (single
+/// fopen/fwrite/fclose); false with \p Error (including the path) when any
+/// step fails.
+bool writeTextFile(const std::string &Path, const std::string &Content,
+                   std::string &Error);
 
 /// Wall-clock stopwatch for coarse metrics (pass timings). Monotonic.
 class Stopwatch {

@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Profiler.h"
+
 using namespace qcm;
 
 unsigned ThreadPool::defaultConcurrency() {
@@ -9,12 +11,15 @@ unsigned ThreadPool::defaultConcurrency() {
   return N ? N : 1u;
 }
 
-ThreadPool::ThreadPool(unsigned Threads) {
+ThreadPool::ThreadPool(unsigned Threads, const char *NamePrefix) {
   if (Threads == 0)
     Threads = defaultConcurrency();
   Workers.reserve(Threads);
   for (unsigned I = 0; I < Threads; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, NamePrefix, I] {
+      prof::setThreadName(std::string(NamePrefix) + "-" + std::to_string(I));
+      workerLoop();
+    });
 }
 
 ThreadPool::~ThreadPool() {

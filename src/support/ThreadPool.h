@@ -50,8 +50,10 @@ private:
 /// Fixed-size worker pool over a FIFO task queue.
 class ThreadPool {
 public:
-  /// Spawns \p Threads workers; 0 means defaultConcurrency().
-  explicit ThreadPool(unsigned Threads);
+  /// Spawns \p Threads workers; 0 means defaultConcurrency(). Workers
+  /// register themselves with the span profiler as "<NamePrefix>-<index>"
+  /// so profile exports attribute their spans to a named track.
+  explicit ThreadPool(unsigned Threads, const char *NamePrefix = "worker");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool &) = delete;

@@ -2,6 +2,8 @@
 
 #include "tools/ToolSupport.h"
 
+#include "refinement/RefinementChecker.h"
+#include "support/Profiler.h"
 #include "support/Telemetry.h"
 
 #include <fstream>
@@ -84,6 +86,71 @@ std::string qcm_tools::renderStats(const ModelStats &Stats,
                                    const std::string &ModelName) {
   return "--- memory statistics (" + ModelName + ") ---\n" +
          Stats.toString();
+}
+
+std::string qcm_tools::metricsAggregateJson(const RefinementReport &Report) {
+  JsonObject O;
+  O.fieldBool("refines", Report.Refines);
+  O.field("contexts", static_cast<uint64_t>(Report.PerContext.size()));
+  O.field("runs_performed", Report.RunsPerformed);
+  O.field("timed_out_runs", Report.TimedOutRuns);
+  O.fieldBool("sweep_ran", Report.SweepRan);
+  O.field("injected_runs", Report.InjectedRuns);
+  O.fieldRaw("stats", Report.AggregateStats.toJson());
+  return O.str();
+}
+
+std::string qcm_tools::renderMetricsDocument(const RefinementReport &Report,
+                                             const std::string &Tool) {
+  JsonObject Process;
+  Process.field("peak_rss_bytes", prof::peakRssBytes());
+
+  JsonObject Profile;
+  Profile.fieldBool("enabled", prof::enabled());
+  Profile.field("spans", prof::spanCount());
+  std::vector<std::string> Rows;
+  for (const prof::CategorySummary &C : prof::categorySummaries())
+    Rows.push_back(C.toJson());
+  Profile.fieldRaw("categories", jsonArray(Rows));
+  JsonObject CounterObj;
+  for (const auto &[Name, Value] : prof::counters())
+    CounterObj.field(Name, Value);
+  Profile.fieldRaw("counters", CounterObj.str());
+
+  JsonObject Doc;
+  Doc.field("schema", "qcm-metrics-1");
+  Doc.field("tool", Tool);
+  Doc.fieldRaw("aggregate", metricsAggregateJson(Report));
+  Doc.fieldRaw("pool", Report.Pool.toJson());
+  Doc.fieldRaw("process", Process.str());
+  Doc.fieldRaw("profile", Profile.str());
+  return Doc.str();
+}
+
+bool qcm_tools::writeMetricsJson(const std::string &Path,
+                                 const RefinementReport &Report,
+                                 const std::string &Tool,
+                                 std::string &Error) {
+  return writeTextFile(Path, renderMetricsDocument(Report, Tool) + "\n",
+                       Error);
+}
+
+void qcm_tools::applyProfileOption(const CommandLine &Cmd) {
+  if (!Cmd.has("profile"))
+    return;
+  prof::setEnabled(true);
+  prof::setThreadName("main");
+}
+
+bool qcm_tools::finishProfile(const CommandLine &Cmd, std::string &Error) {
+  if (!Cmd.has("profile"))
+    return true;
+  std::string Path = Cmd.get("profile");
+  if (Path.empty()) {
+    Error = "--profile requires a file path (--profile=FILE)";
+    return false;
+  }
+  return prof::writeChromeTrace(Path, Error);
 }
 
 bool CommandLine::parse(int Argc, char **Argv, std::string &Error) {
@@ -465,6 +532,8 @@ std::string cellLine(size_t Index, const RunResult &R) {
 bool CheckpointJournal::open(const std::string &Path,
                              const std::string &JobKey, bool Resume,
                              std::string &Error) {
+  prof::Span Span("journal-open", "io");
+  Span.argBool("resume", Resume);
   Cells.clear();
   if (Resume) {
     std::ifstream In(Path);
@@ -510,6 +579,7 @@ bool CheckpointJournal::open(const std::string &Path,
   for (const auto &[Index, R] : Cells)
     *Out << cellLine(Index, R) << '\n';
   Out->flush();
+  Span.arg("replayed", static_cast<uint64_t>(Cells.size()));
   return true;
 }
 
@@ -523,6 +593,9 @@ void CheckpointJournal::record(size_t Index, const RunResult &R) {
     return;
   *Out << cellLine(Index, R) << '\n';
   Out->flush();
+  // A span per record would swamp the trace; a counter keeps journal write
+  // volume visible in the metrics document instead.
+  prof::counterAdd("journal.records", 1);
 }
 
 bool CommandLine::applyExplorationOptions(ExplorationOptions &Exec,

@@ -23,6 +23,10 @@
 #include <string>
 #include <vector>
 
+namespace qcm {
+struct RefinementReport;
+} // namespace qcm
+
 namespace qcm_tools {
 
 /// Documented exit codes shared by the command-line tools, so scripts can
@@ -70,6 +74,26 @@ bool writeTraceJsonl(const std::string &Path,
 std::string renderStats(const qcm::ModelStats &Stats,
                         const std::string &ModelName);
 
+/// The deterministic half of the metrics document: one JSON object with the
+/// report's verdict, run counters, and aggregate ModelStats. Everything in
+/// it derives from the merged report only, so it is byte-identical at every
+/// --jobs level (covered by exploration_test).
+std::string metricsAggregateJson(const qcm::RefinementReport &Report);
+
+/// The full --metrics-out document (schema "qcm-metrics-1"): the aggregate
+/// object above, the nondeterministic pool-timing section
+/// (PoolMetrics::toJson), process facts (peak RSS), and a summary of the
+/// span profiler (enabled flag, span count, per-category histograms,
+/// counters — all zero/empty when profiling is off or compiled out).
+std::string renderMetricsDocument(const qcm::RefinementReport &Report,
+                                  const std::string &Tool);
+
+/// Writes renderMetricsDocument() to \p Path; false with \p Error on
+/// failure.
+bool writeMetricsJson(const std::string &Path,
+                      const qcm::RefinementReport &Report,
+                      const std::string &Tool, std::string &Error);
+
 /// Minimal --key=value / --flag command line.
 struct CommandLine {
   std::map<std::string, std::string> Options;
@@ -92,6 +116,19 @@ struct CommandLine {
   bool applyExplorationOptions(qcm::ExplorationOptions &Exec,
                                std::string &Error) const;
 };
+
+/// Shared --profile=FILE handling, front half: when the flag is present,
+/// turns span recording on and names the calling thread "main". Call before
+/// any instrumented work. A no-op (recording stays off) without the flag,
+/// and effectively a no-op when profiling is compiled out.
+void applyProfileOption(const CommandLine &Cmd);
+
+/// Shared --profile=FILE handling, back half: writes the Chrome trace to
+/// the flag's path. True when the flag is absent (nothing to do) or the
+/// write succeeded; false with \p Error on I/O failure. In a compiled-out
+/// build the file is still written — a valid, empty trace — so scripted
+/// pipelines need no build-flavor conditionals.
+bool finishProfile(const CommandLine &Cmd, std::string &Error);
 
 /// JSONL journal of completed refinement-grid cells, the persistence half
 /// of qcm-check's --journal/--resume. Line 1 is a header binding the

@@ -12,7 +12,9 @@
 #include "refinement/Contexts.h"
 #include "refinement/RefinementChecker.h"
 #include "refinement/Simulation.h"
+#include "support/Progress.h"
 #include "support/ThreadPool.h"
+#include "tools/ToolSupport.h"
 
 #include <gtest/gtest.h>
 
@@ -213,6 +215,77 @@ TEST(RefinementExploration, ReportsAreIdenticalAcrossJobCounts) {
     EXPECT_EQ(Parallel.toString(), Serial.toString()) << "jobs=" << Jobs;
     EXPECT_EQ(Parallel.RunsPerformed, Serial.RunsPerformed);
   }
+}
+
+TEST(RefinementExploration, MetricsAggregateIsIdenticalAcrossJobCounts) {
+  // The --metrics-out "aggregate" section (and the AggregateStats object it
+  // embeds) must be byte-identical at every jobs level, sweep included —
+  // only the separate "pool" section may vary with thread count.
+  Program P = compile(ExplorationProbe);
+  RefinementJob Job = explorationJob(P, P);
+  Job.ExhaustionSweep = true;
+  Job.Exec = jobs(1);
+  RefinementReport Serial = checkRefinement(Job);
+  const std::string SerialStats = Serial.AggregateStats.toJson();
+  const std::string SerialAggregate = qcm_tools::metricsAggregateJson(Serial);
+  EXPECT_GT(Serial.InjectedRuns, 0u);
+  for (unsigned Jobs : {2u, 4u, 8u}) {
+    Job.Exec = jobs(Jobs);
+    RefinementReport Parallel = checkRefinement(Job);
+    EXPECT_EQ(Parallel.AggregateStats.toJson(), SerialStats)
+        << "jobs=" << Jobs;
+    EXPECT_EQ(qcm_tools::metricsAggregateJson(Parallel), SerialAggregate)
+        << "jobs=" << Jobs;
+  }
+}
+
+TEST(RefinementExploration, ProgressSinkSeesEveryCellOnce) {
+  // The sink is purely observational: its advance() total must equal the
+  // announced phase totals, and the report must be unchanged by attaching
+  // one. Counting sink; cells arrive on the merging thread in plan order.
+  struct CountingSink final : ProgressSink {
+    uint64_t Announced = 0;
+    uint64_t Advanced = 0;
+    uint64_t Phases = 0;
+    bool Finished = false;
+    void beginPhase(const std::string &, uint64_t TotalUnits) override {
+      ++Phases;
+      Announced += TotalUnits;
+    }
+    void advance(uint64_t Units, uint64_t, uint64_t, uint64_t) override {
+      Advanced += Units;
+    }
+    void finish() override { Finished = true; }
+  };
+
+  Program P = compile(ExplorationProbe);
+  RefinementJob Job = explorationJob(P, P);
+  Job.ExhaustionSweep = true;
+  Job.Exec = jobs(4);
+  RefinementReport Plain = checkRefinement(Job);
+
+  CountingSink Sink;
+  Job.Progress = &Sink;
+  RefinementReport Observed = checkRefinement(Job);
+  EXPECT_EQ(Observed.toString(), Plain.toString());
+  EXPECT_EQ(Sink.Phases, 2u); // grid, then sweep
+  EXPECT_EQ(Sink.Advanced, Sink.Announced);
+  EXPECT_TRUE(Sink.Finished);
+}
+
+TEST(RefinementExploration, PoolMetricsCoverTheGrid) {
+  Program P = compile(ExplorationProbe);
+  RefinementJob Job = explorationJob(P, P);
+  Job.Exec = jobs(2);
+  RefinementReport Report = checkRefinement(Job);
+  EXPECT_EQ(Report.Pool.Jobs, 2u);
+  uint64_t Items = 0;
+  for (const WorkerMetrics &W : Report.Pool.Workers)
+    Items += W.Items;
+  EXPECT_EQ(Items, Report.RunsPerformed);
+  std::string Json = Report.Pool.toJson();
+  EXPECT_NE(Json.find("\"jobs\":2"), std::string::npos);
+  EXPECT_NE(Json.find("\"workers\":["), std::string::npos);
 }
 
 TEST(RefinementExploration, CounterexampleReportsAreIdenticalAcrossJobs) {

@@ -1,0 +1,244 @@
+//===- tests/profiler_test.cpp - Span profiler and metrics document -------===//
+//
+// Covers the span profiler (support/Profiler.h): the off-by-default
+// contract, span recording with args, category summaries and histograms,
+// process-wide counters, thread attribution through ThreadPool workers, the
+// Chrome trace-event export, and the unified metrics document built by
+// qcm_tools. Every test also compiles (and the export/document tests still
+// run meaningfully) under -DQCM_PROFILE_ENABLED=0, where recording is an
+// empty stub and the exports produce a valid empty trace.
+//
+//===----------------------------------------------------------------------===//
+
+#include "refinement/RefinementChecker.h"
+#include "support/Profiler.h"
+#include "support/ThreadPool.h"
+#include "tools/ToolSupport.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace qcm;
+
+namespace {
+
+/// RAII guard: every test leaves the process-global profiler disabled and
+/// empty, so tests compose in any order.
+struct ProfilerScope {
+  ProfilerScope() {
+    prof::reset();
+    prof::setEnabled(true);
+  }
+  ~ProfilerScope() {
+    prof::setEnabled(false);
+    prof::reset();
+  }
+};
+
+} // namespace
+
+TEST(Profiler, PeakRssIsKnownOnLinux) {
+  // Always available, independent of the compile switch; a process running
+  // a test binary certainly has a nonzero high-water mark.
+  EXPECT_GT(prof::peakRssBytes(), 0u);
+}
+
+TEST(Profiler, DisabledByDefaultRecordsNothing) {
+  prof::reset();
+  ASSERT_FALSE(prof::enabled());
+  {
+    prof::Span Span("ignored", "test");
+    Span.arg("key", std::string("value"));
+  }
+  prof::counterAdd("ignored.counter", 7);
+  EXPECT_EQ(prof::spanCount(), 0u);
+  EXPECT_TRUE(prof::counters().empty());
+}
+
+#if QCM_PROFILE_ENABLED
+
+TEST(Profiler, RecordsSpansWithArgs) {
+  ProfilerScope Scope;
+  {
+    prof::Span Span("work", "test");
+    Span.arg("items", uint64_t{3});
+    Span.arg("label", std::string("alpha"));
+    Span.argBool("cached", true);
+  }
+  { prof::Span Span("other", "test"); }
+  EXPECT_EQ(prof::spanCount(), 2u);
+
+  std::string Trace = prof::renderChromeTrace();
+  EXPECT_NE(Trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"work\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"items\":3"), std::string::npos);
+  EXPECT_NE(Trace.find("\"label\":\"alpha\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"cached\":true"), std::string::npos);
+  EXPECT_NE(Trace.find("thread_name"), std::string::npos);
+}
+
+TEST(Profiler, CategorySummariesAggregate) {
+  ProfilerScope Scope;
+  for (int I = 0; I < 5; ++I)
+    prof::Span Span("tick", "cat-a");
+  { prof::Span Span("tock", "cat-b"); }
+
+  std::vector<prof::CategorySummary> Summaries = prof::categorySummaries();
+  ASSERT_EQ(Summaries.size(), 2u);
+  EXPECT_EQ(Summaries[0].Category, "cat-a");
+  EXPECT_EQ(Summaries[0].Spans, 5u);
+  EXPECT_EQ(Summaries[1].Category, "cat-b");
+  EXPECT_EQ(Summaries[1].Spans, 1u);
+  EXPECT_GE(Summaries[0].MaxNs, Summaries[0].MinNs);
+  EXPECT_GE(Summaries[0].TotalNs, Summaries[0].MaxNs);
+
+  // Every span lands in exactly one histogram bucket.
+  uint64_t Bucketed = 0;
+  for (uint64_t B : Summaries[0].Buckets)
+    Bucketed += B;
+  EXPECT_EQ(Bucketed, 5u);
+
+  std::string Json = Summaries[0].toJson();
+  EXPECT_NE(Json.find("\"category\":\"cat-a\""), std::string::npos);
+  EXPECT_NE(Json.find("\"hist_log2_us\""), std::string::npos);
+}
+
+TEST(Profiler, CountersAccumulateAndSort) {
+  ProfilerScope Scope;
+  prof::counterAdd("b.second", 2);
+  prof::counterAdd("a.first", 1);
+  prof::counterAdd("a.first", 4);
+  std::vector<std::pair<std::string, uint64_t>> Counters = prof::counters();
+  ASSERT_EQ(Counters.size(), 2u);
+  EXPECT_EQ(Counters[0].first, "a.first");
+  EXPECT_EQ(Counters[0].second, 5u);
+  EXPECT_EQ(Counters[1].first, "b.second");
+  EXPECT_EQ(Counters[1].second, 2u);
+}
+
+TEST(Profiler, PoolWorkersGetNamedTracks) {
+  ProfilerScope Scope;
+  {
+    ThreadPool Pool(3, "prof-worker");
+    for (int I = 0; I < 12; ++I)
+      Pool.submit([] {
+        prof::Span Span("task", "test");
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      });
+    Pool.wait();
+  }
+  EXPECT_EQ(prof::spanCount(), 12u);
+
+  std::string Trace = prof::renderChromeTrace();
+  // Workers register their named track at startup (profiling was on when
+  // the pool spun up), so all three appear regardless of which worker ran
+  // which task.
+  EXPECT_NE(Trace.find("prof-worker-0"), std::string::npos);
+  EXPECT_NE(Trace.find("prof-worker-1"), std::string::npos);
+  EXPECT_NE(Trace.find("prof-worker-2"), std::string::npos);
+}
+
+TEST(Profiler, SpansSurviveThreadExit) {
+  ProfilerScope Scope;
+  std::thread Worker([] {
+    prof::setThreadName("ephemeral");
+    prof::Span Span("from-dead-thread", "test");
+  });
+  Worker.join();
+  EXPECT_EQ(prof::spanCount(), 1u);
+  std::string Trace = prof::renderChromeTrace();
+  EXPECT_NE(Trace.find("ephemeral"), std::string::npos);
+  EXPECT_NE(Trace.find("from-dead-thread"), std::string::npos);
+}
+
+TEST(Profiler, ResetDropsEverything) {
+  ProfilerScope Scope;
+  { prof::Span Span("gone", "test"); }
+  prof::counterAdd("gone.counter", 1);
+  prof::reset();
+  EXPECT_EQ(prof::spanCount(), 0u);
+  EXPECT_TRUE(prof::counters().empty());
+  EXPECT_TRUE(prof::categorySummaries().empty());
+}
+
+#endif // QCM_PROFILE_ENABLED
+
+TEST(Profiler, WriteChromeTraceProducesParseableFile) {
+  // Meaningful in both build flavors: compiled out, the file still carries
+  // a valid empty trace so scripted pipelines need no conditionals.
+  prof::reset();
+  prof::setEnabled(true);
+  { prof::Span Span("filed", "test"); }
+  std::string Path = ::testing::TempDir() + "profiler_test_trace.json";
+  std::string Error;
+  ASSERT_TRUE(prof::writeChromeTrace(Path, Error)) << Error;
+  prof::setEnabled(false);
+  prof::reset();
+
+  std::ifstream In(Path);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Trace = Buffer.str();
+  EXPECT_NE(Trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"peak_rss_bytes\""), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// The unified metrics document (qcm_tools)
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsDocument, CarriesEverySection) {
+  RefinementReport Report;
+  Report.RunsPerformed = 9;
+  Report.InjectedRuns = 2;
+  Report.SweepRan = true;
+  Report.AggregateStats.Allocations = 13;
+  Report.Pool.Jobs = 4;
+
+  std::string Doc = qcm_tools::renderMetricsDocument(Report, "unit-test");
+  EXPECT_NE(Doc.find("\"schema\":\"qcm-metrics-1\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"tool\":\"unit-test\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"aggregate\":{"), std::string::npos);
+  EXPECT_NE(Doc.find("\"runs_performed\":9"), std::string::npos);
+  EXPECT_NE(Doc.find("\"injected_runs\":2"), std::string::npos);
+  EXPECT_NE(Doc.find("\"allocations\":13"), std::string::npos);
+  EXPECT_NE(Doc.find("\"pool\":{"), std::string::npos);
+  EXPECT_NE(Doc.find("\"jobs\":4"), std::string::npos);
+  EXPECT_NE(Doc.find("\"process\":{"), std::string::npos);
+  EXPECT_NE(Doc.find("\"peak_rss_bytes\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"profile\":{"), std::string::npos);
+}
+
+TEST(MetricsDocument, AggregateHalfIsDeterministic) {
+  // The aggregate fragment must not depend on profiler or pool state: two
+  // reports with equal deterministic fields render identical JSON even when
+  // their nondeterministic pool timings differ.
+  RefinementReport A;
+  A.RunsPerformed = 3;
+  A.Pool.WallUs = 111;
+  RefinementReport B;
+  B.RunsPerformed = 3;
+  B.Pool.WallUs = 999999;
+  EXPECT_EQ(qcm_tools::metricsAggregateJson(A),
+            qcm_tools::metricsAggregateJson(B));
+}
+
+TEST(MetricsDocument, WriteMetricsJsonRoundTrips) {
+  RefinementReport Report;
+  std::string Path = ::testing::TempDir() + "profiler_test_metrics.json";
+  std::string Error;
+  ASSERT_TRUE(qcm_tools::writeMetricsJson(Path, Report, "unit-test", Error))
+      << Error;
+  std::ifstream In(Path);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  EXPECT_NE(Buffer.str().find("\"qcm-metrics-1\""), std::string::npos);
+  std::remove(Path.c_str());
+}

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""End-to-end observability pipeline checks for the qcm tools.
+
+Drives the acceptance pipeline of the span profiler work:
+
+* qcm-check --sweep --jobs=N --profile=FILE --metrics-out=FILE --progress
+  produces a schema-valid Chrome trace and metrics document (validated by
+  tools/check_trace_schema.py) and paints progress lines for both phases;
+* the metrics "aggregate" section is identical at every --jobs level (the
+  pool section is the only thread-count-dependent part);
+* with profiling compiled in, grid spans land on named worker tracks; with
+  it compiled out (-DQCM_PROFILE_ENABLED=0), the trace is empty but still
+  valid and the flags still succeed;
+* qcm-run --inject + --trace=FILE tags the forced fault and the mirrored
+  allocation-failure event with "injected":true, and an uninjected run
+  emits no such field (regression: injected exhaustion must be separable
+  from organic exhaustion in exported traces).
+
+Usage: tool_profile_test.py QCM_CHECK QCM_RUN SCHEMA_PY SRC_QCM TGT_QCM
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+QCM_CHECK, QCM_RUN, SCHEMA_PY = sys.argv[1], sys.argv[2], sys.argv[3]
+SRC, TGT = sys.argv[4], sys.argv[5]
+CHECK_OPTIONS = ["--sweep", "--words=6", "--timeout-ms=10000"]
+
+
+def run(argv):
+    return subprocess.run(argv, capture_output=True, text=True)
+
+
+def main():
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        # -- The full pipeline at --jobs=8 ------------------------------
+        trace_path = os.path.join(tmp, "profile.json")
+        metrics_path = os.path.join(tmp, "metrics.json")
+        full = run([QCM_CHECK, *CHECK_OPTIONS, "--jobs=8",
+                    f"--profile={trace_path}",
+                    f"--metrics-out={metrics_path}", "--progress",
+                    SRC, TGT])
+        if full.returncode not in (0, 1):
+            print(f"profiled run failed unexpectedly: {full.stderr}")
+            sys.exit(1)
+        for phase in ("[grid]", "[sweep]"):
+            if phase not in full.stderr:
+                failures.append(
+                    f"--progress painted no {phase} line: {full.stderr!r}")
+
+        schema = run([sys.executable, SCHEMA_PY, trace_path, metrics_path])
+        if schema.returncode != 0:
+            failures.append(f"schema validation failed:\n{schema.stderr}")
+
+        with open(metrics_path) as f:
+            metrics = json.load(f)
+        trace = json.load(open(trace_path))
+        if metrics["profile"]["enabled"]:
+            # Compiled-in: the grid must have recorded spans, and with 8
+            # workers over a multi-cell grid at least one span must sit on
+            # a named worker track.
+            if metrics["profile"]["spans"] == 0:
+                failures.append("profiling enabled but zero spans recorded")
+            names = {e["args"]["name"] for e in trace["traceEvents"]
+                     if e["ph"] == "M"}
+            if not any(n.startswith("worker-") for n in names):
+                failures.append(f"no worker tracks in trace: {names}")
+            span_tids = {e["tid"] for e in trace["traceEvents"]
+                         if e["ph"] == "X"}
+            worker_tids = {e["tid"] for e in trace["traceEvents"]
+                           if e["ph"] == "M"
+                           and e["args"]["name"].startswith("worker-")}
+            if not (span_tids & worker_tids):
+                failures.append("no spans landed on any worker thread")
+        else:
+            # Compiled out: the flags still work, the trace is just empty.
+            if trace["traceEvents"]:
+                failures.append("compiled-out build recorded trace events")
+
+        # -- Aggregate identity across --jobs ---------------------------
+        aggregates = {}
+        for jobs in (1, 2, 4, 8):
+            path = os.path.join(tmp, f"metrics-j{jobs}.json")
+            r = run([QCM_CHECK, *CHECK_OPTIONS, f"--jobs={jobs}",
+                     f"--metrics-out={path}", SRC, TGT])
+            if r.returncode != full.returncode:
+                failures.append(f"--jobs={jobs}: exit {r.returncode} "
+                                f"!= {full.returncode}")
+            if r.stdout != full.stdout:
+                failures.append(f"--jobs={jobs}: report differs")
+            with open(path) as f:
+                aggregates[jobs] = json.load(f)["aggregate"]
+        for jobs, aggregate in aggregates.items():
+            if aggregate != aggregates[1]:
+                failures.append(
+                    f"--jobs={jobs} aggregate differs from --jobs=1:\n"
+                    f"{aggregates[1]}\nvs\n{aggregate}")
+
+        # -- --inject + --trace tag injected events ---------------------
+        jsonl = os.path.join(tmp, "injected.jsonl")
+        injected = run([QCM_RUN, "--model=quasi", "--inject=cast:1",
+                        f"--trace={jsonl}", SRC])
+        if injected.returncode != 4:
+            failures.append(
+                f"injected run: expected exit 4, got {injected.returncode}")
+        events = [json.loads(line) for line in open(jsonl)]
+        tagged = [e for e in events if e.get("injected") is True]
+        if not any(e["kind"] == "fault" for e in tagged):
+            failures.append(f"no injected fault event in trace: {events}")
+        untagged_faults = [e for e in events
+                           if e["kind"] == "fault" and "injected" not in e]
+        if untagged_faults:
+            failures.append(
+                f"fault events missing the injected tag: {untagged_faults}")
+
+        # Alloc injection also mirrors the model's allocation-failure
+        # bookkeeping; the mirrored event must carry the tag too.
+        alloc = run([QCM_RUN, "--model=quasi", "--inject=alloc:1",
+                     f"--trace={jsonl}", SRC])
+        if alloc.returncode != 4:
+            failures.append(
+                f"alloc injection: expected exit 4, got {alloc.returncode}")
+        events = [json.loads(line) for line in open(jsonl)]
+        if not any(e["kind"] == "alloc" and e.get("injected") is True
+                   for e in events):
+            failures.append(
+                f"no injected alloc-failure event in trace: {events}")
+
+        organic = run([QCM_RUN, "--model=quasi",
+                       f"--trace={jsonl}", SRC])
+        if organic.returncode != 0:
+            failures.append(
+                f"organic run: expected exit 0, got {organic.returncode}")
+        events = [json.loads(line) for line in open(jsonl)]
+        if any("injected" in e for e in events):
+            failures.append("organic run emitted an 'injected' field "
+                            "(must only appear on injected events)")
+
+    if failures:
+        print("\n\n".join(failures))
+        sys.exit(1)
+    print("observability pipeline assertions passed")
+
+
+if __name__ == "__main__":
+    main()

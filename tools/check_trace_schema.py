@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Schema validator for qcm observability artifacts.
+
+Validates a Chrome trace-event profile (qcm-* --profile=FILE) and,
+optionally, a unified metrics document (qcm-check --metrics-out=FILE)
+against the shapes documented in docs/OBSERVABILITY.md. Used as a CTest
+and by CI to keep the artifact formats from bit-rotting; also handy
+interactively before loading a trace into Perfetto.
+
+A trace from a -DQCM_PROFILE_ENABLED=0 build is valid: traceEvents may be
+empty, but the envelope (displayTimeUnit, otherData with peak_rss_bytes)
+must still be present.
+
+Usage: check_trace_schema.py TRACE_JSON [METRICS_JSON]
+Exit:  0 valid, 1 schema violation, 2 unreadable/unparseable input.
+"""
+
+import json
+import sys
+
+TRACE_EVENT_PHASES = {"X", "M"}
+METRICS_SCHEMA = "qcm-metrics-1"
+
+
+def fail(errors):
+    for err in errors:
+        print(f"schema: {err}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"schema: cannot load {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def expect(cond, errors, message):
+    if not cond:
+        errors.append(message)
+
+
+def check_category_summary(summary, where, errors):
+    for key in ("category", "spans", "total_us", "min_us", "max_us",
+                "hist_log2_us"):
+        expect(key in summary, errors, f"{where}: missing '{key}'")
+    hist = summary.get("hist_log2_us", [])
+    expect(isinstance(hist, list) and all(
+        isinstance(b, int) and b >= 0 for b in hist), errors,
+        f"{where}: hist_log2_us must be a list of non-negative ints")
+    if isinstance(summary.get("spans"), int) and hist:
+        expect(sum(hist) == summary["spans"], errors,
+               f"{where}: histogram sums to {sum(hist)}, "
+               f"expected spans={summary['spans']}")
+
+
+def check_trace(doc, errors):
+    expect(isinstance(doc, dict), errors, "trace: document must be an object")
+    if not isinstance(doc, dict):
+        return
+    expect(doc.get("displayTimeUnit") == "ms", errors,
+           "trace: displayTimeUnit must be 'ms'")
+    events = doc.get("traceEvents")
+    expect(isinstance(events, list), errors,
+           "trace: traceEvents must be a list")
+    threads_named = set()
+    threads_used = set()
+    for i, event in enumerate(events or []):
+        where = f"trace: traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        phase = event.get("ph")
+        expect(phase in TRACE_EVENT_PHASES, errors,
+               f"{where}: ph must be one of {sorted(TRACE_EVENT_PHASES)}")
+        expect(event.get("pid") == 1, errors, f"{where}: pid must be 1")
+        expect(isinstance(event.get("tid"), int), errors,
+               f"{where}: tid must be an int")
+        if phase == "M":
+            expect(event.get("name") == "thread_name", errors,
+                   f"{where}: metadata event must be thread_name")
+            name = event.get("args", {}).get("name")
+            expect(isinstance(name, str) and name, errors,
+                   f"{where}: thread_name args.name must be a string")
+            threads_named.add(event.get("tid"))
+        elif phase == "X":
+            for key in ("name", "cat", "ts", "dur"):
+                expect(key in event, errors, f"{where}: missing '{key}'")
+            expect(isinstance(event.get("ts"), int)
+                   and isinstance(event.get("dur"), int), errors,
+                   f"{where}: ts/dur must be microsecond ints")
+            threads_used.add(event.get("tid"))
+    orphans = threads_used - threads_named
+    expect(not orphans, errors,
+           f"trace: spans on unnamed thread tracks: {sorted(orphans)}")
+
+    other = doc.get("otherData")
+    expect(isinstance(other, dict), errors,
+           "trace: otherData must be an object")
+    if isinstance(other, dict):
+        expect(isinstance(other.get("peak_rss_bytes"), int), errors,
+               "trace: otherData.peak_rss_bytes must be an int")
+        cats = other.get("categories")
+        expect(isinstance(cats, list), errors,
+               "trace: otherData.categories must be a list")
+        for j, summary in enumerate(cats or []):
+            check_category_summary(summary, f"trace: categories[{j}]",
+                                   errors)
+        expect(isinstance(other.get("counters"), dict), errors,
+               "trace: otherData.counters must be an object")
+
+
+def check_metrics(doc, errors):
+    expect(isinstance(doc, dict), errors,
+           "metrics: document must be an object")
+    if not isinstance(doc, dict):
+        return
+    expect(doc.get("schema") == METRICS_SCHEMA, errors,
+           f"metrics: schema must be '{METRICS_SCHEMA}'")
+    expect(isinstance(doc.get("tool"), str), errors,
+           "metrics: tool must be a string")
+
+    aggregate = doc.get("aggregate")
+    expect(isinstance(aggregate, dict), errors,
+           "metrics: aggregate must be an object")
+    if isinstance(aggregate, dict):
+        for key in ("refines", "contexts", "runs_performed",
+                    "timed_out_runs", "sweep_ran", "injected_runs"):
+            expect(key in aggregate, errors,
+                   f"metrics: aggregate missing '{key}'")
+        stats = aggregate.get("stats")
+        expect(isinstance(stats, dict), errors,
+               "metrics: aggregate.stats must be an object")
+        if isinstance(stats, dict):
+            for key in ("allocations", "loads", "stores", "casts_to_int",
+                        "realizations", "no_behavior_faults"):
+                expect(key in stats, errors,
+                       f"metrics: aggregate.stats missing '{key}'")
+
+    pool = doc.get("pool")
+    expect(isinstance(pool, dict), errors, "metrics: pool must be an object")
+    if isinstance(pool, dict):
+        for key in ("jobs", "wall_us", "merge_wait_us", "workers"):
+            expect(key in pool, errors, f"metrics: pool missing '{key}'")
+        workers = pool.get("workers", [])
+        expect(isinstance(workers, list), errors,
+               "metrics: pool.workers must be a list")
+        for j, worker in enumerate(workers or []):
+            expect(isinstance(worker, dict) and "busy_us" in worker
+                   and "items" in worker, errors,
+                   f"metrics: pool.workers[{j}] needs busy_us and items")
+
+    process = doc.get("process")
+    expect(isinstance(process, dict)
+           and isinstance(process.get("peak_rss_bytes"), int), errors,
+           "metrics: process.peak_rss_bytes must be an int")
+
+    profile = doc.get("profile")
+    expect(isinstance(profile, dict), errors,
+           "metrics: profile must be an object")
+    if isinstance(profile, dict):
+        expect(isinstance(profile.get("enabled"), bool), errors,
+               "metrics: profile.enabled must be a bool")
+        expect(isinstance(profile.get("spans"), int), errors,
+               "metrics: profile.spans must be an int")
+        for j, summary in enumerate(profile.get("categories", []) or []):
+            check_category_summary(summary, f"metrics: categories[{j}]",
+                                   errors)
+        expect(isinstance(profile.get("counters"), dict), errors,
+               "metrics: profile.counters must be an object")
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    errors = []
+    check_trace(load(sys.argv[1]), errors)
+    if len(sys.argv) == 3:
+        check_metrics(load(sys.argv[2]), errors)
+    if errors:
+        fail(errors)
+    print("schema: OK")
+
+
+if __name__ == "__main__":
+    main()

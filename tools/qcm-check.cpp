@@ -29,12 +29,17 @@
 //                                  grid cells
 //   --resume=FILE                  replay a journal (then keep appending);
 //                                  the resumed report is byte-identical
+//   --progress                     live progress line on stderr
+//   --profile=FILE                 Chrome trace-event profile of the run
+//   --metrics-out=FILE             unified JSON metrics document
 //
 // Exit code: 0 if the target refines the source, 1 otherwise, 2 bad input.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/QuasiConcrete.h"
+#include "support/Profiler.h"
+#include "support/Progress.h"
 #include "tools/ToolSupport.h"
 
 #include <cstdio>
@@ -92,6 +97,16 @@ void printUsage(std::FILE *Out) {
       "                         rest, keep appending; the final report is\n"
       "                         byte-identical to an uninterrupted run\n"
       "\n"
+      "observability options (see docs/OBSERVABILITY.md):\n"
+      "  --progress             live stderr line while the grid explores:\n"
+      "                         done/total, rate, ETA, fail/timeout/OOM\n"
+      "  --profile=FILE         record spans across the whole pipeline and\n"
+      "                         write a Chrome trace-event JSON profile\n"
+      "                         (load in Perfetto or chrome://tracing)\n"
+      "  --metrics-out=FILE     write one JSON document merging the report\n"
+      "                         aggregates, pool timing, peak RSS, and the\n"
+      "                         span/counter summary\n"
+      "\n"
       "exit codes: 0 refines, 1 does not refine, 2 bad input\n");
 }
 
@@ -114,7 +129,10 @@ uint64_t hashJobInputs(const std::string &SrcText, const std::string &TgtText,
     // The journal path itself (and which of the two flags named it) must
     // not invalidate the journal, and --jobs never changes the report
     // (merge order is plan order); everything else may shape the report.
-    if (Key == "journal" || Key == "resume" || Key == "jobs")
+    // Observability flags are purely observational, so they must not
+    // invalidate a journal either.
+    if (Key == "journal" || Key == "resume" || Key == "jobs" ||
+        Key == "profile" || Key == "metrics-out" || Key == "progress")
       continue;
     Mix(Key);
     Mix(Value);
@@ -136,6 +154,8 @@ int main(int Argc, char **Argv) {
     printUsage(stderr);
     return ExitBadInput;
   }
+  // Before any instrumented work (compilation already records spans).
+  applyProfileOption(Cmd);
 
   std::string SrcText, TgtText;
   if (!readFile(Cmd.Positional[0], SrcText, Error) ||
@@ -245,7 +265,21 @@ int main(int Argc, char **Argv) {
     };
   }
 
+  StderrProgress Progress;
+  if (Cmd.has("progress"))
+    Job.Progress = &Progress;
+
   RefinementReport Report = checkRefinement(Job);
   std::printf("%s", Report.toString().c_str());
+
+  if (!finishProfile(Cmd, Error)) {
+    std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
+    return ExitBadInput;
+  }
+  if (Cmd.has("metrics-out") &&
+      !writeMetricsJson(Cmd.get("metrics-out"), Report, "qcm-check", Error)) {
+    std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
+    return ExitBadInput;
+  }
   return Report.Refines ? ExitSuccess : ExitCheckFailed;
 }

@@ -15,6 +15,8 @@
 //   --metrics                                print per-pass metrics to stderr
 //                                            (invocations, rewrites,
 //                                            instruction counts, wall time)
+//   --profile=FILE                           Chrome trace-event profile
+//                                            (parse, typecheck, each pass)
 //
 // Prints the optimized program to stdout.
 //
@@ -34,9 +36,11 @@ int main(int Argc, char **Argv) {
   if (!Cmd.parse(Argc, Argv, Error) || Cmd.Positional.size() != 1) {
     std::fprintf(stderr,
                  "usage: qcm-opt [--passes=ownership,constprop,arith,dce] "
-                 "[--dae] [--lower] [--iterations=N] [--metrics] file.qcm\n");
+                 "[--dae] [--lower] [--iterations=N] [--metrics] "
+                 "[--profile=FILE] file.qcm\n");
     return 2;
   }
+  applyProfileOption(Cmd);
 
   std::string Source;
   if (!readFile(Cmd.Positional[0], Source, Error)) {
@@ -98,5 +102,9 @@ int main(int Argc, char **Argv) {
   }
 
   std::printf("%s", printProgram(*Prog).c_str());
+  if (!finishProfile(Cmd, Error)) {
+    std::fprintf(stderr, "qcm-opt: %s\n", Error.c_str());
+    return ExitBadInput;
+  }
   return 0;
 }

@@ -23,6 +23,9 @@
 //                                          '+'-joined; see
 //                                          docs/FAULT_INJECTION.md)
 //   --timeout-ms=N                         wall-clock watchdog per run
+//   --profile=FILE                         Chrome trace-event profile of the
+//                                          whole pipeline (parse, typecheck,
+//                                          compile, execution)
 //
 // Exit codes (scriptable fault classes): 0 terminated, 2 bad input,
 // 3 undefined behavior, 4 out of memory, 5 step budget or watchdog.
@@ -49,12 +52,15 @@ int main(int Argc, char **Argv) {
                  "               [--entry=NAME] [--input=v1,v2,...] "
                  "[--words=N] [--steps=N] [--loose]\n"
                  "               [--inject=PLAN] [--timeout-ms=N] "
-                 "[--trace[=FILE]] [--stats] file.qcm\n"
+                 "[--trace[=FILE]] [--stats]\n"
+                 "               [--profile=FILE] file.qcm\n"
                  "exit codes: 0 terminated, 2 bad input, 3 undefined "
                  "behavior, 4 out of memory,\n"
                  "            5 step budget / watchdog\n");
     return ExitBadInput;
   }
+
+  applyProfileOption(Cmd);
 
   std::string Source;
   if (!readFile(Cmd.Positional[0], Source, Error)) {
@@ -111,6 +117,10 @@ int main(int Argc, char **Argv) {
     }
     std::printf("trace:    %zu events -> %s\n", Collector.events().size(),
                 TraceFile.c_str());
+  }
+  if (!finishProfile(Cmd, Error)) {
+    std::fprintf(stderr, "qcm-run: %s\n", Error.c_str());
+    return ExitBadInput;
   }
   return exitCodeForBehavior(Result.Behav);
 }

@@ -27,6 +27,7 @@
 //   --json           print the stats as one JSON object instead of a table
 //   --trace=<file>   export the event trace as JSONL (one object per line)
 //   --quiet          suppress the per-event listing
+//   --profile=<file> export a Chrome trace-event profile of the pipeline
 //
 //===----------------------------------------------------------------------===//
 
@@ -50,9 +51,10 @@ int main(int Argc, char **Argv) {
                  "                 [--entry=NAME] [--input=v1,v2,...] "
                  "[--words=N] [--steps=N] [--loose]\n"
                  "                 [--stats] [--json] [--trace=FILE] "
-                 "[--quiet] file.qcm\n");
+                 "[--quiet] [--profile=FILE] file.qcm\n");
     return 2;
   }
+  applyProfileOption(Cmd);
 
   std::string Source;
   if (!readFile(Cmd.Positional[0], Source, Error)) {
@@ -108,6 +110,11 @@ int main(int Argc, char **Argv) {
     }
     std::printf("trace:    %zu events -> %s\n", Collector.events().size(),
                 TraceFile.c_str());
+  }
+
+  if (!finishProfile(Cmd, Error)) {
+    std::fprintf(stderr, "qcm-trace: %s\n", Error.c_str());
+    return 2;
   }
 
   return Result.Behav.BehaviorKind == Behavior::Kind::Undefined ? 3 : 0;
