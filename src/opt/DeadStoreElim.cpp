@@ -1,0 +1,191 @@
+//===- opt/DeadStoreElim.cpp ----------------------------------------------===//
+
+#include "opt/DeadStoreElim.h"
+
+#include "opt/MemoryLiveness.h"
+
+#include <algorithm>
+
+using namespace qcm;
+
+namespace {
+
+using DeadSet = std::vector<AddrKey>;
+
+class StoreEliminator {
+public:
+  StoreEliminator(const DseOptions &Options, std::set<std::string> Owned)
+      : Options(Options), Owned(std::move(Owned)) {}
+
+  bool Changed = false;
+
+  /// Backward walk: \p Dead is the dead-location set *after* \p I; on
+  /// return it is the set *before* \p I. Sets \p Remove when \p I is a
+  /// removable dead store.
+  void processInstr(Instr &I, DeadSet &Dead, bool &Remove) {
+    Remove = false;
+    switch (I.InstrKind) {
+    case Instr::Kind::Seq: {
+      for (auto It = I.Stmts.rbegin(); It != I.Stmts.rend();) {
+        bool RemoveChild = false;
+        processInstr(**It, Dead, RemoveChild);
+        if (RemoveChild) {
+          It = std::vector<std::unique_ptr<Instr>>::reverse_iterator(
+              I.Stmts.erase(std::next(It).base()));
+          Changed = true;
+        } else {
+          ++It;
+        }
+      }
+      return;
+    }
+
+    case Instr::Kind::Store: {
+      std::optional<AddrKey> Key = addrKeyFor(*I.Addr);
+      if (Key) {
+        for (const AddrKey &D : Dead) {
+          if (coversLocation(D, *Key)) {
+            Remove = true;
+            return;
+          }
+        }
+        // A kept store makes the location's previous value dead above;
+        // writing observes nothing, so the rest of the set stands. A store
+        // through an unrecognized address also observes nothing — it may
+        // overwrite a dead location, never read one.
+        if (Options.RemoveShadowedStores)
+          addDead(Dead, *Key);
+      }
+      return;
+    }
+
+    case Instr::Kind::Load: {
+      // The load observes its location: drop every possibly-aliasing
+      // fact. An unrecognized address can point anywhere except into an
+      // owned block (the owner's value never escaped).
+      std::optional<AddrKey> Key = addrKeyFor(*I.Addr);
+      killObserved(Dead, Key);
+      killBase(Dead, I.Var);
+      return;
+    }
+
+    case Instr::Kind::Assign: {
+      if (I.Rhs->RExpKind == RExp::Kind::Free) {
+        // The freed block's contents become unreachable: any later access
+        // through a stale alias is undefined behavior in source and target
+        // alike, so stores above the free into this block are dead.
+        if (Options.RemoveShadowedStores) {
+          if (std::optional<AddrKey> Key = addrKeyFor(*I.Rhs->Arg)) {
+            Key->WholeBase = true;
+            Key->Offset = 0;
+            addDead(Dead, *Key);
+          }
+        }
+      }
+      if (!I.Var.empty())
+        killBase(Dead, I.Var);
+      return;
+    }
+
+    case Instr::Kind::Call: {
+      // A callee (or, through an extern, an arbitrary context) may load
+      // any reachable location — but never an owned block, whose logical
+      // address cannot be forged (logical-family models only).
+      if (Options.OwnedBlocks) {
+        Dead.erase(std::remove_if(Dead.begin(), Dead.end(),
+                                  [this](const AddrKey &D) {
+                                    return D.BaseKind != AddrKey::Base::Var ||
+                                           !Owned.count(D.Name);
+                                  }),
+                   Dead.end());
+      } else {
+        Dead.clear();
+      }
+      return;
+    }
+
+    case Instr::Kind::If: {
+      DeadSet ThenDead = Dead;
+      DeadSet ElseDead = Dead;
+      bool RemoveChild = false;
+      processInstr(*I.Then, ThenDead, RemoveChild);
+      if (I.Else)
+        processInstr(*I.Else, ElseDead, RemoveChild);
+      Dead = intersect(ThenDead, ElseDead);
+      return;
+    }
+
+    case Instr::Kind::While: {
+      // Conservative: the body is analyzed with nothing assumed dead (a
+      // back edge may route any store to any load of a later iteration),
+      // and nothing is dead before the loop.
+      DeadSet BodyDead;
+      bool RemoveChild = false;
+      processInstr(*I.Body, BodyDead, RemoveChild);
+      Dead.clear();
+      return;
+    }
+    }
+  }
+
+private:
+  const DseOptions &Options;
+  const std::set<std::string> Owned;
+
+  static void addDead(DeadSet &Dead, const AddrKey &Key) {
+    for (const AddrKey &D : Dead)
+      if (coversLocation(D, Key))
+        return;
+    Dead.push_back(Key);
+  }
+
+  void killObserved(DeadSet &Dead, const std::optional<AddrKey> &Key) {
+    Dead.erase(std::remove_if(Dead.begin(), Dead.end(),
+                              [&](const AddrKey &D) {
+                                if (Key)
+                                  return mayAlias(D, *Key, Owned);
+                                return D.BaseKind != AddrKey::Base::Var ||
+                                       !Owned.count(D.Name);
+                              }),
+               Dead.end());
+  }
+
+  /// A (re)definition of \p Var above invalidates facts keyed on it.
+  static void killBase(DeadSet &Dead, const std::string &Var) {
+    Dead.erase(std::remove_if(Dead.begin(), Dead.end(),
+                              [&Var](const AddrKey &D) {
+                                return D.BaseKind == AddrKey::Base::Var &&
+                                       D.Name == Var;
+                              }),
+               Dead.end());
+  }
+
+  static DeadSet intersect(const DeadSet &A, const DeadSet &B) {
+    DeadSet Out;
+    for (const AddrKey &K : A)
+      if (std::find(B.begin(), B.end(), K) != B.end())
+        Out.push_back(K);
+    return Out;
+  }
+};
+
+} // namespace
+
+bool DeadStoreElimPass::runOnFunction(FunctionDecl &F, const Program &P) {
+  (void)P;
+  if (!F.Body)
+    return false;
+  std::set<std::string> Owned =
+      Options.OwnedBlocks ? ownedMallocPointers(F) : std::set<std::string>{};
+  StoreEliminator E(Options, Owned);
+  DeadSet Dead;
+  if (Options.OwnedBlocks) {
+    // Nothing observes an owned block after the function returns: its
+    // pointer never escaped and the language has no return values.
+    for (const std::string &V : Owned)
+      Dead.push_back(AddrKey{AddrKey::Base::Var, V, 0, true});
+  }
+  bool RemoveAll = false;
+  E.processInstr(*F.Body, Dead, RemoveAll);
+  return E.Changed;
+}

@@ -1,0 +1,59 @@
+//===- opt/DeadStoreElim.h - Liveness-driven dead store removal -*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward dead-location analysis over memory events: walking each function
+/// bottom-up, the pass tracks the set of locations (AddrKey) whose current
+/// value can no longer be observed, and removes stores into them. Two modes
+/// with different standing under the paper's models:
+///
+/// * shadowed stores — a store overwritten by a later store to the same
+///   location, or to a block that is freed, with no possibly-aliasing load
+///   or call in between. Valid under *all* models: the overwritten value is
+///   unobservable in source and target alike, and removing a store can only
+///   remove a potential fault (which only shrinks the behavior set).
+/// * trailing stores into owned blocks — a store into a block owned by a
+///   non-escaping malloc pointer (ownedMallocPointers) that no load of this
+///   function observes before the function returns; such facts also survive
+///   calls (no callee or context can forge the address). This is the DSE
+///   half of the paper's Section 5.1 running example, valid under the
+///   logical-family models and *invalid* under the concrete model, where a
+///   context can guess the block's concrete address and read it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_OPT_DEADSTORElIM_H
+#define QCM_OPT_DEADSTORElIM_H
+
+#include "opt/Pass.h"
+
+namespace qcm {
+
+/// Which categories of dead stores may be removed.
+struct DseOptions {
+  /// Stores shadowed by later stores/frees; valid under all models.
+  bool RemoveShadowedStores = true;
+  /// Treat owned blocks as dead at function exit and keep their facts
+  /// across calls; valid under the logical-family models only.
+  bool OwnedBlocks = true;
+};
+
+/// The liveness-driven dead store elimination pass.
+class DeadStoreElimPass : public FunctionPass {
+public:
+  explicit DeadStoreElimPass(DseOptions Options = {}) : Options(Options) {}
+
+  std::string name() const override { return "dse"; }
+  bool runOnFunction(FunctionDecl &F, const Program &P) override;
+
+private:
+  DseOptions Options;
+};
+
+} // namespace qcm
+
+#endif // QCM_OPT_DEADSTORElIM_H

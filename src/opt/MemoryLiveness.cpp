@@ -1,0 +1,156 @@
+//===- opt/MemoryLiveness.cpp ---------------------------------------------===//
+
+#include "opt/MemoryLiveness.h"
+
+#include "opt/Analysis.h"
+
+using namespace qcm;
+
+std::string AddrKey::toString() const {
+  std::string Text =
+      (BaseKind == Base::Global ? "global " : "") + Name;
+  if (WholeBase)
+    return Text + "[*]";
+  return Text + "[" + std::to_string(static_cast<uint64_t>(Offset)) + "]";
+}
+
+std::optional<AddrKey> qcm::addrKeyFor(const Exp &Addr) {
+  auto BaseOf = [](const Exp &E) -> std::optional<AddrKey> {
+    if (E.ExpKind == Exp::Kind::Var)
+      return AddrKey{AddrKey::Base::Var, E.Name, 0, false};
+    if (E.ExpKind == Exp::Kind::Global)
+      return AddrKey{AddrKey::Base::Global, E.Name, 0, false};
+    return std::nullopt;
+  };
+  if (auto K = BaseOf(Addr))
+    return K;
+  if (Addr.ExpKind != Exp::Kind::Binary)
+    return std::nullopt;
+  const Exp &L = *Addr.Lhs;
+  const Exp &R = *Addr.Rhs;
+  if (Addr.Op == BinaryOp::Add) {
+    if (auto K = BaseOf(L); K && R.ExpKind == Exp::Kind::IntLit) {
+      K->Offset = R.IntValue;
+      return K;
+    }
+    if (auto K = BaseOf(R); K && L.ExpKind == Exp::Kind::IntLit) {
+      K->Offset = L.IntValue;
+      return K;
+    }
+  }
+  if (Addr.Op == BinaryOp::Sub) {
+    if (auto K = BaseOf(L); K && R.ExpKind == Exp::Kind::IntLit) {
+      K->Offset = static_cast<Word>(0) - R.IntValue;
+      return K;
+    }
+  }
+  return std::nullopt;
+}
+
+bool qcm::coversLocation(const AddrKey &A, const AddrKey &B) {
+  if (A.BaseKind != B.BaseKind || A.Name != B.Name)
+    return false;
+  return A.WholeBase || (!B.WholeBase && A.Offset == B.Offset);
+}
+
+bool qcm::mayAlias(const AddrKey &A, const AddrKey &B,
+                   const std::set<std::string> &OwnedBases) {
+  if (A.BaseKind == B.BaseKind && A.Name == B.Name)
+    return A.WholeBase || B.WholeBase || A.Offset == B.Offset;
+  // Pointer arithmetic never crosses block boundaries: access through a
+  // displaced pointer to another block faults, it does not alias it. So
+  // two *distinct* global blocks never alias.
+  if (A.BaseKind == AddrKey::Base::Global &&
+      B.BaseKind == AddrKey::Base::Global)
+    return false;
+  // An owned base holds a fresh block nothing else can point to.
+  auto Owned = [&OwnedBases](const AddrKey &K) {
+    return K.BaseKind == AddrKey::Base::Var && OwnedBases.count(K.Name) != 0;
+  };
+  if (Owned(A) || Owned(B))
+    return false;
+  return true;
+}
+
+namespace {
+
+/// Accumulates the ownership evidence over one function.
+struct OwnershipScan {
+  std::set<std::string> MallocAssigned;
+  std::set<std::string> OtherAssigned;
+  std::set<std::string> Disqualified;
+
+  /// Every variable in \p E escapes (used outside an address-base
+  /// position).
+  void escapeAll(const Exp &E) { collectExpUses(E, Disqualified); }
+
+  /// An address operand: a recognized key shape uses only its base, and
+  /// only as a base; anything else escapes every variable in it.
+  void addressUse(const Exp &Addr) {
+    if (!addrKeyFor(Addr))
+      escapeAll(Addr);
+  }
+
+  void scan(const Instr &I) {
+    switch (I.InstrKind) {
+    case Instr::Kind::Seq:
+      for (const auto &S : I.Stmts)
+        scan(*S);
+      return;
+    case Instr::Kind::Assign:
+      if (!I.Var.empty()) {
+        if (I.Rhs->RExpKind == RExp::Kind::Malloc)
+          MallocAssigned.insert(I.Var);
+        else
+          OtherAssigned.insert(I.Var);
+      }
+      // Every RHS operand (malloc size, free/cast/output argument, pure
+      // expression) is a non-address use.
+      if (I.Rhs->Arg)
+        escapeAll(*I.Rhs->Arg);
+      return;
+    case Instr::Kind::Load:
+      OtherAssigned.insert(I.Var);
+      addressUse(*I.Addr);
+      return;
+    case Instr::Kind::Store:
+      addressUse(*I.Addr);
+      escapeAll(*I.StoreVal);
+      return;
+    case Instr::Kind::Call:
+      for (const auto &A : I.Args)
+        escapeAll(*A);
+      return;
+    case Instr::Kind::If:
+      escapeAll(*I.Cond);
+      scan(*I.Then);
+      if (I.Else)
+        scan(*I.Else);
+      return;
+    case Instr::Kind::While:
+      escapeAll(*I.Cond);
+      scan(*I.Body);
+      return;
+    }
+  }
+};
+
+} // namespace
+
+std::set<std::string> qcm::ownedMallocPointers(const FunctionDecl &F) {
+  std::set<std::string> Owned;
+  if (!F.Body)
+    return Owned;
+  OwnershipScan Scan;
+  Scan.scan(*F.Body);
+  for (const std::string &V : Scan.MallocAssigned) {
+    if (Scan.OtherAssigned.count(V) || Scan.Disqualified.count(V))
+      continue;
+    bool IsParam = false;
+    for (const VarDecl &P : F.Params)
+      IsParam |= P.Name == V;
+    if (!IsParam)
+      Owned.insert(V);
+  }
+  return Owned;
+}

@@ -1,0 +1,88 @@
+//===- opt/MemoryLiveness.h - Memory-location dataflow helpers --*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared substrate of the two liveness-driven memory passes (dead-store
+/// elimination and redundant-load elimination, generalizing the paper's
+/// Section 6 examples):
+///
+/// * AddrKey — a syntactic memory location: a base (pointer variable or
+///   global block) plus a constant word offset, or the base's whole block.
+///   Address expressions of the shapes `p`, `g`, `p + c`, `c + p`, `p - c`
+///   map to keys; anything else is an unknown location.
+/// * mayAlias — the conservative may-alias relation between keys. Two keys
+///   with the same base alias iff their offsets can coincide; distinct
+///   global blocks never alias (pointer arithmetic never crosses block
+///   boundaries in any of the models — out-of-bounds access faults, it does
+///   not land in a neighbor); a base that is an *owned* malloc result
+///   (see ownedMallocPointers) aliases nothing but itself.
+/// * ownedMallocPointers — the freshness/escape analysis of Section 7: a
+///   pointer variable whose every assignment is a fresh malloc() and whose
+///   value is only ever used as a load/store base address. No context or
+///   callee can forge its logical address (the core guarantee of the
+///   logical-family models), so facts about its block survive calls and its
+///   trailing stores are dead — under the logical-family models only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_OPT_MEMORYLIVENESS_H
+#define QCM_OPT_MEMORYLIVENESS_H
+
+#include "lang/Ast.h"
+
+#include <optional>
+#include <set>
+#include <string>
+
+namespace qcm {
+
+/// A syntactic memory location: base plus constant word offset, or the
+/// base's whole block (WholeBase).
+struct AddrKey {
+  enum class Base { Var, Global };
+
+  Base BaseKind = Base::Var;
+  std::string Name;
+  Word Offset = 0;
+  bool WholeBase = false;
+
+  friend bool operator==(const AddrKey &A, const AddrKey &B) {
+    return A.BaseKind == B.BaseKind && A.Name == B.Name &&
+           A.Offset == B.Offset && A.WholeBase == B.WholeBase;
+  }
+
+  std::string toString() const;
+};
+
+/// The key for address expression \p Addr when it has one of the recognized
+/// shapes (`p`, `g`, `p + c`, `c + p`, `p - c`, and the global analogues);
+/// nullopt for anything else (an unknown location).
+std::optional<AddrKey> addrKeyFor(const Exp &Addr);
+
+/// Whether \p A names exactly the location of \p B (same base, same
+/// concrete offset; a WholeBase key covers every offset of its base).
+bool coversLocation(const AddrKey &A, const AddrKey &B);
+
+/// Conservative may-alias between two keys. \p OwnedBases are variables
+/// known to hold distinct fresh blocks (ownedMallocPointers): a key based
+/// on one aliases only keys with the same base.
+bool mayAlias(const AddrKey &A, const AddrKey &B,
+              const std::set<std::string> &OwnedBases);
+
+/// Pointer variables of \p F that own their block: every assignment to the
+/// variable is a fresh `malloc(...)`, there is at least one, the variable
+/// is not a parameter, and its value is used *only* as the base of a
+/// load/store address of a recognized AddrKey shape — never passed to a
+/// call, stored, freed, cast, output, copied, or mixed into arithmetic that
+/// isn't a recognized address shape. Such a block's logical address cannot
+/// be forged by any context or callee (Section 2.2), which is what licenses
+/// the logical-family-only modes of the memory passes.
+std::set<std::string> ownedMallocPointers(const FunctionDecl &F);
+
+} // namespace qcm
+
+#endif // QCM_OPT_MEMORYLIVENESS_H

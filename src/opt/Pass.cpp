@@ -4,6 +4,9 @@
 
 #include "support/Profiler.h"
 
+#include <algorithm>
+#include <map>
+
 using namespace qcm;
 
 FunctionPass::~FunctionPass() = default;
@@ -51,45 +54,178 @@ std::string PassMetrics::toJson() const {
   return O.str();
 }
 
+std::string PassApplication::toString() const {
+  return "pass '" + Pass + "' (element " + std::to_string(Element) +
+         ", iteration " + std::to_string(Iteration) + ")";
+}
+
+unsigned PipelineResult::lastIterations() const {
+  unsigned Max = 0;
+  for (const PassApplication &App : Applications)
+    Max = std::max(Max, App.Iteration + 1);
+  return Max;
+}
+
+//===----------------------------------------------------------------------===//
+// PassPipeline
+//===----------------------------------------------------------------------===//
+
+FunctionPass *PassPipeline::own(std::unique_ptr<FunctionPass> Pass) {
+  Owned.push_back(std::move(Pass));
+  return Owned.back().get();
+}
+
+PassPipeline::Element PassPipeline::leaf(FunctionPass *Pass,
+                                         std::string Token) {
+  Element E;
+  E.Pass = Pass;
+  E.Token = Token.empty() ? Pass->name() : std::move(Token);
+  return E;
+}
+
+PassPipeline::Element PassPipeline::fix(std::vector<Element> Children,
+                                        unsigned MaxIterations) {
+  Element E;
+  E.Children = std::move(Children);
+  E.MaxIterations = MaxIterations;
+  return E;
+}
+
+namespace {
+
+/// One run's mutable state, threaded through the element tree.
+struct PipelineRun {
+  Program &P;
+  const PassValidator &Validate;
+  PipelineResult &Result;
+  std::map<const PassPipeline::Element *, unsigned> LeafIndex;
+  std::map<std::string, size_t> MetricsIndex;
+
+  void number(const std::vector<PassPipeline::Element> &Elements,
+              unsigned &Next) {
+    for (const PassPipeline::Element &E : Elements) {
+      if (E.Pass) {
+        LeafIndex[&E] = Next++;
+        std::string Token = E.Token.empty() ? E.Pass->name() : E.Token;
+        if (!MetricsIndex.count(Token)) {
+          MetricsIndex[Token] = Result.Metrics.size();
+          PassMetrics M;
+          M.PassName = Token;
+          Result.Metrics.push_back(std::move(M));
+        }
+      } else {
+        number(E.Children, Next);
+      }
+    }
+  }
+
+  /// Runs one element; returns whether it changed the program. Sets
+  /// Result.Failed (and rolls back) on a validator rejection, which aborts
+  /// all enclosing loops.
+  bool runElement(const PassPipeline::Element &E, unsigned Iteration) {
+    if (!E.Pass)
+      return runGroup(E.Children, E.MaxIterations);
+
+    const std::string Token = E.Token.empty() ? E.Pass->name() : E.Token;
+    PassApplication App;
+    App.Pass = Token;
+    App.Element = LeafIndex[&E];
+    App.Iteration = Iteration;
+
+    // Snapshot only when someone can reject the application.
+    std::optional<Program> Before;
+    if (Validate)
+      Before = P.clone();
+
+    PassMetrics &M = Result.Metrics[MetricsIndex[Token]];
+    prof::Span Span(std::string("pass:") + Token, "opt");
+    Span.arg("iteration", static_cast<uint64_t>(Iteration));
+    for (FunctionDecl &F : P.Functions) {
+      if (F.isExtern())
+        continue;
+      uint64_t BeforeCount = countInstructions(F);
+      Stopwatch Timer;
+      bool FnChanged = E.Pass->runOnFunction(F, P);
+      M.WallSeconds += Timer.seconds();
+      ++M.Invocations;
+      M.InstrsBefore += BeforeCount;
+      M.InstrsAfter += countInstructions(F);
+      if (FnChanged) {
+        ++M.Rewrites;
+        App.ChangedFunctions.push_back(F.Name);
+      }
+    }
+    App.Changed = !App.ChangedFunctions.empty();
+
+    if (App.Changed && Validate) {
+      if (std::optional<std::string> Rejection = Validate(*Before, P, App)) {
+        P = std::move(*Before);
+        Result.Failed = App;
+        Result.FailureDetail = std::move(*Rejection);
+        Result.Applications.push_back(std::move(App));
+        return false;
+      }
+    }
+    bool Changed = App.Changed;
+    Result.Applications.push_back(std::move(App));
+    Result.Changed |= Changed;
+    return Changed;
+  }
+
+  /// A fixpoint group: iterate the members until a full sweep changes
+  /// nothing, bounded by MaxIterations.
+  bool runGroup(const std::vector<PassPipeline::Element> &Elements,
+                unsigned MaxIterations) {
+    bool EverChanged = false;
+    for (unsigned Iter = 0; Iter < MaxIterations; ++Iter) {
+      bool Changed = false;
+      for (const PassPipeline::Element &E : Elements) {
+        Changed |= runElement(E, Iter);
+        if (Result.Failed)
+          return EverChanged;
+      }
+      EverChanged |= Changed;
+      if (!Changed)
+        return EverChanged;
+    }
+    // Still changing when the bound ran out.
+    Result.HitIterationBound = true;
+    return EverChanged;
+  }
+};
+
+} // namespace
+
+PipelineResult PassPipeline::run(Program &P, const PassValidator &Validate) {
+  PipelineResult Result;
+  PipelineRun Run{P, Validate, Result, {}, {}};
+  unsigned Next = 0;
+  Run.number(Elements, Next);
+  for (const Element &E : Elements) {
+    // Top-level elements run once each, in order; top-level leaves report
+    // iteration 0.
+    Run.runElement(E, 0);
+    if (Result.Failed)
+      break;
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// PassManager
+//===----------------------------------------------------------------------===//
+
 void PassManager::add(std::unique_ptr<FunctionPass> Pass) {
   Passes.push_back(std::move(Pass));
 }
 
 bool PassManager::run(Program &P, unsigned MaxIterations) {
-  Metrics.clear();
-  Metrics.reserve(Passes.size());
-  for (const auto &Pass : Passes) {
-    PassMetrics M;
-    M.PassName = Pass->name();
-    Metrics.push_back(std::move(M));
-  }
-
-  bool EverChanged = false;
-  for (unsigned Iter = 0; Iter < MaxIterations; ++Iter) {
-    bool Changed = false;
-    for (size_t Idx = 0; Idx < Passes.size(); ++Idx) {
-      FunctionPass &Pass = *Passes[Idx];
-      PassMetrics &M = Metrics[Idx];
-      prof::Span Span(std::string("pass:") + Pass.name(), "opt");
-      Span.arg("iteration", static_cast<uint64_t>(Iter));
-      for (FunctionDecl &F : P.Functions) {
-        if (F.isExtern())
-          continue;
-        uint64_t Before = countInstructions(F);
-        Stopwatch Timer;
-        bool FnChanged = Pass.runOnFunction(F, P);
-        M.WallSeconds += Timer.seconds();
-        ++M.Invocations;
-        M.InstrsBefore += Before;
-        M.InstrsAfter += countInstructions(F);
-        if (FnChanged)
-          ++M.Rewrites;
-        Changed |= FnChanged;
-      }
-    }
-    EverChanged |= Changed;
-    if (!Changed)
-      break;
-  }
-  return EverChanged;
+  PassPipeline Pipeline;
+  std::vector<PassPipeline::Element> Members;
+  for (const auto &Pass : Passes)
+    Members.push_back(PassPipeline::leaf(Pass.get()));
+  Pipeline.Elements.push_back(
+      PassPipeline::fix(std::move(Members), MaxIterations));
+  Last = Pipeline.run(P);
+  return Last.Changed;
 }

@@ -13,6 +13,15 @@
 /// (a pass like dead-allocation elimination is one and the same
 /// transformation whether or not the model justifies it).
 ///
+/// Pipelines make the seam explicit: a PassPipeline is a tree of pass
+/// elements and fixpoint groups executed in order, and every application of
+/// a pass (one pass over every function, within one iteration of its
+/// enclosing fixpoint group) can be handed to an external validator — the
+/// refinement machinery — together with before/after snapshots and full
+/// provenance. A rejected application rolls the program back and stops the
+/// pipeline, which is what turns qcm-opt into a translation-validated
+/// compiler (see docs/OPTIMIZER.md).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef QCM_OPT_PASS_H
@@ -21,7 +30,9 @@
 #include "lang/Ast.h"
 #include "support/Telemetry.h"
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,7 +55,7 @@ public:
 uint64_t countInstructions(const FunctionDecl &F);
 
 /// Telemetry for one pass, accumulated across every invocation of a
-/// PassManager::run() (all functions, all fixpoint iterations).
+/// pipeline run (all functions, all fixpoint iterations).
 struct PassMetrics {
   std::string PassName;
   /// runOnFunction() calls.
@@ -63,8 +74,91 @@ struct PassMetrics {
   std::string toJson() const;
 };
 
+/// Provenance of one pass application: one pass run over every defined
+/// function of the program, within one iteration of its enclosing fixpoint
+/// group.
+struct PassApplication {
+  /// The pass's pipeline token (registry name, or FunctionPass::name()).
+  std::string Pass;
+  /// Index of the pass element in pre-order over the pipeline tree.
+  unsigned Element = 0;
+  /// Iteration of the innermost enclosing fixpoint group (0 outside one).
+  unsigned Iteration = 0;
+  bool Changed = false;
+  /// Names of the functions this application rewrote.
+  std::vector<std::string> ChangedFunctions;
+
+  std::string toString() const;
+};
+
+/// Called after every pass application that changed the program, with
+/// snapshots of the program before and after. Returning a message rejects
+/// the application: the pipeline rolls the program back to Before, stops,
+/// and reports the failure with the application's provenance.
+using PassValidator = std::function<std::optional<std::string>(
+    const Program &Before, const Program &After, const PassApplication &App)>;
+
+/// Outcome of one PassPipeline::run().
+struct PipelineResult {
+  bool Changed = false;
+  /// Per-token metrics in first-appearance (pre-order) order; elements
+  /// sharing a token accumulate into one entry.
+  std::vector<PassMetrics> Metrics;
+  /// Every application, in execution order.
+  std::vector<PassApplication> Applications;
+  /// True when some fixpoint group was still changing at its iteration
+  /// bound.
+  bool HitIterationBound = false;
+  /// Set when the validator rejected an application (program rolled back
+  /// to the state before it).
+  std::optional<PassApplication> Failed;
+  std::string FailureDetail;
+
+  /// Iterations the last top-level fixpoint group executed (0 when there
+  /// was none).
+  unsigned lastIterations() const;
+};
+
+/// An executable pipeline: a sequence of elements, each either a single
+/// pass or a fixpoint group of nested elements iterated until quiescent
+/// (bounded by MaxIterations). Built directly, or from a PipelineSpec (see
+/// opt/PipelineSpec.h).
+class PassPipeline {
+public:
+  struct Element {
+    /// Leaf: the pass to run (non-owning; see own()). Null for a group.
+    FunctionPass *Pass = nullptr;
+    /// Display/provenance token of a leaf.
+    std::string Token;
+    /// Fixpoint group members (when Pass is null).
+    std::vector<Element> Children;
+    /// Group iteration bound.
+    unsigned MaxIterations = 8;
+  };
+
+  std::vector<Element> Elements;
+
+  /// Takes ownership of \p Pass and returns the raw pointer for use in an
+  /// Element. Owned passes live as long as the pipeline.
+  FunctionPass *own(std::unique_ptr<FunctionPass> Pass);
+
+  static Element leaf(FunctionPass *Pass, std::string Token = "");
+  static Element fix(std::vector<Element> Children,
+                     unsigned MaxIterations = 8);
+
+  /// Runs the pipeline over \p P. With a validator, every application that
+  /// changed the program is checked; a rejection rolls \p P back to the
+  /// snapshot before the offending application and stops the pipeline
+  /// (PipelineResult::Failed).
+  PipelineResult run(Program &P, const PassValidator &Validate = nullptr);
+
+private:
+  std::vector<std::unique_ptr<FunctionPass>> Owned;
+};
+
 /// Runs passes over every defined function of a program, iterating until a
-/// fixed point (bounded by MaxIterations).
+/// fixed point (bounded by MaxIterations). A thin forward to PassPipeline:
+/// the registered passes form one top-level fixpoint group.
 class PassManager {
 public:
   void add(std::unique_ptr<FunctionPass> Pass);
@@ -74,11 +168,16 @@ public:
 
   /// Per-pass metrics of the most recent run(), one entry per registered
   /// pass in registration order. Empty before the first run.
-  const std::vector<PassMetrics> &metrics() const { return Metrics; }
+  const std::vector<PassMetrics> &metrics() const { return Last.Metrics; }
+
+  /// Fixpoint iterations the most recent run() executed (including the
+  /// final quiescent one), and whether it was still changing at the bound.
+  unsigned lastIterations() const { return Last.lastIterations(); }
+  bool hitIterationBound() const { return Last.HitIterationBound; }
 
 private:
   std::vector<std::unique_ptr<FunctionPass>> Passes;
-  std::vector<PassMetrics> Metrics;
+  PipelineResult Last;
 };
 
 } // namespace qcm

@@ -1,0 +1,445 @@
+//===- opt/PipelineSpec.cpp -----------------------------------------------===//
+
+#include "opt/PipelineSpec.h"
+
+#include "opt/ArithSimplify.h"
+#include "opt/ConstProp.h"
+#include "opt/DeadCodeElim.h"
+#include "opt/DeadStoreElim.h"
+#include "opt/OwnershipOpt.h"
+#include "opt/RedundantLoadElim.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace qcm;
+
+//===----------------------------------------------------------------------===//
+// PipelineSpec text form
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void printElem(const PipelineSpec::Elem &E, std::string &Out) {
+  if (E.ElemKind == PipelineSpec::Elem::Kind::Pass) {
+    Out += E.Name;
+    return;
+  }
+  Out += "fix";
+  if (E.MaxIterations != 0)
+    Out += ":" + std::to_string(E.MaxIterations);
+  Out += "(";
+  for (size_t I = 0; I < E.Children.size(); ++I) {
+    if (I)
+      Out += ",";
+    printElem(E.Children[I], Out);
+  }
+  Out += ")";
+}
+
+/// Recursive-descent parser over the spec grammar.
+struct SpecParser {
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Error;
+
+  explicit SpecParser(const std::string &Text) : Text(Text) {}
+
+  void skipSpace() {
+    while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  char peek() {
+    skipSpace();
+    return Pos < Text.size() ? Text[Pos] : '\0';
+  }
+
+  bool fail(const std::string &Message) {
+    Error = Message + " at position " + std::to_string(Pos);
+    return false;
+  }
+
+  static bool isNameChar(char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '-' || C == '_';
+  }
+
+  std::string parseName() {
+    skipSpace();
+    std::string Name;
+    while (Pos < Text.size() && isNameChar(Text[Pos]))
+      Name += Text[Pos++];
+    return Name;
+  }
+
+  bool parseSeq(std::vector<PipelineSpec::Elem> &Out, bool Nested) {
+    while (true) {
+      PipelineSpec::Elem E;
+      if (!parseElem(E))
+        return false;
+      Out.push_back(std::move(E));
+      char C = peek();
+      if (C == ',') {
+        ++Pos;
+        continue;
+      }
+      if (C == '\0')
+        return Nested ? fail("unterminated 'fix(' group, expected ')'")
+                      : true;
+      if (C == ')')
+        return Nested ? true : fail("unexpected ')'");
+      return fail(std::string("expected ',' but found '") + C + "'");
+    }
+  }
+
+  bool parseElem(PipelineSpec::Elem &E) {
+    std::string Name = parseName();
+    if (Name.empty())
+      return fail("expected a pass name");
+    if (Name == "fix" && (peek() == '(' || peek() == ':')) {
+      E.ElemKind = PipelineSpec::Elem::Kind::Fix;
+      if (peek() == ':') {
+        ++Pos;
+        std::string Digits = parseName();
+        if (Digits.empty() ||
+            !std::all_of(Digits.begin(), Digits.end(), [](char C) {
+              return std::isdigit(static_cast<unsigned char>(C));
+            }))
+          return fail("expected an iteration count after 'fix:'");
+        unsigned long Bound = std::stoul(Digits);
+        if (Bound == 0)
+          return fail("'fix:0' is not a pipeline");
+        E.MaxIterations = static_cast<unsigned>(Bound);
+      }
+      if (peek() != '(')
+        return fail("expected '(' after 'fix'");
+      ++Pos;
+      if (!parseSeq(E.Children, /*Nested=*/true))
+        return false;
+      // parseSeq stopped at ')' or reported the unterminated group.
+      ++Pos;
+      return true;
+    }
+    E.ElemKind = PipelineSpec::Elem::Kind::Pass;
+    E.Name = std::move(Name);
+    return true;
+  }
+};
+
+} // namespace
+
+std::string PipelineSpec::toString() const {
+  std::string Out;
+  for (size_t I = 0; I < Elems.size(); ++I) {
+    if (I)
+      Out += ",";
+    printElem(Elems[I], Out);
+  }
+  return Out;
+}
+
+std::optional<PipelineSpec> PipelineSpec::parse(const std::string &Text,
+                                                std::string &Error) {
+  SpecParser Parser(Text);
+  if (Parser.peek() == '\0') {
+    Error = "empty pipeline spec";
+    return std::nullopt;
+  }
+  PipelineSpec Spec;
+  if (!Parser.parseSeq(Spec.Elems, /*Nested=*/false)) {
+    Error = Parser.Error;
+    return std::nullopt;
+  }
+  return Spec;
+}
+
+PipelineSpec PipelineSpec::defaultSpec() {
+  std::string Error;
+  std::optional<PipelineSpec> Spec =
+      parse("fix(ownership,constprop,arith,dce)", Error);
+  return *Spec;
+}
+
+PipelineSpec PipelineSpec::random(uint64_t Seed) {
+  std::vector<std::string> Tokens;
+  for (const PassInfo &Info : passRegistry())
+    if (!Info.Hidden)
+      Tokens.push_back(Info.Name);
+
+  Rng R(Seed ^ 0x9e3779b97f4a7c15ull);
+  auto PickToken = [&] { return Tokens[R.nextBelow(Tokens.size())]; };
+
+  PipelineSpec Spec;
+  unsigned Length = 1 + static_cast<unsigned>(R.nextBelow(5));
+  for (unsigned I = 0; I < Length; ++I) {
+    Elem E;
+    if (R.nextBelow(4) == 0) {
+      // A small fixpoint group with an explicit bound, so fuzzing also
+      // exercises the fix:N syntax and the iteration-bound paths.
+      E.ElemKind = Elem::Kind::Fix;
+      E.MaxIterations = 2 + static_cast<unsigned>(R.nextBelow(3));
+      unsigned Inner = 2 + static_cast<unsigned>(R.nextBelow(2));
+      for (unsigned J = 0; J < Inner; ++J) {
+        Elem Child;
+        Child.Name = PickToken();
+        E.Children.push_back(std::move(Child));
+      }
+    } else {
+      E.Name = PickToken();
+    }
+    Spec.Elems.push_back(std::move(E));
+  }
+  return Spec;
+}
+
+//===----------------------------------------------------------------------===//
+// The pass registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The validator's canary: a dead-store-elimination "variant" that removes
+/// the *last* store in each function's top-level sequence whether or not it
+/// is dead — and claims validity under every model. Hidden from listings;
+/// reachable only by naming `bug-dse` in a spec. Any store whose value is
+/// later observed (tests use `*p = 42; r = *p; output(r);`) turns into a
+/// counterexample the translation validator must produce.
+class BuggyDeadStorePass : public FunctionPass {
+public:
+  std::string name() const override { return "bug-dse"; }
+
+  bool runOnFunction(FunctionDecl &F, const Program &P) override {
+    (void)P;
+    if (!F.Body || F.Body->InstrKind != Instr::Kind::Seq)
+      return false;
+    auto &Stmts = F.Body->Stmts;
+    for (auto It = Stmts.rbegin(); It != Stmts.rend(); ++It) {
+      if ((*It)->InstrKind == Instr::Kind::Store) {
+        Stmts.erase(std::next(It).base());
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+std::vector<ModelKind> allModels(const PassFactoryOptions &) {
+  return {ModelKind::Concrete, ModelKind::Logical, ModelKind::QuasiConcrete,
+          ModelKind::EagerQuasi};
+}
+
+std::vector<ModelKind> logicalFamily(const PassFactoryOptions &) {
+  return {ModelKind::Logical, ModelKind::QuasiConcrete,
+          ModelKind::EagerQuasi};
+}
+
+std::vector<PassInfo> buildRegistry() {
+  std::vector<PassInfo> R;
+
+  R.push_back({"ownership",
+               "ownership-based load forwarding and store elimination "
+               "across calls (Figure 3)",
+               false,
+               [](const PassFactoryOptions &) {
+                 return std::make_unique<OwnershipOptPass>();
+               },
+               logicalFamily});
+
+  R.push_back({"constprop", "constant propagation and folding", false,
+               [](const PassFactoryOptions &) {
+                 return std::make_unique<ConstPropPass>();
+               },
+               allModels});
+
+  R.push_back({"arith", "arithmetic identity simplification", false,
+               [](const PassFactoryOptions &) {
+                 return std::make_unique<ArithSimplifyPass>();
+               },
+               allModels});
+
+  R.push_back({"dce",
+               "dead code elimination (with --dae also removes dead "
+               "allocations, narrowing validity to the logical family)",
+               false,
+               [](const PassFactoryOptions &O) {
+                 DceOptions D;
+                 D.RemoveDeadAllocs = O.Dae;
+                 return std::make_unique<DeadCodeElimPass>(D);
+               },
+               [](const PassFactoryOptions &O) {
+                 return O.Dae ? logicalFamily(O) : allModels(O);
+               }});
+
+  R.push_back({"dae",
+               "dead code elimination including dead allocations "
+               "(Section 1; unsound under the concrete model)",
+               false,
+               [](const PassFactoryOptions &) {
+                 DceOptions D;
+                 D.RemoveDeadAllocs = true;
+                 return std::make_unique<DeadCodeElimPass>(D);
+               },
+               logicalFamily});
+
+  R.push_back({"dse",
+               "liveness-driven dead store elimination, including "
+               "trailing stores to owned blocks",
+               false,
+               [](const PassFactoryOptions &) {
+                 return std::make_unique<DeadStoreElimPass>();
+               },
+               logicalFamily});
+
+  R.push_back({"dse-local",
+               "dead store elimination restricted to shadowed stores "
+               "(valid under every model)",
+               false,
+               [](const PassFactoryOptions &) {
+                 DseOptions D;
+                 D.OwnedBlocks = false;
+                 return std::make_unique<DeadStoreElimPass>(D);
+               },
+               allModels});
+
+  R.push_back({"rle",
+               "redundant load elimination within call-free regions "
+               "(valid under every model)",
+               false,
+               [](const PassFactoryOptions &) {
+                 return std::make_unique<RedundantLoadElimPass>();
+               },
+               allModels});
+
+  R.push_back({"rle-own",
+               "redundant load elimination keeping owned-block facts "
+               "across calls (Figure 3)",
+               false,
+               [](const PassFactoryOptions &) {
+                 RleOptions O;
+                 O.AcrossCalls = true;
+                 return std::make_unique<RedundantLoadElimPass>(O);
+               },
+               logicalFamily});
+
+  R.push_back({"bug-dse",
+               "deliberately broken dead store elimination (validator "
+               "canary; drops a live store)",
+               true,
+               [](const PassFactoryOptions &) {
+                 return std::make_unique<BuggyDeadStorePass>();
+               },
+               allModels});
+
+  return R;
+}
+
+size_t editDistance(const std::string &A, const std::string &B) {
+  std::vector<size_t> Prev(B.size() + 1), Cur(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Prev[J] = J;
+  for (size_t I = 1; I <= A.size(); ++I) {
+    Cur[0] = I;
+    for (size_t J = 1; J <= B.size(); ++J) {
+      size_t Sub = Prev[J - 1] + (A[I - 1] == B[J - 1] ? 0 : 1);
+      Cur[J] = std::min({Prev[J] + 1, Cur[J - 1] + 1, Sub});
+    }
+    std::swap(Prev, Cur);
+  }
+  return Prev[B.size()];
+}
+
+} // namespace
+
+const std::vector<PassInfo> &qcm::passRegistry() {
+  static const std::vector<PassInfo> Registry = buildRegistry();
+  return Registry;
+}
+
+const PassInfo *qcm::findPass(const std::string &Name) {
+  for (const PassInfo &Info : passRegistry())
+    if (Info.Name == Name)
+      return &Info;
+  return nullptr;
+}
+
+std::vector<std::string> qcm::suggestPassNames(const std::string &Name) {
+  std::vector<std::pair<size_t, std::string>> Scored;
+  for (const PassInfo &Info : passRegistry()) {
+    if (Info.Hidden)
+      continue;
+    size_t D = editDistance(Name, Info.Name);
+    if (D <= 2)
+      Scored.emplace_back(D, Info.Name);
+  }
+  std::stable_sort(Scored.begin(), Scored.end(),
+                   [](const auto &A, const auto &B) { return A.first < B.first; });
+  std::vector<std::string> Out;
+  for (auto &[D, N] : Scored)
+    Out.push_back(N);
+  return Out;
+}
+
+bool qcm::passClaimsValidity(const std::string &Name, ModelKind Model,
+                             const PassFactoryOptions &Opts) {
+  const PassInfo *Info = findPass(Name);
+  if (!Info)
+    return false;
+  std::vector<ModelKind> Models = Info->ValidUnder(Opts);
+  return std::find(Models.begin(), Models.end(), Model) != Models.end();
+}
+
+namespace {
+
+bool buildElements(const std::vector<PipelineSpec::Elem> &Elems,
+                   PassPipeline &Pipeline,
+                   std::vector<PassPipeline::Element> &Out,
+                   const PassFactoryOptions &Opts, std::string &Error,
+                   unsigned DefaultFixIterations) {
+  for (const PipelineSpec::Elem &E : Elems) {
+    if (E.ElemKind == PipelineSpec::Elem::Kind::Fix) {
+      std::vector<PassPipeline::Element> Children;
+      if (!buildElements(E.Children, Pipeline, Children, Opts, Error,
+                         DefaultFixIterations))
+        return false;
+      Out.push_back(PassPipeline::fix(
+          std::move(Children),
+          E.MaxIterations ? E.MaxIterations : DefaultFixIterations));
+      continue;
+    }
+    const PassInfo *Info = findPass(E.Name);
+    if (!Info) {
+      Error = "unknown pass '" + E.Name + "'";
+      std::vector<std::string> Suggestions = suggestPassNames(E.Name);
+      if (!Suggestions.empty()) {
+        Error += "; did you mean ";
+        for (size_t I = 0; I < Suggestions.size(); ++I) {
+          if (I)
+            Error += I + 1 == Suggestions.size() ? " or " : ", ";
+          Error += "'" + Suggestions[I] + "'";
+        }
+        Error += "?";
+      }
+      Error += " (try --list-passes)";
+      return false;
+    }
+    FunctionPass *Pass = Pipeline.own(Info->Make(Opts));
+    Out.push_back(PassPipeline::leaf(Pass, Info->Name));
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<PassPipeline>
+qcm::buildPipeline(const PipelineSpec &Spec, const PassFactoryOptions &Opts,
+                   std::string &Error, unsigned DefaultFixIterations) {
+  std::optional<PassPipeline> Pipeline;
+  Pipeline.emplace();
+  std::vector<PassPipeline::Element> Elements;
+  if (!buildElements(Spec.Elems, *Pipeline, Elements, Opts, Error,
+                     DefaultFixIterations))
+    return std::nullopt;
+  Pipeline->Elements = std::move(Elements);
+  return Pipeline;
+}

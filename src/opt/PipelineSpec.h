@@ -1,0 +1,125 @@
+//===- opt/PipelineSpec.h - Declarative pass pipelines ----------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declarative, round-trippable pass pipeline descriptions:
+///
+///   spec  := elem (',' elem)*
+///   elem  := NAME | 'fix' (':' N)? '(' spec ')'
+///
+/// `ownership,constprop,fix(arith,dce)` runs ownership once, constprop
+/// once, then iterates arith and dce to a fixpoint. `fix:N(...)` sets the
+/// group's iteration bound explicitly; a plain `fix(...)` uses the
+/// caller's default. parse() and toString() round-trip.
+///
+/// Pass names resolve against a registry that also records, per pass, the
+/// memory models under which the transformation claims to be valid — the
+/// paper's central point rendered as metadata (dead-allocation elimination
+/// is registered as logical-family-only, exactly the Section 1 argument).
+/// Validation (refinement/Validate.h) checks each application only under
+/// the models the pass claims; a pass surviving a model it does not claim
+/// proves nothing, and one failing a model it never claimed is not a bug.
+///
+/// The registry deliberately contains one hidden, broken pass — `bug-dse`,
+/// a dead-store-elimination variant that drops a *live* store — as the
+/// translation validator's canary: pipelines naming it must be rejected
+/// with a counterexample (tests/pipeline_fuzz_test.cpp, CI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_OPT_PIPELINESPEC_H
+#define QCM_OPT_PIPELINESPEC_H
+
+#include "memory/Memory.h"
+#include "opt/Pass.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// A parsed pipeline description.
+struct PipelineSpec {
+  struct Elem {
+    enum class Kind { Pass, Fix };
+
+    Kind ElemKind = Kind::Pass;
+    std::string Name;           ///< Pass
+    std::vector<Elem> Children; ///< Fix
+    unsigned MaxIterations = 0; ///< Fix; 0 = use the executor default
+  };
+
+  std::vector<Elem> Elems;
+
+  bool empty() const { return Elems.empty(); }
+
+  /// Canonical text form; parse(toString()) == *this.
+  std::string toString() const;
+
+  /// Parses \p Text against the grammar above. Pass names are *not*
+  /// resolved here (buildPipeline does that); nullopt with \p Error on
+  /// malformed syntax.
+  static std::optional<PipelineSpec> parse(const std::string &Text,
+                                           std::string &Error);
+
+  /// The tool default: fix(ownership,constprop,arith,dce).
+  static PipelineSpec defaultSpec();
+
+  /// A seeded random pipeline over the visible registry passes: 1-5
+  /// top-level elements, some of them small fixpoint groups. Deterministic
+  /// in \p Seed; never names hidden passes.
+  static PipelineSpec random(uint64_t Seed);
+};
+
+/// Options threaded to the pass factories (the legacy --dae switch).
+struct PassFactoryOptions {
+  /// dce may remove dead allocations (narrows its claimed validity to the
+  /// logical family).
+  bool Dae = false;
+};
+
+/// One registry entry.
+struct PassInfo {
+  std::string Name;
+  std::string Summary;
+  /// Hidden passes resolve in specs but are excluded from listings and
+  /// random pipelines (the buggy canary).
+  bool Hidden = false;
+  std::function<std::unique_ptr<FunctionPass>(const PassFactoryOptions &)>
+      Make;
+  std::function<std::vector<ModelKind>(const PassFactoryOptions &)>
+      ValidUnder;
+};
+
+/// All registered passes, in listing order.
+const std::vector<PassInfo> &passRegistry();
+
+/// The entry named \p Name, or null.
+const PassInfo *findPass(const std::string &Name);
+
+/// Registered names within edit distance 2 of \p Name, closest first —
+/// the "did you mean" list for unknown-pass diagnostics.
+std::vector<std::string> suggestPassNames(const std::string &Name);
+
+/// True when pass \p Name claims validity under \p Model.
+bool passClaimsValidity(const std::string &Name, ModelKind Model,
+                        const PassFactoryOptions &Opts);
+
+/// Builds an executable pipeline from \p Spec: resolves every pass name
+/// (unknown names fail with a did-you-mean diagnostic in \p Error), and
+/// gives plain `fix(...)` groups \p DefaultFixIterations. The returned
+/// pipeline owns its pass instances.
+std::optional<PassPipeline> buildPipeline(const PipelineSpec &Spec,
+                                          const PassFactoryOptions &Opts,
+                                          std::string &Error,
+                                          unsigned DefaultFixIterations = 8);
+
+} // namespace qcm
+
+#endif // QCM_OPT_PIPELINESPEC_H

@@ -1,0 +1,238 @@
+//===- opt/RedundantLoadElim.cpp ------------------------------------------===//
+
+#include "opt/RedundantLoadElim.h"
+
+#include "opt/MemoryLiveness.h"
+
+#include <algorithm>
+
+using namespace qcm;
+
+namespace {
+
+/// One availability fact: the location Key currently holds the value of a
+/// register, a constant, or a global-block address.
+struct Fact {
+  enum class Value { Var, Const, GlobalAddr };
+
+  AddrKey Key;
+  Value ValKind = Value::Var;
+  std::string Name; // Var, GlobalAddr
+  Word Literal = 0; // Const
+  Type Ty = Type::Int;
+
+  friend bool operator==(const Fact &A, const Fact &B) {
+    return A.Key == B.Key && A.ValKind == B.ValKind && A.Name == B.Name &&
+           A.Literal == B.Literal && A.Ty == B.Ty;
+  }
+};
+
+using FactSet = std::vector<Fact>;
+
+class LoadEliminator {
+public:
+  LoadEliminator(const FunctionDecl &F, const RleOptions &Options,
+                 std::set<std::string> Owned)
+      : F(F), Options(Options), Owned(std::move(Owned)) {}
+
+  bool Changed = false;
+
+  void processInstr(Instr &I, FactSet &Facts) {
+    switch (I.InstrKind) {
+    case Instr::Kind::Seq:
+      for (auto &S : I.Stmts)
+        processInstr(*S, Facts);
+      return;
+
+    case Instr::Kind::Load: {
+      std::optional<AddrKey> Key = addrKeyFor(*I.Addr);
+      const VarDecl *Dst = F.findVariable(I.Var);
+      if (Key && Dst) {
+        for (const Fact &Fa : Facts) {
+          if (!(Fa.Key == *Key) || !typeMatches(Fa, Dst->Ty))
+            continue;
+          rewriteLoad(I, Fa);
+          // The destination now holds the same value it already did per
+          // the fact (or a copy of another register): facts mentioning it
+          // stay valid only for the self-copy case.
+          if (!(Fa.ValKind == Fact::Value::Var && Fa.Name == I.Var))
+            killUsing(Facts, I.Var);
+          return;
+        }
+      }
+      // A real load: it defines Var, and (when the location is
+      // recognized) establishes that the location holds Var.
+      killUsing(Facts, I.Var);
+      if (Key && Dst && Key->Name != I.Var)
+        Facts.push_back(Fact{*Key, Fact::Value::Var, I.Var, 0, Dst->Ty});
+      return;
+    }
+
+    case Instr::Kind::Store: {
+      std::optional<AddrKey> Key = addrKeyFor(*I.Addr);
+      killAliasing(Facts, Key);
+      if (Key) {
+        if (std::optional<Fact> Fa = factForValue(*Key, *I.StoreVal))
+          Facts.push_back(*Fa);
+      }
+      return;
+    }
+
+    case Instr::Kind::Assign: {
+      if (I.Rhs->RExpKind == RExp::Kind::Free) {
+        // Conservatively forget the freed block (forwarding a load whose
+        // source-side execution faults would still be sound — the fault
+        // admits everything — but there is nothing to gain).
+        std::optional<AddrKey> Key = addrKeyFor(*I.Rhs->Arg);
+        if (Key) {
+          Key->WholeBase = true;
+          Key->Offset = 0;
+        }
+        killAliasing(Facts, Key);
+      }
+      if (!I.Var.empty())
+        killUsing(Facts, I.Var);
+      return;
+    }
+
+    case Instr::Kind::Call:
+      if (Options.AcrossCalls) {
+        // No callee or context can reach an owned block (its logical
+        // address never escaped), and registers are per-frame, so facts
+        // about owned locations survive — Figure 3's forwarding across
+        // bar(). Everything else may be overwritten.
+        Facts.erase(std::remove_if(Facts.begin(), Facts.end(),
+                                   [this](const Fact &Fa) {
+                                     return Fa.Key.BaseKind !=
+                                                AddrKey::Base::Var ||
+                                            !Owned.count(Fa.Key.Name);
+                                   }),
+                    Facts.end());
+      } else {
+        Facts.clear();
+      }
+      return;
+
+    case Instr::Kind::If: {
+      FactSet ThenFacts = Facts;
+      FactSet ElseFacts = Facts;
+      processInstr(*I.Then, ThenFacts);
+      if (I.Else)
+        processInstr(*I.Else, ElseFacts);
+      Facts = intersect(ThenFacts, ElseFacts);
+      return;
+    }
+
+    case Instr::Kind::While: {
+      // The body is analyzed from an empty fact set (the back edge may
+      // bring any memory state), and contributes nothing after the loop
+      // (it may run zero times, or clobber what the preheader knew).
+      FactSet BodyFacts;
+      processInstr(*I.Body, BodyFacts);
+      Facts.clear();
+      return;
+    }
+    }
+  }
+
+private:
+  const FunctionDecl &F;
+  const RleOptions &Options;
+  const std::set<std::string> Owned;
+
+  bool typeMatches(const Fact &Fa, Type DstTy) const {
+    switch (Fa.ValKind) {
+    case Fact::Value::Var:
+      return Fa.Ty == DstTy;
+    case Fact::Value::Const:
+      return DstTy == Type::Int;
+    case Fact::Value::GlobalAddr:
+      return DstTy == Type::Ptr;
+    }
+    return false;
+  }
+
+  void rewriteLoad(Instr &I, const Fact &Fa) {
+    std::unique_ptr<Exp> Value;
+    switch (Fa.ValKind) {
+    case Fact::Value::Var:
+      Value = Exp::makeVar(Fa.Name, I.Loc);
+      break;
+    case Fact::Value::Const:
+      Value = Exp::makeIntLit(Fa.Literal, I.Loc);
+      break;
+    case Fact::Value::GlobalAddr:
+      Value = Exp::makeGlobal(Fa.Name, I.Loc);
+      break;
+    }
+    I.InstrKind = Instr::Kind::Assign;
+    I.Rhs = RExp::makePure(std::move(Value));
+    I.Addr.reset();
+    Changed = true;
+  }
+
+  std::optional<Fact> factForValue(const AddrKey &Key, const Exp &Val) const {
+    // The fact's key must not be invalidated by future redefinitions of
+    // the value register; that is handled in killUsing, so any register,
+    // literal, or global works here.
+    if (Val.ExpKind == Exp::Kind::IntLit)
+      return Fact{Key, Fact::Value::Const, "", Val.IntValue, Type::Int};
+    if (Val.ExpKind == Exp::Kind::Global)
+      return Fact{Key, Fact::Value::GlobalAddr, Val.Name, 0, Type::Ptr};
+    if (Val.ExpKind == Exp::Kind::Var) {
+      if (const VarDecl *D = F.findVariable(Val.Name))
+        return Fact{Key, Fact::Value::Var, Val.Name, 0, D->Ty};
+    }
+    return std::nullopt;
+  }
+
+  /// A (re)definition of \p Var invalidates facts whose key or value
+  /// mentions it.
+  static void killUsing(FactSet &Facts, const std::string &Var) {
+    Facts.erase(std::remove_if(Facts.begin(), Facts.end(),
+                               [&Var](const Fact &Fa) {
+                                 bool KeyUses =
+                                     Fa.Key.BaseKind == AddrKey::Base::Var &&
+                                     Fa.Key.Name == Var;
+                                 bool ValUses =
+                                     Fa.ValKind == Fact::Value::Var &&
+                                     Fa.Name == Var;
+                                 return KeyUses || ValUses;
+                               }),
+                Facts.end());
+  }
+
+  /// A write to \p Key (or to an unknown location) invalidates every fact
+  /// it may alias. An unknown pointer can never reach an owned block.
+  void killAliasing(FactSet &Facts, const std::optional<AddrKey> &Key) {
+    Facts.erase(std::remove_if(Facts.begin(), Facts.end(),
+                               [&](const Fact &Fa) {
+                                 if (Key)
+                                   return mayAlias(Fa.Key, *Key, Owned);
+                                 return Fa.Key.BaseKind !=
+                                            AddrKey::Base::Var ||
+                                        !Owned.count(Fa.Key.Name);
+                               }),
+                Facts.end());
+  }
+
+  static FactSet intersect(const FactSet &A, const FactSet &B) {
+    FactSet Out;
+    for (const Fact &Fa : A)
+      if (std::find(B.begin(), B.end(), Fa) != B.end())
+        Out.push_back(Fa);
+    return Out;
+  }
+};
+
+} // namespace
+
+bool RedundantLoadElimPass::runOnFunction(FunctionDecl &F, const Program &P) {
+  (void)P;
+  if (!F.Body)
+    return false;
+  LoadEliminator E(F, Options, ownedMallocPointers(F));
+  FactSet Facts;
+  E.processInstr(*F.Body, Facts);
+  return E.Changed;
+}

@@ -1,0 +1,56 @@
+//===- opt/RedundantLoadElim.h - Availability-based load removal -*- C++ -*-=//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward availability analysis over memory events: walking each function
+/// top-down, the pass tracks which locations (AddrKey) are known to hold a
+/// value already named by a register, a constant, or a global address, and
+/// rewrites loads of such locations into plain assignments.
+///
+/// The basic mode is valid under *all* models: between the fact's
+/// establishment (a store or load of the same location) and its use there is
+/// no possibly-aliasing store, free, call, or control-flow merge, so source
+/// and target read the same value — and replacing a load with a register
+/// copy can only remove a potential fault, which only shrinks the behavior
+/// set. The across-calls mode keeps facts about owned blocks
+/// (ownedMallocPointers) live across calls — the load-forwarding half of the
+/// paper's Figure 3 (constant propagation across bar()), valid under the
+/// logical-family models and invalid under the concrete model, where the
+/// callee's context can guess the block's address and overwrite it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_OPT_REDUNDANTLOADELIM_H
+#define QCM_OPT_REDUNDANTLOADELIM_H
+
+#include "opt/Pass.h"
+
+namespace qcm {
+
+/// Gates for the availability modes.
+struct RleOptions {
+  /// Keep facts about owned blocks across calls; valid under the
+  /// logical-family models only.
+  bool AcrossCalls = false;
+};
+
+/// The redundant load elimination pass.
+class RedundantLoadElimPass : public FunctionPass {
+public:
+  explicit RedundantLoadElimPass(RleOptions Options = {})
+      : Options(Options) {}
+
+  std::string name() const override { return "rle"; }
+  bool runOnFunction(FunctionDecl &F, const Program &P) override;
+
+private:
+  RleOptions Options;
+};
+
+} // namespace qcm
+
+#endif // QCM_OPT_REDUNDANTLOADELIM_H

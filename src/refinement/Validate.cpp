@@ -1,0 +1,130 @@
+//===- refinement/Validate.cpp --------------------------------------------===//
+
+#include "refinement/Validate.h"
+
+#include "refinement/Contexts.h"
+#include "support/Profiler.h"
+
+using namespace qcm;
+
+std::string qcm::shortModelName(ModelKind Model) {
+  switch (Model) {
+  case ModelKind::Concrete:
+    return "concrete";
+  case ModelKind::Logical:
+    return "logical";
+  case ModelKind::QuasiConcrete:
+    return "quasi";
+  case ModelKind::EagerQuasi:
+    return "eager";
+  }
+  return "unknown";
+}
+
+std::optional<ModelKind> qcm::modelFromShortName(const std::string &Name) {
+  if (Name == "concrete")
+    return ModelKind::Concrete;
+  if (Name == "logical")
+    return ModelKind::Logical;
+  if (Name == "quasi" || Name == "quasi-concrete")
+    return ModelKind::QuasiConcrete;
+  if (Name == "eager" || Name == "eager-quasi")
+    return ModelKind::EagerQuasi;
+  return std::nullopt;
+}
+
+std::vector<ContextVariant> qcm::standardAdversaryContexts(const Program &P) {
+  std::vector<ContextVariant> Out;
+  for (const FunctionDecl &F : P.Functions) {
+    if (!F.isExtern() || !F.Params.empty())
+      continue;
+    Out.push_back(ContextVariant::fromSource(
+        F.Name + ":marker", contexts::outputMarker(F.Name, 5000)));
+    Out.push_back(ContextVariant::fromSource(
+        F.Name + ":guess-write", contexts::addressGuesserWriter(F.Name, 1, 77)));
+    Out.push_back(ContextVariant::fromSource(
+        F.Name + ":exhaust", contexts::exhaustThenMark(F.Name, 4, 42)));
+  }
+  return Out;
+}
+
+std::string ValidationReport::failedModels() const {
+  std::string Out;
+  for (const ModelValidation &V : PerModel) {
+    if (V.Valid)
+      continue;
+    if (!Out.empty())
+      Out += ",";
+    Out += shortModelName(V.Model);
+  }
+  return Out;
+}
+
+std::string ValidationReport::toString() const {
+  std::string Out;
+  for (const ModelValidation &V : PerModel) {
+    Out += shortModelName(V.Model) + ": " + (V.Valid ? "valid" : "INVALID") +
+           " (" + std::to_string(V.Runs) + " runs)";
+    if (!V.Valid) {
+      Out += " context '" + V.ContextName + "'";
+      if (!V.Detail.empty())
+        Out += ": " + V.Detail;
+    }
+    Out += "\n";
+  }
+  Out += std::string("verdict: ") + (AllValid ? "valid" : "INVALID") + " (" +
+         std::to_string(TotalRuns) + " total runs)";
+  return Out;
+}
+
+ValidationReport qcm::validateTransformation(const Program &Src,
+                                             const Program &Tgt,
+                                             const std::vector<ModelKind> &Models,
+                                             const ValidationBudget &Budget) {
+  ValidationReport Report;
+  for (ModelKind Model : Models) {
+    prof::Span Span("validate:" + shortModelName(Model), "validate");
+
+    RefinementJob Job;
+    Job.Src = &Src;
+    Job.Tgt = &Tgt;
+    Job.BaseSrc.Model = Model;
+    Job.BaseSrc.MemConfig.AddressWords = Budget.AddressWords;
+    Job.BaseSrc.Interp.StepLimit = Budget.StepLimit;
+    Job.BaseTgt = Job.BaseSrc;
+    Job.Contexts.push_back(ContextVariant::empty());
+    if (Budget.Adversaries) {
+      std::vector<ContextVariant> Advs = standardAdversaryContexts(Src);
+      for (ContextVariant &C : Advs)
+        Job.Contexts.push_back(std::move(C));
+    }
+    Job.Oracles = sampledOracles(Budget.RandomOracles);
+    Job.InputTapes = Budget.InputTapes;
+    Job.Exec.Jobs = Budget.Jobs;
+    Job.Exec.FailFast = true;
+
+    RefinementReport R = checkRefinement(Job);
+    Span.arg("runs", R.RunsPerformed);
+
+    ModelValidation V;
+    V.Model = Model;
+    V.Valid = R.Refines;
+    V.Runs = R.RunsPerformed;
+    if (!R.Refines) {
+      for (const ContextReport &C : R.PerContext) {
+        if (C.Refines && C.InstantiationError.empty())
+          continue;
+        V.ContextName = C.ContextName;
+        V.Detail = !C.InstantiationError.empty()
+                       ? "context instantiation failed: " + C.InstantiationError
+                       : "target behavior not admitted by source: " +
+                             C.Counterexample.toString();
+        break;
+      }
+      Report.AllValid = false;
+    }
+    Report.TotalRuns += V.Runs;
+    Report.PerModel.push_back(std::move(V));
+  }
+  return Report;
+}

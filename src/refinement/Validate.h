@@ -1,0 +1,105 @@
+//===- refinement/Validate.h - Translation validation -----------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translation validation: one call that decides, by bounded exploration,
+/// whether a single program transformation is a behavioral refinement under
+/// each requested memory model. This is the seam between the optimizer and
+/// the refinement checker — qcm-opt hands every pass application (before
+/// program, after program) to validateTransformation and rejects the
+/// application if any requested model exhibits a counterexample.
+///
+/// The verdict inherits the refinement checker's asymmetry: a *failure* is
+/// sound (an explicit context/oracle/tape under which the target shows a
+/// behavior the source cannot), while a *pass* is evidence by exploration
+/// within the budget, not a proof — the sound counterpart for validity is
+/// the SimulationChecker with authored invariants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_REFINEMENT_VALIDATE_H
+#define QCM_REFINEMENT_VALIDATE_H
+
+#include "refinement/RefinementChecker.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// How much exploration one validation may spend. The defaults keep a
+/// per-application check in the low milliseconds on the generator's
+/// programs while still covering the classic attack surfaces (address
+/// guessing, exhaustion, input variation).
+struct ValidationBudget {
+  /// Concrete address space per run; small spaces make exhaustion and
+  /// address-guessing contexts bite quickly.
+  uint64_t AddressWords = 1ull << 10;
+  /// Interpreter fuel per run.
+  uint64_t StepLimit = 100'000;
+  /// Seeded random placement oracles, in addition to first-fit/last-fit.
+  unsigned RandomOracles = 2;
+  /// Input tapes to vary input() events over.
+  std::vector<std::vector<Word>> InputTapes = {{}, {5, 7, 9}};
+  /// Quantify over the standard adversary battery for every parameterless
+  /// extern (standardAdversaryContexts) in addition to the empty context.
+  bool Adversaries = true;
+  /// Worker threads for the underlying exploration grids.
+  unsigned Jobs = 1;
+};
+
+/// Verdict for one model.
+struct ModelValidation {
+  ModelKind Model = ModelKind::QuasiConcrete;
+  bool Valid = true;
+  /// Executions the model's grid performed.
+  uint64_t Runs = 0;
+  /// When !Valid: the refuting context and a rendering of the
+  /// counterexample behavior (or the instantiation error).
+  std::string ContextName;
+  std::string Detail;
+};
+
+/// Verdict over all requested models.
+struct ValidationReport {
+  bool AllValid = true;
+  std::vector<ModelValidation> PerModel;
+  uint64_t TotalRuns = 0;
+
+  /// The failing models' names, comma-separated ("" when AllValid).
+  std::string failedModels() const;
+  std::string toString() const;
+};
+
+/// Checks that \p Tgt refines \p Src under every model in \p Models, each
+/// within \p Budget. Context quantification per model: the empty context
+/// plus (when Budget.Adversaries) the standard adversary battery over
+/// \p Src's externs. Emits one "validate:<model>" profiler span per model.
+ValidationReport validateTransformation(const Program &Src,
+                                        const Program &Tgt,
+                                        const std::vector<ModelKind> &Models,
+                                        const ValidationBudget &Budget = {});
+
+/// The standard adversary battery qcm-check quantifies over: for every
+/// parameterless extern F of \p P, a marker-printing context (does calling
+/// F at all change observable order?), an address-guessing writer (the
+/// Section 1 concrete-model attack), and an exhaust-then-mark context
+/// (resource-exhaustion observations). Parameterful externs are skipped —
+/// the battery's bodies take no arguments.
+std::vector<ContextVariant> standardAdversaryContexts(const Program &P);
+
+/// The CLI-stable short name for a model: "concrete", "logical", "quasi",
+/// "eager" (modelKindName() is the prose name; this one is for flags,
+/// metrics documents, and span labels). modelFromShortName also accepts
+/// the prose aliases "quasi-concrete" and "eager-quasi".
+std::string shortModelName(ModelKind Model);
+std::optional<ModelKind> modelFromShortName(const std::string &Name);
+
+} // namespace qcm
+
+#endif // QCM_REFINEMENT_VALIDATE_H

@@ -1,0 +1,83 @@
+//===- support/DeltaReduce.h - Line-granular delta reduction ----*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy ddmin over lines of text. Originally grown inside the chaos
+/// fuzzer; promoted here so the translation-validation pipeline can minimize
+/// the failing input of a rejected pass application with the same reducer
+/// the tests use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_SUPPORT_DELTAREDUCE_H
+#define QCM_SUPPORT_DELTAREDUCE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// Line-granular delta reduction (greedy ddmin): repeatedly removes chunks
+/// of lines, keeping a removal whenever \p StillFails accepts the shrunken
+/// source. The predicate owns all validity checking — it must return false
+/// for sources that no longer compile or no longer exhibit the failure.
+/// Deterministic; at most \p MaxChecks predicate calls, so a slow predicate
+/// cannot stall a caller.
+inline std::string
+minimizeLines(std::string Source,
+              const std::function<bool(const std::string &)> &StillFails,
+              unsigned MaxChecks = 2000) {
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos < Source.size()) {
+    size_t Eol = Source.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Source.size() - 1;
+    Lines.push_back(Source.substr(Pos, Eol - Pos + 1));
+    Pos = Eol + 1;
+  }
+
+  auto Join = [](const std::vector<std::string> &Ls) {
+    std::string S;
+    for (const std::string &L : Ls)
+      S += L;
+    return S;
+  };
+
+  unsigned Checks = 0;
+  for (size_t Chunk = Lines.size() / 2; Chunk >= 1; Chunk /= 2) {
+    bool Removed = true;
+    while (Removed && Checks < MaxChecks) {
+      Removed = false;
+      for (size_t Start = 0;
+           Start + Chunk <= Lines.size() && Checks < MaxChecks;) {
+        std::vector<std::string> Candidate;
+        Candidate.reserve(Lines.size() - Chunk);
+        Candidate.insert(Candidate.end(), Lines.begin(), Lines.begin() + Start);
+        Candidate.insert(Candidate.end(), Lines.begin() + Start + Chunk,
+                         Lines.end());
+        ++Checks;
+        if (StillFails(Join(Candidate))) {
+          Lines = std::move(Candidate);
+          Removed = true;
+          // Do not advance: the lines that slid into [Start, Start+Chunk)
+          // get their shot immediately.
+        } else {
+          ++Start;
+        }
+      }
+    }
+    if (Chunk == 1)
+      break;
+  }
+  return Join(Lines);
+}
+
+} // namespace qcm
+
+#endif // QCM_SUPPORT_DELTAREDUCE_H

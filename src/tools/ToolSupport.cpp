@@ -100,11 +100,13 @@ std::string qcm_tools::metricsAggregateJson(const RefinementReport &Report) {
   return O.str();
 }
 
-std::string qcm_tools::renderMetricsDocument(const RefinementReport &Report,
-                                             const std::string &Tool) {
+std::string qcm_tools::metricsProcessJson() {
   JsonObject Process;
   Process.field("peak_rss_bytes", prof::peakRssBytes());
+  return Process.str();
+}
 
+std::string qcm_tools::metricsProfileJson() {
   JsonObject Profile;
   Profile.fieldBool("enabled", prof::enabled());
   Profile.field("spans", prof::spanCount());
@@ -116,14 +118,18 @@ std::string qcm_tools::renderMetricsDocument(const RefinementReport &Report,
   for (const auto &[Name, Value] : prof::counters())
     CounterObj.field(Name, Value);
   Profile.fieldRaw("counters", CounterObj.str());
+  return Profile.str();
+}
 
+std::string qcm_tools::renderMetricsDocument(const RefinementReport &Report,
+                                             const std::string &Tool) {
   JsonObject Doc;
   Doc.field("schema", "qcm-metrics-1");
   Doc.field("tool", Tool);
   Doc.fieldRaw("aggregate", metricsAggregateJson(Report));
   Doc.fieldRaw("pool", Report.Pool.toJson());
-  Doc.fieldRaw("process", Process.str());
-  Doc.fieldRaw("profile", Profile.str());
+  Doc.fieldRaw("process", metricsProcessJson());
+  Doc.fieldRaw("profile", metricsProfileJson());
   return Doc.str();
 }
 

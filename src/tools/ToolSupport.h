@@ -80,6 +80,14 @@ std::string renderStats(const qcm::ModelStats &Stats,
 /// --jobs level (covered by exploration_test).
 std::string metricsAggregateJson(const qcm::RefinementReport &Report);
 
+/// The tool-independent sections every "qcm-metrics-1" document shares:
+/// process facts (peak RSS) and the span-profiler summary (enabled flag,
+/// span count, per-category histograms, counters — zero/empty when
+/// profiling is off or compiled out). Both qcm-check's and qcm-opt's
+/// metrics documents embed these verbatim.
+std::string metricsProcessJson();
+std::string metricsProfileJson();
+
 /// The full --metrics-out document (schema "qcm-metrics-1"): the aggregate
 /// object above, the nondeterministic pool-timing section
 /// (PoolMetrics::toJson), process facts (peak RSS), and a summary of the

@@ -1,0 +1,179 @@
+//===- tools/ValidatedOpt.cpp ---------------------------------------------===//
+
+#include "tools/ValidatedOpt.h"
+
+#include "lang/Parser.h"
+#include "lang/PrettyPrint.h"
+#include "lang/TypeCheck.h"
+#include "support/DeltaReduce.h"
+#include "support/Profiler.h"
+#include "support/Telemetry.h"
+#include "tools/ToolSupport.h"
+
+using namespace qcm;
+using namespace qcm_tools;
+
+namespace {
+
+/// Parses and type checks \p Source; nullopt when it is not a program.
+std::optional<Program> compileText(const std::string &Source) {
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog = parseProgram(Source, Diags);
+  if (!Prog || Diags.hasErrors())
+    return std::nullopt;
+  if (!typeCheck(*Prog, Diags) || Diags.hasErrors())
+    return std::nullopt;
+  return Prog;
+}
+
+/// Runs a fresh instance of pass \p PassName once over every defined
+/// function of \p P; returns whether anything changed.
+bool applyPassOnce(const std::string &PassName,
+                   const PassFactoryOptions &Factory, Program &P) {
+  const PassInfo *Info = findPass(PassName);
+  if (!Info)
+    return false;
+  std::unique_ptr<FunctionPass> Pass = Info->Make(Factory);
+  bool Changed = false;
+  for (FunctionDecl &F : P.Functions)
+    if (!F.isExtern())
+      Changed |= Pass->runOnFunction(F, P);
+  return Changed;
+}
+
+/// True when applying \p PassName to the program denoted by \p Source still
+/// yields a transformation that fails validation under \p Models — the
+/// delta-reduction predicate. Deliberately strict: candidates that fail to
+/// compile, or on which the pass fires without effect, do not count.
+bool passStillInvalid(const std::string &Source, const std::string &PassName,
+                      const PassFactoryOptions &Factory,
+                      const std::vector<ModelKind> &Models,
+                      const ValidationBudget &Budget) {
+  std::optional<Program> Before = compileText(Source);
+  if (!Before)
+    return false;
+  Program After = Before->clone();
+  if (!applyPassOnce(PassName, Factory, After))
+    return false;
+  return !validateTransformation(*Before, After, Models, Budget).AllValid;
+}
+
+} // namespace
+
+std::optional<ValidatedOptResult>
+qcm_tools::runValidatedPipeline(Program &Prog, const ValidatedOptOptions &Opts,
+                                std::string &Error) {
+  std::optional<PassPipeline> Pipeline = buildPipeline(
+      Opts.Spec, Opts.Factory, Error, Opts.DefaultFixIterations);
+  if (!Pipeline)
+    return std::nullopt;
+
+  ValidatedOptResult Result;
+  std::vector<ModelKind> FailedModels;
+
+  PassValidator Validator;
+  if (!Opts.Models.empty()) {
+    Validator = [&](const Program &Before, const Program &After,
+                    const PassApplication &App)
+        -> std::optional<std::string> {
+      std::vector<ModelKind> Check;
+      for (ModelKind M : Opts.Models) {
+        if (passClaimsValidity(App.Pass, M, Opts.Factory))
+          Check.push_back(M);
+        else
+          ++Result.SkippedModelChecks;
+      }
+      if (Check.empty())
+        return std::nullopt;
+      ++Result.ValidatedApplications;
+      ValidationReport R =
+          validateTransformation(Before, After, Check, Opts.Budget);
+      Result.ValidationRuns += R.TotalRuns;
+      if (R.AllValid)
+        return std::nullopt;
+
+      // Capture the failure before the pipeline rolls the program back.
+      for (const ModelValidation &V : R.PerModel)
+        if (!V.Valid)
+          FailedModels.push_back(V.Model);
+      Result.FailedModels = R.failedModels();
+      Result.FailingInput = printProgram(Before);
+      for (const ModelValidation &V : R.PerModel)
+        if (!V.Valid)
+          return "under model '" + shortModelName(V.Model) + "', context '" +
+                 V.ContextName + "': " + V.Detail;
+      return std::string("validation failed");
+    };
+  }
+
+  Result.Pipeline = Pipeline->run(Prog, Validator);
+
+  if (Result.Pipeline.Failed && Opts.Minimize && !FailedModels.empty()) {
+    prof::Span Span("minimize", "validate");
+    const std::string Pass = Result.Pipeline.Failed->Pass;
+    auto StillFails = [&](const std::string &Candidate) {
+      return passStillInvalid(Candidate, Pass, Opts.Factory, FailedModels,
+                              Opts.Budget);
+    };
+    // The pretty-printed snapshot reproduces by construction; minimize only
+    // if the round trip agrees (a strict predicate keeps ddmin honest).
+    if (StillFails(Result.FailingInput))
+      Result.MinimizedInput = minimizeLines(Result.FailingInput, StillFails);
+  }
+
+  return Result;
+}
+
+std::string
+qcm_tools::renderOptMetricsDocument(const ValidatedOptResult &Result,
+                                    const ValidatedOptOptions &Opts) {
+  const PipelineResult &PR = Result.Pipeline;
+
+  JsonObject PipelineObj;
+  PipelineObj.field("spec", Opts.Spec.toString());
+  PipelineObj.fieldBool("changed", PR.Changed);
+  PipelineObj.field("applications", static_cast<uint64_t>(PR.Applications.size()));
+  PipelineObj.fieldBool("iteration_bound_hit", PR.HitIterationBound);
+  PipelineObj.field("validated_applications", Result.ValidatedApplications);
+  PipelineObj.field("skipped_model_checks", Result.SkippedModelChecks);
+  PipelineObj.fieldBool("failed", PR.Failed.has_value());
+  if (PR.Failed) {
+    PipelineObj.field("failed_pass", PR.Failed->Pass);
+    PipelineObj.field("failed_element", static_cast<uint64_t>(PR.Failed->Element));
+    PipelineObj.field("failed_iteration",
+                      static_cast<uint64_t>(PR.Failed->Iteration));
+    PipelineObj.field("failed_models", Result.FailedModels);
+  }
+
+  std::vector<std::string> PassRows;
+  for (const PassMetrics &M : PR.Metrics)
+    PassRows.push_back(M.toJson());
+
+  JsonObject Validation;
+  std::vector<std::string> Requested;
+  for (ModelKind M : Opts.Models)
+    Requested.push_back("\"" + jsonEscape(shortModelName(M)) + "\"");
+  Validation.fieldRaw("requested", jsonArray(Requested));
+  Validation.field("verdict", Opts.Models.empty() ? "off"
+                              : PR.Failed        ? "fail"
+                                                 : "ok");
+  Validation.field("runs", Result.ValidationRuns);
+
+  JsonObject Doc;
+  Doc.field("schema", "qcm-metrics-1");
+  Doc.field("tool", "qcm-opt");
+  Doc.fieldRaw("pipeline", PipelineObj.str());
+  Doc.fieldRaw("passes", jsonArray(PassRows));
+  Doc.fieldRaw("validation", Validation.str());
+  Doc.fieldRaw("process", metricsProcessJson());
+  Doc.fieldRaw("profile", metricsProfileJson());
+  return Doc.str();
+}
+
+bool qcm_tools::writeOptMetricsJson(const std::string &Path,
+                                    const ValidatedOptResult &Result,
+                                    const ValidatedOptOptions &Opts,
+                                    std::string &Error) {
+  return writeTextFile(Path, renderOptMetricsDocument(Result, Opts) + "\n",
+                       Error);
+}

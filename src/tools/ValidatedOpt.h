@@ -1,0 +1,94 @@
+//===- tools/ValidatedOpt.h - Translation-validated pipelines ---*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The glue that makes qcm-opt a translation-validated optimizer: build a
+/// pipeline from a PipelineSpec, run it with a validator that hands every
+/// pass application to refinement/Validate.h under the requested models,
+/// and on rejection capture the provenance (pass, element, iteration,
+/// functions), the refuting model/context/counterexample, and a
+/// delta-reduced reproducer of the program the pass mis-transformed.
+///
+/// Model filtering happens here: an application is checked only under the
+/// models its pass *claims* validity for (PassInfo::ValidUnder). Requested
+/// models a pass does not claim are counted as skipped, not failed — `dae`
+/// under --validate=concrete is the paper's own counterexample, not a
+/// compiler bug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_TOOLS_VALIDATEDOPT_H
+#define QCM_TOOLS_VALIDATEDOPT_H
+
+#include "opt/PipelineSpec.h"
+#include "refinement/Validate.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qcm_tools {
+
+/// What to run and how hard to check it.
+struct ValidatedOptOptions {
+  qcm::PipelineSpec Spec;
+  qcm::PassFactoryOptions Factory;
+  /// Bound for plain fix(...) groups (the --iterations flag).
+  unsigned DefaultFixIterations = 8;
+  /// Models to validate every application under; empty = no validation.
+  std::vector<qcm::ModelKind> Models;
+  qcm::ValidationBudget Budget;
+  /// Delta-reduce a failing application's input program to a minimal
+  /// reproducer (costs extra validation runs on failure only).
+  bool Minimize = true;
+};
+
+/// Everything the tool reports afterwards.
+struct ValidatedOptResult {
+  qcm::PipelineResult Pipeline;
+  /// Applications that changed the program and were checked.
+  uint64_t ValidatedApplications = 0;
+  /// Requested model x application combinations skipped because the pass
+  /// does not claim validity under that model.
+  uint64_t SkippedModelChecks = 0;
+  /// Executions spent across all validations.
+  uint64_t ValidationRuns = 0;
+
+  /// Failure capture, meaningful when Pipeline.Failed is set.
+  std::string FailedModels; ///< comma-separated short names
+  /// The program the failing pass was handed (pretty-printed), and its
+  /// delta-reduced minimal version that still makes the pass produce an
+  /// invalid transformation ("" when minimization is off).
+  std::string FailingInput;
+  std::string MinimizedInput;
+};
+
+/// Builds the pipeline from \p Opts.Spec and runs it over \p Prog,
+/// validating as configured. Returns nullopt with \p Error on a build
+/// failure (unknown pass name — the caller's usage error, exit 2). A
+/// *validation* failure is not an error here: it is reported through
+/// Result.Pipeline.Failed and the failure fields.
+std::optional<ValidatedOptResult> runValidatedPipeline(
+    qcm::Program &Prog, const ValidatedOptOptions &Opts, std::string &Error);
+
+/// The qcm-opt --metrics-out document (schema "qcm-metrics-1", tool
+/// "qcm-opt"): a "pipeline" section (spec, application counts, validation
+/// tallies, failure provenance), per-pass metrics rows, a "validation"
+/// section (requested models, verdict, runs), and the shared
+/// process/profile sections.
+std::string renderOptMetricsDocument(const ValidatedOptResult &Result,
+                                     const ValidatedOptOptions &Opts);
+
+/// Writes renderOptMetricsDocument() to \p Path; false with \p Error on
+/// failure.
+bool writeOptMetricsJson(const std::string &Path,
+                         const ValidatedOptResult &Result,
+                         const ValidatedOptOptions &Opts, std::string &Error);
+
+} // namespace qcm_tools
+
+#endif // QCM_TOOLS_VALIDATEDOPT_H

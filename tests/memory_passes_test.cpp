@@ -1,0 +1,439 @@
+//===- tests/memory_passes_test.cpp - DSE and RLE ------------------------===//
+//
+// Unit tests for the liveness-driven memory passes: dead store elimination
+// (backward liveness over memory events, with the owned-block trailing-
+// store and free-derived rules) and redundant load elimination (forward
+// availability with store-to-load and load-to-load forwarding). Each
+// pass's sharper mode is exercised against its conservative one, and spot
+// checks confirm the transformations validate as refinements under the
+// models they claim.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Vm.h"
+#include "lang/PrettyPrint.h"
+#include "opt/DeadStoreElim.h"
+#include "opt/MemoryLiveness.h"
+#include "opt/RedundantLoadElim.h"
+#include "refinement/Validate.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+Program compile(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  if (!P) {
+    ADD_FAILURE() << V.lastDiagnostics();
+    return Program{};
+  }
+  return std::move(*P);
+}
+
+std::string afterPass(FunctionPass &&Pass, const std::string &Source) {
+  Program P = compile(Source);
+  for (FunctionDecl &F : P.Functions)
+    if (!F.isExtern())
+      Pass.runOnFunction(F, P);
+  return printProgram(P);
+}
+
+std::string afterDse(const std::string &Source, DseOptions Options = {}) {
+  return afterPass(DeadStoreElimPass(Options), Source);
+}
+
+std::string afterRle(const std::string &Source, RleOptions Options = {}) {
+  return afterPass(RedundantLoadElimPass(Options), Source);
+}
+
+DseOptions localDse() {
+  DseOptions O;
+  O.OwnedBlocks = false;
+  return O;
+}
+
+RleOptions ownRle() {
+  RleOptions O;
+  O.AcrossCalls = true;
+  return O;
+}
+
+/// Validates Pass(Source) as a refinement of Source under \p Models.
+ValidationReport validatePass(FunctionPass &&Pass, const std::string &Source,
+                              const std::vector<ModelKind> &Models) {
+  Program Before = compile(Source);
+  Program After = Before.clone();
+  bool Changed = false;
+  for (FunctionDecl &F : After.Functions)
+    if (!F.isExtern())
+      Changed |= Pass.runOnFunction(F, After);
+  EXPECT_TRUE(Changed) << "pass did not fire on:\n" << Source;
+  return validateTransformation(Before, After, Models);
+}
+
+const std::vector<ModelKind> AllModels = {
+    ModelKind::Concrete, ModelKind::Logical, ModelKind::QuasiConcrete,
+    ModelKind::EagerQuasi};
+const std::vector<ModelKind> LogicalFamily = {
+    ModelKind::Logical, ModelKind::QuasiConcrete, ModelKind::EagerQuasi};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// AddrKey / aliasing
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryLiveness, OwnedPointersAreMallocedAndNeverEscape) {
+  Program P = compile(R"(
+extern sink(ptr x);
+
+main() {
+  var ptr p, ptr q, ptr r, int a;
+  p = malloc(1);
+  q = malloc(1);
+  r = malloc(1);
+  *p = 1;
+  sink(q);
+  a = (int) r;
+  output(a);
+}
+)");
+  const FunctionDecl *Main = P.findFunction("main");
+  ASSERT_NE(Main, nullptr);
+  std::set<std::string> Owned = ownedMallocPointers(*Main);
+  EXPECT_EQ(Owned.count("p"), 1u); // only used as a store address
+  EXPECT_EQ(Owned.count("q"), 0u); // escapes into sink()
+  EXPECT_EQ(Owned.count("r"), 0u); // its address is observed by a cast
+}
+
+//===----------------------------------------------------------------------===//
+// Dead store elimination
+//===----------------------------------------------------------------------===//
+
+TEST(DeadStoreElim, RemovesShadowedStores) {
+  std::string Out = afterDse(R"(
+main() {
+  var ptr p, int r;
+  p = malloc(1);
+  *p = 1;
+  *p = 2;
+  r = *p;
+  output(r);
+}
+)",
+                             localDse());
+  EXPECT_EQ(Out.find("*p = 1;"), std::string::npos);
+  EXPECT_NE(Out.find("*p = 2;"), std::string::npos);
+}
+
+TEST(DeadStoreElim, KeepsStoresThatAreReadFirst) {
+  std::string Out = afterDse(R"(
+main() {
+  var ptr p, int r;
+  p = malloc(1);
+  *p = 1;
+  r = *p;
+  *p = 2;
+  output(r);
+}
+)");
+  EXPECT_NE(Out.find("*p = 1;"), std::string::npos);
+}
+
+TEST(DeadStoreElim, RemovesStoresBeforeFree) {
+  // Valid under every model: after free(p) any access through p faults in
+  // both programs, so the stored value is unobservable.
+  std::string Out = afterDse(R"(
+main() {
+  var ptr p;
+  p = malloc(1);
+  *p = 7;
+  free(p);
+  output(1);
+}
+)",
+                             localDse());
+  EXPECT_EQ(Out.find("*p = 7;"), std::string::npos);
+  EXPECT_NE(Out.find("free(p);"), std::string::npos);
+}
+
+TEST(DeadStoreElim, RemovesTrailingStoresToOwnedBlocksOnly) {
+  const std::string Source = R"(
+main() {
+  var ptr p;
+  p = malloc(1);
+  *p = 5;
+  output(3);
+}
+)";
+  // Owned mode: nothing can read the block after the function ends — the
+  // pointer never escaped.
+  EXPECT_EQ(afterDse(Source).find("*p = 5;"), std::string::npos);
+  // The conservative mode keeps it.
+  EXPECT_NE(afterDse(Source, localDse()).find("*p = 5;"), std::string::npos);
+}
+
+TEST(DeadStoreElim, KeepsTrailingStoresToEscapedBlocks) {
+  std::string Out = afterDse(R"(
+extern sink(ptr x);
+
+main() {
+  var ptr p;
+  p = malloc(1);
+  sink(p);
+  *p = 5;
+  output(3);
+}
+)");
+  EXPECT_NE(Out.find("*p = 5;"), std::string::npos);
+}
+
+TEST(DeadStoreElim, OwnedStoresStayDeadAcrossCalls) {
+  // The paper's ownership argument: the context cannot reach p's block, so
+  // the first store is dead even across bar(). Only the owned mode may use
+  // that argument.
+  const std::string Source = R"(
+extern bar();
+
+main() {
+  var ptr p, int r;
+  p = malloc(1);
+  *p = 1;
+  bar();
+  *p = 2;
+  r = *p;
+  output(r);
+}
+)";
+  EXPECT_EQ(afterDse(Source).find("*p = 1;"), std::string::npos);
+  EXPECT_NE(afterDse(Source, localDse()).find("*p = 1;"), std::string::npos);
+}
+
+TEST(DeadStoreElim, CallsBlockUnownedDeadness) {
+  std::string Out = afterDse(R"(
+extern sink(ptr x);
+extern bar();
+
+main() {
+  var ptr p;
+  p = malloc(1);
+  sink(p);
+  *p = 1;
+  bar();
+  *p = 2;
+  output(9);
+}
+)");
+  // p escaped, so bar() may read it: the first store is live.
+  EXPECT_NE(Out.find("*p = 1;"), std::string::npos);
+}
+
+TEST(DeadStoreElim, BranchesIntersectDeadness) {
+  std::string Out = afterDse(R"(
+main() {
+  var ptr p, int c, int r;
+  p = malloc(1);
+  c = input();
+  *p = 1;
+  if (c) {
+    r = *p;
+    output(r);
+  } else {
+    output(0);
+  }
+  *p = 2;
+  free(p);
+}
+)",
+                             localDse());
+  // Dead on the else path only — must stay.
+  EXPECT_NE(Out.find("*p = 1;"), std::string::npos);
+}
+
+TEST(DeadStoreElim, ValidatesUnderClaimedModels) {
+  const std::string Shadowed = R"(
+main() {
+  var ptr p, int r;
+  p = malloc(1);
+  *p = 1;
+  *p = 2;
+  r = *p;
+  output(r);
+}
+)";
+  EXPECT_TRUE(
+      validatePass(DeadStoreElimPass(localDse()), Shadowed, AllModels)
+          .AllValid);
+
+  const std::string AcrossCall = R"(
+extern bar();
+
+main() {
+  var ptr p, int r;
+  p = malloc(1);
+  *p = 1;
+  bar();
+  *p = 2;
+  r = *p;
+  output(r);
+}
+)";
+  EXPECT_TRUE(validatePass(DeadStoreElimPass(), AcrossCall, LogicalFamily)
+                  .AllValid);
+}
+
+//===----------------------------------------------------------------------===//
+// Redundant load elimination
+//===----------------------------------------------------------------------===//
+
+TEST(RedundantLoadElim, ForwardsStoredConstants) {
+  std::string Out = afterRle(R"(
+main() {
+  var ptr p, int r;
+  p = malloc(1);
+  *p = 5;
+  r = *p;
+  output(r);
+}
+)");
+  EXPECT_NE(Out.find("r = 5;"), std::string::npos);
+  EXPECT_EQ(Out.find("r = *p;"), std::string::npos);
+}
+
+TEST(RedundantLoadElim, ForwardsBetweenLoads) {
+  // The stored value is compound, so no store-to-load fact is recorded;
+  // the first load itself becomes the availability fact for the second.
+  std::string Out = afterRle(R"(
+main() {
+  var ptr p, int a, int b;
+  p = malloc(1);
+  a = input();
+  *p = a + 1;
+  a = *p;
+  b = *p;
+  output(b);
+}
+)");
+  EXPECT_NE(Out.find("a = *p;"), std::string::npos);
+  EXPECT_NE(Out.find("b = a;"), std::string::npos);
+}
+
+TEST(RedundantLoadElim, OwnedBlocksDoNotAliasEachOther) {
+  std::string Out = afterRle(R"(
+main() {
+  var ptr p, ptr q, int r;
+  p = malloc(1);
+  q = malloc(1);
+  *p = 5;
+  *q = 9;
+  r = *p;
+  output(r);
+}
+)");
+  EXPECT_NE(Out.find("r = 5;"), std::string::npos);
+}
+
+TEST(RedundantLoadElim, GlobalOffsetsAreDistinctLocations) {
+  std::string Out = afterRle(R"(
+global g[2];
+
+main() {
+  var int r;
+  *g = 5;
+  *(g + 1) = 9;
+  r = *g;
+  output(r);
+}
+)");
+  EXPECT_NE(Out.find("r = 5;"), std::string::npos);
+}
+
+TEST(RedundantLoadElim, CallsClearFactsByDefault) {
+  const std::string Source = R"(
+extern bar();
+
+main() {
+  var ptr p, int r;
+  p = malloc(1);
+  *p = 5;
+  bar();
+  r = *p;
+  output(r);
+}
+)";
+  // Default mode: bar() may have overwritten anything reachable.
+  EXPECT_NE(afterRle(Source).find("r = *p;"), std::string::npos);
+  // Owned mode: the context cannot reach p's block (Figure 3).
+  EXPECT_NE(afterRle(Source, ownRle()).find("r = 5;"), std::string::npos);
+}
+
+TEST(RedundantLoadElim, EscapedBlocksLoseFactsAcrossCalls) {
+  std::string Out = afterRle(R"(
+extern sink(ptr x);
+
+main() {
+  var ptr p, int r;
+  p = malloc(1);
+  sink(p);
+  *p = 5;
+  sink(p);
+  r = *p;
+  output(r);
+}
+)",
+                             ownRle());
+  EXPECT_NE(Out.find("r = *p;"), std::string::npos);
+}
+
+TEST(RedundantLoadElim, LoopBodiesStartWithoutFacts) {
+  std::string Out = afterRle(R"(
+main() {
+  var ptr p, int i, int r;
+  p = malloc(1);
+  *p = 5;
+  i = 2;
+  while (i) {
+    r = *p;
+    output(r);
+    *p = r + 1;
+    i = i - 1;
+  }
+  output(0);
+}
+)");
+  // The back edge may bring a different memory state: the load stays.
+  EXPECT_NE(Out.find("r = *p;"), std::string::npos);
+}
+
+TEST(RedundantLoadElim, ValidatesUnderClaimedModels) {
+  const std::string Local = R"(
+main() {
+  var ptr p, int r;
+  p = malloc(1);
+  *p = 5;
+  r = *p;
+  output(r);
+}
+)";
+  EXPECT_TRUE(
+      validatePass(RedundantLoadElimPass(), Local, AllModels).AllValid);
+
+  const std::string AcrossCall = R"(
+extern bar();
+
+main() {
+  var ptr p, int r;
+  p = malloc(1);
+  *p = 5;
+  bar();
+  r = *p;
+  output(r);
+}
+)";
+  EXPECT_TRUE(
+      validatePass(RedundantLoadElimPass(ownRle()), AcrossCall, LogicalFamily)
+          .AllValid);
+}

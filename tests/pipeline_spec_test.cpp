@@ -1,0 +1,322 @@
+//===- tests/pipeline_spec_test.cpp - Pipeline specs and executor ---------===//
+//
+// Covers the declarative pipeline layer: spec parse/print round trips,
+// registry lookups with did-you-mean suggestions, seeded random pipelines,
+// and the PassPipeline executor's fixpoint semantics — iteration bounds
+// actually bound, metrics accumulate across iterations, an always-changing
+// pass terminates with the bound reported, and a validator rejection rolls
+// the program back to the pre-application snapshot.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Vm.h"
+#include "lang/PrettyPrint.h"
+#include "opt/ConstProp.h"
+#include "opt/PipelineSpec.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+Program compile(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  if (!P) {
+    ADD_FAILURE() << V.lastDiagnostics();
+    return Program{};
+  }
+  return std::move(*P);
+}
+
+std::string roundTrip(const std::string &Text) {
+  std::string Error;
+  std::optional<PipelineSpec> Spec = PipelineSpec::parse(Text, Error);
+  if (!Spec) {
+    ADD_FAILURE() << "parse failed: " << Error;
+    return "";
+  }
+  return Spec->toString();
+}
+
+std::string parseError(const std::string &Text) {
+  std::string Error;
+  if (PipelineSpec::parse(Text, Error))
+    ADD_FAILURE() << "expected parse of '" << Text << "' to fail";
+  return Error;
+}
+
+/// A pass that always reports a change: the executor's worst case.
+class AlwaysChangingPass : public FunctionPass {
+public:
+  unsigned Calls = 0;
+  std::string name() const override { return "always"; }
+  bool runOnFunction(FunctionDecl &, const Program &) override {
+    ++Calls;
+    return true;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Spec grammar
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineSpecGrammar, RoundTripsPlainSequences) {
+  EXPECT_EQ(roundTrip("ownership"), "ownership");
+  EXPECT_EQ(roundTrip("ownership,constprop,dce"), "ownership,constprop,dce");
+}
+
+TEST(PipelineSpecGrammar, RoundTripsFixGroups) {
+  EXPECT_EQ(roundTrip("ownership,fix(arith,dce)"), "ownership,fix(arith,dce)");
+  EXPECT_EQ(roundTrip("fix:4(arith,dce)"), "fix:4(arith,dce)");
+  EXPECT_EQ(roundTrip("fix(arith,fix:2(dce,constprop))"),
+            "fix(arith,fix:2(dce,constprop))");
+}
+
+TEST(PipelineSpecGrammar, NormalizesWhitespace) {
+  EXPECT_EQ(roundTrip("  ownership ,  fix( arith , dce ) "),
+            "ownership,fix(arith,dce)");
+}
+
+TEST(PipelineSpecGrammar, RejectsMalformedSpecs) {
+  EXPECT_NE(parseError("").find("empty pipeline spec"), std::string::npos);
+  EXPECT_NE(parseError("fix(").find("expected a pass name"),
+            std::string::npos);
+  EXPECT_NE(parseError("fix(dce").find("unterminated"), std::string::npos);
+  EXPECT_NE(parseError("a,,b").find("expected a pass name"),
+            std::string::npos);
+  EXPECT_NE(parseError("dce)").find("unexpected ')'"), std::string::npos);
+  EXPECT_NE(parseError("fix:x(dce)").find("iteration count"),
+            std::string::npos);
+  EXPECT_NE(parseError("fix:0(dce)").find("fix:0"), std::string::npos);
+  EXPECT_NE(parseError("a b").find("expected ','"), std::string::npos);
+}
+
+TEST(PipelineSpecGrammar, DefaultSpecIsTheLegacyPipeline) {
+  EXPECT_EQ(PipelineSpec::defaultSpec().toString(),
+            "fix(ownership,constprop,arith,dce)");
+}
+
+TEST(PipelineSpecGrammar, RandomSpecsAreDeterministicAndBuildable) {
+  for (uint64_t Seed : {1u, 2u, 17u, 999u}) {
+    PipelineSpec A = PipelineSpec::random(Seed);
+    PipelineSpec B = PipelineSpec::random(Seed);
+    EXPECT_EQ(A.toString(), B.toString());
+    EXPECT_FALSE(A.empty());
+    // Round-trippable and free of hidden/unknown passes.
+    EXPECT_EQ(roundTrip(A.toString()), A.toString());
+    std::string Error;
+    PassFactoryOptions Opts;
+    EXPECT_TRUE(buildPipeline(A, Opts, Error).has_value())
+        << A.toString() << ": " << Error;
+    EXPECT_EQ(A.toString().find("bug-dse"), std::string::npos);
+  }
+  EXPECT_NE(PipelineSpec::random(1).toString(),
+            PipelineSpec::random(2).toString());
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(PassRegistry, FindsKnownPassesAndHidesTheCanary) {
+  EXPECT_NE(findPass("dse"), nullptr);
+  EXPECT_NE(findPass("rle"), nullptr);
+  EXPECT_EQ(findPass("nonesuch"), nullptr);
+  const PassInfo *Bug = findPass("bug-dse");
+  ASSERT_NE(Bug, nullptr);
+  EXPECT_TRUE(Bug->Hidden);
+}
+
+TEST(PassRegistry, SuggestsNearbyNames) {
+  std::vector<std::string> S = suggestPassNames("constrop");
+  ASSERT_FALSE(S.empty());
+  EXPECT_EQ(S.front(), "constprop");
+  // Hidden passes are never suggested.
+  for (const std::string &Name : suggestPassNames("bug-dse"))
+    EXPECT_NE(Name, "bug-dse");
+}
+
+TEST(PassRegistry, ValidityClaimsFollowThePaper) {
+  PassFactoryOptions Plain;
+  PassFactoryOptions Dae;
+  Dae.Dae = true;
+  // Section 1: dead allocation elimination is invalid under the concrete
+  // model, valid under the logical family.
+  EXPECT_FALSE(passClaimsValidity("dae", ModelKind::Concrete, Plain));
+  EXPECT_TRUE(passClaimsValidity("dae", ModelKind::Logical, Plain));
+  // Plain dce claims every model; --dae narrows it.
+  EXPECT_TRUE(passClaimsValidity("dce", ModelKind::Concrete, Plain));
+  EXPECT_FALSE(passClaimsValidity("dce", ModelKind::Concrete, Dae));
+  // The memory passes: owned-block modes are logical-family, the local
+  // modes claim everything.
+  EXPECT_FALSE(passClaimsValidity("dse", ModelKind::Concrete, Plain));
+  EXPECT_TRUE(passClaimsValidity("dse-local", ModelKind::Concrete, Plain));
+  EXPECT_TRUE(passClaimsValidity("rle", ModelKind::Concrete, Plain));
+  EXPECT_FALSE(passClaimsValidity("rle-own", ModelKind::Concrete, Plain));
+}
+
+TEST(PassRegistry, BuildPipelineReportsUnknownNamesWithSuggestions) {
+  std::string Error;
+  std::optional<PipelineSpec> Spec = PipelineSpec::parse("dse,rl", Error);
+  ASSERT_TRUE(Spec.has_value());
+  PassFactoryOptions Opts;
+  EXPECT_FALSE(buildPipeline(*Spec, Opts, Error).has_value());
+  EXPECT_NE(Error.find("unknown pass 'rl'"), std::string::npos);
+  EXPECT_NE(Error.find("did you mean"), std::string::npos);
+  EXPECT_NE(Error.find("'rle'"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Executor fixpoint semantics
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineExecutor, IterationBoundActuallyBounds) {
+  Program P = compile("main() {\n  output(1);\n}\n");
+  PassPipeline Pipeline;
+  FunctionPass *Always = Pipeline.own(std::make_unique<AlwaysChangingPass>());
+  Pipeline.Elements.push_back(
+      PassPipeline::fix({PassPipeline::leaf(Always)}, 3));
+  PipelineResult R = Pipeline.run(P);
+  // Terminates despite never quiescing, reports the bound, and ran the
+  // pass exactly bound-many times.
+  EXPECT_TRUE(R.HitIterationBound);
+  EXPECT_TRUE(R.Changed);
+  EXPECT_EQ(R.Applications.size(), 3u);
+  EXPECT_EQ(R.lastIterations(), 3u);
+  ASSERT_EQ(R.Metrics.size(), 1u);
+  EXPECT_EQ(R.Metrics[0].Invocations, 3u); // one defined function
+}
+
+TEST(PipelineExecutor, PassManagerReportsTheBoundToo) {
+  Program P = compile("main() {\n  output(1);\n}\n");
+  PassManager PM;
+  PM.add(std::make_unique<AlwaysChangingPass>());
+  EXPECT_TRUE(PM.run(P, 5));
+  EXPECT_TRUE(PM.hitIterationBound());
+  EXPECT_EQ(PM.lastIterations(), 5u);
+  ASSERT_EQ(PM.metrics().size(), 1u);
+  EXPECT_EQ(PM.metrics()[0].Invocations, 5u);
+}
+
+TEST(PipelineExecutor, MetricsAccumulateAcrossIterationsInOrder) {
+  Program P = compile(R"(
+main() {
+  var int a, int b;
+  a = 2 + 3;
+  b = a * 1;
+  output(b);
+}
+)");
+  std::string Error;
+  std::optional<PipelineSpec> Spec =
+      PipelineSpec::parse("fix(constprop,arith)", Error);
+  ASSERT_TRUE(Spec.has_value());
+  PassFactoryOptions Opts;
+  std::optional<PassPipeline> Pipeline = buildPipeline(*Spec, Opts, Error);
+  ASSERT_TRUE(Pipeline.has_value()) << Error;
+  PipelineResult R = Pipeline->run(P);
+  EXPECT_TRUE(R.Changed);
+  EXPECT_FALSE(R.HitIterationBound);
+  // One metrics row per token, in spec order; the fixpoint needed at least
+  // two sweeps (the quiescent one included), so invocations exceed one.
+  ASSERT_EQ(R.Metrics.size(), 2u);
+  EXPECT_EQ(R.Metrics[0].PassName, "constprop");
+  EXPECT_EQ(R.Metrics[1].PassName, "arith");
+  EXPECT_GE(R.Metrics[0].Invocations, 2u);
+  EXPECT_GE(R.lastIterations(), 2u);
+  EXPECT_GE(R.Metrics[0].Rewrites, 1u);
+}
+
+TEST(PipelineExecutor, SharedTokensShareOneMetricsRow) {
+  Program P = compile(R"(
+main() {
+  var int a;
+  a = 2 + 3;
+  output(a);
+}
+)");
+  std::string Error;
+  std::optional<PipelineSpec> Spec =
+      PipelineSpec::parse("constprop,dce,constprop", Error);
+  ASSERT_TRUE(Spec.has_value());
+  PassFactoryOptions Opts;
+  std::optional<PassPipeline> Pipeline = buildPipeline(*Spec, Opts, Error);
+  ASSERT_TRUE(Pipeline.has_value()) << Error;
+  PipelineResult R = Pipeline->run(P);
+  ASSERT_EQ(R.Metrics.size(), 2u);
+  EXPECT_EQ(R.Metrics[0].PassName, "constprop");
+  EXPECT_EQ(R.Metrics[0].Invocations, 2u);
+  // Provenance still distinguishes the two elements.
+  ASSERT_EQ(R.Applications.size(), 3u);
+  EXPECT_EQ(R.Applications[0].Element, 0u);
+  EXPECT_EQ(R.Applications[2].Element, 2u);
+}
+
+TEST(PipelineExecutor, ValidatorRejectionRollsTheProgramBack) {
+  Program P = compile(R"(
+main() {
+  var int a;
+  a = 2 + 3;
+  output(a);
+}
+)");
+  const std::string Before = printProgram(P);
+  std::string Error;
+  PassFactoryOptions Opts;
+  std::optional<PassPipeline> Pipeline =
+      buildPipeline(*PipelineSpec::parse("constprop,arith", Error), Opts,
+                    Error);
+  ASSERT_TRUE(Pipeline.has_value()) << Error;
+
+  unsigned Calls = 0;
+  PipelineResult R = Pipeline->run(
+      P, [&](const Program &Snap, const Program &After,
+             const PassApplication &App) -> std::optional<std::string> {
+        ++Calls;
+        EXPECT_EQ(printProgram(Snap), Before);
+        EXPECT_NE(printProgram(After), Before);
+        EXPECT_EQ(App.Pass, "constprop");
+        return "rejected on purpose";
+      });
+  EXPECT_EQ(Calls, 1u);
+  ASSERT_TRUE(R.Failed.has_value());
+  EXPECT_EQ(R.Failed->Pass, "constprop");
+  EXPECT_EQ(R.FailureDetail, "rejected on purpose");
+  // The program is back to its pre-application state, and the pipeline
+  // stopped: arith never ran.
+  EXPECT_EQ(printProgram(P), Before);
+  ASSERT_EQ(R.Metrics.size(), 2u);
+  EXPECT_EQ(R.Metrics[1].Invocations, 0u);
+  EXPECT_EQ(R.Failed->toString(),
+            "pass 'constprop' (element 0, iteration 0)");
+}
+
+TEST(PipelineExecutor, AcceptingValidatorLeavesResultsIntact) {
+  Program P = compile(R"(
+main() {
+  var int a;
+  a = 2 + 3;
+  output(a);
+}
+)");
+  std::string Error;
+  PassFactoryOptions Opts;
+  std::optional<PassPipeline> Pipeline = buildPipeline(
+      *PipelineSpec::parse("fix(constprop,arith,dce)", Error), Opts, Error);
+  ASSERT_TRUE(Pipeline.has_value()) << Error;
+  unsigned Checked = 0;
+  PipelineResult R = Pipeline->run(
+      P, [&](const Program &, const Program &,
+             const PassApplication &) -> std::optional<std::string> {
+        ++Checked;
+        return std::nullopt;
+      });
+  EXPECT_FALSE(R.Failed.has_value());
+  EXPECT_TRUE(R.Changed);
+  EXPECT_GE(Checked, 1u);
+  EXPECT_NE(printProgram(P).find("output(5);"), std::string::npos);
+}

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""End-to-end checks for the translation-validated qcm-opt CLI.
+
+Drives the acceptance pipeline of the validated-optimizer work:
+
+* --help exits 0 and documents the pipeline/validation flags;
+* --list-passes names every shipped pass with its per-model validity and
+  keeps the bug-dse canary hidden;
+* an unknown pass name exits 2 with a did-you-mean suggestion;
+* the legacy --passes=a,b,c spelling is equivalent to --pipeline=fix(a,b,c)
+  (byte-identical optimized output);
+* --pipeline + --validate=all accepts every shipped pass and optimizes the
+  running example down to its observable effect;
+* --pipeline=bug-dse --validate=quasi exits 1, names the rejected pass,
+  and prints a minimized reproducer;
+* --metrics-out produces a schema-valid qcm-opt metrics document in both
+  the accepting and rejecting runs (validated by tools/check_trace_schema.py).
+
+Usage: tool_opt_pipeline_test.py QCM_OPT SCHEMA_PY STORE_QCM
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+QCM_OPT, SCHEMA_PY, STORE = sys.argv[1], sys.argv[2], sys.argv[3]
+
+
+def run(argv):
+    return subprocess.run(argv, capture_output=True, text=True)
+
+
+def main():
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        # -- --help ------------------------------------------------------
+        help_run = run([QCM_OPT, "--help"])
+        if help_run.returncode != 0:
+            failures.append(f"--help: expected exit 0, got "
+                            f"{help_run.returncode}")
+        for flag in ("--pipeline=SPEC", "--validate=MODELS",
+                     "--validate-budget=N", "--metrics-out=FILE",
+                     "--list-passes", "--random-pipeline=SEED"):
+            if flag not in help_run.stdout:
+                failures.append(f"--help does not document {flag}")
+
+        # Misuse goes to stderr with exit 2.
+        misuse = run([QCM_OPT, "--no-such-flag", STORE])
+        if misuse.returncode != 2:
+            failures.append(f"unknown flag: expected exit 2, got "
+                            f"{misuse.returncode}")
+
+        # -- --list-passes ----------------------------------------------
+        listing = run([QCM_OPT, "--list-passes"])
+        if listing.returncode != 0:
+            failures.append(f"--list-passes: exit {listing.returncode}")
+        for name in ("ownership", "constprop", "arith", "dce", "dae",
+                     "dse", "dse-local", "rle", "rle-own"):
+            if name not in listing.stdout:
+                failures.append(f"--list-passes does not list '{name}'")
+        if "bug-dse" in listing.stdout:
+            failures.append("--list-passes leaks the hidden bug-dse canary")
+
+        # -- unknown pass: exit 2 with a suggestion ---------------------
+        unknown = run([QCM_OPT, "--pipeline=dse,rl", STORE])
+        if unknown.returncode != 2:
+            failures.append(f"unknown pass: expected exit 2, got "
+                            f"{unknown.returncode}")
+        if "did you mean 'rle'" not in unknown.stderr:
+            failures.append(f"no did-you-mean for 'rl': {unknown.stderr!r}")
+
+        # -- legacy --passes equivalence --------------------------------
+        legacy = run([QCM_OPT, "--passes=constprop,arith,dce", STORE])
+        spec = run([QCM_OPT, "--pipeline=fix(constprop,arith,dce)", STORE])
+        if legacy.returncode != 0 or spec.returncode != 0:
+            failures.append("legacy/spec runs failed: "
+                            f"{legacy.returncode}/{spec.returncode}")
+        if legacy.stdout != spec.stdout:
+            failures.append("--passes=a,b,c differs from "
+                            f"--pipeline=fix(a,b,c):\n{legacy.stdout}\nvs\n"
+                            f"{spec.stdout}")
+
+        # -- validated clean pipeline + metrics document ----------------
+        ok_metrics = os.path.join(tmp, "ok.json")
+        ok_profile = os.path.join(tmp, "ok-profile.json")
+        ok = run([QCM_OPT, "--pipeline=ownership,constprop,fix(arith,dce)",
+                  "--validate=all", f"--metrics-out={ok_metrics}",
+                  f"--profile={ok_profile}", STORE])
+        if ok.returncode != 0:
+            failures.append(f"validated run: exit {ok.returncode}: "
+                            f"{ok.stderr}")
+        if "output(42);" not in ok.stdout:
+            failures.append(f"optimized output wrong:\n{ok.stdout}")
+        schema = run([sys.executable, SCHEMA_PY, ok_profile, ok_metrics])
+        if schema.returncode != 0:
+            failures.append(f"ok metrics schema:\n{schema.stderr}")
+        with open(ok_metrics) as f:
+            doc = json.load(f)
+        if doc.get("tool") != "qcm-opt":
+            failures.append(f"metrics tool field: {doc.get('tool')!r}")
+        if doc["validation"]["verdict"] != "ok":
+            failures.append(f"validation verdict: {doc['validation']}")
+        if doc["pipeline"]["validated_applications"] == 0:
+            failures.append("no applications were validated")
+
+        # -- the bug-dse canary is rejected -----------------------------
+        bad_metrics = os.path.join(tmp, "bad.json")
+        bad_profile = os.path.join(tmp, "bad-profile.json")
+        bad = run([QCM_OPT, "--pipeline=bug-dse", "--validate=quasi",
+                   f"--metrics-out={bad_metrics}",
+                   f"--profile={bad_profile}", STORE])
+        if bad.returncode != 1:
+            failures.append(f"bug-dse: expected exit 1, got "
+                            f"{bad.returncode}")
+        if "bug-dse" not in bad.stderr:
+            failures.append(f"rejection does not name the pass: "
+                            f"{bad.stderr!r}")
+        if "minimized reproducer" not in bad.stderr:
+            failures.append(f"no minimized reproducer: {bad.stderr!r}")
+        if "*p = 42;" not in bad.stderr:
+            failures.append("reproducer lost the observable store")
+        schema = run([sys.executable, SCHEMA_PY, bad_profile, bad_metrics])
+        if schema.returncode != 0:
+            failures.append(f"fail metrics schema:\n{schema.stderr}")
+        with open(bad_metrics) as f:
+            doc = json.load(f)
+        if doc["validation"]["verdict"] != "fail":
+            failures.append(f"fail verdict missing: {doc['validation']}")
+        if doc["pipeline"].get("failed_pass") != "bug-dse":
+            failures.append(f"failed_pass wrong: {doc['pipeline']}")
+
+    if failures:
+        print("\n\n".join(failures))
+        sys.exit(1)
+    print("qcm-opt pipeline assertions passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,227 @@
+//===- tests/validate_test.cpp - Translation validation -------------------===//
+//
+// Covers refinement/Validate.h and the tools-layer glue (ValidatedOpt):
+// identity transformations validate, observably-wrong ones are refuted
+// with a context and counterexample, model filtering skips checks a pass
+// never claimed, and the deliberately-buggy bug-dse canary is caught with
+// pass-attributed provenance and a delta-minimized reproducer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Vm.h"
+#include "lang/PrettyPrint.h"
+#include "refinement/Validate.h"
+#include "tools/ValidatedOpt.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+using namespace qcm_tools;
+
+namespace {
+
+Program compile(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  if (!P) {
+    ADD_FAILURE() << V.lastDiagnostics();
+    return Program{};
+  }
+  return std::move(*P);
+}
+
+const std::vector<ModelKind> AllModels = {
+    ModelKind::Concrete, ModelKind::Logical, ModelKind::QuasiConcrete,
+    ModelKind::EagerQuasi};
+
+const char *StoreToOutput = R"(
+main() {
+  var ptr p, int r;
+  p = malloc(1);
+  *p = 42;
+  r = *p;
+  output(r);
+}
+)";
+
+} // namespace
+
+TEST(ModelNames, ShortNamesRoundTrip) {
+  for (ModelKind M : AllModels) {
+    std::optional<ModelKind> Back = modelFromShortName(shortModelName(M));
+    ASSERT_TRUE(Back.has_value());
+    EXPECT_EQ(*Back, M);
+  }
+  EXPECT_EQ(modelFromShortName("quasi-concrete"), ModelKind::QuasiConcrete);
+  EXPECT_FALSE(modelFromShortName("bogus").has_value());
+}
+
+TEST(StandardAdversaries, CoverParameterlessExterns) {
+  Program P = compile(R"(
+extern bar();
+extern sink(ptr x);
+
+main() {
+  bar();
+  output(1);
+}
+)");
+  std::vector<ContextVariant> Contexts = standardAdversaryContexts(P);
+  // Three adversaries for bar(); sink takes a parameter and is skipped.
+  ASSERT_EQ(Contexts.size(), 3u);
+  EXPECT_EQ(Contexts[0].Name, "bar:marker");
+  EXPECT_EQ(Contexts[1].Name, "bar:guess-write");
+  EXPECT_EQ(Contexts[2].Name, "bar:exhaust");
+}
+
+TEST(ValidateTransformation, IdentityIsValidEverywhere) {
+  Program P = compile(StoreToOutput);
+  ValidationReport R = validateTransformation(P, P, AllModels);
+  EXPECT_TRUE(R.AllValid);
+  ASSERT_EQ(R.PerModel.size(), 4u);
+  EXPECT_GT(R.TotalRuns, 0u);
+  EXPECT_EQ(R.failedModels(), "");
+  EXPECT_NE(R.toString().find("verdict: valid"), std::string::npos);
+}
+
+TEST(ValidateTransformation, RefutesObservablyWrongTransforms) {
+  Program Src = compile("main() {\n  output(1);\n}\n");
+  Program Tgt = compile("main() {\n  output(2);\n}\n");
+  ValidationReport R =
+      validateTransformation(Src, Tgt, {ModelKind::QuasiConcrete});
+  EXPECT_FALSE(R.AllValid);
+  ASSERT_EQ(R.PerModel.size(), 1u);
+  EXPECT_FALSE(R.PerModel[0].Valid);
+  EXPECT_EQ(R.PerModel[0].ContextName, "empty");
+  EXPECT_NE(R.PerModel[0].Detail.find("not admitted"), std::string::npos);
+  EXPECT_EQ(R.failedModels(), "quasi");
+}
+
+TEST(ValidateTransformation, AdversariesRefuteContextDependentTransforms) {
+  // Moving an observable output across a context call commutes in the
+  // empty context but not under the marker adversary.
+  Program Src = compile(R"(
+extern bar();
+
+main() {
+  output(1);
+  bar();
+}
+)");
+  Program Tgt = compile(R"(
+extern bar();
+
+main() {
+  bar();
+  output(1);
+}
+)");
+  ValidationReport R =
+      validateTransformation(Src, Tgt, {ModelKind::QuasiConcrete});
+  EXPECT_FALSE(R.AllValid);
+  EXPECT_EQ(R.PerModel[0].ContextName, "bar:marker");
+
+  ValidationBudget NoAdversaries;
+  NoAdversaries.Adversaries = false;
+  ValidationReport R2 = validateTransformation(
+      Src, Tgt, {ModelKind::QuasiConcrete}, NoAdversaries);
+  EXPECT_TRUE(R2.AllValid);
+}
+
+//===----------------------------------------------------------------------===//
+// ValidatedOpt glue
+//===----------------------------------------------------------------------===//
+
+TEST(ValidatedOpt, CleanPipelineValidatesAndSkipsUnclaimedModels) {
+  Program P = compile(StoreToOutput);
+  ValidatedOptOptions Opts;
+  std::string Error;
+  std::optional<PipelineSpec> Spec =
+      PipelineSpec::parse("ownership,constprop,fix(arith,dce)", Error);
+  ASSERT_TRUE(Spec.has_value()) << Error;
+  Opts.Spec = std::move(*Spec);
+  Opts.Models = AllModels;
+
+  std::optional<ValidatedOptResult> R = runValidatedPipeline(P, Opts, Error);
+  ASSERT_TRUE(R.has_value()) << Error;
+  EXPECT_FALSE(R->Pipeline.Failed.has_value());
+  EXPECT_TRUE(R->Pipeline.Changed);
+  EXPECT_GT(R->ValidatedApplications, 0u);
+  EXPECT_GT(R->ValidationRuns, 0u);
+  // ownership claims the logical family only, so its application under
+  // --validate=all skips the concrete check instead of failing it.
+  EXPECT_GT(R->SkippedModelChecks, 0u);
+  EXPECT_NE(printProgram(P).find("output(42);"), std::string::npos);
+}
+
+TEST(ValidatedOpt, UnknownPassIsABuildError) {
+  Program P = compile(StoreToOutput);
+  ValidatedOptOptions Opts;
+  std::string Error;
+  Opts.Spec = *PipelineSpec::parse("dse,nonesuch", Error);
+  EXPECT_FALSE(runValidatedPipeline(P, Opts, Error).has_value());
+  EXPECT_NE(Error.find("unknown pass 'nonesuch'"), std::string::npos);
+}
+
+TEST(ValidatedOpt, CatchesTheBuggyDseCanary) {
+  Program P = compile(StoreToOutput);
+  const std::string Before = printProgram(P);
+  ValidatedOptOptions Opts;
+  std::string Error;
+  Opts.Spec = *PipelineSpec::parse("bug-dse", Error);
+  Opts.Models = {ModelKind::QuasiConcrete};
+
+  std::optional<ValidatedOptResult> R = runValidatedPipeline(P, Opts, Error);
+  ASSERT_TRUE(R.has_value()) << Error;
+  ASSERT_TRUE(R->Pipeline.Failed.has_value());
+  EXPECT_EQ(R->Pipeline.Failed->Pass, "bug-dse");
+  EXPECT_EQ(R->FailedModels, "quasi");
+  EXPECT_NE(R->Pipeline.FailureDetail.find("context"), std::string::npos);
+  // The program was rolled back, the failing input captured, and the
+  // reproducer minimized to something that still trips the pass.
+  EXPECT_EQ(printProgram(P), Before);
+  EXPECT_FALSE(R->FailingInput.empty());
+  ASSERT_FALSE(R->MinimizedInput.empty());
+  EXPECT_NE(R->MinimizedInput.find("*p = 42;"), std::string::npos);
+  EXPECT_LE(R->MinimizedInput.size(), R->FailingInput.size());
+}
+
+TEST(ValidatedOpt, MetricsDocumentCarriesPipelineAndValidationSections) {
+  Program P = compile(StoreToOutput);
+  ValidatedOptOptions Opts;
+  std::string Error;
+  Opts.Spec = *PipelineSpec::parse("fix(constprop,arith,dce)", Error);
+  Opts.Models = {ModelKind::QuasiConcrete, ModelKind::Logical};
+
+  std::optional<ValidatedOptResult> R = runValidatedPipeline(P, Opts, Error);
+  ASSERT_TRUE(R.has_value()) << Error;
+  std::string Doc = renderOptMetricsDocument(*R, Opts);
+  EXPECT_NE(Doc.find("\"schema\":\"qcm-metrics-1\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"tool\":\"qcm-opt\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"spec\":\"fix(constprop,arith,dce)\""),
+            std::string::npos);
+  EXPECT_NE(Doc.find("\"validated_applications\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"requested\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"verdict\":\"ok\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"pass\":\"constprop\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"process\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"profile\""), std::string::npos);
+}
+
+TEST(ValidatedOpt, FailedRunsRenderAFailVerdict) {
+  Program P = compile(StoreToOutput);
+  ValidatedOptOptions Opts;
+  std::string Error;
+  Opts.Spec = *PipelineSpec::parse("bug-dse", Error);
+  Opts.Models = {ModelKind::QuasiConcrete};
+  Opts.Minimize = false;
+
+  std::optional<ValidatedOptResult> R = runValidatedPipeline(P, Opts, Error);
+  ASSERT_TRUE(R.has_value()) << Error;
+  ASSERT_TRUE(R->Pipeline.Failed.has_value());
+  EXPECT_TRUE(R->MinimizedInput.empty());
+  std::string Doc = renderOptMetricsDocument(*R, Opts);
+  EXPECT_NE(Doc.find("\"verdict\":\"fail\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"failed_pass\":\"bug-dse\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"failed_models\":\"quasi\""), std::string::npos);
+}

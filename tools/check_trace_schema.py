@@ -2,10 +2,12 @@
 """Schema validator for qcm observability artifacts.
 
 Validates a Chrome trace-event profile (qcm-* --profile=FILE) and,
-optionally, a unified metrics document (qcm-check --metrics-out=FILE)
-against the shapes documented in docs/OBSERVABILITY.md. Used as a CTest
-and by CI to keep the artifact formats from bit-rotting; also handy
-interactively before loading a trace into Perfetto.
+optionally, a unified metrics document (qcm-check or qcm-opt
+--metrics-out=FILE; the "tool" field selects the expected sections)
+against the shapes documented in docs/OBSERVABILITY.md and
+docs/OPTIMIZER.md. Used as a CTest and by CI to keep the artifact formats
+from bit-rotting; also handy interactively before loading a trace into
+Perfetto.
 
 A trace from a -DQCM_PROFILE_ENABLED=0 build is valid: traceEvents may be
 empty, but the envelope (displayTimeUnit, otherData with peak_rss_bytes)
@@ -112,16 +114,8 @@ def check_trace(doc, errors):
                "trace: otherData.counters must be an object")
 
 
-def check_metrics(doc, errors):
-    expect(isinstance(doc, dict), errors,
-           "metrics: document must be an object")
-    if not isinstance(doc, dict):
-        return
-    expect(doc.get("schema") == METRICS_SCHEMA, errors,
-           f"metrics: schema must be '{METRICS_SCHEMA}'")
-    expect(isinstance(doc.get("tool"), str), errors,
-           "metrics: tool must be a string")
-
+def check_check_metrics(doc, errors):
+    """The qcm-check sections: refinement aggregate and worker pool."""
     aggregate = doc.get("aggregate")
     expect(isinstance(aggregate, dict), errors,
            "metrics: aggregate must be an object")
@@ -151,6 +145,64 @@ def check_metrics(doc, errors):
             expect(isinstance(worker, dict) and "busy_us" in worker
                    and "items" in worker, errors,
                    f"metrics: pool.workers[{j}] needs busy_us and items")
+
+
+def check_opt_metrics(doc, errors):
+    """The qcm-opt sections: pipeline outcome, per-pass rows, validation."""
+    pipeline = doc.get("pipeline")
+    expect(isinstance(pipeline, dict), errors,
+           "metrics: pipeline must be an object")
+    if isinstance(pipeline, dict):
+        for key in ("spec", "changed", "applications", "iteration_bound_hit",
+                    "validated_applications", "skipped_model_checks",
+                    "failed"):
+            expect(key in pipeline, errors,
+                   f"metrics: pipeline missing '{key}'")
+        if pipeline.get("failed"):
+            for key in ("failed_pass", "failed_element", "failed_iteration",
+                        "failed_models"):
+                expect(key in pipeline, errors,
+                       f"metrics: failed pipeline missing '{key}'")
+
+    passes = doc.get("passes")
+    expect(isinstance(passes, list), errors,
+           "metrics: passes must be a list")
+    for j, row in enumerate(passes or []):
+        where = f"metrics: passes[{j}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        for key in ("pass", "invocations", "rewrites", "instrs_before",
+                    "instrs_after", "wall_us"):
+            expect(key in row, errors, f"{where}: missing '{key}'")
+
+    validation = doc.get("validation")
+    expect(isinstance(validation, dict), errors,
+           "metrics: validation must be an object")
+    if isinstance(validation, dict):
+        expect(isinstance(validation.get("requested"), list), errors,
+               "metrics: validation.requested must be a list")
+        expect(validation.get("verdict") in ("off", "ok", "fail"), errors,
+               "metrics: validation.verdict must be off/ok/fail")
+        expect(isinstance(validation.get("runs"), int), errors,
+               "metrics: validation.runs must be an int")
+
+
+def check_metrics(doc, errors):
+    expect(isinstance(doc, dict), errors,
+           "metrics: document must be an object")
+    if not isinstance(doc, dict):
+        return
+    expect(doc.get("schema") == METRICS_SCHEMA, errors,
+           f"metrics: schema must be '{METRICS_SCHEMA}'")
+    tool = doc.get("tool")
+    expect(isinstance(tool, str), errors, "metrics: tool must be a string")
+
+    # Tool-specific sections; the process/profile envelope below is shared.
+    if tool == "qcm-opt":
+        check_opt_metrics(doc, errors)
+    else:
+        check_check_metrics(doc, errors)
 
     process = doc.get("process")
     expect(isinstance(process, dict)

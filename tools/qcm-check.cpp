@@ -38,6 +38,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/QuasiConcrete.h"
+#include "refinement/Validate.h"
 #include "support/Profiler.h"
 #include "support/Progress.h"
 #include "tools/ToolSupport.h"
@@ -225,20 +226,9 @@ int main(int Argc, char **Argv) {
     Job.Contexts.push_back(
         ContextVariant::fromSource(Cmd.get("context"), CtxText));
   }
-  if (!Cmd.has("no-adversaries")) {
-    for (const FunctionDecl &F : Src->Functions) {
-      if (!F.isExtern() || !F.Params.empty())
-        continue;
-      Job.Contexts.push_back(ContextVariant::fromSource(
-          F.Name + ":marker", contexts::outputMarker(F.Name, 5000)));
-      Job.Contexts.push_back(ContextVariant::fromSource(
-          F.Name + ":guess-write",
-          contexts::addressGuesserWriter(F.Name, 1, 77)));
-      Job.Contexts.push_back(ContextVariant::fromSource(
-          F.Name + ":exhaust",
-          contexts::exhaustThenMark(F.Name, 4, 42)));
-    }
-  }
+  if (!Cmd.has("no-adversaries"))
+    for (ContextVariant &C : standardAdversaryContexts(*Src))
+      Job.Contexts.push_back(std::move(C));
 
   // Checkpoint/resume: journaled cells replay through the checker's cache
   // hook, fresh cells append as they merge.

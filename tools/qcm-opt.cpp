@@ -1,4 +1,4 @@
-//===- tools/qcm-opt.cpp - Optimize a program file -------------------------===//
+//===- tools/qcm-opt.cpp - Translation-validated optimizer ----------------===//
 //
 // Part of the intptrcast project: an executable reproduction of the
 // quasi-concrete C memory model (Kang et al., PLDI 2015).
@@ -6,46 +6,259 @@
 // Usage:
 //   qcm-opt [options] file.qcm
 //
-// Options:
-//   --passes=ownership,constprop,arith,dce   pipeline (default shown)
-//   --dae                                    let dce remove dead allocations
-//   --lower                                  apply the Section 6.6 lowering
-//                                            compiler (dead cast removal)
-//   --iterations=<n>                         fixpoint bound (default 8)
-//   --metrics                                print per-pass metrics to stderr
-//                                            (invocations, rewrites,
-//                                            instruction counts, wall time)
-//   --profile=FILE                           Chrome trace-event profile
-//                                            (parse, typecheck, each pass)
-//
-// Prints the optimized program to stdout.
+// Runs a declarative pass pipeline over a program and prints the optimized
+// program to stdout. With --validate, every pass application is translation
+// validated: checked as a behavioral refinement under the requested memory
+// models, with the pipeline rolled back and the run rejected on the first
+// counterexample. See docs/OPTIMIZER.md.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/QuasiConcrete.h"
+#include "support/Profiler.h"
 #include "tools/ToolSupport.h"
+#include "tools/ValidatedOpt.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace qcm;
 using namespace qcm_tools;
 
+namespace {
+
+void printUsage(std::FILE *Out) {
+  std::fprintf(
+      Out,
+      "usage: qcm-opt [options] file.qcm\n"
+      "\n"
+      "Optimizes a program with a declarative pass pipeline and prints the\n"
+      "result to stdout. With --validate every pass application is checked\n"
+      "as a behavioral refinement (translation validation): a rejected\n"
+      "application rolls the program back, reports the offending pass with\n"
+      "a counterexample and a minimized reproducer, and exits 1.\n"
+      "\n"
+      "pipeline options:\n"
+      "  --pipeline=SPEC        pipeline spec; grammar:\n"
+      "                           spec := elem (',' elem)*\n"
+      "                           elem := NAME | 'fix' [':' N] '(' spec ')'\n"
+      "                         e.g. ownership,constprop,fix:4(arith,dce).\n"
+      "                         Default: fix(ownership,constprop,arith,dce)\n"
+      "  --passes=a,b,c         legacy alias: the passes as one fix(...)\n"
+      "                         group (exclusive with --pipeline)\n"
+      "  --random-pipeline=SEED seeded random pipeline over the visible\n"
+      "                         passes (exclusive with the two above)\n"
+      "  --list-passes          list registered passes with the models each\n"
+      "                         claims validity under, then exit\n"
+      "  --iterations=N         bound for plain fix(...) groups (default 8)\n"
+      "  --dae                  let dce remove dead allocations (narrows its\n"
+      "                         claimed validity to the logical family)\n"
+      "  --lower                apply the Section 6.6 lowering compiler\n"
+      "                         after the pipeline (dead cast removal)\n"
+      "\n"
+      "validation options (see docs/OPTIMIZER.md):\n"
+      "  --validate=MODELS      comma-separated concrete|logical|quasi|eager\n"
+      "                         or 'all'; each changing application is\n"
+      "                         checked under the requested models the pass\n"
+      "                         claims validity for (others are counted as\n"
+      "                         skipped, not failed)\n"
+      "  --validate-budget=N    random placement oracles per check, on top\n"
+      "                         of first-fit/last-fit (default 2)\n"
+      "  --no-minimize          skip delta-reducing a failing application's\n"
+      "                         input to a minimal reproducer\n"
+      "  --jobs=N               worker threads per validation grid\n"
+      "\n"
+      "observability options (see docs/OBSERVABILITY.md):\n"
+      "  --metrics              print per-pass metrics to stderr\n"
+      "  --metrics-out=FILE     write one JSON metrics document (pipeline,\n"
+      "                         per-pass rows, validation tallies, peak RSS,\n"
+      "                         span/counter summary)\n"
+      "  --profile=FILE         Chrome trace-event profile (parse,\n"
+      "                         typecheck, each pass, each validation)\n"
+      "\n"
+      "exit codes: 0 success, 1 validation rejected an application,\n"
+      "            2 bad input\n");
+}
+
+void printPassList() {
+  std::printf("registered passes (--pipeline tokens):\n");
+  PassFactoryOptions Plain;
+  for (const PassInfo &Info : passRegistry()) {
+    if (Info.Hidden)
+      continue;
+    std::string Models;
+    for (ModelKind M :
+         {ModelKind::Concrete, ModelKind::Logical, ModelKind::QuasiConcrete,
+          ModelKind::EagerQuasi}) {
+      if (!passClaimsValidity(Info.Name, M, Plain))
+        continue;
+      if (!Models.empty())
+        Models += ",";
+      Models += shortModelName(M);
+    }
+    std::printf("  %-10s valid under: %-28s %s\n", Info.Name.c_str(),
+                Models.c_str(), Info.Summary.c_str());
+  }
+}
+
+bool parseModels(const std::string &Text, std::vector<ModelKind> &Out,
+                 std::string &Error) {
+  std::string Current;
+  for (char C : Text + ",") {
+    if (C != ',') {
+      Current += C;
+      continue;
+    }
+    if (Current.empty())
+      continue;
+    if (Current == "all") {
+      Out = {ModelKind::Concrete, ModelKind::Logical, ModelKind::QuasiConcrete,
+             ModelKind::EagerQuasi};
+      Current.clear();
+      continue;
+    }
+    std::optional<ModelKind> M = modelFromShortName(Current);
+    if (!M) {
+      Error = "unknown model '" + Current +
+              "' (expected concrete, logical, quasi, eager, or all)";
+      return false;
+    }
+    if (std::find(Out.begin(), Out.end(), *M) == Out.end())
+      Out.push_back(*M);
+    Current.clear();
+  }
+  if (Out.empty()) {
+    Error = "--validate needs at least one model";
+    return false;
+  }
+  return true;
+}
+
+/// Every option qcm-opt understands. The shared CommandLine accepts any
+/// --key silently; qcm-opt opts into strictness so a typo ("--validte")
+/// cannot silently skip validation.
+bool rejectUnknownOptions(const CommandLine &Cmd) {
+  static const char *Known[] = {
+      "help",       "list-passes",   "pipeline",        "passes",
+      "random-pipeline", "iterations", "dae",           "lower",
+      "validate",   "validate-budget", "no-minimize",   "jobs",
+      "metrics",    "metrics-out",   "profile"};
+  bool Ok = true;
+  for (const auto &[Key, Value] : Cmd.Options) {
+    bool Found = false;
+    for (const char *K : Known)
+      Found |= Key == K;
+    if (!Found) {
+      std::fprintf(stderr, "qcm-opt: unknown option '--%s' (try --help)\n",
+                   Key.c_str());
+      Ok = false;
+    }
+  }
+  return Ok;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   CommandLine Cmd;
   std::string Error;
-  if (!Cmd.parse(Argc, Argv, Error) || Cmd.Positional.size() != 1) {
-    std::fprintf(stderr,
-                 "usage: qcm-opt [--passes=ownership,constprop,arith,dce] "
-                 "[--dae] [--lower] [--iterations=N] [--metrics] "
-                 "[--profile=FILE] file.qcm\n");
-    return 2;
+  if (!Cmd.parse(Argc, Argv, Error)) {
+    std::fprintf(stderr, "qcm-opt: %s\n", Error.c_str());
+    printUsage(stderr);
+    return ExitBadInput;
+  }
+  if (!rejectUnknownOptions(Cmd))
+    return ExitBadInput;
+  if (Cmd.has("help")) {
+    printUsage(stdout);
+    return ExitSuccess;
+  }
+  if (Cmd.has("list-passes")) {
+    printPassList();
+    return ExitSuccess;
+  }
+  if (Cmd.Positional.size() != 1) {
+    printUsage(stderr);
+    return ExitBadInput;
   }
   applyProfileOption(Cmd);
+
+  // Resolve the pipeline spec: exactly one of --pipeline / --passes /
+  // --random-pipeline, defaulting to the standard fixpoint pipeline.
+  int SpecFlags = static_cast<int>(Cmd.has("pipeline")) +
+                  static_cast<int>(Cmd.has("passes")) +
+                  static_cast<int>(Cmd.has("random-pipeline"));
+  if (SpecFlags > 1) {
+    std::fprintf(stderr, "qcm-opt: --pipeline, --passes, and "
+                         "--random-pipeline are exclusive\n");
+    return ExitBadInput;
+  }
+
+  ValidatedOptOptions Opts;
+  Opts.Factory.Dae = Cmd.has("dae");
+  if (Cmd.has("pipeline") || Cmd.has("passes")) {
+    // --passes is the pre-spec flat form: iterate the listed passes to a
+    // fixpoint, exactly what the old PassManager did.
+    std::string Text = Cmd.has("pipeline")
+                           ? Cmd.get("pipeline")
+                           : "fix(" + Cmd.get("passes") + ")";
+    std::optional<PipelineSpec> Spec = PipelineSpec::parse(Text, Error);
+    if (!Spec) {
+      std::fprintf(stderr, "qcm-opt: invalid pipeline spec: %s\n",
+                   Error.c_str());
+      return ExitBadInput;
+    }
+    Opts.Spec = std::move(*Spec);
+  } else if (Cmd.has("random-pipeline")) {
+    uint64_t Seed = 0;
+    if (!parseUint(Cmd.get("random-pipeline"), Seed)) {
+      std::fprintf(stderr, "qcm-opt: invalid --random-pipeline seed '%s'\n",
+                   Cmd.get("random-pipeline").c_str());
+      return ExitBadInput;
+    }
+    Opts.Spec = PipelineSpec::random(Seed);
+    std::fprintf(stderr, "qcm-opt: random pipeline: %s\n",
+                 Opts.Spec.toString().c_str());
+  } else {
+    Opts.Spec = PipelineSpec::defaultSpec();
+  }
+
+  uint64_t Iterations = 0;
+  if (!parseUint(Cmd.get("iterations", "8"), Iterations) || Iterations == 0) {
+    std::fprintf(stderr, "qcm-opt: invalid --iterations value '%s'\n",
+                 Cmd.get("iterations").c_str());
+    return ExitBadInput;
+  }
+  Opts.DefaultFixIterations = static_cast<unsigned>(Iterations);
+
+  if (Cmd.has("validate") &&
+      !parseModels(Cmd.get("validate"), Opts.Models, Error)) {
+    std::fprintf(stderr, "qcm-opt: %s\n", Error.c_str());
+    return ExitBadInput;
+  }
+  if (Cmd.has("validate-budget")) {
+    uint64_t Budget = 0;
+    if (!parseUint(Cmd.get("validate-budget"), Budget)) {
+      std::fprintf(stderr, "qcm-opt: invalid --validate-budget value '%s'\n",
+                   Cmd.get("validate-budget").c_str());
+      return ExitBadInput;
+    }
+    Opts.Budget.RandomOracles = static_cast<unsigned>(Budget);
+  }
+  if (Cmd.has("jobs")) {
+    ExplorationOptions Exec;
+    if (!Cmd.applyExplorationOptions(Exec, Error)) {
+      std::fprintf(stderr, "qcm-opt: %s\n", Error.c_str());
+      return ExitBadInput;
+    }
+    Opts.Budget.Jobs = Exec.Jobs;
+  }
+  Opts.Minimize = !Cmd.has("no-minimize");
 
   std::string Source;
   if (!readFile(Cmd.Positional[0], Source, Error)) {
     std::fprintf(stderr, "qcm-opt: %s\n", Error.c_str());
-    return 2;
+    return ExitBadInput;
   }
 
   Vm Compiler;
@@ -55,44 +268,56 @@ int main(int Argc, char **Argv) {
     return ExitBadInput;
   }
 
-  DceOptions Dce;
-  Dce.RemoveDeadAllocs = Cmd.has("dae");
-
-  PassManager PM;
-  std::string Passes = Cmd.get("passes", "ownership,constprop,arith,dce");
-  std::string Current;
-  for (char C : Passes + ",") {
-    if (C != ',') {
-      Current += C;
-      continue;
-    }
-    if (Current == "ownership") {
-      PM.add(std::make_unique<OwnershipOptPass>());
-    } else if (Current == "constprop") {
-      PM.add(std::make_unique<ConstPropPass>());
-    } else if (Current == "arith") {
-      PM.add(std::make_unique<ArithSimplifyPass>());
-    } else if (Current == "dce") {
-      PM.add(std::make_unique<DeadCodeElimPass>(Dce));
-    } else if (!Current.empty()) {
-      std::fprintf(stderr, "qcm-opt: unknown pass '%s'\n", Current.c_str());
-      return 2;
-    }
-    Current.clear();
-  }
-
-  uint64_t Iterations = 0;
-  if (!parseUint(Cmd.get("iterations", "8"), Iterations)) {
-    std::fprintf(stderr, "qcm-opt: invalid --iterations value '%s'\n",
-                 Cmd.get("iterations").c_str());
+  std::optional<ValidatedOptResult> Result =
+      runValidatedPipeline(*Prog, Opts, Error);
+  if (!Result) {
+    std::fprintf(stderr, "qcm-opt: %s\n", Error.c_str());
     return ExitBadInput;
   }
-  PM.run(*Prog, static_cast<unsigned>(Iterations));
 
   if (Cmd.has("metrics")) {
     std::fprintf(stderr, "--- pass metrics ---\n");
-    for (const PassMetrics &M : PM.metrics())
+    for (const PassMetrics &M : Result->Pipeline.Metrics)
       std::fprintf(stderr, "%s\n", M.toString().c_str());
+    if (!Opts.Models.empty())
+      std::fprintf(stderr,
+                   "--- validation ---\napplications=%llu runs=%llu "
+                   "skipped_model_checks=%llu\n",
+                   static_cast<unsigned long long>(
+                       Result->ValidatedApplications),
+                   static_cast<unsigned long long>(Result->ValidationRuns),
+                   static_cast<unsigned long long>(
+                       Result->SkippedModelChecks));
+  }
+
+  if (Cmd.has("metrics-out") &&
+      !writeOptMetricsJson(Cmd.get("metrics-out"), *Result, Opts, Error)) {
+    std::fprintf(stderr, "qcm-opt: %s\n", Error.c_str());
+    return ExitBadInput;
+  }
+
+  if (Result->Pipeline.Failed) {
+    const PassApplication &App = *Result->Pipeline.Failed;
+    std::fprintf(stderr,
+                 "qcm-opt: validation REJECTED %s\n"
+                 "  detail: %s\n",
+                 App.toString().c_str(),
+                 Result->Pipeline.FailureDetail.c_str());
+    if (!App.ChangedFunctions.empty()) {
+      std::string Fns;
+      for (const std::string &F : App.ChangedFunctions)
+        Fns += (Fns.empty() ? "" : ", ") + F;
+      std::fprintf(stderr, "  functions: %s\n", Fns.c_str());
+    }
+    if (!Result->MinimizedInput.empty())
+      std::fprintf(stderr,
+                   "  minimized reproducer (pass '%s' still invalid under "
+                   "%s):\n%s",
+                   App.Pass.c_str(), Result->FailedModels.c_str(),
+                   Result->MinimizedInput.c_str());
+    if (!finishProfile(Cmd, Error))
+      std::fprintf(stderr, "qcm-opt: %s\n", Error.c_str());
+    return ExitCheckFailed;
   }
 
   if (Cmd.has("lower")) {
@@ -106,5 +331,5 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "qcm-opt: %s\n", Error.c_str());
     return ExitBadInput;
   }
-  return 0;
+  return ExitSuccess;
 }
