@@ -12,9 +12,9 @@
 
 #include "core/Vm.h"
 #include "ir/Compile.h"
-#include "memory/ConcreteMemory.h"
-#include "memory/LogicalMemory.h"
+#include "memory/ModelRegistry.h"
 #include "memory/QuasiConcreteMemory.h"
+#include "memory/TwoPhaseMemory.h"
 #include "semantics/AstInterp.h"
 #include "semantics/Runner.h"
 
@@ -30,19 +30,17 @@ MemoryConfig bigConfig() {
   return C;
 }
 
+/// \p Kind is a ModelKind index; construction goes through the registry so
+/// the bench exercises the same factories the interpreter uses. The eager
+/// variant (index 3) is a rejected design and is left out of the sweeps.
 std::unique_ptr<Memory> makeModel(int Kind) {
-  switch (Kind) {
-  case 0:
-    return std::make_unique<ConcreteMemory>(bigConfig());
-  case 1:
-    return std::make_unique<LogicalMemory>(bigConfig());
-  default:
-    return std::make_unique<QuasiConcreteMemory>(bigConfig());
-  }
+  ModelMakeConfig C;
+  C.MemCfg = bigConfig();
+  return modelDescriptor(static_cast<ModelKind>(Kind)).Make(std::move(C));
 }
 
 const char *modelName(int Kind) {
-  return Kind == 0 ? "concrete" : Kind == 1 ? "logical" : "quasi-concrete";
+  return modelDescriptor(static_cast<ModelKind>(Kind)).ProseName;
 }
 
 void BM_AllocateFree(benchmark::State &State) {
@@ -54,7 +52,7 @@ void BM_AllocateFree(benchmark::State &State) {
   }
   State.SetLabel(modelName(static_cast<int>(State.range(0))));
 }
-BENCHMARK(BM_AllocateFree)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_AllocateFree)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_LoadStore(benchmark::State &State) {
   std::unique_ptr<Memory> M = makeModel(static_cast<int>(State.range(0)));
@@ -70,7 +68,7 @@ void BM_LoadStore(benchmark::State &State) {
   }
   State.SetLabel(modelName(static_cast<int>(State.range(0))));
 }
-BENCHMARK(BM_LoadStore)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_LoadStore)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_CastRoundTrip(benchmark::State &State) {
   std::unique_ptr<Memory> M = makeModel(static_cast<int>(State.range(0)));
@@ -82,8 +80,10 @@ void BM_CastRoundTrip(benchmark::State &State) {
   }
   State.SetLabel(modelName(static_cast<int>(State.range(0))));
 }
-// The logical model faults on casts; bench concrete and quasi only.
-BENCHMARK(BM_CastRoundTrip)->Arg(0)->Arg(2);
+// The logical model faults on casts; bench the casting models only (the
+// two-phase memory pays its transition on the first iteration and settles
+// into phase-2 lookups after that).
+BENCHMARK(BM_CastRoundTrip)->Arg(0)->Arg(2)->Arg(4);
 
 void BM_FirstCastRealization(benchmark::State &State) {
   // The quasi-concrete model's distinctive cost: the first cast of each
@@ -102,6 +102,22 @@ void BM_FirstCastRealization(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * 64);
 }
 BENCHMARK(BM_FirstCastRealization);
+
+void BM_PhaseTransition(benchmark::State &State) {
+  // The two-phase model's distinctive cost: the first cast concretizes
+  // every live block at once. 64 blocks placed per transition.
+  for (auto _ : State) {
+    TwoPhaseMemory M(bigConfig());
+    State.PauseTiming();
+    std::vector<Value> Ps;
+    for (int I = 0; I < 64; ++I)
+      Ps.push_back(M.allocate(4).value());
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(M.castPtrToInt(Ps.front()).ok());
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_PhaseTransition);
 
 /// The whole-interpreter workload shared by BM_InterpreterThroughput and
 /// the --json scenario sweep.
@@ -153,7 +169,7 @@ void BM_InterpreterThroughput(benchmark::State &State) {
       static_cast<double>(Stats.Realizations), benchmark::Counter::kIsRate);
   State.SetLabel(modelName(static_cast<int>(State.range(0))));
 }
-BENCHMARK(BM_InterpreterThroughput)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_InterpreterThroughput)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
 
 /// Call- and variable-heavy workload: the interpreter costs QIR removes
 /// (name-keyed environments, function lookup by name, tree re-walks)
@@ -196,8 +212,8 @@ main() {
 int runMemoryScenarios(const qcm_bench::JsonOptions &Options,
                        qcm_bench::JsonReport &Report) {
   // loadstore_dense: 64 live blocks x 64 words, every word stored then
-  // loaded back each pass. All three models.
-  for (int Kind = 0; Kind < 3; ++Kind) {
+  // loaded back each pass. Every shipped model.
+  for (int Kind : {0, 1, 2, 4}) {
     const unsigned Passes = Options.itersOr(60);
     constexpr unsigned NumBlocks = 64, BlockWords = 64;
     uint64_t Ops = 0;
@@ -231,7 +247,7 @@ int runMemoryScenarios(const qcm_bench::JsonOptions &Options,
   // cast_dense: 128 realized blocks, then repeated int->ptr / ptr->int
   // round trips over all of them. The int->ptr direction is the lookup
   // the quasi-concrete model pays per cast. Logical faults on casts.
-  for (int Kind : {0, 2}) {
+  for (int Kind : {0, 2, 4}) {
     const unsigned Passes = Options.itersOr(400);
     constexpr unsigned NumBlocks = 128;
     uint64_t Casts = 0;
@@ -288,6 +304,32 @@ int runMemoryScenarios(const qcm_bench::JsonOptions &Options,
     Report.add("realization_dense", "memapi", "quasi-concrete", Seconds,
                Iters, Realized, Stats);
   }
+
+  // transition_dense: the two-phase counterpart of realization_dense — a
+  // fresh memory per iteration, 64 live blocks, and ONE cast that pays the
+  // whole-world concretization at the phase transition.
+  {
+    const unsigned Iters = Options.itersOr(300);
+    constexpr unsigned NumBlocks = 64;
+    uint64_t Realized = 0;
+    ModelStats Stats;
+    double Seconds = qcm_bench::medianSeconds(Options.Repeat, [&] {
+      Realized = 0;
+      Stats = ModelStats();
+      for (unsigned I = 0; I < Iters; ++I) {
+        TwoPhaseMemory M(bigConfig());
+        std::vector<Value> Ps;
+        Ps.reserve(NumBlocks);
+        for (unsigned B = 0; B < NumBlocks; ++B)
+          Ps.push_back(M.allocate(4).value());
+        benchmark::DoNotOptimize(M.castPtrToInt(Ps.front()).ok());
+        Realized += NumBlocks;
+        Stats.accumulate(M.trace().stats());
+      }
+    });
+    Report.add("transition_dense", "memapi", "two-phase", Seconds, Iters,
+               Realized, Stats);
+  }
   return 0;
 }
 
@@ -317,7 +359,7 @@ int runJsonScenarios(const qcm_bench::JsonOptions &Options) {
     }
     const unsigned Iters = Options.itersOr(S.DefaultIters);
     std::shared_ptr<const qir::QirModule> Module = qir::compileProgram(*P);
-    for (int Kind = 0; Kind < 3; ++Kind) {
+    for (int Kind : {0, 1, 2, 4}) {
       RunConfig C;
       C.Model = static_cast<ModelKind>(Kind);
       C.MemConfig.AddressWords = 1u << 20;

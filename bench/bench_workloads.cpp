@@ -134,14 +134,14 @@ void BM_InsertionSort(benchmark::State &State) {
   runWorkload(State, sortProgram(64),
               static_cast<ModelKind>(State.range(0)));
 }
-BENCHMARK(BM_InsertionSort)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_InsertionSort)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_CastLinkedList(benchmark::State &State) {
-  // The logical model cannot run this one (casts); concrete and quasi.
+  // The logical model cannot run this one (casts); the casting models.
   runWorkload(State, castListProgram(128),
               static_cast<ModelKind>(State.range(0)));
 }
-BENCHMARK(BM_CastLinkedList)->Arg(0)->Arg(2);
+BENCHMARK(BM_CastLinkedList)->Arg(0)->Arg(2)->Arg(4);
 
 /// Oracle x tape exploration workload for the thread sweep: enough
 /// per-run computation that the run, not the engine, dominates.
@@ -280,11 +280,13 @@ int runJsonScenarios(const qcm_bench::JsonOptions &Options) {
   const std::vector<Workload> Workloads = {
       {"insertion_sort",
        sortProgram(64),
-       {ModelKind::Concrete, ModelKind::Logical, ModelKind::QuasiConcrete}},
+       {ModelKind::Concrete, ModelKind::Logical, ModelKind::QuasiConcrete,
+        ModelKind::TwoPhase}},
       // The logical model cannot run the cast list (casts fault).
       {"cast_linked_list",
        castListProgram(128),
-       {ModelKind::Concrete, ModelKind::QuasiConcrete}},
+       {ModelKind::Concrete, ModelKind::QuasiConcrete,
+        ModelKind::TwoPhase}},
   };
   const unsigned Iters = Options.itersOr(20);
   qcm_bench::JsonReport Report;

@@ -63,6 +63,14 @@ std::vector<ExperimentSpec> buildMatrix() {
     S.PaperNote = "g can guess a's address and corrupt/observe it";
     S.Oracles = firstFitOnly();
     add(S);
+
+    S.ScenarioName = "two-phase";
+    S.SrcModel = S.TgtModel = ModelKind::TwoPhase;
+    S.PaperRefines = true;
+    S.PaperNote = "no cast ever happens: both runs stay in the infinite "
+                  "phase (Beck et al.)";
+    S.Oracles = {};
+    add(S);
   }
 
   // E2 — Figure 1: arithmetic optimization I.
@@ -72,6 +80,11 @@ std::vector<ExperimentSpec> buildMatrix() {
     S.ScenarioName = "quasi-concrete";
     S.PaperRefines = true;
     S.PaperNote = "int variables hold machine integers (Section 3.5)";
+    add(S);
+
+    S.ScenarioName = "two-phase";
+    S.SrcModel = S.TgtModel = ModelKind::TwoPhase;
+    S.PaperNote = "casts produce machine integers in phase 2 as well";
     add(S);
   }
 
@@ -83,6 +96,11 @@ std::vector<ExperimentSpec> buildMatrix() {
     S.PaperRefines = true;
     S.PaperNote = "realization happens at the cast, kept in both programs";
     S.Contexts = adversaries("bar", "", /*GuessAddress=*/1);
+    add(S);
+
+    S.ScenarioName = "two-phase";
+    S.SrcModel = S.TgtModel = ModelKind::TwoPhase;
+    S.PaperNote = "the kept cast transitions both programs identically";
     add(S);
   }
 
@@ -123,6 +141,14 @@ std::vector<ExperimentSpec> buildMatrix() {
     S.PaperRefines = false;
     S.PaperNote = "t = a + b adds two logical addresses: undefined";
     add(S);
+
+    S.ScenarioName = "two-phase";
+    S.SrcModel = S.TgtModel = ModelKind::TwoPhase;
+    S.Casts = LogicalMemory::CastBehavior::Error;
+    S.Discipline = TypeDiscipline::Static;
+    S.PaperRefines = true;
+    S.PaperNote = "typed ints: reassociation is sound in either phase";
+    add(S);
   }
 
   // E6 — Figure 5: dead cast + dead allocation via dead call elimination.
@@ -149,6 +175,13 @@ std::vector<ExperimentSpec> buildMatrix() {
     S.TgtModel = ModelKind::Concrete;
     S.PaperRefines = true;
     S.PaperNote = "valid when lowering to the concrete model (Section 6.5)";
+    add(S);
+
+    S.ScenarioName = "two-phase";
+    S.SrcModel = S.TgtModel = ModelKind::TwoPhase;
+    S.PaperRefines = false;
+    S.PaperNote = "the eliminated cast was the source's phase transition: "
+                  "the target never leaves infinite memory";
     add(S);
   }
 
@@ -233,6 +266,18 @@ std::vector<ExperimentSpec> buildMatrix() {
     S.PaperRefines = true;
     S.PaperNote = "casts are no-ops in the concrete target (Section 3.6)";
     add(S);
+
+    // The cast-exhausting contexts above cannot tell the difference: their
+    // own first cast transitions the target too, and the live blocks (the
+    // malloc is kept) then place identically. A pure allocator can: it only
+    // fails once the source's dead cast has made memory finite.
+    S.ScenarioName = "two-phase";
+    S.SrcModel = S.TgtModel = ModelKind::TwoPhase;
+    S.Contexts.push_back(ctx("alloc-3", allocateThenMark("bar", 3, 42)));
+    S.PaperRefines = false;
+    S.PaperNote = "a pure-allocator context observes the phase transition "
+                  "the dead cast performed";
+    add(S);
   }
 
   // E12 — Section 7: freshness-based alias analysis.
@@ -248,6 +293,12 @@ std::vector<ExperimentSpec> buildMatrix() {
     S.SrcModel = S.TgtModel = ModelKind::Concrete;
     S.PaperRefines = true;
     S.PaperNote = "disjoint ranges: freshness holds concretely too";
+    add(S);
+
+    S.ScenarioName = "two-phase";
+    S.SrcModel = S.TgtModel = ModelKind::TwoPhase;
+    S.PaperRefines = true;
+    S.PaperNote = "blocks stay distinct through the phase transition";
     add(S);
   }
 

@@ -8,16 +8,6 @@ Memory::~Memory() = default;
 
 std::optional<Block> Memory::getBlock(BlockId) const { return std::nullopt; }
 
-std::string qcm::modelKindName(ModelKind Kind) {
-  switch (Kind) {
-  case ModelKind::Concrete:
-    return "concrete";
-  case ModelKind::Logical:
-    return "logical";
-  case ModelKind::QuasiConcrete:
-    return "quasi-concrete";
-  case ModelKind::EagerQuasi:
-    return "eager-quasi (rejected 3.4 design)";
-  }
-  return "unknown";
-}
+// modelKindName lives in ModelRegistry.cpp: the name is part of each
+// model's descriptor, and the registry is the single place model identity
+// is enumerated.

@@ -34,7 +34,9 @@
 
 namespace qcm {
 
-/// Which of the paper's three models a Memory instance implements.
+/// Which memory model a Memory instance implements. Adding a kind requires
+/// a matching descriptor in memory/ModelRegistry.cpp — the registry's
+/// static_assert on NumModelKinds makes forgetting one a compile error.
 enum class ModelKind {
   /// Section 2.1: flat finite array, pointers are integers.
   Concrete,
@@ -47,8 +49,17 @@ enum class ModelKind {
   /// nondeterministically concrete or logical from birth; casts of logical
   /// blocks have no behavior.
   EagerQuasi,
+  /// The two-phase infinite/finite successor model (Beck et al., arXiv
+  /// 2404.16143): allocation is infinite and logical until the first
+  /// pointer-to-integer cast, which concretizes *every* live block into
+  /// the finite address space at once; from then on allocation itself is
+  /// finite and can exhaust.
+  TwoPhase,
 };
 
+/// The prose name ("concrete", "quasi-concrete", ...). Defined by the model
+/// registry (memory/ModelRegistry.cpp); declared here so the core headers
+/// need not pull the registry in.
 std::string modelKindName(ModelKind Kind);
 
 /// Configuration shared by all models.

@@ -1,0 +1,203 @@
+//===- memory/ModelRegistry.cpp -------------------------------------------===//
+
+#include "memory/ModelRegistry.h"
+
+#include "memory/ConcreteMemory.h"
+#include "memory/QuasiConcreteMemory.h"
+#include "memory/TwoPhaseMemory.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace qcm;
+
+namespace {
+
+std::unique_ptr<Memory> makeConcrete(ModelMakeConfig &&C) {
+  return std::make_unique<ConcreteMemory>(C.MemCfg, std::move(C.Oracle));
+}
+void resetConcrete(Memory &M, ModelMakeConfig &&C) {
+  static_cast<ConcreteMemory &>(M).reset(std::move(C.Oracle));
+}
+
+std::unique_ptr<Memory> makeLogical(ModelMakeConfig &&C) {
+  return std::make_unique<LogicalMemory>(C.MemCfg, C.LogicalCasts);
+}
+void resetLogical(Memory &M, ModelMakeConfig &&C) {
+  static_cast<LogicalMemory &>(M).reset(C.LogicalCasts);
+}
+
+std::unique_ptr<Memory> makeQuasi(ModelMakeConfig &&C) {
+  return std::make_unique<QuasiConcreteMemory>(C.MemCfg, std::move(C.Oracle));
+}
+void resetQuasi(Memory &M, ModelMakeConfig &&C) {
+  static_cast<QuasiConcreteMemory &>(M).reset(std::move(C.Oracle));
+}
+
+std::unique_ptr<Memory> makeEager(ModelMakeConfig &&C) {
+  return std::make_unique<EagerQuasiMemory>(C.MemCfg, std::move(C.Kinds),
+                                            std::move(C.Oracle));
+}
+void resetEager(Memory &M, ModelMakeConfig &&C) {
+  static_cast<EagerQuasiMemory &>(M).reset(std::move(C.Kinds),
+                                           std::move(C.Oracle));
+}
+
+std::unique_ptr<Memory> makeTwoPhase(ModelMakeConfig &&C) {
+  return std::make_unique<TwoPhaseMemory>(C.MemCfg, std::move(C.Oracle));
+}
+void resetTwoPhase(Memory &M, ModelMakeConfig &&C) {
+  static_cast<TwoPhaseMemory &>(M).reset(std::move(C.Oracle));
+}
+
+/// The one place model identity is enumerated. std::array pins the row
+/// count to NumModelKinds at compile time; the Kind-equals-index invariant
+/// is asserted in modelRegistry() and unit-tested.
+const std::array<ModelDescriptor, NumModelKinds> Table = {{
+    {ModelKind::Concrete,
+     /*ProseName=*/"concrete",
+     /*ShortName=*/"concrete",
+     /*Alias=*/nullptr,
+     /*ValuesFullyConcrete=*/true,
+     /*HasRealization=*/false,
+     /*FiniteSpace=*/true,
+     /*UncastAllocationsStayLogical=*/false,
+     /*InjectAllocation=*/true,
+     /*InjectCast=*/false, makeConcrete, resetConcrete},
+    {ModelKind::Logical,
+     /*ProseName=*/"logical",
+     /*ShortName=*/"logical",
+     /*Alias=*/nullptr,
+     /*ValuesFullyConcrete=*/false,
+     /*HasRealization=*/false,
+     /*FiniteSpace=*/false,
+     /*UncastAllocationsStayLogical=*/true,
+     /*InjectAllocation=*/false,
+     /*InjectCast=*/false, makeLogical, resetLogical},
+    {ModelKind::QuasiConcrete,
+     /*ProseName=*/"quasi-concrete",
+     /*ShortName=*/"quasi",
+     /*Alias=*/"quasi-concrete",
+     /*ValuesFullyConcrete=*/false,
+     /*HasRealization=*/true,
+     /*FiniteSpace=*/true,
+     /*UncastAllocationsStayLogical=*/true,
+     /*InjectAllocation=*/false,
+     /*InjectCast=*/true, makeQuasi, resetQuasi},
+    {ModelKind::EagerQuasi,
+     /*ProseName=*/"eager-quasi (rejected 3.4 design)",
+     /*ShortName=*/"eager",
+     /*Alias=*/"eager-quasi",
+     /*ValuesFullyConcrete=*/false,
+     /*HasRealization=*/false,
+     /*FiniteSpace=*/true,
+     /*UncastAllocationsStayLogical=*/true,
+     /*InjectAllocation=*/true,
+     /*InjectCast=*/true, makeEager, resetEager},
+    {ModelKind::TwoPhase,
+     /*ProseName=*/"two-phase",
+     /*ShortName=*/"twophase",
+     /*Alias=*/"two-phase",
+     /*ValuesFullyConcrete=*/false,
+     /*HasRealization=*/true,
+     /*FiniteSpace=*/true,
+     // The transition concretizes even never-cast blocks, so a dead
+     // allocation is observable once any cast happens: the logical-family
+     // ownership claims do not extend to this model.
+     /*UncastAllocationsStayLogical=*/false,
+     /*InjectAllocation=*/true,
+     /*InjectCast=*/true, makeTwoPhase, resetTwoPhase},
+}};
+
+/// Levenshtein distance, capped in practice by the caller's threshold.
+/// (Duplicated from the pass registry on purpose: memory/ sits below opt/.)
+size_t editDistance(const std::string &A, const std::string &B) {
+  std::vector<size_t> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = J;
+  for (size_t I = 1; I <= A.size(); ++I) {
+    size_t Prev = Row[0];
+    Row[0] = I;
+    for (size_t J = 1; J <= B.size(); ++J) {
+      size_t Cur = Row[J];
+      Row[J] = std::min({Row[J] + 1, Row[J - 1] + 1,
+                         Prev + (A[I - 1] == B[J - 1] ? 0 : 1)});
+      Prev = Cur;
+    }
+  }
+  return Row[B.size()];
+}
+
+} // namespace
+
+const std::array<ModelDescriptor, NumModelKinds> &qcm::modelRegistry() {
+#ifndef NDEBUG
+  for (size_t I = 0; I < Table.size(); ++I)
+    assert(static_cast<size_t>(Table[I].Kind) == I &&
+           "registry row out of ModelKind order");
+#endif
+  return Table;
+}
+
+const ModelDescriptor &qcm::modelDescriptor(ModelKind Kind) {
+  return modelRegistry()[static_cast<size_t>(Kind)];
+}
+
+const std::array<ModelKind, NumModelKinds> &qcm::allModelKinds() {
+  static const std::array<ModelKind, NumModelKinds> Kinds = [] {
+    std::array<ModelKind, NumModelKinds> K{};
+    for (size_t I = 0; I < NumModelKinds; ++I)
+      K[I] = modelRegistry()[I].Kind;
+    return K;
+  }();
+  return Kinds;
+}
+
+std::optional<ModelKind> qcm::parseModelName(const std::string &Name) {
+  for (const ModelDescriptor &D : modelRegistry()) {
+    if (Name == D.ShortName)
+      return D.Kind;
+    if (D.Alias && Name == D.Alias)
+      return D.Kind;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> qcm::suggestModelNames(const std::string &Name) {
+  std::vector<std::pair<size_t, std::string>> Scored;
+  for (const ModelDescriptor &D : modelRegistry()) {
+    for (const char *Spelling : {D.ShortName, D.Alias}) {
+      if (!Spelling)
+        continue;
+      size_t Dist = editDistance(Name, Spelling);
+      if (Dist <= 2)
+        Scored.emplace_back(Dist, Spelling);
+    }
+  }
+  std::stable_sort(Scored.begin(), Scored.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.first < B.first;
+                   });
+  std::vector<std::string> Out;
+  for (auto &[Dist, Spelling] : Scored)
+    if (std::find(Out.begin(), Out.end(), Spelling) == Out.end())
+      Out.push_back(Spelling);
+  return Out;
+}
+
+std::string qcm::allModelShortNames() {
+  std::string Out;
+  for (const ModelDescriptor &D : modelRegistry()) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += D.ShortName;
+  }
+  return Out;
+}
+
+std::string qcm::modelKindName(ModelKind Kind) {
+  size_t I = static_cast<size_t>(Kind);
+  if (I >= NumModelKinds)
+    return "unknown";
+  return modelRegistry()[I].ProseName;
+}

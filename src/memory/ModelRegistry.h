@@ -1,0 +1,124 @@
+//===- memory/ModelRegistry.h - The single model-identity table -*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The model registry: one descriptor per ModelKind carrying everything any
+/// other layer needs to know about a model — its names (prose, CLI-short,
+/// alias), how to construct and reset an instance, which fault-injection
+/// points exhaust it, and the capability flags the interpreter, refinement
+/// checker, and pass registry branch on. Every `switch (ModelKind)` in the
+/// codebase collapses into a lookup here; adding a model means adding one
+/// enum value, one descriptor row, and the model's own files — nothing
+/// else, and the static_assert below turns a forgotten row into a compile
+/// error rather than a silent default.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_MEMORY_MODELREGISTRY_H
+#define QCM_MEMORY_MODELREGISTRY_H
+
+#include "memory/EagerQuasiMemory.h"
+#include "memory/LogicalMemory.h"
+#include "memory/Memory.h"
+#include "memory/Placement.h"
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// Number of registered models. The registry table is a std::array of
+/// exactly this size and the assertion ties it to the enum: extending
+/// ModelKind without growing the table (or vice versa) fails to compile.
+inline constexpr size_t NumModelKinds =
+    static_cast<size_t>(ModelKind::TwoPhase) + 1;
+
+/// Everything a model factory may consume. Oracles are passed by ownership
+/// (each model takes what it understands and ignores the rest); null
+/// oracles mean "model default" at construction and "keep the current
+/// oracle, rewound" at reset — exactly the models' own conventions.
+struct ModelMakeConfig {
+  MemoryConfig MemCfg;
+  /// Placement oracle (concrete, quasi-concrete, eager, two-phase).
+  std::unique_ptr<PlacementOracle> Oracle;
+  /// Kind oracle (eager-quasi only).
+  std::unique_ptr<KindOracle> Kinds;
+  /// Cast behavior (logical only).
+  LogicalMemory::CastBehavior LogicalCasts = LogicalMemory::CastBehavior::Error;
+};
+
+/// One registry row.
+struct ModelDescriptor {
+  ModelKind Kind = ModelKind::Concrete;
+
+  /// The prose name ("quasi-concrete"); what modelKindName() returns, used
+  /// in reports, stats renderings, and bench baseline keys.
+  const char *ProseName = "";
+  /// The CLI-stable short name ("quasi"); what --model flags, metrics
+  /// documents, and span labels use.
+  const char *ShortName = "";
+  /// Optional extra accepted spelling ("quasi-concrete", "two-phase"), or
+  /// null. parseModelName accepts ShortName and Alias.
+  const char *Alias = nullptr;
+
+  /// Pointer variables (and the model's value domain generally) are plain
+  /// integers: NULL initializes to the integer 0, and cross-model
+  /// refinement against this model as target compares source pointers to
+  /// target integers through a block view (concrete model only).
+  bool ValuesFullyConcrete = false;
+  /// Blocks can move from logical to concrete during execution (the
+  /// quasi-concrete realize step, the two-phase transition).
+  bool HasRealization = false;
+  /// Some operation can exhaust the finite address space (out-of-memory is
+  /// reachable); the logical model alone is infinite.
+  bool FiniteSpace = false;
+  /// An allocation whose pointer is never cast keeps no concrete footprint,
+  /// so dead-allocation elimination and ownership reasoning are claimed to
+  /// hold. True for the logical family proper; false for the two-phase
+  /// model, whose phase transition concretizes even never-cast blocks.
+  bool UncastAllocationsStayLogical = false;
+  /// Exhaustion can be forced at an allocation (FaultPlan alloc:N).
+  bool InjectAllocation = false;
+  /// Exhaustion can be forced at a pointer-to-integer cast (cast:N).
+  bool InjectCast = false;
+
+  /// Constructs a fresh instance.
+  std::unique_ptr<Memory> (*Make)(ModelMakeConfig &&Config) = nullptr;
+  /// Typed reset-and-reuse on an instance previously built by Make.
+  void (*Reset)(Memory &Mem, ModelMakeConfig &&Config) = nullptr;
+};
+
+static_assert(static_cast<size_t>(ModelKind::Concrete) == 0,
+              "the registry table is indexed by ModelKind");
+
+/// The table, indexed by static_cast<size_t>(ModelKind).
+const std::array<ModelDescriptor, NumModelKinds> &modelRegistry();
+
+/// The descriptor for \p Kind.
+const ModelDescriptor &modelDescriptor(ModelKind Kind);
+
+/// Every ModelKind, in declaration (= registry) order.
+const std::array<ModelKind, NumModelKinds> &allModelKinds();
+
+/// Resolves a user-supplied model name: short names and aliases, e.g.
+/// "quasi" or "quasi-concrete". Nullopt for unknown names.
+std::optional<ModelKind> parseModelName(const std::string &Name);
+
+/// Registered spellings within edit distance 2 of \p Name, closest first —
+/// the "did you mean" list for unknown-model diagnostics.
+std::vector<std::string> suggestModelNames(const std::string &Name);
+
+/// The comma-separated short names of every model ("concrete, logical,
+/// ..."), for usage strings and error messages that enumerate the choices.
+std::string allModelShortNames();
+
+} // namespace qcm
+
+#endif // QCM_MEMORY_MODELREGISTRY_H

@@ -1,0 +1,181 @@
+//===- memory/TwoPhaseMemory.cpp ------------------------------------------===//
+
+#include "memory/TwoPhaseMemory.h"
+
+#include <algorithm>
+
+using namespace qcm;
+
+TwoPhaseMemory::TwoPhaseMemory(MemoryConfig Config,
+                               std::unique_ptr<PlacementOracle> Oracle)
+    : BlockMemory(Config, /*NullBlockBase=*/0), Oracle(std::move(Oracle)) {
+  if (!this->Oracle)
+    this->Oracle = std::make_unique<FirstFitOracle>();
+}
+
+void TwoPhaseMemory::reset(std::unique_ptr<PlacementOracle> NewOracle) {
+  resetBlocks(/*NullBlockBase=*/0);
+  Index.clear();
+  FinitePhase = false;
+  if (NewOracle)
+    Oracle = std::move(NewOracle);
+  else
+    Oracle->reset();
+}
+
+void TwoPhaseMemory::onFree(BlockId Id, const LiveBlock &B) {
+  if (Id != 0 && B.HasBase)
+    Index.erase(B.Base);
+}
+
+Outcome<Value> TwoPhaseMemory::allocate(Word NumWords) {
+  // Phase 1: the infinite regime — plain logical allocation, no concrete
+  // footprint, no way to fail (beyond the zero-size UB rule).
+  if (!FinitePhase)
+    return BlockMemory::allocate(NumWords);
+  // Phase 2: the finite regime — allocation claims a concrete range at
+  // birth, exactly like an eagerly-concrete block, and can exhaust.
+  if (NumWords == 0)
+    return Outcome<Value>::undefined("malloc of zero words");
+  std::vector<FreeInterval> Free = Index.freeIntervals(config().AddressWords);
+  std::optional<Word> Base = Oracle->choose(NumWords, Free);
+  if (!Base) {
+    Trace.noteAllocFailure(NumWords);
+    return Outcome<Value>::outOfMemory(
+        "no concrete placement for a finite-phase allocation of " +
+        wordToString(NumWords) + " words");
+  }
+  LiveBlock B;
+  B.Valid = true;
+  B.Size = NumWords;
+  B.HasBase = true;
+  B.Base = *Base;
+  B.Data = Slab.allocate(NumWords);
+  std::fill(B.Data, B.Data + NumWords, Value::makeInt(0));
+  BlockId Id = static_cast<BlockId>(Blocks.size());
+  Blocks.push_back(B);
+  Index.insert(*Base, NumWords, Id);
+  Trace.noteAlloc(Id, NumWords, Base);
+  return Outcome<Value>::success(Value::makePtr(Id, 0));
+}
+
+Outcome<Unit> TwoPhaseMemory::enterFinitePhase() {
+  FinitePhase = true;
+  // Concretize the whole live memory in allocation order. A failure is
+  // out-of-memory ("no behavior"); the run stops there, so the partially
+  // concretized state is never observed by a continuing execution.
+  for (BlockId Id = 1; Id < Blocks.size(); ++Id) {
+    LiveBlock &B = Blocks[Id];
+    if (!B.Valid || B.HasBase)
+      continue;
+    std::vector<FreeInterval> Free =
+        Index.freeIntervals(config().AddressWords);
+    std::optional<Word> Base = Oracle->choose(B.Size, Free);
+    if (!Base) {
+      Trace.noteRealizeFailure(Id, B.Size);
+      return Outcome<Unit>::outOfMemory(
+          "no concrete placement concretizing block " + std::to_string(Id) +
+          " of " + wordToString(B.Size) +
+          " words at the phase transition");
+    }
+    B.Base = *Base;
+    B.HasBase = true;
+    Index.insert(*Base, B.Size, Id);
+    Trace.noteRealize(Id, B.Size, *Base);
+  }
+  return Outcome<Unit>::success(Unit{});
+}
+
+Outcome<Value> TwoPhaseMemory::castPtrToInt(Value Pointer) {
+  if (!Pointer.isPtr())
+    return Outcome<Value>::undefined(
+        "pointer-to-integer cast of an integer value");
+  const Ptr P = Pointer.ptr();
+  if (P.Block >= Blocks.size())
+    return Outcome<Value>::undefined("cast of a nonexistent block");
+  // Validity first, as in the quasi-concrete model: casting a freed or
+  // out-of-range pointer is UB and does *not* trigger the transition.
+  if (!isValidAddress(P))
+    return Outcome<Value>::undefined(
+        "pointer-to-integer cast of an invalid address " + P.toString());
+  // The NULL block is pre-concretized at address 0 in both phases, so
+  // (int)NULL == 0 without transitioning.
+  bool TransitionNow = !FinitePhase && P.Block != 0;
+  if (TransitionNow)
+    if (Outcome<Unit> Entered = enterFinitePhase(); !Entered)
+      return Entered.propagate<Value>();
+  const LiveBlock &B = Blocks[P.Block];
+  Word Addr = wrapAdd(B.Base, P.Offset);
+  Trace.noteCastToInt(P.Block, P.Offset, Addr, TransitionNow);
+  return Outcome<Value>::success(Value::makeInt(Addr));
+}
+
+Outcome<Value> TwoPhaseMemory::castIntToPtr(Value Integer) {
+  if (!Integer.isInt())
+    return Outcome<Value>::undefined(
+        "integer-to-pointer cast of a logical address");
+  Word I = Integer.intValue();
+  // Never triggers the transition: in phase 1 the index is empty, so every
+  // nonzero integer reifies nothing and the cast is UB — there are no
+  // concrete addresses to guess yet.
+  if (I == 0) {
+    Trace.noteCastToPtr(0, 0, 0);
+    return Outcome<Value>::success(Value::makePtr(0, 0));
+  }
+  if (const AddressIndex::Entry *E = Index.find(I)) {
+    Trace.noteCastToPtr(E->Id, I - E->Base, I);
+    return Outcome<Value>::success(Value::makePtr(E->Id, I - E->Base));
+  }
+  return Outcome<Value>::undefined(
+      "integer-to-pointer cast of " + wordToString(I) +
+      " which reifies no valid address");
+}
+
+std::unique_ptr<Memory> TwoPhaseMemory::clone() const {
+  auto Copy = std::make_unique<TwoPhaseMemory>(config(), Oracle->clone());
+  Copy->copyBlocksFrom(*this);
+  Copy->Index = Index;
+  Copy->FinitePhase = FinitePhase;
+  return Copy;
+}
+
+std::optional<std::string> TwoPhaseMemory::checkConsistency() const {
+  if (Blocks.empty() || !Blocks[0].Valid || Blocks[0].Size != 1 ||
+      !Blocks[0].HasBase || Blocks[0].Base != 0)
+    return "NULL block is damaged";
+  if (!FinitePhase && !Index.empty())
+    return "phase-1 memory has concretized blocks";
+  const uint64_t Limit = config().AddressWords - 1;
+  uint64_t PrevEnd = 0;
+  bool First = true;
+  for (const AddressIndex::Entry &E : Index.entries()) {
+    if (E.Base == 0)
+      return "concretized block includes address 0";
+    uint64_t End = static_cast<uint64_t>(E.Base) + E.Size;
+    if (End > Limit)
+      return "concretized block includes the maximum address";
+    if (!First && E.Base < PrevEnd)
+      return "concretized blocks overlap at " + wordToString(E.Base);
+    PrevEnd = End;
+    First = false;
+    if (E.Id >= Blocks.size())
+      return "index entry for nonexistent block " + std::to_string(E.Id);
+    const LiveBlock &B = Blocks[E.Id];
+    if (!B.Valid || !B.HasBase || B.Base != E.Base || B.Size != E.Size)
+      return "index entry disagrees with block " + std::to_string(E.Id);
+  }
+  size_t ConcreteValid = 0;
+  for (BlockId Id = 1; Id < Blocks.size(); ++Id) {
+    const LiveBlock &B = Blocks[Id];
+    if (B.Valid && !B.Data)
+      return "block " + std::to_string(Id) + " has no contents storage";
+    if (!FinitePhase && Id != 0 && B.HasBase)
+      return "phase-1 block " + std::to_string(Id) +
+             " has a concrete base";
+    if (B.Valid && B.HasBase)
+      ++ConcreteValid;
+  }
+  if (ConcreteValid != Index.size())
+    return "address index is missing concretized blocks";
+  return std::nullopt;
+}

@@ -1,0 +1,98 @@
+//===- memory/TwoPhaseMemory.h - Two-phase infinite/finite model -*- C++ -*-==//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-phase infinite/finite memory model of Beck, Yoon, Chen, Zakowski
+/// and Zdancewic, "A Two-Phase Infinite/Finite Low-Level Memory Model"
+/// (arXiv 2404.16143) — the direct successor to the quasi-concrete model,
+/// reconciling integer-pointer casts with finite memory by splitting every
+/// execution into two regimes:
+///
+///   phase 1 (infinite): allocation is purely logical, blocks have no
+///     concrete addresses, and malloc never fails — exactly the CompCert-
+///     style infinite model. Integer-to-pointer casts of nonzero integers
+///     are undefined (nothing is concrete yet).
+///
+///   the transition: the *first* pointer-to-integer cast of a valid pointer
+///     concretizes the whole memory at once — every live valid block
+///     (in allocation order) is assigned a concrete base via the placement
+///     oracle. If any block cannot be placed the cast is out-of-memory.
+///
+///   phase 2 (finite): memory behaves concretely-at-birth — each new
+///     allocation immediately claims a concrete range (and can exhaust the
+///     space), and both cast directions resolve through the address index.
+///
+/// Contrast with the quasi-concrete model, which concretizes one block per
+/// cast: here a single cast pins down *all* live blocks, so even a block
+/// whose pointer is never cast acquires an observable concrete footprint
+/// once any cast happens. Exhaustion (out-of-memory) is reachable only at
+/// or after the transition — never in phase 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_MEMORY_TWOPHASEMEMORY_H
+#define QCM_MEMORY_TWOPHASEMEMORY_H
+
+#include "memory/AddressIndex.h"
+#include "memory/BlockMemory.h"
+#include "memory/Placement.h"
+
+namespace qcm {
+
+/// The two-phase infinite/finite model.
+class TwoPhaseMemory : public BlockMemory {
+public:
+  /// Creates a two-phase memory in phase 1. \p Oracle decides concrete
+  /// placement at and after the transition; the default is first-fit.
+  explicit TwoPhaseMemory(MemoryConfig Config,
+                          std::unique_ptr<PlacementOracle> Oracle = nullptr);
+
+  ModelKind kind() const override { return ModelKind::TwoPhase; }
+
+  /// Phase 1: infinite logical allocation (never fails). Phase 2: claims a
+  /// concrete range at birth and fails with out-of-memory when the oracle
+  /// finds no placement.
+  Outcome<Value> allocate(Word NumWords) override;
+
+  Outcome<Value> castPtrToInt(Value Pointer) override;
+  Outcome<Value> castIntToPtr(Value Integer) override;
+
+  std::unique_ptr<Memory> clone() const override;
+  std::optional<std::string> checkConsistency() const override;
+
+  /// Reset-and-reuse: returns to the freshly-constructed phase-1 state
+  /// (one NULL block, empty index, zeroed statistics) keeping storage
+  /// capacity. \p Oracle replaces the placement oracle; passing nullptr
+  /// keeps the current oracle and rewinds its decision stream.
+  void reset(std::unique_ptr<PlacementOracle> Oracle = nullptr);
+
+  /// True once the transition has happened.
+  bool inFinitePhase() const { return FinitePhase; }
+
+  /// Number of valid concretized blocks, excluding the NULL block.
+  size_t numConcreteBlocks() const { return Index.size(); }
+
+protected:
+  void onFree(BlockId Id, const LiveBlock &B) override;
+
+private:
+  /// The transition: concretizes every live valid non-NULL block in
+  /// allocation order. Any placement failure is out-of-memory (and leaves
+  /// the memory mid-transition; the interpreter stops on OOM, so partial
+  /// concretization is never observed by a continuing run).
+  Outcome<Unit> enterFinitePhase();
+
+  std::unique_ptr<PlacementOracle> Oracle;
+  /// Valid concretized blocks by concrete range (NULL block excluded; its
+  /// range [0, 1) lies outside the usable space).
+  AddressIndex Index;
+  bool FinitePhase = false;
+};
+
+} // namespace qcm
+
+#endif // QCM_MEMORY_TWOPHASEMEMORY_H

@@ -2,6 +2,7 @@
 
 #include "opt/PipelineSpec.h"
 
+#include "memory/ModelRegistry.h"
 #include "opt/ArithSimplify.h"
 #include "opt/ConstProp.h"
 #include "opt/DeadCodeElim.h"
@@ -224,14 +225,26 @@ public:
   }
 };
 
+/// Every registered model, straight from the model registry: a pass valid
+/// everywhere (cast-preserving, allocation-preserving) is valid under any
+/// model added later, two-phase included.
 std::vector<ModelKind> allModels(const PassFactoryOptions &) {
-  return {ModelKind::Concrete, ModelKind::Logical, ModelKind::QuasiConcrete,
-          ModelKind::EagerQuasi};
+  const auto &Kinds = allModelKinds();
+  return std::vector<ModelKind>(Kinds.begin(), Kinds.end());
 }
 
+/// The models whose never-cast allocations keep no concrete footprint —
+/// the registry's UncastAllocationsStayLogical flag. Ownership-based
+/// claims (dead allocation/store elimination, load forwarding across
+/// calls) hold exactly there; the two-phase model is excluded because its
+/// phase transition concretizes even never-cast blocks, so removing a dead
+/// allocation shifts every later placement observably.
 std::vector<ModelKind> logicalFamily(const PassFactoryOptions &) {
-  return {ModelKind::Logical, ModelKind::QuasiConcrete,
-          ModelKind::EagerQuasi};
+  std::vector<ModelKind> Out;
+  for (const ModelDescriptor &D : modelRegistry())
+    if (D.UncastAllocationsStayLogical)
+      Out.push_back(D.Kind);
+  return Out;
 }
 
 std::vector<PassInfo> buildRegistry() {

@@ -108,6 +108,22 @@ std::string qcm::contexts::exhaustThenMark(const std::string &FnName,
          wordToString(Marker) + ");\n}\n";
 }
 
+std::string qcm::contexts::allocateThenMark(const std::string &FnName,
+                                            Word Blocks, Word Marker,
+                                            const std::string &Params) {
+  return FnName + "(" + Params +
+         ") { var int n, ptr hog;\n"
+         "  n = " +
+         wordToString(Blocks) +
+         ";\n"
+         "  while (n) {\n"
+         "    hog = malloc(1);\n"
+         "    n = n - 1;\n"
+         "  }\n"
+         "  output(" +
+         wordToString(Marker) + ");\n}\n";
+}
+
 std::string qcm::contexts::outputMarker(const std::string &FnName,
                                         Word Marker,
                                         const std::string &Params) {

@@ -83,6 +83,14 @@ std::string outputMarker(const std::string &FnName, Word Marker,
 std::string exhaustThenMark(const std::string &FnName, Word Blocks,
                             Word Marker, const std::string &Params = "");
 
+/// Allocates \p Blocks one-word blocks WITHOUT casting any of them, then
+/// outputs \p Marker. A pure allocator: in models where uncast allocations
+/// never fail (logical memory, the two-phase infinite phase) it always
+/// reaches the marker, so it observes exactly whether someone else's cast
+/// already made memory finite.
+std::string allocateThenMark(const std::string &FnName, Word Blocks,
+                             Word Marker, const std::string &Params = "");
+
 /// For externs taking one ptr parameter: stores \p V through it.
 std::string writeThroughArg(const std::string &FnName, Word V);
 

@@ -2,6 +2,8 @@
 
 #include "refinement/Invariant.h"
 
+#include "memory/ModelRegistry.h"
+
 using namespace qcm;
 
 //===----------------------------------------------------------------------===//
@@ -165,7 +167,7 @@ std::optional<std::string>
 MemoryInvariant::holdsOn(const Memory &SrcMem, const Memory &TgtMem) const {
   BlockView SrcView(SrcMem);
   BlockView TgtView(TgtMem);
-  bool TgtFullyConcrete = TgtMem.kind() == ModelKind::Concrete;
+  bool TgtFullyConcrete = modelDescriptor(TgtMem.kind()).ValuesFullyConcrete;
 
   // Private source blocks: present, unchanged, still logical.
   for (const auto &[Id, Expected] : PrivateSrc) {

@@ -3,10 +3,12 @@
 #include "refinement/RefinementChecker.h"
 
 #include "ir/Compile.h"
+#include "memory/ModelRegistry.h"
 #include "refinement/Contexts.h"
 #include "support/Profiler.h"
 #include "support/Progress.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace qcm;
@@ -69,21 +71,19 @@ enum class InjectKind { Allocation, Cast };
 /// The injection points a model can genuinely reach: the sweep only forces
 /// exhaustion where the model's own semantics can exhaust, so every
 /// injected behavior is one the model could exhibit under some (possibly
-/// tiny) address space. Concrete memory exhausts at allocation
-/// (Section 2.1); quasi-concrete at realization, i.e. pointer-to-integer
-/// cast (Section 3.4); the eager variant at both; the logical model never.
+/// tiny) address space. The registry's capability flags record exactly
+/// this — concrete memory exhausts at allocation (Section 2.1),
+/// quasi-concrete at realization, i.e. pointer-to-integer cast
+/// (Section 3.4), the eager variant and the two-phase model at both, the
+/// logical model never.
 std::vector<InjectKind> injectionKindsFor(ModelKind Model) {
-  switch (Model) {
-  case ModelKind::Concrete:
-    return {InjectKind::Allocation};
-  case ModelKind::Logical:
-    return {};
-  case ModelKind::QuasiConcrete:
-    return {InjectKind::Cast};
-  case ModelKind::EagerQuasi:
-    return {InjectKind::Allocation, InjectKind::Cast};
-  }
-  return {};
+  const ModelDescriptor &D = modelDescriptor(Model);
+  std::vector<InjectKind> Kinds;
+  if (D.InjectAllocation)
+    Kinds.push_back(InjectKind::Allocation);
+  if (D.InjectCast)
+    Kinds.push_back(InjectKind::Cast);
+  return Kinds;
 }
 
 /// One sweep cell: a main-grid cell times one injection kind. The adaptive
@@ -418,6 +418,133 @@ RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
   for (size_t CtxIdx = 0; CtxIdx < ReportedContexts; ++CtxIdx)
     Report.PerContext.push_back(std::move(Work[CtxIdx].CR));
   return Report;
+}
+
+std::string MatrixReport::toString() const {
+  const size_t N = Models.size();
+  // Column width: the longest short name, but never narrower than the
+  // verdict tokens.
+  size_t Width = 4; // "FAIL"
+  for (ModelKind M : Models)
+    Width = std::max(Width, std::string(modelDescriptor(M).ShortName).size());
+  auto Pad = [Width](const std::string &S) {
+    return std::string(Width > S.size() ? Width - S.size() : 0, ' ') + S;
+  };
+
+  std::string Text = "cross-model refinement matrix (" + std::to_string(N) +
+                     " models, " + std::to_string(N * N) + " cells)\n";
+  std::string Header = Pad("src\\tgt");
+  for (ModelKind M : Models)
+    Header += "  " + Pad(modelDescriptor(M).ShortName);
+  Text += " " + Header + "\n";
+  for (size_t SrcIdx = 0; SrcIdx < N; ++SrcIdx) {
+    std::string Row = Pad(modelDescriptor(Models[SrcIdx]).ShortName);
+    for (size_t TgtIdx = 0; TgtIdx < N; ++TgtIdx) {
+      const MatrixCell &Cell = Cells[SrcIdx * N + TgtIdx];
+      Row += "  " + Pad(!Cell.Ran           ? "-"
+                        : Cell.Report.Refines ? "ok"
+                                              : "FAIL");
+    }
+    Text += " " + Row + "\n";
+  }
+
+  uint64_t Explored = 0, Failing = 0;
+  for (const MatrixCell &Cell : Cells) {
+    Explored += Cell.Ran ? 1 : 0;
+    Failing += Cell.Ran && !Cell.Report.Refines ? 1 : 0;
+  }
+  Text += Refines ? "MATRIX REFINES" : "MATRIX DOES NOT REFINE";
+  Text += " (" + std::to_string(Explored - Failing) + "/" +
+          std::to_string(N * N) + " cells refine, " +
+          std::to_string(RunsPerformed) + " executions";
+  if (SweepRan)
+    Text += " + " + std::to_string(InjectedRuns) + " injected";
+  if (TimedOutRuns)
+    Text += ", " + std::to_string(TimedOutRuns) + " timed out";
+  Text += ")\n";
+
+  // Full detail only for the failing cells: a green matrix stays one
+  // screen, a red one pinpoints its counterexamples.
+  for (const MatrixCell &Cell : Cells) {
+    if (!Cell.Ran || Cell.Report.Refines)
+      continue;
+    Text += "--- cell " +
+            std::string(modelDescriptor(Cell.SrcModel).ShortName) + " -> " +
+            std::string(modelDescriptor(Cell.TgtModel).ShortName) + " ---\n";
+    Text += Cell.Report.toString();
+  }
+  return Text;
+}
+
+uint64_t qcm::matrixCellCapacity(const RefinementJob &Base) {
+  // Mirrors checkRefinement's defaulting: no contexts means the empty one,
+  // no oracles means {first-fit, last-fit}, no tapes means the base tape.
+  const uint64_t Contexts = std::max<uint64_t>(1, Base.Contexts.size());
+  const uint64_t Oracles = std::max<uint64_t>(2, Base.Oracles.size());
+  const uint64_t Tapes = std::max<uint64_t>(1, Base.InputTapes.size());
+  return Contexts * 2 * Oracles * Tapes;
+}
+
+MatrixReport qcm::checkRefinementMatrix(const RefinementJob &Base,
+                                        const std::vector<ModelKind> &Models) {
+  assert(!Models.empty() && "matrix needs at least one model");
+  prof::Span Span("matrix", "check");
+  Span.arg("models", static_cast<uint64_t>(Models.size()));
+
+  MatrixReport M;
+  M.Models = Models;
+  M.Cells.resize(Models.size() * Models.size());
+  const uint64_t Capacity = matrixCellCapacity(Base);
+  bool Stop = false;
+  for (size_t SrcIdx = 0; SrcIdx < Models.size() && !Stop; ++SrcIdx) {
+    for (size_t TgtIdx = 0; TgtIdx < Models.size() && !Stop; ++TgtIdx) {
+      const size_t CellIdx = SrcIdx * Models.size() + TgtIdx;
+      MatrixCell &Cell = M.Cells[CellIdx];
+      Cell.SrcModel = Models[SrcIdx];
+      Cell.TgtModel = Models[TgtIdx];
+
+      RefinementJob Job = Base;
+      Job.BaseSrc.Model = Cell.SrcModel;
+      Job.BaseTgt.Model = Cell.TgtModel;
+      // Rebase the journal hooks: cell K owns plan indices
+      // [K*Capacity, (K+1)*Capacity), so one journal spans the matrix and
+      // a resumed run replays exactly the cells (and cell prefixes) that
+      // finished.
+      const size_t Offset = CellIdx * Capacity;
+      if (Base.CachedCell)
+        Job.CachedCell = [&Base, Offset](size_t I) {
+          return Base.CachedCell(I + Offset);
+        };
+      if (Base.OnCellMerged)
+        Job.OnCellMerged = [&Base, Offset](size_t I, const RunResult &R) {
+          Base.OnCellMerged(I + Offset, R);
+        };
+
+      prof::Span CellSpan("matrix-cell", "check");
+      CellSpan.arg("src", std::string(modelDescriptor(Cell.SrcModel).ShortName));
+      CellSpan.arg("tgt", std::string(modelDescriptor(Cell.TgtModel).ShortName));
+      Cell.Report = checkRefinement(Job);
+      Cell.Ran = true;
+      CellSpan.argBool("refines", Cell.Report.Refines);
+
+      M.RunsPerformed += Cell.Report.RunsPerformed;
+      M.TimedOutRuns += Cell.Report.TimedOutRuns;
+      M.SweepRan |= Cell.Report.SweepRan;
+      M.InjectedRuns += Cell.Report.InjectedRuns;
+      M.AggregateStats.accumulate(Cell.Report.AggregateStats);
+      M.Pool.accumulate(Cell.Report.Pool);
+      if (!Cell.Report.Refines) {
+        M.Refines = false;
+        if (Base.Exec.FailFast)
+          Stop = true;
+      }
+    }
+  }
+  // A fail-fast stop leaves unexplored cells; the matrix cannot claim
+  // refinement for them.
+  if (Stop)
+    M.Refines = false;
+  return M;
 }
 
 std::vector<OracleFactory> qcm::sampledOracles(unsigned RandomCount,

@@ -173,6 +173,62 @@ struct RefinementReport {
 /// Runs the job.
 RefinementReport checkRefinement(const RefinementJob &Job);
 
+/// One cell of the cross-model refinement matrix: the full refinement
+/// report for one (source model, target model) pair.
+struct MatrixCell {
+  ModelKind SrcModel = ModelKind::Concrete;
+  ModelKind TgtModel = ModelKind::Concrete;
+  /// False for cells never explored: a fail-fast matrix stops after the
+  /// first failing cell, leaving later cells unexplored rather than
+  /// reported as vacuously refining.
+  bool Ran = false;
+  RefinementReport Report;
+};
+
+/// Verdict matrix of checkRefinementMatrix: one refinement check per
+/// ordered (source model, target model) pair over the same two programs.
+struct MatrixReport {
+  /// The models, in the order the caller gave them; rows and columns of
+  /// the matrix alike.
+  std::vector<ModelKind> Models;
+  /// Models.size()^2 cells, source-major, target-minor — the exact order
+  /// the checks ran in, so per-cell merge callbacks stream in this order.
+  std::vector<MatrixCell> Cells;
+  /// True when every explored cell refines and no cell was skipped.
+  bool Refines = true;
+  /// Sums of the per-cell counters, for the metrics document's aggregate
+  /// section. Deterministic like their per-cell counterparts.
+  uint64_t RunsPerformed = 0;
+  uint64_t TimedOutRuns = 0;
+  bool SweepRan = false;
+  uint64_t InjectedRuns = 0;
+  ModelStats AggregateStats;
+  /// Nondeterministic pool timing, summed; not part of toString().
+  PoolMetrics Pool;
+
+  /// The verdict table ("ok" / "FAIL" / "-" for unexplored cells) followed
+  /// by a summary line and the full report of every failing cell.
+  /// Byte-identical at every Jobs level, like RefinementReport::toString.
+  std::string toString() const;
+};
+
+/// The number of main-grid plan slots one matrix cell can occupy:
+/// contexts x {src,tgt} x oracles x tapes after checkRefinement's
+/// defaulting rules. Cell K's journal indices are offset by K times this,
+/// so one journal file covers the whole matrix and --resume replays each
+/// cell's finished prefix. Sweep probes are derived deterministically and
+/// never journaled, exactly as in the single-pair check.
+uint64_t matrixCellCapacity(const RefinementJob &Base);
+
+/// Runs the N x N cross-model matrix: for every ordered pair of \p Models,
+/// a full checkRefinement of \p Base with the pair's models substituted
+/// for BaseSrc/BaseTgt. Cells run source-major, target-minor; each cell's
+/// CachedCell/OnCellMerged indices are rebased by matrixCellCapacity so
+/// the base job's journal hooks span the whole matrix. With
+/// Base.Exec.FailFast the matrix stops after the first failing cell.
+MatrixReport checkRefinementMatrix(const RefinementJob &Base,
+                                   const std::vector<ModelKind> &Models);
+
 /// Convenience: a sampling oracle set — first-fit, last-fit, and
 /// \p RandomCount seeded random oracles.
 std::vector<OracleFactory> sampledOracles(unsigned RandomCount,

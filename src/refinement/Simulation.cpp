@@ -3,6 +3,7 @@
 #include "refinement/Simulation.h"
 
 #include "ir/Compile.h"
+#include "memory/ModelRegistry.h"
 
 #include <cassert>
 
@@ -103,7 +104,8 @@ bool SimulationChecker::valueEquivAtCall(const Value &S,
   assert(!Checkpoints.empty());
   const Bijection &Alpha = Checkpoints.back().Inv.Alpha;
   BlockView TgtView(TgtMachine->memory());
-  bool CrossModel = TgtMachine->memory().kind() == ModelKind::Concrete;
+  bool CrossModel =
+      modelDescriptor(TgtMachine->memory().kind()).ValuesFullyConcrete;
   return valuesEquivalent(Alpha, S, T, CrossModel ? &TgtView : nullptr);
 }
 

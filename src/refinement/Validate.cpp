@@ -2,35 +2,18 @@
 
 #include "refinement/Validate.h"
 
+#include "memory/ModelRegistry.h"
 #include "refinement/Contexts.h"
 #include "support/Profiler.h"
 
 using namespace qcm;
 
 std::string qcm::shortModelName(ModelKind Model) {
-  switch (Model) {
-  case ModelKind::Concrete:
-    return "concrete";
-  case ModelKind::Logical:
-    return "logical";
-  case ModelKind::QuasiConcrete:
-    return "quasi";
-  case ModelKind::EagerQuasi:
-    return "eager";
-  }
-  return "unknown";
+  return modelDescriptor(Model).ShortName;
 }
 
 std::optional<ModelKind> qcm::modelFromShortName(const std::string &Name) {
-  if (Name == "concrete")
-    return ModelKind::Concrete;
-  if (Name == "logical")
-    return ModelKind::Logical;
-  if (Name == "quasi" || Name == "quasi-concrete")
-    return ModelKind::QuasiConcrete;
-  if (Name == "eager" || Name == "eager-quasi")
-    return ModelKind::EagerQuasi;
-  return std::nullopt;
+  return parseModelName(Name);
 }
 
 std::vector<ContextVariant> qcm::standardAdversaryContexts(const Program &P) {

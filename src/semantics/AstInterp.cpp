@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "semantics/AstInterp.h"
+#include "memory/ModelRegistry.h"
 
 #include <cassert>
 
@@ -33,7 +34,7 @@ AstMachine::~AstMachine() = default;
 Value AstMachine::initialValue(Type Ty) const {
   if (Ty == Type::Int)
     return Value::makeInt(0);
-  if (Mem->kind() == ModelKind::Concrete)
+  if (modelDescriptor(Mem->kind()).ValuesFullyConcrete)
     return Value::makeInt(0);
   return Value::null();
 }

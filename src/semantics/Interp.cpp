@@ -12,6 +12,7 @@
 #include "semantics/Interp.h"
 
 #include "ir/Compile.h"
+#include "memory/ModelRegistry.h"
 
 #include <cassert>
 
@@ -83,9 +84,9 @@ void Machine::reset(std::shared_ptr<const qir::QirModule> NewModule,
 Value Machine::initialValue(Type Ty) const {
   if (Ty == Type::Int)
     return Value::makeInt(0);
-  // Pointer variables start as NULL: the integer 0 in the concrete model,
-  // the logical address (0, 0) elsewhere (Section 4).
-  if (Mem->kind() == ModelKind::Concrete)
+  // Pointer variables start as NULL: the integer 0 in a fully-concrete
+  // value domain, the logical address (0, 0) elsewhere (Section 4).
+  if (modelDescriptor(Mem->kind()).ValuesFullyConcrete)
     return Value::makeInt(0);
   return Value::null();
 }

@@ -3,39 +3,35 @@
 #include "semantics/Runner.h"
 
 #include "ir/Compile.h"
-#include "memory/ConcreteMemory.h"
-#include "memory/QuasiConcreteMemory.h"
+#include "memory/ModelRegistry.h"
 #include "support/Profiler.h"
 
 using namespace qcm;
 
-std::unique_ptr<Memory> qcm::makeMemory(const RunConfig &Config) {
-  MemoryConfig MemCfg = Config.MemConfig;
+namespace {
+
+/// Lowers a RunConfig to the registry's model-construction inputs: applies
+/// the fault plan's address-space shrink and draws fresh oracles from the
+/// factories (null factories stay null — "model default" on construction,
+/// "keep and rewind" on reset).
+ModelMakeConfig makeModelConfig(const RunConfig &Config) {
+  ModelMakeConfig C;
+  C.MemCfg = Config.MemConfig;
   if (Config.Inject.ShrinkAddressWords)
-    MemCfg.AddressWords = *Config.Inject.ShrinkAddressWords;
-  std::unique_ptr<PlacementOracle> Oracle;
+    C.MemCfg.AddressWords = *Config.Inject.ShrinkAddressWords;
   if (Config.Oracle)
-    Oracle = Config.Oracle();
-  std::unique_ptr<Memory> Mem;
-  switch (Config.Model) {
-  case ModelKind::Concrete:
-    Mem = std::make_unique<ConcreteMemory>(MemCfg, std::move(Oracle));
-    break;
-  case ModelKind::Logical:
-    Mem = std::make_unique<LogicalMemory>(MemCfg, Config.LogicalCasts);
-    break;
-  case ModelKind::QuasiConcrete:
-    Mem = std::make_unique<QuasiConcreteMemory>(MemCfg, std::move(Oracle));
-    break;
-  case ModelKind::EagerQuasi: {
-    std::unique_ptr<KindOracle> Kinds;
-    if (Config.Kinds)
-      Kinds = Config.Kinds();
-    Mem = std::make_unique<EagerQuasiMemory>(MemCfg, std::move(Kinds),
-                                             std::move(Oracle));
-    break;
-  }
-  }
+    C.Oracle = Config.Oracle();
+  if (Config.Kinds)
+    C.Kinds = Config.Kinds();
+  C.LogicalCasts = Config.LogicalCasts;
+  return C;
+}
+
+} // namespace
+
+std::unique_ptr<Memory> qcm::makeMemory(const RunConfig &Config) {
+  std::unique_ptr<Memory> Mem =
+      modelDescriptor(Config.Model).Make(makeModelConfig(Config));
   return wrapWithFaultInjection(std::move(Mem), Config.Inject);
 }
 
@@ -67,10 +63,10 @@ Outcome<Value> materializeArg(const ArgSpec &Spec, Memory &Mem) {
 }
 
 /// Resets an existing memory instance to the fresh state \p Config
-/// describes, through the model's typed reset(). The static_cast is safe
-/// because the caller only resets a memory it built for the same
-/// ModelKind. Oracles come fresh from the factories (null factories keep
-/// the model's current oracle and rewind it).
+/// describes, through the registry's typed Reset hook. The descriptor's
+/// static_cast is safe because the caller only resets a memory it built
+/// for the same ModelKind. Oracles come fresh from the factories (null
+/// factories keep the model's current oracle and rewind it).
 void resetModelMemory(Memory &Wrapped, const RunConfig &Config) {
   // A fault-injecting decorator sits in front of the model when the run
   // carries a plan; rewind its counters and reach through to the model's
@@ -78,25 +74,8 @@ void resetModelMemory(Memory &Wrapped, const RunConfig &Config) {
   // a non-identity underlying() identifies the decorator without RTTI).
   if (Wrapped.underlying() != &Wrapped)
     static_cast<FaultInjectingMemory &>(Wrapped).rewind();
-  Memory &Mem = *Wrapped.underlying();
-  switch (Config.Model) {
-  case ModelKind::Concrete:
-    static_cast<ConcreteMemory &>(Mem).reset(Config.Oracle ? Config.Oracle()
-                                                           : nullptr);
-    return;
-  case ModelKind::Logical:
-    static_cast<LogicalMemory &>(Mem).reset(Config.LogicalCasts);
-    return;
-  case ModelKind::QuasiConcrete:
-    static_cast<QuasiConcreteMemory &>(Mem).reset(
-        Config.Oracle ? Config.Oracle() : nullptr);
-    return;
-  case ModelKind::EagerQuasi:
-    static_cast<EagerQuasiMemory &>(Mem).reset(
-        Config.Kinds ? Config.Kinds() : nullptr,
-        Config.Oracle ? Config.Oracle() : nullptr);
-    return;
-  }
+  modelDescriptor(Config.Model)
+      .Reset(*Wrapped.underlying(), makeModelConfig(Config));
 }
 
 /// The shared run body: \p M is fully reset (fresh or reused) over the

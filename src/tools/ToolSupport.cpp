@@ -2,7 +2,9 @@
 
 #include "tools/ToolSupport.h"
 
+#include "memory/ModelRegistry.h"
 #include "refinement/RefinementChecker.h"
+#include "refinement/Validate.h"
 #include "support/Profiler.h"
 #include "support/Telemetry.h"
 
@@ -141,6 +143,65 @@ bool qcm_tools::writeMetricsJson(const std::string &Path,
                        Error);
 }
 
+std::string
+qcm_tools::renderMatrixMetricsDocument(const MatrixReport &Report,
+                                       const std::string &Tool) {
+  // The aggregate keeps the single-pair document's field set (so existing
+  // consumers parse matrix documents unchanged), with every counter summed
+  // over the cells.
+  JsonObject Aggregate;
+  Aggregate.fieldBool("refines", Report.Refines);
+  uint64_t Contexts = 0;
+  for (const MatrixCell &C : Report.Cells)
+    Contexts += C.Report.PerContext.size();
+  Aggregate.field("contexts", Contexts);
+  Aggregate.field("runs_performed", Report.RunsPerformed);
+  Aggregate.field("timed_out_runs", Report.TimedOutRuns);
+  Aggregate.fieldBool("sweep_ran", Report.SweepRan);
+  Aggregate.field("injected_runs", Report.InjectedRuns);
+  Aggregate.fieldRaw("stats", Report.AggregateStats.toJson());
+
+  JsonObject Matrix;
+  std::vector<std::string> Names;
+  for (ModelKind K : Report.Models)
+    Names.push_back("\"" +
+                    jsonEscape(modelDescriptor(K).ShortName) + "\"");
+  Matrix.fieldRaw("models", jsonArray(Names));
+  std::vector<std::string> CellRows;
+  for (const MatrixCell &C : Report.Cells) {
+    JsonObject Row;
+    Row.field("src", modelDescriptor(C.SrcModel).ShortName);
+    Row.field("tgt", modelDescriptor(C.TgtModel).ShortName);
+    Row.fieldBool("ran", C.Ran);
+    Row.fieldBool("refines", C.Ran && C.Report.Refines);
+    Row.field("runs_performed", C.Report.RunsPerformed);
+    Row.field("timed_out_runs", C.Report.TimedOutRuns);
+    Row.field("injected_runs", C.Report.InjectedRuns);
+    Row.fieldBool("sweep_ran", C.Report.SweepRan);
+    CellRows.push_back(Row.str());
+  }
+  Matrix.fieldRaw("cells", jsonArray(CellRows));
+  Matrix.fieldBool("refines", Report.Refines);
+
+  JsonObject Doc;
+  Doc.field("schema", "qcm-metrics-1");
+  Doc.field("tool", Tool);
+  Doc.fieldRaw("aggregate", Aggregate.str());
+  Doc.fieldRaw("matrix", Matrix.str());
+  Doc.fieldRaw("pool", Report.Pool.toJson());
+  Doc.fieldRaw("process", metricsProcessJson());
+  Doc.fieldRaw("profile", metricsProfileJson());
+  return Doc.str();
+}
+
+bool qcm_tools::writeMatrixMetricsJson(const std::string &Path,
+                                       const MatrixReport &Report,
+                                       const std::string &Tool,
+                                       std::string &Error) {
+  return writeTextFile(Path, renderMatrixMetricsDocument(Report, Tool) + "\n",
+                       Error);
+}
+
 void qcm_tools::applyProfileOption(const CommandLine &Cmd) {
   if (!Cmd.has("profile"))
     return;
@@ -209,19 +270,27 @@ bool parseTape(const std::string &Text, std::vector<Word> &Tape,
 
 } // namespace
 
+std::string qcm_tools::unknownModelDiagnostic(const std::string &Name) {
+  std::string Text = "unknown model '" + Name + "'";
+  std::vector<std::string> Suggestions = suggestModelNames(Name);
+  if (!Suggestions.empty()) {
+    Text += " (did you mean ";
+    for (size_t I = 0; I < Suggestions.size(); ++I)
+      Text += (I ? " or '" : "'") + Suggestions[I] + "'";
+    Text += "?)";
+  } else {
+    Text += " (expected " + allModelShortNames() + ")";
+  }
+  return Text;
+}
+
 bool CommandLine::applyRunOptions(RunConfig &Config,
                                   std::string &Error) const {
   std::string Model = get("model", "quasi");
-  if (Model == "concrete") {
-    Config.Model = ModelKind::Concrete;
-  } else if (Model == "logical") {
-    Config.Model = ModelKind::Logical;
-  } else if (Model == "quasi") {
-    Config.Model = ModelKind::QuasiConcrete;
-  } else if (Model == "eager") {
-    Config.Model = ModelKind::EagerQuasi;
+  if (std::optional<ModelKind> Kind = parseModelName(Model)) {
+    Config.Model = *Kind;
   } else {
-    Error = "unknown model '" + Model + "'";
+    Error = unknownModelDiagnostic(Model);
     return false;
   }
 

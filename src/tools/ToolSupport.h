@@ -24,6 +24,7 @@
 #include <vector>
 
 namespace qcm {
+struct MatrixReport;
 struct RefinementReport;
 } // namespace qcm
 
@@ -101,6 +102,26 @@ std::string renderMetricsDocument(const qcm::RefinementReport &Report,
 bool writeMetricsJson(const std::string &Path,
                       const qcm::RefinementReport &Report,
                       const std::string &Tool, std::string &Error);
+
+/// The matrix-mode (--models) metrics document: the same "qcm-metrics-1"
+/// envelope with the aggregate and pool sections summed over every cell,
+/// plus a "matrix" section — the model list (registry short names) and one
+/// verdict row per cell in source-major cell order. Everything except the
+/// pool section is byte-identical at every --jobs level.
+std::string renderMatrixMetricsDocument(const qcm::MatrixReport &Report,
+                                        const std::string &Tool);
+
+/// Writes renderMatrixMetricsDocument() to \p Path; false with \p Error on
+/// failure.
+bool writeMatrixMetricsJson(const std::string &Path,
+                            const qcm::MatrixReport &Report,
+                            const std::string &Tool, std::string &Error);
+
+/// The exit-2 diagnostic for an unknown model name: "unknown model '...'"
+/// plus either a did-you-mean list (edit distance <= 2 against every short
+/// name and alias in the registry) or, when nothing is close, the full list
+/// of accepted short names. Shared by every tool that parses a model flag.
+std::string unknownModelDiagnostic(const std::string &Name);
 
 /// Minimal --key=value / --flag command line.
 struct CommandLine {

@@ -86,8 +86,9 @@ TEST_P(FuzzProperty, ParsePrintRoundTripIsStable) {
 TEST_P(FuzzProperty, AllModelsClassifyAndStayConsistent) {
   ProgramGenerator Generator(GetParam() ^ 0x222);
   Program P = compileOrFail(Generator.generate());
-  for (ModelKind Model : {ModelKind::Concrete, ModelKind::Logical,
-                          ModelKind::QuasiConcrete, ModelKind::EagerQuasi}) {
+  for (ModelKind Model :
+       {ModelKind::Concrete, ModelKind::Logical, ModelKind::QuasiConcrete,
+        ModelKind::EagerQuasi, ModelKind::TwoPhase}) {
     for (uint64_t OracleSeed : {0u, 1u}) {
       RunConfig C;
       C.Model = Model;
@@ -164,8 +165,9 @@ TEST_P(FuzzProperty, QirEngineMatchesTheAstWalker) {
   // deterministic oracles.
   ProgramGenerator Generator(GetParam() ^ 0x666);
   Program P = compileOrFail(Generator.generate());
-  for (ModelKind Model : {ModelKind::Concrete, ModelKind::Logical,
-                          ModelKind::QuasiConcrete, ModelKind::EagerQuasi}) {
+  for (ModelKind Model :
+       {ModelKind::Concrete, ModelKind::Logical, ModelKind::QuasiConcrete,
+        ModelKind::EagerQuasi, ModelKind::TwoPhase}) {
     for (TypeDiscipline Discipline :
          {TypeDiscipline::Static, TypeDiscipline::Loose}) {
       for (uint64_t OracleSeed : {0u, 1u}) {
@@ -276,7 +278,7 @@ TEST_P(FuzzProperty, ChaosInjectionIsNeverANewBehavior) {
   Program P = compileOrFail(Source);
   Rng PlanRng(Seed * 0x9e3779b97f4a7c15ull + 1);
   for (ModelKind Model : {ModelKind::Concrete, ModelKind::QuasiConcrete,
-                          ModelKind::EagerQuasi}) {
+                          ModelKind::EagerQuasi, ModelKind::TwoPhase}) {
     for (int Round = 0; Round < 3; ++Round) {
       FaultPlan Plan = randomPlan(PlanRng);
       std::string Violation = chaosViolation(P, Model, Plan);
@@ -294,7 +296,7 @@ TEST_P(FuzzProperty, ChaosQirMatchesTheAstWalkerUnderInjection) {
   Program P = compileOrFail(Generator.generate());
   Rng PlanRng(Seed * 0x9e3779b97f4a7c15ull + 2);
   for (ModelKind Model : {ModelKind::Concrete, ModelKind::QuasiConcrete,
-                          ModelKind::EagerQuasi}) {
+                          ModelKind::EagerQuasi, ModelKind::TwoPhase}) {
     FaultPlan Plan = randomPlan(PlanRng);
     RunConfig C = chaosConfig(Model);
     C.Inject = Plan;

@@ -1,0 +1,153 @@
+//===- tests/model_registry_test.cpp - The model-identity table -----------===//
+//
+// Exercises the registry that every layer's model dispatch now routes
+// through: descriptor completeness, name round-trips (short names, aliases,
+// prose names), the did-you-mean suggestions, the capability flags the
+// interpreter and refinement checker branch on, and that each descriptor's
+// factory actually builds (and resets) a model of its own kind.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memory/ModelRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace qcm;
+
+TEST(ModelRegistry, EveryKindHasADescriptorAtItsIndex) {
+  const auto &Table = modelRegistry();
+  ASSERT_EQ(Table.size(), NumModelKinds);
+  for (size_t I = 0; I < Table.size(); ++I)
+    EXPECT_EQ(static_cast<size_t>(Table[I].Kind), I);
+}
+
+TEST(ModelRegistry, DescriptorsAreComplete) {
+  for (const ModelDescriptor &D : modelRegistry()) {
+    EXPECT_STRNE(D.ProseName, "") << modelKindName(D.Kind);
+    EXPECT_STRNE(D.ShortName, "") << modelKindName(D.Kind);
+    EXPECT_NE(D.Make, nullptr) << modelKindName(D.Kind);
+    EXPECT_NE(D.Reset, nullptr) << modelKindName(D.Kind);
+  }
+}
+
+TEST(ModelRegistry, NamesAreUnique) {
+  std::set<std::string> Seen;
+  for (const ModelDescriptor &D : modelRegistry()) {
+    EXPECT_TRUE(Seen.insert(D.ShortName).second) << D.ShortName;
+    if (D.Alias)
+      EXPECT_TRUE(Seen.insert(D.Alias).second) << D.Alias;
+  }
+}
+
+TEST(ModelRegistry, ShortNamesRoundTrip) {
+  for (const ModelDescriptor &D : modelRegistry()) {
+    std::optional<ModelKind> Parsed = parseModelName(D.ShortName);
+    ASSERT_TRUE(Parsed.has_value()) << D.ShortName;
+    EXPECT_EQ(*Parsed, D.Kind);
+  }
+}
+
+TEST(ModelRegistry, AliasesRoundTrip) {
+  for (const ModelDescriptor &D : modelRegistry()) {
+    if (!D.Alias)
+      continue;
+    std::optional<ModelKind> Parsed = parseModelName(D.Alias);
+    ASSERT_TRUE(Parsed.has_value()) << D.Alias;
+    EXPECT_EQ(*Parsed, D.Kind);
+  }
+}
+
+TEST(ModelRegistry, UnknownNamesDoNotParse) {
+  EXPECT_FALSE(parseModelName("").has_value());
+  EXPECT_FALSE(parseModelName("symbolic").has_value());
+  EXPECT_FALSE(parseModelName("QUASI").has_value());
+}
+
+TEST(ModelRegistry, ProseNameIsModelKindName) {
+  for (const ModelDescriptor &D : modelRegistry())
+    EXPECT_EQ(modelKindName(D.Kind), D.ProseName);
+}
+
+TEST(ModelRegistry, AllModelKindsCoversTheTable) {
+  const auto &Kinds = allModelKinds();
+  ASSERT_EQ(Kinds.size(), NumModelKinds);
+  for (size_t I = 0; I < Kinds.size(); ++I)
+    EXPECT_EQ(static_cast<size_t>(Kinds[I]), I);
+}
+
+TEST(ModelRegistry, SuggestionsCatchTypos) {
+  std::vector<std::string> S = suggestModelNames("quas");
+  ASSERT_FALSE(S.empty());
+  EXPECT_EQ(S.front(), "quasi");
+
+  S = suggestModelNames("twophse");
+  ASSERT_FALSE(S.empty());
+  EXPECT_EQ(S.front(), "twophase");
+
+  // Nothing within distance 2 of gibberish.
+  EXPECT_TRUE(suggestModelNames("xxxxxxxxxx").empty());
+}
+
+TEST(ModelRegistry, AllShortNamesEnumeratesEveryModel) {
+  std::string Names = allModelShortNames();
+  for (const ModelDescriptor &D : modelRegistry())
+    EXPECT_NE(Names.find(D.ShortName), std::string::npos) << D.ShortName;
+}
+
+TEST(ModelRegistry, FactoriesBuildTheirOwnKind) {
+  for (const ModelDescriptor &D : modelRegistry()) {
+    ModelMakeConfig C;
+    C.MemCfg.AddressWords = 64;
+    std::unique_ptr<Memory> M = D.Make(std::move(C));
+    ASSERT_NE(M, nullptr) << modelKindName(D.Kind);
+    EXPECT_EQ(M->kind(), D.Kind);
+    EXPECT_EQ(M->checkConsistency(), std::nullopt);
+
+    // Reset-and-reuse keeps the kind and restores a consistent fresh state.
+    ASSERT_TRUE(M->allocate(2).ok());
+    ModelMakeConfig R;
+    R.MemCfg.AddressWords = 64;
+    D.Reset(*M, std::move(R));
+    EXPECT_EQ(M->kind(), D.Kind);
+    EXPECT_EQ(M->checkConsistency(), std::nullopt);
+  }
+}
+
+TEST(ModelRegistry, CapabilityFlagsMatchThePaperSemantics) {
+  const ModelDescriptor &Concrete = modelDescriptor(ModelKind::Concrete);
+  EXPECT_TRUE(Concrete.ValuesFullyConcrete);
+  EXPECT_TRUE(Concrete.FiniteSpace);
+  EXPECT_TRUE(Concrete.InjectAllocation);
+  EXPECT_FALSE(Concrete.InjectCast);
+  EXPECT_FALSE(Concrete.HasRealization);
+
+  const ModelDescriptor &Logical = modelDescriptor(ModelKind::Logical);
+  EXPECT_FALSE(Logical.FiniteSpace);
+  EXPECT_FALSE(Logical.InjectAllocation);
+  EXPECT_FALSE(Logical.InjectCast);
+  EXPECT_TRUE(Logical.UncastAllocationsStayLogical);
+
+  const ModelDescriptor &Quasi = modelDescriptor(ModelKind::QuasiConcrete);
+  EXPECT_TRUE(Quasi.HasRealization);
+  EXPECT_TRUE(Quasi.FiniteSpace);
+  EXPECT_FALSE(Quasi.InjectAllocation);
+  EXPECT_TRUE(Quasi.InjectCast);
+  EXPECT_TRUE(Quasi.UncastAllocationsStayLogical);
+
+  const ModelDescriptor &Eager = modelDescriptor(ModelKind::EagerQuasi);
+  EXPECT_TRUE(Eager.FiniteSpace);
+  EXPECT_TRUE(Eager.InjectAllocation);
+  EXPECT_TRUE(Eager.InjectCast);
+  EXPECT_TRUE(Eager.UncastAllocationsStayLogical);
+
+  // The two-phase transition concretizes even never-cast blocks, so it is
+  // deliberately NOT in the "uncast allocations stay logical" family.
+  const ModelDescriptor &TwoPhase = modelDescriptor(ModelKind::TwoPhase);
+  EXPECT_TRUE(TwoPhase.HasRealization);
+  EXPECT_TRUE(TwoPhase.FiniteSpace);
+  EXPECT_TRUE(TwoPhase.InjectAllocation);
+  EXPECT_TRUE(TwoPhase.InjectCast);
+  EXPECT_FALSE(TwoPhase.UncastAllocationsStayLogical);
+}

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""qcm-check --models matrix mode: determinism, resume, and diagnostics.
+
+The N x N cross-model matrix must be byte-identical no matter how the work
+is scheduled: every --jobs level prints the same report with the same exit
+code. A journaled matrix run truncated mid-way must resume to the same
+bytes. --models must also reject unknown names with a did-you-mean at exit
+2 and refuse to combine with --model/--tgt-model.
+
+Usage: tool_matrix_mode_test.py QCM_CHECK SRC_QCM
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+QCM_CHECK, SRC = sys.argv[1], sys.argv[2]
+
+
+def run(argv):
+    return subprocess.run(argv, capture_output=True, text=True)
+
+
+def main():
+    failures = []
+
+    # Self-check of one program under every registered model pair; serial
+    # run is the reference.
+    base = [QCM_CHECK, "--models=all", SRC, SRC]
+    ref = run(base + ["--jobs=1"])
+    if ref.returncode not in (0, 1):
+        print(f"matrix run failed unexpectedly: {ref.stderr}")
+        sys.exit(1)
+    if "cross-model refinement matrix" not in ref.stdout:
+        failures.append(f"missing matrix header:\n{ref.stdout}")
+
+    for jobs in ("2", "4", "8", "auto"):
+        got = run(base + [f"--jobs={jobs}"])
+        if got.returncode != ref.returncode:
+            failures.append(
+                f"--jobs={jobs}: exit {got.returncode} != {ref.returncode}"
+            )
+        if got.stdout != ref.stdout:
+            failures.append(
+                f"--jobs={jobs}: report differs from serial run\n"
+                f"--- serial ---\n{ref.stdout}\n"
+                f"--- jobs={jobs} ---\n{got.stdout}"
+            )
+
+    # A subset selection must also be deterministic and mention exactly the
+    # chosen models in the header.
+    subset = run([QCM_CHECK, "--models=quasi,concrete", "--jobs=4", SRC, SRC])
+    if "(2 models, 4 cells)" not in subset.stdout:
+        failures.append(f"subset header wrong:\n{subset.stdout}")
+
+    # Kill-and-resume: truncate a complete matrix journal after half the
+    # lines and resume; the report must be byte-identical.
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "matrix.jsonl")
+        full = run(base + ["--jobs=1", f"--journal={journal}"])
+        if full.stdout != ref.stdout:
+            failures.append("journaled matrix run differs from plain run")
+        with open(journal, "rb") as f:
+            journal_bytes = f.read()
+        lines = journal_bytes.splitlines(keepends=True)
+        if len(lines) < 3:
+            failures.append("matrix journal suspiciously short")
+        resumed_path = os.path.join(tmp, "resume.jsonl")
+        with open(resumed_path, "wb") as f:
+            f.write(b"".join(lines[: 1 + (len(lines) - 1) // 2]))
+        resumed = run(base + ["--jobs=1", f"--resume={resumed_path}"])
+        if resumed.stdout != full.stdout:
+            failures.append(
+                "resumed matrix report differs\n"
+                f"--- full ---\n{full.stdout}\n"
+                f"--- resumed ---\n{resumed.stdout}"
+            )
+        with open(resumed_path, "rb") as f:
+            if f.read() != journal_bytes:
+                failures.append("completed matrix journal differs")
+
+    # Unknown model names get a did-you-mean at the documented exit 2.
+    bad = run([QCM_CHECK, "--models=quasi,twophse", SRC, SRC])
+    if bad.returncode != 2:
+        failures.append(f"unknown model: expected exit 2, got {bad.returncode}")
+    if "did you mean" not in bad.stderr:
+        failures.append(f"unknown model: no suggestion: {bad.stderr!r}")
+
+    # The matrix drives both sides itself; single-pair model flags would be
+    # silently ignored, so they are refused instead.
+    mixed = run([QCM_CHECK, "--models=all", "--model=quasi", SRC, SRC])
+    if mixed.returncode != 2:
+        failures.append(
+            f"--models + --model: expected exit 2, got {mixed.returncode}"
+        )
+    if "exclusive" not in mixed.stderr:
+        failures.append(f"--models + --model: weak diagnostic: {mixed.stderr!r}")
+
+    if failures:
+        print("\n\n".join(failures))
+        sys.exit(1)
+    print("matrix-mode assertions passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,258 @@
+//===- tests/two_phase_test.cpp - Two-phase infinite/finite model ---------===//
+//
+// Unit tests for the Beck et al. (arXiv 2404.16143) two-phase model:
+// infinite logical phase 1, the all-at-once concretization at the first
+// pointer-to-integer cast, concretely-at-birth phase 2, and the places the
+// two models genuinely disagree (a never-cast block acquiring a concrete
+// footprint; exhaustion being unreachable before the transition).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Vm.h"
+#include "memory/TwoPhaseMemory.h"
+#include "semantics/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+MemoryConfig tiny(uint64_t Words) {
+  MemoryConfig C;
+  C.AddressWords = Words;
+  return C;
+}
+
+} // namespace
+
+TEST(TwoPhase, StartsInPhaseOneWithLogicalBlocks) {
+  TwoPhaseMemory M(tiny(64));
+  EXPECT_FALSE(M.inFinitePhase());
+  Value P = M.allocate(3).value();
+  EXPECT_FALSE(M.inFinitePhase());
+  EXPECT_EQ(M.numConcreteBlocks(), 0u);
+  std::optional<Block> B = M.getBlock(P.ptr().Block);
+  ASSERT_TRUE(B.has_value());
+  EXPECT_FALSE(B->Base.has_value());
+  EXPECT_EQ(M.checkConsistency(), std::nullopt);
+}
+
+TEST(TwoPhase, PhaseOneAllocationNeverFails) {
+  // A 4-word space could hold at most 3 usable words, yet phase 1 happily
+  // allocates far more than that: memory is infinite until the transition.
+  TwoPhaseMemory M(tiny(4));
+  for (int I = 0; I < 32; ++I)
+    ASSERT_TRUE(M.allocate(8).ok());
+  EXPECT_FALSE(M.inFinitePhase());
+  EXPECT_EQ(M.checkConsistency(), std::nullopt);
+}
+
+TEST(TwoPhase, FirstCastConcretizesEverything) {
+  TwoPhaseMemory M(tiny(64));
+  Value A = M.allocate(2).value();
+  Value B = M.allocate(3).value();
+  Value C = M.allocate(1).value();
+  // Cast only B; the transition must concretize A and C as well.
+  Outcome<Value> I = M.castPtrToInt(B);
+  ASSERT_TRUE(I.ok());
+  EXPECT_TRUE(M.inFinitePhase());
+  EXPECT_EQ(M.numConcreteBlocks(), 3u);
+  for (Value P : {A, B, C}) {
+    std::optional<Block> Blk = M.getBlock(P.ptr().Block);
+    ASSERT_TRUE(Blk.has_value());
+    EXPECT_TRUE(Blk->Base.has_value());
+  }
+  EXPECT_EQ(M.checkConsistency(), std::nullopt);
+}
+
+TEST(TwoPhase, TransitionConcretizesInAllocationOrder) {
+  // First-fit placement in allocation order is deterministic: block 1 at
+  // base 1, block 2 right after it.
+  TwoPhaseMemory M(tiny(64));
+  Value A = M.allocate(4).value();
+  Value B = M.allocate(2).value();
+  Word AddrB = M.castPtrToInt(B).value().intValue();
+  Word AddrA = M.castPtrToInt(A).value().intValue();
+  EXPECT_EQ(AddrA, 1u);
+  EXPECT_EQ(AddrB, 5u);
+}
+
+TEST(TwoPhase, PhaseTwoAllocatesConcretelyAtBirth) {
+  TwoPhaseMemory M(tiny(64));
+  Value A = M.allocate(2).value();
+  ASSERT_TRUE(M.castPtrToInt(A).ok());
+  Value B = M.allocate(2).value();
+  std::optional<Block> Blk = M.getBlock(B.ptr().Block);
+  ASSERT_TRUE(Blk.has_value());
+  EXPECT_TRUE(Blk->Base.has_value());
+  EXPECT_EQ(M.numConcreteBlocks(), 2u);
+}
+
+TEST(TwoPhase, OutOfMemoryIsUnreachableInPhaseOne) {
+  // The same allocation sizes that exhaust a 8-word space in phase 2
+  // succeed freely in phase 1.
+  TwoPhaseMemory M(tiny(8));
+  ASSERT_TRUE(M.allocate(5).ok());
+  ASSERT_TRUE(M.allocate(5).ok());
+  EXPECT_FALSE(M.inFinitePhase());
+}
+
+TEST(TwoPhase, TransitionItselfCanExhaust) {
+  // Two 5-word blocks cannot both be placed in an 8-word space: the first
+  // cast — not any allocation — reports out-of-memory.
+  TwoPhaseMemory M(tiny(8));
+  Value A = M.allocate(5).value();
+  ASSERT_TRUE(M.allocate(5).ok());
+  Outcome<Value> I = M.castPtrToInt(A);
+  ASSERT_FALSE(I.ok());
+  EXPECT_TRUE(I.fault().isOutOfMemory());
+}
+
+TEST(TwoPhase, PhaseTwoAllocationCanExhaust) {
+  TwoPhaseMemory M(tiny(8));
+  Value A = M.allocate(5).value();
+  ASSERT_TRUE(M.castPtrToInt(A).ok());
+  Outcome<Value> B = M.allocate(5);
+  ASSERT_FALSE(B.ok());
+  EXPECT_TRUE(B.fault().isOutOfMemory());
+}
+
+TEST(TwoPhase, FreedBlocksAreNotConcretized) {
+  TwoPhaseMemory M(tiny(8));
+  Value A = M.allocate(5).value();
+  Value B = M.allocate(2).value();
+  ASSERT_TRUE(M.deallocate(A).ok());
+  // A's 5 words are gone from the live set, so the transition fits B into
+  // the tiny space without them.
+  ASSERT_TRUE(M.castPtrToInt(B).ok());
+  EXPECT_EQ(M.numConcreteBlocks(), 1u);
+}
+
+TEST(TwoPhase, NullCastDoesNotTransition) {
+  // (int) NULL is 0 in phase 1 — and must NOT concretize the world.
+  TwoPhaseMemory M(tiny(64));
+  ASSERT_TRUE(M.allocate(2).ok());
+  Outcome<Value> Zero = M.castPtrToInt(Value::makePtr(0, 0));
+  ASSERT_TRUE(Zero.ok());
+  EXPECT_EQ(Zero.value().intValue(), 0u);
+  EXPECT_FALSE(M.inFinitePhase());
+  EXPECT_EQ(M.numConcreteBlocks(), 0u);
+}
+
+TEST(TwoPhase, PhaseOneIntToPtrOfNonzeroIsUndefined) {
+  TwoPhaseMemory M(tiny(64));
+  ASSERT_TRUE(M.allocate(2).ok());
+  Outcome<Value> P = M.castIntToPtr(Value::makeInt(5));
+  ASSERT_FALSE(P.ok());
+  EXPECT_TRUE(P.fault().isUndefined());
+  EXPECT_FALSE(M.inFinitePhase());
+}
+
+TEST(TwoPhase, CastRoundTripsAfterTheTransition) {
+  TwoPhaseMemory M(tiny(64));
+  Value P = M.allocate(4).value();
+  Word Addr =
+      M.castPtrToInt(Value::makePtr(P.ptr().Block, 3)).value().intValue();
+  Outcome<Value> Back = M.castIntToPtr(Value::makeInt(Addr));
+  ASSERT_TRUE(Back.ok());
+  EXPECT_EQ(Back.value(), Value::makePtr(P.ptr().Block, 3));
+}
+
+TEST(TwoPhase, CastOfFreedPointerIsUndefinedAndDoesNotTransition) {
+  TwoPhaseMemory M(tiny(64));
+  Value P = M.allocate(2).value();
+  ASSERT_TRUE(M.deallocate(P).ok());
+  Outcome<Value> I = M.castPtrToInt(P);
+  ASSERT_FALSE(I.ok());
+  EXPECT_TRUE(I.fault().isUndefined());
+  EXPECT_FALSE(M.inFinitePhase());
+}
+
+TEST(TwoPhase, CloneCopiesThePhase) {
+  TwoPhaseMemory M(tiny(64));
+  Value P = M.allocate(2).value();
+  ASSERT_TRUE(M.castPtrToInt(P).ok());
+  std::unique_ptr<Memory> Copy = M.clone();
+  auto *C = static_cast<TwoPhaseMemory *>(Copy.get());
+  EXPECT_TRUE(C->inFinitePhase());
+  EXPECT_EQ(C->numConcreteBlocks(), 1u);
+  EXPECT_EQ(C->checkConsistency(), std::nullopt);
+  // Phase-2 allocation in the clone stays concrete-at-birth.
+  Value Q = C->allocate(1).value();
+  std::optional<Block> B = C->getBlock(Q.ptr().Block);
+  ASSERT_TRUE(B.has_value());
+  EXPECT_TRUE(B->Base.has_value());
+}
+
+TEST(TwoPhase, ResetReturnsToPhaseOne) {
+  TwoPhaseMemory M(tiny(64));
+  Value P = M.allocate(2).value();
+  ASSERT_TRUE(M.castPtrToInt(P).ok());
+  ASSERT_TRUE(M.inFinitePhase());
+  M.reset();
+  EXPECT_FALSE(M.inFinitePhase());
+  EXPECT_EQ(M.numConcreteBlocks(), 0u);
+  Value Q = M.allocate(2).value();
+  std::optional<Block> B = M.getBlock(Q.ptr().Block);
+  ASSERT_TRUE(B.has_value());
+  EXPECT_FALSE(B->Base.has_value());
+  EXPECT_EQ(M.checkConsistency(), std::nullopt);
+}
+
+TEST(TwoPhase, OracleControlsTransitionPlacement) {
+  TwoPhaseMemory M(tiny(16), std::make_unique<LastFitOracle>());
+  Value P = M.allocate(4).value();
+  Word Addr = M.castPtrToInt(P).value().intValue();
+  // Last-fit pushes the block to the top of the usable space [1, 15).
+  EXPECT_EQ(Addr, 11u);
+}
+
+TEST(TwoPhase, RunsThroughTheInterpreter) {
+  Vm V;
+  std::optional<Program> P = V.compile(R"(
+main() {
+  var ptr p, ptr q, int a, int b;
+  p = malloc(1);
+  q = malloc(1);
+  *p = 7;
+  a = (int) q;
+  b = *p;
+  output(b);
+}
+)");
+  ASSERT_TRUE(P.has_value());
+  RunConfig C;
+  C.Model = ModelKind::TwoPhase;
+  C.MemConfig.AddressWords = 64;
+  RunResult R = runProgram(*P, C);
+  EXPECT_EQ(R.Behav.BehaviorKind, Behavior::Kind::Terminated);
+  EXPECT_EQ(R.Behav.Events, std::vector<Event>{Event::output(7)});
+  EXPECT_FALSE(R.ConsistencyError.has_value());
+}
+
+TEST(TwoPhase, InterpreterSeesOomOnlyAtOrAfterTheCast) {
+  // 300 words allocated in a 16-word space: fine until the cast, which
+  // exhausts; the same program never reaches out() so the behavior is the
+  // empty-prefix no-behavior.
+  Vm V;
+  std::optional<Program> P = V.compile(R"(
+main() {
+  var ptr p, int i, int a;
+  i = 30;
+  while (i) {
+    p = malloc(10);
+    i = i - 1;
+  }
+  a = (int) p;
+  output(a);
+}
+)");
+  ASSERT_TRUE(P.has_value());
+  RunConfig C;
+  C.Model = ModelKind::TwoPhase;
+  C.MemConfig.AddressWords = 16;
+  RunResult R = runProgram(*P, C);
+  EXPECT_EQ(R.Behav.BehaviorKind, Behavior::Kind::OutOfMemory);
+  EXPECT_TRUE(R.Behav.Events.empty());
+}

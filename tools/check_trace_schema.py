@@ -147,6 +147,39 @@ def check_check_metrics(doc, errors):
                    f"metrics: pool.workers[{j}] needs busy_us and items")
 
 
+def check_matrix_section(matrix, errors):
+    """The optional matrix-mode section (qcm-check --models): the model
+    list, one verdict row per (src, tgt) cell, and the overall verdict."""
+    expect(isinstance(matrix, dict), errors,
+           "metrics: matrix must be an object")
+    if not isinstance(matrix, dict):
+        return
+    models = matrix.get("models")
+    expect(isinstance(models, list) and models and all(
+        isinstance(m, str) and m for m in models), errors,
+        "metrics: matrix.models must be a non-empty list of strings")
+    expect(isinstance(matrix.get("refines"), bool), errors,
+           "metrics: matrix.refines must be a bool")
+    cells = matrix.get("cells")
+    expect(isinstance(cells, list), errors,
+           "metrics: matrix.cells must be a list")
+    if isinstance(models, list) and isinstance(cells, list):
+        expect(len(cells) == len(models) ** 2, errors,
+               f"metrics: matrix has {len(cells)} cells, expected "
+               f"{len(models)}^2 = {len(models) ** 2}")
+    for j, cell in enumerate(cells or []):
+        where = f"metrics: matrix.cells[{j}]"
+        if not isinstance(cell, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        for key in ("src", "tgt", "ran", "refines", "runs_performed",
+                    "timed_out_runs", "injected_runs", "sweep_ran"):
+            expect(key in cell, errors, f"{where}: missing '{key}'")
+        if isinstance(models, list):
+            expect(cell.get("src") in models and cell.get("tgt") in models,
+                   errors, f"{where}: src/tgt must name listed models")
+
+
 def check_opt_metrics(doc, errors):
     """The qcm-opt sections: pipeline outcome, per-pass rows, validation."""
     pipeline = doc.get("pipeline")
@@ -203,6 +236,8 @@ def check_metrics(doc, errors):
         check_opt_metrics(doc, errors)
     else:
         check_check_metrics(doc, errors)
+        if "matrix" in doc:
+            check_matrix_section(doc.get("matrix"), errors)
 
     process = doc.get("process")
     expect(isinstance(process, dict)

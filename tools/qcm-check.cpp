@@ -13,6 +13,8 @@
 //
 // Options (shared run options apply to both programs):
 //   --model=..., --tgt-model=...   models for source (and target if given)
+//   --models=all|LIST              matrix mode: one refinement check per
+//                                  ordered model pair, N x N verdict table
 //   --words=N, --steps=N, --input=..., --oracle=..., --loose
 //   --context=FILE                 add a context from a source file
 //   --no-adversaries               only the empty context
@@ -38,11 +40,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/QuasiConcrete.h"
+#include "memory/ModelRegistry.h"
 #include "refinement/Validate.h"
 #include "support/Profiler.h"
 #include "support/Progress.h"
 #include "tools/ToolSupport.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace qcm;
@@ -59,8 +63,18 @@ void printUsage(std::FILE *Out) {
       "admitted by the source, per context (Kang et al., Section 2.3).\n"
       "\n"
       "run options (apply to both programs):\n"
-      "  --model=concrete|logical|quasi|eager   memory model (default quasi)\n"
+      "  --model=NAME           memory model short name from the registry\n"
+      "                         (concrete, logical, quasi, eager, twophase;\n"
+      "                         default quasi)\n"
       "  --tgt-model=...        a different model for the target program\n"
+      "  --models=all|LIST      cross-model matrix mode: run one refinement\n"
+      "                         check per ordered (source model, target\n"
+      "                         model) pair — 'all' or a comma-separated\n"
+      "                         model list — and print the N x N verdict\n"
+      "                         table. Exit 0 only when every cell refines.\n"
+      "                         Exclusive with --model/--tgt-model; journal,\n"
+      "                         resume, sweep, and metrics cover the whole\n"
+      "                         matrix.\n"
       "  --words=N              address-space size in words\n"
       "  --steps=N              interpreter step budget per run\n"
       "  --input=a,b,c          input tape\n"
@@ -141,6 +155,41 @@ uint64_t hashJobInputs(const std::string &SrcText, const std::string &TgtText,
   return H;
 }
 
+/// Parses the --models list: "all" expands to the registry, otherwise each
+/// comma-separated name resolves through parseModelName, duplicates
+/// dropped while preserving order.
+bool parseMatrixModels(const std::string &Text, std::vector<ModelKind> &Out,
+                       std::string &Error) {
+  std::string Current;
+  for (char C : Text + ",") {
+    if (C != ',') {
+      Current += C;
+      continue;
+    }
+    if (Current.empty())
+      continue;
+    if (Current == "all") {
+      const auto &Kinds = allModelKinds();
+      Out.assign(Kinds.begin(), Kinds.end());
+      Current.clear();
+      continue;
+    }
+    std::optional<ModelKind> M = parseModelName(Current);
+    if (!M) {
+      Error = unknownModelDiagnostic(Current);
+      return false;
+    }
+    if (std::find(Out.begin(), Out.end(), *M) == Out.end())
+      Out.push_back(*M);
+    Current.clear();
+  }
+  if (Out.empty()) {
+    Error = "--models needs at least one model (or 'all')";
+    return false;
+  }
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -198,18 +247,28 @@ int main(int Argc, char **Argv) {
   }
   Job.BaseTgt = Job.BaseSrc;
   if (Cmd.has("tgt-model")) {
-    std::string M = Cmd.get("tgt-model");
-    if (M == "concrete")
-      Job.BaseTgt.Model = ModelKind::Concrete;
-    else if (M == "logical")
-      Job.BaseTgt.Model = ModelKind::Logical;
-    else if (M == "quasi")
-      Job.BaseTgt.Model = ModelKind::QuasiConcrete;
-    else if (M == "eager")
-      Job.BaseTgt.Model = ModelKind::EagerQuasi;
-    else {
-      std::fprintf(stderr, "qcm-check: unknown target model '%s'\n",
-                   M.c_str());
+    if (std::optional<ModelKind> Kind =
+            parseModelName(Cmd.get("tgt-model"))) {
+      Job.BaseTgt.Model = *Kind;
+    } else {
+      std::fprintf(stderr, "qcm-check: %s\n",
+                   unknownModelDiagnostic(Cmd.get("tgt-model")).c_str());
+      return ExitBadInput;
+    }
+  }
+
+  // Matrix mode: --models replaces the single (source, target) model pair
+  // with every ordered pair over the listed models.
+  std::vector<ModelKind> MatrixModels;
+  if (Cmd.has("models")) {
+    if (Cmd.has("model") || Cmd.has("tgt-model")) {
+      std::fprintf(stderr, "qcm-check: --models is exclusive with --model "
+                           "and --tgt-model (the matrix sets both per "
+                           "cell)\n");
+      return ExitBadInput;
+    }
+    if (!parseMatrixModels(Cmd.get("models"), MatrixModels, Error)) {
+      std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
       return ExitBadInput;
     }
   }
@@ -258,6 +317,22 @@ int main(int Argc, char **Argv) {
   StderrProgress Progress;
   if (Cmd.has("progress"))
     Job.Progress = &Progress;
+
+  if (!MatrixModels.empty()) {
+    MatrixReport Matrix = checkRefinementMatrix(Job, MatrixModels);
+    std::printf("%s", Matrix.toString().c_str());
+    if (!finishProfile(Cmd, Error)) {
+      std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
+      return ExitBadInput;
+    }
+    if (Cmd.has("metrics-out") &&
+        !writeMatrixMetricsJson(Cmd.get("metrics-out"), Matrix, "qcm-check",
+                                Error)) {
+      std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
+      return ExitBadInput;
+    }
+    return Matrix.Refines ? ExitSuccess : ExitCheckFailed;
+  }
 
   RefinementReport Report = checkRefinement(Job);
   std::printf("%s", Report.toString().c_str());

@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/QuasiConcrete.h"
+#include "memory/ModelRegistry.h"
 #include "support/Profiler.h"
 #include "tools/ToolSupport.h"
 #include "tools/ValidatedOpt.h"
@@ -57,8 +58,9 @@ void printUsage(std::FILE *Out) {
       "                         after the pipeline (dead cast removal)\n"
       "\n"
       "validation options (see docs/OPTIMIZER.md):\n"
-      "  --validate=MODELS      comma-separated concrete|logical|quasi|eager\n"
-      "                         or 'all'; each changing application is\n"
+      "  --validate=MODELS      comma-separated model short names (see\n"
+      "                         --list-passes for the registry) or 'all';\n"
+      "                         each changing application is\n"
       "                         checked under the requested models the pass\n"
       "                         claims validity for (others are counted as\n"
       "                         skipped, not failed)\n"
@@ -87,9 +89,7 @@ void printPassList() {
     if (Info.Hidden)
       continue;
     std::string Models;
-    for (ModelKind M :
-         {ModelKind::Concrete, ModelKind::Logical, ModelKind::QuasiConcrete,
-          ModelKind::EagerQuasi}) {
+    for (ModelKind M : allModelKinds()) {
       if (!passClaimsValidity(Info.Name, M, Plain))
         continue;
       if (!Models.empty())
@@ -112,15 +112,14 @@ bool parseModels(const std::string &Text, std::vector<ModelKind> &Out,
     if (Current.empty())
       continue;
     if (Current == "all") {
-      Out = {ModelKind::Concrete, ModelKind::Logical, ModelKind::QuasiConcrete,
-             ModelKind::EagerQuasi};
+      const auto &Kinds = allModelKinds();
+      Out.assign(Kinds.begin(), Kinds.end());
       Current.clear();
       continue;
     }
-    std::optional<ModelKind> M = modelFromShortName(Current);
+    std::optional<ModelKind> M = parseModelName(Current);
     if (!M) {
-      Error = "unknown model '" + Current +
-              "' (expected concrete, logical, quasi, eager, or all)";
+      Error = unknownModelDiagnostic(Current);
       return false;
     }
     if (std::find(Out.begin(), Out.end(), *M) == Out.end())

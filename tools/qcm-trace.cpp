@@ -14,7 +14,10 @@
 //   qcm-trace [options] file.qcm
 //
 // Options (run options shared with qcm-run):
-//   --model=concrete|logical|quasi|eager   memory model (default: quasi)
+//   --model=NAME                           memory model short name from the
+//                                          registry: concrete, logical,
+//                                          quasi, eager, or twophase
+//                                          (default: quasi)
 //   --oracle=first|last|random:<seed>      placement oracle (default: first)
 //   --entry=<name>                         entry function (default: main)
 //   --input=v1,v2,...                      input() tape
@@ -46,7 +49,8 @@ int main(int Argc, char **Argv) {
     if (!Error.empty())
       std::fprintf(stderr, "qcm-trace: %s\n", Error.c_str());
     std::fprintf(stderr,
-                 "usage: qcm-trace [--model=concrete|logical|quasi|eager] "
+                 "usage: qcm-trace "
+                 "[--model=concrete|logical|quasi|eager|twophase] "
                  "[--oracle=first|last|random:SEED]\n"
                  "                 [--entry=NAME] [--input=v1,v2,...] "
                  "[--words=N] [--steps=N] [--loose]\n"
