@@ -87,6 +87,25 @@ inline double medianOf(std::vector<double> &Samples) {
   return Samples[Samples.size() / 2];
 }
 
+/// Runs \p Body Repeat times and returns the *fastest* wall time in
+/// seconds. For a deterministic body the minimum is the best estimate of
+/// the true cost — every slower sample is the same work plus scheduler
+/// noise — which matters on the small single-core hosts the perf gates run
+/// on, where a single sample can be 50% preemption. The body is
+/// responsible for resetting any state it accumulates, so every repeat
+/// does identical work.
+template <typename Fn> double bestSeconds(unsigned Repeat, Fn &&Body) {
+  double Best = 0;
+  for (unsigned R = 0; R < std::max(1u, Repeat); ++R) {
+    qcm::Stopwatch Timer;
+    Body();
+    double S = Timer.seconds();
+    if (R == 0 || S < Best)
+      Best = S;
+  }
+  return Best;
+}
+
 /// Runs \p Body Repeat times and returns the median wall time in seconds.
 /// The body is responsible for resetting any state it accumulates, so every
 /// repeat does identical work and the median is meaningful.

@@ -364,40 +364,65 @@ int runJsonScenarios(const qcm_bench::JsonOptions &Options) {
       C.Model = static_cast<ModelKind>(Kind);
       C.MemConfig.AddressWords = 1u << 20;
 
+      // Each row is the *fastest* of Options.Repeat timings of the full
+      // Iters loop (the work is deterministic, so slower samples are pure
+      // scheduler noise); counters come from the last repeat.
       uint64_t Steps = 0;
       ModelStats Stats;
-      Stopwatch Timer;
-      for (unsigned I = 0; I < Iters; ++I) {
-        RunResult R = runCompiled(Module, C);
-        Steps += R.Steps;
-        Stats.accumulate(R.Stats);
-      }
-      Report.add(S.Name, "qir", modelName(Kind), Timer.seconds(), Iters,
+      double Seconds = qcm_bench::bestSeconds(Options.Repeat, [&] {
+        Steps = 0;
+        Stats = ModelStats();
+        for (unsigned I = 0; I < Iters; ++I) {
+          RunResult R = runCompiled(Module, C);
+          Steps += R.Steps;
+          Stats.accumulate(R.Stats);
+        }
+      });
+      Report.add(S.Name, "qir", modelName(Kind), Seconds, Iters, Steps,
+                 Stats);
+
+      // Forced switch dispatch on the same shared module: the delta
+      // against the qir row is what direct threading buys. In
+      // switch-only builds the two rows coincide.
+      RunConfig SwitchC = C;
+      SwitchC.Interp.Dispatch = DispatchMode::Switch;
+      Seconds = qcm_bench::bestSeconds(Options.Repeat, [&] {
+        Steps = 0;
+        Stats = ModelStats();
+        for (unsigned I = 0; I < Iters; ++I) {
+          RunResult R = runCompiled(Module, SwitchC);
+          Steps += R.Steps;
+          Stats.accumulate(R.Stats);
+        }
+      });
+      Report.add(S.Name, "qir-switch", modelName(Kind), Seconds, Iters,
                  Steps, Stats);
 
-      Steps = 0;
-      Stats = ModelStats();
-      Timer.reset();
-      for (unsigned I = 0; I < Iters; ++I) {
-        RunResult R = runAstProgram(*P, C);
-        Steps += R.Steps;
-        Stats.accumulate(R.Stats);
-      }
-      Report.add(S.Name, "ast", modelName(Kind), Timer.seconds(), Iters,
-                 Steps, Stats);
+      Seconds = qcm_bench::bestSeconds(Options.Repeat, [&] {
+        Steps = 0;
+        Stats = ModelStats();
+        for (unsigned I = 0; I < Iters; ++I) {
+          RunResult R = runAstProgram(*P, C);
+          Steps += R.Steps;
+          Stats.accumulate(R.Stats);
+        }
+      });
+      Report.add(S.Name, "ast", modelName(Kind), Seconds, Iters, Steps,
+                 Stats);
 
       // Fresh compilation per run: what a caller pays when it cannot
       // reuse the module. The delta against the qir row is compile cost.
-      Steps = 0;
-      Stats = ModelStats();
-      Timer.reset();
-      for (unsigned I = 0; I < Iters; ++I) {
-        RunResult R = runProgram(*P, C);
-        Steps += R.Steps;
-        Stats.accumulate(R.Stats);
-      }
+      Seconds = qcm_bench::bestSeconds(Options.Repeat, [&] {
+        Steps = 0;
+        Stats = ModelStats();
+        for (unsigned I = 0; I < Iters; ++I) {
+          RunResult R = runProgram(*P, C);
+          Steps += R.Steps;
+          Stats.accumulate(R.Stats);
+        }
+      });
       Report.add(S.Name + std::string("_fresh"), "qir", modelName(Kind),
-                 Timer.seconds(), Iters, Steps, Stats);
+                 Seconds, Iters, Steps, Stats);
     }
   }
   if (int Err = runMemoryScenarios(Options, Report))

@@ -77,6 +77,10 @@ public:
     F.Code[RetIdx].StmtStart = true; // the walker's frame-pop step
     F.NumSlots = static_cast<uint32_t>(F.SlotNames.size());
     resolveLabels();
+    computeMaxEvalDepth();
+    for (uint32_t S = 0; S < F.NumDeclaredSlots; ++S)
+      if (F.SlotTypes[S] == Type::Ptr)
+        F.PtrSlots.push_back(S);
   }
 
 private:
@@ -151,6 +155,23 @@ private:
     F.BlockStarts.erase(
         std::unique(F.BlockStarts.begin(), F.BlockStarts.end()),
         F.BlockStarts.end());
+  }
+
+  /// Linear depth scan. The eval stack is empty at every statement
+  /// boundary and every block start, and flow within a statement is
+  /// straight-line, so resetting the running depth at those points makes
+  /// the scan exact — validateModule cross-checks it with a full dataflow.
+  void computeMaxEvalDepth() {
+    int Depth = 0, Max = 0;
+    for (uint32_t PC = 0; PC < F.Code.size(); ++PC) {
+      if (F.Code[PC].StmtStart ||
+          std::binary_search(F.BlockStarts.begin(), F.BlockStarts.end(), PC))
+        Depth = 0;
+      Depth += stackDelta(F.Code[PC]);
+      Depth = std::max(Depth, 0); // Trap/Ret: no fall-through
+      Max = std::max(Max, Depth);
+    }
+    F.MaxEvalDepth = static_cast<uint32_t>(Max);
   }
 
   void compileExp(const Exp &E) {

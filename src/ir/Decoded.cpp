@@ -1,0 +1,486 @@
+//===- ir/Decoded.cpp - Block translation and superinstruction fusion -----===//
+//
+// The decode/translate step of the direct-threaded engine: one straight-line
+// QIR run in, one DInstr array out. The peephole below is the single place
+// fusion decisions are made; InterpThreaded.cpp only executes what this
+// file emitted. See Decoded.h for the block-boundary and gate rules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Decoded.h"
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace qcm;
+using namespace qcm::qir;
+
+void DispatchStats::accumulate(const DispatchStats &Other) {
+  BlocksTranslated += Other.BlocksTranslated;
+  InstrsTranslated += Other.InstrsTranslated;
+  BlockCacheHits += Other.BlockCacheHits;
+  FusedLoadBinop += Other.FusedLoadBinop;
+  FusedConstBinop += Other.FusedConstBinop;
+  FusedCmpBranch += Other.FusedCmpBranch;
+  FusedConstStore += Other.FusedConstStore;
+  FusedPushArgCall += Other.FusedPushArgCall;
+  FusedAluStore += Other.FusedAluStore;
+}
+
+std::string DispatchStats::toJson() const {
+  JsonObject O;
+  O.field("blocks_translated", BlocksTranslated);
+  O.field("instrs_translated", InstrsTranslated);
+  O.field("block_cache_hits", BlockCacheHits);
+  O.field("fused_load_binop", FusedLoadBinop);
+  O.field("fused_const_binop", FusedConstBinop);
+  O.field("fused_cmp_branch", FusedCmpBranch);
+  O.field("fused_const_store", FusedConstStore);
+  O.field("fused_push_arg_call", FusedPushArgCall);
+  O.field("fused_alu_store", FusedAluStore);
+  return O.str();
+}
+
+std::string DispatchStats::toString() const {
+  auto Row = [](const char *Name, uint64_t V) {
+    std::string Line = "  ";
+    Line += Name;
+    if (Line.size() < 24)
+      Line.resize(24, ' ');
+    Line += std::to_string(V);
+    Line += "\n";
+    return Line;
+  };
+  std::string S;
+  S += Row("blocks translated", BlocksTranslated);
+  S += Row("instrs translated", InstrsTranslated);
+  S += Row("block cache hits", BlockCacheHits);
+  S += Row("fused load+binop", FusedLoadBinop);
+  S += Row("fused const+binop", FusedConstBinop);
+  S += Row("fused cmp+branch", FusedCmpBranch);
+  S += Row("fused const+store", FusedConstStore);
+  S += Row("fused push-arg+call", FusedPushArgCall);
+  S += Row("fused alu+store", FusedAluStore);
+  return S;
+}
+
+const char *qcm::qir::dopName(DOp O) {
+  switch (O) {
+  case DOp::Gate:
+    return "gate";
+  case DOp::PushConst:
+    return "push_const";
+  case DOp::PushSlotDeclared:
+    return "push_slot";
+  case DOp::PushSlotHidden:
+    return "push_slot_hidden";
+  case DOp::PushGlobal:
+    return "push_global";
+  case DOp::Binary:
+    return "binary";
+  case DOp::StoreSlotDeclared:
+    return "store_slot";
+  case DOp::StoreSlotHidden:
+    return "store_slot_hidden";
+  case DOp::Drop:
+    return "drop";
+  case DOp::LoadMem:
+    return "load_mem";
+  case DOp::StoreMem:
+    return "store_mem";
+  case DOp::Malloc:
+    return "malloc";
+  case DOp::FreeMem:
+    return "free_mem";
+  case DOp::Cast:
+    return "cast";
+  case DOp::Input:
+    return "input";
+  case DOp::Output:
+    return "output";
+  case DOp::Trap:
+    return "trap";
+  case DOp::Call:
+    return "call";
+  case DOp::CallExtern:
+    return "call_extern";
+  case DOp::Jump:
+    return "jump";
+  case DOp::JumpIfZero:
+    return "jump_if_zero";
+  case DOp::Ret:
+    return "ret";
+  case DOp::PushSlotBinary:
+    return "push_slot+binary";
+  case DOp::PushConstBinary:
+    return "push_const+binary";
+  case DOp::PushConstStoreSlot:
+    return "push_const+store_slot";
+  case DOp::PushSlotCall:
+    return "push_slot+call";
+  case DOp::PushSlotJumpIfZero:
+    return "push_slot+jump_if_zero";
+  case DOp::BinaryJumpIfZero:
+    return "binary+jump_if_zero";
+  case DOp::SlotSlotBinaryStore:
+    return "slot_slot_binary_store";
+  case DOp::SlotConstBinaryStore:
+    return "slot_const_binary_store";
+  case DOp::NumDOps:
+    break;
+  }
+  return "?";
+}
+
+bool TranslationCache::ensure(const QirModule *Mod, bool TypeChecksActive) {
+  if (M == Mod && TypeChecks == TypeChecksActive &&
+      Fns.size() == Mod->Functions.size())
+    return true;
+  M = Mod;
+  TypeChecks = TypeChecksActive;
+  Fns.clear();
+  Fns.resize(Mod->Functions.size());
+  return false;
+}
+
+const DecodedBlock *
+TranslationCache::translateMissing(size_t FnIdx, uint32_t PC,
+                                   const void *const *Labels,
+                                   DispatchStats &Stats) {
+  assert(M && "translation cache not configured");
+  const QFunction &Fn = M->Functions[FnIdx];
+  FunctionCache &FC = Fns[FnIdx];
+  if (!FC.Translated) {
+    // First entry into the function: translate every statically-enterable
+    // block — the entry, the validator's BlockStarts, and each post-call
+    // resume point — then link them all, so every terminator's successors
+    // resolve to direct pointers.
+    std::vector<uint32_t> Entries;
+    Entries.push_back(0);
+    Entries.insert(Entries.end(), Fn.BlockStarts.begin(),
+                   Fn.BlockStarts.end());
+    for (uint32_t At = 0; At + 1 < Fn.Code.size(); ++At)
+      if (Fn.Code[At].Opcode == Op::Call ||
+          Fn.Code[At].Opcode == Op::CallExtern)
+        Entries.push_back(At + 1);
+    std::sort(Entries.begin(), Entries.end());
+    Entries.erase(std::unique(Entries.begin(), Entries.end()), Entries.end());
+    for (uint32_t E : Entries)
+      translateBlock(FnIdx, E, Labels, Stats);
+    for (uint32_t E : Entries)
+      linkBlock(FC, *FC.ByPC[E]);
+    FC.Translated = true;
+  }
+  if (const DecodedBlock *B = PC < FC.ByPC.size() ? FC.ByPC[PC].get()
+                                                  : nullptr)
+    return B;
+  // A PC outside the static entry set: a frame the switch loop created
+  // mid-function, resumed here. Its successors are all in the entry set,
+  // so the lazy block links immediately.
+  DecodedBlock *B = translateBlock(FnIdx, PC, Labels, Stats);
+  linkBlock(FC, *B);
+  return B;
+}
+
+void TranslationCache::linkBlock(FunctionCache &FC, DecodedBlock &B) {
+  auto Target = [&](uint32_t PC) -> const DInstr * {
+    const DecodedBlock *TB = FC.ByPC[PC].get();
+    assert(TB && "link target was not translated");
+    return TB->Code.data();
+  };
+  DInstr &Term = B.Code.back();
+  switch (Term.Opcode) {
+  case DOp::Jump:
+    Term.T0 = Target(Term.A);
+    break;
+  case DOp::JumpIfZero:
+    Term.T0 = Target(Term.A);
+    Term.T1 = Target(Term.C);
+    break;
+  case DOp::PushSlotJumpIfZero:
+  case DOp::BinaryJumpIfZero:
+    Term.T0 = Target(Term.B);
+    Term.T1 = Target(Term.C);
+    break;
+  case DOp::Call:
+  case DOp::PushSlotCall:
+  case DOp::CallExtern:
+    // The caller-side resume point; the callee's entry is cross-function
+    // and resolved through block() at call time.
+    Term.T1 = Target(Term.C);
+    break;
+  default: // Ret, Trap: no successors.
+    break;
+  }
+}
+
+DecodedBlock *TranslationCache::translateBlock(size_t FnIdx, uint32_t EntryPC,
+                                               const void *const *Labels,
+                                               DispatchStats &Stats) {
+  const QFunction &Fn = M->Functions[FnIdx];
+  FunctionCache &FC = Fns[FnIdx];
+  if (FC.ByPC.size() < Fn.Code.size())
+    FC.ByPC.resize(Fn.Code.size());
+  if (DecodedBlock *Existing = FC.ByPC[EntryPC].get())
+    return Existing;
+
+  auto Block = std::make_unique<DecodedBlock>();
+  std::vector<DInstr> &Out = Block->Code;
+  auto Emit = [&](DOp O) -> DInstr & {
+    DInstr DI;
+    DI.Opcode = O;
+    DI.Label = Labels[static_cast<size_t>(O)];
+    Out.push_back(DI);
+    return Out.back();
+  };
+  // Hidden-bit index of a dest slot, folded into D so the executor never
+  // re-derives it; DFlagDestHidden gates its use.
+  auto DestFlags = [&](uint32_t Slot, DInstr &DI) {
+    if (Slot != NoSlot && Slot >= Fn.NumDeclaredSlots) {
+      DI.Aux2 |= DFlagDestHidden;
+      DI.D = Slot - Fn.NumDeclaredSlots;
+    }
+  };
+
+  uint32_t PC = EntryPC;
+  for (bool Done = false; !Done;) {
+    assert(PC < Fn.Code.size() && "translation ran off the code");
+    const QInstr &I = Fn.Code[PC];
+    if (I.StmtStart)
+      // C = the statement's own PC: the signal paths pin the frame there,
+      // so a cut-off run's frame state matches the switch loop's.
+      Emit(DOp::Gate).C = PC;
+    // Fusion candidates: the following instruction, unless it opens the
+    // next statement (a gate must sit between the two ops) — which also
+    // keeps fusion inside one basic block, since every jump target is a
+    // statement boundary.
+    const QInstr *Next = PC + 1 < Fn.Code.size() ? &Fn.Code[PC + 1] : nullptr;
+    if (Next && Next->StmtStart)
+      Next = nullptr;
+    uint32_t Consumed = 1;
+
+    switch (I.Opcode) {
+    case Op::PushConst:
+      if (Next && Next->Opcode == Op::Binary) {
+        DInstr &DI = Emit(DOp::PushConstBinary);
+        DI.A = I.A;
+        DI.Aux = Next->Aux;
+        ++Stats.FusedConstBinop;
+        Consumed = 2;
+        break;
+      }
+      if (Next && Next->Opcode == Op::StoreSlot &&
+          Next->A < Fn.NumDeclaredSlots) {
+        DInstr &DI = Emit(DOp::PushConstStoreSlot);
+        DI.A = I.A;
+        DI.B = Next->A;
+        ++Stats.FusedConstStore;
+        Consumed = 2;
+        break;
+      }
+      Emit(DOp::PushConst).A = I.A;
+      break;
+
+    case Op::PushSlot:
+      if (I.A < Fn.NumDeclaredSlots) {
+        // Quad fusion first (greedy pairs would strand the store): a whole
+        // `d = a op b` / `d = a op const` statement into a declared slot
+        // becomes one three-address op. All three follow-on instructions
+        // must sit inside this statement (no StmtStart), which also keeps
+        // the quad inside the basic block.
+        const QInstr *N2 = PC + 3 < Fn.Code.size() && !Fn.Code[PC + 2].StmtStart
+                               ? &Fn.Code[PC + 2]
+                               : nullptr;
+        const QInstr *N3 =
+            N2 && !Fn.Code[PC + 3].StmtStart ? &Fn.Code[PC + 3] : nullptr;
+        if (Next && N3 && N2->Opcode == Op::Binary &&
+            N3->Opcode == Op::StoreSlot && N3->A < Fn.NumDeclaredSlots &&
+            (Next->Opcode == Op::PushConst ||
+             (Next->Opcode == Op::PushSlot && Next->A < Fn.NumDeclaredSlots))) {
+          DInstr &DI = Emit(Next->Opcode == Op::PushSlot
+                                ? DOp::SlotSlotBinaryStore
+                                : DOp::SlotConstBinaryStore);
+          DI.A = I.A;
+          DI.B = Next->A;
+          DI.Aux = N2->Aux;
+          DI.C = N3->A;
+          ++Stats.FusedAluStore;
+          Consumed = 4;
+          break;
+        }
+        if (Next && Next->Opcode == Op::Binary) {
+          DInstr &DI = Emit(DOp::PushSlotBinary);
+          DI.A = I.A;
+          DI.Aux = Next->Aux;
+          ++Stats.FusedLoadBinop;
+          Consumed = 2;
+          break;
+        }
+        if (Next && Next->Opcode == Op::JumpIfZero) {
+          DInstr &DI = Emit(DOp::PushSlotJumpIfZero);
+          DI.A = I.A;
+          DI.B = Next->A;
+          DI.C = PC + 2;
+          DI.D = Next->B;
+          ++Stats.FusedCmpBranch;
+          Consumed = 2;
+          Done = true;
+          break;
+        }
+        if (Next && Next->Opcode == Op::Call) {
+          DInstr &DI = Emit(DOp::PushSlotCall);
+          DI.A = I.A;
+          DI.B = Next->A;
+          DI.C = PC + 2;
+          DI.D = Next->B;
+          ++Stats.FusedPushArgCall;
+          Consumed = 2;
+          Done = true;
+          break;
+        }
+        Emit(DOp::PushSlotDeclared).A = I.A;
+        break;
+      }
+      {
+        DInstr &DI = Emit(DOp::PushSlotHidden);
+        DI.A = I.A;
+        DI.B = I.A - Fn.NumDeclaredSlots;
+      }
+      break;
+
+    case Op::PushGlobal:
+      Emit(DOp::PushGlobal).A = I.A;
+      break;
+
+    case Op::Binary:
+      if (Next && Next->Opcode == Op::JumpIfZero) {
+        DInstr &DI = Emit(DOp::BinaryJumpIfZero);
+        DI.Aux = I.Aux;
+        DI.B = Next->A;
+        DI.C = PC + 2;
+        DI.D = Next->B;
+        ++Stats.FusedCmpBranch;
+        Consumed = 2;
+        Done = true;
+        break;
+      }
+      Emit(DOp::Binary).Aux = I.Aux;
+      break;
+
+    case Op::Trap:
+      Emit(DOp::Trap).A = I.A;
+      Done = true;
+      break;
+
+    case Op::StoreSlot:
+      if (I.A < Fn.NumDeclaredSlots) {
+        Emit(DOp::StoreSlotDeclared).A = I.A;
+      } else {
+        DInstr &DI = Emit(DOp::StoreSlotHidden);
+        DI.A = I.A;
+        DI.B = I.A - Fn.NumDeclaredSlots;
+      }
+      break;
+
+    case Op::Drop:
+      Emit(DOp::Drop);
+      break;
+
+    case Op::LoadMem: {
+      DInstr &DI = Emit(DOp::LoadMem);
+      DI.A = I.A;
+      DI.B = I.B;
+      DI.Aux = I.Aux;
+      if (TypeChecks)
+        DI.Aux2 |= DFlagTypeCheck;
+      DestFlags(I.A, DI);
+      break;
+    }
+
+    case Op::StoreMem:
+      Emit(DOp::StoreMem);
+      break;
+
+    case Op::Malloc: {
+      DInstr &DI = Emit(DOp::Malloc);
+      DI.A = I.A;
+      DestFlags(I.A, DI);
+      break;
+    }
+
+    case Op::FreeMem:
+      Emit(DOp::FreeMem);
+      break;
+
+    case Op::Cast: {
+      DInstr &DI = Emit(DOp::Cast);
+      DI.A = I.A;
+      DI.Aux = I.Aux;
+      DestFlags(I.A, DI);
+      break;
+    }
+
+    case Op::Input: {
+      DInstr &DI = Emit(DOp::Input);
+      DI.A = I.A;
+      DestFlags(I.A, DI);
+      break;
+    }
+
+    case Op::Output:
+      Emit(DOp::Output);
+      break;
+
+    case Op::Call: {
+      DInstr &DI = Emit(DOp::Call);
+      DI.A = I.A;
+      DI.B = I.B;
+      DI.C = PC + 1;
+      Done = true;
+      break;
+    }
+
+    case Op::CallExtern: {
+      DInstr &DI = Emit(DOp::CallExtern);
+      DI.A = I.A;
+      DI.B = I.B;
+      DI.C = PC + 1;
+      Done = true;
+      break;
+    }
+
+    case Op::Jump:
+      Emit(DOp::Jump).A = I.A;
+      Done = true;
+      break;
+
+    case Op::JumpIfZero: {
+      DInstr &DI = Emit(DOp::JumpIfZero);
+      DI.A = I.A;
+      DI.B = I.B;
+      DI.C = PC + 1;
+      Done = true;
+      break;
+    }
+
+    case Op::EnterSeq:
+      // The statement step was the whole instruction; the gate above
+      // carries it.
+      break;
+
+    case Op::Ret:
+      Emit(DOp::Ret);
+      Done = true;
+      break;
+    }
+
+    Stats.InstrsTranslated += Consumed;
+    PC += Consumed;
+  }
+
+  ++Stats.BlocksTranslated;
+  FC.ByPC[EntryPC] = std::move(Block);
+  return FC.ByPC[EntryPC].get();
+}

@@ -1,0 +1,256 @@
+//===- ir/Decoded.h - Direct-threaded decoded blocks ------------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decoded representation behind the Machine's direct-threaded dispatch
+/// mode. QIR stays the portable, validated program form; this layer is a
+/// per-machine execution cache over it, in the style of a baseline
+/// translator: straight-line runs of bytecode are decoded block-at-a-time
+/// into arrays of pre-resolved operands plus computed-goto label addresses,
+/// keyed on their entry PC, and executed without touching the QInstr stream
+/// again until control leaves the block.
+///
+/// What translation does, beyond copying operands:
+///
+///  * **Statement gates.** Every StmtStart instruction is preceded by one
+///    synthetic Gate op carrying the fuel check, watchdog poll, and step
+///    increment of the switch loop's statement-boundary preamble. Gates are
+///    emitted per source statement, never per fused pair, so the step
+///    counter and the step-limit/timeout cutoffs land on exactly the same
+///    statement index as the unfused engines.
+///  * **Specialization.** Slot accesses are split into declared forms (no
+///    init check) and hidden forms (init-bit check), and the LoadMem
+///    dynamic type check (Section 6.1) is resolved to a flag at translate
+///    time — which is why a cache is keyed on the (module, discipline,
+///    model) triple and not the module alone.
+///  * **Superinstruction fusion.** A peephole over adjacent decoded ops
+///    forms the hot pairs (load+binop, const+binop, cmp+branch,
+///    const+store, push-arg+call) and collapses whole three-address ALU
+///    statements (`d = a op b`, `d = a op const` into declared slots) to a
+///    single quad op. Fusion never crosses a statement gate: a fusion is
+///    only formed when none of its follow-on instructions is a StmtStart,
+///    so observable step accounting is unchanged by construction.
+///
+/// Blocks terminate at control transfers (Jump, JumpIfZero, Ret, Trap) and
+/// at calls — Call/CallExtern do not split QIR basic blocks, but the
+/// executor must be able to resume at the post-call PC, so decoded blocks
+/// end there. Translation may run across a join point (a jump target
+/// reached by fall-through); the target merely gets its own decoded block
+/// when it is also entered by a jump, trading a little duplication for
+/// longer straight-line runs.
+///
+/// **Block linking.** Functions translate eagerly on first entry: every
+/// statically-enterable PC (function entry, the validator's BlockStarts,
+/// every post-call resume point) gets its block up front, and a link pass
+/// then resolves each terminator's successor PCs into direct `DInstr`
+/// pointers (T0/T1). Intra-function control transfers — jumps, both arms
+/// of a conditional branch, the caller's post-call resume — thereby skip
+/// the PC-keyed cache lookup entirely: a branch is one indirect goto into
+/// the target block's code. Only function entry from outside (run start,
+/// post-extern resume) and cross-function calls consult the PC-keyed
+/// table, and a frame created by the *switch* loop mid-function (no link
+/// state) falls back to a lazily translated, then linked, block.
+///
+/// The cache lives inside one Machine and is *not* shared: label addresses
+/// are only meaningful to the interpreter loop that produced them, and
+/// per-machine ownership keeps translation lock-free. Machine::reset keeps
+/// the cache when the module and discipline are unchanged, which is what
+/// makes translations survive ExecState's machine reuse across grid items.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_IR_DECODED_H
+#define QCM_IR_DECODED_H
+
+#include "ir/Qir.h"
+
+#include <memory>
+#include <vector>
+
+namespace qcm {
+namespace qir {
+
+/// Translation-cache telemetry, ModelStats-style: plain counters cheap
+/// enough to maintain unconditionally. Translate-time counters (blocks,
+/// instructions, fused pairs) advance when a block is decoded; the cache-hit
+/// counter advances once per block dispatch that found its translation.
+/// All-zero under switch dispatch (nothing is ever translated there).
+struct DispatchStats {
+  uint64_t BlocksTranslated = 0;
+  /// Source QIR instructions consumed by translation (fused pairs count 2).
+  uint64_t InstrsTranslated = 0;
+  uint64_t BlockCacheHits = 0;
+  /// Fused pairs by kind, counted at translate time.
+  uint64_t FusedLoadBinop = 0;   ///< PushSlot + Binary
+  uint64_t FusedConstBinop = 0;  ///< PushConst + Binary
+  uint64_t FusedCmpBranch = 0;   ///< {Binary, PushSlot} + JumpIfZero
+  uint64_t FusedConstStore = 0;  ///< PushConst + StoreSlot
+  uint64_t FusedPushArgCall = 0; ///< PushSlot + Call
+  /// Whole three-address ALU statements (push, push, binop, store into a
+  /// declared slot) collapsed to one op; counts quads, not pairs.
+  uint64_t FusedAluStore = 0;
+
+  uint64_t fusedTotal() const {
+    return FusedLoadBinop + FusedConstBinop + FusedCmpBranch +
+           FusedConstStore + FusedPushArgCall + FusedAluStore;
+  }
+  bool empty() const {
+    return BlocksTranslated == 0 && BlockCacheHits == 0;
+  }
+  /// Sums \p Other into this (aggregation across runs and reports).
+  void accumulate(const DispatchStats &Other);
+  /// {"blocks_translated":...,"fused_load_binop":...,...}
+  std::string toJson() const;
+  /// Aligned human-readable rows, one counter per line.
+  std::string toString() const;
+};
+
+/// Decoded opcodes. The undecorated ops mirror qir::Op one-to-one (minus
+/// EnterSeq, whose only job — the statement step — is carried by its Gate);
+/// the suffixed and fused forms are translate-time specializations.
+enum class DOp : uint8_t {
+  Gate, ///< Statement boundary: fuel check, watchdog poll, ++Steps.
+  PushConst,
+  PushSlotDeclared,
+  PushSlotHidden,
+  PushGlobal,
+  Binary,
+  StoreSlotDeclared,
+  StoreSlotHidden,
+  Drop,
+  LoadMem,
+  StoreMem,
+  Malloc,
+  FreeMem,
+  Cast,
+  Input,
+  Output,
+  // Terminators: every decoded block ends with exactly one of these (or a
+  // fused form of one).
+  Trap,
+  Call,
+  CallExtern,
+  Jump,
+  JumpIfZero,
+  Ret,
+  // Fused superinstructions.
+  PushSlotBinary,     ///< load+binop
+  PushConstBinary,    ///< const+binop
+  PushConstStoreSlot, ///< const+store
+  PushSlotCall,       ///< push-arg+call (terminator)
+  PushSlotJumpIfZero, ///< cmp+branch on a slot (terminator)
+  BinaryJumpIfZero,   ///< cmp+branch on a computed value (terminator)
+  // Quad fusions: a whole `d = a op b` statement as one three-address op.
+  SlotSlotBinaryStore,  ///< Slots[C] = Slots[A] op Slots[B]
+  SlotConstBinaryStore, ///< Slots[C] = Slots[A] op Consts[B]
+  NumDOps,
+};
+
+const char *dopName(DOp O);
+
+/// Aux2 flag bits.
+inline constexpr uint8_t DFlagTypeCheck = 1; ///< LoadMem: Section 6.1 check.
+inline constexpr uint8_t DFlagDestHidden = 2; ///< Dest slot is hidden.
+
+/// One decoded instruction: the computed-goto label first (the dispatch
+/// load), then pre-resolved operands. Field meaning is per-DOp; see
+/// InterpThreaded.cpp. By convention A/B/Aux carry the source QInstr's
+/// operands, C carries a successor PC (fall-through or post-call resume;
+/// for Gate, its own statement PC so the cold signal paths can pin the
+/// frame's PC), and D carries the second operand set a fusion needs
+/// (argc, fault message, hidden-bit index). T0/T1 are the link pass's
+/// direct successor pointers: the branch-taken and fall-through targets
+/// of the jump forms, and the caller-side post-call resume point of the
+/// call forms (in T1).
+struct DInstr {
+  const void *Label = nullptr;
+  const DInstr *T0 = nullptr;
+  const DInstr *T1 = nullptr;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
+  uint32_t D = 0;
+  DOp Opcode = DOp::Ret;
+  uint8_t Aux = 0;
+  uint8_t Aux2 = 0;
+};
+
+/// One translated straight-line run, keyed by its entry PC.
+struct DecodedBlock {
+  std::vector<DInstr> Code;
+};
+
+/// Per-machine translation cache: one block table per function, indexed by
+/// entry PC, filled eagerly (with all blocks cross-linked) on the first
+/// entry into the function. Invalidation is wholesale — the compiled
+/// module or the discipline changed — mirroring how QIR modules themselves
+/// are immutable once compiled.
+class TranslationCache {
+public:
+  /// Revalidates the cache for \p M under \p TypeChecksActive (the
+  /// Section 6.1 LoadMem check: Static discipline on a non-concrete
+  /// model). A mismatch drops every translation. Returns true when the
+  /// existing translations were kept — on false, any link-derived pointers
+  /// held outside the cache (frame resume points) are dangling and must be
+  /// cleared by the caller.
+  bool ensure(const QirModule *M, bool TypeChecksActive);
+
+  /// The decoded, linked block entered at \p PC of function \p FnIdx,
+  /// translating the whole function (or, for a PC outside the static
+  /// entry set, one extra block) on demand. This is the executor's single
+  /// entry point; \p Labels maps each DOp to its computed-goto label in
+  /// the executing loop, \p Stats receives the telemetry.
+  const DecodedBlock *block(size_t FnIdx, uint32_t PC,
+                            const void *const *Labels, DispatchStats &Stats) {
+    FunctionCache &FC = Fns[FnIdx];
+    if (FC.Translated && PC < FC.ByPC.size())
+      if (const DecodedBlock *B = FC.ByPC[PC].get()) {
+        ++Stats.BlockCacheHits;
+        return B;
+      }
+    return translateMissing(FnIdx, PC, Labels, Stats);
+  }
+
+  /// The decoded block entered at \p PC of function \p FnIdx, or null when
+  /// not yet translated (telemetry-neutral peek).
+  const DecodedBlock *lookup(size_t FnIdx, uint32_t PC) const {
+    const FunctionCache &FC = Fns[FnIdx];
+    return PC < FC.ByPC.size() ? FC.ByPC[PC].get() : nullptr;
+  }
+
+private:
+  struct FunctionCache {
+    std::vector<std::unique_ptr<DecodedBlock>> ByPC;
+    bool Translated = false;
+  };
+
+  /// Cold path of block(): eagerly translates and links every
+  /// statically-enterable block of the function on its first entry, plus
+  /// a lazy linked block for \p PC when it sits outside that entry set (a
+  /// frame the switch loop left mid-function).
+  const DecodedBlock *translateMissing(size_t FnIdx, uint32_t PC,
+                                       const void *const *Labels,
+                                       DispatchStats &Stats);
+
+  /// Translates the single block entered at \p PC into FC.ByPC[PC].
+  DecodedBlock *translateBlock(size_t FnIdx, uint32_t PC,
+                               const void *const *Labels,
+                               DispatchStats &Stats);
+
+  /// Resolves the terminator's successor PCs into direct pointers. Every
+  /// successor must already be translated.
+  void linkBlock(FunctionCache &FC, DecodedBlock &B);
+
+  const QirModule *M = nullptr;
+  bool TypeChecks = false;
+  std::vector<FunctionCache> Fns;
+};
+
+} // namespace qir
+} // namespace qcm
+
+#endif // QCM_IR_DECODED_H

@@ -147,10 +147,8 @@ std::string QirModule::toString() const {
 // Validation
 //===----------------------------------------------------------------------===//
 
-namespace {
-
 /// Net eval-stack effect of one instruction; Trap/Ret never fall through.
-int stackDelta(const QInstr &I) {
+int qcm::qir::stackDelta(const QInstr &I) {
   switch (I.Opcode) {
   case Op::PushConst:
   case Op::PushSlot:
@@ -180,6 +178,8 @@ int stackDelta(const QInstr &I) {
   }
   return 0;
 }
+
+namespace {
 
 std::string validateFunction(const QirModule &M, const QFunction &F) {
   auto Where = [&](uint32_t PC) {
@@ -278,6 +278,7 @@ std::string validateFunction(const QirModule &M, const QFunction &F) {
     }
     return "";
   };
+  int MaxDepth = 0;
   while (!Work.empty()) {
     uint32_t PC = Work.front();
     Work.pop_front();
@@ -290,6 +291,7 @@ std::string validateFunction(const QirModule &M, const QFunction &F) {
     int After = Before + stackDelta(I);
     if (After < 0)
       return Where(PC) + "eval stack underflows";
+    MaxDepth = std::max(MaxDepth, After);
     std::string Err;
     switch (I.Opcode) {
     case Op::Trap:
@@ -313,6 +315,12 @@ std::string validateFunction(const QirModule &M, const QFunction &F) {
     if (!Err.empty())
       return Where(PC) + Err;
   }
+  // The executor trusts MaxEvalDepth to bound every push: an undersized
+  // declaration would let the flat eval stack overflow its reservation.
+  if (static_cast<int>(F.MaxEvalDepth) < MaxDepth)
+    return "function '" + F.Name + "': MaxEvalDepth " +
+           std::to_string(F.MaxEvalDepth) + " is below the reachable depth " +
+           std::to_string(MaxDepth);
   return "";
 }
 

@@ -120,6 +120,11 @@ struct QInstr {
   const Instr *Origin = nullptr;
 };
 
+/// Net eval-stack effect of one instruction (pushes minus pops); Trap and
+/// Ret never fall through so their value is immaterial. Used by the
+/// compiler to size MaxEvalDepth and by the validator to check it.
+int stackDelta(const QInstr &I);
+
 /// One compiled function.
 struct QFunction {
   std::string Name;
@@ -142,6 +147,15 @@ struct QFunction {
   /// Sorted instruction indices opening each basic block (entry, jump
   /// targets, fall-throughs after jumps).
   std::vector<uint32_t> BlockStarts;
+  /// Peak eval-stack depth any statement of this function reaches, computed
+  /// at compile time. The executor reserves this much stack headroom when a
+  /// frame is pushed, which is what lets both dispatch loops run pushes and
+  /// pops against a flat buffer with no per-push capacity checks.
+  uint32_t MaxEvalDepth = 0;
+  /// Indices of the ptr-typed declared slots, precomputed so a frame push
+  /// under a logical-NULL value domain patches exactly these instead of
+  /// re-scanning SlotTypes per call.
+  std::vector<uint32_t> PtrSlots;
 };
 
 /// A compiled program. References the source Program (AST) it was compiled

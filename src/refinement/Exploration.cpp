@@ -67,6 +67,12 @@ qcm::exploreIndexed(size_t Count, const ExplorationOptions &Options,
 
   unsigned Jobs = static_cast<unsigned>(
       std::min<size_t>(Options.effectiveJobs(), Count));
+  // Small grids run inline regardless of the requested parallelism: below
+  // the threshold the pool's startup and merge-handoff costs dominate the
+  // work itself. Same items, same merge order — only the timing sections of
+  // the metrics can tell the difference.
+  if (Count < Options.InlineThreshold)
+    Jobs = 1;
   Summary.Pool.Jobs = std::max(1u, Jobs);
   Summary.Pool.Workers.resize(Summary.Pool.Jobs);
   Stopwatch Wall;

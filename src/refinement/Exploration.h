@@ -51,6 +51,14 @@ struct ExplorationOptions {
   /// still stops early on instantiation errors, but explores every grid
   /// point so reports show complete behavior sets.
   bool FailFast = false;
+  /// Explorations with fewer items than this run on the calling thread even
+  /// when Jobs > 1: paper-scale grids finish in tens of milliseconds, where
+  /// thread startup and the in-order merge handoff cost more than the work
+  /// (on a single-core host, strictly more). Reports are byte-identical
+  /// either way — the serial path is the same merge in the same order — and
+  /// PoolMetrics.Jobs records 1 so the inlining is visible in metrics.
+  /// 0 disables inlining (tests that pin pool behavior set this).
+  size_t InlineThreshold = 1024;
 
   /// Jobs with 0 resolved to the hardware default.
   unsigned effectiveJobs() const {

@@ -106,6 +106,7 @@ struct SweepCellResult {
   uint64_t TimedOut = 0;
   bool Capped = false;
   ModelStats Stats;
+  qir::DispatchStats Dispatch;
 };
 
 void runExhaustionSweep(const RefinementJob &Job,
@@ -184,6 +185,7 @@ void runExhaustionSweep(const RefinementJob &Job,
           RunResult R = Slots[Slot].run(Cell.Module, C);
           ++Out.Probes;
           Out.Stats.accumulate(R.Stats);
+          Out.Dispatch.accumulate(R.Dispatch);
           if (R.TimedOut)
             ++Out.TimedOut;
           const bool FiredNow =
@@ -205,6 +207,7 @@ void runExhaustionSweep(const RefinementJob &Job,
         ContextWork &W = Work[Cell.CtxIdx];
         Report.InjectedRuns += Out.Probes;
         Report.AggregateStats.accumulate(Out.Stats);
+        Report.AggregateDispatch.accumulate(Out.Dispatch);
         Report.TimedOutRuns += Out.TimedOut;
         W.CR.TimedOutRuns += Out.TimedOut;
         if (Out.Capped)
@@ -360,6 +363,7 @@ RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
         ContextWork &W = Work[Origin.ContextIdx];
         LastMergedCtx = Origin.ContextIdx;
         Report.AggregateStats.accumulate(R.Stats);
+        Report.AggregateDispatch.accumulate(R.Dispatch);
         const bool Oom =
             R.Behav.BehaviorKind == Behavior::Kind::OutOfMemory;
         if (R.TimedOut) {
@@ -533,6 +537,7 @@ MatrixReport qcm::checkRefinementMatrix(const RefinementJob &Base,
       M.InjectedRuns += Cell.Report.InjectedRuns;
       M.AggregateStats.accumulate(Cell.Report.AggregateStats);
       M.Pool.accumulate(Cell.Report.Pool);
+      M.AggregateDispatch.accumulate(Cell.Report.AggregateDispatch);
       if (!Cell.Report.Refines) {
         M.Refines = false;
         if (Base.Exec.FailFast)

@@ -166,6 +166,12 @@ struct RefinementReport {
   /// the printed report stays byte-identical across --jobs levels; this
   /// feeds the --metrics-out "pool" section instead.
   PoolMetrics Pool;
+  /// Dispatch-engine telemetry (blocks translated, cache hits, fused ops)
+  /// summed over every execution. Unlike AggregateStats this is NOT
+  /// deterministic across --jobs levels — translation and cache-hit counts
+  /// depend on which worker slot's reused machine ran each cell — so, like
+  /// Pool, it feeds the metrics document and never toString().
+  qir::DispatchStats AggregateDispatch;
 
   std::string toString() const;
 };
@@ -205,6 +211,8 @@ struct MatrixReport {
   ModelStats AggregateStats;
   /// Nondeterministic pool timing, summed; not part of toString().
   PoolMetrics Pool;
+  /// Dispatch telemetry summed over the cells; nondeterministic like Pool.
+  qir::DispatchStats AggregateDispatch;
 
   /// The verdict table ("ok" / "FAIL" / "-" for unexplored cells) followed
   /// by a summary line and the full report of every failing cell.

@@ -18,17 +18,9 @@
 
 using namespace qcm;
 
-/// One activation record: a program counter into the compiled function and
-/// a dense slot file.
-struct Machine::Frame {
-  const qir::QFunction *Fn = nullptr;
-  uint32_t PC = 0;
-  std::vector<Value> Slots;
-  /// Initialization bits for hidden slots (index: Slot - NumDeclaredSlots).
-  /// Reading an uninitialized hidden slot reproduces the walker's
-  /// failed-environment-lookup fault.
-  std::vector<bool> HiddenInit;
-};
+bool qcm::threadedDispatchCompiledIn() {
+  return QCM_THREADED_DISPATCH_ACTIVE != 0;
+}
 
 Machine::Machine(const Program &Prog, std::unique_ptr<Memory> Mem,
                  InterpConfig Config)
@@ -41,6 +33,7 @@ Machine::Machine(std::shared_ptr<const qir::QirModule> Module,
   assert(this->Module && "machine requires a compiled module");
   assert(this->Mem && "machine requires a memory");
   HasObserver = static_cast<bool>(this->Config.OnInstr);
+  PtrInit = initialValue(Type::Ptr);
   // Events is the only run-long accumulator without a natural size bound;
   // paper-scale programs emit a handful of I/O events, so one small up-front
   // reservation removes every regrowth from the common case.
@@ -58,16 +51,23 @@ void Machine::reset(std::shared_ptr<const qir::QirModule> NewModule,
   Module = std::move(NewModule);
   Config = std::move(NewConfig);
   HasObserver = static_cast<bool>(Config.OnInstr);
-  // clear() keeps capacity: the frame stack, eval stack, and event buffer
-  // a previous run grew are exactly the sizes the next run of the same
-  // grid needs.
+  PtrInit = initialValue(Type::Ptr);
+  // clear() keeps capacity: the frame stack, arenas, eval stack, and event
+  // buffer a previous run grew are exactly the sizes the next run of the
+  // same grid needs. TCache is intentionally untouched — its ensure() key
+  // decides whether the old translations are still valid — but its
+  // telemetry restarts, so a run's stats never include a predecessor's.
   Frames.clear();
+  SlotArena.clear();
+  HiddenArena.clear();
   Stack.clear();
+  Top = 0;
   GlobalVals.clear();
   Handlers.clear();
   Events.clear();
   InputCursor = 0;
   Steps = 0;
+  DStats = qir::DispatchStats();
   Started = false;
   GlobalsReady = false;
   PendingSignal.reset();
@@ -118,7 +118,7 @@ Outcome<Unit> Machine::start(const std::string &Entry,
   if (Fn.NumParams != Args.size())
     return Outcome<Unit>::undefined("entry function '" + Entry +
                                     "' called with wrong argument count");
-  pushFrame(Fn, std::move(Args));
+  pushFrame(Fn, Args.data(), Args.size());
   Started = true;
   return Outcome<Unit>::success(Unit{});
 }
@@ -128,25 +128,11 @@ void Machine::setExternalHandler(const std::string &Name,
   Handlers[Name] = std::move(Handler);
 }
 
-void Machine::pushFrame(const qir::QFunction &Fn, std::vector<Value> Args) {
-  Frame F;
-  F.Fn = &Fn;
-  F.Slots.resize(Fn.NumSlots);
-  for (uint32_t S = 0; S < Fn.NumDeclaredSlots; ++S)
-    F.Slots[S] = initialValue(Fn.SlotTypes[S]);
-  // Descending so that on a repeated parameter name the first binding wins,
-  // like the walker's Env.emplace.
-  for (size_t Idx = Fn.ParamSlots.size(); Idx-- > 0;)
-    F.Slots[Fn.ParamSlots[Idx]] = std::move(Args[Idx]);
-  F.HiddenInit.assign(Fn.NumSlots - Fn.NumDeclaredSlots, false);
-  Frames.push_back(std::move(F));
-}
-
 void Machine::setSlot(uint32_t Slot, Value V) {
   Frame &F = Frames.back();
-  F.Slots[Slot] = std::move(V);
+  SlotArena[F.SlotBase + Slot] = V;
   if (Slot >= F.Fn->NumDeclaredSlots)
-    F.HiddenInit[Slot - F.Fn->NumDeclaredSlots] = true;
+    HiddenArena[F.HiddenBase + (Slot - F.Fn->NumDeclaredSlots)] = 1;
 }
 
 Value Machine::globalValue(const std::string &Name) const {
@@ -167,9 +153,9 @@ std::optional<Value> Machine::readLocal(const std::string &Name) const {
     if (F.Fn->SlotNames[S] != Name)
       continue;
     if (S >= F.Fn->NumDeclaredSlots &&
-        !F.HiddenInit[S - F.Fn->NumDeclaredSlots])
+        !HiddenArena[F.HiddenBase + (S - F.Fn->NumDeclaredSlots)])
       return std::nullopt;
-    return F.Slots[S];
+    return SlotArena[F.SlotBase + S];
   }
   return std::nullopt;
 }
@@ -287,29 +273,28 @@ bool Machine::fault(Fault F) {
 }
 
 bool Machine::exec(const qir::QInstr &I) {
-  auto Pop = [this] {
-    Value V = std::move(Stack.back());
-    Stack.pop_back();
-    return V;
-  };
+  // The eval stack is a flat buffer cursor (see the Top member): pushFrame
+  // reserved MaxEvalDepth headroom, so pushes and pops are unchecked.
+  auto Pop = [this] { return Stack[--Top]; };
+  auto Push = [this](const Value &V) { Stack[Top++] = V; };
 
   switch (I.Opcode) {
   case qir::Op::PushConst:
-    Stack.push_back(Module->ConstPool[I.A]);
+    Push(Module->ConstPool[I.A]);
     return true;
 
   case qir::Op::PushSlot: {
     Frame &F = Frames.back();
     if (I.A >= F.Fn->NumDeclaredSlots &&
-        !F.HiddenInit[I.A - F.Fn->NumDeclaredSlots])
+        !HiddenArena[F.HiddenBase + (I.A - F.Fn->NumDeclaredSlots)])
       return fault(Fault::undefined("read of undeclared variable '" +
                                     F.Fn->SlotNames[I.A] + "'"));
-    Stack.push_back(F.Slots[I.A]);
+    Push(SlotArena[F.SlotBase + I.A]);
     return true;
   }
 
   case qir::Op::PushGlobal:
-    Stack.push_back(GlobalVals[I.A]);
+    Push(GlobalVals[I.A]);
     return true;
 
   case qir::Op::Binary: {
@@ -318,7 +303,7 @@ bool Machine::exec(const qir::QInstr &I) {
     Outcome<Value> V = evalBinary(static_cast<BinaryOp>(I.Aux), L, R);
     if (!V)
       return fault(V.fault());
-    Stack.push_back(V.value());
+    Push(V.value());
     return true;
   }
 
@@ -330,7 +315,7 @@ bool Machine::exec(const qir::QInstr &I) {
     return true;
 
   case qir::Op::Drop:
-    Stack.pop_back();
+    --Top;
     return true;
 
   case qir::Op::LoadMem: {
@@ -422,18 +407,17 @@ bool Machine::exec(const qir::QInstr &I) {
     return true;
   }
 
-  case qir::Op::Call: {
-    std::vector<Value> Args(I.B);
-    for (uint32_t Idx = I.B; Idx-- > 0;)
-      Args[Idx] = Pop();
-    pushFrame(Module->Functions[I.A], std::move(Args));
+  case qir::Op::Call:
+    // The popped arguments are read in place from the stack buffer;
+    // pushFrame copies them out before any reallocation.
+    Top -= I.B;
+    pushFrame(Module->Functions[I.A], Stack.data() + Top, I.B);
     return true;
-  }
 
   case qir::Op::CallExtern: {
-    std::vector<Value> Args(I.B);
-    for (uint32_t Idx = I.B; Idx-- > 0;)
-      Args[Idx] = Pop();
+    std::vector<Value> Args(Stack.begin() + (Top - I.B),
+                            Stack.begin() + Top);
+    Top -= I.B;
     const std::string &Callee = Module->StringPool[I.A];
     auto HandlerIt = Handlers.find(Callee);
     if (HandlerIt != Handlers.end()) {
@@ -467,27 +451,56 @@ bool Machine::exec(const qir::QInstr &I) {
     return true;
 
   case qir::Op::Ret:
-    Frames.pop_back();
+    popFrame();
     return true;
   }
   return fault(Fault::undefined("malformed instruction"));
+}
+
+bool Machine::typeChecksActive() const {
+  return Config.Discipline == TypeDiscipline::Static &&
+         Mem->kind() != ModelKind::Concrete;
+}
+
+bool Machine::wantThreaded() const {
+  if (Config.Dispatch == DispatchMode::Switch)
+    return false;
+  // Deoptimization contract: every observation hook — the OnInstr
+  // observer, a trace sink, a fault-injection decorator — fires from the
+  // switch loop, which has carried them since the QIR refactor. The
+  // threaded engine only ever runs hook-free executions, so the hooks
+  // cannot drift between engines.
+  if (HasObserver)
+    return false;
+  if (Mem->trace().sink())
+    return false;
+  if (Mem->underlying() != Mem.get())
+    return false;
+  if (Config.StepLimit - Steps < ThreadedStepMargin)
+    return false;
+  return true;
 }
 
 Signal Machine::run() {
   assert(Started && "run() before start()");
   if (PendingSignal)
     return *PendingSignal;
-  // The watchdog polls the clock once per WatchdogStride statements — a
-  // power of two so the poll test is one AND on the step counter. The
-  // deadline is armed on the first run() and survives external-call
+  // The deadline is armed on the first run() and survives external-call
   // round-trips: the budget covers the whole execution, not each resume.
-  constexpr uint64_t WatchdogStride = 4096;
-  const bool HasDeadline = Config.WallTimeoutMs != 0;
-  if (HasDeadline && !DeadlineArmed) {
+  if (Config.WallTimeoutMs != 0 && !DeadlineArmed) {
     Deadline = std::chrono::steady_clock::now() +
                std::chrono::milliseconds(Config.WallTimeoutMs);
     DeadlineArmed = true;
   }
+#if QCM_THREADED_DISPATCH_ACTIVE
+  if (wantThreaded())
+    return runThreaded();
+#endif
+  return runSwitch();
+}
+
+Signal Machine::runSwitch() {
+  const bool HasDeadline = Config.WallTimeoutMs != 0;
   while (true) {
     if (Frames.empty()) {
       Finished = true;

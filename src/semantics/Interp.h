@@ -32,11 +32,13 @@
 #ifndef QCM_SEMANTICS_INTERP_H
 #define QCM_SEMANTICS_INTERP_H
 
+#include "ir/Decoded.h"
 #include "ir/Qir.h"
 #include "lang/Ast.h"
 #include "memory/Memory.h"
 #include "semantics/Behavior.h"
 
+#include <cassert>
 #include <chrono>
 #include <functional>
 #include <map>
@@ -44,9 +46,40 @@
 #include <string>
 #include <vector>
 
+/// Build-time switch for the direct-threaded (computed-goto) dispatch
+/// engine. Defaults to on; configure with -DQCM_THREADED_DISPATCH=0 (the
+/// CMake option of the same name) to build the switch loop only. The
+/// computed-goto extension needs GCC or Clang; other compilers silently get
+/// the switch loop regardless of the setting.
+#ifndef QCM_THREADED_DISPATCH
+#define QCM_THREADED_DISPATCH 1
+#endif
+#if QCM_THREADED_DISPATCH && (defined(__GNUC__) || defined(__clang__))
+#define QCM_THREADED_DISPATCH_ACTIVE 1
+#else
+#define QCM_THREADED_DISPATCH_ACTIVE 0
+#endif
+
 namespace qcm {
 
 class Machine;
+
+/// True when this binary contains the computed-goto engine (compile-time
+/// fact; lets tests and tools report which engines a build can compare).
+bool threadedDispatchCompiledIn();
+
+/// Which execution loop run() uses.
+enum class DispatchMode {
+  /// Direct-threaded dispatch whenever it is compiled in and the run has no
+  /// observers attached (no OnInstr callback, no trace sink, no
+  /// fault-injection decorator, step budget not near exhaustion); the
+  /// switch loop otherwise. The two loops are observationally identical —
+  /// the deopt exists so every hook fires from the one loop that has
+  /// always carried hooks.
+  Auto,
+  /// Always the portable switch loop.
+  Switch,
+};
 
 /// How strictly values are tied to static types; see the file comment.
 enum class TypeDiscipline {
@@ -84,6 +117,9 @@ struct InterpConfig {
   /// pays a single predictable branch rather than a std::function test per
   /// instruction.
   std::function<void(const Instr &, unsigned Depth)> OnInstr;
+  /// Dispatch strategy; Auto picks the threaded engine when it can (see
+  /// DispatchMode). Switch exists for differential testing and benchmarks.
+  DispatchMode Dispatch = DispatchMode::Auto;
 };
 
 /// What run() stopped on.
@@ -169,6 +205,13 @@ public:
   /// partial event prefix as fuel exhaustion — this only records the cause.
   bool timedOut() const { return TimedOut; }
 
+  /// Translation-cache and fusion telemetry for the runs since the last
+  /// reset(). All-zero when every run dispatched through the switch loop.
+  /// The cache itself outlives reset(), so a reused machine's later runs
+  /// report cache hits with no translations — accumulate() across runs
+  /// keeps the totals meaningful.
+  const qir::DispatchStats &dispatchStats() const { return DStats; }
+
   /// The pointer value of global \p Name; setupGlobals() must have run.
   Value globalValue(const std::string &Name) const;
 
@@ -180,7 +223,41 @@ public:
   void emitOutput(Word V) { Events.push_back(Event::output(V)); }
 
 private:
-  struct Frame;
+  /// One activation record: a program counter into the compiled function
+  /// and the base offsets of this frame's spans in the machine's slot and
+  /// hidden-bit arenas. The spans themselves live in SlotArena /
+  /// HiddenArena — a frame push is two resize()s of already-warm vectors,
+  /// not two allocations.
+  struct Frame {
+    const qir::QFunction *Fn = nullptr;
+    uint32_t PC = 0;
+    /// First slot: SlotArena[SlotBase + S] for S in [0, Fn->NumSlots).
+    size_t SlotBase = 0;
+    /// First hidden-init bit (index: Slot - NumDeclaredSlots). Reading an
+    /// uninitialized hidden slot reproduces the walker's
+    /// failed-environment-lookup fault.
+    size_t HiddenBase = 0;
+    /// Threaded engine only: the caller's linked post-call resume point,
+    /// set at the call site so a Ret re-enters the caller's decoded code
+    /// without a cache lookup. Null for frames pushed outside the threaded
+    /// loop (then PC drives a plain dispatch), and nulled wholesale when
+    /// the translation cache invalidates.
+    const qir::DInstr *ResumeIP = nullptr;
+  };
+
+  /// The wall-clock watchdog polls the clock once per this many statements
+  /// — a power of two so the poll test is one AND on the step counter.
+  /// Both dispatch loops use the same stride, so a timeout trips at the
+  /// same statement index whichever loop is running.
+  static constexpr uint64_t WatchdogStride = 4096;
+
+  /// Auto dispatch falls back to the switch loop when fewer than this many
+  /// fuel steps remain: near-exhaustion runs are cheap by definition, and
+  /// taking them through the loop that has always owned the cutoff keeps
+  /// the budget edge cases on one battle-tested path. (The threaded gates
+  /// replicate the cutoff checks exactly, so this margin is belt and
+  /// braces, not a correctness requirement.)
+  static constexpr uint64_t ThreadedStepMargin = 2 * WatchdogStride;
 
   Outcome<Value> evalBinary(BinaryOp Op, const Value &L, const Value &R);
 
@@ -191,8 +268,13 @@ private:
   /// Routes a fault into PendingSignal; always returns false.
   bool fault(Fault F);
 
-  /// Pushes a call frame for compiled function \p Fn.
-  void pushFrame(const qir::QFunction &Fn, std::vector<Value> Args);
+  /// Pushes a call frame for compiled function \p Fn. \p Args may point
+  /// into the eval stack: the arguments are copied into the slot arena
+  /// before the stack's headroom reservation can reallocate it.
+  void pushFrame(const qir::QFunction &Fn, const Value *Args, size_t NumArgs);
+
+  /// Pops the innermost frame, releasing its arena spans.
+  void popFrame();
 
   /// Writes \p V to \p Slot of the innermost frame, marking hidden slots
   /// initialized.
@@ -201,14 +283,49 @@ private:
   /// Initial value for a variable of type \p Ty under the current model.
   Value initialValue(Type Ty) const;
 
+  /// The portable switch-dispatch execution loop (historically the only
+  /// one); every observer hook lives here.
+  Signal runSwitch();
+
+  /// True when Auto dispatch may use the threaded engine for this run (no
+  /// observers, no trace sink, no fault-injection decorator, comfortable
+  /// step budget).
+  bool wantThreaded() const;
+
+  /// Whether LoadMem performs the Section 6.1 dynamic type check under the
+  /// current discipline and model; part of the translation-cache key.
+  bool typeChecksActive() const;
+
+#if QCM_THREADED_DISPATCH_ACTIVE
+  /// The direct-threaded (computed-goto) execution loop; see
+  /// InterpThreaded.cpp. Requires wantThreaded().
+  Signal runThreaded();
+#endif
+
   std::shared_ptr<const qir::QirModule> Module;
   std::unique_ptr<Memory> Mem;
   InterpConfig Config;
   /// Latched Config.OnInstr presence (hoisted out of the execution loop).
   bool HasObserver = false;
+  /// Initial value of a pointer-typed variable under the current model
+  /// (Value::null(), or integer 0 when values are fully concrete); cached
+  /// so frame pushes skip the model-descriptor lookup.
+  Value PtrInit;
 
   std::vector<Frame> Frames;
-  std::vector<Value> Stack; ///< Eval stack; empty at statement boundaries.
+  /// Frame-slot arena: each frame owns the span
+  /// [SlotBase, SlotBase + Fn->NumSlots). One flat allocation instead of a
+  /// per-call vector is what makes call-heavy programs cheap.
+  std::vector<Value> SlotArena;
+  /// Hidden-slot initialization bits, same arena discipline (byte per slot;
+  /// vector<bool> would bit-pack but costs a read-modify-write per store).
+  std::vector<uint8_t> HiddenArena;
+  /// Eval stack as a flat buffer: Stack.size() is reserved headroom (the
+  /// sum of pushed frames' MaxEvalDepth, maintained by pushFrame) and Top
+  /// is the live depth — both dispatch loops push and pop through Top with
+  /// no per-push capacity checks, and Stack.size() never shrinks mid-run.
+  std::vector<Value> Stack;
+  size_t Top = 0;
   std::vector<Value> GlobalVals;
   std::map<std::string, ExternalHandler> Handlers;
   std::vector<Event> Events;
@@ -228,7 +345,56 @@ private:
   bool TimedOut = false;
   bool DeadlineArmed = false;
   std::chrono::steady_clock::time_point Deadline;
+
+  /// Decoded-block cache for the threaded engine. Deliberately NOT cleared
+  /// by reset(): ensure() revalidates it against the (module, discipline,
+  /// model) key, so translations survive the reset-and-reuse protocol and
+  /// later grid items run entirely off cache hits.
+  qir::TranslationCache TCache;
+  /// Telemetry for the runs since the last reset() (reset() zeroes it, the
+  /// cache persists — so per-run deltas need no subtraction).
+  qir::DispatchStats DStats;
 };
+
+// Defined in the header so both dispatch loops inline the frame push/pop
+// into their call sites: on call-heavy programs these two run once per
+// Call/Ret and an out-of-line call plus un-inlined vector bookkeeping is a
+// measurable slice of the per-call budget.
+
+inline void Machine::pushFrame(const qir::QFunction &Fn, const Value *Args,
+                               size_t NumArgs) {
+  Frame F;
+  F.Fn = &Fn;
+  F.SlotBase = SlotArena.size();
+  F.HiddenBase = HiddenArena.size();
+  // Growing the arena value-initializes the new span: integer 0, which is
+  // exactly the initial value of int-typed, hidden, and (under a fully
+  // concrete value domain) pointer-typed slots. Only logical-NULL pointer
+  // slots need a second touch.
+  SlotArena.resize(F.SlotBase + Fn.NumSlots);
+  HiddenArena.resize(F.HiddenBase + (Fn.NumSlots - Fn.NumDeclaredSlots));
+  Value *Slots = SlotArena.data() + F.SlotBase;
+  if (!PtrInit.isInt())
+    for (uint32_t S : Fn.PtrSlots)
+      Slots[S] = PtrInit;
+  // Descending so that on a repeated parameter name the first binding wins,
+  // like the walker's Env.emplace. Args may alias the eval stack, so this
+  // copy happens before the headroom resize below can reallocate it.
+  (void)NumArgs;
+  assert(NumArgs == Fn.ParamSlots.size() && "argument count mismatch");
+  for (size_t Idx = Fn.ParamSlots.size(); Idx-- > 0;)
+    Slots[Fn.ParamSlots[Idx]] = Args[Idx];
+  if (Stack.size() < Top + Fn.MaxEvalDepth)
+    Stack.resize(Top + Fn.MaxEvalDepth);
+  Frames.push_back(F);
+}
+
+inline void Machine::popFrame() {
+  const Frame &F = Frames.back();
+  SlotArena.resize(F.SlotBase);
+  HiddenArena.resize(F.HiddenBase);
+  Frames.pop_back();
+}
 
 } // namespace qcm
 

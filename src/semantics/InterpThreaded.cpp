@@ -1,0 +1,629 @@
+//===- semantics/InterpThreaded.cpp - Direct-threaded dispatch ------------===//
+//
+// The computed-goto execution engine. Blocks of QIR are decoded on first
+// entry (ir/Decoded.h) into arrays of {label address, pre-resolved
+// operands} and re-entered through the per-machine translation cache from
+// then on; dispatch between decoded instructions is one indirect goto
+// through the instruction's own label slot.
+//
+// This loop must stay observationally identical to the switch loop in
+// Interp.cpp: same fault messages, same event order, same step counts, and
+// the same fuel/watchdog trip points (the Gate op below is a verbatim copy
+// of runSwitch()'s statement-boundary preamble). It deliberately carries NO
+// observation hooks — Machine::wantThreaded() routes any run with an
+// OnInstr observer, trace sink, or fault-injection decorator to the switch
+// loop, so a hook the hot path never tests for can never be missed.
+//
+// Whole-file no-op when the build or compiler lacks computed goto;
+// Machine::run() then never calls runThreaded().
+//
+//===----------------------------------------------------------------------===//
+
+#include "semantics/Interp.h"
+
+#if QCM_THREADED_DISPATCH_ACTIVE
+
+#include <cassert>
+
+using namespace qcm;
+using qir::DInstr;
+using qir::DecodedBlock;
+using qir::DOp;
+
+// One indirect jump per instruction: the decoded stream carries each op's
+// label address, so there is no central dispatch site for the branch
+// predictor to mispredict on.
+#define QCM_NEXT()                                                            \
+  do {                                                                        \
+    ++IP;                                                                     \
+    goto *IP->Label;                                                          \
+  } while (0)
+
+// Every exit syncs the hoisted step counter back to the member first; see
+// the StepsL comment in runThreaded().
+#define QCM_FAULT(F)                                                          \
+  do {                                                                        \
+    Steps = StepsL;                                                           \
+    fault(F);                                                                 \
+    return *PendingSignal;                                                    \
+  } while (0)
+
+Signal Machine::runThreaded() {
+  // Label table, indexed by DOp. The addresses are local to this function
+  // invocation's code, which is why translation happens from inside the
+  // loop (and why the cache is per-machine, never shared).
+  static const void *const Labels[static_cast<size_t>(DOp::NumDOps)] = {
+      &&L_Gate,
+      &&L_PushConst,
+      &&L_PushSlotDeclared,
+      &&L_PushSlotHidden,
+      &&L_PushGlobal,
+      &&L_Binary,
+      &&L_StoreSlotDeclared,
+      &&L_StoreSlotHidden,
+      &&L_Drop,
+      &&L_LoadMem,
+      &&L_StoreMem,
+      &&L_Malloc,
+      &&L_FreeMem,
+      &&L_Cast,
+      &&L_Input,
+      &&L_Output,
+      &&L_Trap,
+      &&L_Call,
+      &&L_CallExtern,
+      &&L_Jump,
+      &&L_JumpIfZero,
+      &&L_Ret,
+      &&L_PushSlotBinary,
+      &&L_PushConstBinary,
+      &&L_PushConstStoreSlot,
+      &&L_PushSlotCall,
+      &&L_PushSlotJumpIfZero,
+      &&L_BinaryJumpIfZero,
+      &&L_SlotSlotBinaryStore,
+      &&L_SlotConstBinaryStore,
+  };
+
+  // On invalidation every frame's linked resume pointer dangles into the
+  // dropped translations; PC-driven dispatch (the Ret fallback) covers
+  // those frames.
+  if (!TCache.ensure(Module.get(), typeChecksActive()))
+    for (Frame &Fr : Frames)
+      Fr.ResumeIP = nullptr;
+
+  const bool HasDeadline = Config.WallTimeoutMs != 0;
+  const Value *Consts = Module->ConstPool.data();
+
+  // The step counter lives in a local for the whole loop: the member is a
+  // load+store through `this` at every statement gate, and nothing outside
+  // this function can observe it mid-run — the only external reader is the
+  // memory trace, and wantThreaded() routes every traced run to the switch
+  // loop. Synced back to the member at every exit (gate trips, faults,
+  // extern-call handoffs, the final Ret) so RunResult::Steps and the
+  // switch-loop deopt margin always see the true count.
+  uint64_t StepsL = Steps;
+  const uint64_t StepLimit = Config.StepLimit;
+
+  // Per-block execution state, refreshed at every block entry: the frame
+  // vector, the arenas, and the eval-stack buffer may all reallocate when
+  // a frame is pushed, and every push ends a block. The eval stack is
+  // empty at every block boundary (blocks end at statement boundaries or
+  // after a call consumed its arguments), so SP always re-enters at the
+  // buffer base and the Top member stays 0 throughout.
+  Frame *F;
+  Value *Slots;
+  uint8_t *Hidden;
+  Value *SP;
+  const DInstr *IP;
+
+L_Dispatch : {
+  // PC-driven block entry: run start, post-extern resume, and the Ret
+  // fallback for frames without link state. Linked transfers (jumps,
+  // branch arms, calls, linked rets) bypass this entirely.
+  F = &Frames.back();
+  Slots = SlotArena.data() + F->SlotBase;
+  Hidden = HiddenArena.data() + F->HiddenBase;
+  SP = Stack.data();
+  size_t FnIdx = static_cast<size_t>(F->Fn - Module->Functions.data());
+  IP = TCache.block(FnIdx, F->PC, Labels, DStats)->Code.data();
+  goto *IP->Label;
+}
+
+L_Gate : {
+  // Verbatim copy of runSwitch()'s statement-boundary preamble (minus the
+  // observer, which wantThreaded() guarantees is absent): fuel is checked
+  // and charged here and only here, so cutoffs trip at the same statement
+  // index as the switch loop.
+  if (StepsL >= StepLimit) {
+    Steps = StepsL;
+    F->PC = IP->C; // Pin the frame at the cut statement, switch-loop-style.
+    HitStepLimit = true;
+    Signal S;
+    S.SignalKind = Signal::Kind::StepLimitReached;
+    PendingSignal = S;
+    return *PendingSignal;
+  }
+  if (HasDeadline && (StepsL & (WatchdogStride - 1)) == 0 &&
+      std::chrono::steady_clock::now() >= Deadline) {
+    Steps = StepsL;
+    F->PC = IP->C;
+    TimedOut = true;
+    HitStepLimit = true;
+    Signal S;
+    S.SignalKind = Signal::Kind::StepLimitReached;
+    PendingSignal = S;
+    return *PendingSignal;
+  }
+  ++StepsL;
+  QCM_NEXT();
+}
+
+L_PushConst : {
+  *SP++ = Consts[IP->A];
+  QCM_NEXT();
+}
+
+L_PushSlotDeclared : {
+  *SP++ = Slots[IP->A];
+  QCM_NEXT();
+}
+
+L_PushSlotHidden : {
+  if (!Hidden[IP->B])
+    QCM_FAULT(Fault::undefined("read of undeclared variable '" +
+                               F->Fn->SlotNames[IP->A] + "'"));
+  *SP++ = Slots[IP->A];
+  QCM_NEXT();
+}
+
+L_PushGlobal : {
+  *SP++ = GlobalVals[IP->A];
+  QCM_NEXT();
+}
+
+L_Binary : {
+  Value R = *--SP;
+  Value L = *--SP;
+  // Integer/integer inline (the common case; evalBinary cannot fault on
+  // it); everything else takes the shared Section 4 path.
+  if (L.isInt() && R.isInt()) {
+    Word A = L.intValue(), B = R.intValue();
+    Word Out = 0;
+    switch (static_cast<BinaryOp>(IP->Aux)) {
+    case BinaryOp::Add:
+      Out = wrapAdd(A, B);
+      break;
+    case BinaryOp::Sub:
+      Out = wrapSub(A, B);
+      break;
+    case BinaryOp::Mul:
+      Out = wrapMul(A, B);
+      break;
+    case BinaryOp::And:
+      Out = A & B;
+      break;
+    case BinaryOp::Eq:
+      Out = A == B ? 1 : 0;
+      break;
+    }
+    *SP++ = Value::makeInt(Out);
+    QCM_NEXT();
+  }
+  Outcome<Value> V = evalBinary(static_cast<BinaryOp>(IP->Aux), L, R);
+  if (!V)
+    QCM_FAULT(V.fault());
+  *SP++ = V.value();
+  QCM_NEXT();
+}
+
+L_StoreSlotDeclared : {
+  Slots[IP->A] = *--SP;
+  QCM_NEXT();
+}
+
+L_StoreSlotHidden : {
+  Slots[IP->A] = *--SP;
+  Hidden[IP->B] = 1;
+  QCM_NEXT();
+}
+
+L_Drop : {
+  --SP;
+  QCM_NEXT();
+}
+
+L_LoadMem : {
+  Value Addr = *--SP;
+  Outcome<Value> V = Mem->load(Addr);
+  if (!V)
+    QCM_FAULT(V.fault());
+  // Dynamic type checking (Section 6.1), resolved into a flag at translate
+  // time; the message is preformed in the string pool.
+  if (IP->Aux2 & qir::DFlagTypeCheck) {
+    switch (static_cast<qir::DeclKind>(IP->Aux)) {
+    case qir::DeclKind::Hidden:
+      QCM_FAULT(Fault::undefined(Module->StringPool[IP->B]));
+    case qir::DeclKind::Int:
+      if (V.value().isPtr())
+        QCM_FAULT(Fault::undefined(Module->StringPool[IP->B]));
+      break;
+    case qir::DeclKind::Ptr:
+      if (V.value().isInt())
+        QCM_FAULT(Fault::undefined(Module->StringPool[IP->B]));
+      break;
+    }
+  }
+  Slots[IP->A] = V.value();
+  if (IP->Aux2 & qir::DFlagDestHidden)
+    Hidden[IP->D] = 1;
+  QCM_NEXT();
+}
+
+L_StoreMem : {
+  Value V = *--SP;
+  Value Addr = *--SP;
+  Outcome<Unit> Stored = Mem->store(Addr, V);
+  if (!Stored)
+    QCM_FAULT(Stored.fault());
+  QCM_NEXT();
+}
+
+L_Malloc : {
+  Value Size = *--SP;
+  if (!Size.isInt())
+    QCM_FAULT(Fault::undefined("malloc size is a logical address"));
+  Outcome<Value> P = Mem->allocate(Size.intValue());
+  if (!P)
+    QCM_FAULT(P.fault());
+  if (IP->A != qir::NoSlot) {
+    Slots[IP->A] = P.value();
+    if (IP->Aux2 & qir::DFlagDestHidden)
+      Hidden[IP->D] = 1;
+  }
+  QCM_NEXT();
+}
+
+L_FreeMem : {
+  Value P = *--SP;
+  Outcome<Unit> Freed = Mem->deallocate(P);
+  if (!Freed)
+    QCM_FAULT(Freed.fault());
+  QCM_NEXT();
+}
+
+L_Cast : {
+  Value V = *--SP;
+  Outcome<Value> Cast =
+      IP->Aux == 0 ? Mem->castPtrToInt(V) : Mem->castIntToPtr(V);
+  if (!Cast)
+    QCM_FAULT(Cast.fault());
+  if (IP->A != qir::NoSlot) {
+    Slots[IP->A] = Cast.value();
+    if (IP->Aux2 & qir::DFlagDestHidden)
+      Hidden[IP->D] = 1;
+  }
+  QCM_NEXT();
+}
+
+L_Input : {
+  Word V = InputCursor < Config.InputTape.size()
+               ? Config.InputTape[InputCursor++]
+               : 0;
+  Events.push_back(Event::input(V));
+  if (IP->A != qir::NoSlot) {
+    Slots[IP->A] = Value::makeInt(V);
+    if (IP->Aux2 & qir::DFlagDestHidden)
+      Hidden[IP->D] = 1;
+  }
+  QCM_NEXT();
+}
+
+L_Output : {
+  Value V = *--SP;
+  if (!V.isInt())
+    QCM_FAULT(Fault::undefined("output of a logical address"));
+  Events.push_back(Event::output(V.intValue()));
+  QCM_NEXT();
+}
+
+L_Trap : {
+  QCM_FAULT(Fault::undefined(Module->StringPool[IP->A]));
+}
+
+L_Call : {
+  // The popped arguments are read in place from the stack buffer;
+  // pushFrame copies them out before any reallocation. The caller frame
+  // records both resume forms — the linked pointer for the threaded Ret
+  // and the PC for everything else — before the push can move it.
+  SP -= IP->B;
+  F->PC = IP->C;
+  F->ResumeIP = IP->T1;
+  const DecodedBlock *EB = TCache.block(IP->A, 0, Labels, DStats);
+  pushFrame(Module->Functions[IP->A], SP, IP->B);
+  F = &Frames.back();
+  Slots = SlotArena.data() + F->SlotBase;
+  Hidden = HiddenArena.data() + F->HiddenBase;
+  SP = Stack.data();
+  IP = EB->Code.data();
+  goto *IP->Label;
+}
+
+L_CallExtern : {
+  F->PC = IP->C;
+  Steps = StepsL; // Handlers and signal consumers may observe the count.
+  std::vector<Value> Args(SP - IP->B, SP);
+  SP -= IP->B;
+  const std::string &Callee = Module->StringPool[IP->A];
+  auto HandlerIt = Handlers.find(Callee);
+  if (HandlerIt != Handlers.end()) {
+    Outcome<Unit> R = HandlerIt->second(*this, Args);
+    if (!R)
+      QCM_FAULT(R.fault());
+    // The handler may have touched memory or events but not frames; resume
+    // at the post-call statement through a fresh block entry.
+    StepsL = Steps;
+    goto L_Dispatch;
+  }
+  Signal S;
+  S.SignalKind = Signal::Kind::ExternalCall;
+  S.Callee = Callee;
+  S.Args = std::move(Args);
+  PendingSignal = std::move(S);
+  return *PendingSignal;
+}
+
+L_Jump : {
+  // Linked transfer: same frame, empty stack, no reallocation possible
+  // since block entry — nothing to refresh, one indirect goto. The
+  // frame's PC is left stale; every path that reads it (call, extern,
+  // gate signal) re-pins it first.
+  IP = IP->T0;
+  goto *IP->Label;
+}
+
+L_JumpIfZero : {
+  Value C = *--SP;
+  if (!C.isInt())
+    QCM_FAULT(Fault::undefined(Module->StringPool[IP->B]));
+  IP = C.intValue() == 0 ? IP->T0 : IP->T1;
+  goto *IP->Label;
+}
+
+L_Ret : {
+  popFrame();
+  if (Frames.empty()) {
+    Steps = StepsL;
+    Finished = true;
+    Signal S;
+    S.SignalKind = Signal::Kind::Finished;
+    PendingSignal = S;
+    return *PendingSignal;
+  }
+  // Linked return into the caller's decoded code; frames the switch loop
+  // pushed (no link state) re-enter through their PC.
+  F = &Frames.back();
+  if (!F->ResumeIP)
+    goto L_Dispatch;
+  Slots = SlotArena.data() + F->SlotBase;
+  Hidden = HiddenArena.data() + F->HiddenBase;
+  SP = Stack.data();
+  IP = F->ResumeIP;
+  F->ResumeIP = nullptr;
+  goto *IP->Label;
+}
+
+  //===--------------------------------------------------------------------===//
+  // Fused superinstructions. Each is observationally the exact sequence of
+  // its two source ops (same fault order, same messages); the step counter
+  // is unaffected because fusion never crosses a statement gate.
+  //===--------------------------------------------------------------------===//
+
+L_PushSlotBinary : {
+  // PushSlot (declared) + Binary: the slot value is the right operand.
+  Value R = Slots[IP->A];
+  Value L = *--SP;
+  if (L.isInt() && R.isInt()) {
+    Word A = L.intValue(), B = R.intValue();
+    Word Out = 0;
+    switch (static_cast<BinaryOp>(IP->Aux)) {
+    case BinaryOp::Add:
+      Out = wrapAdd(A, B);
+      break;
+    case BinaryOp::Sub:
+      Out = wrapSub(A, B);
+      break;
+    case BinaryOp::Mul:
+      Out = wrapMul(A, B);
+      break;
+    case BinaryOp::And:
+      Out = A & B;
+      break;
+    case BinaryOp::Eq:
+      Out = A == B ? 1 : 0;
+      break;
+    }
+    *SP++ = Value::makeInt(Out);
+    QCM_NEXT();
+  }
+  Outcome<Value> V = evalBinary(static_cast<BinaryOp>(IP->Aux), L, R);
+  if (!V)
+    QCM_FAULT(V.fault());
+  *SP++ = V.value();
+  QCM_NEXT();
+}
+
+L_PushConstBinary : {
+  Value R = Consts[IP->A];
+  Value L = *--SP;
+  if (L.isInt() && R.isInt()) {
+    Word A = L.intValue(), B = R.intValue();
+    Word Out = 0;
+    switch (static_cast<BinaryOp>(IP->Aux)) {
+    case BinaryOp::Add:
+      Out = wrapAdd(A, B);
+      break;
+    case BinaryOp::Sub:
+      Out = wrapSub(A, B);
+      break;
+    case BinaryOp::Mul:
+      Out = wrapMul(A, B);
+      break;
+    case BinaryOp::And:
+      Out = A & B;
+      break;
+    case BinaryOp::Eq:
+      Out = A == B ? 1 : 0;
+      break;
+    }
+    *SP++ = Value::makeInt(Out);
+    QCM_NEXT();
+  }
+  Outcome<Value> V = evalBinary(static_cast<BinaryOp>(IP->Aux), L, R);
+  if (!V)
+    QCM_FAULT(V.fault());
+  *SP++ = V.value();
+  QCM_NEXT();
+}
+
+L_PushConstStoreSlot : {
+  // PushConst + StoreSlot (declared): no fault is possible in either half.
+  Slots[IP->B] = Consts[IP->A];
+  QCM_NEXT();
+}
+
+L_PushSlotCall : {
+  // PushSlot (declared) + Call: the slot value is the last argument.
+  *SP++ = Slots[IP->A];
+  SP -= IP->D;
+  F->PC = IP->C;
+  F->ResumeIP = IP->T1;
+  const DecodedBlock *EB = TCache.block(IP->B, 0, Labels, DStats);
+  pushFrame(Module->Functions[IP->B], SP, IP->D);
+  F = &Frames.back();
+  Slots = SlotArena.data() + F->SlotBase;
+  Hidden = HiddenArena.data() + F->HiddenBase;
+  SP = Stack.data();
+  IP = EB->Code.data();
+  goto *IP->Label;
+}
+
+L_PushSlotJumpIfZero : {
+  // PushSlot (declared) + JumpIfZero on the slot value.
+  Value C = Slots[IP->A];
+  if (!C.isInt())
+    QCM_FAULT(Fault::undefined(Module->StringPool[IP->D]));
+  IP = C.intValue() == 0 ? IP->T0 : IP->T1;
+  goto *IP->Label;
+}
+
+L_SlotSlotBinaryStore : {
+  // PushSlot + PushSlot + Binary + StoreSlot (all declared): one whole
+  // `d = a op b` statement, three-address style. Same fault behavior as
+  // the unfused sequence (only the Binary can fault); the eval stack is
+  // untouched.
+  Value L = Slots[IP->A];
+  Value R = Slots[IP->B];
+  if (L.isInt() && R.isInt()) {
+    Word A = L.intValue(), B = R.intValue();
+    Word Out = 0;
+    switch (static_cast<BinaryOp>(IP->Aux)) {
+    case BinaryOp::Add:
+      Out = wrapAdd(A, B);
+      break;
+    case BinaryOp::Sub:
+      Out = wrapSub(A, B);
+      break;
+    case BinaryOp::Mul:
+      Out = wrapMul(A, B);
+      break;
+    case BinaryOp::And:
+      Out = A & B;
+      break;
+    case BinaryOp::Eq:
+      Out = A == B ? 1 : 0;
+      break;
+    }
+    Slots[IP->C] = Value::makeInt(Out);
+    QCM_NEXT();
+  }
+  Outcome<Value> V = evalBinary(static_cast<BinaryOp>(IP->Aux), L, R);
+  if (!V)
+    QCM_FAULT(V.fault());
+  Slots[IP->C] = V.value();
+  QCM_NEXT();
+}
+
+L_SlotConstBinaryStore : {
+  // PushSlot + PushConst + Binary + StoreSlot (declared): `d = a op k`.
+  Value L = Slots[IP->A];
+  Value R = Consts[IP->B];
+  if (L.isInt() && R.isInt()) {
+    Word A = L.intValue(), B = R.intValue();
+    Word Out = 0;
+    switch (static_cast<BinaryOp>(IP->Aux)) {
+    case BinaryOp::Add:
+      Out = wrapAdd(A, B);
+      break;
+    case BinaryOp::Sub:
+      Out = wrapSub(A, B);
+      break;
+    case BinaryOp::Mul:
+      Out = wrapMul(A, B);
+      break;
+    case BinaryOp::And:
+      Out = A & B;
+      break;
+    case BinaryOp::Eq:
+      Out = A == B ? 1 : 0;
+      break;
+    }
+    Slots[IP->C] = Value::makeInt(Out);
+    QCM_NEXT();
+  }
+  Outcome<Value> V = evalBinary(static_cast<BinaryOp>(IP->Aux), L, R);
+  if (!V)
+    QCM_FAULT(V.fault());
+  Slots[IP->C] = V.value();
+  QCM_NEXT();
+}
+
+L_BinaryJumpIfZero : {
+  // Binary + JumpIfZero on the result. A pointer-valued result faults
+  // exactly as the unfused JumpIfZero would (StringPool[D]).
+  Value R = *--SP;
+  Value L = *--SP;
+  if (L.isInt() && R.isInt()) {
+    Word A = L.intValue(), B = R.intValue();
+    Word Out = 0;
+    switch (static_cast<BinaryOp>(IP->Aux)) {
+    case BinaryOp::Add:
+      Out = wrapAdd(A, B);
+      break;
+    case BinaryOp::Sub:
+      Out = wrapSub(A, B);
+      break;
+    case BinaryOp::Mul:
+      Out = wrapMul(A, B);
+      break;
+    case BinaryOp::And:
+      Out = A & B;
+      break;
+    case BinaryOp::Eq:
+      Out = A == B ? 1 : 0;
+      break;
+    }
+    IP = Out == 0 ? IP->T0 : IP->T1;
+    goto *IP->Label;
+  }
+  Outcome<Value> V = evalBinary(static_cast<BinaryOp>(IP->Aux), L, R);
+  if (!V)
+    QCM_FAULT(V.fault());
+  if (!V.value().isInt())
+    QCM_FAULT(Fault::undefined(Module->StringPool[IP->D]));
+  IP = V.value().intValue() == 0 ? IP->T0 : IP->T1;
+  goto *IP->Label;
+}
+}
+
+#endif // QCM_THREADED_DISPATCH_ACTIVE

@@ -100,6 +100,7 @@ RunResult executeConfigured(Machine &M, const RunConfig &Config) {
     Result.ConsistencyError = M.memory().checkConsistency();
     Result.Stats = M.memory().trace().stats();
     Result.TimedOut = M.timedOut();
+    Result.Dispatch = M.dispatchStats();
     return Result;
   };
 
@@ -130,6 +131,7 @@ RunResult executeConfigured(Machine &M, const RunConfig &Config) {
   Result.ConsistencyError = M.memory().checkConsistency();
   Result.Stats = M.memory().trace().stats();
   Result.TimedOut = M.timedOut();
+  Result.Dispatch = M.dispatchStats();
   return Result;
 }
 

@@ -99,6 +99,10 @@ struct RunResult {
   /// True when the run stopped because InterpConfig.WallTimeoutMs elapsed.
   /// The behavior is Kind::StepLimit either way; this records the cause.
   bool TimedOut = false;
+  /// Translation-cache and fusion telemetry of the run (all zeros when the
+  /// run dispatched through the switch loop — observers, fault injection,
+  /// tracing, or a QCM_THREADED_DISPATCH=0 build).
+  qir::DispatchStats Dispatch;
 };
 
 /// Builds a memory instance for \p Config.

@@ -129,6 +129,10 @@ std::string qcm_tools::renderMetricsDocument(const RefinementReport &Report,
   Doc.field("schema", "qcm-metrics-1");
   Doc.field("tool", Tool);
   Doc.fieldRaw("aggregate", metricsAggregateJson(Report));
+  // Like "pool", dispatch telemetry is nondeterministic across --jobs
+  // levels (translation and cache-hit counts depend on worker-slot machine
+  // reuse), so it lives outside the jobs-stable "aggregate" section.
+  Doc.fieldRaw("dispatch", Report.AggregateDispatch.toJson());
   Doc.fieldRaw("pool", Report.Pool.toJson());
   Doc.fieldRaw("process", metricsProcessJson());
   Doc.fieldRaw("profile", metricsProfileJson());
@@ -188,6 +192,9 @@ qcm_tools::renderMatrixMetricsDocument(const MatrixReport &Report,
   Doc.field("tool", Tool);
   Doc.fieldRaw("aggregate", Aggregate.str());
   Doc.fieldRaw("matrix", Matrix.str());
+  // Nondeterministic across --jobs, like "pool"; see the single-pair
+  // document for the rationale.
+  Doc.fieldRaw("dispatch", Report.AggregateDispatch.toJson());
   Doc.fieldRaw("pool", Report.Pool.toJson());
   Doc.fieldRaw("process", metricsProcessJson());
   Doc.fieldRaw("profile", metricsProfileJson());
@@ -686,6 +693,11 @@ bool CommandLine::applyExplorationOptions(ExplorationOptions &Exec,
         Error = "invalid --jobs value '" + Jobs + "'";
         return false;
       }
+      // An explicit worker count is a deliberate request: honor it even on
+      // grids below the small-grid inline threshold. Only --jobs=auto and
+      // the default leave the heuristic in charge.
+      if (Exec.Jobs > 1)
+        Exec.InlineThreshold = 0;
     }
   }
   if (has("fail-fast"))

@@ -1,0 +1,246 @@
+//===- tests/dispatch_test.cpp - Dispatch-engine parity tests -------------===//
+//
+// The direct-threaded engine (semantics/InterpThreaded.cpp) must be
+// observationally indistinguishable from the switch loop: same behaviors,
+// same event prefixes, and — the part superinstruction fusion could
+// silently break — the same step accounting. These tests pin the budget
+// cutoffs to exact step indices across both dispatch modes and check the
+// deoptimization contract (observers force the switch loop) and the
+// translation-cache telemetry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Vm.h"
+#include "ir/Compile.h"
+#include "memory/ModelRegistry.h"
+#include "semantics/Runner.h"
+
+#include <gtest/gtest.h>
+
+using namespace qcm;
+
+namespace {
+
+Program compile(const std::string &Source) {
+  Vm V;
+  std::optional<Program> P = V.compile(Source);
+  EXPECT_TRUE(P.has_value()) << V.lastDiagnostics();
+  return std::move(*P);
+}
+
+RunConfig config(ModelKind Model, DispatchMode Dispatch) {
+  RunConfig C;
+  C.Model = Model;
+  C.MemConfig.AddressWords = 1u << 16;
+  C.Interp.Dispatch = Dispatch;
+  return C;
+}
+
+/// A program whose inner loop exercises every fusion kind the translator
+/// forms — slot+binop, const+binop, cmp+branch, const+store, push-arg+call,
+/// and the quad ALU-statement form — and emits an output per iteration, so
+/// a budget cutoff's exact step index is visible in the event prefix.
+const char *FusedLoopSource = R"(
+bump(int x) {
+  var int y;
+  y = x + 1;
+  output(y + x);
+  output(y + 1);
+}
+main() {
+  var int i, int n, ptr p;
+  p = malloc(2);
+  i = 100000;
+  n = 0;
+  while (i) {
+    i = i - 1;
+    n = n + i;
+    *p = n;
+    n = *p;
+    bump(i);
+    output(i);
+  }
+}
+)";
+
+} // namespace
+
+TEST(Dispatch, CompiledInFlagIsAStableBuildFact) {
+  // Whatever the build, the answer may not change between calls (tests and
+  // tools branch on it once).
+  EXPECT_EQ(threadedDispatchCompiledIn(), threadedDispatchCompiledIn());
+}
+
+TEST(Dispatch, AutoUsesTheThreadedEngineOnPlainRuns) {
+  if (!threadedDispatchCompiledIn())
+    GTEST_SKIP() << "switch-only build";
+  Program P = compile("main() { var int i; i = 1 + 2; output(i); }");
+  RunConfig C = config(ModelKind::QuasiConcrete, DispatchMode::Auto);
+  RunResult R = runProgram(P, C);
+  EXPECT_EQ(R.Behav.BehaviorKind, Behavior::Kind::Terminated);
+  EXPECT_GT(R.Dispatch.BlocksTranslated, 0u);
+  EXPECT_GT(R.Dispatch.InstrsTranslated, 0u);
+}
+
+TEST(Dispatch, SwitchModeNeverTranslates) {
+  Program P = compile(FusedLoopSource);
+  RunConfig C = config(ModelKind::QuasiConcrete, DispatchMode::Switch);
+  C.Interp.StepLimit = 50'000;
+  RunResult R = runProgram(P, C);
+  EXPECT_TRUE(R.Dispatch.empty());
+  EXPECT_EQ(R.Dispatch.fusedTotal(), 0u);
+}
+
+TEST(Dispatch, FusionKindsAllFireOnTheFusedLoop) {
+  if (!threadedDispatchCompiledIn())
+    GTEST_SKIP() << "switch-only build";
+  Program P = compile(FusedLoopSource);
+  RunConfig C = config(ModelKind::QuasiConcrete, DispatchMode::Auto);
+  C.Interp.StepLimit = 50'000;
+  RunResult R = runProgram(P, C);
+  EXPECT_GT(R.Dispatch.FusedLoadBinop, 0u);
+  EXPECT_GT(R.Dispatch.FusedConstBinop, 0u);
+  EXPECT_GT(R.Dispatch.FusedCmpBranch, 0u);
+  EXPECT_GT(R.Dispatch.FusedConstStore, 0u);
+  EXPECT_GT(R.Dispatch.FusedPushArgCall, 0u);
+  EXPECT_GT(R.Dispatch.FusedAluStore, 0u);
+}
+
+TEST(Dispatch, BudgetExhaustionTripsAtTheSameStepIndex) {
+  // The heart of the deopt/fusion contract: for a band of fuel limits
+  // around the threaded engine's own gates (limits below the engine's
+  // entry margin deopt to the switch loop and are parity-trivial; these
+  // are all above it), both engines must cut the run at the same step
+  // index with the same observable event prefix. An off-by-one in the
+  // fused pairs' step accounting fails this immediately.
+  Program P = compile(FusedLoopSource);
+  for (ModelKind Model : allModelKinds()) {
+    for (uint64_t Limit : {8192u, 8193u, 8201u, 12288u, 16384u}) {
+      RunConfig Switch = config(Model, DispatchMode::Switch);
+      Switch.Interp.StepLimit = Limit;
+      RunResult SwitchR = runProgram(P, Switch);
+
+      RunConfig Auto = config(Model, DispatchMode::Auto);
+      Auto.Interp.StepLimit = Limit;
+      RunResult AutoR = runProgram(P, Auto);
+
+      ASSERT_EQ(SwitchR.Behav.BehaviorKind, Behavior::Kind::StepLimit);
+      EXPECT_EQ(AutoR.Behav, SwitchR.Behav)
+          << modelKindName(Model) << " limit=" << Limit;
+      EXPECT_EQ(AutoR.Steps, SwitchR.Steps)
+          << modelKindName(Model) << " limit=" << Limit;
+      EXPECT_EQ(SwitchR.Steps, Limit);
+      if (threadedDispatchCompiledIn()) {
+        EXPECT_GT(AutoR.Dispatch.BlocksTranslated, 0u)
+            << "expected the threaded engine at limit " << Limit;
+      }
+    }
+  }
+}
+
+TEST(Dispatch, SubMarginBudgetsDeoptimizeAndStillAgree) {
+  // Limits below the threaded engine's entry margin run on the switch loop
+  // by design; the observable cutoff must be the same either way.
+  Program P = compile(FusedLoopSource);
+  for (uint64_t Limit : {1u, 7u, 100u, 4095u}) {
+    RunConfig Switch = config(ModelKind::Concrete, DispatchMode::Switch);
+    Switch.Interp.StepLimit = Limit;
+    RunResult SwitchR = runProgram(P, Switch);
+
+    RunConfig Auto = config(ModelKind::Concrete, DispatchMode::Auto);
+    Auto.Interp.StepLimit = Limit;
+    RunResult AutoR = runProgram(P, Auto);
+
+    EXPECT_EQ(AutoR.Behav, SwitchR.Behav) << "limit=" << Limit;
+    EXPECT_EQ(AutoR.Steps, SwitchR.Steps) << "limit=" << Limit;
+    EXPECT_TRUE(AutoR.Dispatch.empty()) << "limit=" << Limit;
+  }
+}
+
+TEST(Dispatch, CompletedRunsAgreeExactlyAcrossModesAndModels) {
+  const char *Source = R"(
+main() {
+  var int i, int t, int sum, ptr p;
+  p = malloc(4);
+  i = 0;
+  sum = 0;
+  while (i - 50) {
+    *(p + (i & 3)) = i;
+    t = *(p + (i & 3));
+    sum = sum + t;
+    i = i + 1;
+  }
+  output(sum);
+  free(p);
+}
+)";
+  Program P = compile(Source);
+  for (ModelKind Model : allModelKinds()) {
+    RunResult SwitchR =
+        runProgram(P, config(Model, DispatchMode::Switch));
+    RunResult AutoR = runProgram(P, config(Model, DispatchMode::Auto));
+    EXPECT_EQ(AutoR.Behav, SwitchR.Behav) << modelKindName(Model);
+    EXPECT_EQ(AutoR.Steps, SwitchR.Steps) << modelKindName(Model);
+    EXPECT_EQ(AutoR.Stats.toJson(), SwitchR.Stats.toJson())
+        << modelKindName(Model);
+  }
+}
+
+TEST(Dispatch, WallClockWatchdogTripsInBothModes) {
+  // The wall-clock cutoff is inherently nondeterministic in *where* it
+  // lands, so this pins the observable contract instead: both engines
+  // surface it as a StepLimit behavior with TimedOut set, and both poll on
+  // the same stride (a hang here would mean the threaded gates lost the
+  // watchdog entirely).
+  Program P = compile("main() { var int i; i = 1; while (i) { i = i + 1; } }");
+  for (DispatchMode Mode : {DispatchMode::Switch, DispatchMode::Auto}) {
+    RunConfig C = config(ModelKind::Concrete, Mode);
+    C.Interp.StepLimit = 1'000'000'000;
+    C.Interp.WallTimeoutMs = 20;
+    RunResult R = runProgram(P, C);
+    EXPECT_EQ(R.Behav.BehaviorKind, Behavior::Kind::StepLimit);
+    EXPECT_TRUE(R.TimedOut);
+    // The watchdog polls every 4096 steps in both loops; a trip therefore
+    // always lands on a poll boundary.
+    EXPECT_EQ(R.Steps % 4096, 0u);
+  }
+}
+
+TEST(Dispatch, ObserversForceTheSwitchLoop) {
+  // Deopt contract: an OnInstr observer must see every statement exactly
+  // as it always has, so Auto routes observed runs to the switch loop.
+  Program P = compile(FusedLoopSource);
+  uint64_t Observed = 0;
+  RunConfig C = config(ModelKind::QuasiConcrete, DispatchMode::Auto);
+  C.Interp.StepLimit = 20'000;
+  C.Interp.OnInstr = [&](const Instr &, unsigned) { ++Observed; };
+  RunResult R = runProgram(P, C);
+  EXPECT_TRUE(R.Dispatch.empty());
+  EXPECT_GT(Observed, 0u);
+
+  // And the observed run's behavior matches the unobserved threaded one.
+  RunConfig Plain = config(ModelKind::QuasiConcrete, DispatchMode::Auto);
+  Plain.Interp.StepLimit = 20'000;
+  RunResult PlainR = runProgram(P, Plain);
+  EXPECT_EQ(R.Behav, PlainR.Behav);
+  EXPECT_EQ(R.Steps, PlainR.Steps);
+}
+
+TEST(Dispatch, TranslationCacheSurvivesExecStateReuse) {
+  if (!threadedDispatchCompiledIn())
+    GTEST_SKIP() << "switch-only build";
+  Program P = compile(FusedLoopSource);
+  std::shared_ptr<const qir::QirModule> Module = qir::compileProgram(P);
+  RunConfig C = config(ModelKind::QuasiConcrete, DispatchMode::Auto);
+  C.Interp.StepLimit = 20'000;
+  ExecState State;
+  RunResult First = State.run(Module, C);
+  EXPECT_GT(First.Dispatch.BlocksTranslated, 0u);
+  RunResult Second = State.run(Module, C);
+  // The reused machine kept its decoded blocks: the second run re-enters
+  // them all through the cache and translates nothing.
+  EXPECT_EQ(Second.Dispatch.BlocksTranslated, 0u);
+  EXPECT_GT(Second.Dispatch.BlockCacheHits, 0u);
+  EXPECT_EQ(Second.Behav, First.Behav);
+  EXPECT_EQ(Second.Steps, First.Steps);
+}

@@ -48,6 +48,11 @@ ExplorationOptions jobs(unsigned N, bool FailFast = false) {
   ExplorationOptions E;
   E.Jobs = N;
   E.FailFast = FailFast;
+  // These tests pin the behavior of the parallel path itself (worker
+  // overlap, pool metrics, merge order under threads), so the small-grid
+  // inlining heuristic must not quietly reroute them through the serial
+  // path.
+  E.InlineThreshold = 0;
   return E;
 }
 
@@ -149,6 +154,38 @@ TEST(ExploreIndexed, RunsItemsConcurrently) {
       std::chrono::steady_clock::now() - Start);
   EXPECT_EQ(S.ItemsMerged, 8u);
   EXPECT_LT(Elapsed.count(), 300) << "items did not overlap in time";
+}
+
+TEST(ExploreIndexed, SmallGridsRunInlineByDefault) {
+  // Below the default InlineThreshold a Jobs > 1 request runs on the
+  // calling thread: same items, same merge order, but the pool metrics
+  // record one serial worker. This is the fix for thread-pool overhead
+  // dominating paper-scale grids.
+  ExplorationOptions E;
+  E.Jobs = 4;
+  ASSERT_GT(E.InlineThreshold, 64u) << "default threshold unexpectedly low";
+  const std::thread::id Caller = std::this_thread::get_id();
+  std::vector<size_t> MergeOrder;
+  ExplorationSummary S = exploreIndexed(
+      64, E,
+      [&](size_t) { EXPECT_EQ(std::this_thread::get_id(), Caller); },
+      [&](size_t I) {
+        MergeOrder.push_back(I);
+        return ExploreStep::Continue;
+      });
+  EXPECT_EQ(S.ItemsMerged, 64u);
+  EXPECT_EQ(S.Pool.Jobs, 1u);
+  std::vector<size_t> Expected(64);
+  std::iota(Expected.begin(), Expected.end(), 0);
+  EXPECT_EQ(MergeOrder, Expected);
+
+  // At or above the threshold the parallel path engages as requested.
+  E.InlineThreshold = 64;
+  S = exploreIndexed(
+      64, E, [](size_t) {},
+      [](size_t) { return ExploreStep::Continue; });
+  EXPECT_EQ(S.ItemsMerged, 64u);
+  EXPECT_EQ(S.Pool.Jobs, 4u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -15,7 +15,10 @@
 //   never observed as a new behavior — the run either matches the clean run
 //   exactly (the plan never fired) or is an out-of-memory partial whose
 //   events are a prefix of the clean run's (Section 2.3, item 4);
-// * the QIR engine and the AST walker agree under injection too;
+// * the QIR engine and the AST walker agree under injection too — and the
+//   QIR engine agrees with itself across dispatch modes: the three-way
+//   oracle (AST walker, switch loop, direct-threaded loop) holds on every
+//   model, with and without random fault plans;
 // * failing chaos cases print a self-contained repro line and a
 //   delta-minimized program (tests/ProgramGenerator.h).
 //
@@ -158,11 +161,13 @@ TEST_P(FuzzProperty, OptimizerOutputRefinesItsInput) {
                          << printProgram(Optimized);
 }
 
-TEST_P(FuzzProperty, QirEngineMatchesTheAstWalker) {
-  // Differential property: the compiled QIR engine and the reference AST
-  // walker observe the same behavior (including the diagnostic reason) and
-  // the same step count, under every model, both type disciplines, and two
-  // deterministic oracles.
+TEST_P(FuzzProperty, ThreeWayEnginesAgree) {
+  // Differential property, three ways: the direct-threaded QIR engine, the
+  // switch-dispatch QIR engine, and the reference AST walker observe the
+  // same behavior (including the diagnostic reason) and the same step
+  // count, under every model, both type disciplines, and two deterministic
+  // oracles. In switch-only builds the first two coincide and the test
+  // degenerates to the classic two-way check.
   ProgramGenerator Generator(GetParam() ^ 0x666);
   Program P = compileOrFail(Generator.generate());
   for (ModelKind Model :
@@ -181,16 +186,24 @@ TEST_P(FuzzProperty, QirEngineMatchesTheAstWalker) {
             return std::make_unique<FirstFitOracle>();
           return std::make_unique<LastFitOracle>();
         };
-        RunResult Qir = runProgram(P, C);
+        RunResult Threaded = runProgram(P, C);
+        RunConfig SwitchC = C;
+        SwitchC.Interp.Dispatch = DispatchMode::Switch;
+        RunResult Switch = runProgram(P, SwitchC);
         RunResult Ast = runAstProgram(P, C);
-        EXPECT_EQ(Qir.Behav, Ast.Behav)
-            << modelKindName(Model) << " oracle " << OracleSeed
-            << "\nqir: " << Qir.Behav.toString()
+        std::string Where = std::string(modelKindName(Model)) + " oracle " +
+                            std::to_string(OracleSeed);
+        EXPECT_EQ(Threaded.Behav, Ast.Behav)
+            << Where << "\nqir: " << Threaded.Behav.toString()
             << "ast: " << Ast.Behav.toString();
-        EXPECT_EQ(Qir.Behav.Reason, Ast.Behav.Reason)
-            << modelKindName(Model) << " oracle " << OracleSeed;
-        EXPECT_EQ(Qir.Steps, Ast.Steps)
-            << modelKindName(Model) << " oracle " << OracleSeed;
+        EXPECT_EQ(Threaded.Behav.Reason, Ast.Behav.Reason) << Where;
+        EXPECT_EQ(Threaded.Steps, Ast.Steps) << Where;
+        EXPECT_EQ(Switch.Behav, Threaded.Behav)
+            << Where << "\nswitch:   " << Switch.Behav.toString()
+            << "threaded: " << Threaded.Behav.toString();
+        EXPECT_EQ(Switch.Behav.Reason, Threaded.Behav.Reason) << Where;
+        EXPECT_EQ(Switch.Steps, Threaded.Steps) << Where;
+        EXPECT_TRUE(Switch.Dispatch.empty()) << Where;
       }
     }
   }
@@ -288,9 +301,13 @@ TEST_P(FuzzProperty, ChaosInjectionIsNeverANewBehavior) {
   }
 }
 
-TEST_P(FuzzProperty, ChaosQirMatchesTheAstWalkerUnderInjection) {
-  // Differential chaos: the compiled engine and the reference walker must
-  // truncate at the same injected operation with the same diagnosis.
+TEST_P(FuzzProperty, ChaosThreeWayEnginesAgreeUnderInjection) {
+  // Differential chaos, three ways: under a random fault plan the threaded
+  // engine (which deoptimizes to the switch loop when it sees the
+  // injection decorator), the explicitly switch-dispatched engine, and the
+  // reference walker must all truncate at the same injected operation with
+  // the same diagnosis. The Auto run's empty dispatch telemetry is the
+  // deopt contract made visible.
   uint64_t Seed = GetParam() ^ 0x888;
   ProgramGenerator Generator(Seed);
   Program P = compileOrFail(Generator.generate());
@@ -300,13 +317,20 @@ TEST_P(FuzzProperty, ChaosQirMatchesTheAstWalkerUnderInjection) {
     FaultPlan Plan = randomPlan(PlanRng);
     RunConfig C = chaosConfig(Model);
     C.Inject = Plan;
-    RunResult Qir = runProgram(P, C);
+    RunResult Auto = runProgram(P, C);
+    RunConfig SwitchC = C;
+    SwitchC.Interp.Dispatch = DispatchMode::Switch;
+    RunResult Switch = runProgram(P, SwitchC);
     RunResult Ast = runAstProgram(P, C);
     std::string Repro =
         qcm_test::reproLine(Seed, modelKindName(Model), Plan.toString());
-    EXPECT_EQ(Qir.Behav, Ast.Behav) << Repro;
-    EXPECT_EQ(Qir.Behav.Reason, Ast.Behav.Reason) << Repro;
-    EXPECT_EQ(Qir.Steps, Ast.Steps) << Repro;
+    EXPECT_EQ(Auto.Behav, Ast.Behav) << Repro;
+    EXPECT_EQ(Auto.Behav.Reason, Ast.Behav.Reason) << Repro;
+    EXPECT_EQ(Auto.Steps, Ast.Steps) << Repro;
+    EXPECT_EQ(Switch.Behav, Auto.Behav) << Repro;
+    EXPECT_EQ(Switch.Steps, Auto.Steps) << Repro;
+    EXPECT_TRUE(Auto.Dispatch.empty())
+        << Repro << " — fault injection must deoptimize to the switch loop";
   }
 }
 

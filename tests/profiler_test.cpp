@@ -200,6 +200,7 @@ TEST(MetricsDocument, CarriesEverySection) {
   Report.InjectedRuns = 2;
   Report.SweepRan = true;
   Report.AggregateStats.Allocations = 13;
+  Report.AggregateDispatch.BlocksTranslated = 7;
   Report.Pool.Jobs = 4;
 
   std::string Doc = qcm_tools::renderMetricsDocument(Report, "unit-test");
@@ -209,6 +210,8 @@ TEST(MetricsDocument, CarriesEverySection) {
   EXPECT_NE(Doc.find("\"runs_performed\":9"), std::string::npos);
   EXPECT_NE(Doc.find("\"injected_runs\":2"), std::string::npos);
   EXPECT_NE(Doc.find("\"allocations\":13"), std::string::npos);
+  EXPECT_NE(Doc.find("\"dispatch\":{"), std::string::npos);
+  EXPECT_NE(Doc.find("\"blocks_translated\":7"), std::string::npos);
   EXPECT_NE(Doc.find("\"pool\":{"), std::string::npos);
   EXPECT_NE(Doc.find("\"jobs\":4"), std::string::npos);
   EXPECT_NE(Doc.find("\"process\":{"), std::string::npos);
@@ -217,15 +220,18 @@ TEST(MetricsDocument, CarriesEverySection) {
 }
 
 TEST(MetricsDocument, AggregateHalfIsDeterministic) {
-  // The aggregate fragment must not depend on profiler or pool state: two
-  // reports with equal deterministic fields render identical JSON even when
-  // their nondeterministic pool timings differ.
+  // The aggregate fragment must not depend on profiler, pool, or dispatch
+  // state: two reports with equal deterministic fields render identical
+  // JSON even when their nondeterministic pool timings and dispatch-cache
+  // counters differ (both vary with --jobs via worker-slot machine reuse).
   RefinementReport A;
   A.RunsPerformed = 3;
   A.Pool.WallUs = 111;
+  A.AggregateDispatch.BlockCacheHits = 5;
   RefinementReport B;
   B.RunsPerformed = 3;
   B.Pool.WallUs = 999999;
+  B.AggregateDispatch.BlockCacheHits = 700;
   EXPECT_EQ(qcm_tools::metricsAggregateJson(A),
             qcm_tools::metricsAggregateJson(B));
 }

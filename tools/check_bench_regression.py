@@ -18,7 +18,18 @@ the two dumps were captured with different --json-iters settings.
 Rows present on only one side are reported but are not failures: the
 baseline predates scenarios added later, and CI may run a subset.
 
-Exit status: 0 when no row regresses, 1 on regression or schema error.
+Beyond the baseline comparison, the checker holds one absolute invariant
+on the CURRENT dump: for every model with both rows present, the
+call_repeat scenario's ast/qir per-iteration ratio must be at least
+--min-call-ratio (default 10) — the direct-threaded engine's acceptance
+floor. The ratio is machine-independent (both sides run on the same
+host), so it is safe to assert even on slow shared runners. Pass
+--min-call-ratio=0 to disable (e.g. for a QCM_THREADED_DISPATCH=0
+build, where the qir engine is the switch loop). Dumps without
+call_repeat rows (bench_workloads) skip the check.
+
+Exit status: 0 when no row regresses and the ratio floor holds, 1 on
+regression, ratio shortfall, or schema error.
 """
 
 import json
@@ -56,12 +67,42 @@ def load_rows(path):
     return table
 
 
+def check_call_ratio(current, min_ratio):
+    """The threaded-dispatch acceptance floor: ast/qir per-iteration ratio
+    on call_repeat, per model. Returns failure lines (empty when green or
+    when the dump has no call_repeat rows to judge)."""
+    failures = []
+    models = sorted({model for (scenario, engine, model) in current
+                     if scenario == "call_repeat"})
+    for model in models:
+        qir = current.get(("call_repeat", "qir", model))
+        ast = current.get(("call_repeat", "ast", model))
+        if not qir or not ast:
+            continue
+        qir_per = qir["wall_us"] / qir["iterations"]
+        ast_per = ast["wall_us"] / ast["iterations"]
+        if qir_per <= 0:
+            continue
+        ratio = ast_per / qir_per
+        line = (f"call_repeat/{model}: ast {ast_per:.1f} / qir {qir_per:.1f} "
+                f"us/iter = {ratio:.2f}x (floor {min_ratio:g}x)")
+        if ratio < min_ratio:
+            failures.append(line)
+            print(f"  TOO SLOW  {line}")
+        else:
+            print(f"  ratio ok  {line}")
+    return failures
+
+
 def main(argv):
     threshold = 0.25
+    min_call_ratio = 10.0
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--min-call-ratio="):
+            min_call_ratio = float(arg.split("=", 1)[1])
         else:
             paths.append(arg)
     if len(paths) != 2:
@@ -93,6 +134,10 @@ def main(argv):
     for key in sorted(set(baseline) - set(current)):
         print(f"  gone  {'/'.join(key)}: not in current run")
 
+    ratio_failures = []
+    if min_call_ratio > 0:
+        ratio_failures = check_call_ratio(current, min_call_ratio)
+
     if compared == 0:
         sys.exit("error: no comparable rows between the two files")
     if regressions:
@@ -100,6 +145,12 @@ def main(argv):
               f"than {threshold:.0%}:")
         for line in regressions:
             print(f"  {line}")
+    if ratio_failures:
+        print(f"\n{len(ratio_failures)} model(s) below the "
+              f"{min_call_ratio:g}x call_repeat ast/qir floor:")
+        for line in ratio_failures:
+            print(f"  {line}")
+    if regressions or ratio_failures:
         return 1
     print(f"\nall {compared} comparable rows within {threshold:.0%} of baseline")
     return 0

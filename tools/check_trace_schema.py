@@ -133,6 +133,23 @@ def check_check_metrics(doc, errors):
                 expect(key in stats, errors,
                        f"metrics: aggregate.stats missing '{key}'")
 
+    # Dispatch-engine telemetry is nondeterministic across --jobs levels
+    # (like pool), so it is a section of its own, not part of aggregate.
+    dispatch = doc.get("dispatch")
+    expect(isinstance(dispatch, dict), errors,
+           "metrics: dispatch must be an object")
+    if isinstance(dispatch, dict):
+        for key in ("blocks_translated", "instrs_translated",
+                    "block_cache_hits", "fused_load_binop",
+                    "fused_const_binop", "fused_cmp_branch",
+                    "fused_const_store", "fused_push_arg_call",
+                    "fused_alu_store"):
+            expect(key in dispatch, errors,
+                   f"metrics: dispatch missing '{key}'")
+            expect(isinstance(dispatch.get(key), int)
+                   and dispatch.get(key, 0) >= 0, errors,
+                   f"metrics: dispatch.{key} must be a non-negative int")
+
     pool = doc.get("pool")
     expect(isinstance(pool, dict), errors, "metrics: pool must be an object")
     if isinstance(pool, dict):
