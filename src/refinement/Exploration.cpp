@@ -4,6 +4,7 @@
 
 #include "support/Profiler.h"
 #include "support/Telemetry.h"
+#include "support/TestingHooks.h"
 
 #include <algorithm>
 #include <atomic>
@@ -11,6 +12,32 @@
 #include <mutex>
 
 using namespace qcm;
+
+void IsolationStats::accumulate(const IsolationStats &Other) {
+  ProcessBackend |= Other.ProcessBackend;
+  WorkersSpawned += Other.WorkersSpawned;
+  WorkerRestarts += Other.WorkerRestarts;
+  WorkerCrashes += Other.WorkerCrashes;
+  WorkerHangs += Other.WorkerHangs;
+  CellRetries += Other.CellRetries;
+  QuarantinedCells += Other.QuarantinedCells;
+  LocalFallbackCells += Other.LocalFallbackCells;
+  BackoffMsTotal += Other.BackoffMsTotal;
+}
+
+std::string IsolationStats::toJson() const {
+  return JsonObject()
+      .field("backend", ProcessBackend ? "process" : "thread")
+      .field("workers_spawned", WorkersSpawned)
+      .field("worker_restarts", WorkerRestarts)
+      .field("worker_crashes", WorkerCrashes)
+      .field("worker_hangs", WorkerHangs)
+      .field("cell_retries", CellRetries)
+      .field("quarantined_cells", QuarantinedCells)
+      .field("local_fallback_cells", LocalFallbackCells)
+      .field("backoff_ms_total", BackoffMsTotal)
+      .str();
+}
 
 void PoolMetrics::accumulate(const PoolMetrics &Other) {
   Jobs = std::max(Jobs, Other.Jobs);
@@ -182,6 +209,10 @@ qcm::explorePlan(const ExplorationPlan &Plan,
             return;
           }
         }
+        // The crash canary fires on the global cell index, after the cache
+        // check: a resumed (or quarantined) cell replays from the journal
+        // without re-entering the killer code path.
+        maybeCrashAtCell(Plan.IndexBase + I);
         RunConfig Config = Item.Config;
         // Handler-bearing items materialize a fresh handler map on the
         // worker so stateful handlers are never shared across runs or

@@ -102,6 +102,40 @@ struct PoolMetrics {
   std::string toJson() const;
 };
 
+/// Supervision counters of the process-isolation backend
+/// (refinement/ProcessPool.h). Like PoolMetrics this is wall-clock-flavored
+/// bookkeeping that feeds the --metrics-out "isolation" section, never the
+/// byte-identical reports (the deterministic crash/quarantine *verdicts*
+/// live in the report counters instead). A thread-backend run reports the
+/// all-zero default with ProcessBackend=false.
+struct IsolationStats {
+  /// True when the run used --isolate=process.
+  bool ProcessBackend = false;
+  /// Worker processes forked over the run's lifetime (restarts included).
+  uint64_t WorkersSpawned = 0;
+  /// Respawns after a worker death (WorkersSpawned minus first launches).
+  uint64_t WorkerRestarts = 0;
+  /// Worker deaths observed: killed by a signal, nonzero exit, or a
+  /// corrupt/foreclosed protocol stream.
+  uint64_t WorkerCrashes = 0;
+  /// Workers killed by the supervisor's per-item watchdog.
+  uint64_t WorkerHangs = 0;
+  /// Cells re-dispatched after their worker died mid-cell.
+  uint64_t CellRetries = 0;
+  /// Cells abandoned after exhausting the retry budget.
+  uint64_t QuarantinedCells = 0;
+  /// Cells executed in-process after worker spawning degraded.
+  uint64_t LocalFallbackCells = 0;
+  /// Total restart backoff scheduled, in milliseconds.
+  uint64_t BackoffMsTotal = 0;
+
+  void accumulate(const IsolationStats &Other);
+
+  /// {"backend":"process","workers_spawned":...,...} — the metrics
+  /// document's "isolation" section.
+  std::string toJson() const;
+};
+
 /// What an exploration did.
 struct ExplorationSummary {
   /// Items whose results were merged (delivered in plan order). This — not
@@ -161,6 +195,11 @@ struct ExplorationPlan {
   /// cached result flows through the same in-order merge. Must be safe to
   /// call from worker threads (a loaded journal is read-only).
   std::function<const RunResult *(size_t)> Cached;
+  /// Offset from plan indices to the caller's global cell numbering (the
+  /// journal index space; nonzero for matrix cells). Purely observational:
+  /// it feeds the QCM_CRASH_AT testing hook and span labels, so the thread
+  /// and process backends agree on which global cell a canary kills.
+  size_t IndexBase = 0;
 };
 
 /// Executes \p Plan under \p Options. \p OnResult receives each item's

@@ -1,0 +1,461 @@
+//===- refinement/ProcessPool.cpp -----------------------------------------===//
+
+#include "refinement/ProcessPool.h"
+
+#include "support/Profiler.h"
+#include "support/Telemetry.h"
+
+#include <chrono>
+#include <csignal>
+#include <deque>
+#include <poll.h>
+
+using namespace qcm;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t msUntil(Clock::time_point Now, Clock::time_point Then) {
+  if (Then <= Now)
+    return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Then - Now)
+          .count());
+}
+
+/// Per-item busy time, profiler-gated like PoolMetrics everywhere else.
+uint64_t elapsedUs(const Stopwatch &Busy) {
+#if QCM_PROFILE_ENABLED
+  return static_cast<uint64_t>(Busy.seconds() * 1e6);
+#else
+  (void)Busy;
+  return 0;
+#endif
+}
+
+/// Completion marker detection. qcm::jsonEscape escapes '"' inside string
+/// values, so the byte sequence "done":true can only appear as a top-level
+/// field of the (flat, JsonObject-produced) payload.
+bool isDoneFrame(const std::string &Payload) {
+  return Payload.find("\"done\":true") != std::string::npos;
+}
+
+} // namespace
+
+/// One worker slot: the live process (when any), its supervision state, and
+/// the restart bookkeeping that survives the process itself.
+struct ProcessPool::Worker {
+  enum class St { Dead, Starting, Idle, Busy };
+
+  std::unique_ptr<Subprocess> Proc;
+  St State = St::Dead;
+  /// The in-flight item while Busy.
+  size_t Item = 0;
+  /// Consecutive deaths feeding the backoff exponent; reset by a completed
+  /// item.
+  unsigned ConsecutiveFailures = 0;
+  /// Earliest time the slot may respawn; epoch (default) = immediately.
+  Clock::time_point RestartAt{};
+  /// Last frame (or dispatch) time; the hang watchdog measures from here.
+  Clock::time_point LastActivity{};
+  /// True once any process in this slot completed the init handshake.
+  bool EverReady = false;
+  /// Per-item timer for pool metrics.
+  Stopwatch BusyClock;
+};
+
+/// Everything scoped to one explore() call.
+struct ProcessPool::ExploreState {
+  std::vector<std::optional<std::string>> Requests;
+  std::vector<RemoteOutcome> Outcomes;
+  std::vector<char> Completed;
+  std::deque<size_t> Pending;
+};
+
+ProcessPool::ProcessPool(Config C) : Cfg(std::move(C)) {
+  if (Cfg.Workers == 0)
+    Cfg.Workers = 1;
+  Stats.ProcessBackend = true;
+  StatsAtLastDelta.ProcessBackend = true;
+  // The supervisor writes to pipes whose far end may have just died; a
+  // write-after-death must surface as EPIPE, not SIGPIPE. The tools install
+  // this too (installSignalHygiene) — this is defense in depth for other
+  // embedders.
+  std::signal(SIGPIPE, SIG_IGN);
+  Pool.reserve(Cfg.Workers);
+  for (unsigned I = 0; I < Cfg.Workers; ++I)
+    Pool.push_back(std::make_unique<Worker>());
+}
+
+ProcessPool::~ProcessPool() {
+  // Graceful shutdown: EOF on stdin asks a protocol-following worker to
+  // exit 0; awaitExit escalates to SIGKILL for anything that lingers.
+  for (auto &W : Pool)
+    if (W->Proc)
+      W->Proc->closeStdin();
+  for (auto &W : Pool)
+    if (W->Proc)
+      W->Proc->awaitExit(/*GraceMs=*/200);
+}
+
+IsolationStats ProcessPool::takeStatsDelta() {
+  IsolationStats Delta = Stats;
+  Delta.WorkersSpawned -= StatsAtLastDelta.WorkersSpawned;
+  Delta.WorkerRestarts -= StatsAtLastDelta.WorkerRestarts;
+  Delta.WorkerCrashes -= StatsAtLastDelta.WorkerCrashes;
+  Delta.WorkerHangs -= StatsAtLastDelta.WorkerHangs;
+  Delta.CellRetries -= StatsAtLastDelta.CellRetries;
+  Delta.QuarantinedCells -= StatsAtLastDelta.QuarantinedCells;
+  Delta.LocalFallbackCells -= StatsAtLastDelta.LocalFallbackCells;
+  Delta.BackoffMsTotal -= StatsAtLastDelta.BackoffMsTotal;
+  StatsAtLastDelta = Stats;
+  return Delta;
+}
+
+void ProcessPool::spawnWorker(Worker &W, bool IsRestart) {
+  prof::Span Sp("worker-spawn", "isolate");
+  W.Proc = std::make_unique<Subprocess>();
+  std::string Error;
+  if (!W.Proc->start(Cfg.WorkerArgv, Error) ||
+      !W.Proc->writeFrame(Cfg.InitFrame)) {
+    // Spawn/handshake-write failure: count it as a pre-ready death so
+    // repeated failures degrade the pool instead of spinning forever.
+    W.Proc.reset();
+    ++Stats.WorkerCrashes;
+    ++ConsecutivePreReadyDeaths;
+    if (ConsecutivePreReadyDeaths >= Cfg.SpawnFailureLimit)
+      Degraded = true;
+    uint64_t BackoffMs =
+        std::min<uint64_t>(static_cast<uint64_t>(Cfg.BackoffBaseMs)
+                               << std::min(W.ConsecutiveFailures, 16u),
+                           Cfg.BackoffMaxMs);
+    ++W.ConsecutiveFailures;
+    Stats.BackoffMsTotal += BackoffMs;
+    W.RestartAt = Clock::now() + std::chrono::milliseconds(BackoffMs);
+    W.State = Worker::St::Dead;
+    return;
+  }
+  ++Stats.WorkersSpawned;
+  if (IsRestart)
+    ++Stats.WorkerRestarts;
+  prof::counterAdd("isolate.spawns", 1);
+  W.State = Worker::St::Starting;
+  W.LastActivity = Clock::now();
+  Sp.arg("pid", static_cast<uint64_t>(W.Proc->pid()));
+}
+
+void ProcessPool::killWorker(Worker &W) {
+  if (!W.Proc)
+    return;
+  W.Proc->terminate(SIGKILL);
+  W.Proc->awaitExit(/*GraceMs=*/0);
+  W.Proc.reset();
+}
+
+void ProcessPool::handleWorkerDeath(Worker &W, ExploreState &S,
+                                    const std::string &Why, bool Hang) {
+  std::string Desc = Why;
+  if (W.Proc) {
+    Subprocess::ExitStatus St = W.Proc->awaitExit(/*GraceMs=*/Hang ? 0 : 100);
+    if (Desc.empty())
+      Desc = St.describe();
+    else if (St.Known && !St.Exited)
+      Desc += " (" + St.describe() + ")";
+    W.Proc.reset();
+  }
+  if (Hang)
+    ++Stats.WorkerHangs;
+  else
+    ++Stats.WorkerCrashes;
+  prof::counterAdd(Hang ? "isolate.hangs" : "isolate.crashes", 1);
+
+  if (W.State == Worker::St::Busy) {
+    RemoteOutcome &Out = S.Outcomes[W.Item];
+    ++Out.WorkerCrashes;
+    Out.CrashReason = Desc;
+    // Partial frames from the dead worker (a sweep cell's first probes)
+    // must not survive into a retry or the quarantine record.
+    Out.Frames.clear();
+    if (Out.WorkerCrashes > Cfg.MaxRetries) {
+      Out.Quarantined = true;
+      S.Completed[W.Item] = 1;
+      ++Stats.QuarantinedCells;
+      prof::counterAdd("isolate.quarantined", 1);
+    } else {
+      ++Stats.CellRetries;
+      S.Pending.push_front(W.Item);
+    }
+  } else if (W.State == Worker::St::Starting) {
+    ++ConsecutivePreReadyDeaths;
+    if (ConsecutivePreReadyDeaths >= Cfg.SpawnFailureLimit)
+      Degraded = true;
+  }
+
+  uint64_t BackoffMs =
+      std::min<uint64_t>(static_cast<uint64_t>(Cfg.BackoffBaseMs)
+                             << std::min(W.ConsecutiveFailures, 16u),
+                         Cfg.BackoffMaxMs);
+  ++W.ConsecutiveFailures;
+  Stats.BackoffMsTotal += BackoffMs;
+  W.RestartAt = Clock::now() + std::chrono::milliseconds(BackoffMs);
+  W.State = Worker::St::Dead;
+}
+
+ExplorationSummary ProcessPool::explore(size_t Count,
+                                        const RequestFn &RequestFor,
+                                        const MergeFn &Merge,
+                                        const LocalRunFn &LocalRun) {
+  ExplorationSummary Summary;
+  Summary.Pool.Jobs = Cfg.Workers;
+  Summary.Pool.Workers.resize(Cfg.Workers);
+  if (Count == 0)
+    return Summary;
+
+  prof::Span Sp("process-explore", "isolate");
+  Sp.arg("items", static_cast<uint64_t>(Count));
+  Stopwatch Wall;
+
+  ExploreState S;
+  S.Requests.resize(Count);
+  S.Outcomes.resize(Count);
+  S.Completed.assign(Count, 0);
+  for (size_t I = 0; I < Count; ++I) {
+    S.Requests[I] = RequestFor(I);
+    if (!S.Requests[I]) {
+      S.Outcomes[I].Cached = true;
+      S.Completed[I] = 1;
+    } else {
+      S.Pending.push_back(I);
+    }
+  }
+
+  size_t NextMerge = 0;
+  bool Stopped = false;
+  auto MergeReady = [&] {
+    while (NextMerge < Count && S.Completed[NextMerge]) {
+      ++Summary.ItemsMerged;
+      ExploreStep Step = Merge(NextMerge, S.Outcomes[NextMerge]);
+      ++NextMerge;
+      if (Step == ExploreStep::Stop) {
+        Stopped = true;
+        return;
+      }
+    }
+  };
+
+  auto RunLocally = [&](size_t I) {
+    RemoteOutcome &Out = S.Outcomes[I];
+    if (LocalRun) {
+      Out.Frames = LocalRun(I);
+      Out.LocalFallback = true;
+      ++Stats.LocalFallbackCells;
+      prof::counterAdd("isolate.local_fallback", 1);
+    } else {
+      Out.Quarantined = true;
+      if (Out.CrashReason.empty())
+        Out.CrashReason = "worker pool degraded after repeated spawn failures";
+      ++Stats.QuarantinedCells;
+      prof::counterAdd("isolate.quarantined", 1);
+    }
+    S.Completed[I] = 1;
+  };
+
+  MergeReady(); // an all-cached prefix (full resume) may finish or stop here
+
+  while (!Stopped && NextMerge < Count) {
+    Clock::time_point Now = Clock::now();
+
+    // Degraded mode: no more forking; everything still pending runs through
+    // the in-process fallback. Busy workers (if any survive) are left to
+    // finish their in-flight items normally.
+    if (Degraded && !S.Pending.empty()) {
+      while (!S.Pending.empty()) {
+        size_t I = S.Pending.front();
+        S.Pending.pop_front();
+        RunLocally(I);
+      }
+      MergeReady();
+      continue;
+    }
+
+    // Dispatch pending items to idle workers, in slot order.
+    for (unsigned Slot = 0; Slot < Pool.size() && !S.Pending.empty();
+         ++Slot) {
+      Worker &W = *Pool[Slot];
+      if (W.State != Worker::St::Idle)
+        continue;
+      size_t I = S.Pending.front();
+      // A fresh dispatch of a previously crashed item must not accumulate
+      // frames from the earlier attempt (already cleared on death — this
+      // guards the retry-after-retry path).
+      S.Outcomes[I].Frames.clear();
+      if (!W.Proc->writeFrame(*S.Requests[I])) {
+        // The item stays pending; the dead worker is classified below.
+        handleWorkerDeath(W, S, "request write failed", /*Hang=*/false);
+        continue;
+      }
+      S.Pending.pop_front();
+      W.Item = I;
+      W.State = Worker::St::Busy;
+      W.LastActivity = Clock::now();
+      W.BusyClock.reset();
+    }
+
+    // Respawn dead slots while spawning is still trusted and there is more
+    // pending work than live capacity.
+    if (!Degraded && !S.Pending.empty()) {
+      size_t Capacity = 0;
+      for (auto &WPtr : Pool)
+        if (WPtr->State == Worker::St::Idle ||
+            WPtr->State == Worker::St::Starting)
+          ++Capacity;
+      for (auto &WPtr : Pool) {
+        if (Capacity >= S.Pending.size() || Degraded)
+          break;
+        Worker &W = *WPtr;
+        if (W.State != Worker::St::Dead || Now < W.RestartAt)
+          continue;
+        spawnWorker(W, /*IsRestart=*/W.EverReady || W.ConsecutiveFailures > 0);
+        if (W.State == Worker::St::Starting)
+          ++Capacity;
+      }
+      if (Degraded)
+        continue; // drain pending locally at the top of the loop
+    }
+
+    // Assemble the poll set: every live worker's stdout (a ready frame or a
+    // death can arrive in any state, idle included).
+    std::vector<pollfd> Fds;
+    std::vector<unsigned> FdSlot;
+    for (unsigned Slot = 0; Slot < Pool.size(); ++Slot) {
+      Worker &W = *Pool[Slot];
+      if (W.Proc && W.Proc->readFd() >= 0) {
+        Fds.push_back({W.Proc->readFd(), POLLIN, 0});
+        FdSlot.push_back(Slot);
+      }
+    }
+
+    // Timeout: the nearest busy-worker hang deadline or dead-slot restart
+    // time, bounded so supervision stays responsive.
+    uint64_t TimeoutMs = 250;
+    for (auto &WPtr : Pool) {
+      Worker &W = *WPtr;
+      if (W.State == Worker::St::Busy && Cfg.ItemTimeoutMs)
+        TimeoutMs = std::min(
+            TimeoutMs,
+            msUntil(Now, W.LastActivity +
+                             std::chrono::milliseconds(Cfg.ItemTimeoutMs)));
+      else if (W.State == Worker::St::Dead && !S.Pending.empty())
+        TimeoutMs = std::min(TimeoutMs, msUntil(Now, W.RestartAt));
+    }
+
+    if (Fds.empty()) {
+      // All slots dead and in backoff: sleep until the nearest restart.
+      ::poll(nullptr, 0,
+             static_cast<int>(std::max<uint64_t>(std::min<uint64_t>(
+                                                     TimeoutMs, 250),
+                                                 1)));
+      continue;
+    }
+
+    int N = ::poll(Fds.data(), static_cast<nfds_t>(Fds.size()),
+                   static_cast<int>(std::max<uint64_t>(TimeoutMs, 1)));
+    if (N > 0) {
+      for (size_t FdI = 0; FdI < Fds.size(); ++FdI) {
+        if (!(Fds[FdI].revents & (POLLIN | POLLHUP | POLLERR)))
+          continue;
+        unsigned Slot = FdSlot[FdI];
+        Worker &W = *Pool[Slot];
+        if (W.State == Worker::St::Dead || !W.Proc)
+          continue;
+        bool Alive = W.Proc->pumpReadable();
+        std::string Payload;
+        while (W.State != Worker::St::Dead && W.Proc &&
+               W.Proc->popFrame(Payload)) {
+          W.LastActivity = Clock::now();
+          switch (W.State) {
+          case Worker::St::Starting:
+            if (Payload.find("\"ready\":") != std::string::npos) {
+              W.State = Worker::St::Idle;
+              W.EverReady = true;
+              ConsecutivePreReadyDeaths = 0;
+            } else {
+              // An init error ({"error":"..."}) is deterministic — every
+              // respawn would fail the same way. Count it as a pre-ready
+              // death; repeats degrade the pool to the local fallback.
+              killWorker(W);
+              handleWorkerDeath(W, S, "worker init failed: " + Payload,
+                                /*Hang=*/false);
+            }
+            break;
+          case Worker::St::Busy: {
+            RemoteOutcome &Out = S.Outcomes[W.Item];
+            Out.Frames.push_back(Payload);
+            if (isDoneFrame(Payload)) {
+              S.Completed[W.Item] = 1;
+              W.State = Worker::St::Idle;
+              W.ConsecutiveFailures = 0;
+              Summary.Pool.Workers[Slot].BusyUs += elapsedUs(W.BusyClock);
+              ++Summary.Pool.Workers[Slot].Items;
+            }
+            break;
+          }
+          case Worker::St::Idle:
+            // A frame with no request outstanding: protocol violation,
+            // treated like stream corruption.
+            killWorker(W);
+            handleWorkerDeath(W, S, "unexpected frame from idle worker",
+                              /*Hang=*/false);
+            break;
+          case Worker::St::Dead:
+            break;
+          }
+        }
+        if (!Alive && W.State != Worker::St::Dead) {
+          std::string Why;
+          if (W.Proc && W.Proc->corrupted())
+            Why = "corrupt frame stream";
+          handleWorkerDeath(W, S, Why, /*Hang=*/false);
+        }
+      }
+    }
+
+    // Hang watchdog: a busy worker with no frame inside the window is
+    // killed and handled as a death.
+    if (Cfg.ItemTimeoutMs) {
+      Now = Clock::now();
+      for (auto &WPtr : Pool) {
+        Worker &W = *WPtr;
+        if (W.State != Worker::St::Busy ||
+            Now - W.LastActivity <
+                std::chrono::milliseconds(Cfg.ItemTimeoutMs))
+          continue;
+        killWorker(W);
+        handleWorkerDeath(W, S,
+                          "no frame within " +
+                              std::to_string(Cfg.ItemTimeoutMs) + " ms",
+                          /*Hang=*/true);
+      }
+    }
+
+    MergeReady();
+  }
+
+  if (Stopped) {
+    Summary.Cancelled = true;
+    // Kill in-flight workers: their stale frames must not leak into the
+    // next explore() (grid -> sweep -> matrix cells share the pool).
+    for (auto &WPtr : Pool) {
+      Worker &W = *WPtr;
+      if (W.State == Worker::St::Busy || W.State == Worker::St::Starting) {
+        killWorker(W);
+        W.State = Worker::St::Dead;
+        W.RestartAt = Clock::now(); // not a failure: no backoff
+      }
+    }
+  }
+
+  Summary.Pool.WallUs = elapsedUs(Wall);
+  return Summary;
+}

@@ -1,0 +1,157 @@
+//===- refinement/ProcessPool.h - Crash-quarantining process pool -*- C++ -*-=//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-isolated exploration backend (--isolate=process): a
+/// supervisor that shards plan items across N long-lived worker processes
+/// and keeps the deterministic in-order merge contract of
+/// refinement/Exploration.h while surviving anything a cell can do to its
+/// process — SIGSEGV, SIGABRT, a wedged interpreter loop, a corrupt stream.
+///
+/// Policy (docs/ISOLATION.md):
+/// * **Death detection.** A worker that closes its stdout (EOF/POLLHUP) or
+///   corrupts the frame stream is reaped and classified by waitpid —
+///   exit code vs. terminating signal.
+/// * **Hang detection.** With an item timeout configured, a busy worker
+///   that produces no frame within the window is SIGKILLed and handled as
+///   a death (the in-worker --timeout-ms watchdog fires first for ordinary
+///   slow cells; the supervisor-level window only catches a truly wedged
+///   process). Frame arrival refreshes the deadline, so multi-frame
+///   (sweep) items are judged on activity, not total duration.
+/// * **Restart with backoff.** Dead workers respawn after an exponential
+///   backoff (BackoffBaseMs << consecutive-failures, capped).
+/// * **Retry, then quarantine.** The in-flight item of a dead worker is
+///   re-dispatched up to MaxRetries times; past that it is *quarantined* —
+///   delivered to the merge callback as a failed RemoteOutcome instead of
+///   taking down the run.
+/// * **Graceful degradation.** When workers die before ever completing the
+///   handshake often enough (SpawnFailureLimit consecutive pre-ready
+///   deaths per slot), the pool stops forking and runs the remaining items
+///   through the caller's in-process fallback.
+///
+/// The pool is protocol-agnostic: requests and responses are opaque frame
+/// payloads; completion is signaled by a frame whose payload contains the
+/// top-level `"done":true` marker (qcm::JsonObject never emits that byte
+/// sequence inside a string value, so substring detection is exact).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_REFINEMENT_PROCESSPOOL_H
+#define QCM_REFINEMENT_PROCESSPOOL_H
+
+#include "refinement/Exploration.h"
+#include "support/Subprocess.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// One item's outcome as seen by the merge callback.
+struct RemoteOutcome {
+  /// The worker's response frames for this item, in arrival order, the
+  /// "done"-marked frame last. Empty when Cached or Quarantined.
+  std::vector<std::string> Frames;
+  /// The request callback returned nullopt: the caller already has the
+  /// result (journal replay) and the item never touched a worker.
+  bool Cached = false;
+  /// The item exhausted its retry budget; Frames is empty and CrashReason
+  /// describes the last death.
+  bool Quarantined = false;
+  /// The item ran through the in-process fallback after spawn degradation.
+  bool LocalFallback = false;
+  /// Worker deaths attributed to this item (>0 with Quarantined, but also
+  /// for items that crashed and then succeeded on retry).
+  uint32_t WorkerCrashes = 0;
+  /// Last death/hang description ("killed by signal 11 (SIGSEGV)", "no
+  /// frame within 2000 ms", ...).
+  std::string CrashReason;
+};
+
+/// The supervisor. One instance spans a whole qcm-check run — grid, sweep,
+/// and every matrix cell reuse the same long-lived workers — so explore()
+/// may be called repeatedly; stats() accumulate across calls and
+/// takeStatsDelta() slices them per exploration.
+class ProcessPool {
+public:
+  struct Config {
+    /// Worker command line; argv[0] is the executable. The same init frame
+    /// is (re)played to every spawned worker before any request.
+    std::vector<std::string> WorkerArgv;
+    std::string InitFrame;
+    /// Worker process count (>= 1).
+    unsigned Workers = 1;
+    /// Re-dispatches of one item after a worker death before quarantine.
+    unsigned MaxRetries = 2;
+    /// Exponential respawn backoff: BackoffBaseMs << consecutiveFailures,
+    /// capped at BackoffMaxMs.
+    unsigned BackoffBaseMs = 25;
+    unsigned BackoffMaxMs = 2000;
+    /// Supervisor watchdog: a busy worker producing no frame for this long
+    /// is killed and handled as a death. 0 disables (matching the thread
+    /// backend, which cannot interrupt a wedged cell either).
+    uint64_t ItemTimeoutMs = 0;
+    /// Consecutive never-became-ready worker deaths (pool-wide, reset by
+    /// any completed handshake) before the pool stops forking and degrades
+    /// to the in-process fallback.
+    unsigned SpawnFailureLimit = 3;
+  };
+
+  explicit ProcessPool(Config C);
+  ~ProcessPool();
+  ProcessPool(const ProcessPool &) = delete;
+  ProcessPool &operator=(const ProcessPool &) = delete;
+
+  /// Builds item \p I's request frame; nullopt marks the item cached (it
+  /// is merged immediately as RemoteOutcome::Cached without worker I/O).
+  using RequestFn = std::function<std::optional<std::string>(size_t)>;
+  /// Merge callback, invoked on the calling thread strictly in item order.
+  using MergeFn = std::function<ExploreStep(size_t, RemoteOutcome &)>;
+  /// In-process fallback executor: returns the response frames a healthy
+  /// worker would have sent for item \p I. Used after spawn degradation;
+  /// null disables degradation (items are quarantined instead).
+  using LocalRunFn = std::function<std::vector<std::string>(size_t)>;
+
+  /// Runs items [0, Count) across the pool: dispatches in item order to
+  /// idle workers, collects out-of-order completions, merges strictly in
+  /// order. Returns like explorePlan — ItemsMerged, Cancelled, and pool
+  /// timing (Workers rows count per-process busy time and items).
+  ExplorationSummary explore(size_t Count, const RequestFn &RequestFor,
+                             const MergeFn &Merge,
+                             const LocalRunFn &LocalRun = nullptr);
+
+  /// Cumulative supervision counters since construction.
+  const IsolationStats &stats() const { return Stats; }
+
+  /// The counters accumulated since the previous takeStatsDelta() call —
+  /// how one exploration (one matrix cell) attributes shared-pool activity
+  /// without double counting.
+  IsolationStats takeStatsDelta();
+
+private:
+  struct Worker;
+  struct ExploreState;
+
+  void spawnWorker(Worker &W, bool IsRestart);
+  void handleWorkerDeath(Worker &W, ExploreState &S, const std::string &Why,
+                         bool Hang);
+  void killWorker(Worker &W);
+
+  Config Cfg;
+  IsolationStats Stats;
+  IsolationStats StatsAtLastDelta;
+  std::vector<std::unique_ptr<Worker>> Pool;
+  bool Degraded = false;
+  unsigned ConsecutivePreReadyDeaths = 0;
+};
+
+} // namespace qcm
+
+#endif // QCM_REFINEMENT_PROCESSPOOL_H

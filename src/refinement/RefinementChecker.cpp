@@ -5,8 +5,12 @@
 #include "ir/Compile.h"
 #include "memory/ModelRegistry.h"
 #include "refinement/Contexts.h"
+#include "refinement/ProcessPool.h"
+#include "semantics/ResultCodec.h"
 #include "support/Profiler.h"
 #include "support/Progress.h"
+#include "support/Telemetry.h"
+#include "support/TestingHooks.h"
 
 #include <algorithm>
 #include <cassert>
@@ -24,6 +28,11 @@ std::string ContextReport::toString() const {
     Text += " counterexample: " + Counterexample.toString() + "\n";
   if (TimedOutRuns)
     Text += " timed-out executions: " + std::to_string(TimedOutRuns) + "\n";
+  if (CrashedRuns)
+    Text += " crashed worker executions: " + std::to_string(CrashedRuns) +
+            "\n";
+  if (QuarantinedRuns)
+    Text += " quarantined cells: " + std::to_string(QuarantinedRuns) + "\n";
   if (SweepRan) {
     Text += " exhaustion sweep: ";
     Text += SweepRefines ? "refines\n" : "REFINEMENT FAILS UNDER INJECTION\n";
@@ -45,28 +54,23 @@ std::string RefinementReport::toString() const {
     Text += " + " + std::to_string(InjectedRuns) + " injected";
   if (TimedOutRuns)
     Text += ", " + std::to_string(TimedOutRuns) + " timed out";
+  if (CrashedRuns)
+    Text += ", " + std::to_string(CrashedRuns) + " crashed";
+  if (QuarantinedCells)
+    Text += ", " + std::to_string(QuarantinedCells) + " quarantined";
   Text += ")\n";
+  // A positive verdict with quarantined cells is incomplete evidence; say so
+  // right under the headline (and qcm-check exits ExitQuarantined).
+  if (QuarantinedCells)
+    Text += "QUARANTINED: " + std::to_string(QuarantinedCells) +
+            " cell(s) skipped after repeated worker crashes; the verdict "
+            "covers the surviving cells only\n";
   for (const ContextReport &C : PerContext)
     Text += C.toString();
   return Text;
 }
 
 namespace {
-
-/// Per-context state threaded from plan construction to the merge phase.
-struct ContextWork {
-  ContextReport CR;
-  /// Keep instantiated programs alive for the whole exploration: the
-  /// compiled modules alias their ASTs.
-  std::optional<Program> SrcInst, TgtInst;
-  /// The once-compiled modules, kept for the exhaustion sweep's probes.
-  std::shared_ptr<const qir::QirModule> SrcModule, TgtModule;
-  /// False for contexts skipped by a fail-fast planning stop.
-  bool Planned = false;
-};
-
-/// Which fault-plan trigger the exhaustion sweep schedules.
-enum class InjectKind { Allocation, Cast };
 
 /// The injection points a model can genuinely reach: the sweep only forces
 /// exhaustion where the model's own semantics can exhaust, so every
@@ -76,27 +80,15 @@ enum class InjectKind { Allocation, Cast };
 /// quasi-concrete at realization, i.e. pointer-to-integer cast
 /// (Section 3.4), the eager variant and the two-phase model at both, the
 /// logical model never.
-std::vector<InjectKind> injectionKindsFor(ModelKind Model) {
+std::vector<SweepInjectKind> injectionKindsFor(ModelKind Model) {
   const ModelDescriptor &D = modelDescriptor(Model);
-  std::vector<InjectKind> Kinds;
+  std::vector<SweepInjectKind> Kinds;
   if (D.InjectAllocation)
-    Kinds.push_back(InjectKind::Allocation);
+    Kinds.push_back(SweepInjectKind::Allocation);
   if (D.InjectCast)
-    Kinds.push_back(InjectKind::Cast);
+    Kinds.push_back(SweepInjectKind::Cast);
   return Kinds;
 }
-
-/// One sweep cell: a main-grid cell times one injection kind. The adaptive
-/// ordinal loop lives inside the cell's RunItem, so a cell is one
-/// exploration task regardless of how many injection points it discovers.
-struct SweepCell {
-  size_t CtxIdx = 0;
-  bool IsTgt = false;
-  InjectKind Kind = InjectKind::Allocation;
-  std::shared_ptr<const qir::QirModule> Module;
-  RunConfig Config;
-  std::function<std::map<std::string, ExternalHandler>()> MakeHandlers;
-};
 
 /// A sweep cell's worker-side output, merged in cell order.
 struct SweepCellResult {
@@ -109,134 +101,186 @@ struct SweepCellResult {
   qir::DispatchStats Dispatch;
 };
 
-void runExhaustionSweep(const RefinementJob &Job,
-                        const std::vector<ContextVariant> &Contexts,
-                        std::vector<ContextWork> &Work,
-                        const std::vector<OracleFactory> &Oracles,
-                        const std::vector<std::vector<Word>> &Tapes,
+void runExhaustionSweep(const RefinementJob &Job, GridSchedule &G,
                         RefinementReport &Report) {
   Report.SweepRan = true;
+  // A context is sweep-eligible exactly when it contributed sweep cells:
+  // planned, instantiated, compiled.
+  for (GridSchedule::ContextSlot &Slot : G.PerContext)
+    if (Slot.Planned && Slot.Report.InstantiationError.empty() &&
+        Slot.SrcModule)
+      Slot.Report.SweepRan = true;
 
-  // Cell order mirrors the main grid — context-major, source side before
-  // target, then kind, oracle, tape — so in-order merging guarantees a
-  // context's complete source partial set is assembled before its first
-  // target probe is judged.
-  std::vector<SweepCell> Cells;
-  for (size_t CtxIdx = 0; CtxIdx < Contexts.size(); ++CtxIdx) {
-    ContextWork &W = Work[CtxIdx];
-    if (!W.Planned || !W.CR.InstantiationError.empty() || !W.SrcModule)
-      continue;
-    W.CR.SweepRan = true;
-    for (int Side = 0; Side < 2; ++Side) {
-      const bool IsTgt = Side == 1;
-      const RunConfig &Base = IsTgt ? Job.BaseTgt : Job.BaseSrc;
-      for (InjectKind Kind : injectionKindsFor(Base.Model)) {
-        for (const OracleFactory &Oracle : Oracles) {
-          for (const std::vector<Word> &Tape : Tapes) {
-            SweepCell Cell;
-            Cell.CtxIdx = CtxIdx;
-            Cell.IsTgt = IsTgt;
-            Cell.Kind = Kind;
-            Cell.Module = IsTgt ? W.TgtModule : W.SrcModule;
-            Cell.Config = Base;
-            Cell.Config.Oracle = Oracle;
-            Cell.Config.Interp.InputTape = Tape;
-            if (Contexts[CtxIdx].MakeHandlers)
-              Cell.MakeHandlers = Contexts[CtxIdx].MakeHandlers;
-            Cells.push_back(std::move(Cell));
-          }
-        }
-      }
+  std::vector<SweepCell> &Cells = G.SweepCells;
+
+  // Shared merge body of both backends: invoked strictly in cell order on
+  // the calling thread, exactly like the main grid's, so sweep reports are
+  // byte-identical across --jobs levels and across --isolate backends.
+  auto MergeSweep = [&](size_t I, SweepCellResult &Out, uint32_t Crashes,
+                        bool Quarantined) -> ExploreStep {
+    const SweepCell &Cell = Cells[I];
+    GridSchedule::ContextSlot &W = G.PerContext[Cell.CtxIdx];
+    if (Crashes) {
+      W.Report.CrashedRuns += Crashes;
+      Report.CrashedRuns += Crashes;
     }
-  }
+    if (Quarantined) {
+      // The cell's probes are lost; the sweep verdict covers the surviving
+      // cells only (the headline QUARANTINED banner says so).
+      ++W.Report.QuarantinedRuns;
+      ++Report.QuarantinedCells;
+      if (Job.Progress)
+        Job.Progress->advance(1, 0, 0, 0);
+      return ExploreStep::Continue;
+    }
+    Report.InjectedRuns += Out.Probes;
+    Report.AggregateStats.accumulate(Out.Stats);
+    Report.AggregateDispatch.accumulate(Out.Dispatch);
+    Report.TimedOutRuns += Out.TimedOut;
+    W.Report.TimedOutRuns += Out.TimedOut;
+    if (Out.Capped)
+      W.Report.SweepCapped = true;
+    bool FailedHere = false;
+    for (Behavior &B : Out.Fired) {
+      if (!Cell.IsTgt) {
+        W.Report.SrcInjectedPartials.insert(std::move(B));
+        continue;
+      }
+      // Strict Section 2.3: an OOM-truncated target prefix must be a
+      // behavior the source set (injected partials plus the main grid's
+      // naturally observed behaviors) actually contains.
+      bool Admitted = partialAdmittedStrict(B, W.Report.SrcInjectedPartials) ||
+                      partialAdmittedStrict(B, W.Report.SrcBehaviors);
+      if (!Admitted && W.Report.SweepRefines) {
+        W.Report.SweepRefines = false;
+        W.Report.SweepCounterexample = B;
+        Report.Refines = false;
+        FailedHere = true;
+      }
+      W.Report.TgtInjectedPartials.insert(std::move(B));
+    }
+    if (Job.Progress)
+      Job.Progress->advance(1, FailedHere ? 1 : 0, Out.TimedOut, 0);
+    return FailedHere && Job.Exec.FailFast ? ExploreStep::Stop
+                                           : ExploreStep::Continue;
+  };
 
-  std::vector<SweepCellResult> Results(Cells.size());
-  std::vector<ExecState> Slots(std::max<size_t>(
-      1, std::min<size_t>(Job.Exec.effectiveJobs(), Cells.size())));
   if (Job.Progress)
     Job.Progress->beginPhase("sweep", Cells.size());
-  ExplorationSummary Summary = exploreIndexed(
-      Cells.size(), Job.Exec,
-      [&](size_t I, unsigned Slot) {
-        const SweepCell &Cell = Cells[I];
-        SweepCellResult &Out = Results[I];
-        prof::Span Span("sweep-cell", "explore");
-        Span.arg("index", static_cast<uint64_t>(I));
-        Span.arg("model", modelKindName(Cell.Config.Model));
-        Span.arg("inject",
-                 Cell.Kind == InjectKind::Allocation ? "alloc" : "cast");
-        // Adaptive injection-point discovery: probe ordinal N until a probe
-        // no longer fires — the first non-firing N is one past the number
-        // of targeted operations the cell's execution performs, because a
-        // plan targeting an operation that never happens leaves the run
-        // untouched. Detection is by fault reason ("injected ..."), which
-        // works with tracing compiled out.
-        for (uint64_t N = 1;; ++N) {
-          if (N > Job.SweepMaxPointsPerCell) {
-            Out.Capped = true;
-            break;
+
+  ExplorationSummary Summary;
+  if (Job.Isolate) {
+    prof::Span Span("process-explore", "isolate");
+    Span.arg("phase", "sweep");
+    Span.arg("cells", static_cast<uint64_t>(Cells.size()));
+    const std::string SrcName(modelDescriptor(Job.BaseSrc.Model).ShortName);
+    const std::string TgtName(modelDescriptor(Job.BaseTgt.Model).ShortName);
+    ExecState LocalExec;
+    Summary = Job.Isolate->explore(
+        Cells.size(),
+        [&](size_t I) -> std::optional<std::string> {
+          // Sweep cells are never journaled, so none are cached.
+          JsonObject O;
+          O.field("run", "sweep");
+          O.field("src_model", SrcName);
+          O.field("tgt_model", TgtName);
+          O.field("index", static_cast<uint64_t>(I));
+          return O.str();
+        },
+        [&](size_t I, RemoteOutcome &Out) -> ExploreStep {
+          // Frames: one encodeRunResult line per probe (ordinal order),
+          // then the {"sweep_done":...} frame carrying the cap flag.
+          SweepCellResult R;
+          bool Quarantined = Out.Quarantined;
+          if (!Quarantined) {
+            bool Ok = !Out.Frames.empty();
+            for (size_t F = 0; Ok && F + 1 < Out.Frames.size(); ++F) {
+              size_t Ordinal = 0;
+              RunResult Probe;
+              if (!decodeRunResult(Out.Frames[F], Ordinal, Probe)) {
+                Ok = false;
+                break;
+              }
+              ++R.Probes;
+              R.Stats.accumulate(Probe.Stats);
+              if (Probe.TimedOut)
+                ++R.TimedOut;
+              if (sweepProbeFired(Probe))
+                R.Fired.push_back(std::move(Probe.Behav));
+            }
+            if (Ok) {
+              std::string Raw;
+              bool IsString = false;
+              if (!jsonExtractField(Out.Frames.back(), "sweep_done", Raw,
+                                    IsString))
+                Ok = false;
+              else if (jsonExtractField(Out.Frames.back(), "capped", Raw,
+                                        IsString))
+                R.Capped = Raw == "true";
+            }
+            if (!Ok) {
+              // A worker that answers garbage is as untrustworthy as one
+              // that dies; treat the cell like a quarantined one.
+              R = SweepCellResult();
+              Quarantined = true;
+              Out.CrashReason = "undecodable worker response";
+            }
           }
-          RunConfig C = Cell.Config;
-          C.Inject = Cell.Kind == InjectKind::Allocation
-                         ? FaultPlan::failAllocation(N)
-                         : FaultPlan::failCast(N);
-          if (Cell.MakeHandlers)
-            C.Handlers = Cell.MakeHandlers();
-          RunResult R = Slots[Slot].run(Cell.Module, C);
-          ++Out.Probes;
-          Out.Stats.accumulate(R.Stats);
-          Out.Dispatch.accumulate(R.Dispatch);
-          if (R.TimedOut)
-            ++Out.TimedOut;
-          const bool FiredNow =
-              R.Behav.BehaviorKind == Behavior::Kind::OutOfMemory &&
-              R.Behav.Reason.starts_with("injected");
-          if (!FiredNow)
-            break;
-          Out.Fired.push_back(std::move(R.Behav));
-        }
-        Span.arg("probes", Out.Probes);
-        if (Out.Capped)
-          Span.argBool("capped", true);
-        if (Out.TimedOut)
-          Span.arg("timed_out", Out.TimedOut);
-      },
-      [&](size_t I) {
-        const SweepCell &Cell = Cells[I];
-        SweepCellResult &Out = Results[I];
-        ContextWork &W = Work[Cell.CtxIdx];
-        Report.InjectedRuns += Out.Probes;
-        Report.AggregateStats.accumulate(Out.Stats);
-        Report.AggregateDispatch.accumulate(Out.Dispatch);
-        Report.TimedOutRuns += Out.TimedOut;
-        W.CR.TimedOutRuns += Out.TimedOut;
-        if (Out.Capped)
-          W.CR.SweepCapped = true;
-        bool FailedHere = false;
-        for (Behavior &B : Out.Fired) {
-          if (!Cell.IsTgt) {
-            W.CR.SrcInjectedPartials.insert(std::move(B));
-            continue;
-          }
-          // Strict Section 2.3: an OOM-truncated target prefix must be a
-          // behavior the source set (injected partials plus the main
-          // grid's naturally observed behaviors) actually contains.
-          bool Admitted =
-              partialAdmittedStrict(B, W.CR.SrcInjectedPartials) ||
-              partialAdmittedStrict(B, W.CR.SrcBehaviors);
-          if (!Admitted && W.CR.SweepRefines) {
-            W.CR.SweepRefines = false;
-            W.CR.SweepCounterexample = B;
-            Report.Refines = false;
-            FailedHere = true;
-          }
-          W.CR.TgtInjectedPartials.insert(std::move(B));
-        }
-        if (Job.Progress)
-          Job.Progress->advance(1, FailedHere ? 1 : 0, Out.TimedOut, 0);
-        return FailedHere && Job.Exec.FailFast ? ExploreStep::Stop
-                                               : ExploreStep::Continue;
-      });
+          return MergeSweep(I, R, Out.WorkerCrashes, Quarantined);
+        },
+        [&](size_t I) {
+          // In-process fallback after spawn degradation: produce the exact
+          // frame sequence a healthy worker would have sent.
+          std::vector<std::string> Frames;
+          SweepProbeSummary Sum = runSweepCellProbes(
+              Cells[I], LocalExec, Job.SweepMaxPointsPerCell,
+              [&](uint64_t N, RunResult &Probe) {
+                Frames.push_back(
+                    encodeRunResult(static_cast<size_t>(N), Probe));
+              });
+          JsonObject Done;
+          Done.field("sweep_done", static_cast<uint64_t>(1));
+          Done.field("probes", Sum.Probes);
+          Done.fieldBool("capped", Sum.Capped);
+          Done.fieldBool("done", true);
+          Frames.push_back(Done.str());
+          return Frames;
+        });
+  } else {
+    std::vector<SweepCellResult> Results(Cells.size());
+    std::vector<ExecState> Slots(std::max<size_t>(
+        1, std::min<size_t>(Job.Exec.effectiveJobs(), Cells.size())));
+    Summary = exploreIndexed(
+        Cells.size(), Job.Exec,
+        [&](size_t I, unsigned Slot) {
+          const SweepCell &Cell = Cells[I];
+          SweepCellResult &Out = Results[I];
+          prof::Span Span("sweep-cell", "explore");
+          Span.arg("index", static_cast<uint64_t>(I));
+          Span.arg("model", modelKindName(Cell.Config.Model));
+          Span.arg("inject", Cell.Kind == SweepInjectKind::Allocation
+                                 ? "alloc"
+                                 : "cast");
+          SweepProbeSummary Sum = runSweepCellProbes(
+              Cell, Slots[Slot], Job.SweepMaxPointsPerCell,
+              [&](uint64_t, RunResult &Probe) {
+                Out.Stats.accumulate(Probe.Stats);
+                Out.Dispatch.accumulate(Probe.Dispatch);
+                if (Probe.TimedOut)
+                  ++Out.TimedOut;
+                if (sweepProbeFired(Probe))
+                  Out.Fired.push_back(std::move(Probe.Behav));
+              });
+          Out.Probes = Sum.Probes;
+          Out.Capped = Sum.Capped;
+          Span.arg("probes", Out.Probes);
+          if (Out.Capped)
+            Span.argBool("capped", true);
+          if (Out.TimedOut)
+            Span.arg("timed_out", Out.TimedOut);
+        },
+        [&](size_t I) { return MergeSweep(I, Results[I], 0, false); });
+  }
   if (Job.Progress)
     Job.Progress->finish();
   Report.Pool.accumulate(Summary.Pool);
@@ -244,55 +288,84 @@ void runExhaustionSweep(const RefinementJob &Job,
 
 } // namespace
 
-RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
-  assert(Job.Src && Job.Tgt && "refinement job requires both programs");
-  std::vector<ContextVariant> Contexts = Job.Contexts;
-  if (Contexts.empty())
-    Contexts.push_back(ContextVariant::empty());
-  std::vector<OracleFactory> Oracles = Job.Oracles;
-  if (Oracles.empty()) {
-    Oracles.push_back([] { return std::make_unique<FirstFitOracle>(); });
-    Oracles.push_back([] { return std::make_unique<LastFitOracle>(); });
+bool qcm::sweepProbeFired(const RunResult &R) {
+  return R.Behav.BehaviorKind == Behavior::Kind::OutOfMemory &&
+         R.Behav.Reason.starts_with("injected");
+}
+
+SweepProbeSummary
+qcm::runSweepCellProbes(const SweepCell &Cell, ExecState &Exec,
+                        uint64_t MaxPoints,
+                        const std::function<void(uint64_t, RunResult &)> &OnProbe) {
+  // Adaptive injection-point discovery: probe ordinal N until a probe no
+  // longer fires — the first non-firing N is one past the number of
+  // targeted operations the cell's execution performs, because a plan
+  // targeting an operation that never happens leaves the run untouched.
+  // Detection is by fault reason ("injected ..."), which works with tracing
+  // compiled out.
+  SweepProbeSummary Sum;
+  for (uint64_t N = 1;; ++N) {
+    if (N > MaxPoints) {
+      Sum.Capped = true;
+      break;
+    }
+    RunConfig C = Cell.Config;
+    C.Inject = Cell.Kind == SweepInjectKind::Allocation
+                   ? FaultPlan::failAllocation(N)
+                   : FaultPlan::failCast(N);
+    if (Cell.MakeHandlers)
+      C.Handlers = Cell.MakeHandlers();
+    RunResult R = Exec.run(Cell.Module, C);
+    ++Sum.Probes;
+    const bool FiredNow = sweepProbeFired(R);
+    OnProbe(N, R);
+    if (!FiredNow)
+      break;
   }
-  std::vector<std::vector<Word>> Tapes = Job.InputTapes;
-  if (Tapes.empty())
+  return Sum;
+}
+
+GridSchedule qcm::planRefinementGrid(const RefinementJob &Job) {
+  assert(Job.Src && Job.Tgt && "refinement job requires both programs");
+  GridSchedule G;
+  G.Contexts = Job.Contexts;
+  if (G.Contexts.empty())
+    G.Contexts.push_back(ContextVariant::empty());
+  G.Oracles = Job.Oracles;
+  if (G.Oracles.empty()) {
+    G.Oracles.push_back([] { return std::make_unique<FirstFitOracle>(); });
+    G.Oracles.push_back([] { return std::make_unique<LastFitOracle>(); });
+  }
+  G.Tapes = Job.InputTapes;
+  if (G.Tapes.empty())
     // The base config's tape, not unconditionally the empty one: a tape
     // set on BaseSrc (qcm-check --input=...) would otherwise be silently
     // overwritten by the grid's per-item tape assignment.
-    Tapes.push_back(Job.BaseSrc.Interp.InputTape);
+    G.Tapes.push_back(Job.BaseSrc.Interp.InputTape);
 
-  RefinementReport Report;
-
-  // Phase 1 (calling thread): instantiate every context and lower each
-  // (program, instantiated context) pair to QIR exactly once, building the
-  // declarative plan — one work item per module × oracle × tape, in the
-  // exact order the old serial loop executed them (context-major, source
-  // before target, oracle-major, tape-minor). Everything the workers later
-  // share — modules, the programs they alias, factories — is read-only from
-  // here on.
-  std::vector<ContextWork> Work(Contexts.size());
-  ExplorationPlan Plan;
-  struct ItemOrigin {
-    size_t ContextIdx;
-    bool IsTgt;
-  };
-  std::vector<ItemOrigin> Origins;
+  // Instantiate every context and lower each (program, instantiated
+  // context) pair to QIR exactly once, building the declarative plan — one
+  // work item per module × oracle × tape, in the exact order the old serial
+  // loop executed them (context-major, source before target, oracle-major,
+  // tape-minor). Everything later shared — modules, the programs they
+  // alias, factories — is read-only from here on.
+  G.PerContext.resize(G.Contexts.size());
   // The full grid size is known up front: contexts x {src,tgt} x oracles x
   // tapes (a fail-fast planning stop can only make it smaller).
-  Plan.Items.reserve(Contexts.size() * 2 * Oracles.size() * Tapes.size());
-  Origins.reserve(Plan.Items.capacity());
-  bool StopPlanning = false;
+  G.Plan.Items.reserve(G.Contexts.size() * 2 * G.Oracles.size() *
+                       G.Tapes.size());
+  G.Origins.reserve(G.Plan.Items.capacity());
 
   std::optional<prof::Span> PlanSpan;
   PlanSpan.emplace("plan", "check");
-  PlanSpan->arg("contexts", static_cast<uint64_t>(Contexts.size()));
-  for (size_t CtxIdx = 0; CtxIdx < Contexts.size() && !StopPlanning;
+  PlanSpan->arg("contexts", static_cast<uint64_t>(G.Contexts.size()));
+  for (size_t CtxIdx = 0; CtxIdx < G.Contexts.size() && !G.StoppedPlanning;
        ++CtxIdx) {
-    const ContextVariant &Context = Contexts[CtxIdx];
+    const ContextVariant &Context = G.Contexts[CtxIdx];
     prof::Span CtxSpan("plan-context", "check");
     CtxSpan.arg("context", Context.Name);
-    ContextWork &W = Work[CtxIdx];
-    W.CR.ContextName = Context.Name;
+    GridSchedule::ContextSlot &W = G.PerContext[CtxIdx];
+    W.Report.ContextName = Context.Name;
     W.Planned = true;
     // Instantiate language-level context functions over the externs.
     const Program *SrcProg = Job.Src;
@@ -302,30 +375,25 @@ RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
       W.SrcInst = instantiateContext(*Job.Src, Context.ContextSource, Diags);
       W.TgtInst = instantiateContext(*Job.Tgt, Context.ContextSource, Diags);
       if (!W.SrcInst || !W.TgtInst) {
-        W.CR.Refines = false;
-        W.CR.InstantiationError = Diags.toString();
-        Report.Refines = false;
+        W.Report.Refines = false;
+        W.Report.InstantiationError = Diags.toString();
         // An author error in a context is a failure of the whole job;
         // fail-fast skips the remaining contexts entirely.
         if (Job.Exec.FailFast)
-          StopPlanning = true;
+          G.StoppedPlanning = true;
         continue;
       }
       SrcProg = &*W.SrcInst;
       TgtProg = &*W.TgtInst;
     }
-    std::shared_ptr<const qir::QirModule> SrcModule =
-        qir::compileProgram(*SrcProg);
-    std::shared_ptr<const qir::QirModule> TgtModule =
-        qir::compileProgram(*TgtProg);
-    W.SrcModule = SrcModule;
-    W.TgtModule = TgtModule;
+    W.SrcModule = qir::compileProgram(*SrcProg);
+    W.TgtModule = qir::compileProgram(*TgtProg);
     for (int Side = 0; Side < 2; ++Side) {
       const bool IsTgt = Side == 1;
-      for (const OracleFactory &Oracle : Oracles) {
-        for (const std::vector<Word> &Tape : Tapes) {
+      for (const OracleFactory &Oracle : G.Oracles) {
+        for (const std::vector<Word> &Tape : G.Tapes) {
           ExplorationItem Item;
-          Item.Module = IsTgt ? TgtModule : SrcModule;
+          Item.Module = IsTgt ? W.TgtModule : W.SrcModule;
           Item.Config = IsTgt ? Job.BaseTgt : Job.BaseSrc;
           Item.Config.Oracle = Oracle;
           Item.Config.Interp.InputTape = Tape;
@@ -337,90 +405,225 @@ RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
           // race between threads).
           if (Context.MakeHandlers)
             Item.MakeHandlers = Context.MakeHandlers;
-          Plan.Items.push_back(std::move(Item));
-          Origins.push_back({CtxIdx, IsTgt});
+          G.Plan.Items.push_back(std::move(Item));
+          G.Origins.push_back({CtxIdx, IsTgt});
         }
       }
     }
   }
-  PlanSpan->arg("cells", static_cast<uint64_t>(Plan.Items.size()));
+  PlanSpan->arg("cells", static_cast<uint64_t>(G.Plan.Items.size()));
   PlanSpan.reset();
 
-  // Phase 2: execute the plan. Results are merged here, on the calling
-  // thread, in plan order — so behavior sets fill in the serial loop's
-  // order and the report is byte-identical at any Jobs level. A target
-  // behavior can be judged the moment it arrives: its context's complete
-  // source set merged strictly earlier in the plan.
-  Plan.Cached = Job.CachedCell;
+  if (!Job.ExhaustionSweep)
+    return G;
+
+  // Sweep-cell order mirrors the main grid — context-major, source side
+  // before target, then kind, oracle, tape — so in-order merging guarantees
+  // a context's complete source partial set is assembled before its first
+  // target probe is judged.
+  for (size_t CtxIdx = 0; CtxIdx < G.Contexts.size(); ++CtxIdx) {
+    GridSchedule::ContextSlot &W = G.PerContext[CtxIdx];
+    if (!W.Planned || !W.Report.InstantiationError.empty() || !W.SrcModule)
+      continue;
+    for (int Side = 0; Side < 2; ++Side) {
+      const bool IsTgt = Side == 1;
+      const RunConfig &Base = IsTgt ? Job.BaseTgt : Job.BaseSrc;
+      for (SweepInjectKind Kind : injectionKindsFor(Base.Model)) {
+        for (const OracleFactory &Oracle : G.Oracles) {
+          for (const std::vector<Word> &Tape : G.Tapes) {
+            SweepCell Cell;
+            Cell.CtxIdx = CtxIdx;
+            Cell.IsTgt = IsTgt;
+            Cell.Kind = Kind;
+            Cell.Module = IsTgt ? W.TgtModule : W.SrcModule;
+            Cell.Config = Base;
+            Cell.Config.Oracle = Oracle;
+            Cell.Config.Interp.InputTape = Tape;
+            if (G.Contexts[CtxIdx].MakeHandlers)
+              Cell.MakeHandlers = G.Contexts[CtxIdx].MakeHandlers;
+            G.SweepCells.push_back(std::move(Cell));
+          }
+        }
+      }
+    }
+  }
+  return G;
+}
+
+RefinementReport qcm::checkRefinement(const RefinementJob &Job) {
+  assert(Job.Src && Job.Tgt && "refinement job requires both programs");
+  GridSchedule G = planRefinementGrid(Job);
+
+  RefinementReport Report;
+  for (const GridSchedule::ContextSlot &Slot : G.PerContext)
+    if (!Slot.Report.InstantiationError.empty())
+      Report.Refines = false;
+
+  // Execute the plan. Results are merged here, on the calling thread, in
+  // plan order — so behavior sets fill in the serial loop's order and the
+  // report is byte-identical at any Jobs level *and across isolation
+  // backends*. A target behavior can be judged the moment it arrives: its
+  // context's complete source set merged strictly earlier in the plan.
+  G.Plan.Cached = Job.CachedCell;
+  G.Plan.IndexBase = Job.CellIndexBase;
   size_t LastMergedCtx = 0;
+  uint64_t GridQuarantinedMerged = 0;
+
+  // Shared merge body of both backends (and of journal replay under
+  // either): strictly in plan order, on this thread.
+  auto MergeCell = [&](size_t I, RunResult &R) -> ExploreStep {
+    // Journal first: quarantined cells are journaled too, so a --resume
+    // never re-executes a cell already known to kill its worker.
+    if (Job.OnCellMerged)
+      Job.OnCellMerged(I, R);
+    const GridSchedule::Origin &Origin = G.Origins[I];
+    GridSchedule::ContextSlot &W = G.PerContext[Origin.ContextIdx];
+    LastMergedCtx = Origin.ContextIdx;
+    if (R.WorkerCrashes) {
+      W.Report.CrashedRuns += R.WorkerCrashes;
+      Report.CrashedRuns += R.WorkerCrashes;
+    }
+    if (R.Quarantined) {
+      // No behavior, no stats: the cell never completed anywhere. The
+      // verdict covers the surviving cells (headline banner + exit code 6).
+      ++W.Report.QuarantinedRuns;
+      ++Report.QuarantinedCells;
+      ++GridQuarantinedMerged;
+      if (Job.Progress)
+        Job.Progress->advance(1, 0, 0, 0);
+      return ExploreStep::Continue;
+    }
+    Report.AggregateStats.accumulate(R.Stats);
+    Report.AggregateDispatch.accumulate(R.Dispatch);
+    const bool Oom = R.Behav.BehaviorKind == Behavior::Kind::OutOfMemory;
+    if (R.TimedOut) {
+      ++W.Report.TimedOutRuns;
+      ++Report.TimedOutRuns;
+    }
+    if (!Origin.IsTgt) {
+      if (Job.Progress)
+        Job.Progress->advance(1, 0, R.TimedOut ? 1 : 0, Oom ? 1 : 0);
+      W.Report.SrcBehaviors.insert(std::move(R.Behav));
+      return ExploreStep::Continue;
+    }
+    bool Admitted = behaviorAdmitted(R.Behav, W.Report.SrcBehaviors);
+    if (!Admitted && W.Report.Refines) {
+      W.Report.Refines = false;
+      W.Report.Counterexample = R.Behav;
+      Report.Refines = false;
+    }
+    if (Job.Progress)
+      Job.Progress->advance(1, Admitted ? 0 : 1, R.TimedOut ? 1 : 0,
+                            Oom ? 1 : 0);
+    W.Report.TgtBehaviors.insert(std::move(R.Behav));
+    return !Admitted && Job.Exec.FailFast ? ExploreStep::Stop
+                                          : ExploreStep::Continue;
+  };
+
   if (Job.Progress)
-    Job.Progress->beginPhase("grid", Plan.Items.size());
-  ExplorationSummary Summary = explorePlan(
-      Plan, Job.Exec, [&](size_t I, RunResult &R) {
-        if (Job.OnCellMerged)
-          Job.OnCellMerged(I, R);
-        const ItemOrigin &Origin = Origins[I];
-        ContextWork &W = Work[Origin.ContextIdx];
-        LastMergedCtx = Origin.ContextIdx;
-        Report.AggregateStats.accumulate(R.Stats);
-        Report.AggregateDispatch.accumulate(R.Dispatch);
-        const bool Oom =
-            R.Behav.BehaviorKind == Behavior::Kind::OutOfMemory;
-        if (R.TimedOut) {
-          ++W.CR.TimedOutRuns;
-          ++Report.TimedOutRuns;
-        }
-        if (!Origin.IsTgt) {
-          if (Job.Progress)
-            Job.Progress->advance(1, 0, R.TimedOut ? 1 : 0, Oom ? 1 : 0);
-          W.CR.SrcBehaviors.insert(std::move(R.Behav));
-          return ExploreStep::Continue;
-        }
-        bool Admitted = behaviorAdmitted(R.Behav, W.CR.SrcBehaviors);
-        if (!Admitted && W.CR.Refines) {
-          W.CR.Refines = false;
-          W.CR.Counterexample = R.Behav;
-          Report.Refines = false;
-        }
-        if (Job.Progress)
-          Job.Progress->advance(1, Admitted ? 0 : 1, R.TimedOut ? 1 : 0,
-                                Oom ? 1 : 0);
-        W.CR.TgtBehaviors.insert(std::move(R.Behav));
-        return !Admitted && Job.Exec.FailFast ? ExploreStep::Stop
-                                              : ExploreStep::Continue;
-      });
+    Job.Progress->beginPhase("grid", G.Plan.Items.size());
+  ExplorationSummary Summary;
+  if (Job.Isolate) {
+    prof::Span Span("process-explore", "isolate");
+    Span.arg("phase", "grid");
+    Span.arg("cells", static_cast<uint64_t>(G.Plan.Items.size()));
+    const std::string SrcName(modelDescriptor(Job.BaseSrc.Model).ShortName);
+    const std::string TgtName(modelDescriptor(Job.BaseTgt.Model).ShortName);
+    ExecState LocalExec;
+    Summary = Job.Isolate->explore(
+        G.Plan.Items.size(),
+        [&](size_t I) -> std::optional<std::string> {
+          if (G.Plan.Cached && G.Plan.Cached(I))
+            return std::nullopt;
+          JsonObject O;
+          O.field("run", "grid");
+          O.field("src_model", SrcName);
+          O.field("tgt_model", TgtName);
+          O.field("index", static_cast<uint64_t>(I));
+          O.field("cell", static_cast<uint64_t>(G.Plan.IndexBase + I));
+          return O.str();
+        },
+        [&](size_t I, RemoteOutcome &Out) -> ExploreStep {
+          RunResult R;
+          if (Out.Cached) {
+            R = *G.Plan.Cached(I);
+          } else if (Out.Quarantined) {
+            R.Quarantined = true;
+            R.WorkerCrashes = Out.WorkerCrashes;
+            R.Behav.Reason = Out.CrashReason;
+          } else {
+            size_t DecodedIdx = 0;
+            if (Out.Frames.empty() ||
+                !decodeRunResult(Out.Frames.back(), DecodedIdx, R)) {
+              // Garbage from a live worker is as bad as a dead worker.
+              R = RunResult();
+              R.Quarantined = true;
+              R.WorkerCrashes = Out.WorkerCrashes;
+              R.Behav.Reason = "undecodable worker response";
+            } else {
+              // A cell that crashed a worker and then succeeded on retry
+              // still reports its crashes.
+              R.WorkerCrashes += Out.WorkerCrashes;
+            }
+          }
+          return MergeCell(I, R);
+        },
+        [&](size_t I) {
+          // In-process fallback after spawn degradation: same canary hook,
+          // same codec as the worker, so the frame stream is
+          // indistinguishable from a healthy worker's.
+          maybeCrashAtCell(G.Plan.IndexBase + I);
+          const ExplorationItem &Item = G.Plan.Items[I];
+          RunConfig C = Item.Config;
+          if (Item.MakeHandlers)
+            C.Handlers = Item.MakeHandlers();
+          RunResult R = LocalExec.run(Item.Module, C);
+          return std::vector<std::string>{encodeRunResult(I, R)};
+        });
+  } else {
+    Summary = explorePlan(G.Plan, Job.Exec, MergeCell);
+  }
   if (Job.Progress)
     Job.Progress->finish();
-  Report.RunsPerformed = Summary.ItemsMerged;
+  // Quarantined cells merged but never executed; RunsPerformed counts
+  // executions, identically under either backend and across a resume.
+  Report.RunsPerformed = Summary.ItemsMerged - GridQuarantinedMerged;
   Report.Pool.accumulate(Summary.Pool);
 
-  // Phase 3 (optional): the exhaustion sweep. Every grid cell is re-run
-  // with out-of-memory injected at each reachable injection point of that
-  // side's model, and the truncated target prefixes are judged under the
-  // strict Section 2.3 partial rule. Cells are explored with the same
-  // deterministic engine: source cells of a context precede its target
-  // cells in sweep-plan order, so by the time a target probe is judged the
-  // context's full source partial set has merged. Skipped after a
-  // cancelled main grid: its source sets are incomplete.
+  // Optional exhaustion sweep. Every grid cell is re-run with out-of-memory
+  // injected at each reachable injection point of that side's model, and
+  // the truncated target prefixes are judged under the strict Section 2.3
+  // partial rule. Cells are explored with the same deterministic engine:
+  // source cells of a context precede its target cells in sweep-plan order,
+  // so by the time a target probe is judged the context's full source
+  // partial set has merged. Skipped after a cancelled main grid: its source
+  // sets are incomplete.
   if (Job.ExhaustionSweep && !Summary.Cancelled)
-    runExhaustionSweep(Job, Contexts, Work, Oracles, Tapes, Report);
+    runExhaustionSweep(Job, G, Report);
+
+  // Attribute the pool's supervision counters to this exploration (one
+  // matrix cell shares the pool with its siblings).
+  if (Job.Isolate) {
+    Report.Isolation = Job.Isolate->takeStatsDelta();
+    Report.Isolation.ProcessBackend = true;
+  }
 
   // Assemble per-context verdicts in context order. After an early stop,
   // contexts beyond the stopping point were never explored; they are
   // omitted rather than reported as vacuously refining.
-  size_t ReportedContexts = Contexts.size();
+  size_t ReportedContexts = G.Contexts.size();
   if (Summary.Cancelled) {
     ReportedContexts = LastMergedCtx + 1;
-  } else if (StopPlanning) {
+  } else if (G.StoppedPlanning) {
     // Planning stopped at an instantiation error; report every context
     // that was planned (the erroring one included).
     ReportedContexts = 0;
-    for (size_t CtxIdx = 0; CtxIdx < Contexts.size(); ++CtxIdx)
-      if (Work[CtxIdx].Planned)
+    for (size_t CtxIdx = 0; CtxIdx < G.Contexts.size(); ++CtxIdx)
+      if (G.PerContext[CtxIdx].Planned)
         ReportedContexts = CtxIdx + 1;
   }
   for (size_t CtxIdx = 0; CtxIdx < ReportedContexts; ++CtxIdx)
-    Report.PerContext.push_back(std::move(Work[CtxIdx].CR));
+    Report.PerContext.push_back(std::move(G.PerContext[CtxIdx].Report));
   return Report;
 }
 
@@ -465,7 +668,15 @@ std::string MatrixReport::toString() const {
     Text += " + " + std::to_string(InjectedRuns) + " injected";
   if (TimedOutRuns)
     Text += ", " + std::to_string(TimedOutRuns) + " timed out";
+  if (CrashedRuns)
+    Text += ", " + std::to_string(CrashedRuns) + " crashed";
+  if (QuarantinedCells)
+    Text += ", " + std::to_string(QuarantinedCells) + " quarantined";
   Text += ")\n";
+  if (QuarantinedCells)
+    Text += "QUARANTINED: " + std::to_string(QuarantinedCells) +
+            " cell(s) skipped after repeated worker crashes; the verdict "
+            "covers the surviving cells only\n";
 
   // Full detail only for the failing cells: a green matrix stays one
   // screen, a red one pinpoints its counterexamples.
@@ -513,8 +724,10 @@ MatrixReport qcm::checkRefinementMatrix(const RefinementJob &Base,
       // Rebase the journal hooks: cell K owns plan indices
       // [K*Capacity, (K+1)*Capacity), so one journal spans the matrix and
       // a resumed run replays exactly the cells (and cell prefixes) that
-      // finished.
+      // finished. CellIndexBase makes the same global numbering visible to
+      // the QCM_CRASH_AT hook under either isolation backend.
       const size_t Offset = CellIdx * Capacity;
+      Job.CellIndexBase = Offset;
       if (Base.CachedCell)
         Job.CachedCell = [&Base, Offset](size_t I) {
           return Base.CachedCell(I + Offset);
@@ -535,9 +748,12 @@ MatrixReport qcm::checkRefinementMatrix(const RefinementJob &Base,
       M.TimedOutRuns += Cell.Report.TimedOutRuns;
       M.SweepRan |= Cell.Report.SweepRan;
       M.InjectedRuns += Cell.Report.InjectedRuns;
+      M.CrashedRuns += Cell.Report.CrashedRuns;
+      M.QuarantinedCells += Cell.Report.QuarantinedCells;
       M.AggregateStats.accumulate(Cell.Report.AggregateStats);
       M.Pool.accumulate(Cell.Report.Pool);
       M.AggregateDispatch.accumulate(Cell.Report.AggregateDispatch);
+      M.Isolation.accumulate(Cell.Report.Isolation);
       if (!Cell.Report.Refines) {
         M.Refines = false;
         if (Base.Exec.FailFast)

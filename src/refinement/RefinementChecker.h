@@ -39,6 +39,7 @@
 namespace qcm {
 
 class ProgressSink;
+class ProcessPool;
 
 /// One context under which refinement is checked. Preferred form: language
 /// source text defining bodies for the programs' extern functions (see
@@ -111,6 +112,20 @@ struct RefinementJob {
   /// cell, with that cell's failure/timeout/OOM tallies. Calls happen on
   /// the merging thread only. Purely observational — reports are unchanged.
   ProgressSink *Progress = nullptr;
+  /// Process-isolation backend (--isolate=process): when non-null, grid and
+  /// sweep cells execute in this pool's worker processes instead of worker
+  /// threads. The merge contract is identical — in plan order, on the
+  /// calling thread — so crash-free reports are byte-identical to the
+  /// thread backend's at every jobs level. Cells whose worker keeps dying
+  /// are quarantined (ContextReport::QuarantinedRuns) instead of taking the
+  /// run down.
+  ProcessPool *Isolate = nullptr;
+  /// Offset from this job's plan indices to the global journal cell
+  /// numbering (matrixCellCapacity-rebased for matrix cells; 0 otherwise).
+  /// Feeds ExplorationPlan::IndexBase and the process-backend wire
+  /// requests, so the QCM_CRASH_AT testing hook addresses the same cell
+  /// under either backend.
+  size_t CellIndexBase = 0;
 };
 
 /// Verdict for one context.
@@ -127,6 +142,15 @@ struct ContextReport {
   /// step-limit partials; this counts them so a grid with hung cells
   /// reports *which contexts* timed out instead of hanging the whole run.
   uint64_t TimedOutRuns = 0;
+  /// Worker-process deaths attributed to this context's cells under
+  /// --isolate=process (cells that crashed and then succeeded on retry
+  /// count too). Deterministic given the same crash pattern, and zero on a
+  /// crash-free run, so the printed report stays backend-identical.
+  uint64_t CrashedRuns = 0;
+  /// Cells of this context abandoned after exhausting the crash-retry
+  /// budget. Their results are excluded from the behavior sets; the
+  /// context's verdict covers the surviving cells only.
+  uint64_t QuarantinedRuns = 0;
 
   /// Exhaustion sweep (RefinementJob::ExhaustionSweep). SweepRan marks the
   /// section as meaningful; the partial sets hold the OOM-truncated
@@ -161,6 +185,12 @@ struct RefinementReport {
   /// probe executions are counted here, separately and deterministically.
   bool SweepRan = false;
   uint64_t InjectedRuns = 0;
+  /// Worker-process deaths and quarantined cells over all contexts
+  /// (--isolate=process; always zero under the thread backend). Both are
+  /// deterministic report counters — printed only when nonzero, so
+  /// crash-free reports are byte-identical across backends.
+  uint64_t CrashedRuns = 0;
+  uint64_t QuarantinedCells = 0;
   /// Wall-clock pool timing over the check's explorations (main grid plus
   /// sweep). Nondeterministic, so deliberately *not* part of toString():
   /// the printed report stays byte-identical across --jobs levels; this
@@ -170,14 +200,118 @@ struct RefinementReport {
   /// summed over every execution. Unlike AggregateStats this is NOT
   /// deterministic across --jobs levels — translation and cache-hit counts
   /// depend on which worker slot's reused machine ran each cell — so, like
-  /// Pool, it feeds the metrics document and never toString().
+  /// Pool, it feeds the metrics document and never toString(). Under
+  /// --isolate=process, worker-executed cells contribute nothing here (the
+  /// wire codec deliberately omits DispatchStats); only local-fallback
+  /// cells do.
   qir::DispatchStats AggregateDispatch;
+  /// Supervision counters of the process backend (all-zero, thread-flagged
+  /// under --isolate=thread). Wall-clock-flavored like Pool: feeds the
+  /// metrics document's "isolation" section, never toString().
+  IsolationStats Isolation;
 
   std::string toString() const;
 };
 
 /// Runs the job.
 RefinementReport checkRefinement(const RefinementJob &Job);
+
+/// Which fault-plan trigger one exhaustion-sweep cell schedules: forced
+/// allocation failure or forced realization (pointer-to-integer cast)
+/// failure. Which kinds a model reaches comes from the registry's
+/// capability flags (see planRefinementGrid).
+enum class SweepInjectKind { Allocation, Cast };
+
+/// One sweep cell: a main-grid cell times one injection kind. The adaptive
+/// ordinal loop (runSweepCellProbes) lives inside the cell's work item, so
+/// a cell is one exploration task regardless of how many injection points
+/// it discovers.
+struct SweepCell {
+  size_t CtxIdx = 0;
+  bool IsTgt = false;
+  SweepInjectKind Kind = SweepInjectKind::Allocation;
+  std::shared_ptr<const qir::QirModule> Module;
+  RunConfig Config;
+  std::function<std::map<std::string, ExternalHandler>()> MakeHandlers;
+};
+
+/// The fully planned, deterministic schedule of one refinement job: the
+/// post-defaulting grid axes, each context instantiated and compiled
+/// exactly once, the main-grid ExplorationPlan in merge order, and (when
+/// the job sweeps) the sweep cells in their merge order.
+///
+/// This is the single source of truth for *what cell N means*: both the
+/// in-process backends and the --isolate=process worker protocol plan with
+/// this function, so a plan index (or its CellIndexBase-offset journal
+/// index) denotes the same module × config on every side of a process
+/// boundary and across a resume.
+struct GridSchedule {
+  /// The grid axes after checkRefinement's defaulting rules (empty
+  /// contexts -> the empty context; empty oracles -> {first-fit,
+  /// last-fit}; empty tapes -> the base config's tape).
+  std::vector<ContextVariant> Contexts;
+  std::vector<OracleFactory> Oracles;
+  std::vector<std::vector<Word>> Tapes;
+
+  /// Per-context planning products, in context order.
+  struct ContextSlot {
+    /// Seeded report: name, and the instantiation error when the context's
+    /// source failed to splice (Planned stays true for the erroring
+    /// context; later contexts are unplanned under fail-fast).
+    ContextReport Report;
+    /// Keep instantiated programs alive for the whole exploration: the
+    /// compiled modules alias their ASTs.
+    std::optional<Program> SrcInst, TgtInst;
+    /// The once-compiled modules, shared by grid items and sweep cells.
+    std::shared_ptr<const qir::QirModule> SrcModule, TgtModule;
+    /// False for contexts skipped by a fail-fast planning stop.
+    bool Planned = false;
+  };
+  std::vector<ContextSlot> PerContext;
+
+  /// The main grid, in merge order (context-major, source side before
+  /// target, oracle-major, tape-minor).
+  ExplorationPlan Plan;
+  /// Each plan item's provenance, parallel to Plan.Items.
+  struct Origin {
+    size_t ContextIdx = 0;
+    bool IsTgt = false;
+  };
+  std::vector<Origin> Origins;
+  /// True when a fail-fast instantiation error stopped planning early.
+  bool StoppedPlanning = false;
+  /// Sweep cells in merge order (built only when Job.ExhaustionSweep);
+  /// contexts with instantiation errors contribute none.
+  std::vector<SweepCell> SweepCells;
+};
+
+/// Phase 1 of checkRefinement, exposed for the worker side of the process
+/// backend: applies the defaulting rules, instantiates and compiles every
+/// context, and lays out the deterministic grid (and sweep) plan.
+GridSchedule planRefinementGrid(const RefinementJob &Job);
+
+/// Whether one sweep probe's forced fault actually fired: the run ended out
+/// of memory with an "injected ..." fault reason. Works with tracing
+/// compiled out; shared by the sweep's adaptive ordinal loop and the
+/// process backend's frame decoder.
+bool sweepProbeFired(const RunResult &R);
+
+/// What runSweepCellProbes did.
+struct SweepProbeSummary {
+  uint64_t Probes = 0;
+  bool Capped = false;
+};
+
+/// The adaptive injection-point loop of one sweep cell: probes ordinal
+/// N = 1, 2, ... until a probe no longer fires (the first non-firing N is
+/// one past the cell's targeted-operation count) or \p MaxPoints is
+/// exceeded. \p OnProbe sees every probe's ordinal and (mutable) result,
+/// fired or not, in ordinal order. Runs on the calling thread against
+/// \p Exec; both backends and the worker protocol execute sweep cells
+/// through this one loop, so probe sequences agree everywhere.
+SweepProbeSummary
+runSweepCellProbes(const SweepCell &Cell, ExecState &Exec, uint64_t MaxPoints,
+                   const std::function<void(uint64_t, RunResult &)> &OnProbe);
 
 /// One cell of the cross-model refinement matrix: the full refinement
 /// report for one (source model, target model) pair.
@@ -208,11 +342,17 @@ struct MatrixReport {
   uint64_t TimedOutRuns = 0;
   bool SweepRan = false;
   uint64_t InjectedRuns = 0;
+  /// Worker crashes / quarantined cells summed over the cells
+  /// (--isolate=process; zero under the thread backend).
+  uint64_t CrashedRuns = 0;
+  uint64_t QuarantinedCells = 0;
   ModelStats AggregateStats;
   /// Nondeterministic pool timing, summed; not part of toString().
   PoolMetrics Pool;
   /// Dispatch telemetry summed over the cells; nondeterministic like Pool.
   qir::DispatchStats AggregateDispatch;
+  /// Process-backend supervision counters, accumulated; metrics-only.
+  IsolationStats Isolation;
 
   /// The verdict table ("ok" / "FAIL" / "-" for unexplored cells) followed
   /// by a summary line and the full report of every failing cell.

@@ -1,0 +1,273 @@
+//===- semantics/ResultCodec.cpp ------------------------------------------===//
+
+#include "semantics/ResultCodec.h"
+
+#include "support/Telemetry.h"
+
+using namespace qcm;
+
+namespace {
+
+bool parseUintText(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    if (Value > (UINT64_MAX - 9) / 10)
+      return false;
+    Value = Value * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Out = Value;
+  return true;
+}
+
+/// Inverse of qcm::jsonEscape for the escapes it produces.
+std::string jsonUnescape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (size_t I = 0; I < Text.size(); ++I) {
+    char C = Text[I];
+    if (C != '\\' || I + 1 >= Text.size()) {
+      Out += C;
+      continue;
+    }
+    char Next = Text[++I];
+    switch (Next) {
+    case 'n':
+      Out += '\n';
+      break;
+    case 'r':
+      Out += '\r';
+      break;
+    case 't':
+      Out += '\t';
+      break;
+    case 'u': {
+      if (I + 4 < Text.size()) {
+        unsigned V = 0;
+        for (int D = 0; D < 4; ++D) {
+          char H = Text[I + 1 + D];
+          V = V * 16 +
+              (H >= '0' && H <= '9'   ? unsigned(H - '0')
+               : H >= 'a' && H <= 'f' ? unsigned(H - 'a' + 10)
+               : H >= 'A' && H <= 'F' ? unsigned(H - 'A' + 10)
+                                      : 0);
+        }
+        Out += static_cast<char>(V);
+        I += 4;
+      }
+      break;
+    }
+    default:
+      Out += Next; // '\\' and '"'
+    }
+  }
+  return Out;
+}
+
+const char *behaviorKindToken(Behavior::Kind Kind) {
+  switch (Kind) {
+  case Behavior::Kind::Terminated:
+    return "term";
+  case Behavior::Kind::Undefined:
+    return "undef";
+  case Behavior::Kind::OutOfMemory:
+    return "oom";
+  case Behavior::Kind::StepLimit:
+    return "steplimit";
+  }
+  return "term";
+}
+
+bool behaviorKindFromToken(const std::string &Token, Behavior::Kind &Kind) {
+  if (Token == "term")
+    Kind = Behavior::Kind::Terminated;
+  else if (Token == "undef")
+    Kind = Behavior::Kind::Undefined;
+  else if (Token == "oom")
+    Kind = Behavior::Kind::OutOfMemory;
+  else if (Token == "steplimit")
+    Kind = Behavior::Kind::StepLimit;
+  else
+    return false;
+  return true;
+}
+
+/// Events as "o5.i3.o7"; round-trips through parseEventsToken.
+std::string eventsToken(const std::vector<Event> &Events) {
+  std::string Text;
+  for (const Event &E : Events) {
+    if (!Text.empty())
+      Text += '.';
+    Text += E.EventKind == Event::Kind::Input ? 'i' : 'o';
+    Text += std::to_string(static_cast<uint64_t>(E.Value));
+  }
+  return Text;
+}
+
+bool parseEventsToken(const std::string &Text, std::vector<Event> &Events) {
+  if (Text.empty())
+    return true;
+  std::string Tok;
+  for (char C : Text + ".") {
+    if (C != '.') {
+      Tok += C;
+      continue;
+    }
+    if (Tok.size() < 2 || (Tok[0] != 'i' && Tok[0] != 'o'))
+      return false;
+    uint64_t V = 0;
+    if (!parseUintText(Tok.substr(1), V))
+      return false;
+    Events.push_back(Tok[0] == 'i' ? Event::input(static_cast<Word>(V))
+                                   : Event::output(static_cast<Word>(V)));
+    Tok.clear();
+  }
+  return true;
+}
+
+/// ModelStats as a fixed-order comma list; must round-trip exactly for the
+/// resumed report's AggregateStats to match byte for byte.
+std::string statsToken(const ModelStats &S) {
+  const uint64_t Fields[] = {S.Allocations,    S.AllocationFailures,
+                             S.Frees,          S.Loads,
+                             S.Stores,         S.CastsToInt,
+                             S.CastsToPtr,     S.Realizations,
+                             S.RealizationFailures, S.UndefinedFaults,
+                             S.NoBehaviorFaults,    S.LiveBlocks,
+                             S.PeakLiveBlocks, S.RealizedBytes,
+                             S.PeakRealizedBytes};
+  std::string Text;
+  for (uint64_t F : Fields) {
+    if (!Text.empty())
+      Text += ',';
+    Text += std::to_string(F);
+  }
+  return Text;
+}
+
+bool parseStatsToken(const std::string &Text, ModelStats &S) {
+  uint64_t *Fields[] = {&S.Allocations,    &S.AllocationFailures,
+                        &S.Frees,          &S.Loads,
+                        &S.Stores,         &S.CastsToInt,
+                        &S.CastsToPtr,     &S.Realizations,
+                        &S.RealizationFailures, &S.UndefinedFaults,
+                        &S.NoBehaviorFaults,    &S.LiveBlocks,
+                        &S.PeakLiveBlocks, &S.RealizedBytes,
+                        &S.PeakRealizedBytes};
+  size_t Idx = 0;
+  std::string Tok;
+  for (char C : Text + ",") {
+    if (C != ',') {
+      Tok += C;
+      continue;
+    }
+    if (Idx >= std::size(Fields) || !parseUintText(Tok, *Fields[Idx]))
+      return false;
+    ++Idx;
+    Tok.clear();
+  }
+  return Idx == std::size(Fields);
+}
+
+} // namespace
+
+bool qcm::jsonExtractField(const std::string &Line, const std::string &Key,
+                           std::string &Raw, bool &IsString) {
+  std::string Needle = "\"" + Key + "\":";
+  size_t Pos = Line.find(Needle);
+  if (Pos == std::string::npos)
+    return false;
+  Pos += Needle.size();
+  if (Pos >= Line.size())
+    return false;
+  if (Line[Pos] == '"') {
+    IsString = true;
+    std::string Value;
+    for (size_t I = Pos + 1; I < Line.size(); ++I) {
+      if (Line[I] == '\\' && I + 1 < Line.size()) {
+        Value += Line[I];
+        Value += Line[I + 1];
+        ++I;
+        continue;
+      }
+      if (Line[I] == '"') {
+        Raw = jsonUnescape(Value);
+        return true;
+      }
+      Value += Line[I];
+    }
+    return false; // unterminated string: truncated line
+  }
+  IsString = false;
+  size_t End = Pos;
+  while (End < Line.size() && Line[End] != ',' && Line[End] != '}')
+    ++End;
+  if (End == Line.size())
+    return false; // truncated line
+  Raw = Line.substr(Pos, End - Pos);
+  return true;
+}
+
+std::string qcm::encodeRunResult(size_t Index, const RunResult &R) {
+  JsonObject Obj;
+  Obj.field("cell", static_cast<uint64_t>(Index))
+      .field("kind", behaviorKindToken(R.Behav.BehaviorKind))
+      .field("events", eventsToken(R.Behav.Events))
+      .field("reason", R.Behav.Reason)
+      .field("steps", R.Steps)
+      .fieldBool("timedout", R.TimedOut);
+  if (R.ConsistencyError)
+    Obj.field("consistency", *R.ConsistencyError);
+  Obj.field("stats", statsToken(R.Stats));
+  // Isolation fields only when set: a crash-free run's lines are identical
+  // to a pre-isolation journal's, and thread-backend resumes of process-
+  // backend journals (and vice versa) parse either way.
+  if (R.WorkerCrashes)
+    Obj.field("crashes", static_cast<uint64_t>(R.WorkerCrashes));
+  if (R.Quarantined)
+    Obj.fieldBool("quarantined", true);
+  return Obj.str();
+}
+
+bool qcm::decodeRunResult(const std::string &Line, size_t &Index,
+                          RunResult &R) {
+  std::string Raw;
+  bool IsString = false;
+  uint64_t Cell = 0;
+  if (!jsonExtractField(Line, "cell", Raw, IsString) || IsString ||
+      !parseUintText(Raw, Cell))
+    return false;
+  Index = static_cast<size_t>(Cell);
+  if (!jsonExtractField(Line, "kind", Raw, IsString) || !IsString ||
+      !behaviorKindFromToken(Raw, R.Behav.BehaviorKind))
+    return false;
+  if (!jsonExtractField(Line, "events", Raw, IsString) || !IsString ||
+      !parseEventsToken(Raw, R.Behav.Events))
+    return false;
+  if (!jsonExtractField(Line, "reason", Raw, IsString) || !IsString)
+    return false;
+  R.Behav.Reason = Raw;
+  if (!jsonExtractField(Line, "steps", Raw, IsString) || IsString ||
+      !parseUintText(Raw, R.Steps))
+    return false;
+  if (!jsonExtractField(Line, "timedout", Raw, IsString) || IsString)
+    return false;
+  R.TimedOut = Raw == "true";
+  if (jsonExtractField(Line, "consistency", Raw, IsString) && IsString)
+    R.ConsistencyError = Raw;
+  if (!jsonExtractField(Line, "stats", Raw, IsString) || !IsString ||
+      !parseStatsToken(Raw, R.Stats))
+    return false;
+  if (jsonExtractField(Line, "crashes", Raw, IsString) && !IsString) {
+    uint64_t Crashes = 0;
+    if (!parseUintText(Raw, Crashes))
+      return false;
+    R.WorkerCrashes = static_cast<uint32_t>(Crashes);
+  }
+  if (jsonExtractField(Line, "quarantined", Raw, IsString) && !IsString)
+    R.Quarantined = Raw == "true";
+  return true;
+}

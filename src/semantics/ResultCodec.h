@@ -1,0 +1,56 @@
+//===- semantics/ResultCodec.h - RunResult wire/journal codec ---*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-line JSON encoding of one RunResult, shared verbatim by the
+/// checkpoint journal (tools/ToolSupport.h, --journal/--resume) and the
+/// --isolate=process wire protocol (refinement/ProcessPool.h). One codec,
+/// two transports: because both sides of the process boundary and both
+/// halves of a resume round-trip through the same encoder, reports are
+/// byte-identical across backends and across interruptions.
+///
+/// The encoding round-trips exactly: behavior kind, events, reason, steps,
+/// timeout flag, consistency error, the full ModelStats counter block, and
+/// the isolation fields (worker crashes, quarantine). DispatchStats is
+/// deliberately NOT encoded — it is nondeterministic across --jobs levels
+/// and never feeds a report.
+///
+/// Also exposes the mini JSON field extractor the journal has always used,
+/// for other flat single-line objects (protocol init/request frames).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_SEMANTICS_RESULTCODEC_H
+#define QCM_SEMANTICS_RESULTCODEC_H
+
+#include "semantics/Runner.h"
+
+#include <string>
+
+namespace qcm {
+
+/// Pulls the raw text of field \p Key out of a single-line JSON object
+/// produced by qcm::JsonObject (flat objects, string or numeric/bool
+/// values). String values are unescaped into \p Raw. Returns false when the
+/// key is absent or the line is truncated mid-value.
+bool jsonExtractField(const std::string &Line, const std::string &Key,
+                      std::string &Raw, bool &IsString);
+
+/// Encodes cell \p Index's result as one JSON line (no trailing newline),
+/// e.g. {"cell":3,"kind":"term","events":"o42","reason":"","steps":17,
+/// "timedout":false,"stats":"..."}. Isolation fields are emitted only when
+/// set, so crash-free journals are byte-identical to pre-isolation ones.
+std::string encodeRunResult(size_t Index, const RunResult &R);
+
+/// Inverse of encodeRunResult; tolerates unknown extra fields (the wire
+/// protocol appends a "done" marker). False on any malformed or truncated
+/// field — callers treat that as a torn journal tail or a corrupt frame.
+bool decodeRunResult(const std::string &Line, size_t &Index, RunResult &R);
+
+} // namespace qcm
+
+#endif // QCM_SEMANTICS_RESULTCODEC_H

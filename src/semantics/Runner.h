@@ -103,6 +103,14 @@ struct RunResult {
   /// run dispatched through the switch loop — observers, fault injection,
   /// tracing, or a QCM_THREADED_DISPATCH=0 build).
   qir::DispatchStats Dispatch;
+  /// Process-isolation verdicting (refinement/ProcessPool.h). A cell whose
+  /// worker died is retried; WorkerCrashes counts the deaths attributed to
+  /// this cell, and Quarantined marks a cell abandoned after the retry
+  /// budget — its Behav then carries the last death's description in Reason
+  /// and is excluded from behavior sets. Both are journaled so a resumed
+  /// run replays crash history instead of re-executing a killer cell.
+  uint32_t WorkerCrashes = 0;
+  bool Quarantined = false;
 };
 
 /// Builds a memory instance for \p Config.

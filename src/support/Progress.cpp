@@ -15,7 +15,7 @@ using namespace qcm;
 void StderrProgress::beginPhase(const std::string &Name,
                                 uint64_t TotalUnits) {
   std::lock_guard<std::mutex> Guard(Lock);
-  if (Active) {
+  if (Active && !Dead) {
     // Close the previous phase's line before starting a new one.
     repaint(true);
     std::fputc('\n', Out);
@@ -44,13 +44,17 @@ void StderrProgress::finish() {
   std::lock_guard<std::mutex> Guard(Lock);
   if (!Active)
     return;
-  repaint(true);
-  std::fputc('\n', Out);
-  std::fflush(Out);
+  if (!Dead) {
+    repaint(true);
+    std::fputc('\n', Out);
+    std::fflush(Out);
+  }
   Active = false;
 }
 
 void StderrProgress::repaint(bool Force) {
+  if (Dead)
+    return;
   double Now = PhaseClock.seconds();
   if (!Force && LastPaintSeconds >= 0.0 && Now - LastPaintSeconds < 0.1)
     return;
@@ -85,5 +89,13 @@ void StderrProgress::repaint(bool Force) {
   for (size_t I = Length; I < LastLineLength; ++I)
     std::fputc(' ', Out);
   std::fflush(Out);
+  // A dead stream (reader closed the pipe; SIGPIPE is ignored so the write
+  // just fails) latches the error flag — stop painting for good rather
+  // than paying a doomed write per merged cell.
+  if (std::ferror(Out)) {
+    Dead = true;
+    std::clearerr(Out);
+    return;
+  }
   LastLineLength = Length;
 }

@@ -53,6 +53,9 @@ public:
 /// Renders progress as a single stderr status line, rewritten in place and
 /// throttled to at most one repaint per ~100ms (the final repaint on
 /// finish() always happens, followed by a newline so the line persists).
+/// If stderr dies mid-run (closed pipe — the write fails with SIGPIPE
+/// ignored per installSignalHygiene) painting stops permanently instead of
+/// burning a failed write per cell.
 class StderrProgress final : public ProgressSink {
 public:
   explicit StderrProgress(std::FILE *Out = stderr) : Out(Out) {}
@@ -74,6 +77,7 @@ private:
   uint64_t TimedOut = 0;
   uint64_t Oom = 0;
   bool Active = false;
+  bool Dead = false;
   Stopwatch PhaseClock;
   double LastPaintSeconds = -1.0;
   size_t LastLineLength = 0;

@@ -1,0 +1,280 @@
+//===- support/Subprocess.cpp ---------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace qcm;
+
+namespace {
+
+bool writeAll(int Fd, const char *Data, size_t Size) {
+  while (Size > 0) {
+    ssize_t N = ::write(Fd, Data, Size);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Reads exactly \p Size bytes. Returns 1 on success, 0 on EOF before the
+/// first byte, -1 on error or EOF mid-record.
+int readAll(int Fd, char *Data, size_t Size) {
+  size_t Got = 0;
+  while (Got < Size) {
+    ssize_t N = ::read(Fd, Data + Got, Size - Got);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (N == 0)
+      return Got == 0 ? 0 : -1;
+    Got += static_cast<size_t>(N);
+  }
+  return 1;
+}
+
+void encodeLength(uint32_t Length, unsigned char Hdr[4]) {
+  Hdr[0] = static_cast<unsigned char>(Length);
+  Hdr[1] = static_cast<unsigned char>(Length >> 8);
+  Hdr[2] = static_cast<unsigned char>(Length >> 16);
+  Hdr[3] = static_cast<unsigned char>(Length >> 24);
+}
+
+uint32_t decodeLength(const unsigned char Hdr[4]) {
+  return static_cast<uint32_t>(Hdr[0]) | (static_cast<uint32_t>(Hdr[1]) << 8) |
+         (static_cast<uint32_t>(Hdr[2]) << 16) |
+         (static_cast<uint32_t>(Hdr[3]) << 24);
+}
+
+} // namespace
+
+bool qcm::writeFrameFd(int Fd, const std::string &Payload) {
+  if (Payload.size() > MaxFramePayload)
+    return false;
+  unsigned char Hdr[4];
+  encodeLength(static_cast<uint32_t>(Payload.size()), Hdr);
+  return writeAll(Fd, reinterpret_cast<const char *>(Hdr), sizeof(Hdr)) &&
+         writeAll(Fd, Payload.data(), Payload.size());
+}
+
+bool qcm::readFrameFd(int Fd, std::string &Payload, bool &Eof) {
+  Eof = false;
+  unsigned char Hdr[4];
+  int R = readAll(Fd, reinterpret_cast<char *>(Hdr), sizeof(Hdr));
+  if (R == 0) {
+    Eof = true;
+    return false;
+  }
+  if (R < 0)
+    return false;
+  uint32_t Length = decodeLength(Hdr);
+  if (Length > MaxFramePayload)
+    return false;
+  Payload.resize(Length);
+  return Length == 0 ||
+         readAll(Fd, Payload.data(), Length) == 1;
+}
+
+std::string Subprocess::ExitStatus::describe() const {
+  if (!Known)
+    return "still running";
+  if (Exited)
+    return "exited with code " + std::to_string(Code);
+  std::string Text = "killed by signal " + std::to_string(Sig);
+  if (const char *Name = strsignal(Sig))
+    Text += std::string(" (") + Name + ")";
+  return Text;
+}
+
+Subprocess::~Subprocess() {
+  if (Pid > 0) {
+    terminate(SIGKILL);
+    awaitExit(/*GraceMs=*/0);
+  }
+  closeFds();
+}
+
+void Subprocess::closeFds() {
+  if (InFd >= 0)
+    ::close(InFd);
+  if (OutFd >= 0)
+    ::close(OutFd);
+  InFd = OutFd = -1;
+}
+
+bool Subprocess::start(const std::vector<std::string> &Argv,
+                       std::string &Error) {
+  if (Pid > 0) {
+    Error = "subprocess already running";
+    return false;
+  }
+  if (Argv.empty()) {
+    Error = "empty argv";
+    return false;
+  }
+  int ToChild[2], FromChild[2];
+  if (::pipe(ToChild) != 0) {
+    Error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  if (::pipe(FromChild) != 0) {
+    Error = std::string("pipe: ") + std::strerror(errno);
+    ::close(ToChild[0]);
+    ::close(ToChild[1]);
+    return false;
+  }
+  // The parent-held ends must not leak into concurrently spawned siblings:
+  // a sibling holding our child's stdin write-end open would keep the child
+  // from ever seeing EOF on shutdown.
+  ::fcntl(ToChild[1], F_SETFD, FD_CLOEXEC);
+  ::fcntl(FromChild[0], F_SETFD, FD_CLOEXEC);
+
+  pid_t Child = ::fork();
+  if (Child < 0) {
+    Error = std::string("fork: ") + std::strerror(errno);
+    ::close(ToChild[0]);
+    ::close(ToChild[1]);
+    ::close(FromChild[0]);
+    ::close(FromChild[1]);
+    return false;
+  }
+  if (Child == 0) {
+    // Child: wire the pipes to stdin/stdout and exec. Only async-signal-
+    // safe calls between fork and exec.
+    ::dup2(ToChild[0], STDIN_FILENO);
+    ::dup2(FromChild[1], STDOUT_FILENO);
+    ::close(ToChild[0]);
+    ::close(ToChild[1]);
+    ::close(FromChild[0]);
+    ::close(FromChild[1]);
+    std::vector<char *> Args;
+    Args.reserve(Argv.size() + 1);
+    for (const std::string &A : Argv)
+      Args.push_back(const_cast<char *>(A.c_str()));
+    Args.push_back(nullptr);
+    ::execv(Args[0], Args.data());
+    _exit(127); // exec failed; 127 is the conventional "cannot exec"
+  }
+
+  ::close(ToChild[0]);
+  ::close(FromChild[1]);
+  Pid = Child;
+  InFd = ToChild[1];
+  OutFd = FromChild[0];
+  // Non-blocking receive: the supervisor drains after poll() says readable
+  // and must never block on a half-written frame.
+  int Flags = ::fcntl(OutFd, F_GETFL, 0);
+  ::fcntl(OutFd, F_SETFL, Flags | O_NONBLOCK);
+  RxBuf.clear();
+  Corrupt = false;
+  Last = ExitStatus{};
+  return true;
+}
+
+bool Subprocess::writeFrame(const std::string &Payload) {
+  return InFd >= 0 && writeFrameFd(InFd, Payload);
+}
+
+void Subprocess::closeStdin() {
+  if (InFd >= 0)
+    ::close(InFd);
+  InFd = -1;
+}
+
+bool Subprocess::pumpReadable() {
+  if (OutFd < 0 || Corrupt)
+    return false;
+  char Chunk[4096];
+  for (;;) {
+    ssize_t N = ::read(OutFd, Chunk, sizeof(Chunk));
+    if (N > 0) {
+      RxBuf.append(Chunk, static_cast<size_t>(N));
+      // An oversized length prefix can be diagnosed as soon as the header
+      // is buffered; keep reading would just chase garbage.
+      if (RxBuf.size() >= 4 &&
+          decodeLength(reinterpret_cast<const unsigned char *>(
+              RxBuf.data())) > MaxFramePayload) {
+        Corrupt = true;
+        return false;
+      }
+      continue;
+    }
+    if (N == 0)
+      return false; // EOF: the child closed stdout (usually: died)
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return true;
+    return false;
+  }
+}
+
+bool Subprocess::popFrame(std::string &Payload) {
+  if (RxBuf.size() < 4)
+    return false;
+  uint32_t Length = decodeLength(
+      reinterpret_cast<const unsigned char *>(RxBuf.data()));
+  if (Length > MaxFramePayload) {
+    Corrupt = true;
+    return false;
+  }
+  if (RxBuf.size() < 4 + static_cast<size_t>(Length))
+    return false;
+  Payload.assign(RxBuf, 4, Length);
+  RxBuf.erase(0, 4 + static_cast<size_t>(Length));
+  return true;
+}
+
+void Subprocess::terminate(int Sig) {
+  if (Pid > 0)
+    ::kill(Pid, Sig);
+}
+
+Subprocess::ExitStatus Subprocess::awaitExit(int GraceMs) {
+  if (Pid <= 0)
+    return Last;
+  int Status = 0;
+  // Poll for the exit within the grace window; a frame-protocol worker that
+  // saw EOF exits immediately, so the common case is one iteration.
+  for (int Waited = 0;; Waited += 10) {
+    pid_t R = ::waitpid(Pid, &Status, WNOHANG);
+    if (R == Pid)
+      break;
+    if (R < 0 && errno != EINTR) {
+      // Already reaped elsewhere; treat as a plain exit.
+      Status = 0;
+      break;
+    }
+    if (Waited >= GraceMs) {
+      ::kill(Pid, SIGKILL);
+      while (::waitpid(Pid, &Status, 0) < 0 && errno == EINTR)
+        ;
+      break;
+    }
+    ::usleep(10 * 1000);
+  }
+  Last.Known = true;
+  if (WIFEXITED(Status)) {
+    Last.Exited = true;
+    Last.Code = WEXITSTATUS(Status);
+  } else if (WIFSIGNALED(Status)) {
+    Last.Exited = false;
+    Last.Sig = WTERMSIG(Status);
+  }
+  Pid = -1;
+  closeFds();
+  return Last;
+}

@@ -1,0 +1,130 @@
+//===- support/Subprocess.h - Worker-process lifecycle ----------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// POSIX subprocess plumbing for the process-isolated exploration backend
+/// (refinement/ProcessPool.h): fork/exec with pipe-connected stdin/stdout,
+/// length-prefixed message framing over those pipes, non-blocking receive
+/// for a poll() supervision loop, and exit/signal classification so a
+/// supervisor can tell "exited 0" from "killed by SIGSEGV".
+///
+/// Framing: every message is a 4-byte little-endian payload length followed
+/// by the payload bytes. Payloads are opaque to this layer (the isolation
+/// protocol puts single-line JSON in them). A frame larger than
+/// MaxFramePayload marks the stream corrupt — a supervisor treats that like
+/// a worker death rather than attempting resynchronization.
+///
+/// Layering: support/ only; knows nothing about plans, cells, or models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_SUPPORT_SUBPROCESS_H
+#define QCM_SUPPORT_SUBPROCESS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcm {
+
+/// Upper bound on one frame's payload; a length prefix beyond this is
+/// treated as protocol corruption, not an allocation request.
+inline constexpr uint32_t MaxFramePayload = 64u << 20;
+
+/// Blocking frame write to \p Fd (length prefix + payload), retrying on
+/// EINTR and short writes. False on any write error (EPIPE included — the
+/// caller must have SIGPIPE ignored; see installSignalHygiene()).
+bool writeFrameFd(int Fd, const std::string &Payload);
+
+/// Blocking frame read from \p Fd. True with the payload on success; false
+/// otherwise, with \p Eof distinguishing a clean end-of-stream at a frame
+/// boundary from a read error, a truncated frame, or an oversized length
+/// prefix. This is the worker-side receive path; supervisors use the
+/// non-blocking Subprocess::pumpReadable() instead.
+bool readFrameFd(int Fd, std::string &Payload, bool &Eof);
+
+/// One spawned worker process and its two pipes. Non-copyable, non-movable
+/// (supervisors hold them behind unique_ptr). The destructor kills and
+/// reaps a still-running child so a supervisor can never leak processes.
+class Subprocess {
+public:
+  /// How a child left the process table.
+  struct ExitStatus {
+    /// False while the child is still running (awaitExit timed out).
+    bool Known = false;
+    /// True for a normal _exit; Code holds the exit code.
+    bool Exited = false;
+    int Code = 0;
+    /// Terminating signal when !Exited (SIGSEGV, SIGABRT, SIGKILL, ...).
+    int Sig = 0;
+
+    /// "exited with code 127" / "killed by signal 11 (SIGSEGV)" /
+    /// "still running".
+    std::string describe() const;
+  };
+
+  Subprocess() = default;
+  ~Subprocess();
+  Subprocess(const Subprocess &) = delete;
+  Subprocess &operator=(const Subprocess &) = delete;
+
+  /// Forks and execs \p Argv (argv[0] is the executable path) with stdin
+  /// and stdout replaced by pipes to this object; stderr is inherited.
+  /// Pipe fds are O_CLOEXEC so concurrently spawned siblings do not hold
+  /// each other's pipe ends open. A failed exec makes the child _exit(127).
+  bool start(const std::vector<std::string> &Argv, std::string &Error);
+
+  bool running() const { return Pid > 0; }
+  int pid() const { return Pid; }
+
+  /// The read end of the child's stdout — the fd a supervisor poll()s.
+  /// -1 once the stream hit EOF or the process was never started.
+  int readFd() const { return OutFd; }
+
+  /// Blocking frame write to the child's stdin.
+  bool writeFrame(const std::string &Payload);
+
+  /// Closes the child's stdin; a protocol-following worker sees EOF and
+  /// exits cleanly. Idempotent.
+  void closeStdin();
+
+  /// Drains whatever the child's stdout has ready into the internal buffer
+  /// (the fd is non-blocking). Returns false when the stream is finished —
+  /// EOF, a read error, or an oversized frame (corrupted() tells which) —
+  /// meaning the child is gone or must be treated as such. Already-buffered
+  /// complete frames remain poppable either way.
+  bool pumpReadable();
+
+  /// Pops the next complete buffered frame. False when none is complete.
+  bool popFrame(std::string &Payload);
+
+  /// True once the stream carried an oversized length prefix.
+  bool corrupted() const { return Corrupt; }
+
+  /// Sends \p Sig to the child (no-op when not running).
+  void terminate(int Sig);
+
+  /// Reaps the child: waits up to \p GraceMs for it to exit, escalating to
+  /// SIGKILL (then a blocking wait) when it has not. Returns the final
+  /// status and forgets the pid; safe to call repeatedly (later calls
+  /// return the recorded status).
+  ExitStatus awaitExit(int GraceMs);
+
+private:
+  void closeFds();
+
+  int Pid = -1;
+  int InFd = -1;  // write end of the child's stdin
+  int OutFd = -1; // read end of the child's stdout
+  std::string RxBuf;
+  bool Corrupt = false;
+  ExitStatus Last;
+};
+
+} // namespace qcm
+
+#endif // QCM_SUPPORT_SUBPROCESS_H

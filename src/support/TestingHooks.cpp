@@ -1,0 +1,79 @@
+//===- support/TestingHooks.cpp -------------------------------------------===//
+
+#include "support/TestingHooks.h"
+
+#if QCM_TESTING_HOOKS
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace {
+
+struct CrashSpec {
+  bool Armed = false;
+  bool Abort = false;
+  std::vector<uint64_t> Cells;
+};
+
+CrashSpec parseCrashSpec() {
+  CrashSpec Spec;
+  const char *At = std::getenv("QCM_CRASH_AT");
+  if (!At || !*At)
+    return Spec;
+  uint64_t Value = 0;
+  bool Any = false;
+  for (const char *P = At;; ++P) {
+    if (*P >= '0' && *P <= '9') {
+      Value = Value * 10 + static_cast<uint64_t>(*P - '0');
+      Any = true;
+      continue;
+    }
+    if (Any) {
+      Spec.Cells.push_back(Value);
+      Value = 0;
+      Any = false;
+    }
+    if (!*P)
+      break;
+  }
+  Spec.Armed = !Spec.Cells.empty();
+  const char *Kind = std::getenv("QCM_CRASH_KIND");
+  Spec.Abort = Kind && std::strcmp(Kind, "abort") == 0;
+  return Spec;
+}
+
+const CrashSpec &crashSpec() {
+  static const CrashSpec Spec = parseCrashSpec();
+  return Spec;
+}
+
+} // namespace
+
+bool qcm::testingHooksArmed() { return crashSpec().Armed; }
+
+void qcm::maybeCrashAtCell(uint64_t CellIndex) {
+  const CrashSpec &Spec = crashSpec();
+  if (!Spec.Armed)
+    return;
+  for (uint64_t Cell : Spec.Cells) {
+    if (Cell != CellIndex)
+      continue;
+    // The note goes to stderr (never the report stream) so a chaos run's
+    // log shows which deaths were the canary's.
+    std::fprintf(stderr, "[testing-hooks] crashing at cell %llu\n",
+                 static_cast<unsigned long long>(CellIndex));
+    std::fflush(stderr);
+    if (Spec.Abort)
+      std::abort();
+    std::raise(SIGSEGV);
+  }
+}
+
+#else
+
+bool qcm::testingHooksArmed() { return false; }
+
+#endif // QCM_TESTING_HOOKS

@@ -1,0 +1,47 @@
+//===- support/TestingHooks.h - Deterministic failure hooks -----*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic crash canaries for the isolation tests (docs/ISOLATION.md).
+/// With QCM_CRASH_AT=<index>[,<index>...] in the environment, the process
+/// dies with SIGSEGV (or SIGABRT when QCM_CRASH_KIND=abort) the moment a
+/// hooked code path reaches one of the listed grid-cell indices — the
+/// index space is the checkpoint journal's global cell numbering, so a
+/// canary crash and its quarantine record name the same cell.
+///
+/// Compiled in only for non-Release builds or -DQCM_TESTING_HOOKS=ON;
+/// release binaries contain no trace of the hook and ignore the variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_SUPPORT_TESTINGHOOKS_H
+#define QCM_SUPPORT_TESTINGHOOKS_H
+
+#include <cstdint>
+
+#ifndef QCM_TESTING_HOOKS
+#define QCM_TESTING_HOOKS 0
+#endif
+
+namespace qcm {
+
+/// True when the hooks are compiled in AND QCM_CRASH_AT is set; tests use
+/// this to skip canary scenarios against a hook-free binary.
+bool testingHooksArmed();
+
+/// Kills the process (raise(SIGSEGV) / abort()) when \p CellIndex is one of
+/// the armed QCM_CRASH_AT indices; otherwise (or in a hook-free build) a
+/// no-op. The environment is parsed once, on first call.
+#if QCM_TESTING_HOOKS
+void maybeCrashAtCell(uint64_t CellIndex);
+#else
+inline void maybeCrashAtCell(uint64_t) {}
+#endif
+
+} // namespace qcm
+
+#endif // QCM_SUPPORT_TESTINGHOOKS_H

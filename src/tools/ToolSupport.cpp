@@ -5,14 +5,21 @@
 #include "memory/ModelRegistry.h"
 #include "refinement/RefinementChecker.h"
 #include "refinement/Validate.h"
+#include "semantics/ResultCodec.h"
 #include "support/Profiler.h"
 #include "support/Telemetry.h"
 
+#include <cstdio>
+#include <csignal>
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
 using namespace qcm;
 using namespace qcm_tools;
+
+void qcm_tools::installSignalHygiene() { std::signal(SIGPIPE, SIG_IGN); }
 
 int qcm_tools::exitCodeForBehavior(const Behavior &B) {
   switch (B.BehaviorKind) {
@@ -98,6 +105,8 @@ std::string qcm_tools::metricsAggregateJson(const RefinementReport &Report) {
   O.field("timed_out_runs", Report.TimedOutRuns);
   O.fieldBool("sweep_ran", Report.SweepRan);
   O.field("injected_runs", Report.InjectedRuns);
+  O.field("crashed_runs", Report.CrashedRuns);
+  O.field("quarantined_cells", Report.QuarantinedCells);
   O.fieldRaw("stats", Report.AggregateStats.toJson());
   return O.str();
 }
@@ -134,6 +143,9 @@ std::string qcm_tools::renderMetricsDocument(const RefinementReport &Report,
   // reuse), so it lives outside the jobs-stable "aggregate" section.
   Doc.fieldRaw("dispatch", Report.AggregateDispatch.toJson());
   Doc.fieldRaw("pool", Report.Pool.toJson());
+  // Supervision counters of the --isolate=process backend; the all-zero
+  // thread-backend default documents which backend ran.
+  Doc.fieldRaw("isolation", Report.Isolation.toJson());
   Doc.fieldRaw("process", metricsProcessJson());
   Doc.fieldRaw("profile", metricsProfileJson());
   return Doc.str();
@@ -163,6 +175,8 @@ qcm_tools::renderMatrixMetricsDocument(const MatrixReport &Report,
   Aggregate.field("timed_out_runs", Report.TimedOutRuns);
   Aggregate.fieldBool("sweep_ran", Report.SweepRan);
   Aggregate.field("injected_runs", Report.InjectedRuns);
+  Aggregate.field("crashed_runs", Report.CrashedRuns);
+  Aggregate.field("quarantined_cells", Report.QuarantinedCells);
   Aggregate.fieldRaw("stats", Report.AggregateStats.toJson());
 
   JsonObject Matrix;
@@ -182,6 +196,7 @@ qcm_tools::renderMatrixMetricsDocument(const MatrixReport &Report,
     Row.field("timed_out_runs", C.Report.TimedOutRuns);
     Row.field("injected_runs", C.Report.InjectedRuns);
     Row.fieldBool("sweep_ran", C.Report.SweepRan);
+    Row.field("quarantined_cells", C.Report.QuarantinedCells);
     CellRows.push_back(Row.str());
   }
   Matrix.fieldRaw("cells", jsonArray(CellRows));
@@ -196,6 +211,7 @@ qcm_tools::renderMatrixMetricsDocument(const MatrixReport &Report,
   // document for the rationale.
   Doc.fieldRaw("dispatch", Report.AggregateDispatch.toJson());
   Doc.fieldRaw("pool", Report.Pool.toJson());
+  Doc.fieldRaw("isolation", Report.Isolation.toJson());
   Doc.fieldRaw("process", metricsProcessJson());
   Doc.fieldRaw("profile", metricsProfileJson());
   return Doc.str();
@@ -366,247 +382,11 @@ bool CommandLine::applyRunOptions(RunConfig &Config,
 
 namespace {
 
-/// Inverse of qcm::jsonEscape for the escapes it produces.
-std::string jsonUnescape(const std::string &Text) {
-  std::string Out;
-  Out.reserve(Text.size());
-  for (size_t I = 0; I < Text.size(); ++I) {
-    char C = Text[I];
-    if (C != '\\' || I + 1 >= Text.size()) {
-      Out += C;
-      continue;
-    }
-    char Next = Text[++I];
-    switch (Next) {
-    case 'n':
-      Out += '\n';
-      break;
-    case 'r':
-      Out += '\r';
-      break;
-    case 't':
-      Out += '\t';
-      break;
-    case 'u': {
-      if (I + 4 < Text.size()) {
-        unsigned V = 0;
-        for (int D = 0; D < 4; ++D) {
-          char H = Text[I + 1 + D];
-          V = V * 16 +
-              (H >= '0' && H <= '9'   ? unsigned(H - '0')
-               : H >= 'a' && H <= 'f' ? unsigned(H - 'a' + 10)
-               : H >= 'A' && H <= 'F' ? unsigned(H - 'A' + 10)
-                                      : 0);
-        }
-        Out += static_cast<char>(V);
-        I += 4;
-      }
-      break;
-    }
-    default:
-      Out += Next; // '\\' and '"'
-    }
-  }
-  return Out;
-}
-
-/// Pulls the raw text of field \p Key out of a single-line JSON object
-/// produced by qcm::JsonObject (flat objects, string or numeric/bool
-/// values). Returns false when the key is absent.
-bool jsonField(const std::string &Line, const std::string &Key,
-               std::string &Raw, bool &IsString) {
-  std::string Needle = "\"" + Key + "\":";
-  size_t Pos = Line.find(Needle);
-  if (Pos == std::string::npos)
-    return false;
-  Pos += Needle.size();
-  if (Pos >= Line.size())
-    return false;
-  if (Line[Pos] == '"') {
-    IsString = true;
-    std::string Value;
-    for (size_t I = Pos + 1; I < Line.size(); ++I) {
-      if (Line[I] == '\\' && I + 1 < Line.size()) {
-        Value += Line[I];
-        Value += Line[I + 1];
-        ++I;
-        continue;
-      }
-      if (Line[I] == '"') {
-        Raw = jsonUnescape(Value);
-        return true;
-      }
-      Value += Line[I];
-    }
-    return false; // unterminated string: truncated line
-  }
-  IsString = false;
-  size_t End = Pos;
-  while (End < Line.size() && Line[End] != ',' && Line[End] != '}')
-    ++End;
-  if (End == Line.size())
-    return false; // truncated line
-  Raw = Line.substr(Pos, End - Pos);
-  return true;
-}
-
-const char *behaviorKindToken(Behavior::Kind Kind) {
-  switch (Kind) {
-  case Behavior::Kind::Terminated:
-    return "term";
-  case Behavior::Kind::Undefined:
-    return "undef";
-  case Behavior::Kind::OutOfMemory:
-    return "oom";
-  case Behavior::Kind::StepLimit:
-    return "steplimit";
-  }
-  return "term";
-}
-
-bool behaviorKindFromToken(const std::string &Token, Behavior::Kind &Kind) {
-  if (Token == "term")
-    Kind = Behavior::Kind::Terminated;
-  else if (Token == "undef")
-    Kind = Behavior::Kind::Undefined;
-  else if (Token == "oom")
-    Kind = Behavior::Kind::OutOfMemory;
-  else if (Token == "steplimit")
-    Kind = Behavior::Kind::StepLimit;
-  else
-    return false;
-  return true;
-}
-
-/// Events as "o5.i3.o7"; round-trips through parseEventsToken.
-std::string eventsToken(const std::vector<Event> &Events) {
-  std::string Text;
-  for (const Event &E : Events) {
-    if (!Text.empty())
-      Text += '.';
-    Text += E.EventKind == Event::Kind::Input ? 'i' : 'o';
-    Text += std::to_string(static_cast<uint64_t>(E.Value));
-  }
-  return Text;
-}
-
-bool parseEventsToken(const std::string &Text, std::vector<Event> &Events) {
-  if (Text.empty())
-    return true;
-  std::string Tok;
-  for (char C : Text + ".") {
-    if (C != '.') {
-      Tok += C;
-      continue;
-    }
-    if (Tok.size() < 2 || (Tok[0] != 'i' && Tok[0] != 'o'))
-      return false;
-    uint64_t V = 0;
-    if (!parseUint(Tok.substr(1), V))
-      return false;
-    Events.push_back(Tok[0] == 'i' ? Event::input(static_cast<Word>(V))
-                                   : Event::output(static_cast<Word>(V)));
-    Tok.clear();
-  }
-  return true;
-}
-
-/// ModelStats as a fixed-order comma list; must round-trip exactly for the
-/// resumed report's AggregateStats to match byte for byte.
-std::string statsToken(const ModelStats &S) {
-  const uint64_t Fields[] = {S.Allocations,    S.AllocationFailures,
-                             S.Frees,          S.Loads,
-                             S.Stores,         S.CastsToInt,
-                             S.CastsToPtr,     S.Realizations,
-                             S.RealizationFailures, S.UndefinedFaults,
-                             S.NoBehaviorFaults,    S.LiveBlocks,
-                             S.PeakLiveBlocks, S.RealizedBytes,
-                             S.PeakRealizedBytes};
-  std::string Text;
-  for (uint64_t F : Fields) {
-    if (!Text.empty())
-      Text += ',';
-    Text += std::to_string(F);
-  }
-  return Text;
-}
-
-bool parseStatsToken(const std::string &Text, ModelStats &S) {
-  uint64_t *Fields[] = {&S.Allocations,    &S.AllocationFailures,
-                        &S.Frees,          &S.Loads,
-                        &S.Stores,         &S.CastsToInt,
-                        &S.CastsToPtr,     &S.Realizations,
-                        &S.RealizationFailures, &S.UndefinedFaults,
-                        &S.NoBehaviorFaults,    &S.LiveBlocks,
-                        &S.PeakLiveBlocks, &S.RealizedBytes,
-                        &S.PeakRealizedBytes};
-  size_t Idx = 0;
-  std::string Tok;
-  for (char C : Text + ",") {
-    if (C != ',') {
-      Tok += C;
-      continue;
-    }
-    if (Idx >= std::size(Fields) || !parseUint(Tok, *Fields[Idx]))
-      return false;
-    ++Idx;
-    Tok.clear();
-  }
-  return Idx == std::size(Fields);
-}
-
 std::string journalHeader(const std::string &JobKey) {
   return JsonObject()
       .field("qcm-journal", uint64_t{1})
       .field("job", JobKey)
       .str();
-}
-
-/// One cell line; any parse failure is treated as a truncated/corrupt tail
-/// and cleanly ends the load.
-bool parseCellLine(const std::string &Line, size_t &Index, RunResult &R) {
-  std::string Raw;
-  bool IsString = false;
-  uint64_t Cell = 0;
-  if (!jsonField(Line, "cell", Raw, IsString) || IsString ||
-      !parseUint(Raw, Cell))
-    return false;
-  Index = static_cast<size_t>(Cell);
-  if (!jsonField(Line, "kind", Raw, IsString) || !IsString ||
-      !behaviorKindFromToken(Raw, R.Behav.BehaviorKind))
-    return false;
-  if (!jsonField(Line, "events", Raw, IsString) || !IsString ||
-      !parseEventsToken(Raw, R.Behav.Events))
-    return false;
-  if (!jsonField(Line, "reason", Raw, IsString) || !IsString)
-    return false;
-  R.Behav.Reason = Raw;
-  if (!jsonField(Line, "steps", Raw, IsString) || IsString ||
-      !parseUint(Raw, R.Steps))
-    return false;
-  if (!jsonField(Line, "timedout", Raw, IsString) || IsString)
-    return false;
-  R.TimedOut = Raw == "true";
-  if (jsonField(Line, "consistency", Raw, IsString) && IsString)
-    R.ConsistencyError = Raw;
-  if (!jsonField(Line, "stats", Raw, IsString) || !IsString ||
-      !parseStatsToken(Raw, R.Stats))
-    return false;
-  return true;
-}
-
-std::string cellLine(size_t Index, const RunResult &R) {
-  JsonObject Obj;
-  Obj.field("cell", static_cast<uint64_t>(Index))
-      .field("kind", behaviorKindToken(R.Behav.BehaviorKind))
-      .field("events", eventsToken(R.Behav.Events))
-      .field("reason", R.Behav.Reason)
-      .field("steps", R.Steps)
-      .fieldBool("timedout", R.TimedOut);
-  if (R.ConsistencyError)
-    Obj.field("consistency", *R.ConsistencyError);
-  Obj.field("stats", statsToken(R.Stats));
-  return Obj.str();
 }
 
 } // namespace
@@ -616,6 +396,7 @@ bool CheckpointJournal::open(const std::string &Path,
                              std::string &Error) {
   prof::Span Span("journal-open", "io");
   Span.argBool("resume", Resume);
+  close();
   Cells.clear();
   if (Resume) {
     std::ifstream In(Path);
@@ -626,8 +407,8 @@ bool CheckpointJournal::open(const std::string &Path,
       } else {
         std::string Raw;
         bool IsString = false;
-        if (!jsonField(Line, "qcm-journal", Raw, IsString) ||
-            !jsonField(Line, "job", Raw, IsString) || !IsString) {
+        if (!jsonExtractField(Line, "qcm-journal", Raw, IsString) ||
+            !jsonExtractField(Line, "job", Raw, IsString) || !IsString) {
           Error = "'" + Path + "' is not a qcm-check journal";
           return false;
         }
@@ -640,7 +421,7 @@ bool CheckpointJournal::open(const std::string &Path,
         while (std::getline(In, Line)) {
           size_t Index = 0;
           RunResult R;
-          if (!parseCellLine(Line, Index, R))
+          if (!decodeRunResult(Line, Index, R))
             break; // truncated tail from a killed run: replay what we have
           Cells[Index] = std::move(R);
         }
@@ -648,19 +429,36 @@ bool CheckpointJournal::open(const std::string &Path,
     }
     // (Missing file: nothing to replay, start journaling from scratch.)
   }
-  // Rewrite the file from the loaded state rather than appending: a killed
-  // run can leave a torn final line, and appending after it would corrupt
-  // the journal. Cells merge in plan order, so replaying them in index
-  // order reproduces an uninterrupted journal byte-for-byte.
-  Out = std::make_unique<std::ofstream>(Path, std::ios::trunc);
-  if (!*Out) {
-    Error = "cannot open journal '" + Path + "' for writing";
+  // Rewrite rather than append — a killed run can leave a torn final line —
+  // and rewrite *atomically*: contents go to PATH.tmp and rename over PATH
+  // once synced, so a crash during open never destroys the previous
+  // generation of the journal. Cells merge in plan order, so replaying them
+  // in index order reproduces an uninterrupted journal byte-for-byte.
+  std::string TmpPath = Path + ".tmp";
+  Out = std::fopen(TmpPath.c_str(), "w");
+  if (!Out) {
+    Error = "cannot open journal '" + TmpPath + "' for writing";
     return false;
   }
-  *Out << journalHeader(JobKey) << '\n';
+  std::string Contents = journalHeader(JobKey) + "\n";
   for (const auto &[Index, R] : Cells)
-    *Out << cellLine(Index, R) << '\n';
-  Out->flush();
+    Contents += encodeRunResult(Index, R) + "\n";
+  if (std::fwrite(Contents.data(), 1, Contents.size(), Out) !=
+          Contents.size() ||
+      std::fflush(Out) != 0) {
+    Error = "error writing journal '" + TmpPath + "'";
+    close();
+    return false;
+  }
+  // The rename must not land before the data: sync the tmp file first (in
+  // sync mode and, cheaply, also without — open happens once per run).
+  ::fsync(::fileno(Out));
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    Error = "cannot rename '" + TmpPath + "' to '" + Path + "'";
+    close();
+    return false;
+  }
+  UnsyncedRecords = 0;
   Span.arg("replayed", static_cast<uint64_t>(Cells.size()));
   return true;
 }
@@ -673,11 +471,32 @@ const RunResult *CheckpointJournal::cached(size_t Index) const {
 void CheckpointJournal::record(size_t Index, const RunResult &R) {
   if (!Out || Cells.count(Index))
     return;
-  *Out << cellLine(Index, R) << '\n';
-  Out->flush();
+  std::string Line = encodeRunResult(Index, R) + "\n";
+  std::fwrite(Line.data(), 1, Line.size(), Out);
+  // Always flush to the OS — a process crash loses at most the in-progress
+  // line. In sync mode, additionally fsync in batches so a *machine* crash
+  // loses at most SyncBatch records.
+  std::fflush(Out);
+  if (Sync && ++UnsyncedRecords >= SyncBatch) {
+    ::fsync(::fileno(Out));
+    UnsyncedRecords = 0;
+    prof::counterAdd("journal.fsyncs", 1);
+  }
   // A span per record would swamp the trace; a counter keeps journal write
   // volume visible in the metrics document instead.
   prof::counterAdd("journal.records", 1);
+}
+
+void CheckpointJournal::close() {
+  if (!Out)
+    return;
+  std::fflush(Out);
+  if (Sync && UnsyncedRecords > 0) {
+    ::fsync(::fileno(Out));
+    UnsyncedRecords = 0;
+  }
+  std::fclose(Out);
+  Out = nullptr;
 }
 
 bool CommandLine::applyExplorationOptions(ExplorationOptions &Exec,

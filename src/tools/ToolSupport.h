@@ -17,6 +17,7 @@
 #include "refinement/Exploration.h"
 #include "semantics/Runner.h"
 
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -41,6 +42,10 @@ namespace qcm_tools {
 ///   4  the execution ran out of (concrete) address space — the paper's
 ///      "no behavior"; injected exhaustion exits the same way
 ///   5  the execution was cut short: step budget or --timeout-ms watchdog
+///   6  the refinement verdict is positive but incomplete: one or more grid
+///      cells were quarantined after repeated worker crashes under
+///      --isolate=process, so the verdict covers the surviving cells only
+///      (a negative verdict still exits 1 — counterexamples outrank gaps)
 enum ExitCode : int {
   ExitSuccess = 0,
   ExitCheckFailed = 1,
@@ -48,7 +53,14 @@ enum ExitCode : int {
   ExitUndefined = 3,
   ExitOutOfMemory = 4,
   ExitTimeout = 5,
+  ExitQuarantined = 6,
 };
+
+/// Process-wide signal hygiene for the tools, installed first thing in every
+/// main(): SIGPIPE is ignored so writes to a dead pipe peer (a crashed
+/// --isolate=process worker, a closed stdout consumer like `head`) surface
+/// as EPIPE write errors instead of killing the process. Idempotent.
+void installSignalHygiene();
 
 /// The exit code classifying one run's behavior.
 int exitCodeForBehavior(const qcm::Behavior &B);
@@ -162,14 +174,33 @@ bool finishProfile(const CommandLine &Cmd, std::string &Error);
 /// JSONL journal of completed refinement-grid cells, the persistence half
 /// of qcm-check's --journal/--resume. Line 1 is a header binding the
 /// journal to one job (a caller-computed key over the programs and the
-/// grid-shaping options); each further line is one cell's RunResult, in
-/// whatever order cells merged. Every record is flushed as written, so a
-/// killed run loses at most its in-progress line — load() tolerates a
-/// truncated tail. Replayed through ExplorationPlan::Cached, journaled
-/// cells skip execution entirely, and because the grid is deterministic
-/// the resumed report is byte-identical to an uninterrupted run's.
+/// grid-shaping options); each further line is one cell's RunResult
+/// (semantics/ResultCodec.h), in whatever order cells merged. Every record
+/// is flushed as written, so a killed run loses at most its in-progress
+/// line — load() tolerates a truncated tail. Replayed through
+/// ExplorationPlan::Cached, journaled cells skip execution entirely, and
+/// because the grid is deterministic the resumed report is byte-identical
+/// to an uninterrupted run's.
+///
+/// Durability: the (re)written journal is created atomically — contents go
+/// to PATH.tmp, fsync, then rename over PATH — so a crash mid-open never
+/// destroys the previous journal generation. Appends always flush to the
+/// OS; with setSync(true) (--journal-sync) they additionally fsync in
+/// batches of SyncBatch records (and at close), bounding data loss across
+/// a machine crash — not just a process crash — to one batch.
 class CheckpointJournal {
 public:
+  CheckpointJournal() = default;
+  ~CheckpointJournal() { close(); }
+  CheckpointJournal(const CheckpointJournal &) = delete;
+  CheckpointJournal &operator=(const CheckpointJournal &) = delete;
+
+  /// Records per fsync when sync mode is on.
+  static constexpr unsigned SyncBatch = 16;
+
+  /// Durable-append mode (--journal-sync); call before open().
+  void setSync(bool On) { Sync = On; }
+
   /// Opens \p Path. With \p Resume, an existing journal is first loaded
   /// (its header's job key must equal \p JobKey), then the file is
   /// rewritten from the loaded cells — dropping any torn final line a
@@ -186,11 +217,17 @@ public:
   /// (replayed cells must not duplicate their lines), then flushes.
   void record(size_t Index, const qcm::RunResult &R);
 
+  /// Final flush (+fsync in sync mode) and close. Idempotent; the
+  /// destructor calls it.
+  void close();
+
   size_t cachedCount() const { return Cells.size(); }
 
 private:
   std::map<size_t, qcm::RunResult> Cells;
-  std::unique_ptr<std::ofstream> Out;
+  std::FILE *Out = nullptr;
+  bool Sync = false;
+  unsigned UnsyncedRecords = 0;
 };
 
 } // namespace qcm_tools

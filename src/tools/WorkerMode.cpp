@@ -1,0 +1,309 @@
+//===- tools/WorkerMode.cpp -----------------------------------------------===//
+
+#include "tools/WorkerMode.h"
+
+#include "memory/ModelRegistry.h"
+#include "refinement/Validate.h"
+#include "semantics/ResultCodec.h"
+#include "support/Subprocess.h"
+#include "support/Telemetry.h"
+#include "support/TestingHooks.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include <unistd.h>
+
+using namespace qcm;
+using namespace qcm_tools;
+
+namespace {
+
+/// Record separator joining forwarded "key=value" options inside the init
+/// frame's single "options" string (jsonEscape round-trips it as \u001f).
+constexpr char OptionSep = '\x1f';
+
+/// Options NOT forwarded to workers: isolation plumbing (a worker is always
+/// a serial thread-backend check), journaling (only the supervisor owns the
+/// journal), observability (workers share the supervisor's stderr and must
+/// not fight over it), and --context (its *text* ships separately — workers
+/// never touch the filesystem).
+bool forwardedToWorker(const std::string &Key) {
+  return Key != "isolate" && Key != "isolate-retries" && Key != "journal" &&
+         Key != "resume" && Key != "journal-sync" && Key != "progress" &&
+         Key != "profile" && Key != "metrics-out" && Key != "jobs" &&
+         Key != "context";
+}
+
+} // namespace
+
+bool qcm_tools::buildCheckJob(CheckJobSetup &S, std::string &Error) {
+  const CommandLine &Cmd = *S.Cmd;
+  S.Src = S.Compiler.compile(S.SrcText);
+  if (!S.Src) {
+    Error = "source: " + S.Compiler.lastDiagnostics();
+    S.RawError = true;
+    return false;
+  }
+  S.Tgt = S.Compiler.compile(S.TgtText);
+  if (!S.Tgt) {
+    Error = "target: " + S.Compiler.lastDiagnostics();
+    S.RawError = true;
+    return false;
+  }
+
+  S.Job = RefinementJob{};
+  S.Job.Src = &*S.Src;
+  S.Job.Tgt = &*S.Tgt;
+  if (!Cmd.applyRunOptions(S.Job.BaseSrc, Error))
+    return false;
+  if (!Cmd.applyExplorationOptions(S.Job.Exec, Error))
+    return false;
+  if (Cmd.has("sweep"))
+    S.Job.ExhaustionSweep = true;
+  if (Cmd.has("sweep-cap") &&
+      !parseUint(Cmd.get("sweep-cap"), S.Job.SweepMaxPointsPerCell)) {
+    Error = "invalid --sweep-cap value '" + Cmd.get("sweep-cap") + "'";
+    return false;
+  }
+  S.Job.BaseTgt = S.Job.BaseSrc;
+  if (Cmd.has("tgt-model")) {
+    if (std::optional<ModelKind> Kind = parseModelName(Cmd.get("tgt-model"))) {
+      S.Job.BaseTgt.Model = *Kind;
+    } else {
+      Error = unknownModelDiagnostic(Cmd.get("tgt-model"));
+      return false;
+    }
+  }
+
+  // Contexts: explicit one, plus the standard adversaries for parameter-
+  // less externs unless suppressed.
+  S.Job.Contexts.push_back(ContextVariant::empty());
+  if (S.HaveContext)
+    S.Job.Contexts.push_back(
+        ContextVariant::fromSource(S.ContextName, S.ContextText));
+  if (!Cmd.has("no-adversaries"))
+    for (ContextVariant &C : standardAdversaryContexts(*S.Src))
+      S.Job.Contexts.push_back(std::move(C));
+  return true;
+}
+
+std::string qcm_tools::buildWorkerInitFrame(const std::string &SrcText,
+                                            const std::string &TgtText,
+                                            const CommandLine &Cmd,
+                                            bool HaveContext,
+                                            const std::string &ContextName,
+                                            const std::string &ContextText) {
+  std::string Options;
+  for (const auto &[Key, Value] : Cmd.Options) {
+    if (!forwardedToWorker(Key))
+      continue;
+    if (!Options.empty())
+      Options += OptionSep;
+    Options += Key + "=" + Value;
+  }
+  JsonObject O;
+  O.field("qcm-worker", static_cast<uint64_t>(1));
+  O.field("src", SrcText);
+  O.field("tgt", TgtText);
+  O.field("options", Options);
+  if (HaveContext) {
+    O.field("context_name", ContextName);
+    O.field("context_text", ContextText);
+  }
+  return O.str();
+}
+
+std::string qcm_tools::currentExecutablePath(const char *Argv0) {
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N > 0) {
+    Buf[N] = '\0';
+    return Buf;
+  }
+  return Argv0 && *Argv0 ? Argv0 : "qcm-check";
+}
+
+bool qcm_tools::configureProcessIsolation(const CommandLine &Cmd,
+                                          const char *Argv0,
+                                          std::string InitFrame,
+                                          const ExplorationOptions &Exec,
+                                          ProcessPool::Config &Out,
+                                          std::string &Error) {
+  Out.WorkerArgv = {currentExecutablePath(Argv0), "--worker"};
+  Out.InitFrame = std::move(InitFrame);
+  Out.Workers = Exec.effectiveJobs();
+  if (Cmd.has("isolate-retries")) {
+    uint64_t Retries = 0;
+    if (!parseUint(Cmd.get("isolate-retries"), Retries) || Retries > 1000) {
+      Error =
+          "invalid --isolate-retries value '" + Cmd.get("isolate-retries") +
+          "'";
+      return false;
+    }
+    Out.MaxRetries = static_cast<unsigned>(Retries);
+  }
+  if (Cmd.has("timeout-ms")) {
+    uint64_t TimeoutMs = 0;
+    if (parseUint(Cmd.get("timeout-ms"), TimeoutMs) && TimeoutMs)
+      // Sized so the in-worker --timeout-ms watchdog always fires first for
+      // merely slow cells; only a wedged process (stuck syscall, livelocked
+      // dispatch) outlives this and meets the supervisor's SIGKILL.
+      Out.ItemTimeoutMs = TimeoutMs * 4 + 5000;
+  }
+  return true;
+}
+
+int qcm_tools::runCheckWorker(int InFd, int OutFd) {
+  installSignalHygiene();
+
+  auto Reply = [OutFd](const std::string &Payload) {
+    return writeFrameFd(OutFd, Payload);
+  };
+  auto Fail = [&Reply](const std::string &Msg) {
+    JsonObject O;
+    O.field("error", Msg);
+    Reply(O.str());
+    return ExitBadInput;
+  };
+
+  std::string Init;
+  bool Eof = false;
+  if (!readFrameFd(InFd, Init, Eof))
+    return ExitBadInput;
+  std::string Raw;
+  bool IsString = false;
+  if (!jsonExtractField(Init, "qcm-worker", Raw, IsString))
+    return Fail("malformed init frame");
+
+  CheckJobSetup Setup;
+  if (!jsonExtractField(Init, "src", Setup.SrcText, IsString) ||
+      !jsonExtractField(Init, "tgt", Setup.TgtText, IsString))
+    return Fail("init frame missing program text");
+  std::string OptionsBlob;
+  jsonExtractField(Init, "options", OptionsBlob, IsString);
+  if (jsonExtractField(Init, "context_name", Setup.ContextName, IsString)) {
+    Setup.HaveContext = true;
+    jsonExtractField(Init, "context_text", Setup.ContextText, IsString);
+  }
+
+  // Rebuild the forwarded command line from the \x1f-joined k=v records.
+  CommandLine Cmd;
+  std::string Record;
+  for (size_t I = 0; I <= OptionsBlob.size(); ++I) {
+    if (I < OptionsBlob.size() && OptionsBlob[I] != OptionSep) {
+      Record += OptionsBlob[I];
+      continue;
+    }
+    if (!Record.empty()) {
+      const size_t Eq = Record.find('=');
+      if (Eq == std::string::npos)
+        Cmd.Options[Record] = "";
+      else
+        Cmd.Options[Record.substr(0, Eq)] = Record.substr(Eq + 1);
+    }
+    Record.clear();
+  }
+  Setup.Cmd = &Cmd;
+
+  std::string Error;
+  if (!buildCheckJob(Setup, Error))
+    return Fail(Error);
+
+  {
+    JsonObject O;
+    O.field("ready", static_cast<uint64_t>(1));
+    if (!Reply(O.str()))
+      return 0; // supervisor went away; nothing left to serve
+  }
+
+  // Schedules cached per (source model, target model): plain mode hits one
+  // entry forever, matrix mode re-plans once per model pair and then serves
+  // every request of that pair from the cache. Planning with the exact same
+  // planRefinementGrid the supervisor uses is what makes a request index
+  // denote the same module × config on both sides.
+  std::map<std::pair<int, int>, std::unique_ptr<GridSchedule>> Schedules;
+  auto scheduleFor = [&](ModelKind SrcKind, ModelKind TgtKind) {
+    const std::pair<int, int> Key{static_cast<int>(SrcKind),
+                                  static_cast<int>(TgtKind)};
+    std::unique_ptr<GridSchedule> &Slot = Schedules[Key];
+    if (!Slot) {
+      Setup.Job.BaseSrc.Model = SrcKind;
+      Setup.Job.BaseTgt.Model = TgtKind;
+      Slot = std::make_unique<GridSchedule>(planRefinementGrid(Setup.Job));
+    }
+    return Slot.get();
+  };
+
+  // One ExecState for the worker's lifetime: compile-once plus machine and
+  // memory storage reuse across every cell this process serves.
+  ExecState Exec;
+  std::string Request;
+  while (readFrameFd(InFd, Request, Eof)) {
+    std::string RunKind, SrcModel, TgtModel, IndexText;
+    if (!jsonExtractField(Request, "run", RunKind, IsString) ||
+        !jsonExtractField(Request, "src_model", SrcModel, IsString) ||
+        !jsonExtractField(Request, "tgt_model", TgtModel, IsString) ||
+        !jsonExtractField(Request, "index", IndexText, IsString))
+      return Fail("malformed request frame");
+    uint64_t Index = 0;
+    if (!parseUint(IndexText, Index))
+      return Fail("malformed request index");
+    std::optional<ModelKind> SrcKind = parseModelName(SrcModel);
+    std::optional<ModelKind> TgtKind = parseModelName(TgtModel);
+    if (!SrcKind || !TgtKind)
+      return Fail("unknown model in request");
+    GridSchedule *G = scheduleFor(*SrcKind, *TgtKind);
+
+    if (RunKind == "grid") {
+      if (Index >= G->Plan.Items.size())
+        return Fail("grid request index out of range");
+      // The supervisor passes the journal-global cell number alongside the
+      // plan index so the QCM_CRASH_AT canary addresses the same cell under
+      // either backend.
+      uint64_t Cell = Index;
+      std::string CellText;
+      if (jsonExtractField(Request, "cell", CellText, IsString))
+        parseUint(CellText, Cell);
+      maybeCrashAtCell(Cell);
+      const ExplorationItem &Item = G->Plan.Items[Index];
+      RunConfig C = Item.Config;
+      if (Item.MakeHandlers)
+        C.Handlers = Item.MakeHandlers();
+      RunResult R = Exec.run(Item.Module, C);
+      std::string Line = encodeRunResult(static_cast<size_t>(Index), R);
+      // Splice the protocol's completion marker into the codec line (before
+      // the closing brace) instead of sending a second frame.
+      Line.insert(Line.size() - 1, ",\"done\":true");
+      if (!Reply(Line))
+        return 0;
+    } else if (RunKind == "sweep") {
+      if (Index >= G->SweepCells.size())
+        return Fail("sweep request index out of range");
+      bool WriteFailed = false;
+      SweepProbeSummary Sum = runSweepCellProbes(
+          G->SweepCells[Index], Exec, Setup.Job.SweepMaxPointsPerCell,
+          [&](uint64_t N, RunResult &Probe) {
+            // One frame per probe, streamed as produced: frame arrival
+            // refreshes the supervisor's hang watchdog, so a long sweep
+            // cell is judged on activity, not total duration.
+            if (!Reply(encodeRunResult(static_cast<size_t>(N), Probe)))
+              WriteFailed = true;
+          });
+      if (WriteFailed)
+        return 0;
+      JsonObject Done;
+      Done.field("sweep_done", static_cast<uint64_t>(1));
+      Done.field("probes", Sum.Probes);
+      Done.fieldBool("capped", Sum.Capped);
+      Done.fieldBool("done", true);
+      if (!Reply(Done.str()))
+        return 0;
+    } else {
+      return Fail("unknown request kind '" + RunKind + "'");
+    }
+  }
+  // EOF at a frame boundary is the graceful-shutdown signal.
+  return Eof ? 0 : ExitBadInput;
+}

@@ -1,0 +1,103 @@
+//===- tools/WorkerMode.h - qcm-check worker-process mode -------*- C++ -*-===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two halves of qcm-check's --isolate=process backend
+/// (docs/ISOLATION.md):
+///
+/// * the supervisor half — building the init frame a worker needs to
+///   reconstruct the exact refinement job, and the ProcessPool
+///   configuration that spawns `qcm-check --worker` processes;
+/// * the worker half — runCheckWorker(), the hidden --worker entry point
+///   that rebuilds the job from the init frame, plans the same
+///   deterministic grid (refinement/RefinementChecker.h's
+///   planRefinementGrid), and serves per-cell execution requests over
+///   stdin/stdout frames until EOF.
+///
+/// Both halves and the plain in-process tool construct their RefinementJob
+/// through the one buildCheckJob() helper, so a plan index denotes the same
+/// module × config on every side of the process boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef QCM_TOOLS_WORKERMODE_H
+#define QCM_TOOLS_WORKERMODE_H
+
+#include "core/QuasiConcrete.h"
+#include "refinement/ProcessPool.h"
+#include "refinement/RefinementChecker.h"
+#include "tools/ToolSupport.h"
+
+#include <optional>
+#include <string>
+
+namespace qcm_tools {
+
+/// One qcm-check job under construction: the inputs both the tool's main()
+/// and the worker's init-frame decoder can supply, and the compiled outputs
+/// the RefinementJob borrows. Keep the struct alive as long as the Job.
+struct CheckJobSetup {
+  // Inputs.
+  std::string SrcText, TgtText;
+  const CommandLine *Cmd = nullptr;
+  /// The --context file, already resolved to text: main() reads it from
+  /// disk, the worker receives it inside the init frame (workers never
+  /// touch the filesystem).
+  bool HaveContext = false;
+  std::string ContextName, ContextText;
+
+  // Outputs.
+  qcm::Vm Compiler;
+  std::optional<qcm::Program> Src, Tgt;
+  qcm::RefinementJob Job;
+  /// True when the failure Error already carries its own formatting
+  /// (compiler diagnostics); print it raw instead of "qcm-check: ...".
+  bool RawError = false;
+};
+
+/// Compiles both programs and fills Job exactly as qcm-check always has:
+/// run options, exploration options, sweep flags, target model, and the
+/// context list (empty + explicit + standard adversaries unless
+/// --no-adversaries). False with \p Error on any malformed input.
+bool buildCheckJob(CheckJobSetup &S, std::string &Error);
+
+/// The init frame replayed to every spawned worker: both program texts, the
+/// grid-shaping command-line options (observability, journal, jobs, and
+/// isolation flags are stripped — workers are always serial and never
+/// journal), and the resolved --context text.
+std::string buildWorkerInitFrame(const std::string &SrcText,
+                                 const std::string &TgtText,
+                                 const CommandLine &Cmd, bool HaveContext,
+                                 const std::string &ContextName,
+                                 const std::string &ContextText);
+
+/// Fills the --isolate=process pool configuration: worker argv (the running
+/// executable + --worker), the init frame, one worker per effective job,
+/// the supervisor hang window derived from --timeout-ms (the in-worker
+/// watchdog handles slow cells; the supervisor only catches a truly wedged
+/// process), and the --isolate-retries budget. False with \p Error on a
+/// malformed --isolate-retries value.
+bool configureProcessIsolation(const CommandLine &Cmd, const char *Argv0,
+                               std::string InitFrame,
+                               const qcm::ExplorationOptions &Exec,
+                               qcm::ProcessPool::Config &Out,
+                               std::string &Error);
+
+/// Best-effort absolute path of the running executable (/proc/self/exe,
+/// falling back to \p Argv0) — restarted workers must exec the same binary
+/// even after a chdir.
+std::string currentExecutablePath(const char *Argv0);
+
+/// The hidden `qcm-check --worker` entry point: reads the init frame from
+/// \p InFd, replies {"ready":1} (or {"error":...}), then serves grid and
+/// sweep cell requests until EOF on \p InFd. Returns the process exit code
+/// (0 on a clean EOF shutdown).
+int runCheckWorker(int InFd, int OutFd);
+
+} // namespace qcm_tools
+
+#endif // QCM_TOOLS_WORKERMODE_H

@@ -1,0 +1,359 @@
+//===- tests/process_pool_test.cpp - Crash-quarantining pool tests --------===//
+//
+// Part of the intptrcast project: an executable reproduction of the
+// quasi-concrete C memory model (Kang et al., PLDI 2015).
+//
+// Exercises the --isolate=process machinery below the tool layer: the
+// length-prefixed frame codec (support/Subprocess.h) and the supervising
+// ProcessPool (restart with backoff, retry-then-quarantine, hang
+// detection, spawn degradation). The test binary doubles as its own
+// worker: when invoked with --qcm-child=MODE it speaks the pool protocol
+// over stdin/stdout instead of running gtest — which is why this file has
+// a custom main and is linked without gtest_main.
+//
+//===----------------------------------------------------------------------===//
+
+#include "refinement/ProcessPool.h"
+#include "support/Subprocess.h"
+#include "tools/ToolSupport.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace qcm;
+
+namespace {
+
+std::string selfPath() {
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0)
+    return "process_pool_test";
+  Buf[N] = '\0';
+  return Buf;
+}
+
+/// The worker side. Every mode performs the handshake (read init frame,
+/// reply ready) and then echoes request frames back with the protocol's
+/// "done" marker; the mode decides how to misbehave when a request payload
+/// contains "boom".
+int runChild(const std::string &Mode) {
+  std::string Init;
+  bool Eof = false;
+  if (!readFrameFd(0, Init, Eof))
+    return 2;
+  if (Mode == "noready")
+    return 3; // die before the handshake, every time
+  if (!writeFrameFd(1, "{\"ready\":1}"))
+    return 0;
+  std::string Req;
+  while (readFrameFd(0, Req, Eof)) {
+    const bool Boom = Req.find("boom") != std::string::npos;
+    if (Boom && Mode == "crash")
+      std::raise(SIGSEGV);
+    if (Boom && Mode == "abort")
+      std::abort();
+    if (Boom && Mode == "hang") {
+      // Produce no frame; the supervisor's watchdog must SIGKILL us.
+      ::sleep(60);
+      return 0;
+    }
+    if (Req.find("multi") != std::string::npos) {
+      // Sweep-shaped item: progress frames before the done frame. Each
+      // arrival refreshes the supervisor's hang deadline.
+      if (!writeFrameFd(1, "{\"part\":1}") ||
+          !writeFrameFd(1, "{\"part\":2}"))
+        return 0;
+    }
+    if (!writeFrameFd(1, "{\"echo\":\"" + Req + "\",\"done\":true}"))
+      return 0;
+  }
+  return Eof ? 0 : 2;
+}
+
+ProcessPool::Config childConfig(const std::string &Mode, unsigned Workers) {
+  ProcessPool::Config C;
+  C.WorkerArgv = {selfPath(), "--qcm-child=" + Mode};
+  C.InitFrame = "{\"qcm-worker\":1}";
+  C.Workers = Workers;
+  C.BackoffBaseMs = 1; // keep restart-heavy tests fast
+  C.BackoffMaxMs = 8;
+  return C;
+}
+
+std::string itemPayload(size_t I) { return "item-" + std::to_string(I); }
+
+TEST(Framing, RoundTripsPayloads) {
+  int Fds[2];
+  ASSERT_EQ(0, ::pipe(Fds));
+  // Must fit the default 64 KiB pipe buffer with the other frames — this
+  // side writes everything before reading anything back.
+  std::string Big(32 << 10, 'x');
+  Big[7] = '\0'; // payloads are opaque bytes, not C strings
+  Big[8] = '\x1f';
+  const std::vector<std::string> Payloads = {"", "hello", "{\"a\":1}", Big};
+  for (const std::string &P : Payloads)
+    ASSERT_TRUE(writeFrameFd(Fds[1], P));
+  ::close(Fds[1]);
+  std::string Got;
+  bool Eof = false;
+  for (const std::string &P : Payloads) {
+    ASSERT_TRUE(readFrameFd(Fds[0], Got, Eof));
+    EXPECT_EQ(P, Got);
+  }
+  // The close above lands exactly on a frame boundary: clean EOF.
+  EXPECT_FALSE(readFrameFd(Fds[0], Got, Eof));
+  EXPECT_TRUE(Eof);
+  ::close(Fds[0]);
+}
+
+TEST(Framing, TruncatedFrameIsNotEof) {
+  int Fds[2];
+  ASSERT_EQ(0, ::pipe(Fds));
+  const unsigned char Prefix[4] = {16, 0, 0, 0}; // promises 16 bytes...
+  ASSERT_EQ(4, ::write(Fds[1], Prefix, 4));
+  ASSERT_EQ(3, ::write(Fds[1], "abc", 3)); // ...delivers 3
+  ::close(Fds[1]);
+  std::string Got;
+  bool Eof = false;
+  EXPECT_FALSE(readFrameFd(Fds[0], Got, Eof));
+  EXPECT_FALSE(Eof);
+  ::close(Fds[0]);
+}
+
+TEST(Framing, OversizedPrefixIsRejected) {
+  int Fds[2];
+  ASSERT_EQ(0, ::pipe(Fds));
+  const uint32_t Huge = MaxFramePayload + 1;
+  ASSERT_EQ(4, ::write(Fds[1], &Huge, 4));
+  ::close(Fds[1]);
+  std::string Got;
+  bool Eof = false;
+  EXPECT_FALSE(readFrameFd(Fds[0], Got, Eof));
+  EXPECT_FALSE(Eof);
+  ::close(Fds[0]);
+}
+
+TEST(ProcessPool, EchoesItemsInOrder) {
+  ProcessPool Pool(childConfig("echo", 3));
+  const size_t Count = 24;
+  std::vector<size_t> MergedOrder;
+  ExplorationSummary Sum = Pool.explore(
+      Count, [](size_t I) { return itemPayload(I); },
+      [&](size_t I, RemoteOutcome &Out) {
+        MergedOrder.push_back(I);
+        EXPECT_FALSE(Out.Cached);
+        EXPECT_FALSE(Out.Quarantined);
+        EXPECT_EQ(0u, Out.WorkerCrashes);
+        EXPECT_FALSE(Out.Frames.empty());
+        EXPECT_NE(std::string::npos,
+                  Out.Frames.back().find("\"" + itemPayload(I) + "\""));
+        return ExploreStep::Continue;
+      });
+  EXPECT_EQ(Count, Sum.ItemsMerged);
+  EXPECT_FALSE(Sum.Cancelled);
+  ASSERT_EQ(Count, MergedOrder.size());
+  for (size_t I = 0; I < Count; ++I)
+    EXPECT_EQ(I, MergedOrder[I]); // strictly in item order
+  const IsolationStats &S = Pool.stats();
+  EXPECT_TRUE(S.ProcessBackend);
+  EXPECT_EQ(3u, S.WorkersSpawned);
+  EXPECT_EQ(0u, S.WorkerCrashes);
+  EXPECT_EQ(0u, S.QuarantinedCells);
+}
+
+TEST(ProcessPool, MultiFrameItemsDeliverEveryFrame) {
+  ProcessPool Pool(childConfig("echo", 2));
+  ExplorationSummary Sum = Pool.explore(
+      4, [](size_t I) { return "multi-" + std::to_string(I); },
+      [&](size_t, RemoteOutcome &Out) {
+        EXPECT_EQ(3u, Out.Frames.size());
+        EXPECT_NE(std::string::npos, Out.Frames[0].find("\"part\":1"));
+        EXPECT_NE(std::string::npos, Out.Frames[1].find("\"part\":2"));
+        EXPECT_NE(std::string::npos, Out.Frames[2].find("\"done\":true"));
+        return ExploreStep::Continue;
+      });
+  EXPECT_EQ(4u, Sum.ItemsMerged);
+}
+
+TEST(ProcessPool, CachedItemsSkipWorkers) {
+  ProcessPool Pool(childConfig("echo", 2));
+  size_t Remote = 0, Cached = 0;
+  Pool.explore(
+      10,
+      [](size_t I) -> std::optional<std::string> {
+        if (I % 2 == 0)
+          return std::nullopt; // journal replay path
+        return itemPayload(I);
+      },
+      [&](size_t, RemoteOutcome &Out) {
+        if (Out.Cached) {
+          ++Cached;
+          EXPECT_TRUE(Out.Frames.empty());
+        } else {
+          ++Remote;
+        }
+        return ExploreStep::Continue;
+      });
+  EXPECT_EQ(5u, Cached);
+  EXPECT_EQ(5u, Remote);
+}
+
+TEST(ProcessPool, StopCancelsRemainingItems) {
+  ProcessPool Pool(childConfig("echo", 2));
+  ExplorationSummary Sum = Pool.explore(
+      50, [](size_t I) { return itemPayload(I); },
+      [&](size_t I, RemoteOutcome &) {
+        return I == 4 ? ExploreStep::Stop : ExploreStep::Continue;
+      });
+  EXPECT_TRUE(Sum.Cancelled);
+  EXPECT_EQ(5u, Sum.ItemsMerged);
+}
+
+TEST(ProcessPool, RetriesThenQuarantinesCrashingItem) {
+  ProcessPool::Config C = childConfig("crash", 2);
+  C.MaxRetries = 2;
+  ProcessPool Pool(std::move(C));
+  const size_t Count = 8, BoomItem = 3;
+  size_t Quarantined = 0, Healthy = 0;
+  ExplorationSummary Sum = Pool.explore(
+      Count,
+      [&](size_t I) {
+        return I == BoomItem ? std::string("boom") : itemPayload(I);
+      },
+      [&](size_t I, RemoteOutcome &Out) {
+        if (I == BoomItem) {
+          ++Quarantined;
+          EXPECT_TRUE(Out.Quarantined);
+          EXPECT_TRUE(Out.Frames.empty());
+          // One initial dispatch + MaxRetries redispatches, all fatal.
+          EXPECT_EQ(3u, Out.WorkerCrashes);
+          EXPECT_NE(std::string::npos, Out.CrashReason.find("signal"));
+        } else {
+          ++Healthy;
+          EXPECT_FALSE(Out.Quarantined);
+        }
+        return ExploreStep::Continue;
+      });
+  EXPECT_EQ(Count, Sum.ItemsMerged); // the run completes regardless
+  EXPECT_EQ(1u, Quarantined);
+  EXPECT_EQ(Count - 1, Healthy);
+  const IsolationStats &S = Pool.stats();
+  EXPECT_EQ(3u, S.WorkerCrashes);
+  EXPECT_EQ(2u, S.CellRetries);
+  EXPECT_EQ(1u, S.QuarantinedCells);
+  EXPECT_GE(S.WorkerRestarts, 1u); // dead workers came back with backoff
+}
+
+TEST(ProcessPool, ClassifiesAbortDeaths) {
+  ProcessPool::Config C = childConfig("abort", 1);
+  C.MaxRetries = 0;
+  ProcessPool Pool(std::move(C));
+  Pool.explore(
+      1, [](size_t) { return std::string("boom"); },
+      [&](size_t, RemoteOutcome &Out) {
+        EXPECT_TRUE(Out.Quarantined);
+        EXPECT_NE(std::string::npos, Out.CrashReason.find("signal 6"));
+        return ExploreStep::Continue;
+      });
+  EXPECT_EQ(1u, Pool.stats().QuarantinedCells);
+}
+
+TEST(ProcessPool, HangingWorkerIsKilledAndItemQuarantined) {
+  ProcessPool::Config C = childConfig("hang", 1);
+  C.MaxRetries = 0;
+  C.ItemTimeoutMs = 150;
+  ProcessPool Pool(std::move(C));
+  size_t Merged = 0;
+  ExplorationSummary Sum = Pool.explore(
+      3,
+      [](size_t I) {
+        return I == 1 ? std::string("boom") : itemPayload(I);
+      },
+      [&](size_t I, RemoteOutcome &Out) {
+        ++Merged;
+        EXPECT_EQ(I == 1, Out.Quarantined);
+        return ExploreStep::Continue;
+      });
+  EXPECT_EQ(3u, Sum.ItemsMerged);
+  EXPECT_EQ(3u, Merged);
+  const IsolationStats &S = Pool.stats();
+  EXPECT_GE(S.WorkerHangs, 1u);
+  EXPECT_EQ(1u, S.QuarantinedCells);
+}
+
+TEST(ProcessPool, DegradesToLocalFallbackWhenWorkersNeverComeUp) {
+  ProcessPool Pool(childConfig("noready", 2));
+  const size_t Count = 6;
+  size_t Local = 0;
+  ExplorationSummary Sum = Pool.explore(
+      Count, [](size_t I) { return itemPayload(I); },
+      [&](size_t I, RemoteOutcome &Out) {
+        if (Out.LocalFallback) {
+          ++Local;
+          EXPECT_FALSE(Out.Quarantined);
+          EXPECT_NE(std::string::npos,
+                    Out.Frames.back().find(itemPayload(I)));
+        }
+        return ExploreStep::Continue;
+      },
+      [](size_t I) {
+        return std::vector<std::string>{
+            "{\"echo\":\"" + itemPayload(I) + "\",\"done\":true}"};
+      });
+  EXPECT_EQ(Count, Sum.ItemsMerged);
+  EXPECT_GT(Local, 0u); // degradation engaged; no item was lost
+  const IsolationStats &S = Pool.stats();
+  EXPECT_EQ(Local, S.LocalFallbackCells);
+  EXPECT_EQ(0u, S.QuarantinedCells);
+}
+
+TEST(ProcessPool, StatsDeltaSlicesPerExploration) {
+  ProcessPool Pool(childConfig("echo", 1));
+  Pool.explore(
+      4, [](size_t I) { return itemPayload(I); },
+      [](size_t, RemoteOutcome &) { return ExploreStep::Continue; });
+  IsolationStats First = Pool.takeStatsDelta();
+  EXPECT_TRUE(First.ProcessBackend);
+  EXPECT_EQ(1u, First.WorkersSpawned);
+  // Same pool, second exploration: the delta must not re-count the spawn.
+  Pool.explore(
+      4, [](size_t I) { return itemPayload(I); },
+      [](size_t, RemoteOutcome &) { return ExploreStep::Continue; });
+  IsolationStats Second = Pool.takeStatsDelta();
+  EXPECT_TRUE(Second.ProcessBackend);
+  EXPECT_EQ(0u, Second.WorkersSpawned);
+  EXPECT_EQ(0u, Second.WorkerCrashes);
+}
+
+TEST(ProcessPool, WorkersPersistAcrossExplorations) {
+  ProcessPool Pool(childConfig("echo", 2));
+  for (int Round = 0; Round < 3; ++Round)
+    Pool.explore(
+        8, [](size_t I) { return itemPayload(I); },
+        [](size_t, RemoteOutcome &) { return ExploreStep::Continue; });
+  // Three explorations, still only the initial spawns: compile-once pays
+  // off across grid, sweep, and matrix cells.
+  EXPECT_EQ(2u, Pool.stats().WorkersSpawned);
+  EXPECT_EQ(0u, Pool.stats().WorkerRestarts);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg.rfind("--qcm-child=", 0) == 0)
+      return runChild(Arg.substr(12));
+  }
+  qcm_tools::installSignalHygiene();
+  ::testing::InitGoogleTest(&Argc, Argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""End-to-end tests for qcm-check's --isolate=process backend.
+
+Covers the contracts docs/ISOLATION.md promises at the tool level:
+
+* crash-free grids produce byte-identical reports under --isolate=thread
+  and --isolate=process at every --jobs level, with and without --sweep;
+* a worker crash (the QCM_CRASH_AT canary) quarantines the cell: the run
+  completes, the report carries the QUARANTINED banner, the exit code is
+  6, the journal records the quarantine, and a later --resume replays it
+  without re-executing the known-crashing cell;
+* an externally kill -9'd worker is restarted and the run still completes;
+* a SIGKILLed supervisor leaves a resumable journal whose resumed report
+  is byte-identical to an uninterrupted run;
+* the new flags validate their inputs (exit 2).
+
+Canary scenarios are skipped (with a note) against a binary compiled
+without testing hooks (Release without -DQCM_TESTING_HOOKS=ON).
+
+Usage: tool_isolation_test.py QCM_CHECK SRC_QCM TGT_QCM
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+QCM_CHECK, SRC, TGT = sys.argv[1], sys.argv[2], sys.argv[3]
+
+# Sized so one grid cell runs ~0.5s: long enough for the worker-killer to
+# land a SIGKILL mid-cell, short enough to keep the suite quick.
+SLOW_PROGRAM = """\
+main() {
+  var int i, int x;
+  i = 20000000;
+  x = 0;
+  while (i) {
+    x = x + i;
+    i = i - 1;
+  }
+  output(x);
+}
+"""
+
+failures = []
+
+
+def check(cond, message):
+    if not cond:
+        failures.append(message)
+
+
+def run(argv, env_extra=None):
+    env = dict(os.environ)
+    env.pop("QCM_CRASH_AT", None)
+    env.pop("QCM_CRASH_KIND", None)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(argv, capture_output=True, text=True, env=env)
+
+
+def hooks_armed():
+    """Probe whether the binary was compiled with testing hooks: a canary
+    on cell 0 must quarantine something under the process backend."""
+    probe = run(
+        [QCM_CHECK, "--isolate=process", "--no-adversaries", SRC, TGT],
+        env_extra={"QCM_CRASH_AT": "0"},
+    )
+    return "QUARANTINED" in probe.stdout
+
+
+def worker_pids(supervisor_pid):
+    """Direct children of the supervisor running in --worker mode."""
+    pids = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/stat", "rb") as f:
+                stat = f.read().split()
+            if int(stat[3]) != supervisor_pid:
+                continue
+            with open(f"/proc/{entry}/cmdline", "rb") as f:
+                cmdline = f.read()
+            if b"--worker" in cmdline:
+                pids.append(int(entry))
+        except (OSError, ValueError, IndexError):
+            continue
+    return pids
+
+
+def test_backend_identity():
+    variants = [[], ["--sweep"]]
+    for extra in variants:
+        baseline = None
+        for jobs in (1, 2, 4, 8):
+            args = [f"--jobs={jobs}", *extra, SRC, TGT]
+            thread = run([QCM_CHECK, "--isolate=thread", *args])
+            process = run([QCM_CHECK, "--isolate=process", *args])
+            label = f"jobs={jobs} extra={extra}"
+            check(
+                thread.returncode == process.returncode,
+                f"{label}: exit {thread.returncode} != {process.returncode}",
+            )
+            check(
+                thread.stdout == process.stdout,
+                f"{label}: thread and process reports differ\n"
+                f"--- thread ---\n{thread.stdout}\n"
+                f"--- process ---\n{process.stdout}",
+            )
+            if baseline is None:
+                baseline = thread.stdout
+            check(
+                thread.stdout == baseline,
+                f"{label}: report differs across --jobs levels",
+            )
+
+
+def test_flag_validation():
+    bad = run([QCM_CHECK, "--isolate=fiber", SRC, TGT])
+    check(bad.returncode == 2, f"--isolate=fiber: exit {bad.returncode}")
+    check("invalid --isolate" in bad.stderr,
+          f"--isolate=fiber: missing diagnostic: {bad.stderr!r}")
+    bad = run([QCM_CHECK, "--isolate-retries=1", SRC, TGT])
+    check(bad.returncode == 2,
+          f"--isolate-retries without process: exit {bad.returncode}")
+    bad = run([QCM_CHECK, "--journal-sync", SRC, TGT])
+    check(bad.returncode == 2,
+          f"--journal-sync without journal: exit {bad.returncode}")
+
+
+def test_canary_quarantine(tmp):
+    journal = os.path.join(tmp, "quarantine.jsonl")
+    crashed = run(
+        [QCM_CHECK, "--isolate=process", f"--journal={journal}", SRC, TGT],
+        env_extra={"QCM_CRASH_AT": "1"},
+    )
+    check(crashed.returncode == 6,
+          f"canary run: expected exit 6, got {crashed.returncode}\n"
+          f"{crashed.stdout}{crashed.stderr}")
+    check("QUARANTINED" in crashed.stdout,
+          f"canary run: missing QUARANTINED banner:\n{crashed.stdout}")
+    with open(journal, "r", encoding="utf-8") as f:
+        journal_text = f.read()
+    check('"quarantined":true' in journal_text,
+          f"canary run: journal lacks a quarantine record:\n{journal_text}")
+
+    # Resume WITHOUT the canary: the quarantined cell must be replayed
+    # from the journal, not re-executed (re-execution would succeed and
+    # change the report).
+    resumed = run(
+        [QCM_CHECK, "--isolate=process", f"--resume={journal}", SRC, TGT]
+    )
+    check(resumed.returncode == 6,
+          f"resume after quarantine: exit {resumed.returncode}")
+    check(resumed.stdout == crashed.stdout,
+          "resume after quarantine: report differs (quarantined cell was "
+          f"re-executed?)\n--- crashed ---\n{crashed.stdout}\n"
+          f"--- resumed ---\n{resumed.stdout}")
+
+    # The thread backend replays the same journal identically: quarantine
+    # records are backend-portable.
+    thread_resumed = run([QCM_CHECK, f"--resume={journal}", SRC, TGT])
+    check(thread_resumed.stdout == crashed.stdout,
+          "thread-backend resume of a quarantine journal differs")
+
+    # --journal-sync is report-neutral.
+    sync_journal = os.path.join(tmp, "sync.jsonl")
+    synced = run([QCM_CHECK, "--isolate=process", "--journal-sync",
+                  f"--journal={sync_journal}", SRC, TGT])
+    plain = run([QCM_CHECK, "--isolate=process", SRC, TGT])
+    check(synced.stdout == plain.stdout,
+          "--journal-sync changed the report")
+
+
+def test_worker_kill(tmp):
+    slow = os.path.join(tmp, "slow.qcm")
+    with open(slow, "w", encoding="utf-8") as f:
+        f.write(SLOW_PROGRAM)
+    env = dict(os.environ)
+    env.pop("QCM_CRASH_AT", None)
+    proc = subprocess.Popen(
+        [QCM_CHECK, "--isolate=process", "--steps=200000000", slow, slow],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    killed = False
+    deadline = time.monotonic() + 30
+    while proc.poll() is None and time.monotonic() < deadline:
+        victims = worker_pids(proc.pid)
+        if victims and not killed:
+            os.kill(victims[0], signal.SIGKILL)
+            killed = True
+        time.sleep(0.02)
+    try:
+        out, err = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.communicate()
+        failures.append("worker-kill: run did not finish after the kill")
+        return
+    check(killed, "worker-kill: never saw a --worker child to kill")
+    # The killed cell is retried on a restarted worker; with default
+    # retries the run must still complete and (the cell being healthy on
+    # retry) report a positive verdict — exit 0, or 6 if the scheduler
+    # managed to kill the same cell's retries repeatedly.
+    check(proc.returncode in (0, 6),
+          f"worker-kill: exit {proc.returncode}\n{out}{err}")
+    check(out.startswith("REFINES"),
+          f"worker-kill: unexpected report after kill:\n{out}")
+
+
+def test_supervisor_kill_then_resume(tmp):
+    slow = os.path.join(tmp, "slow2.qcm")
+    with open(slow, "w", encoding="utf-8") as f:
+        f.write(SLOW_PROGRAM)
+    args = ["--steps=200000000", slow, slow]
+    full = run([QCM_CHECK, "--isolate=process", *args])
+    check(full.returncode == 0,
+          f"uninterrupted slow run failed: {full.stderr}")
+
+    journal = os.path.join(tmp, "interrupted.jsonl")
+    env = dict(os.environ)
+    env.pop("QCM_CRASH_AT", None)
+    proc = subprocess.Popen(
+        [QCM_CHECK, "--isolate=process", f"--journal={journal}", *args],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    time.sleep(0.7)  # mid-grid for a multi-second run
+    interrupted = proc.poll() is None
+    if interrupted:
+        os.kill(proc.pid, signal.SIGKILL)
+    proc.communicate()
+    # Orphaned workers must not linger once the supervisor is gone and
+    # their stdin pipes have collapsed.
+    deadline = time.monotonic() + 10
+    while worker_pids(proc.pid) and time.monotonic() < deadline:
+        time.sleep(0.05)
+
+    resumed = run(
+        [QCM_CHECK, "--isolate=process", f"--resume={journal}", *args]
+    )
+    check(resumed.returncode == 0,
+          f"resume after supervisor SIGKILL: exit {resumed.returncode}\n"
+          f"{resumed.stderr}")
+    check(resumed.stdout == full.stdout,
+          "resume after supervisor SIGKILL: report differs\n"
+          f"--- full ---\n{full.stdout}\n--- resumed ---\n{resumed.stdout}")
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        test_backend_identity()
+        test_flag_validation()
+        if hooks_armed():
+            test_canary_quarantine(tmp)
+        else:
+            print("note: testing hooks not compiled in; "
+                  "skipping canary quarantine scenarios")
+        test_worker_kill(tmp)
+        test_supervisor_kill_then_resume(tmp)
+
+    if failures:
+        print("\n\n".join(failures))
+        sys.exit(1)
+    print("isolation assertions passed")
+
+
+if __name__ == "__main__":
+    main()

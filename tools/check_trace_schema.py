@@ -121,7 +121,8 @@ def check_check_metrics(doc, errors):
            "metrics: aggregate must be an object")
     if isinstance(aggregate, dict):
         for key in ("refines", "contexts", "runs_performed",
-                    "timed_out_runs", "sweep_ran", "injected_runs"):
+                    "timed_out_runs", "sweep_ran", "injected_runs",
+                    "crashed_runs", "quarantined_cells"):
             expect(key in aggregate, errors,
                    f"metrics: aggregate missing '{key}'")
         stats = aggregate.get("stats")
@@ -163,6 +164,23 @@ def check_check_metrics(doc, errors):
                    and "items" in worker, errors,
                    f"metrics: pool.workers[{j}] needs busy_us and items")
 
+    # Isolation backend telemetry (docs/ISOLATION.md): which backend ran
+    # the grid and the supervisor's lifecycle counters. Like pool, it is
+    # nondeterministic (restart and retry counts depend on timing), so it
+    # lives outside aggregate.
+    isolation = doc.get("isolation")
+    expect(isinstance(isolation, dict), errors,
+           "metrics: isolation must be an object")
+    if isinstance(isolation, dict):
+        expect(isolation.get("backend") in ("thread", "process"), errors,
+               "metrics: isolation.backend must be 'thread' or 'process'")
+        for key in ("workers_spawned", "worker_restarts", "worker_crashes",
+                    "worker_hangs", "cell_retries", "quarantined_cells",
+                    "local_fallback_cells", "backoff_ms_total"):
+            expect(isinstance(isolation.get(key), int)
+                   and isolation.get(key, 0) >= 0, errors,
+                   f"metrics: isolation.{key} must be a non-negative int")
+
 
 def check_matrix_section(matrix, errors):
     """The optional matrix-mode section (qcm-check --models): the model
@@ -190,7 +208,8 @@ def check_matrix_section(matrix, errors):
             errors.append(f"{where}: must be an object")
             continue
         for key in ("src", "tgt", "ran", "refines", "runs_performed",
-                    "timed_out_runs", "injected_runs", "sweep_ran"):
+                    "timed_out_runs", "injected_runs", "sweep_ran",
+                    "quarantined_cells"):
             expect(key in cell, errors, f"{where}: missing '{key}'")
         if isinstance(models, list):
             expect(cell.get("src") in models and cell.get("tgt") in models,

@@ -31,20 +31,30 @@
 //                                  grid cells
 //   --resume=FILE                  replay a journal (then keep appending);
 //                                  the resumed report is byte-identical
+//   --journal-sync                 fsync the journal in small batches
+//   --isolate=thread|process       exploration backend: in-process threads
+//                                  (default) or supervised worker processes
+//                                  that quarantine crashing cells
+//   --isolate-retries=N            crashes tolerated per cell before it is
+//                                  quarantined (process backend, default 2)
 //   --progress                     live progress line on stderr
 //   --profile=FILE                 Chrome trace-event profile of the run
 //   --metrics-out=FILE             unified JSON metrics document
 //
-// Exit code: 0 if the target refines the source, 1 otherwise, 2 bad input.
+// Exit code: 0 if the target refines the source, 1 otherwise, 2 bad input,
+// 6 if the verdict is positive but cells were quarantined after repeated
+// worker crashes (the verdict covers the surviving cells only).
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/QuasiConcrete.h"
 #include "memory/ModelRegistry.h"
+#include "refinement/ProcessPool.h"
 #include "refinement/Validate.h"
 #include "support/Profiler.h"
 #include "support/Progress.h"
 #include "tools/ToolSupport.h"
+#include "tools/WorkerMode.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -111,6 +121,20 @@ void printUsage(std::FILE *Out) {
       "  --resume=FILE          replay FILE's finished cells, run only the\n"
       "                         rest, keep appending; the final report is\n"
       "                         byte-identical to an uninterrupted run\n"
+      "  --journal-sync         fsync the journal in small batches so\n"
+      "                         checkpoints survive power loss, not just\n"
+      "                         process death (needs --journal/--resume)\n"
+      "  --isolate=MODE         exploration backend: 'thread' (default) runs\n"
+      "                         cells on in-process worker threads;\n"
+      "                         'process' shards them across supervised\n"
+      "                         qcm-check worker processes — a crashing or\n"
+      "                         hanging cell is retried and then\n"
+      "                         quarantined instead of killing the run\n"
+      "                         (docs/ISOLATION.md). Crash-free reports are\n"
+      "                         byte-identical across both backends.\n"
+      "  --isolate-retries=N    worker crashes tolerated per cell before it\n"
+      "                         is quarantined (default 2; process backend\n"
+      "                         only)\n"
       "\n"
       "observability options (see docs/OBSERVABILITY.md):\n"
       "  --progress             live stderr line while the grid explores:\n"
@@ -122,7 +146,9 @@ void printUsage(std::FILE *Out) {
       "                         aggregates, pool timing, peak RSS, and the\n"
       "                         span/counter summary\n"
       "\n"
-      "exit codes: 0 refines, 1 does not refine, 2 bad input\n");
+      "exit codes: 0 refines, 1 does not refine, 2 bad input, 6 refines\n"
+      "but with quarantined cells (the verdict covers the surviving cells\n"
+      "only)\n");
 }
 
 /// FNV-1a over the inputs that shape the grid and its results; the journal
@@ -145,9 +171,13 @@ uint64_t hashJobInputs(const std::string &SrcText, const std::string &TgtText,
     // not invalidate the journal, and --jobs never changes the report
     // (merge order is plan order); everything else may shape the report.
     // Observability flags are purely observational, so they must not
-    // invalidate a journal either.
+    // invalidate a journal either. The isolation backend is report-neutral
+    // on crash-free grids by construction, and a journal written under one
+    // backend must stay resumable under the other (that is how a crashing
+    // run gets retried under --isolate=process).
     if (Key == "journal" || Key == "resume" || Key == "jobs" ||
-        Key == "profile" || Key == "metrics-out" || Key == "progress")
+        Key == "profile" || Key == "metrics-out" || Key == "progress" ||
+        Key == "isolate" || Key == "isolate-retries" || Key == "journal-sync")
       continue;
     Mix(Key);
     Mix(Value);
@@ -193,6 +223,12 @@ bool parseMatrixModels(const std::string &Text, std::vector<ModelKind> &Out,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  installSignalHygiene();
+  // Hidden worker mode (--isolate=process spawns these): serve cell requests
+  // over stdin/stdout frames, bypassing normal argument handling entirely.
+  if (Argc >= 2 && std::string(Argv[1]) == "--worker")
+    return runCheckWorker(0, 1);
+
   CommandLine Cmd;
   std::string Error;
   bool Parsed = Cmd.parse(Argc, Argv, Error);
@@ -207,55 +243,32 @@ int main(int Argc, char **Argv) {
   // Before any instrumented work (compilation already records spans).
   applyProfileOption(Cmd);
 
-  std::string SrcText, TgtText;
-  if (!readFile(Cmd.Positional[0], SrcText, Error) ||
-      !readFile(Cmd.Positional[1], TgtText, Error)) {
+  CheckJobSetup Setup;
+  Setup.Cmd = &Cmd;
+  if (!readFile(Cmd.Positional[0], Setup.SrcText, Error) ||
+      !readFile(Cmd.Positional[1], Setup.TgtText, Error)) {
     std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
     return ExitBadInput;
   }
-
-  Vm Compiler;
-  std::optional<Program> Src = Compiler.compile(SrcText);
-  if (!Src) {
-    std::fprintf(stderr, "source: %s", Compiler.lastDiagnostics().c_str());
-    return ExitBadInput;
-  }
-  std::optional<Program> Tgt = Compiler.compile(TgtText);
-  if (!Tgt) {
-    std::fprintf(stderr, "target: %s", Compiler.lastDiagnostics().c_str());
-    return ExitBadInput;
-  }
-
-  RefinementJob Job;
-  Job.Src = &*Src;
-  Job.Tgt = &*Tgt;
-  if (!Cmd.applyRunOptions(Job.BaseSrc, Error)) {
-    std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
-    return ExitBadInput;
-  }
-  if (!Cmd.applyExplorationOptions(Job.Exec, Error)) {
-    std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
-    return ExitBadInput;
-  }
-  if (Cmd.has("sweep"))
-    Job.ExhaustionSweep = true;
-  if (Cmd.has("sweep-cap") &&
-      !parseUint(Cmd.get("sweep-cap"), Job.SweepMaxPointsPerCell)) {
-    std::fprintf(stderr, "qcm-check: invalid --sweep-cap value '%s'\n",
-                 Cmd.get("sweep-cap").c_str());
-    return ExitBadInput;
-  }
-  Job.BaseTgt = Job.BaseSrc;
-  if (Cmd.has("tgt-model")) {
-    if (std::optional<ModelKind> Kind =
-            parseModelName(Cmd.get("tgt-model"))) {
-      Job.BaseTgt.Model = *Kind;
-    } else {
-      std::fprintf(stderr, "qcm-check: %s\n",
-                   unknownModelDiagnostic(Cmd.get("tgt-model")).c_str());
+  // Resolve the --context file to text up front: buildCheckJob (shared with
+  // the worker's init-frame decoder) never touches the filesystem.
+  if (Cmd.has("context")) {
+    Setup.HaveContext = true;
+    Setup.ContextName = Cmd.get("context");
+    if (!readFile(Setup.ContextName, Setup.ContextText, Error)) {
+      std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
       return ExitBadInput;
     }
   }
+
+  if (!buildCheckJob(Setup, Error)) {
+    if (Setup.RawError)
+      std::fprintf(stderr, "%s", Error.c_str());
+    else
+      std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
+    return ExitBadInput;
+  }
+  RefinementJob &Job = Setup.Job;
 
   // Matrix mode: --models replaces the single (source, target) model pair
   // with every ordered pair over the listed models.
@@ -273,21 +286,37 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  // Contexts: explicit file, plus the standard adversaries for parameter-
-  // less externs unless suppressed.
-  Job.Contexts.push_back(ContextVariant::empty());
-  if (Cmd.has("context")) {
-    std::string CtxText;
-    if (!readFile(Cmd.get("context"), CtxText, Error)) {
+  // Isolation backend: the thread backend is the in-process default; the
+  // process backend shards cells across supervised `qcm-check --worker`
+  // children that persist across cells and are restarted (then quarantined)
+  // on crash or hang.
+  const std::string Isolate = Cmd.get("isolate", "thread");
+  if (Isolate != "thread" && Isolate != "process") {
+    std::fprintf(stderr, "qcm-check: invalid --isolate value '%s' (expected "
+                         "'thread' or 'process')\n",
+                 Isolate.c_str());
+    return ExitBadInput;
+  }
+  if (Cmd.has("isolate-retries") && Isolate != "process") {
+    std::fprintf(stderr, "qcm-check: --isolate-retries needs "
+                         "--isolate=process\n");
+    return ExitBadInput;
+  }
+  std::optional<ProcessPool> PoolStorage;
+  if (Isolate == "process") {
+    std::string InitFrame =
+        buildWorkerInitFrame(Setup.SrcText, Setup.TgtText, Cmd,
+                             Setup.HaveContext, Setup.ContextName,
+                             Setup.ContextText);
+    ProcessPool::Config PoolCfg;
+    if (!configureProcessIsolation(Cmd, Argv[0], std::move(InitFrame),
+                                   Job.Exec, PoolCfg, Error)) {
       std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
       return ExitBadInput;
     }
-    Job.Contexts.push_back(
-        ContextVariant::fromSource(Cmd.get("context"), CtxText));
+    PoolStorage.emplace(std::move(PoolCfg));
+    Job.Isolate = &*PoolStorage;
   }
-  if (!Cmd.has("no-adversaries"))
-    for (ContextVariant &C : standardAdversaryContexts(*Src))
-      Job.Contexts.push_back(std::move(C));
 
   // Checkpoint/resume: journaled cells replay through the checker's cache
   // hook, fresh cells append as they merge.
@@ -297,13 +326,20 @@ int main(int Argc, char **Argv) {
                          "(--resume already appends)\n");
     return ExitBadInput;
   }
+  if (Cmd.has("journal-sync") &&
+      !(Cmd.has("journal") || Cmd.has("resume"))) {
+    std::fprintf(stderr, "qcm-check: --journal-sync needs --journal or "
+                         "--resume\n");
+    return ExitBadInput;
+  }
   if (Cmd.has("journal") || Cmd.has("resume")) {
     const bool Resume = Cmd.has("resume");
     const std::string Path = Resume ? Cmd.get("resume") : Cmd.get("journal");
     char Key[32];
     std::snprintf(Key, sizeof(Key), "%016llx",
                   static_cast<unsigned long long>(
-                      hashJobInputs(SrcText, TgtText, Cmd)));
+                      hashJobInputs(Setup.SrcText, Setup.TgtText, Cmd)));
+    Journal.setSync(Cmd.has("journal-sync"));
     if (!Journal.open(Path, Key, Resume, Error)) {
       std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
       return ExitBadInput;
@@ -331,7 +367,12 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
       return ExitBadInput;
     }
-    return Matrix.Refines ? ExitSuccess : ExitCheckFailed;
+    // A positive verdict earned while cells were quarantined is flagged
+    // with its own exit code: the check passed, but only over the cells
+    // that survived their workers.
+    if (!Matrix.Refines)
+      return ExitCheckFailed;
+    return Matrix.QuarantinedCells ? ExitQuarantined : ExitSuccess;
   }
 
   RefinementReport Report = checkRefinement(Job);
@@ -346,5 +387,7 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "qcm-check: %s\n", Error.c_str());
     return ExitBadInput;
   }
-  return Report.Refines ? ExitSuccess : ExitCheckFailed;
+  if (!Report.Refines)
+    return ExitCheckFailed;
+  return Report.QuarantinedCells ? ExitQuarantined : ExitSuccess;
 }

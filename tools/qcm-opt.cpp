@@ -159,6 +159,7 @@ bool rejectUnknownOptions(const CommandLine &Cmd) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  installSignalHygiene();
   CommandLine Cmd;
   std::string Error;
   if (!Cmd.parse(Argc, Argv, Error)) {

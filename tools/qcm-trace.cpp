@@ -43,6 +43,7 @@ using namespace qcm;
 using namespace qcm_tools;
 
 int main(int Argc, char **Argv) {
+  installSignalHygiene();
   CommandLine Cmd;
   std::string Error;
   if (!Cmd.parse(Argc, Argv, Error) || Cmd.Positional.size() != 1) {
